@@ -1,0 +1,234 @@
+//! Criterion benchmarks, one group per paper table/figure plus the
+//! DESIGN.md ablations.
+//!
+//! These benchmark the *reproduction pipeline itself* (wall time on the
+//! host): compile times directly realize Table 2; the per-figure groups
+//! execute reduced versions of each experiment so regressions in the
+//! simulator or backends are caught. The full-scale simulated numbers come
+//! from `cargo run --release -p wasmperf-harness --bin report`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wasmperf_benchsuite::{polybench, spec, Size};
+use wasmperf_browsix::{AppendPolicy, Kernel};
+use wasmperf_clanglite::CompileOptions;
+use wasmperf_cpu::{Machine, NullHost};
+use wasmperf_harness::{run_one, Engine};
+use wasmperf_wasmjit::{EngineProfile, Tier};
+
+fn bench_source(name: &str) -> wasmperf_cir::HProgram {
+    let b = spec::all(Size::Test)
+        .into_iter()
+        .find(|b| b.name == name)
+        .expect("benchmark exists");
+    wasmperf_cir::compile(&b.source).expect("compiles")
+}
+
+/// Table 2: compile times — clanglite (AOT) vs the Chrome JIT.
+fn table2_compile_times(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_compile_times");
+    g.sample_size(10);
+    for name in ["401.bzip2", "458.sjeng", "450.soplex"] {
+        let prog = bench_source(name);
+        let wasm = wasmperf_emcc::compile(&prog);
+        g.bench_with_input(BenchmarkId::new("clanglite", name), &prog, |b, p| {
+            b.iter(|| black_box(wasmperf_clanglite::compile(p, &CompileOptions::default())));
+        });
+        g.bench_with_input(BenchmarkId::new("chrome-jit", name), &wasm, |b, w| {
+            b.iter(|| black_box(wasmperf_wasmjit::compile(w, &EngineProfile::chrome())));
+        });
+    }
+    g.finish();
+}
+
+/// Figures 3a/3b/9/10 substrate: simulator execution throughput per
+/// engine on one PolyBench kernel and one SPEC analog.
+fn fig3_execution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_execution");
+    g.sample_size(10);
+    let engines = [
+        ("native", Engine::Native),
+        ("chrome", Engine::Jit(EngineProfile::chrome())),
+        ("firefox", Engine::Jit(EngineProfile::firefox())),
+    ];
+    for bench_name in ["gemm", "473.astar"] {
+        let b = wasmperf_benchsuite::all(Size::Test)
+            .into_iter()
+            .find(|x| x.name == bench_name)
+            .unwrap();
+        for (ename, engine) in &engines {
+            g.bench_function(BenchmarkId::new(*ename, bench_name), |bch| {
+                bch.iter(|| {
+                    black_box(run_one(&b, engine, AppendPolicy::Chunked4K).expect("runs"))
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Figure 1 substrate: tiered JIT compilation.
+fn fig1_polybench_vintages(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_polybench_vintages");
+    g.sample_size(10);
+    let b = polybench::all(Size::Test)
+        .into_iter()
+        .find(|b| b.name == "gemm")
+        .unwrap();
+    for tier in [Tier::Y2017, Tier::Y2018, Tier::Y2019] {
+        let engine = Engine::Jit(EngineProfile::chrome().at_tier(tier));
+        g.bench_function(format!("{tier:?}"), |bch| {
+            bch.iter(|| black_box(run_one(&b, &engine, AppendPolicy::Chunked4K).expect("runs")));
+        });
+    }
+    g.finish();
+}
+
+/// Figures 5/6 substrate: asm.js vs wasm execution.
+fn fig5_asmjs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_asmjs");
+    g.sample_size(10);
+    let b = spec::all(Size::Test)
+        .into_iter()
+        .find(|b| b.name == "462.libquantum")
+        .unwrap();
+    for (name, engine) in [
+        ("wasm", Engine::Jit(EngineProfile::chrome())),
+        ("asmjs", Engine::Jit(EngineProfile::chrome_asmjs())),
+    ] {
+        g.bench_function(name, |bch| {
+            bch.iter(|| black_box(run_one(&b, &engine, AppendPolicy::Chunked4K).expect("runs")));
+        });
+    }
+    g.finish();
+}
+
+/// Figure 8 substrate: the matmul sweep at one size per engine.
+fn fig8_matmul_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_matmul_sweep");
+    g.sample_size(10);
+    let src = "
+        const N = 24;
+        array i32 C[N * N];
+        array i32 A[N * N];
+        array i32 B[N * N];
+        fn main() -> i32 {
+            var i: i32 = 0; var k: i32 = 0; var j: i32 = 0;
+            for (i = 0; i < N * N; i += 1) { A[i] = i % 7; B[i] = i % 5; }
+            for (i = 0; i < N; i += 1) {
+                for (k = 0; k < N; k += 1) {
+                    for (j = 0; j < N; j += 1) {
+                        C[i * N + j] += A[i * N + k] * B[k * N + j];
+                    }
+                }
+            }
+            var s: i32 = 0;
+            for (i = 0; i < N * N; i += 1) { s = s * 31 + C[i]; }
+            return s;
+        }";
+    let prog = wasmperf_cir::compile(src).unwrap();
+    let native = wasmperf_clanglite::compile(&prog, &CompileOptions::default());
+    let wasm = wasmperf_emcc::compile(&prog);
+    let jit = wasmperf_wasmjit::compile(&wasm, &EngineProfile::chrome()).unwrap();
+    g.bench_function("native", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(&native, NullHost);
+            black_box(m.run(native.entry.unwrap(), &[], 1 << 40).expect("runs"))
+        });
+    });
+    g.bench_function("chrome", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(&jit.module, NullHost);
+            black_box(m.run(jit.module.entry.unwrap(), &[], 1 << 40).expect("runs"))
+        });
+    });
+    g.finish();
+}
+
+/// Figure 4 substrate: syscall service cost through the kernel.
+fn fig4_syscall_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_syscall_cost");
+    g.bench_function("open_write_close", |b| {
+        b.iter(|| {
+            let mut k = Kernel::new(AppendPolicy::Chunked4K);
+            let mut mem = vec![0u8; 4096];
+            mem[..6].copy_from_slice(b"/f.txt");
+            let (fd, _) = k.syscall(&[5, 0, 0x241, 0], mem.as_mut_slice());
+            let (n, _) = k.syscall(&[4, fd, 100, 2000], mem.as_mut_slice());
+            let (r, _) = k.syscall(&[6, fd, 0, 0], mem.as_mut_slice());
+            black_box((fd, n, r))
+        });
+    });
+    g.finish();
+}
+
+/// §2 ablation: BROWSERFS append policies.
+fn ablation_browserfs_append(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_browserfs_append");
+    g.sample_size(10);
+    for (name, policy) in [
+        ("exact_fit", AppendPolicy::ExactFit),
+        ("chunked_4k", AppendPolicy::Chunked4K),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut fs = wasmperf_browsix::BrowserFs::new(policy);
+                fs.write_all("/log", b"").unwrap();
+                let mut off = 0u64;
+                for _ in 0..800 {
+                    fs.write("/log", off, &[7u8; 16]).unwrap();
+                    off += 16;
+                }
+                black_box(fs.stats)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// DESIGN.md ablation: register allocators on the same LIR.
+fn ablation_regalloc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_regalloc");
+    g.sample_size(10);
+    let prog = bench_source("458.sjeng");
+    g.bench_function("native_graph_coloring", |b| {
+        b.iter(|| black_box(wasmperf_clanglite::compile(&prog, &CompileOptions::default())));
+    });
+    let wasm = wasmperf_emcc::compile(&prog);
+    g.bench_function("jit_linear_scan", |b| {
+        b.iter(|| black_box(wasmperf_wasmjit::compile(&wasm, &EngineProfile::chrome())));
+    });
+    g.finish();
+}
+
+/// Substrate throughput: wasm validation and binary round-trip.
+fn wasm_substrate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wasm_substrate");
+    let prog = bench_source("450.soplex");
+    let module = wasmperf_emcc::compile(&prog);
+    g.bench_function("validate", |b| {
+        b.iter(|| black_box(wasmperf_wasm::validate(&module)).unwrap());
+    });
+    let bytes = wasmperf_wasm::binary::encode(&module);
+    g.bench_function("encode", |b| {
+        b.iter(|| black_box(wasmperf_wasm::binary::encode(&module)));
+    });
+    g.bench_function("decode", |b| {
+        b.iter(|| black_box(wasmperf_wasm::binary::decode(&bytes)).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    table2_compile_times,
+    fig3_execution,
+    fig1_polybench_vintages,
+    fig5_asmjs,
+    fig8_matmul_sweep,
+    fig4_syscall_cost,
+    ablation_browserfs_append,
+    ablation_regalloc,
+    wasm_substrate,
+);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Benchmark-only crate: the Criterion benches live in `benches/`.
+//!
+//! Each bench regenerates (a reduced version of) one paper table or
+//! figure; the full-scale reproduction is the `report` binary in
+//! `wasmperf-harness`. See EXPERIMENTS.md for the mapping.

@@ -1,0 +1,151 @@
+//! The benchmark suite: PolyBenchC and SPEC CPU analogs in CLite.
+//!
+//! The paper's evaluation runs three suites: PolyBenchC (the kernels the
+//! original WebAssembly paper used), and the C/C++ benchmarks of SPEC
+//! CPU2006 and CPU2017. This crate provides:
+//!
+//! - [`polybench`]: the 23 PolyBenchC kernels, reimplemented directly
+//!   (they are ~100-line scientific kernels);
+//! - [`spec`]: one *analog miniature* per SPEC benchmark the paper
+//!   measures — each reproduces its counterpart's dominant behaviour
+//!   (hot-loop shape, call and indirect-call density, instruction
+//!   footprint, file I/O) as catalogued in DESIGN.md §1;
+//! - input-file generation for the analogs that use the Browsix
+//!   filesystem, and a self-checksum convention: every program's `main`
+//!   returns an `i32` checksum, which the harness compares across every
+//!   engine (the `cmp`-based output validation of BROWSIX-SPEC, §3).
+//!
+//! Programs come in two [`Size`]s: `Test` for CI-speed runs and `Ref`
+//! for report-quality measurements.
+
+pub mod polybench;
+pub mod spec;
+
+/// Workload size class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Size {
+    /// Small inputs for fast differential tests.
+    Test,
+    /// Report-scale inputs.
+    Ref,
+}
+
+/// Which suite a benchmark belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suite {
+    /// PolyBenchC kernel.
+    PolyBench,
+    /// SPEC CPU analog.
+    Spec,
+}
+
+/// One benchmark: CLite source plus the inputs it expects.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Display name (the paper's benchmark id, e.g. `401.bzip2`).
+    pub name: &'static str,
+    /// Owning suite.
+    pub suite: Suite,
+    /// CLite source text.
+    pub source: String,
+    /// Files staged into the Browsix filesystem before the run.
+    pub inputs: Vec<(String, Vec<u8>)>,
+    /// Expected files produced (checked non-empty after the run).
+    pub outputs: Vec<String>,
+}
+
+impl Benchmark {
+    fn pure(name: &'static str, suite: Suite, source: String) -> Benchmark {
+        Benchmark {
+            name,
+            suite,
+            source,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+}
+
+/// All benchmarks of both suites at the given size.
+pub fn all(size: Size) -> Vec<Benchmark> {
+    let mut v = polybench::all(size);
+    v.extend(spec::all(size));
+    v
+}
+
+/// A tiny deterministic PRNG for input generation (xorshift32).
+pub(crate) struct Rng(u32);
+
+impl Rng {
+    pub fn new(seed: u32) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    pub fn next(&mut self) -> u32 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        self.0 = x;
+        x
+    }
+
+    pub fn below(&mut self, n: u32) -> u32 {
+        self.next() % n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_expected_sizes() {
+        assert_eq!(polybench::all(Size::Test).len(), 23);
+        assert_eq!(spec::all(Size::Test).len(), 15);
+        assert_eq!(all(Size::Test).len(), 38);
+    }
+
+    #[test]
+    fn every_benchmark_compiles() {
+        for b in all(Size::Test) {
+            wasmperf_cir::compile(&b.source)
+                .unwrap_or_else(|e| panic!("{} fails to compile: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn names_match_the_paper() {
+        let spec_names: Vec<&str> = spec::all(Size::Test).iter().map(|b| b.name).collect();
+        for expected in [
+            "401.bzip2",
+            "429.mcf",
+            "433.milc",
+            "444.namd",
+            "445.gobmk",
+            "450.soplex",
+            "453.povray",
+            "458.sjeng",
+            "462.libquantum",
+            "464.h264ref",
+            "470.lbm",
+            "473.astar",
+            "482.sphinx3",
+            "641.leela_s",
+            "644.nab_s",
+        ] {
+            assert!(spec_names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next(), b.next());
+        }
+        let mut c = Rng::new(43);
+        assert_ne!(a.next(), c.next());
+    }
+}

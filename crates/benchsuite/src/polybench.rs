@@ -1,0 +1,981 @@
+//! The 23 PolyBenchC kernels in CLite.
+//!
+//! Loop structures follow PolyBench/C 4.2; initializations are the
+//! suite's index-based formulas (kept small so long dependence chains —
+//! `lu`, `cholesky`, `durbin` — stay bounded). Every kernel folds its
+//! output array into the `cs` checksum global via `sink()` and returns it.
+
+use crate::{Benchmark, Size, Suite};
+
+/// Shared program prelude: the clamped checksum sink.
+fn prelude() -> &'static str {
+    "global i32 cs = 0;\n\
+     fn sink(x: f64) {\n\
+         var t: f64 = x;\n\
+         if (t > 1000000.0) { t = 1000000.0; }\n\
+         if (t < 0.0 - 1000000.0) { t = 0.0 - 1000000.0; }\n\
+         cs = cs * 31 + i32(t * 16.0);\n\
+     }\n"
+}
+
+fn dim(size: Size, test: u32, r: u32) -> u32 {
+    match size {
+        Size::Test => test,
+        Size::Ref => r,
+    }
+}
+
+fn bench(name: &'static str, body: String) -> Benchmark {
+    Benchmark::pure(name, Suite::PolyBench, format!("{}{}", prelude(), body))
+}
+
+fn k_2mm(size: Size) -> Benchmark {
+    let n = dim(size, 16, 56);
+    bench(
+        "2mm",
+        format!(
+            "const NI = {n}; const NJ = {nj}; const NK = {nk}; const NL = {nl};
+array f64 tmp[NI * NJ];
+array f64 A[NI * NK];
+array f64 B[NK * NJ];
+array f64 C[NJ * NL];
+array f64 D[NI * NL];
+fn main() -> i32 {{
+    var i: i32 = 0; var j: i32 = 0; var k: i32 = 0;
+    var alpha: f64 = 1.5; var beta: f64 = 1.2;
+    for (i = 0; i < NI; i += 1) {{ for (j = 0; j < NK; j += 1) {{
+        A[i * NK + j] = f64((i * j + 1) % NI) / f64(NI); }} }}
+    for (i = 0; i < NK; i += 1) {{ for (j = 0; j < NJ; j += 1) {{
+        B[i * NJ + j] = f64((i * (j + 1)) % NJ) / f64(NJ); }} }}
+    for (i = 0; i < NJ; i += 1) {{ for (j = 0; j < NL; j += 1) {{
+        C[i * NL + j] = f64((i * (j + 3) + 1) % NL) / f64(NL); }} }}
+    for (i = 0; i < NI; i += 1) {{ for (j = 0; j < NL; j += 1) {{
+        D[i * NL + j] = f64((i * (j + 2)) % NK) / f64(NK); }} }}
+    for (i = 0; i < NI; i += 1) {{
+        for (j = 0; j < NJ; j += 1) {{
+            tmp[i * NJ + j] = 0.0;
+            for (k = 0; k < NK; k += 1) {{
+                tmp[i * NJ + j] += alpha * A[i * NK + k] * B[k * NJ + j];
+            }}
+        }}
+    }}
+    for (i = 0; i < NI; i += 1) {{
+        for (j = 0; j < NL; j += 1) {{
+            D[i * NL + j] *= beta;
+            for (k = 0; k < NJ; k += 1) {{
+                D[i * NL + j] += tmp[i * NJ + k] * C[k * NL + j];
+            }}
+        }}
+    }}
+    for (i = 0; i < NI; i += 1) {{ for (j = 0; j < NL; j += 1) {{
+        sink(D[i * NL + j]); }} }}
+    return cs;
+}}",
+            nj = n + 4,
+            nk = n + 8,
+            nl = n + 12
+        ),
+    )
+}
+
+fn k_3mm(size: Size) -> Benchmark {
+    let n = dim(size, 14, 48);
+    bench(
+        "3mm",
+        format!(
+            "const NI = {n}; const NJ = {nj}; const NK = {nk}; const NL = {nl}; const NM = {nm};
+array f64 A[NI * NK];
+array f64 B[NK * NJ];
+array f64 C[NJ * NM];
+array f64 D[NM * NL];
+array f64 E[NI * NJ];
+array f64 F[NJ * NL];
+array f64 G[NI * NL];
+fn main() -> i32 {{
+    var i: i32 = 0; var j: i32 = 0; var k: i32 = 0;
+    for (i = 0; i < NI; i += 1) {{ for (j = 0; j < NK; j += 1) {{
+        A[i * NK + j] = f64((i * j + 1) % NI) / (5.0 * f64(NI)); }} }}
+    for (i = 0; i < NK; i += 1) {{ for (j = 0; j < NJ; j += 1) {{
+        B[i * NJ + j] = f64((i * (j + 1) + 2) % NJ) / (5.0 * f64(NJ)); }} }}
+    for (i = 0; i < NJ; i += 1) {{ for (j = 0; j < NM; j += 1) {{
+        C[i * NM + j] = f64(i * (j + 3) % NL) / (5.0 * f64(NL)); }} }}
+    for (i = 0; i < NM; i += 1) {{ for (j = 0; j < NL; j += 1) {{
+        D[i * NL + j] = f64((i * (j + 2) + 2) % NK) / (5.0 * f64(NK)); }} }}
+    for (i = 0; i < NI; i += 1) {{ for (j = 0; j < NJ; j += 1) {{
+        E[i * NJ + j] = 0.0;
+        for (k = 0; k < NK; k += 1) {{ E[i * NJ + j] += A[i * NK + k] * B[k * NJ + j]; }}
+    }} }}
+    for (i = 0; i < NJ; i += 1) {{ for (j = 0; j < NL; j += 1) {{
+        F[i * NL + j] = 0.0;
+        for (k = 0; k < NM; k += 1) {{ F[i * NL + j] += C[i * NM + k] * D[k * NL + j]; }}
+    }} }}
+    for (i = 0; i < NI; i += 1) {{ for (j = 0; j < NL; j += 1) {{
+        G[i * NL + j] = 0.0;
+        for (k = 0; k < NJ; k += 1) {{ G[i * NL + j] += E[i * NJ + k] * F[k * NL + j]; }}
+    }} }}
+    for (i = 0; i < NI; i += 1) {{ for (j = 0; j < NL; j += 1) {{ sink(G[i * NL + j]); }} }}
+    return cs;
+}}",
+            nj = n + 2,
+            nk = n + 4,
+            nl = n + 6,
+            nm = n + 8
+        ),
+    )
+}
+
+fn k_adi(size: Size) -> Benchmark {
+    let n = dim(size, 14, 40);
+    let t = dim(size, 4, 12);
+    bench(
+        "adi",
+        format!(
+            "const N = {n}; const TSTEPS = {t};
+array f64 u[N * N];
+array f64 v[N * N];
+array f64 p[N * N];
+array f64 q[N * N];
+fn main() -> i32 {{
+    var i: i32 = 0; var j: i32 = 0; var t: i32 = 0;
+    var a: f64 = 0.13; var b: f64 = 0.41; var c: f64 = 0.13;
+    var d: f64 = 0.41; var e: f64 = 0.13; var f: f64 = 0.13;
+    for (i = 0; i < N; i += 1) {{ for (j = 0; j < N; j += 1) {{
+        u[i * N + j] = (f64(i) + f64(N - j)) / f64(N); }} }}
+    for (t = 1; t <= TSTEPS; t += 1) {{
+        for (i = 1; i < N - 1; i += 1) {{
+            v[0 * N + i] = 1.0;
+            p[i * N + 0] = 0.0;
+            q[i * N + 0] = v[0 * N + i];
+            for (j = 1; j < N - 1; j += 1) {{
+                p[i * N + j] = (0.0 - c) / (a * p[i * N + j - 1] + b);
+                q[i * N + j] = ((0.0 - d) * u[j * N + i - 1]
+                    + (1.0 + 2.0 * d) * u[j * N + i]
+                    - f * u[j * N + i + 1]
+                    - a * q[i * N + j - 1]) / (a * p[i * N + j - 1] + b);
+            }}
+            v[(N - 1) * N + i] = 1.0;
+            for (j = N - 2; j >= 1; j -= 1) {{
+                v[j * N + i] = p[i * N + j] * v[(j + 1) * N + i] + q[i * N + j];
+            }}
+        }}
+        for (i = 1; i < N - 1; i += 1) {{
+            u[i * N + 0] = 1.0;
+            p[i * N + 0] = 0.0;
+            q[i * N + 0] = u[i * N + 0];
+            for (j = 1; j < N - 1; j += 1) {{
+                p[i * N + j] = (0.0 - f) / (d * p[i * N + j - 1] + e);
+                q[i * N + j] = ((0.0 - a) * v[(i - 1) * N + j]
+                    + (1.0 + 2.0 * a) * v[i * N + j]
+                    - c * v[(i + 1) * N + j]
+                    - d * q[i * N + j - 1]) / (d * p[i * N + j - 1] + e);
+            }}
+            u[i * N + N - 1] = 1.0;
+            for (j = N - 2; j >= 1; j -= 1) {{
+                u[i * N + j] = p[i * N + j] * u[i * N + j + 1] + q[i * N + j];
+            }}
+        }}
+    }}
+    for (i = 0; i < N; i += 1) {{ for (j = 0; j < N; j += 1) {{ sink(u[i * N + j]); }} }}
+    return cs;
+}}"
+        ),
+    )
+}
+
+fn k_bicg(size: Size) -> Benchmark {
+    let n = dim(size, 40, 220);
+    bench(
+        "bicg",
+        format!(
+            "const N = {n}; const M = {m};
+array f64 A[N * M];
+array f64 s[M];
+array f64 q[N];
+array f64 p[M];
+array f64 r[N];
+fn main() -> i32 {{
+    var i: i32 = 0; var j: i32 = 0;
+    for (i = 0; i < M; i += 1) {{ p[i] = f64(i % M) / f64(M); }}
+    for (i = 0; i < N; i += 1) {{
+        r[i] = f64(i % N) / f64(N);
+        for (j = 0; j < M; j += 1) {{ A[i * M + j] = f64((i * (j + 1)) % N) / f64(N); }}
+    }}
+    for (i = 0; i < M; i += 1) {{ s[i] = 0.0; }}
+    for (i = 0; i < N; i += 1) {{
+        q[i] = 0.0;
+        for (j = 0; j < M; j += 1) {{
+            s[j] = s[j] + r[i] * A[i * M + j];
+            q[i] = q[i] + A[i * M + j] * p[j];
+        }}
+    }}
+    for (i = 0; i < M; i += 1) {{ sink(s[i]); }}
+    for (i = 0; i < N; i += 1) {{ sink(q[i]); }}
+    return cs;
+}}",
+            m = n + 12
+        ),
+    )
+}
+
+fn k_cholesky(size: Size) -> Benchmark {
+    let n = dim(size, 16, 48);
+    bench(
+        "cholesky",
+        format!(
+            "const N = {n};
+array f64 A[N * N];
+fn main() -> i32 {{
+    var i: i32 = 0; var j: i32 = 0; var k: i32 = 0;
+    // Symmetric positive-definite initialization.
+    for (i = 0; i < N; i += 1) {{
+        for (j = 0; j <= i; j += 1) {{
+            A[i * N + j] = f64(0 - (j % N)) / f64(N) + 1.0;
+            A[j * N + i] = A[i * N + j];
+        }}
+        A[i * N + i] = f64(N) * 2.0;
+    }}
+    for (i = 0; i < N; i += 1) {{
+        for (j = 0; j < i; j += 1) {{
+            for (k = 0; k < j; k += 1) {{
+                A[i * N + j] -= A[i * N + k] * A[j * N + k];
+            }}
+            A[i * N + j] /= A[j * N + j];
+        }}
+        for (k = 0; k < i; k += 1) {{
+            A[i * N + i] -= A[i * N + k] * A[i * N + k];
+        }}
+        A[i * N + i] = sqrt(A[i * N + i]);
+    }}
+    for (i = 0; i < N; i += 1) {{ for (j = 0; j <= i; j += 1) {{ sink(A[i * N + j]); }} }}
+    return cs;
+}}"
+        ),
+    )
+}
+
+fn k_correlation(size: Size) -> Benchmark {
+    let n = dim(size, 18, 52);
+    bench(
+        "correlation",
+        format!(
+            "const N = {nn}; const M = {n};
+array f64 data[N * M];
+array f64 corr[M * M];
+array f64 mean[M];
+array f64 stddev[M];
+fn main() -> i32 {{
+    var i: i32 = 0; var j: i32 = 0; var k: i32 = 0;
+    var float_n: f64 = f64(N);
+    for (i = 0; i < N; i += 1) {{ for (j = 0; j < M; j += 1) {{
+        data[i * M + j] = f64(i * j % M) / f64(M) + f64(i) * 0.01; }} }}
+    for (j = 0; j < M; j += 1) {{
+        mean[j] = 0.0;
+        for (i = 0; i < N; i += 1) {{ mean[j] += data[i * M + j]; }}
+        mean[j] /= float_n;
+    }}
+    for (j = 0; j < M; j += 1) {{
+        stddev[j] = 0.0;
+        for (i = 0; i < N; i += 1) {{
+            stddev[j] += (data[i * M + j] - mean[j]) * (data[i * M + j] - mean[j]);
+        }}
+        stddev[j] = sqrt(stddev[j] / float_n);
+        if (stddev[j] <= 0.1) {{ stddev[j] = 1.0; }}
+    }}
+    for (i = 0; i < N; i += 1) {{
+        for (j = 0; j < M; j += 1) {{
+            data[i * M + j] -= mean[j];
+            data[i * M + j] /= sqrt(float_n) * stddev[j];
+        }}
+    }}
+    for (i = 0; i < M - 1; i += 1) {{
+        corr[i * M + i] = 1.0;
+        for (j = i + 1; j < M; j += 1) {{
+            corr[i * M + j] = 0.0;
+            for (k = 0; k < N; k += 1) {{
+                corr[i * M + j] += data[k * M + i] * data[k * M + j];
+            }}
+            corr[j * M + i] = corr[i * M + j];
+        }}
+    }}
+    corr[(M - 1) * M + M - 1] = 1.0;
+    for (i = 0; i < M; i += 1) {{ for (j = 0; j < M; j += 1) {{ sink(corr[i * M + j]); }} }}
+    return cs;
+}}",
+            nn = n + 8
+        ),
+    )
+}
+
+fn k_covariance(size: Size) -> Benchmark {
+    let n = dim(size, 18, 52);
+    bench(
+        "covariance",
+        format!(
+            "const N = {nn}; const M = {n};
+array f64 data[N * M];
+array f64 cov[M * M];
+array f64 mean[M];
+fn main() -> i32 {{
+    var i: i32 = 0; var j: i32 = 0; var k: i32 = 0;
+    var float_n: f64 = f64(N);
+    for (i = 0; i < N; i += 1) {{ for (j = 0; j < M; j += 1) {{
+        data[i * M + j] = f64((i * j) % M) / f64(M); }} }}
+    for (j = 0; j < M; j += 1) {{
+        mean[j] = 0.0;
+        for (i = 0; i < N; i += 1) {{ mean[j] += data[i * M + j]; }}
+        mean[j] /= float_n;
+    }}
+    for (i = 0; i < N; i += 1) {{ for (j = 0; j < M; j += 1) {{
+        data[i * M + j] -= mean[j]; }} }}
+    for (i = 0; i < M; i += 1) {{
+        for (j = i; j < M; j += 1) {{
+            cov[i * M + j] = 0.0;
+            for (k = 0; k < N; k += 1) {{
+                cov[i * M + j] += data[k * M + i] * data[k * M + j];
+            }}
+            cov[i * M + j] /= float_n - 1.0;
+            cov[j * M + i] = cov[i * M + j];
+        }}
+    }}
+    for (i = 0; i < M; i += 1) {{ for (j = 0; j < M; j += 1) {{ sink(cov[i * M + j]); }} }}
+    return cs;
+}}",
+            nn = n + 8
+        ),
+    )
+}
+
+fn k_doitgen(size: Size) -> Benchmark {
+    let n = dim(size, 12, 28);
+    bench(
+        "doitgen",
+        format!(
+            "const NR = {n}; const NQ = {nq}; const NP = {np};
+array f64 A[NR * NQ * NP];
+array f64 C4[NP * NP];
+array f64 sum[NP];
+fn main() -> i32 {{
+    var r: i32 = 0; var q: i32 = 0; var p: i32 = 0; var s: i32 = 0;
+    for (r = 0; r < NR; r += 1) {{ for (q = 0; q < NQ; q += 1) {{ for (p = 0; p < NP; p += 1) {{
+        A[(r * NQ + q) * NP + p] = f64((r * q + p) % NP) / f64(NP); }} }} }}
+    for (p = 0; p < NP; p += 1) {{ for (s = 0; s < NP; s += 1) {{
+        C4[p * NP + s] = f64(p * s % NP) / f64(NP); }} }}
+    for (r = 0; r < NR; r += 1) {{
+        for (q = 0; q < NQ; q += 1) {{
+            for (p = 0; p < NP; p += 1) {{
+                sum[p] = 0.0;
+                for (s = 0; s < NP; s += 1) {{
+                    sum[p] += A[(r * NQ + q) * NP + s] * C4[s * NP + p];
+                }}
+            }}
+            for (p = 0; p < NP; p += 1) {{ A[(r * NQ + q) * NP + p] = sum[p]; }}
+        }}
+    }}
+    for (r = 0; r < NR; r += 1) {{ for (q = 0; q < NQ; q += 1) {{ for (p = 0; p < NP; p += 1) {{
+        sink(A[(r * NQ + q) * NP + p]); }} }} }}
+    return cs;
+}}",
+            nq = n + 2,
+            np = n + 4
+        ),
+    )
+}
+
+fn k_durbin(size: Size) -> Benchmark {
+    let n = dim(size, 60, 400);
+    bench(
+        "durbin",
+        format!(
+            "const N = {n};
+array f64 r[N];
+array f64 y[N];
+array f64 z[N];
+fn main() -> i32 {{
+    var i: i32 = 0; var k: i32 = 0;
+    for (i = 0; i < N; i += 1) {{ r[i] = 1.0 / f64(N + 1 - i); }}
+    y[0] = 0.0 - r[0];
+    var beta: f64 = 1.0;
+    var alpha: f64 = 0.0 - r[0];
+    for (k = 1; k < N; k += 1) {{
+        beta = (1.0 - alpha * alpha) * beta;
+        var summ: f64 = 0.0;
+        for (i = 0; i < k; i += 1) {{ summ += r[k - i - 1] * y[i]; }}
+        alpha = 0.0 - (r[k] + summ) / beta;
+        for (i = 0; i < k; i += 1) {{ z[i] = y[i] + alpha * y[k - i - 1]; }}
+        for (i = 0; i < k; i += 1) {{ y[i] = z[i]; }}
+        y[k] = alpha;
+    }}
+    for (i = 0; i < N; i += 1) {{ sink(y[i]); }}
+    return cs;
+}}"
+        ),
+    )
+}
+
+fn k_fdtd2d(size: Size) -> Benchmark {
+    let n = dim(size, 16, 44);
+    let t = dim(size, 5, 16);
+    bench(
+        "fdtd-2d",
+        format!(
+            "const NX = {n}; const NY = {ny}; const TMAX = {t};
+array f64 ex[NX * NY];
+array f64 ey[NX * NY];
+array f64 hz[NX * NY];
+array f64 fict[TMAX];
+fn main() -> i32 {{
+    var i: i32 = 0; var j: i32 = 0; var t: i32 = 0;
+    for (t = 0; t < TMAX; t += 1) {{ fict[t] = f64(t); }}
+    for (i = 0; i < NX; i += 1) {{ for (j = 0; j < NY; j += 1) {{
+        ex[i * NY + j] = f64(i * (j + 1)) / f64(NX);
+        ey[i * NY + j] = f64(i * (j + 2)) / f64(NY);
+        hz[i * NY + j] = f64(i * (j + 3)) / f64(NX);
+    }} }}
+    for (t = 0; t < TMAX; t += 1) {{
+        for (j = 0; j < NY; j += 1) {{ ey[0 * NY + j] = fict[t]; }}
+        for (i = 1; i < NX; i += 1) {{ for (j = 0; j < NY; j += 1) {{
+            ey[i * NY + j] -= 0.5 * (hz[i * NY + j] - hz[(i - 1) * NY + j]); }} }}
+        for (i = 0; i < NX; i += 1) {{ for (j = 1; j < NY; j += 1) {{
+            ex[i * NY + j] -= 0.5 * (hz[i * NY + j] - hz[i * NY + j - 1]); }} }}
+        for (i = 0; i < NX - 1; i += 1) {{ for (j = 0; j < NY - 1; j += 1) {{
+            hz[i * NY + j] -= 0.7 * (ex[i * NY + j + 1] - ex[i * NY + j]
+                + ey[(i + 1) * NY + j] - ey[i * NY + j]); }} }}
+    }}
+    for (i = 0; i < NX; i += 1) {{ for (j = 0; j < NY; j += 1) {{
+        sink(ex[i * NY + j]); sink(ey[i * NY + j]); sink(hz[i * NY + j]); }} }}
+    return cs;
+}}",
+            ny = n + 4
+        ),
+    )
+}
+
+fn k_gemm(size: Size) -> Benchmark {
+    let n = dim(size, 18, 56);
+    bench(
+        "gemm",
+        format!(
+            "const NI = {n}; const NJ = {nj}; const NK = {nk};
+array f64 A[NI * NK];
+array f64 B[NK * NJ];
+array f64 C[NI * NJ];
+fn main() -> i32 {{
+    var i: i32 = 0; var j: i32 = 0; var k: i32 = 0;
+    var alpha: f64 = 1.5; var beta: f64 = 1.2;
+    for (i = 0; i < NI; i += 1) {{ for (j = 0; j < NJ; j += 1) {{
+        C[i * NJ + j] = f64((i * j + 1) % NI) / f64(NI); }} }}
+    for (i = 0; i < NI; i += 1) {{ for (j = 0; j < NK; j += 1) {{
+        A[i * NK + j] = f64(i * (j + 1) % NK) / f64(NK); }} }}
+    for (i = 0; i < NK; i += 1) {{ for (j = 0; j < NJ; j += 1) {{
+        B[i * NJ + j] = f64(i * (j + 2) % NJ) / f64(NJ); }} }}
+    for (i = 0; i < NI; i += 1) {{
+        for (j = 0; j < NJ; j += 1) {{ C[i * NJ + j] *= beta; }}
+        for (k = 0; k < NK; k += 1) {{
+            for (j = 0; j < NJ; j += 1) {{
+                C[i * NJ + j] += alpha * A[i * NK + k] * B[k * NJ + j];
+            }}
+        }}
+    }}
+    for (i = 0; i < NI; i += 1) {{ for (j = 0; j < NJ; j += 1) {{ sink(C[i * NJ + j]); }} }}
+    return cs;
+}}",
+            nj = n + 4,
+            nk = n + 8
+        ),
+    )
+}
+
+fn k_gemver(size: Size) -> Benchmark {
+    let n = dim(size, 40, 160);
+    bench(
+        "gemver",
+        format!(
+            "const N = {n};
+array f64 A[N * N];
+array f64 u1[N]; array f64 v1[N]; array f64 u2[N]; array f64 v2[N];
+array f64 w[N]; array f64 x[N]; array f64 y[N]; array f64 z[N];
+fn main() -> i32 {{
+    var i: i32 = 0; var j: i32 = 0;
+    var alpha: f64 = 1.5; var beta: f64 = 1.2;
+    var fn_: f64 = f64(N);
+    for (i = 0; i < N; i += 1) {{
+        u1[i] = f64(i) / fn_ / 2.0;
+        u2[i] = f64(i + 1) / fn_ / 4.0;
+        v1[i] = f64(i + 1) / fn_ / 8.0;
+        v2[i] = f64(i + 1) / fn_ / 6.0;
+        y[i] = f64(i + 1) / fn_ / 8.0;
+        z[i] = f64(i + 1) / fn_ / 9.0;
+        x[i] = 0.0;
+        w[i] = 0.0;
+        for (j = 0; j < N; j += 1) {{
+            A[i * N + j] = f64(i * j % N) / fn_;
+        }}
+    }}
+    for (i = 0; i < N; i += 1) {{ for (j = 0; j < N; j += 1) {{
+        A[i * N + j] = A[i * N + j] + u1[i] * v1[j] + u2[i] * v2[j]; }} }}
+    for (i = 0; i < N; i += 1) {{ for (j = 0; j < N; j += 1) {{
+        x[i] = x[i] + beta * A[j * N + i] * y[j]; }} }}
+    for (i = 0; i < N; i += 1) {{ x[i] = x[i] + z[i]; }}
+    for (i = 0; i < N; i += 1) {{ for (j = 0; j < N; j += 1) {{
+        w[i] = w[i] + alpha * A[i * N + j] * x[j]; }} }}
+    for (i = 0; i < N; i += 1) {{ sink(w[i]); }}
+    return cs;
+}}"
+        ),
+    )
+}
+
+fn k_gesummv(size: Size) -> Benchmark {
+    let n = dim(size, 36, 150);
+    bench(
+        "gesummv",
+        format!(
+            "const N = {n};
+array f64 A[N * N];
+array f64 B[N * N];
+array f64 tmp[N];
+array f64 x[N];
+array f64 y[N];
+fn main() -> i32 {{
+    var i: i32 = 0; var j: i32 = 0;
+    var alpha: f64 = 1.5; var beta: f64 = 1.2;
+    for (i = 0; i < N; i += 1) {{
+        x[i] = f64(i % N) / f64(N);
+        for (j = 0; j < N; j += 1) {{
+            A[i * N + j] = f64((i * j + 1) % N) / f64(N);
+            B[i * N + j] = f64((i * j + 2) % N) / f64(N);
+        }}
+    }}
+    for (i = 0; i < N; i += 1) {{
+        tmp[i] = 0.0;
+        y[i] = 0.0;
+        for (j = 0; j < N; j += 1) {{
+            tmp[i] = A[i * N + j] * x[j] + tmp[i];
+            y[i] = B[i * N + j] * x[j] + y[i];
+        }}
+        y[i] = alpha * tmp[i] + beta * y[i];
+    }}
+    for (i = 0; i < N; i += 1) {{ sink(y[i]); }}
+    return cs;
+}}"
+        ),
+    )
+}
+
+fn k_gramschmidt(size: Size) -> Benchmark {
+    let n = dim(size, 16, 44);
+    bench(
+        "gramschmidt",
+        format!(
+            "const M = {m}; const N = {n};
+array f64 A[M * N];
+array f64 R[N * N];
+array f64 Q[M * N];
+fn main() -> i32 {{
+    var i: i32 = 0; var j: i32 = 0; var k: i32 = 0;
+    for (i = 0; i < M; i += 1) {{ for (j = 0; j < N; j += 1) {{
+        A[i * N + j] = (f64((i * j) % M) / f64(M)) * 100.0 + 10.0 + f64(i == j) * f64(M);
+    }} }}
+    for (k = 0; k < N; k += 1) {{
+        var nrm: f64 = 0.0;
+        for (i = 0; i < M; i += 1) {{ nrm += A[i * N + k] * A[i * N + k]; }}
+        R[k * N + k] = sqrt(nrm);
+        for (i = 0; i < M; i += 1) {{ Q[i * N + k] = A[i * N + k] / R[k * N + k]; }}
+        for (j = k + 1; j < N; j += 1) {{
+            R[k * N + j] = 0.0;
+            for (i = 0; i < M; i += 1) {{ R[k * N + j] += Q[i * N + k] * A[i * N + j]; }}
+            for (i = 0; i < M; i += 1) {{
+                A[i * N + j] = A[i * N + j] - Q[i * N + k] * R[k * N + j];
+            }}
+        }}
+    }}
+    for (i = 0; i < N; i += 1) {{ for (j = 0; j < N; j += 1) {{ sink(R[i * N + j]); }} }}
+    return cs;
+}}",
+            m = n + 6
+        ),
+    )
+}
+
+fn k_lu(size: Size) -> Benchmark {
+    let n = dim(size, 16, 48);
+    bench(
+        "lu",
+        format!(
+            "const N = {n};
+array f64 A[N * N];
+fn main() -> i32 {{
+    var i: i32 = 0; var j: i32 = 0; var k: i32 = 0;
+    for (i = 0; i < N; i += 1) {{
+        for (j = 0; j <= i; j += 1) {{
+            A[i * N + j] = f64(0 - (j % N)) / f64(N) + 1.0;
+            A[j * N + i] = A[i * N + j];
+        }}
+        A[i * N + i] = f64(N) * 2.0;
+    }}
+    for (i = 0; i < N; i += 1) {{
+        for (j = 0; j < i; j += 1) {{
+            for (k = 0; k < j; k += 1) {{
+                A[i * N + j] -= A[i * N + k] * A[k * N + j];
+            }}
+            A[i * N + j] /= A[j * N + j];
+        }}
+        for (j = i; j < N; j += 1) {{
+            for (k = 0; k < i; k += 1) {{
+                A[i * N + j] -= A[i * N + k] * A[k * N + j];
+            }}
+        }}
+    }}
+    for (i = 0; i < N; i += 1) {{ for (j = 0; j < N; j += 1) {{ sink(A[i * N + j]); }} }}
+    return cs;
+}}"
+        ),
+    )
+}
+
+fn k_ludcmp(size: Size) -> Benchmark {
+    let n = dim(size, 16, 44);
+    bench(
+        "ludcmp",
+        format!(
+            "const N = {n};
+array f64 A[N * N];
+array f64 b[N];
+array f64 x[N];
+array f64 y[N];
+fn main() -> i32 {{
+    var i: i32 = 0; var j: i32 = 0; var k: i32 = 0;
+    for (i = 0; i < N; i += 1) {{
+        b[i] = (f64(i) + 1.0) / f64(N) / 2.0 + 4.0;
+        x[i] = 0.0;
+        y[i] = 0.0;
+        for (j = 0; j <= i; j += 1) {{
+            A[i * N + j] = f64(0 - (j % N)) / f64(N) + 1.0;
+            A[j * N + i] = A[i * N + j];
+        }}
+        A[i * N + i] = f64(N) * 2.0;
+    }}
+    var w1: f64 = 0.0;
+    for (i = 0; i < N; i += 1) {{
+        for (j = 0; j < i; j += 1) {{
+            w1 = A[i * N + j];
+            for (k = 0; k < j; k += 1) {{ w1 -= A[i * N + k] * A[k * N + j]; }}
+            A[i * N + j] = w1 / A[j * N + j];
+        }}
+        for (j = i; j < N; j += 1) {{
+            w1 = A[i * N + j];
+            for (k = 0; k < i; k += 1) {{ w1 -= A[i * N + k] * A[k * N + j]; }}
+            A[i * N + j] = w1;
+        }}
+    }}
+    for (i = 0; i < N; i += 1) {{
+        w1 = b[i];
+        for (j = 0; j < i; j += 1) {{ w1 -= A[i * N + j] * y[j]; }}
+        y[i] = w1;
+    }}
+    for (i = N - 1; i >= 0; i -= 1) {{
+        w1 = y[i];
+        for (j = i + 1; j < N; j += 1) {{ w1 -= A[i * N + j] * x[j]; }}
+        x[i] = w1 / A[i * N + i];
+    }}
+    for (i = 0; i < N; i += 1) {{ sink(x[i]); }}
+    return cs;
+}}"
+        ),
+    )
+}
+
+fn k_mvt(size: Size) -> Benchmark {
+    let n = dim(size, 40, 160);
+    bench(
+        "mvt",
+        format!(
+            "const N = {n};
+array f64 A[N * N];
+array f64 x1[N]; array f64 x2[N]; array f64 y1[N]; array f64 y2[N];
+fn main() -> i32 {{
+    var i: i32 = 0; var j: i32 = 0;
+    for (i = 0; i < N; i += 1) {{
+        x1[i] = f64(i % N) / f64(N);
+        x2[i] = f64((i + 1) % N) / f64(N);
+        y1[i] = f64((i + 3) % N) / f64(N);
+        y2[i] = f64((i + 4) % N) / f64(N);
+        for (j = 0; j < N; j += 1) {{ A[i * N + j] = f64(i * j % N) / f64(N); }}
+    }}
+    for (i = 0; i < N; i += 1) {{ for (j = 0; j < N; j += 1) {{
+        x1[i] = x1[i] + A[i * N + j] * y1[j]; }} }}
+    for (i = 0; i < N; i += 1) {{ for (j = 0; j < N; j += 1) {{
+        x2[i] = x2[i] + A[j * N + i] * y2[j]; }} }}
+    for (i = 0; i < N; i += 1) {{ sink(x1[i]); sink(x2[i]); }}
+    return cs;
+}}"
+        ),
+    )
+}
+
+fn k_seidel2d(size: Size) -> Benchmark {
+    let n = dim(size, 20, 56);
+    let t = dim(size, 4, 12);
+    bench(
+        "seidel-2d",
+        format!(
+            "const N = {n}; const TSTEPS = {t};
+array f64 A[N * N];
+fn main() -> i32 {{
+    var i: i32 = 0; var j: i32 = 0; var t: i32 = 0;
+    for (i = 0; i < N; i += 1) {{ for (j = 0; j < N; j += 1) {{
+        A[i * N + j] = (f64(i) * (f64(j) + 2.0) + 2.0) / f64(N); }} }}
+    for (t = 0; t < TSTEPS; t += 1) {{
+        for (i = 1; i < N - 1; i += 1) {{
+            for (j = 1; j < N - 1; j += 1) {{
+                A[i * N + j] = (A[(i - 1) * N + j - 1] + A[(i - 1) * N + j]
+                    + A[(i - 1) * N + j + 1] + A[i * N + j - 1] + A[i * N + j]
+                    + A[i * N + j + 1] + A[(i + 1) * N + j - 1]
+                    + A[(i + 1) * N + j] + A[(i + 1) * N + j + 1]) / 9.0;
+            }}
+        }}
+    }}
+    for (i = 0; i < N; i += 1) {{ for (j = 0; j < N; j += 1) {{ sink(A[i * N + j]); }} }}
+    return cs;
+}}"
+        ),
+    )
+}
+
+fn k_symm(size: Size) -> Benchmark {
+    let n = dim(size, 16, 48);
+    bench(
+        "symm",
+        format!(
+            "const M = {n}; const N = {nn};
+array f64 A[M * M];
+array f64 B[M * N];
+array f64 C[M * N];
+fn main() -> i32 {{
+    var i: i32 = 0; var j: i32 = 0; var k: i32 = 0;
+    var alpha: f64 = 1.5; var beta: f64 = 1.2;
+    for (i = 0; i < M; i += 1) {{
+        for (j = 0; j < N; j += 1) {{
+            C[i * N + j] = f64((i + j) % 100) / f64(M);
+            B[i * N + j] = f64((N + i - j) % 100) / f64(M);
+        }}
+        for (j = 0; j <= i; j += 1) {{
+            A[i * M + j] = f64((i + j) % 100) / f64(M);
+            A[j * M + i] = A[i * M + j];
+        }}
+    }}
+    for (i = 0; i < M; i += 1) {{
+        for (j = 0; j < N; j += 1) {{
+            var temp2: f64 = 0.0;
+            for (k = 0; k < i; k += 1) {{
+                C[k * N + j] += alpha * B[i * N + j] * A[i * M + k];
+                temp2 += B[k * N + j] * A[i * M + k];
+            }}
+            C[i * N + j] = beta * C[i * N + j]
+                + alpha * B[i * N + j] * A[i * M + i] + alpha * temp2;
+        }}
+    }}
+    for (i = 0; i < M; i += 1) {{ for (j = 0; j < N; j += 1) {{ sink(C[i * N + j]); }} }}
+    return cs;
+}}",
+            nn = n + 4
+        ),
+    )
+}
+
+fn k_syr2k(size: Size) -> Benchmark {
+    let n = dim(size, 16, 44);
+    bench(
+        "syr2k",
+        format!(
+            "const N = {n}; const M = {m};
+array f64 A[N * M];
+array f64 B[N * M];
+array f64 C[N * N];
+fn main() -> i32 {{
+    var i: i32 = 0; var j: i32 = 0; var k: i32 = 0;
+    var alpha: f64 = 1.5; var beta: f64 = 1.2;
+    for (i = 0; i < N; i += 1) {{
+        for (j = 0; j < M; j += 1) {{
+            A[i * M + j] = f64((i * j + 1) % N) / f64(N);
+            B[i * M + j] = f64((i * j + 2) % M) / f64(M);
+        }}
+        for (j = 0; j < N; j += 1) {{
+            C[i * N + j] = f64((i * j + 3) % N) / f64(M);
+        }}
+    }}
+    for (i = 0; i < N; i += 1) {{
+        for (j = 0; j <= i; j += 1) {{ C[i * N + j] *= beta; }}
+        for (k = 0; k < M; k += 1) {{
+            for (j = 0; j <= i; j += 1) {{
+                C[i * N + j] += A[j * M + k] * alpha * B[i * M + k]
+                    + B[j * M + k] * alpha * A[i * M + k];
+            }}
+        }}
+    }}
+    for (i = 0; i < N; i += 1) {{ for (j = 0; j <= i; j += 1) {{ sink(C[i * N + j]); }} }}
+    return cs;
+}}",
+            m = n + 4
+        ),
+    )
+}
+
+fn k_syrk(size: Size) -> Benchmark {
+    let n = dim(size, 18, 48);
+    bench(
+        "syrk",
+        format!(
+            "const N = {n}; const M = {m};
+array f64 A[N * M];
+array f64 C[N * N];
+fn main() -> i32 {{
+    var i: i32 = 0; var j: i32 = 0; var k: i32 = 0;
+    var alpha: f64 = 1.5; var beta: f64 = 1.2;
+    for (i = 0; i < N; i += 1) {{
+        for (j = 0; j < M; j += 1) {{ A[i * M + j] = f64((i * j + 1) % N) / f64(N); }}
+        for (j = 0; j < N; j += 1) {{ C[i * N + j] = f64((i * j + 2) % M) / f64(M); }}
+    }}
+    for (i = 0; i < N; i += 1) {{
+        for (j = 0; j <= i; j += 1) {{ C[i * N + j] *= beta; }}
+        for (k = 0; k < M; k += 1) {{
+            for (j = 0; j <= i; j += 1) {{
+                C[i * N + j] += alpha * A[i * M + k] * A[j * M + k];
+            }}
+        }}
+    }}
+    for (i = 0; i < N; i += 1) {{ for (j = 0; j <= i; j += 1) {{ sink(C[i * N + j]); }} }}
+    return cs;
+}}",
+            m = n + 4
+        ),
+    )
+}
+
+fn k_trisolv(size: Size) -> Benchmark {
+    let n = dim(size, 60, 360);
+    bench(
+        "trisolv",
+        format!(
+            "const N = {n};
+array f64 L[N * N];
+array f64 x[N];
+array f64 b[N];
+fn main() -> i32 {{
+    var i: i32 = 0; var j: i32 = 0;
+    for (i = 0; i < N; i += 1) {{
+        x[i] = 0.0 - 999.0;
+        b[i] = f64(i);
+        for (j = 0; j <= i; j += 1) {{
+            L[i * N + j] = f64(i + N - j + 1) * 2.0 / f64(N);
+        }}
+    }}
+    for (i = 0; i < N; i += 1) {{
+        x[i] = b[i];
+        for (j = 0; j < i; j += 1) {{ x[i] -= L[i * N + j] * x[j]; }}
+        x[i] = x[i] / L[i * N + i];
+    }}
+    for (i = 0; i < N; i += 1) {{ sink(x[i]); }}
+    return cs;
+}}"
+        ),
+    )
+}
+
+fn k_trmm(size: Size) -> Benchmark {
+    let n = dim(size, 18, 48);
+    bench(
+        "trmm",
+        format!(
+            "const M = {n}; const N = {nn};
+array f64 A[M * M];
+array f64 B[M * N];
+fn main() -> i32 {{
+    var i: i32 = 0; var j: i32 = 0; var k: i32 = 0;
+    var alpha: f64 = 1.5;
+    for (i = 0; i < M; i += 1) {{
+        for (j = 0; j < i; j += 1) {{
+            A[i * M + j] = f64((i + j) % M) / f64(M);
+        }}
+        A[i * M + i] = 1.0;
+        for (j = 0; j < N; j += 1) {{
+            B[i * N + j] = f64((N + i - j) % N) / f64(N);
+        }}
+    }}
+    for (i = 0; i < M; i += 1) {{
+        for (j = 0; j < N; j += 1) {{
+            for (k = i + 1; k < M; k += 1) {{
+                B[i * N + j] += A[k * M + i] * B[k * N + j];
+            }}
+            B[i * N + j] = alpha * B[i * N + j];
+        }}
+    }}
+    for (i = 0; i < M; i += 1) {{ for (j = 0; j < N; j += 1) {{ sink(B[i * N + j]); }} }}
+    return cs;
+}}",
+            nn = n + 4
+        ),
+    )
+}
+
+/// All 23 PolyBenchC kernels at the given size.
+pub fn all(size: Size) -> Vec<Benchmark> {
+    vec![
+        k_2mm(size),
+        k_3mm(size),
+        k_adi(size),
+        k_bicg(size),
+        k_cholesky(size),
+        k_correlation(size),
+        k_covariance(size),
+        k_doitgen(size),
+        k_durbin(size),
+        k_fdtd2d(size),
+        k_gemm(size),
+        k_gemver(size),
+        k_gesummv(size),
+        k_gramschmidt(size),
+        k_lu(size),
+        k_ludcmp(size),
+        k_mvt(size),
+        k_seidel2d(size),
+        k_symm(size),
+        k_syr2k(size),
+        k_syrk(size),
+        k_trisolv(size),
+        k_trmm(size),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasmperf_cir::{Interp, NoSyscalls};
+
+    #[test]
+    fn kernels_run_and_produce_nonzero_checksums() {
+        for b in all(Size::Test) {
+            let prog = wasmperf_cir::compile(&b.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let mut i = Interp::new(&prog, NoSyscalls);
+            i.set_fuel(200_000_000);
+            let r = i
+                .run("main", &[])
+                .unwrap_or_else(|e| panic!("{} traps: {e}", b.name));
+            let cs = r.expect("returns checksum") as u32 as i32;
+            assert_ne!(cs, 0, "{} checksum is zero (degenerate)", b.name);
+        }
+    }
+
+    #[test]
+    fn ref_size_is_larger() {
+        for (t, r) in all(Size::Test).iter().zip(all(Size::Ref).iter()) {
+            assert!(
+                r.source.len() >= t.source.len(),
+                "{}: ref source shrank",
+                t.name
+            );
+            assert_ne!(t.source, r.source, "{}: sizes identical", t.name);
+        }
+    }
+}

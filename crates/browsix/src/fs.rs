@@ -1,0 +1,378 @@
+//! BROWSERFS-analog in-memory filesystem.
+//!
+//! Flat path → node store with explicit buffer-capacity management so the
+//! paper's append pathology is reproducible: under
+//! [`AppendPolicy::ExactFit`], every append reallocates the file's backing
+//! buffer to exactly the new length and copies the old contents (the
+//! original BROWSERFS behaviour); under [`AppendPolicy::Chunked4K`]
+//! (the paper's fix, §2), capacity grows by at least 4 KiB — doubling up
+//! to that floor — so appends amortize. The filesystem reports the bytes
+//! it copied for buffer management, which the kernel charges as kernel
+//! time.
+
+use std::collections::BTreeMap;
+
+/// Buffer-growth policy for file appends (§2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppendPolicy {
+    /// Reallocate to the exact new size on every append (original
+    /// BROWSERFS; quadratic copying on repeated small appends).
+    ExactFit,
+    /// Grow capacity by `max(4 KiB, 2x)` when space runs out (the fix).
+    Chunked4K,
+}
+
+/// Filesystem errors (negative errno-style codes at the syscall layer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// Path does not exist.
+    NotFound,
+    /// Path exists but has the wrong kind (file vs directory).
+    IsDirectory,
+    /// Parent directory missing.
+    NoParent,
+    /// Directory not empty on rmdir.
+    NotEmpty,
+    /// Path already exists.
+    Exists,
+}
+
+/// The errno value for an error.
+pub fn errno(e: &FsError) -> i32 {
+    match e {
+        FsError::NotFound => -2,   // ENOENT
+        FsError::IsDirectory => -21, // EISDIR
+        FsError::NoParent => -2,
+        FsError::NotEmpty => -39,  // ENOTEMPTY
+        FsError::Exists => -17,    // EEXIST
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    File {
+        /// Backing buffer; `len` bytes are valid.
+        buf: Vec<u8>,
+        len: usize,
+    },
+    Dir,
+}
+
+/// Copy/allocation statistics for buffer management (the Figure-4 lever).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FsStats {
+    /// Bytes copied while growing file buffers.
+    pub grow_copy_bytes: u64,
+    /// Number of buffer reallocations.
+    pub reallocs: u64,
+}
+
+/// The in-memory filesystem.
+#[derive(Debug, Clone)]
+pub struct BrowserFs {
+    nodes: BTreeMap<String, Node>,
+    policy: AppendPolicy,
+    /// Buffer-management statistics.
+    pub stats: FsStats,
+}
+
+fn normalize(path: &str) -> String {
+    let mut out = String::from("/");
+    for part in path.split('/') {
+        if part.is_empty() || part == "." {
+            continue;
+        }
+        if !out.ends_with('/') {
+            out.push('/');
+        }
+        out.push_str(part);
+    }
+    out
+}
+
+fn parent_of(path: &str) -> String {
+    match path.rfind('/') {
+        Some(0) | None => "/".to_string(),
+        Some(i) => path[..i].to_string(),
+    }
+}
+
+impl BrowserFs {
+    /// Creates an empty filesystem rooted at `/` with the given policy.
+    pub fn new(policy: AppendPolicy) -> BrowserFs {
+        let mut nodes = BTreeMap::new();
+        nodes.insert("/".to_string(), Node::Dir);
+        BrowserFs {
+            nodes,
+            policy,
+            stats: FsStats::default(),
+        }
+    }
+
+    /// The active append policy.
+    pub fn policy(&self) -> AppendPolicy {
+        self.policy
+    }
+
+    /// Creates a directory.
+    pub fn mkdir(&mut self, path: &str) -> Result<(), FsError> {
+        let p = normalize(path);
+        if self.nodes.contains_key(&p) {
+            return Err(FsError::Exists);
+        }
+        if !matches!(self.nodes.get(&parent_of(&p)), Some(Node::Dir)) {
+            return Err(FsError::NoParent);
+        }
+        self.nodes.insert(p, Node::Dir);
+        Ok(())
+    }
+
+    /// Removes an empty directory.
+    pub fn rmdir(&mut self, path: &str) -> Result<(), FsError> {
+        let p = normalize(path);
+        match self.nodes.get(&p) {
+            Some(Node::Dir) => {}
+            Some(_) => return Err(FsError::NotFound),
+            None => return Err(FsError::NotFound),
+        }
+        let prefix = format!("{}/", p);
+        if self.nodes.keys().any(|k| k.starts_with(&prefix)) {
+            return Err(FsError::NotEmpty);
+        }
+        self.nodes.remove(&p);
+        Ok(())
+    }
+
+    /// Creates or truncates a file.
+    pub fn create(&mut self, path: &str) -> Result<(), FsError> {
+        let p = normalize(path);
+        if matches!(self.nodes.get(&p), Some(Node::Dir)) {
+            return Err(FsError::IsDirectory);
+        }
+        if !matches!(self.nodes.get(&parent_of(&p)), Some(Node::Dir)) {
+            return Err(FsError::NoParent);
+        }
+        self.nodes.insert(
+            p,
+            Node::File {
+                buf: Vec::new(),
+                len: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// True when `path` exists (file or directory).
+    pub fn exists(&self, path: &str) -> bool {
+        self.nodes.contains_key(&normalize(path))
+    }
+
+    /// True when `path` is a file.
+    pub fn is_file(&self, path: &str) -> bool {
+        matches!(self.nodes.get(&normalize(path)), Some(Node::File { .. }))
+    }
+
+    /// File size in bytes.
+    pub fn size(&self, path: &str) -> Result<u64, FsError> {
+        match self.nodes.get(&normalize(path)) {
+            Some(Node::File { len, .. }) => Ok(*len as u64),
+            Some(Node::Dir) => Err(FsError::IsDirectory),
+            None => Err(FsError::NotFound),
+        }
+    }
+
+    /// Removes a file.
+    pub fn unlink(&mut self, path: &str) -> Result<(), FsError> {
+        let p = normalize(path);
+        match self.nodes.get(&p) {
+            Some(Node::File { .. }) => {
+                self.nodes.remove(&p);
+                Ok(())
+            }
+            Some(Node::Dir) => Err(FsError::IsDirectory),
+            None => Err(FsError::NotFound),
+        }
+    }
+
+    /// Reads up to `out.len()` bytes at `offset`; returns bytes read.
+    pub fn read(&self, path: &str, offset: u64, out: &mut [u8]) -> Result<usize, FsError> {
+        match self.nodes.get(&normalize(path)) {
+            Some(Node::File { buf, len }) => {
+                let start = (offset as usize).min(*len);
+                let n = out.len().min(*len - start);
+                out[..n].copy_from_slice(&buf[start..start + n]);
+                Ok(n)
+            }
+            Some(Node::Dir) => Err(FsError::IsDirectory),
+            None => Err(FsError::NotFound),
+        }
+    }
+
+    /// Writes `data` at `offset` (extending the file if needed); returns
+    /// bytes written. Growth beyond capacity follows the append policy and
+    /// is charged to [`FsStats::grow_copy_bytes`].
+    pub fn write(&mut self, path: &str, offset: u64, data: &[u8]) -> Result<usize, FsError> {
+        let p = normalize(path);
+        let policy = self.policy;
+        let stats = &mut self.stats;
+        match self.nodes.get_mut(&p) {
+            Some(Node::File { buf, len }) => {
+                let end = offset as usize + data.len();
+                if end > buf.len() {
+                    // Reallocate per policy, copying the live contents.
+                    let new_cap = match policy {
+                        AppendPolicy::ExactFit => end,
+                        AppendPolicy::Chunked4K => {
+                            end.max(buf.len() * 2).max(buf.len() + 4096)
+                        }
+                    };
+                    let mut nb = vec![0u8; new_cap];
+                    nb[..*len].copy_from_slice(&buf[..*len]);
+                    stats.grow_copy_bytes += *len as u64;
+                    stats.reallocs += 1;
+                    *buf = nb;
+                }
+                if offset as usize > *len {
+                    // Hole fill already zeroed.
+                }
+                buf[offset as usize..end].copy_from_slice(data);
+                *len = (*len).max(end);
+                Ok(data.len())
+            }
+            Some(Node::Dir) => Err(FsError::IsDirectory),
+            None => Err(FsError::NotFound),
+        }
+    }
+
+    /// Convenience: whole-file read.
+    pub fn read_all(&self, path: &str) -> Result<Vec<u8>, FsError> {
+        let n = self.size(path)? as usize;
+        let mut out = vec![0u8; n];
+        self.read(path, 0, &mut out)?;
+        Ok(out)
+    }
+
+    /// Convenience: create + write whole file.
+    pub fn write_all(&mut self, path: &str, data: &[u8]) -> Result<(), FsError> {
+        self.create(path)?;
+        self.write(path, 0, data)?;
+        Ok(())
+    }
+
+    /// Lists directory entries (names only).
+    pub fn readdir(&self, path: &str) -> Result<Vec<String>, FsError> {
+        let p = normalize(path);
+        if !matches!(self.nodes.get(&p), Some(Node::Dir)) {
+            return Err(FsError::NotFound);
+        }
+        let prefix = if p == "/" { "/".to_string() } else { format!("{}/", p) };
+        Ok(self
+            .nodes
+            .keys()
+            .filter(|k| {
+                k.starts_with(&prefix)
+                    && **k != p
+                    && !k[prefix.len()..].contains('/')
+            })
+            .map(|k| k[prefix.len()..].to_string())
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_write_read_roundtrip() {
+        let mut fs = BrowserFs::new(AppendPolicy::Chunked4K);
+        fs.write_all("/data/in.txt", b"hello world")
+            .expect_err("no parent yet");
+        fs.mkdir("/data").unwrap();
+        fs.write_all("/data/in.txt", b"hello world").unwrap();
+        assert_eq!(fs.read_all("/data/in.txt").unwrap(), b"hello world");
+        assert_eq!(fs.size("/data/in.txt").unwrap(), 11);
+    }
+
+    #[test]
+    fn offset_reads_and_writes() {
+        let mut fs = BrowserFs::new(AppendPolicy::Chunked4K);
+        fs.write_all("/f", b"abcdefgh").unwrap();
+        let mut buf = [0u8; 3];
+        assert_eq!(fs.read("/f", 2, &mut buf).unwrap(), 3);
+        assert_eq!(&buf, b"cde");
+        fs.write("/f", 4, b"XY").unwrap();
+        assert_eq!(fs.read_all("/f").unwrap(), b"abcdXYgh");
+        // Read past end truncates.
+        let mut big = [0u8; 64];
+        assert_eq!(fs.read("/f", 6, &mut big).unwrap(), 2);
+    }
+
+    #[test]
+    fn append_policies_differ_in_copying() {
+        // 1000 appends of 32 bytes: exact-fit copies O(n^2) bytes, the
+        // 4 KiB-chunked policy O(n) — the paper's h264ref fix.
+        let run = |policy| {
+            let mut fs = BrowserFs::new(policy);
+            fs.write_all("/log", b"").unwrap();
+            let mut off = 0u64;
+            for _ in 0..1000 {
+                fs.write("/log", off, &[7u8; 32]).unwrap();
+                off += 32;
+            }
+            fs.stats
+        };
+        let exact = run(AppendPolicy::ExactFit);
+        let chunked = run(AppendPolicy::Chunked4K);
+        assert!(
+            exact.grow_copy_bytes > 20 * chunked.grow_copy_bytes,
+            "exact {} vs chunked {}",
+            exact.grow_copy_bytes,
+            chunked.grow_copy_bytes
+        );
+        assert!(exact.reallocs > 10 * chunked.reallocs);
+    }
+
+    #[test]
+    fn unlink_and_errors() {
+        let mut fs = BrowserFs::new(AppendPolicy::Chunked4K);
+        assert_eq!(fs.unlink("/nope").unwrap_err(), FsError::NotFound);
+        fs.mkdir("/d").unwrap();
+        assert_eq!(fs.unlink("/d").unwrap_err(), FsError::IsDirectory);
+        fs.write_all("/d/f", b"x").unwrap();
+        assert_eq!(fs.rmdir("/d").unwrap_err(), FsError::NotEmpty);
+        fs.unlink("/d/f").unwrap();
+        fs.rmdir("/d").unwrap();
+        assert!(!fs.exists("/d"));
+    }
+
+    #[test]
+    fn readdir_lists_children() {
+        let mut fs = BrowserFs::new(AppendPolicy::Chunked4K);
+        fs.mkdir("/a").unwrap();
+        fs.write_all("/a/x", b"1").unwrap();
+        fs.write_all("/a/y", b"2").unwrap();
+        fs.mkdir("/a/sub").unwrap();
+        fs.write_all("/a/sub/z", b"3").unwrap();
+        let mut names = fs.readdir("/a").unwrap();
+        names.sort();
+        assert_eq!(names, vec!["sub", "x", "y"]);
+    }
+
+    #[test]
+    fn path_normalization() {
+        let mut fs = BrowserFs::new(AppendPolicy::Chunked4K);
+        fs.write_all("/f.txt", b"data").unwrap();
+        assert!(fs.exists("//f.txt"));
+        assert!(fs.exists("/./f.txt"));
+        assert!(fs.exists("f.txt"));
+    }
+
+    #[test]
+    fn sparse_write_zero_fills() {
+        let mut fs = BrowserFs::new(AppendPolicy::Chunked4K);
+        fs.write_all("/s", b"ab").unwrap();
+        fs.write("/s", 6, b"z").unwrap();
+        assert_eq!(fs.read_all("/s").unwrap(), b"ab\0\0\0\0z");
+    }
+}

@@ -1,0 +1,762 @@
+//! The BROWSIX-WASM kernel: file descriptors, syscall dispatch, and the
+//! auxiliary-buffer transport cost model.
+//!
+//! ## Syscall convention
+//!
+//! Programs issue `syscall(num, a, b, c, ...)`; the kernel dispatches on
+//! `num` (Linux-flavoured numbers, see [`Syscall`]). Buffer arguments are
+//! addresses in the process's linear memory.
+//!
+//! ## The §2 transport model
+//!
+//! BROWSIX-WASM processes run in WebWorkers; the kernel runs on the main
+//! JS context. WebAssembly memory cannot be shared, so each syscall
+//! marshals its data through a 64 MiB `SharedArrayBuffer`:
+//!
+//! 1. the process copies outgoing buffers into the auxiliary buffer,
+//! 2. a message (Atomics wait/notify round trip) transfers control,
+//! 3. the kernel services the call against BROWSERFS / pipes,
+//! 4. results are copied back into process memory.
+//!
+//! [`KernelTiming`] charges a fixed `message_latency_cycles` per kernel
+//! round trip, `copy_bytes_per_cycle` for the two marshalling copies, and
+//! splits transfers larger than [`KernelTiming::aux_buffer_bytes`] into
+//! chunks that each pay the message latency again. Filesystem buffer
+//! growth (the append-policy pathology) is charged at the same copy rate.
+//! All of it lands in the executor's `host_cycles`, i.e. the paper's
+//! "time spent in Browsix" (Figure 4).
+
+use crate::fs::{errno, AppendPolicy, BrowserFs};
+use crate::pipe::Pipe;
+use wasmperf_cpu::{HostEnv, HostOutcome, Memory};
+use wasmperf_isa::TrapKind;
+
+/// Syscall numbers (Linux i386-flavoured, as Browsix used).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Syscall {
+    Exit = 1,
+    Read = 3,
+    Write = 4,
+    Open = 5,
+    Close = 6,
+    Unlink = 10,
+    Lseek = 19,
+    Getpid = 20,
+    Access = 33,
+    Mkdir = 39,
+    Rmdir = 40,
+    Pipe = 42,
+    Stat = 106,
+    Fstat = 108,
+}
+
+/// `open` flags understood by the kernel.
+pub mod flags {
+    /// Read only.
+    pub const O_RDONLY: i32 = 0;
+    /// Write only.
+    pub const O_WRONLY: i32 = 1;
+    /// Read/write.
+    pub const O_RDWR: i32 = 2;
+    /// Create if missing.
+    pub const O_CREAT: i32 = 0x40;
+    /// Truncate on open.
+    pub const O_TRUNC: i32 = 0x200;
+    /// Append mode.
+    pub const O_APPEND: i32 = 0x400;
+}
+
+/// Transport and service cost parameters, in CPU cycles.
+#[derive(Debug, Clone)]
+pub struct KernelTiming {
+    /// Fixed cost of one process↔kernel message round trip.
+    pub message_latency_cycles: u64,
+    /// Marshalling throughput (bytes per cycle, applied to 2x the payload:
+    /// copy-in plus copy-out).
+    pub copy_bytes_per_cycle: u64,
+    /// Base in-kernel service cost per syscall.
+    pub service_cycles: u64,
+    /// Auxiliary shared-buffer size; larger transfers are chunked.
+    pub aux_buffer_bytes: u64,
+}
+
+impl Default for KernelTiming {
+    fn default() -> Self {
+        KernelTiming {
+            // ~1.1 us at 3.5 GHz — an Atomics wait/notify round trip.
+            message_latency_cycles: 4_000,
+            copy_bytes_per_cycle: 8,
+            service_cycles: 600,
+            aux_buffer_bytes: 64 << 20,
+        }
+    }
+}
+
+/// Aggregate kernel statistics for one run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KernelStats {
+    /// Syscalls serviced.
+    pub syscalls: u64,
+    /// Total kernel cycles charged (transport + service + fs copying).
+    pub kernel_cycles: u64,
+    /// Payload bytes marshalled through the auxiliary buffer.
+    pub bytes_marshalled: u64,
+    /// Extra messages due to >aux-buffer chunking.
+    pub chunk_messages: u64,
+}
+
+#[derive(Debug, Clone)]
+enum Fd {
+    File {
+        path: String,
+        pos: u64,
+        append: bool,
+    },
+    PipeRead(usize),
+    PipeWrite(usize),
+    Stdin,
+    Stdout,
+    Stderr,
+}
+
+/// The kernel: one foreground process, full fd table, fs, and pipes.
+#[derive(Debug)]
+pub struct Kernel {
+    /// The filesystem.
+    pub fs: BrowserFs,
+    pipes: Vec<Pipe>,
+    fds: Vec<Option<Fd>>,
+    /// Captured stdout bytes.
+    pub stdout: Vec<u8>,
+    /// Captured stderr bytes.
+    pub stderr: Vec<u8>,
+    /// Bytes served to stdin reads.
+    pub stdin: Vec<u8>,
+    stdin_pos: usize,
+    /// Cost model.
+    pub timing: KernelTiming,
+    /// Statistics.
+    pub stats: KernelStats,
+    /// Exit code observed via the exit syscall.
+    pub exit_code: Option<i32>,
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Kernel::new(AppendPolicy::Chunked4K)
+    }
+}
+
+/// Abstracts process memory so the same kernel serves the CPU simulator,
+/// the CLite interpreter, and the wasm interpreter.
+pub trait ProcMem {
+    /// Reads `len` bytes at `addr`.
+    fn read_mem(&self, addr: u32, len: u32) -> Result<Vec<u8>, ()>;
+    /// Writes `data` at `addr`.
+    fn write_mem(&mut self, addr: u32, data: &[u8]) -> Result<(), ()>;
+}
+
+impl ProcMem for Memory {
+    fn read_mem(&self, addr: u32, len: u32) -> Result<Vec<u8>, ()> {
+        self.slice(addr as u64, len as u64)
+            .map(<[u8]>::to_vec)
+            .map_err(|_| ())
+    }
+
+    fn write_mem(&mut self, addr: u32, data: &[u8]) -> Result<(), ()> {
+        self.write_bytes(addr as u64, data).map_err(|_| ())
+    }
+}
+
+impl ProcMem for [u8] {
+    fn read_mem(&self, addr: u32, len: u32) -> Result<Vec<u8>, ()> {
+        let (a, l) = (addr as usize, len as usize);
+        if a + l > self.len() {
+            return Err(());
+        }
+        Ok(self[a..a + l].to_vec())
+    }
+
+    fn write_mem(&mut self, addr: u32, data: &[u8]) -> Result<(), ()> {
+        let a = addr as usize;
+        if a + data.len() > self.len() {
+            return Err(());
+        }
+        self[a..a + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+}
+
+impl Kernel {
+    /// Creates a kernel with an empty filesystem and standard fds 0/1/2.
+    pub fn new(policy: AppendPolicy) -> Kernel {
+        Kernel {
+            fs: BrowserFs::new(policy),
+            pipes: Vec::new(),
+            fds: vec![Some(Fd::Stdin), Some(Fd::Stdout), Some(Fd::Stderr)],
+            stdout: Vec::new(),
+            stderr: Vec::new(),
+            stdin: Vec::new(),
+            stdin_pos: 0,
+            timing: KernelTiming::default(),
+            stats: KernelStats::default(),
+            exit_code: None,
+        }
+    }
+
+    fn alloc_fd(&mut self, fd: Fd) -> i32 {
+        for (i, slot) in self.fds.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(fd);
+                return i as i32;
+            }
+        }
+        self.fds.push(Some(fd));
+        (self.fds.len() - 1) as i32
+    }
+
+    /// Charges transport costs for a syscall marshalling `payload` bytes;
+    /// returns the cycles charged.
+    fn charge(&mut self, payload: u64) -> u64 {
+        let t = &self.timing;
+        let chunks = payload.div_ceil(t.aux_buffer_bytes).max(1);
+        let cycles = t.message_latency_cycles * chunks
+            + t.service_cycles
+            + (payload * 2) / t.copy_bytes_per_cycle;
+        self.stats.syscalls += 1;
+        self.stats.kernel_cycles += cycles;
+        self.stats.bytes_marshalled += payload;
+        self.stats.chunk_messages += chunks - 1;
+        cycles
+    }
+
+    /// Charges filesystem buffer-growth copying accumulated since the last
+    /// syscall; returns cycles.
+    fn charge_fs_copies(&mut self, before: u64) -> u64 {
+        let grown = self.fs.stats.grow_copy_bytes - before;
+        let cycles = grown / self.timing.copy_bytes_per_cycle;
+        self.stats.kernel_cycles += cycles;
+        cycles
+    }
+
+    fn read_cstr<M: ProcMem + ?Sized>(mem: &M, addr: u32) -> Result<String, ()> {
+        // Read in chunks until NUL.
+        let mut out = Vec::new();
+        let mut a = addr;
+        loop {
+            let chunk = mem.read_mem(a, 64).or_else(|_| mem.read_mem(a, 1))?;
+            match chunk.iter().position(|&b| b == 0) {
+                Some(n) => {
+                    out.extend_from_slice(&chunk[..n]);
+                    break;
+                }
+                None => {
+                    out.extend_from_slice(&chunk);
+                    a += chunk.len() as u32;
+                    if out.len() > 4096 {
+                        return Err(());
+                    }
+                }
+            }
+        }
+        String::from_utf8(out).map_err(|_| ())
+    }
+
+    /// Services one syscall. `args[0]` is the number; returns the result
+    /// value and the kernel cycles charged.
+    pub fn syscall<M: ProcMem + ?Sized>(&mut self, args: &[i32], mem: &mut M) -> (i32, u64) {
+        let num = args.first().copied().unwrap_or(-1);
+        let a = |i: usize| args.get(i).copied().unwrap_or(0);
+        let fs_before = self.fs.stats.grow_copy_bytes;
+        let mut payload: u64 = 0;
+
+        let ret: i32 = match num {
+            1 => {
+                // exit(code): recorded; the adapter terminates execution.
+                self.exit_code = Some(a(1));
+                0
+            }
+            3 => {
+                // read(fd, buf, len).
+                let (fd, buf, len) = (a(1), a(2) as u32, a(3) as u32);
+                match self.fds.get(fd as usize).and_then(Clone::clone) {
+                    Some(Fd::File { path, pos, .. }) => {
+                        let mut data = vec![0u8; len as usize];
+                        match self.fs.read(&path, pos, &mut data) {
+                            Ok(n) => {
+                                if mem.write_mem(buf, &data[..n]).is_err() {
+                                    -14 // EFAULT
+                                } else {
+                                    if let Some(Some(Fd::File { pos, .. })) =
+                                        self.fds.get_mut(fd as usize)
+                                    {
+                                        *pos += n as u64;
+                                    }
+                                    payload = n as u64;
+                                    n as i32
+                                }
+                            }
+                            Err(e) => errno(&e),
+                        }
+                    }
+                    Some(Fd::PipeRead(id)) => {
+                        let mut data = vec![0u8; len as usize];
+                        let n = self.pipes[id].read(&mut data);
+                        if mem.write_mem(buf, &data[..n]).is_err() {
+                            -14
+                        } else {
+                            payload = n as u64;
+                            n as i32
+                        }
+                    }
+                    Some(Fd::Stdin) => {
+                        let remaining = &self.stdin[self.stdin_pos.min(self.stdin.len())..];
+                        let n = remaining.len().min(len as usize);
+                        if mem.write_mem(buf, &remaining[..n]).is_err() {
+                            -14
+                        } else {
+                            self.stdin_pos += n;
+                            payload = n as u64;
+                            n as i32
+                        }
+                    }
+                    _ => -9, // EBADF
+                }
+            }
+            4 => {
+                // write(fd, buf, len).
+                let (fd, buf, len) = (a(1), a(2) as u32, a(3) as u32);
+                match mem.read_mem(buf, len) {
+                    Err(()) => -14,
+                    Ok(data) => {
+                        payload = data.len() as u64;
+                        match self.fds.get(fd as usize).and_then(Clone::clone) {
+                            Some(Fd::File { path, pos, append }) => {
+                                let at = if append {
+                                    self.fs.size(&path).unwrap_or(0)
+                                } else {
+                                    pos
+                                };
+                                match self.fs.write(&path, at, &data) {
+                                    Ok(n) => {
+                                        if let Some(Some(Fd::File { pos, .. })) =
+                                            self.fds.get_mut(fd as usize)
+                                        {
+                                            *pos = at + n as u64;
+                                        }
+                                        n as i32
+                                    }
+                                    Err(e) => errno(&e),
+                                }
+                            }
+                            Some(Fd::PipeWrite(id)) => match self.pipes[id].write(&data) {
+                                Ok(n) => n as i32,
+                                Err(()) => -32, // EPIPE
+                            },
+                            Some(Fd::Stdout) => {
+                                self.stdout.extend_from_slice(&data);
+                                data.len() as i32
+                            }
+                            Some(Fd::Stderr) => {
+                                self.stderr.extend_from_slice(&data);
+                                data.len() as i32
+                            }
+                            _ => -9,
+                        }
+                    }
+                }
+            }
+            5 => {
+                // open(path, flags, mode).
+                match Self::read_cstr(mem, a(1) as u32) {
+                    Err(()) => -14,
+                    Ok(path) => {
+                        payload = path.len() as u64;
+                        let fl = a(2);
+                        let exists = self.fs.is_file(&path);
+                        if !exists && fl & flags::O_CREAT == 0 {
+                            -2 // ENOENT
+                        } else {
+                            if !exists || fl & flags::O_TRUNC != 0 {
+                                if let Err(e) = self.fs.create(&path) {
+                                    return self.finish(errno(&e), payload, fs_before);
+                                }
+                            }
+                            self.alloc_fd(Fd::File {
+                                path,
+                                pos: 0,
+                                append: fl & flags::O_APPEND != 0,
+                            })
+                        }
+                    }
+                }
+            }
+            6 => {
+                // close(fd).
+                let fd = a(1) as usize;
+                match self.fds.get_mut(fd) {
+                    Some(slot @ Some(_)) => {
+                        if let Some(Fd::PipeWrite(id)) = slot {
+                            self.pipes[*id].write_closed = true;
+                        }
+                        if let Some(Fd::PipeRead(id)) = slot {
+                            self.pipes[*id].read_closed = true;
+                        }
+                        *slot = None;
+                        0
+                    }
+                    _ => -9,
+                }
+            }
+            10 => match Self::read_cstr(mem, a(1) as u32) {
+                Err(()) => -14,
+                Ok(path) => {
+                    payload = path.len() as u64;
+                    match self.fs.unlink(&path) {
+                        Ok(()) => 0,
+                        Err(e) => errno(&e),
+                    }
+                }
+            },
+            19 => {
+                // lseek(fd, offset, whence).
+                let (fd, off, whence) = (a(1) as usize, a(2) as i64, a(3));
+                match self.fds.get_mut(fd) {
+                    Some(Some(Fd::File { path, pos, .. })) => {
+                        let size = self.fs.size(path).unwrap_or(0) as i64;
+                        let base = match whence {
+                            0 => 0,
+                            1 => *pos as i64,
+                            2 => size,
+                            _ => return self.finish(-22, 0, fs_before), // EINVAL
+                        };
+                        let np = base + off;
+                        if np < 0 {
+                            -22
+                        } else {
+                            *pos = np as u64;
+                            np as i32
+                        }
+                    }
+                    _ => -9,
+                }
+            }
+            20 => 1, // getpid: the single foreground process.
+            33 => match Self::read_cstr(mem, a(1) as u32) {
+                Err(()) => -14,
+                Ok(path) => {
+                    payload = path.len() as u64;
+                    if self.fs.exists(&path) {
+                        0
+                    } else {
+                        -2
+                    }
+                }
+            },
+            39 => match Self::read_cstr(mem, a(1) as u32) {
+                Err(()) => -14,
+                Ok(path) => {
+                    payload = path.len() as u64;
+                    match self.fs.mkdir(&path) {
+                        Ok(()) => 0,
+                        Err(e) => errno(&e),
+                    }
+                }
+            },
+            40 => match Self::read_cstr(mem, a(1) as u32) {
+                Err(()) => -14,
+                Ok(path) => match self.fs.rmdir(&path) {
+                    Ok(()) => 0,
+                    Err(e) => errno(&e),
+                },
+            },
+            42 => {
+                // pipe(fds_ptr): writes two i32 fds.
+                let ptr = a(1) as u32;
+                let id = self.pipes.len();
+                self.pipes.push(Pipe::default());
+                let rfd = self.alloc_fd(Fd::PipeRead(id));
+                let wfd = self.alloc_fd(Fd::PipeWrite(id));
+                let mut buf = [0u8; 8];
+                buf[..4].copy_from_slice(&rfd.to_le_bytes());
+                buf[4..].copy_from_slice(&wfd.to_le_bytes());
+                if mem.write_mem(ptr, &buf).is_err() {
+                    -14
+                } else {
+                    payload = 8;
+                    0
+                }
+            }
+            106 => {
+                // stat(path, statbuf): writes {size: i64, is_dir: i32}.
+                match Self::read_cstr(mem, a(1) as u32) {
+                    Err(()) => -14,
+                    Ok(path) => {
+                        payload = path.len() as u64 + 16;
+                        if !self.fs.exists(&path) {
+                            -2
+                        } else {
+                            let size = self.fs.size(&path).unwrap_or(0);
+                            let is_dir = u32::from(!self.fs.is_file(&path));
+                            let mut buf = [0u8; 16];
+                            buf[..8].copy_from_slice(&size.to_le_bytes());
+                            buf[8..12].copy_from_slice(&is_dir.to_le_bytes());
+                            if mem.write_mem(a(2) as u32, &buf).is_err() {
+                                -14
+                            } else {
+                                0
+                            }
+                        }
+                    }
+                }
+            }
+            108 => {
+                // fstat(fd, statbuf).
+                let fd = a(1) as usize;
+                match self.fds.get(fd).and_then(Clone::clone) {
+                    Some(Fd::File { path, .. }) => {
+                        payload = 16;
+                        let size = self.fs.size(&path).unwrap_or(0);
+                        let mut buf = [0u8; 16];
+                        buf[..8].copy_from_slice(&size.to_le_bytes());
+                        if mem.write_mem(a(2) as u32, &buf).is_err() {
+                            -14
+                        } else {
+                            0
+                        }
+                    }
+                    Some(_) => {
+                        payload = 16;
+                        let buf = [0u8; 16];
+                        if mem.write_mem(a(2) as u32, &buf).is_err() {
+                            -14
+                        } else {
+                            0
+                        }
+                    }
+                    None => -9,
+                }
+            }
+            _ => -38, // ENOSYS
+        };
+        self.finish(ret, payload, fs_before)
+    }
+
+    fn finish(&mut self, ret: i32, payload: u64, fs_before: u64) -> (i32, u64) {
+        let mut cycles = self.charge(payload);
+        cycles += self.charge_fs_copies(fs_before);
+        (ret, cycles)
+    }
+}
+
+impl HostEnv for Kernel {
+    fn call(
+        &mut self,
+        _id: u32,
+        args: &[u64; 6],
+        mem: &mut Memory,
+    ) -> Result<HostOutcome, TrapKind> {
+        let iargs: Vec<i32> = args.iter().map(|&v| v as u32 as i32).collect();
+        let (ret, cycles) = self.syscall(&iargs, mem);
+        if let Some(code) = self.exit_code {
+            return Ok(HostOutcome::Exit {
+                code,
+                kernel_cycles: cycles,
+            });
+        }
+        Ok(HostOutcome::Ret {
+            value: ret as u32 as u64,
+            kernel_cycles: cycles,
+        })
+    }
+}
+
+impl wasmperf_cir::CliteHost for Kernel {
+    fn syscall(&mut self, args: &[i32], mem: &mut [u8]) -> Result<i32, String> {
+        let (ret, _) = Kernel::syscall(self, args, mem);
+        if let Some(code) = self.exit_code {
+            return Err(format!("exit({code})"));
+        }
+        Ok(ret)
+    }
+}
+
+impl wasmperf_wasm::ImportHost for Kernel {
+    fn call(
+        &mut self,
+        _module: &str,
+        _field: &str,
+        args: &[wasmperf_wasm::Value],
+        mem: &mut Vec<u8>,
+    ) -> Result<Option<wasmperf_wasm::Value>, wasmperf_wasm::WasmTrap> {
+        let iargs: Vec<i32> = args.iter().map(wasmperf_wasm::Value::unwrap_i32).collect();
+        let (ret, _) = Kernel::syscall(self, &iargs, mem.as_mut_slice());
+        if let Some(code) = self.exit_code {
+            return Err(wasmperf_wasm::WasmTrap::Host(format!("exit({code})")));
+        }
+        Ok(Some(wasmperf_wasm::Value::I32(ret)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem_with(bytes: &[(u32, &[u8])]) -> Vec<u8> {
+        let mut m = vec![0u8; 65536];
+        for (addr, data) in bytes {
+            m[*addr as usize..*addr as usize + data.len()].copy_from_slice(data);
+        }
+        m
+    }
+
+    #[test]
+    fn open_write_read_roundtrip() {
+        let mut k = Kernel::default();
+        let mut mem = mem_with(&[(100, b"/out.txt\0"), (200, b"hello kernel")]);
+        // open(path, O_CREAT|O_WRONLY).
+        let (fd, _) = k.syscall(&[5, 100, flags::O_CREAT | flags::O_WRONLY, 0], mem.as_mut_slice());
+        assert!(fd >= 3, "{fd}");
+        let (n, _) = k.syscall(&[4, fd, 200, 12], mem.as_mut_slice());
+        assert_eq!(n, 12);
+        let (r, _) = k.syscall(&[6, fd, 0, 0], mem.as_mut_slice());
+        assert_eq!(r, 0);
+        // Reopen and read back at offset.
+        let (fd2, _) = k.syscall(&[5, 100, flags::O_RDONLY, 0], mem.as_mut_slice());
+        let (s, _) = k.syscall(&[19, fd2, 6, 0], mem.as_mut_slice());
+        assert_eq!(s, 6);
+        let (n2, _) = k.syscall(&[3, fd2, 300, 32], mem.as_mut_slice());
+        assert_eq!(n2, 6);
+        assert_eq!(&mem[300..306], b"kernel");
+    }
+
+    #[test]
+    fn stdout_capture_and_errors() {
+        let mut k = Kernel::default();
+        let mut mem = mem_with(&[(50, b"hi\n")]);
+        let (n, _) = k.syscall(&[4, 1, 50, 3], mem.as_mut_slice());
+        assert_eq!(n, 3);
+        assert_eq!(k.stdout, b"hi\n");
+        // Bad fd.
+        let (e, _) = k.syscall(&[4, 77, 50, 3], mem.as_mut_slice());
+        assert_eq!(e, -9);
+        // ENOENT open without O_CREAT.
+        let mut mem2 = mem_with(&[(10, b"/missing\0")]);
+        let (e2, _) = k.syscall(&[5, 10, 0, 0], mem2.as_mut_slice());
+        assert_eq!(e2, -2);
+        // ENOSYS.
+        let (e3, _) = k.syscall(&[9999], mem.as_mut_slice());
+        assert_eq!(e3, -38);
+    }
+
+    #[test]
+    fn pipes_roundtrip() {
+        let mut k = Kernel::default();
+        let mut mem = mem_with(&[(500, b"through the pipe")]);
+        let (r, _) = k.syscall(&[42, 40, 0, 0], mem.as_mut_slice());
+        assert_eq!(r, 0);
+        let rfd = i32::from_le_bytes(mem[40..44].try_into().unwrap());
+        let wfd = i32::from_le_bytes(mem[44..48].try_into().unwrap());
+        let (n, _) = k.syscall(&[4, wfd, 500, 16], mem.as_mut_slice());
+        assert_eq!(n, 16);
+        let (n2, _) = k.syscall(&[3, rfd, 600, 7], mem.as_mut_slice());
+        assert_eq!(n2, 7);
+        assert_eq!(&mem[600..607], b"through");
+        // Close the write end: drain then EOF.
+        k.syscall(&[6, wfd, 0, 0], mem.as_mut_slice());
+        let (n3, _) = k.syscall(&[3, rfd, 600, 100], mem.as_mut_slice());
+        assert_eq!(n3, 9);
+        let (n4, _) = k.syscall(&[3, rfd, 600, 100], mem.as_mut_slice());
+        assert_eq!(n4, 0);
+    }
+
+    #[test]
+    fn transport_costs_charged() {
+        let mut k = Kernel::default();
+        let mut mem = mem_with(&[(50, b"/f\0")]);
+        let before = k.stats.kernel_cycles;
+        k.syscall(&[5, 50, flags::O_CREAT | flags::O_WRONLY, 0], mem.as_mut_slice());
+        assert!(k.stats.kernel_cycles >= before + k.timing.message_latency_cycles);
+        assert_eq!(k.stats.syscalls, 1);
+        // A big write charges copy cycles proportional to the payload.
+        let (fd, _) = (3, 0);
+        let before = k.stats.kernel_cycles;
+        let (n, cycles) = k.syscall(&[4, fd, 0, 32768], mem.as_mut_slice());
+        assert_eq!(n, 32768);
+        assert!(cycles > k.timing.message_latency_cycles + 32768 * 2 / 8 - 1);
+        assert!(k.stats.kernel_cycles > before);
+    }
+
+    #[test]
+    fn oversized_transfers_chunked() {
+        let mut k = Kernel::default();
+        k.timing.aux_buffer_bytes = 1024; // Shrink for the test.
+        let mut mem = vec![0u8; 10 * 1024];
+        mem[..3].copy_from_slice(b"/f\0");
+        let (fd, _) = k.syscall(&[5, 0, flags::O_CREAT | flags::O_WRONLY, 0], mem.as_mut_slice());
+        let (n, _) = k.syscall(&[4, fd, 0, 5000], mem.as_mut_slice());
+        assert_eq!(n, 5000);
+        // ceil(5000/1024) = 5 chunks -> 4 extra messages.
+        assert_eq!(k.stats.chunk_messages, 4);
+    }
+
+    #[test]
+    fn append_mode_and_policy_cost() {
+        for (policy, expect_expensive) in
+            [(AppendPolicy::ExactFit, true), (AppendPolicy::Chunked4K, false)]
+        {
+            let mut k = Kernel::new(policy);
+            let mut mem = mem_with(&[(10, b"/log\0"), (100, &[7u8; 64])]);
+            let (fd, _) = k.syscall(
+                &[5, 10, flags::O_CREAT | flags::O_WRONLY | flags::O_APPEND, 0],
+                mem.as_mut_slice(),
+            );
+            for _ in 0..500 {
+                k.syscall(&[4, fd, 100, 64], mem.as_mut_slice());
+            }
+            let grow = k.fs.stats.grow_copy_bytes;
+            if expect_expensive {
+                assert!(grow > 2_000_000, "exact-fit grow copies: {grow}");
+            } else {
+                assert!(grow < 200_000, "chunked grow copies: {grow}");
+            }
+        }
+    }
+
+    #[test]
+    fn stat_and_access() {
+        let mut k = Kernel::default();
+        k.fs.write_all("/data", b"12345").unwrap();
+        let mut mem = mem_with(&[(10, b"/data\0"), (30, b"/nope\0")]);
+        let (r, _) = k.syscall(&[33, 10, 0, 0], mem.as_mut_slice());
+        assert_eq!(r, 0);
+        let (r2, _) = k.syscall(&[33, 30, 0, 0], mem.as_mut_slice());
+        assert_eq!(r2, -2);
+        let (r3, _) = k.syscall(&[106, 10, 200, 0], mem.as_mut_slice());
+        assert_eq!(r3, 0);
+        let size = u64::from_le_bytes(mem[200..208].try_into().unwrap());
+        assert_eq!(size, 5);
+    }
+
+    #[test]
+    fn exit_records_code() {
+        let mut k = Kernel::default();
+        let mut mem = vec![0u8; 64];
+        k.syscall(&[1, 17, 0, 0], mem.as_mut_slice());
+        assert_eq!(k.exit_code, Some(17));
+    }
+
+    #[test]
+    fn mkdir_rmdir_unlink_via_syscalls() {
+        let mut k = Kernel::default();
+        let mut mem = mem_with(&[(10, b"/d\0"), (20, b"/d/f\0")]);
+        assert_eq!(k.syscall(&[39, 10, 0, 0], mem.as_mut_slice()).0, 0);
+        let (fd, _) = k.syscall(&[5, 20, flags::O_CREAT | flags::O_WRONLY, 0], mem.as_mut_slice());
+        assert!(fd >= 0);
+        k.syscall(&[6, fd, 0, 0], mem.as_mut_slice());
+        assert_eq!(k.syscall(&[40, 10, 0, 0], mem.as_mut_slice()).0, -39);
+        assert_eq!(k.syscall(&[10, 20, 0, 0], mem.as_mut_slice()).0, 0);
+        assert_eq!(k.syscall(&[40, 10, 0, 0], mem.as_mut_slice()).0, 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! BROWSIX-WASM: the in-browser Unix kernel.
+//!
+//! The paper's central engineering contribution is a Unix-compatible
+//! kernel running inside the browser, giving unmodified WebAssembly
+//! programs files, pipes, and processes (§2). This crate implements that
+//! kernel for the simulated platform:
+//!
+//! - [`fs`]: the BROWSERFS-analog in-memory filesystem, including the
+//!   paper's append-growth pathology as a switchable
+//!   [`fs::AppendPolicy`] — the original exact-fit reallocation cost
+//!   `464.h264ref` 25 seconds of kernel time; the fix grows buffers by at
+//!   least 4 KiB;
+//! - [`pipe`]: kernel pipe buffers;
+//! - [`kernel`]: the process/file-descriptor layer and the syscall
+//!   dispatcher, with the §2 *auxiliary-buffer transport* cost model:
+//!   every syscall pays a fixed process↔kernel message latency (the
+//!   `postMessage`/`Atomics` round trip) plus a copy cost for the data
+//!   marshalled through the shared auxiliary buffer, and transfers larger
+//!   than the 64 MiB buffer are split into chunks that each pay the
+//!   message latency again.
+//!
+//! Kernel time is accounted separately from user cycles (the executor's
+//! `host_cycles` counter), which is exactly what the paper's Figure 4
+//! reports as "% of time spent in Browsix".
+
+pub mod fs;
+pub mod kernel;
+pub mod pipe;
+
+pub use fs::{AppendPolicy, BrowserFs, FsError};
+pub use kernel::{Kernel, KernelStats, KernelTiming, Syscall};
+pub use pipe::Pipe;

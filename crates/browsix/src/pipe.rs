@@ -1,0 +1,80 @@
+//! Kernel pipes.
+//!
+//! Byte-stream buffers connecting a write fd to a read fd. The original
+//! BROWSIX performed avoidable allocation and copying per transfer; the
+//! BROWSIX-WASM rework (§2) reduced both. The buffer here is a simple
+//! ring-less `VecDeque`, and the kernel charges marshalling costs at the
+//! transport layer.
+
+use std::collections::VecDeque;
+
+/// A unidirectional pipe.
+#[derive(Debug, Clone, Default)]
+pub struct Pipe {
+    buf: VecDeque<u8>,
+    /// Write end closed: reads drain then return 0 (EOF).
+    pub write_closed: bool,
+    /// Read end closed: writes fail with EPIPE.
+    pub read_closed: bool,
+}
+
+impl Pipe {
+    /// Writes all of `data`; returns `Err(())` (EPIPE) if the read end is
+    /// closed.
+    pub fn write(&mut self, data: &[u8]) -> Result<usize, ()> {
+        if self.read_closed {
+            return Err(());
+        }
+        self.buf.extend(data.iter().copied());
+        Ok(data.len())
+    }
+
+    /// Reads up to `out.len()` bytes; returns 0 at EOF (write end closed
+    /// and buffer drained). A read on an open-but-empty pipe also returns
+    /// 0 here — the simulated kernel runs one process, so blocking would
+    /// deadlock.
+    pub fn read(&mut self, out: &mut [u8]) -> usize {
+        let n = out.len().min(self.buf.len());
+        for b in out.iter_mut().take(n) {
+            *b = self.buf.pop_front().expect("len checked");
+        }
+        n
+    }
+
+    /// Bytes currently buffered.
+    pub fn available(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_fifo() {
+        let mut p = Pipe::default();
+        p.write(b"abc").unwrap();
+        p.write(b"de").unwrap();
+        let mut out = [0u8; 4];
+        assert_eq!(p.read(&mut out), 4);
+        assert_eq!(&out, b"abcd");
+        assert_eq!(p.available(), 1);
+        let mut rest = [0u8; 8];
+        assert_eq!(p.read(&mut rest), 1);
+        assert_eq!(rest[0], b'e');
+    }
+
+    #[test]
+    fn eof_and_epipe() {
+        let mut p = Pipe::default();
+        p.write(b"x").unwrap();
+        p.write_closed = true;
+        let mut out = [0u8; 4];
+        assert_eq!(p.read(&mut out), 1);
+        assert_eq!(p.read(&mut out), 0); // EOF.
+        let mut q = Pipe::default();
+        q.read_closed = true;
+        assert!(q.write(b"y").is_err()); // EPIPE.
+    }
+}

@@ -1,0 +1,346 @@
+//! Parser-level abstract syntax.
+
+use core::fmt;
+
+/// Scalar value types usable for locals, parameters, and globals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Ty {
+    I32,
+    I64,
+    U32,
+    U64,
+    F32,
+    F64,
+}
+
+impl Ty {
+    /// True for the signed or unsigned integer types.
+    pub fn is_int(self) -> bool {
+        !matches!(self, Ty::F32 | Ty::F64)
+    }
+
+    /// True for the unsigned integer types.
+    pub fn is_unsigned(self) -> bool {
+        matches!(self, Ty::U32 | Ty::U64)
+    }
+
+    /// True for 64-bit-wide types.
+    pub fn is_wide(self) -> bool {
+        matches!(self, Ty::I64 | Ty::U64 | Ty::F64)
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Ty::I32 => "i32",
+            Ty::I64 => "i64",
+            Ty::U32 => "u32",
+            Ty::U64 => "u64",
+            Ty::F32 => "f32",
+            Ty::F64 => "f64",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Element types for arrays (adds sub-word integers to [`Ty`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum ElemTy {
+    I8,
+    U8,
+    I16,
+    U16,
+    Full(Ty),
+}
+
+impl ElemTy {
+    /// Element size in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            ElemTy::I8 | ElemTy::U8 => 1,
+            ElemTy::I16 | ElemTy::U16 => 2,
+            ElemTy::Full(t) => {
+                if t.is_wide() {
+                    8
+                } else {
+                    4
+                }
+            }
+        }
+    }
+
+    /// The scalar type an element loads as.
+    ///
+    /// Sub-word elements promote to `i32` (as in C's integer promotions);
+    /// whether the load zero- or sign-extends is determined separately by
+    /// the element type's signedness.
+    pub fn load_ty(self) -> Ty {
+        match self {
+            ElemTy::I8 | ElemTy::I16 | ElemTy::U8 | ElemTy::U16 => Ty::I32,
+            ElemTy::Full(t) => t,
+        }
+    }
+}
+
+impl fmt::Display for ElemTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElemTy::I8 => f.write_str("i8"),
+            ElemTy::U8 => f.write_str("u8"),
+            ElemTy::I16 => f.write_str("i16"),
+            ElemTy::U16 => f.write_str("u16"),
+            ElemTy::Full(t) => t.fmt(f),
+        }
+    }
+}
+
+/// Binary operators (C precedence, signedness resolved by the checker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    LogAnd,
+    LogOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum UnOp {
+    Neg,
+    /// Logical not (`!`), yields i32 0/1.
+    Not,
+    /// Bitwise complement (`~`).
+    BitNot,
+}
+
+/// Intrinsic (builtin) functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Intrinsic {
+    Sqrt,
+    Abs,
+    Floor,
+    Ceil,
+    Trunc,
+    Nearest,
+    Min,
+    Max,
+    Clz,
+    Ctz,
+    Popcnt,
+    Rotl,
+    Rotr,
+}
+
+impl Intrinsic {
+    /// Looks up an intrinsic by its source-level name.
+    pub fn by_name(name: &str) -> Option<Intrinsic> {
+        Some(match name {
+            "sqrt" => Intrinsic::Sqrt,
+            "abs" => Intrinsic::Abs,
+            "floor" => Intrinsic::Floor,
+            "ceil" => Intrinsic::Ceil,
+            "trunc" => Intrinsic::Trunc,
+            "nearest" => Intrinsic::Nearest,
+            "min" => Intrinsic::Min,
+            "max" => Intrinsic::Max,
+            "clz" => Intrinsic::Clz,
+            "ctz" => Intrinsic::Ctz,
+            "popcnt" => Intrinsic::Popcnt,
+            "rotl" => Intrinsic::Rotl,
+            "rotr" => Intrinsic::Rotr,
+            _ => return None,
+        })
+    }
+}
+
+/// An expression, with the source line for error reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The expression itself.
+    pub kind: ExprKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Expression variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal (type decided by context; defaults to `i32`).
+    Int(i64),
+    /// Float literal (defaults to `f64`).
+    Float(f64),
+    /// A named local, parameter, global, or `const`.
+    Var(String),
+    /// `a OP b`.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `OP a`.
+    Unary(UnOp, Box<Expr>),
+    /// `name[index]` — array element read, or the callee part of an
+    /// indirect call when `name` is a table.
+    Index(String, Box<Expr>),
+    /// `f(args...)` — direct call.
+    Call(String, Vec<Expr>),
+    /// `tbl[idx](args...)` — indirect call through a function table.
+    IndirectCall(String, Box<Expr>, Vec<Expr>),
+    /// `ty(expr)` — conversion.
+    Cast(Ty, Box<Expr>),
+    /// `intrinsic(args...)`.
+    Intrinsic(Intrinsic, Vec<Expr>),
+    /// `syscall(num, args...)` (up to 5 args), yields i32.
+    Syscall(Vec<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var name: ty = init;`
+    Var {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: Ty,
+        /// Optional initializer (zero if absent).
+        init: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `name = value;`
+    Assign {
+        /// Target variable (local or global).
+        name: String,
+        /// New value.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `arr[index] = value;`
+    StoreIndex {
+        /// Array name.
+        array: String,
+        /// Element index.
+        index: Expr,
+        /// Stored value.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `if (cond) { .. } else { .. }`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond) { .. }`
+    While(Expr, Vec<Stmt>),
+    /// `do { .. } while (cond);`
+    DoWhile(Vec<Stmt>, Expr),
+    /// `break;`
+    Break(u32),
+    /// `continue;`
+    Continue(u32),
+    /// `return expr?;`
+    Return(Option<Expr>, u32),
+    /// An expression evaluated for side effects.
+    Expr(Expr),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Func {
+    /// Function name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<(String, Ty)>,
+    /// Return type, if any.
+    pub ret: Option<Ty>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source line of the definition.
+    pub line: u32,
+}
+
+/// A global scalar variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDef {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: Ty,
+    /// Constant initializer expression.
+    pub init: Option<Expr>,
+}
+
+/// How an array is initialized.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrayInit {
+    /// `array t name[SIZE];` — zero-initialized with a const size.
+    Size(Expr),
+    /// `array t name = [a, b, c];` — constant element list.
+    List(Vec<Expr>),
+    /// `array u8 name = "bytes";` — byte-string initializer.
+    Str(Vec<u8>),
+}
+
+/// A statically allocated array in linear memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayDef {
+    /// Name.
+    pub name: String,
+    /// Element type.
+    pub elem: ElemTy,
+    /// Initializer / size.
+    pub init: ArrayInit,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A function table (`table name = [f, g, h];`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableDef {
+    /// Name.
+    pub name: String,
+    /// Member function names (all must share one signature).
+    pub funcs: Vec<String>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A compile-time integer constant (`const N = 4 * 16;`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstDef {
+    /// Name.
+    pub name: String,
+    /// Constant expression (must fold to an integer).
+    pub value: Expr,
+}
+
+/// A whole CLite program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// `const` definitions, in order.
+    pub consts: Vec<ConstDef>,
+    /// Global scalars.
+    pub globals: Vec<GlobalDef>,
+    /// Arrays.
+    pub arrays: Vec<ArrayDef>,
+    /// Function tables.
+    pub tables: Vec<TableDef>,
+    /// Functions.
+    pub funcs: Vec<Func>,
+}

@@ -1,0 +1,402 @@
+//! Typed, resolved intermediate representation.
+//!
+//! The type checker lowers the parser AST into this IR: names are resolved
+//! (locals to slot indices, globals and arrays to linear-memory addresses,
+//! functions and tables to indices), signedness is resolved into explicit
+//! operator variants, and a concrete memory layout is fixed. Both compiler
+//! backends and the reference interpreter consume this IR, which guarantees
+//! they agree about program meaning by construction.
+
+use crate::ast::ElemTy;
+use core::fmt;
+
+/// Runtime value types (the wasm value types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum HTy {
+    I32,
+    I64,
+    F32,
+    F64,
+}
+
+impl HTy {
+    /// True for the integer types.
+    pub fn is_int(self) -> bool {
+        matches!(self, HTy::I32 | HTy::I64)
+    }
+
+    /// Size in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            HTy::I32 | HTy::F32 => 4,
+            HTy::I64 | HTy::F64 => 8,
+        }
+    }
+}
+
+impl fmt::Display for HTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            HTy::I32 => "i32",
+            HTy::I64 => "i64",
+            HTy::F32 => "f32",
+            HTy::F64 => "f64",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Memory access width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum MemWidth {
+    W8,
+    W16,
+    W32,
+    W64,
+}
+
+impl MemWidth {
+    /// Size in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            MemWidth::W8 => 1,
+            MemWidth::W16 => 2,
+            MemWidth::W32 => 4,
+            MemWidth::W64 => 8,
+        }
+    }
+
+    /// The natural width of a value type.
+    pub fn of(ty: HTy) -> MemWidth {
+        match ty {
+            HTy::I32 | HTy::F32 => MemWidth::W32,
+            HTy::I64 | HTy::F64 => MemWidth::W64,
+        }
+    }
+}
+
+/// Binary operators with signedness resolved.
+///
+/// For float operand types, the signed comparison/division variants are
+/// used (`DivS`, `LtS`, ...); `FMin`/`FMax` apply to floats only, and
+/// `Rotl`/`Rotr` to integers only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum HBinOp {
+    Add,
+    Sub,
+    Mul,
+    DivS,
+    DivU,
+    RemS,
+    RemU,
+    And,
+    Or,
+    Xor,
+    Shl,
+    ShrS,
+    ShrU,
+    Rotl,
+    Rotr,
+    FMin,
+    FMax,
+    Eq,
+    Ne,
+    LtS,
+    LtU,
+    GtS,
+    GtU,
+    LeS,
+    LeU,
+    GeS,
+    GeU,
+}
+
+impl HBinOp {
+    /// True for comparison operators (result type `i32`).
+    pub fn is_cmp(self) -> bool {
+        matches!(
+            self,
+            HBinOp::Eq
+                | HBinOp::Ne
+                | HBinOp::LtS
+                | HBinOp::LtU
+                | HBinOp::GtS
+                | HBinOp::GtU
+                | HBinOp::LeS
+                | HBinOp::LeU
+                | HBinOp::GeS
+                | HBinOp::GeU
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum HUnOp {
+    /// Integer or float negation (dispatch on type).
+    Neg,
+    /// `x == 0`, result i32.
+    Eqz,
+    /// Bitwise complement (int).
+    BitNot,
+    Clz,
+    Ctz,
+    Popcnt,
+    /// Float square root.
+    Sqrt,
+    /// Float absolute value.
+    Abs,
+    Floor,
+    Ceil,
+    /// Float round-toward-zero.
+    TruncF,
+    /// Float round-half-to-even.
+    Nearest,
+}
+
+/// A typed expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HExpr {
+    /// A constant, stored as raw bits.
+    Const {
+        /// Value type.
+        ty: HTy,
+        /// Bit pattern (integers zero-extended).
+        bits: u64,
+    },
+    /// A local variable or parameter.
+    Local {
+        /// Slot index (parameters first).
+        idx: u32,
+        /// Value type.
+        ty: HTy,
+    },
+    /// A memory load.
+    Load {
+        /// Result type.
+        ty: HTy,
+        /// Access width (sub-word loads extend).
+        width: MemWidth,
+        /// Sign-extend sub-word loads.
+        signed: bool,
+        /// Byte address.
+        addr: Box<HExpr>,
+    },
+    /// A unary operation.
+    Unary {
+        /// Operator.
+        op: HUnOp,
+        /// Operand type.
+        ty: HTy,
+        /// Operand.
+        arg: Box<HExpr>,
+    },
+    /// A binary operation.
+    Binary {
+        /// Operator.
+        op: HBinOp,
+        /// Operand type (result is `i32` for comparisons).
+        ty: HTy,
+        /// Left operand.
+        lhs: Box<HExpr>,
+        /// Right operand.
+        rhs: Box<HExpr>,
+    },
+    /// Short-circuit `&&` / `||`; operands and result are `i32`.
+    ShortCircuit {
+        /// True for `&&`, false for `||`.
+        is_and: bool,
+        /// Left operand.
+        lhs: Box<HExpr>,
+        /// Right operand.
+        rhs: Box<HExpr>,
+    },
+    /// A numeric conversion.
+    Cast {
+        /// Source type.
+        from: HTy,
+        /// Destination type.
+        to: HTy,
+        /// Signedness of the integer side.
+        signed: bool,
+        /// Operand.
+        arg: Box<HExpr>,
+    },
+    /// A direct call.
+    Call {
+        /// Callee index into [`HProgram::funcs`].
+        func: u32,
+        /// Result type, if any.
+        ret: Option<HTy>,
+        /// Arguments.
+        args: Vec<HExpr>,
+    },
+    /// An indirect call through the merged function table.
+    CallIndirect {
+        /// Signature index into [`HProgram::sigs`].
+        sig: u32,
+        /// Offset of the source table within the merged table.
+        table_base: u32,
+        /// Index expression (i32).
+        index: Box<HExpr>,
+        /// Result type, if any.
+        ret: Option<HTy>,
+        /// Arguments.
+        args: Vec<HExpr>,
+    },
+    /// A kernel call; arguments and result are `i32`.
+    Syscall {
+        /// Arguments (syscall number first), at most 6.
+        args: Vec<HExpr>,
+    },
+}
+
+impl HExpr {
+    /// The expression's result type (`None` only for void calls).
+    pub fn ty(&self) -> Option<HTy> {
+        match self {
+            HExpr::Const { ty, .. } | HExpr::Local { ty, .. } | HExpr::Load { ty, .. } => {
+                Some(*ty)
+            }
+            HExpr::Unary { op, ty, .. } => Some(match op {
+                HUnOp::Eqz => HTy::I32,
+                _ => *ty,
+            }),
+            HExpr::Binary { op, ty, .. } => Some(if op.is_cmp() { HTy::I32 } else { *ty }),
+            HExpr::ShortCircuit { .. } => Some(HTy::I32),
+            HExpr::Cast { to, .. } => Some(*to),
+            HExpr::Call { ret, .. } | HExpr::CallIndirect { ret, .. } => *ret,
+            HExpr::Syscall { .. } => Some(HTy::I32),
+        }
+    }
+}
+
+/// A typed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HStmt {
+    /// `local[idx] = value`.
+    SetLocal {
+        /// Slot index.
+        idx: u32,
+        /// New value.
+        value: HExpr,
+    },
+    /// A memory store.
+    Store {
+        /// Value type of the operand.
+        ty: HTy,
+        /// Access width (sub-word stores truncate).
+        width: MemWidth,
+        /// Byte address.
+        addr: HExpr,
+        /// Stored value.
+        value: HExpr,
+    },
+    /// Conditional.
+    If {
+        /// Condition (i32, nonzero = true).
+        cond: HExpr,
+        /// Then branch.
+        then_body: Vec<HStmt>,
+        /// Else branch.
+        else_body: Vec<HStmt>,
+    },
+    /// Pre-tested loop.
+    While {
+        /// Condition.
+        cond: HExpr,
+        /// Body.
+        body: Vec<HStmt>,
+    },
+    /// Post-tested loop.
+    DoWhile {
+        /// Body.
+        body: Vec<HStmt>,
+        /// Condition.
+        cond: HExpr,
+    },
+    /// Exit the innermost loop.
+    Break,
+    /// Re-test the innermost loop.
+    Continue,
+    /// Return from the function.
+    Return(Option<HExpr>),
+    /// Evaluate for side effects, dropping any result.
+    Expr(HExpr),
+}
+
+/// A function signature.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HSig {
+    /// Parameter types.
+    pub params: Vec<HTy>,
+    /// Result type, if any.
+    pub ret: Option<HTy>,
+}
+
+/// A typed function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HFunc {
+    /// Source name.
+    pub name: String,
+    /// Number of parameters (the first locals).
+    pub n_params: u32,
+    /// All local slots (parameters first).
+    pub locals: Vec<HTy>,
+    /// Result type.
+    pub ret: Option<HTy>,
+    /// Body.
+    pub body: Vec<HStmt>,
+}
+
+/// A named linear-memory object (global scalar or array), for harness and
+/// test inspection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemObject {
+    /// Source name.
+    pub name: String,
+    /// Byte address.
+    pub addr: u64,
+    /// Total size in bytes.
+    pub size: u64,
+    /// Element type.
+    pub elem: ElemTy,
+}
+
+/// A complete typed program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HProgram {
+    /// Functions.
+    pub funcs: Vec<HFunc>,
+    /// Interned signatures (used by `call_indirect` checks).
+    pub sigs: Vec<HSig>,
+    /// Signature index of each function.
+    pub func_sigs: Vec<u32>,
+    /// The merged function table (function indices).
+    pub table: Vec<u32>,
+    /// Total linear-memory bytes the program needs.
+    pub memory_size: u64,
+    /// Initialized data segments.
+    pub data: Vec<(u64, Vec<u8>)>,
+    /// Named memory objects (globals and arrays), for inspection.
+    pub objects: Vec<MemObject>,
+}
+
+impl HProgram {
+    /// Finds a function index by name.
+    pub fn func_by_name(&self, name: &str) -> Option<u32> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| i as u32)
+    }
+
+    /// Finds a memory object by name.
+    pub fn object(&self, name: &str) -> Option<&MemObject> {
+        self.objects.iter().find(|o| o.name == name)
+    }
+}

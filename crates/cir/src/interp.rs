@@ -1,0 +1,841 @@
+//! Reference interpreter for HIR.
+//!
+//! Executes typed programs directly, with the same arithmetic, memory, and
+//! trap semantics the two compiler backends must implement. Used in
+//! differential tests: for every benchmark, the output and final memory
+//! checksums here must match the wasm interpreter, the native backend, and
+//! every JIT profile.
+
+use crate::hir::{HBinOp, HExpr, HProgram, HStmt, HTy, HUnOp, MemWidth};
+use core::fmt;
+
+/// An interpreter failure (trap).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// Integer division by zero.
+    DivByZero,
+    /// Signed division overflow or float-to-int range error.
+    IntegerOverflow,
+    /// Out-of-bounds memory access.
+    OutOfBounds,
+    /// Indirect call to an out-of-range table slot.
+    BadIndirectCall,
+    /// Indirect call signature mismatch.
+    SigMismatch,
+    /// Fuel exhausted.
+    OutOfFuel,
+    /// Call stack exhausted.
+    StackExhausted,
+    /// The syscall host reported an error.
+    Host(String),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::DivByZero => write!(f, "integer divide by zero"),
+            InterpError::IntegerOverflow => write!(f, "integer overflow"),
+            InterpError::OutOfBounds => write!(f, "out of bounds memory access"),
+            InterpError::BadIndirectCall => write!(f, "bad indirect call target"),
+            InterpError::SigMismatch => write!(f, "indirect call signature mismatch"),
+            InterpError::OutOfFuel => write!(f, "fuel exhausted"),
+            InterpError::StackExhausted => write!(f, "call stack exhausted"),
+            InterpError::Host(m) => write!(f, "host error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Host for the `syscall` primitive.
+pub trait CliteHost {
+    /// Services a syscall. `args[0]` is the syscall number; the rest are
+    /// its (up to 5) arguments. `mem` is the program's linear memory.
+    fn syscall(&mut self, args: &[i32], mem: &mut [u8]) -> Result<i32, String>;
+}
+
+/// Host that rejects every syscall.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoSyscalls;
+
+impl CliteHost for NoSyscalls {
+    fn syscall(&mut self, args: &[i32], _mem: &mut [u8]) -> Result<i32, String> {
+        Err(format!("unexpected syscall {}", args.first().unwrap_or(&-1)))
+    }
+}
+
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(Option<u64>),
+}
+
+const MAX_DEPTH: usize = 512;
+
+/// The HIR interpreter.
+pub struct Interp<'p, H: CliteHost> {
+    prog: &'p HProgram,
+    /// Linear memory.
+    pub mem: Vec<u8>,
+    host: H,
+    fuel: u64,
+    depth: usize,
+}
+
+type IResult<T> = Result<T, InterpError>;
+
+impl<'p, H: CliteHost> Interp<'p, H> {
+    /// Creates an interpreter with memory initialized from the program's
+    /// data segments.
+    pub fn new(prog: &'p HProgram, host: H) -> Interp<'p, H> {
+        let mut mem = vec![0u8; prog.memory_size as usize];
+        for (addr, bytes) in &prog.data {
+            mem[*addr as usize..*addr as usize + bytes.len()].copy_from_slice(bytes);
+        }
+        Interp {
+            prog,
+            mem,
+            host,
+            fuel: u64::MAX,
+            depth: 0,
+        }
+    }
+
+    /// Sets the step budget.
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// Shared access to the host.
+    pub fn host(&self) -> &H {
+        &self.host
+    }
+
+    /// Mutable access to the host.
+    pub fn host_mut(&mut self) -> &mut H {
+        &mut self.host
+    }
+
+    /// Runs function `name` with raw argument slots; returns the raw
+    /// result, if the function has one.
+    ///
+    /// Runs on a dedicated large-stack thread (the interpreter recurses
+    /// per call frame and nested statement).
+    pub fn run(&mut self, name: &str, args: &[u64]) -> IResult<Option<u64>>
+    where
+        H: Send,
+    {
+        let idx = self
+            .prog
+            .func_by_name(name)
+            .ok_or_else(|| InterpError::Host(format!("no function `{name}`")))?;
+        std::thread::scope(|s| {
+            std::thread::Builder::new()
+                .name("clite-interp".into())
+                .stack_size(128 << 20)
+                .spawn_scoped(s, || self.call(idx, args))
+                .expect("spawn interpreter thread")
+                .join()
+                .expect("interpreter thread panicked")
+        })
+    }
+
+    fn call(&mut self, func: u32, args: &[u64]) -> IResult<Option<u64>> {
+        if self.depth >= MAX_DEPTH {
+            return Err(InterpError::StackExhausted);
+        }
+        self.depth += 1;
+        let f = &self.prog.funcs[func as usize];
+        debug_assert_eq!(args.len(), f.n_params as usize);
+        let mut locals = vec![0u64; f.locals.len()];
+        locals[..args.len()].copy_from_slice(args);
+        let flow = self.exec_block(&f.body, &mut locals);
+        self.depth -= 1;
+        match flow? {
+            Flow::Return(v) => Ok(v),
+            Flow::Normal => Ok(None),
+            Flow::Break | Flow::Continue => unreachable!("checked by typecheck"),
+        }
+    }
+
+    fn exec_block(&mut self, stmts: &[HStmt], locals: &mut Vec<u64>) -> IResult<Flow> {
+        for s in stmts {
+            match self.exec_stmt(s, locals)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, s: &HStmt, locals: &mut Vec<u64>) -> IResult<Flow> {
+        if self.fuel == 0 {
+            return Err(InterpError::OutOfFuel);
+        }
+        self.fuel -= 1;
+        match s {
+            HStmt::SetLocal { idx, value } => {
+                let v = self.eval(value, locals)?;
+                locals[*idx as usize] = v;
+                Ok(Flow::Normal)
+            }
+            HStmt::Store {
+                width,
+                addr,
+                value,
+                ..
+            } => {
+                let a = self.eval(addr, locals)? as u32 as u64;
+                let v = self.eval(value, locals)?;
+                self.store(a, v, *width)?;
+                Ok(Flow::Normal)
+            }
+            HStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let c = self.eval(cond, locals)? as u32;
+                if c != 0 {
+                    self.exec_block(then_body, locals)
+                } else {
+                    self.exec_block(else_body, locals)
+                }
+            }
+            HStmt::While { cond, body } => {
+                loop {
+                    if self.fuel == 0 {
+                        return Err(InterpError::OutOfFuel);
+                    }
+                    self.fuel -= 1;
+                    if self.eval(cond, locals)? as u32 == 0 {
+                        break;
+                    }
+                    match self.exec_block(body, locals)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        r @ Flow::Return(_) => return Ok(r),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            HStmt::DoWhile { body, cond } => {
+                loop {
+                    if self.fuel == 0 {
+                        return Err(InterpError::OutOfFuel);
+                    }
+                    self.fuel -= 1;
+                    match self.exec_block(body, locals)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        r @ Flow::Return(_) => return Ok(r),
+                    }
+                    if self.eval(cond, locals)? as u32 == 0 {
+                        break;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            HStmt::Break => Ok(Flow::Break),
+            HStmt::Continue => Ok(Flow::Continue),
+            HStmt::Return(v) => {
+                let val = match v {
+                    Some(e) => Some(self.eval(e, locals)?),
+                    None => None,
+                };
+                Ok(Flow::Return(val))
+            }
+            HStmt::Expr(e) => {
+                self.eval(e, locals)?;
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    fn load(&self, addr: u64, width: MemWidth, signed: bool, ty: HTy) -> IResult<u64> {
+        let n = width.bytes() as usize;
+        let a = addr as usize;
+        if a + n > self.mem.len() {
+            return Err(InterpError::OutOfBounds);
+        }
+        let mut buf = [0u8; 8];
+        buf[..n].copy_from_slice(&self.mem[a..a + n]);
+        let mut v = u64::from_le_bytes(buf);
+        if signed && n < 8 {
+            let bits = n as u32 * 8;
+            let sext = ((v << (64 - bits)) as i64) >> (64 - bits);
+            v = match ty {
+                HTy::I32 => sext as i32 as u32 as u64,
+                _ => sext as u64,
+            };
+        }
+        Ok(v)
+    }
+
+    fn store(&mut self, addr: u64, v: u64, width: MemWidth) -> IResult<()> {
+        let n = width.bytes() as usize;
+        let a = addr as usize;
+        if a + n > self.mem.len() {
+            return Err(InterpError::OutOfBounds);
+        }
+        self.mem[a..a + n].copy_from_slice(&v.to_le_bytes()[..n]);
+        Ok(())
+    }
+
+    fn eval(&mut self, e: &HExpr, locals: &mut Vec<u64>) -> IResult<u64> {
+        if self.fuel == 0 {
+            return Err(InterpError::OutOfFuel);
+        }
+        self.fuel -= 1;
+        match e {
+            HExpr::Const { bits, .. } => Ok(*bits),
+            HExpr::Local { idx, .. } => Ok(locals[*idx as usize]),
+            HExpr::Load {
+                ty,
+                width,
+                signed,
+                addr,
+            } => {
+                let a = self.eval(addr, locals)? as u32 as u64;
+                self.load(a, *width, *signed, *ty)
+            }
+            HExpr::Unary { op, ty, arg } => {
+                let v = self.eval(arg, locals)?;
+                Ok(unop(*op, *ty, v))
+            }
+            HExpr::Binary { op, ty, lhs, rhs } => {
+                let a = self.eval(lhs, locals)?;
+                let b = self.eval(rhs, locals)?;
+                binop(*op, *ty, a, b)
+            }
+            HExpr::ShortCircuit { is_and, lhs, rhs } => {
+                let a = self.eval(lhs, locals)? as u32;
+                if *is_and {
+                    if a == 0 {
+                        return Ok(0);
+                    }
+                    Ok(u64::from(self.eval(rhs, locals)? as u32 != 0))
+                } else {
+                    if a != 0 {
+                        return Ok(1);
+                    }
+                    Ok(u64::from(self.eval(rhs, locals)? as u32 != 0))
+                }
+            }
+            HExpr::Cast {
+                from,
+                to,
+                signed,
+                arg,
+            } => {
+                let v = self.eval(arg, locals)?;
+                cast(*from, *to, *signed, v)
+            }
+            HExpr::Call { func, args, .. } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, locals)?);
+                }
+                Ok(self.call(*func, &vals)?.unwrap_or(0))
+            }
+            HExpr::CallIndirect {
+                sig,
+                table_base,
+                index,
+                args,
+                ..
+            } => {
+                let i = self.eval(index, locals)? as u32;
+                let slot = (*table_base + i) as usize;
+                let func = *self
+                    .prog
+                    .table
+                    .get(slot)
+                    .ok_or(InterpError::BadIndirectCall)?;
+                if self.prog.func_sigs[func as usize] != *sig {
+                    return Err(InterpError::SigMismatch);
+                }
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, locals)?);
+                }
+                Ok(self.call(func, &vals)?.unwrap_or(0))
+            }
+            HExpr::Syscall { args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, locals)? as u32 as i32);
+                }
+                let r = self
+                    .host
+                    .syscall(&vals, &mut self.mem)
+                    .map_err(InterpError::Host)?;
+                Ok(r as u32 as u64)
+            }
+        }
+    }
+}
+
+fn f_of(ty: HTy, bits: u64) -> f64 {
+    match ty {
+        HTy::F32 => f32::from_bits(bits as u32) as f64,
+        _ => f64::from_bits(bits),
+    }
+}
+
+fn f_to(ty: HTy, v: f64) -> u64 {
+    match ty {
+        HTy::F32 => (v as f32).to_bits() as u64,
+        _ => v.to_bits(),
+    }
+}
+
+fn unop(op: HUnOp, ty: HTy, v: u64) -> u64 {
+    match (op, ty) {
+        (HUnOp::Neg, HTy::I32) => (v as u32).wrapping_neg() as u64,
+        (HUnOp::Neg, HTy::I64) => v.wrapping_neg(),
+        (HUnOp::Neg, _) => f_to(ty, -f_of(ty, v)),
+        (HUnOp::Eqz, HTy::I64) => u64::from(v == 0),
+        (HUnOp::Eqz, _) => u64::from(v as u32 == 0),
+        (HUnOp::BitNot, HTy::I32) => (!(v as u32)) as u64,
+        (HUnOp::BitNot, _) => !v,
+        (HUnOp::Clz, HTy::I32) => (v as u32).leading_zeros() as u64,
+        (HUnOp::Clz, _) => v.leading_zeros() as u64,
+        (HUnOp::Ctz, HTy::I32) => (v as u32).trailing_zeros() as u64,
+        (HUnOp::Ctz, _) => v.trailing_zeros() as u64,
+        (HUnOp::Popcnt, HTy::I32) => (v as u32).count_ones() as u64,
+        (HUnOp::Popcnt, _) => v.count_ones() as u64,
+        (HUnOp::Sqrt, _) => f_to(ty, f_of(ty, v).sqrt()),
+        (HUnOp::Abs, _) => f_to(ty, f_of(ty, v).abs()),
+        (HUnOp::Floor, _) => f_to(ty, f_of(ty, v).floor()),
+        (HUnOp::Ceil, _) => f_to(ty, f_of(ty, v).ceil()),
+        (HUnOp::TruncF, _) => f_to(ty, f_of(ty, v).trunc()),
+        (HUnOp::Nearest, _) => {
+            let x = f_of(ty, v);
+            let r = x.round();
+            let r = if (x - x.trunc()).abs() == 0.5 && r % 2.0 != 0.0 {
+                r - x.signum()
+            } else {
+                r
+            };
+            f_to(ty, r)
+        }
+    }
+}
+
+fn binop(op: HBinOp, ty: HTy, a: u64, b: u64) -> IResult<u64> {
+    use HBinOp::*;
+    if matches!(ty, HTy::F32 | HTy::F64) {
+        let (x, y) = (f_of(ty, a), f_of(ty, b));
+        return Ok(match op {
+            Add => f_to(ty, x + y),
+            Sub => f_to(ty, x - y),
+            Mul => f_to(ty, x * y),
+            DivS => f_to(ty, x / y),
+            FMin => f_to(ty, if x < y { x } else { y }),
+            FMax => f_to(ty, if x > y { x } else { y }),
+            Eq => u64::from(x == y),
+            Ne => u64::from(x != y),
+            LtS => u64::from(x < y),
+            LeS => u64::from(x <= y),
+            GtS => u64::from(x > y),
+            GeS => u64::from(x >= y),
+            other => unreachable!("float {other:?}"),
+        });
+    }
+    if ty == HTy::I32 {
+        let (ua, ub) = (a as u32, b as u32);
+        let (sa, sb) = (ua as i32, ub as i32);
+        let r: u32 = match op {
+            Add => ua.wrapping_add(ub),
+            Sub => ua.wrapping_sub(ub),
+            Mul => ua.wrapping_mul(ub),
+            DivS => {
+                if sb == 0 {
+                    return Err(InterpError::DivByZero);
+                }
+                if sa == i32::MIN && sb == -1 {
+                    return Err(InterpError::IntegerOverflow);
+                }
+                (sa / sb) as u32
+            }
+            DivU => {
+                if ub == 0 {
+                    return Err(InterpError::DivByZero);
+                }
+                ua / ub
+            }
+            RemS => {
+                if sb == 0 {
+                    return Err(InterpError::DivByZero);
+                }
+                sa.wrapping_rem(sb) as u32
+            }
+            RemU => {
+                if ub == 0 {
+                    return Err(InterpError::DivByZero);
+                }
+                ua % ub
+            }
+            And => ua & ub,
+            Or => ua | ub,
+            Xor => ua ^ ub,
+            Shl => ua.wrapping_shl(ub),
+            ShrS => sa.wrapping_shr(ub) as u32,
+            ShrU => ua.wrapping_shr(ub),
+            Rotl => ua.rotate_left(ub % 32),
+            Rotr => ua.rotate_right(ub % 32),
+            Eq => return Ok(u64::from(ua == ub)),
+            Ne => return Ok(u64::from(ua != ub)),
+            LtS => return Ok(u64::from(sa < sb)),
+            LtU => return Ok(u64::from(ua < ub)),
+            GtS => return Ok(u64::from(sa > sb)),
+            GtU => return Ok(u64::from(ua > ub)),
+            LeS => return Ok(u64::from(sa <= sb)),
+            LeU => return Ok(u64::from(ua <= ub)),
+            GeS => return Ok(u64::from(sa >= sb)),
+            GeU => return Ok(u64::from(ua >= ub)),
+            FMin | FMax => unreachable!("int min/max"),
+        };
+        return Ok(r as u64);
+    }
+    // I64.
+    let (sa, sb) = (a as i64, b as i64);
+    Ok(match op {
+        Add => a.wrapping_add(b),
+        Sub => a.wrapping_sub(b),
+        Mul => a.wrapping_mul(b),
+        DivS => {
+            if sb == 0 {
+                return Err(InterpError::DivByZero);
+            }
+            if sa == i64::MIN && sb == -1 {
+                return Err(InterpError::IntegerOverflow);
+            }
+            (sa / sb) as u64
+        }
+        DivU => {
+            if b == 0 {
+                return Err(InterpError::DivByZero);
+            }
+            a / b
+        }
+        RemS => {
+            if sb == 0 {
+                return Err(InterpError::DivByZero);
+            }
+            sa.wrapping_rem(sb) as u64
+        }
+        RemU => {
+            if b == 0 {
+                return Err(InterpError::DivByZero);
+            }
+            a % b
+        }
+        And => a & b,
+        Or => a | b,
+        Xor => a ^ b,
+        Shl => a.wrapping_shl(b as u32),
+        ShrS => sa.wrapping_shr(b as u32) as u64,
+        ShrU => a.wrapping_shr(b as u32),
+        Rotl => a.rotate_left((b % 64) as u32),
+        Rotr => a.rotate_right((b % 64) as u32),
+        Eq => u64::from(a == b),
+        Ne => u64::from(a != b),
+        LtS => u64::from(sa < sb),
+        LtU => u64::from(a < b),
+        GtS => u64::from(sa > sb),
+        GtU => u64::from(a > b),
+        LeS => u64::from(sa <= sb),
+        LeU => u64::from(a <= b),
+        GeS => u64::from(sa >= sb),
+        GeU => u64::from(a >= b),
+        FMin | FMax => unreachable!("int min/max"),
+    })
+}
+
+fn cast(from: HTy, to: HTy, signed: bool, v: u64) -> IResult<u64> {
+    Ok(match (from, to) {
+        (HTy::I64, HTy::I32) => v as u32 as u64,
+        (HTy::I32, HTy::I64) => {
+            if signed {
+                v as u32 as i32 as i64 as u64
+            } else {
+                v as u32 as u64
+            }
+        }
+        (HTy::I32, HTy::F32 | HTy::F64) => {
+            let x = if signed {
+                v as u32 as i32 as f64
+            } else {
+                (v as u32) as f64
+            };
+            f_to(to, x)
+        }
+        (HTy::I64, HTy::F32 | HTy::F64) => {
+            let x = if signed { v as i64 as f64 } else { v as f64 };
+            f_to(to, x)
+        }
+        (HTy::F32 | HTy::F64, HTy::I32) => {
+            let x = f_of(from, v);
+            if x.is_nan() {
+                return Err(InterpError::IntegerOverflow);
+            }
+            let t = x.trunc();
+            if signed {
+                if !(-2147483648.0..=2147483647.0).contains(&t) {
+                    return Err(InterpError::IntegerOverflow);
+                }
+                t as i32 as u32 as u64
+            } else {
+                if !(0.0..=4294967295.0).contains(&t) {
+                    return Err(InterpError::IntegerOverflow);
+                }
+                t as u32 as u64
+            }
+        }
+        (HTy::F32 | HTy::F64, HTy::I64) => {
+            let x = f_of(from, v);
+            if x.is_nan() {
+                return Err(InterpError::IntegerOverflow);
+            }
+            let t = x.trunc();
+            if signed {
+                if !(-9.223372036854776e18..=9.223372036854775e18).contains(&t) {
+                    return Err(InterpError::IntegerOverflow);
+                }
+                t as i64 as u64
+            } else {
+                if !(0.0..=1.8446744073709552e19).contains(&t) {
+                    return Err(InterpError::IntegerOverflow);
+                }
+                t as u64
+            }
+        }
+        (HTy::F32, HTy::F64) => (f32::from_bits(v as u32) as f64).to_bits(),
+        (HTy::F64, HTy::F32) => (f64::from_bits(v) as f32).to_bits() as u64,
+        (a, b) if a == b => v,
+        (a, b) => unreachable!("cast {a} -> {b}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str, args: &[u64]) -> IResult<Option<u64>> {
+        let prog = crate::compile(src).expect("compiles");
+        let mut i = Interp::new(&prog, NoSyscalls);
+        i.run("main", args)
+    }
+
+    #[test]
+    fn computes_fibonacci_recursively() {
+        let src = "
+            fn fib(n: i32) -> i32 {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            fn main(n: i32) -> i32 { return fib(n); }
+        ";
+        assert_eq!(run(src, &[10]).unwrap(), Some(55));
+    }
+
+    #[test]
+    fn loops_and_arrays() {
+        let src = "
+            const N = 50;
+            array i32 A[N];
+            fn main() -> i32 {
+                var i: i32 = 0;
+                for (i = 0; i < N; i += 1) { A[i] = i * i; }
+                var s: i32 = 0;
+                for (i = 0; i < N; i += 1) { s += A[i]; }
+                return s;
+            }
+        ";
+        let expect: i64 = (0..50).map(|i| i * i).sum();
+        assert_eq!(run(src, &[]).unwrap(), Some(expect as u64));
+    }
+
+    #[test]
+    fn unsigned_vs_signed_division() {
+        let src = "
+            fn main() -> i32 {
+                var a: u32 = 0 - 10;       // 4294967286
+                var b: u32 = a / u32(3);   // unsigned
+                var c: i32 = -10;
+                var d: i32 = c / 3;        // signed -> -3
+                return i32(b) + d;
+            }
+        ";
+        let expect = (4294967286u32 / 3) as i32 + (-3);
+        assert_eq!(run(src, &[]).unwrap(), Some(expect as u32 as u64));
+    }
+
+    #[test]
+    fn float_arithmetic_and_casts() {
+        let src = "
+            fn main() -> i32 {
+                var x: f64 = 2.0;
+                var y: f64 = sqrt(x) * sqrt(x);
+                var z: f32 = f32(y);
+                return i32(z * 100.0);
+            }
+        ";
+        let r = run(src, &[]).unwrap().unwrap();
+        assert!((199..=201).contains(&(r as i64)), "{r}");
+    }
+
+    #[test]
+    fn short_circuit_prevents_trap() {
+        // RHS would divide by zero; && must not evaluate it.
+        let src = "
+            fn boom(x: i32) -> i32 { return 10 / x; }
+            fn main(c: i32) -> i32 {
+                if (c != 0 && boom(c) > 0) { return 1; }
+                return 0;
+            }
+        ";
+        assert_eq!(run(src, &[0]).unwrap(), Some(0));
+        assert_eq!(run(src, &[5]).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn division_traps() {
+        let src = "fn main(d: i32) -> i32 { return 7 / d; }";
+        assert_eq!(run(src, &[0]).unwrap_err(), InterpError::DivByZero);
+    }
+
+    #[test]
+    fn oob_array_access_traps() {
+        let src = "
+            array i32 A[4];
+            fn main(i: i32) -> i32 { return A[i]; }
+        ";
+        // Way beyond memory but small enough that `index*4` does not wrap
+        // 32-bit address arithmetic.
+        assert_eq!(
+            run(src, &[0x0fff_ffff]).unwrap_err(),
+            InterpError::OutOfBounds
+        );
+    }
+
+    #[test]
+    fn indirect_calls_dispatch() {
+        let src = "
+            fn add(a: i32, b: i32) -> i32 { return a + b; }
+            fn sub(a: i32, b: i32) -> i32 { return a - b; }
+            table ops = [add, sub];
+            fn main(i: i32) -> i32 { return ops[i](10, 4); }
+        ";
+        assert_eq!(run(src, &[0]).unwrap(), Some(14));
+        assert_eq!(run(src, &[1]).unwrap(), Some(6));
+    }
+
+    #[test]
+    fn globals_persist_across_calls() {
+        let src = "
+            global i32 counter = 100;
+            fn bump() { counter += 1; }
+            fn main() -> i32 {
+                bump(); bump(); bump();
+                return counter;
+            }
+        ";
+        assert_eq!(run(src, &[]).unwrap(), Some(103));
+    }
+
+    #[test]
+    fn do_while_executes_at_least_once() {
+        let src = "
+            fn main() -> i32 {
+                var n: i32 = 0;
+                do { n += 1; } while (0);
+                return n;
+            }
+        ";
+        assert_eq!(run(src, &[]).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn break_and_continue() {
+        let src = "
+            fn main() -> i32 {
+                var i: i32 = 0;
+                var s: i32 = 0;
+                while (1) {
+                    i += 1;
+                    if (i > 10) { break; }
+                    if (i % 2 == 0) { continue; }
+                    s += i;  // odd numbers 1..9
+                }
+                return s;
+            }
+        ";
+        assert_eq!(run(src, &[]).unwrap(), Some(25));
+    }
+
+    #[test]
+    fn syscall_reaches_host() {
+        struct Recorder(Vec<Vec<i32>>);
+        impl CliteHost for Recorder {
+            fn syscall(&mut self, args: &[i32], _mem: &mut [u8]) -> Result<i32, String> {
+                self.0.push(args.to_vec());
+                Ok(42)
+            }
+        }
+        let prog = crate::compile(
+            "fn main() -> i32 { return syscall(4, 1, 2) + syscall(1, 0); }",
+        )
+        .unwrap();
+        let mut i = Interp::new(&prog, Recorder(Vec::new()));
+        assert_eq!(i.run("main", &[]).unwrap(), Some(84));
+        assert_eq!(i.host().0, vec![vec![4, 1, 2], vec![1, 0]]);
+    }
+
+    #[test]
+    fn sub_word_arrays_roundtrip() {
+        let src = "
+            array u8 b[8];
+            array i16 s[4];
+            fn main() -> i32 {
+                b[0] = 200;       // stays unsigned
+                s[0] = 0 - 200;   // sign-extends on load
+                return b[0] * 1000 + (0 - s[0]);
+            }
+        ";
+        assert_eq!(run(src, &[]).unwrap(), Some(200200));
+    }
+
+    #[test]
+    fn i64_arithmetic() {
+        let src = "
+            fn main() -> i32 {
+                var x: i64 = 1;
+                var i: i32 = 0;
+                for (i = 0; i < 40; i += 1) { x *= 2; }
+                return i32(x >> 35);
+            }
+        ";
+        assert_eq!(run(src, &[]).unwrap(), Some(32));
+    }
+
+    #[test]
+    fn fuel_exhaustion() {
+        let prog = crate::compile("fn main() -> i32 { while (1) { } return 0; }").unwrap();
+        let mut i = Interp::new(&prog, NoSyscalls);
+        i.set_fuel(1000);
+        assert_eq!(i.run("main", &[]).unwrap_err(), InterpError::OutOfFuel);
+    }
+
+    #[test]
+    fn rotation_intrinsics() {
+        let src = "fn main(x: u32) -> i32 { return i32(rotl(x, u32(8))); }";
+        assert_eq!(
+            run(src, &[0x1234_5678]).unwrap(),
+            Some(0x3456_7812)
+        );
+    }
+}

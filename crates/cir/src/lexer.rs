@@ -1,0 +1,375 @@
+//! Hand-written lexer.
+
+use core::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (already unescaped).
+    Str(Vec<u8>),
+    /// Punctuation / operator, e.g. `"+"`, `"<<"`, `"+="`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(v) => write!(f, "integer {v}"),
+            Tok::Float(v) => write!(f, "float {v}"),
+            Tok::Str(_) => write!(f, "string literal"),
+            Tok::Punct(p) => write!(f, "`{p}`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A lexing failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// What went wrong.
+    pub msg: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error on line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Multi-character operators, longest first.
+const PUNCTS: [&str; 34] = [
+    "<<=", ">>=", "&&", "||", "==", "!=", "<=", ">=", "<<", ">>", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=", "->", "(", ")", "{", "}", "[", "]", ";", ",", ":", "+", "-", "*", "/",
+    "%", "=",
+];
+const SINGLE_PUNCTS: [&str; 5] = ["<", ">", "&", "|", "^"];
+const OTHER_PUNCTS: [&str; 2] = ["!", "~"];
+
+/// Tokenizes `src`.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let err = |msg: String, line: u32| LexError { msg, line };
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(err("unterminated block comment".into(), line));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'"' => {
+                i += 1;
+                let mut s = Vec::new();
+                loop {
+                    match bytes.get(i) {
+                        None | Some(b'\n') => {
+                            return Err(err("unterminated string".into(), line));
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            let esc = bytes
+                                .get(i + 1)
+                                .ok_or_else(|| err("dangling escape".into(), line))?;
+                            s.push(match esc {
+                                b'n' => b'\n',
+                                b't' => b'\t',
+                                b'r' => b'\r',
+                                b'0' => 0,
+                                b'\\' => b'\\',
+                                b'"' => b'"',
+                                other => {
+                                    return Err(err(
+                                        format!("unknown escape \\{}", *other as char),
+                                        line,
+                                    ));
+                                }
+                            });
+                            i += 2;
+                        }
+                        Some(&b) => {
+                            s.push(b);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Str(s),
+                    line,
+                });
+            }
+            b'\'' => {
+                // Character literal -> integer token.
+                let (v, consumed) = match (bytes.get(i + 1), bytes.get(i + 2)) {
+                    (Some(b'\\'), Some(&esc)) => {
+                        let v = match esc {
+                            b'n' => b'\n',
+                            b't' => b'\t',
+                            b'r' => b'\r',
+                            b'0' => 0,
+                            b'\\' => b'\\',
+                            b'\'' => b'\'',
+                            other => {
+                                return Err(err(
+                                    format!("unknown escape \\{}", other as char),
+                                    line,
+                                ));
+                            }
+                        };
+                        (v, 4)
+                    }
+                    (Some(&ch), _) if ch != b'\'' => (ch, 3),
+                    _ => return Err(err("empty char literal".into(), line)),
+                };
+                if bytes.get(i + consumed - 1) != Some(&b'\'') {
+                    return Err(err("unterminated char literal".into(), line));
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Int(v as i64),
+                    line,
+                });
+                i += consumed;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                if c == b'0' && bytes.get(i + 1) == Some(&b'x') {
+                    i += 2;
+                    let hstart = i;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    if i == hstart {
+                        return Err(err("empty hex literal".into(), line));
+                    }
+                    let text = &src[hstart..i];
+                    let v = u64::from_str_radix(text, 16)
+                        .map_err(|_| err(format!("bad hex literal {text}"), line))?;
+                    out.push(SpannedTok {
+                        tok: Tok::Int(v as i64),
+                        line,
+                    });
+                } else {
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let is_float = bytes.get(i) == Some(&b'.')
+                        && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                        || matches!(bytes.get(i), Some(b'e') | Some(b'E'))
+                            && (bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                                || matches!(bytes.get(i + 1), Some(b'-') | Some(b'+')));
+                    if is_float {
+                        if bytes.get(i) == Some(&b'.') {
+                            i += 1;
+                            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                                i += 1;
+                            }
+                        }
+                        if matches!(bytes.get(i), Some(b'e') | Some(b'E')) {
+                            i += 1;
+                            if matches!(bytes.get(i), Some(b'-') | Some(b'+')) {
+                                i += 1;
+                            }
+                            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                                i += 1;
+                            }
+                        }
+                        let text = &src[start..i];
+                        let v: f64 = text
+                            .parse()
+                            .map_err(|_| err(format!("bad float literal {text}"), line))?;
+                        out.push(SpannedTok {
+                            tok: Tok::Float(v),
+                            line,
+                        });
+                    } else {
+                        let text = &src[start..i];
+                        let v: i64 = text
+                            .parse()
+                            .map_err(|_| err(format!("bad int literal {text}"), line))?;
+                        out.push(SpannedTok {
+                            tok: Tok::Int(v),
+                            line,
+                        });
+                    }
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    line,
+                });
+            }
+            _ => {
+                let rest = &src[i..];
+                let all = PUNCTS
+                    .iter()
+                    .chain(SINGLE_PUNCTS.iter())
+                    .chain(OTHER_PUNCTS.iter());
+                let mut matched = None;
+                for p in all {
+                    if rest.starts_with(p)
+                        && matched.map_or(true, |m: &str| p.len() > m.len())
+                    {
+                        matched = Some(*p);
+                    }
+                }
+                match matched {
+                    Some(p) => {
+                        out.push(SpannedTok {
+                            tok: Tok::Punct(p),
+                            line,
+                        });
+                        i += p.len();
+                    }
+                    None => {
+                        return Err(err(format!("unexpected character `{}`", c as char), line));
+                    }
+                }
+            }
+        }
+    }
+    out.push(SpannedTok {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_identifiers_and_ints() {
+        assert_eq!(
+            toks("foo 42 0xff"),
+            vec![
+                Tok::Ident("foo".into()),
+                Tok::Int(42),
+                Tok::Int(255),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_floats() {
+        assert_eq!(
+            toks("1.5 2e3 1.25e-2"),
+            vec![
+                Tok::Float(1.5),
+                Tok::Float(2000.0),
+                Tok::Float(0.0125),
+                Tok::Eof
+            ]
+        );
+        // An integer followed by a method-less dot stays an integer.
+        assert_eq!(toks("3"), vec![Tok::Int(3), Tok::Eof]);
+    }
+
+    #[test]
+    fn lexes_multichar_operators_greedily() {
+        assert_eq!(
+            toks("a<<=b && c <= d << e"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("<<="),
+                Tok::Ident("b".into()),
+                Tok::Punct("&&"),
+                Tok::Ident("c".into()),
+                Tok::Punct("<="),
+                Tok::Ident("d".into()),
+                Tok::Punct("<<"),
+                Tok::Ident("e".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(
+            toks(r#""hi\n\0""#),
+            vec![Tok::Str(b"hi\n\0".to_vec()), Tok::Eof]
+        );
+        assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn char_literals() {
+        assert_eq!(toks("'a' '\\n'"), vec![Tok::Int(97), Tok::Int(10), Tok::Eof]);
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_counted() {
+        let ts = lex("a // comment\nb /* multi\nline */ c").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[2].line, 3);
+    }
+
+    #[test]
+    fn bad_character_reports_line() {
+        let e = lex("x\n  @").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+}

@@ -1,0 +1,1424 @@
+//! Type checking and lowering to HIR.
+//!
+//! Responsibilities:
+//!
+//! - evaluate `const` definitions and array sizes,
+//! - fix the linear-memory layout (globals from [`GLOBAL_BASE`], arrays
+//!   after them, initializer data as data segments),
+//! - resolve names (locals → slots, globals/arrays → addresses, calls →
+//!   function indices, tables → merged-table offsets),
+//! - resolve signedness into explicit HIR operators (`u32 / u32` becomes
+//!   `DivU`, `i32 >> n` becomes `ShrS`, ...),
+//! - adapt integer/float literals to their context
+//!   (`var x: i64 = 0;` works without a cast), and
+//! - enforce the usual static rules (operand types match, conditions are
+//!   `i32`, `break` only inside loops, non-void functions end in
+//!   `return`, table members share one signature).
+
+use crate::ast::{
+    ArrayInit, BinOp, ElemTy, Expr, ExprKind, Intrinsic, Program, Stmt, Ty, UnOp,
+};
+use crate::hir::{
+    HBinOp, HExpr, HFunc, HProgram, HSig, HStmt, HTy, HUnOp, MemObject, MemWidth,
+};
+use core::fmt;
+use std::collections::HashMap;
+
+/// First address used for program data; below this is reserved (null page
+/// and runtime scratch).
+pub const GLOBAL_BASE: u64 = 0x400;
+
+/// A type-checking failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeError {
+    /// Description.
+    pub msg: String,
+    /// 1-based source line (0 when not attributable).
+    pub line: u32,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error on line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+type TResult<T> = Result<T, TypeError>;
+
+fn err<T>(line: u32, msg: impl Into<String>) -> TResult<T> {
+    Err(TypeError {
+        msg: msg.into(),
+        line,
+    })
+}
+
+fn hty(t: Ty) -> HTy {
+    match t {
+        Ty::I32 | Ty::U32 => HTy::I32,
+        Ty::I64 | Ty::U64 => HTy::I64,
+        Ty::F32 => HTy::F32,
+        Ty::F64 => HTy::F64,
+    }
+}
+
+struct FuncInfo {
+    idx: u32,
+    params: Vec<Ty>,
+    ret: Option<Ty>,
+}
+
+struct TableInfo {
+    base: u32,
+    sig_idx: u32,
+    params: Vec<Ty>,
+    ret: Option<Ty>,
+    len: u32,
+}
+
+struct GlobalInfo {
+    addr: u64,
+    ty: Ty,
+}
+
+struct ArrayInfo {
+    addr: u64,
+    elem: ElemTy,
+    len: u64,
+}
+
+struct Ctx {
+    consts: HashMap<String, i64>,
+    globals: HashMap<String, GlobalInfo>,
+    arrays: HashMap<String, ArrayInfo>,
+    funcs: HashMap<String, FuncInfo>,
+    tables: HashMap<String, TableInfo>,
+    sigs: Vec<HSig>,
+}
+
+impl Ctx {
+    fn intern_sig(&mut self, sig: HSig) -> u32 {
+        if let Some(i) = self.sigs.iter().position(|s| *s == sig) {
+            i as u32
+        } else {
+            self.sigs.push(sig);
+            (self.sigs.len() - 1) as u32
+        }
+    }
+}
+
+struct FuncCtx<'c> {
+    ctx: &'c Ctx,
+    locals: HashMap<String, (u32, Ty)>,
+    local_tys: Vec<HTy>,
+    ret: Option<Ty>,
+    loop_depth: u32,
+}
+
+/// Evaluates a constant integer expression (literals, consts, arithmetic).
+fn const_eval(e: &Expr, consts: &HashMap<String, i64>) -> TResult<i64> {
+    match &e.kind {
+        ExprKind::Int(v) => Ok(*v),
+        ExprKind::Var(name) => consts
+            .get(name)
+            .copied()
+            .ok_or(())
+            .or_else(|()| err(e.line, format!("`{name}` is not a constant"))),
+        ExprKind::Unary(UnOp::Neg, inner) => Ok(-const_eval(inner, consts)?),
+        ExprKind::Unary(UnOp::BitNot, inner) => Ok(!const_eval(inner, consts)?),
+        ExprKind::Binary(op, l, r) => {
+            let a = const_eval(l, consts)?;
+            let b = const_eval(r, consts)?;
+            Ok(match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                BinOp::Div => {
+                    if b == 0 {
+                        return err(e.line, "constant division by zero");
+                    }
+                    a / b
+                }
+                BinOp::Rem => {
+                    if b == 0 {
+                        return err(e.line, "constant modulo by zero");
+                    }
+                    a % b
+                }
+                BinOp::Shl => a.wrapping_shl(b as u32),
+                BinOp::Shr => a.wrapping_shr(b as u32),
+                BinOp::BitAnd => a & b,
+                BinOp::BitOr => a | b,
+                BinOp::BitXor => a ^ b,
+                _ => return err(e.line, "operator not allowed in constant expression"),
+            })
+        }
+        _ => err(e.line, "expression is not constant"),
+    }
+}
+
+fn elem_width(e: ElemTy) -> MemWidth {
+    match e.bytes() {
+        1 => MemWidth::W8,
+        2 => MemWidth::W16,
+        4 => MemWidth::W32,
+        _ => MemWidth::W64,
+    }
+}
+
+fn elem_signed(e: ElemTy) -> bool {
+    matches!(e, ElemTy::I8 | ElemTy::I16) || matches!(e, ElemTy::Full(t) if !t.is_unsigned())
+}
+
+/// Bit pattern of a literal of type `ty`.
+fn const_bits(ty: Ty, int: Option<i64>, float: Option<f64>) -> u64 {
+    match ty {
+        Ty::I32 | Ty::U32 => {
+            let v = int.unwrap_or_else(|| float.expect("value") as i64);
+            v as i32 as u32 as u64
+        }
+        Ty::I64 | Ty::U64 => {
+            let v = int.unwrap_or_else(|| float.expect("value") as i64);
+            v as u64
+        }
+        Ty::F32 => {
+            let v = float.unwrap_or_else(|| int.expect("value") as f64);
+            (v as f32).to_bits() as u64
+        }
+        Ty::F64 => {
+            let v = float.unwrap_or_else(|| int.expect("value") as f64);
+            v.to_bits()
+        }
+    }
+}
+
+impl<'c> FuncCtx<'c> {
+    fn lower_cond(&mut self, e: &Expr) -> TResult<HExpr> {
+        let (h, ty) = self.lower_expr(e, Some(Ty::I32))?;
+        if !matches!(ty, Ty::I32 | Ty::U32) {
+            return err(e.line, format!("condition must be i32, got {ty}"));
+        }
+        Ok(h)
+    }
+
+    /// Lowers an expression, optionally adapting literals to `expected`.
+    /// Returns the HIR expression and its source-level type.
+    fn lower_expr(&mut self, e: &Expr, expected: Option<Ty>) -> TResult<(HExpr, Ty)> {
+        let line = e.line;
+        match &e.kind {
+            ExprKind::Int(v) => {
+                let ty = expected.unwrap_or(Ty::I32);
+                Ok((
+                    HExpr::Const {
+                        ty: hty(ty),
+                        bits: const_bits(ty, Some(*v), None),
+                    },
+                    ty,
+                ))
+            }
+            ExprKind::Float(v) => {
+                let ty = match expected {
+                    Some(t @ (Ty::F32 | Ty::F64)) => t,
+                    _ => Ty::F64,
+                };
+                Ok((
+                    HExpr::Const {
+                        ty: hty(ty),
+                        bits: const_bits(ty, None, Some(*v)),
+                    },
+                    ty,
+                ))
+            }
+            ExprKind::Var(name) => {
+                if let Some((idx, ty)) = self.locals.get(name) {
+                    return Ok((
+                        HExpr::Local {
+                            idx: *idx,
+                            ty: hty(*ty),
+                        },
+                        *ty,
+                    ));
+                }
+                if let Some(&v) = self.ctx.consts.get(name) {
+                    let ty = expected.unwrap_or(Ty::I32);
+                    if !ty.is_int() {
+                        return Ok((
+                            HExpr::Const {
+                                ty: hty(ty),
+                                bits: const_bits(ty, Some(v), None),
+                            },
+                            ty,
+                        ));
+                    }
+                    return Ok((
+                        HExpr::Const {
+                            ty: hty(ty),
+                            bits: const_bits(ty, Some(v), None),
+                        },
+                        ty,
+                    ));
+                }
+                if let Some(g) = self.ctx.globals.get(name) {
+                    return Ok((
+                        HExpr::Load {
+                            ty: hty(g.ty),
+                            width: MemWidth::of(hty(g.ty)),
+                            signed: true,
+                            addr: Box::new(HExpr::Const {
+                                ty: HTy::I32,
+                                bits: g.addr,
+                            }),
+                        },
+                        g.ty,
+                    ));
+                }
+                if let Some(a) = self.ctx.arrays.get(name) {
+                    // Bare array name evaluates to its base address (like C
+                    // array decay) — useful for syscalls taking buffers.
+                    let _ = a;
+                    return Ok((
+                        HExpr::Const {
+                            ty: HTy::I32,
+                            bits: a.addr,
+                        },
+                        Ty::U32,
+                    ));
+                }
+                err(line, format!("unknown variable `{name}`"))
+            }
+            ExprKind::Unary(op, inner) => {
+                let (h, ty) = self.lower_expr(inner, expected)?;
+                match op {
+                    UnOp::Neg => Ok((
+                        HExpr::Unary {
+                            op: HUnOp::Neg,
+                            ty: hty(ty),
+                            arg: Box::new(h),
+                        },
+                        ty,
+                    )),
+                    UnOp::Not => {
+                        if !ty.is_int() {
+                            return err(line, "`!` requires an integer operand");
+                        }
+                        Ok((
+                            HExpr::Unary {
+                                op: HUnOp::Eqz,
+                                ty: hty(ty),
+                                arg: Box::new(h),
+                            },
+                            Ty::I32,
+                        ))
+                    }
+                    UnOp::BitNot => {
+                        if !ty.is_int() {
+                            return err(line, "`~` requires an integer operand");
+                        }
+                        Ok((
+                            HExpr::Unary {
+                                op: HUnOp::BitNot,
+                                ty: hty(ty),
+                                arg: Box::new(h),
+                            },
+                            ty,
+                        ))
+                    }
+                }
+            }
+            ExprKind::Binary(BinOp::LogAnd, l, r) | ExprKind::Binary(BinOp::LogOr, l, r) => {
+                let is_and = matches!(e.kind, ExprKind::Binary(BinOp::LogAnd, _, _));
+                let lh = self.lower_cond(l)?;
+                let rh = self.lower_cond(r)?;
+                Ok((
+                    HExpr::ShortCircuit {
+                        is_and,
+                        lhs: Box::new(lh),
+                        rhs: Box::new(rh),
+                    },
+                    Ty::I32,
+                ))
+            }
+            ExprKind::Binary(op, l, r) => {
+                // Literal operands adapt to the non-literal side.
+                let l_lit = matches!(l.kind, ExprKind::Int(_) | ExprKind::Float(_));
+                let r_lit = matches!(r.kind, ExprKind::Int(_) | ExprKind::Float(_));
+                let operand_expected = if op.is_comparison() { None } else { expected };
+                let (lh, rh, ty) = if l_lit && !r_lit {
+                    let (rh, rty) = self.lower_expr(r, operand_expected)?;
+                    let (lh, _) = self.lower_expr(l, Some(rty))?;
+                    (lh, rh, rty)
+                } else {
+                    let (lh, lty) = self.lower_expr(l, operand_expected)?;
+                    let (rh, rty) = self.lower_expr(r, Some(lty))?;
+                    if lty != rty {
+                        return err(
+                            line,
+                            format!("operand types differ: {lty} vs {rty} (insert a cast)"),
+                        );
+                    }
+                    (lh, rh, lty)
+                };
+                let unsigned = ty.is_unsigned();
+                let float = !ty.is_int();
+                let hop = match op {
+                    BinOp::Add => HBinOp::Add,
+                    BinOp::Sub => HBinOp::Sub,
+                    BinOp::Mul => HBinOp::Mul,
+                    BinOp::Div => {
+                        if float || !unsigned {
+                            HBinOp::DivS
+                        } else {
+                            HBinOp::DivU
+                        }
+                    }
+                    BinOp::Rem => {
+                        if float {
+                            return err(line, "`%` requires integer operands");
+                        } else if unsigned {
+                            HBinOp::RemU
+                        } else {
+                            HBinOp::RemS
+                        }
+                    }
+                    BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor | BinOp::Shl | BinOp::Shr
+                        if float =>
+                    {
+                        return err(line, "bitwise operators require integer operands");
+                    }
+                    BinOp::BitAnd => HBinOp::And,
+                    BinOp::BitOr => HBinOp::Or,
+                    BinOp::BitXor => HBinOp::Xor,
+                    BinOp::Shl => HBinOp::Shl,
+                    BinOp::Shr => {
+                        if unsigned {
+                            HBinOp::ShrU
+                        } else {
+                            HBinOp::ShrS
+                        }
+                    }
+                    BinOp::Eq => HBinOp::Eq,
+                    BinOp::Ne => HBinOp::Ne,
+                    BinOp::Lt => {
+                        if float || !unsigned {
+                            HBinOp::LtS
+                        } else {
+                            HBinOp::LtU
+                        }
+                    }
+                    BinOp::Le => {
+                        if float || !unsigned {
+                            HBinOp::LeS
+                        } else {
+                            HBinOp::LeU
+                        }
+                    }
+                    BinOp::Gt => {
+                        if float || !unsigned {
+                            HBinOp::GtS
+                        } else {
+                            HBinOp::GtU
+                        }
+                    }
+                    BinOp::Ge => {
+                        if float || !unsigned {
+                            HBinOp::GeS
+                        } else {
+                            HBinOp::GeU
+                        }
+                    }
+                    BinOp::LogAnd | BinOp::LogOr => unreachable!("handled above"),
+                };
+                let result_ty = if hop.is_cmp() { Ty::I32 } else { ty };
+                Ok((
+                    HExpr::Binary {
+                        op: hop,
+                        ty: hty(ty),
+                        lhs: Box::new(lh),
+                        rhs: Box::new(rh),
+                    },
+                    result_ty,
+                ))
+            }
+            ExprKind::Index(name, idx) => {
+                let a = self
+                    .ctx
+                    .arrays
+                    .get(name)
+                    .ok_or(())
+                    .or_else(|()| err(line, format!("unknown array `{name}`")))?;
+                let (addr, _) = self.element_addr(a, idx)?;
+                Ok((
+                    HExpr::Load {
+                        ty: hty(a.elem.load_ty()),
+                        width: elem_width(a.elem),
+                        signed: elem_signed(a.elem),
+                        addr: Box::new(addr),
+                    },
+                    a.elem.load_ty(),
+                ))
+            }
+            ExprKind::Call(name, args) => {
+                let f = self
+                    .ctx
+                    .funcs
+                    .get(name)
+                    .ok_or(())
+                    .or_else(|()| err(line, format!("unknown function `{name}`")))?;
+                if args.len() != f.params.len() {
+                    return err(
+                        line,
+                        format!(
+                            "`{name}` takes {} arguments, {} given",
+                            f.params.len(),
+                            args.len()
+                        ),
+                    );
+                }
+                let params = f.params.clone();
+                let (idx, ret) = (f.idx, f.ret);
+                let mut hargs = Vec::with_capacity(args.len());
+                for (a, p) in args.iter().zip(params.iter()) {
+                    let (h, ty) = self.lower_expr(a, Some(*p))?;
+                    if ty != *p {
+                        return err(a.line, format!("argument type {ty}, expected {p}"));
+                    }
+                    hargs.push(h);
+                }
+                let ret_ty = ret;
+                if ret_ty.is_none() && expected.is_some() {
+                    return err(line, format!("`{name}` returns no value"));
+                }
+                Ok((
+                    HExpr::Call {
+                        func: idx,
+                        ret: ret_ty.map(hty),
+                        args: hargs,
+                    },
+                    ret_ty.unwrap_or(Ty::I32),
+                ))
+            }
+            ExprKind::IndirectCall(tname, idx, args) => {
+                let t = self
+                    .ctx
+                    .tables
+                    .get(tname)
+                    .ok_or(())
+                    .or_else(|()| err(line, format!("unknown table `{tname}`")))?;
+                if args.len() != t.params.len() {
+                    return err(
+                        line,
+                        format!(
+                            "table `{tname}` functions take {} arguments, {} given",
+                            t.params.len(),
+                            args.len()
+                        ),
+                    );
+                }
+                let (base, sig_idx, params, ret) =
+                    (t.base, t.sig_idx, t.params.clone(), t.ret);
+                let (ih, ity) = self.lower_expr(idx, Some(Ty::I32))?;
+                if !matches!(ity, Ty::I32 | Ty::U32) {
+                    return err(line, "table index must be i32");
+                }
+                let mut hargs = Vec::with_capacity(args.len());
+                for (a, p) in args.iter().zip(params.iter()) {
+                    let (h, ty) = self.lower_expr(a, Some(*p))?;
+                    if ty != *p {
+                        return err(a.line, format!("argument type {ty}, expected {p}"));
+                    }
+                    hargs.push(h);
+                }
+                Ok((
+                    HExpr::CallIndirect {
+                        sig: sig_idx,
+                        table_base: base,
+                        index: Box::new(ih),
+                        ret: ret.map(hty),
+                        args: hargs,
+                    },
+                    ret.unwrap_or(Ty::I32),
+                ))
+            }
+            ExprKind::Cast(to, inner) => {
+                let (h, from) = self.lower_expr(inner, None)?;
+                if from == *to {
+                    return Ok((h, *to));
+                }
+                let (hf, ht) = (hty(from), hty(*to));
+                if hf == ht {
+                    // Same machine type (sign reinterpret): no-op.
+                    return Ok((h, *to));
+                }
+                let signed = if from.is_int() && to.is_int() {
+                    !from.is_unsigned()
+                } else if from.is_int() {
+                    !from.is_unsigned()
+                } else if to.is_int() {
+                    !to.is_unsigned()
+                } else {
+                    true
+                };
+                Ok((
+                    HExpr::Cast {
+                        from: hf,
+                        to: ht,
+                        signed,
+                        arg: Box::new(h),
+                    },
+                    *to,
+                ))
+            }
+            ExprKind::Intrinsic(i, args) => self.lower_intrinsic(*i, args, line, expected),
+            ExprKind::Syscall(args) => {
+                let mut hargs = Vec::with_capacity(args.len());
+                for a in args {
+                    let (h, ty) = self.lower_expr(a, Some(Ty::I32))?;
+                    if !matches!(ty, Ty::I32 | Ty::U32) {
+                        return err(a.line, format!("syscall arguments must be i32, got {ty}"));
+                    }
+                    hargs.push(h);
+                }
+                Ok((HExpr::Syscall { args: hargs }, Ty::I32))
+            }
+        }
+    }
+
+    fn lower_intrinsic(
+        &mut self,
+        i: Intrinsic,
+        args: &[Expr],
+        line: u32,
+        expected: Option<Ty>,
+    ) -> TResult<(HExpr, Ty)> {
+        let arity = match i {
+            Intrinsic::Min | Intrinsic::Max | Intrinsic::Rotl | Intrinsic::Rotr => 2,
+            _ => 1,
+        };
+        if args.len() != arity {
+            return err(line, format!("intrinsic takes {arity} argument(s)"));
+        }
+        match i {
+            Intrinsic::Sqrt
+            | Intrinsic::Abs
+            | Intrinsic::Floor
+            | Intrinsic::Ceil
+            | Intrinsic::Trunc
+            | Intrinsic::Nearest => {
+                let want = match expected {
+                    Some(t @ (Ty::F32 | Ty::F64)) => Some(t),
+                    _ => Some(Ty::F64),
+                };
+                let (h, ty) = self.lower_expr(&args[0], want)?;
+                if ty.is_int() {
+                    return err(line, "float intrinsic requires a float argument");
+                }
+                let op = match i {
+                    Intrinsic::Sqrt => HUnOp::Sqrt,
+                    Intrinsic::Abs => HUnOp::Abs,
+                    Intrinsic::Floor => HUnOp::Floor,
+                    Intrinsic::Ceil => HUnOp::Ceil,
+                    Intrinsic::Trunc => HUnOp::TruncF,
+                    _ => HUnOp::Nearest,
+                };
+                Ok((
+                    HExpr::Unary {
+                        op,
+                        ty: hty(ty),
+                        arg: Box::new(h),
+                    },
+                    ty,
+                ))
+            }
+            Intrinsic::Min | Intrinsic::Max => {
+                let (lh, lty) = self.lower_expr(&args[0], expected)?;
+                let (rh, rty) = self.lower_expr(&args[1], Some(lty))?;
+                if lty != rty {
+                    return err(line, format!("min/max operand types differ: {lty} vs {rty}"));
+                }
+                if lty.is_int() {
+                    return err(line, "min/max require float arguments");
+                }
+                Ok((
+                    HExpr::Binary {
+                        op: if i == Intrinsic::Min {
+                            HBinOp::FMin
+                        } else {
+                            HBinOp::FMax
+                        },
+                        ty: hty(lty),
+                        lhs: Box::new(lh),
+                        rhs: Box::new(rh),
+                    },
+                    lty,
+                ))
+            }
+            Intrinsic::Clz | Intrinsic::Ctz | Intrinsic::Popcnt => {
+                let (h, ty) = self.lower_expr(&args[0], expected)?;
+                if !ty.is_int() {
+                    return err(line, "bit intrinsics require integer arguments");
+                }
+                let op = match i {
+                    Intrinsic::Clz => HUnOp::Clz,
+                    Intrinsic::Ctz => HUnOp::Ctz,
+                    _ => HUnOp::Popcnt,
+                };
+                Ok((
+                    HExpr::Unary {
+                        op,
+                        ty: hty(ty),
+                        arg: Box::new(h),
+                    },
+                    ty,
+                ))
+            }
+            Intrinsic::Rotl | Intrinsic::Rotr => {
+                let (lh, lty) = self.lower_expr(&args[0], expected)?;
+                let (rh, rty) = self.lower_expr(&args[1], Some(lty))?;
+                if !lty.is_int() || lty != rty {
+                    return err(line, "rotl/rotr require matching integer arguments");
+                }
+                Ok((
+                    HExpr::Binary {
+                        op: if i == Intrinsic::Rotl {
+                            HBinOp::Rotl
+                        } else {
+                            HBinOp::Rotr
+                        },
+                        ty: hty(lty),
+                        lhs: Box::new(lh),
+                        rhs: Box::new(rh),
+                    },
+                    lty,
+                ))
+            }
+        }
+    }
+
+    /// Builds the byte-address expression for `array[index]`, in the
+    /// canonical `base + index*scale` shape backends pattern-match.
+    fn element_addr(&mut self, a: &ArrayInfo, idx: &Expr) -> TResult<(HExpr, ElemTy)> {
+        let elem = a.elem;
+        let base = a.addr;
+        let (ih, ity) = self.lower_expr(idx, Some(Ty::I32))?;
+        if !matches!(ity, Ty::I32 | Ty::U32) {
+            return err(idx.line, format!("array index must be i32, got {ity}"));
+        }
+        let scaled = if elem.bytes() == 1 {
+            ih
+        } else {
+            HExpr::Binary {
+                op: HBinOp::Mul,
+                ty: HTy::I32,
+                lhs: Box::new(ih),
+                rhs: Box::new(HExpr::Const {
+                    ty: HTy::I32,
+                    bits: elem.bytes() as u64,
+                }),
+            }
+        };
+        let addr = HExpr::Binary {
+            op: HBinOp::Add,
+            ty: HTy::I32,
+            lhs: Box::new(scaled),
+            rhs: Box::new(HExpr::Const {
+                ty: HTy::I32,
+                bits: base,
+            }),
+        };
+        Ok((addr, elem))
+    }
+
+    fn lower_stmts(&mut self, stmts: &[Stmt], out: &mut Vec<HStmt>) -> TResult<()> {
+        for s in stmts {
+            self.lower_stmt(s, out)?;
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt, out: &mut Vec<HStmt>) -> TResult<()> {
+        match s {
+            Stmt::Var {
+                name,
+                ty,
+                init,
+                line,
+            } => {
+                if self.locals.contains_key(name) {
+                    return err(*line, format!("duplicate local `{name}`"));
+                }
+                let idx = self.local_tys.len() as u32;
+                self.local_tys.push(hty(*ty));
+                self.locals.insert(name.clone(), (idx, *ty));
+                if let Some(e) = init {
+                    let (h, ety) = self.lower_expr(e, Some(*ty))?;
+                    if ety != *ty {
+                        return err(
+                            *line,
+                            format!("initializer has type {ety}, expected {ty}"),
+                        );
+                    }
+                    out.push(HStmt::SetLocal { idx, value: h });
+                }
+                Ok(())
+            }
+            Stmt::Assign { name, value, line } => {
+                if let Some((idx, ty)) = self.locals.get(name).copied() {
+                    let (h, ety) = self.lower_expr(value, Some(ty))?;
+                    if ety != ty {
+                        return err(*line, format!("assigning {ety} to {ty} local"));
+                    }
+                    out.push(HStmt::SetLocal { idx, value: h });
+                    return Ok(());
+                }
+                if let Some(g) = self.ctx.globals.get(name) {
+                    let (addr, ty) = (g.addr, g.ty);
+                    let (h, ety) = self.lower_expr(value, Some(ty))?;
+                    if ety != ty {
+                        return err(*line, format!("assigning {ety} to {ty} global"));
+                    }
+                    out.push(HStmt::Store {
+                        ty: hty(ty),
+                        width: MemWidth::of(hty(ty)),
+                        addr: HExpr::Const {
+                            ty: HTy::I32,
+                            bits: addr,
+                        },
+                        value: h,
+                    });
+                    return Ok(());
+                }
+                err(*line, format!("unknown variable `{name}`"))
+            }
+            Stmt::StoreIndex {
+                array,
+                index,
+                value,
+                line,
+            } => {
+                let a = self
+                    .ctx
+                    .arrays
+                    .get(array)
+                    .ok_or(())
+                    .or_else(|()| err(*line, format!("unknown array `{array}`")))?;
+                let info = ArrayInfo {
+                    addr: a.addr,
+                    elem: a.elem,
+                    len: a.len,
+                };
+                let (addr, elem) = self.element_addr(&info, index)?;
+                let want = elem.load_ty();
+                let (h, ety) = self.lower_expr(value, Some(want))?;
+                if ety != want && hty(ety) != hty(want) {
+                    return err(*line, format!("storing {ety} into {} array", elem));
+                }
+                out.push(HStmt::Store {
+                    ty: hty(want),
+                    width: elem_width(elem),
+                    addr,
+                    value: h,
+                });
+                Ok(())
+            }
+            Stmt::If(cond, then_s, else_s) => {
+                // The parser's `for` desugar wraps in `if (1) ...`.
+                if matches!(cond.kind, ExprKind::Int(1)) && else_s.is_empty() {
+                    return self.lower_stmts(then_s, out);
+                }
+                let c = self.lower_cond(cond)?;
+                let mut t = Vec::new();
+                self.lower_stmts(then_s, &mut t)?;
+                let mut e2 = Vec::new();
+                self.lower_stmts(else_s, &mut e2)?;
+                out.push(HStmt::If {
+                    cond: c,
+                    then_body: t,
+                    else_body: e2,
+                });
+                Ok(())
+            }
+            Stmt::While(cond, body) => {
+                let c = self.lower_cond(cond)?;
+                self.loop_depth += 1;
+                let mut b = Vec::new();
+                self.lower_stmts(body, &mut b)?;
+                self.loop_depth -= 1;
+                out.push(HStmt::While { cond: c, body: b });
+                Ok(())
+            }
+            Stmt::DoWhile(body, cond) => {
+                self.loop_depth += 1;
+                let mut b = Vec::new();
+                self.lower_stmts(body, &mut b)?;
+                self.loop_depth -= 1;
+                let c = self.lower_cond(cond)?;
+                out.push(HStmt::DoWhile { body: b, cond: c });
+                Ok(())
+            }
+            Stmt::Break(line) => {
+                if self.loop_depth == 0 {
+                    return err(*line, "`break` outside a loop");
+                }
+                out.push(HStmt::Break);
+                Ok(())
+            }
+            Stmt::Continue(line) => {
+                if self.loop_depth == 0 {
+                    return err(*line, "`continue` outside a loop");
+                }
+                out.push(HStmt::Continue);
+                Ok(())
+            }
+            Stmt::Return(val, line) => {
+                match (val, self.ret) {
+                    (None, None) => out.push(HStmt::Return(None)),
+                    (Some(e), Some(want)) => {
+                        let (h, ty) = self.lower_expr(e, Some(want))?;
+                        if ty != want && hty(ty) != hty(want) {
+                            return err(*line, format!("returning {ty}, expected {want}"));
+                        }
+                        out.push(HStmt::Return(Some(h)));
+                    }
+                    (None, Some(t)) => return err(*line, format!("must return a {t}")),
+                    (Some(_), None) => return err(*line, "void function returns a value"),
+                }
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                let (h, _) = self.lower_expr(e, None)?;
+                out.push(HStmt::Expr(h));
+                Ok(())
+            }
+        }
+    }
+}
+
+impl BinOp {
+    fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// Checks whether a statement list definitely returns on all paths.
+fn always_returns(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Return(..) => true,
+        Stmt::If(_, t, e) => !e.is_empty() && always_returns(t) && always_returns(e),
+        _ => false,
+    })
+}
+
+/// Type-checks and lowers a parsed program.
+pub fn lower(p: &Program) -> Result<HProgram, TypeError> {
+    let mut ctx = Ctx {
+        consts: HashMap::new(),
+        globals: HashMap::new(),
+        arrays: HashMap::new(),
+        funcs: HashMap::new(),
+        tables: HashMap::new(),
+        sigs: Vec::new(),
+    };
+
+    for c in &p.consts {
+        let v = const_eval(&c.value, &ctx.consts)?;
+        if ctx.consts.insert(c.name.clone(), v).is_some() {
+            return err(0, format!("duplicate const `{}`", c.name));
+        }
+    }
+
+    // Layout: globals then arrays, starting at GLOBAL_BASE.
+    let mut addr = GLOBAL_BASE;
+    let mut objects = Vec::new();
+    let mut data: Vec<(u64, Vec<u8>)> = Vec::new();
+
+    for g in &p.globals {
+        if ctx.globals.contains_key(&g.name) {
+            return err(0, format!("duplicate global `{}`", g.name));
+        }
+        ctx.globals.insert(
+            g.name.clone(),
+            GlobalInfo {
+                addr,
+                ty: g.ty,
+            },
+        );
+        if let Some(init) = &g.init {
+            let bits = match init.kind {
+                ExprKind::Float(f) => const_bits(g.ty, None, Some(f)),
+                _ => const_bits(g.ty, Some(const_eval(init, &ctx.consts)?), None),
+            };
+            let bytes = if g.ty.is_wide() {
+                bits.to_le_bytes().to_vec()
+            } else {
+                (bits as u32).to_le_bytes().to_vec()
+            };
+            if bytes.iter().any(|&b| b != 0) {
+                data.push((addr, bytes));
+            }
+        }
+        objects.push(MemObject {
+            name: g.name.clone(),
+            addr,
+            size: 8,
+            elem: ElemTy::Full(g.ty),
+        });
+        addr += 8;
+    }
+
+    for a in &p.arrays {
+        if ctx.arrays.contains_key(&a.name) {
+            return err(a.line, format!("duplicate array `{}`", a.name));
+        }
+        addr = (addr + 15) & !15;
+        let (len, init_bytes): (u64, Option<Vec<u8>>) = match &a.init {
+            ArrayInit::Size(e) => {
+                let n = const_eval(e, &ctx.consts)?;
+                if n <= 0 {
+                    return err(a.line, format!("array `{}` has non-positive size", a.name));
+                }
+                (n as u64, None)
+            }
+            ArrayInit::List(items) => {
+                let mut bytes = Vec::new();
+                for item in items {
+                    match a.elem {
+                        ElemTy::Full(Ty::F32) => {
+                            let v = match item.kind {
+                                ExprKind::Float(f) => f,
+                                _ => const_eval(item, &ctx.consts)? as f64,
+                            };
+                            bytes.extend_from_slice(&(v as f32).to_le_bytes());
+                        }
+                        ElemTy::Full(Ty::F64) => {
+                            let v = match item.kind {
+                                ExprKind::Float(f) => f,
+                                _ => const_eval(item, &ctx.consts)? as f64,
+                            };
+                            bytes.extend_from_slice(&v.to_le_bytes());
+                        }
+                        _ => {
+                            let v = const_eval(item, &ctx.consts)?;
+                            let n = a.elem.bytes() as usize;
+                            bytes.extend_from_slice(&v.to_le_bytes()[..n]);
+                        }
+                    }
+                }
+                (items.len() as u64, Some(bytes))
+            }
+            ArrayInit::Str(s) => {
+                if a.elem.bytes() != 1 {
+                    return err(a.line, "string initializer requires a byte array");
+                }
+                (s.len() as u64, Some(s.clone()))
+            }
+        };
+        let size = len * a.elem.bytes() as u64;
+        if let Some(bytes) = init_bytes {
+            data.push((addr, bytes));
+        }
+        ctx.arrays.insert(
+            a.name.clone(),
+            ArrayInfo {
+                addr,
+                elem: a.elem,
+                len,
+            },
+        );
+        objects.push(MemObject {
+            name: a.name.clone(),
+            addr,
+            size,
+            elem: a.elem,
+        });
+        addr += size;
+    }
+
+    // Function indices and signatures.
+    for (i, f) in p.funcs.iter().enumerate() {
+        if ctx.funcs.contains_key(&f.name) {
+            return err(f.line, format!("duplicate function `{}`", f.name));
+        }
+        ctx.funcs.insert(
+            f.name.clone(),
+            FuncInfo {
+                idx: i as u32,
+                params: f.params.iter().map(|(_, t)| *t).collect(),
+                ret: f.ret,
+            },
+        );
+    }
+
+    // Merge tables, checking signature uniformity.
+    let mut merged_table: Vec<u32> = Vec::new();
+    for t in &p.tables {
+        if ctx.tables.contains_key(&t.name) {
+            return err(t.line, format!("duplicate table `{}`", t.name));
+        }
+        if t.funcs.is_empty() {
+            return err(t.line, format!("table `{}` is empty", t.name));
+        }
+        let base = merged_table.len() as u32;
+        let mut sig: Option<(Vec<Ty>, Option<Ty>)> = None;
+        for fname in &t.funcs {
+            let f = ctx
+                .funcs
+                .get(fname)
+                .ok_or(())
+                .or_else(|()| err(t.line, format!("table references unknown `{fname}`")))?;
+            match &sig {
+                None => sig = Some((f.params.clone(), f.ret)),
+                Some((params, ret)) => {
+                    if *params != f.params || *ret != f.ret {
+                        return err(
+                            t.line,
+                            format!("table `{}` members have mixed signatures", t.name),
+                        );
+                    }
+                }
+            }
+            merged_table.push(f.idx);
+        }
+        let (params, ret) = sig.expect("non-empty table");
+        let hsig = HSig {
+            params: params.iter().map(|t| hty(*t)).collect(),
+            ret: ret.map(hty),
+        };
+        let sig_idx = ctx.intern_sig(hsig);
+        ctx.tables.insert(
+            t.name.clone(),
+            TableInfo {
+                base,
+                sig_idx,
+                params,
+                ret,
+                len: t.funcs.len() as u32,
+            },
+        );
+    }
+
+    // Intern every function's signature too (call_indirect type checks
+    // compare against these).
+    let mut func_sigs = Vec::with_capacity(p.funcs.len());
+    for f in &p.funcs {
+        let hsig = HSig {
+            params: f.params.iter().map(|(_, t)| hty(*t)).collect(),
+            ret: f.ret.map(hty),
+        };
+        func_sigs.push(ctx.intern_sig(hsig));
+    }
+
+    // Lower function bodies.
+    let mut funcs = Vec::with_capacity(p.funcs.len());
+    for f in &p.funcs {
+        let mut fcx = FuncCtx {
+            ctx: &ctx,
+            locals: HashMap::new(),
+            local_tys: Vec::new(),
+            ret: f.ret,
+            loop_depth: 0,
+        };
+        for (i, (name, ty)) in f.params.iter().enumerate() {
+            if fcx.locals.insert(name.clone(), (i as u32, *ty)).is_some() {
+                return err(f.line, format!("duplicate parameter `{name}`"));
+            }
+            fcx.local_tys.push(hty(*ty));
+        }
+        let mut body = Vec::new();
+        fcx.lower_stmts(&f.body, &mut body)?;
+        if f.ret.is_some() && !always_returns(&f.body) {
+            return err(
+                f.line,
+                format!("function `{}` may fall off the end without returning", f.name),
+            );
+        }
+        funcs.push(HFunc {
+            name: f.name.clone(),
+            n_params: f.params.len() as u32,
+            locals: fcx.local_tys,
+            ret: f.ret.map(hty),
+            body,
+        });
+    }
+
+    // Memory size: data end plus heap slack, rounded to 64 KiB pages.
+    let mem = (addr + 0x20000 + 0xffff) & !0xffff;
+
+    // The table-info `len` field exists for future bounds diagnostics.
+    let _ = ctx.tables.values().map(|t| t.len).sum::<u32>();
+
+    Ok(HProgram {
+        funcs,
+        sigs: ctx.sigs,
+        func_sigs,
+        table: merged_table,
+        memory_size: mem,
+        data,
+        objects,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn lower_src(src: &str) -> Result<HProgram, TypeError> {
+        lower(&parse(src).expect("parses"))
+    }
+
+    #[test]
+    fn lowers_minimal() {
+        let h = lower_src("fn main() -> i32 { return 42; }").unwrap();
+        assert_eq!(h.funcs.len(), 1);
+        assert_eq!(h.funcs[0].ret, Some(HTy::I32));
+        assert!(matches!(h.funcs[0].body[0], HStmt::Return(Some(_))));
+    }
+
+    #[test]
+    fn signedness_resolved() {
+        let h = lower_src(
+            "fn f(a: u32, b: u32, c: i32, d: i32) -> i32 {
+                var x: u32 = a / b;
+                var y: i32 = c / d;
+                return i32(x) + y;
+            }",
+        )
+        .unwrap();
+        let body = &h.funcs[0].body;
+        let HStmt::SetLocal { value: HExpr::Binary { op: op1, .. }, .. } = &body[0] else {
+            panic!("{body:?}");
+        };
+        let HStmt::SetLocal { value: HExpr::Binary { op: op2, .. }, .. } = &body[1] else {
+            panic!();
+        };
+        assert_eq!(*op1, HBinOp::DivU);
+        assert_eq!(*op2, HBinOp::DivS);
+    }
+
+    #[test]
+    fn literal_adapts_to_context() {
+        let h = lower_src("fn f() -> i64 { var x: i64 = 5; return x + 1; }").unwrap();
+        let HStmt::SetLocal { value: HExpr::Const { ty, .. }, .. } = &h.funcs[0].body[0]
+        else {
+            panic!();
+        };
+        assert_eq!(*ty, HTy::I64);
+    }
+
+    #[test]
+    fn mixed_types_require_cast() {
+        let e = lower_src("fn f(a: i32, b: i64) -> i32 { return a + b; }").unwrap_err();
+        assert!(e.msg.contains("differ"), "{e}");
+        assert!(lower_src("fn f(a: i32, b: i64) -> i32 { return a + i32(b); }").is_ok());
+    }
+
+    #[test]
+    fn globals_become_memory_accesses() {
+        let h = lower_src(
+            "global i32 g = 7;
+             fn f() -> i32 { g = g + 1; return g; }",
+        )
+        .unwrap();
+        let obj = h.object("g").unwrap();
+        assert_eq!(obj.addr, GLOBAL_BASE);
+        // Initializer became a data segment.
+        assert_eq!(h.data[0].0, GLOBAL_BASE);
+        assert_eq!(&h.data[0].1[..4], &7u32.to_le_bytes());
+        let HStmt::Store { addr: HExpr::Const { bits, .. }, .. } = &h.funcs[0].body[0] else {
+            panic!();
+        };
+        assert_eq!(*bits, GLOBAL_BASE);
+    }
+
+    #[test]
+    fn array_layout_and_indexing() {
+        let h = lower_src(
+            "const N = 10;
+             array i32 A[N];
+             array f64 B[4];
+             fn f(i: i32) -> i32 { A[i] = 3; return A[i + 1]; }",
+        )
+        .unwrap();
+        let a = h.object("A").unwrap();
+        let b = h.object("B").unwrap();
+        assert_eq!(a.size, 40);
+        assert_eq!(b.size, 32);
+        assert!(b.addr >= a.addr + 40);
+        assert_eq!(a.addr % 16, 0);
+        // Store lowers to addr = i*4 + base.
+        let HStmt::Store { addr, .. } = &h.funcs[0].body[0] else {
+            panic!();
+        };
+        let HExpr::Binary { op: HBinOp::Add, lhs, rhs, .. } = addr else {
+            panic!("{addr:?}");
+        };
+        assert!(matches!(**lhs, HExpr::Binary { op: HBinOp::Mul, .. }));
+        assert!(matches!(**rhs, HExpr::Const { bits, .. } if bits == a.addr));
+    }
+
+    #[test]
+    fn byte_arrays_use_subword_access() {
+        let h = lower_src(
+            "array u8 buf[16];
+             array i16 s[4];
+             fn f() -> i32 { buf[0] = 255; s[1] = -2; return buf[0] + s[1]; }",
+        )
+        .unwrap();
+        let HStmt::Store { width, .. } = &h.funcs[0].body[0] else {
+            panic!();
+        };
+        assert_eq!(*width, MemWidth::W8);
+        let HStmt::Return(Some(HExpr::Binary { lhs, rhs, .. })) = &h.funcs[0].body[2] else {
+            panic!();
+        };
+        assert!(
+            matches!(**lhs, HExpr::Load { width: MemWidth::W8, signed: false, .. }),
+            "{lhs:?}"
+        );
+        assert!(
+            matches!(**rhs, HExpr::Load { width: MemWidth::W16, signed: true, .. }),
+            "{rhs:?}"
+        );
+    }
+
+    #[test]
+    fn tables_merge_and_share_signature() {
+        let h = lower_src(
+            "table a = [f, g];
+             table b = [g];
+             fn f(x: i32) -> i32 { return x; }
+             fn g(x: i32) -> i32 { return x + 1; }
+             fn main() -> i32 { return a[0](1) + b[0](2); }",
+        )
+        .unwrap();
+        assert_eq!(h.table, vec![0, 1, 1]);
+        // Second indirect call uses table_base 2.
+        let HStmt::Return(Some(HExpr::Binary { rhs, .. })) = &h.funcs[2].body[0] else {
+            panic!();
+        };
+        assert!(matches!(
+            **rhs,
+            HExpr::CallIndirect { table_base: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn mixed_signature_table_rejected() {
+        let e = lower_src(
+            "table t = [f, g];
+             fn f(x: i32) -> i32 { return x; }
+             fn g(x: f64) -> i32 { return 0; }",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("mixed signatures"), "{e}");
+    }
+
+    #[test]
+    fn break_outside_loop_rejected() {
+        let e = lower_src("fn f() { break; }").unwrap_err();
+        assert!(e.msg.contains("outside a loop"), "{e}");
+    }
+
+    #[test]
+    fn missing_return_rejected() {
+        let e = lower_src("fn f(c: i32) -> i32 { if (c) { return 1; } }").unwrap_err();
+        assert!(e.msg.contains("fall off"), "{e}");
+        assert!(lower_src(
+            "fn f(c: i32) -> i32 { if (c) { return 1; } else { return 2; } }"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn const_arithmetic() {
+        let h = lower_src(
+            "const A = 4;
+             const B = A * 8 + 2;
+             array u8 buf[B];
+             fn main() -> i32 { return B; }",
+        )
+        .unwrap();
+        assert_eq!(h.object("buf").unwrap().size, 34);
+        let HStmt::Return(Some(HExpr::Const { bits, .. })) = &h.funcs[0].body[0] else {
+            panic!();
+        };
+        assert_eq!(*bits, 34);
+    }
+
+    #[test]
+    fn for_desugar_inlines() {
+        let h = lower_src(
+            "fn f() -> i32 {
+                var s: i32 = 0;
+                var i: i32 = 0;
+                for (i = 0; i < 10; i += 1) { s += i; }
+                return s;
+            }",
+        )
+        .unwrap();
+        // var, i=0 (decl init), i=0 (for init), while, return.
+        assert!(h.funcs[0]
+            .body
+            .iter()
+            .any(|s| matches!(s, HStmt::While { .. })));
+    }
+
+    #[test]
+    fn array_decay_to_base_address() {
+        let h = lower_src(
+            "array u8 buf[64];
+             fn f() -> i32 { return syscall(4, 1, buf, 64); }",
+        )
+        .unwrap();
+        let buf_addr = h.object("buf").unwrap().addr;
+        let HStmt::Return(Some(HExpr::Syscall { args })) = &h.funcs[0].body[0] else {
+            panic!();
+        };
+        assert!(matches!(args[2], HExpr::Const { bits, .. } if bits == buf_addr));
+    }
+
+    #[test]
+    fn string_array_initializer() {
+        let h = lower_src(
+            "array u8 msg = \"hey\";
+             fn main() -> i32 { return msg[1]; }",
+        )
+        .unwrap();
+        let m = h.object("msg").unwrap();
+        assert_eq!(m.size, 3);
+        assert!(h.data.iter().any(|(a, b)| *a == m.addr && b == b"hey"));
+    }
+
+    #[test]
+    fn memory_size_covers_layout() {
+        let h = lower_src("array f64 big[100000]; fn main() -> i32 { return 0; }").unwrap();
+        let b = h.object("big").unwrap();
+        assert!(h.memory_size >= b.addr + b.size);
+        assert_eq!(h.memory_size % 0x10000, 0);
+    }
+
+    #[test]
+    fn void_function_in_expression_rejected() {
+        let e = lower_src(
+            "fn v() { }
+             fn f() -> i32 { return v() + 1; }",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("returns no value"), "{e}");
+    }
+
+    #[test]
+    fn short_circuit_lowering() {
+        let h = lower_src("fn f(a: i32, b: i32) -> i32 { return a && b || 1; }").unwrap();
+        let HStmt::Return(Some(HExpr::ShortCircuit { is_and: false, lhs, .. })) =
+            &h.funcs[0].body[0]
+        else {
+            panic!();
+        };
+        assert!(matches!(**lhs, HExpr::ShortCircuit { is_and: true, .. }));
+    }
+}

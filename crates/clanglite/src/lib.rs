@@ -1,0 +1,1829 @@
+//! clanglite: the Clang-analog ahead-of-time native compiler.
+//!
+//! Compiles CLite HIR to simulated x86-64 with the code-generation
+//! properties the paper credits for native code's advantage (§5, §6):
+//!
+//! - **graph-coloring register allocation** over the full register pool
+//!   (`wasmperf-regalloc`'s coloring allocator with the native profile);
+//! - **addressing-mode selection**: array accesses compile to
+//!   `[base + index*scale + disp]` operands, loads fuse into ALU operands
+//!   (`add eax, [rdi + rcx*4 + 4400]`), and read-modify-write statements
+//!   fuse into memory-destination ALU ops (`add [mem], ebx` — Figure 7b
+//!   line 14);
+//! - **loop inversion**: one conditional branch per iteration, testing at
+//!   the bottom (Figure 7b);
+//! - **loop unrolling** of small innermost loop bodies (the `-O2` habit
+//!   that trades code size for branch reduction — the mechanism behind the
+//!   paper's 429.mcf I-cache anomaly, where native code outgrows L1i);
+//! - constant folding and local two-address reuse (`i = i + 1` compiles to
+//!   a single `add` on the local's register);
+//! - **no dynamic safety checks**: no stack-overflow probes, no
+//!   indirect-call signature checks.
+//!
+//! Compilation is deliberately the *slow, thorough* pipeline (Table 2 of
+//! the paper contrasts Clang's compile time against the JITs').
+
+use wasmperf_cir::hir::{HBinOp, HExpr, HFunc, HProgram, HStmt, HTy, HUnOp, MemWidth};
+use wasmperf_isa::{AluOp, Cc, FPrec, Module, RoundMode, Width};
+use wasmperf_regalloc::lir::{FLoc, FOpnd, LBlock};
+use wasmperf_regalloc::{
+    allocate_coloring, emit_function, AllocProfile, Arg, BlockId, LFunc, LInst, LMem, Loc, Opnd,
+    RetVal, VClass,
+};
+
+/// Compilation options (each is an ablation knob; see DESIGN.md §4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileOptions {
+    /// Fold loads into ALU memory operands and RMW stores into
+    /// memory-destination ALU ops.
+    pub fuse_addressing: bool,
+    /// Invert loops (bottom-tested, one branch per iteration).
+    pub invert_loops: bool,
+    /// Unroll small innermost loops.
+    pub unroll: bool,
+    /// Unroll factor.
+    pub unroll_factor: usize,
+    /// Maximum HIR node count of a body eligible for unrolling.
+    pub unroll_max_body: usize,
+    /// Fold constant expressions.
+    pub fold_constants: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            fuse_addressing: true,
+            invert_loops: true,
+            unroll: true,
+            unroll_factor: 2,
+            unroll_max_body: 40,
+            fold_constants: true,
+        }
+    }
+}
+
+fn width(ty: HTy) -> Width {
+    match ty {
+        HTy::I32 => Width::W32,
+        HTy::I64 => Width::W64,
+        HTy::F32 => Width::W32,
+        HTy::F64 => Width::W64,
+    }
+}
+
+fn prec(ty: HTy) -> FPrec {
+    match ty {
+        HTy::F32 => FPrec::F32,
+        _ => FPrec::F64,
+    }
+}
+
+fn mw(w: MemWidth) -> Width {
+    match w {
+        MemWidth::W8 => Width::W8,
+        MemWidth::W16 => Width::W16,
+        MemWidth::W32 => Width::W32,
+        MemWidth::W64 => Width::W64,
+    }
+}
+
+/// Condition code for an integer comparison operator.
+fn int_cc(op: HBinOp) -> Cc {
+    match op {
+        HBinOp::Eq => Cc::E,
+        HBinOp::Ne => Cc::Ne,
+        HBinOp::LtS => Cc::L,
+        HBinOp::LtU => Cc::B,
+        HBinOp::GtS => Cc::G,
+        HBinOp::GtU => Cc::A,
+        HBinOp::LeS => Cc::Le,
+        HBinOp::LeU => Cc::Be,
+        HBinOp::GeS => Cc::Ge,
+        HBinOp::GeU => Cc::Ae,
+        other => unreachable!("not a comparison: {other:?}"),
+    }
+}
+
+/// Condition code for a float comparison (via `ucomis`, unsigned flags).
+fn float_cc(op: HBinOp) -> Cc {
+    match op {
+        HBinOp::Eq => Cc::E,
+        HBinOp::Ne => Cc::Ne,
+        HBinOp::LtS => Cc::B,
+        HBinOp::GtS => Cc::A,
+        HBinOp::LeS => Cc::Be,
+        HBinOp::GeS => Cc::Ae,
+        other => unreachable!("not a float comparison: {other:?}"),
+    }
+}
+
+struct Lower<'p> {
+    prog: &'p HProgram,
+    opts: &'p CompileOptions,
+    lf: LFunc,
+    cur: usize,
+    /// vreg of each HIR local.
+    locals: Vec<u32>,
+    /// (continue_target, break_target) stack.
+    loops: Vec<(BlockId, BlockId)>,
+}
+
+impl<'p> Lower<'p> {
+    fn emit(&mut self, inst: LInst) {
+        self.lf.blocks[self.cur].insts.push(inst);
+    }
+
+    /// Appends a fresh block and makes it current.
+    fn start_block(&mut self) -> BlockId {
+        self.lf.blocks.push(LBlock::default());
+        self.cur = self.lf.blocks.len() - 1;
+        BlockId(self.cur as u32)
+    }
+
+    /// Reserves a block id that will be placed later (forward target).
+    /// LIR blocks are explicitly terminated, so layout order is free.
+    fn reserve_block(&mut self) -> BlockId {
+        self.lf.blocks.push(LBlock::default());
+        BlockId((self.lf.blocks.len() - 1) as u32)
+    }
+
+    fn place_block(&mut self, id: BlockId) {
+        self.cur = id.0 as usize;
+    }
+
+    fn vreg_int(&mut self) -> u32 {
+        self.lf.new_vreg(VClass::Int)
+    }
+
+    fn vreg_float(&mut self) -> u32 {
+        self.lf.new_vreg(VClass::Float)
+    }
+
+    // ---- integer expressions -----------------------------------------
+
+    /// Lowers an integer expression into an operand; constants become
+    /// immediates, loads may become memory operands (fusion).
+    fn opnd_int(&mut self, e: &HExpr, allow_mem: bool) -> Opnd {
+        match e {
+            HExpr::Const { bits, ty } => {
+                let v = match ty {
+                    HTy::I32 => *bits as u32 as i32 as i64,
+                    _ => *bits as i64,
+                };
+                Opnd::Imm(v)
+            }
+            HExpr::Load {
+                ty,
+                width: w,
+                addr,
+                ..
+            } if allow_mem
+                && self.opts.fuse_addressing
+                && *w == MemWidth::of(*ty) =>
+            {
+                let mem = self.addr_mem(addr);
+                Opnd::Mem(mem)
+            }
+            HExpr::Local { idx, .. } => Opnd::Loc(Loc::V(self.locals[*idx as usize])),
+            _ => Opnd::Loc(Loc::V(self.value_int(e))),
+        }
+    }
+
+    /// Lowers an integer expression into a vreg.
+    fn value_int(&mut self, e: &HExpr) -> u32 {
+        match e {
+            HExpr::Local { idx, .. } => return self.locals[*idx as usize],
+            HExpr::Const { bits, ty } => {
+                let dst = self.vreg_int();
+                let v = match ty {
+                    HTy::I32 => *bits as u32 as i32 as i64,
+                    _ => *bits as i64,
+                };
+                self.emit(LInst::Mov {
+                    dst: Loc::V(dst),
+                    src: Opnd::Imm(v),
+                    width: width(*ty),
+                });
+                return dst;
+            }
+            _ => {}
+        }
+        let dst = self.vreg_int();
+        self.value_int_into(e, dst);
+        dst
+    }
+
+    fn value_int_into(&mut self, e: &HExpr, dst: u32) {
+        match e {
+            HExpr::Const { bits, ty } => {
+                let v = match ty {
+                    HTy::I32 => *bits as u32 as i32 as i64,
+                    _ => *bits as i64,
+                };
+                self.emit(LInst::Mov {
+                    dst: Loc::V(dst),
+                    src: Opnd::Imm(v),
+                    width: width(*ty),
+                });
+            }
+            HExpr::Local { idx, .. } => {
+                let src = self.locals[*idx as usize];
+                self.emit(LInst::Mov {
+                    dst: Loc::V(dst),
+                    src: Opnd::Loc(Loc::V(src)),
+                    width: Width::W64,
+                });
+            }
+            HExpr::Load {
+                ty,
+                width: w,
+                signed,
+                addr,
+            } => {
+                let mem = self.addr_mem(addr);
+                if *w == MemWidth::of(*ty) {
+                    self.emit(LInst::Mov {
+                        dst: Loc::V(dst),
+                        src: Opnd::Mem(mem),
+                        width: mw(*w),
+                    });
+                } else if *signed {
+                    self.emit(LInst::Movsx {
+                        dst: Loc::V(dst),
+                        src: Opnd::Mem(mem),
+                        from: mw(*w),
+                        to: width(*ty),
+                    });
+                } else {
+                    self.emit(LInst::Movzx {
+                        dst: Loc::V(dst),
+                        src: Opnd::Mem(mem),
+                        from: mw(*w),
+                    });
+                }
+            }
+            HExpr::Unary { op, ty, arg } => match op {
+                HUnOp::Neg => {
+                    self.value_int_into(arg, dst);
+                    self.emit(LInst::Neg {
+                        dst: Loc::V(dst),
+                        width: width(*ty),
+                    });
+                }
+                HUnOp::BitNot => {
+                    self.value_int_into(arg, dst);
+                    self.emit(LInst::Not {
+                        dst: Loc::V(dst),
+                        width: width(*ty),
+                    });
+                }
+                HUnOp::Eqz => {
+                    let v = self.opnd_int(arg, true);
+                    self.emit(LInst::Cmp {
+                        lhs: v,
+                        rhs: Opnd::Imm(0),
+                        width: width(*ty),
+                    });
+                    self.emit(LInst::Setcc {
+                        cc: Cc::E,
+                        dst: Loc::V(dst),
+                    });
+                }
+                HUnOp::Clz => {
+                    let v = self.opnd_int(arg, true);
+                    self.emit(LInst::Lzcnt {
+                        dst: Loc::V(dst),
+                        src: v,
+                        width: width(*ty),
+                    });
+                }
+                HUnOp::Ctz => {
+                    let v = self.opnd_int(arg, true);
+                    self.emit(LInst::Tzcnt {
+                        dst: Loc::V(dst),
+                        src: v,
+                        width: width(*ty),
+                    });
+                }
+                HUnOp::Popcnt => {
+                    let v = self.opnd_int(arg, true);
+                    self.emit(LInst::Popcnt {
+                        dst: Loc::V(dst),
+                        src: v,
+                        width: width(*ty),
+                    });
+                }
+                other => unreachable!("float unop {other:?} in int context"),
+            },
+            HExpr::Binary { op, ty, lhs, rhs } if op.is_cmp() => {
+                if ty.is_int() {
+                    let l = self.opnd_int(lhs, false);
+                    let r = self.opnd_int(rhs, true);
+                    self.emit(LInst::Cmp {
+                        lhs: l,
+                        rhs: r,
+                        width: width(*ty),
+                    });
+                    self.emit(LInst::Setcc {
+                        cc: int_cc(*op),
+                        dst: Loc::V(dst),
+                    });
+                } else {
+                    let l = self.value_float(lhs);
+                    let r = self.fopnd(rhs);
+                    self.emit(LInst::Ucomis {
+                        lhs: FLoc::V(l),
+                        rhs: r,
+                        prec: prec(*ty),
+                    });
+                    self.emit(LInst::Setcc {
+                        cc: float_cc(*op),
+                        dst: Loc::V(dst),
+                    });
+                }
+            }
+            HExpr::Binary { op, ty, lhs, rhs } => {
+                let w = width(*ty);
+                match op {
+                    HBinOp::Add | HBinOp::Sub | HBinOp::And | HBinOp::Or | HBinOp::Xor => {
+                        self.value_int_into(lhs, dst);
+                        let r = self.opnd_int(rhs, true);
+                        let aop = match op {
+                            HBinOp::Add => AluOp::Add,
+                            HBinOp::Sub => AluOp::Sub,
+                            HBinOp::And => AluOp::And,
+                            HBinOp::Or => AluOp::Or,
+                            _ => AluOp::Xor,
+                        };
+                        self.emit(LInst::Alu {
+                            op: aop,
+                            dst: Loc::V(dst),
+                            src: r,
+                            width: w,
+                        });
+                    }
+                    HBinOp::Mul => {
+                        if let HExpr::Const { bits, .. } = **rhs {
+                            let src = self.opnd_int(lhs, true);
+                            self.emit(LInst::Imul3 {
+                                dst: Loc::V(dst),
+                                src,
+                                imm: bits as i64,
+                                width: w,
+                            });
+                        } else {
+                            self.value_int_into(lhs, dst);
+                            let r = self.opnd_int(rhs, true);
+                            self.emit(LInst::Imul {
+                                dst: Loc::V(dst),
+                                src: r,
+                                width: w,
+                            });
+                        }
+                    }
+                    HBinOp::DivS | HBinOp::DivU | HBinOp::RemS | HBinOp::RemU => {
+                        let l = self.value_int(lhs);
+                        let r = self.value_int(rhs);
+                        self.emit(LInst::Div {
+                            signed: matches!(op, HBinOp::DivS | HBinOp::RemS),
+                            rem: matches!(op, HBinOp::RemS | HBinOp::RemU),
+                            dst: Loc::V(dst),
+                            lhs: Loc::V(l),
+                            rhs: Loc::V(r),
+                            width: w,
+                        });
+                    }
+                    HBinOp::Shl | HBinOp::ShrS | HBinOp::ShrU | HBinOp::Rotl | HBinOp::Rotr => {
+                        self.value_int_into(lhs, dst);
+                        let count = self.opnd_int(rhs, false);
+                        let sop = match op {
+                            HBinOp::Shl => AluOp::Shl,
+                            HBinOp::ShrS => AluOp::Sar,
+                            HBinOp::ShrU => AluOp::Shr,
+                            HBinOp::Rotl => AluOp::Rol,
+                            _ => AluOp::Ror,
+                        };
+                        self.emit(LInst::Shift {
+                            op: sop,
+                            dst: Loc::V(dst),
+                            count,
+                            width: w,
+                        });
+                    }
+                    other => unreachable!("{other:?} in int context"),
+                }
+            }
+            HExpr::ShortCircuit { .. } => {
+                // dst = 0; branch; dst = 1 pattern via blocks.
+                let true_b = self.reserve_block();
+                let false_b = self.reserve_block();
+                let join = self.reserve_block();
+                self.branch_bool(e, true_b, false_b);
+                self.place_block(true_b);
+                self.emit(LInst::Mov {
+                    dst: Loc::V(dst),
+                    src: Opnd::Imm(1),
+                    width: Width::W64,
+                });
+                self.emit(LInst::Jmp { target: join });
+                self.place_block(false_b);
+                self.emit(LInst::Mov {
+                    dst: Loc::V(dst),
+                    src: Opnd::Imm(0),
+                    width: Width::W64,
+                });
+                self.emit(LInst::Jmp { target: join });
+                self.place_block(join);
+            }
+            HExpr::Cast {
+                from,
+                to,
+                signed,
+                arg,
+            } => match (from.is_int(), to.is_int()) {
+                (true, true) => {
+                    if *to == HTy::I64 && *from == HTy::I32 {
+                        if *signed {
+                            let v = self.opnd_int(arg, true);
+                            self.emit(LInst::Movsx {
+                                dst: Loc::V(dst),
+                                src: v,
+                                from: Width::W32,
+                                to: Width::W64,
+                            });
+                        } else {
+                            let v = self.opnd_int(arg, true);
+                            self.emit(LInst::Mov {
+                                dst: Loc::V(dst),
+                                src: v,
+                                width: Width::W32,
+                            });
+                        }
+                    } else {
+                        // i64 -> i32 truncation: a 32-bit move.
+                        let v = self.opnd_int(arg, true);
+                        self.emit(LInst::Mov {
+                            dst: Loc::V(dst),
+                            src: v,
+                            width: Width::W32,
+                        });
+                    }
+                }
+                (false, true) => {
+                    let v = self.fopnd(arg);
+                    self.emit(LInst::CvtFToInt {
+                        dst: Loc::V(dst),
+                        src: v,
+                        width: width(*to),
+                        prec: prec(*from),
+                        unsigned: !*signed,
+                    });
+                }
+                _ => unreachable!("cast to float in int context"),
+            },
+            HExpr::Call { .. } | HExpr::CallIndirect { .. } | HExpr::Syscall { .. } => {
+                self.lower_call(e, Some(RetVal::Int(Loc::V(dst))));
+            }
+        }
+    }
+
+    // ---- float expressions ---------------------------------------------
+
+    fn fopnd(&mut self, e: &HExpr) -> FOpnd {
+        match e {
+            HExpr::Load {
+                ty,
+                width: w,
+                addr,
+                ..
+            } if self.opts.fuse_addressing && *w == MemWidth::of(*ty) => {
+                let mem = self.addr_mem(addr);
+                FOpnd::Mem(mem)
+            }
+            HExpr::Local { idx, .. } => FOpnd::Loc(FLoc::V(self.locals[*idx as usize])),
+            _ => FOpnd::Loc(FLoc::V(self.value_float(e))),
+        }
+    }
+
+    fn value_float(&mut self, e: &HExpr) -> u32 {
+        if let HExpr::Local { idx, .. } = e {
+            return self.locals[*idx as usize];
+        }
+        let dst = self.vreg_float();
+        self.value_float_into(e, dst);
+        dst
+    }
+
+    fn value_float_into(&mut self, e: &HExpr, dst: u32) {
+        let p = prec(e.ty().expect("float expr"));
+        match e {
+            HExpr::Const { bits, ty } => {
+                self.emit(LInst::MovFImm {
+                    dst: FLoc::V(dst),
+                    bits: *bits,
+                    prec: prec(*ty),
+                });
+            }
+            HExpr::Local { idx, .. } => {
+                let src = self.locals[*idx as usize];
+                self.emit(LInst::MovF {
+                    dst: FOpnd::Loc(FLoc::V(dst)),
+                    src: FOpnd::Loc(FLoc::V(src)),
+                    prec: p,
+                });
+            }
+            HExpr::Load { addr, ty, .. } => {
+                let mem = self.addr_mem(addr);
+                self.emit(LInst::MovF {
+                    dst: FOpnd::Loc(FLoc::V(dst)),
+                    src: FOpnd::Mem(mem),
+                    prec: prec(*ty),
+                });
+            }
+            HExpr::Unary { op, ty, arg } => {
+                let pr = prec(*ty);
+                match op {
+                    HUnOp::Neg => {
+                        // Exact sign flip: multiply by -1.0.
+                        self.value_float_into(arg, dst);
+                        let m1 = self.vreg_float();
+                        self.emit(LInst::MovFImm {
+                            dst: FLoc::V(m1),
+                            bits: match ty {
+                                HTy::F32 => (-1.0f32).to_bits() as u64,
+                                _ => (-1.0f64).to_bits(),
+                            },
+                            prec: pr,
+                        });
+                        self.emit(LInst::AluF {
+                            op: wasmperf_isa::FAluOp::Mul,
+                            dst: FLoc::V(dst),
+                            src: FOpnd::Loc(FLoc::V(m1)),
+                            prec: pr,
+                        });
+                    }
+                    HUnOp::Sqrt => {
+                        let s = self.fopnd(arg);
+                        self.emit(LInst::SqrtF {
+                            dst: FLoc::V(dst),
+                            src: s,
+                            prec: pr,
+                        });
+                    }
+                    HUnOp::Abs => {
+                        let s = self.fopnd(arg);
+                        self.emit(LInst::AbsF {
+                            dst: FLoc::V(dst),
+                            src: s,
+                            prec: pr,
+                        });
+                    }
+                    HUnOp::Floor | HUnOp::Ceil | HUnOp::TruncF | HUnOp::Nearest => {
+                        let s = self.fopnd(arg);
+                        let mode = match op {
+                            HUnOp::Floor => RoundMode::Floor,
+                            HUnOp::Ceil => RoundMode::Ceil,
+                            HUnOp::TruncF => RoundMode::Trunc,
+                            _ => RoundMode::Nearest,
+                        };
+                        self.emit(LInst::RoundF {
+                            dst: FLoc::V(dst),
+                            src: s,
+                            prec: pr,
+                            mode,
+                        });
+                    }
+                    other => unreachable!("int unop {other:?} in float context"),
+                }
+            }
+            HExpr::Binary { op, ty, lhs, rhs } => {
+                let pr = prec(*ty);
+                let fop = match op {
+                    HBinOp::Add => wasmperf_isa::FAluOp::Add,
+                    HBinOp::Sub => wasmperf_isa::FAluOp::Sub,
+                    HBinOp::Mul => wasmperf_isa::FAluOp::Mul,
+                    HBinOp::DivS => wasmperf_isa::FAluOp::Div,
+                    HBinOp::FMin => wasmperf_isa::FAluOp::Min,
+                    HBinOp::FMax => wasmperf_isa::FAluOp::Max,
+                    other => unreachable!("{other:?} on floats"),
+                };
+                self.value_float_into(lhs, dst);
+                let r = self.fopnd(rhs);
+                self.emit(LInst::AluF {
+                    op: fop,
+                    dst: FLoc::V(dst),
+                    src: r,
+                    prec: pr,
+                });
+            }
+            HExpr::Cast {
+                from,
+                to,
+                signed,
+                arg,
+            } => {
+                if from.is_int() {
+                    let v = self.opnd_int(arg, true);
+                    self.emit(LInst::CvtIntToF {
+                        dst: FLoc::V(dst),
+                        src: v,
+                        width: width(*from),
+                        prec: prec(*to),
+                        unsigned: !*signed,
+                    });
+                } else {
+                    let v = self.fopnd(arg);
+                    self.emit(LInst::CvtFToF {
+                        dst: FLoc::V(dst),
+                        src: v,
+                        from: prec(*from),
+                    });
+                }
+            }
+            HExpr::Call { .. } | HExpr::CallIndirect { .. } => {
+                self.lower_call(e, Some(RetVal::Float(FLoc::V(dst))));
+            }
+            other => unreachable!("float lowering of {other:?}"),
+        }
+    }
+
+    // ---- addressing ----------------------------------------------------
+
+    /// Builds an x86 addressing mode from an address expression, collecting
+    /// constant displacements, one scaled index (`expr * {1,2,4,8}`), and
+    /// one base term.
+    fn addr_mem(&mut self, addr: &HExpr) -> LMem {
+        let mut disp: i64 = 0;
+        let mut index: Option<(u32, u8)> = None;
+        let mut base: Option<u32> = None;
+        let mut spill_terms: Vec<u32> = Vec::new();
+
+        let mut terms: Vec<&HExpr> = Vec::new();
+        collect_add_terms(addr, &mut terms);
+        for t in terms {
+            match t {
+                HExpr::Const { bits, .. } => disp = disp.wrapping_add(*bits as i64),
+                HExpr::Binary {
+                    op: HBinOp::Mul,
+                    lhs,
+                    rhs,
+                    ..
+                } if index.is_none() && self.opts.fuse_addressing => {
+                    if let HExpr::Const { bits, .. } = **rhs {
+                        if matches!(bits, 1 | 2 | 4 | 8) {
+                            let iv = self.value_int(lhs);
+                            index = Some((iv, bits as u8));
+                            continue;
+                        }
+                    }
+                    let v = self.value_int(t);
+                    if base.is_none() {
+                        base = Some(v);
+                    } else {
+                        spill_terms.push(v);
+                    }
+                }
+                _ => {
+                    let v = self.value_int(t);
+                    if base.is_none() {
+                        base = Some(v);
+                    } else if index.is_none() && self.opts.fuse_addressing {
+                        index = Some((v, 1));
+                    } else {
+                        spill_terms.push(v);
+                    }
+                }
+            }
+        }
+        if !self.opts.fuse_addressing {
+            // Degrade: compute everything into a single base register.
+            let b = match (base, index) {
+                (Some(b), _) => b,
+                (None, Some((i, _))) => i,
+                (None, None) => {
+                    let z = self.vreg_int();
+                    self.emit(LInst::Mov {
+                        dst: Loc::V(z),
+                        src: Opnd::Imm(0),
+                        width: Width::W64,
+                    });
+                    z
+                }
+            };
+            let acc = self.vreg_int();
+            self.emit(LInst::Mov {
+                dst: Loc::V(acc),
+                src: Opnd::Loc(Loc::V(b)),
+                width: Width::W64,
+            });
+            if let Some((i, s)) = index {
+                if base.is_some() {
+                    let scaled = self.vreg_int();
+                    self.emit(LInst::Imul3 {
+                        dst: Loc::V(scaled),
+                        src: Opnd::Loc(Loc::V(i)),
+                        imm: s as i64,
+                        width: Width::W64,
+                    });
+                    self.emit(LInst::Alu {
+                        op: AluOp::Add,
+                        dst: Loc::V(acc),
+                        src: Opnd::Loc(Loc::V(scaled)),
+                        width: Width::W64,
+                    });
+                }
+            }
+            for t in spill_terms {
+                self.emit(LInst::Alu {
+                    op: AluOp::Add,
+                    dst: Loc::V(acc),
+                    src: Opnd::Loc(Loc::V(t)),
+                    width: Width::W64,
+                });
+            }
+            if disp != 0 {
+                self.emit(LInst::Alu {
+                    op: AluOp::Add,
+                    dst: Loc::V(acc),
+                    src: Opnd::Imm(disp),
+                    width: Width::W64,
+                });
+                disp = 0;
+            }
+            return LMem::base_disp(Loc::V(acc), disp);
+        }
+        // Fold leftover terms into the base via adds.
+        let base = if spill_terms.is_empty() {
+            base
+        } else {
+            let acc = self.vreg_int();
+            let first = base.unwrap_or_else(|| spill_terms.remove(0));
+            self.emit(LInst::Mov {
+                dst: Loc::V(acc),
+                src: Opnd::Loc(Loc::V(first)),
+                width: Width::W64,
+            });
+            for t in spill_terms {
+                self.emit(LInst::Alu {
+                    op: AluOp::Add,
+                    dst: Loc::V(acc),
+                    src: Opnd::Loc(Loc::V(t)),
+                    width: Width::W64,
+                });
+            }
+            Some(acc)
+        };
+        LMem {
+            base: base.map(Loc::V),
+            index: index.map(|(v, s)| (Loc::V(v), s)),
+            disp,
+        }
+    }
+
+    // ---- calls -----------------------------------------------------------
+
+    fn lower_call(&mut self, e: &HExpr, ret: Option<RetVal>) {
+        match e {
+            HExpr::Call { func, args, .. } => {
+                let mut largs = Vec::with_capacity(args.len());
+                for a in args {
+                    largs.push(self.lower_arg(a));
+                }
+                self.emit(LInst::Call {
+                    func: *func,
+                    args: largs,
+                    ret,
+                });
+            }
+            HExpr::CallIndirect {
+                table_base,
+                index,
+                args,
+                ..
+            } => {
+                let idx = self.value_int(index);
+                let target = self.vreg_int();
+                // Native: bare function pointers in the table, no checks.
+                let table_addr = native_table_addr(self.prog);
+                self.emit(LInst::Mov {
+                    dst: Loc::V(target),
+                    src: Opnd::Mem(LMem {
+                        base: None,
+                        index: Some((Loc::V(idx), 8)),
+                        disp: table_addr as i64 + *table_base as i64 * 8,
+                    }),
+                    width: Width::W64,
+                });
+                let mut largs = Vec::with_capacity(args.len());
+                for a in args {
+                    largs.push(self.lower_arg(a));
+                }
+                self.emit(LInst::CallIndirect {
+                    target: Opnd::Loc(Loc::V(target)),
+                    args: largs,
+                    ret,
+                });
+            }
+            HExpr::Syscall { args } => {
+                let mut largs = Vec::with_capacity(args.len());
+                for a in args {
+                    largs.push(match self.opnd_int(a, false) {
+                        Opnd::Mem(_) => unreachable!("no mem args"),
+                        other => other,
+                    });
+                }
+                let ret_loc = match ret {
+                    Some(RetVal::Int(l)) => Some(l),
+                    None => None,
+                    _ => unreachable!("syscall returns i32"),
+                };
+                self.emit(LInst::CallHost {
+                    id: 0,
+                    args: largs,
+                    ret: ret_loc,
+                });
+            }
+            other => unreachable!("not a call: {other:?}"),
+        }
+    }
+
+    fn lower_arg(&mut self, a: &HExpr) -> Arg {
+        match a.ty().expect("arg has a type") {
+            HTy::F32 | HTy::F64 => Arg::Float(FOpnd::Loc(FLoc::V(self.value_float(a)))),
+            _ => Arg::Int(match self.opnd_int(a, false) {
+                Opnd::Mem(_) => unreachable!("no mem args"),
+                other => other,
+            }),
+        }
+    }
+
+    // ---- conditions ------------------------------------------------------
+
+    /// Emits a conditional branch on `cond` to `target` (when true) or
+    /// `other` (when false); leaves the current block terminated.
+    fn branch_bool(&mut self, cond: &HExpr, if_true: BlockId, if_false: BlockId) {
+        match cond {
+            HExpr::Binary { op, ty, lhs, rhs } if op.is_cmp() => {
+                if ty.is_int() {
+                    let l = self.opnd_int(lhs, false);
+                    let r = self.opnd_int(rhs, true);
+                    self.emit(LInst::Cmp {
+                        lhs: l,
+                        rhs: r,
+                        width: width(*ty),
+                    });
+                    self.emit(LInst::Jcc {
+                        cc: int_cc(*op),
+                        target: if_true,
+                    });
+                } else {
+                    let l = self.value_float(lhs);
+                    let r = self.fopnd(rhs);
+                    self.emit(LInst::Ucomis {
+                        lhs: FLoc::V(l),
+                        rhs: r,
+                        prec: prec(*ty),
+                    });
+                    self.emit(LInst::Jcc {
+                        cc: float_cc(*op),
+                        target: if_true,
+                    });
+                }
+                self.emit(LInst::Jmp { target: if_false });
+            }
+            HExpr::Unary {
+                op: HUnOp::Eqz,
+                ty,
+                arg,
+            } => {
+                let v = self.opnd_int(arg, false);
+                self.emit(LInst::Cmp {
+                    lhs: v,
+                    rhs: Opnd::Imm(0),
+                    width: width(*ty),
+                });
+                self.emit(LInst::Jcc {
+                    cc: Cc::E,
+                    target: if_true,
+                });
+                self.emit(LInst::Jmp { target: if_false });
+            }
+            HExpr::ShortCircuit { is_and, lhs, rhs } => {
+                let mid = self.reserve_block();
+                if *is_and {
+                    self.branch_bool(lhs, mid, if_false);
+                } else {
+                    self.branch_bool(lhs, if_true, mid);
+                }
+                self.place_block(mid);
+                self.branch_bool(rhs, if_true, if_false);
+            }
+            HExpr::Const { bits, .. } => {
+                let target = if *bits != 0 { if_true } else { if_false };
+                self.emit(LInst::Jmp { target });
+            }
+            other => {
+                let v = self.value_int(other);
+                self.emit(LInst::Test {
+                    lhs: Opnd::Loc(Loc::V(v)),
+                    rhs: Opnd::Loc(Loc::V(v)),
+                    width: width(other.ty().unwrap_or(HTy::I32)),
+                });
+                self.emit(LInst::Jcc {
+                    cc: Cc::Ne,
+                    target: if_true,
+                });
+                self.emit(LInst::Jmp { target: if_false });
+            }
+        }
+    }
+
+    // ---- statements -------------------------------------------------------
+
+    fn lower_stmts(&mut self, stmts: &[HStmt]) {
+        for s in stmts {
+            self.lower_stmt(s);
+        }
+    }
+
+    fn lower_stmt(&mut self, s: &HStmt) {
+        match s {
+            HStmt::SetLocal { idx, value } => {
+                let dst = self.locals[*idx as usize];
+                match value.ty().expect("value") {
+                    HTy::F32 | HTy::F64 => {
+                        // Guard against clobbering the destination while
+                        // the value still reads it (`f = g + f`).
+                        if expr_reads_local(value, *idx)
+                            && !matches!(value, HExpr::Local { .. })
+                        {
+                            let t = self.value_float(value);
+                            self.emit(LInst::MovF {
+                                dst: FOpnd::Loc(FLoc::V(dst)),
+                                src: FOpnd::Loc(FLoc::V(t)),
+                                prec: prec(value.ty().expect("float")),
+                            });
+                        } else {
+                            self.value_float_into(value, dst);
+                        }
+                    }
+                    ty => {
+                        // Two-address reuse: `i = i op e` updates in place.
+                        if let HExpr::Binary { op, lhs, rhs, .. } = value {
+                            if let HExpr::Local { idx: li, .. } = **lhs {
+                                if li == *idx && !op.is_cmp() {
+                                    match op {
+                                        HBinOp::Add
+                                        | HBinOp::Sub
+                                        | HBinOp::And
+                                        | HBinOp::Or
+                                        | HBinOp::Xor => {
+                                            let r = self.opnd_int(rhs, true);
+                                            let aop = match op {
+                                                HBinOp::Add => AluOp::Add,
+                                                HBinOp::Sub => AluOp::Sub,
+                                                HBinOp::And => AluOp::And,
+                                                HBinOp::Or => AluOp::Or,
+                                                _ => AluOp::Xor,
+                                            };
+                                            self.emit(LInst::Alu {
+                                                op: aop,
+                                                dst: Loc::V(dst),
+                                                src: r,
+                                                width: width(ty),
+                                            });
+                                            return;
+                                        }
+                                        _ => {}
+                                    }
+                                }
+                            }
+                        }
+                        if expr_reads_local(value, *idx)
+                            && !reads_only_as_direct_lhs(value, *idx)
+                        {
+                            let t = self.value_int(value);
+                            if t != dst {
+                                self.emit(LInst::Mov {
+                                    dst: Loc::V(dst),
+                                    src: Opnd::Loc(Loc::V(t)),
+                                    width: Width::W64,
+                                });
+                            }
+                        } else {
+                            self.value_int_into(value, dst);
+                        }
+                    }
+                }
+            }
+            HStmt::Store {
+                ty,
+                width: w,
+                addr,
+                value,
+            } => {
+                // RMW fusion: A[i] = A[i] op v  =>  op [mem], v.
+                if self.opts.fuse_addressing && *w == MemWidth::of(*ty) && ty.is_int() {
+                    if let HExpr::Binary { op, lhs, rhs, .. } = value {
+                        let fusable = matches!(
+                            op,
+                            HBinOp::Add | HBinOp::Sub | HBinOp::And | HBinOp::Or | HBinOp::Xor
+                        );
+                        if fusable {
+                            if let HExpr::Load {
+                                addr: laddr,
+                                width: lw,
+                                ..
+                            } = &**lhs
+                            {
+                                if **laddr == *addr && lw == w {
+                                    let src = self.opnd_int(rhs, false);
+                                    let mem = self.addr_mem(addr);
+                                    let aop = match op {
+                                        HBinOp::Add => AluOp::Add,
+                                        HBinOp::Sub => AluOp::Sub,
+                                        HBinOp::And => AluOp::And,
+                                        HBinOp::Or => AluOp::Or,
+                                        _ => AluOp::Xor,
+                                    };
+                                    self.emit(LInst::AluMem {
+                                        op: aop,
+                                        mem,
+                                        src,
+                                        width: mw(*w),
+                                    });
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                }
+                match ty {
+                    HTy::F32 | HTy::F64 => {
+                        let v = self.value_float(value);
+                        let mem = self.addr_mem(addr);
+                        self.emit(LInst::MovF {
+                            dst: FOpnd::Mem(mem),
+                            src: FOpnd::Loc(FLoc::V(v)),
+                            prec: prec(*ty),
+                        });
+                    }
+                    _ => {
+                        let v = self.opnd_int(value, false);
+                        let mem = self.addr_mem(addr);
+                        self.emit(LInst::Store {
+                            mem,
+                            src: v,
+                            width: mw(*w),
+                        });
+                    }
+                }
+            }
+            HStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                // If-conversion (the cmov habit that keeps Clang's
+                // conditional-branch counts low, paper §6.2): a lone
+                // `x = safe_expr;` guarded by a comparison compiles to
+                // cmp + cmov with no branch.
+                if else_body.is_empty() {
+                    if let [HStmt::SetLocal { idx, value }] = &then_body[..] {
+                        let int_cmp = matches!(
+                            cond,
+                            HExpr::Binary { op, ty, .. } if op.is_cmp() && ty.is_int()
+                        );
+                        let float_cmp = matches!(
+                            cond,
+                            HExpr::Binary { op, ty, .. } if op.is_cmp() && !ty.is_int()
+                        );
+                        if (int_cmp || float_cmp) && cmov_safe(value) {
+                            let HExpr::Binary { op, ty, lhs, rhs } = cond else {
+                                unreachable!("matched above");
+                            };
+                            // Evaluate the value first (it may clobber
+                            // flags), then compare, then cmov.
+                            let tmp = self.value_int(value);
+                            let cc = if int_cmp {
+                                let l = self.opnd_int(lhs, false);
+                                let r = self.opnd_int(rhs, true);
+                                self.emit(LInst::Cmp {
+                                    lhs: l,
+                                    rhs: r,
+                                    width: width(*ty),
+                                });
+                                int_cc(*op)
+                            } else {
+                                let l = self.value_float(lhs);
+                                let r = self.fopnd(rhs);
+                                self.emit(LInst::Ucomis {
+                                    lhs: FLoc::V(l),
+                                    rhs: r,
+                                    prec: prec(*ty),
+                                });
+                                float_cc(*op)
+                            };
+                            let dst = self.locals[*idx as usize];
+                            self.emit(LInst::Cmov {
+                                cc,
+                                dst: Loc::V(dst),
+                                src: Opnd::Loc(Loc::V(tmp)),
+                                width: Width::W64,
+                            });
+                            return;
+                        }
+                    }
+                }
+                let then_b = self.reserve_block();
+                let join = self.reserve_block();
+                let else_b = if else_body.is_empty() {
+                    join
+                } else {
+                    self.reserve_block()
+                };
+                self.branch_bool(cond, then_b, else_b);
+                self.place_block(then_b);
+                self.lower_stmts(then_body);
+                self.emit(LInst::Jmp { target: join });
+                if !else_body.is_empty() {
+                    self.place_block(else_b);
+                    self.lower_stmts(else_body);
+                    self.emit(LInst::Jmp { target: join });
+                }
+                self.place_block(join);
+            }
+            HStmt::While { cond, body } => {
+                let exit = self.reserve_block();
+                if self.opts.invert_loops {
+                    // Guard + bottom-tested loop: one branch per iteration.
+                    let factor = if self.opts.unroll
+                        && hir_size(body) <= self.opts.unroll_max_body
+                        && !has_loop(body)
+                    {
+                        self.opts.unroll_factor.max(1)
+                    } else {
+                        1
+                    };
+                    let head = self.reserve_block();
+                    self.branch_bool(cond, head, exit);
+                    self.place_block(head);
+                    for k in 0..factor {
+                        let test_b = self.reserve_block();
+                        self.loops.push((test_b, exit));
+                        self.lower_stmts(body);
+                        self.loops.pop();
+                        self.emit(LInst::Jmp { target: test_b });
+                        self.place_block(test_b);
+                        if k + 1 == factor {
+                            self.branch_bool(cond, head, exit);
+                        } else {
+                            let next_b = self.reserve_block();
+                            self.branch_bool(cond, next_b, exit);
+                            self.place_block(next_b);
+                        }
+                    }
+                } else {
+                    // Top-tested loop (ablation): two branches/iteration.
+                    let head = self.reserve_block();
+                    let body_b = self.reserve_block();
+                    self.emit(LInst::Jmp { target: head });
+                    self.place_block(head);
+                    self.branch_bool(cond, body_b, exit);
+                    self.place_block(body_b);
+                    self.loops.push((head, exit));
+                    self.lower_stmts(body);
+                    self.loops.pop();
+                    self.emit(LInst::Jmp { target: head });
+                }
+                self.place_block(exit);
+            }
+            HStmt::DoWhile { body, cond } => {
+                let exit = self.reserve_block();
+                let head = self.reserve_block();
+                let test_b = self.reserve_block();
+                self.emit(LInst::Jmp { target: head });
+                self.place_block(head);
+                self.loops.push((test_b, exit));
+                self.lower_stmts(body);
+                self.loops.pop();
+                self.emit(LInst::Jmp { target: test_b });
+                self.place_block(test_b);
+                self.branch_bool(cond, head, exit);
+                self.place_block(exit);
+            }
+            HStmt::Break => {
+                let (_, brk) = *self.loops.last().expect("in loop");
+                self.emit(LInst::Jmp { target: brk });
+                self.start_block();
+            }
+            HStmt::Continue => {
+                let (cont, _) = *self.loops.last().expect("in loop");
+                self.emit(LInst::Jmp { target: cont });
+                self.start_block();
+            }
+            HStmt::Return(v) => {
+                let value = v.as_ref().map(|e| self.lower_arg(e));
+                self.emit(LInst::Ret { value });
+                self.start_block();
+            }
+            HStmt::Expr(e) => match e {
+                HExpr::Call { .. } | HExpr::CallIndirect { .. } | HExpr::Syscall { .. } => {
+                    // Result (if any) is dropped: no ret destination for
+                    // void, scratch destination otherwise.
+                    let ret = match e.ty() {
+                        None => None,
+                        Some(HTy::F32 | HTy::F64) => {
+                            let t = self.vreg_float();
+                            Some(RetVal::Float(FLoc::V(t)))
+                        }
+                        Some(_) => {
+                            let t = self.vreg_int();
+                            Some(RetVal::Int(Loc::V(t)))
+                        }
+                    };
+                    self.lower_call(e, ret);
+                }
+                _ => {
+                    // Pure expression statement: evaluate for traps.
+                    match e.ty() {
+                        Some(HTy::F32 | HTy::F64) => {
+                            self.value_float(e);
+                        }
+                        _ => {
+                            self.value_int(e);
+                        }
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// True when `e` is an integer expression that is safe to evaluate
+/// unconditionally for if-conversion: no loads, calls, divisions, or other
+/// trapping/side-effecting operations.
+fn cmov_safe(e: &HExpr) -> bool {
+    match e {
+        HExpr::Const { ty, .. } | HExpr::Local { ty, .. } => ty.is_int(),
+        HExpr::Unary { op, ty, arg } => {
+            ty.is_int()
+                && matches!(op, HUnOp::Neg | HUnOp::BitNot | HUnOp::Eqz)
+                && cmov_safe(arg)
+        }
+        HExpr::Binary { op, ty, lhs, rhs } => {
+            ty.is_int()
+                && !matches!(
+                    op,
+                    HBinOp::DivS | HBinOp::DivU | HBinOp::RemS | HBinOp::RemU
+                )
+                && !op.is_cmp()
+                && cmov_safe(lhs)
+                && cmov_safe(rhs)
+        }
+        _ => false,
+    }
+}
+
+/// True when every read of local `idx` in `e` sits on the leftmost
+/// operand spine, i.e. is consumed before the in-place destination is
+/// first written. Such expressions may be computed directly into the
+/// local's register.
+fn reads_only_as_direct_lhs(e: &HExpr, idx: u32) -> bool {
+    match e {
+        HExpr::Local { .. } | HExpr::Const { .. } => true,
+        HExpr::Binary { op, lhs, rhs, .. } if !op.is_cmp() => {
+            reads_only_as_direct_lhs(lhs, idx) && !expr_reads_local(rhs, idx)
+        }
+        HExpr::Unary { arg, .. } | HExpr::Cast { arg, .. } => {
+            reads_only_as_direct_lhs(arg, idx)
+        }
+        other => !expr_reads_local(other, idx),
+    }
+}
+
+/// True when `e` reads HIR local `idx` anywhere.
+fn expr_reads_local(e: &HExpr, idx: u32) -> bool {
+    match e {
+        HExpr::Const { .. } => false,
+        HExpr::Local { idx: i, .. } => *i == idx,
+        HExpr::Load { addr, .. } => expr_reads_local(addr, idx),
+        HExpr::Unary { arg, .. } | HExpr::Cast { arg, .. } => expr_reads_local(arg, idx),
+        HExpr::Binary { lhs, rhs, .. } | HExpr::ShortCircuit { lhs, rhs, .. } => {
+            expr_reads_local(lhs, idx) || expr_reads_local(rhs, idx)
+        }
+        HExpr::Call { args, .. } | HExpr::Syscall { args } => {
+            args.iter().any(|a| expr_reads_local(a, idx))
+        }
+        HExpr::CallIndirect { index, args, .. } => {
+            expr_reads_local(index, idx) || args.iter().any(|a| expr_reads_local(a, idx))
+        }
+    }
+}
+
+/// Flattens nested `Add` into a term list.
+fn collect_add_terms<'e>(e: &'e HExpr, out: &mut Vec<&'e HExpr>) {
+    if let HExpr::Binary {
+        op: HBinOp::Add,
+        lhs,
+        rhs,
+        ..
+    } = e
+    {
+        collect_add_terms(lhs, out);
+        collect_add_terms(rhs, out);
+    } else {
+        out.push(e);
+    }
+}
+
+/// Rough HIR size of a statement list (unrolling heuristic).
+fn hir_size(stmts: &[HStmt]) -> usize {
+    fn expr(e: &HExpr) -> usize {
+        match e {
+            HExpr::Const { .. } | HExpr::Local { .. } => 1,
+            HExpr::Load { addr, .. } => 1 + expr(addr),
+            HExpr::Unary { arg, .. } => 1 + expr(arg),
+            HExpr::Binary { lhs, rhs, .. } | HExpr::ShortCircuit { lhs, rhs, .. } => {
+                1 + expr(lhs) + expr(rhs)
+            }
+            HExpr::Cast { arg, .. } => 1 + expr(arg),
+            HExpr::Call { args, .. } | HExpr::Syscall { args } => {
+                2 + args.iter().map(expr).sum::<usize>()
+            }
+            HExpr::CallIndirect { index, args, .. } => {
+                3 + expr(index) + args.iter().map(expr).sum::<usize>()
+            }
+        }
+    }
+    fn stmt(s: &HStmt) -> usize {
+        match s {
+            HStmt::SetLocal { value, .. } => 1 + expr(value),
+            HStmt::Store { addr, value, .. } => 1 + expr(addr) + expr(value),
+            HStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => 1 + expr(cond) + hir_size(then_body) + hir_size(else_body),
+            HStmt::While { cond, body } | HStmt::DoWhile { cond, body } => {
+                2 + expr(cond) + hir_size(body)
+            }
+            HStmt::Break | HStmt::Continue => 1,
+            HStmt::Return(v) => 1 + v.as_ref().map(expr).unwrap_or(0),
+            HStmt::Expr(e) => expr(e),
+        }
+    }
+    stmts.iter().map(stmt).sum()
+}
+
+fn has_loop(stmts: &[HStmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        HStmt::While { .. } | HStmt::DoWhile { .. } => true,
+        HStmt::If {
+            then_body,
+            else_body,
+            ..
+        } => has_loop(then_body) || has_loop(else_body),
+        _ => false,
+    })
+}
+
+/// Address of the native function-pointer table in linear memory.
+pub fn native_table_addr(prog: &HProgram) -> u64 {
+    (prog.memory_size + 15) & !15
+}
+
+/// Compiles a typed CLite program to a native machine-code module.
+pub fn compile(prog: &HProgram, opts: &CompileOptions) -> Module {
+    let profile = AllocProfile::native();
+    let table_addr = native_table_addr(prog);
+    let table_bytes = prog.table.len() as u64 * 8;
+
+    let mut module = Module {
+        funcs: Vec::with_capacity(prog.funcs.len()),
+        table: Vec::new(),
+        entry: prog.func_by_name("main").map(wasmperf_isa::FuncId),
+        memory_size: (table_addr + table_bytes + 0xfff) & !0xfff,
+        data: prog.data.clone(),
+    };
+
+    // Serialize the function-pointer table.
+    if !prog.table.is_empty() {
+        let mut bytes = Vec::with_capacity(prog.table.len() * 8);
+        for f in &prog.table {
+            bytes.extend_from_slice(&(*f as u64).to_le_bytes());
+        }
+        module.data.push((table_addr, bytes));
+    }
+
+    for f in &prog.funcs {
+        let lf = lower_function(prog, f, opts);
+        let assign = allocate_coloring(&lf, &profile);
+        let mut out = emit_function(&lf, &assign, &profile);
+        out.name = format!("{}", f.name);
+        module.funcs.push(out);
+    }
+    module.assign_addresses();
+    module
+}
+
+fn lower_function(prog: &HProgram, f: &HFunc, opts: &CompileOptions) -> LFunc {
+    let mut lf = LFunc {
+        name: f.name.clone(),
+        ..LFunc::default()
+    };
+    // Parameters first: vreg i == HIR local i for params.
+    for ty in &f.locals {
+        let class = match ty {
+            HTy::F32 | HTy::F64 => VClass::Float,
+            _ => VClass::Int,
+        };
+        lf.new_vreg(class);
+    }
+    lf.params = f.locals[..f.n_params as usize]
+        .iter()
+        .map(|t| match t {
+            HTy::F32 | HTy::F64 => VClass::Float,
+            _ => VClass::Int,
+        })
+        .collect();
+
+    let locals: Vec<u32> = (0..f.locals.len() as u32).collect();
+    let mut lower = Lower {
+        prog,
+        opts,
+        lf,
+        cur: 0,
+        locals,
+        loops: Vec::new(),
+    };
+    lower.lf.blocks.push(LBlock::default());
+
+    // Zero-initialize non-parameter locals (CLite semantics).
+    for (i, ty) in f.locals.iter().enumerate().skip(f.n_params as usize) {
+        match ty {
+            HTy::F32 | HTy::F64 => lower.emit(LInst::MovFImm {
+                dst: FLoc::V(i as u32),
+                bits: 0,
+                prec: prec(*ty),
+            }),
+            _ => lower.emit(LInst::Mov {
+                dst: Loc::V(i as u32),
+                src: Opnd::Imm(0),
+                width: Width::W64,
+            }),
+        }
+    }
+
+    lower.lower_stmts(&f.body);
+    // Implicit return for void functions (or unreachable tail).
+    lower.emit(LInst::Ret { value: None });
+    lower.lf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasmperf_cpu::{Machine, NullHost};
+
+    fn run_native(src: &str, args: &[u64]) -> (u64, wasmperf_cpu::PerfCounters) {
+        let prog = wasmperf_cir::compile(src).expect("compiles");
+        let module = compile(&prog, &CompileOptions::default());
+        let entry = module.entry.expect("main");
+        let mut m = Machine::new(&module, NullHost);
+        let out = m.run(entry, args, 500_000_000).expect("runs");
+        (out.ret, out.counters)
+    }
+
+    fn run_interp(src: &str, args: &[u64]) -> u64 {
+        let prog = wasmperf_cir::compile(src).expect("compiles");
+        let mut i = wasmperf_cir::Interp::new(&prog, wasmperf_cir::NoSyscalls);
+        i.run("main", args).expect("runs").unwrap_or(0)
+    }
+
+    #[test]
+    fn returns_constant() {
+        assert_eq!(run_native("fn main() -> i32 { return 42; }", &[]).0, 42);
+    }
+
+    #[test]
+    fn arithmetic_matches_interpreter() {
+        let src = "
+            fn main(a: i32, b: i32) -> i32 {
+                var x: i32 = a * 7 - b / 3 + (a % 5) * (b << 2) - (a >> 1);
+                var y: i32 = (x & 0xff) | (a ^ b);
+                return x + y * 3;
+            }
+        ";
+        for (a, b) in [(10u64, 3u64), (100, 7), (12345, 678)] {
+            assert_eq!(
+                run_native(src, &[a, b]).0 as u32,
+                run_interp(src, &[a, b]) as u32,
+                "a={a} b={b}"
+            );
+        }
+    }
+
+    #[test]
+    fn loops_and_arrays() {
+        let src = "
+            const N = 100;
+            array i32 A[N];
+            fn main() -> i32 {
+                var i: i32 = 0;
+                for (i = 0; i < N; i += 1) { A[i] = i * i; }
+                var s: i32 = 0;
+                for (i = 0; i < N; i += 1) { s += A[i]; }
+                return s;
+            }
+        ";
+        assert_eq!(run_native(src, &[]).0 as u32, run_interp(src, &[]) as u32);
+    }
+
+    #[test]
+    fn matmul_matches_interpreter() {
+        let src = "
+            const NI = 12;
+            const NK = 14;
+            const NJ = 10;
+            array i32 A[NI * NK];
+            array i32 B[NK * NJ];
+            array i32 C[NI * NJ];
+            fn main() -> i32 {
+                var i: i32 = 0;
+                var j: i32 = 0;
+                var k: i32 = 0;
+                for (i = 0; i < NI * NK; i += 1) { A[i] = i % 13; }
+                for (i = 0; i < NK * NJ; i += 1) { B[i] = i % 7; }
+                for (i = 0; i < NI; i += 1) {
+                    for (k = 0; k < NK; k += 1) {
+                        for (j = 0; j < NJ; j += 1) {
+                            C[i * NJ + j] += A[i * NK + k] * B[k * NJ + j];
+                        }
+                    }
+                }
+                var s: i32 = 0;
+                for (i = 0; i < NI * NJ; i += 1) { s += C[i]; }
+                return s;
+            }
+        ";
+        assert_eq!(run_native(src, &[]).0 as u32, run_interp(src, &[]) as u32);
+    }
+
+    #[test]
+    fn rmw_fusion_emits_memory_alu() {
+        let src = "
+            array i32 A[8];
+            fn main() -> i32 { A[3] += 5; return A[3]; }
+        ";
+        let prog = wasmperf_cir::compile(src).unwrap();
+        let module = compile(&prog, &CompileOptions::default());
+        let main = &module.funcs[prog.func_by_name("main").unwrap() as usize];
+        let has_rmw = main.insts.iter().any(|i| {
+            matches!(
+                i,
+                wasmperf_isa::Inst::Alu {
+                    dst: wasmperf_isa::Operand::Mem(_),
+                    ..
+                }
+            )
+        });
+        assert!(has_rmw, "{}", wasmperf_isa::disasm::format_function(main));
+        assert_eq!(run_native(src, &[]).0, 5);
+    }
+
+    #[test]
+    fn scaled_index_addressing_used() {
+        let src = "
+            array i32 A[64];
+            fn main(i: i32) -> i32 { return A[i]; }
+        ";
+        let prog = wasmperf_cir::compile(src).unwrap();
+        let module = compile(&prog, &CompileOptions::default());
+        let main = &module.funcs[prog.func_by_name("main").unwrap() as usize];
+        let has_scaled = main.insts.iter().any(|i| {
+            matches!(
+                i,
+                wasmperf_isa::Inst::Mov {
+                    src: wasmperf_isa::Operand::Mem(wasmperf_isa::MemRef {
+                        index: Some((_, 4)),
+                        ..
+                    }),
+                    ..
+                }
+            )
+        });
+        assert!(has_scaled, "{}", wasmperf_isa::disasm::format_function(main));
+    }
+
+    #[test]
+    fn inverted_loop_has_single_branch_per_iteration() {
+        let src = "
+            fn main(n: i32) -> i32 {
+                var s: i32 = 0;
+                var i: i32 = 0;
+                while (i < n) { s += i; i += 1; }
+                return s;
+            }
+        ";
+        let (r, c) = run_native(src, &[1000]);
+        assert_eq!(r, (0..1000).sum::<u64>());
+        // Unrolled ×4 and inverted: ~1 conditional branch per unrolled
+        // iteration, i.e. about n (not 2n).
+        assert!(
+            c.cond_branches_retired < 1400,
+            "cond branches: {}",
+            c.cond_branches_retired
+        );
+    }
+
+    #[test]
+    fn calls_and_recursion() {
+        let src = "
+            fn fib(n: i32) -> i32 {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            fn main() -> i32 { return fib(15); }
+        ";
+        assert_eq!(run_native(src, &[]).0, 610);
+    }
+
+    #[test]
+    fn indirect_calls_through_table() {
+        let src = "
+            fn add(a: i32, b: i32) -> i32 { return a + b; }
+            fn sub(a: i32, b: i32) -> i32 { return a - b; }
+            table ops = [add, sub];
+            fn main(i: i32) -> i32 { return ops[i](20, 8); }
+        ";
+        assert_eq!(run_native(src, &[0]).0, 28);
+        assert_eq!(run_native(src, &[1]).0, 12);
+    }
+
+    #[test]
+    fn floats_match_interpreter() {
+        let src = "
+            array f64 V[32];
+            fn main() -> i32 {
+                var i: i32 = 0;
+                for (i = 0; i < 32; i += 1) {
+                    V[i] = sqrt(f64(i)) * 1.5 + f64(i) / 3.0;
+                }
+                var s: f64 = 0.0;
+                for (i = 0; i < 32; i += 1) { s += V[i]; }
+                var m: f64 = max(s, 100.0);
+                return i32(m * 16.0) + i32(floor(s)) + i32(abs(0.0 - s));
+            }
+        ";
+        assert_eq!(run_native(src, &[]).0 as u32, run_interp(src, &[]) as u32);
+    }
+
+    #[test]
+    fn short_circuit_does_not_evaluate_rhs() {
+        let src = "
+            global i32 touched = 0;
+            fn side(x: i32) -> i32 { touched = 1; return x; }
+            fn main(c: i32) -> i32 {
+                if (c != 0 && side(c) > 0) { return touched + 10; }
+                return touched;
+            }
+        ";
+        assert_eq!(run_native(src, &[0]).0, 0);
+        assert_eq!(run_native(src, &[5]).0, 11);
+    }
+
+    #[test]
+    fn break_continue_match_interpreter() {
+        let src = "
+            fn main() -> i32 {
+                var i: i32 = 0;
+                var s: i32 = 0;
+                while (i < 50) {
+                    i += 1;
+                    if (i % 3 == 0) { continue; }
+                    if (i > 30) { break; }
+                    s += i;
+                }
+                return s + i;
+            }
+        ";
+        assert_eq!(run_native(src, &[]).0 as u32, run_interp(src, &[]) as u32);
+    }
+
+    #[test]
+    fn i64_and_casts() {
+        let src = "
+            fn main(a: i32) -> i32 {
+                var x: i64 = i64(a) * i64(1000003);
+                var u: u32 = u32(a) * u32(2654435761);
+                var f: f64 = f64(x) / 7.0;
+                return i32(x % i64(1000)) + i32(u >> u32(16)) + i32(f / 1.0e6);
+            }
+        ";
+        for a in [1u64, 77, 4096] {
+            assert_eq!(
+                run_native(src, &[a]).0 as u32,
+                run_interp(src, &[a]) as u32,
+                "a={a}"
+            );
+        }
+    }
+
+    #[test]
+    fn syscall_reaches_host() {
+        use wasmperf_cpu::{HostEnv, HostOutcome, Memory};
+        use wasmperf_isa::TrapKind;
+        struct Recorder(Vec<[u64; 6]>);
+        impl HostEnv for Recorder {
+            fn call(
+                &mut self,
+                id: u32,
+                args: &[u64; 6],
+                _mem: &mut Memory,
+            ) -> Result<HostOutcome, TrapKind> {
+                assert_eq!(id, 0);
+                self.0.push(*args);
+                Ok(HostOutcome::Ret {
+                    value: 99,
+                    kernel_cycles: 10,
+                })
+            }
+        }
+        let src = "fn main() -> i32 { return syscall(4, 1, 2, 3); }";
+        let prog = wasmperf_cir::compile(src).unwrap();
+        let module = compile(&prog, &CompileOptions::default());
+        let mut m = Machine::new(&module, Recorder(Vec::new()));
+        let out = m.run(module.entry.unwrap(), &[], 1_000_000).unwrap();
+        assert_eq!(out.ret, 99);
+        assert_eq!(out.counters.host_calls, 1);
+        assert_eq!(m.host().0[0][..4], [4, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unrolling_reduces_branches() {
+        let src = "
+            array i32 A[4096];
+            fn main() -> i32 {
+                var i: i32 = 0;
+                var s: i32 = 0;
+                for (i = 0; i < 4096; i += 1) { s += A[i] + i; }
+                return s;
+            }
+        ";
+        let prog = wasmperf_cir::compile(src).unwrap();
+        let with = compile(&prog, &CompileOptions::default());
+        let without = compile(
+            &prog,
+            &CompileOptions {
+                unroll: false,
+                ..CompileOptions::default()
+            },
+        );
+        // Unrolling's effect in this model is static code growth (the
+        // I-cache lever behind the paper's 429.mcf anomaly) at equal or
+        // slightly lower dynamic branch counts.
+        assert!(with.code_bytes() > without.code_bytes());
+        let run = |module: &Module| {
+            let mut m = Machine::new(module, NullHost);
+            let out = m.run(module.entry.unwrap(), &[], 100_000_000).unwrap();
+            (out.ret, out.counters)
+        };
+        let (rw, cw) = run(&with);
+        let (rwo, cwo) = run(&without);
+        assert_eq!(rw, rwo);
+        assert!(cw.branches_retired <= cwo.branches_retired);
+    }
+
+    #[test]
+    fn deep_expression_pressure() {
+        // Expression with many live subexpressions; result must match the
+        // interpreter even if spills occur.
+        let src = "
+            fn main(a: i32) -> i32 {
+                var t1: i32 = a + 1;
+                var t2: i32 = a * 2;
+                var t3: i32 = a ^ 3;
+                var t4: i32 = a - 4;
+                var t5: i32 = a | 5;
+                var t6: i32 = a & 6;
+                var t7: i32 = a << 1;
+                var t8: i32 = a >> 1;
+                var t9: i32 = a + 9;
+                var t10: i32 = a * 10;
+                var t11: i32 = a - 11;
+                var t12: i32 = a ^ 12;
+                var t13: i32 = a + 13;
+                var t14: i32 = a * 14;
+                return ((t1 + t2) * (t3 + t4) - (t5 + t6) * (t7 + t8))
+                     + ((t9 + t10) * (t11 + t12) - (t13 + t14) * (t1 + t3));
+            }
+        ";
+        for a in [3u64, 1000] {
+            assert_eq!(
+                run_native(src, &[a]).0 as u32,
+                run_interp(src, &[a]) as u32
+            );
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Retired-event performance counters (the `perf` analog).
+
+use core::ops::{Add, AddAssign};
+
+/// Counter snapshot gathered during one program execution.
+///
+/// Field names follow the paper's Table 3. `cycles` covers user code only;
+/// `host_cycles` is time spent inside the host (the Browsix kernel), kept
+/// separate so the harness can compute the paper's Figure 4 (time spent in
+/// BROWSIX-WASM as a percentage of total).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerfCounters {
+    /// `instructions-retired`.
+    pub instructions_retired: u64,
+    /// `all-loads-retired` — memory-reading micro-ops.
+    pub loads_retired: u64,
+    /// `all-stores-retired` — memory-writing micro-ops.
+    pub stores_retired: u64,
+    /// `branches-retired` — all control transfers (jmp/jcc/call/ret).
+    pub branches_retired: u64,
+    /// `conditional-branches` — jcc only.
+    pub cond_branches_retired: u64,
+    /// `cpu-cycles` spent in user code.
+    pub cycles: u64,
+    /// L1 instruction-cache fetch accesses.
+    pub icache_accesses: u64,
+    /// `L1-icache-load-misses`.
+    pub icache_misses: u64,
+    /// L1 data-cache accesses.
+    pub dcache_accesses: u64,
+    /// L1 data-cache misses.
+    pub dcache_misses: u64,
+    /// Conditional-branch mispredictions.
+    pub branch_mispredicts: u64,
+    /// Number of host (kernel) calls.
+    pub host_calls: u64,
+    /// Cycles charged to the host (Browsix kernel time).
+    pub host_cycles: u64,
+}
+
+impl PerfCounters {
+    /// Total cycles including host time.
+    pub fn total_cycles(&self) -> u64 {
+        self.cycles + self.host_cycles
+    }
+
+    /// Fraction of total time spent in the host, in percent (Figure 4).
+    pub fn host_time_percent(&self) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.host_cycles as f64 / total as f64
+        }
+    }
+
+    /// Wall-clock seconds at the given core frequency.
+    pub fn seconds(&self, hz: f64) -> f64 {
+        self.total_cycles() as f64 / hz
+    }
+
+    /// Instructions per cycle of the user portion.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions_retired as f64 / self.cycles as f64
+        }
+    }
+}
+
+impl Add for PerfCounters {
+    type Output = PerfCounters;
+
+    fn add(mut self, rhs: PerfCounters) -> PerfCounters {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for PerfCounters {
+    fn add_assign(&mut self, rhs: PerfCounters) {
+        self.instructions_retired += rhs.instructions_retired;
+        self.loads_retired += rhs.loads_retired;
+        self.stores_retired += rhs.stores_retired;
+        self.branches_retired += rhs.branches_retired;
+        self.cond_branches_retired += rhs.cond_branches_retired;
+        self.cycles += rhs.cycles;
+        self.icache_accesses += rhs.icache_accesses;
+        self.icache_misses += rhs.icache_misses;
+        self.dcache_accesses += rhs.dcache_accesses;
+        self.dcache_misses += rhs.dcache_misses;
+        self.branch_mispredicts += rhs.branch_mispredicts;
+        self.host_calls += rhs.host_calls;
+        self.host_cycles += rhs.host_cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_time_percent() {
+        let c = PerfCounters {
+            cycles: 980,
+            host_cycles: 20,
+            ..PerfCounters::default()
+        };
+        assert!((c.host_time_percent() - 2.0).abs() < 1e-9);
+        assert_eq!(c.total_cycles(), 1000);
+        let zero = PerfCounters::default();
+        assert_eq!(zero.host_time_percent(), 0.0);
+    }
+
+    #[test]
+    fn seconds_at_frequency() {
+        let c = PerfCounters {
+            cycles: 3_500_000_000,
+            ..PerfCounters::default()
+        };
+        assert!((c.seconds(3.5e9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let a = PerfCounters {
+            instructions_retired: 10,
+            loads_retired: 3,
+            cycles: 7,
+            ..PerfCounters::default()
+        };
+        let b = PerfCounters {
+            instructions_retired: 5,
+            stores_retired: 2,
+            host_cycles: 1,
+            ..PerfCounters::default()
+        };
+        let c = a + b;
+        assert_eq!(c.instructions_retired, 15);
+        assert_eq!(c.loads_retired, 3);
+        assert_eq!(c.stores_retired, 2);
+        assert_eq!(c.total_cycles(), 8);
+    }
+
+    #[test]
+    fn ipc_guard_against_zero() {
+        assert_eq!(PerfCounters::default().ipc(), 0.0);
+    }
+}

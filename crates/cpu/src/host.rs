@@ -1,0 +1,71 @@
+//! Host-environment interface.
+//!
+//! A [`Inst::CallHost`](wasmperf_isa::Inst::CallHost) instruction transfers
+//! control to the host — in the full system, the Browsix kernel. The host
+//! receives the six System V argument registers and mutable access to the
+//! program's memory, and returns a value for `rax` plus the number of
+//! cycles its work should be charged (kernel time, kept separate from user
+//! cycles for the paper's Figure 4).
+
+use crate::mem::Memory;
+use wasmperf_isa::TrapKind;
+
+/// Result of a host call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostOutcome {
+    /// Return `value` in `rax` and continue, charging `kernel_cycles`.
+    Ret {
+        /// Value placed in `rax`.
+        value: u64,
+        /// Cycles charged to the host (kernel) side.
+        kernel_cycles: u64,
+    },
+    /// Terminate the program with the given exit code.
+    Exit {
+        /// Process exit code.
+        code: i32,
+        /// Cycles charged to the host (kernel) side.
+        kernel_cycles: u64,
+    },
+}
+
+/// A host environment servicing [`wasmperf_isa::Inst::CallHost`].
+pub trait HostEnv {
+    /// Services host function `id` with System V argument registers `args`.
+    fn call(
+        &mut self,
+        id: u32,
+        args: &[u64; 6],
+        mem: &mut Memory,
+    ) -> Result<HostOutcome, TrapKind>;
+}
+
+/// A host that rejects every call; used for pure-compute programs.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullHost;
+
+impl HostEnv for NullHost {
+    fn call(
+        &mut self,
+        _id: u32,
+        _args: &[u64; 6],
+        _mem: &mut Memory,
+    ) -> Result<HostOutcome, TrapKind> {
+        Err(TrapKind::Abort)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_host_rejects() {
+        let mut h = NullHost;
+        let mut m = Memory::new(16);
+        assert_eq!(
+            h.call(0, &[0; 6], &mut m).unwrap_err(),
+            TrapKind::Abort
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Executing performance-model simulator for the `wasmperf-isa` machine.
+//!
+//! This crate plays the role of the paper's measurement substrate: the
+//! Intel Xeon E5-1650 v3 plus Linux `perf`. It executes machine code
+//! produced by either backend and maintains the retired-event counters the
+//! paper analyses (Table 3):
+//!
+//! | perf event | here |
+//! |---|---|
+//! | `all-loads-retired` (r81d0) | [`PerfCounters::loads_retired`] |
+//! | `all-stores-retired` (r82d0) | [`PerfCounters::stores_retired`] |
+//! | `branches-retired` (r00c4) | [`PerfCounters::branches_retired`] |
+//! | `conditional-branches` (r01c4) | [`PerfCounters::cond_branches_retired`] |
+//! | `instructions-retired` (r1c0) | [`PerfCounters::instructions_retired`] |
+//! | `cpu-cycles` | [`PerfCounters::cycles`] |
+//! | `L1-icache-load-misses` | [`PerfCounters::icache_misses`] |
+//!
+//! Cycles come from an additive timing model ([`TimingModel`]): a base
+//! issue cost per instruction class (modelling a superscalar core's
+//! sustained IPC) plus penalties for L1 instruction-cache misses, L1
+//! data-cache misses, and branch mispredictions. The model is deliberately
+//! simple — the paper's conclusions rest on counter *ratios* between
+//! compilation strategies, which an additive model preserves — but every
+//! mechanism the paper invokes (I-cache pressure from code bloat, extra
+//! loads/stores from spills, extra branches from safety checks) has a
+//! first-class cost here.
+//!
+//! Host calls (the Browsix kernel's syscalls) are accounted separately in
+//! [`PerfCounters::host_cycles`], which is how the harness reproduces the
+//! paper's Figure 4 (percentage of time spent in BROWSIX-WASM).
+
+pub mod cache;
+pub mod counters;
+pub mod host;
+pub mod machine;
+pub mod mem;
+pub mod predictor;
+pub mod timing;
+
+pub use cache::Cache;
+pub use counters::PerfCounters;
+pub use host::{HostEnv, HostOutcome, NullHost};
+pub use machine::{Machine, RunOutcome};
+pub use mem::Memory;
+pub use predictor::BranchPredictor;
+pub use timing::TimingModel;

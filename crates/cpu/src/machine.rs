@@ -1,0 +1,1800 @@
+//! The instruction-level executor.
+//!
+//! [`Machine`] runs one [`wasmperf_isa::Module`] to completion, maintaining
+//! architectural state (registers, flags, memory, machine stack) and the
+//! full set of performance counters. Execution is deterministic: the same
+//! module and inputs always produce the same outputs *and* the same
+//! counter values.
+//!
+//! Address-space layout:
+//!
+//! ```text
+//! 0 .. module.memory_size            program linear memory (data + heap)
+//! module.memory_size .. mem.size()   machine stack (grows downward)
+//! ```
+//!
+//! Calls push a synthetic return token on the machine stack (so stack
+//! traffic is realistic) while a shadow stack holds the actual return
+//! targets; `ret` verifies `rsp` integrity against the shadow stack, which
+//! catches backend prologue/epilogue bugs immediately.
+
+use crate::cache::Cache;
+use crate::counters::PerfCounters;
+use crate::host::{HostEnv, HostOutcome};
+use crate::mem::Memory;
+use crate::predictor::BranchPredictor;
+use crate::timing::{fp_to_cycles, TimingModel};
+use wasmperf_isa::inst::FOperand;
+use wasmperf_isa::size::encoded_len;
+use wasmperf_isa::{
+    AluOp, Cc, FAluOp, FPrec, FuncId, Inst, MemRef, Module, Operand, Reg, RoundMode, TrapKind,
+    Width,
+};
+
+/// Default machine-stack size in bytes.
+pub const DEFAULT_STACK_BYTES: u64 = 1 << 20;
+
+/// Synthetic value pushed as a return address token.
+const RET_TOKEN: u64 = 0x5EC0_DE00_0000_0000;
+
+/// Flags register subset.
+#[derive(Debug, Clone, Copy, Default)]
+struct Flags {
+    zf: bool,
+    sf: bool,
+    of: bool,
+    cf: bool,
+    pf: bool,
+}
+
+#[derive(Debug)]
+struct Frame {
+    func: u32,
+    ret_pc: u32,
+    rsp_at_call: u64,
+}
+
+/// An execution error: a trap plus source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError {
+    /// The trap reason.
+    pub kind: TrapKind,
+    /// Function the trap occurred in.
+    pub func: String,
+    /// Instruction index within the function.
+    pub pc: usize,
+    /// Additional context.
+    pub detail: String,
+}
+
+impl core::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "trap: {} at {}+{}", self.kind, self.func, self.pc)?;
+        if !self.detail.is_empty() {
+            write!(f, " ({})", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Result of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Value of `rax` when the entry function returned.
+    pub ret: u64,
+    /// Exit code if the program terminated via a host `exit`.
+    pub exit_code: Option<i32>,
+    /// Performance counters for the run.
+    pub counters: PerfCounters,
+}
+
+/// The executing machine.
+pub struct Machine<'m, H: HostEnv> {
+    module: &'m Module,
+    /// Program memory image (linear memory + machine stack).
+    pub mem: Memory,
+    regs: [u64; 16],
+    xmm: [u64; 16],
+    flags: Flags,
+    counters: PerfCounters,
+    icache: Cache,
+    dcache: Cache,
+    predictor: BranchPredictor,
+    timing: TimingModel,
+    cycle_fp: u64,
+    /// Remaining issue work that hides under an outstanding D-cache miss.
+    stall_credit_fp: u64,
+    call_stack: Vec<Frame>,
+    host: H,
+    stack_floor: u64,
+    /// Maximum shadow-stack depth before a stack-overflow trap.
+    pub max_call_depth: usize,
+}
+
+impl<'m, H: HostEnv> Machine<'m, H> {
+    /// Creates a machine for `module` with a default-size machine stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module's instruction addresses have not been assigned
+    /// (backends must call [`Module::assign_addresses`]).
+    pub fn new(module: &'m Module, host: H) -> Machine<'m, H> {
+        Machine::with_config(module, host, DEFAULT_STACK_BYTES, TimingModel::default())
+    }
+
+    /// Creates a machine with an explicit stack size and timing model.
+    pub fn with_config(
+        module: &'m Module,
+        host: H,
+        stack_bytes: u64,
+        timing: TimingModel,
+    ) -> Machine<'m, H> {
+        for f in &module.funcs {
+            assert_eq!(
+                f.inst_addrs.len(),
+                f.insts.len(),
+                "module must have addresses assigned (fn {})",
+                f.name
+            );
+        }
+        let total = module.memory_size + stack_bytes;
+        let mut mem = Memory::new(total);
+        for (addr, data) in &module.data {
+            mem.write_bytes(*addr, data).expect("data segment in bounds");
+        }
+        let mut regs = [0u64; 16];
+        regs[Reg::Rsp.index()] = total - 16;
+        Machine {
+            module,
+            mem,
+            regs,
+            xmm: [0; 16],
+            flags: Flags::default(),
+            counters: PerfCounters::default(),
+            icache: Cache::l1(),
+            dcache: Cache::l1(),
+            predictor: BranchPredictor::default(),
+            timing,
+            cycle_fp: 0,
+            stall_credit_fp: 0,
+            call_stack: Vec::new(),
+            host,
+            stack_floor: module.memory_size,
+            max_call_depth: 100_000,
+        }
+    }
+
+    /// Current counter values (cycles synced).
+    pub fn counters(&self) -> PerfCounters {
+        let mut c = self.counters;
+        c.cycles = fp_to_cycles(self.cycle_fp);
+        c.icache_accesses = self.icache.accesses();
+        c.icache_misses = self.icache.misses();
+        c.dcache_accesses = self.dcache.accesses();
+        c.dcache_misses = self.dcache.misses();
+        c.branch_mispredicts = self.predictor.mispredicts();
+        c
+    }
+
+    /// Reads a general-purpose register.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a general-purpose register (full 64 bits).
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        self.regs[r.index()] = v;
+    }
+
+    /// Shared access to the host environment.
+    pub fn host(&self) -> &H {
+        &self.host
+    }
+
+    /// Mutable access to the host environment.
+    pub fn host_mut(&mut self) -> &mut H {
+        &mut self.host
+    }
+
+    /// Consumes the machine, returning the host.
+    pub fn into_host(self) -> H {
+        self.host
+    }
+
+    fn err(&self, kind: TrapKind, func: u32, pc: usize, detail: impl Into<String>) -> ExecError {
+        ExecError {
+            kind,
+            func: self.module.funcs[func as usize].name.clone(),
+            pc,
+            detail: detail.into(),
+        }
+    }
+
+    #[inline]
+    fn ea(&self, m: &MemRef) -> u64 {
+        let mut a = m.disp as u64;
+        if let Some(b) = m.base {
+            a = a.wrapping_add(self.regs[b.index()]);
+        }
+        if let Some((i, s)) = m.index {
+            a = a.wrapping_add(self.regs[i.index()].wrapping_mul(s as u64));
+        }
+        a
+    }
+
+    #[inline]
+    fn dcache_miss(&mut self) {
+        let penalty = self.timing.dcache_miss_penalty as u64;
+        self.cycle_fp += penalty;
+        // A window of subsequent issue executes under the miss shadow.
+        self.stall_credit_fp +=
+            penalty * self.timing.dcache_overlap_percent as u64 / 100;
+    }
+
+    #[inline]
+    fn dread(&mut self, addr: u64, width: Width) -> Result<u64, TrapKind> {
+        self.counters.loads_retired += 1;
+        if !self.dcache.access(addr) {
+            self.dcache_miss();
+        }
+        self.mem.read(addr, width)
+    }
+
+    #[inline]
+    fn dwrite(&mut self, addr: u64, v: u64, width: Width) -> Result<(), TrapKind> {
+        self.counters.stores_retired += 1;
+        if !self.dcache.access(addr) {
+            self.dcache_miss();
+        }
+        self.mem.write(addr, v, width)
+    }
+
+    #[inline]
+    fn read_op(&mut self, op: &Operand, width: Width) -> Result<u64, TrapKind> {
+        match op {
+            Operand::Reg(r) => Ok(self.regs[r.index()] & width.mask()),
+            Operand::Imm(v) => Ok((*v as u64) & width.mask()),
+            Operand::Mem(m) => {
+                let a = self.ea(m);
+                self.dread(a, width)
+            }
+        }
+    }
+
+    /// Writes an integer destination with x86 width semantics: 32-bit
+    /// writes zero-extend, 8/16-bit writes merge into the low bits.
+    #[inline]
+    fn write_reg_w(&mut self, r: Reg, v: u64, width: Width) {
+        let slot = &mut self.regs[r.index()];
+        match width {
+            Width::W64 => *slot = v,
+            Width::W32 => *slot = v & 0xffff_ffff,
+            Width::W16 => *slot = (*slot & !0xffff) | (v & 0xffff),
+            Width::W8 => *slot = (*slot & !0xff) | (v & 0xff),
+        }
+    }
+
+    #[inline]
+    fn write_op(&mut self, op: &Operand, v: u64, width: Width) -> Result<(), TrapKind> {
+        match op {
+            Operand::Reg(r) => {
+                self.write_reg_w(*r, v, width);
+                Ok(())
+            }
+            Operand::Mem(m) => {
+                let a = self.ea(m);
+                self.dwrite(a, v, width)
+            }
+            Operand::Imm(_) => unreachable!("immediate destination"),
+        }
+    }
+
+    fn set_flags_logic(&mut self, res: u64, width: Width) {
+        let r = res & width.mask();
+        self.flags = Flags {
+            zf: r == 0,
+            sf: r & width.sign_bit() != 0,
+            of: false,
+            cf: false,
+            pf: false,
+        };
+    }
+
+    fn set_flags_add(&mut self, lhs: u64, rhs: u64, width: Width) -> u64 {
+        let mask = width.mask();
+        let (l, r) = (lhs & mask, rhs & mask);
+        let res = l.wrapping_add(r) & mask;
+        let sign = width.sign_bit();
+        self.flags = Flags {
+            zf: res == 0,
+            sf: res & sign != 0,
+            cf: res < l,
+            of: (!(l ^ r) & (l ^ res)) & sign != 0,
+            pf: false,
+        };
+        res
+    }
+
+    fn set_flags_sub(&mut self, lhs: u64, rhs: u64, width: Width) -> u64 {
+        let mask = width.mask();
+        let (l, r) = (lhs & mask, rhs & mask);
+        let res = l.wrapping_sub(r) & mask;
+        let sign = width.sign_bit();
+        self.flags = Flags {
+            zf: res == 0,
+            sf: res & sign != 0,
+            cf: l < r,
+            of: ((l ^ r) & (l ^ res)) & sign != 0,
+            pf: false,
+        };
+        res
+    }
+
+    fn cond(&self, cc: Cc) -> bool {
+        let f = self.flags;
+        match cc {
+            Cc::E => f.zf,
+            Cc::Ne => !f.zf,
+            Cc::L => f.sf != f.of,
+            Cc::Le => f.zf || f.sf != f.of,
+            Cc::G => !f.zf && f.sf == f.of,
+            Cc::Ge => f.sf == f.of,
+            Cc::B => f.cf,
+            Cc::Be => f.cf || f.zf,
+            Cc::A => !f.cf && !f.zf,
+            Cc::Ae => !f.cf,
+            Cc::O => f.of,
+            Cc::No => !f.of,
+            Cc::S => f.sf,
+            Cc::Ns => !f.sf,
+            Cc::P => f.pf,
+            Cc::Np => !f.pf,
+        }
+    }
+
+    fn read_fop(&mut self, op: &FOperand, prec: FPrec) -> Result<u64, TrapKind> {
+        match op {
+            FOperand::Xmm(x) => Ok(self.xmm[x.index()]),
+            FOperand::Mem(m) => {
+                let a = self.ea(m);
+                let w = match prec {
+                    FPrec::F32 => Width::W32,
+                    FPrec::F64 => Width::W64,
+                };
+                self.dread(a, w)
+            }
+        }
+    }
+
+    fn push_val(&mut self, v: u64, func: u32, pc: usize) -> Result<(), ExecError> {
+        let rsp = self.regs[Reg::Rsp.index()].wrapping_sub(8);
+        if rsp < self.stack_floor {
+            return Err(self.err(TrapKind::StackOverflow, func, pc, "machine stack exhausted"));
+        }
+        self.regs[Reg::Rsp.index()] = rsp;
+        self.dwrite(rsp, v, Width::W64)
+            .map_err(|k| self.err(k, func, pc, "push"))
+    }
+
+    /// Runs the module from `entry` with System V register arguments.
+    ///
+    /// `fuel` bounds the number of retired instructions; exceeding it
+    /// returns a [`TrapKind::OutOfFuel`] error rather than hanging.
+    pub fn run(
+        &mut self,
+        entry: FuncId,
+        args: &[u64],
+        fuel: u64,
+    ) -> Result<RunOutcome, ExecError> {
+        assert!(args.len() <= 6, "at most 6 register arguments");
+        for (i, &a) in args.iter().enumerate() {
+            self.regs[Reg::SYSV_ARGS[i].index()] = a;
+        }
+        let mut func = entry.0;
+        let mut pc: usize = 0;
+        let mut remaining = fuel;
+
+        loop {
+            let f = &self.module.funcs[func as usize];
+            let Some(inst) = f.insts.get(pc) else {
+                return Err(self.err(TrapKind::Abort, func, pc, "fell off end of function"));
+            };
+            let addr = f.inst_addrs[pc];
+            let len = encoded_len(inst);
+
+            if remaining == 0 {
+                return Err(self.err(TrapKind::OutOfFuel, func, pc, ""));
+            }
+            remaining -= 1;
+
+            // Instruction fetch: I-cache access, possibly straddling lines.
+            if !self.icache.access(addr) {
+                self.cycle_fp += self.timing.icache_miss_penalty as u64;
+            }
+            let last = addr + len as u64 - 1;
+            if self.icache.line_of(last) != self.icache.line_of(addr) && !self.icache.access(last)
+            {
+                self.cycle_fp += self.timing.icache_miss_penalty as u64;
+            }
+
+            self.counters.instructions_retired += 1;
+            let class = inst.class();
+            let cost = self.timing.issue_cost(class) as u64;
+            // Issue cost is absorbed by any outstanding miss shadow.
+            let hidden = cost.min(self.stall_credit_fp);
+            self.stall_credit_fp -= hidden;
+            self.cycle_fp += cost - hidden;
+
+            // `next` is where control goes unless the instruction redirects.
+            let mut next = pc + 1;
+            let mut next_func = func;
+
+            macro_rules! trap {
+                ($k:expr, $d:expr) => {
+                    return Err(self.err($k, func, pc, $d))
+                };
+            }
+
+            match inst {
+                Inst::Mov { dst, src, width } => {
+                    let v = match self.read_op(src, *width) {
+                        Ok(v) => v,
+                        Err(k) => trap!(k, "mov src"),
+                    };
+                    if let Err(k) = self.write_op(dst, v, *width) {
+                        trap!(k, "mov dst");
+                    }
+                }
+                Inst::Movzx { dst, src, from } => {
+                    let v = match self.read_op(src, *from) {
+                        Ok(v) => v,
+                        Err(k) => trap!(k, "movzx"),
+                    };
+                    self.regs[dst.index()] = v;
+                }
+                Inst::Movsx { dst, src, from, to } => {
+                    let v = match self.read_op(src, *from) {
+                        Ok(v) => v,
+                        Err(k) => trap!(k, "movsx"),
+                    };
+                    let bits = from.bytes() * 8;
+                    let sext = ((v << (64 - bits)) as i64 >> (64 - bits)) as u64;
+                    self.write_reg_w(*dst, sext & to.mask(), *to);
+                    if *to == Width::W64 {
+                        self.regs[dst.index()] = sext;
+                    }
+                }
+                Inst::Lea { dst, mem, width } => {
+                    let a = self.ea(mem);
+                    self.write_reg_w(*dst, a & width.mask(), *width);
+                }
+                Inst::Alu { op, dst, src, width } => {
+                    let l = match self.read_op(dst, *width) {
+                        Ok(v) => v,
+                        Err(k) => trap!(k, "alu dst read"),
+                    };
+                    // Read-modify-write to memory also performs the load.
+                    if dst.is_mem() {
+                        // The load above was already counted by read_op.
+                    }
+                    let r = match self.read_op(src, *width) {
+                        Ok(v) => v,
+                        Err(k) => trap!(k, "alu src"),
+                    };
+                    let res = match op {
+                        AluOp::Add => self.set_flags_add(l, r, *width),
+                        AluOp::Sub => self.set_flags_sub(l, r, *width),
+                        AluOp::And => {
+                            let v = l & r;
+                            self.set_flags_logic(v, *width);
+                            v & width.mask()
+                        }
+                        AluOp::Or => {
+                            let v = l | r;
+                            self.set_flags_logic(v, *width);
+                            v & width.mask()
+                        }
+                        AluOp::Xor => {
+                            let v = l ^ r;
+                            self.set_flags_logic(v, *width);
+                            v & width.mask()
+                        }
+                        AluOp::Shl => {
+                            let c = r & (width.bytes() * 8 - 1) as u64;
+                            let v = (l << c) & width.mask();
+                            self.set_flags_logic(v, *width);
+                            v
+                        }
+                        AluOp::Shr => {
+                            let c = r & (width.bytes() * 8 - 1) as u64;
+                            let v = (l & width.mask()) >> c;
+                            self.set_flags_logic(v, *width);
+                            v
+                        }
+                        AluOp::Sar => {
+                            let c = r & (width.bytes() * 8 - 1) as u64;
+                            let bits = width.bytes() * 8;
+                            let sext = ((l << (64 - bits)) as i64) >> (64 - bits);
+                            let v = ((sext >> c) as u64) & width.mask();
+                            self.set_flags_logic(v, *width);
+                            v
+                        }
+                        AluOp::Rol => {
+                            let bits = (width.bytes() * 8) as u32;
+                            let c = (r as u32) % bits;
+                            let lm = l & width.mask();
+                            let v = ((lm << c) | (lm >> (bits - c).min(63))) & width.mask();
+                            v
+                        }
+                        AluOp::Ror => {
+                            let bits = (width.bytes() * 8) as u32;
+                            let c = (r as u32) % bits;
+                            let lm = l & width.mask();
+                            let v = ((lm >> c) | (lm << (bits - c).min(63))) & width.mask();
+                            v
+                        }
+                    };
+                    if let Err(k) = self.write_op(dst, res, *width) {
+                        trap!(k, "alu writeback");
+                    }
+                }
+                Inst::Neg { dst, width } => {
+                    let v = match self.read_op(dst, *width) {
+                        Ok(v) => v,
+                        Err(k) => trap!(k, "neg"),
+                    };
+                    let res = self.set_flags_sub(0, v, *width);
+                    if let Err(k) = self.write_op(dst, res, *width) {
+                        trap!(k, "neg writeback");
+                    }
+                }
+                Inst::Not { dst, width } => {
+                    let v = match self.read_op(dst, *width) {
+                        Ok(v) => v,
+                        Err(k) => trap!(k, "not"),
+                    };
+                    if let Err(k) = self.write_op(dst, !v & width.mask(), *width) {
+                        trap!(k, "not writeback");
+                    }
+                }
+                Inst::Imul { dst, src, width } => {
+                    let l = self.regs[dst.index()] & width.mask();
+                    let r = match self.read_op(src, *width) {
+                        Ok(v) => v,
+                        Err(k) => trap!(k, "imul"),
+                    };
+                    self.write_reg_w(*dst, l.wrapping_mul(r) & width.mask(), *width);
+                }
+                Inst::Imul3 { dst, src, imm, width } => {
+                    let r = match self.read_op(src, *width) {
+                        Ok(v) => v,
+                        Err(k) => trap!(k, "imul3"),
+                    };
+                    self.write_reg_w(
+                        *dst,
+                        r.wrapping_mul(*imm as u64) & width.mask(),
+                        *width,
+                    );
+                }
+                Inst::Cqo { width } => {
+                    let rax = self.regs[Reg::Rax.index()] & width.mask();
+                    let neg = rax & width.sign_bit() != 0;
+                    let v = if neg { width.mask() } else { 0 };
+                    self.write_reg_w(Reg::Rdx, v, *width);
+                }
+                Inst::Div { src, signed, width } => {
+                    let divisor = match self.read_op(src, *width) {
+                        Ok(v) => v,
+                        Err(k) => trap!(k, "div"),
+                    };
+                    if divisor == 0 {
+                        trap!(TrapKind::DivByZero, "");
+                    }
+                    let mask = width.mask();
+                    let lo = self.regs[Reg::Rax.index()] & mask;
+                    let hi = self.regs[Reg::Rdx.index()] & mask;
+                    let bits = width.bytes() * 8;
+                    if *signed {
+                        let dividend = ((hi as u128) << bits) | lo as u128;
+                        // Sign-extend the 2*bits dividend.
+                        let shift = 128 - 2 * bits as u32;
+                        let dividend = ((dividend << shift) as i128) >> shift;
+                        let dsor = {
+                            let s = 64 - bits;
+                            ((divisor << s) as i64 >> s) as i128
+                        };
+                        let q = dividend.wrapping_div(dsor);
+                        let r = dividend.wrapping_rem(dsor);
+                        let min = -(1i128 << (bits - 1));
+                        let max = (1i128 << (bits - 1)) - 1;
+                        if q < min || q > max {
+                            trap!(TrapKind::IntegerOverflow, "idiv quotient overflow");
+                        }
+                        self.write_reg_w(Reg::Rax, q as u64 & mask, *width);
+                        self.write_reg_w(Reg::Rdx, r as u64 & mask, *width);
+                    } else {
+                        let dividend = ((hi as u128) << bits) | lo as u128;
+                        let q = dividend / divisor as u128;
+                        let r = dividend % divisor as u128;
+                        if q > mask as u128 {
+                            trap!(TrapKind::IntegerOverflow, "div quotient overflow");
+                        }
+                        self.write_reg_w(Reg::Rax, q as u64, *width);
+                        self.write_reg_w(Reg::Rdx, r as u64, *width);
+                    }
+                }
+                Inst::Cmp { lhs, rhs, width } => {
+                    let l = match self.read_op(lhs, *width) {
+                        Ok(v) => v,
+                        Err(k) => trap!(k, "cmp lhs"),
+                    };
+                    let r = match self.read_op(rhs, *width) {
+                        Ok(v) => v,
+                        Err(k) => trap!(k, "cmp rhs"),
+                    };
+                    self.set_flags_sub(l, r, *width);
+                }
+                Inst::Test { lhs, rhs, width } => {
+                    let l = match self.read_op(lhs, *width) {
+                        Ok(v) => v,
+                        Err(k) => trap!(k, "test lhs"),
+                    };
+                    let r = match self.read_op(rhs, *width) {
+                        Ok(v) => v,
+                        Err(k) => trap!(k, "test rhs"),
+                    };
+                    self.set_flags_logic(l & r, *width);
+                }
+                Inst::Cmov { cc, dst, src, width } => {
+                    // The source (including memory) is read regardless of
+                    // the condition, as on hardware.
+                    let v = match self.read_op(src, *width) {
+                        Ok(v) => v,
+                        Err(k) => trap!(k, "cmov src"),
+                    };
+                    if self.cond(*cc) {
+                        self.write_reg_w(*dst, v, *width);
+                    } else if *width == Width::W32 {
+                        // 32-bit cmov zero-extends the destination even
+                        // when the move does not happen.
+                        let cur = self.regs[dst.index()] & 0xffff_ffff;
+                        self.regs[dst.index()] = cur;
+                    }
+                }
+                Inst::Setcc { cc, dst } => {
+                    let v = u64::from(self.cond(*cc));
+                    self.regs[dst.index()] = v;
+                }
+                Inst::Lzcnt { dst, src, width } => {
+                    let v = match self.read_op(src, *width) {
+                        Ok(v) => v,
+                        Err(k) => trap!(k, "lzcnt"),
+                    };
+                    let bits = (width.bytes() * 8) as u32;
+                    let n = if v == 0 {
+                        bits
+                    } else {
+                        v.leading_zeros() - (64 - bits)
+                    };
+                    self.write_reg_w(*dst, n as u64, *width);
+                }
+                Inst::Tzcnt { dst, src, width } => {
+                    let v = match self.read_op(src, *width) {
+                        Ok(v) => v,
+                        Err(k) => trap!(k, "tzcnt"),
+                    };
+                    let bits = (width.bytes() * 8) as u32;
+                    let n = if v == 0 { bits } else { v.trailing_zeros().min(bits) };
+                    self.write_reg_w(*dst, n as u64, *width);
+                }
+                Inst::Popcnt { dst, src, width } => {
+                    let v = match self.read_op(src, *width) {
+                        Ok(v) => v,
+                        Err(k) => trap!(k, "popcnt"),
+                    };
+                    self.write_reg_w(*dst, v.count_ones() as u64, *width);
+                }
+                Inst::Jmp { target } => {
+                    self.counters.branches_retired += 1;
+                    next = f.resolve(*target);
+                }
+                Inst::Jcc { cc, target } => {
+                    self.counters.branches_retired += 1;
+                    self.counters.cond_branches_retired += 1;
+                    let taken = self.cond(*cc);
+                    if self.predictor.predict_and_update(addr, taken) {
+                        self.cycle_fp += self.timing.mispredict_penalty as u64;
+                    }
+                    if taken {
+                        next = f.resolve(*target);
+                    }
+                }
+                Inst::Call { target } => {
+                    self.counters.branches_retired += 1;
+                    if self.call_stack.len() >= self.max_call_depth {
+                        trap!(TrapKind::StackOverflow, "call depth");
+                    }
+                    if target.0 as usize >= self.module.funcs.len() {
+                        trap!(TrapKind::Abort, "call to unknown function");
+                    }
+                    self.push_val(RET_TOKEN | next as u64, func, pc)?;
+                    self.call_stack.push(Frame {
+                        func,
+                        ret_pc: next as u32,
+                        rsp_at_call: self.regs[Reg::Rsp.index()],
+                    });
+                    next_func = target.0;
+                    next = 0;
+                }
+                Inst::CallIndirect { target } => {
+                    self.counters.branches_retired += 1;
+                    let v = match self.read_op(target, Width::W64) {
+                        Ok(v) => v,
+                        Err(k) => trap!(k, "call-indirect operand"),
+                    };
+                    if v as usize >= self.module.funcs.len() {
+                        trap!(
+                            TrapKind::IndirectCallOutOfBounds,
+                            format!("bad function id {v:#x}")
+                        );
+                    }
+                    if self.call_stack.len() >= self.max_call_depth {
+                        trap!(TrapKind::StackOverflow, "call depth");
+                    }
+                    self.push_val(RET_TOKEN | next as u64, func, pc)?;
+                    self.call_stack.push(Frame {
+                        func,
+                        ret_pc: next as u32,
+                        rsp_at_call: self.regs[Reg::Rsp.index()],
+                    });
+                    next_func = v as u32;
+                    next = 0;
+                }
+                Inst::CallHost { id } => {
+                    self.counters.branches_retired += 1;
+                    self.counters.host_calls += 1;
+                    let args = [
+                        self.regs[Reg::Rdi.index()],
+                        self.regs[Reg::Rsi.index()],
+                        self.regs[Reg::Rdx.index()],
+                        self.regs[Reg::Rcx.index()],
+                        self.regs[Reg::R8.index()],
+                        self.regs[Reg::R9.index()],
+                    ];
+                    match self.host.call(*id, &args, &mut self.mem) {
+                        Ok(HostOutcome::Ret { value, kernel_cycles }) => {
+                            self.regs[Reg::Rax.index()] = value;
+                            self.counters.host_cycles += kernel_cycles;
+                        }
+                        Ok(HostOutcome::Exit { code, kernel_cycles }) => {
+                            self.counters.host_cycles += kernel_cycles;
+                            return Ok(RunOutcome {
+                                ret: self.regs[Reg::Rax.index()],
+                                exit_code: Some(code),
+                                counters: self.counters(),
+                            });
+                        }
+                        Err(k) => trap!(k, format!("host call {id}")),
+                    }
+                }
+                Inst::Push { src } => {
+                    let v = match self.read_op(src, Width::W64) {
+                        Ok(v) => v,
+                        Err(k) => trap!(k, "push src"),
+                    };
+                    self.push_val(v, func, pc)?;
+                }
+                Inst::Pop { dst } => {
+                    let rsp = self.regs[Reg::Rsp.index()];
+                    let v = match self.dread(rsp, Width::W64) {
+                        Ok(v) => v,
+                        Err(k) => trap!(k, "pop"),
+                    };
+                    self.regs[Reg::Rsp.index()] = rsp + 8;
+                    self.regs[dst.index()] = v;
+                }
+                Inst::Ret => {
+                    self.counters.branches_retired += 1;
+                    let rsp = self.regs[Reg::Rsp.index()];
+                    if let Err(k) = self.dread(rsp, Width::W64) {
+                        trap!(k, "ret pop");
+                    }
+                    self.regs[Reg::Rsp.index()] = rsp + 8;
+                    match self.call_stack.pop() {
+                        Some(frame) => {
+                            if frame.rsp_at_call != rsp {
+                                trap!(
+                                    TrapKind::Abort,
+                                    format!(
+                                        "rsp mismatch on ret: {:#x} != {:#x}",
+                                        rsp, frame.rsp_at_call
+                                    )
+                                );
+                            }
+                            next_func = frame.func;
+                            next = frame.ret_pc as usize;
+                        }
+                        None => {
+                            return Ok(RunOutcome {
+                                ret: self.regs[Reg::Rax.index()],
+                                exit_code: None,
+                                counters: self.counters(),
+                            });
+                        }
+                    }
+                }
+                Inst::MovF { dst, src, prec } => {
+                    let v = match self.read_fop(src, *prec) {
+                        Ok(v) => v,
+                        Err(k) => trap!(k, "movf src"),
+                    };
+                    match dst {
+                        FOperand::Xmm(x) => {
+                            // movss merges the low lane; our model holds one
+                            // scalar per register, so a full overwrite is
+                            // semantically equivalent for scalar code.
+                            self.xmm[x.index()] = v
+                                & match prec {
+                                    FPrec::F32 => 0xffff_ffff,
+                                    FPrec::F64 => u64::MAX,
+                                };
+                        }
+                        FOperand::Mem(m) => {
+                            let a = self.ea(m);
+                            let w = match prec {
+                                FPrec::F32 => Width::W32,
+                                FPrec::F64 => Width::W64,
+                            };
+                            if let Err(k) = self.dwrite(a, v, w) {
+                                trap!(k, "movf dst");
+                            }
+                        }
+                    }
+                }
+                Inst::AluF { op, dst, src, prec } => {
+                    let rv = match self.read_fop(src, *prec) {
+                        Ok(v) => v,
+                        Err(k) => trap!(k, "aluf src"),
+                    };
+                    let lv = self.xmm[dst.index()];
+                    let res = match prec {
+                        FPrec::F32 => {
+                            let l = f32::from_bits(lv as u32);
+                            let r = f32::from_bits(rv as u32);
+                            let v = match op {
+                                FAluOp::Add => l + r,
+                                FAluOp::Sub => l - r,
+                                FAluOp::Mul => l * r,
+                                FAluOp::Div => l / r,
+                                FAluOp::Min => {
+                                    if l < r {
+                                        l
+                                    } else {
+                                        r
+                                    }
+                                }
+                                FAluOp::Max => {
+                                    if l > r {
+                                        l
+                                    } else {
+                                        r
+                                    }
+                                }
+                            };
+                            v.to_bits() as u64
+                        }
+                        FPrec::F64 => {
+                            let l = f64::from_bits(lv);
+                            let r = f64::from_bits(rv);
+                            let v = match op {
+                                FAluOp::Add => l + r,
+                                FAluOp::Sub => l - r,
+                                FAluOp::Mul => l * r,
+                                FAluOp::Div => l / r,
+                                FAluOp::Min => {
+                                    if l < r {
+                                        l
+                                    } else {
+                                        r
+                                    }
+                                }
+                                FAluOp::Max => {
+                                    if l > r {
+                                        l
+                                    } else {
+                                        r
+                                    }
+                                }
+                            };
+                            v.to_bits()
+                        }
+                    };
+                    self.xmm[dst.index()] = res;
+                }
+                Inst::RoundF { dst, src, prec, mode } => {
+                    let v = match self.read_fop(src, *prec) {
+                        Ok(v) => v,
+                        Err(k) => trap!(k, "roundf"),
+                    };
+                    let x = match prec {
+                        FPrec::F32 => f32::from_bits(v as u32) as f64,
+                        FPrec::F64 => f64::from_bits(v),
+                    };
+                    let r = match mode {
+                        RoundMode::Floor => x.floor(),
+                        RoundMode::Ceil => x.ceil(),
+                        RoundMode::Trunc => x.trunc(),
+                        RoundMode::Nearest => {
+                            let r = x.round();
+                            if (x - x.trunc()).abs() == 0.5 && r % 2.0 != 0.0 {
+                                r - x.signum()
+                            } else {
+                                r
+                            }
+                        }
+                    };
+                    self.xmm[dst.index()] = match prec {
+                        FPrec::F32 => (r as f32).to_bits() as u64,
+                        FPrec::F64 => r.to_bits(),
+                    };
+                }
+                Inst::AbsF { dst, src, prec } => {
+                    let v = match self.read_fop(src, *prec) {
+                        Ok(v) => v,
+                        Err(k) => trap!(k, "absf"),
+                    };
+                    self.xmm[dst.index()] = match prec {
+                        FPrec::F32 => (v as u32 & 0x7fff_ffff) as u64,
+                        FPrec::F64 => v & 0x7fff_ffff_ffff_ffff,
+                    };
+                }
+                Inst::SqrtF { dst, src, prec } => {
+                    let v = match self.read_fop(src, *prec) {
+                        Ok(v) => v,
+                        Err(k) => trap!(k, "sqrtf"),
+                    };
+                    self.xmm[dst.index()] = match prec {
+                        FPrec::F32 => f32::from_bits(v as u32).sqrt().to_bits() as u64,
+                        FPrec::F64 => f64::from_bits(v).sqrt().to_bits(),
+                    };
+                }
+                Inst::Ucomis { lhs, rhs, prec } => {
+                    let rv = match self.read_fop(rhs, *prec) {
+                        Ok(v) => v,
+                        Err(k) => trap!(k, "ucomis"),
+                    };
+                    let lv = self.xmm[lhs.index()];
+                    let (l, r) = match prec {
+                        FPrec::F32 => (
+                            f32::from_bits(lv as u32) as f64,
+                            f32::from_bits(rv as u32) as f64,
+                        ),
+                        FPrec::F64 => (f64::from_bits(lv), f64::from_bits(rv)),
+                    };
+                    // x86 ucomis: unordered => ZF=PF=CF=1; == => ZF=1;
+                    // < => CF=1; > => all clear. SF/OF cleared.
+                    let (zf, pf, cf) = if l.is_nan() || r.is_nan() {
+                        (true, true, true)
+                    } else if l == r {
+                        (true, false, false)
+                    } else if l < r {
+                        (false, false, true)
+                    } else {
+                        (false, false, false)
+                    };
+                    self.flags = Flags {
+                        zf,
+                        pf,
+                        cf,
+                        sf: false,
+                        of: false,
+                    };
+                }
+                Inst::CvtIntToF { dst, src, width, prec, unsigned } => {
+                    let v = match self.read_op(src, *width) {
+                        Ok(v) => v,
+                        Err(k) => trap!(k, "cvtint2f"),
+                    };
+                    let as_f64 = if *unsigned {
+                        v as f64
+                    } else {
+                        let bits = width.bytes() * 8;
+                        (((v << (64 - bits)) as i64) >> (64 - bits)) as f64
+                    };
+                    self.xmm[dst.index()] = match prec {
+                        FPrec::F32 => (as_f64 as f32).to_bits() as u64,
+                        FPrec::F64 => as_f64.to_bits(),
+                    };
+                }
+                Inst::CvtFToInt { dst, src, width, prec, unsigned } => {
+                    let v = match self.read_fop(src, *prec) {
+                        Ok(v) => v,
+                        Err(k) => trap!(k, "cvtf2int"),
+                    };
+                    let x = match prec {
+                        FPrec::F32 => f32::from_bits(v as u32) as f64,
+                        FPrec::F64 => f64::from_bits(v),
+                    };
+                    if x.is_nan() {
+                        trap!(TrapKind::IntegerOverflow, "convert NaN to int");
+                    }
+                    let t = x.trunc();
+                    let bits = width.bytes() * 8;
+                    let res = if *unsigned {
+                        let max = if bits == 64 {
+                            u64::MAX as f64
+                        } else {
+                            ((1u128 << bits) - 1) as f64
+                        };
+                        if t < 0.0 || t > max {
+                            trap!(TrapKind::IntegerOverflow, "f->u out of range");
+                        }
+                        t as u64
+                    } else {
+                        let min = -((1i128 << (bits - 1)) as f64);
+                        let max = ((1i128 << (bits - 1)) - 1) as f64;
+                        if t < min || t > max {
+                            trap!(TrapKind::IntegerOverflow, "f->i out of range");
+                        }
+                        (t as i64) as u64
+                    };
+                    self.write_reg_w(*dst, res & width.mask(), *width);
+                }
+                Inst::CvtFToF { dst, src, from } => {
+                    let v = match self.read_fop(src, *from) {
+                        Ok(v) => v,
+                        Err(k) => trap!(k, "cvtf2f"),
+                    };
+                    self.xmm[dst.index()] = match from {
+                        FPrec::F32 => (f32::from_bits(v as u32) as f64).to_bits(),
+                        FPrec::F64 => (f64::from_bits(v) as f32).to_bits() as u64,
+                    };
+                }
+                Inst::MovGprToXmm { dst, src, width } => {
+                    self.xmm[dst.index()] = self.regs[src.index()] & width.mask();
+                }
+                Inst::MovXmmToGpr { dst, src, width } => {
+                    let v = self.xmm[src.index()] & width.mask();
+                    self.write_reg_w(*dst, v, *width);
+                }
+                Inst::Trap { kind } => trap!(*kind, "explicit trap"),
+                Inst::Nop => {}
+            }
+
+            func = next_func;
+            pc = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::NullHost;
+    use wasmperf_isa::{AsmBuilder, Function};
+
+    fn module_of(funcs: Vec<Function>) -> Module {
+        let mut m = Module {
+            funcs,
+            table: vec![],
+            entry: Some(FuncId(0)),
+            memory_size: 4096,
+            data: vec![],
+        };
+        m.assign_addresses();
+        m
+    }
+
+    fn run_module(m: &Module, args: &[u64]) -> RunOutcome {
+        let mut machine = Machine::new(m, NullHost);
+        machine.run(FuncId(0), args, 1_000_000).expect("runs")
+    }
+
+    #[test]
+    fn returns_constant() {
+        let mut b = AsmBuilder::new("f");
+        b.emit(Inst::Mov {
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Imm(42),
+            width: Width::W64,
+        });
+        b.emit(Inst::Ret);
+        let m = module_of(vec![b.finish()]);
+        assert_eq!(run_module(&m, &[]).ret, 42);
+    }
+
+    #[test]
+    fn adds_arguments() {
+        let mut b = AsmBuilder::new("add");
+        b.emit(Inst::Mov {
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Reg(Reg::Rdi),
+            width: Width::W64,
+        });
+        b.emit(Inst::Alu {
+            op: AluOp::Add,
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Reg(Reg::Rsi),
+            width: Width::W64,
+        });
+        b.emit(Inst::Ret);
+        let m = module_of(vec![b.finish()]);
+        assert_eq!(run_module(&m, &[30, 12]).ret, 42);
+    }
+
+    #[test]
+    fn loop_sums_one_to_n() {
+        // rax = sum(1..=rdi) via a countdown loop.
+        let mut b = AsmBuilder::new("sum");
+        let top = b.new_label();
+        b.emit(Inst::Alu {
+            op: AluOp::Xor,
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Reg(Reg::Rax),
+            width: Width::W64,
+        });
+        b.bind(top);
+        b.emit(Inst::Alu {
+            op: AluOp::Add,
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Reg(Reg::Rdi),
+            width: Width::W64,
+        });
+        b.emit(Inst::Alu {
+            op: AluOp::Sub,
+            dst: Operand::Reg(Reg::Rdi),
+            src: Operand::Imm(1),
+            width: Width::W64,
+        });
+        b.emit(Inst::Jcc {
+            cc: Cc::Ne,
+            target: top,
+        });
+        b.emit(Inst::Ret);
+        let m = module_of(vec![b.finish()]);
+        let out = run_module(&m, &[100]);
+        assert_eq!(out.ret, 5050);
+        assert_eq!(out.counters.cond_branches_retired, 100);
+        assert!(out.counters.instructions_retired > 300);
+        assert!(out.counters.cycles > 0);
+    }
+
+    #[test]
+    fn memory_load_store_counts() {
+        let mut b = AsmBuilder::new("mem");
+        b.emit(Inst::Mov {
+            dst: Operand::Mem(MemRef::abs(64)),
+            src: Operand::Imm(7),
+            width: Width::W64,
+        });
+        b.emit(Inst::Mov {
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Mem(MemRef::abs(64)),
+            width: Width::W64,
+        });
+        b.emit(Inst::Ret);
+        let m = module_of(vec![b.finish()]);
+        let out = run_module(&m, &[]);
+        assert_eq!(out.ret, 7);
+        assert_eq!(out.counters.stores_retired, 1);
+        // Load + the implicit ret pop.
+        assert_eq!(out.counters.loads_retired, 2);
+    }
+
+    #[test]
+    fn rmw_alu_counts_load_and_store() {
+        let mut b = AsmBuilder::new("rmw");
+        b.emit(Inst::Mov {
+            dst: Operand::Mem(MemRef::abs(64)),
+            src: Operand::Imm(40),
+            width: Width::W32,
+        });
+        b.emit(Inst::Alu {
+            op: AluOp::Add,
+            dst: Operand::Mem(MemRef::abs(64)),
+            src: Operand::Imm(2),
+            width: Width::W32,
+        });
+        b.emit(Inst::Mov {
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Mem(MemRef::abs(64)),
+            width: Width::W32,
+        });
+        b.emit(Inst::Ret);
+        let m = module_of(vec![b.finish()]);
+        let out = run_module(&m, &[]);
+        assert_eq!(out.ret, 42);
+        assert_eq!(out.counters.stores_retired, 2);
+        assert_eq!(out.counters.loads_retired, 3); // rmw load + mov load + ret.
+    }
+
+    #[test]
+    fn call_and_ret_roundtrip() {
+        let mut callee = AsmBuilder::new("callee");
+        callee.emit(Inst::Lea {
+            dst: Reg::Rax,
+            mem: MemRef::base_disp(Reg::Rdi, 1),
+            width: Width::W64,
+        });
+        callee.emit(Inst::Ret);
+
+        let mut caller = AsmBuilder::new("caller");
+        caller.emit(Inst::Call { target: FuncId(1) });
+        caller.emit(Inst::Ret);
+        let m = module_of(vec![caller.finish(), callee.finish()]);
+        let out = run_module(&m, &[41]);
+        assert_eq!(out.ret, 42);
+        // call + 2 rets are branches.
+        assert_eq!(out.counters.branches_retired, 3);
+    }
+
+    #[test]
+    fn indirect_call_through_register() {
+        let mut callee = AsmBuilder::new("callee");
+        callee.emit(Inst::Mov {
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Imm(99),
+            width: Width::W64,
+        });
+        callee.emit(Inst::Ret);
+
+        let mut caller = AsmBuilder::new("caller");
+        caller.emit(Inst::Mov {
+            dst: Operand::Reg(Reg::R8),
+            src: Operand::Imm(1),
+            width: Width::W64,
+        });
+        caller.emit(Inst::CallIndirect {
+            target: Operand::Reg(Reg::R8),
+        });
+        caller.emit(Inst::Ret);
+        let m = module_of(vec![caller.finish(), callee.finish()]);
+        assert_eq!(run_module(&m, &[]).ret, 99);
+    }
+
+    #[test]
+    fn indirect_call_bad_id_traps() {
+        let mut caller = AsmBuilder::new("caller");
+        caller.emit(Inst::Mov {
+            dst: Operand::Reg(Reg::R8),
+            src: Operand::Imm(77),
+            width: Width::W64,
+        });
+        caller.emit(Inst::CallIndirect {
+            target: Operand::Reg(Reg::R8),
+        });
+        caller.emit(Inst::Ret);
+        let m = module_of(vec![caller.finish()]);
+        let mut machine = Machine::new(&m, NullHost);
+        let err = machine.run(FuncId(0), &[], 1000).unwrap_err();
+        assert_eq!(err.kind, TrapKind::IndirectCallOutOfBounds);
+    }
+
+    #[test]
+    fn div_by_zero_traps() {
+        let mut b = AsmBuilder::new("d");
+        b.emit(Inst::Mov {
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Imm(10),
+            width: Width::W64,
+        });
+        b.emit(Inst::Cqo { width: Width::W64 });
+        b.emit(Inst::Div {
+            src: Operand::Reg(Reg::Rcx),
+            signed: true,
+            width: Width::W64,
+        });
+        b.emit(Inst::Ret);
+        let m = module_of(vec![b.finish()]);
+        let mut machine = Machine::new(&m, NullHost);
+        let err = machine.run(FuncId(0), &[], 1000).unwrap_err();
+        assert_eq!(err.kind, TrapKind::DivByZero);
+    }
+
+    #[test]
+    fn signed_division_semantics() {
+        // -7 / 2 = -3 rem -1 (x86 truncated division).
+        let mut b = AsmBuilder::new("d");
+        b.emit(Inst::Mov {
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Imm(-7),
+            width: Width::W64,
+        });
+        b.emit(Inst::Mov {
+            dst: Operand::Reg(Reg::Rcx),
+            src: Operand::Imm(2),
+            width: Width::W64,
+        });
+        b.emit(Inst::Cqo { width: Width::W64 });
+        b.emit(Inst::Div {
+            src: Operand::Reg(Reg::Rcx),
+            signed: true,
+            width: Width::W64,
+        });
+        b.emit(Inst::Ret);
+        let m = module_of(vec![b.finish()]);
+        let mut machine = Machine::new(&m, NullHost);
+        let out = machine.run(FuncId(0), &[], 1000).unwrap();
+        assert_eq!(out.ret as i64, -3);
+        assert_eq!(machine.reg(Reg::Rdx) as i64, -1);
+    }
+
+    #[test]
+    fn unsigned_32bit_division() {
+        let mut b = AsmBuilder::new("d");
+        b.emit(Inst::Mov {
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Imm(0xffff_fffe),
+            width: Width::W32,
+        });
+        b.emit(Inst::Mov {
+            dst: Operand::Reg(Reg::Rdx),
+            src: Operand::Imm(0),
+            width: Width::W32,
+        });
+        b.emit(Inst::Mov {
+            dst: Operand::Reg(Reg::Rcx),
+            src: Operand::Imm(3),
+            width: Width::W32,
+        });
+        b.emit(Inst::Div {
+            src: Operand::Reg(Reg::Rcx),
+            signed: false,
+            width: Width::W32,
+        });
+        b.emit(Inst::Ret);
+        let m = module_of(vec![b.finish()]);
+        assert_eq!(run_module(&m, &[]).ret, 0xffff_fffe / 3);
+    }
+
+    #[test]
+    fn float_arithmetic() {
+        let mut b = AsmBuilder::new("f");
+        // xmm0 = 2.5 via memory constant.
+        b.emit(Inst::Mov {
+            dst: Operand::Mem(MemRef::abs(32)),
+            src: Operand::Imm(2.5f64.to_bits() as i64),
+            width: Width::W64,
+        });
+        b.emit(Inst::MovF {
+            dst: FOperand::Xmm(wasmperf_isa::Xmm(0)),
+            src: FOperand::Mem(MemRef::abs(32)),
+            prec: FPrec::F64,
+        });
+        b.emit(Inst::AluF {
+            op: FAluOp::Mul,
+            dst: wasmperf_isa::Xmm(0),
+            src: FOperand::Xmm(wasmperf_isa::Xmm(0)),
+            prec: FPrec::F64,
+        });
+        b.emit(Inst::CvtFToInt {
+            dst: Reg::Rax,
+            src: FOperand::Xmm(wasmperf_isa::Xmm(0)),
+            width: Width::W64,
+            prec: FPrec::F64,
+            unsigned: false,
+        });
+        b.emit(Inst::Ret);
+        let m = module_of(vec![b.finish()]);
+        assert_eq!(run_module(&m, &[]).ret, 6); // trunc(6.25).
+    }
+
+    #[test]
+    fn fuel_exhaustion() {
+        let mut b = AsmBuilder::new("spin");
+        let top = b.new_label();
+        b.bind(top);
+        b.emit(Inst::Jmp { target: top });
+        let m = module_of(vec![b.finish()]);
+        let mut machine = Machine::new(&m, NullHost);
+        let err = machine.run(FuncId(0), &[], 10_000).unwrap_err();
+        assert_eq!(err.kind, TrapKind::OutOfFuel);
+    }
+
+    #[test]
+    fn push_pop_stack_discipline() {
+        let mut b = AsmBuilder::new("pp");
+        b.emit(Inst::Push {
+            src: Operand::Reg(Reg::Rdi),
+        });
+        b.emit(Inst::Mov {
+            dst: Operand::Reg(Reg::Rdi),
+            src: Operand::Imm(0),
+            width: Width::W64,
+        });
+        b.emit(Inst::Pop { dst: Reg::Rax });
+        b.emit(Inst::Ret);
+        let m = module_of(vec![b.finish()]);
+        assert_eq!(run_module(&m, &[1234]).ret, 1234);
+    }
+
+    #[test]
+    fn stack_frame_mismatch_detected() {
+        // A function that pushes without popping corrupts rsp; ret traps.
+        let mut b = AsmBuilder::new("bad");
+        b.emit(Inst::Push {
+            src: Operand::Imm(0),
+        });
+        b.emit(Inst::Ret);
+        let mut caller = AsmBuilder::new("caller");
+        caller.emit(Inst::Call { target: FuncId(1) });
+        caller.emit(Inst::Ret);
+        let m = module_of(vec![caller.finish(), b.finish()]);
+        let mut machine = Machine::new(&m, NullHost);
+        let err = machine.run(FuncId(0), &[], 1000).unwrap_err();
+        assert_eq!(err.kind, TrapKind::Abort);
+        assert!(err.detail.contains("rsp mismatch"), "{}", err.detail);
+    }
+
+    #[test]
+    fn explicit_trap_reports_kind() {
+        let mut b = AsmBuilder::new("t");
+        b.emit(Inst::Trap {
+            kind: TrapKind::StackOverflow,
+        });
+        let m = module_of(vec![b.finish()]);
+        let mut machine = Machine::new(&m, NullHost);
+        let err = machine.run(FuncId(0), &[], 1000).unwrap_err();
+        assert_eq!(err.kind, TrapKind::StackOverflow);
+    }
+
+    #[test]
+    fn width32_ops_zero_extend() {
+        let mut b = AsmBuilder::new("w");
+        b.emit(Inst::Mov {
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Imm(-1),
+            width: Width::W64,
+        });
+        b.emit(Inst::Alu {
+            op: AluOp::Add,
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Imm(2),
+            width: Width::W32,
+        });
+        b.emit(Inst::Ret);
+        let m = module_of(vec![b.finish()]);
+        // 32-bit add wraps and zero-extends: 0xffffffff + 2 = 1.
+        assert_eq!(run_module(&m, &[]).ret, 1);
+    }
+
+    #[test]
+    fn movsx_sign_extends() {
+        let mut b = AsmBuilder::new("sx");
+        b.emit(Inst::Mov {
+            dst: Operand::Mem(MemRef::abs(16)),
+            src: Operand::Imm(0xff),
+            width: Width::W8,
+        });
+        b.emit(Inst::Movsx {
+            dst: Reg::Rax,
+            src: Operand::Mem(MemRef::abs(16)),
+            from: Width::W8,
+            to: Width::W64,
+        });
+        b.emit(Inst::Ret);
+        let m = module_of(vec![b.finish()]);
+        assert_eq!(run_module(&m, &[]).ret as i64, -1);
+    }
+
+    #[test]
+    fn unsigned_compare_uses_carry() {
+        let mut b = AsmBuilder::new("u");
+        // 1 < 0xffffffff unsigned => setb rax = 1.
+        b.emit(Inst::Mov {
+            dst: Operand::Reg(Reg::Rcx),
+            src: Operand::Imm(1),
+            width: Width::W64,
+        });
+        b.emit(Inst::Mov {
+            dst: Operand::Reg(Reg::Rdx),
+            src: Operand::Imm(0xffff_ffff),
+            width: Width::W64,
+        });
+        b.emit(Inst::Cmp {
+            lhs: Operand::Reg(Reg::Rcx),
+            rhs: Operand::Reg(Reg::Rdx),
+            width: Width::W64,
+        });
+        b.emit(Inst::Setcc {
+            cc: Cc::B,
+            dst: Reg::Rax,
+        });
+        b.emit(Inst::Ret);
+        let m = module_of(vec![b.finish()]);
+        assert_eq!(run_module(&m, &[]).ret, 1);
+    }
+
+    #[test]
+    fn signed_compare_negative() {
+        let mut b = AsmBuilder::new("s");
+        // -5 < 3 signed => setl = 1; but unsigned -5 > 3 => setb = 0.
+        b.emit(Inst::Mov {
+            dst: Operand::Reg(Reg::Rcx),
+            src: Operand::Imm(-5),
+            width: Width::W64,
+        });
+        b.emit(Inst::Cmp {
+            lhs: Operand::Reg(Reg::Rcx),
+            rhs: Operand::Imm(3),
+            width: Width::W64,
+        });
+        b.emit(Inst::Setcc {
+            cc: Cc::L,
+            dst: Reg::Rax,
+        });
+        b.emit(Inst::Setcc {
+            cc: Cc::B,
+            dst: Reg::Rdx,
+        });
+        b.emit(Inst::Ret);
+        let m = module_of(vec![b.finish()]);
+        let mut machine = Machine::new(&m, NullHost);
+        let out = machine.run(FuncId(0), &[], 1000).unwrap();
+        assert_eq!(out.ret, 1);
+        assert_eq!(machine.reg(Reg::Rdx), 0);
+    }
+
+    #[test]
+    fn shifts_mask_count() {
+        let mut b = AsmBuilder::new("sh");
+        b.emit(Inst::Mov {
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Imm(1),
+            width: Width::W64,
+        });
+        b.emit(Inst::Alu {
+            op: AluOp::Shl,
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Imm(65), // Masked to 1 for W64.
+            width: Width::W64,
+        });
+        b.emit(Inst::Ret);
+        let m = module_of(vec![b.finish()]);
+        assert_eq!(run_module(&m, &[]).ret, 2);
+    }
+
+    #[test]
+    fn sar_is_arithmetic() {
+        let mut b = AsmBuilder::new("sar");
+        b.emit(Inst::Mov {
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Imm(-8),
+            width: Width::W64,
+        });
+        b.emit(Inst::Alu {
+            op: AluOp::Sar,
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Imm(2),
+            width: Width::W64,
+        });
+        b.emit(Inst::Ret);
+        let m = module_of(vec![b.finish()]);
+        assert_eq!(run_module(&m, &[]).ret as i64, -2);
+    }
+
+    #[test]
+    fn host_call_exit() {
+        struct ExitHost;
+        impl HostEnv for ExitHost {
+            fn call(
+                &mut self,
+                id: u32,
+                args: &[u64; 6],
+                _mem: &mut Memory,
+            ) -> Result<HostOutcome, TrapKind> {
+                assert_eq!(id, 1);
+                Ok(HostOutcome::Exit {
+                    code: args[0] as i32,
+                    kernel_cycles: 100,
+                })
+            }
+        }
+        let mut b = AsmBuilder::new("main");
+        b.emit(Inst::Mov {
+            dst: Operand::Reg(Reg::Rdi),
+            src: Operand::Imm(3),
+            width: Width::W64,
+        });
+        b.emit(Inst::CallHost { id: 1 });
+        b.emit(Inst::Ret);
+        let m = module_of(vec![b.finish()]);
+        let mut machine = Machine::new(&m, ExitHost);
+        let out = machine.run(FuncId(0), &[], 1000).unwrap();
+        assert_eq!(out.exit_code, Some(3));
+        assert_eq!(out.counters.host_calls, 1);
+        assert_eq!(out.counters.host_cycles, 100);
+    }
+
+    #[test]
+    fn lea_computes_full_addressing_mode() {
+        let mut b = AsmBuilder::new("lea");
+        b.emit(Inst::Lea {
+            dst: Reg::Rax,
+            mem: MemRef::full(Reg::Rdi, Reg::Rsi, 4, 100),
+            width: Width::W64,
+        });
+        b.emit(Inst::Ret);
+        let m = module_of(vec![b.finish()]);
+        assert_eq!(run_module(&m, &[1000, 5]).ret, 1000 + 5 * 4 + 100);
+    }
+
+    #[test]
+    fn bit_count_instructions() {
+        let mut b = AsmBuilder::new("bits");
+        b.emit(Inst::Mov {
+            dst: Operand::Reg(Reg::Rcx),
+            src: Operand::Imm(0b1011_0000),
+            width: Width::W64,
+        });
+        b.emit(Inst::Popcnt {
+            dst: Reg::Rax,
+            src: Operand::Reg(Reg::Rcx),
+            width: Width::W64,
+        });
+        b.emit(Inst::Tzcnt {
+            dst: Reg::Rdx,
+            src: Operand::Reg(Reg::Rcx),
+            width: Width::W64,
+        });
+        b.emit(Inst::Lzcnt {
+            dst: Reg::Rsi,
+            src: Operand::Reg(Reg::Rcx),
+            width: Width::W32,
+        });
+        b.emit(Inst::Ret);
+        let m = module_of(vec![b.finish()]);
+        let mut machine = Machine::new(&m, NullHost);
+        let out = machine.run(FuncId(0), &[], 1000).unwrap();
+        assert_eq!(out.ret, 3);
+        assert_eq!(machine.reg(Reg::Rdx), 4);
+        assert_eq!(machine.reg(Reg::Rsi), 24);
+    }
+
+    #[test]
+    fn cmov_moves_only_when_condition_holds() {
+        let mut b = AsmBuilder::new("cm");
+        // rax = 5; if (rdi < 10) rax = rsi (cmovl).
+        b.emit(Inst::Mov {
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Imm(5),
+            width: Width::W64,
+        });
+        b.emit(Inst::Cmp {
+            lhs: Operand::Reg(Reg::Rdi),
+            rhs: Operand::Imm(10),
+            width: Width::W64,
+        });
+        b.emit(Inst::Cmov {
+            cc: Cc::L,
+            dst: Reg::Rax,
+            src: Operand::Reg(Reg::Rsi),
+            width: Width::W64,
+        });
+        b.emit(Inst::Ret);
+        let m = module_of(vec![b.finish()]);
+        assert_eq!(run_module(&m, &[3, 77]).ret, 77); // 3 < 10: moved.
+        assert_eq!(run_module(&m, &[30, 77]).ret, 5); // 30 >= 10: kept.
+    }
+
+    #[test]
+    fn cmov_counts_as_plain_instruction_not_branch() {
+        let mut b = AsmBuilder::new("cm2");
+        b.emit(Inst::Cmp {
+            lhs: Operand::Reg(Reg::Rdi),
+            rhs: Operand::Imm(0),
+            width: Width::W64,
+        });
+        b.emit(Inst::Cmov {
+            cc: Cc::E,
+            dst: Reg::Rax,
+            src: Operand::Reg(Reg::Rsi),
+            width: Width::W64,
+        });
+        b.emit(Inst::Ret);
+        let m = module_of(vec![b.finish()]);
+        let out = run_module(&m, &[0, 9]);
+        assert_eq!(out.ret, 9);
+        assert_eq!(out.counters.cond_branches_retired, 0);
+        // Only the final ret is a branch.
+        assert_eq!(out.counters.branches_retired, 1);
+    }
+
+    #[test]
+    fn dcache_overlap_hides_issue_cost_under_misses() {
+        // A loop striding 64 B (one miss per iteration) plus filler ALU
+        // work: with overlap, adding filler costs much less than its raw
+        // issue cost.
+        let build = |filler: usize| {
+            let mut b = AsmBuilder::new("mem");
+            let top = b.new_label();
+            b.emit(Inst::Mov {
+                dst: Operand::Reg(Reg::Rdi),
+                src: Operand::Imm(0),
+                width: Width::W64,
+            });
+            b.bind(top);
+            b.emit(Inst::Mov {
+                dst: Operand::Reg(Reg::Rax),
+                src: Operand::Mem(MemRef::base(Reg::Rdi)),
+                width: Width::W64,
+            });
+            for _ in 0..filler {
+                b.emit(Inst::Alu {
+                    op: AluOp::Add,
+                    dst: Operand::Reg(Reg::Rcx),
+                    src: Operand::Imm(1),
+                    width: Width::W64,
+                });
+            }
+            b.emit(Inst::Alu {
+                op: AluOp::Add,
+                dst: Operand::Reg(Reg::Rdi),
+                src: Operand::Imm(64),
+                width: Width::W64,
+            });
+            b.emit(Inst::Cmp {
+                lhs: Operand::Reg(Reg::Rdi),
+                rhs: Operand::Imm(512 * 1024),
+                width: Width::W64,
+            });
+            b.emit(Inst::Jcc {
+                cc: Cc::Ne,
+                target: top,
+            });
+            b.emit(Inst::Ret);
+            let mut m = Module {
+                funcs: vec![b.finish()],
+                table: vec![],
+                entry: Some(FuncId(0)),
+                memory_size: 1024 * 1024,
+                data: vec![],
+            };
+            m.assign_addresses();
+            m
+        };
+        let run_cycles = |m: &Module| {
+            let mut machine = Machine::new(m, NullHost);
+            machine.run(FuncId(0), &[], 100_000_000).unwrap().counters.cycles
+        };
+        let base = run_cycles(&build(0));
+        let with_filler = run_cycles(&build(8));
+        let t = TimingModel::default();
+        let raw_filler_cost = 8 * 8192 * t.int_alu as u64 / 64;
+        let actual_increase = with_filler.saturating_sub(base);
+        assert!(
+            actual_increase < raw_filler_cost / 2,
+            "filler should hide under misses: +{actual_increase} vs raw {raw_filler_cost}"
+        );
+    }
+
+    #[test]
+    fn icache_counts_accumulate() {
+        let mut b = AsmBuilder::new("i");
+        let top = b.new_label();
+        b.emit(Inst::Mov {
+            dst: Operand::Reg(Reg::Rcx),
+            src: Operand::Imm(1000),
+            width: Width::W64,
+        });
+        b.bind(top);
+        b.emit(Inst::Alu {
+            op: AluOp::Sub,
+            dst: Operand::Reg(Reg::Rcx),
+            src: Operand::Imm(1),
+            width: Width::W64,
+        });
+        b.emit(Inst::Jcc {
+            cc: Cc::Ne,
+            target: top,
+        });
+        b.emit(Inst::Ret);
+        let m = module_of(vec![b.finish()]);
+        let out = run_module(&m, &[]);
+        assert!(out.counters.icache_accesses >= out.counters.instructions_retired);
+        // Tiny loop: essentially no misses after warm-up.
+        assert!(out.counters.icache_misses < 5);
+    }
+}

@@ -1,0 +1,144 @@
+//! Flat byte-addressed memory image.
+//!
+//! One address space holds the program's linear memory (data + heap) at low
+//! addresses and the machine stack at the top, mirroring how a wasm
+//! instance's memory and the native stack coexist in a process.
+
+use wasmperf_isa::{TrapKind, Width};
+
+/// Byte-addressable memory with bounds-checked accessors.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Creates a zeroed memory of `size` bytes.
+    pub fn new(size: u64) -> Memory {
+        Memory {
+            bytes: vec![0; size as usize],
+        }
+    }
+
+    /// Total size in bytes.
+    pub fn size(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    fn check(&self, addr: u64, len: u64) -> Result<usize, TrapKind> {
+        let end = addr.checked_add(len).ok_or(TrapKind::MemoryOutOfBounds)?;
+        if end > self.bytes.len() as u64 {
+            return Err(TrapKind::MemoryOutOfBounds);
+        }
+        Ok(addr as usize)
+    }
+
+    /// Reads `width.bytes()` bytes at `addr` as a zero-extended u64
+    /// (little-endian).
+    pub fn read(&self, addr: u64, width: Width) -> Result<u64, TrapKind> {
+        let n = width.bytes() as usize;
+        let a = self.check(addr, n as u64)?;
+        let mut buf = [0u8; 8];
+        buf[..n].copy_from_slice(&self.bytes[a..a + n]);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Writes the low `width.bytes()` bytes of `value` at `addr`
+    /// (little-endian).
+    pub fn write(&mut self, addr: u64, value: u64, width: Width) -> Result<(), TrapKind> {
+        let n = width.bytes() as usize;
+        let a = self.check(addr, n as u64)?;
+        self.bytes[a..a + n].copy_from_slice(&value.to_le_bytes()[..n]);
+        Ok(())
+    }
+
+    /// Borrows a byte slice (for host syscalls reading buffers).
+    pub fn slice(&self, addr: u64, len: u64) -> Result<&[u8], TrapKind> {
+        let a = self.check(addr, len)?;
+        Ok(&self.bytes[a..a + len as usize])
+    }
+
+    /// Mutably borrows a byte slice (for host syscalls writing buffers).
+    pub fn slice_mut(&mut self, addr: u64, len: u64) -> Result<&mut [u8], TrapKind> {
+        let a = self.check(addr, len)?;
+        Ok(&mut self.bytes[a..a + len as usize])
+    }
+
+    /// Copies `data` into memory at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), TrapKind> {
+        self.slice_mut(addr, data.len() as u64)?.copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads a NUL-terminated string starting at `addr`.
+    pub fn read_cstr(&self, addr: u64) -> Result<Vec<u8>, TrapKind> {
+        let start = self.check(addr, 0)?;
+        let rest = &self.bytes[start..];
+        match rest.iter().position(|&b| b == 0) {
+            Some(n) => Ok(rest[..n].to_vec()),
+            None => Err(TrapKind::MemoryOutOfBounds),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip_all_widths() {
+        let mut m = Memory::new(64);
+        for (w, v) in [
+            (Width::W8, 0xabu64),
+            (Width::W16, 0xbeef),
+            (Width::W32, 0xdead_beef),
+            (Width::W64, 0x0123_4567_89ab_cdef),
+        ] {
+            m.write(8, v, w).unwrap();
+            assert_eq!(m.read(8, w).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn narrow_write_preserves_neighbours() {
+        let mut m = Memory::new(16);
+        m.write(0, u64::MAX, Width::W64).unwrap();
+        m.write(2, 0, Width::W8).unwrap();
+        assert_eq!(m.read(0, Width::W64).unwrap(), 0xffff_ffff_ff00_ffff);
+    }
+
+    #[test]
+    fn out_of_bounds_traps() {
+        let mut m = Memory::new(8);
+        assert_eq!(m.read(8, Width::W8).unwrap_err(), TrapKind::MemoryOutOfBounds);
+        assert_eq!(
+            m.read(5, Width::W64).unwrap_err(),
+            TrapKind::MemoryOutOfBounds
+        );
+        assert_eq!(
+            m.write(u64::MAX, 0, Width::W64).unwrap_err(),
+            TrapKind::MemoryOutOfBounds
+        );
+        assert!(m.read(0, Width::W64).is_ok());
+    }
+
+    #[test]
+    fn cstr_reading() {
+        let mut m = Memory::new(32);
+        m.write_bytes(4, b"hello\0world").unwrap();
+        assert_eq!(m.read_cstr(4).unwrap(), b"hello");
+        assert_eq!(m.read_cstr(10).unwrap(), b"world");
+        // No terminator before end of memory.
+        let mut m2 = Memory::new(4);
+        m2.write_bytes(0, b"abcd").unwrap();
+        assert!(m2.read_cstr(0).is_err());
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = Memory::new(8);
+        m.write(0, 0x0102_0304, Width::W32).unwrap();
+        assert_eq!(m.read(0, Width::W8).unwrap(), 0x04);
+        assert_eq!(m.read(3, Width::W8).unwrap(), 0x01);
+    }
+}

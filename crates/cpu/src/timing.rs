@@ -1,0 +1,168 @@
+//! Additive cycle-cost model.
+//!
+//! Costs are expressed in 1/64ths of a cycle so that sustained multi-issue
+//! execution (IPC > 1) can be modelled without floating point in the hot
+//! loop. The defaults approximate a Haswell-class core: simple integer
+//! operations sustain roughly 3 per cycle, loads/stores roughly 2 per
+//! cycle, divisions are long-latency, and the three penalty classes
+//! (I-cache miss, D-cache miss, branch mispredict) dominate when they
+//! occur. Out-of-order overlap is approximated by charging loads/stores
+//! their *throughput* cost rather than latency and by discounting D-cache
+//! miss penalties (memory-level parallelism).
+
+use wasmperf_isa::InstClass;
+
+/// Per-class issue costs and event penalties, in 1/64 cycle units.
+#[derive(Debug, Clone)]
+pub struct TimingModel {
+    /// Issue cost of a simple integer ALU op / register move.
+    pub int_alu: u32,
+    /// Issue cost of an integer multiply.
+    pub int_mul: u32,
+    /// Cost of an integer divide (long latency, unpipelined).
+    pub int_div: u32,
+    /// Issue cost of a scalar float add/sub/mul.
+    pub float_alu: u32,
+    /// Cost of a float divide or square root.
+    pub float_div: u32,
+    /// Throughput cost of a load that hits L1.
+    pub load: u32,
+    /// Throughput cost of a store.
+    pub store: u32,
+    /// Issue cost of `lea`.
+    pub lea: u32,
+    /// Cost of an unconditional branch.
+    pub branch: u32,
+    /// Cost of a (correctly predicted) conditional branch.
+    pub cond_branch: u32,
+    /// Cost of a call (including the implicit push).
+    pub call: u32,
+    /// Cost of a return.
+    pub ret: u32,
+    /// Cost of push/pop.
+    pub push_pop: u32,
+    /// Cost of int<->float conversions and GPR<->XMM transfers.
+    pub convert: u32,
+    /// Penalty per L1 I-cache miss (cycles ×64).
+    pub icache_miss_penalty: u32,
+    /// Penalty per L1 D-cache miss (cycles ×64), already discounted for
+    /// memory-level parallelism.
+    pub dcache_miss_penalty: u32,
+    /// Penalty per branch misprediction (cycles ×64).
+    pub mispredict_penalty: u32,
+    /// Percentage of a D-cache miss penalty that overlaps with subsequent
+    /// instruction issue (out-of-order execution hides independent work
+    /// under memory stalls; memory-bound code absorbs instruction-count
+    /// overhead — the paper's 429.mcf effect).
+    pub dcache_overlap_percent: u32,
+    /// Core frequency in Hz used to convert cycles to seconds.
+    pub frequency_hz: f64,
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        TimingModel {
+            int_alu: 22,        // ~0.34 cycles -> ~2.9/cycle sustained.
+            int_mul: 64,        // 1 cycle throughput.
+            int_div: 22 * 64,   // ~22 cycles.
+            float_alu: 40,      // ~0.63 cycles.
+            float_div: 13 * 64, // ~13 cycles.
+            load: 32,           // ~0.5 cycles throughput (2 ports).
+            store: 40,          // ~0.63 cycles (1 port + forwarding).
+            lea: 22,
+            branch: 28,
+            cond_branch: 32,
+            call: 96,
+            ret: 96,
+            push_pop: 32,
+            convert: 64,
+            icache_miss_penalty: 14 * 64,
+            dcache_miss_penalty: 9 * 64,
+            mispredict_penalty: 15 * 64,
+            dcache_overlap_percent: 80,
+            frequency_hz: 3.5e9,
+        }
+    }
+}
+
+impl TimingModel {
+    /// Issue cost (in 1/64 cycles) of an instruction of class `class`.
+    pub fn issue_cost(&self, class: InstClass) -> u32 {
+        match class {
+            InstClass::IntAlu => self.int_alu,
+            InstClass::IntMul => self.int_mul,
+            InstClass::IntDiv => self.int_div,
+            InstClass::FloatAlu => self.float_alu,
+            InstClass::FloatDiv => self.float_div,
+            InstClass::Load => self.load,
+            InstClass::Store => self.store,
+            InstClass::Lea => self.lea,
+            InstClass::Branch => self.branch,
+            InstClass::CondBranch => self.cond_branch,
+            InstClass::Call => self.call,
+            InstClass::Ret => self.ret,
+            InstClass::Push | InstClass::Pop => self.push_pop,
+            InstClass::Convert => self.convert,
+            InstClass::Nop => self.int_alu / 2,
+            InstClass::Trap => 0,
+            InstClass::HostCall => self.call,
+        }
+    }
+}
+
+/// Converts accumulated 1/64-cycle units to whole cycles (rounding up).
+pub fn fp_to_cycles(fp: u64) -> u64 {
+    (fp + 63) >> 6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_ordered_sensibly() {
+        let t = TimingModel::default();
+        assert!(t.int_alu < t.int_mul);
+        assert!(t.int_mul < t.int_div);
+        assert!(t.float_alu < t.float_div);
+        assert!(t.load < t.int_div);
+        assert!(t.icache_miss_penalty > t.load * 8);
+        assert!(t.mispredict_penalty > t.cond_branch * 8);
+    }
+
+    #[test]
+    fn issue_cost_covers_all_classes() {
+        let t = TimingModel::default();
+        for class in [
+            InstClass::IntAlu,
+            InstClass::IntMul,
+            InstClass::IntDiv,
+            InstClass::FloatAlu,
+            InstClass::FloatDiv,
+            InstClass::Load,
+            InstClass::Store,
+            InstClass::Lea,
+            InstClass::Branch,
+            InstClass::CondBranch,
+            InstClass::Call,
+            InstClass::Ret,
+            InstClass::Push,
+            InstClass::Pop,
+            InstClass::Convert,
+            InstClass::Nop,
+            InstClass::HostCall,
+        ] {
+            assert!(t.issue_cost(class) > 0, "{class:?}");
+        }
+        assert_eq!(t.issue_cost(InstClass::Trap), 0);
+    }
+
+    #[test]
+    fn fp_conversion_rounds_up() {
+        assert_eq!(fp_to_cycles(0), 0);
+        assert_eq!(fp_to_cycles(1), 1);
+        assert_eq!(fp_to_cycles(64), 1);
+        assert_eq!(fp_to_cycles(65), 2);
+        assert_eq!(fp_to_cycles(128), 2);
+    }
+}

@@ -1,0 +1,827 @@
+//! emcc-lite: the Emscripten-analog compiler, CLite HIR → WebAssembly.
+//!
+//! Produces WebAssembly-MVP modules with the structure Emscripten gives
+//! real C programs:
+//!
+//! - one linear memory holding globals, arrays, and data at the layout the
+//!   CLite type checker fixed;
+//! - a stack-machine lowering with explicit address arithmetic (`i*4 +
+//!   base` computed in code — constant offsets are folded into the memarg
+//!   like Emscripten does, but scaled-index forms do not exist in wasm,
+//!   which is the §6.1.3 root cause of the JITs' addressing-mode deficit);
+//! - `while` loops in the canonical `block { loop { ..cond.. br_if 1;
+//!   body; br 0 } }` shape — two branches per iteration where native code
+//!   generation uses one (§5.1.3);
+//! - indirect calls through one merged `funcref` table with an element
+//!   segment, checked dynamically by the engine (§6.2.3); and
+//! - a single `env.syscall` import (six `i32` parameters, padded with
+//!   zeros) that Browsix services.
+//!
+//! Every produced module passes the `wasmperf-wasm` validator; the crate's
+//! tests assert this over a range of programs.
+
+use wasmperf_cir::hir::{HBinOp, HExpr, HProgram, HStmt, HTy, HUnOp, MemWidth};
+use wasmperf_wasm::instr::SubWidth;
+use wasmperf_wasm::{
+    BlockType, CvtOp, DataSegment, ElemSegment, Export, ExportKind, FBinop, FRelop, FUnop,
+    FuncDef, FuncType, IBinop, IRelop, IUnop, Import, ImportKind, Instr, Limits, MemArg,
+    NumWidth, ValType, WasmModule,
+};
+
+/// Converts an HIR type to a wasm value type.
+fn vt(ty: HTy) -> ValType {
+    match ty {
+        HTy::I32 => ValType::I32,
+        HTy::I64 => ValType::I64,
+        HTy::F32 => ValType::F32,
+        HTy::F64 => ValType::F64,
+    }
+}
+
+fn nw(ty: HTy) -> NumWidth {
+    match ty {
+        HTy::I32 | HTy::F32 => NumWidth::X32,
+        HTy::I64 | HTy::F64 => NumWidth::X64,
+    }
+}
+
+/// Control-stack entry tracked during lowering, for `br` depth math.
+#[derive(Debug, Clone, Copy)]
+enum Ctrl {
+    /// A `block` used as a loop exit (break target).
+    BreakBlock,
+    /// A `loop` header (continue target of a `while` loop).
+    LoopHeader,
+    /// A `block` whose end is the continue target (do..while bodies fall
+    /// through to the condition test).
+    ContinueBlock,
+    /// Any other enclosing block/if (depth ballast).
+    Other,
+}
+
+#[derive(Default)]
+struct FnCtx {
+    /// Control nesting, innermost last.
+    ctrl: Vec<Ctrl>,
+}
+
+impl FnCtx {
+    /// Branch depth to the innermost break target.
+    fn break_depth(&self) -> u32 {
+        let mut d = 0;
+        for c in self.ctrl.iter().rev() {
+            match c {
+                Ctrl::BreakBlock => return d,
+                _ => d += 1,
+            }
+        }
+        panic!("break outside loop (typechecked)");
+    }
+
+    /// Branch depth to the innermost continue target.
+    fn continue_depth(&self) -> u32 {
+        let mut d = 0;
+        for c in self.ctrl.iter().rev() {
+            match c {
+                Ctrl::LoopHeader | Ctrl::ContinueBlock => return d,
+                _ => d += 1,
+            }
+        }
+        panic!("continue outside loop (typechecked)");
+    }
+
+    fn lower_expr(&mut self, e: &HExpr, out: &mut Vec<Instr>) {
+        match e {
+            HExpr::Const { ty, bits } => out.push(match ty {
+                HTy::I32 => Instr::I32Const(*bits as u32 as i32),
+                HTy::I64 => Instr::I64Const(*bits as i64),
+                HTy::F32 => Instr::F32Const(*bits as u32),
+                HTy::F64 => Instr::F64Const(*bits),
+            }),
+            HExpr::Local { idx, .. } => out.push(Instr::LocalGet(*idx)),
+            HExpr::Load {
+                ty,
+                width,
+                signed,
+                addr,
+            } => {
+                let (base, offset) = split_const_offset(addr);
+                self.lower_expr(base, out);
+                let sub = sub_of(*ty, *width, *signed);
+                out.push(Instr::Load {
+                    ty: vt(*ty),
+                    sub,
+                    memarg: MemArg::natural(width.bytes(), offset),
+                });
+            }
+            HExpr::Unary { op, ty, arg } => match op {
+                HUnOp::Neg if ty.is_int() => {
+                    // wasm has no integer negate: 0 - x.
+                    out.push(match ty {
+                        HTy::I32 => Instr::I32Const(0),
+                        _ => Instr::I64Const(0),
+                    });
+                    self.lower_expr(arg, out);
+                    out.push(Instr::IBinop(nw(*ty), IBinop::Sub));
+                }
+                HUnOp::Neg => {
+                    self.lower_expr(arg, out);
+                    out.push(Instr::FUnop(nw(*ty), FUnop::Neg));
+                }
+                HUnOp::Eqz => {
+                    self.lower_expr(arg, out);
+                    out.push(Instr::ITestop(nw(*ty)));
+                }
+                HUnOp::BitNot => {
+                    self.lower_expr(arg, out);
+                    out.push(match ty {
+                        HTy::I32 => Instr::I32Const(-1),
+                        _ => Instr::I64Const(-1),
+                    });
+                    out.push(Instr::IBinop(nw(*ty), IBinop::Xor));
+                }
+                HUnOp::Clz | HUnOp::Ctz | HUnOp::Popcnt => {
+                    self.lower_expr(arg, out);
+                    let iu = match op {
+                        HUnOp::Clz => IUnop::Clz,
+                        HUnOp::Ctz => IUnop::Ctz,
+                        _ => IUnop::Popcnt,
+                    };
+                    out.push(Instr::IUnop(nw(*ty), iu));
+                }
+                HUnOp::Sqrt
+                | HUnOp::Abs
+                | HUnOp::Floor
+                | HUnOp::Ceil
+                | HUnOp::TruncF
+                | HUnOp::Nearest => {
+                    self.lower_expr(arg, out);
+                    let fu = match op {
+                        HUnOp::Sqrt => FUnop::Sqrt,
+                        HUnOp::Abs => FUnop::Abs,
+                        HUnOp::Floor => FUnop::Floor,
+                        HUnOp::Ceil => FUnop::Ceil,
+                        HUnOp::TruncF => FUnop::Trunc,
+                        _ => FUnop::Nearest,
+                    };
+                    out.push(Instr::FUnop(nw(*ty), fu));
+                }
+            },
+            HExpr::Binary { op, ty, lhs, rhs } => {
+                self.lower_expr(lhs, out);
+                self.lower_expr(rhs, out);
+                out.push(binop_instr(*op, *ty));
+            }
+            HExpr::ShortCircuit { is_and, lhs, rhs } => {
+                // a && b  =>  if (a) { b != 0 } else { 0 }
+                // a || b  =>  if (a) { 1 } else { b != 0 }
+                self.lower_expr(lhs, out);
+                let mut then_b = Vec::new();
+                let mut else_b = Vec::new();
+                self.ctrl.push(Ctrl::Other);
+                if *is_and {
+                    self.lower_bool(rhs, &mut then_b);
+                    else_b.push(Instr::I32Const(0));
+                } else {
+                    then_b.push(Instr::I32Const(1));
+                    self.lower_bool(rhs, &mut else_b);
+                }
+                self.ctrl.pop();
+                out.push(Instr::If(BlockType::Value(ValType::I32), then_b, else_b));
+            }
+            HExpr::Cast {
+                from,
+                to,
+                signed,
+                arg,
+            } => {
+                self.lower_expr(arg, out);
+                out.push(Instr::Cvt(cvt_op(*from, *to, *signed)));
+            }
+            HExpr::Call { func, args, .. } => {
+                for a in args {
+                    self.lower_expr(a, out);
+                }
+                // Function index space: import 0 is env.syscall.
+                out.push(Instr::Call(func + 1));
+            }
+            HExpr::CallIndirect {
+                sig,
+                table_base,
+                index,
+                args,
+                ..
+            } => {
+                for a in args {
+                    self.lower_expr(a, out);
+                }
+                self.lower_expr(index, out);
+                if *table_base != 0 {
+                    out.push(Instr::I32Const(*table_base as i32));
+                    out.push(Instr::IBinop(NumWidth::X32, IBinop::Add));
+                }
+                // CLite signature indices coincide with wasm type indices
+                // (signatures are interned first in `compile`).
+                out.push(Instr::CallIndirect(*sig));
+            }
+            HExpr::Syscall { args } => {
+                for a in args {
+                    self.lower_expr(a, out);
+                }
+                for _ in args.len()..6 {
+                    out.push(Instr::I32Const(0));
+                }
+                out.push(Instr::Call(0));
+            }
+        }
+    }
+
+    /// Lowers an expression and normalizes it to 0/1.
+    fn lower_bool(&mut self, e: &HExpr, out: &mut Vec<Instr>) {
+        self.lower_expr(e, out);
+        if !is_boolean(e) {
+            out.push(Instr::ITestop(NumWidth::X32));
+            out.push(Instr::ITestop(NumWidth::X32));
+        }
+    }
+
+    fn lower_stmts(&mut self, stmts: &[HStmt], out: &mut Vec<Instr>) {
+        for s in stmts {
+            self.lower_stmt(s, out);
+        }
+    }
+
+    fn lower_stmt(&mut self, s: &HStmt, out: &mut Vec<Instr>) {
+        match s {
+            HStmt::SetLocal { idx, value } => {
+                self.lower_expr(value, out);
+                out.push(Instr::LocalSet(*idx));
+            }
+            HStmt::Store {
+                ty,
+                width,
+                addr,
+                value,
+            } => {
+                let (base, offset) = split_const_offset(addr);
+                self.lower_expr(base, out);
+                self.lower_expr(value, out);
+                let sub = store_sub_of(*ty, *width);
+                out.push(Instr::Store {
+                    ty: vt(*ty),
+                    sub,
+                    memarg: MemArg::natural(width.bytes(), offset),
+                });
+            }
+            HStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                self.lower_expr(cond, out);
+                self.ctrl.push(Ctrl::Other);
+                let mut t = Vec::new();
+                self.lower_stmts(then_body, &mut t);
+                let mut e = Vec::new();
+                self.lower_stmts(else_body, &mut e);
+                self.ctrl.pop();
+                out.push(Instr::If(BlockType::Empty, t, e));
+            }
+            HStmt::While { cond, body } => {
+                // block { loop { cond; eqz; br_if 1; body; br 0 } } — the
+                // canonical Emscripten shape with two branches/iteration.
+                self.ctrl.push(Ctrl::BreakBlock);
+                self.ctrl.push(Ctrl::LoopHeader);
+                let mut inner = Vec::new();
+                self.lower_expr(cond, &mut inner);
+                inner.push(Instr::ITestop(NumWidth::X32));
+                inner.push(Instr::BrIf(1));
+                self.lower_stmts(body, &mut inner);
+                inner.push(Instr::Br(0));
+                self.ctrl.pop();
+                self.ctrl.pop();
+                out.push(Instr::Block(
+                    BlockType::Empty,
+                    vec![Instr::Loop(BlockType::Empty, inner)],
+                ));
+            }
+            HStmt::DoWhile { body, cond } => {
+                // block { loop { block { body } cond; br_if 0 } } — the
+                // inner block is the `continue` target, so continuing
+                // falls through to the condition test (do..while
+                // semantics), not back to the body top.
+                self.ctrl.push(Ctrl::BreakBlock);
+                self.ctrl.push(Ctrl::Other); // the loop frame itself
+                self.ctrl.push(Ctrl::ContinueBlock);
+                let mut body_block = Vec::new();
+                self.lower_stmts(body, &mut body_block);
+                self.ctrl.pop();
+                self.ctrl.pop();
+                self.ctrl.pop();
+                self.ctrl.push(Ctrl::BreakBlock);
+                self.ctrl.push(Ctrl::Other);
+                let mut inner = vec![Instr::Block(BlockType::Empty, body_block)];
+                self.lower_expr(cond, &mut inner);
+                inner.push(Instr::BrIf(0));
+                self.ctrl.pop();
+                self.ctrl.pop();
+                out.push(Instr::Block(
+                    BlockType::Empty,
+                    vec![Instr::Loop(BlockType::Empty, inner)],
+                ));
+            }
+            HStmt::Break => out.push(Instr::Br(self.break_depth())),
+            // `continue` branches to the loop header; for `while` loops the
+            // header re-tests the condition. The CLite front end only emits
+            // `Continue` where this is the correct semantics.
+            HStmt::Continue => out.push(Instr::Br(self.continue_depth())),
+            HStmt::Return(v) => {
+                if let Some(e) = v {
+                    self.lower_expr(e, out);
+                }
+                out.push(Instr::Return);
+            }
+            HStmt::Expr(e) => {
+                let has_result = e.ty().is_some();
+                self.lower_expr(e, out);
+                if has_result {
+                    out.push(Instr::Drop);
+                }
+            }
+        }
+    }
+}
+
+fn is_boolean(e: &HExpr) -> bool {
+    match e {
+        HExpr::Binary { op, .. } => op.is_cmp(),
+        HExpr::Unary { op, .. } => matches!(op, HUnOp::Eqz),
+        HExpr::ShortCircuit { .. } => true,
+        HExpr::Const { ty: HTy::I32, bits } => *bits <= 1,
+        _ => false,
+    }
+}
+
+/// Splits `addr` into (base expression, constant offset) for memarg
+/// folding, the way Emscripten folds `base + const` addressing.
+fn split_const_offset(addr: &HExpr) -> (&HExpr, u32) {
+    if let HExpr::Binary {
+        op: HBinOp::Add,
+        lhs,
+        rhs,
+        ..
+    } = addr
+    {
+        if let HExpr::Const { bits, .. } = **rhs {
+            if bits <= i32::MAX as u64 {
+                return (lhs, bits as u32);
+            }
+        }
+        if let HExpr::Const { bits, .. } = **lhs {
+            if bits <= i32::MAX as u64 {
+                return (rhs, bits as u32);
+            }
+        }
+    }
+    (addr, 0)
+}
+
+fn sub_of(ty: HTy, width: MemWidth, signed: bool) -> Option<(SubWidth, bool)> {
+    let natural = MemWidth::of(ty);
+    if width == natural {
+        None
+    } else {
+        let sw = match width {
+            MemWidth::W8 => SubWidth::B8,
+            MemWidth::W16 => SubWidth::B16,
+            MemWidth::W32 => SubWidth::B32,
+            MemWidth::W64 => unreachable!("W64 is always natural"),
+        };
+        Some((sw, signed))
+    }
+}
+
+fn store_sub_of(ty: HTy, width: MemWidth) -> Option<SubWidth> {
+    let natural = MemWidth::of(ty);
+    if width == natural {
+        None
+    } else {
+        Some(match width {
+            MemWidth::W8 => SubWidth::B8,
+            MemWidth::W16 => SubWidth::B16,
+            MemWidth::W32 => SubWidth::B32,
+            MemWidth::W64 => unreachable!(),
+        })
+    }
+}
+
+fn binop_instr(op: HBinOp, ty: HTy) -> Instr {
+    use HBinOp::*;
+    let w = nw(ty);
+    if ty.is_int() {
+        match op {
+            Add => Instr::IBinop(w, IBinop::Add),
+            Sub => Instr::IBinop(w, IBinop::Sub),
+            Mul => Instr::IBinop(w, IBinop::Mul),
+            DivS => Instr::IBinop(w, IBinop::DivS),
+            DivU => Instr::IBinop(w, IBinop::DivU),
+            RemS => Instr::IBinop(w, IBinop::RemS),
+            RemU => Instr::IBinop(w, IBinop::RemU),
+            And => Instr::IBinop(w, IBinop::And),
+            Or => Instr::IBinop(w, IBinop::Or),
+            Xor => Instr::IBinop(w, IBinop::Xor),
+            Shl => Instr::IBinop(w, IBinop::Shl),
+            ShrS => Instr::IBinop(w, IBinop::ShrS),
+            ShrU => Instr::IBinop(w, IBinop::ShrU),
+            Rotl => Instr::IBinop(w, IBinop::Rotl),
+            Rotr => Instr::IBinop(w, IBinop::Rotr),
+            Eq => Instr::IRelop(w, IRelop::Eq),
+            Ne => Instr::IRelop(w, IRelop::Ne),
+            LtS => Instr::IRelop(w, IRelop::LtS),
+            LtU => Instr::IRelop(w, IRelop::LtU),
+            GtS => Instr::IRelop(w, IRelop::GtS),
+            GtU => Instr::IRelop(w, IRelop::GtU),
+            LeS => Instr::IRelop(w, IRelop::LeS),
+            LeU => Instr::IRelop(w, IRelop::LeU),
+            GeS => Instr::IRelop(w, IRelop::GeS),
+            GeU => Instr::IRelop(w, IRelop::GeU),
+            FMin | FMax => unreachable!("float-only op on int type"),
+        }
+    } else {
+        match op {
+            Add => Instr::FBinop(w, FBinop::Add),
+            Sub => Instr::FBinop(w, FBinop::Sub),
+            Mul => Instr::FBinop(w, FBinop::Mul),
+            DivS => Instr::FBinop(w, FBinop::Div),
+            FMin => Instr::FBinop(w, FBinop::Min),
+            FMax => Instr::FBinop(w, FBinop::Max),
+            Eq => Instr::FRelop(w, FRelop::Eq),
+            Ne => Instr::FRelop(w, FRelop::Ne),
+            LtS => Instr::FRelop(w, FRelop::Lt),
+            GtS => Instr::FRelop(w, FRelop::Gt),
+            LeS => Instr::FRelop(w, FRelop::Le),
+            GeS => Instr::FRelop(w, FRelop::Ge),
+            other => unreachable!("int-only op {other:?} on float type"),
+        }
+    }
+}
+
+fn cvt_op(from: HTy, to: HTy, signed: bool) -> CvtOp {
+    use CvtOp::*;
+    match (from, to, signed) {
+        (HTy::I64, HTy::I32, _) => I32WrapI64,
+        (HTy::I32, HTy::I64, true) => I64ExtendI32S,
+        (HTy::I32, HTy::I64, false) => I64ExtendI32U,
+        (HTy::I32, HTy::F32, true) => F32ConvertI32S,
+        (HTy::I32, HTy::F32, false) => F32ConvertI32U,
+        (HTy::I32, HTy::F64, true) => F64ConvertI32S,
+        (HTy::I32, HTy::F64, false) => F64ConvertI32U,
+        (HTy::I64, HTy::F32, true) => F32ConvertI64S,
+        (HTy::I64, HTy::F32, false) => F32ConvertI64U,
+        (HTy::I64, HTy::F64, true) => F64ConvertI64S,
+        (HTy::I64, HTy::F64, false) => F64ConvertI64U,
+        (HTy::F32, HTy::I32, true) => I32TruncF32S,
+        (HTy::F32, HTy::I32, false) => I32TruncF32U,
+        (HTy::F64, HTy::I32, true) => I32TruncF64S,
+        (HTy::F64, HTy::I32, false) => I32TruncF64U,
+        (HTy::F32, HTy::I64, true) => I64TruncF32S,
+        (HTy::F32, HTy::I64, false) => I64TruncF32U,
+        (HTy::F64, HTy::I64, true) => I64TruncF64S,
+        (HTy::F64, HTy::I64, false) => I64TruncF64U,
+        (HTy::F32, HTy::F64, _) => F64PromoteF32,
+        (HTy::F64, HTy::F32, _) => F32DemoteF64,
+        (a, b, _) => unreachable!("cast {a} -> {b}"),
+    }
+}
+
+/// Compiles a typed CLite program to a WebAssembly module.
+///
+/// The module imports `env.syscall : (i32 ×6) -> i32` as function 0; CLite
+/// function `i` becomes wasm function `i + 1`. All functions are exported
+/// under their source names, and CLite signature indices coincide with
+/// wasm type indices.
+pub fn compile(prog: &HProgram) -> WasmModule {
+    let mut m = WasmModule::default();
+
+    // Type section: CLite signatures first so signature index == wasm type
+    // index, then any extra types.
+    for sig in &prog.sigs {
+        m.types.push(FuncType::new(
+            sig.params.iter().map(|t| vt(*t)).collect(),
+            sig.ret.map(vt).into_iter().collect(),
+        ));
+    }
+    let syscall_ty = m.intern_type(FuncType::new(vec![ValType::I32; 6], vec![ValType::I32]));
+    m.imports.push(Import {
+        module: "env".into(),
+        field: "syscall".into(),
+        kind: ImportKind::Func(syscall_ty),
+    });
+
+    // Memory: linear memory per the CLite layout.
+    let pages = prog.memory_size.div_ceil(65536) as u32;
+    m.memory = Some(Limits {
+        min: pages,
+        max: Some(pages.max(1) * 4),
+    });
+    for (addr, bytes) in &prog.data {
+        m.data.push(DataSegment {
+            offset: *addr as u32,
+            bytes: bytes.clone(),
+        });
+    }
+
+    // Table.
+    if !prog.table.is_empty() {
+        m.table = Some(Limits {
+            min: prog.table.len() as u32,
+            max: Some(prog.table.len() as u32),
+        });
+        m.elems.push(ElemSegment {
+            offset: 0,
+            funcs: prog.table.iter().map(|f| f + 1).collect(),
+        });
+    }
+
+    // Functions.
+    for (fi, f) in prog.funcs.iter().enumerate() {
+        let ti = m.intern_type(FuncType::new(
+            f.locals[..f.n_params as usize]
+                .iter()
+                .map(|t| vt(*t))
+                .collect(),
+            f.ret.map(vt).into_iter().collect(),
+        ));
+        let mut cx = FnCtx::default();
+        let mut body = Vec::new();
+        cx.lower_stmts(&f.body, &mut body);
+        // wasm requires the body to leave the declared result on the
+        // stack; functions that always return explicitly end with
+        // `unreachable` to satisfy the validator's fall-through check.
+        if f.ret.is_some() {
+            body.push(Instr::Unreachable);
+        }
+        m.funcs.push(FuncDef {
+            type_idx: ti,
+            locals: f.locals[f.n_params as usize..]
+                .iter()
+                .map(|t| vt(*t))
+                .collect(),
+            body,
+            name: f.name.clone(),
+        });
+        m.exports.push(Export {
+            name: f.name.clone(),
+            kind: ExportKind::Func(fi as u32 + 1),
+        });
+    }
+
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasmperf_cir::compile as clite;
+    use wasmperf_wasm::{validate, Instance, NoImports, Value};
+
+    fn to_wasm(src: &str) -> WasmModule {
+        let prog = clite(src).expect("clite compiles");
+        let m = compile(&prog);
+        validate(&m).expect("module validates");
+        m
+    }
+
+    fn run_main(src: &str, args: &[Value]) -> Option<Value> {
+        let m = to_wasm(src);
+        let mut inst = Instance::new(&m, NoImports).unwrap();
+        inst.invoke_export("main", args).expect("runs")
+    }
+
+    #[test]
+    fn minimal_program_runs() {
+        assert_eq!(
+            run_main("fn main() -> i32 { return 41 + 1; }", &[]),
+            Some(Value::I32(42))
+        );
+    }
+
+    #[test]
+    fn loops_and_arrays_match_source_semantics() {
+        let src = "
+            const N = 32;
+            array i32 A[N];
+            fn main() -> i32 {
+                var i: i32 = 0;
+                var s: i32 = 0;
+                for (i = 0; i < N; i += 1) { A[i] = i * 3; }
+                for (i = 0; i < N; i += 1) { s += A[i]; }
+                return s;
+            }
+        ";
+        let expect: i32 = (0..32).map(|i| i * 3).sum();
+        assert_eq!(run_main(src, &[]), Some(Value::I32(expect)));
+    }
+
+    #[test]
+    fn while_lowering_shape() {
+        // The canonical Emscripten shape: block { loop { cond; eqz;
+        // br_if 1; body; br 0 } }.
+        let m =
+            to_wasm("fn main() -> i32 { var i: i32 = 9; while (i) { i -= 1; } return i; }");
+        let body = &m.funcs[0].body;
+        let block = body
+            .iter()
+            .find_map(|i| match i {
+                Instr::Block(_, inner) => Some(inner),
+                _ => None,
+            })
+            .expect("has block");
+        let Instr::Loop(_, loop_body) = &block[0] else {
+            panic!("block wraps loop");
+        };
+        assert!(matches!(loop_body.last(), Some(Instr::Br(0))));
+        assert!(loop_body.iter().any(|i| matches!(i, Instr::BrIf(1))));
+    }
+
+    #[test]
+    fn break_and_continue_depths() {
+        let src = "
+            fn main() -> i32 {
+                var i: i32 = 0;
+                var s: i32 = 0;
+                while (i < 100) {
+                    i += 1;
+                    if (i % 2 == 0) { continue; }
+                    if (i > 10) { break; }
+                    s += i;
+                }
+                return s;
+            }
+        ";
+        // Odd numbers 1..=9: 25.
+        assert_eq!(run_main(src, &[]), Some(Value::I32(25)));
+    }
+
+    #[test]
+    fn memarg_offset_folded_for_globals() {
+        let m = to_wasm(
+            "global i32 g = 5;
+             fn main() -> i32 { return g; }",
+        );
+        let body = &m.funcs[0].body;
+        // The global load is a constant address; after offset folding the
+        // base is a constant 0x400 or the offset is 0x400.
+        assert!(
+            body.iter().any(|i| matches!(
+                i,
+                Instr::Load { memarg, .. } if memarg.offset == 0x400
+            ) || body.iter().any(|i| matches!(i, Instr::I32Const(0x400)))),
+            "{body:?}"
+        );
+    }
+
+    #[test]
+    fn indirect_calls_work() {
+        let src = "
+            fn a(x: i32) -> i32 { return x + 1; }
+            fn b(x: i32) -> i32 { return x * 2; }
+            table t = [a, b];
+            fn main(i: i32) -> i32 { return t[i](10); }
+        ";
+        assert_eq!(run_main(src, &[Value::I32(0)]), Some(Value::I32(11)));
+        assert_eq!(run_main(src, &[Value::I32(1)]), Some(Value::I32(20)));
+    }
+
+    #[test]
+    fn syscall_becomes_import_call() {
+        struct Host(Vec<Vec<i32>>);
+        impl wasmperf_wasm::ImportHost for Host {
+            fn call(
+                &mut self,
+                module: &str,
+                field: &str,
+                args: &[Value],
+                _mem: &mut Vec<u8>,
+            ) -> Result<Option<Value>, wasmperf_wasm::WasmTrap> {
+                assert_eq!((module, field), ("env", "syscall"));
+                self.0.push(args.iter().map(|v| v.unwrap_i32()).collect());
+                Ok(Some(Value::I32(7)))
+            }
+        }
+        let m = to_wasm("fn main() -> i32 { return syscall(4, 1, 2); }");
+        let mut inst = Instance::new(&m, Host(Vec::new())).unwrap();
+        let r = inst.invoke_export("main", &[]).unwrap();
+        assert_eq!(r, Some(Value::I32(7)));
+        assert_eq!(inst.host().0, vec![vec![4, 1, 2, 0, 0, 0]]);
+    }
+
+    #[test]
+    fn float_programs_run() {
+        let src = "
+            fn main() -> i32 {
+                var x: f64 = 0.0;
+                var i: i32 = 0;
+                for (i = 1; i <= 10; i += 1) { x += sqrt(f64(i)); }
+                return i32(x * 1000.0);
+            }
+        ";
+        let expect: f64 = (1..=10).map(|i| (i as f64).sqrt()).sum();
+        assert_eq!(
+            run_main(src, &[]),
+            Some(Value::I32((expect * 1000.0) as i32))
+        );
+    }
+
+    #[test]
+    fn short_circuit_semantics_preserved() {
+        let src = "
+            fn boom(x: i32) -> i32 { return 1 / x; }
+            fn main(c: i32) -> i32 {
+                if (c != 0 && boom(c) >= 0) { return 1; }
+                return 0;
+            }
+        ";
+        assert_eq!(run_main(src, &[Value::I32(0)]), Some(Value::I32(0)));
+        assert_eq!(run_main(src, &[Value::I32(4)]), Some(Value::I32(1)));
+    }
+
+    #[test]
+    fn i64_and_subword_arrays() {
+        let src = "
+            array u8 bytes[16];
+            array i16 shorts[8];
+            fn main() -> i32 {
+                bytes[3] = 250;
+                shorts[2] = 0 - 7;
+                var x: i64 = i64(bytes[3]) * i64(1000000);
+                return i32(x / i64(1000)) + shorts[2];
+            }
+        ";
+        assert_eq!(run_main(src, &[]), Some(Value::I32(250_000 - 7)));
+    }
+
+    #[test]
+    fn continue_in_do_while_retests_condition() {
+        let src = "
+            fn main() -> i32 {
+                var i: i32 = 0;
+                var s: i32 = 0;
+                do {
+                    i += 1;
+                    if (i % 2 == 0) { continue; }
+                    s += i;
+                } while (i < 9);
+                return s * 100 + i;
+            }
+        ";
+        // Oracle from the CLite interpreter.
+        let prog = clite(src).unwrap();
+        let mut ci = wasmperf_cir::Interp::new(&prog, wasmperf_cir::NoSyscalls);
+        let expect = ci.run("main", &[]).unwrap().unwrap() as u32 as i32;
+        assert_eq!(run_main(src, &[]), Some(Value::I32(expect)));
+    }
+
+    #[test]
+    fn recursion_runs() {
+        let src = "
+            fn fib(n: i32) -> i32 {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            fn main() -> i32 { return fib(12); }
+        ";
+        assert_eq!(run_main(src, &[]), Some(Value::I32(144)));
+    }
+
+    #[test]
+    fn differential_with_clite_interpreter() {
+        // A program exercising most operators, run under both the CLite
+        // interpreter and the wasm interpreter.
+        let src = "
+            const N = 64;
+            array f64 V[N];
+            array u8 B[N];
+            global i64 acc = 0;
+            fn mix(x: i32) -> i32 {
+                return i32(rotl(u32(x) * u32(2654435761), u32(13))) ^ (x >> 3);
+            }
+            fn main() -> i32 {
+                var i: i32 = 0;
+                for (i = 0; i < N; i += 1) {
+                    V[i] = sqrt(f64(i) + 0.5) * 3.25;
+                    B[i] = mix(i) & 255;
+                    acc += i64(B[i]) * i64(7);
+                }
+                var s: f64 = 0.0;
+                for (i = 0; i < N; i += 1) { s += V[i]; }
+                return i32(s) + i32(acc % i64(100000)) + mix(12345);
+            }
+        ";
+        let prog = clite(src).unwrap();
+        let mut ci = wasmperf_cir::Interp::new(&prog, wasmperf_cir::NoSyscalls);
+        let expect = ci.run("main", &[]).unwrap().unwrap() as u32 as i32;
+
+        assert_eq!(run_main(src, &[]), Some(Value::I32(expect)));
+    }
+}

@@ -1,0 +1,117 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! report [--size test|ref] [experiment ...]
+//! ```
+//!
+//! With no experiment arguments, everything is produced in paper order.
+//! Experiments: fig1 fig3a fig3b table1 table2 fig4 fig5 fig6 fig7 fig8
+//! fig9 fig10 table3 table4 overhead ablations.
+
+use wasmperf_benchsuite::Size;
+use wasmperf_harness::experiments as exp;
+use wasmperf_harness::Session;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut size = Size::Ref;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--size" => {
+                let v = it.next().unwrap_or_default();
+                size = match v.as_str() {
+                    "test" => Size::Test,
+                    "ref" => Size::Ref,
+                    other => {
+                        eprintln!("unknown size `{other}` (use test|ref)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: report [--size test|ref] [experiment ...]\n\
+                     experiments: fig1 fig3a fig3b table1 table2 fig4 fig5 fig6\n\
+                     fig7 fig8 fig9 fig10 table3 table4 overhead ablations\n\
+                     dump-sources (writes the benchmark programs to ./programs/)"
+                );
+                return;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        wanted = [
+            "fig1", "fig3a", "fig3b", "table1", "table2", "fig4", "fig5", "fig6", "fig7",
+            "fig8", "fig9", "fig10", "table3", "table4", "overhead", "ablations",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    let mut session = Session::new(size);
+    eprintln!(
+        "running {} experiment(s) at size {:?}...",
+        wanted.len(),
+        size
+    );
+    for w in &wanted {
+        let t0 = std::time::Instant::now();
+        let out = match w.as_str() {
+            "fig1" => exp::fig1(&mut session),
+            "fig3a" => exp::fig3a(&mut session),
+            "fig3b" => exp::fig3b(&mut session),
+            "table1" => exp::table1(&mut session),
+            "table2" => exp::table2(&mut session),
+            "fig4" => exp::fig4(&mut session),
+            "fig5" => exp::fig5(&mut session),
+            "fig6" => exp::fig6(&mut session),
+            "fig7" => exp::fig7(),
+            "fig8" => {
+                // The paper sweeps 200..2000; scaled to simulator budgets.
+                let sizes: Vec<u32> = match size {
+                    Size::Test => vec![20, 40, 60],
+                    Size::Ref => vec![20, 40, 60, 80, 100, 120, 140, 160, 180, 200],
+                };
+                exp::fig8(&sizes)
+            }
+            "fig9" => exp::fig9(&mut session),
+            "fig10" => exp::fig10(&mut session),
+            "table3" => exp::table3(),
+            "dump-sources" => {
+                let dir = std::path::Path::new("programs");
+                std::fs::create_dir_all(dir).expect("create programs/");
+                let mut listing = String::new();
+                for b in wasmperf_benchsuite::all(size) {
+                    let fname = format!("{}.clite", b.name.replace('.', "_"));
+                    std::fs::write(dir.join(&fname), &b.source).expect("write source");
+                    listing.push_str(&format!("programs/{fname}\n"));
+                }
+                format!("wrote CLite sources:\n{listing}")
+            }
+            "table4" => exp::table4(&mut session),
+            "overhead" => exp::overhead(&mut session),
+            "ablation-regs" => exp::ablation_reserved_regs(&mut session),
+            "ablations" => {
+                let mut s = String::new();
+                s.push_str(&exp::ablation_browserfs(&session));
+                s.push('\n');
+                s.push_str(&exp::ablation_safety_checks(&mut session));
+                s.push('\n');
+                s.push_str(&exp::ablation_reserved_regs(&mut session));
+                s.push('\n');
+                s.push_str(&exp::ablation_native_codegen(&mut session));
+                s
+            }
+            other => {
+                eprintln!("unknown experiment `{other}` (see --help)");
+                std::process::exit(2);
+            }
+        };
+        println!("{out}");
+        eprintln!("[{w} done in {:.1}s]", t0.elapsed().as_secs_f64());
+    }
+}

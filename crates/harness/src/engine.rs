@@ -1,0 +1,201 @@
+//! Engines under test and the single-run entry point.
+
+use std::time::Instant;
+use wasmperf_benchsuite::Benchmark;
+use wasmperf_browsix::{AppendPolicy, Kernel};
+use wasmperf_clanglite::CompileOptions;
+use wasmperf_cpu::{Machine, PerfCounters};
+use wasmperf_wasmjit::{EngineProfile, Tier};
+
+/// An execution engine (compiler pipeline + runtime conventions).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Engine {
+    /// Clang-like native compilation.
+    Native,
+    /// Native with custom options (ablations).
+    NativeWith(CompileOptions),
+    /// A browser JIT profile (wasm or asm.js, any tier).
+    Jit(EngineProfile),
+}
+
+impl Engine {
+    /// Display name.
+    pub fn name(&self) -> String {
+        match self {
+            Engine::Native => "native".to_string(),
+            Engine::NativeWith(_) => "native-custom".to_string(),
+            Engine::Jit(p) => p.name.clone(),
+        }
+    }
+
+    /// The paper's engine set for the headline SPEC comparison.
+    pub fn headline() -> Vec<Engine> {
+        vec![
+            Engine::Native,
+            Engine::Jit(EngineProfile::chrome()),
+            Engine::Jit(EngineProfile::firefox()),
+        ]
+    }
+
+    /// Engines for the asm.js comparison (Figures 5/6).
+    pub fn asmjs_set() -> Vec<Engine> {
+        vec![
+            Engine::Jit(EngineProfile::chrome()),
+            Engine::Jit(EngineProfile::firefox()),
+            Engine::Jit(EngineProfile::chrome_asmjs()),
+            Engine::Jit(EngineProfile::firefox_asmjs()),
+        ]
+    }
+
+    /// Tiered engines for the Figure 1 vintages.
+    pub fn vintages() -> Vec<(u32, Vec<Engine>)> {
+        let years = [(2017, Tier::Y2017), (2018, Tier::Y2018), (2019, Tier::Y2019)];
+        years
+            .into_iter()
+            .map(|(y, t)| {
+                (
+                    y,
+                    vec![
+                        Engine::Jit(EngineProfile::chrome().at_tier(t)),
+                        Engine::Jit(EngineProfile::firefox().at_tier(t)),
+                    ],
+                )
+            })
+            .collect()
+    }
+}
+
+/// Result of one (benchmark, engine) execution.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Benchmark name.
+    pub bench: String,
+    /// Engine name.
+    pub engine: String,
+    /// The program's returned checksum.
+    pub checksum: i32,
+    /// Performance counters of the run.
+    pub counters: PerfCounters,
+    /// Kernel (Browsix) statistics.
+    pub kernel_syscalls: u64,
+    /// Output file contents, for cross-engine `cmp` validation.
+    pub outputs: Vec<(String, Vec<u8>)>,
+    /// Host-measured compile time in seconds (Table 2).
+    pub compile_seconds: f64,
+    /// Emitted machine-code bytes.
+    pub code_bytes: u64,
+}
+
+/// Execution fuel: generous; runs are bounded by workload size.
+const FUEL: u64 = 20_000_000_000;
+
+/// Compiles and runs `bench` on `engine`, with inputs staged in a fresh
+/// Browsix kernel using the given append policy.
+pub fn run_one(
+    bench: &Benchmark,
+    engine: &Engine,
+    policy: AppendPolicy,
+) -> Result<RunResult, String> {
+    let prog = wasmperf_cir::compile(&bench.source)
+        .map_err(|e| format!("{}: {e}", bench.name))?;
+
+    let (module, compile_seconds) = match engine {
+        Engine::Native => {
+            let t0 = Instant::now();
+            let m = wasmperf_clanglite::compile(&prog, &CompileOptions::default());
+            (m, t0.elapsed().as_secs_f64())
+        }
+        Engine::NativeWith(opts) => {
+            let t0 = Instant::now();
+            let m = wasmperf_clanglite::compile(&prog, opts);
+            (m, t0.elapsed().as_secs_f64())
+        }
+        Engine::Jit(profile) => {
+            // The wasm module ships to the browser; only JIT time counts
+            // (the paper measures Chrome's compile time, not Emscripten's).
+            let wasm = wasmperf_emcc::compile(&prog);
+            wasmperf_wasm::validate(&wasm).map_err(|e| format!("{}: {e}", bench.name))?;
+            let t0 = Instant::now();
+            let out = wasmperf_wasmjit::compile(&wasm, profile)
+                .map_err(|e| format!("{}: {e}", bench.name))?;
+            (out.module, t0.elapsed().as_secs_f64())
+        }
+    };
+
+    let mut kernel = Kernel::new(policy);
+    for (path, data) in &bench.inputs {
+        kernel
+            .fs
+            .write_all(path, data)
+            .map_err(|e| format!("{}: staging {path}: {e:?}", bench.name))?;
+    }
+
+    let entry = module
+        .entry
+        .ok_or_else(|| format!("{}: no main", bench.name))?;
+    let mut machine = Machine::new(&module, kernel);
+    let out = machine
+        .run(entry, &[], FUEL)
+        .map_err(|e| format!("{} on {}: {e}", bench.name, engine.name()))?;
+
+    let kernel = machine.into_host();
+    let mut outputs = Vec::new();
+    for path in &bench.outputs {
+        let data = kernel
+            .fs
+            .read_all(path)
+            .map_err(|e| format!("{}: output {path}: {e:?}", bench.name))?;
+        outputs.push((path.clone(), data));
+    }
+
+    Ok(RunResult {
+        bench: bench.name.to_string(),
+        engine: engine.name(),
+        checksum: out.ret as u32 as i32,
+        counters: out.counters,
+        kernel_syscalls: kernel.stats.syscalls,
+        outputs,
+        compile_seconds,
+        code_bytes: module.code_bytes(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasmperf_benchsuite::{spec, Size};
+
+    #[test]
+    fn engines_have_distinct_names() {
+        let names: Vec<String> = Engine::headline()
+            .iter()
+            .chain(Engine::asmjs_set().iter())
+            .map(Engine::name)
+            .collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        // headline ∩ asmjs_set share chrome/firefox.
+        assert!(dedup.len() >= 5, "{names:?}");
+    }
+
+    #[test]
+    fn one_io_benchmark_runs_on_all_headline_engines() {
+        let b = spec::all(Size::Test)
+            .into_iter()
+            .find(|b| b.name == "401.bzip2")
+            .unwrap();
+        let mut checksums = Vec::new();
+        for e in Engine::headline() {
+            let r = run_one(&b, &e, AppendPolicy::Chunked4K).expect("runs");
+            assert!(r.counters.instructions_retired > 0);
+            assert!(r.kernel_syscalls > 0);
+            assert!(!r.outputs[0].1.is_empty());
+            checksums.push((r.checksum, r.outputs));
+        }
+        // Every engine agrees on checksum and output bytes (the cmp step).
+        for w in checksums.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+    }
+}

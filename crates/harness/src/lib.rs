@@ -1,0 +1,29 @@
+//! BROWSIX-SPEC: the measurement harness.
+//!
+//! The paper's harness (§3) launches browsers via Selenium, serves
+//! benchmark assets, attaches `perf` to the right browser thread, collects
+//! counters, and validates outputs with `cmp`. This crate is its analog
+//! for the simulated platform:
+//!
+//! - [`engine`]: the engines under test — native (clanglite), the wasm
+//!   JITs (Chrome/Firefox profiles at any tier), and the asm.js modes —
+//!   with a uniform "compile, stage inputs, execute, collect counters"
+//!   entry point;
+//! - [`session`]: runs (benchmark × engine) pairs once, caches results,
+//!   and *validates* that every engine produced the same checksum and
+//!   output files (the `cmp` step);
+//! - [`stats`]: mean/standard-error/geomean/median, plus the seeded
+//!   measurement-noise model that gives the paper's "± stderr of 5 runs"
+//!   columns meaning in a deterministic simulator;
+//! - [`experiments`]: one function per paper table and figure, each
+//!   returning both raw series and a rendered table;
+//! - the `report` binary, which regenerates any or all of them.
+
+pub mod engine;
+pub mod experiments;
+pub mod render;
+pub mod session;
+pub mod stats;
+
+pub use engine::{run_one, Engine, RunResult};
+pub use session::Session;

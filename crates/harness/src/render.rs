@@ -1,0 +1,83 @@
+//! Plain-text table rendering for reports.
+
+/// Renders an aligned text table with a header row.
+pub fn table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("| ");
+        for (i, c) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<w$} | ", c, w = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&"-".repeat(w + 2));
+        sep.push('|');
+    }
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a ratio like `1.55x`.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats `mean ± stderr` with sensible precision.
+pub fn pm(mean: f64, se: f64) -> String {
+    if mean >= 100.0 {
+        format!("{mean:.0} ± {se:.1}")
+    } else if mean >= 1.0 {
+        format!("{mean:.2} ± {se:.2}")
+    } else {
+        format!("{mean:.4} ± {se:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let t = table(
+            "Demo",
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer-name".into(), "2.50".into()],
+            ],
+        );
+        assert!(t.contains("Demo"));
+        assert!(t.contains("| name"));
+        assert!(t.contains("| longer-name | 2.50"));
+        // All data lines have the same length.
+        let lines: Vec<&str> = t.lines().skip(1).collect();
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ratio(1.553), "1.55x");
+        assert_eq!(pm(370.2, 0.64), "370 ± 0.6");
+        assert_eq!(pm(1.93, 0.018), "1.93 ± 0.02");
+    }
+}

@@ -1,0 +1,117 @@
+//! Session: cached, validated suite execution.
+
+use crate::engine::{run_one, Engine, RunResult};
+use std::collections::HashMap;
+use wasmperf_benchsuite::{Benchmark, Size};
+use wasmperf_browsix::AppendPolicy;
+
+/// Runs (benchmark × engine) pairs at a fixed size, caching results and
+/// validating cross-engine agreement (checksums and output files must be
+/// identical — BROWSIX-SPEC's `cmp` step).
+pub struct Session {
+    /// Workload size for every run in this session.
+    pub size: Size,
+    cache: HashMap<(String, String), RunResult>,
+    benches: HashMap<String, Benchmark>,
+}
+
+impl Session {
+    /// Creates a session at `size`.
+    pub fn new(size: Size) -> Session {
+        let mut benches = HashMap::new();
+        for b in wasmperf_benchsuite::all(size) {
+            benches.insert(b.name.to_string(), b);
+        }
+        Session {
+            size,
+            cache: HashMap::new(),
+            benches,
+        }
+    }
+
+    /// The benchmark definition for `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the benchmark does not exist.
+    pub fn bench(&self, name: &str) -> &Benchmark {
+        &self.benches[name]
+    }
+
+    /// Names of all SPEC-analog benchmarks, in paper order.
+    pub fn spec_names(&self) -> Vec<String> {
+        wasmperf_benchsuite::spec::all(Size::Test)
+            .iter()
+            .map(|b| b.name.to_string())
+            .collect()
+    }
+
+    /// Names of all PolyBench kernels.
+    pub fn polybench_names(&self) -> Vec<String> {
+        wasmperf_benchsuite::polybench::all(Size::Test)
+            .iter()
+            .map(|b| b.name.to_string())
+            .collect()
+    }
+
+    /// Runs (or returns the cached result for) one pair, validating that
+    /// the checksum agrees with any previously-run engine on the same
+    /// benchmark.
+    pub fn run(&mut self, bench: &str, engine: &Engine) -> &RunResult {
+        let key = (bench.to_string(), engine.name());
+        if !self.cache.contains_key(&key) {
+            let b = self
+                .benches
+                .get(bench)
+                .unwrap_or_else(|| panic!("unknown benchmark {bench}"));
+            let r = run_one(b, engine, AppendPolicy::Chunked4K)
+                .unwrap_or_else(|e| panic!("run failed: {e}"));
+            // Validate against any prior engine's result for this bench.
+            for ((b2, _), prior) in &self.cache {
+                if b2 == bench {
+                    assert_eq!(
+                        prior.checksum, r.checksum,
+                        "{bench}: checksum mismatch between {} and {}",
+                        prior.engine, r.engine
+                    );
+                    assert_eq!(
+                        prior.outputs, r.outputs,
+                        "{bench}: output files differ between {} and {}",
+                        prior.engine, r.engine
+                    );
+                    break;
+                }
+            }
+            self.cache.insert(key.clone(), r);
+        }
+        &self.cache[&key]
+    }
+
+    /// Relative execution time of `engine` vs native for `bench`
+    /// (total cycles including kernel time, as wall clock would measure).
+    pub fn slowdown(&mut self, bench: &str, engine: &Engine) -> f64 {
+        let native = self.run(bench, &Engine::Native).counters.total_cycles() as f64;
+        let e = self.run(bench, engine).counters.total_cycles() as f64;
+        e / native
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caching_returns_identical_results() {
+        let mut s = Session::new(Size::Test);
+        let a = s.run("gemm", &Engine::Native).counters;
+        let b = s.run("gemm", &Engine::Native).counters;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slowdown_is_positive() {
+        let mut s = Session::new(Size::Test);
+        let sd = s.slowdown("gemm", &Engine::headline()[1].clone());
+        assert!(sd > 0.5 && sd < 10.0, "{sd}");
+    }
+}

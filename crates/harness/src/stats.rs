@@ -1,0 +1,103 @@
+//! Statistics and the measurement-noise model.
+
+/// Arithmetic mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Standard error of the mean (sample stddev / sqrt(n)).
+pub fn stderr(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    (var / xs.len() as f64).sqrt()
+}
+
+/// Geometric mean (inputs must be positive).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Median.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Derives `n` noisy measurements from a deterministic value.
+///
+/// The simulator is exactly repeatable, but the paper reports the mean and
+/// standard error of five wall-clock runs. This synthesizes run-to-run OS
+/// noise: multiplicative, ~0.3% sigma, from a seeded xorshift generator —
+/// so reports are reproducible *and* the ± columns are meaningful.
+pub fn noisy_trials(value: f64, n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        // Uniform in [0,1).
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|_| {
+            // Sum of 4 uniforms ~ approximately normal; scale to ~0.3%.
+            let g = (next() + next() + next() + next() - 2.0) / 2.0;
+            value * (1.0 + 0.006 * g)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&xs) - 2.5).abs() < 1e-12);
+        assert!((median(&xs) - 2.5).abs() < 1e-12);
+        assert!((median(&[1.0, 5.0, 100.0]) - 5.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!(stderr(&xs) > 0.0);
+        assert_eq!(stderr(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn noise_is_reproducible_and_small() {
+        let a = noisy_trials(100.0, 5, 42);
+        let b = noisy_trials(100.0, 5, 42);
+        assert_eq!(a, b);
+        let c = noisy_trials(100.0, 5, 43);
+        assert_ne!(a, c);
+        for x in &a {
+            assert!((x - 100.0).abs() < 2.0, "{x}");
+        }
+        // Not all identical (noise actually applied).
+        assert!(a.iter().any(|x| (x - a[0]).abs() > 1e-9));
+    }
+
+    #[test]
+    fn geomean_of_ratios() {
+        // Slowdown-style usage.
+        let r = geomean(&[1.5, 1.6, 1.4]);
+        assert!(r > 1.4 && r < 1.6);
+    }
+}

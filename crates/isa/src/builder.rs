@@ -1,0 +1,171 @@
+//! Assembly builder with forward-reference label support.
+//!
+//! Both backends emit code through [`AsmBuilder`]: create labels up front,
+//! emit instructions referencing them, and bind each label at the point it
+//! should resolve to. `finish` checks that every referenced label was bound.
+
+use crate::inst::Inst;
+use crate::module::{Function, Label};
+
+/// Incrementally builds one [`Function`].
+#[derive(Debug, Default)]
+pub struct AsmBuilder {
+    name: String,
+    insts: Vec<Inst>,
+    label_offsets: Vec<u32>,
+    frame_size: u32,
+}
+
+impl AsmBuilder {
+    /// Creates a builder for a function named `name`.
+    pub fn new(name: impl Into<String>) -> AsmBuilder {
+        AsmBuilder {
+            name: name.into(),
+            ..AsmBuilder::default()
+        }
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        let l = Label(self.label_offsets.len() as u32);
+        self.label_offsets.push(u32::MAX);
+        l
+    }
+
+    /// Binds `label` to the next emitted instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        let slot = &mut self.label_offsets[label.0 as usize];
+        assert_eq!(*slot, u32::MAX, "label {label} bound twice");
+        *slot = self.insts.len() as u32;
+    }
+
+    /// Emits one instruction, returning its index.
+    pub fn emit(&mut self, inst: Inst) -> usize {
+        self.insts.push(inst);
+        self.insts.len() - 1
+    }
+
+    /// Index the next emitted instruction will have.
+    pub fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True when no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Sets the stack-frame size in bytes (spill area).
+    pub fn set_frame_size(&mut self, bytes: u32) {
+        self.frame_size = bytes;
+    }
+
+    /// Replaces a previously emitted instruction (used by emitters that
+    /// patch prologues once the spill-slot count is known).
+    pub fn patch(&mut self, index: usize, inst: Inst) {
+        self.insts[index] = inst;
+    }
+
+    /// Finalizes the function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any label referenced by a branch was never bound.
+    pub fn finish(self) -> Function {
+        for inst in &self.insts {
+            let target = match inst {
+                Inst::Jmp { target } | Inst::Jcc { target, .. } => Some(*target),
+                _ => None,
+            };
+            if let Some(l) = target {
+                assert_ne!(
+                    self.label_offsets[l.0 as usize],
+                    u32::MAX,
+                    "branch to unbound label {l} in {}",
+                    self.name
+                );
+            }
+        }
+        Function {
+            name: self.name,
+            insts: self.insts,
+            label_offsets: self.label_offsets,
+            frame_size: self.frame_size,
+            inst_addrs: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Cc, Operand, Width};
+    use crate::reg::Reg;
+
+    #[test]
+    fn forward_label_resolution() {
+        let mut b = AsmBuilder::new("loop");
+        let top = b.new_label();
+        let exit = b.new_label();
+        b.bind(top);
+        b.emit(Inst::Cmp {
+            lhs: Operand::Reg(Reg::Rax),
+            rhs: Operand::Imm(0),
+            width: Width::W64,
+        });
+        b.emit(Inst::Jcc {
+            cc: Cc::E,
+            target: exit,
+        });
+        b.emit(Inst::Jmp { target: top });
+        b.bind(exit);
+        b.emit(Inst::Ret);
+        let f = b.finish();
+        assert_eq!(f.resolve(Label(0)), 0);
+        assert_eq!(f.resolve(Label(1)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut b = AsmBuilder::new("bad");
+        let l = b.new_label();
+        b.emit(Inst::Jmp { target: l });
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = AsmBuilder::new("bad");
+        let l = b.new_label();
+        b.bind(l);
+        b.bind(l);
+    }
+
+    #[test]
+    fn patch_replaces_instruction() {
+        let mut b = AsmBuilder::new("p");
+        let i = b.emit(Inst::Nop);
+        b.emit(Inst::Ret);
+        b.patch(
+            i,
+            Inst::Mov {
+                dst: Operand::Reg(Reg::Rax),
+                src: Operand::Imm(7),
+                width: Width::W64,
+            },
+        );
+        let f = b.finish();
+        assert!(matches!(f.insts[0], Inst::Mov { .. }));
+    }
+}

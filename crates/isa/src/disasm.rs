@@ -1,0 +1,304 @@
+//! Intel-syntax disassembler.
+//!
+//! Renders functions in the style of the paper's Figure 7 listings
+//! (`mov ebx, [r10 + rcx*4 + 4400]`), so the matmul case study can print
+//! side-by-side native and JIT code.
+
+use crate::inst::{FOperand, FPrec, Inst, MemRef, Operand, Width};
+use crate::module::Function;
+use crate::reg::Reg;
+use core::fmt::Write;
+
+fn reg_name(r: Reg, w: Width) -> &'static str {
+    match w {
+        Width::W32 => r.name32(),
+        _ => r.name(),
+    }
+}
+
+fn fmt_mem(m: &MemRef) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    if let Some(b) = m.base {
+        parts.push(b.name().to_string());
+    }
+    if let Some((idx, scale)) = m.index {
+        if scale == 1 {
+            parts.push(format!("{}*1", idx.name()));
+        } else {
+            parts.push(format!("{}*{}", idx.name(), scale));
+        }
+    }
+    let mut s = format!("[{}", parts.join(" + "));
+    if m.disp != 0 || parts.is_empty() {
+        if m.disp < 0 && !parts.is_empty() {
+            let _ = write!(s, " - {:#x}", -m.disp);
+        } else if parts.is_empty() {
+            let _ = write!(s, "{:#x}", m.disp);
+        } else {
+            let _ = write!(s, " + {:#x}", m.disp);
+        }
+    }
+    s.push(']');
+    s
+}
+
+fn fmt_op(op: &Operand, w: Width) -> String {
+    match op {
+        Operand::Reg(r) => reg_name(*r, w).to_string(),
+        Operand::Imm(v) => {
+            if (-9..=9).contains(v) {
+                format!("{v}")
+            } else {
+                format!("{v:#x}")
+            }
+        }
+        Operand::Mem(m) => fmt_mem(m),
+    }
+}
+
+fn fmt_fop(op: &FOperand) -> String {
+    match op {
+        FOperand::Xmm(x) => x.to_string(),
+        FOperand::Mem(m) => fmt_mem(m),
+    }
+}
+
+fn prec_suffix(p: FPrec) -> &'static str {
+    match p {
+        FPrec::F32 => "ss",
+        FPrec::F64 => "sd",
+    }
+}
+
+/// Renders one instruction in Intel syntax.
+pub fn format_inst(inst: &Inst) -> String {
+    use Inst::*;
+    match inst {
+        Mov { dst, src, width } => {
+            format!("mov {}, {}", fmt_op(dst, *width), fmt_op(src, *width))
+        }
+        Movzx { dst, src, from } => format!(
+            "movzx {}, {} ({:?})",
+            dst.name(),
+            fmt_op(src, *from),
+            from
+        ),
+        Movsx { dst, src, from, to } => format!(
+            "movsx {}, {} ({:?}->{:?})",
+            reg_name(*dst, *to),
+            fmt_op(src, *from),
+            from,
+            to
+        ),
+        Lea { dst, mem, width } => {
+            format!("lea {}, {}", reg_name(*dst, *width), fmt_mem(mem))
+        }
+        Alu { op, dst, src, width } => format!(
+            "{} {}, {}",
+            op.mnemonic(),
+            fmt_op(dst, *width),
+            fmt_op(src, *width)
+        ),
+        Neg { dst, width } => format!("neg {}", fmt_op(dst, *width)),
+        Not { dst, width } => format!("not {}", fmt_op(dst, *width)),
+        Imul { dst, src, width } => format!(
+            "imul {}, {}",
+            reg_name(*dst, *width),
+            fmt_op(src, *width)
+        ),
+        Imul3 { dst, src, imm, width } => format!(
+            "imul {}, {}, {:#x}",
+            reg_name(*dst, *width),
+            fmt_op(src, *width),
+            imm
+        ),
+        Cqo { width } => match width {
+            Width::W32 => "cdq".to_string(),
+            _ => "cqo".to_string(),
+        },
+        Div { src, signed, width } => format!(
+            "{} {}",
+            if *signed { "idiv" } else { "div" },
+            fmt_op(src, *width)
+        ),
+        Cmp { lhs, rhs, width } => {
+            format!("cmp {}, {}", fmt_op(lhs, *width), fmt_op(rhs, *width))
+        }
+        Test { lhs, rhs, width } => {
+            format!("test {}, {}", fmt_op(lhs, *width), fmt_op(rhs, *width))
+        }
+        Setcc { cc, dst } => format!("set{} {}", cc.suffix(), dst.name()),
+        Cmov { cc, dst, src, width } => format!(
+            "cmov{} {}, {}",
+            cc.suffix(),
+            reg_name(*dst, *width),
+            fmt_op(src, *width)
+        ),
+        Lzcnt { dst, src, width } => format!(
+            "lzcnt {}, {}",
+            reg_name(*dst, *width),
+            fmt_op(src, *width)
+        ),
+        Tzcnt { dst, src, width } => format!(
+            "tzcnt {}, {}",
+            reg_name(*dst, *width),
+            fmt_op(src, *width)
+        ),
+        Popcnt { dst, src, width } => format!(
+            "popcnt {}, {}",
+            reg_name(*dst, *width),
+            fmt_op(src, *width)
+        ),
+        Jmp { target } => format!("jmp {target}"),
+        Jcc { cc, target } => format!("j{} {target}", cc.suffix()),
+        Call { target } => format!("call {target}"),
+        CallIndirect { target } => format!("call {}", fmt_op(target, Width::W64)),
+        CallHost { id } => format!("call host:{id}"),
+        Push { src } => format!("push {}", fmt_op(src, Width::W64)),
+        Pop { dst } => format!("pop {}", dst.name()),
+        Ret => "ret".to_string(),
+        MovF { dst, src, prec } => {
+            format!("mov{} {}, {}", prec_suffix(*prec), fmt_fop(dst), fmt_fop(src))
+        }
+        AluF { op, dst, src, prec } => format!(
+            "{}{} {}, {}",
+            op.mnemonic(),
+            prec_suffix(*prec),
+            dst,
+            fmt_fop(src)
+        ),
+        RoundF { dst, src, prec, mode } => format!(
+            "round{} {}, {}, {:?}",
+            prec_suffix(*prec),
+            dst,
+            fmt_fop(src),
+            mode
+        ),
+        AbsF { dst, src, prec } => {
+            format!("abs{} {}, {}", prec_suffix(*prec), dst, fmt_fop(src))
+        }
+        SqrtF { dst, src, prec } => {
+            format!("sqrt{} {}, {}", prec_suffix(*prec), dst, fmt_fop(src))
+        }
+        Ucomis { lhs, rhs, prec } => {
+            format!("ucomi{} {}, {}", prec_suffix(*prec), lhs, fmt_fop(rhs))
+        }
+        CvtIntToF { dst, src, width, prec, unsigned } => format!(
+            "cvt{}si2{} {}, {}",
+            if *unsigned { "u" } else { "" },
+            prec_suffix(*prec),
+            dst,
+            fmt_op(src, *width)
+        ),
+        CvtFToInt { dst, src, width, prec, unsigned } => format!(
+            "cvtt{}2{}si {}, {}",
+            prec_suffix(*prec),
+            if *unsigned { "u" } else { "" },
+            reg_name(*dst, *width),
+            fmt_fop(src)
+        ),
+        CvtFToF { dst, src, from } => format!(
+            "cvt{}2{} {}, {}",
+            prec_suffix(*from),
+            prec_suffix(match from {
+                FPrec::F32 => FPrec::F64,
+                FPrec::F64 => FPrec::F32,
+            }),
+            dst,
+            fmt_fop(src)
+        ),
+        MovGprToXmm { dst, src, width } => {
+            format!("movq {}, {}", dst, reg_name(*src, *width))
+        }
+        MovXmmToGpr { dst, src, width } => {
+            format!("movq {}, {}", reg_name(*dst, *width), src)
+        }
+        Trap { kind } => format!("ud2 ; trap: {kind}"),
+        Nop => "nop".to_string(),
+    }
+}
+
+/// Renders a whole function with label markers, one instruction per line.
+pub fn format_function(f: &Function) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}:", f.name);
+    for (i, inst) in f.insts.iter().enumerate() {
+        for (l, &off) in f.label_offsets.iter().enumerate() {
+            if off as usize == i {
+                let _ = writeln!(out, "L{l}:");
+            }
+        }
+        let _ = writeln!(out, "    {}", format_inst(inst));
+    }
+    // Labels bound at the very end of the function.
+    for (l, &off) in f.label_offsets.iter().enumerate() {
+        if off as usize == f.insts.len() {
+            let _ = writeln!(out, "L{l}:");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::AluOp;
+    use crate::AsmBuilder;
+
+    #[test]
+    fn formats_figure7_style_add() {
+        // The paper's Figure 7b line 14: `add [rdi + rcx*4 + 4400], ebx`.
+        let i = Inst::Alu {
+            op: AluOp::Add,
+            dst: Operand::Mem(MemRef::full(Reg::Rdi, Reg::Rcx, 4, 4400)),
+            src: Operand::Reg(Reg::Rbx),
+            width: Width::W32,
+        };
+        assert_eq!(format_inst(&i), "add [rdi + rcx*4 + 0x1130], ebx");
+    }
+
+    #[test]
+    fn formats_negative_disp() {
+        let m = MemRef::base_disp(Reg::Rbp, -0x28);
+        assert_eq!(fmt_mem(&m), "[rbp - 0x28]");
+    }
+
+    #[test]
+    fn formats_labels_in_function() {
+        let mut b = AsmBuilder::new("f");
+        let top = b.new_label();
+        b.bind(top);
+        b.emit(Inst::Jmp { target: top });
+        b.emit(Inst::Ret);
+        let s = format_function(&b.finish());
+        assert!(s.contains("L0:"), "{s}");
+        assert!(s.contains("jmp L0"), "{s}");
+    }
+
+    #[test]
+    fn formats_float_ops() {
+        let i = Inst::AluF {
+            op: crate::FAluOp::Mul,
+            dst: crate::Xmm(1),
+            src: FOperand::Mem(MemRef::base(Reg::Rsi)),
+            prec: FPrec::F64,
+        };
+        assert_eq!(format_inst(&i), "mulsd xmm1, [rsi]");
+    }
+
+    #[test]
+    fn formats_imm_small_and_large() {
+        let small = Inst::Mov {
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Imm(7),
+            width: Width::W64,
+        };
+        assert_eq!(format_inst(&small), "mov rax, 7");
+        let large = Inst::Mov {
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Imm(4400),
+            width: Width::W32,
+        };
+        assert_eq!(format_inst(&large), "mov eax, 0x1130");
+    }
+}

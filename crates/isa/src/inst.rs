@@ -1,0 +1,1010 @@
+//! Instruction set, operands, and addressing modes.
+//!
+//! The subset covers everything the two compilation pipelines need: integer
+//! moves and ALU operations (with memory operands, so the native backend can
+//! exploit `add [mem], reg`-style addressing-mode fusion), `lea`, scalar SSE
+//! arithmetic, comparisons and conditional branches, direct/indirect/host
+//! calls, stack manipulation, and trapping instructions used for
+//! WebAssembly's dynamic safety checks.
+
+use crate::module::{FuncId, Label};
+use crate::reg::{Reg, Xmm};
+use core::fmt;
+
+/// Operation width for integer instructions.
+///
+/// WebAssembly's `i32` operations map to 32-bit x86 operations (which
+/// zero-extend into the full register, as on real hardware); `i64` to
+/// 64-bit. The narrow widths are used by sub-word loads and stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Width {
+    W8,
+    W16,
+    W32,
+    W64,
+}
+
+impl Width {
+    /// Size of the access in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            Width::W8 => 1,
+            Width::W16 => 2,
+            Width::W32 => 4,
+            Width::W64 => 8,
+        }
+    }
+
+    /// Mask selecting the low `bytes()` of a 64-bit value.
+    pub fn mask(self) -> u64 {
+        match self {
+            Width::W8 => 0xff,
+            Width::W16 => 0xffff,
+            Width::W32 => 0xffff_ffff,
+            Width::W64 => u64::MAX,
+        }
+    }
+
+    /// Bit position of the sign bit for this width.
+    pub fn sign_bit(self) -> u64 {
+        1u64 << (self.bytes() * 8 - 1)
+    }
+}
+
+/// Scalar floating-point precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum FPrec {
+    F32,
+    F64,
+}
+
+/// A memory reference: `[base + index*scale + disp]`.
+///
+/// This is the full x86-64 SIB addressing mode. The paper observes (§6.1.3)
+/// that Chrome's code generator fails to exploit scaled-index and
+/// displacement forms, performing address arithmetic in explicit
+/// instructions instead; both behaviours are expressible here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Base register, if any.
+    pub base: Option<Reg>,
+    /// Index register with scale factor (1, 2, 4, or 8), if any.
+    pub index: Option<(Reg, u8)>,
+    /// Constant displacement.
+    pub disp: i64,
+}
+
+impl MemRef {
+    /// `[base]`
+    pub fn base(base: Reg) -> MemRef {
+        MemRef {
+            base: Some(base),
+            index: None,
+            disp: 0,
+        }
+    }
+
+    /// `[base + disp]`
+    pub fn base_disp(base: Reg, disp: i64) -> MemRef {
+        MemRef {
+            base: Some(base),
+            index: None,
+            disp,
+        }
+    }
+
+    /// `[base + index*scale]`
+    pub fn base_index(base: Reg, index: Reg, scale: u8) -> MemRef {
+        MemRef {
+            base: Some(base),
+            index: Some((index, scale)),
+            disp: 0,
+        }
+    }
+
+    /// `[base + index*scale + disp]`
+    pub fn full(base: Reg, index: Reg, scale: u8, disp: i64) -> MemRef {
+        MemRef {
+            base: Some(base),
+            index: Some((index, scale)),
+            disp,
+        }
+    }
+
+    /// `[disp]` (absolute).
+    pub fn abs(disp: i64) -> MemRef {
+        MemRef {
+            base: None,
+            index: None,
+            disp,
+        }
+    }
+
+    /// Registers read to form the effective address.
+    pub fn regs(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.base
+            .into_iter()
+            .chain(self.index.map(|(r, _)| r))
+    }
+}
+
+/// An integer operand: register, immediate, or memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A general-purpose register.
+    Reg(Reg),
+    /// A sign-extended immediate.
+    Imm(i64),
+    /// A memory location.
+    Mem(MemRef),
+}
+
+impl Operand {
+    /// True for [`Operand::Mem`].
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Operand::Mem(_))
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Operand {
+        Operand::Imm(v)
+    }
+}
+
+impl From<MemRef> for Operand {
+    fn from(m: MemRef) -> Operand {
+        Operand::Mem(m)
+    }
+}
+
+/// A floating-point operand: SSE register or memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FOperand {
+    /// An SSE register.
+    Xmm(Xmm),
+    /// A memory location.
+    Mem(MemRef),
+}
+
+impl From<Xmm> for FOperand {
+    fn from(x: Xmm) -> FOperand {
+        FOperand::Xmm(x)
+    }
+}
+
+impl From<MemRef> for FOperand {
+    fn from(m: MemRef) -> FOperand {
+        FOperand::Mem(m)
+    }
+}
+
+/// Two-operand integer ALU operation (`dst = dst op src`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Sar,
+    /// Rotate left.
+    Rol,
+    /// Rotate right.
+    Ror,
+}
+
+impl AluOp {
+    /// Instruction mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Sar => "sar",
+            AluOp::Rol => "rol",
+            AluOp::Ror => "ror",
+        }
+    }
+}
+
+/// Scalar SSE arithmetic operation (`dst = dst op src`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum FAluOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Min,
+    Max,
+}
+
+impl FAluOp {
+    /// Mnemonic stem; the precision suffix (`ss`/`sd`) is appended by the
+    /// disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FAluOp::Add => "add",
+            FAluOp::Sub => "sub",
+            FAluOp::Mul => "mul",
+            FAluOp::Div => "div",
+            FAluOp::Min => "min",
+            FAluOp::Max => "max",
+        }
+    }
+}
+
+/// x86 condition codes used by `jcc`/`setcc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Cc {
+    /// Equal / zero.
+    E,
+    /// Not equal / not zero.
+    Ne,
+    /// Signed less-than.
+    L,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    G,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned below.
+    B,
+    /// Unsigned below-or-equal.
+    Be,
+    /// Unsigned above.
+    A,
+    /// Unsigned above-or-equal.
+    Ae,
+    /// Signed overflow.
+    O,
+    /// No signed overflow.
+    No,
+    /// Sign flag set.
+    S,
+    /// Sign flag clear.
+    Ns,
+    /// Parity flag set (unordered float compare).
+    P,
+    /// Parity flag clear.
+    Np,
+}
+
+impl Cc {
+    /// Condition-code suffix, e.g. `"ne"` for `jne`.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Cc::E => "e",
+            Cc::Ne => "ne",
+            Cc::L => "l",
+            Cc::Le => "le",
+            Cc::G => "g",
+            Cc::Ge => "ge",
+            Cc::B => "b",
+            Cc::Be => "be",
+            Cc::A => "a",
+            Cc::Ae => "ae",
+            Cc::O => "o",
+            Cc::No => "no",
+            Cc::S => "s",
+            Cc::Ns => "ns",
+            Cc::P => "p",
+            Cc::Np => "np",
+        }
+    }
+
+    /// The negated condition.
+    pub fn negate(self) -> Cc {
+        match self {
+            Cc::E => Cc::Ne,
+            Cc::Ne => Cc::E,
+            Cc::L => Cc::Ge,
+            Cc::Le => Cc::G,
+            Cc::G => Cc::Le,
+            Cc::Ge => Cc::L,
+            Cc::B => Cc::Ae,
+            Cc::Be => Cc::A,
+            Cc::A => Cc::Be,
+            Cc::Ae => Cc::B,
+            Cc::O => Cc::No,
+            Cc::No => Cc::O,
+            Cc::S => Cc::Ns,
+            Cc::Ns => Cc::S,
+            Cc::P => Cc::Np,
+            Cc::Np => Cc::P,
+        }
+    }
+}
+
+/// Rounding mode of the SSE4.1 `roundss`/`roundsd` instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum RoundMode {
+    /// Round toward negative infinity (`floor`).
+    Floor,
+    /// Round toward positive infinity (`ceil`).
+    Ceil,
+    /// Round toward zero (`trunc`).
+    Trunc,
+    /// Round half to even (`nearest`).
+    Nearest,
+}
+
+/// Reasons an executed program may trap.
+///
+/// The WebAssembly safety checks (§6.2.2, §6.2.3 of the paper) materialize
+/// as explicit compare-and-branch sequences ending in a [`Inst::Trap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrapKind {
+    /// `unreachable` was executed.
+    Unreachable,
+    /// The per-function stack-overflow check failed.
+    StackOverflow,
+    /// `call_indirect` index out of table bounds.
+    IndirectCallOutOfBounds,
+    /// `call_indirect` signature mismatch.
+    IndirectCallTypeMismatch,
+    /// Integer division by zero.
+    DivByZero,
+    /// Integer overflow on division (`INT_MIN / -1`) or float-to-int
+    /// conversion out of range.
+    IntegerOverflow,
+    /// Linear-memory access out of bounds.
+    MemoryOutOfBounds,
+    /// An explicit abort requested by the program or runtime.
+    Abort,
+    /// The executor's instruction budget (fuel) was exhausted.
+    OutOfFuel,
+}
+
+impl fmt::Display for TrapKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TrapKind::Unreachable => "unreachable executed",
+            TrapKind::StackOverflow => "call stack exhausted",
+            TrapKind::IndirectCallOutOfBounds => "undefined element in table",
+            TrapKind::IndirectCallTypeMismatch => "indirect call type mismatch",
+            TrapKind::DivByZero => "integer divide by zero",
+            TrapKind::IntegerOverflow => "integer overflow",
+            TrapKind::MemoryOutOfBounds => "out of bounds memory access",
+            TrapKind::Abort => "abort",
+            TrapKind::OutOfFuel => "instruction budget exhausted",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Coarse classification used by the performance-counter model.
+///
+/// Mirrors the hardware events in Table 3 of the paper: every retired
+/// instruction increments `instructions-retired`; loads, stores, and
+/// branches additionally increment their own counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum InstClass {
+    IntAlu,
+    IntMul,
+    IntDiv,
+    FloatAlu,
+    FloatDiv,
+    Load,
+    Store,
+    Lea,
+    Branch,
+    CondBranch,
+    Call,
+    Ret,
+    Push,
+    Pop,
+    Convert,
+    Nop,
+    Trap,
+    HostCall,
+}
+
+/// A single machine instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inst {
+    /// `mov dst, src` — register/immediate/memory moves. A memory source is
+    /// a load; a memory destination is a store.
+    Mov {
+        /// Destination (register or memory).
+        dst: Operand,
+        /// Source (register, immediate, or memory).
+        src: Operand,
+        /// Operation width.
+        width: Width,
+    },
+    /// `movzx dst, src` — zero-extending load/move from `from` width to 64 bits.
+    Movzx {
+        /// Destination register.
+        dst: Reg,
+        /// Source (register or memory).
+        src: Operand,
+        /// Width of the source.
+        from: Width,
+    },
+    /// `movsx dst, src` — sign-extending load/move from `from` width to
+    /// `to` width.
+    Movsx {
+        /// Destination register.
+        dst: Reg,
+        /// Source (register or memory).
+        src: Operand,
+        /// Width of the source.
+        from: Width,
+        /// Width of the destination.
+        to: Width,
+    },
+    /// `lea dst, [mem]` — address arithmetic without memory access.
+    Lea {
+        /// Destination register.
+        dst: Reg,
+        /// Address expression.
+        mem: MemRef,
+        /// Result width (32- or 64-bit).
+        width: Width,
+    },
+    /// Two-operand ALU operation `dst = dst op src`; `dst` or `src` (not
+    /// both) may be memory.
+    Alu {
+        /// The operation.
+        op: AluOp,
+        /// Destination (register or memory).
+        dst: Operand,
+        /// Source operand.
+        src: Operand,
+        /// Operation width.
+        width: Width,
+    },
+    /// `neg dst` — two's-complement negation.
+    Neg {
+        /// Destination (register or memory).
+        dst: Operand,
+        /// Operation width.
+        width: Width,
+    },
+    /// `not dst` — bitwise complement.
+    Not {
+        /// Destination (register or memory).
+        dst: Operand,
+        /// Operation width.
+        width: Width,
+    },
+    /// `imul dst, src` — two-operand signed multiply.
+    Imul {
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: Operand,
+        /// Operation width.
+        width: Width,
+    },
+    /// `imul dst, src, imm` — three-operand multiply by immediate.
+    Imul3 {
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: Operand,
+        /// Immediate multiplier.
+        imm: i64,
+        /// Operation width.
+        width: Width,
+    },
+    /// `cdq` / `cqo` — sign-extend `rax` into `rdx` ahead of `idiv`.
+    Cqo {
+        /// Operation width (W32 = `cdq`, W64 = `cqo`).
+        width: Width,
+    },
+    /// `idiv src` / `div src` — divide `rdx:rax`; quotient in `rax`,
+    /// remainder in `rdx`. Traps on divide-by-zero and signed overflow.
+    Div {
+        /// Divisor operand.
+        src: Operand,
+        /// Signed (`idiv`) or unsigned (`div`).
+        signed: bool,
+        /// Operation width.
+        width: Width,
+    },
+    /// `cmp lhs, rhs` — sets flags from `lhs - rhs`.
+    Cmp {
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+        /// Operation width.
+        width: Width,
+    },
+    /// `test lhs, rhs` — sets flags from `lhs & rhs`.
+    Test {
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+        /// Operation width.
+        width: Width,
+    },
+    /// `cmovcc dst, src` — conditional move (no flags written).
+    Cmov {
+        /// Condition under which the move happens.
+        cc: Cc,
+        /// Destination register.
+        dst: Reg,
+        /// Source (register or memory; memory is read regardless, as on
+        /// real hardware).
+        src: Operand,
+        /// Operation width.
+        width: Width,
+    },
+    /// `setcc dst` — writes 0/1 into the full register (modelled as
+    /// `setcc` + implicit zero-extension, as compilers emit `xor`+`setcc`).
+    Setcc {
+        /// Condition tested.
+        cc: Cc,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// Count leading zeros (`lzcnt`).
+    Lzcnt {
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: Operand,
+        /// Operation width.
+        width: Width,
+    },
+    /// Count trailing zeros (`tzcnt`).
+    Tzcnt {
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: Operand,
+        /// Operation width.
+        width: Width,
+    },
+    /// Population count (`popcnt`).
+    Popcnt {
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: Operand,
+        /// Operation width.
+        width: Width,
+    },
+    /// `jmp label` — unconditional branch.
+    Jmp {
+        /// Branch target.
+        target: Label,
+    },
+    /// `jcc label` — conditional branch.
+    Jcc {
+        /// Condition tested.
+        cc: Cc,
+        /// Branch target.
+        target: Label,
+    },
+    /// `call f` — direct call.
+    Call {
+        /// Callee.
+        target: FuncId,
+    },
+    /// `call src` — indirect call through a register or memory operand whose
+    /// runtime value is a function id (a code pointer in the model).
+    CallIndirect {
+        /// Operand holding the callee's function id.
+        target: Operand,
+    },
+    /// A call into the host environment (the Browsix kernel); `id` selects
+    /// the host function. Arguments follow the System V register convention.
+    CallHost {
+        /// Host-function identifier.
+        id: u32,
+    },
+    /// `push src`.
+    Push {
+        /// Value pushed.
+        src: Operand,
+    },
+    /// `pop dst`.
+    Pop {
+        /// Destination register.
+        dst: Reg,
+    },
+    /// `ret`.
+    Ret,
+    /// `movss`/`movsd` between SSE registers and memory.
+    MovF {
+        /// Destination (register or memory).
+        dst: FOperand,
+        /// Source (register or memory).
+        src: FOperand,
+        /// Precision.
+        prec: FPrec,
+    },
+    /// Scalar SSE arithmetic `dst = dst op src`.
+    AluF {
+        /// The operation.
+        op: FAluOp,
+        /// Destination register.
+        dst: Xmm,
+        /// Source (register or memory).
+        src: FOperand,
+        /// Precision.
+        prec: FPrec,
+    },
+    /// `roundss`/`roundsd` (SSE4.1) with an explicit rounding mode.
+    RoundF {
+        /// Destination register.
+        dst: Xmm,
+        /// Source (register or memory).
+        src: FOperand,
+        /// Precision.
+        prec: FPrec,
+        /// Rounding mode.
+        mode: RoundMode,
+    },
+    /// `andpd` with the sign-clearing mask (absolute value).
+    AbsF {
+        /// Destination register.
+        dst: Xmm,
+        /// Source (register or memory).
+        src: FOperand,
+        /// Precision.
+        prec: FPrec,
+    },
+    /// `sqrtss`/`sqrtsd`.
+    SqrtF {
+        /// Destination register.
+        dst: Xmm,
+        /// Source (register or memory).
+        src: FOperand,
+        /// Precision.
+        prec: FPrec,
+    },
+    /// `ucomiss`/`ucomisd` — unordered compare setting ZF/PF/CF.
+    Ucomis {
+        /// Left operand.
+        lhs: Xmm,
+        /// Right operand.
+        rhs: FOperand,
+        /// Precision.
+        prec: FPrec,
+    },
+    /// `cvtsi2ss`/`cvtsi2sd` — integer to float.
+    CvtIntToF {
+        /// Destination register.
+        dst: Xmm,
+        /// Integer source.
+        src: Operand,
+        /// Source integer width.
+        width: Width,
+        /// Destination precision.
+        prec: FPrec,
+        /// Treat the source as unsigned.
+        unsigned: bool,
+    },
+    /// `cvttss2si`/`cvttsd2si` — float to integer with truncation. Traps on
+    /// NaN or out-of-range values (as WebAssembly requires).
+    CvtFToInt {
+        /// Destination register.
+        dst: Reg,
+        /// Float source.
+        src: FOperand,
+        /// Destination integer width.
+        width: Width,
+        /// Source precision.
+        prec: FPrec,
+        /// Produce an unsigned integer.
+        unsigned: bool,
+    },
+    /// `cvtss2sd`/`cvtsd2ss`.
+    CvtFToF {
+        /// Destination register.
+        dst: Xmm,
+        /// Source (register or memory).
+        src: FOperand,
+        /// Source precision (destination is the other precision).
+        from: FPrec,
+    },
+    /// `movq`/`movd` between a GPR and an SSE register (bit reinterpret).
+    MovGprToXmm {
+        /// Destination SSE register.
+        dst: Xmm,
+        /// Source GPR.
+        src: Reg,
+        /// Transfer width.
+        width: Width,
+    },
+    /// `movq`/`movd` from an SSE register to a GPR (bit reinterpret).
+    MovXmmToGpr {
+        /// Destination GPR.
+        dst: Reg,
+        /// Source SSE register.
+        src: Xmm,
+        /// Transfer width.
+        width: Width,
+    },
+    /// `ud2`-style trap with a reason.
+    Trap {
+        /// Why the trap fires.
+        kind: TrapKind,
+    },
+    /// `nop` (used for alignment padding by some emitters).
+    Nop,
+}
+
+impl Inst {
+    /// Classifies the instruction for the retired-event counters.
+    ///
+    /// A `mov` with a memory source is a load; with a memory destination a
+    /// store. An ALU operation with a memory destination counts as *both*
+    /// a load and a store at execution time (read-modify-write); its static
+    /// class here is [`InstClass::Store`], and the executor accounts the
+    /// extra load. This mirrors how `perf`'s `all-loads-retired` /
+    /// `all-stores-retired` events count micro-ops on real hardware.
+    pub fn class(&self) -> InstClass {
+        use Inst::*;
+        match self {
+            Mov { dst, src, .. } => {
+                if src.is_mem() {
+                    InstClass::Load
+                } else if dst.is_mem() {
+                    InstClass::Store
+                } else {
+                    InstClass::IntAlu
+                }
+            }
+            Movzx { src, .. } | Movsx { src, .. } => {
+                if src.is_mem() {
+                    InstClass::Load
+                } else {
+                    InstClass::IntAlu
+                }
+            }
+            Lea { .. } => InstClass::Lea,
+            Alu { dst, src, .. } => {
+                if dst.is_mem() {
+                    InstClass::Store
+                } else if src.is_mem() {
+                    InstClass::Load
+                } else {
+                    InstClass::IntAlu
+                }
+            }
+            Neg { dst, .. } | Not { dst, .. } => {
+                if dst.is_mem() {
+                    InstClass::Store
+                } else {
+                    InstClass::IntAlu
+                }
+            }
+            Imul { .. } | Imul3 { .. } => InstClass::IntMul,
+            Cqo { .. } => InstClass::IntAlu,
+            Div { .. } => InstClass::IntDiv,
+            Cmp { lhs, rhs, .. } | Test { lhs, rhs, .. } => {
+                if lhs.is_mem() || rhs.is_mem() {
+                    InstClass::Load
+                } else {
+                    InstClass::IntAlu
+                }
+            }
+            Setcc { .. } => InstClass::IntAlu,
+            Cmov { src, .. } => {
+                if src.is_mem() {
+                    InstClass::Load
+                } else {
+                    InstClass::IntAlu
+                }
+            }
+            Lzcnt { .. } | Tzcnt { .. } | Popcnt { .. } => InstClass::IntAlu,
+            Jmp { .. } => InstClass::Branch,
+            Jcc { .. } => InstClass::CondBranch,
+            Call { .. } | CallIndirect { .. } => InstClass::Call,
+            CallHost { .. } => InstClass::HostCall,
+            Push { .. } => InstClass::Push,
+            Pop { .. } => InstClass::Pop,
+            Ret => InstClass::Ret,
+            MovF { dst, src, .. } => {
+                if matches!(src, FOperand::Mem(_)) {
+                    InstClass::Load
+                } else if matches!(dst, FOperand::Mem(_)) {
+                    InstClass::Store
+                } else {
+                    InstClass::FloatAlu
+                }
+            }
+            AluF { op, src, .. } => {
+                if matches!(src, FOperand::Mem(_)) {
+                    InstClass::Load
+                } else if matches!(op, FAluOp::Div) {
+                    InstClass::FloatDiv
+                } else {
+                    InstClass::FloatAlu
+                }
+            }
+            SqrtF { .. } => InstClass::FloatDiv,
+            RoundF { src, .. } | AbsF { src, .. } => {
+                if matches!(src, FOperand::Mem(_)) {
+                    InstClass::Load
+                } else {
+                    InstClass::FloatAlu
+                }
+            }
+            Ucomis { rhs, .. } => {
+                if matches!(rhs, FOperand::Mem(_)) {
+                    InstClass::Load
+                } else {
+                    InstClass::FloatAlu
+                }
+            }
+            CvtIntToF { .. } | CvtFToInt { .. } | CvtFToF { .. } => InstClass::Convert,
+            MovGprToXmm { .. } | MovXmmToGpr { .. } => InstClass::Convert,
+            Trap { .. } => InstClass::Trap,
+            Nop => InstClass::Nop,
+        }
+    }
+
+    /// True when the instruction reads memory when executed.
+    pub fn reads_mem(&self) -> bool {
+        use Inst::*;
+        match self {
+            Mov { src, .. } => src.is_mem(),
+            Movzx { src, .. } | Movsx { src, .. } => src.is_mem(),
+            // A read-modify-write ALU-to-memory reads as well as writes.
+            Alu { dst, src, .. } => dst.is_mem() || src.is_mem(),
+            Neg { dst, .. } | Not { dst, .. } => dst.is_mem(),
+            Imul { src, .. } | Imul3 { src, .. } => src.is_mem(),
+            Div { src, .. } => src.is_mem(),
+            Cmp { lhs, rhs, .. } | Test { lhs, rhs, .. } => lhs.is_mem() || rhs.is_mem(),
+            Lzcnt { src, .. } | Tzcnt { src, .. } | Popcnt { src, .. } => src.is_mem(),
+            Cmov { src, .. } => src.is_mem(),
+            CallIndirect { target } => target.is_mem(),
+            Pop { .. } | Ret => true,
+            MovF { src, .. } => matches!(src, FOperand::Mem(_)),
+            AluF { src, .. }
+            | SqrtF { src, .. }
+            | RoundF { src, .. }
+            | AbsF { src, .. }
+            | CvtFToF { src, .. } => {
+                matches!(src, FOperand::Mem(_))
+            }
+            Ucomis { rhs, .. } => matches!(rhs, FOperand::Mem(_)),
+            CvtIntToF { src, .. } => src.is_mem(),
+            CvtFToInt { src, .. } => matches!(src, FOperand::Mem(_)),
+            _ => false,
+        }
+    }
+
+    /// True when the instruction writes memory when executed.
+    pub fn writes_mem(&self) -> bool {
+        use Inst::*;
+        match self {
+            Mov { dst, .. } => dst.is_mem(),
+            Alu { dst, .. } | Neg { dst, .. } | Not { dst, .. } => dst.is_mem(),
+            Push { .. } | Call { .. } | CallIndirect { .. } => true,
+            MovF { dst, .. } => matches!(dst, FOperand::Mem(_)),
+            _ => false,
+        }
+    }
+}
+
+pub use FOperand as FloatOperand;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_properties() {
+        assert_eq!(Width::W8.bytes(), 1);
+        assert_eq!(Width::W32.mask(), 0xffff_ffff);
+        assert_eq!(Width::W32.sign_bit(), 0x8000_0000);
+        assert_eq!(Width::W64.mask(), u64::MAX);
+    }
+
+    #[test]
+    fn cc_negation_is_involutive() {
+        let all = [
+            Cc::E,
+            Cc::Ne,
+            Cc::L,
+            Cc::Le,
+            Cc::G,
+            Cc::Ge,
+            Cc::B,
+            Cc::Be,
+            Cc::A,
+            Cc::Ae,
+            Cc::O,
+            Cc::No,
+            Cc::S,
+            Cc::Ns,
+            Cc::P,
+            Cc::Np,
+        ];
+        for cc in all {
+            assert_eq!(cc.negate().negate(), cc);
+            assert_ne!(cc.negate(), cc);
+        }
+    }
+
+    #[test]
+    fn mov_classification() {
+        let load = Inst::Mov {
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Mem(MemRef::base(Reg::Rbx)),
+            width: Width::W64,
+        };
+        assert_eq!(load.class(), InstClass::Load);
+        assert!(load.reads_mem());
+        assert!(!load.writes_mem());
+
+        let store = Inst::Mov {
+            dst: Operand::Mem(MemRef::base(Reg::Rbx)),
+            src: Operand::Reg(Reg::Rax),
+            width: Width::W64,
+        };
+        assert_eq!(store.class(), InstClass::Store);
+        assert!(store.writes_mem());
+        assert!(!store.reads_mem());
+    }
+
+    #[test]
+    fn rmw_alu_reads_and_writes() {
+        // `add [rdi + rcx*4 + 16], ebx` — the fused form Clang emits
+        // (Figure 7b line 14 of the paper) both reads and writes memory.
+        let i = Inst::Alu {
+            op: AluOp::Add,
+            dst: Operand::Mem(MemRef::full(Reg::Rdi, Reg::Rcx, 4, 16)),
+            src: Operand::Reg(Reg::Rbx),
+            width: Width::W32,
+        };
+        assert_eq!(i.class(), InstClass::Store);
+        assert!(i.reads_mem());
+        assert!(i.writes_mem());
+    }
+
+    #[test]
+    fn memref_regs() {
+        let m = MemRef::full(Reg::Rdi, Reg::Rcx, 4, 16);
+        let regs: Vec<Reg> = m.regs().collect();
+        assert_eq!(regs, vec![Reg::Rdi, Reg::Rcx]);
+        assert!(MemRef::abs(0x1000).regs().next().is_none());
+    }
+
+    #[test]
+    fn call_and_branch_classes() {
+        assert_eq!(Inst::Jmp { target: Label(0) }.class(), InstClass::Branch);
+        assert_eq!(
+            Inst::Jcc {
+                cc: Cc::Ne,
+                target: Label(0)
+            }
+            .class(),
+            InstClass::CondBranch
+        );
+        assert_eq!(Inst::Ret.class(), InstClass::Ret);
+        assert!(Inst::Ret.reads_mem());
+        assert!(Inst::Call { target: FuncId(0) }.writes_mem());
+    }
+}

@@ -1,0 +1,201 @@
+//! Machine-code modules: functions, labels, and the indirect-call table.
+
+use crate::inst::Inst;
+use crate::size::encoded_len;
+use core::fmt;
+
+/// Identifies a function within a [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A branch target within a function; resolved to an instruction index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(pub u32);
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// One entry of the indirect-call function table.
+///
+/// WebAssembly engines store the table as (signature id, code pointer)
+/// pairs and validate both bounds and signature on every `call_indirect`
+/// (§6.2.3 of the paper). The native backend stores bare code pointers and
+/// performs no checks; it uses `sig_id = 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableEntry {
+    /// Signature identifier checked by JITed `call_indirect` sequences.
+    pub sig_id: u32,
+    /// The callee, or `None` for an uninitialized slot (traps if called).
+    pub func: Option<FuncId>,
+}
+
+/// A compiled function: a flat instruction sequence with resolved labels.
+#[derive(Debug, Clone, Default)]
+pub struct Function {
+    /// Human-readable name (source function name plus backend suffix).
+    pub name: String,
+    /// The instruction sequence.
+    pub insts: Vec<Inst>,
+    /// `label_offsets[l]` is the instruction index [`Label`] `l` refers to.
+    pub label_offsets: Vec<u32>,
+    /// Bytes of stack frame the executor reserves on entry (spill slots).
+    pub frame_size: u32,
+    /// Byte address of each instruction in the module's code image;
+    /// assigned by [`Module::assign_addresses`].
+    pub inst_addrs: Vec<u64>,
+}
+
+impl Function {
+    /// Total encoded size of the function body in bytes.
+    pub fn code_bytes(&self) -> u64 {
+        self.insts.iter().map(|i| encoded_len(i) as u64).sum()
+    }
+
+    /// Resolves a label to its instruction index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was never bound.
+    pub fn resolve(&self, l: Label) -> usize {
+        let off = self.label_offsets[l.0 as usize];
+        assert_ne!(off, u32::MAX, "unbound label {l}");
+        off as usize
+    }
+}
+
+/// A complete machine-code module: the unit the CPU simulator executes.
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    /// All functions; [`FuncId`] indexes this vector.
+    pub funcs: Vec<Function>,
+    /// The indirect-call function table.
+    pub table: Vec<TableEntry>,
+    /// Entry point (conventionally `main` / `_start`).
+    pub entry: Option<FuncId>,
+    /// Bytes of linear memory the program expects (data + heap); the
+    /// simulator sizes its memory image from this.
+    pub memory_size: u64,
+    /// Initial data segments: (address, bytes).
+    pub data: Vec<(u64, Vec<u8>)>,
+}
+
+impl Module {
+    /// Returns the function for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.0 as usize]
+    }
+
+    /// Looks up a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// Total encoded code size in bytes across all functions.
+    pub fn code_bytes(&self) -> u64 {
+        self.funcs.iter().map(Function::code_bytes).sum()
+    }
+
+    /// Total number of instructions across all functions.
+    pub fn inst_count(&self) -> usize {
+        self.funcs.iter().map(|f| f.insts.len()).sum()
+    }
+
+    /// Lays functions out contiguously in a code image and records each
+    /// instruction's byte address, which the L1 instruction-cache model
+    /// uses. Functions are aligned to 16 bytes as real JITs and linkers do.
+    pub fn assign_addresses(&mut self) {
+        let mut addr: u64 = 0x1000;
+        for f in &mut self.funcs {
+            addr = (addr + 15) & !15;
+            f.inst_addrs.clear();
+            f.inst_addrs.reserve(f.insts.len());
+            for inst in &f.insts {
+                f.inst_addrs.push(addr);
+                addr += encoded_len(inst) as u64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Inst, Operand, Width};
+    use crate::reg::Reg;
+
+    fn mov_rr() -> Inst {
+        Inst::Mov {
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Reg(Reg::Rbx),
+            width: Width::W64,
+        }
+    }
+
+    #[test]
+    fn addresses_are_monotonic_and_aligned() {
+        let mut m = Module::default();
+        for n in 0..3 {
+            m.funcs.push(Function {
+                name: format!("f{n}"),
+                insts: vec![mov_rr(), Inst::Ret],
+                label_offsets: vec![],
+                frame_size: 0,
+                inst_addrs: vec![],
+            });
+        }
+        m.assign_addresses();
+        let mut last = 0;
+        for f in &m.funcs {
+            assert_eq!(f.inst_addrs.len(), f.insts.len());
+            assert_eq!(f.inst_addrs[0] % 16, 0, "function start aligned");
+            for &a in &f.inst_addrs {
+                assert!(a > last || last == 0);
+                last = a;
+            }
+        }
+    }
+
+    #[test]
+    fn func_lookup_by_name() {
+        let mut m = Module::default();
+        m.funcs.push(Function {
+            name: "main_native".into(),
+            ..Function::default()
+        });
+        assert_eq!(m.func_by_name("main_native"), Some(FuncId(0)));
+        assert_eq!(m.func_by_name("nope"), None);
+    }
+
+    #[test]
+    fn code_bytes_sums_functions() {
+        let f = Function {
+            name: "f".into(),
+            insts: vec![mov_rr(), Inst::Ret],
+            ..Function::default()
+        };
+        let one = f.code_bytes();
+        assert!(one > 0);
+        let m = Module {
+            funcs: vec![f.clone(), f],
+            ..Module::default()
+        };
+        assert_eq!(m.code_bytes(), one * 2);
+        assert_eq!(m.inst_count(), 4);
+    }
+}

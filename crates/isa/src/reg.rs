@@ -1,0 +1,288 @@
+//! General-purpose and SSE register model.
+//!
+//! The register file mirrors x86-64: sixteen general-purpose registers and
+//! sixteen `xmm` registers. Backends describe which registers they may
+//! allocate via [`RegSet`]; the difference between Clang's full set and the
+//! browsers' reduced sets (Chrome reserves `r13` for GC roots, `r10` as a
+//! scratch register, and `rbx` as the wasm memory base; Firefox reserves
+//! `r15` for the heap base and `r11` as scratch) is one of the root causes
+//! of the register pressure the paper measures in §6.1.
+
+use core::fmt;
+
+/// A general-purpose x86-64 register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum Reg {
+    Rax,
+    Rcx,
+    Rdx,
+    Rbx,
+    Rsp,
+    Rbp,
+    Rsi,
+    Rdi,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    R13,
+    R14,
+    R15,
+}
+
+impl Reg {
+    /// All sixteen general-purpose registers, in encoding order.
+    pub const ALL: [Reg; 16] = [
+        Reg::Rax,
+        Reg::Rcx,
+        Reg::Rdx,
+        Reg::Rbx,
+        Reg::Rsp,
+        Reg::Rbp,
+        Reg::Rsi,
+        Reg::Rdi,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+    ];
+
+    /// The System V AMD64 integer argument registers, in order.
+    pub const SYSV_ARGS: [Reg; 6] = [Reg::Rdi, Reg::Rsi, Reg::Rdx, Reg::Rcx, Reg::R8, Reg::R9];
+
+    /// Hardware encoding number (0–15).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Register with the given hardware encoding number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 16`.
+    pub fn from_index(i: usize) -> Reg {
+        Reg::ALL[i]
+    }
+
+    /// Canonical lowercase name (64-bit form), e.g. `"rax"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Reg::Rax => "rax",
+            Reg::Rcx => "rcx",
+            Reg::Rdx => "rdx",
+            Reg::Rbx => "rbx",
+            Reg::Rsp => "rsp",
+            Reg::Rbp => "rbp",
+            Reg::Rsi => "rsi",
+            Reg::Rdi => "rdi",
+            Reg::R8 => "r8",
+            Reg::R9 => "r9",
+            Reg::R10 => "r10",
+            Reg::R11 => "r11",
+            Reg::R12 => "r12",
+            Reg::R13 => "r13",
+            Reg::R14 => "r14",
+            Reg::R15 => "r15",
+        }
+    }
+
+    /// 32-bit sub-register name, e.g. `"eax"` / `"r8d"`.
+    pub fn name32(self) -> &'static str {
+        match self {
+            Reg::Rax => "eax",
+            Reg::Rcx => "ecx",
+            Reg::Rdx => "edx",
+            Reg::Rbx => "ebx",
+            Reg::Rsp => "esp",
+            Reg::Rbp => "ebp",
+            Reg::Rsi => "esi",
+            Reg::Rdi => "edi",
+            Reg::R8 => "r8d",
+            Reg::R9 => "r9d",
+            Reg::R10 => "r10d",
+            Reg::R11 => "r11d",
+            Reg::R12 => "r12d",
+            Reg::R13 => "r13d",
+            Reg::R14 => "r14d",
+            Reg::R15 => "r15d",
+        }
+    }
+
+    /// True when the encoding requires a REX prefix byte (`r8`–`r15`).
+    pub fn is_extended(self) -> bool {
+        self.index() >= 8
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An SSE register holding a scalar `f32` or `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Xmm(pub u8);
+
+impl Xmm {
+    /// Number of architectural `xmm` registers.
+    pub const COUNT: usize = 16;
+
+    /// The System V AMD64 floating-point argument registers, in order.
+    pub const SYSV_ARGS: [Xmm; 8] = [
+        Xmm(0),
+        Xmm(1),
+        Xmm(2),
+        Xmm(3),
+        Xmm(4),
+        Xmm(5),
+        Xmm(6),
+        Xmm(7),
+    ];
+
+    /// Hardware encoding number (0–15).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Xmm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xmm{}", self.0)
+    }
+}
+
+/// A set of general-purpose registers, used to describe allocatable and
+/// clobbered register sets compactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegSet(u16);
+
+impl RegSet {
+    /// The empty set.
+    pub const EMPTY: RegSet = RegSet(0);
+
+    /// Set containing every general-purpose register.
+    pub const ALL: RegSet = RegSet(0xffff);
+
+    /// Builds a set from a slice of registers.
+    pub fn of(regs: &[Reg]) -> RegSet {
+        let mut s = RegSet::EMPTY;
+        for &r in regs {
+            s.insert(r);
+        }
+        s
+    }
+
+    /// Inserts `r` into the set.
+    pub fn insert(&mut self, r: Reg) {
+        self.0 |= 1 << r.index();
+    }
+
+    /// Removes `r` from the set.
+    pub fn remove(&mut self, r: Reg) {
+        self.0 &= !(1 << r.index());
+    }
+
+    /// True when `r` is a member.
+    pub fn contains(self, r: Reg) -> bool {
+        self.0 & (1 << r.index()) != 0
+    }
+
+    /// Number of members.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True when the set has no members.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set difference `self \ other`.
+    pub fn minus(self, other: RegSet) -> RegSet {
+        RegSet(self.0 & !other.0)
+    }
+
+    /// Set union.
+    pub fn union(self, other: RegSet) -> RegSet {
+        RegSet(self.0 | other.0)
+    }
+
+    /// Iterates members in encoding order.
+    pub fn iter(self) -> impl Iterator<Item = Reg> {
+        Reg::ALL.into_iter().filter(move |r| self.contains(*r))
+    }
+}
+
+impl FromIterator<Reg> for RegSet {
+    fn from_iter<T: IntoIterator<Item = Reg>>(iter: T) -> Self {
+        let mut s = RegSet::EMPTY;
+        for r in iter {
+            s.insert(r);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_index_roundtrip() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::from_index(r.index()), r);
+        }
+    }
+
+    #[test]
+    fn extended_registers_need_rex() {
+        assert!(!Reg::Rax.is_extended());
+        assert!(!Reg::Rdi.is_extended());
+        assert!(Reg::R8.is_extended());
+        assert!(Reg::R15.is_extended());
+    }
+
+    #[test]
+    fn regset_basics() {
+        let mut s = RegSet::of(&[Reg::Rax, Reg::R13]);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(Reg::Rax));
+        assert!(s.contains(Reg::R13));
+        assert!(!s.contains(Reg::Rbx));
+        s.remove(Reg::Rax);
+        assert_eq!(s.len(), 1);
+        assert!(!s.contains(Reg::Rax));
+        s.insert(Reg::Rbx);
+        assert!(s.contains(Reg::Rbx));
+    }
+
+    #[test]
+    fn regset_minus_union() {
+        let a = RegSet::of(&[Reg::Rax, Reg::Rbx, Reg::Rcx]);
+        let b = RegSet::of(&[Reg::Rbx]);
+        assert_eq!(a.minus(b), RegSet::of(&[Reg::Rax, Reg::Rcx]));
+        assert_eq!(b.union(a), a);
+        assert_eq!(RegSet::ALL.len(), 16);
+    }
+
+    #[test]
+    fn regset_iter_in_encoding_order() {
+        let s = RegSet::of(&[Reg::R15, Reg::Rax, Reg::Rbp]);
+        let v: Vec<Reg> = s.iter().collect();
+        assert_eq!(v, vec![Reg::Rax, Reg::Rbp, Reg::R15]);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::R8.to_string(), "r8");
+        assert_eq!(Reg::R8.name32(), "r8d");
+        assert_eq!(Xmm(13).to_string(), "xmm13");
+    }
+}

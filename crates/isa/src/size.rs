@@ -1,0 +1,344 @@
+//! Encoding-size model.
+//!
+//! The CPU simulator needs a byte address for every instruction to drive
+//! the L1 instruction-cache model (the paper attributes a large share of
+//! the WebAssembly slowdown to I-cache misses from inflated code, §6.3).
+//! Rather than implement a full x86-64 encoder, we estimate each
+//! instruction's encoded length using the real format's rules: legacy/REX
+//! prefixes, opcode bytes, ModRM/SIB, displacement, and immediate sizes.
+//! The estimates match common-case `as`/LLVM output to within a byte or
+//! two, which is ample fidelity for cache-line behaviour.
+
+use crate::inst::{FOperand, Inst, MemRef, Operand, Width};
+use crate::reg::Reg;
+
+/// Bytes contributed by a ModRM + optional SIB + displacement for `mem`.
+fn mem_bytes(mem: &MemRef) -> u32 {
+    // ModRM is always present (1 byte). An index register or rsp base
+    // forces a SIB byte. Displacement: 0 bytes if zero and base != rbp,
+    // 1 byte if it fits i8, else 4.
+    let mut n = 1;
+    let needs_sib =
+        mem.index.is_some() || mem.base == Some(Reg::Rsp) || mem.base.is_none();
+    if needs_sib {
+        n += 1;
+    }
+    let disp_forced = mem.base == Some(Reg::Rbp) || mem.base == Some(Reg::R13);
+    if mem.base.is_none() {
+        n += 4; // Absolute disp32.
+    } else if mem.disp == 0 && !disp_forced {
+        // No displacement byte.
+    } else if i8::try_from(mem.disp).is_ok() {
+        n += 1;
+    } else {
+        n += 4;
+    }
+    n
+}
+
+/// 1 if a REX prefix is needed for the register/width combination.
+fn rex(width: Width, regs: &[Option<Reg>]) -> u32 {
+    if width == Width::W64 || regs.iter().flatten().any(|r| r.is_extended()) {
+        1
+    } else {
+        0
+    }
+}
+
+fn op_regs(op: &Operand) -> Vec<Option<Reg>> {
+    match op {
+        Operand::Reg(r) => vec![Some(*r)],
+        Operand::Imm(_) => vec![],
+        Operand::Mem(m) => m.regs().map(Some).collect(),
+    }
+}
+
+fn fop_regs(op: &FOperand) -> Vec<Option<Reg>> {
+    match op {
+        FOperand::Xmm(_) => vec![],
+        FOperand::Mem(m) => m.regs().map(Some).collect(),
+    }
+}
+
+fn imm_bytes(v: i64, width: Width) -> u32 {
+    if i8::try_from(v).is_ok() {
+        1
+    } else if width == Width::W64 && i32::try_from(v).is_err() {
+        8
+    } else {
+        4
+    }
+}
+
+fn operand_pair(dst: &Operand, src: &Operand, width: Width, opcode: u32) -> u32 {
+    let mut regs = op_regs(dst);
+    regs.extend(op_regs(src));
+    let mut n = opcode + rex(width, &regs);
+    if width == Width::W16 {
+        n += 1; // 0x66 operand-size prefix.
+    }
+    match (dst, src) {
+        (Operand::Mem(m), Operand::Imm(v)) => n + mem_bytes(m) + imm_bytes(*v, width),
+        (Operand::Mem(m), _) => n + mem_bytes(m),
+        (_, Operand::Mem(m)) => n + mem_bytes(m),
+        (_, Operand::Imm(v)) => n + 1 + imm_bytes(*v, width).max(1),
+        _ => n + 1, // ModRM reg-reg.
+    }
+}
+
+/// Estimated encoded length in bytes of `inst`.
+pub fn encoded_len(inst: &Inst) -> u32 {
+    use Inst::*;
+    match inst {
+        Mov { dst, src, width } => {
+            // mov reg, imm64 is the long movabs form.
+            if let (Operand::Reg(r), Operand::Imm(v)) = (dst, src) {
+                if *width == Width::W64 && i32::try_from(*v).is_err() {
+                    return 2 + 8;
+                }
+                let _ = r;
+                return 1 + rex(*width, &op_regs(dst)) + 4;
+            }
+            operand_pair(dst, src, *width, 1)
+        }
+        Movzx { dst, src, from } | Movsx { dst, src, from, .. } => {
+            let mut regs = vec![Some(*dst)];
+            regs.extend(op_regs(src));
+            let mut n = 2 + rex(Width::W64, &regs); // 0F B6/BE style.
+            let _ = from;
+            match src {
+                Operand::Mem(m) => n += mem_bytes(m),
+                _ => n += 1,
+            }
+            n
+        }
+        Lea { dst, mem, width } => {
+            let mut regs = vec![Some(*dst)];
+            regs.extend(mem.regs().map(Some));
+            1 + rex(*width, &regs) + mem_bytes(mem)
+        }
+        Alu { dst, src, width, .. } => operand_pair(dst, src, *width, 1),
+        Neg { dst, width } | Not { dst, width } => match dst {
+            Operand::Mem(m) => 1 + rex(*width, &op_regs(dst)) + mem_bytes(m),
+            _ => 1 + rex(*width, &op_regs(dst)) + 1,
+        },
+        Imul { dst, src, width } => {
+            let mut regs = vec![Some(*dst)];
+            regs.extend(op_regs(src));
+            let mut n = 2 + rex(*width, &regs); // 0F AF.
+            match src {
+                Operand::Mem(m) => n += mem_bytes(m),
+                _ => n += 1,
+            }
+            n
+        }
+        Imul3 { dst, src, imm, width } => {
+            let mut regs = vec![Some(*dst)];
+            regs.extend(op_regs(src));
+            let mut n = 1 + rex(*width, &regs) + imm_bytes(*imm, *width);
+            match src {
+                Operand::Mem(m) => n += mem_bytes(m),
+                _ => n += 1,
+            }
+            n
+        }
+        Cqo { width } => 1 + rex(*width, &[]),
+        Div { src, width, .. } => match src {
+            Operand::Mem(m) => 1 + rex(*width, &op_regs(src)) + mem_bytes(m),
+            _ => 1 + rex(*width, &op_regs(src)) + 1,
+        },
+        Cmp { lhs, rhs, width } | Test { lhs, rhs, width } => {
+            operand_pair(lhs, rhs, *width, 1)
+        }
+        Setcc { dst, .. } => 3 + u32::from(dst.is_extended()),
+        Cmov { dst, src, width, .. } => {
+            let mut regs = vec![Some(*dst)];
+            regs.extend(op_regs(src));
+            let mut n = 2 + rex(*width, &regs); // 0F 4x.
+            match src {
+                Operand::Mem(m) => n += mem_bytes(m),
+                _ => n += 1,
+            }
+            n
+        }
+        Lzcnt { dst, src, width }
+        | Tzcnt { dst, src, width }
+        | Popcnt { dst, src, width } => {
+            let mut regs = vec![Some(*dst)];
+            regs.extend(op_regs(src));
+            let mut n = 4 + rex(*width, &regs); // F3 0F B8-style.
+            match src {
+                Operand::Mem(m) => n += mem_bytes(m),
+                _ => n += 1,
+            }
+            n
+        }
+        // Branch sizes: assume rel32 forms (JITs rarely relax to rel8).
+        Jmp { .. } => 5,
+        Jcc { .. } => 6,
+        Call { .. } => 5,
+        CallIndirect { target } => match target {
+            Operand::Mem(m) => 2 + mem_bytes(m) + u32::from(op_regs(target).iter().flatten().any(|r| r.is_extended())),
+            _ => 2 + u32::from(op_regs(target).iter().flatten().any(|r| r.is_extended())),
+        },
+        // Host calls model a call through a patched thunk.
+        CallHost { .. } => 5,
+        Push { src } => match src {
+            Operand::Reg(r) => 1 + u32::from(r.is_extended()),
+            Operand::Imm(v) => 1 + imm_bytes(*v, Width::W32),
+            Operand::Mem(m) => 2 + mem_bytes(m),
+        },
+        Pop { dst } => 1 + u32::from(dst.is_extended()),
+        Ret => 1,
+        MovF { dst, src, .. } => {
+            let mut regs = fop_regs(dst);
+            regs.extend(fop_regs(src));
+            let mut n = 3 + rex(Width::W32, &regs); // F3/F2 0F 10/11.
+            match (dst, src) {
+                (FOperand::Mem(m), _) | (_, FOperand::Mem(m)) => n += mem_bytes(m),
+                _ => n += 1,
+            }
+            n
+        }
+        RoundF { src, .. } => {
+            // 66 0F 3A 0A/0B /r ib.
+            let mut n = 5 + rex(Width::W32, &fop_regs(src));
+            match src {
+                FOperand::Mem(m) => n += mem_bytes(m),
+                _ => n += 1,
+            }
+            n
+        }
+        AluF { src, .. } | SqrtF { src, .. } | AbsF { src, .. } | Ucomis { rhs: src, .. } => {
+            let mut n = 3 + rex(Width::W32, &fop_regs(src));
+            match src {
+                FOperand::Mem(m) => n += mem_bytes(m),
+                _ => n += 1,
+            }
+            n
+        }
+        CvtIntToF { src, width, .. } => {
+            let mut n = 3 + rex(*width, &op_regs(src));
+            match src {
+                Operand::Mem(m) => n += mem_bytes(m),
+                _ => n += 1,
+            }
+            n
+        }
+        CvtFToInt { src, width, .. } => {
+            let mut n = 3 + rex(*width, &fop_regs(src));
+            match src {
+                FOperand::Mem(m) => n += mem_bytes(m),
+                _ => n += 1,
+            }
+            n
+        }
+        CvtFToF { src, .. } => {
+            let mut n = 3 + rex(Width::W32, &fop_regs(src));
+            match src {
+                FOperand::Mem(m) => n += mem_bytes(m),
+                _ => n += 1,
+            }
+            n
+        }
+        MovGprToXmm { width, .. } | MovXmmToGpr { width, .. } => 4 + rex(*width, &[]),
+        Trap { .. } => 2, // ud2.
+        Nop => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::AluOp;
+    use crate::reg::Reg;
+
+    #[test]
+    fn reg_reg_mov_is_small() {
+        let i = Inst::Mov {
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Reg(Reg::Rbx),
+            width: Width::W64,
+        };
+        assert_eq!(encoded_len(&i), 3); // REX.W + opcode + ModRM.
+        let i32 = Inst::Mov {
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Reg(Reg::Rbx),
+            width: Width::W32,
+        };
+        assert_eq!(encoded_len(&i32), 2);
+    }
+
+    #[test]
+    fn mem_operands_add_bytes() {
+        let small = Inst::Alu {
+            op: AluOp::Add,
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Reg(Reg::Rcx),
+            width: Width::W32,
+        };
+        let mem = Inst::Alu {
+            op: AluOp::Add,
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Mem(MemRef::full(Reg::Rdi, Reg::Rcx, 4, 4400)),
+            width: Width::W32,
+        };
+        assert!(encoded_len(&mem) > encoded_len(&small));
+        // Opcode + ModRM + SIB + disp32 = 7 bytes.
+        assert_eq!(encoded_len(&mem), 7);
+    }
+
+    #[test]
+    fn disp8_smaller_than_disp32() {
+        let d8 = Inst::Mov {
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Mem(MemRef::base_disp(Reg::Rbx, 16)),
+            width: Width::W64,
+        };
+        let d32 = Inst::Mov {
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Mem(MemRef::base_disp(Reg::Rbx, 4096)),
+            width: Width::W64,
+        };
+        assert!(encoded_len(&d8) < encoded_len(&d32));
+    }
+
+    #[test]
+    fn movabs_is_ten_bytes() {
+        let i = Inst::Mov {
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Imm(0x1_0000_0000),
+            width: Width::W64,
+        };
+        assert_eq!(encoded_len(&i), 10);
+    }
+
+    #[test]
+    fn rbp_base_forces_disp() {
+        // [rbp] must encode as [rbp+0] with a disp8.
+        let rbp0 = Inst::Mov {
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Mem(MemRef::base(Reg::Rbp)),
+            width: Width::W64,
+        };
+        let rbx0 = Inst::Mov {
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Mem(MemRef::base(Reg::Rbx)),
+            width: Width::W64,
+        };
+        assert!(encoded_len(&rbp0) > encoded_len(&rbx0));
+    }
+
+    #[test]
+    fn every_branch_has_fixed_size() {
+        assert_eq!(encoded_len(&Inst::Jmp { target: crate::Label(0) }), 5);
+        assert_eq!(
+            encoded_len(&Inst::Jcc {
+                cc: crate::Cc::Ne,
+                target: crate::Label(0)
+            }),
+            6
+        );
+        assert_eq!(encoded_len(&Inst::Ret), 1);
+    }
+}

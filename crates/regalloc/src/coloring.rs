@@ -1,0 +1,367 @@
+//! Graph-coloring register allocation (the Clang-like allocator).
+//!
+//! A Chaitin–Briggs-style allocator standing in for LLVM's greedy
+//! allocator: build the interference graph from liveness, simplify nodes
+//! of insignificant degree, select colors in preference order, and spill
+//! only when coloring genuinely fails. Values that live across calls are
+//! constrained to callee-saved colors (they interfere with the
+//! caller-saved registers a call clobbers), so the paper's contrast —
+//! native code keeps loop-carried values in registers where JIT code
+//! spills them — emerges directly.
+
+use crate::emit::{Assignment, Slot};
+use crate::linearscan::collect_callee_saved;
+use crate::lir::{for_each_def, LFunc, LInst, VClass};
+use crate::liveness::analyze;
+use crate::profile::AllocProfile;
+use std::collections::{BTreeSet, HashSet};
+
+/// Allocates `f` with graph coloring, returning the assignment.
+pub fn allocate_coloring(f: &LFunc, profile: &AllocProfile) -> Assignment {
+    let live = analyze(f);
+    let nv = f.vclasses.len();
+
+    // Interference graph (same-class edges only), built with the same
+    // extended-basic-block backward walk liveness uses: a def interferes
+    // with everything live after the instruction (minus a move's source).
+    let mut adj: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); nv];
+    {
+        let add_edge = |a: u32, b: u32, adj: &mut Vec<BTreeSet<u32>>| {
+            if a != b {
+                adj[a as usize].insert(b);
+                adj[b as usize].insert(a);
+            }
+        };
+        for bi in 0..f.blocks.len() {
+            crate::liveness::backward_walk(f, bi, &live.live_in, |_, inst, live_after| {
+                let move_src: Option<u32> = match inst {
+                    LInst::Mov {
+                        src: crate::lir::Opnd::Loc(crate::lir::Loc::V(s)),
+                        ..
+                    } => Some(*s),
+                    _ => None,
+                };
+                let mut defs: Vec<u32> = Vec::new();
+                for_each_def(inst, |v, _| defs.push(v));
+                for &d in &defs {
+                    for &l in live_after {
+                        if l != d
+                            && f.vclasses[d as usize] == f.vclasses[l as usize]
+                            && Some(l) != move_src
+                        {
+                            add_edge(d, l, &mut adj);
+                        }
+                    }
+                }
+            });
+        }
+    }
+
+    // Parameters all interfere with each other (they arrive simultaneously
+    // in argument registers).
+    let params: Vec<u32> = (0..f.params.len() as u32).collect();
+    for (i, &a) in params.iter().enumerate() {
+        for &b in &params[i + 1..] {
+            if a != b && f.vclasses[a as usize] == f.vclasses[b as usize] {
+                adj[a as usize].insert(b);
+                adj[b as usize].insert(a);
+            }
+        }
+    }
+
+    let across: &BTreeSet<u32> = &live.live_across_call;
+    let callee_saved_count = profile.callee_saved_pool().len();
+
+    // Available color count for a node.
+    let colors_for = |v: u32| -> usize {
+        match f.vclasses[v as usize] {
+            VClass::Int => {
+                if across.contains(&v) {
+                    callee_saved_count
+                } else {
+                    profile.int_pool.len()
+                }
+            }
+            VClass::Float => {
+                if across.contains(&v) {
+                    0 // All xmm are caller-saved.
+                } else {
+                    profile.float_pool.len()
+                }
+            }
+        }
+    };
+
+    // Simplify phase.
+    let mut degree: Vec<usize> = adj.iter().map(BTreeSet::len).collect();
+    let mut removed = vec![false; nv];
+    let mut stack: Vec<u32> = Vec::new();
+    let alive: Vec<u32> = (0..nv as u32)
+        .filter(|v| live.range[*v as usize].is_some())
+        .collect();
+    let mut remaining: usize = alive.len();
+
+    while remaining > 0 {
+        // Prefer a trivially colorable node.
+        let pick = alive
+            .iter()
+            .copied()
+            .find(|&v| !removed[v as usize] && degree[v as usize] < colors_for(v).max(1));
+        let v = match pick {
+            Some(v) => v,
+            None => {
+                // Potential spill: cheapest by use-count / degree.
+                alive
+                    .iter()
+                    .copied()
+                    .filter(|&v| !removed[v as usize])
+                    .min_by_key(|&v| {
+                        let d = degree[v as usize].max(1);
+                        // Scale to compare use_count/degree without floats.
+                        (live.use_count[v as usize] as u64 * 1000) / d as u64
+                    })
+                    .expect("nodes remain")
+            }
+        };
+        removed[v as usize] = true;
+        remaining -= 1;
+        stack.push(v);
+        for &n in &adj[v as usize] {
+            if !removed[n as usize] {
+                degree[n as usize] = degree[n as usize].saturating_sub(1);
+            }
+        }
+    }
+
+    // Select phase.
+    let mut assign = vec![Slot::Unused; nv];
+    let mut n_slots: u32 = 0;
+    while let Some(v) = stack.pop() {
+        let class = f.vclasses[v as usize];
+        let crossing = across.contains(&v);
+        let taken: HashSet<Slot> = adj[v as usize]
+            .iter()
+            .filter_map(|&n| match assign[n as usize] {
+                s @ (Slot::IntReg(_) | Slot::FloatReg(_)) => Some(s),
+                _ => None,
+            })
+            .collect();
+        let slot = match class {
+            VClass::Int => {
+                // Prefer caller-saved colors for values that do not cross
+                // calls (so leaf code avoids save/restore traffic) and
+                // callee-saved colors for those that do.
+                let mut candidates: Vec<&wasmperf_isa::Reg> = profile
+                    .int_pool
+                    .iter()
+                    .filter(|r| !crossing || profile.callee_saved.contains(**r))
+                    .collect();
+                candidates.sort_by_key(|r| {
+                    profile.callee_saved.contains(**r) != crossing
+                });
+                candidates
+                    .into_iter()
+                    .map(|r| Slot::IntReg(*r))
+                    .find(|s| !taken.contains(s))
+            }
+            VClass::Float => {
+                if crossing {
+                    None
+                } else {
+                    profile
+                        .float_pool
+                        .iter()
+                        .map(|x| Slot::FloatReg(*x))
+                        .find(|s| !taken.contains(s))
+                }
+            }
+        };
+        assign[v as usize] = match slot {
+            Some(s) => s,
+            None => {
+                let s = Slot::Stack(n_slots);
+                n_slots += 1;
+                s
+            }
+        };
+    }
+
+    let used_callee_saved = collect_callee_saved(&assign, profile);
+    Assignment {
+        of: assign,
+        n_slots,
+        used_callee_saved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linearscan::{allocate_linear_scan, verify_no_conflicts};
+    use crate::lir::{Arg, BlockId, LBlock, LInst, Loc, Opnd, RetVal};
+    use wasmperf_isa::{AluOp, Cc, Width};
+
+    fn v(n: u32) -> Loc {
+        Loc::V(n)
+    }
+
+    /// The matmul-like pattern: several long-lived loop-carried values
+    /// plus short-lived temporaries inside a loop.
+    fn loopy_func(n_carried: u32, n_temps: u32) -> LFunc {
+        let mut f = LFunc::default();
+        for _ in 0..(n_carried + n_temps) {
+            f.new_vreg(VClass::Int);
+        }
+        let mut head = Vec::new();
+        for i in 0..n_carried {
+            head.push(LInst::Mov {
+                dst: v(i),
+                src: Opnd::Imm(i as i64),
+                width: Width::W64,
+            });
+        }
+        let mut body = Vec::new();
+        for t in 0..n_temps {
+            let tv = n_carried + t;
+            body.push(LInst::Mov {
+                dst: v(tv),
+                src: Opnd::Loc(v(t % n_carried)),
+                width: Width::W64,
+            });
+            body.push(LInst::Alu {
+                op: AluOp::Add,
+                dst: v(t % n_carried),
+                src: Opnd::Loc(v(tv)),
+                width: Width::W64,
+            });
+        }
+        body.push(LInst::Alu {
+            op: AluOp::Sub,
+            dst: v(0),
+            src: Opnd::Imm(1),
+            width: Width::W64,
+        });
+        body.push(LInst::Jcc {
+            cc: Cc::Ne,
+            target: BlockId(1),
+        });
+        let mut tail = vec![LInst::Ret {
+            value: Some(Arg::Int(Opnd::Loc(v(n_carried - 1)))),
+        }];
+        // Keep all carried values live to the end.
+        for i in 1..n_carried {
+            tail.insert(
+                0,
+                LInst::Alu {
+                    op: AluOp::Add,
+                    dst: v(n_carried - 1),
+                    src: Opnd::Loc(v(i - 1)),
+                    width: Width::W64,
+                },
+            );
+        }
+        f.blocks = vec![
+            LBlock { insts: head },
+            LBlock { insts: body },
+            LBlock { insts: tail },
+        ];
+        f
+    }
+
+    #[test]
+    fn coloring_is_conflict_free() {
+        let f = loopy_func(6, 4);
+        let a = allocate_coloring(&f, &AllocProfile::native());
+        verify_no_conflicts(&f, &a).unwrap();
+    }
+
+    #[test]
+    fn coloring_spills_less_than_linear_scan_under_pressure() {
+        // More carried values than Chrome's pool.
+        let f = loopy_func(10, 4);
+        let gc = allocate_coloring(&f, &AllocProfile::chrome());
+        let ls = allocate_linear_scan(&f, &AllocProfile::chrome());
+        verify_no_conflicts(&f, &gc).unwrap();
+        verify_no_conflicts(&f, &ls).unwrap();
+        assert!(
+            gc.spill_count() <= ls.spill_count(),
+            "coloring {} vs linear scan {}",
+            gc.spill_count(),
+            ls.spill_count()
+        );
+    }
+
+    #[test]
+    fn call_crossing_gets_callee_saved_color() {
+        let mut f = LFunc::default();
+        f.new_vreg(VClass::Int);
+        f.new_vreg(VClass::Int);
+        f.blocks = vec![LBlock {
+            insts: vec![
+                LInst::Mov {
+                    dst: v(0),
+                    src: Opnd::Imm(5),
+                    width: Width::W64,
+                },
+                LInst::Call {
+                    func: 0,
+                    args: vec![Arg::Int(Opnd::Loc(v(0)))],
+                    ret: Some(RetVal::Int(v(1))),
+                },
+                LInst::Alu {
+                    op: AluOp::Add,
+                    dst: v(1),
+                    src: Opnd::Loc(v(0)),
+                    width: Width::W64,
+                },
+                LInst::Ret {
+                    value: Some(Arg::Int(Opnd::Loc(v(1)))),
+                },
+            ],
+        }];
+        let profile = AllocProfile::native();
+        let a = allocate_coloring(&f, &profile);
+        verify_no_conflicts(&f, &a).unwrap();
+        match a.of[0] {
+            Slot::IntReg(r) => assert!(profile.callee_saved.contains(r), "{r}"),
+            Slot::Stack(_) => {}
+            other => panic!("{other:?}"),
+        }
+        assert!(!a.used_callee_saved.is_empty());
+    }
+
+    #[test]
+    fn small_pool_forces_spills_eventually() {
+        let f = loopy_func(12, 2);
+        let a = allocate_coloring(&f, &AllocProfile::chrome());
+        verify_no_conflicts(&f, &a).unwrap();
+        assert!(a.spill_count() >= 12 - 8, "12 values into 8 regs");
+    }
+
+    #[test]
+    fn params_interfere_with_each_other() {
+        let mut f = LFunc::default();
+        f.new_vreg(VClass::Int);
+        f.new_vreg(VClass::Int);
+        f.params = vec![VClass::Int, VClass::Int];
+        f.blocks = vec![LBlock {
+            insts: vec![
+                LInst::Alu {
+                    op: AluOp::Add,
+                    dst: v(0),
+                    src: Opnd::Loc(v(1)),
+                    width: Width::W64,
+                },
+                LInst::Ret {
+                    value: Some(Arg::Int(Opnd::Loc(v(0)))),
+                },
+            ],
+        }];
+        let a = allocate_coloring(&f, &AllocProfile::native());
+        verify_no_conflicts(&f, &a).unwrap();
+        match (a.of[0], a.of[1]) {
+            (Slot::IntReg(x), Slot::IntReg(y)) => assert_ne!(x, y),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,1133 @@
+//! Emission: allocated LIR → executable `wasmperf-isa` code.
+//!
+//! The emitter is shared by both backends; all quality differences are
+//! decided earlier (instruction selection in the backends, assignment in
+//! the allocators). Responsibilities here:
+//!
+//! - frame construction: `push rbp; mov rbp, rsp; sub rsp, slots`,
+//!   saving/restoring the callee-saved registers the assignment uses;
+//! - spill-slot access through the scratch registers `rax`/`rcx`/`rdx`
+//!   (and `xmm14`/`xmm15` for floats), producing the `[rbp-0x28]`-style
+//!   traffic of the paper's Figure 7c when the allocator spilled;
+//! - System V call lowering with parallel-move resolution (argument
+//!   registers may be both sources and destinations);
+//! - out-of-line trap stubs shared per function, as real JITs emit.
+
+use crate::lir::{Arg, FLoc, FOpnd, LFunc, LInst, LMem, Loc, Opnd, RetVal, VClass};
+use crate::profile::AllocProfile;
+use wasmperf_isa::inst::FOperand;
+use wasmperf_isa::{
+    AluOp, AsmBuilder, Cc, FPrec, FuncId, Function, Inst, Label, MemRef, Operand, Reg, TrapKind,
+    Width, Xmm,
+};
+
+/// Where a virtual register ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Slot {
+    /// An integer register.
+    IntReg(Reg),
+    /// A float register.
+    FloatReg(Xmm),
+    /// A stack slot (index; `[rbp - 8*(index+1)]`).
+    Stack(u32),
+    /// Never used.
+    Unused,
+}
+
+/// The result of register allocation.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    /// Assignment per virtual register.
+    pub of: Vec<Slot>,
+    /// Number of stack slots used.
+    pub n_slots: u32,
+    /// Callee-saved registers the assignment uses (must be saved).
+    pub used_callee_saved: Vec<Reg>,
+}
+
+impl Assignment {
+    /// Number of virtual registers spilled to the stack.
+    pub fn spill_count(&self) -> usize {
+        self.of.iter().filter(|s| matches!(s, Slot::Stack(_))).count()
+    }
+}
+
+const SCRATCH: [Reg; 3] = [Reg::Rax, Reg::Rcx, Reg::Rdx];
+const FSCRATCH: [Xmm; 2] = [Xmm(14), Xmm(15)];
+
+struct Emitter<'a> {
+    assign: &'a Assignment,
+    asm: AsmBuilder,
+    block_labels: Vec<Label>,
+    trap_labels: Vec<(TrapKind, Label)>,
+    /// Scratch registers handed out within the current instruction.
+    scratch_used: usize,
+    fscratch_used: usize,
+}
+
+fn slot_mem(idx: u32) -> MemRef {
+    MemRef::base_disp(Reg::Rbp, -8 * (idx as i64 + 1))
+}
+
+impl<'a> Emitter<'a> {
+    fn take_scratch(&mut self) -> Reg {
+        let r = SCRATCH[self.scratch_used];
+        self.scratch_used += 1;
+        r
+    }
+
+    fn take_fscratch(&mut self) -> Xmm {
+        let x = FSCRATCH[self.fscratch_used];
+        self.fscratch_used += 1;
+        x
+    }
+
+    fn reset_scratch(&mut self) {
+        self.scratch_used = 0;
+        self.fscratch_used = 0;
+    }
+
+    fn slot_of(&self, v: u32) -> Slot {
+        self.assign.of[v as usize]
+    }
+
+    /// Resolves an integer location to a physical register, loading from
+    /// the stack slot into a scratch register if spilled.
+    fn reg_for_read(&mut self, loc: &Loc, width: Width) -> Reg {
+        match loc {
+            Loc::P(r) => *r,
+            Loc::V(v) => match self.slot_of(*v) {
+                Slot::IntReg(r) => r,
+                Slot::Stack(i) => {
+                    let s = self.take_scratch();
+                    self.asm.emit(Inst::Mov {
+                        dst: Operand::Reg(s),
+                        src: Operand::Mem(slot_mem(i)),
+                        width: width.max_w64(),
+                    });
+                    s
+                }
+                other => panic!("int vreg {v} assigned {other:?}"),
+            },
+        }
+    }
+
+    /// Resolves a destination location: returns the register to write and
+    /// an optional slot to store back afterwards.
+    fn reg_for_write(&mut self, loc: &Loc) -> (Reg, Option<u32>) {
+        match loc {
+            Loc::P(r) => (*r, None),
+            Loc::V(v) => match self.slot_of(*v) {
+                Slot::IntReg(r) => (r, None),
+                Slot::Stack(i) => (self.take_scratch(), Some(i)),
+                other => panic!("int vreg {v} assigned {other:?}"),
+            },
+        }
+    }
+
+    fn store_back(&mut self, reg: Reg, slot: Option<u32>) {
+        if let Some(i) = slot {
+            self.asm.emit(Inst::Mov {
+                dst: Operand::Mem(slot_mem(i)),
+                src: Operand::Reg(reg),
+                width: Width::W64,
+            });
+        }
+    }
+
+    /// For two-address destinations: loads the current value if spilled.
+    fn reg_for_rmw(&mut self, loc: &Loc, width: Width) -> (Reg, Option<u32>) {
+        match loc {
+            Loc::P(r) => (*r, None),
+            Loc::V(v) => match self.slot_of(*v) {
+                Slot::IntReg(r) => (r, None),
+                Slot::Stack(i) => {
+                    let s = self.take_scratch();
+                    self.asm.emit(Inst::Mov {
+                        dst: Operand::Reg(s),
+                        src: Operand::Mem(slot_mem(i)),
+                        width: width.max_w64(),
+                    });
+                    (s, Some(i))
+                }
+                other => panic!("int vreg {v} assigned {other:?}"),
+            },
+        }
+    }
+
+    fn mem(&mut self, m: &LMem, width: Width) -> MemRef {
+        let base = m.base.as_ref().map(|l| self.reg_for_read(l, width.max_w64()));
+        let index = m
+            .index
+            .as_ref()
+            .map(|(l, s)| (self.reg_for_read(l, width.max_w64()), *s));
+        MemRef {
+            base,
+            index,
+            disp: m.disp,
+        }
+    }
+
+    fn opnd(&mut self, o: &Opnd, width: Width) -> Operand {
+        match o {
+            Opnd::Loc(l) => Operand::Reg(self.reg_for_read(l, width)),
+            Opnd::Imm(v) => Operand::Imm(*v),
+            Opnd::Mem(m) => Operand::Mem(self.mem(m, width)),
+        }
+    }
+
+    fn xmm_for_read(&mut self, l: &FLoc, prec: FPrec) -> Xmm {
+        match l {
+            FLoc::P(x) => *x,
+            FLoc::V(v) => match self.slot_of(*v) {
+                Slot::FloatReg(x) => x,
+                Slot::Stack(i) => {
+                    let s = self.take_fscratch();
+                    self.asm.emit(Inst::MovF {
+                        dst: FOperand::Xmm(s),
+                        src: FOperand::Mem(slot_mem(i)),
+                        prec,
+                    });
+                    s
+                }
+                other => panic!("float vreg {v} assigned {other:?}"),
+            },
+        }
+    }
+
+    fn xmm_for_write(&mut self, l: &FLoc) -> (Xmm, Option<u32>) {
+        match l {
+            FLoc::P(x) => (*x, None),
+            FLoc::V(v) => match self.slot_of(*v) {
+                Slot::FloatReg(x) => (x, None),
+                Slot::Stack(i) => (self.take_fscratch(), Some(i)),
+                other => panic!("float vreg {v} assigned {other:?}"),
+            },
+        }
+    }
+
+    fn xmm_for_rmw(&mut self, l: &FLoc, prec: FPrec) -> (Xmm, Option<u32>) {
+        match l {
+            FLoc::P(x) => (*x, None),
+            FLoc::V(v) => match self.slot_of(*v) {
+                Slot::FloatReg(x) => (x, None),
+                Slot::Stack(i) => {
+                    let s = self.take_fscratch();
+                    self.asm.emit(Inst::MovF {
+                        dst: FOperand::Xmm(s),
+                        src: FOperand::Mem(slot_mem(i)),
+                        prec,
+                    });
+                    (s, Some(i))
+                }
+                other => panic!("float vreg {v} assigned {other:?}"),
+            },
+        }
+    }
+
+    fn fstore_back(&mut self, x: Xmm, slot: Option<u32>, prec: FPrec) {
+        if let Some(i) = slot {
+            self.asm.emit(Inst::MovF {
+                dst: FOperand::Mem(slot_mem(i)),
+                src: FOperand::Xmm(x),
+                prec,
+            });
+        }
+    }
+
+    fn fopnd(&mut self, o: &FOpnd, prec: FPrec) -> FOperand {
+        match o {
+            FOpnd::Loc(l) => FOperand::Xmm(self.xmm_for_read(l, prec)),
+            FOpnd::Mem(m) => FOperand::Mem(self.mem(m, Width::W64)),
+        }
+    }
+
+    fn trap_label(&mut self, kind: TrapKind) -> Label {
+        if let Some((_, l)) = self.trap_labels.iter().find(|(k, _)| *k == kind) {
+            return *l;
+        }
+        let l = self.asm.new_label();
+        self.trap_labels.push((kind, l));
+        l
+    }
+
+    fn epilogue(&mut self) {
+        for r in self.assign.used_callee_saved.iter().rev() {
+            self.asm.emit(Inst::Pop { dst: *r });
+        }
+        self.asm.emit(Inst::Mov {
+            dst: Operand::Reg(Reg::Rsp),
+            src: Operand::Reg(Reg::Rbp),
+            width: Width::W64,
+        });
+        self.asm.emit(Inst::Pop { dst: Reg::Rbp });
+        self.asm.emit(Inst::Ret);
+    }
+
+    /// Parallel move of call arguments into System V registers.
+    fn move_args(&mut self, args: &[Arg]) {
+        // Resolve argument sources *before* writing any argument register,
+        // since sources may live in argument registers.
+        let mut int_idx = 0usize;
+        let mut float_idx = 0usize;
+        let mut int_moves: Vec<(Reg, Operand)> = Vec::new(); // dst <- src
+        let mut float_moves: Vec<(Xmm, FOperand)> = Vec::new();
+        for a in args {
+            match a {
+                Arg::Int(o) => {
+                    let dst = Reg::SYSV_ARGS[int_idx];
+                    int_idx += 1;
+                    let src = match o {
+                        Opnd::Loc(Loc::P(r)) => Operand::Reg(*r),
+                        Opnd::Loc(Loc::V(v)) => match self.slot_of(*v) {
+                            Slot::IntReg(r) => Operand::Reg(r),
+                            Slot::Stack(i) => Operand::Mem(slot_mem(i)),
+                            other => panic!("arg vreg {v} assigned {other:?}"),
+                        },
+                        Opnd::Imm(v) => Operand::Imm(*v),
+                        Opnd::Mem(_) => panic!("memory call arguments unsupported"),
+                    };
+                    int_moves.push((dst, src));
+                }
+                Arg::Float(o) => {
+                    let dst = Xmm::SYSV_ARGS[float_idx];
+                    float_idx += 1;
+                    let src = match o {
+                        FOpnd::Loc(FLoc::P(x)) => FOperand::Xmm(*x),
+                        FOpnd::Loc(FLoc::V(v)) => match self.slot_of(*v) {
+                            Slot::FloatReg(x) => FOperand::Xmm(x),
+                            Slot::Stack(i) => FOperand::Mem(slot_mem(i)),
+                            other => panic!("float arg vreg {v} assigned {other:?}"),
+                        },
+                        FOpnd::Mem(_) => panic!("memory call arguments unsupported"),
+                    };
+                    float_moves.push((dst, src));
+                }
+            }
+        }
+
+        self.parallel_int_moves(int_moves);
+        self.parallel_float_moves(float_moves);
+    }
+
+    /// Executes `dst <- src` register moves atomically (cycle breaking
+    /// through rax).
+    fn parallel_int_moves(&mut self, moves: Vec<(Reg, Operand)>) {
+        let mut pending = moves;
+        while !pending.is_empty() {
+            // Emit every move whose destination is not a source of another
+            // pending move.
+            let mut progressed = false;
+            let mut i = 0;
+            while i < pending.len() {
+                let (dst, _) = pending[i];
+                let dst_is_source = pending.iter().enumerate().any(|(j, (_, src))| {
+                    j != i && matches!(src, Operand::Reg(r) if *r == dst)
+                });
+                if !dst_is_source {
+                    let (dst, src) = pending.remove(i);
+                    if src != Operand::Reg(dst) {
+                        self.asm.emit(Inst::Mov {
+                            dst: Operand::Reg(dst),
+                            src,
+                            width: Width::W64,
+                        });
+                    }
+                    progressed = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if !progressed {
+                // A cycle: park one source in rax and re-enqueue the move
+                // with rax as its source, which unblocks the chain.
+                let (dst, src) = pending.remove(0);
+                self.asm.emit(Inst::Mov {
+                    dst: Operand::Reg(Reg::Rax),
+                    src,
+                    width: Width::W64,
+                });
+                pending.push((dst, Operand::Reg(Reg::Rax)));
+            }
+        }
+
+    }
+
+    /// Executes float `dst <- src` moves atomically (cycle breaking
+    /// through xmm15).
+    fn parallel_float_moves(&mut self, moves: Vec<(Xmm, FOperand)>) {
+        let mut pending = moves;
+        while !pending.is_empty() {
+            let mut progressed = false;
+            let mut i = 0;
+            while i < pending.len() {
+                let (dst, _) = pending[i];
+                let dst_is_source = pending.iter().enumerate().any(|(j, (_, src))| {
+                    j != i && matches!(src, FOperand::Xmm(x) if *x == dst)
+                });
+                if !dst_is_source {
+                    let (dst, src) = pending.remove(i);
+                    if src != FOperand::Xmm(dst) {
+                        self.asm.emit(Inst::MovF {
+                            dst: FOperand::Xmm(dst),
+                            src,
+                            prec: FPrec::F64,
+                        });
+                    }
+                    progressed = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if !progressed {
+                let (dst, src) = pending.remove(0);
+                self.asm.emit(Inst::MovF {
+                    dst: FOperand::Xmm(Xmm(15)),
+                    src,
+                    prec: FPrec::F64,
+                });
+                pending.push((dst, FOperand::Xmm(Xmm(15))));
+            }
+        }
+    }
+
+    fn finish_call(&mut self, ret: &Option<RetVal>) {
+        match ret {
+            Some(RetVal::Int(l)) => {
+                let (r, sb) = self.reg_for_write(l);
+                if r != Reg::Rax {
+                    self.asm.emit(Inst::Mov {
+                        dst: Operand::Reg(r),
+                        src: Operand::Reg(Reg::Rax),
+                        width: Width::W64,
+                    });
+                } else if sb.is_some() {
+                    // Scratch happened to be rax; nothing to move.
+                }
+                if let Some(i) = sb {
+                    self.asm.emit(Inst::Mov {
+                        dst: Operand::Mem(slot_mem(i)),
+                        src: Operand::Reg(Reg::Rax),
+                        width: Width::W64,
+                    });
+                }
+            }
+            Some(RetVal::Float(l)) => {
+                let (x, sb) = self.xmm_for_write(l);
+                if x != Xmm(0) {
+                    self.asm.emit(Inst::MovF {
+                        dst: FOperand::Xmm(x),
+                        src: FOperand::Xmm(Xmm(0)),
+                        prec: FPrec::F64,
+                    });
+                    self.fstore_back(x, sb, FPrec::F64);
+                } else if let Some(i) = sb {
+                    self.asm.emit(Inst::MovF {
+                        dst: FOperand::Mem(slot_mem(i)),
+                        src: FOperand::Xmm(Xmm(0)),
+                        prec: FPrec::F64,
+                    });
+                }
+            }
+            None => {}
+        }
+    }
+
+    fn emit_inst(&mut self, inst: &LInst) {
+        self.reset_scratch();
+        match inst {
+            LInst::Mov { dst, src, width } => {
+                let s = self.opnd(src, *width);
+                let (d, sb) = self.reg_for_write(dst);
+                // Self-moves arise when the allocator coalesced a
+                // move-related pair; elide them as real compilers do.
+                if s != Operand::Reg(d) {
+                    self.asm.emit(Inst::Mov {
+                        dst: Operand::Reg(d),
+                        src: s,
+                        width: *width,
+                    });
+                }
+                self.store_back(d, sb);
+            }
+            LInst::Store { mem, src, width } => {
+                let s = self.opnd(src, *width);
+                let m = self.mem(mem, *width);
+                self.asm.emit(Inst::Mov {
+                    dst: Operand::Mem(m),
+                    src: s,
+                    width: *width,
+                });
+            }
+            LInst::Movzx { dst, src, from } => {
+                let s = self.opnd(src, *from);
+                let (d, sb) = self.reg_for_write(dst);
+                self.asm.emit(Inst::Movzx {
+                    dst: d,
+                    src: s,
+                    from: *from,
+                });
+                self.store_back(d, sb);
+            }
+            LInst::Movsx { dst, src, from, to } => {
+                let s = self.opnd(src, *from);
+                let (d, sb) = self.reg_for_write(dst);
+                self.asm.emit(Inst::Movsx {
+                    dst: d,
+                    src: s,
+                    from: *from,
+                    to: *to,
+                });
+                self.store_back(d, sb);
+            }
+            LInst::Lea { dst, mem, width } => {
+                let m = self.mem(mem, *width);
+                let (d, sb) = self.reg_for_write(dst);
+                self.asm.emit(Inst::Lea {
+                    dst: d,
+                    mem: m,
+                    width: *width,
+                });
+                self.store_back(d, sb);
+            }
+            LInst::Alu {
+                op,
+                dst,
+                src,
+                width,
+            } => {
+                let s = self.opnd(src, *width);
+                let (d, sb) = self.reg_for_rmw(dst, *width);
+                self.asm.emit(Inst::Alu {
+                    op: *op,
+                    dst: Operand::Reg(d),
+                    src: s,
+                    width: *width,
+                });
+                self.store_back(d, sb);
+            }
+            LInst::AluMem {
+                op,
+                mem,
+                src,
+                width,
+            } => {
+                let s = self.opnd(src, *width);
+                let m = self.mem(mem, *width);
+                self.asm.emit(Inst::Alu {
+                    op: *op,
+                    dst: Operand::Mem(m),
+                    src: s,
+                    width: *width,
+                });
+            }
+            LInst::Shift {
+                op,
+                dst,
+                count,
+                width,
+            } => {
+                // Variable counts go through cl (rcx is emitter scratch).
+                let count_op = match count {
+                    Opnd::Imm(v) => Operand::Imm(*v),
+                    other => {
+                        let c = self.opnd(other, *width);
+                        if c != Operand::Reg(Reg::Rcx) {
+                            self.asm.emit(Inst::Mov {
+                                dst: Operand::Reg(Reg::Rcx),
+                                src: c,
+                                width: *width,
+                            });
+                        }
+                        Operand::Reg(Reg::Rcx)
+                    }
+                };
+                let (d, sb) = self.reg_for_rmw(dst, *width);
+                self.asm.emit(Inst::Alu {
+                    op: *op,
+                    dst: Operand::Reg(d),
+                    src: count_op,
+                    width: *width,
+                });
+                self.store_back(d, sb);
+            }
+            LInst::Neg { dst, width } => {
+                let (d, sb) = self.reg_for_rmw(dst, *width);
+                self.asm.emit(Inst::Neg {
+                    dst: Operand::Reg(d),
+                    width: *width,
+                });
+                self.store_back(d, sb);
+            }
+            LInst::Not { dst, width } => {
+                let (d, sb) = self.reg_for_rmw(dst, *width);
+                self.asm.emit(Inst::Not {
+                    dst: Operand::Reg(d),
+                    width: *width,
+                });
+                self.store_back(d, sb);
+            }
+            LInst::Imul { dst, src, width } => {
+                let s = self.opnd(src, *width);
+                let (d, sb) = self.reg_for_rmw(dst, *width);
+                self.asm.emit(Inst::Imul {
+                    dst: d,
+                    src: s,
+                    width: *width,
+                });
+                self.store_back(d, sb);
+            }
+            LInst::Imul3 {
+                dst,
+                src,
+                imm,
+                width,
+            } => {
+                let s = self.opnd(src, *width);
+                let (d, sb) = self.reg_for_write(dst);
+                self.asm.emit(Inst::Imul3 {
+                    dst: d,
+                    src: s,
+                    imm: *imm,
+                    width: *width,
+                });
+                self.store_back(d, sb);
+            }
+            LInst::Div {
+                signed,
+                rem,
+                dst,
+                lhs,
+                rhs,
+                width,
+            } => {
+                // Dividend into rax; rdx is the high half.
+                let l = match lhs {
+                    Loc::P(r) => Operand::Reg(*r),
+                    Loc::V(v) => match self.slot_of(*v) {
+                        Slot::IntReg(r) => Operand::Reg(r),
+                        Slot::Stack(i) => Operand::Mem(slot_mem(i)),
+                        other => panic!("div lhs {other:?}"),
+                    },
+                };
+                self.asm.emit(Inst::Mov {
+                    dst: Operand::Reg(Reg::Rax),
+                    src: l,
+                    width: *width,
+                });
+                // Divisor must not be rax/rdx; pool registers never are,
+                // and spilled divisors go to rcx.
+                let divisor = match rhs {
+                    Loc::P(r) => Operand::Reg(*r),
+                    Loc::V(v) => match self.slot_of(*v) {
+                        Slot::IntReg(r) => Operand::Reg(r),
+                        Slot::Stack(i) => {
+                            self.asm.emit(Inst::Mov {
+                                dst: Operand::Reg(Reg::Rcx),
+                                src: Operand::Mem(slot_mem(i)),
+                                width: *width,
+                            });
+                            Operand::Reg(Reg::Rcx)
+                        }
+                        other => panic!("div rhs {other:?}"),
+                    },
+                };
+                if *signed {
+                    self.asm.emit(Inst::Cqo { width: *width });
+                } else {
+                    self.asm.emit(Inst::Alu {
+                        op: AluOp::Xor,
+                        dst: Operand::Reg(Reg::Rdx),
+                        src: Operand::Reg(Reg::Rdx),
+                        width: Width::W32,
+                    });
+                }
+                self.asm.emit(Inst::Div {
+                    src: divisor,
+                    signed: *signed,
+                    width: *width,
+                });
+                let result = if *rem { Reg::Rdx } else { Reg::Rax };
+                let (d, sb) = self.reg_for_write(dst);
+                if d != result {
+                    self.asm.emit(Inst::Mov {
+                        dst: Operand::Reg(d),
+                        src: Operand::Reg(result),
+                        width: *width,
+                    });
+                    self.store_back(d, sb);
+                } else if let Some(i) = sb {
+                    self.asm.emit(Inst::Mov {
+                        dst: Operand::Mem(slot_mem(i)),
+                        src: Operand::Reg(result),
+                        width: Width::W64,
+                    });
+                }
+            }
+            LInst::Cmp { lhs, rhs, width } => {
+                let l = self.opnd(lhs, *width);
+                let r = self.opnd(rhs, *width);
+                self.asm.emit(Inst::Cmp {
+                    lhs: l,
+                    rhs: r,
+                    width: *width,
+                });
+            }
+            LInst::Test { lhs, rhs, width } => {
+                let l = self.opnd(lhs, *width);
+                let r = self.opnd(rhs, *width);
+                self.asm.emit(Inst::Test {
+                    lhs: l,
+                    rhs: r,
+                    width: *width,
+                });
+            }
+            LInst::Cmov { cc, dst, src, width } => {
+                let s = self.opnd(src, *width);
+                let (d, sb) = self.reg_for_rmw(dst, *width);
+                self.asm.emit(Inst::Cmov {
+                    cc: *cc,
+                    dst: d,
+                    src: s,
+                    width: *width,
+                });
+                self.store_back(d, sb);
+            }
+            LInst::Setcc { cc, dst } => {
+                let (d, sb) = self.reg_for_write(dst);
+                self.asm.emit(Inst::Setcc { cc: *cc, dst: d });
+                self.store_back(d, sb);
+            }
+            LInst::Lzcnt { dst, src, width } => {
+                let s = self.opnd(src, *width);
+                let (d, sb) = self.reg_for_write(dst);
+                self.asm.emit(Inst::Lzcnt {
+                    dst: d,
+                    src: s,
+                    width: *width,
+                });
+                self.store_back(d, sb);
+            }
+            LInst::Tzcnt { dst, src, width } => {
+                let s = self.opnd(src, *width);
+                let (d, sb) = self.reg_for_write(dst);
+                self.asm.emit(Inst::Tzcnt {
+                    dst: d,
+                    src: s,
+                    width: *width,
+                });
+                self.store_back(d, sb);
+            }
+            LInst::Popcnt { dst, src, width } => {
+                let s = self.opnd(src, *width);
+                let (d, sb) = self.reg_for_write(dst);
+                self.asm.emit(Inst::Popcnt {
+                    dst: d,
+                    src: s,
+                    width: *width,
+                });
+                self.store_back(d, sb);
+            }
+            LInst::MovF { dst, src, prec } => {
+                let s = self.fopnd(src, *prec);
+                match dst {
+                    FOpnd::Loc(l) => {
+                        let (x, sb) = self.xmm_for_write(l);
+                        self.asm.emit(Inst::MovF {
+                            dst: FOperand::Xmm(x),
+                            src: s,
+                            prec: *prec,
+                        });
+                        self.fstore_back(x, sb, *prec);
+                    }
+                    FOpnd::Mem(m) => {
+                        // A memory-to-memory float move goes through
+                        // scratch.
+                        let s2 = match s {
+                            FOperand::Mem(_) => {
+                                let x = self.take_fscratch();
+                                self.asm.emit(Inst::MovF {
+                                    dst: FOperand::Xmm(x),
+                                    src: s,
+                                    prec: *prec,
+                                });
+                                FOperand::Xmm(x)
+                            }
+                            other => other,
+                        };
+                        let m2 = self.mem(m, Width::W64);
+                        self.asm.emit(Inst::MovF {
+                            dst: FOperand::Mem(m2),
+                            src: s2,
+                            prec: *prec,
+                        });
+                    }
+                }
+            }
+            LInst::MovFImm { dst, bits, prec } => {
+                self.asm.emit(Inst::Mov {
+                    dst: Operand::Reg(Reg::Rax),
+                    src: Operand::Imm(*bits as i64),
+                    width: Width::W64,
+                });
+                let (x, sb) = self.xmm_for_write(dst);
+                self.asm.emit(Inst::MovGprToXmm {
+                    dst: x,
+                    src: Reg::Rax,
+                    width: Width::W64,
+                });
+                self.fstore_back(x, sb, *prec);
+            }
+            LInst::AluF { op, dst, src, prec } => {
+                let s = self.fopnd(src, *prec);
+                let (x, sb) = self.xmm_for_rmw(dst, *prec);
+                self.asm.emit(Inst::AluF {
+                    op: *op,
+                    dst: x,
+                    src: s,
+                    prec: *prec,
+                });
+                self.fstore_back(x, sb, *prec);
+            }
+            LInst::RoundF {
+                dst,
+                src,
+                prec,
+                mode,
+            } => {
+                let s = self.fopnd(src, *prec);
+                let (x, sb) = self.xmm_for_write(dst);
+                self.asm.emit(Inst::RoundF {
+                    dst: x,
+                    src: s,
+                    prec: *prec,
+                    mode: *mode,
+                });
+                self.fstore_back(x, sb, *prec);
+            }
+            LInst::AbsF { dst, src, prec } => {
+                let s = self.fopnd(src, *prec);
+                let (x, sb) = self.xmm_for_write(dst);
+                self.asm.emit(Inst::AbsF {
+                    dst: x,
+                    src: s,
+                    prec: *prec,
+                });
+                self.fstore_back(x, sb, *prec);
+            }
+            LInst::SqrtF { dst, src, prec } => {
+                let s = self.fopnd(src, *prec);
+                let (x, sb) = self.xmm_for_write(dst);
+                self.asm.emit(Inst::SqrtF {
+                    dst: x,
+                    src: s,
+                    prec: *prec,
+                });
+                self.fstore_back(x, sb, *prec);
+            }
+            LInst::Ucomis { lhs, rhs, prec } => {
+                let r = self.fopnd(rhs, *prec);
+                let l = self.xmm_for_read(lhs, *prec);
+                self.asm.emit(Inst::Ucomis {
+                    lhs: l,
+                    rhs: r,
+                    prec: *prec,
+                });
+            }
+            LInst::CvtIntToF {
+                dst,
+                src,
+                width,
+                prec,
+                unsigned,
+            } => {
+                let s = self.opnd(src, *width);
+                let (x, sb) = self.xmm_for_write(dst);
+                self.asm.emit(Inst::CvtIntToF {
+                    dst: x,
+                    src: s,
+                    width: *width,
+                    prec: *prec,
+                    unsigned: *unsigned,
+                });
+                self.fstore_back(x, sb, *prec);
+            }
+            LInst::CvtFToInt {
+                dst,
+                src,
+                width,
+                prec,
+                unsigned,
+            } => {
+                let s = self.fopnd(src, *prec);
+                let (d, sb) = self.reg_for_write(dst);
+                self.asm.emit(Inst::CvtFToInt {
+                    dst: d,
+                    src: s,
+                    width: *width,
+                    prec: *prec,
+                    unsigned: *unsigned,
+                });
+                self.store_back(d, sb);
+            }
+            LInst::CvtFToF { dst, src, from } => {
+                let s = self.fopnd(src, *from);
+                let (x, sb) = self.xmm_for_write(dst);
+                self.asm.emit(Inst::CvtFToF {
+                    dst: x,
+                    src: s,
+                    from: *from,
+                });
+                let to = match from {
+                    FPrec::F32 => FPrec::F64,
+                    FPrec::F64 => FPrec::F32,
+                };
+                self.fstore_back(x, sb, to);
+            }
+            LInst::Jmp { target } => {
+                let l = self.block_labels[target.0 as usize];
+                self.asm.emit(Inst::Jmp { target: l });
+            }
+            LInst::Jcc { cc, target } => {
+                let l = self.block_labels[target.0 as usize];
+                self.asm.emit(Inst::Jcc { cc: *cc, target: l });
+            }
+            LInst::TrapIf { cc, kind } => {
+                let l = self.trap_label(*kind);
+                self.asm.emit(Inst::Jcc { cc: *cc, target: l });
+            }
+            LInst::Trap { kind } => {
+                self.asm.emit(Inst::Trap { kind: *kind });
+            }
+            LInst::StackCheck { limit_addr } => {
+                self.asm.emit(Inst::Cmp {
+                    lhs: Operand::Reg(Reg::Rsp),
+                    rhs: Operand::Mem(MemRef::abs(*limit_addr as i64)),
+                    width: Width::W64,
+                });
+                let l = self.trap_label(TrapKind::StackOverflow);
+                self.asm.emit(Inst::Jcc {
+                    cc: Cc::B,
+                    target: l,
+                });
+            }
+            LInst::Call { func, args, ret } => {
+                self.move_args(args);
+                self.asm.emit(Inst::Call {
+                    target: FuncId(*func),
+                });
+                self.finish_call(ret);
+            }
+            LInst::CallIndirect { target, args, ret } => {
+                // Park the resolved target on the machine stack across the
+                // argument moves (which may clobber any caller-saved or
+                // scratch register), then call through rax.
+                let t = self.opnd(target, Width::W64);
+                self.asm.emit(Inst::Push { src: t });
+                self.move_args(args);
+                self.asm.emit(Inst::Pop { dst: Reg::Rax });
+                self.asm.emit(Inst::CallIndirect {
+                    target: Operand::Reg(Reg::Rax),
+                });
+                self.finish_call(ret);
+            }
+            LInst::CallHost { id, args, ret } => {
+                let wrapped: Vec<Arg> = args.iter().map(|o| Arg::Int(*o)).collect();
+                self.move_args(&wrapped);
+                self.asm.emit(Inst::CallHost { id: *id });
+                if let Some(l) = ret {
+                    self.finish_call(&Some(RetVal::Int(*l)));
+                }
+            }
+            LInst::Ret { value } => {
+                match value {
+                    Some(Arg::Int(o)) => {
+                        let s = self.opnd(o, Width::W64);
+                        if s != Operand::Reg(Reg::Rax) {
+                            self.asm.emit(Inst::Mov {
+                                dst: Operand::Reg(Reg::Rax),
+                                src: s,
+                                width: Width::W64,
+                            });
+                        }
+                    }
+                    Some(Arg::Float(o)) => {
+                        let s = self.fopnd(o, FPrec::F64);
+                        if s != FOperand::Xmm(Xmm(0)) {
+                            self.asm.emit(Inst::MovF {
+                                dst: FOperand::Xmm(Xmm(0)),
+                                src: s,
+                                prec: FPrec::F64,
+                            });
+                        }
+                    }
+                    None => {}
+                }
+                self.epilogue();
+            }
+        }
+    }
+}
+
+/// Extension trait: widths below 32 bits use full-register moves for slot
+/// traffic.
+trait WidthExt {
+    fn max_w64(self) -> Width;
+}
+
+impl WidthExt for Width {
+    fn max_w64(self) -> Width {
+        Width::W64
+    }
+}
+
+/// Emits one allocated function to executable form.
+///
+/// `param_vregs` gives, for each parameter in order, the virtual register
+/// it binds to; the prologue moves the System V argument registers into
+/// those assignments.
+pub fn emit_function(
+    f: &LFunc,
+    assign: &Assignment,
+    _profile: &AllocProfile,
+) -> Function {
+    let mut e = Emitter {
+        assign,
+        asm: AsmBuilder::new(f.name.clone()),
+        block_labels: Vec::new(),
+        trap_labels: Vec::new(),
+        scratch_used: 0,
+        fscratch_used: 0,
+    };
+
+    for _ in &f.blocks {
+        let l = e.asm.new_label();
+        e.block_labels.push(l);
+    }
+
+    // Prologue.
+    e.asm.emit(Inst::Push {
+        src: Operand::Reg(Reg::Rbp),
+    });
+    e.asm.emit(Inst::Mov {
+        dst: Operand::Reg(Reg::Rbp),
+        src: Operand::Reg(Reg::Rsp),
+        width: Width::W64,
+    });
+    if assign.n_slots > 0 {
+        e.asm.emit(Inst::Alu {
+            op: AluOp::Sub,
+            dst: Operand::Reg(Reg::Rsp),
+            src: Operand::Imm(assign.n_slots as i64 * 8),
+            width: Width::W64,
+        });
+    }
+    for r in &assign.used_callee_saved {
+        e.asm.emit(Inst::Push {
+            src: Operand::Reg(*r),
+        });
+    }
+
+    // Bind parameters: move the System V argument registers into their
+    // assigned homes. Spill-slot destinations go first (their sources are
+    // still intact), then the register destinations as one parallel move —
+    // an argument register may be both a source and a destination.
+    let mut int_idx = 0usize;
+    let mut float_idx = 0usize;
+    let mut int_moves: Vec<(Reg, Operand)> = Vec::new();
+    let mut float_moves: Vec<(Xmm, FOperand)> = Vec::new();
+    for (vi, class) in f.params.iter().enumerate() {
+        match class {
+            VClass::Int => {
+                let src = Reg::SYSV_ARGS[int_idx];
+                int_idx += 1;
+                match assign.of[vi] {
+                    Slot::IntReg(r) => {
+                        if r != src {
+                            int_moves.push((r, Operand::Reg(src)));
+                        }
+                    }
+                    Slot::Stack(i) => {
+                        e.asm.emit(Inst::Mov {
+                            dst: Operand::Mem(slot_mem(i)),
+                            src: Operand::Reg(src),
+                            width: Width::W64,
+                        });
+                    }
+                    Slot::Unused => {}
+                    other => panic!("int param assigned {other:?}"),
+                }
+            }
+            VClass::Float => {
+                let src = Xmm::SYSV_ARGS[float_idx];
+                float_idx += 1;
+                match assign.of[vi] {
+                    Slot::FloatReg(x) => {
+                        if x != src {
+                            float_moves.push((x, FOperand::Xmm(src)));
+                        }
+                    }
+                    Slot::Stack(i) => {
+                        e.asm.emit(Inst::MovF {
+                            dst: FOperand::Mem(slot_mem(i)),
+                            src: FOperand::Xmm(src),
+                            prec: FPrec::F64,
+                        });
+                    }
+                    Slot::Unused => {}
+                    other => panic!("float param assigned {other:?}"),
+                }
+            }
+        }
+    }
+    e.parallel_int_moves(int_moves);
+    e.parallel_float_moves(float_moves);
+
+    // Body. An unconditional jump to the immediately following block is
+    // elided (both backends terminate every block explicitly and rely on
+    // this layout cleanup, as real compilers do).
+    for (bi, b) in f.blocks.iter().enumerate() {
+        e.asm.bind(e.block_labels[bi]);
+        let n = b.insts.len();
+        let mut ii = 0;
+        while ii < n {
+            let inst = &b.insts[ii];
+            // Layout peephole 1: `jcc T; jmp F` with T the next block
+            // becomes `j!cc F` (fall through into T).
+            if ii + 2 == n {
+                if let (LInst::Jcc { cc, target }, LInst::Jmp { target: f_target }) =
+                    (&b.insts[ii], &b.insts[ii + 1])
+                {
+                    if target.0 as usize == bi + 1 {
+                        e.emit_inst(&LInst::Jcc {
+                            cc: cc.negate(),
+                            target: *f_target,
+                        });
+                        break;
+                    }
+                }
+            }
+            // Layout peephole 2: a trailing jump to the next block is a
+            // fall-through.
+            if ii + 1 == n {
+                if let LInst::Jmp { target } = inst {
+                    if target.0 as usize == bi + 1 {
+                        break;
+                    }
+                }
+            }
+            e.emit_inst(inst);
+            ii += 1;
+        }
+    }
+
+    // Out-of-line trap stubs.
+    let stubs = std::mem::take(&mut e.trap_labels);
+    for (kind, label) in stubs {
+        e.asm.bind(label);
+        e.asm.emit(Inst::Trap { kind });
+    }
+
+    e.asm.set_frame_size(assign.n_slots * 8);
+    e.asm.finish()
+}

@@ -1,0 +1,43 @@
+//! Register allocation over a shared low-level IR (LIR).
+//!
+//! Both compiler backends lower to the same virtual-register LIR, then
+//! differ in *how registers are assigned* — which is precisely the
+//! contrast the paper draws in §6.1:
+//!
+//! - `wasmperf-clanglite` uses the **graph-coloring** allocator
+//!   ([`coloring`]), the stand-in for LLVM's greedy allocator: it builds
+//!   an interference graph from liveness, prefers callee-saved registers
+//!   for values that live across calls, and spills rarely.
+//! - `wasmperf-wasmjit` uses the **linear-scan** allocator
+//!   ([`linearscan`]), as V8 and SpiderMonkey do: one pass over linearized
+//!   live intervals, no interference graph, values that live across calls
+//!   restricted to the (small) callee-saved subset or spilled outright.
+//!
+//! Allocation profiles ([`AllocProfile`]) describe each engine's register
+//! pool: browsers reserve registers for the wasm heap base, GC roots, and
+//! JIT scratch (§6.1.1 of the paper), shrinking the pool the allocator may
+//! use. `rax`, `rcx`, and `rdx` are reserved as emitter scratch in every
+//! profile (they also have fixed roles in division and shifts), so the
+//! *relative* pool sizes — Clang 11, Firefox 9, Chrome 8 — mirror the
+//! paper's setting.
+//!
+//! [`emit`] turns allocated LIR into executable `wasmperf-isa` code:
+//! spilled values are accessed through `rbp`-relative slots via scratch
+//! registers (producing exactly the `mov [rbp-0x28], rax` traffic visible
+//! in the paper's Figure 7c), calls get System V argument moves with
+//! proper parallel-move cycle breaking, and out-of-line trap stubs carry
+//! WebAssembly's safety checks.
+
+pub mod coloring;
+pub mod emit;
+pub mod linearscan;
+pub mod lir;
+pub mod liveness;
+pub mod profile;
+
+pub use coloring::allocate_coloring;
+pub use emit::{emit_function, Assignment, Slot};
+pub use linearscan::allocate_linear_scan;
+pub use lir::{Arg, BlockId, FLoc, FOpnd, LBlock, LFunc, LInst, LMem, Loc, Opnd, RetVal, VClass};
+pub use liveness::Liveness;
+pub use profile::AllocProfile;

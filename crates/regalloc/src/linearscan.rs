@@ -1,0 +1,444 @@
+//! Linear-scan register allocation (the browser-JIT allocator).
+//!
+//! The classic Poletto–Sarkar algorithm over linearized live intervals, as
+//! used (in refined forms) by V8 and SpiderMonkey: one pass, no
+//! interference graph. Characteristic weaknesses the paper observes
+//! (§6.1.2) are faithfully present:
+//!
+//! - intervals are coarse (holes are ignored), so values appear live
+//!   longer than they are and pressure is overstated;
+//! - values live across a call may only take the profile's few
+//!   callee-saved registers and are otherwise spilled outright; and
+//! - when the pool is exhausted the interval that ends furthest away is
+//!   spilled, with every subsequent access going through memory.
+
+use crate::emit::{Assignment, Slot};
+use crate::lir::{LFunc, VClass};
+use crate::liveness::{analyze, Liveness};
+use crate::profile::AllocProfile;
+use wasmperf_isa::{Reg, Xmm};
+
+struct Interval {
+    vreg: u32,
+    class: VClass,
+    start: u32,
+    end: u32,
+    across_call: bool,
+}
+
+/// Allocates `f` with linear scan, returning the assignment.
+pub fn allocate_linear_scan(f: &LFunc, profile: &AllocProfile) -> Assignment {
+    let live: Liveness = analyze(f);
+    allocate_with_liveness(f, profile, &live)
+}
+
+fn allocate_with_liveness(f: &LFunc, profile: &AllocProfile, live: &Liveness) -> Assignment {
+    let mut intervals: Vec<Interval> = Vec::new();
+    for (v, r) in live.range.iter().enumerate() {
+        if let Some((s, e)) = r {
+            intervals.push(Interval {
+                vreg: v as u32,
+                class: f.vclasses[v],
+                start: *s,
+                end: *e,
+                across_call: live.live_across_call.contains(&(v as u32)),
+            });
+        }
+    }
+    intervals.sort_by_key(|i| (i.start, i.vreg));
+
+    let mut assign = vec![Slot::Unused; f.vclasses.len()];
+    let mut n_slots: u32 = 0;
+
+    // Active intervals per class: (end, vreg, reg-index-in-pool).
+    let mut active_int: Vec<(u32, u32, usize)> = Vec::new();
+    let mut active_float: Vec<(u32, u32, usize)> = Vec::new();
+    let mut free_int: Vec<bool> = vec![true; profile.int_pool.len()];
+    let mut free_float: Vec<bool> = vec![true; profile.float_pool.len()];
+
+    let new_slot = |n_slots: &mut u32| {
+        let s = *n_slots;
+        *n_slots += 1;
+        Slot::Stack(s)
+    };
+
+    for iv in &intervals {
+        // Expire old intervals.
+        active_int.retain(|(end, _, ri)| {
+            if *end < iv.start {
+                free_int[*ri] = true;
+                false
+            } else {
+                true
+            }
+        });
+        active_float.retain(|(end, _, ri)| {
+            if *end < iv.start {
+                free_float[*ri] = true;
+                false
+            } else {
+                true
+            }
+        });
+
+        match iv.class {
+            VClass::Int => {
+                // Eligible pool entries: callee-saved only when the value
+                // must survive calls.
+                let eligible = |ri: usize| {
+                    !iv.across_call || profile.callee_saved.contains(profile.int_pool[ri])
+                };
+                // Prefer caller-saved registers for call-free intervals,
+                // callee-saved for call-crossing ones.
+                let mut order: Vec<usize> = (0..profile.int_pool.len()).collect();
+                order.sort_by_key(|&ri| {
+                    profile.callee_saved.contains(profile.int_pool[ri]) != iv.across_call
+                });
+                let choice = order
+                    .into_iter()
+                    .find(|&ri| free_int[ri] && eligible(ri));
+                match choice {
+                    Some(ri) => {
+                        free_int[ri] = false;
+                        assign[iv.vreg as usize] = Slot::IntReg(profile.int_pool[ri]);
+                        active_int.push((iv.end, iv.vreg, ri));
+                    }
+                    None => {
+                        // Spill: evict the eligible active interval ending
+                        // last if it outlives the current one.
+                        let victim = active_int
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, (_, _, ri))| eligible(*ri))
+                            .max_by_key(|(_, (end, _, _))| *end)
+                            .map(|(i, _)| i);
+                        match victim {
+                            Some(vi) if active_int[vi].0 > iv.end => {
+                                let (_, victim_vreg, ri) = active_int[vi];
+                                assign[victim_vreg as usize] = new_slot(&mut n_slots);
+                                assign[iv.vreg as usize] =
+                                    Slot::IntReg(profile.int_pool[ri]);
+                                active_int[vi] = (iv.end, iv.vreg, ri);
+                            }
+                            _ => {
+                                assign[iv.vreg as usize] = new_slot(&mut n_slots);
+                            }
+                        }
+                    }
+                }
+            }
+            VClass::Float => {
+                // All xmm registers are caller-saved under System V, so
+                // call-crossing float values always live in memory.
+                if iv.across_call {
+                    assign[iv.vreg as usize] = new_slot(&mut n_slots);
+                    continue;
+                }
+                let choice = (0..profile.float_pool.len()).find(|&ri| free_float[ri]);
+                match choice {
+                    Some(ri) => {
+                        free_float[ri] = false;
+                        assign[iv.vreg as usize] = Slot::FloatReg(profile.float_pool[ri]);
+                        active_float.push((iv.end, iv.vreg, ri));
+                    }
+                    None => {
+                        let victim = active_float
+                            .iter()
+                            .enumerate()
+                            .max_by_key(|(_, (end, _, _))| *end)
+                            .map(|(i, _)| i);
+                        match victim {
+                            Some(vi) if active_float[vi].0 > iv.end => {
+                                let (_, victim_vreg, ri) = active_float[vi];
+                                assign[victim_vreg as usize] = new_slot(&mut n_slots);
+                                assign[iv.vreg as usize] =
+                                    Slot::FloatReg(profile.float_pool[ri]);
+                                active_float[vi] = (iv.end, iv.vreg, ri);
+                            }
+                            _ => {
+                                assign[iv.vreg as usize] = new_slot(&mut n_slots);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let used_callee_saved = collect_callee_saved(&assign, profile);
+    Assignment {
+        of: assign,
+        n_slots,
+        used_callee_saved,
+    }
+}
+
+/// Callee-saved registers appearing in an assignment, in pool order.
+pub(crate) fn collect_callee_saved(assign: &[Slot], profile: &AllocProfile) -> Vec<Reg> {
+    let mut used: Vec<Reg> = Vec::new();
+    for s in assign {
+        if let Slot::IntReg(r) = s {
+            if profile.callee_saved.contains(*r) && !used.contains(r) {
+                used.push(*r);
+            }
+        }
+    }
+    // Deterministic order.
+    used.sort_by_key(|r| r.index());
+    used
+}
+
+/// True if two assigned slots denote the same physical register.
+pub(crate) fn same_reg(a: Slot, b: Slot) -> bool {
+    match (a, b) {
+        (Slot::IntReg(x), Slot::IntReg(y)) => x == y,
+        (Slot::FloatReg(x), Slot::FloatReg(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// Checks an assignment against the interference relation: no two vregs
+/// that interfere (one is defined while the other is live, excluding
+/// move-related pairs, which may legitimately coalesce) share a register,
+/// and call-crossing values are not in caller-saved registers.
+pub fn verify_no_conflicts(f: &LFunc, assign: &Assignment) -> Result<(), String> {
+    use crate::lir::{for_each_def, LInst, Loc, Opnd};
+    let live = analyze(f);
+    for bi in 0..f.blocks.len() {
+        let mut err: Option<String> = None;
+        crate::liveness::backward_walk(f, bi, &live.live_in, |_, inst, live_after| {
+            if err.is_some() {
+                return;
+            }
+            let move_src: Option<u32> = match inst {
+                LInst::Mov {
+                    src: Opnd::Loc(Loc::V(s)),
+                    ..
+                } => Some(*s),
+                _ => None,
+            };
+            let mut defs: Vec<u32> = Vec::new();
+            for_each_def(inst, |v, _| defs.push(v));
+            for &d in &defs {
+                for &l in live_after {
+                    if l != d
+                        && Some(l) != move_src
+                        && same_reg(assign.of[d as usize], assign.of[l as usize])
+                    {
+                        err = Some(format!(
+                            "vregs {d} and {l} interfere but share {:?}",
+                            assign.of[d as usize]
+                        ));
+                    }
+                }
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+    }
+    // Call-crossing values must not sit in caller-saved registers.
+    for &v in &live.live_across_call {
+        match assign.of[v as usize] {
+            Slot::IntReg(r) => {
+                if !AllocProfileCalleeSavedCheck::is_callee_saved(r) {
+                    return Err(format!("vreg {v} lives across a call in caller-saved {r}"));
+                }
+            }
+            Slot::FloatReg(x) => {
+                return Err(format!("vreg {v} lives across a call in xmm {x}"));
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// System V callee-saved check independent of profile.
+struct AllocProfileCalleeSavedCheck;
+
+impl AllocProfileCalleeSavedCheck {
+    fn is_callee_saved(r: Reg) -> bool {
+        matches!(r, Reg::Rbx | Reg::R12 | Reg::R13 | Reg::R14 | Reg::R15)
+    }
+}
+
+/// Total register count helper used by tests.
+pub fn distinct_registers(assign: &Assignment) -> (usize, usize) {
+    let mut ints: Vec<Reg> = Vec::new();
+    let mut floats: Vec<Xmm> = Vec::new();
+    for s in &assign.of {
+        match s {
+            Slot::IntReg(r) if !ints.contains(r) => ints.push(*r),
+            Slot::FloatReg(x) if !floats.contains(x) => floats.push(*x),
+            _ => {}
+        }
+    }
+    (ints.len(), floats.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lir::{Arg, BlockId, LBlock, LInst, Loc, Opnd, RetVal};
+    use wasmperf_isa::{AluOp, Cc, Width};
+
+    fn v(n: u32) -> Loc {
+        Loc::V(n)
+    }
+
+    /// Builds a function defining `n` vregs that are all live at the end.
+    fn high_pressure_func(n: u32) -> LFunc {
+        let mut f = LFunc::default();
+        let mut insts = Vec::new();
+        for i in 0..n {
+            f.new_vreg(VClass::Int);
+            insts.push(LInst::Mov {
+                dst: v(i),
+                src: Opnd::Imm(i as i64),
+                width: Width::W64,
+            });
+        }
+        // Sum them all so every vreg stays live until its use.
+        f.new_vreg(VClass::Int);
+        insts.push(LInst::Mov {
+            dst: v(n),
+            src: Opnd::Imm(0),
+            width: Width::W64,
+        });
+        for i in 0..n {
+            insts.push(LInst::Alu {
+                op: AluOp::Add,
+                dst: v(n),
+                src: Opnd::Loc(v(i)),
+                width: Width::W64,
+            });
+        }
+        insts.push(LInst::Ret {
+            value: Some(Arg::Int(Opnd::Loc(v(n)))),
+        });
+        f.blocks = vec![LBlock { insts }];
+        f
+    }
+
+    #[test]
+    fn low_pressure_all_in_registers() {
+        let f = high_pressure_func(4);
+        let a = allocate_linear_scan(&f, &AllocProfile::chrome());
+        assert_eq!(a.spill_count(), 0);
+        verify_no_conflicts(&f, &a).unwrap();
+    }
+
+    #[test]
+    fn high_pressure_spills() {
+        let f = high_pressure_func(20);
+        let chrome = allocate_linear_scan(&f, &AllocProfile::chrome());
+        let native = allocate_linear_scan(&f, &AllocProfile::native());
+        assert!(chrome.spill_count() > 0);
+        // The larger native pool spills strictly less.
+        assert!(native.spill_count() < chrome.spill_count());
+        verify_no_conflicts(&f, &chrome).unwrap();
+        verify_no_conflicts(&f, &native).unwrap();
+    }
+
+    #[test]
+    fn call_crossing_values_use_callee_saved_or_spill() {
+        // v0 live across a call.
+        let mut f = LFunc::default();
+        f.new_vreg(VClass::Int);
+        f.new_vreg(VClass::Int);
+        f.blocks = vec![LBlock {
+            insts: vec![
+                LInst::Mov {
+                    dst: v(0),
+                    src: Opnd::Imm(5),
+                    width: Width::W64,
+                },
+                LInst::Call {
+                    func: 0,
+                    args: vec![],
+                    ret: Some(RetVal::Int(v(1))),
+                },
+                LInst::Alu {
+                    op: AluOp::Add,
+                    dst: v(1),
+                    src: Opnd::Loc(v(0)),
+                    width: Width::W64,
+                },
+                LInst::Ret {
+                    value: Some(Arg::Int(Opnd::Loc(v(1)))),
+                },
+            ],
+        }];
+        let a = allocate_linear_scan(&f, &AllocProfile::chrome());
+        verify_no_conflicts(&f, &a).unwrap();
+        match a.of[0] {
+            Slot::IntReg(r) => assert!(
+                AllocProfile::chrome().callee_saved.contains(r),
+                "got {r}"
+            ),
+            Slot::Stack(_) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn float_crossing_call_is_spilled() {
+        let mut f = LFunc::default();
+        f.new_vreg(VClass::Float);
+        f.blocks = vec![LBlock {
+            insts: vec![
+                LInst::MovFImm {
+                    dst: crate::lir::FLoc::V(0),
+                    bits: 1.5f64.to_bits(),
+                    prec: wasmperf_isa::FPrec::F64,
+                },
+                LInst::Call {
+                    func: 0,
+                    args: vec![],
+                    ret: None,
+                },
+                LInst::Ret {
+                    value: Some(Arg::Float(crate::lir::FOpnd::Loc(crate::lir::FLoc::V(0)))),
+                },
+            ],
+        }];
+        let a = allocate_linear_scan(&f, &AllocProfile::native());
+        assert!(matches!(a.of[0], Slot::Stack(_)));
+    }
+
+    #[test]
+    fn registers_reused_after_expiry() {
+        // Sequential short-lived values should share one register.
+        let mut f = LFunc::default();
+        let mut insts = Vec::new();
+        for i in 0..6u32 {
+            f.new_vreg(VClass::Int);
+            insts.push(LInst::Mov {
+                dst: v(i),
+                src: Opnd::Imm(i as i64),
+                width: Width::W64,
+            });
+            insts.push(LInst::Cmp {
+                lhs: Opnd::Loc(v(i)),
+                rhs: Opnd::Imm(0),
+                width: Width::W64,
+            });
+            insts.push(LInst::Jcc {
+                cc: Cc::E,
+                target: BlockId(1),
+            });
+        }
+        insts.push(LInst::Ret { value: None });
+        f.blocks = vec![
+            LBlock { insts },
+            LBlock {
+                insts: vec![LInst::Ret { value: None }],
+            },
+        ];
+        let a = allocate_linear_scan(&f, &AllocProfile::chrome());
+        let (ints, _) = distinct_registers(&a);
+        assert!(ints <= 2, "expected heavy reuse, got {ints} registers");
+        verify_no_conflicts(&f, &a).unwrap();
+    }
+}

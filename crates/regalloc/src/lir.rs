@@ -1,0 +1,839 @@
+//! The low-level IR: x86-shaped instructions over virtual registers.
+//!
+//! LIR mirrors the `wasmperf-isa` instruction set (two-address ALU forms,
+//! explicit widths, full addressing modes) but references *locations*:
+//! virtual registers awaiting assignment, or pinned physical registers
+//! (used for reserved-register conventions like the wasm heap base).
+//! Control flow is a vector of basic blocks; branches appear only at the
+//! end of a block, and a block falls through to the next one unless it
+//! ends in an unconditional transfer.
+
+use wasmperf_isa::{AluOp, Cc, FAluOp, FPrec, Reg, TrapKind, Width, Xmm};
+
+/// Register class of a virtual register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VClass {
+    /// General-purpose (integer/pointer).
+    Int,
+    /// SSE scalar float.
+    Float,
+}
+
+/// An integer location: virtual or pinned physical register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Loc {
+    /// Virtual register (index into [`LFunc::vclasses`]).
+    V(u32),
+    /// A pinned physical register (reserved-convention registers only;
+    /// never part of the allocatable pool).
+    P(Reg),
+}
+
+/// A float location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FLoc {
+    /// Virtual float register.
+    V(u32),
+    /// Pinned xmm register.
+    P(Xmm),
+}
+
+/// A memory reference over locations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LMem {
+    /// Base location, if any.
+    pub base: Option<Loc>,
+    /// Index location and scale, if any.
+    pub index: Option<(Loc, u8)>,
+    /// Displacement.
+    pub disp: i64,
+}
+
+impl LMem {
+    /// `[base]`
+    pub fn base(base: Loc) -> LMem {
+        LMem {
+            base: Some(base),
+            index: None,
+            disp: 0,
+        }
+    }
+
+    /// `[base + disp]`
+    pub fn base_disp(base: Loc, disp: i64) -> LMem {
+        LMem {
+            base: Some(base),
+            index: None,
+            disp,
+        }
+    }
+
+    /// `[disp]`
+    pub fn abs(disp: i64) -> LMem {
+        LMem {
+            base: None,
+            index: None,
+            disp,
+        }
+    }
+}
+
+/// An integer operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Opnd {
+    /// A location.
+    Loc(Loc),
+    /// An immediate.
+    Imm(i64),
+    /// A memory operand.
+    Mem(LMem),
+}
+
+/// A float operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FOpnd {
+    /// A float location.
+    Loc(FLoc),
+    /// A memory operand.
+    Mem(LMem),
+}
+
+/// A call argument.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arg {
+    /// Integer-class argument.
+    Int(Opnd),
+    /// Float-class argument.
+    Float(FOpnd),
+}
+
+/// Where a call's return value lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetVal {
+    /// Integer result into a location.
+    Int(Loc),
+    /// Float result into a location.
+    Float(FLoc),
+}
+
+/// Identifies a basic block within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+/// One LIR instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LInst {
+    /// `dst <- src` (load when `src` is memory).
+    Mov {
+        /// Destination.
+        dst: Loc,
+        /// Source.
+        src: Opnd,
+        /// Width.
+        width: Width,
+    },
+    /// `mem <- src` (store).
+    Store {
+        /// Destination memory.
+        mem: LMem,
+        /// Source (location or immediate).
+        src: Opnd,
+        /// Width.
+        width: Width,
+    },
+    /// Zero-extending move/load.
+    Movzx {
+        /// Destination.
+        dst: Loc,
+        /// Source.
+        src: Opnd,
+        /// Source width.
+        from: Width,
+    },
+    /// Sign-extending move/load.
+    Movsx {
+        /// Destination.
+        dst: Loc,
+        /// Source.
+        src: Opnd,
+        /// Source width.
+        from: Width,
+        /// Destination width.
+        to: Width,
+    },
+    /// Address computation.
+    Lea {
+        /// Destination.
+        dst: Loc,
+        /// Address expression.
+        mem: LMem,
+        /// Result width.
+        width: Width,
+    },
+    /// Two-address ALU: `dst = dst op src`.
+    Alu {
+        /// Operator.
+        op: AluOp,
+        /// Destination (and left operand).
+        dst: Loc,
+        /// Right operand.
+        src: Opnd,
+        /// Width.
+        width: Width,
+    },
+    /// Read-modify-write ALU on memory: `mem = mem op src`
+    /// (the addressing-mode fusion form only the native backend emits).
+    AluMem {
+        /// Operator.
+        op: AluOp,
+        /// Memory destination.
+        mem: LMem,
+        /// Right operand (location or immediate).
+        src: Opnd,
+        /// Width.
+        width: Width,
+    },
+    /// Shift/rotate; a non-immediate count goes through `cl`.
+    Shift {
+        /// Shl/Shr/Sar/Rol/Ror.
+        op: AluOp,
+        /// Destination (and operand).
+        dst: Loc,
+        /// Count.
+        count: Opnd,
+        /// Width.
+        width: Width,
+    },
+    /// Negation.
+    Neg {
+        /// Destination (and operand).
+        dst: Loc,
+        /// Width.
+        width: Width,
+    },
+    /// Bitwise complement.
+    Not {
+        /// Destination (and operand).
+        dst: Loc,
+        /// Width.
+        width: Width,
+    },
+    /// Two-operand multiply: `dst = dst * src`.
+    Imul {
+        /// Destination (and left operand).
+        dst: Loc,
+        /// Right operand.
+        src: Opnd,
+        /// Width.
+        width: Width,
+    },
+    /// Multiply by immediate: `dst = src * imm`.
+    Imul3 {
+        /// Destination.
+        dst: Loc,
+        /// Source.
+        src: Opnd,
+        /// Immediate.
+        imm: i64,
+        /// Width.
+        width: Width,
+    },
+    /// Division/remainder (expands to `mov rax, lhs; cqo; idiv` at emit).
+    Div {
+        /// True for signed division.
+        signed: bool,
+        /// True to produce the remainder instead of the quotient.
+        rem: bool,
+        /// Result destination.
+        dst: Loc,
+        /// Dividend.
+        lhs: Loc,
+        /// Divisor (location; immediates must be materialized).
+        rhs: Loc,
+        /// Width.
+        width: Width,
+    },
+    /// Flag-setting compare.
+    Cmp {
+        /// Left operand.
+        lhs: Opnd,
+        /// Right operand.
+        rhs: Opnd,
+        /// Width.
+        width: Width,
+    },
+    /// Flag-setting test.
+    Test {
+        /// Left operand.
+        lhs: Opnd,
+        /// Right operand.
+        rhs: Opnd,
+        /// Width.
+        width: Width,
+    },
+    /// Conditional move: `if cc { dst = src }` (reads flags).
+    Cmov {
+        /// Condition.
+        cc: Cc,
+        /// Destination (read and conditionally written).
+        dst: Loc,
+        /// Source.
+        src: Opnd,
+        /// Width.
+        width: Width,
+    },
+    /// Materialize a condition into 0/1.
+    Setcc {
+        /// Condition.
+        cc: Cc,
+        /// Destination.
+        dst: Loc,
+    },
+    /// Count leading zeros.
+    Lzcnt {
+        /// Destination.
+        dst: Loc,
+        /// Source.
+        src: Opnd,
+        /// Width.
+        width: Width,
+    },
+    /// Count trailing zeros.
+    Tzcnt {
+        /// Destination.
+        dst: Loc,
+        /// Source.
+        src: Opnd,
+        /// Width.
+        width: Width,
+    },
+    /// Population count.
+    Popcnt {
+        /// Destination.
+        dst: Loc,
+        /// Source.
+        src: Opnd,
+        /// Width.
+        width: Width,
+    },
+    /// Float move (load/store via [`FOpnd::Mem`]).
+    MovF {
+        /// Destination.
+        dst: FOpnd,
+        /// Source.
+        src: FOpnd,
+        /// Precision.
+        prec: FPrec,
+    },
+    /// Materialize a float immediate (via integer scratch + `movq`).
+    MovFImm {
+        /// Destination.
+        dst: FLoc,
+        /// Bit pattern.
+        bits: u64,
+        /// Precision.
+        prec: FPrec,
+    },
+    /// Two-address float ALU: `dst = dst op src`.
+    AluF {
+        /// Operator.
+        op: FAluOp,
+        /// Destination (and left operand).
+        dst: FLoc,
+        /// Right operand.
+        src: FOpnd,
+        /// Precision.
+        prec: FPrec,
+    },
+    /// Rounding (`roundss`/`roundsd`).
+    RoundF {
+        /// Destination.
+        dst: FLoc,
+        /// Source.
+        src: FOpnd,
+        /// Precision.
+        prec: FPrec,
+        /// Rounding mode.
+        mode: wasmperf_isa::RoundMode,
+    },
+    /// Absolute value (`andpd` with sign mask).
+    AbsF {
+        /// Destination.
+        dst: FLoc,
+        /// Source.
+        src: FOpnd,
+        /// Precision.
+        prec: FPrec,
+    },
+    /// Square root.
+    SqrtF {
+        /// Destination.
+        dst: FLoc,
+        /// Source.
+        src: FOpnd,
+        /// Precision.
+        prec: FPrec,
+    },
+    /// Float compare setting flags.
+    Ucomis {
+        /// Left operand.
+        lhs: FLoc,
+        /// Right operand.
+        rhs: FOpnd,
+        /// Precision.
+        prec: FPrec,
+    },
+    /// Integer to float conversion.
+    CvtIntToF {
+        /// Destination.
+        dst: FLoc,
+        /// Integer source.
+        src: Opnd,
+        /// Source width.
+        width: Width,
+        /// Destination precision.
+        prec: FPrec,
+        /// Unsigned source.
+        unsigned: bool,
+    },
+    /// Float to integer conversion (trapping).
+    CvtFToInt {
+        /// Destination.
+        dst: Loc,
+        /// Float source.
+        src: FOpnd,
+        /// Destination width.
+        width: Width,
+        /// Source precision.
+        prec: FPrec,
+        /// Unsigned destination.
+        unsigned: bool,
+    },
+    /// Float precision conversion.
+    CvtFToF {
+        /// Destination.
+        dst: FLoc,
+        /// Source.
+        src: FOpnd,
+        /// Source precision.
+        from: FPrec,
+    },
+    /// Unconditional branch (must be last in its block).
+    Jmp {
+        /// Target block.
+        target: BlockId,
+    },
+    /// Conditional branch (falls through to the next block when untaken).
+    Jcc {
+        /// Condition.
+        cc: Cc,
+        /// Target block.
+        target: BlockId,
+    },
+    /// Conditional trap (emitted as a branch to an out-of-line stub).
+    TrapIf {
+        /// Condition under which to trap.
+        cc: Cc,
+        /// Trap reason.
+        kind: TrapKind,
+    },
+    /// Unconditional trap.
+    Trap {
+        /// Trap reason.
+        kind: TrapKind,
+    },
+    /// Per-function stack-overflow check (`cmp rsp, [limit]; jb trap`),
+    /// the §6.2.2 check JITs insert.
+    StackCheck {
+        /// Address of the stack-limit word in linear memory.
+        limit_addr: u64,
+    },
+    /// Direct call.
+    Call {
+        /// Callee function index (module function order).
+        func: u32,
+        /// Arguments (moved to System V registers at emit).
+        args: Vec<Arg>,
+        /// Result location, if any.
+        ret: Option<RetVal>,
+    },
+    /// Indirect call; `target` holds the callee function id at runtime.
+    CallIndirect {
+        /// Callee operand.
+        target: Opnd,
+        /// Arguments.
+        args: Vec<Arg>,
+        /// Result location, if any.
+        ret: Option<RetVal>,
+    },
+    /// Host (kernel) call.
+    CallHost {
+        /// Host function id.
+        id: u32,
+        /// Arguments (integer class only).
+        args: Vec<Opnd>,
+        /// Result location, if any.
+        ret: Option<Loc>,
+    },
+    /// Return (must be last in its block).
+    Ret {
+        /// Returned value, if any.
+        value: Option<Arg>,
+    },
+}
+
+impl LInst {
+    /// True when control cannot fall through this instruction.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, LInst::Jmp { .. } | LInst::Ret { .. } | LInst::Trap { .. })
+    }
+}
+
+/// A basic block.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LBlock {
+    /// Instructions; branches only in the final positions.
+    pub insts: Vec<LInst>,
+}
+
+/// A function in LIR form.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LFunc {
+    /// Name (propagated to the emitted function).
+    pub name: String,
+    /// Basic blocks in layout order; block 0 is the entry.
+    pub blocks: Vec<LBlock>,
+    /// Class of each virtual register.
+    pub vclasses: Vec<VClass>,
+    /// Number of integer-class parameters arriving in System V registers;
+    /// they are bound to virtual registers `0..n` at entry by the emitter
+    /// prologue (in declaration order, skipping float params).
+    pub params: Vec<VClass>,
+}
+
+impl LFunc {
+    /// Allocates a fresh virtual register of the given class.
+    pub fn new_vreg(&mut self, class: VClass) -> u32 {
+        self.vclasses.push(class);
+        (self.vclasses.len() - 1) as u32
+    }
+
+    /// Successor blocks of `b` (branch targets plus fallthrough).
+    pub fn successors(&self, b: BlockId) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        let block = &self.blocks[b.0 as usize];
+        let mut falls_through = true;
+        for inst in &block.insts {
+            match inst {
+                LInst::Jmp { target } => {
+                    out.push(*target);
+                    falls_through = false;
+                }
+                LInst::Jcc { target, .. } => out.push(*target),
+                LInst::Ret { .. } | LInst::Trap { .. } => falls_through = false,
+                _ => {}
+            }
+        }
+        if falls_through && (b.0 as usize + 1) < self.blocks.len() {
+            out.push(BlockId(b.0 + 1));
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// Visits every virtual-register *use* in an instruction.
+pub fn for_each_use(inst: &LInst, mut f: impl FnMut(u32, VClass)) {
+    let loc = |l: &Loc, f: &mut dyn FnMut(u32, VClass)| {
+        if let Loc::V(v) = l {
+            f(*v, VClass::Int);
+        }
+    };
+    let floc = |l: &FLoc, f: &mut dyn FnMut(u32, VClass)| {
+        if let FLoc::V(v) = l {
+            f(*v, VClass::Float);
+        }
+    };
+    let mem = |m: &LMem, f: &mut dyn FnMut(u32, VClass)| {
+        if let Some(Loc::V(v)) = m.base {
+            f(v, VClass::Int);
+        }
+        if let Some((Loc::V(v), _)) = m.index {
+            f(v, VClass::Int);
+        }
+    };
+    let opnd = |o: &Opnd, f: &mut dyn FnMut(u32, VClass)| match o {
+        Opnd::Loc(Loc::V(v)) => f(*v, VClass::Int),
+        Opnd::Mem(m) => {
+            if let Some(Loc::V(v)) = m.base {
+                f(v, VClass::Int);
+            }
+            if let Some((Loc::V(v), _)) = m.index {
+                f(v, VClass::Int);
+            }
+        }
+        _ => {}
+    };
+    let fopnd = |o: &FOpnd, f: &mut dyn FnMut(u32, VClass)| match o {
+        FOpnd::Loc(FLoc::V(v)) => f(*v, VClass::Float),
+        FOpnd::Mem(m) => {
+            if let Some(Loc::V(v)) = m.base {
+                f(v, VClass::Int);
+            }
+            if let Some((Loc::V(v), _)) = m.index {
+                f(v, VClass::Int);
+            }
+        }
+        _ => {}
+    };
+
+    match inst {
+        LInst::Mov { src, .. } => opnd(src, &mut f),
+        LInst::Store { mem: m, src, .. } => {
+            mem(m, &mut f);
+            opnd(src, &mut f);
+        }
+        LInst::Movzx { src, .. } | LInst::Movsx { src, .. } => opnd(src, &mut f),
+        LInst::Lea { mem: m, .. } => mem(m, &mut f),
+        LInst::Alu { dst, src, .. } => {
+            loc(dst, &mut f);
+            opnd(src, &mut f);
+        }
+        LInst::AluMem { mem: m, src, .. } => {
+            mem(m, &mut f);
+            opnd(src, &mut f);
+        }
+        LInst::Shift { dst, count, .. } => {
+            loc(dst, &mut f);
+            opnd(count, &mut f);
+        }
+        LInst::Neg { dst, .. } | LInst::Not { dst, .. } => loc(dst, &mut f),
+        LInst::Imul { dst, src, .. } => {
+            loc(dst, &mut f);
+            opnd(src, &mut f);
+        }
+        LInst::Imul3 { src, .. } => opnd(src, &mut f),
+        LInst::Div { lhs, rhs, .. } => {
+            loc(lhs, &mut f);
+            loc(rhs, &mut f);
+        }
+        LInst::Cmp { lhs, rhs, .. } | LInst::Test { lhs, rhs, .. } => {
+            opnd(lhs, &mut f);
+            opnd(rhs, &mut f);
+        }
+        LInst::Setcc { .. } => {}
+        LInst::Cmov { dst, src, .. } => {
+            // The destination is also a use (it survives when untaken).
+            loc(dst, &mut f);
+            opnd(src, &mut f);
+        }
+        LInst::Lzcnt { src, .. } | LInst::Tzcnt { src, .. } | LInst::Popcnt { src, .. } => {
+            opnd(src, &mut f)
+        }
+        LInst::MovF { dst, src, .. } => {
+            // A memory destination's address registers are uses.
+            if let FOpnd::Mem(m) = dst {
+                mem(m, &mut f);
+            }
+            fopnd(src, &mut f);
+        }
+        LInst::MovFImm { .. } => {}
+        LInst::AluF { dst, src, .. } => {
+            floc(dst, &mut f);
+            fopnd(src, &mut f);
+        }
+        LInst::SqrtF { src, .. } | LInst::RoundF { src, .. } | LInst::AbsF { src, .. } => {
+            fopnd(src, &mut f)
+        }
+        LInst::Ucomis { lhs, rhs, .. } => {
+            floc(lhs, &mut f);
+            fopnd(rhs, &mut f);
+        }
+        LInst::CvtIntToF { src, .. } => opnd(src, &mut f),
+        LInst::CvtFToInt { src, .. } => fopnd(src, &mut f),
+        LInst::CvtFToF { src, .. } => fopnd(src, &mut f),
+        LInst::Jmp { .. } | LInst::Jcc { .. } | LInst::TrapIf { .. } | LInst::Trap { .. } => {}
+        LInst::StackCheck { .. } => {}
+        LInst::Call { args, .. } => {
+            for a in args {
+                match a {
+                    Arg::Int(o) => opnd(o, &mut f),
+                    Arg::Float(o) => fopnd(o, &mut f),
+                }
+            }
+        }
+        LInst::CallIndirect { target, args, .. } => {
+            opnd(target, &mut f);
+            for a in args {
+                match a {
+                    Arg::Int(o) => opnd(o, &mut f),
+                    Arg::Float(o) => fopnd(o, &mut f),
+                }
+            }
+        }
+        LInst::CallHost { args, .. } => {
+            for a in args {
+                opnd(a, &mut f);
+            }
+        }
+        LInst::Ret { value } => {
+            if let Some(a) = value {
+                match a {
+                    Arg::Int(o) => opnd(o, &mut f),
+                    Arg::Float(o) => fopnd(o, &mut f),
+                }
+            }
+        }
+    }
+}
+
+/// Visits every virtual-register *definition* in an instruction.
+///
+/// Two-address destinations (`Alu`, `Shift`, `Neg`, `Not`, `Imul`,
+/// `AluF`, ...) are both uses (reported by [`for_each_use`]) and defs.
+pub fn for_each_def(inst: &LInst, mut f: impl FnMut(u32, VClass)) {
+    let loc = |l: &Loc, f: &mut dyn FnMut(u32, VClass)| {
+        if let Loc::V(v) = l {
+            f(*v, VClass::Int);
+        }
+    };
+    let floc = |l: &FLoc, f: &mut dyn FnMut(u32, VClass)| {
+        if let FLoc::V(v) = l {
+            f(*v, VClass::Float);
+        }
+    };
+    match inst {
+        LInst::Mov { dst, .. }
+        | LInst::Movzx { dst, .. }
+        | LInst::Movsx { dst, .. }
+        | LInst::Lea { dst, .. }
+        | LInst::Alu { dst, .. }
+        | LInst::Shift { dst, .. }
+        | LInst::Neg { dst, .. }
+        | LInst::Not { dst, .. }
+        | LInst::Imul { dst, .. }
+        | LInst::Imul3 { dst, .. }
+        | LInst::Div { dst, .. }
+        | LInst::Setcc { dst, .. }
+        | LInst::Cmov { dst, .. }
+        | LInst::Lzcnt { dst, .. }
+        | LInst::Tzcnt { dst, .. }
+        | LInst::Popcnt { dst, .. }
+        | LInst::CvtFToInt { dst, .. } => loc(dst, &mut f),
+        LInst::MovF { dst, .. } => {
+            if let FOpnd::Loc(l) = dst {
+                floc(l, &mut f);
+            }
+        }
+        LInst::MovFImm { dst, .. }
+        | LInst::AluF { dst, .. }
+        | LInst::SqrtF { dst, .. }
+        | LInst::RoundF { dst, .. }
+        | LInst::AbsF { dst, .. }
+        | LInst::CvtIntToF { dst, .. }
+        | LInst::CvtFToF { dst, .. } => floc(dst, &mut f),
+        LInst::Call { ret, .. } | LInst::CallIndirect { ret, .. } => {
+            if let Some(r) = ret {
+                match r {
+                    RetVal::Int(l) => loc(l, &mut f),
+                    RetVal::Float(l) => floc(l, &mut f),
+                }
+            }
+        }
+        LInst::CallHost { ret, .. } => {
+            if let Some(l) = ret {
+                loc(l, &mut f);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// True when the instruction is a call (clobbering caller-saved registers).
+pub fn is_call(inst: &LInst) -> bool {
+    matches!(
+        inst,
+        LInst::Call { .. } | LInst::CallIndirect { .. } | LInst::CallHost { .. }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successors_with_fallthrough() {
+        let mut f = LFunc::default();
+        f.blocks = vec![
+            LBlock {
+                insts: vec![LInst::Jcc {
+                    cc: Cc::E,
+                    target: BlockId(2),
+                }],
+            },
+            LBlock {
+                insts: vec![LInst::Jmp { target: BlockId(0) }],
+            },
+            LBlock {
+                insts: vec![LInst::Ret { value: None }],
+            },
+        ];
+        assert_eq!(f.successors(BlockId(0)), vec![BlockId(1), BlockId(2)]);
+        assert_eq!(f.successors(BlockId(1)), vec![BlockId(0)]);
+        assert!(f.successors(BlockId(2)).is_empty());
+    }
+
+    #[test]
+    fn use_def_extraction() {
+        let i = LInst::Alu {
+            op: AluOp::Add,
+            dst: Loc::V(3),
+            src: Opnd::Mem(LMem {
+                base: Some(Loc::V(1)),
+                index: Some((Loc::V(2), 4)),
+                disp: 8,
+            }),
+            width: Width::W32,
+        };
+        let mut uses = Vec::new();
+        for_each_use(&i, |v, _| uses.push(v));
+        uses.sort_unstable();
+        assert_eq!(uses, vec![1, 2, 3]);
+        let mut defs = Vec::new();
+        for_each_def(&i, |v, _| defs.push(v));
+        assert_eq!(defs, vec![3]);
+    }
+
+    #[test]
+    fn call_uses_args_and_defs_ret() {
+        let i = LInst::Call {
+            func: 0,
+            args: vec![
+                Arg::Int(Opnd::Loc(Loc::V(5))),
+                Arg::Float(FOpnd::Loc(FLoc::V(6))),
+            ],
+            ret: Some(RetVal::Int(Loc::V(7))),
+        };
+        let mut uses = Vec::new();
+        for_each_use(&i, |v, c| uses.push((v, c)));
+        assert!(uses.contains(&(5, VClass::Int)));
+        assert!(uses.contains(&(6, VClass::Float)));
+        let mut defs = Vec::new();
+        for_each_def(&i, |v, _| defs.push(v));
+        assert_eq!(defs, vec![7]);
+        assert!(is_call(&i));
+    }
+
+    #[test]
+    fn pinned_registers_are_not_reported() {
+        let i = LInst::Mov {
+            dst: Loc::V(0),
+            src: Opnd::Mem(LMem::base(Loc::P(Reg::Rbx))),
+            width: Width::W32,
+        };
+        let mut uses = Vec::new();
+        for_each_use(&i, |v, _| uses.push(v));
+        assert!(uses.is_empty());
+    }
+}

@@ -1,0 +1,395 @@
+//! Live-variable dataflow analysis.
+//!
+//! LIR blocks are *extended* basic blocks: conditional branches (and
+//! conditional traps) may appear mid-block, with execution continuing in
+//! the same block when untaken — the natural shape of single-pass JIT
+//! output. Liveness therefore cannot use whole-block gen/kill sets (a def
+//! below a mid-block branch is conditional); instead, each fixed-point
+//! iteration walks every block backward instruction-by-instruction,
+//! merging the target block's live-in at each branch:
+//!
+//! - `jmp T`            → live := live-in(T)
+//! - `jcc T` / trap-if  → live ∪= live-in(T) (fall-through continues)
+//! - `ret` / `trap`     → live := ∅
+//!
+//! The same walk drives live-range construction, the interference builder
+//! in [`crate::coloring`], and assignment verification, so all three see
+//! identical semantics.
+
+use crate::lir::{for_each_def, for_each_use, is_call, LBlock, LFunc, LInst};
+use std::collections::BTreeSet;
+
+/// Liveness results for one function.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Live-in virtual registers per block.
+    pub live_in: Vec<BTreeSet<u32>>,
+    /// Live registers at the (fall-through) end of each block.
+    pub live_out: Vec<BTreeSet<u32>>,
+    /// Global linear position of each instruction: `pos[block][i]`.
+    pub pos: Vec<Vec<u32>>,
+    /// Per-vreg live range `[start, end]` in linear positions
+    /// (`None` for never-used vregs).
+    pub range: Vec<Option<(u32, u32)>>,
+    /// Vregs live across at least one call instruction.
+    pub live_across_call: BTreeSet<u32>,
+    /// Static use count per vreg (spill-cost heuristic).
+    pub use_count: Vec<u32>,
+}
+
+/// The live set at the point *after* the last instruction of `block`,
+/// before the backward walk begins: the fall-through successor's live-in
+/// (empty when the block cannot fall through).
+fn exit_live(f: &LFunc, bi: usize, block: &LBlock, live_in: &[BTreeSet<u32>]) -> BTreeSet<u32> {
+    match block.insts.last() {
+        Some(last) if last.is_terminator() => BTreeSet::new(),
+        _ => {
+            if bi + 1 < f.blocks.len() {
+                live_in[bi + 1].clone()
+            } else {
+                BTreeSet::new()
+            }
+        }
+    }
+}
+
+/// Walks `block` backward, invoking `visit(index, inst, live_after)` for
+/// each instruction with the live set *after* it, and returns the block's
+/// live-in.
+pub fn backward_walk(
+    f: &LFunc,
+    bi: usize,
+    live_in: &[BTreeSet<u32>],
+    mut visit: impl FnMut(usize, &LInst, &BTreeSet<u32>),
+) -> BTreeSet<u32> {
+    let block = &f.blocks[bi];
+    let mut live = exit_live(f, bi, block, live_in);
+    for (ii, inst) in block.insts.iter().enumerate().rev() {
+        // Control effects first: the live set after `inst` includes what
+        // its branch targets need.
+        match inst {
+            LInst::Jmp { target } => live = live_in[target.0 as usize].clone(),
+            LInst::Jcc { target, .. } => {
+                live.extend(live_in[target.0 as usize].iter().copied());
+            }
+            LInst::Ret { .. } | LInst::Trap { .. } => live.clear(),
+            // TrapIf transfers to an out-of-line stub that only traps; the
+            // fall-through set is unchanged.
+            _ => {}
+        }
+        visit(ii, inst, &live);
+        for_each_def(inst, |v, _| {
+            live.remove(&v);
+        });
+        for_each_use(inst, |v, _| {
+            live.insert(v);
+        });
+    }
+    live
+}
+
+/// Computes liveness for `f`.
+pub fn analyze(f: &LFunc) -> Liveness {
+    let nb = f.blocks.len();
+    let nv = f.vclasses.len();
+
+    let mut live_in: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); nb];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bi in (0..nb).rev() {
+            let inn = backward_walk(f, bi, &live_in, |_, _, _| {});
+            if inn != live_in[bi] {
+                live_in[bi] = inn;
+                changed = true;
+            }
+        }
+    }
+
+    // Linear positions.
+    let mut pos: Vec<Vec<u32>> = Vec::with_capacity(nb);
+    let mut counter: u32 = 0;
+    for b in &f.blocks {
+        let mut ps = Vec::with_capacity(b.insts.len());
+        for _ in &b.insts {
+            counter += 2;
+            ps.push(counter);
+        }
+        pos.push(ps);
+    }
+
+    let mut range: Vec<Option<(u32, u32)>> = vec![None; nv];
+    let mut use_count = vec![0u32; nv];
+    let mut live_out: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); nb];
+    let mut live_across_call = BTreeSet::new();
+
+    fn extend(range: &mut [Option<(u32, u32)>], v: u32, p: u32) {
+        let r = &mut range[v as usize];
+        *r = Some(match *r {
+            None => (p, p),
+            Some((s, e)) => (s.min(p), e.max(p)),
+        });
+    }
+
+    // Parameters are live from position 0 (defined by the prologue).
+    for i in 0..f.params.len() {
+        extend(&mut range, i as u32, 0);
+    }
+
+    for bi in 0..nb {
+        live_out[bi] = exit_live(f, bi, &f.blocks[bi], &live_in);
+        let block_start = pos[bi].first().copied().unwrap_or(counter);
+        // Everything live-in covers the block start.
+        for &v in &live_in[bi] {
+            extend(&mut range, v, block_start);
+        }
+        backward_walk(f, bi, &live_in, |ii, inst, live_after| {
+            let p = pos[bi][ii];
+            for &v in live_after {
+                extend(&mut range, v, p);
+            }
+            for_each_use(inst, |v, _| {
+                use_count[v as usize] += 1;
+                extend(&mut range, v, p);
+            });
+            for_each_def(inst, |v, _| {
+                extend(&mut range, v, p);
+            });
+            if is_call(inst) {
+                // Anything live after the call (other than its results)
+                // must survive it.
+                let mut defs = BTreeSet::new();
+                for_each_def(inst, |v, _| {
+                    defs.insert(v);
+                });
+                for &v in live_after {
+                    if !defs.contains(&v) {
+                        live_across_call.insert(v);
+                    }
+                }
+            }
+        });
+    }
+
+    Liveness {
+        live_in,
+        live_out,
+        pos,
+        range,
+        live_across_call,
+        use_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lir::{Arg, BlockId, LBlock, LFunc, LInst, Loc, Opnd, RetVal, VClass};
+    use wasmperf_isa::{AluOp, Cc, Width};
+
+    fn v(n: u32) -> Loc {
+        Loc::V(n)
+    }
+
+    #[test]
+    fn straight_line_ranges() {
+        // v0 = 1; v1 = v0 + 2; ret v1.
+        let mut f = LFunc::default();
+        f.vclasses = vec![VClass::Int, VClass::Int];
+        f.blocks = vec![LBlock {
+            insts: vec![
+                LInst::Mov {
+                    dst: v(0),
+                    src: Opnd::Imm(1),
+                    width: Width::W64,
+                },
+                LInst::Mov {
+                    dst: v(1),
+                    src: Opnd::Loc(v(0)),
+                    width: Width::W64,
+                },
+                LInst::Alu {
+                    op: AluOp::Add,
+                    dst: v(1),
+                    src: Opnd::Imm(2),
+                    width: Width::W64,
+                },
+                LInst::Ret {
+                    value: Some(Arg::Int(Opnd::Loc(v(1)))),
+                },
+            ],
+        }];
+        let l = analyze(&f);
+        let r0 = l.range[0].unwrap();
+        let r1 = l.range[1].unwrap();
+        assert!(r0.0 < r1.1);
+        assert!(r0.1 <= r1.1);
+        assert!(l.live_across_call.is_empty());
+        assert_eq!(l.use_count[0], 1);
+        assert_eq!(l.use_count[1], 2);
+    }
+
+    #[test]
+    fn loop_extends_ranges_to_backedge() {
+        let mut f = LFunc::default();
+        f.vclasses = vec![VClass::Int];
+        f.blocks = vec![
+            LBlock {
+                insts: vec![LInst::Mov {
+                    dst: v(0),
+                    src: Opnd::Imm(10),
+                    width: Width::W64,
+                }],
+            },
+            LBlock {
+                insts: vec![
+                    LInst::Alu {
+                        op: AluOp::Sub,
+                        dst: v(0),
+                        src: Opnd::Imm(1),
+                        width: Width::W64,
+                    },
+                    LInst::Jcc {
+                        cc: Cc::Ne,
+                        target: BlockId(1),
+                    },
+                ],
+            },
+            LBlock {
+                insts: vec![LInst::Ret {
+                    value: Some(Arg::Int(Opnd::Loc(v(0)))),
+                }],
+            },
+        ];
+        let l = analyze(&f);
+        assert!(l.live_in[1].contains(&0));
+        let (s, e) = l.range[0].unwrap();
+        assert!(s <= l.pos[0][0]);
+        assert!(e >= l.pos[2][0]);
+    }
+
+    #[test]
+    fn call_crossing_detected() {
+        let mut f = LFunc::default();
+        f.vclasses = vec![VClass::Int, VClass::Int];
+        f.blocks = vec![LBlock {
+            insts: vec![
+                LInst::Mov {
+                    dst: v(0),
+                    src: Opnd::Imm(1),
+                    width: Width::W64,
+                },
+                LInst::Call {
+                    func: 0,
+                    args: vec![],
+                    ret: Some(RetVal::Int(v(1))),
+                },
+                LInst::Alu {
+                    op: AluOp::Add,
+                    dst: v(1),
+                    src: Opnd::Loc(v(0)),
+                    width: Width::W64,
+                },
+                LInst::Ret {
+                    value: Some(Arg::Int(Opnd::Loc(v(1)))),
+                },
+            ],
+        }];
+        let l = analyze(&f);
+        assert!(l.live_across_call.contains(&0));
+        assert!(!l.live_across_call.contains(&1));
+    }
+
+    #[test]
+    fn dead_vreg_has_no_range() {
+        let mut f = LFunc::default();
+        f.vclasses = vec![VClass::Int, VClass::Int];
+        f.blocks = vec![LBlock {
+            insts: vec![LInst::Ret { value: None }],
+        }];
+        let l = analyze(&f);
+        assert_eq!(l.range[0], None);
+        assert_eq!(l.range[1], None);
+    }
+
+    /// The shape that exposed the extended-basic-block bug: a conditional
+    /// def mid-block must not kill liveness of the value along the
+    /// untaken path, even when the reading block sits *earlier* in layout
+    /// order than the writing block.
+    #[test]
+    fn conditional_midblock_def_keeps_value_live() {
+        let mut f = LFunc::default();
+        f.vclasses = vec![VClass::Int, VClass::Int, VClass::Int];
+        f.blocks = vec![
+            // b0: v0 = 0; v1 = 10; jmp b2.
+            LBlock {
+                insts: vec![
+                    LInst::Mov {
+                        dst: v(0),
+                        src: Opnd::Imm(0),
+                        width: Width::W64,
+                    },
+                    LInst::Mov {
+                        dst: v(1),
+                        src: Opnd::Imm(10),
+                        width: Width::W64,
+                    },
+                    LInst::Jmp { target: BlockId(2) },
+                ],
+            },
+            // b1: ret v0.
+            LBlock {
+                insts: vec![LInst::Ret {
+                    value: Some(Arg::Int(Opnd::Loc(v(0)))),
+                }],
+            },
+            // b2: cmp v1,0; je b1; v0 = 7 (conditionally skipped);
+            //     v2 = v1; v1 -= v2; jmp b2.
+            LBlock {
+                insts: vec![
+                    LInst::Cmp {
+                        lhs: Opnd::Loc(v(1)),
+                        rhs: Opnd::Imm(0),
+                        width: Width::W64,
+                    },
+                    LInst::Jcc {
+                        cc: Cc::E,
+                        target: BlockId(1),
+                    },
+                    LInst::Mov {
+                        dst: v(0),
+                        src: Opnd::Imm(7),
+                        width: Width::W64,
+                    },
+                    LInst::Mov {
+                        dst: v(2),
+                        src: Opnd::Imm(1),
+                        width: Width::W64,
+                    },
+                    LInst::Alu {
+                        op: AluOp::Sub,
+                        dst: v(1),
+                        src: Opnd::Loc(v(2)),
+                        width: Width::W64,
+                    },
+                    LInst::Jmp { target: BlockId(2) },
+                ],
+            },
+        ];
+        let l = analyze(&f);
+        // v0 must be live-in to b2 (the je path reaches the ret).
+        assert!(l.live_in[2].contains(&0), "{:?}", l.live_in);
+        // Its range must cover the temp v2's, so allocators keep them
+        // apart.
+        let r0 = l.range[0].unwrap();
+        let r2 = l.range[2].unwrap();
+        assert!(r0.0 <= r2.0 && r0.1 >= r2.1, "v0 {r0:?} v2 {r2:?}");
+        let profile = crate::profile::AllocProfile::chrome();
+        for assign in [
+            crate::linearscan::allocate_linear_scan(&f, &profile),
+            crate::coloring::allocate_coloring(&f, &profile),
+        ] {
+            crate::linearscan::verify_no_conflicts(&f, &assign).unwrap();
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Allocation profiles: which registers each engine may allocate.
+
+use wasmperf_isa::{Reg, RegSet, Xmm};
+
+/// Registers available to an allocator, with calling-convention metadata.
+///
+/// `rax`, `rcx`, and `rdx` are never in a pool: they are the emitter's
+/// scratch registers and have fixed roles in division and variable shifts.
+/// `rsp`/`rbp` hold the machine stack and frame. The remaining eleven
+/// general-purpose registers are distributed per engine, mirroring §6.1.1
+/// of the paper: Chrome additionally reserves `rbx` (wasm memory base),
+/// `r10` (scratch), and `r13` (GC roots); Firefox reserves `r15` (heap
+/// base) and `r11` (scratch).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocProfile {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Allocatable integer registers, in preference order.
+    pub int_pool: Vec<Reg>,
+    /// Allocatable float registers, in preference order.
+    pub float_pool: Vec<Xmm>,
+    /// Callee-saved subset of the integer pool.
+    pub callee_saved: RegSet,
+}
+
+/// System V callee-saved registers (excluding rsp/rbp).
+pub const SYSV_CALLEE_SAVED: [Reg; 5] = [Reg::Rbx, Reg::R12, Reg::R13, Reg::R14, Reg::R15];
+
+fn float_pool() -> Vec<Xmm> {
+    // xmm14/xmm15 are emitter scratch.
+    (0..14).map(Xmm).collect()
+}
+
+impl AllocProfile {
+    /// The native (Clang-like) profile: the full eleven-register pool.
+    pub fn native() -> AllocProfile {
+        AllocProfile {
+            name: "native",
+            // Callee-saved first: the graph-coloring allocator prefers the
+            // front of the pool for long-lived values.
+            int_pool: vec![
+                Reg::Rbx,
+                Reg::R12,
+                Reg::R13,
+                Reg::R14,
+                Reg::R15,
+                Reg::Rsi,
+                Reg::Rdi,
+                Reg::R8,
+                Reg::R9,
+                Reg::R10,
+                Reg::R11,
+            ],
+            float_pool: float_pool(),
+            callee_saved: RegSet::of(&SYSV_CALLEE_SAVED),
+        }
+    }
+
+    /// Chrome's wasm JIT profile: `rbx` is the wasm memory base, `r13`
+    /// points at GC roots, and `r10` is a dedicated scratch register.
+    pub fn chrome() -> AllocProfile {
+        AllocProfile {
+            name: "chrome",
+            // Caller-saved first: JIT-style allocation prefers scratch
+            // registers for short-lived stack-machine values.
+            int_pool: vec![
+                Reg::Rsi,
+                Reg::Rdi,
+                Reg::R8,
+                Reg::R9,
+                Reg::R11,
+                Reg::R12,
+                Reg::R14,
+                Reg::R15,
+            ],
+            float_pool: float_pool(),
+            callee_saved: RegSet::of(&[Reg::R12, Reg::R14, Reg::R15]),
+        }
+    }
+
+    /// Firefox's wasm JIT profile: `r15` is the wasm heap base and `r11`
+    /// is a dedicated scratch register.
+    pub fn firefox() -> AllocProfile {
+        AllocProfile {
+            name: "firefox",
+            int_pool: vec![
+                Reg::Rsi,
+                Reg::Rdi,
+                Reg::R8,
+                Reg::R9,
+                Reg::R10,
+                Reg::Rbx,
+                Reg::R12,
+                Reg::R13,
+                Reg::R14,
+            ],
+            float_pool: float_pool(),
+            callee_saved: RegSet::of(&[Reg::Rbx, Reg::R12, Reg::R13, Reg::R14]),
+        }
+    }
+
+    /// Callee-saved registers of this profile's pool, in pool order.
+    pub fn callee_saved_pool(&self) -> Vec<Reg> {
+        self.int_pool
+            .iter()
+            .copied()
+            .filter(|r| self.callee_saved.contains(*r))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_sizes_match_the_paper_setting() {
+        assert_eq!(AllocProfile::native().int_pool.len(), 11);
+        assert_eq!(AllocProfile::firefox().int_pool.len(), 9);
+        assert_eq!(AllocProfile::chrome().int_pool.len(), 8);
+    }
+
+    #[test]
+    fn reserved_registers_not_in_pools() {
+        for p in [
+            AllocProfile::native(),
+            AllocProfile::chrome(),
+            AllocProfile::firefox(),
+        ] {
+            for r in [Reg::Rax, Reg::Rcx, Reg::Rdx, Reg::Rsp, Reg::Rbp] {
+                assert!(!p.int_pool.contains(&r), "{}: {r}", p.name);
+            }
+        }
+        // Engine-reserved registers.
+        let chrome = AllocProfile::chrome();
+        for r in [Reg::Rbx, Reg::R10, Reg::R13] {
+            assert!(!chrome.int_pool.contains(&r), "chrome reserves {r}");
+        }
+        let firefox = AllocProfile::firefox();
+        for r in [Reg::R15, Reg::R11] {
+            assert!(!firefox.int_pool.contains(&r), "firefox reserves {r}");
+        }
+    }
+
+    #[test]
+    fn float_pool_excludes_scratch() {
+        let p = AllocProfile::native();
+        assert_eq!(p.float_pool.len(), 14);
+        assert!(!p.float_pool.contains(&Xmm(14)));
+        assert!(!p.float_pool.contains(&Xmm(15)));
+    }
+
+    #[test]
+    fn callee_saved_subsets() {
+        assert_eq!(AllocProfile::native().callee_saved_pool().len(), 5);
+        assert_eq!(AllocProfile::chrome().callee_saved_pool().len(), 3);
+        assert_eq!(AllocProfile::firefox().callee_saved_pool().len(), 4);
+    }
+}

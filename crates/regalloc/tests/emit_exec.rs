@@ -1,0 +1,390 @@
+//! End-to-end tests: LIR → allocate → emit → execute on the CPU simulator.
+//!
+//! Both allocators must produce code with identical results; the
+//! graph-coloring code should retire no more instructions than the
+//! linear-scan code on the same input.
+
+use wasmperf_cpu::{Machine, NullHost};
+use wasmperf_isa::{AluOp, Cc, FPrec, FuncId, Module, Width};
+use wasmperf_regalloc::lir::{FLoc, FOpnd};
+use wasmperf_regalloc::{
+    allocate_coloring, allocate_linear_scan, emit_function, Arg, BlockId, LBlock, LFunc, LInst,
+    LMem, Loc, Opnd, RetVal, VClass,
+};
+
+fn v(n: u32) -> Loc {
+    Loc::V(n)
+}
+
+fn run_lir(funcs: Vec<LFunc>, entry: usize, args: &[u64], coloring: bool) -> (u64, u64) {
+    let profile = wasmperf_regalloc::AllocProfile::native();
+    let mut module = Module {
+        funcs: Vec::new(),
+        table: Vec::new(),
+        entry: Some(FuncId(entry as u32)),
+        memory_size: 0x10000,
+        data: vec![],
+    };
+    for f in &funcs {
+        let assign = if coloring {
+            allocate_coloring(f, &profile)
+        } else {
+            allocate_linear_scan(f, &profile)
+        };
+        module.funcs.push(emit_function(f, &assign, &profile));
+    }
+    module.assign_addresses();
+    let mut machine = Machine::new(&module, NullHost);
+    let out = machine
+        .run(FuncId(entry as u32), args, 10_000_000)
+        .expect("runs");
+    (out.ret, out.counters.instructions_retired)
+}
+
+/// sum(i*i for i in 1..=n) with a loop, high register pressure from many
+/// accumulators, plus memory traffic.
+fn pressure_func() -> LFunc {
+    let mut f = LFunc::default();
+    f.name = "pressure".into();
+    f.params = vec![VClass::Int];
+    let n = f.new_vreg(VClass::Int); // v0 = n (param).
+    assert_eq!(n, 0);
+    // Accumulators v1..v14.
+    for _ in 0..14 {
+        f.new_vreg(VClass::Int);
+    }
+    let i = f.new_vreg(VClass::Int); // v15
+    let t = f.new_vreg(VClass::Int); // v16
+
+    let mut head = Vec::new();
+    for a in 1..=14u32 {
+        head.push(LInst::Mov {
+            dst: v(a),
+            src: Opnd::Imm(0),
+            width: Width::W64,
+        });
+    }
+    head.push(LInst::Mov {
+        dst: v(i),
+        src: Opnd::Imm(1),
+        width: Width::W64,
+    });
+
+    // loop body: t = i*i; acc[i%14] += t; memory store A[i] = t.
+    let mut body = Vec::new();
+    body.push(LInst::Mov {
+        dst: v(t),
+        src: Opnd::Loc(v(i)),
+        width: Width::W64,
+    });
+    body.push(LInst::Imul {
+        dst: v(t),
+        src: Opnd::Loc(v(i)),
+        width: Width::W64,
+    });
+    for a in 1..=14u32 {
+        body.push(LInst::Alu {
+            op: AluOp::Add,
+            dst: v(a),
+            src: Opnd::Loc(v(t)),
+            width: Width::W64,
+        });
+    }
+    body.push(LInst::Store {
+        mem: LMem {
+            base: None,
+            index: Some((v(i), 8)),
+            disp: 0x100,
+        },
+        src: Opnd::Loc(v(t)),
+        width: Width::W64,
+    });
+    body.push(LInst::Alu {
+        op: AluOp::Add,
+        dst: v(i),
+        src: Opnd::Imm(1),
+        width: Width::W64,
+    });
+    body.push(LInst::Cmp {
+        lhs: Opnd::Loc(v(i)),
+        rhs: Opnd::Loc(v(0)),
+        width: Width::W64,
+    });
+    body.push(LInst::Jcc {
+        cc: Cc::Le,
+        target: BlockId(1),
+    });
+
+    // tail: ret v1 + v2 (v1 == v2 == ... == v14 == sum of squares) plus a
+    // reload from memory.
+    let tail = vec![
+        LInst::Alu {
+            op: AluOp::Add,
+            dst: v(1),
+            src: Opnd::Loc(v(2)),
+            width: Width::W64,
+        },
+        LInst::Alu {
+            op: AluOp::Add,
+            dst: v(1),
+            src: Opnd::Mem(LMem::abs(0x100 + 8)), // A[1] = 1.
+            width: Width::W64,
+        },
+        LInst::Ret {
+            value: Some(Arg::Int(Opnd::Loc(v(1)))),
+        },
+    ];
+
+    f.blocks = vec![
+        LBlock { insts: head },
+        LBlock { insts: body },
+        LBlock { insts: tail },
+    ];
+    f
+}
+
+#[test]
+fn both_allocators_agree_on_results() {
+    let n = 100u64;
+    let expect = 2 * (1..=n).map(|i| i * i).sum::<u64>() + 1;
+    let (r1, i1) = run_lir(vec![pressure_func()], 0, &[n], true);
+    let (r2, i2) = run_lir(vec![pressure_func()], 0, &[n], false);
+    assert_eq!(r1, expect);
+    assert_eq!(r2, expect);
+    // Graph coloring must not be worse than linear scan.
+    assert!(i1 <= i2, "coloring {i1} vs linear scan {i2}");
+}
+
+fn callee_add() -> LFunc {
+    let mut f = LFunc::default();
+    f.name = "add".into();
+    f.params = vec![VClass::Int, VClass::Int];
+    f.new_vreg(VClass::Int);
+    f.new_vreg(VClass::Int);
+    f.blocks = vec![LBlock {
+        insts: vec![
+            LInst::Alu {
+                op: AluOp::Add,
+                dst: v(0),
+                src: Opnd::Loc(v(1)),
+                width: Width::W64,
+            },
+            LInst::Ret {
+                value: Some(Arg::Int(Opnd::Loc(v(0)))),
+            },
+        ],
+    }];
+    f
+}
+
+/// Calls `add` in a loop keeping values live across the call.
+fn caller_func() -> LFunc {
+    let mut f = LFunc::default();
+    f.name = "caller".into();
+    f.params = vec![VClass::Int];
+    f.new_vreg(VClass::Int); // v0 = n.
+    let acc = f.new_vreg(VClass::Int); // v1.
+    let i = f.new_vreg(VClass::Int); // v2.
+    let r = f.new_vreg(VClass::Int); // v3.
+    f.blocks = vec![
+        LBlock {
+            insts: vec![
+                LInst::Mov {
+                    dst: v(acc),
+                    src: Opnd::Imm(0),
+                    width: Width::W64,
+                },
+                LInst::Mov {
+                    dst: v(i),
+                    src: Opnd::Imm(0),
+                    width: Width::W64,
+                },
+            ],
+        },
+        LBlock {
+            insts: vec![
+                LInst::Call {
+                    func: 1,
+                    args: vec![Arg::Int(Opnd::Loc(v(i))), Arg::Int(Opnd::Imm(3))],
+                    ret: Some(RetVal::Int(v(r))),
+                },
+                LInst::Alu {
+                    op: AluOp::Add,
+                    dst: v(acc),
+                    src: Opnd::Loc(v(r)),
+                    width: Width::W64,
+                },
+                LInst::Alu {
+                    op: AluOp::Add,
+                    dst: v(i),
+                    src: Opnd::Imm(1),
+                    width: Width::W64,
+                },
+                LInst::Cmp {
+                    lhs: Opnd::Loc(v(i)),
+                    rhs: Opnd::Loc(v(0)),
+                    width: Width::W64,
+                },
+                LInst::Jcc {
+                    cc: Cc::L,
+                    target: BlockId(1),
+                },
+            ],
+        },
+        LBlock {
+            insts: vec![LInst::Ret {
+                value: Some(Arg::Int(Opnd::Loc(v(acc)))),
+            }],
+        },
+    ];
+    f
+}
+
+#[test]
+fn calls_preserve_live_values() {
+    let n = 50u64;
+    // sum(i + 3 for i in 0..n).
+    let expect: u64 = (0..n).map(|i| i + 3).sum();
+    for coloring in [true, false] {
+        let (r, _) = run_lir(vec![caller_func(), callee_add()], 0, &[n], coloring);
+        assert_eq!(r, expect, "coloring={coloring}");
+    }
+}
+
+/// Float pipeline: dot product with a call in the loop to force float
+/// spills.
+fn float_func() -> LFunc {
+    let mut f = LFunc::default();
+    f.name = "floats".into();
+    f.params = vec![VClass::Int];
+    f.new_vreg(VClass::Int); // v0 = n.
+    let facc = f.new_vreg(VClass::Float); // v1.
+    let ftmp = f.new_vreg(VClass::Float); // v2.
+    let i = f.new_vreg(VClass::Int); // v3.
+    let r = f.new_vreg(VClass::Int); // v4.
+    f.blocks = vec![
+        LBlock {
+            insts: vec![
+                LInst::MovFImm {
+                    dst: FLoc::V(facc),
+                    bits: 0f64.to_bits(),
+                    prec: FPrec::F64,
+                },
+                LInst::Mov {
+                    dst: v(i),
+                    src: Opnd::Imm(0),
+                    width: Width::W64,
+                },
+            ],
+        },
+        LBlock {
+            insts: vec![
+                LInst::CvtIntToF {
+                    dst: FLoc::V(ftmp),
+                    src: Opnd::Loc(v(i)),
+                    width: Width::W64,
+                    prec: FPrec::F64,
+                    unsigned: false,
+                },
+                LInst::AluF {
+                    op: wasmperf_isa::FAluOp::Mul,
+                    dst: FLoc::V(ftmp),
+                    src: FOpnd::Loc(FLoc::V(ftmp)),
+                    prec: FPrec::F64,
+                },
+                LInst::AluF {
+                    op: wasmperf_isa::FAluOp::Add,
+                    dst: FLoc::V(facc),
+                    src: FOpnd::Loc(FLoc::V(ftmp)),
+                    prec: FPrec::F64,
+                },
+                // A call: facc must survive (spilled — xmm are
+                // caller-saved).
+                LInst::Call {
+                    func: 1,
+                    args: vec![Arg::Int(Opnd::Loc(v(i))), Arg::Int(Opnd::Imm(0))],
+                    ret: Some(RetVal::Int(v(r))),
+                },
+                LInst::Alu {
+                    op: AluOp::Add,
+                    dst: v(i),
+                    src: Opnd::Imm(1),
+                    width: Width::W64,
+                },
+                LInst::Cmp {
+                    lhs: Opnd::Loc(v(i)),
+                    rhs: Opnd::Loc(v(0)),
+                    width: Width::W64,
+                },
+                LInst::Jcc {
+                    cc: Cc::L,
+                    target: BlockId(1),
+                },
+            ],
+        },
+        LBlock {
+            insts: vec![
+                LInst::CvtFToInt {
+                    dst: v(r),
+                    src: FOpnd::Loc(FLoc::V(facc)),
+                    width: Width::W64,
+                    prec: FPrec::F64,
+                    unsigned: false,
+                },
+                LInst::Ret {
+                    value: Some(Arg::Int(Opnd::Loc(v(r)))),
+                },
+            ],
+        },
+    ];
+    f
+}
+
+#[test]
+fn float_values_survive_calls_via_spills() {
+    let n = 20u64;
+    let expect: u64 = (0..n).map(|i| i * i).sum();
+    for coloring in [true, false] {
+        let (r, _) = run_lir(vec![float_func(), callee_add()], 0, &[n], coloring);
+        assert_eq!(r, expect, "coloring={coloring}");
+    }
+}
+
+#[test]
+fn chrome_profile_executes_correctly_with_fewer_registers() {
+    // Same pressure function under the smallest pool must still compute
+    // the right answer, just with more memory traffic.
+    let profile_chrome = wasmperf_regalloc::AllocProfile::chrome();
+    let profile_native = wasmperf_regalloc::AllocProfile::native();
+    let f = pressure_func();
+    let n = 100u64;
+    let expect = 2 * (1..=n).map(|i| i * i).sum::<u64>() + 1;
+
+    let mut results = Vec::new();
+    for profile in [&profile_chrome, &profile_native] {
+        let assign = allocate_linear_scan(&f, profile);
+        let mut module = Module {
+            funcs: vec![emit_function(&f, &assign, profile)],
+            table: vec![],
+            entry: Some(FuncId(0)),
+            memory_size: 0x10000,
+            data: vec![],
+        };
+        module.assign_addresses();
+        let mut machine = Machine::new(&module, NullHost);
+        let out = machine.run(FuncId(0), &[n], 10_000_000).unwrap();
+        results.push((
+            out.ret,
+            out.counters.loads_retired + out.counters.stores_retired,
+        ));
+    }
+    assert_eq!(results[0].0, expect);
+    assert_eq!(results[1].0, expect);
+    // The smaller pool must generate at least as much memory traffic.
+    assert!(
+        results[0].1 >= results[1].1,
+        "chrome {} vs native {}",
+        results[0].1,
+        results[1].1
+    );
+}

@@ -1,0 +1,193 @@
+//! Property-based allocator tests: random extended-basic-block LIR
+//! functions must allocate without interference violations under both
+//! allocators and every engine profile.
+
+use proptest::prelude::*;
+use wasmperf_isa::{AluOp, Cc, Width};
+use wasmperf_regalloc::lir::{FLoc, FOpnd};
+use wasmperf_regalloc::{
+    allocate_coloring, allocate_linear_scan, linearscan::verify_no_conflicts, AllocProfile, Arg,
+    BlockId, LBlock, LFunc, LInst, LMem, Loc, Opnd, RetVal, VClass,
+};
+
+/// A compact program description the strategy generates.
+#[derive(Debug, Clone)]
+struct Shape {
+    n_int: u32,
+    n_float: u32,
+    blocks: Vec<Vec<Op>>,
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    MovImm(u32, i64),
+    Add(u32, u32),
+    Load(u32, i64),
+    Store(u32, i64),
+    CmpJcc(u32, u32, usize),
+    MidJcc(u32, usize),
+    Call(Vec<u32>, u32),
+    FMovImm(u32, u64),
+    FAdd(u32, u32),
+}
+
+fn op_strategy(n_int: u32, n_float: u32, n_blocks: usize) -> impl Strategy<Value = Op> {
+    let iv = 0..n_int;
+    let fv = 0..n_float;
+    prop_oneof![
+        (iv.clone(), -100i64..100).prop_map(|(v, k)| Op::MovImm(v, k)),
+        (iv.clone(), iv.clone()).prop_map(|(a, b)| Op::Add(a, b)),
+        (iv.clone(), 0i64..64).prop_map(|(v, a)| Op::Load(v, a * 8)),
+        (iv.clone(), 0i64..64).prop_map(|(v, a)| Op::Store(v, a * 8)),
+        (iv.clone(), iv.clone(), 0..n_blocks).prop_map(|(a, b, t)| Op::CmpJcc(a, b, t)),
+        (iv.clone(), 0..n_blocks).prop_map(|(v, t)| Op::MidJcc(v, t)),
+        (proptest::collection::vec(iv.clone(), 0..3), iv.clone())
+            .prop_map(|(args, r)| Op::Call(args, r)),
+        (fv.clone(), proptest::arbitrary::any::<u64>())
+            .prop_map(|(v, bits)| Op::FMovImm(v, bits)),
+        (fv.clone(), fv).prop_map(|(a, b)| Op::FAdd(a, b)),
+    ]
+}
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    (2u32..14, 1u32..5, 2usize..6).prop_flat_map(|(n_int, n_float, n_blocks)| {
+        proptest::collection::vec(
+            proptest::collection::vec(op_strategy(n_int, n_float, n_blocks), 1..10),
+            n_blocks..=n_blocks,
+        )
+        .prop_map(move |blocks| Shape {
+            n_int,
+            n_float,
+            blocks,
+        })
+    })
+}
+
+fn build(shape: &Shape) -> LFunc {
+    let mut f = LFunc::default();
+    for _ in 0..shape.n_int {
+        f.new_vreg(VClass::Int);
+    }
+    for _ in 0..shape.n_float {
+        f.new_vreg(VClass::Float);
+    }
+    let fbase = shape.n_int;
+    let nb = shape.blocks.len();
+    for (bi, ops) in shape.blocks.iter().enumerate() {
+        let mut insts = Vec::new();
+        for op in ops {
+            match op {
+                Op::MovImm(v, k) => insts.push(LInst::Mov {
+                    dst: Loc::V(*v),
+                    src: Opnd::Imm(*k),
+                    width: Width::W64,
+                }),
+                Op::Add(a, b) => insts.push(LInst::Alu {
+                    op: AluOp::Add,
+                    dst: Loc::V(*a),
+                    src: Opnd::Loc(Loc::V(*b)),
+                    width: Width::W64,
+                }),
+                Op::Load(v, addr) => insts.push(LInst::Mov {
+                    dst: Loc::V(*v),
+                    src: Opnd::Mem(LMem::abs(*addr)),
+                    width: Width::W64,
+                }),
+                Op::Store(v, addr) => insts.push(LInst::Store {
+                    mem: LMem::abs(*addr),
+                    src: Opnd::Loc(Loc::V(*v)),
+                    width: Width::W64,
+                }),
+                Op::CmpJcc(a, b, t) => {
+                    insts.push(LInst::Cmp {
+                        lhs: Opnd::Loc(Loc::V(*a)),
+                        rhs: Opnd::Loc(Loc::V(*b)),
+                        width: Width::W64,
+                    });
+                    insts.push(LInst::Jcc {
+                        cc: Cc::L,
+                        target: BlockId((*t % nb) as u32),
+                    });
+                }
+                Op::MidJcc(v, t) => {
+                    insts.push(LInst::Test {
+                        lhs: Opnd::Loc(Loc::V(*v)),
+                        rhs: Opnd::Loc(Loc::V(*v)),
+                        width: Width::W64,
+                    });
+                    insts.push(LInst::Jcc {
+                        cc: Cc::Ne,
+                        target: BlockId((*t % nb) as u32),
+                    });
+                }
+                Op::Call(args, ret) => insts.push(LInst::Call {
+                    func: 0,
+                    args: args
+                        .iter()
+                        .map(|a| Arg::Int(Opnd::Loc(Loc::V(*a))))
+                        .collect(),
+                    ret: Some(RetVal::Int(Loc::V(*ret))),
+                }),
+                Op::FMovImm(v, bits) => insts.push(LInst::MovFImm {
+                    dst: FLoc::V(fbase + *v),
+                    bits: *bits,
+                    prec: wasmperf_isa::FPrec::F64,
+                }),
+                Op::FAdd(a, b) => insts.push(LInst::AluF {
+                    op: wasmperf_isa::FAluOp::Add,
+                    dst: FLoc::V(fbase + *a),
+                    src: FOpnd::Loc(FLoc::V(fbase + *b)),
+                    prec: wasmperf_isa::FPrec::F64,
+                }),
+            }
+        }
+        // Terminate: last block returns, others jump forward (keeps every
+        // block reachable-ish and explicitly terminated).
+        if bi + 1 == nb {
+            insts.push(LInst::Ret {
+                value: Some(Arg::Int(Opnd::Loc(Loc::V(0)))),
+            });
+        } else {
+            insts.push(LInst::Jmp {
+                target: BlockId((bi + 1) as u32),
+            });
+        }
+        f.blocks.push(LBlock { insts });
+    }
+    f
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn allocations_never_violate_interference(shape in shape_strategy()) {
+        let f = build(&shape);
+        for profile in [
+            AllocProfile::native(),
+            AllocProfile::chrome(),
+            AllocProfile::firefox(),
+        ] {
+            let ls = allocate_linear_scan(&f, &profile);
+            verify_no_conflicts(&f, &ls)
+                .map_err(|e| TestCaseError::fail(format!("linear scan/{}: {e}", profile.name)))?;
+            let gc = allocate_coloring(&f, &profile);
+            verify_no_conflicts(&f, &gc)
+                .map_err(|e| TestCaseError::fail(format!("coloring/{}: {e}", profile.name)))?;
+            // Registers assigned must come from the profile's pools.
+            for assign in [&ls, &gc] {
+                for slot in &assign.of {
+                    match slot {
+                        wasmperf_regalloc::Slot::IntReg(r) => {
+                            prop_assert!(profile.int_pool.contains(r), "{r} not in pool");
+                        }
+                        wasmperf_regalloc::Slot::FloatReg(x) => {
+                            prop_assert!(profile.float_pool.contains(x), "{x} not in pool");
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,1319 @@
+//! The WebAssembly binary format: encoder and decoder.
+//!
+//! Implements the MVP binary format — magic/version header, LEB128
+//! integers, all eleven numbered sections, and the "name" custom section
+//! (function names subsection) so that modules round-trip exactly,
+//! including debug names. The encoder and decoder are inverses; a
+//! property test in the crate's test suite checks
+//! `decode(encode(m)) == m` over generated modules.
+
+use crate::instr::{
+    BlockType, CvtOp, FBinop, FRelop, FUnop, IBinop, IRelop, IUnop, Instr, MemArg, NumWidth,
+    SubWidth,
+};
+use crate::module::{
+    DataSegment, ElemSegment, Export, ExportKind, FuncDef, Global, Import, ImportKind, Limits,
+    WasmModule,
+};
+use crate::types::{FuncType, ValType};
+use core::fmt;
+
+/// Binary-format magic header.
+pub const MAGIC: [u8; 4] = *b"\0asm";
+/// Binary-format version.
+pub const VERSION: [u8; 4] = [1, 0, 0, 0];
+
+/// Variants of each operator family in opcode order.
+const IUNOPS: [IUnop; 3] = [IUnop::Clz, IUnop::Ctz, IUnop::Popcnt];
+const IBINOPS: [IBinop; 15] = [
+    IBinop::Add,
+    IBinop::Sub,
+    IBinop::Mul,
+    IBinop::DivS,
+    IBinop::DivU,
+    IBinop::RemS,
+    IBinop::RemU,
+    IBinop::And,
+    IBinop::Or,
+    IBinop::Xor,
+    IBinop::Shl,
+    IBinop::ShrS,
+    IBinop::ShrU,
+    IBinop::Rotl,
+    IBinop::Rotr,
+];
+const IRELOPS: [IRelop; 10] = [
+    IRelop::Eq,
+    IRelop::Ne,
+    IRelop::LtS,
+    IRelop::LtU,
+    IRelop::GtS,
+    IRelop::GtU,
+    IRelop::LeS,
+    IRelop::LeU,
+    IRelop::GeS,
+    IRelop::GeU,
+];
+const FUNOPS: [FUnop; 7] = [
+    FUnop::Abs,
+    FUnop::Neg,
+    FUnop::Ceil,
+    FUnop::Floor,
+    FUnop::Trunc,
+    FUnop::Nearest,
+    FUnop::Sqrt,
+];
+const FBINOPS: [FBinop; 7] = [
+    FBinop::Add,
+    FBinop::Sub,
+    FBinop::Mul,
+    FBinop::Div,
+    FBinop::Min,
+    FBinop::Max,
+    FBinop::Copysign,
+];
+const FRELOPS: [FRelop; 6] = [
+    FRelop::Eq,
+    FRelop::Ne,
+    FRelop::Lt,
+    FRelop::Gt,
+    FRelop::Le,
+    FRelop::Ge,
+];
+const CVTOPS: [CvtOp; 25] = [
+    CvtOp::I32WrapI64,
+    CvtOp::I32TruncF32S,
+    CvtOp::I32TruncF32U,
+    CvtOp::I32TruncF64S,
+    CvtOp::I32TruncF64U,
+    CvtOp::I64ExtendI32S,
+    CvtOp::I64ExtendI32U,
+    CvtOp::I64TruncF32S,
+    CvtOp::I64TruncF32U,
+    CvtOp::I64TruncF64S,
+    CvtOp::I64TruncF64U,
+    CvtOp::F32ConvertI32S,
+    CvtOp::F32ConvertI32U,
+    CvtOp::F32ConvertI64S,
+    CvtOp::F32ConvertI64U,
+    CvtOp::F32DemoteF64,
+    CvtOp::F64ConvertI32S,
+    CvtOp::F64ConvertI32U,
+    CvtOp::F64ConvertI64S,
+    CvtOp::F64ConvertI64U,
+    CvtOp::F64PromoteF32,
+    CvtOp::I32ReinterpretF32,
+    CvtOp::I64ReinterpretF64,
+    CvtOp::F32ReinterpretI32,
+    CvtOp::F64ReinterpretI64,
+];
+
+fn pos_of<T: PartialEq>(arr: &[T], v: &T) -> u8 {
+    arr.iter().position(|x| x == v).expect("member of family") as u8
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+/// Appends a LEB128-encoded unsigned integer.
+pub fn write_uleb(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends a LEB128-encoded signed integer.
+pub fn write_sleb(out: &mut Vec<u8>, mut v: i64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        let sign = byte & 0x40 != 0;
+        if (v == 0 && !sign) || (v == -1 && sign) {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn write_name(out: &mut Vec<u8>, s: &str) {
+    write_uleb(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn write_limits(out: &mut Vec<u8>, l: &Limits) {
+    match l.max {
+        None => {
+            out.push(0x00);
+            write_uleb(out, l.min as u64);
+        }
+        Some(max) => {
+            out.push(0x01);
+            write_uleb(out, l.min as u64);
+            write_uleb(out, max as u64);
+        }
+    }
+}
+
+fn write_blocktype(out: &mut Vec<u8>, bt: &BlockType) {
+    match bt {
+        BlockType::Empty => out.push(0x40),
+        BlockType::Value(t) => out.push(t.byte()),
+    }
+}
+
+fn write_memarg(out: &mut Vec<u8>, m: &MemArg) {
+    write_uleb(out, m.align as u64);
+    write_uleb(out, m.offset as u64);
+}
+
+fn load_opcode(ty: ValType, sub: Option<(SubWidth, bool)>) -> u8 {
+    match (ty, sub) {
+        (ValType::I32, None) => 0x28,
+        (ValType::I64, None) => 0x29,
+        (ValType::F32, None) => 0x2a,
+        (ValType::F64, None) => 0x2b,
+        (ValType::I32, Some((SubWidth::B8, true))) => 0x2c,
+        (ValType::I32, Some((SubWidth::B8, false))) => 0x2d,
+        (ValType::I32, Some((SubWidth::B16, true))) => 0x2e,
+        (ValType::I32, Some((SubWidth::B16, false))) => 0x2f,
+        (ValType::I64, Some((SubWidth::B8, true))) => 0x30,
+        (ValType::I64, Some((SubWidth::B8, false))) => 0x31,
+        (ValType::I64, Some((SubWidth::B16, true))) => 0x32,
+        (ValType::I64, Some((SubWidth::B16, false))) => 0x33,
+        (ValType::I64, Some((SubWidth::B32, true))) => 0x34,
+        (ValType::I64, Some((SubWidth::B32, false))) => 0x35,
+        _ => panic!("invalid load form {ty:?} {sub:?}"),
+    }
+}
+
+fn store_opcode(ty: ValType, sub: Option<SubWidth>) -> u8 {
+    match (ty, sub) {
+        (ValType::I32, None) => 0x36,
+        (ValType::I64, None) => 0x37,
+        (ValType::F32, None) => 0x38,
+        (ValType::F64, None) => 0x39,
+        (ValType::I32, Some(SubWidth::B8)) => 0x3a,
+        (ValType::I32, Some(SubWidth::B16)) => 0x3b,
+        (ValType::I64, Some(SubWidth::B8)) => 0x3c,
+        (ValType::I64, Some(SubWidth::B16)) => 0x3d,
+        (ValType::I64, Some(SubWidth::B32)) => 0x3e,
+        _ => panic!("invalid store form {ty:?} {sub:?}"),
+    }
+}
+
+fn write_instr(out: &mut Vec<u8>, i: &Instr) {
+    use Instr::*;
+    match i {
+        Unreachable => out.push(0x00),
+        Nop => out.push(0x01),
+        Block(bt, body) => {
+            out.push(0x02);
+            write_blocktype(out, bt);
+            write_expr(out, body);
+            out.push(0x0b);
+        }
+        Loop(bt, body) => {
+            out.push(0x03);
+            write_blocktype(out, bt);
+            write_expr(out, body);
+            out.push(0x0b);
+        }
+        If(bt, then_body, else_body) => {
+            out.push(0x04);
+            write_blocktype(out, bt);
+            write_expr(out, then_body);
+            if !else_body.is_empty() {
+                out.push(0x05);
+                write_expr(out, else_body);
+            }
+            out.push(0x0b);
+        }
+        Br(d) => {
+            out.push(0x0c);
+            write_uleb(out, *d as u64);
+        }
+        BrIf(d) => {
+            out.push(0x0d);
+            write_uleb(out, *d as u64);
+        }
+        BrTable(targets, default) => {
+            out.push(0x0e);
+            write_uleb(out, targets.len() as u64);
+            for t in targets {
+                write_uleb(out, *t as u64);
+            }
+            write_uleb(out, *default as u64);
+        }
+        Return => out.push(0x0f),
+        Call(f) => {
+            out.push(0x10);
+            write_uleb(out, *f as u64);
+        }
+        CallIndirect(t) => {
+            out.push(0x11);
+            write_uleb(out, *t as u64);
+            out.push(0x00); // Table index (MVP: 0).
+        }
+        Drop => out.push(0x1a),
+        Select => out.push(0x1b),
+        LocalGet(i) => {
+            out.push(0x20);
+            write_uleb(out, *i as u64);
+        }
+        LocalSet(i) => {
+            out.push(0x21);
+            write_uleb(out, *i as u64);
+        }
+        LocalTee(i) => {
+            out.push(0x22);
+            write_uleb(out, *i as u64);
+        }
+        GlobalGet(i) => {
+            out.push(0x23);
+            write_uleb(out, *i as u64);
+        }
+        GlobalSet(i) => {
+            out.push(0x24);
+            write_uleb(out, *i as u64);
+        }
+        Load { ty, sub, memarg } => {
+            out.push(load_opcode(*ty, *sub));
+            write_memarg(out, memarg);
+        }
+        Store { ty, sub, memarg } => {
+            out.push(store_opcode(*ty, *sub));
+            write_memarg(out, memarg);
+        }
+        MemorySize => {
+            out.push(0x3f);
+            out.push(0x00);
+        }
+        MemoryGrow => {
+            out.push(0x40);
+            out.push(0x00);
+        }
+        I32Const(v) => {
+            out.push(0x41);
+            write_sleb(out, *v as i64);
+        }
+        I64Const(v) => {
+            out.push(0x42);
+            write_sleb(out, *v);
+        }
+        F32Const(bits) => {
+            out.push(0x43);
+            out.extend_from_slice(&bits.to_le_bytes());
+        }
+        F64Const(bits) => {
+            out.push(0x44);
+            out.extend_from_slice(&bits.to_le_bytes());
+        }
+        ITestop(NumWidth::X32) => out.push(0x45),
+        ITestop(NumWidth::X64) => out.push(0x50),
+        IRelop(NumWidth::X32, op) => out.push(0x46 + pos_of(&IRELOPS, op)),
+        IRelop(NumWidth::X64, op) => out.push(0x51 + pos_of(&IRELOPS, op)),
+        FRelop(NumWidth::X32, op) => out.push(0x5b + pos_of(&FRELOPS, op)),
+        FRelop(NumWidth::X64, op) => out.push(0x61 + pos_of(&FRELOPS, op)),
+        IUnop(NumWidth::X32, op) => out.push(0x67 + pos_of(&IUNOPS, op)),
+        IUnop(NumWidth::X64, op) => out.push(0x79 + pos_of(&IUNOPS, op)),
+        IBinop(NumWidth::X32, op) => out.push(0x6a + pos_of(&IBINOPS, op)),
+        IBinop(NumWidth::X64, op) => out.push(0x7c + pos_of(&IBINOPS, op)),
+        FUnop(NumWidth::X32, op) => out.push(0x8b + pos_of(&FUNOPS, op)),
+        FUnop(NumWidth::X64, op) => out.push(0x99 + pos_of(&FUNOPS, op)),
+        FBinop(NumWidth::X32, op) => out.push(0x92 + pos_of(&FBINOPS, op)),
+        FBinop(NumWidth::X64, op) => out.push(0xa0 + pos_of(&FBINOPS, op)),
+        Cvt(op) => out.push(0xa7 + pos_of(&CVTOPS, op)),
+    }
+}
+
+fn write_expr(out: &mut Vec<u8>, body: &[Instr]) {
+    for i in body {
+        write_instr(out, i);
+    }
+}
+
+fn write_section(out: &mut Vec<u8>, id: u8, payload: &[u8]) {
+    out.push(id);
+    write_uleb(out, payload.len() as u64);
+    out.extend_from_slice(payload);
+}
+
+fn const_expr_for(ty: ValType, bits: u64) -> Vec<u8> {
+    let mut e = Vec::new();
+    match ty {
+        ValType::I32 => write_instr(&mut e, &Instr::I32Const(bits as u32 as i32)),
+        ValType::I64 => write_instr(&mut e, &Instr::I64Const(bits as i64)),
+        ValType::F32 => write_instr(&mut e, &Instr::F32Const(bits as u32)),
+        ValType::F64 => write_instr(&mut e, &Instr::F64Const(bits)),
+    }
+    e.push(0x0b);
+    e
+}
+
+/// Encodes `module` into the binary format.
+pub fn encode(module: &WasmModule) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION);
+
+    if !module.types.is_empty() {
+        let mut p = Vec::new();
+        write_uleb(&mut p, module.types.len() as u64);
+        for t in &module.types {
+            p.push(0x60);
+            write_uleb(&mut p, t.params.len() as u64);
+            for v in &t.params {
+                p.push(v.byte());
+            }
+            write_uleb(&mut p, t.results.len() as u64);
+            for v in &t.results {
+                p.push(v.byte());
+            }
+        }
+        write_section(&mut out, 1, &p);
+    }
+
+    if !module.imports.is_empty() {
+        let mut p = Vec::new();
+        write_uleb(&mut p, module.imports.len() as u64);
+        for imp in &module.imports {
+            write_name(&mut p, &imp.module);
+            write_name(&mut p, &imp.field);
+            match &imp.kind {
+                ImportKind::Func(ti) => {
+                    p.push(0x00);
+                    write_uleb(&mut p, *ti as u64);
+                }
+                ImportKind::Memory(l) => {
+                    p.push(0x02);
+                    write_limits(&mut p, l);
+                }
+                ImportKind::Global(t, mutable) => {
+                    p.push(0x03);
+                    p.push(t.byte());
+                    p.push(u8::from(*mutable));
+                }
+            }
+        }
+        write_section(&mut out, 2, &p);
+    }
+
+    if !module.funcs.is_empty() {
+        let mut p = Vec::new();
+        write_uleb(&mut p, module.funcs.len() as u64);
+        for f in &module.funcs {
+            write_uleb(&mut p, f.type_idx as u64);
+        }
+        write_section(&mut out, 3, &p);
+    }
+
+    if let Some(t) = &module.table {
+        let mut p = Vec::new();
+        write_uleb(&mut p, 1);
+        p.push(0x70); // funcref.
+        write_limits(&mut p, t);
+        write_section(&mut out, 4, &p);
+    }
+
+    if let Some(m) = &module.memory {
+        let mut p = Vec::new();
+        write_uleb(&mut p, 1);
+        write_limits(&mut p, m);
+        write_section(&mut out, 5, &p);
+    }
+
+    if !module.globals.is_empty() {
+        let mut p = Vec::new();
+        write_uleb(&mut p, module.globals.len() as u64);
+        for g in &module.globals {
+            p.push(g.ty.byte());
+            p.push(u8::from(g.mutable));
+            p.extend_from_slice(&const_expr_for(g.ty, g.init));
+        }
+        write_section(&mut out, 6, &p);
+    }
+
+    if !module.exports.is_empty() {
+        let mut p = Vec::new();
+        write_uleb(&mut p, module.exports.len() as u64);
+        for e in &module.exports {
+            write_name(&mut p, &e.name);
+            match e.kind {
+                ExportKind::Func(i) => {
+                    p.push(0x00);
+                    write_uleb(&mut p, i as u64);
+                }
+                ExportKind::Memory => {
+                    p.push(0x02);
+                    write_uleb(&mut p, 0);
+                }
+                ExportKind::Global(i) => {
+                    p.push(0x03);
+                    write_uleb(&mut p, i as u64);
+                }
+            }
+        }
+        write_section(&mut out, 7, &p);
+    }
+
+    if let Some(s) = module.start {
+        let mut p = Vec::new();
+        write_uleb(&mut p, s as u64);
+        write_section(&mut out, 8, &p);
+    }
+
+    if !module.elems.is_empty() {
+        let mut p = Vec::new();
+        write_uleb(&mut p, module.elems.len() as u64);
+        for e in &module.elems {
+            write_uleb(&mut p, 0); // Table index.
+            p.extend_from_slice(&const_expr_for(ValType::I32, e.offset as u64));
+            write_uleb(&mut p, e.funcs.len() as u64);
+            for f in &e.funcs {
+                write_uleb(&mut p, *f as u64);
+            }
+        }
+        write_section(&mut out, 9, &p);
+    }
+
+    if !module.funcs.is_empty() {
+        let mut p = Vec::new();
+        write_uleb(&mut p, module.funcs.len() as u64);
+        for f in &module.funcs {
+            let mut body = Vec::new();
+            // Locals, run-length compressed by type.
+            let mut runs: Vec<(u32, ValType)> = Vec::new();
+            for l in &f.locals {
+                match runs.last_mut() {
+                    Some((n, t)) if t == l => *n += 1,
+                    _ => runs.push((1, *l)),
+                }
+            }
+            write_uleb(&mut body, runs.len() as u64);
+            for (n, t) in runs {
+                write_uleb(&mut body, n as u64);
+                body.push(t.byte());
+            }
+            write_expr(&mut body, &f.body);
+            body.push(0x0b);
+            write_uleb(&mut p, body.len() as u64);
+            p.extend_from_slice(&body);
+        }
+        write_section(&mut out, 10, &p);
+    }
+
+    if !module.data.is_empty() {
+        let mut p = Vec::new();
+        write_uleb(&mut p, module.data.len() as u64);
+        for d in &module.data {
+            write_uleb(&mut p, 0); // Memory index.
+            p.extend_from_slice(&const_expr_for(ValType::I32, d.offset as u64));
+            write_uleb(&mut p, d.bytes.len() as u64);
+            p.extend_from_slice(&d.bytes);
+        }
+        write_section(&mut out, 11, &p);
+    }
+
+    // Name custom section (function names), so debug names round-trip.
+    if module.funcs.iter().any(|f| !f.name.is_empty()) {
+        let mut sub = Vec::new();
+        let named: Vec<(u32, &str)> = module
+            .funcs
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.name.is_empty())
+            .map(|(i, f)| (module.num_imported_funcs() + i as u32, f.name.as_str()))
+            .collect();
+        write_uleb(&mut sub, named.len() as u64);
+        for (idx, name) in named {
+            write_uleb(&mut sub, idx as u64);
+            write_name(&mut sub, name);
+        }
+        let mut p = Vec::new();
+        write_name(&mut p, "name");
+        p.push(0x01); // Function-names subsection.
+        write_uleb(&mut p, sub.len() as u64);
+        p.extend_from_slice(&sub);
+        write_section(&mut out, 0, &p);
+    }
+
+    out
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+/// A binary-format decoding error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Description of the malformation.
+    pub msg: String,
+    /// Byte offset where decoding failed.
+    pub offset: usize,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+type DResult<T> = Result<T, DecodeError>;
+
+impl<'a> Reader<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> DResult<T> {
+        Err(DecodeError {
+            msg: msg.into(),
+            offset: self.pos,
+        })
+    }
+
+    fn byte(&mut self) -> DResult<u8> {
+        match self.bytes.get(self.pos) {
+            Some(&b) => {
+                self.pos += 1;
+                Ok(b)
+            }
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> DResult<&'a [u8]> {
+        if self.pos + n > self.bytes.len() {
+            return self.err("unexpected end of input");
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn uleb(&mut self) -> DResult<u64> {
+        let mut v: u64 = 0;
+        let mut shift = 0;
+        loop {
+            let b = self.byte()?;
+            if shift >= 64 {
+                return self.err("uleb too long");
+            }
+            v |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn uleb32(&mut self) -> DResult<u32> {
+        let v = self.uleb()?;
+        u32::try_from(v).or_else(|_| self.err("u32 out of range"))
+    }
+
+    fn sleb(&mut self) -> DResult<i64> {
+        let mut v: i64 = 0;
+        let mut shift = 0;
+        loop {
+            let b = self.byte()?;
+            if shift >= 64 {
+                return self.err("sleb too long");
+            }
+            v |= ((b & 0x7f) as i64) << shift;
+            shift += 7;
+            if b & 0x80 == 0 {
+                if shift < 64 && b & 0x40 != 0 {
+                    v |= -1i64 << shift;
+                }
+                return Ok(v);
+            }
+        }
+    }
+
+    fn name(&mut self) -> DResult<String> {
+        let n = self.uleb32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).or_else(|_| self.err("invalid utf-8 name"))
+    }
+
+    fn valtype(&mut self) -> DResult<ValType> {
+        let b = self.byte()?;
+        ValType::from_byte(b).ok_or(DecodeError {
+            msg: format!("invalid value type {b:#x}"),
+            offset: self.pos - 1,
+        })
+    }
+
+    fn limits(&mut self) -> DResult<Limits> {
+        match self.byte()? {
+            0x00 => Ok(Limits {
+                min: self.uleb32()?,
+                max: None,
+            }),
+            0x01 => Ok(Limits {
+                min: self.uleb32()?,
+                max: Some(self.uleb32()?),
+            }),
+            b => self.err(format!("invalid limits flag {b:#x}")),
+        }
+    }
+
+    fn blocktype(&mut self) -> DResult<BlockType> {
+        let b = self.byte()?;
+        if b == 0x40 {
+            return Ok(BlockType::Empty);
+        }
+        match ValType::from_byte(b) {
+            Some(t) => Ok(BlockType::Value(t)),
+            None => self.err(format!("invalid block type {b:#x}")),
+        }
+    }
+
+    fn memarg(&mut self) -> DResult<MemArg> {
+        Ok(MemArg {
+            align: self.uleb32()?,
+            offset: self.uleb32()?,
+        })
+    }
+
+    /// Decodes instructions until one of `terminators` (0x0b end / 0x05
+    /// else) is consumed; returns the body and the terminator.
+    fn expr(&mut self, depth: u32) -> DResult<(Vec<Instr>, u8)> {
+        if depth > 512 {
+            return self.err("nesting too deep");
+        }
+        let mut body = Vec::new();
+        loop {
+            let op = self.byte()?;
+            match op {
+                0x0b | 0x05 => return Ok((body, op)),
+                _ => body.push(self.instr(op, depth)?),
+            }
+        }
+    }
+
+    fn instr(&mut self, op: u8, depth: u32) -> DResult<Instr> {
+        use Instr::*;
+        Ok(match op {
+            0x00 => Unreachable,
+            0x01 => Nop,
+            0x02 => {
+                let bt = self.blocktype()?;
+                let (b, term) = self.expr(depth + 1)?;
+                if term != 0x0b {
+                    return self.err("block terminated by else");
+                }
+                Block(bt, b)
+            }
+            0x03 => {
+                let bt = self.blocktype()?;
+                let (b, term) = self.expr(depth + 1)?;
+                if term != 0x0b {
+                    return self.err("loop terminated by else");
+                }
+                Loop(bt, b)
+            }
+            0x04 => {
+                let bt = self.blocktype()?;
+                let (t, term) = self.expr(depth + 1)?;
+                let e = if term == 0x05 {
+                    let (e, term2) = self.expr(depth + 1)?;
+                    if term2 != 0x0b {
+                        return self.err("else terminated by else");
+                    }
+                    e
+                } else {
+                    Vec::new()
+                };
+                If(bt, t, e)
+            }
+            0x0c => Br(self.uleb32()?),
+            0x0d => BrIf(self.uleb32()?),
+            0x0e => {
+                let n = self.uleb32()? as usize;
+                let mut targets = Vec::with_capacity(n);
+                for _ in 0..n {
+                    targets.push(self.uleb32()?);
+                }
+                BrTable(targets, self.uleb32()?)
+            }
+            0x0f => Return,
+            0x10 => Call(self.uleb32()?),
+            0x11 => {
+                let t = self.uleb32()?;
+                let tbl = self.byte()?;
+                if tbl != 0 {
+                    return self.err("MVP requires table index 0");
+                }
+                CallIndirect(t)
+            }
+            0x1a => Drop,
+            0x1b => Select,
+            0x20 => LocalGet(self.uleb32()?),
+            0x21 => LocalSet(self.uleb32()?),
+            0x22 => LocalTee(self.uleb32()?),
+            0x23 => GlobalGet(self.uleb32()?),
+            0x24 => GlobalSet(self.uleb32()?),
+            0x28..=0x35 => {
+                let memarg = self.memarg()?;
+                let (ty, sub) = match op {
+                    0x28 => (ValType::I32, None),
+                    0x29 => (ValType::I64, None),
+                    0x2a => (ValType::F32, None),
+                    0x2b => (ValType::F64, None),
+                    0x2c => (ValType::I32, Some((SubWidth::B8, true))),
+                    0x2d => (ValType::I32, Some((SubWidth::B8, false))),
+                    0x2e => (ValType::I32, Some((SubWidth::B16, true))),
+                    0x2f => (ValType::I32, Some((SubWidth::B16, false))),
+                    0x30 => (ValType::I64, Some((SubWidth::B8, true))),
+                    0x31 => (ValType::I64, Some((SubWidth::B8, false))),
+                    0x32 => (ValType::I64, Some((SubWidth::B16, true))),
+                    0x33 => (ValType::I64, Some((SubWidth::B16, false))),
+                    0x34 => (ValType::I64, Some((SubWidth::B32, true))),
+                    _ => (ValType::I64, Some((SubWidth::B32, false))),
+                };
+                Load { ty, sub, memarg }
+            }
+            0x36..=0x3e => {
+                let memarg = self.memarg()?;
+                let (ty, sub) = match op {
+                    0x36 => (ValType::I32, None),
+                    0x37 => (ValType::I64, None),
+                    0x38 => (ValType::F32, None),
+                    0x39 => (ValType::F64, None),
+                    0x3a => (ValType::I32, Some(SubWidth::B8)),
+                    0x3b => (ValType::I32, Some(SubWidth::B16)),
+                    0x3c => (ValType::I64, Some(SubWidth::B8)),
+                    0x3d => (ValType::I64, Some(SubWidth::B16)),
+                    _ => (ValType::I64, Some(SubWidth::B32)),
+                };
+                Store { ty, sub, memarg }
+            }
+            0x3f => {
+                self.byte()?;
+                MemorySize
+            }
+            0x40 => {
+                self.byte()?;
+                MemoryGrow
+            }
+            0x41 => I32Const(self.sleb()? as i32),
+            0x42 => I64Const(self.sleb()?),
+            0x43 => {
+                let b = self.take(4)?;
+                F32Const(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+            }
+            0x44 => {
+                let b = self.take(8)?;
+                F64Const(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+            }
+            0x45 => ITestop(NumWidth::X32),
+            0x50 => ITestop(NumWidth::X64),
+            0x46..=0x4f => IRelop(NumWidth::X32, IRELOPS[(op - 0x46) as usize]),
+            0x51..=0x5a => IRelop(NumWidth::X64, IRELOPS[(op - 0x51) as usize]),
+            0x5b..=0x60 => FRelop(NumWidth::X32, FRELOPS[(op - 0x5b) as usize]),
+            0x61..=0x66 => FRelop(NumWidth::X64, FRELOPS[(op - 0x61) as usize]),
+            0x67..=0x69 => IUnop(NumWidth::X32, IUNOPS[(op - 0x67) as usize]),
+            0x79..=0x7b => IUnop(NumWidth::X64, IUNOPS[(op - 0x79) as usize]),
+            0x6a..=0x78 => IBinop(NumWidth::X32, IBINOPS[(op - 0x6a) as usize]),
+            0x7c..=0x8a => IBinop(NumWidth::X64, IBINOPS[(op - 0x7c) as usize]),
+            0x8b..=0x91 => FUnop(NumWidth::X32, FUNOPS[(op - 0x8b) as usize]),
+            0x99..=0x9f => FUnop(NumWidth::X64, FUNOPS[(op - 0x99) as usize]),
+            0x92..=0x98 => FBinop(NumWidth::X32, FBINOPS[(op - 0x92) as usize]),
+            0xa0..=0xa6 => FBinop(NumWidth::X64, FBINOPS[(op - 0xa0) as usize]),
+            0xa7..=0xbf => Cvt(CVTOPS[(op - 0xa7) as usize]),
+            _ => return self.err(format!("unknown opcode {op:#x}")),
+        })
+    }
+
+    fn const_expr(&mut self) -> DResult<u64> {
+        let op = self.byte()?;
+        let v = match op {
+            0x41 => self.sleb()? as i32 as u32 as u64,
+            0x42 => self.sleb()? as u64,
+            0x43 => u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")) as u64,
+            0x44 => u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")),
+            _ => return self.err("unsupported constant expression"),
+        };
+        if self.byte()? != 0x0b {
+            return self.err("constant expression not terminated");
+        }
+        Ok(v)
+    }
+}
+
+/// Decodes a binary module.
+pub fn decode(bytes: &[u8]) -> Result<WasmModule, DecodeError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return r.err("bad magic");
+    }
+    if r.take(4)? != VERSION {
+        return r.err("unsupported version");
+    }
+
+    let mut m = WasmModule::default();
+    let mut func_type_idxs: Vec<u32> = Vec::new();
+
+    while r.pos < bytes.len() {
+        let id = r.byte()?;
+        let size = r.uleb32()? as usize;
+        let end = r.pos + size;
+        if end > bytes.len() {
+            return r.err("section extends past end");
+        }
+        match id {
+            0 => {
+                // Custom section; we understand the function-names
+                // subsection of "name" and skip everything else.
+                let section_end = end;
+                let name = r.name()?;
+                if name == "name" {
+                    while r.pos < section_end {
+                        let sub_id = r.byte()?;
+                        let sub_len = r.uleb32()? as usize;
+                        let sub_end = r.pos + sub_len;
+                        if sub_id == 1 {
+                            let count = r.uleb32()?;
+                            for _ in 0..count {
+                                let idx = r.uleb32()?;
+                                let fname = r.name()?;
+                                let local = idx.wrapping_sub(m.num_imported_funcs());
+                                if let Some(f) = m.funcs.get_mut(local as usize) {
+                                    f.name = fname;
+                                }
+                            }
+                        }
+                        r.pos = sub_end;
+                    }
+                }
+                r.pos = section_end;
+            }
+            1 => {
+                let n = r.uleb32()?;
+                for _ in 0..n {
+                    if r.byte()? != 0x60 {
+                        return r.err("expected func type");
+                    }
+                    let np = r.uleb32()? as usize;
+                    let mut params = Vec::with_capacity(np);
+                    for _ in 0..np {
+                        params.push(r.valtype()?);
+                    }
+                    let nr = r.uleb32()? as usize;
+                    let mut results = Vec::with_capacity(nr);
+                    for _ in 0..nr {
+                        results.push(r.valtype()?);
+                    }
+                    if results.len() > 1 {
+                        return r.err("MVP allows one result");
+                    }
+                    m.types.push(FuncType { params, results });
+                }
+            }
+            2 => {
+                let n = r.uleb32()?;
+                for _ in 0..n {
+                    let module = r.name()?;
+                    let field = r.name()?;
+                    let kind = match r.byte()? {
+                        0x00 => ImportKind::Func(r.uleb32()?),
+                        0x02 => ImportKind::Memory(r.limits()?),
+                        0x03 => {
+                            let t = r.valtype()?;
+                            let mutable = r.byte()? == 1;
+                            ImportKind::Global(t, mutable)
+                        }
+                        b => return r.err(format!("unsupported import kind {b:#x}")),
+                    };
+                    m.imports.push(Import {
+                        module,
+                        field,
+                        kind,
+                    });
+                }
+            }
+            3 => {
+                let n = r.uleb32()?;
+                for _ in 0..n {
+                    func_type_idxs.push(r.uleb32()?);
+                }
+            }
+            4 => {
+                let n = r.uleb32()?;
+                if n != 1 {
+                    return r.err("MVP allows one table");
+                }
+                if r.byte()? != 0x70 {
+                    return r.err("expected funcref table");
+                }
+                m.table = Some(r.limits()?);
+            }
+            5 => {
+                let n = r.uleb32()?;
+                if n != 1 {
+                    return r.err("MVP allows one memory");
+                }
+                m.memory = Some(r.limits()?);
+            }
+            6 => {
+                let n = r.uleb32()?;
+                for _ in 0..n {
+                    let ty = r.valtype()?;
+                    let mutable = r.byte()? == 1;
+                    let init = r.const_expr()?;
+                    m.globals.push(Global { ty, mutable, init });
+                }
+            }
+            7 => {
+                let n = r.uleb32()?;
+                for _ in 0..n {
+                    let name = r.name()?;
+                    let kind = match r.byte()? {
+                        0x00 => ExportKind::Func(r.uleb32()?),
+                        0x02 => {
+                            r.uleb32()?;
+                            ExportKind::Memory
+                        }
+                        0x03 => ExportKind::Global(r.uleb32()?),
+                        b => return r.err(format!("unsupported export kind {b:#x}")),
+                    };
+                    m.exports.push(Export { name, kind });
+                }
+            }
+            8 => {
+                m.start = Some(r.uleb32()?);
+            }
+            9 => {
+                let n = r.uleb32()?;
+                for _ in 0..n {
+                    if r.uleb32()? != 0 {
+                        return r.err("MVP requires table 0");
+                    }
+                    let offset = r.const_expr()? as u32;
+                    let cnt = r.uleb32()? as usize;
+                    let mut funcs = Vec::with_capacity(cnt);
+                    for _ in 0..cnt {
+                        funcs.push(r.uleb32()?);
+                    }
+                    m.elems.push(ElemSegment { offset, funcs });
+                }
+            }
+            10 => {
+                let n = r.uleb32()? as usize;
+                if n != func_type_idxs.len() {
+                    return r.err("function and code section counts differ");
+                }
+                for ti in func_type_idxs.iter().copied() {
+                    let body_size = r.uleb32()? as usize;
+                    let body_end = r.pos + body_size;
+                    let nruns = r.uleb32()? as usize;
+                    let mut locals = Vec::new();
+                    for _ in 0..nruns {
+                        let count = r.uleb32()?;
+                        let t = r.valtype()?;
+                        for _ in 0..count {
+                            locals.push(t);
+                        }
+                    }
+                    let (body, term) = r.expr(0)?;
+                    if term != 0x0b {
+                        return r.err("function body terminated by else");
+                    }
+                    if r.pos != body_end {
+                        return r.err("function body size mismatch");
+                    }
+                    m.funcs.push(FuncDef {
+                        type_idx: ti,
+                        locals,
+                        body,
+                        name: String::new(),
+                    });
+                }
+            }
+            11 => {
+                let n = r.uleb32()?;
+                for _ in 0..n {
+                    if r.uleb32()? != 0 {
+                        return r.err("MVP requires memory 0");
+                    }
+                    let offset = r.const_expr()? as u32;
+                    let len = r.uleb32()? as usize;
+                    let bytes = r.take(len)?.to_vec();
+                    m.data.push(DataSegment { offset, bytes });
+                }
+            }
+            _ => return r.err(format!("unknown section id {id}")),
+        }
+        if r.pos != end {
+            return r.err(format!("section {id} size mismatch"));
+        }
+    }
+
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{IBinop, NumWidth};
+    use crate::module::FuncDef;
+
+    #[test]
+    fn uleb_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, 16384, u32::MAX as u64, u64::MAX] {
+            let mut b = Vec::new();
+            write_uleb(&mut b, v);
+            let mut r = Reader {
+                bytes: &b,
+                pos: 0,
+            };
+            assert_eq!(r.uleb().unwrap(), v);
+            assert_eq!(r.pos, b.len());
+        }
+    }
+
+    #[test]
+    fn sleb_roundtrip() {
+        for v in [
+            0i64,
+            1,
+            -1,
+            63,
+            64,
+            -64,
+            -65,
+            i32::MAX as i64,
+            i32::MIN as i64,
+            i64::MAX,
+            i64::MIN,
+        ] {
+            let mut b = Vec::new();
+            write_sleb(&mut b, v);
+            let mut r = Reader {
+                bytes: &b,
+                pos: 0,
+            };
+            assert_eq!(r.sleb().unwrap(), v, "value {v}");
+            assert_eq!(r.pos, b.len());
+        }
+    }
+
+    fn sample_module() -> WasmModule {
+        let mut m = WasmModule::default();
+        let t = m.intern_type(FuncType::new(
+            vec![ValType::I32, ValType::I32],
+            vec![ValType::I32],
+        ));
+        let tv = m.intern_type(FuncType::new(vec![], vec![]));
+        m.imports.push(Import {
+            module: "env".into(),
+            field: "syscall".into(),
+            kind: ImportKind::Func(t),
+        });
+        m.memory = Some(Limits {
+            min: 2,
+            max: Some(100),
+        });
+        m.table = Some(Limits { min: 4, max: None });
+        m.globals.push(Global {
+            ty: ValType::I32,
+            mutable: true,
+            init: 1024,
+        });
+        m.globals.push(Global {
+            ty: ValType::F64,
+            mutable: false,
+            init: 2.5f64.to_bits(),
+        });
+        m.funcs.push(FuncDef {
+            type_idx: t,
+            locals: vec![ValType::I32, ValType::I32, ValType::F64],
+            body: vec![
+                Instr::LocalGet(0),
+                Instr::LocalGet(1),
+                Instr::IBinop(NumWidth::X32, IBinop::Add),
+                Instr::Block(
+                    BlockType::Value(ValType::I32),
+                    vec![
+                        Instr::I32Const(-5),
+                        Instr::If(
+                            BlockType::Value(ValType::I32),
+                            vec![Instr::I32Const(1)],
+                            vec![Instr::I32Const(2)],
+                        ),
+                    ],
+                ),
+                Instr::IBinop(NumWidth::X32, IBinop::Add),
+            ],
+            name: "add2".into(),
+        });
+        m.funcs.push(FuncDef {
+            type_idx: tv,
+            locals: vec![],
+            body: vec![Instr::Loop(
+                BlockType::Empty,
+                vec![Instr::I32Const(0), Instr::BrIf(0)],
+            )],
+            name: "spin".into(),
+        });
+        m.exports.push(Export {
+            name: "add2".into(),
+            kind: ExportKind::Func(1),
+        });
+        m.exports.push(Export {
+            name: "memory".into(),
+            kind: ExportKind::Memory,
+        });
+        m.elems.push(ElemSegment {
+            offset: 1,
+            funcs: vec![1, 2],
+        });
+        m.data.push(DataSegment {
+            offset: 8,
+            bytes: b"hello world".to_vec(),
+        });
+        m
+    }
+
+    #[test]
+    fn module_roundtrip() {
+        let m = sample_module();
+        let bytes = encode(&m);
+        let m2 = decode(&bytes).expect("decodes");
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn header_checked() {
+        assert!(decode(b"\0asX\x01\0\0\0").is_err());
+        assert!(decode(b"\0asm\x02\0\0\0").is_err());
+        assert!(decode(b"\0asm\x01\0\0\0").unwrap().funcs.is_empty());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = encode(&sample_module());
+        for cut in [9, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn every_memory_op_roundtrips() {
+        let mut m = WasmModule::default();
+        let t = m.intern_type(FuncType::new(vec![], vec![]));
+        m.memory = Some(Limits { min: 1, max: None });
+        let mut body = Vec::new();
+        let loads: Vec<Instr> = vec![
+            (ValType::I32, None),
+            (ValType::I64, None),
+            (ValType::F32, None),
+            (ValType::F64, None),
+            (ValType::I32, Some((SubWidth::B8, true))),
+            (ValType::I32, Some((SubWidth::B8, false))),
+            (ValType::I32, Some((SubWidth::B16, true))),
+            (ValType::I32, Some((SubWidth::B16, false))),
+            (ValType::I64, Some((SubWidth::B8, true))),
+            (ValType::I64, Some((SubWidth::B8, false))),
+            (ValType::I64, Some((SubWidth::B16, true))),
+            (ValType::I64, Some((SubWidth::B16, false))),
+            (ValType::I64, Some((SubWidth::B32, true))),
+            (ValType::I64, Some((SubWidth::B32, false))),
+        ]
+        .into_iter()
+        .map(|(ty, sub)| Instr::Load {
+            ty,
+            sub,
+            memarg: MemArg::natural(sub.map(|(w, _)| w.bytes()).unwrap_or(ty.bytes()), 4),
+        })
+        .collect();
+        for l in &loads {
+            body.push(Instr::I32Const(0));
+            body.push(l.clone());
+            body.push(Instr::Drop);
+        }
+        m.funcs.push(FuncDef {
+            type_idx: t,
+            locals: vec![],
+            body,
+            name: String::new(),
+        });
+        let m2 = decode(&encode(&m)).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn all_numeric_families_roundtrip() {
+        let mut m = WasmModule::default();
+        let t = m.intern_type(FuncType::new(vec![], vec![]));
+        let mut body: Vec<Instr> = Vec::new();
+        for w in [NumWidth::X32, NumWidth::X64] {
+            for op in IBINOPS {
+                body.push(if w == NumWidth::X32 {
+                    Instr::I32Const(1)
+                } else {
+                    Instr::I64Const(1)
+                });
+                body.push(if w == NumWidth::X32 {
+                    Instr::I32Const(1)
+                } else {
+                    Instr::I64Const(1)
+                });
+                body.push(Instr::IBinop(w, op));
+                body.push(Instr::Drop);
+            }
+        }
+        for op in CVTOPS {
+            let (from, _) = op.signature();
+            body.push(match from {
+                ValType::I32 => Instr::I32Const(0),
+                ValType::I64 => Instr::I64Const(0),
+                ValType::F32 => Instr::F32Const(0),
+                ValType::F64 => Instr::F64Const(0),
+            });
+            body.push(Instr::Cvt(op));
+            body.push(Instr::Drop);
+        }
+        m.funcs.push(FuncDef {
+            type_idx: t,
+            locals: vec![],
+            body,
+            name: String::new(),
+        });
+        let m2 = decode(&encode(&m)).unwrap();
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn code_and_func_counts_must_agree() {
+        let m = sample_module();
+        let mut bytes = encode(&m);
+        // Corrupt the function-section count byte (find section 3).
+        let mut pos = 8;
+        loop {
+            let id = bytes[pos];
+            // Section sizes here are single-byte ulebs for this module.
+            let size = bytes[pos + 1] as usize;
+            if id == 3 {
+                bytes[pos + 2] = 9; // Wrong count.
+                break;
+            }
+            pos += 2 + size;
+        }
+        assert!(decode(&bytes).is_err());
+    }
+}

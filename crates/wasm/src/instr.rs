@@ -1,0 +1,386 @@
+//! The MVP instruction set.
+//!
+//! Instructions are grouped by operator family (integer unary/binary/
+//! relational, float unary/binary/relational, conversions) exactly as the
+//! specification groups its validation and execution rules; this keeps the
+//! validator, interpreter, and JIT backends free of 170-arm matches.
+
+use crate::types::ValType;
+
+/// Width selector for integer operator families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum NumWidth {
+    X32,
+    X64,
+}
+
+impl NumWidth {
+    /// The corresponding integer value type.
+    pub fn int_ty(self) -> ValType {
+        match self {
+            NumWidth::X32 => ValType::I32,
+            NumWidth::X64 => ValType::I64,
+        }
+    }
+
+    /// The corresponding float value type.
+    pub fn float_ty(self) -> ValType {
+        match self {
+            NumWidth::X32 => ValType::F32,
+            NumWidth::X64 => ValType::F64,
+        }
+    }
+}
+
+/// Integer unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum IUnop {
+    Clz,
+    Ctz,
+    Popcnt,
+}
+
+/// Integer binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum IBinop {
+    Add,
+    Sub,
+    Mul,
+    DivS,
+    DivU,
+    RemS,
+    RemU,
+    And,
+    Or,
+    Xor,
+    Shl,
+    ShrS,
+    ShrU,
+    Rotl,
+    Rotr,
+}
+
+/// Integer relational operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum IRelop {
+    Eq,
+    Ne,
+    LtS,
+    LtU,
+    GtS,
+    GtU,
+    LeS,
+    LeU,
+    GeS,
+    GeU,
+}
+
+/// Float unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum FUnop {
+    Abs,
+    Neg,
+    Ceil,
+    Floor,
+    Trunc,
+    Nearest,
+    Sqrt,
+}
+
+/// Float binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum FBinop {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Min,
+    Max,
+    Copysign,
+}
+
+/// Float relational operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum FRelop {
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+}
+
+/// Conversion operators (all MVP conversions, one variant each).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum CvtOp {
+    I32WrapI64,
+    I32TruncF32S,
+    I32TruncF32U,
+    I32TruncF64S,
+    I32TruncF64U,
+    I64ExtendI32S,
+    I64ExtendI32U,
+    I64TruncF32S,
+    I64TruncF32U,
+    I64TruncF64S,
+    I64TruncF64U,
+    F32ConvertI32S,
+    F32ConvertI32U,
+    F32ConvertI64S,
+    F32ConvertI64U,
+    F32DemoteF64,
+    F64ConvertI32S,
+    F64ConvertI32U,
+    F64ConvertI64S,
+    F64ConvertI64U,
+    F64PromoteF32,
+    I32ReinterpretF32,
+    I64ReinterpretF64,
+    F32ReinterpretI32,
+    F64ReinterpretI64,
+}
+
+impl CvtOp {
+    /// (operand type, result type) of the conversion.
+    pub fn signature(self) -> (ValType, ValType) {
+        use CvtOp::*;
+        use ValType::*;
+        match self {
+            I32WrapI64 => (I64, I32),
+            I32TruncF32S | I32TruncF32U => (F32, I32),
+            I32TruncF64S | I32TruncF64U => (F64, I32),
+            I64ExtendI32S | I64ExtendI32U => (I32, I64),
+            I64TruncF32S | I64TruncF32U => (F32, I64),
+            I64TruncF64S | I64TruncF64U => (F64, I64),
+            F32ConvertI32S | F32ConvertI32U => (I32, F32),
+            F32ConvertI64S | F32ConvertI64U => (I64, F32),
+            F32DemoteF64 => (F64, F32),
+            F64ConvertI32S | F64ConvertI32U => (I32, F64),
+            F64ConvertI64S | F64ConvertI64U => (I64, F64),
+            F64PromoteF32 => (F32, F64),
+            I32ReinterpretF32 => (F32, I32),
+            I64ReinterpretF64 => (F64, I64),
+            F32ReinterpretI32 => (I32, F32),
+            F64ReinterpretI64 => (I64, F64),
+        }
+    }
+}
+
+/// Alignment and offset immediate of a memory instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MemArg {
+    /// log2 of the alignment hint.
+    pub align: u32,
+    /// Constant byte offset added to the dynamic address.
+    pub offset: u32,
+}
+
+impl MemArg {
+    /// A memarg with natural alignment for an access of `bytes` bytes.
+    pub fn natural(bytes: u32, offset: u32) -> MemArg {
+        MemArg {
+            align: bytes.trailing_zeros(),
+            offset,
+        }
+    }
+}
+
+/// Block result type (MVP: empty or a single value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockType {
+    /// No result.
+    Empty,
+    /// One result of the given type.
+    Value(ValType),
+}
+
+impl BlockType {
+    /// The result type, if any.
+    pub fn result(self) -> Option<ValType> {
+        match self {
+            BlockType::Empty => None,
+            BlockType::Value(t) => Some(t),
+        }
+    }
+}
+
+/// Sub-word load width and signedness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum SubWidth {
+    B8,
+    B16,
+    B32,
+}
+
+impl SubWidth {
+    /// Access size in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            SubWidth::B8 => 1,
+            SubWidth::B16 => 2,
+            SubWidth::B32 => 4,
+        }
+    }
+}
+
+/// One MVP instruction. Control structures are nested, as in the text
+/// format and the specification's abstract syntax.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// `unreachable`.
+    Unreachable,
+    /// `nop`.
+    Nop,
+    /// `block (result?) ... end`.
+    Block(BlockType, Vec<Instr>),
+    /// `loop (result?) ... end`.
+    Loop(BlockType, Vec<Instr>),
+    /// `if (result?) ... else ... end`.
+    If(BlockType, Vec<Instr>, Vec<Instr>),
+    /// `br depth`.
+    Br(u32),
+    /// `br_if depth`.
+    BrIf(u32),
+    /// `br_table targets default`.
+    BrTable(Vec<u32>, u32),
+    /// `return`.
+    Return,
+    /// `call func_idx`.
+    Call(u32),
+    /// `call_indirect type_idx` (table 0).
+    CallIndirect(u32),
+    /// `drop`.
+    Drop,
+    /// `select`.
+    Select,
+    /// `local.get idx`.
+    LocalGet(u32),
+    /// `local.set idx`.
+    LocalSet(u32),
+    /// `local.tee idx`.
+    LocalTee(u32),
+    /// `global.get idx`.
+    GlobalGet(u32),
+    /// `global.set idx`.
+    GlobalSet(u32),
+    /// A load; `sub` selects sub-word width and sign extension for integer
+    /// loads (`None` = full-width).
+    Load {
+        /// Result type.
+        ty: ValType,
+        /// Sub-word width and signedness (integer loads only).
+        sub: Option<(SubWidth, bool)>,
+        /// Alignment/offset immediate.
+        memarg: MemArg,
+    },
+    /// A store; `sub` selects sub-word width for integer stores.
+    Store {
+        /// Operand type.
+        ty: ValType,
+        /// Sub-word width (integer stores only).
+        sub: Option<SubWidth>,
+        /// Alignment/offset immediate.
+        memarg: MemArg,
+    },
+    /// `memory.size`.
+    MemorySize,
+    /// `memory.grow`.
+    MemoryGrow,
+    /// `i32.const`.
+    I32Const(i32),
+    /// `i64.const`.
+    I64Const(i64),
+    /// `f32.const` (bit pattern, for NaN determinism).
+    F32Const(u32),
+    /// `f64.const` (bit pattern).
+    F64Const(u64),
+    /// `i32.eqz` / `i64.eqz`.
+    ITestop(NumWidth),
+    /// Integer comparison.
+    IRelop(NumWidth, IRelop),
+    /// Float comparison.
+    FRelop(NumWidth, FRelop),
+    /// Integer unary operator.
+    IUnop(NumWidth, IUnop),
+    /// Integer binary operator.
+    IBinop(NumWidth, IBinop),
+    /// Float unary operator.
+    FUnop(NumWidth, FUnop),
+    /// Float binary operator.
+    FBinop(NumWidth, FBinop),
+    /// A conversion.
+    Cvt(CvtOp),
+}
+
+impl Instr {
+    /// Recursively counts instructions, including nested blocks (a crude
+    /// code-size metric used by compile-time models and tests).
+    pub fn count(&self) -> usize {
+        match self {
+            Instr::Block(_, body) | Instr::Loop(_, body) => {
+                1 + body.iter().map(Instr::count).sum::<usize>()
+            }
+            Instr::If(_, t, e) => {
+                1 + t.iter().map(Instr::count).sum::<usize>()
+                    + e.iter().map(Instr::count).sum::<usize>()
+            }
+            _ => 1,
+        }
+    }
+}
+
+/// Counts instructions in a body.
+pub fn body_size(body: &[Instr]) -> usize {
+    body.iter().map(Instr::count).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cvt_signatures_are_consistent() {
+        use CvtOp::*;
+        assert_eq!(I32WrapI64.signature(), (ValType::I64, ValType::I32));
+        assert_eq!(F64PromoteF32.signature(), (ValType::F32, ValType::F64));
+        assert_eq!(I32ReinterpretF32.signature(), (ValType::F32, ValType::I32));
+    }
+
+    #[test]
+    fn memarg_natural_alignment() {
+        assert_eq!(MemArg::natural(4, 0).align, 2);
+        assert_eq!(MemArg::natural(8, 16).align, 3);
+        assert_eq!(MemArg::natural(1, 0).align, 0);
+    }
+
+    #[test]
+    fn instruction_counting() {
+        let body = vec![
+            Instr::I32Const(1),
+            Instr::Block(
+                BlockType::Empty,
+                vec![Instr::Nop, Instr::If(BlockType::Empty, vec![Instr::Nop], vec![])],
+            ),
+        ];
+        // 1 + (1 + 1 + (1 + 1)) = 5.
+        assert_eq!(body_size(&body), 5);
+    }
+
+    #[test]
+    fn blocktype_result() {
+        assert_eq!(BlockType::Empty.result(), None);
+        assert_eq!(
+            BlockType::Value(ValType::F32).result(),
+            Some(ValType::F32)
+        );
+    }
+}

@@ -1,0 +1,1477 @@
+//! Reference interpreter.
+//!
+//! A straightforward structured-control interpreter used as the semantic
+//! oracle: every benchmark's output under the JIT backends must match its
+//! output here (and under the CLite interpreter and the native backend).
+//! Values are stored untyped as `u64` slots — validation guarantees
+//! type-correct usage — with integer values zero-extended and floats kept
+//! as bit patterns, so float semantics are exactly IEEE-754 regardless of
+//! host rounding of printed text.
+
+use crate::instr::{
+    CvtOp, FBinop, FRelop, FUnop, IBinop, IRelop, IUnop, Instr, MemArg, NumWidth, SubWidth,
+};
+use crate::module::{ImportKind, WasmModule, PAGE_SIZE};
+use crate::types::ValType;
+use core::fmt;
+
+/// A typed WebAssembly value (API boundary; floats carried as bits).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// An `i32`.
+    I32(i32),
+    /// An `i64`.
+    I64(i64),
+    /// An `f32`, by bit pattern.
+    F32(u32),
+    /// An `f64`, by bit pattern.
+    F64(u64),
+}
+
+impl Value {
+    /// The value's type.
+    pub fn ty(&self) -> ValType {
+        match self {
+            Value::I32(_) => ValType::I32,
+            Value::I64(_) => ValType::I64,
+            Value::F32(_) => ValType::F32,
+            Value::F64(_) => ValType::F64,
+        }
+    }
+
+    /// Raw 64-bit slot representation.
+    pub fn raw(&self) -> u64 {
+        match self {
+            Value::I32(v) => *v as u32 as u64,
+            Value::I64(v) => *v as u64,
+            Value::F32(b) => *b as u64,
+            Value::F64(b) => *b,
+        }
+    }
+
+    /// Builds a value of type `ty` from a raw slot.
+    pub fn from_raw(ty: ValType, raw: u64) -> Value {
+        match ty {
+            ValType::I32 => Value::I32(raw as u32 as i32),
+            ValType::I64 => Value::I64(raw as i64),
+            ValType::F32 => Value::F32(raw as u32),
+            ValType::F64 => Value::F64(raw),
+        }
+    }
+
+    /// Convenience accessor for `i32` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an `i32`.
+    pub fn unwrap_i32(&self) -> i32 {
+        match self {
+            Value::I32(v) => *v,
+            other => panic!("expected i32, got {other:?}"),
+        }
+    }
+}
+
+/// A runtime trap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WasmTrap {
+    /// `unreachable` executed.
+    Unreachable,
+    /// Integer division by zero.
+    DivByZero,
+    /// Signed overflow in division or float-to-int conversion.
+    IntegerOverflow,
+    /// Out-of-bounds linear-memory access.
+    OutOfBoundsMemory,
+    /// `call_indirect` to a null/out-of-range table entry.
+    UndefinedElement,
+    /// `call_indirect` signature mismatch.
+    IndirectCallTypeMismatch,
+    /// Call-stack exhaustion.
+    StackExhausted,
+    /// Interpreter fuel exhausted.
+    OutOfFuel,
+    /// The host import reported an error.
+    Host(String),
+}
+
+impl fmt::Display for WasmTrap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WasmTrap::Unreachable => write!(f, "unreachable executed"),
+            WasmTrap::DivByZero => write!(f, "integer divide by zero"),
+            WasmTrap::IntegerOverflow => write!(f, "integer overflow"),
+            WasmTrap::OutOfBoundsMemory => write!(f, "out of bounds memory access"),
+            WasmTrap::UndefinedElement => write!(f, "undefined element"),
+            WasmTrap::IndirectCallTypeMismatch => write!(f, "indirect call type mismatch"),
+            WasmTrap::StackExhausted => write!(f, "call stack exhausted"),
+            WasmTrap::OutOfFuel => write!(f, "interpreter fuel exhausted"),
+            WasmTrap::Host(m) => write!(f, "host error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WasmTrap {}
+
+/// Host side of imported functions.
+pub trait ImportHost {
+    /// Services a call to import `module.field` with `args`, given mutable
+    /// access to linear memory. Returns the result value, if the import's
+    /// type has one.
+    fn call(
+        &mut self,
+        module: &str,
+        field: &str,
+        args: &[Value],
+        mem: &mut Vec<u8>,
+    ) -> Result<Option<Value>, WasmTrap>;
+}
+
+/// Host that rejects all imports (for pure modules).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoImports;
+
+impl ImportHost for NoImports {
+    fn call(
+        &mut self,
+        module: &str,
+        field: &str,
+        _args: &[Value],
+        _mem: &mut Vec<u8>,
+    ) -> Result<Option<Value>, WasmTrap> {
+        Err(WasmTrap::Host(format!("unexpected import {module}.{field}")))
+    }
+}
+
+enum Flow {
+    Normal,
+    Br(u32),
+    Return,
+}
+
+struct Label {
+    arity: usize,
+    height: usize,
+}
+
+/// Maximum call depth before [`WasmTrap::StackExhausted`].
+const MAX_CALL_DEPTH: usize = 512;
+
+/// An instantiated module ready to execute.
+pub struct Instance<'m, H: ImportHost> {
+    module: &'m WasmModule,
+    /// Linear memory.
+    pub mem: Vec<u8>,
+    globals: Vec<u64>,
+    table: Vec<Option<u32>>,
+    host: H,
+    fuel: u64,
+    depth: usize,
+    import_info: Vec<(String, String, u32)>,
+}
+
+impl<'m, H: ImportHost> Instance<'m, H> {
+    /// Instantiates `module`: allocates memory and table, applies data and
+    /// element segments, initializes globals. Does not run the start
+    /// function (call [`Instance::run_start`]).
+    pub fn new(module: &'m WasmModule, host: H) -> Result<Instance<'m, H>, WasmTrap> {
+        let mem_pages = module.memory.map(|l| l.min).unwrap_or(0);
+        let mut mem = vec![0u8; mem_pages as usize * PAGE_SIZE as usize];
+        for d in &module.data {
+            let end = d.offset as usize + d.bytes.len();
+            if end > mem.len() {
+                return Err(WasmTrap::OutOfBoundsMemory);
+            }
+            mem[d.offset as usize..end].copy_from_slice(&d.bytes);
+        }
+        let table_size = module.table.map(|l| l.min).unwrap_or(0);
+        let mut table = vec![None; table_size as usize];
+        for e in &module.elems {
+            for (i, &f) in e.funcs.iter().enumerate() {
+                let slot = e.offset as usize + i;
+                if slot >= table.len() {
+                    return Err(WasmTrap::UndefinedElement);
+                }
+                table[slot] = Some(f);
+            }
+        }
+        let globals = module.globals.iter().map(|g| g.init).collect();
+        let import_info = module
+            .imports
+            .iter()
+            .filter_map(|i| match i.kind {
+                ImportKind::Func(ti) => Some((i.module.clone(), i.field.clone(), ti)),
+                _ => None,
+            })
+            .collect();
+        Ok(Instance {
+            module,
+            mem,
+            globals,
+            table,
+            host,
+            fuel: u64::MAX,
+            depth: 0,
+            import_info,
+        })
+    }
+
+    /// Sets the instruction budget for subsequent invocations.
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// Remaining fuel.
+    pub fn fuel(&self) -> u64 {
+        self.fuel
+    }
+
+    /// Shared access to the import host.
+    pub fn host(&self) -> &H {
+        &self.host
+    }
+
+    /// Mutable access to the import host.
+    pub fn host_mut(&mut self) -> &mut H {
+        &mut self.host
+    }
+
+    /// Reads a global's current raw value.
+    pub fn global(&self, idx: u32) -> u64 {
+        self.globals[idx as usize]
+    }
+
+    /// Runs the start function, if declared.
+    pub fn run_start(&mut self) -> Result<(), WasmTrap>
+    where
+        H: Send,
+    {
+        if let Some(s) = self.module.start {
+            self.invoke(s, &[])?;
+        }
+        Ok(())
+    }
+
+    /// Invokes the function at index `idx` with typed arguments.
+    ///
+    /// Runs on a dedicated thread with a large stack: the interpreter
+    /// recurses per wasm call frame and per nested block, which can exceed
+    /// the default thread stack in unoptimized builds long before the
+    /// wasm-level call-depth limit (512 frames) is reached.
+    pub fn invoke(&mut self, idx: u32, args: &[Value]) -> Result<Option<Value>, WasmTrap>
+    where
+        H: Send,
+    {
+        std::thread::scope(|s| {
+            std::thread::Builder::new()
+                .name("wasm-interp".into())
+                .stack_size(128 << 20)
+                .spawn_scoped(s, || self.invoke_on_this_stack(idx, args))
+                .expect("spawn interpreter thread")
+                .join()
+                .expect("interpreter thread panicked")
+        })
+    }
+
+    fn invoke_on_this_stack(
+        &mut self,
+        idx: u32,
+        args: &[Value],
+    ) -> Result<Option<Value>, WasmTrap> {
+        let ft = self
+            .module
+            .func_type(idx)
+            .ok_or_else(|| WasmTrap::Host(format!("no function {idx}")))?
+            .clone();
+        assert_eq!(ft.params.len(), args.len(), "argument count");
+        let raw_args: Vec<u64> = args.iter().map(Value::raw).collect();
+        let mut stack: Vec<u64> = Vec::with_capacity(64);
+        self.call_function(idx, &raw_args, &mut stack)?;
+        Ok(ft.result().map(|t| {
+            let raw = stack.pop().expect("result on stack");
+            Value::from_raw(t, raw)
+        }))
+    }
+
+    /// Invokes an exported function by name.
+    pub fn invoke_export(
+        &mut self,
+        name: &str,
+        args: &[Value],
+    ) -> Result<Option<Value>, WasmTrap>
+    where
+        H: Send,
+    {
+        let idx = self
+            .module
+            .exported_func(name)
+            .ok_or_else(|| WasmTrap::Host(format!("no export {name}")))?;
+        self.invoke(idx, args)
+    }
+
+    fn call_function(
+        &mut self,
+        idx: u32,
+        args: &[u64],
+        stack: &mut Vec<u64>,
+    ) -> Result<(), WasmTrap> {
+        let n_imports = self.module.num_imported_funcs();
+        if idx < n_imports {
+            let (module_name, field, ti) = self.import_info[idx as usize].clone();
+            let ft = &self.module.types[ti as usize];
+            let typed: Vec<Value> = ft
+                .params
+                .iter()
+                .zip(args)
+                .map(|(t, &raw)| Value::from_raw(*t, raw))
+                .collect();
+            let ret = self.host.call(&module_name, &field, &typed, &mut self.mem)?;
+            match (ft.result(), ret) {
+                (Some(t), Some(v)) => {
+                    debug_assert_eq!(v.ty(), t, "host returned wrong type");
+                    stack.push(v.raw());
+                }
+                (None, None) => {}
+                _ => return Err(WasmTrap::Host("host result arity mismatch".to_string())),
+            }
+            return Ok(());
+        }
+
+        if self.depth >= MAX_CALL_DEPTH {
+            return Err(WasmTrap::StackExhausted);
+        }
+        self.depth += 1;
+        let def = self
+            .module
+            .local_func(idx)
+            .expect("local function exists (validated)");
+        let ft = &self.module.types[def.type_idx as usize];
+        let arity = ft.results.len();
+        let mut locals: Vec<u64> = Vec::with_capacity(args.len() + def.locals.len());
+        locals.extend_from_slice(args);
+        locals.extend(std::iter::repeat(0).take(def.locals.len()));
+
+        let base = stack.len();
+        let mut labels = vec![Label {
+            arity,
+            height: base,
+        }];
+        let flow = self.exec_body(&def.body, &mut locals, stack, &mut labels);
+        self.depth -= 1;
+        match flow? {
+            Flow::Normal | Flow::Br(_) => {
+                // Results are the top `arity` values; the stack below them
+                // is exactly `base` high (validated).
+            }
+            Flow::Return => {
+                // Results on top, but junk may remain between base and them.
+                let results: Vec<u64> = stack.split_off(stack.len() - arity);
+                stack.truncate(base);
+                stack.extend_from_slice(&results);
+            }
+        }
+        debug_assert_eq!(stack.len(), base + arity);
+        Ok(())
+    }
+
+    fn branch(&self, depth: u32, stack: &mut Vec<u64>, labels: &[Label]) -> Flow {
+        let label = &labels[labels.len() - 1 - depth as usize];
+        let results: Vec<u64> = stack.split_off(stack.len() - label.arity);
+        stack.truncate(label.height);
+        stack.extend_from_slice(&results);
+        Flow::Br(depth)
+    }
+
+    fn mem_addr(&self, base: u32, memarg: &MemArg, len: u32) -> Result<usize, WasmTrap> {
+        let addr = base as u64 + memarg.offset as u64;
+        if addr + len as u64 > self.mem.len() as u64 {
+            return Err(WasmTrap::OutOfBoundsMemory);
+        }
+        Ok(addr as usize)
+    }
+
+    fn exec_body(
+        &mut self,
+        body: &[Instr],
+        locals: &mut Vec<u64>,
+        stack: &mut Vec<u64>,
+        labels: &mut Vec<Label>,
+    ) -> Result<Flow, WasmTrap> {
+        for instr in body {
+            if self.fuel == 0 {
+                return Err(WasmTrap::OutOfFuel);
+            }
+            self.fuel -= 1;
+            match instr {
+                Instr::Unreachable => return Err(WasmTrap::Unreachable),
+                Instr::Nop => {}
+                Instr::Block(bt, inner) => {
+                    let arity = usize::from(bt.result().is_some());
+                    labels.push(Label {
+                        arity,
+                        height: stack.len(),
+                    });
+                    let flow = self.exec_body(inner, locals, stack, labels)?;
+                    labels.pop();
+                    match flow {
+                        Flow::Normal | Flow::Br(0) => {}
+                        Flow::Br(n) => return Ok(Flow::Br(n - 1)),
+                        Flow::Return => return Ok(Flow::Return),
+                    }
+                }
+                Instr::Loop(bt, inner) => loop {
+                    // A loop's label targets the loop start with arity 0.
+                    labels.push(Label {
+                        arity: 0,
+                        height: stack.len(),
+                    });
+                    let flow = self.exec_body(inner, locals, stack, labels)?;
+                    labels.pop();
+                    let _ = bt;
+                    match flow {
+                        Flow::Normal => break,
+                        Flow::Br(0) => continue,
+                        Flow::Br(n) => return Ok(Flow::Br(n - 1)),
+                        Flow::Return => return Ok(Flow::Return),
+                    }
+                },
+                Instr::If(bt, then_body, else_body) => {
+                    let cond = stack.pop().expect("cond") as u32;
+                    let arity = usize::from(bt.result().is_some());
+                    labels.push(Label {
+                        arity,
+                        height: stack.len(),
+                    });
+                    let arm = if cond != 0 { then_body } else { else_body };
+                    let flow = self.exec_body(arm, locals, stack, labels)?;
+                    labels.pop();
+                    match flow {
+                        Flow::Normal | Flow::Br(0) => {}
+                        Flow::Br(n) => return Ok(Flow::Br(n - 1)),
+                        Flow::Return => return Ok(Flow::Return),
+                    }
+                }
+                Instr::Br(d) => return Ok(self.branch(*d, stack, labels)),
+                Instr::BrIf(d) => {
+                    let cond = stack.pop().expect("cond") as u32;
+                    if cond != 0 {
+                        return Ok(self.branch(*d, stack, labels));
+                    }
+                }
+                Instr::BrTable(targets, default) => {
+                    let i = stack.pop().expect("index") as u32 as usize;
+                    let d = targets.get(i).copied().unwrap_or(*default);
+                    return Ok(self.branch(d, stack, labels));
+                }
+                Instr::Return => return Ok(Flow::Return),
+                Instr::Call(f) => {
+                    let ft = self.module.func_type(*f).expect("validated").clone();
+                    let n = ft.params.len();
+                    let args: Vec<u64> = stack.split_off(stack.len() - n);
+                    self.call_function(*f, &args, stack)?;
+                }
+                Instr::CallIndirect(type_idx) => {
+                    let i = stack.pop().expect("table index") as u32;
+                    let slot = self
+                        .table
+                        .get(i as usize)
+                        .copied()
+                        .flatten()
+                        .ok_or(WasmTrap::UndefinedElement)?;
+                    let expect = &self.module.types[*type_idx as usize];
+                    let actual = self.module.func_type(slot).expect("validated");
+                    if actual != expect {
+                        return Err(WasmTrap::IndirectCallTypeMismatch);
+                    }
+                    let n = expect.params.len();
+                    let args: Vec<u64> = stack.split_off(stack.len() - n);
+                    self.call_function(slot, &args, stack)?;
+                }
+                Instr::Drop => {
+                    stack.pop().expect("drop");
+                }
+                Instr::Select => {
+                    let c = stack.pop().expect("cond") as u32;
+                    let b = stack.pop().expect("b");
+                    let a = stack.pop().expect("a");
+                    stack.push(if c != 0 { a } else { b });
+                }
+                Instr::LocalGet(i) => stack.push(locals[*i as usize]),
+                Instr::LocalSet(i) => locals[*i as usize] = stack.pop().expect("value"),
+                Instr::LocalTee(i) => {
+                    locals[*i as usize] = *stack.last().expect("value");
+                }
+                Instr::GlobalGet(i) => stack.push(self.globals[*i as usize]),
+                Instr::GlobalSet(i) => {
+                    self.globals[*i as usize] = stack.pop().expect("value");
+                }
+                Instr::Load { ty, sub, memarg } => {
+                    let base = stack.pop().expect("addr") as u32;
+                    let bytes = sub.map(|(w, _)| w.bytes()).unwrap_or(ty.bytes());
+                    let a = self.mem_addr(base, memarg, bytes)?;
+                    let mut buf = [0u8; 8];
+                    buf[..bytes as usize].copy_from_slice(&self.mem[a..a + bytes as usize]);
+                    let mut v = u64::from_le_bytes(buf);
+                    if let Some((w, signed)) = sub {
+                        if *signed {
+                            let bits = w.bytes() * 8;
+                            let sext = ((v << (64 - bits)) as i64) >> (64 - bits);
+                            v = match ty {
+                                ValType::I32 => sext as i32 as u32 as u64,
+                                _ => sext as u64,
+                            };
+                        }
+                    }
+                    stack.push(v);
+                }
+                Instr::Store { ty, sub, memarg } => {
+                    let v = stack.pop().expect("value");
+                    let base = stack.pop().expect("addr") as u32;
+                    let bytes = sub.map(SubWidth::bytes).unwrap_or(ty.bytes());
+                    let a = self.mem_addr(base, memarg, bytes)?;
+                    self.mem[a..a + bytes as usize]
+                        .copy_from_slice(&v.to_le_bytes()[..bytes as usize]);
+                }
+                Instr::MemorySize => {
+                    stack.push((self.mem.len() / PAGE_SIZE as usize) as u64);
+                }
+                Instr::MemoryGrow => {
+                    let delta = stack.pop().expect("delta") as u32;
+                    let old = (self.mem.len() / PAGE_SIZE as usize) as u32;
+                    let new = old as u64 + delta as u64;
+                    let max = self
+                        .module
+                        .memory
+                        .and_then(|l| l.max)
+                        .unwrap_or(65536)
+                        .min(65536) as u64;
+                    if new > max {
+                        stack.push(u32::MAX as u64);
+                    } else {
+                        self.mem.resize(new as usize * PAGE_SIZE as usize, 0);
+                        stack.push(old as u64);
+                    }
+                }
+                Instr::I32Const(v) => stack.push(*v as u32 as u64),
+                Instr::I64Const(v) => stack.push(*v as u64),
+                Instr::F32Const(b) => stack.push(*b as u64),
+                Instr::F64Const(b) => stack.push(*b),
+                Instr::ITestop(w) => {
+                    let v = stack.pop().expect("value");
+                    let zero = match w {
+                        NumWidth::X32 => v as u32 == 0,
+                        NumWidth::X64 => v == 0,
+                    };
+                    stack.push(u64::from(zero));
+                }
+                Instr::IRelop(w, op) => {
+                    let b = stack.pop().expect("rhs");
+                    let a = stack.pop().expect("lhs");
+                    stack.push(u64::from(irelop(*w, *op, a, b)));
+                }
+                Instr::FRelop(w, op) => {
+                    let b = stack.pop().expect("rhs");
+                    let a = stack.pop().expect("lhs");
+                    let (x, y) = match w {
+                        NumWidth::X32 => {
+                            (f32::from_bits(a as u32) as f64, f32::from_bits(b as u32) as f64)
+                        }
+                        NumWidth::X64 => (f64::from_bits(a), f64::from_bits(b)),
+                    };
+                    let r = match op {
+                        FRelop::Eq => x == y,
+                        FRelop::Ne => x != y,
+                        FRelop::Lt => x < y,
+                        FRelop::Gt => x > y,
+                        FRelop::Le => x <= y,
+                        FRelop::Ge => x >= y,
+                    };
+                    stack.push(u64::from(r));
+                }
+                Instr::IUnop(w, op) => {
+                    let v = stack.pop().expect("value");
+                    stack.push(iunop(*w, *op, v));
+                }
+                Instr::IBinop(w, op) => {
+                    let b = stack.pop().expect("rhs");
+                    let a = stack.pop().expect("lhs");
+                    stack.push(ibinop(*w, *op, a, b)?);
+                }
+                Instr::FUnop(w, op) => {
+                    let v = stack.pop().expect("value");
+                    stack.push(funop(*w, *op, v));
+                }
+                Instr::FBinop(w, op) => {
+                    let b = stack.pop().expect("rhs");
+                    let a = stack.pop().expect("lhs");
+                    stack.push(fbinop(*w, *op, a, b));
+                }
+                Instr::Cvt(op) => {
+                    let v = stack.pop().expect("value");
+                    stack.push(cvt(*op, v)?);
+                }
+            }
+        }
+        Ok(Flow::Normal)
+    }
+}
+
+fn irelop(w: NumWidth, op: IRelop, a: u64, b: u64) -> bool {
+    match w {
+        NumWidth::X32 => {
+            let (ua, ub) = (a as u32, b as u32);
+            let (sa, sb) = (ua as i32, ub as i32);
+            match op {
+                IRelop::Eq => ua == ub,
+                IRelop::Ne => ua != ub,
+                IRelop::LtS => sa < sb,
+                IRelop::LtU => ua < ub,
+                IRelop::GtS => sa > sb,
+                IRelop::GtU => ua > ub,
+                IRelop::LeS => sa <= sb,
+                IRelop::LeU => ua <= ub,
+                IRelop::GeS => sa >= sb,
+                IRelop::GeU => ua >= ub,
+            }
+        }
+        NumWidth::X64 => {
+            let (sa, sb) = (a as i64, b as i64);
+            match op {
+                IRelop::Eq => a == b,
+                IRelop::Ne => a != b,
+                IRelop::LtS => sa < sb,
+                IRelop::LtU => a < b,
+                IRelop::GtS => sa > sb,
+                IRelop::GtU => a > b,
+                IRelop::LeS => sa <= sb,
+                IRelop::LeU => a <= b,
+                IRelop::GeS => sa >= sb,
+                IRelop::GeU => a >= b,
+            }
+        }
+    }
+}
+
+fn iunop(w: NumWidth, op: IUnop, v: u64) -> u64 {
+    match w {
+        NumWidth::X32 => {
+            let x = v as u32;
+            let r = match op {
+                IUnop::Clz => x.leading_zeros(),
+                IUnop::Ctz => x.trailing_zeros(),
+                IUnop::Popcnt => x.count_ones(),
+            };
+            r as u64
+        }
+        NumWidth::X64 => {
+            let r = match op {
+                IUnop::Clz => v.leading_zeros(),
+                IUnop::Ctz => v.trailing_zeros(),
+                IUnop::Popcnt => v.count_ones(),
+            };
+            r as u64
+        }
+    }
+}
+
+fn ibinop(w: NumWidth, op: IBinop, a: u64, b: u64) -> Result<u64, WasmTrap> {
+    Ok(match w {
+        NumWidth::X32 => {
+            let (ua, ub) = (a as u32, b as u32);
+            let (sa, sb) = (ua as i32, ub as i32);
+            let r: u32 = match op {
+                IBinop::Add => ua.wrapping_add(ub),
+                IBinop::Sub => ua.wrapping_sub(ub),
+                IBinop::Mul => ua.wrapping_mul(ub),
+                IBinop::DivS => {
+                    if sb == 0 {
+                        return Err(WasmTrap::DivByZero);
+                    }
+                    if sa == i32::MIN && sb == -1 {
+                        return Err(WasmTrap::IntegerOverflow);
+                    }
+                    (sa / sb) as u32
+                }
+                IBinop::DivU => {
+                    if ub == 0 {
+                        return Err(WasmTrap::DivByZero);
+                    }
+                    ua / ub
+                }
+                IBinop::RemS => {
+                    if sb == 0 {
+                        return Err(WasmTrap::DivByZero);
+                    }
+                    sa.wrapping_rem(sb) as u32
+                }
+                IBinop::RemU => {
+                    if ub == 0 {
+                        return Err(WasmTrap::DivByZero);
+                    }
+                    ua % ub
+                }
+                IBinop::And => ua & ub,
+                IBinop::Or => ua | ub,
+                IBinop::Xor => ua ^ ub,
+                IBinop::Shl => ua.wrapping_shl(ub),
+                IBinop::ShrS => (sa.wrapping_shr(ub)) as u32,
+                IBinop::ShrU => ua.wrapping_shr(ub),
+                IBinop::Rotl => ua.rotate_left(ub % 32),
+                IBinop::Rotr => ua.rotate_right(ub % 32),
+            };
+            r as u64
+        }
+        NumWidth::X64 => {
+            let (sa, sb) = (a as i64, b as i64);
+            match op {
+                IBinop::Add => a.wrapping_add(b),
+                IBinop::Sub => a.wrapping_sub(b),
+                IBinop::Mul => a.wrapping_mul(b),
+                IBinop::DivS => {
+                    if sb == 0 {
+                        return Err(WasmTrap::DivByZero);
+                    }
+                    if sa == i64::MIN && sb == -1 {
+                        return Err(WasmTrap::IntegerOverflow);
+                    }
+                    (sa / sb) as u64
+                }
+                IBinop::DivU => {
+                    if b == 0 {
+                        return Err(WasmTrap::DivByZero);
+                    }
+                    a / b
+                }
+                IBinop::RemS => {
+                    if sb == 0 {
+                        return Err(WasmTrap::DivByZero);
+                    }
+                    sa.wrapping_rem(sb) as u64
+                }
+                IBinop::RemU => {
+                    if b == 0 {
+                        return Err(WasmTrap::DivByZero);
+                    }
+                    a % b
+                }
+                IBinop::And => a & b,
+                IBinop::Or => a | b,
+                IBinop::Xor => a ^ b,
+                IBinop::Shl => a.wrapping_shl(b as u32),
+                IBinop::ShrS => sa.wrapping_shr(b as u32) as u64,
+                IBinop::ShrU => a.wrapping_shr(b as u32),
+                IBinop::Rotl => a.rotate_left((b % 64) as u32),
+                IBinop::Rotr => a.rotate_right((b % 64) as u32),
+            }
+        }
+    })
+}
+
+fn funop(w: NumWidth, op: FUnop, v: u64) -> u64 {
+    match w {
+        NumWidth::X32 => {
+            let x = f32::from_bits(v as u32);
+            let r = match op {
+                FUnop::Abs => x.abs(),
+                FUnop::Neg => -x,
+                FUnop::Ceil => x.ceil(),
+                FUnop::Floor => x.floor(),
+                FUnop::Trunc => x.trunc(),
+                FUnop::Nearest => round_ties_even_f32(x),
+                FUnop::Sqrt => x.sqrt(),
+            };
+            r.to_bits() as u64
+        }
+        NumWidth::X64 => {
+            let x = f64::from_bits(v);
+            let r = match op {
+                FUnop::Abs => x.abs(),
+                FUnop::Neg => -x,
+                FUnop::Ceil => x.ceil(),
+                FUnop::Floor => x.floor(),
+                FUnop::Trunc => x.trunc(),
+                FUnop::Nearest => round_ties_even_f64(x),
+                FUnop::Sqrt => x.sqrt(),
+            };
+            r.to_bits()
+        }
+    }
+}
+
+fn round_ties_even_f32(x: f32) -> f32 {
+    let r = x.round();
+    if (x - x.trunc()).abs() == 0.5 && r % 2.0 != 0.0 {
+        r - x.signum()
+    } else {
+        r
+    }
+}
+
+fn round_ties_even_f64(x: f64) -> f64 {
+    let r = x.round();
+    if (x - x.trunc()).abs() == 0.5 && r % 2.0 != 0.0 {
+        r - x.signum()
+    } else {
+        r
+    }
+}
+
+/// WebAssembly `min`: NaN-propagating, `-0 < +0`.
+fn wasm_min_f64(a: f64, b: f64) -> f64 {
+    if a.is_nan() || b.is_nan() {
+        f64::NAN
+    } else if a == b {
+        if a.is_sign_negative() {
+            a
+        } else {
+            b
+        }
+    } else if a < b {
+        a
+    } else {
+        b
+    }
+}
+
+fn wasm_max_f64(a: f64, b: f64) -> f64 {
+    if a.is_nan() || b.is_nan() {
+        f64::NAN
+    } else if a == b {
+        if a.is_sign_positive() {
+            a
+        } else {
+            b
+        }
+    } else if a > b {
+        a
+    } else {
+        b
+    }
+}
+
+fn fbinop(w: NumWidth, op: FBinop, a: u64, b: u64) -> u64 {
+    match w {
+        NumWidth::X32 => {
+            let (x, y) = (f32::from_bits(a as u32), f32::from_bits(b as u32));
+            let r = match op {
+                FBinop::Add => x + y,
+                FBinop::Sub => x - y,
+                FBinop::Mul => x * y,
+                FBinop::Div => x / y,
+                FBinop::Min => wasm_min_f64(x as f64, y as f64) as f32,
+                FBinop::Max => wasm_max_f64(x as f64, y as f64) as f32,
+                FBinop::Copysign => x.copysign(y),
+            };
+            r.to_bits() as u64
+        }
+        NumWidth::X64 => {
+            let (x, y) = (f64::from_bits(a), f64::from_bits(b));
+            let r = match op {
+                FBinop::Add => x + y,
+                FBinop::Sub => x - y,
+                FBinop::Mul => x * y,
+                FBinop::Div => x / y,
+                FBinop::Min => wasm_min_f64(x, y),
+                FBinop::Max => wasm_max_f64(x, y),
+                FBinop::Copysign => x.copysign(y),
+            };
+            r.to_bits()
+        }
+    }
+}
+
+fn trunc_checked(x: f64, min: f64, max: f64) -> Result<f64, WasmTrap> {
+    if x.is_nan() {
+        return Err(WasmTrap::IntegerOverflow);
+    }
+    let t = x.trunc();
+    if t < min || t > max {
+        return Err(WasmTrap::IntegerOverflow);
+    }
+    Ok(t)
+}
+
+fn cvt(op: CvtOp, v: u64) -> Result<u64, WasmTrap> {
+    use CvtOp::*;
+    Ok(match op {
+        I32WrapI64 => v as u32 as u64,
+        I32TruncF32S => {
+            let t = trunc_checked(f32::from_bits(v as u32) as f64, -2147483648.0, 2147483647.0)?;
+            t as i32 as u32 as u64
+        }
+        I32TruncF32U => {
+            let t = trunc_checked(f32::from_bits(v as u32) as f64, 0.0, 4294967295.0)?;
+            t as u32 as u64
+        }
+        I32TruncF64S => {
+            let t = trunc_checked(f64::from_bits(v), -2147483648.0, 2147483647.0)?;
+            t as i32 as u32 as u64
+        }
+        I32TruncF64U => {
+            let t = trunc_checked(f64::from_bits(v), 0.0, 4294967295.0)?;
+            t as u32 as u64
+        }
+        I64ExtendI32S => v as u32 as i32 as i64 as u64,
+        I64ExtendI32U => v as u32 as u64,
+        I64TruncF32S => {
+            let t = trunc_checked(
+                f32::from_bits(v as u32) as f64,
+                -9.223372036854776e18,
+                9.223372036854775e18,
+            )?;
+            t as i64 as u64
+        }
+        I64TruncF32U => {
+            let t = trunc_checked(f32::from_bits(v as u32) as f64, 0.0, 1.8446744073709552e19)?;
+            t as u64
+        }
+        I64TruncF64S => {
+            let t = trunc_checked(f64::from_bits(v), -9.223372036854776e18, 9.223372036854775e18)?;
+            t as i64 as u64
+        }
+        I64TruncF64U => {
+            let t = trunc_checked(f64::from_bits(v), 0.0, 1.8446744073709552e19)?;
+            t as u64
+        }
+        F32ConvertI32S => ((v as u32 as i32) as f32).to_bits() as u64,
+        F32ConvertI32U => ((v as u32) as f32).to_bits() as u64,
+        F32ConvertI64S => ((v as i64) as f32).to_bits() as u64,
+        F32ConvertI64U => ((v) as f32).to_bits() as u64,
+        F32DemoteF64 => (f64::from_bits(v) as f32).to_bits() as u64,
+        F64ConvertI32S => ((v as u32 as i32) as f64).to_bits(),
+        F64ConvertI32U => ((v as u32) as f64).to_bits(),
+        F64ConvertI64S => ((v as i64) as f64).to_bits(),
+        F64ConvertI64U => ((v) as f64).to_bits(),
+        F64PromoteF32 => (f32::from_bits(v as u32) as f64).to_bits(),
+        I32ReinterpretF32 | F32ReinterpretI32 => v as u32 as u64,
+        I64ReinterpretF64 | F64ReinterpretI64 => v,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::BlockType;
+    use crate::module::{ElemSegment, FuncDef, Global, Limits};
+    use crate::types::FuncType;
+    use crate::validate::validate;
+
+    fn run1(
+        params: Vec<ValType>,
+        results: Vec<ValType>,
+        locals: Vec<ValType>,
+        body: Vec<Instr>,
+        args: &[Value],
+    ) -> Result<Option<Value>, WasmTrap> {
+        let mut m = WasmModule::default();
+        let t = m.intern_type(FuncType::new(params, results));
+        m.memory = Some(Limits { min: 1, max: Some(4) });
+        m.funcs.push(FuncDef {
+            type_idx: t,
+            locals,
+            body,
+            name: "t".into(),
+        });
+        validate(&m).expect("test module validates");
+        let m_leaked = m;
+        let mut inst = Instance::new(&m_leaked, NoImports)?;
+        inst.invoke(0, args)
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let r = run1(
+            vec![ValType::I32, ValType::I32],
+            vec![ValType::I32],
+            vec![],
+            vec![
+                Instr::LocalGet(0),
+                Instr::LocalGet(1),
+                Instr::IBinop(NumWidth::X32, IBinop::Mul),
+            ],
+            &[Value::I32(6), Value::I32(7)],
+        )
+        .unwrap();
+        assert_eq!(r, Some(Value::I32(42)));
+    }
+
+    #[test]
+    fn division_traps() {
+        let div = |a: i32, b: i32| {
+            run1(
+                vec![ValType::I32, ValType::I32],
+                vec![ValType::I32],
+                vec![],
+                vec![
+                    Instr::LocalGet(0),
+                    Instr::LocalGet(1),
+                    Instr::IBinop(NumWidth::X32, IBinop::DivS),
+                ],
+                &[Value::I32(a), Value::I32(b)],
+            )
+        };
+        assert_eq!(div(7, 2).unwrap(), Some(Value::I32(3)));
+        assert_eq!(div(-7, 2).unwrap(), Some(Value::I32(-3)));
+        assert_eq!(div(1, 0).unwrap_err(), WasmTrap::DivByZero);
+        assert_eq!(div(i32::MIN, -1).unwrap_err(), WasmTrap::IntegerOverflow);
+    }
+
+    #[test]
+    fn loop_with_branch_sums() {
+        // sum = 0; i = n; loop { sum += i; i -= 1; br_if i != 0 } return sum.
+        let body = vec![
+            Instr::Loop(
+                BlockType::Empty,
+                vec![
+                    Instr::LocalGet(1),
+                    Instr::LocalGet(0),
+                    Instr::IBinop(NumWidth::X32, IBinop::Add),
+                    Instr::LocalSet(1),
+                    Instr::LocalGet(0),
+                    Instr::I32Const(1),
+                    Instr::IBinop(NumWidth::X32, IBinop::Sub),
+                    Instr::LocalTee(0),
+                    Instr::BrIf(0),
+                ],
+            ),
+            Instr::LocalGet(1),
+        ];
+        let r = run1(
+            vec![ValType::I32],
+            vec![ValType::I32],
+            vec![ValType::I32],
+            body,
+            &[Value::I32(100)],
+        )
+        .unwrap();
+        assert_eq!(r, Some(Value::I32(5050)));
+    }
+
+    #[test]
+    fn block_break_with_value() {
+        let body = vec![Instr::Block(
+            BlockType::Value(ValType::I32),
+            vec![
+                Instr::I32Const(11),
+                Instr::Br(0),
+                Instr::Unreachable, // Never reached.
+            ],
+        )];
+        let r = run1(vec![], vec![ValType::I32], vec![], body, &[]).unwrap();
+        assert_eq!(r, Some(Value::I32(11)));
+    }
+
+    #[test]
+    fn br_table_dispatch() {
+        // Returns 10/20/30 for inputs 0/1/other via br_table.
+        let body = vec![Instr::Block(
+            BlockType::Value(ValType::I32),
+            vec![
+                Instr::Block(
+                    BlockType::Empty,
+                    vec![
+                        Instr::Block(
+                            BlockType::Empty,
+                            vec![Instr::LocalGet(0), Instr::BrTable(vec![0, 1], 1)],
+                        ),
+                        // Case 0.
+                        Instr::I32Const(10),
+                        Instr::Br(1),
+                    ],
+                ),
+                // Case 1 and default.
+                Instr::I32Const(20),
+            ],
+        )];
+        let run = |n: i32| {
+            run1(
+                vec![ValType::I32],
+                vec![ValType::I32],
+                vec![],
+                body.clone(),
+                &[Value::I32(n)],
+            )
+            .unwrap()
+        };
+        assert_eq!(run(0), Some(Value::I32(10)));
+        assert_eq!(run(1), Some(Value::I32(20)));
+        assert_eq!(run(5), Some(Value::I32(20)));
+    }
+
+    #[test]
+    fn memory_load_store() {
+        let body = vec![
+            Instr::I32Const(16),
+            Instr::I32Const(-2),
+            Instr::Store {
+                ty: ValType::I32,
+                sub: None,
+                memarg: MemArg::natural(4, 0),
+            },
+            Instr::I32Const(16),
+            Instr::Load {
+                ty: ValType::I32,
+                sub: Some((SubWidth::B8, false)),
+                memarg: MemArg::natural(1, 0),
+            },
+        ];
+        let r = run1(vec![], vec![ValType::I32], vec![], body, &[]).unwrap();
+        assert_eq!(r, Some(Value::I32(0xfe)));
+    }
+
+    #[test]
+    fn sub_word_sign_extension() {
+        let body = vec![
+            Instr::I32Const(0),
+            Instr::I32Const(0x8081),
+            Instr::Store {
+                ty: ValType::I32,
+                sub: Some(SubWidth::B16),
+                memarg: MemArg::natural(2, 0),
+            },
+            Instr::I32Const(0),
+            Instr::Load {
+                ty: ValType::I32,
+                sub: Some((SubWidth::B16, true)),
+                memarg: MemArg::natural(2, 0),
+            },
+        ];
+        let r = run1(vec![], vec![ValType::I32], vec![], body, &[]).unwrap();
+        assert_eq!(r, Some(Value::I32(0xffff8081u32 as i32)));
+    }
+
+    #[test]
+    fn oob_memory_traps() {
+        let body = vec![
+            Instr::I32Const((PAGE_SIZE - 2) as i32),
+            Instr::Load {
+                ty: ValType::I32,
+                sub: None,
+                memarg: MemArg::natural(4, 0),
+            },
+        ];
+        let r = run1(vec![], vec![ValType::I32], vec![], body, &[]);
+        assert_eq!(r.unwrap_err(), WasmTrap::OutOfBoundsMemory);
+    }
+
+    #[test]
+    fn memory_grow_and_size() {
+        let body = vec![
+            Instr::I32Const(2),
+            Instr::MemoryGrow,
+            Instr::Drop,
+            Instr::MemorySize,
+        ];
+        let r = run1(vec![], vec![ValType::I32], vec![], body, &[]).unwrap();
+        assert_eq!(r, Some(Value::I32(3)));
+    }
+
+    #[test]
+    fn memory_grow_beyond_max_fails() {
+        let body = vec![Instr::I32Const(100), Instr::MemoryGrow];
+        let r = run1(vec![], vec![ValType::I32], vec![], body, &[]).unwrap();
+        assert_eq!(r, Some(Value::I32(-1)));
+    }
+
+    #[test]
+    fn float_min_max_semantics() {
+        let mk = |op: FBinop, a: f64, b: f64| {
+            run1(
+                vec![],
+                vec![ValType::F64],
+                vec![],
+                vec![
+                    Instr::F64Const(a.to_bits()),
+                    Instr::F64Const(b.to_bits()),
+                    Instr::FBinop(NumWidth::X64, op),
+                ],
+                &[],
+            )
+            .unwrap()
+            .unwrap()
+        };
+        assert_eq!(mk(FBinop::Min, 1.0, 2.0), Value::F64(1.0f64.to_bits()));
+        assert_eq!(mk(FBinop::Max, 1.0, 2.0), Value::F64(2.0f64.to_bits()));
+        // min(-0, +0) = -0.
+        assert_eq!(
+            mk(FBinop::Min, -0.0, 0.0),
+            Value::F64((-0.0f64).to_bits())
+        );
+        // NaN propagates.
+        let r = mk(FBinop::Min, f64::NAN, 1.0);
+        match r {
+            Value::F64(bits) => assert!(f64::from_bits(bits).is_nan()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn trunc_traps_on_nan_and_range() {
+        let t = |x: f64| {
+            run1(
+                vec![],
+                vec![ValType::I32],
+                vec![],
+                vec![Instr::F64Const(x.to_bits()), Instr::Cvt(CvtOp::I32TruncF64S)],
+                &[],
+            )
+        };
+        assert_eq!(t(3.7).unwrap(), Some(Value::I32(3)));
+        assert_eq!(t(-3.7).unwrap(), Some(Value::I32(-3)));
+        assert_eq!(t(f64::NAN).unwrap_err(), WasmTrap::IntegerOverflow);
+        assert_eq!(t(3e9).unwrap_err(), WasmTrap::IntegerOverflow);
+    }
+
+    #[test]
+    fn call_between_functions() {
+        let mut m = WasmModule::default();
+        let t1 = m.intern_type(FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+        m.funcs.push(FuncDef {
+            type_idx: t1,
+            locals: vec![],
+            body: vec![
+                Instr::LocalGet(0),
+                Instr::I32Const(1),
+                Instr::IBinop(NumWidth::X32, IBinop::Add),
+            ],
+            name: "inc".into(),
+        });
+        m.funcs.push(FuncDef {
+            type_idx: t1,
+            locals: vec![],
+            body: vec![Instr::LocalGet(0), Instr::Call(0), Instr::Call(0)],
+            name: "inc2".into(),
+        });
+        validate(&m).unwrap();
+        let mut inst = Instance::new(&m, NoImports).unwrap();
+        let r = inst.invoke(1, &[Value::I32(40)]).unwrap();
+        assert_eq!(r, Some(Value::I32(42)));
+    }
+
+    #[test]
+    fn call_indirect_dispatch_and_traps() {
+        let mut m = WasmModule::default();
+        let t1 = m.intern_type(FuncType::new(vec![], vec![ValType::I32]));
+        let t2 = m.intern_type(FuncType::new(vec![], vec![ValType::I64]));
+        let tc = m.intern_type(FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+        m.table = Some(Limits { min: 4, max: None });
+        m.funcs.push(FuncDef {
+            type_idx: t1,
+            locals: vec![],
+            body: vec![Instr::I32Const(100)],
+            name: "a".into(),
+        });
+        m.funcs.push(FuncDef {
+            type_idx: t2,
+            locals: vec![],
+            body: vec![Instr::I64Const(200)],
+            name: "b".into(),
+        });
+        m.funcs.push(FuncDef {
+            type_idx: tc,
+            locals: vec![],
+            body: vec![Instr::LocalGet(0), Instr::CallIndirect(t1)],
+            name: "dispatch".into(),
+        });
+        m.elems.push(ElemSegment {
+            offset: 0,
+            funcs: vec![0, 1],
+        });
+        validate(&m).unwrap();
+        let mut inst = Instance::new(&m, NoImports).unwrap();
+        assert_eq!(
+            inst.invoke(2, &[Value::I32(0)]).unwrap(),
+            Some(Value::I32(100))
+        );
+        assert_eq!(
+            inst.invoke(2, &[Value::I32(1)]).unwrap_err(),
+            WasmTrap::IndirectCallTypeMismatch
+        );
+        assert_eq!(
+            inst.invoke(2, &[Value::I32(2)]).unwrap_err(),
+            WasmTrap::UndefinedElement
+        );
+        assert_eq!(
+            inst.invoke(2, &[Value::I32(100)]).unwrap_err(),
+            WasmTrap::UndefinedElement
+        );
+    }
+
+    #[test]
+    fn globals_read_write() {
+        let mut m = WasmModule::default();
+        let t = m.intern_type(FuncType::new(vec![], vec![ValType::I32]));
+        m.globals.push(Global {
+            ty: ValType::I32,
+            mutable: true,
+            init: 5,
+        });
+        m.funcs.push(FuncDef {
+            type_idx: t,
+            locals: vec![],
+            body: vec![
+                Instr::GlobalGet(0),
+                Instr::I32Const(1),
+                Instr::IBinop(NumWidth::X32, IBinop::Add),
+                Instr::GlobalSet(0),
+                Instr::GlobalGet(0),
+            ],
+            name: "bump".into(),
+        });
+        validate(&m).unwrap();
+        let mut inst = Instance::new(&m, NoImports).unwrap();
+        assert_eq!(inst.invoke(0, &[]).unwrap(), Some(Value::I32(6)));
+        assert_eq!(inst.invoke(0, &[]).unwrap(), Some(Value::I32(7)));
+        assert_eq!(inst.global(0), 7);
+    }
+
+    #[test]
+    fn imported_function_called() {
+        struct Adder;
+        impl ImportHost for Adder {
+            fn call(
+                &mut self,
+                module: &str,
+                field: &str,
+                args: &[Value],
+                _mem: &mut Vec<u8>,
+            ) -> Result<Option<Value>, WasmTrap> {
+                assert_eq!((module, field), ("env", "add10"));
+                Ok(Some(Value::I32(args[0].unwrap_i32() + 10)))
+            }
+        }
+        let mut m = WasmModule::default();
+        let t = m.intern_type(FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+        m.imports.push(crate::module::Import {
+            module: "env".into(),
+            field: "add10".into(),
+            kind: ImportKind::Func(t),
+        });
+        m.funcs.push(FuncDef {
+            type_idx: t,
+            locals: vec![],
+            body: vec![Instr::LocalGet(0), Instr::Call(0)],
+            name: "f".into(),
+        });
+        validate(&m).unwrap();
+        let mut inst = Instance::new(&m, Adder).unwrap();
+        assert_eq!(
+            inst.invoke(1, &[Value::I32(32)]).unwrap(),
+            Some(Value::I32(42))
+        );
+    }
+
+    #[test]
+    fn fuel_limits_execution() {
+        let body = vec![Instr::Loop(BlockType::Empty, vec![Instr::Br(0)])];
+        let mut m = WasmModule::default();
+        let t = m.intern_type(FuncType::new(vec![], vec![]));
+        m.funcs.push(FuncDef {
+            type_idx: t,
+            locals: vec![],
+            body,
+            name: "spin".into(),
+        });
+        validate(&m).unwrap();
+        let mut inst = Instance::new(&m, NoImports).unwrap();
+        inst.set_fuel(10_000);
+        assert_eq!(inst.invoke(0, &[]).unwrap_err(), WasmTrap::OutOfFuel);
+    }
+
+    #[test]
+    fn recursion_depth_limited() {
+        let mut m = WasmModule::default();
+        let t = m.intern_type(FuncType::new(vec![], vec![]));
+        m.funcs.push(FuncDef {
+            type_idx: t,
+            locals: vec![],
+            body: vec![Instr::Call(0)],
+            name: "rec".into(),
+        });
+        validate(&m).unwrap();
+        let mut inst = Instance::new(&m, NoImports).unwrap();
+        assert_eq!(inst.invoke(0, &[]).unwrap_err(), WasmTrap::StackExhausted);
+    }
+
+    #[test]
+    fn early_return_cleans_stack() {
+        // Push junk, then return a value from a nested block.
+        let body = vec![
+            Instr::I32Const(1),
+            Instr::I32Const(2),
+            Instr::Drop,
+            Instr::Drop,
+            Instr::Block(
+                BlockType::Empty,
+                vec![Instr::I32Const(7), Instr::Return],
+            ),
+            Instr::I32Const(0),
+        ];
+        let r = run1(vec![], vec![ValType::I32], vec![], body, &[]).unwrap();
+        assert_eq!(r, Some(Value::I32(7)));
+    }
+
+    #[test]
+    fn shift_counts_are_masked() {
+        let r = run1(
+            vec![],
+            vec![ValType::I32],
+            vec![],
+            vec![
+                Instr::I32Const(1),
+                Instr::I32Const(33),
+                Instr::IBinop(NumWidth::X32, IBinop::Shl),
+            ],
+            &[],
+        )
+        .unwrap();
+        assert_eq!(r, Some(Value::I32(2)));
+    }
+
+    #[test]
+    fn clz_ctz_popcnt() {
+        let u = |op: IUnop, v: i32| {
+            run1(
+                vec![],
+                vec![ValType::I32],
+                vec![],
+                vec![Instr::I32Const(v), Instr::IUnop(NumWidth::X32, op)],
+                &[],
+            )
+            .unwrap()
+            .unwrap()
+            .unwrap_i32()
+        };
+        assert_eq!(u(IUnop::Clz, 1), 31);
+        assert_eq!(u(IUnop::Clz, 0), 32);
+        assert_eq!(u(IUnop::Ctz, 8), 3);
+        assert_eq!(u(IUnop::Ctz, 0), 32);
+        assert_eq!(u(IUnop::Popcnt, 0xff), 8);
+    }
+
+    #[test]
+    fn nearest_rounds_ties_to_even() {
+        let n = |x: f64| {
+            let r = run1(
+                vec![],
+                vec![ValType::F64],
+                vec![],
+                vec![
+                    Instr::F64Const(x.to_bits()),
+                    Instr::FUnop(NumWidth::X64, FUnop::Nearest),
+                ],
+                &[],
+            )
+            .unwrap()
+            .unwrap();
+            match r {
+                Value::F64(b) => f64::from_bits(b),
+                other => panic!("{other:?}"),
+            }
+        };
+        assert_eq!(n(2.5), 2.0);
+        assert_eq!(n(3.5), 4.0);
+        assert_eq!(n(-2.5), -2.0);
+        assert_eq!(n(2.4), 2.0);
+    }
+}

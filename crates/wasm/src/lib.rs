@@ -1,0 +1,42 @@
+//! WebAssembly MVP substrate.
+//!
+//! The paper studies the initial, stable version of WebAssembly ("the MVP")
+//! that all major browsers shipped: no SIMD, threads, tail calls, or GC.
+//! This crate implements that platform from scratch:
+//!
+//! - [`module`]: the module structure (types, functions, table, memory,
+//!   globals, exports, element and data segments),
+//! - [`instr`]: the full MVP instruction set, grouped by operator family
+//!   the way the specification's validation and execution rules are,
+//! - [`validate`](crate::validate::validate): the type-checking validator, implementing the
+//!   specification appendix's algorithm with an operand stack and a
+//!   control stack,
+//! - [`binary`]: the binary format — LEB128, sections, round-trippable
+//!   encoder and decoder,
+//! - [`interp`]: a reference interpreter used as the semantic oracle for
+//!   differential testing of the JIT backends, and
+//! - [`wat`]: a WAT-style pretty-printer.
+//!
+//! The `wasmperf-emcc` crate compiles CLite programs *to* these modules;
+//! the `wasmperf-wasmjit` crate compiles these modules to simulated
+//! x86-64 the way Chrome's and Firefox's engines do.
+
+pub mod binary;
+pub mod instr;
+pub mod interp;
+pub mod module;
+pub mod types;
+pub mod validate;
+pub mod wat;
+
+pub use instr::{
+    BlockType, CvtOp, FBinop, FRelop, FUnop, IBinop, IRelop, IUnop, Instr, MemArg, NumWidth,
+};
+pub use interp::{ImportHost, Instance, NoImports, Value, WasmTrap};
+pub use module::{
+    DataSegment, ElemSegment, Export, ExportKind, FuncDef, Global, Import, ImportKind, Limits,
+    WasmModule,
+};
+pub use types::{FuncType, ValType};
+pub use validate::validate;
+pub use validate::ValidationError;

@@ -1,0 +1,248 @@
+//! Module structure.
+
+use crate::instr::Instr;
+use crate::types::{FuncType, ValType};
+
+/// Size of a linear-memory page (64 KiB).
+pub const PAGE_SIZE: u32 = 65536;
+
+/// Min/max limits for memories and tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Limits {
+    /// Initial size (pages for memory, entries for tables).
+    pub min: u32,
+    /// Optional maximum.
+    pub max: Option<u32>,
+}
+
+/// What an import provides.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImportKind {
+    /// A function with the given type index.
+    Func(u32),
+    /// A memory.
+    Memory(Limits),
+    /// A global.
+    Global(ValType, bool),
+}
+
+/// One import.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Import {
+    /// Module namespace (e.g. `"env"`).
+    pub module: String,
+    /// Field name (e.g. `"__syscall"`).
+    pub field: String,
+    /// The imported entity.
+    pub kind: ImportKind,
+}
+
+/// A locally defined function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Index into [`WasmModule::types`].
+    pub type_idx: u32,
+    /// Types of declared locals (excluding parameters).
+    pub locals: Vec<ValType>,
+    /// The body.
+    pub body: Vec<Instr>,
+    /// Optional debug name.
+    pub name: String,
+}
+
+/// A module-defined global.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Global {
+    /// The global's value type.
+    pub ty: ValType,
+    /// Whether the global is mutable.
+    pub mutable: bool,
+    /// Constant initializer (bit pattern for floats).
+    pub init: u64,
+}
+
+/// What an export exposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExportKind {
+    /// A function index.
+    Func(u32),
+    /// The memory.
+    Memory,
+    /// A global index.
+    Global(u32),
+}
+
+/// One export.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Export {
+    /// Export name.
+    pub name: String,
+    /// Exported entity.
+    pub kind: ExportKind,
+}
+
+/// An element segment initializing the function table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElemSegment {
+    /// Constant table offset.
+    pub offset: u32,
+    /// Function indices placed at `offset..`.
+    pub funcs: Vec<u32>,
+}
+
+/// A data segment initializing linear memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataSegment {
+    /// Constant memory offset.
+    pub offset: u32,
+    /// Bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// A complete WebAssembly module.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WasmModule {
+    /// The type section.
+    pub types: Vec<FuncType>,
+    /// Imports (function imports occupy the front of the function index
+    /// space, as in the spec).
+    pub imports: Vec<Import>,
+    /// Locally defined functions.
+    pub funcs: Vec<FuncDef>,
+    /// Function table size, if present.
+    pub table: Option<Limits>,
+    /// Element segments.
+    pub elems: Vec<ElemSegment>,
+    /// Linear memory limits, if present.
+    pub memory: Option<Limits>,
+    /// Globals.
+    pub globals: Vec<Global>,
+    /// Exports.
+    pub exports: Vec<Export>,
+    /// Start function.
+    pub start: Option<u32>,
+    /// Data segments.
+    pub data: Vec<DataSegment>,
+}
+
+impl WasmModule {
+    /// Number of imported functions (offset of local function indices).
+    pub fn num_imported_funcs(&self) -> u32 {
+        self.imports
+            .iter()
+            .filter(|i| matches!(i.kind, ImportKind::Func(_)))
+            .count() as u32
+    }
+
+    /// Type of the function at index `idx` in the function index space.
+    pub fn func_type(&self, idx: u32) -> Option<&FuncType> {
+        let n = self.num_imported_funcs();
+        if idx < n {
+            let mut k = 0;
+            for imp in &self.imports {
+                if let ImportKind::Func(ti) = imp.kind {
+                    if k == idx {
+                        return self.types.get(ti as usize);
+                    }
+                    k += 1;
+                }
+            }
+            None
+        } else {
+            let def = self.funcs.get((idx - n) as usize)?;
+            self.types.get(def.type_idx as usize)
+        }
+    }
+
+    /// The local definition of function index `idx`, if not imported.
+    pub fn local_func(&self, idx: u32) -> Option<&FuncDef> {
+        let n = self.num_imported_funcs();
+        if idx < n {
+            None
+        } else {
+            self.funcs.get((idx - n) as usize)
+        }
+    }
+
+    /// Finds an exported function by name.
+    pub fn exported_func(&self, name: &str) -> Option<u32> {
+        self.exports.iter().find_map(|e| match e.kind {
+            ExportKind::Func(i) if e.name == name => Some(i),
+            _ => None,
+        })
+    }
+
+    /// Adds a type, deduplicating, and returns its index.
+    pub fn intern_type(&mut self, ty: FuncType) -> u32 {
+        if let Some(i) = self.types.iter().position(|t| *t == ty) {
+            i as u32
+        } else {
+            self.types.push(ty);
+            (self.types.len() - 1) as u32
+        }
+    }
+
+    /// Total instruction count across all function bodies.
+    pub fn code_size(&self) -> usize {
+        self.funcs
+            .iter()
+            .map(|f| crate::instr::body_size(&f.body))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module_with_import() -> WasmModule {
+        let mut m = WasmModule::default();
+        let t0 = m.intern_type(FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+        let t1 = m.intern_type(FuncType::new(vec![], vec![]));
+        m.imports.push(Import {
+            module: "env".into(),
+            field: "syscall".into(),
+            kind: ImportKind::Func(t0),
+        });
+        m.funcs.push(FuncDef {
+            type_idx: t1,
+            locals: vec![],
+            body: vec![],
+            name: "main".into(),
+        });
+        m.exports.push(Export {
+            name: "main".into(),
+            kind: ExportKind::Func(1),
+        });
+        m
+    }
+
+    #[test]
+    fn function_index_space_includes_imports() {
+        let m = module_with_import();
+        assert_eq!(m.num_imported_funcs(), 1);
+        assert_eq!(m.func_type(0).unwrap().params, vec![ValType::I32]);
+        assert!(m.func_type(1).unwrap().params.is_empty());
+        assert!(m.local_func(0).is_none());
+        assert_eq!(m.local_func(1).unwrap().name, "main");
+        assert_eq!(m.func_type(2), None);
+    }
+
+    #[test]
+    fn intern_type_dedupes() {
+        let mut m = WasmModule::default();
+        let a = m.intern_type(FuncType::new(vec![ValType::I32], vec![]));
+        let b = m.intern_type(FuncType::new(vec![ValType::I32], vec![]));
+        let c = m.intern_type(FuncType::new(vec![ValType::I64], vec![]));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(m.types.len(), 2);
+    }
+
+    #[test]
+    fn exported_func_lookup() {
+        let m = module_with_import();
+        assert_eq!(m.exported_func("main"), Some(1));
+        assert_eq!(m.exported_func("missing"), None);
+    }
+}

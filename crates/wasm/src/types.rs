@@ -1,0 +1,140 @@
+//! Value and function types.
+
+use core::fmt;
+
+/// A WebAssembly value type (MVP: the four numeric types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum ValType {
+    I32,
+    I64,
+    F32,
+    F64,
+}
+
+impl ValType {
+    /// Size of the type in bytes in linear memory.
+    pub fn bytes(self) -> u32 {
+        match self {
+            ValType::I32 | ValType::F32 => 4,
+            ValType::I64 | ValType::F64 => 8,
+        }
+    }
+
+    /// True for `i32`/`i64`.
+    pub fn is_int(self) -> bool {
+        matches!(self, ValType::I32 | ValType::I64)
+    }
+
+    /// Binary-format type byte.
+    pub fn byte(self) -> u8 {
+        match self {
+            ValType::I32 => 0x7f,
+            ValType::I64 => 0x7e,
+            ValType::F32 => 0x7d,
+            ValType::F64 => 0x7c,
+        }
+    }
+
+    /// Parses a binary-format type byte.
+    pub fn from_byte(b: u8) -> Option<ValType> {
+        match b {
+            0x7f => Some(ValType::I32),
+            0x7e => Some(ValType::I64),
+            0x7d => Some(ValType::F32),
+            0x7c => Some(ValType::F64),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ValType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValType::I32 => "i32",
+            ValType::I64 => "i64",
+            ValType::F32 => "f32",
+            ValType::F64 => "f64",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A function type: parameter and result types.
+///
+/// The MVP allows at most one result.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct FuncType {
+    /// Parameter types.
+    pub params: Vec<ValType>,
+    /// Result types (0 or 1 in the MVP).
+    pub results: Vec<ValType>,
+}
+
+impl FuncType {
+    /// Builds a function type.
+    pub fn new(params: Vec<ValType>, results: Vec<ValType>) -> FuncType {
+        assert!(results.len() <= 1, "MVP allows at most one result");
+        FuncType { params, results }
+    }
+
+    /// The single result type, if any.
+    pub fn result(&self) -> Option<ValType> {
+        self.results.first().copied()
+    }
+}
+
+impl fmt::Display for FuncType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ") -> (")?;
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_roundtrip() {
+        for t in [ValType::I32, ValType::I64, ValType::F32, ValType::F64] {
+            assert_eq!(ValType::from_byte(t.byte()), Some(t));
+        }
+        assert_eq!(ValType::from_byte(0x70), None);
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(ValType::I32.bytes(), 4);
+        assert_eq!(ValType::F64.bytes(), 8);
+        assert!(ValType::I64.is_int());
+        assert!(!ValType::F32.is_int());
+    }
+
+    #[test]
+    fn functype_display() {
+        let t = FuncType::new(vec![ValType::I32, ValType::F64], vec![ValType::I32]);
+        assert_eq!(t.to_string(), "(i32 f64) -> (i32)");
+        assert_eq!(t.result(), Some(ValType::I32));
+        assert_eq!(FuncType::default().result(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most one result")]
+    fn multi_result_rejected() {
+        let _ = FuncType::new(vec![], vec![ValType::I32, ValType::I32]);
+    }
+}

@@ -1,0 +1,833 @@
+//! Type-checking validator.
+//!
+//! Implements the algorithm from the WebAssembly specification appendix:
+//! a value stack of (possibly unknown) operand types and a control stack
+//! of frames, with `unreachable` handled by marking the current frame
+//! polymorphic. Nested control structures are validated recursively since
+//! our instruction representation is already structured.
+
+use crate::instr::{BlockType, Instr};
+use crate::module::{ExportKind, ImportKind, WasmModule, PAGE_SIZE};
+use crate::types::{FuncType, ValType};
+use core::fmt;
+
+/// A validation failure, with a human-readable location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// Description of the failure.
+    pub msg: String,
+    /// Function (by debug name or index) in which it occurred, if any.
+    pub func: Option<String>,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.func {
+            Some(n) => write!(f, "validation error in {n}: {}", self.msg),
+            None => write!(f, "validation error: {}", self.msg),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+type VResult<T> = Result<T, String>;
+
+/// Operand type on the checker's stack: a concrete type or unknown
+/// (produced by stack-polymorphic instructions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpType {
+    Known(ValType),
+    Unknown,
+}
+
+struct CtrlFrame {
+    /// Types the frame's label expects (loop: params = []; we only have
+    /// MVP blocks, so the label arity is 0 or 1).
+    label_types: Option<ValType>,
+    /// Result types of the frame.
+    end_types: Option<ValType>,
+    /// Value-stack height at entry.
+    height: usize,
+    /// Set once `unreachable`/`br`/... makes the rest unreachable.
+    unreachable: bool,
+    /// True for `loop` frames (labels target the top, taking no values).
+    is_loop: bool,
+}
+
+struct FuncValidator<'m> {
+    module: &'m WasmModule,
+    locals: Vec<ValType>,
+    ret: Option<ValType>,
+    stack: Vec<OpType>,
+    ctrl: Vec<CtrlFrame>,
+}
+
+impl<'m> FuncValidator<'m> {
+    fn push(&mut self, t: ValType) {
+        self.stack.push(OpType::Known(t));
+    }
+
+    fn push_unknown(&mut self) {
+        self.stack.push(OpType::Unknown);
+    }
+
+    fn pop_any(&mut self) -> VResult<OpType> {
+        let frame = self.ctrl.last().expect("control frame");
+        if self.stack.len() == frame.height {
+            if frame.unreachable {
+                return Ok(OpType::Unknown);
+            }
+            return Err("stack underflow".to_string());
+        }
+        Ok(self.stack.pop().expect("non-empty"))
+    }
+
+    fn pop_expect(&mut self, want: ValType) -> VResult<()> {
+        match self.pop_any()? {
+            OpType::Known(t) if t == want => Ok(()),
+            OpType::Known(t) => Err(format!("type mismatch: expected {want}, got {t}")),
+            OpType::Unknown => Ok(()),
+        }
+    }
+
+    fn push_frame(&mut self, bt: BlockType, is_loop: bool) {
+        self.ctrl.push(CtrlFrame {
+            label_types: if is_loop { None } else { bt.result() },
+            end_types: bt.result(),
+            height: self.stack.len(),
+            unreachable: false,
+            is_loop,
+        });
+    }
+
+    fn pop_frame(&mut self) -> VResult<Option<ValType>> {
+        let frame = self.ctrl.last().expect("frame");
+        let end = frame.end_types;
+        let height = frame.height;
+        if let Some(t) = end {
+            self.pop_expect(t)?;
+        }
+        let frame = self.ctrl.last().expect("frame");
+        if self.stack.len() != frame.height && !frame.unreachable {
+            return Err(format!(
+                "block leaves {} extra values on stack",
+                self.stack.len() - frame.height
+            ));
+        }
+        self.stack.truncate(height);
+        self.ctrl.pop();
+        Ok(end)
+    }
+
+    fn mark_unreachable(&mut self) {
+        let frame = self.ctrl.last_mut().expect("frame");
+        frame.unreachable = true;
+        let h = frame.height;
+        self.stack.truncate(h);
+    }
+
+    fn label_arity(&self, depth: u32) -> VResult<Option<ValType>> {
+        let n = self.ctrl.len();
+        if depth as usize >= n {
+            return Err(format!("branch depth {depth} exceeds nesting {n}"));
+        }
+        let frame = &self.ctrl[n - 1 - depth as usize];
+        Ok(if frame.is_loop { None } else { frame.label_types })
+    }
+
+    fn check_br_values(&mut self, depth: u32) -> VResult<()> {
+        if let Some(t) = self.label_arity(depth)? {
+            self.pop_expect(t)?;
+            self.push(t);
+        }
+        Ok(())
+    }
+
+    fn local(&self, idx: u32) -> VResult<ValType> {
+        self.locals
+            .get(idx as usize)
+            .copied()
+            .ok_or_else(|| format!("unknown local {idx}"))
+    }
+
+    fn check_body(&mut self, body: &[Instr]) -> VResult<()> {
+        for instr in body {
+            self.check_instr(instr)?;
+        }
+        Ok(())
+    }
+
+    fn require_memory(&self) -> VResult<()> {
+        let has = self.module.memory.is_some()
+            || self
+                .module
+                .imports
+                .iter()
+                .any(|i| matches!(i.kind, ImportKind::Memory(_)));
+        if has {
+            Ok(())
+        } else {
+            Err("memory instruction without a memory".to_string())
+        }
+    }
+
+    fn check_instr(&mut self, instr: &Instr) -> VResult<()> {
+        use Instr::*;
+        match instr {
+            Unreachable => self.mark_unreachable(),
+            Nop => {}
+            Block(bt, body) => {
+                self.push_frame(*bt, false);
+                self.check_body(body)?;
+                if let Some(t) = self.pop_frame()? {
+                    self.push(t);
+                }
+            }
+            Loop(bt, body) => {
+                self.push_frame(*bt, true);
+                self.check_body(body)?;
+                if let Some(t) = self.pop_frame()? {
+                    self.push(t);
+                }
+            }
+            If(bt, then_body, else_body) => {
+                self.pop_expect(ValType::I32)?;
+                self.push_frame(*bt, false);
+                self.check_body(then_body)?;
+                // Re-check the else arm against a fresh frame.
+                let end = {
+                    let frame = self.ctrl.last().expect("frame");
+                    frame.end_types
+                };
+                if let Some(t) = end {
+                    self.pop_expect(t)?;
+                }
+                {
+                    let frame = self.ctrl.last_mut().expect("frame");
+                    let h = frame.height;
+                    frame.unreachable = false;
+                    self.stack.truncate(h);
+                }
+                self.check_body(else_body)?;
+                if else_body.is_empty() && end.is_some() {
+                    return Err("if with result requires an else arm".to_string());
+                }
+                if let Some(t) = self.pop_frame()? {
+                    self.push(t);
+                }
+            }
+            Br(depth) => {
+                self.check_br_values(*depth)?;
+                self.mark_unreachable();
+            }
+            BrIf(depth) => {
+                self.pop_expect(ValType::I32)?;
+                self.check_br_values(*depth)?;
+            }
+            BrTable(targets, default) => {
+                self.pop_expect(ValType::I32)?;
+                let want = self.label_arity(*default)?;
+                for t in targets {
+                    if self.label_arity(*t)? != want {
+                        return Err("br_table label arity mismatch".to_string());
+                    }
+                }
+                if let Some(t) = want {
+                    self.pop_expect(t)?;
+                }
+                self.mark_unreachable();
+            }
+            Return => {
+                if let Some(t) = self.ret {
+                    self.pop_expect(t)?;
+                }
+                self.mark_unreachable();
+            }
+            Call(idx) => {
+                let ft = self
+                    .module
+                    .func_type(*idx)
+                    .ok_or_else(|| format!("unknown function {idx}"))?
+                    .clone();
+                for p in ft.params.iter().rev() {
+                    self.pop_expect(*p)?;
+                }
+                if let Some(r) = ft.result() {
+                    self.push(r);
+                }
+            }
+            CallIndirect(type_idx) => {
+                if self.module.table.is_none() {
+                    return Err("call_indirect without a table".to_string());
+                }
+                let ft = self
+                    .module
+                    .types
+                    .get(*type_idx as usize)
+                    .ok_or_else(|| format!("unknown type {type_idx}"))?
+                    .clone();
+                self.pop_expect(ValType::I32)?; // Table index.
+                for p in ft.params.iter().rev() {
+                    self.pop_expect(*p)?;
+                }
+                if let Some(r) = ft.result() {
+                    self.push(r);
+                }
+            }
+            Drop => {
+                self.pop_any()?;
+            }
+            Select => {
+                self.pop_expect(ValType::I32)?;
+                let a = self.pop_any()?;
+                let b = self.pop_any()?;
+                match (a, b) {
+                    (OpType::Known(x), OpType::Known(y)) if x != y => {
+                        return Err(format!("select arms differ: {x} vs {y}"));
+                    }
+                    (OpType::Known(x), _) | (_, OpType::Known(x)) => self.push(x),
+                    _ => self.push_unknown(),
+                }
+            }
+            LocalGet(i) => {
+                let t = self.local(*i)?;
+                self.push(t);
+            }
+            LocalSet(i) => {
+                let t = self.local(*i)?;
+                self.pop_expect(t)?;
+            }
+            LocalTee(i) => {
+                let t = self.local(*i)?;
+                self.pop_expect(t)?;
+                self.push(t);
+            }
+            GlobalGet(i) => {
+                let g = self
+                    .module
+                    .globals
+                    .get(*i as usize)
+                    .ok_or_else(|| format!("unknown global {i}"))?;
+                self.push(g.ty);
+            }
+            GlobalSet(i) => {
+                let g = self
+                    .module
+                    .globals
+                    .get(*i as usize)
+                    .ok_or_else(|| format!("unknown global {i}"))?;
+                if !g.mutable {
+                    return Err(format!("global {i} is immutable"));
+                }
+                let ty = g.ty;
+                self.pop_expect(ty)?;
+            }
+            Load { ty, sub, memarg } => {
+                self.require_memory()?;
+                let bytes = sub.map(|(w, _)| w.bytes()).unwrap_or(ty.bytes());
+                if (1u32 << memarg.align) > bytes {
+                    return Err("alignment larger than natural".to_string());
+                }
+                self.pop_expect(ValType::I32)?;
+                self.push(*ty);
+            }
+            Store { ty, sub, memarg } => {
+                self.require_memory()?;
+                let bytes = sub.map(|w| w.bytes()).unwrap_or(ty.bytes());
+                if (1u32 << memarg.align) > bytes {
+                    return Err("alignment larger than natural".to_string());
+                }
+                self.pop_expect(*ty)?;
+                self.pop_expect(ValType::I32)?;
+            }
+            MemorySize => {
+                self.require_memory()?;
+                self.push(ValType::I32);
+            }
+            MemoryGrow => {
+                self.require_memory()?;
+                self.pop_expect(ValType::I32)?;
+                self.push(ValType::I32);
+            }
+            I32Const(_) => self.push(ValType::I32),
+            I64Const(_) => self.push(ValType::I64),
+            F32Const(_) => self.push(ValType::F32),
+            F64Const(_) => self.push(ValType::F64),
+            ITestop(w) => {
+                self.pop_expect(w.int_ty())?;
+                self.push(ValType::I32);
+            }
+            IRelop(w, _) => {
+                self.pop_expect(w.int_ty())?;
+                self.pop_expect(w.int_ty())?;
+                self.push(ValType::I32);
+            }
+            FRelop(w, _) => {
+                self.pop_expect(w.float_ty())?;
+                self.pop_expect(w.float_ty())?;
+                self.push(ValType::I32);
+            }
+            IUnop(w, _) => {
+                self.pop_expect(w.int_ty())?;
+                self.push(w.int_ty());
+            }
+            IBinop(w, _) => {
+                self.pop_expect(w.int_ty())?;
+                self.pop_expect(w.int_ty())?;
+                self.push(w.int_ty());
+            }
+            FUnop(w, _) => {
+                self.pop_expect(w.float_ty())?;
+                self.push(w.float_ty());
+            }
+            FBinop(w, _) => {
+                self.pop_expect(w.float_ty())?;
+                self.pop_expect(w.float_ty())?;
+                self.push(w.float_ty());
+            }
+            Cvt(op) => {
+                let (from, to) = op.signature();
+                self.pop_expect(from)?;
+                self.push(to);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn validate_func(module: &WasmModule, ft: &FuncType, def: &crate::module::FuncDef) -> VResult<()> {
+    let mut locals = ft.params.clone();
+    locals.extend_from_slice(&def.locals);
+    let mut v = FuncValidator {
+        module,
+        locals,
+        ret: ft.result(),
+        stack: Vec::new(),
+        ctrl: vec![CtrlFrame {
+            label_types: ft.result(),
+            end_types: ft.result(),
+            height: 0,
+            unreachable: false,
+            is_loop: false,
+        }],
+    };
+    v.check_body(&def.body)?;
+    if let Some(t) = v.pop_frame()? {
+        // Implicit return value remains conceptually on the stack.
+        let _ = t;
+    }
+    Ok(())
+}
+
+/// Validates a whole module.
+///
+/// Checks every function body, type/function/global/export index validity,
+/// table element bounds, and data-segment bounds against the initial
+/// memory size.
+pub fn validate(module: &WasmModule) -> Result<(), ValidationError> {
+    let err = |msg: String| ValidationError { msg, func: None };
+
+    for imp in &module.imports {
+        if let ImportKind::Func(ti) = imp.kind {
+            if ti as usize >= module.types.len() {
+                return Err(err(format!(
+                    "import {}.{} references unknown type {ti}",
+                    imp.module, imp.field
+                )));
+            }
+        }
+    }
+
+    for (i, def) in module.funcs.iter().enumerate() {
+        let ft = module
+            .types
+            .get(def.type_idx as usize)
+            .ok_or_else(|| err(format!("function {i} has unknown type {}", def.type_idx)))?;
+        validate_func(module, ft, def).map_err(|msg| ValidationError {
+            msg,
+            func: Some(if def.name.is_empty() {
+                format!("func[{i}]")
+            } else {
+                def.name.clone()
+            }),
+        })?;
+    }
+
+    let n_funcs = module.num_imported_funcs() + module.funcs.len() as u32;
+    for e in &module.exports {
+        match e.kind {
+            ExportKind::Func(i) if i >= n_funcs => {
+                return Err(err(format!("export {} references unknown function", e.name)));
+            }
+            ExportKind::Global(i) if i as usize >= module.globals.len() => {
+                return Err(err(format!("export {} references unknown global", e.name)));
+            }
+            _ => {}
+        }
+    }
+
+    if let Some(start) = module.start {
+        let ft = module
+            .func_type(start)
+            .ok_or_else(|| err("start function does not exist".to_string()))?;
+        if !ft.params.is_empty() || !ft.results.is_empty() {
+            return Err(err("start function must be [] -> []".to_string()));
+        }
+    }
+
+    match module.table {
+        Some(limits) => {
+            for elem in &module.elems {
+                let end = elem.offset as u64 + elem.funcs.len() as u64;
+                if end > limits.min as u64 {
+                    return Err(err("element segment out of table bounds".to_string()));
+                }
+                for &f in &elem.funcs {
+                    if f >= n_funcs {
+                        return Err(err(format!("element references unknown function {f}")));
+                    }
+                }
+            }
+        }
+        None => {
+            if !module.elems.is_empty() {
+                return Err(err("element segment without a table".to_string()));
+            }
+        }
+    }
+
+    match module.memory {
+        Some(limits) => {
+            let bytes = limits.min as u64 * PAGE_SIZE as u64;
+            for d in &module.data {
+                if d.offset as u64 + d.bytes.len() as u64 > bytes {
+                    return Err(err("data segment out of memory bounds".to_string()));
+                }
+            }
+        }
+        None => {
+            if !module.data.is_empty() {
+                return Err(err("data segment without a memory".to_string()));
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{IBinop, NumWidth};
+    use crate::module::{DataSegment, Export, FuncDef, Global, Limits};
+
+    fn module_with_body(
+        params: Vec<ValType>,
+        results: Vec<ValType>,
+        body: Vec<Instr>,
+    ) -> WasmModule {
+        let mut m = WasmModule::default();
+        let ti = m.intern_type(FuncType::new(params, results));
+        m.memory = Some(Limits { min: 1, max: None });
+        m.funcs.push(FuncDef {
+            type_idx: ti,
+            locals: vec![],
+            body,
+            name: "test".into(),
+        });
+        m
+    }
+
+    #[test]
+    fn valid_add_function() {
+        let m = module_with_body(
+            vec![ValType::I32, ValType::I32],
+            vec![ValType::I32],
+            vec![
+                Instr::LocalGet(0),
+                Instr::LocalGet(1),
+                Instr::IBinop(NumWidth::X32, IBinop::Add),
+            ],
+        );
+        validate(&m).unwrap();
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let m = module_with_body(
+            vec![],
+            vec![ValType::I32],
+            vec![
+                Instr::I64Const(1),
+                Instr::I32Const(2),
+                Instr::IBinop(NumWidth::X32, IBinop::Add),
+            ],
+        );
+        let e = validate(&m).unwrap_err();
+        assert!(e.msg.contains("type mismatch"), "{e}");
+    }
+
+    #[test]
+    fn stack_underflow_rejected() {
+        let m = module_with_body(
+            vec![],
+            vec![],
+            vec![Instr::IBinop(NumWidth::X32, IBinop::Add), Instr::Drop],
+        );
+        let e = validate(&m).unwrap_err();
+        assert!(e.msg.contains("underflow"), "{e}");
+    }
+
+    #[test]
+    fn missing_result_rejected() {
+        let m = module_with_body(vec![], vec![ValType::I32], vec![Instr::Nop]);
+        assert!(validate(&m).is_err());
+    }
+
+    #[test]
+    fn leftover_values_rejected() {
+        let m = module_with_body(
+            vec![],
+            vec![],
+            vec![Instr::I32Const(1), Instr::I32Const(2)],
+        );
+        let e = validate(&m).unwrap_err();
+        assert!(e.msg.contains("extra values"), "{e}");
+    }
+
+    #[test]
+    fn unreachable_is_polymorphic() {
+        // After `unreachable`, anything type-checks.
+        let m = module_with_body(
+            vec![],
+            vec![ValType::I32],
+            vec![
+                Instr::Unreachable,
+                Instr::IBinop(NumWidth::X64, IBinop::Mul),
+                Instr::Drop,
+            ],
+        );
+        validate(&m).unwrap();
+    }
+
+    #[test]
+    fn br_depth_checked() {
+        let m = module_with_body(
+            vec![],
+            vec![],
+            vec![Instr::Block(BlockType::Empty, vec![Instr::Br(5)])],
+        );
+        let e = validate(&m).unwrap_err();
+        assert!(e.msg.contains("depth"), "{e}");
+    }
+
+    #[test]
+    fn br_carries_block_result() {
+        let m = module_with_body(
+            vec![],
+            vec![ValType::I32],
+            vec![Instr::Block(
+                BlockType::Value(ValType::I32),
+                vec![Instr::I32Const(7), Instr::Br(0)],
+            )],
+        );
+        validate(&m).unwrap();
+    }
+
+    #[test]
+    fn loop_label_takes_no_values() {
+        // A br to a loop label re-enters the loop and must not carry the
+        // loop's result value.
+        let m = module_with_body(
+            vec![],
+            vec![],
+            vec![Instr::Loop(
+                BlockType::Empty,
+                vec![Instr::I32Const(0), Instr::BrIf(0)],
+            )],
+        );
+        validate(&m).unwrap();
+    }
+
+    #[test]
+    fn if_with_result_needs_else() {
+        let m = module_with_body(
+            vec![],
+            vec![ValType::I32],
+            vec![
+                Instr::I32Const(1),
+                Instr::If(
+                    BlockType::Value(ValType::I32),
+                    vec![Instr::I32Const(2)],
+                    vec![],
+                ),
+            ],
+        );
+        assert!(validate(&m).is_err());
+        let ok = module_with_body(
+            vec![],
+            vec![ValType::I32],
+            vec![
+                Instr::I32Const(1),
+                Instr::If(
+                    BlockType::Value(ValType::I32),
+                    vec![Instr::I32Const(2)],
+                    vec![Instr::I32Const(3)],
+                ),
+            ],
+        );
+        validate(&ok).unwrap();
+    }
+
+    #[test]
+    fn if_arms_checked_independently() {
+        let m = module_with_body(
+            vec![],
+            vec![ValType::I32],
+            vec![
+                Instr::I32Const(1),
+                Instr::If(
+                    BlockType::Value(ValType::I32),
+                    vec![Instr::I32Const(2)],
+                    vec![Instr::I64Const(3)], // Wrong type in else.
+                ),
+            ],
+        );
+        assert!(validate(&m).is_err());
+    }
+
+    #[test]
+    fn unknown_local_rejected() {
+        let m = module_with_body(vec![], vec![], vec![Instr::LocalGet(3), Instr::Drop]);
+        let e = validate(&m).unwrap_err();
+        assert!(e.msg.contains("unknown local"), "{e}");
+    }
+
+    #[test]
+    fn immutable_global_set_rejected() {
+        let mut m = module_with_body(
+            vec![],
+            vec![],
+            vec![Instr::I32Const(0), Instr::GlobalSet(0)],
+        );
+        m.globals.push(Global {
+            ty: ValType::I32,
+            mutable: false,
+            init: 0,
+        });
+        let e = validate(&m).unwrap_err();
+        assert!(e.msg.contains("immutable"), "{e}");
+    }
+
+    #[test]
+    fn call_checks_arguments() {
+        let mut m = WasmModule::default();
+        let t_callee = m.intern_type(FuncType::new(vec![ValType::I64], vec![]));
+        let t_caller = m.intern_type(FuncType::new(vec![], vec![]));
+        m.funcs.push(FuncDef {
+            type_idx: t_callee,
+            locals: vec![],
+            body: vec![Instr::Nop],
+            name: "callee".into(),
+        });
+        m.funcs.push(FuncDef {
+            type_idx: t_caller,
+            locals: vec![],
+            body: vec![Instr::I32Const(0), Instr::Call(0)],
+            name: "caller".into(),
+        });
+        // Passing i32 where i64 expected.
+        assert!(validate(&m).is_err());
+    }
+
+    #[test]
+    fn memory_access_without_memory_rejected() {
+        let mut m = module_with_body(
+            vec![],
+            vec![],
+            vec![
+                Instr::I32Const(0),
+                Instr::Load {
+                    ty: ValType::I32,
+                    sub: None,
+                    memarg: Default::default(),
+                },
+                Instr::Drop,
+            ],
+        );
+        m.memory = None;
+        let e = validate(&m).unwrap_err();
+        assert!(e.msg.contains("without a memory"), "{e}");
+    }
+
+    #[test]
+    fn over_aligned_access_rejected() {
+        let m = module_with_body(
+            vec![],
+            vec![],
+            vec![
+                Instr::I32Const(0),
+                Instr::Load {
+                    ty: ValType::I32,
+                    sub: None,
+                    memarg: crate::instr::MemArg { align: 3, offset: 0 },
+                },
+                Instr::Drop,
+            ],
+        );
+        assert!(validate(&m).is_err());
+    }
+
+    #[test]
+    fn data_segment_bounds_checked() {
+        let mut m = module_with_body(vec![], vec![], vec![]);
+        m.data.push(DataSegment {
+            offset: PAGE_SIZE - 2,
+            bytes: vec![0; 4],
+        });
+        let e = validate(&m).unwrap_err();
+        assert!(e.msg.contains("data segment"), "{e}");
+    }
+
+    #[test]
+    fn element_segment_bounds_checked() {
+        let mut m = module_with_body(vec![], vec![], vec![]);
+        m.table = Some(Limits { min: 2, max: None });
+        m.elems.push(crate::module::ElemSegment {
+            offset: 1,
+            funcs: vec![0, 0],
+        });
+        assert!(validate(&m).is_err());
+    }
+
+    #[test]
+    fn export_index_checked() {
+        let mut m = module_with_body(vec![], vec![], vec![]);
+        m.exports.push(Export {
+            name: "f".into(),
+            kind: ExportKind::Func(9),
+        });
+        assert!(validate(&m).is_err());
+    }
+
+    #[test]
+    fn br_table_arity_mismatch_rejected() {
+        let m = module_with_body(
+            vec![],
+            vec![],
+            vec![Instr::Block(
+                BlockType::Value(ValType::I32),
+                vec![Instr::Block(
+                    BlockType::Empty,
+                    vec![
+                        Instr::I32Const(0),
+                        Instr::I32Const(0),
+                        Instr::BrTable(vec![0], 1),
+                    ],
+                )],
+            )],
+        );
+        assert!(validate(&m).is_err());
+    }
+}

@@ -1,0 +1,359 @@
+//! WAT-style pretty-printer.
+//!
+//! Renders modules in a readable, WAT-like linear text form. Used by the
+//! documentation examples and by tests that want readable failure output;
+//! it is a printer only (the toolchain constructs modules programmatically
+//! via `wasmperf-emcc`).
+
+use crate::instr::{
+    BlockType, CvtOp, FBinop, FRelop, FUnop, IBinop, IRelop, Instr, NumWidth, SubWidth,
+};
+use crate::module::{ExportKind, ImportKind, WasmModule};
+use core::fmt::Write;
+
+fn w(nw: NumWidth) -> &'static str {
+    match nw {
+        NumWidth::X32 => "32",
+        NumWidth::X64 => "64",
+    }
+}
+
+fn ibinop_name(op: IBinop) -> &'static str {
+    match op {
+        IBinop::Add => "add",
+        IBinop::Sub => "sub",
+        IBinop::Mul => "mul",
+        IBinop::DivS => "div_s",
+        IBinop::DivU => "div_u",
+        IBinop::RemS => "rem_s",
+        IBinop::RemU => "rem_u",
+        IBinop::And => "and",
+        IBinop::Or => "or",
+        IBinop::Xor => "xor",
+        IBinop::Shl => "shl",
+        IBinop::ShrS => "shr_s",
+        IBinop::ShrU => "shr_u",
+        IBinop::Rotl => "rotl",
+        IBinop::Rotr => "rotr",
+    }
+}
+
+fn irelop_name(op: IRelop) -> &'static str {
+    match op {
+        IRelop::Eq => "eq",
+        IRelop::Ne => "ne",
+        IRelop::LtS => "lt_s",
+        IRelop::LtU => "lt_u",
+        IRelop::GtS => "gt_s",
+        IRelop::GtU => "gt_u",
+        IRelop::LeS => "le_s",
+        IRelop::LeU => "le_u",
+        IRelop::GeS => "ge_s",
+        IRelop::GeU => "ge_u",
+    }
+}
+
+fn funop_name(op: FUnop) -> &'static str {
+    match op {
+        FUnop::Abs => "abs",
+        FUnop::Neg => "neg",
+        FUnop::Ceil => "ceil",
+        FUnop::Floor => "floor",
+        FUnop::Trunc => "trunc",
+        FUnop::Nearest => "nearest",
+        FUnop::Sqrt => "sqrt",
+    }
+}
+
+fn fbinop_name(op: FBinop) -> &'static str {
+    match op {
+        FBinop::Add => "add",
+        FBinop::Sub => "sub",
+        FBinop::Mul => "mul",
+        FBinop::Div => "div",
+        FBinop::Min => "min",
+        FBinop::Max => "max",
+        FBinop::Copysign => "copysign",
+    }
+}
+
+fn frelop_name(op: FRelop) -> &'static str {
+    match op {
+        FRelop::Eq => "eq",
+        FRelop::Ne => "ne",
+        FRelop::Lt => "lt",
+        FRelop::Gt => "gt",
+        FRelop::Le => "le",
+        FRelop::Ge => "ge",
+    }
+}
+
+fn cvt_name(op: CvtOp) -> &'static str {
+    use CvtOp::*;
+    match op {
+        I32WrapI64 => "i32.wrap_i64",
+        I32TruncF32S => "i32.trunc_f32_s",
+        I32TruncF32U => "i32.trunc_f32_u",
+        I32TruncF64S => "i32.trunc_f64_s",
+        I32TruncF64U => "i32.trunc_f64_u",
+        I64ExtendI32S => "i64.extend_i32_s",
+        I64ExtendI32U => "i64.extend_i32_u",
+        I64TruncF32S => "i64.trunc_f32_s",
+        I64TruncF32U => "i64.trunc_f32_u",
+        I64TruncF64S => "i64.trunc_f64_s",
+        I64TruncF64U => "i64.trunc_f64_u",
+        F32ConvertI32S => "f32.convert_i32_s",
+        F32ConvertI32U => "f32.convert_i32_u",
+        F32ConvertI64S => "f32.convert_i64_s",
+        F32ConvertI64U => "f32.convert_i64_u",
+        F32DemoteF64 => "f32.demote_f64",
+        F64ConvertI32S => "f64.convert_i32_s",
+        F64ConvertI32U => "f64.convert_i32_u",
+        F64ConvertI64S => "f64.convert_i64_s",
+        F64ConvertI64U => "f64.convert_i64_u",
+        F64PromoteF32 => "f64.promote_f32",
+        I32ReinterpretF32 => "i32.reinterpret_f32",
+        I64ReinterpretF64 => "i64.reinterpret_f64",
+        F32ReinterpretI32 => "f32.reinterpret_i32",
+        F64ReinterpretI64 => "f64.reinterpret_i64",
+    }
+}
+
+fn bt_suffix(bt: &BlockType) -> String {
+    match bt {
+        BlockType::Empty => String::new(),
+        BlockType::Value(t) => format!(" (result {t})"),
+    }
+}
+
+fn print_instr(out: &mut String, i: &Instr, indent: usize) {
+    let pad = "  ".repeat(indent);
+    use Instr::*;
+    match i {
+        Block(bt, body) => {
+            let _ = writeln!(out, "{pad}block{}", bt_suffix(bt));
+            for x in body {
+                print_instr(out, x, indent + 1);
+            }
+            let _ = writeln!(out, "{pad}end");
+        }
+        Loop(bt, body) => {
+            let _ = writeln!(out, "{pad}loop{}", bt_suffix(bt));
+            for x in body {
+                print_instr(out, x, indent + 1);
+            }
+            let _ = writeln!(out, "{pad}end");
+        }
+        If(bt, t, e) => {
+            let _ = writeln!(out, "{pad}if{}", bt_suffix(bt));
+            for x in t {
+                print_instr(out, x, indent + 1);
+            }
+            if !e.is_empty() {
+                let _ = writeln!(out, "{pad}else");
+                for x in e {
+                    print_instr(out, x, indent + 1);
+                }
+            }
+            let _ = writeln!(out, "{pad}end");
+        }
+        other => {
+            let s = match other {
+                Unreachable => "unreachable".to_string(),
+                Nop => "nop".to_string(),
+                Br(d) => format!("br {d}"),
+                BrIf(d) => format!("br_if {d}"),
+                BrTable(t, d) => format!(
+                    "br_table {} {d}",
+                    t.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(" ")
+                ),
+                Return => "return".to_string(),
+                Call(f) => format!("call {f}"),
+                CallIndirect(t) => format!("call_indirect (type {t})"),
+                Drop => "drop".to_string(),
+                Select => "select".to_string(),
+                LocalGet(i) => format!("local.get {i}"),
+                LocalSet(i) => format!("local.set {i}"),
+                LocalTee(i) => format!("local.tee {i}"),
+                GlobalGet(i) => format!("global.get {i}"),
+                GlobalSet(i) => format!("global.set {i}"),
+                Load { ty, sub, memarg } => {
+                    let suffix = match sub {
+                        None => String::new(),
+                        Some((SubWidth::B8, true)) => "8_s".into(),
+                        Some((SubWidth::B8, false)) => "8_u".into(),
+                        Some((SubWidth::B16, true)) => "16_s".into(),
+                        Some((SubWidth::B16, false)) => "16_u".into(),
+                        Some((SubWidth::B32, true)) => "32_s".into(),
+                        Some((SubWidth::B32, false)) => "32_u".into(),
+                    };
+                    format!("{ty}.load{suffix} offset={}", memarg.offset)
+                }
+                Store { ty, sub, memarg } => {
+                    let suffix = match sub {
+                        None => "",
+                        Some(SubWidth::B8) => "8",
+                        Some(SubWidth::B16) => "16",
+                        Some(SubWidth::B32) => "32",
+                    };
+                    format!("{ty}.store{suffix} offset={}", memarg.offset)
+                }
+                MemorySize => "memory.size".to_string(),
+                MemoryGrow => "memory.grow".to_string(),
+                I32Const(v) => format!("i32.const {v}"),
+                I64Const(v) => format!("i64.const {v}"),
+                F32Const(b) => format!("f32.const {}", f32::from_bits(*b)),
+                F64Const(b) => format!("f64.const {}", f64::from_bits(*b)),
+                ITestop(nw) => format!("i{}.eqz", w(*nw)),
+                IRelop(nw, op) => format!("i{}.{}", w(*nw), irelop_name(*op)),
+                FRelop(nw, op) => format!("f{}.{}", w(*nw), frelop_name(*op)),
+                IUnop(nw, op) => format!(
+                    "i{}.{}",
+                    w(*nw),
+                    match op {
+                        crate::instr::IUnop::Clz => "clz",
+                        crate::instr::IUnop::Ctz => "ctz",
+                        crate::instr::IUnop::Popcnt => "popcnt",
+                    }
+                ),
+                IBinop(nw, op) => format!("i{}.{}", w(*nw), ibinop_name(*op)),
+                FUnop(nw, op) => format!("f{}.{}", w(*nw), funop_name(*op)),
+                FBinop(nw, op) => format!("f{}.{}", w(*nw), fbinop_name(*op)),
+                Cvt(op) => cvt_name(*op).to_string(),
+                Block(..) | Loop(..) | If(..) => unreachable!(),
+            };
+            let _ = writeln!(out, "{pad}{s}");
+        }
+    }
+}
+
+/// Renders `module` in a WAT-like textual form.
+pub fn print_module(module: &WasmModule) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "(module");
+    for (i, t) in module.types.iter().enumerate() {
+        let _ = writeln!(out, "  (type {i} {t})");
+    }
+    for imp in &module.imports {
+        let kind = match &imp.kind {
+            ImportKind::Func(t) => format!("(func (type {t}))"),
+            ImportKind::Memory(l) => format!("(memory {})", l.min),
+            ImportKind::Global(t, m) => {
+                format!("(global {}{})", if *m { "mut " } else { "" }, t)
+            }
+        };
+        let _ = writeln!(out, "  (import \"{}\" \"{}\" {kind})", imp.module, imp.field);
+    }
+    if let Some(mem) = &module.memory {
+        match mem.max {
+            Some(max) => {
+                let _ = writeln!(out, "  (memory {} {})", mem.min, max);
+            }
+            None => {
+                let _ = writeln!(out, "  (memory {})", mem.min);
+            }
+        }
+    }
+    if let Some(t) = &module.table {
+        let _ = writeln!(out, "  (table {} funcref)", t.min);
+    }
+    for (i, g) in module.globals.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  (global {i} ({}{}) (init {:#x}))",
+            if g.mutable { "mut " } else { "" },
+            g.ty,
+            g.init
+        );
+    }
+    let base = module.num_imported_funcs();
+    for (i, f) in module.funcs.iter().enumerate() {
+        let ft = &module.types[f.type_idx as usize];
+        let name = if f.name.is_empty() {
+            format!("func[{}]", base + i as u32)
+        } else {
+            f.name.clone()
+        };
+        let _ = writeln!(out, "  (func ${name} {ft}");
+        if !f.locals.is_empty() {
+            let locals: Vec<String> = f.locals.iter().map(|t| t.to_string()).collect();
+            let _ = writeln!(out, "    (local {})", locals.join(" "));
+        }
+        for instr in &f.body {
+            print_instr(&mut out, instr, 2);
+        }
+        let _ = writeln!(out, "  )");
+    }
+    for e in &module.exports {
+        let kind = match e.kind {
+            ExportKind::Func(i) => format!("(func {i})"),
+            ExportKind::Memory => "(memory 0)".to_string(),
+            ExportKind::Global(i) => format!("(global {i})"),
+        };
+        let _ = writeln!(out, "  (export \"{}\" {kind})", e.name);
+    }
+    for e in &module.elems {
+        let funcs: Vec<String> = e.funcs.iter().map(|f| f.to_string()).collect();
+        let _ = writeln!(out, "  (elem (i32.const {}) {})", e.offset, funcs.join(" "));
+    }
+    for d in &module.data {
+        let _ = writeln!(
+            out,
+            "  (data (i32.const {}) ;; {} bytes",
+            d.offset,
+            d.bytes.len()
+        );
+    }
+    let _ = writeln!(out, ")");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{FuncDef, Limits};
+    use crate::types::{FuncType, ValType};
+
+    #[test]
+    fn prints_structured_body() {
+        let mut m = WasmModule::default();
+        let t = m.intern_type(FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+        m.memory = Some(Limits { min: 1, max: None });
+        m.funcs.push(FuncDef {
+            type_idx: t,
+            locals: vec![ValType::I32],
+            body: vec![Instr::Loop(
+                BlockType::Empty,
+                vec![
+                    Instr::LocalGet(0),
+                    Instr::I32Const(1),
+                    Instr::IBinop(NumWidth::X32, IBinop::Sub),
+                    Instr::LocalTee(0),
+                    Instr::BrIf(0),
+                ],
+            ), Instr::LocalGet(0)],
+            name: "countdown".into(),
+        });
+        let s = print_module(&m);
+        assert!(s.contains("(func $countdown (i32) -> (i32)"), "{s}");
+        assert!(s.contains("loop"), "{s}");
+        assert!(s.contains("i32.sub"), "{s}");
+        assert!(s.contains("br_if 0"), "{s}");
+        assert!(s.contains("(local i32)"), "{s}");
+    }
+
+    #[test]
+    fn prints_memory_ops_with_offset() {
+        let mut out = String::new();
+        print_instr(
+            &mut out,
+            &Instr::Load {
+                ty: ValType::I64,
+                sub: Some((SubWidth::B32, false)),
+                memarg: crate::instr::MemArg::natural(4, 16),
+            },
+            0,
+        );
+        assert_eq!(out.trim(), "i64.load32_u offset=16");
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests for the binary codec: decode never panics on garbage,
+//! and mutation of valid modules is either rejected or decodes to a
+//! *different* module (no silent aliasing).
+
+use proptest::prelude::*;
+use wasmperf_wasm::binary::{decode, encode};
+use wasmperf_wasm::{FuncDef, FuncType, Instr, Limits, ValType, WasmModule};
+
+fn sample_module(n_funcs: u8, body_len: u8) -> WasmModule {
+    let mut m = WasmModule::default();
+    let t = m.intern_type(FuncType::new(vec![ValType::I32], vec![ValType::I32]));
+    m.memory = Some(Limits { min: 1, max: None });
+    for i in 0..n_funcs {
+        let mut body = vec![Instr::LocalGet(0)];
+        for k in 0..body_len {
+            body.push(Instr::I32Const(i as i32 * 100 + k as i32));
+            body.push(Instr::IBinop(
+                wasmperf_wasm::NumWidth::X32,
+                wasmperf_wasm::instr::IBinop::Add,
+            ));
+        }
+        m.funcs.push(FuncDef {
+            type_idx: t,
+            locals: vec![ValType::I64; (i % 3) as usize],
+            body,
+            name: format!("f{i}"),
+        });
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Either Ok or Err — panics/overflows are bugs.
+        let _ = decode(&bytes);
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics(
+        n_funcs in 1u8..5,
+        body_len in 0u8..8,
+        pos_frac in 0.0f64..1.0,
+        new_byte in any::<u8>(),
+    ) {
+        let m = sample_module(n_funcs, body_len);
+        let mut bytes = encode(&m);
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] = new_byte;
+        let _ = decode(&bytes);
+    }
+
+    #[test]
+    fn roundtrip_parameterized(n_funcs in 1u8..6, body_len in 0u8..10) {
+        let m = sample_module(n_funcs, body_len);
+        let decoded = decode(&encode(&m)).expect("valid modules decode");
+        prop_assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn truncation_rejected_or_visibly_smaller(n_funcs in 1u8..4, cut_frac in 0.05f64..0.95) {
+        // Cutting at a section boundary can leave a well-formed smaller
+        // module; a truncated stream must never decode back to the
+        // original.
+        let m = sample_module(n_funcs, 4);
+        let bytes = encode(&m);
+        let cut = (bytes.len() as f64 * cut_frac) as usize;
+        match decode(&bytes[..cut]) {
+            Err(_) => {}
+            Ok(decoded) => prop_assert_ne!(decoded, m),
+        }
+    }
+}

@@ -1,0 +1,1572 @@
+//! wasmjit: the browser WebAssembly JIT analog.
+//!
+//! Compiles validated WebAssembly modules to simulated x86-64 the way
+//! Chrome's and Firefox's engines do, reproducing every code-quality
+//! deficit the paper identifies:
+//!
+//! - **single-pass stack-machine compilation** with **linear-scan**
+//!   register allocation over a *reduced* register pool (Chrome reserves
+//!   `rbx` for the wasm memory base, `r13` for GC roots, and `r10` as
+//!   scratch; Firefox reserves `r15` and `r11` — §6.1.1/§6.1.2);
+//! - **no addressing-mode fusion**: address arithmetic stays in explicit
+//!   instructions; memory operands use at most `[membase + reg]`
+//!   (§6.1.3);
+//! - **per-function stack-overflow checks** (§6.2.2) and **indirect-call
+//!   bounds + signature checks** (§6.2.3), with out-of-line trap stubs;
+//! - **loop code from the wasm structure**: the producer's
+//!   `block { loop { cond; br_if; body; br } }` shape costs two branches
+//!   per iteration, and the Chrome profile additionally emits the
+//!   jump-over-reload entry jumps seen in the paper's Figure 7c (§5.1.3);
+//! - engine **tiers** ([`Tier`]) modelling the 2017→2019 maturation of
+//!   wasm JITs (Figure 1): immediate-operand use, memarg folding into
+//!   displacements, and compare/branch fusion arrive progressively;
+//! - an **asm.js mode** adding the `|0`-style coercions, heap masking,
+//!   and 64-bit-pair overheads of the pre-wasm pipeline (Figures 5/6).
+
+use wasmperf_isa::{AluOp, Cc, FPrec, Module, Reg, RoundMode, TrapKind, Width};
+use wasmperf_regalloc::lir::{FLoc, FOpnd, LBlock};
+use wasmperf_regalloc::{
+    allocate_linear_scan, emit_function, AllocProfile, Arg, BlockId, LFunc, LInst, LMem, Loc,
+    Opnd, RetVal, VClass,
+};
+use wasmperf_wasm::instr::SubWidth;
+use wasmperf_wasm::{
+    CvtOp, FBinop, FRelop, FUnop, IBinop, IRelop, Instr, IUnop, MemArg, NumWidth, ValType,
+    WasmModule,
+};
+
+/// JIT maturity tier (the Figure 1 vintages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tier {
+    /// 2017-era: every value materialized, no immediate operands, no
+    /// memarg folding, no compare/branch fusion.
+    Y2017,
+    /// 2018-era: immediates and memarg displacement folding.
+    Y2018,
+    /// 2019-era (the paper's measurement point): + compare/branch fusion.
+    Y2019,
+}
+
+/// An engine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineProfile {
+    /// Engine name (used in reports).
+    pub name: String,
+    /// Register pool.
+    pub alloc: AllocProfile,
+    /// Pinned wasm-memory base register (None in asm.js mode).
+    pub membase: Option<Reg>,
+    /// Codegen maturity.
+    pub tier: Tier,
+    /// asm.js mode: coercion ops, heap masking, i64 pair overhead.
+    pub asmjs: bool,
+    /// Emit per-function stack-overflow checks.
+    pub stack_check: bool,
+    /// Emit indirect-call bounds and signature checks.
+    pub indirect_checks: bool,
+    /// Chrome's extra loop-entry jumps (jump over the reload block).
+    pub loop_entry_jump: bool,
+}
+
+impl EngineProfile {
+    /// Chrome 74-era configuration.
+    pub fn chrome() -> EngineProfile {
+        EngineProfile {
+            name: "chrome".into(),
+            alloc: AllocProfile::chrome(),
+            membase: Some(Reg::Rbx),
+            tier: Tier::Y2019,
+            asmjs: false,
+            stack_check: true,
+            indirect_checks: true,
+            loop_entry_jump: true,
+        }
+    }
+
+    /// Firefox 66-era configuration.
+    pub fn firefox() -> EngineProfile {
+        EngineProfile {
+            name: "firefox".into(),
+            alloc: AllocProfile::firefox(),
+            membase: Some(Reg::R15),
+            tier: Tier::Y2019,
+            asmjs: false,
+            stack_check: true,
+            indirect_checks: true,
+            loop_entry_jump: false,
+        }
+    }
+
+    /// Chrome running asm.js instead of wasm.
+    pub fn chrome_asmjs() -> EngineProfile {
+        EngineProfile {
+            name: "chrome-asmjs".into(),
+            membase: None,
+            asmjs: true,
+            ..EngineProfile::chrome()
+        }
+    }
+
+    /// Firefox running asm.js instead of wasm.
+    pub fn firefox_asmjs() -> EngineProfile {
+        EngineProfile {
+            name: "firefox-asmjs".into(),
+            membase: None,
+            asmjs: true,
+            ..EngineProfile::firefox()
+        }
+    }
+
+    /// This profile at an earlier tier (for the Figure 1 vintages).
+    pub fn at_tier(mut self, tier: Tier) -> EngineProfile {
+        self.tier = tier;
+        self.name = format!("{}-{:?}", self.name, tier).to_lowercase();
+        self
+    }
+}
+
+/// A compiled JIT module plus its runtime-layout constants.
+#[derive(Debug, Clone)]
+pub struct JitOutput {
+    /// Executable module (entry = exported `main` if present).
+    pub module: Module,
+    /// Address of the (sig, code) indirect-call table.
+    pub table_addr: u64,
+    /// Address of the stack-limit word.
+    pub stack_limit_addr: u64,
+}
+
+/// A value on the abstract operand stack.
+///
+/// `Reg` distinguishes clobberable temporaries from aliases of a local's
+/// register (Liftoff-style register reuse): a temp may be consumed in
+/// place by a two-address operation, an alias must be copied first, and a
+/// `local.set` materializes any live aliases of that local.
+#[derive(Debug, Clone, Copy)]
+enum SV {
+    /// A value in a vreg; `bool` marks a clobberable temporary.
+    Reg(u32, ValType, bool),
+    /// A compile-time constant.
+    Const(ValType, u64),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FrameKind {
+    Block,
+    Loop,
+    If,
+}
+
+struct Frame {
+    kind: FrameKind,
+    /// Branch target for `br` (loop: header; block/if: end).
+    br_target: BlockId,
+    /// End block (join).
+    end_block: BlockId,
+    /// Result vreg (block/if with result).
+    result: Option<(u32, ValType)>,
+    /// Operand-stack height at entry.
+    height: usize,
+}
+
+fn vclass(t: ValType) -> VClass {
+    match t {
+        ValType::F32 | ValType::F64 => VClass::Float,
+        _ => VClass::Int,
+    }
+}
+
+fn vw(t: ValType) -> Width {
+    match t {
+        ValType::I32 | ValType::F32 => Width::W32,
+        _ => Width::W64,
+    }
+}
+
+fn fprec(t: ValType) -> FPrec {
+    match t {
+        ValType::F32 => FPrec::F32,
+        _ => FPrec::F64,
+    }
+}
+
+fn irel_cc(op: IRelop) -> Cc {
+    match op {
+        IRelop::Eq => Cc::E,
+        IRelop::Ne => Cc::Ne,
+        IRelop::LtS => Cc::L,
+        IRelop::LtU => Cc::B,
+        IRelop::GtS => Cc::G,
+        IRelop::GtU => Cc::A,
+        IRelop::LeS => Cc::Le,
+        IRelop::LeU => Cc::Be,
+        IRelop::GeS => Cc::Ge,
+        IRelop::GeU => Cc::Ae,
+    }
+}
+
+fn frel_cc(op: FRelop) -> Cc {
+    match op {
+        FRelop::Eq => Cc::E,
+        FRelop::Ne => Cc::Ne,
+        FRelop::Lt => Cc::B,
+        FRelop::Gt => Cc::A,
+        FRelop::Le => Cc::Be,
+        FRelop::Ge => Cc::Ae,
+    }
+}
+
+struct JitFn<'m, 'p> {
+    wasm: &'m WasmModule,
+    profile: &'p EngineProfile,
+    lf: LFunc,
+    cur: usize,
+    stack: Vec<SV>,
+    ctrl: Vec<Frame>,
+    n_imports: u32,
+    table_addr: u64,
+    table_len: u32,
+    heap_mask: i64,
+    dead: bool,
+    /// Value type of each local (params first).
+    local_tys: Vec<ValType>,
+    /// The function's result type.
+    ret_ty: Option<ValType>,
+}
+
+type JResult<T> = Result<T, String>;
+
+impl<'m, 'p> JitFn<'m, 'p> {
+    fn emit(&mut self, inst: LInst) {
+        self.lf.blocks[self.cur].insts.push(inst);
+    }
+
+    fn reserve_block(&mut self) -> BlockId {
+        self.lf.blocks.push(LBlock::default());
+        BlockId((self.lf.blocks.len() - 1) as u32)
+    }
+
+    fn place_block(&mut self, id: BlockId) {
+        self.cur = id.0 as usize;
+    }
+
+    fn vreg(&mut self, t: ValType) -> u32 {
+        self.lf.new_vreg(vclass(t))
+    }
+
+    fn push(&mut self, sv: SV) {
+        self.stack.push(sv);
+    }
+
+    fn pop(&mut self) -> SV {
+        self.stack.pop().expect("operand stack (validated)")
+    }
+
+    /// Pops an integer value as an operand (immediates allowed at
+    /// Y2018+).
+    fn pop_int_opnd(&mut self) -> (Opnd, ValType) {
+        let sv = self.pop();
+        match sv {
+            SV::Const(t, bits) if self.profile.tier >= Tier::Y2018 => {
+                let v = match t {
+                    ValType::I32 => bits as u32 as i32 as i64,
+                    _ => bits as i64,
+                };
+                (Opnd::Imm(v), t)
+            }
+            _ => {
+                let (r, t) = self.materialize(sv);
+                (Opnd::Loc(Loc::V(r)), t)
+            }
+        }
+    }
+
+    /// Ensures a stack value lives in a vreg (readable; may alias a local).
+    fn materialize(&mut self, sv: SV) -> (u32, ValType) {
+        match sv {
+            SV::Reg(r, t, _) => (r, t),
+            SV::Const(t, bits) => {
+                let r = self.vreg(t);
+                match t {
+                    ValType::F32 | ValType::F64 => self.emit(LInst::MovFImm {
+                        dst: FLoc::V(r),
+                        bits,
+                        prec: fprec(t),
+                    }),
+                    _ => self.emit(LInst::Mov {
+                        dst: Loc::V(r),
+                        src: Opnd::Imm(match t {
+                            ValType::I32 => bits as u32 as i32 as i64,
+                            _ => bits as i64,
+                        }),
+                        width: vw(t),
+                    }),
+                }
+                (r, t)
+            }
+        }
+    }
+
+    fn pop_reg(&mut self) -> (u32, ValType) {
+        let sv = self.pop();
+        self.materialize(sv)
+    }
+
+    /// Pops a value into a vreg the caller may clobber: temporaries are
+    /// returned in place, aliases and constants are copied into a fresh
+    /// register first.
+    fn pop_temp(&mut self) -> (u32, ValType) {
+        let sv = self.pop();
+        match sv {
+            SV::Reg(r, t, true) => (r, t),
+            SV::Reg(r, t, false) => {
+                let fresh = self.vreg(t);
+                self.move_into(fresh, t, r);
+                (fresh, t)
+            }
+            SV::Const(..) => self.materialize(sv),
+        }
+    }
+
+    /// Copies any stack aliases of local `i` into temporaries before the
+    /// local is overwritten (Liftoff's materialize-on-set rule).
+    fn flush_local_aliases(&mut self, i: u32) {
+        for k in 0..self.stack.len() {
+            if let SV::Reg(r, t, false) = self.stack[k] {
+                if r == i {
+                    let fresh = self.vreg(t);
+                    self.move_into(fresh, t, r);
+                    self.stack[k] = SV::Reg(fresh, t, true);
+                }
+            }
+        }
+    }
+
+    /// The asm.js `|0` coercion after integer results and the i64-pair
+    /// overhead.
+    fn asmjs_int_coercion(&mut self, r: u32, t: ValType) {
+        if !self.profile.asmjs {
+            return;
+        }
+        self.emit(LInst::Alu {
+            op: AluOp::Or,
+            dst: Loc::V(r),
+            src: Opnd::Imm(0),
+            width: vw(t),
+        });
+        if t == ValType::I64 {
+            // asm.js has no i64: model the pair lowering with an extra
+            // coercion on the high half.
+            self.emit(LInst::Alu {
+                op: AluOp::Or,
+                dst: Loc::V(r),
+                src: Opnd::Imm(0),
+                width: Width::W64,
+            });
+        }
+    }
+
+    /// The asm.js `+x` coercion: a move through a fresh register.
+    fn asmjs_float_coercion(&mut self, r: u32, t: ValType) -> u32 {
+        if !self.profile.asmjs {
+            return r;
+        }
+        let t2 = self.vreg(t);
+        self.emit(LInst::MovF {
+            dst: FOpnd::Loc(FLoc::V(t2)),
+            src: FOpnd::Loc(FLoc::V(r)),
+            prec: fprec(t),
+        });
+        t2
+    }
+
+    /// Builds the memory operand for a linear-memory access whose dynamic
+    /// address is on the stack.
+    fn mem_operand(&mut self, memarg: &MemArg) -> LMem {
+        let (addr, _) = self.pop_reg();
+        if self.profile.asmjs {
+            // Masked heap access: and addr, mask; [addr + disp].
+            let t = self.vreg(ValType::I32);
+            self.emit(LInst::Mov {
+                dst: Loc::V(t),
+                src: Opnd::Loc(Loc::V(addr)),
+                width: Width::W32,
+            });
+            self.emit(LInst::Alu {
+                op: AluOp::And,
+                dst: Loc::V(t),
+                src: Opnd::Imm(self.heap_mask),
+                width: Width::W32,
+            });
+            return LMem {
+                base: Some(Loc::V(t)),
+                index: None,
+                disp: memarg.offset as i64,
+            };
+        }
+        let membase = self.profile.membase.expect("wasm mode has a membase");
+        if self.profile.tier >= Tier::Y2018 {
+            // [membase + addr*1 + disp].
+            LMem {
+                base: Some(Loc::P(membase)),
+                index: Some((Loc::V(addr), 1)),
+                disp: memarg.offset as i64,
+            }
+        } else {
+            // 2017-era: explicit offset addition first.
+            let t = self.vreg(ValType::I32);
+            self.emit(LInst::Mov {
+                dst: Loc::V(t),
+                src: Opnd::Loc(Loc::V(addr)),
+                width: Width::W32,
+            });
+            if memarg.offset != 0 {
+                self.emit(LInst::Alu {
+                    op: AluOp::Add,
+                    dst: Loc::V(t),
+                    src: Opnd::Imm(memarg.offset as i64),
+                    width: Width::W32,
+                });
+            }
+            LMem {
+                base: Some(Loc::P(membase)),
+                index: Some((Loc::V(t), 1)),
+                disp: 0,
+            }
+        }
+    }
+
+    /// Emits the value moves + jump for a branch to relative depth `d`.
+    fn emit_branch(&mut self, d: u32) {
+        let fi = self.ctrl.len() - 1 - d as usize;
+        // A branch to a loop header carries no values; to a block end it
+        // carries the result.
+        let (target, result) = {
+            let f = &self.ctrl[fi];
+            (f.br_target, if f.kind == FrameKind::Loop { None } else { f.result })
+        };
+        if let Some((rv, rt)) = result {
+            let (top, _) = self.pop_reg();
+            self.push(SV::Reg(top, rt, true)); // Keep stack shape for fallthrough.
+            match vclass(rt) {
+                VClass::Float => self.emit(LInst::MovF {
+                    dst: FOpnd::Loc(FLoc::V(rv)),
+                    src: FOpnd::Loc(FLoc::V(top)),
+                    prec: fprec(rt),
+                }),
+                VClass::Int => self.emit(LInst::Mov {
+                    dst: Loc::V(rv),
+                    src: Opnd::Loc(Loc::V(top)),
+                    width: Width::W64,
+                }),
+            }
+        }
+        self.emit(LInst::Jmp { target });
+    }
+
+    fn compile_body(&mut self, body: &[Instr]) -> JResult<()> {
+        let mut i = 0;
+        while i < body.len() {
+            if self.dead {
+                // Skip the unreachable remainder of this structured body.
+                break;
+            }
+            // Y2019 compare/branch fusion: `relop [eqz] br_if` compiles
+            // to one compare and one conditional jump.
+            if self.profile.tier >= Tier::Y2019 && i + 1 < body.len() {
+                // Optional eqz between the compare and the branch (the
+                // producer's canonical while-loop exit shape).
+                let (negate, skip) = if i + 2 < body.len()
+                    && matches!(body[i + 1], Instr::ITestop(NumWidth::X32))
+                {
+                    (true, 2)
+                } else {
+                    (false, 1)
+                };
+                let fused = match (&body[i], &body[i + skip]) {
+                    (Instr::IRelop(w, op), Instr::BrIf(d)) => {
+                        let (rhs, _) = self.pop_int_opnd();
+                        let (lhs, _) = self.pop_int_opnd();
+                        let lhs = self.force_loc(lhs, int_ty(*w));
+                        self.emit(LInst::Cmp {
+                            lhs,
+                            rhs,
+                            width: nw_width(*w),
+                        });
+                        let cc = if negate {
+                            irel_cc(*op).negate()
+                        } else {
+                            irel_cc(*op)
+                        };
+                        self.fused_br_if(cc, *d);
+                        true
+                    }
+                    (Instr::FRelop(w, op), Instr::BrIf(d)) => {
+                        let (rhs, _) = self.pop_reg();
+                        let (lhs, _) = self.pop_reg();
+                        self.emit(LInst::Ucomis {
+                            lhs: FLoc::V(lhs),
+                            rhs: FOpnd::Loc(FLoc::V(rhs)),
+                            prec: nw_prec(*w),
+                        });
+                        let cc = if negate {
+                            frel_cc(*op).negate()
+                        } else {
+                            frel_cc(*op)
+                        };
+                        self.fused_br_if(cc, *d);
+                        true
+                    }
+                    (Instr::ITestop(w), Instr::BrIf(d)) if !negate => {
+                        let (v, _) = self.pop_reg();
+                        self.emit(LInst::Cmp {
+                            lhs: Opnd::Loc(Loc::V(v)),
+                            rhs: Opnd::Imm(0),
+                            width: nw_width(*w),
+                        });
+                        self.fused_br_if(Cc::E, *d);
+                        true
+                    }
+                    _ => false,
+                };
+                if fused {
+                    i += skip + 1;
+                    continue;
+                }
+            }
+            self.compile_instr(&body[i])?;
+            i += 1;
+        }
+        Ok(())
+    }
+
+    fn force_loc(&mut self, o: Opnd, t: ValType) -> Opnd {
+        match o {
+            Opnd::Imm(v) => {
+                let r = self.vreg(t);
+                self.emit(LInst::Mov {
+                    dst: Loc::V(r),
+                    src: Opnd::Imm(v),
+                    width: vw(t),
+                });
+                Opnd::Loc(Loc::V(r))
+            }
+            other => other,
+        }
+    }
+
+    /// Conditional branch on already-set flags (fused compare).
+    fn fused_br_if(&mut self, cc: Cc, d: u32) {
+        let fi = self.ctrl.len() - 1 - d as usize;
+        let needs_values =
+            self.ctrl[fi].kind != FrameKind::Loop && self.ctrl[fi].result.is_some();
+        if needs_values {
+            // Can't fuse cleanly when the branch carries a value: fall
+            // back to a skip-block.
+            let skip = self.reserve_block();
+            let taken = self.reserve_block();
+            self.emit(LInst::Jcc { cc, target: taken });
+            self.emit(LInst::Jmp { target: skip });
+            self.place_block(taken);
+            self.emit_branch(d);
+            self.place_block(skip);
+        } else {
+            let target = self.ctrl[fi].br_target;
+            self.emit(LInst::Jcc { cc, target });
+        }
+    }
+
+    fn compile_instr(&mut self, instr: &Instr) -> JResult<()> {
+        match instr {
+            Instr::Unreachable => {
+                self.emit(LInst::Trap {
+                    kind: TrapKind::Unreachable,
+                });
+                self.dead = true;
+            }
+            Instr::Nop => {}
+            Instr::Block(bt, inner) => {
+                let end = self.reserve_block();
+                let result = bt.result().map(|t| (self.vreg(t), t));
+                self.ctrl.push(Frame {
+                    kind: FrameKind::Block,
+                    br_target: end,
+                    end_block: end,
+                    result,
+                    height: self.stack.len(),
+                });
+                self.compile_body(inner)?;
+                self.finish_frame()?;
+            }
+            Instr::Loop(bt, inner) => {
+                let head = self.reserve_block();
+                let end = self.reserve_block();
+                let br_target = if self.profile.loop_entry_jump {
+                    // Chrome's pattern (Figure 7c): the function entry path
+                    // takes two jumps through an out-of-line prologue block
+                    // before reaching the loop body at `entry2`; back edges
+                    // target the body directly.
+                    let entry2 = self.reserve_block();
+                    self.emit(LInst::Jmp { target: head });
+                    self.place_block(head);
+                    self.emit(LInst::Jmp { target: entry2 });
+                    self.place_block(entry2);
+                    entry2
+                } else {
+                    self.emit(LInst::Jmp { target: head });
+                    self.place_block(head);
+                    head
+                };
+                let result = bt.result().map(|t| (self.vreg(t), t));
+                self.ctrl.push(Frame {
+                    kind: FrameKind::Loop,
+                    br_target,
+                    end_block: end,
+                    result,
+                    height: self.stack.len(),
+                });
+                self.compile_body(inner)?;
+                // Loop results stay on the stack at normal exit.
+                let f = self.ctrl.pop().expect("frame");
+                if !self.dead {
+                    self.emit(LInst::Jmp {
+                        target: f.end_block,
+                    });
+                }
+                self.dead = false;
+                let preserved: Vec<SV> = if f.result.is_some() {
+                    self.stack.drain(f.height..).collect()
+                } else {
+                    self.stack.truncate(f.height);
+                    Vec::new()
+                };
+                self.stack.extend(preserved);
+                self.place_block(f.end_block);
+            }
+            Instr::If(bt, then_b, else_b) => {
+                let (c, _) = self.pop_reg();
+                let end = self.reserve_block();
+                let else_blk = self.reserve_block();
+                self.emit(LInst::Test {
+                    lhs: Opnd::Loc(Loc::V(c)),
+                    rhs: Opnd::Loc(Loc::V(c)),
+                    width: Width::W32,
+                });
+                self.emit(LInst::Jcc {
+                    cc: Cc::E,
+                    target: else_blk,
+                });
+                let result = bt.result().map(|t| (self.vreg(t), t));
+                let height = self.stack.len();
+                self.ctrl.push(Frame {
+                    kind: FrameKind::If,
+                    br_target: end,
+                    end_block: end,
+                    result,
+                    height,
+                });
+                self.compile_body(then_b)?;
+                // Close the then-arm: move result, jump to end.
+                if !self.dead {
+                    if let Some((rv, rt)) = result {
+                        let (top, _) = self.pop_reg();
+                        self.move_into(rv, rt, top);
+                    }
+                    self.emit(LInst::Jmp { target: end });
+                }
+                self.dead = false;
+                self.stack.truncate(height);
+                self.place_block(else_blk);
+                self.compile_body(else_b)?;
+                let f = self.ctrl.pop().expect("frame");
+                if !self.dead {
+                    if let Some((rv, rt)) = f.result {
+                        let (top, _) = self.pop_reg();
+                        self.move_into(rv, rt, top);
+                    }
+                    self.emit(LInst::Jmp { target: end });
+                }
+                self.dead = false;
+                self.stack.truncate(f.height);
+                if let Some((rv, rt)) = f.result {
+                    self.push(SV::Reg(rv, rt, true));
+                }
+                self.place_block(end);
+            }
+            Instr::Br(d) => {
+                self.emit_branch(*d);
+                self.dead = true;
+            }
+            Instr::BrIf(d) => {
+                let (c, _) = self.pop_reg();
+                self.emit(LInst::Test {
+                    lhs: Opnd::Loc(Loc::V(c)),
+                    rhs: Opnd::Loc(Loc::V(c)),
+                    width: Width::W32,
+                });
+                self.fused_br_if(Cc::Ne, *d);
+            }
+            Instr::BrTable(targets, default) => {
+                let (idx, _) = self.pop_reg();
+                for (k, d) in targets.iter().enumerate() {
+                    let next = self.reserve_block();
+                    let case_blk = self.reserve_block();
+                    self.emit(LInst::Cmp {
+                        lhs: Opnd::Loc(Loc::V(idx)),
+                        rhs: Opnd::Imm(k as i64),
+                        width: Width::W32,
+                    });
+                    self.emit(LInst::Jcc {
+                        cc: Cc::E,
+                        target: case_blk,
+                    });
+                    self.emit(LInst::Jmp { target: next });
+                    self.place_block(case_blk);
+                    self.emit_branch(*d);
+                    self.place_block(next);
+                }
+                self.emit_branch(*default);
+                self.dead = true;
+            }
+            Instr::Return => {
+                let fty = self.current_ret();
+                let value = fty.map(|t| {
+                    let (r, _) = self.pop_reg();
+                    match vclass(t) {
+                        VClass::Float => Arg::Float(FOpnd::Loc(FLoc::V(r))),
+                        VClass::Int => Arg::Int(Opnd::Loc(Loc::V(r))),
+                    }
+                });
+                self.emit(LInst::Ret { value });
+                self.dead = true;
+            }
+            Instr::Call(f) => {
+                let ft = self.wasm.func_type(*f).expect("validated").clone();
+                let mut args = Vec::with_capacity(ft.params.len());
+                for p in ft.params.iter().rev() {
+                    let (r, _) = self.pop_reg();
+                    args.push(match vclass(*p) {
+                        VClass::Float => Arg::Float(FOpnd::Loc(FLoc::V(r))),
+                        VClass::Int => Arg::Int(Opnd::Loc(Loc::V(r))),
+                    });
+                }
+                args.reverse();
+                let ret = ft.result().map(|t| {
+                    let r = self.vreg(t);
+                    self.push(SV::Reg(r, t, true));
+                    match vclass(t) {
+                        VClass::Float => RetVal::Float(FLoc::V(r)),
+                        VClass::Int => RetVal::Int(Loc::V(r)),
+                    }
+                });
+                if *f < self.n_imports {
+                    // env.syscall import.
+                    let int_args: Vec<Opnd> = args
+                        .iter()
+                        .map(|a| match a {
+                            Arg::Int(o) => *o,
+                            Arg::Float(_) => unreachable!("syscall args are i32"),
+                        })
+                        .collect();
+                    let ret_loc = match ret {
+                        Some(RetVal::Int(l)) => Some(l),
+                        None => None,
+                        _ => unreachable!(),
+                    };
+                    self.emit(LInst::CallHost {
+                        id: 0,
+                        args: int_args,
+                        ret: ret_loc,
+                    });
+                } else {
+                    self.emit(LInst::Call {
+                        func: f - self.n_imports,
+                        args,
+                        ret,
+                    });
+                }
+            }
+            Instr::CallIndirect(type_idx) => {
+                let (idx, _) = self.pop_reg();
+                let ft = self.wasm.types[*type_idx as usize].clone();
+                // §6.2.3 checks: bounds, then signature.
+                let target = self.vreg(ValType::I64);
+                if self.profile.indirect_checks {
+                    self.emit(LInst::Cmp {
+                        lhs: Opnd::Loc(Loc::V(idx)),
+                        rhs: Opnd::Imm(self.table_len as i64),
+                        width: Width::W32,
+                    });
+                    self.emit(LInst::TrapIf {
+                        cc: Cc::Ae,
+                        kind: TrapKind::IndirectCallOutOfBounds,
+                    });
+                }
+                // t = idx << 4 (16-byte entries).
+                let t = self.vreg(ValType::I32);
+                self.emit(LInst::Mov {
+                    dst: Loc::V(t),
+                    src: Opnd::Loc(Loc::V(idx)),
+                    width: Width::W32,
+                });
+                self.emit(LInst::Shift {
+                    op: AluOp::Shl,
+                    dst: Loc::V(t),
+                    count: Opnd::Imm(4),
+                    width: Width::W32,
+                });
+                if self.profile.indirect_checks {
+                    let sig = self.vreg(ValType::I64);
+                    self.emit(LInst::Mov {
+                        dst: Loc::V(sig),
+                        src: Opnd::Mem(LMem {
+                            base: None,
+                            index: Some((Loc::V(t), 1)),
+                            disp: self.table_addr as i64,
+                        }),
+                        width: Width::W64,
+                    });
+                    self.emit(LInst::Cmp {
+                        lhs: Opnd::Loc(Loc::V(sig)),
+                        rhs: Opnd::Imm(*type_idx as i64),
+                        width: Width::W64,
+                    });
+                    self.emit(LInst::TrapIf {
+                        cc: Cc::Ne,
+                        kind: TrapKind::IndirectCallTypeMismatch,
+                    });
+                }
+                self.emit(LInst::Mov {
+                    dst: Loc::V(target),
+                    src: Opnd::Mem(LMem {
+                        base: None,
+                        index: Some((Loc::V(t), 1)),
+                        disp: self.table_addr as i64 + 8,
+                    }),
+                    width: Width::W64,
+                });
+                let mut args = Vec::with_capacity(ft.params.len());
+                for p in ft.params.iter().rev() {
+                    let (r, _) = self.pop_reg();
+                    args.push(match vclass(*p) {
+                        VClass::Float => Arg::Float(FOpnd::Loc(FLoc::V(r))),
+                        VClass::Int => Arg::Int(Opnd::Loc(Loc::V(r))),
+                    });
+                }
+                args.reverse();
+                let ret = ft.result().map(|t2| {
+                    let r = self.vreg(t2);
+                    self.push(SV::Reg(r, t2, true));
+                    match vclass(t2) {
+                        VClass::Float => RetVal::Float(FLoc::V(r)),
+                        VClass::Int => RetVal::Int(Loc::V(r)),
+                    }
+                });
+                self.emit(LInst::CallIndirect {
+                    target: Opnd::Loc(Loc::V(target)),
+                    args,
+                    ret,
+                });
+            }
+            Instr::Drop => {
+                self.pop();
+            }
+            Instr::Select => {
+                let (c, _) = self.pop_reg();
+                let (b, tb) = self.pop_reg();
+                let (a, ta) = self.pop_reg();
+                let r = self.vreg(ta);
+                let take_b = self.reserve_block();
+                let join = self.reserve_block();
+                self.move_into(r, ta, a);
+                self.emit(LInst::Test {
+                    lhs: Opnd::Loc(Loc::V(c)),
+                    rhs: Opnd::Loc(Loc::V(c)),
+                    width: Width::W32,
+                });
+                self.emit(LInst::Jcc {
+                    cc: Cc::E,
+                    target: take_b,
+                });
+                self.emit(LInst::Jmp { target: join });
+                self.place_block(take_b);
+                self.move_into(r, tb, b);
+                self.emit(LInst::Jmp { target: join });
+                self.place_block(join);
+                self.push(SV::Reg(r, ta, true));
+            }
+            Instr::LocalGet(i) => {
+                let t = self.local_ty(*i);
+                if self.profile.tier >= Tier::Y2018 {
+                    // Liftoff-style aliasing: no copy until a local.set
+                    // or a clobbering consumer forces one.
+                    self.push(SV::Reg(*i, t, false));
+                } else {
+                    let r = self.vreg(t);
+                    self.move_into(r, t, *i);
+                    self.push(SV::Reg(r, t, true));
+                }
+            }
+            Instr::LocalSet(i) => {
+                self.flush_local_aliases(*i);
+                let (v, _) = self.pop_reg();
+                let t = self.local_ty(*i);
+                self.move_into(*i, t, v);
+            }
+            Instr::LocalTee(i) => {
+                self.flush_local_aliases(*i);
+                let (v, t) = self.pop_reg();
+                let lt = self.local_ty(*i);
+                self.move_into(*i, lt, v);
+                self.push(SV::Reg(v, t, v != *i));
+            }
+            Instr::GlobalGet(_) | Instr::GlobalSet(_) => {
+                return Err("wasm globals are not used by the emcc pipeline".into());
+            }
+            Instr::Load { ty, sub, memarg } => {
+                let mem = self.mem_operand(memarg);
+                let r = self.vreg(*ty);
+                match (vclass(*ty), sub) {
+                    (VClass::Float, _) => self.emit(LInst::MovF {
+                        dst: FOpnd::Loc(FLoc::V(r)),
+                        src: FOpnd::Mem(mem),
+                        prec: fprec(*ty),
+                    }),
+                    (VClass::Int, None) => self.emit(LInst::Mov {
+                        dst: Loc::V(r),
+                        src: Opnd::Mem(mem),
+                        width: vw(*ty),
+                    }),
+                    (VClass::Int, Some((sw, signed))) => {
+                        let from = sub_width(*sw);
+                        if *signed {
+                            self.emit(LInst::Movsx {
+                                dst: Loc::V(r),
+                                src: Opnd::Mem(mem),
+                                from,
+                                to: vw(*ty),
+                            });
+                        } else {
+                            self.emit(LInst::Movzx {
+                                dst: Loc::V(r),
+                                src: Opnd::Mem(mem),
+                                from,
+                            });
+                        }
+                    }
+                }
+                self.push(SV::Reg(r, *ty, true));
+            }
+            Instr::Store { ty, sub, memarg } => {
+                let (v, _) = self.pop_reg();
+                let mem = self.mem_operand(memarg);
+                match vclass(*ty) {
+                    VClass::Float => self.emit(LInst::MovF {
+                        dst: FOpnd::Mem(mem),
+                        src: FOpnd::Loc(FLoc::V(v)),
+                        prec: fprec(*ty),
+                    }),
+                    VClass::Int => {
+                        let width = match sub {
+                            None => vw(*ty),
+                            Some(sw) => sub_width(*sw),
+                        };
+                        self.emit(LInst::Store {
+                            mem,
+                            src: Opnd::Loc(Loc::V(v)),
+                            width,
+                        });
+                    }
+                }
+            }
+            Instr::MemorySize => {
+                let pages = self.wasm.memory.map(|l| l.min).unwrap_or(0);
+                let r = self.vreg(ValType::I32);
+                self.emit(LInst::Mov {
+                    dst: Loc::V(r),
+                    src: Opnd::Imm(pages as i64),
+                    width: Width::W32,
+                });
+                self.push(SV::Reg(r, ValType::I32, true));
+            }
+            Instr::MemoryGrow => {
+                // Static memories in this pipeline: growth always fails.
+                self.pop();
+                let r = self.vreg(ValType::I32);
+                self.emit(LInst::Mov {
+                    dst: Loc::V(r),
+                    src: Opnd::Imm(-1),
+                    width: Width::W32,
+                });
+                self.push(SV::Reg(r, ValType::I32, true));
+            }
+            Instr::I32Const(v) => self.push_const(ValType::I32, *v as u32 as u64),
+            Instr::I64Const(v) => self.push_const(ValType::I64, *v as u64),
+            Instr::F32Const(b) => self.push_const(ValType::F32, *b as u64),
+            Instr::F64Const(b) => self.push_const(ValType::F64, *b),
+            Instr::ITestop(w) => {
+                let (v, _) = self.pop_reg();
+                let r = self.vreg(ValType::I32);
+                self.emit(LInst::Cmp {
+                    lhs: Opnd::Loc(Loc::V(v)),
+                    rhs: Opnd::Imm(0),
+                    width: nw_width(*w),
+                });
+                self.emit(LInst::Setcc {
+                    cc: Cc::E,
+                    dst: Loc::V(r),
+                });
+                self.push(SV::Reg(r, ValType::I32, true));
+            }
+            Instr::IRelop(w, op) => {
+                let (rhs, _) = self.pop_int_opnd();
+                let (lhs, _) = self.pop_int_opnd();
+                let lhs = self.force_loc(lhs, int_ty(*w));
+                let r = self.vreg(ValType::I32);
+                self.emit(LInst::Cmp {
+                    lhs,
+                    rhs,
+                    width: nw_width(*w),
+                });
+                self.emit(LInst::Setcc {
+                    cc: irel_cc(*op),
+                    dst: Loc::V(r),
+                });
+                self.push(SV::Reg(r, ValType::I32, true));
+            }
+            Instr::FRelop(w, op) => {
+                let (rhs, _) = self.pop_reg();
+                let (lhs, _) = self.pop_reg();
+                let r = self.vreg(ValType::I32);
+                self.emit(LInst::Ucomis {
+                    lhs: FLoc::V(lhs),
+                    rhs: FOpnd::Loc(FLoc::V(rhs)),
+                    prec: nw_prec(*w),
+                });
+                self.emit(LInst::Setcc {
+                    cc: frel_cc(*op),
+                    dst: Loc::V(r),
+                });
+                self.push(SV::Reg(r, ValType::I32, true));
+            }
+            Instr::IUnop(w, op) => {
+                let (v, t) = self.pop_reg();
+                let r = self.vreg(t);
+                let kind = match op {
+                    IUnop::Clz => LInst::Lzcnt {
+                        dst: Loc::V(r),
+                        src: Opnd::Loc(Loc::V(v)),
+                        width: nw_width(*w),
+                    },
+                    IUnop::Ctz => LInst::Tzcnt {
+                        dst: Loc::V(r),
+                        src: Opnd::Loc(Loc::V(v)),
+                        width: nw_width(*w),
+                    },
+                    IUnop::Popcnt => LInst::Popcnt {
+                        dst: Loc::V(r),
+                        src: Opnd::Loc(Loc::V(v)),
+                        width: nw_width(*w),
+                    },
+                };
+                self.emit(kind);
+                self.push(SV::Reg(r, t, true));
+            }
+            Instr::IBinop(w, op) => {
+                let ty = int_ty(*w);
+                let width = nw_width(*w);
+                let (rhs, _) = self.pop_int_opnd();
+                let (r, _) = self.pop_temp();
+                match op {
+                    IBinop::Add | IBinop::Sub | IBinop::And | IBinop::Or | IBinop::Xor => {
+                        let aop = match op {
+                            IBinop::Add => AluOp::Add,
+                            IBinop::Sub => AluOp::Sub,
+                            IBinop::And => AluOp::And,
+                            IBinop::Or => AluOp::Or,
+                            _ => AluOp::Xor,
+                        };
+                        let rhs = self.maybe_force(rhs, ty);
+                        self.emit(LInst::Alu {
+                            op: aop,
+                            dst: Loc::V(r),
+                            src: rhs,
+                            width,
+                        });
+                    }
+                    IBinop::Mul => match rhs {
+                        Opnd::Imm(v) if self.profile.tier >= Tier::Y2018 => {
+                            self.emit(LInst::Imul3 {
+                                dst: Loc::V(r),
+                                src: Opnd::Loc(Loc::V(r)),
+                                imm: v,
+                                width,
+                            });
+                        }
+                        _ => {
+                            let rhs = self.force_loc(rhs, ty);
+                            self.emit(LInst::Imul {
+                                dst: Loc::V(r),
+                                src: rhs,
+                                width,
+                            });
+                        }
+                    },
+                    IBinop::DivS | IBinop::DivU | IBinop::RemS | IBinop::RemU => {
+                        let rhs = self.force_loc(rhs, ty);
+                        let Opnd::Loc(rl) = rhs else { unreachable!() };
+                        self.emit(LInst::Div {
+                            signed: matches!(op, IBinop::DivS | IBinop::RemS),
+                            rem: matches!(op, IBinop::RemS | IBinop::RemU),
+                            dst: Loc::V(r),
+                            lhs: Loc::V(r),
+                            rhs: rl,
+                            width,
+                        });
+                    }
+                    IBinop::Shl | IBinop::ShrS | IBinop::ShrU | IBinop::Rotl | IBinop::Rotr => {
+                        let sop = match op {
+                            IBinop::Shl => AluOp::Shl,
+                            IBinop::ShrS => AluOp::Sar,
+                            IBinop::ShrU => AluOp::Shr,
+                            IBinop::Rotl => AluOp::Rol,
+                            _ => AluOp::Ror,
+                        };
+                        self.emit(LInst::Shift {
+                            op: sop,
+                            dst: Loc::V(r),
+                            count: rhs,
+                            width,
+                        });
+                    }
+                }
+                self.asmjs_int_coercion(r, ty);
+                self.push(SV::Reg(r, ty, true));
+            }
+            Instr::FUnop(w, op) => {
+                let t = float_ty(*w);
+                let (v, _) = self.pop_reg();
+                let r = self.vreg(t);
+                match op {
+                    FUnop::Neg => {
+                        let m1 = self.vreg(t);
+                        self.emit(LInst::MovFImm {
+                            dst: FLoc::V(m1),
+                            bits: match t {
+                                ValType::F32 => (-1.0f32).to_bits() as u64,
+                                _ => (-1.0f64).to_bits(),
+                            },
+                            prec: fprec(t),
+                        });
+                        self.emit(LInst::MovF {
+                            dst: FOpnd::Loc(FLoc::V(r)),
+                            src: FOpnd::Loc(FLoc::V(v)),
+                            prec: fprec(t),
+                        });
+                        self.emit(LInst::AluF {
+                            op: wasmperf_isa::FAluOp::Mul,
+                            dst: FLoc::V(r),
+                            src: FOpnd::Loc(FLoc::V(m1)),
+                            prec: fprec(t),
+                        });
+                    }
+                    FUnop::Abs => self.emit(LInst::AbsF {
+                        dst: FLoc::V(r),
+                        src: FOpnd::Loc(FLoc::V(v)),
+                        prec: fprec(t),
+                    }),
+                    FUnop::Sqrt => self.emit(LInst::SqrtF {
+                        dst: FLoc::V(r),
+                        src: FOpnd::Loc(FLoc::V(v)),
+                        prec: fprec(t),
+                    }),
+                    FUnop::Ceil | FUnop::Floor | FUnop::Trunc | FUnop::Nearest => {
+                        let mode = match op {
+                            FUnop::Ceil => RoundMode::Ceil,
+                            FUnop::Floor => RoundMode::Floor,
+                            FUnop::Trunc => RoundMode::Trunc,
+                            _ => RoundMode::Nearest,
+                        };
+                        self.emit(LInst::RoundF {
+                            dst: FLoc::V(r),
+                            src: FOpnd::Loc(FLoc::V(v)),
+                            prec: fprec(t),
+                            mode,
+                        });
+                    }
+                }
+                let r = self.asmjs_float_coercion(r, t);
+                self.push(SV::Reg(r, t, true));
+            }
+            Instr::FBinop(w, op) => {
+                let t = float_ty(*w);
+                let (rhs, _) = self.pop_reg();
+                let (r, _) = self.pop_temp();
+                let fop = match op {
+                    FBinop::Add => wasmperf_isa::FAluOp::Add,
+                    FBinop::Sub => wasmperf_isa::FAluOp::Sub,
+                    FBinop::Mul => wasmperf_isa::FAluOp::Mul,
+                    FBinop::Div => wasmperf_isa::FAluOp::Div,
+                    FBinop::Min => wasmperf_isa::FAluOp::Min,
+                    FBinop::Max => wasmperf_isa::FAluOp::Max,
+                    FBinop::Copysign => {
+                        return Err("copysign is not produced by the emcc pipeline".into());
+                    }
+                };
+                self.emit(LInst::AluF {
+                    op: fop,
+                    dst: FLoc::V(r),
+                    src: FOpnd::Loc(FLoc::V(rhs)),
+                    prec: fprec(t),
+                });
+                let r = self.asmjs_float_coercion(r, t);
+                self.push(SV::Reg(r, t, true));
+            }
+            Instr::Cvt(op) => self.compile_cvt(*op),
+        }
+        Ok(())
+    }
+
+    fn push_const(&mut self, t: ValType, bits: u64) {
+        if self.profile.tier >= Tier::Y2018 && !matches!(t, ValType::F32 | ValType::F64) {
+            self.push(SV::Const(t, bits));
+        } else {
+            let sv = SV::Const(t, bits);
+            let (r, _) = self.materialize(sv);
+            self.push(SV::Reg(r, t, true));
+        }
+    }
+
+    /// Move helper working on both classes: `dst_vreg <- src_vreg`.
+    fn move_into(&mut self, dst: u32, t: ValType, src: u32) {
+        if dst == src {
+            return;
+        }
+        match vclass(t) {
+            VClass::Float => self.emit(LInst::MovF {
+                dst: FOpnd::Loc(FLoc::V(dst)),
+                src: FOpnd::Loc(FLoc::V(src)),
+                prec: fprec(t),
+            }),
+            VClass::Int => self.emit(LInst::Mov {
+                dst: Loc::V(dst),
+                src: Opnd::Loc(Loc::V(src)),
+                width: Width::W64,
+            }),
+        }
+    }
+
+    fn maybe_force(&mut self, o: Opnd, t: ValType) -> Opnd {
+        if self.profile.tier >= Tier::Y2018 {
+            o
+        } else {
+            self.force_loc(o, t)
+        }
+    }
+
+    fn local_ty(&self, i: u32) -> ValType {
+        self.local_tys[i as usize]
+    }
+
+    fn current_ret(&self) -> Option<ValType> {
+        self.ret_ty
+    }
+
+    fn compile_cvt(&mut self, op: CvtOp) {
+        use CvtOp::*;
+        let (from, to) = op.signature();
+        let (v, _) = self.pop_reg();
+        let r = self.vreg(to);
+        match op {
+            I32WrapI64 => self.emit(LInst::Mov {
+                dst: Loc::V(r),
+                src: Opnd::Loc(Loc::V(v)),
+                width: Width::W32,
+            }),
+            I64ExtendI32S => self.emit(LInst::Movsx {
+                dst: Loc::V(r),
+                src: Opnd::Loc(Loc::V(v)),
+                from: Width::W32,
+                to: Width::W64,
+            }),
+            I64ExtendI32U => self.emit(LInst::Mov {
+                dst: Loc::V(r),
+                src: Opnd::Loc(Loc::V(v)),
+                width: Width::W32,
+            }),
+            I32TruncF32S | I32TruncF64S | I64TruncF32S | I64TruncF64S => {
+                self.emit(LInst::CvtFToInt {
+                    dst: Loc::V(r),
+                    src: FOpnd::Loc(FLoc::V(v)),
+                    width: vw(to),
+                    prec: fprec(from),
+                    unsigned: false,
+                })
+            }
+            I32TruncF32U | I32TruncF64U | I64TruncF32U | I64TruncF64U => {
+                self.emit(LInst::CvtFToInt {
+                    dst: Loc::V(r),
+                    src: FOpnd::Loc(FLoc::V(v)),
+                    width: vw(to),
+                    prec: fprec(from),
+                    unsigned: true,
+                })
+            }
+            F32ConvertI32S | F64ConvertI32S | F32ConvertI64S | F64ConvertI64S => {
+                self.emit(LInst::CvtIntToF {
+                    dst: FLoc::V(r),
+                    src: Opnd::Loc(Loc::V(v)),
+                    width: vw(from),
+                    prec: fprec(to),
+                    unsigned: false,
+                })
+            }
+            F32ConvertI32U | F64ConvertI32U | F32ConvertI64U | F64ConvertI64U => {
+                self.emit(LInst::CvtIntToF {
+                    dst: FLoc::V(r),
+                    src: Opnd::Loc(Loc::V(v)),
+                    width: vw(from),
+                    prec: fprec(to),
+                    unsigned: true,
+                })
+            }
+            F32DemoteF64 => self.emit(LInst::CvtFToF {
+                dst: FLoc::V(r),
+                src: FOpnd::Loc(FLoc::V(v)),
+                from: FPrec::F64,
+            }),
+            F64PromoteF32 => self.emit(LInst::CvtFToF {
+                dst: FLoc::V(r),
+                src: FOpnd::Loc(FLoc::V(v)),
+                from: FPrec::F32,
+            }),
+            I32ReinterpretF32 | I64ReinterpretF64 | F32ReinterpretI32 | F64ReinterpretI64 => {
+                // Not produced by the emcc pipeline; model as a move
+                // through memory would be overkill — unsupported.
+                unimplemented!("reinterpret casts are not produced by emcc-lite")
+            }
+        }
+        self.push(SV::Reg(r, to, true));
+    }
+
+    /// Pops the frame for Block, moving results and rejoining control.
+    fn finish_frame(&mut self) -> JResult<()> {
+        let f = self.ctrl.pop().expect("frame");
+        if !self.dead {
+            if let Some((rv, rt)) = f.result {
+                let (top, _) = self.pop_reg();
+                self.move_into(rv, rt, top);
+            }
+            self.emit(LInst::Jmp {
+                target: f.end_block,
+            });
+        }
+        self.dead = false;
+        self.stack.truncate(f.height);
+        if let Some((rv, rt)) = f.result {
+            self.push(SV::Reg(rv, rt, true));
+        }
+        self.place_block(f.end_block);
+        Ok(())
+    }
+}
+
+fn int_ty(w: NumWidth) -> ValType {
+    match w {
+        NumWidth::X32 => ValType::I32,
+        NumWidth::X64 => ValType::I64,
+    }
+}
+
+fn float_ty(w: NumWidth) -> ValType {
+    match w {
+        NumWidth::X32 => ValType::F32,
+        NumWidth::X64 => ValType::F64,
+    }
+}
+
+fn nw_width(w: NumWidth) -> Width {
+    match w {
+        NumWidth::X32 => Width::W32,
+        NumWidth::X64 => Width::W64,
+    }
+}
+
+fn nw_prec(w: NumWidth) -> FPrec {
+    match w {
+        NumWidth::X32 => FPrec::F32,
+        NumWidth::X64 => FPrec::F64,
+    }
+}
+
+fn sub_width(sw: SubWidth) -> Width {
+    match sw {
+        SubWidth::B8 => Width::W8,
+        SubWidth::B16 => Width::W16,
+        SubWidth::B32 => Width::W32,
+    }
+}
+
+/// Lowers each function to LIR without allocating (test/debug hook).
+pub fn debug_lower(
+    wasm: &WasmModule,
+    profile: &EngineProfile,
+) -> Result<Vec<LFunc>, String> {
+    let out = compile_inner(wasm, profile, true)?;
+    Ok(out.1)
+}
+
+/// Compiles a validated wasm module under `profile`.
+pub fn compile(wasm: &WasmModule, profile: &EngineProfile) -> Result<JitOutput, String> {
+    Ok(compile_inner(wasm, profile, false)?.0)
+}
+
+fn compile_inner(
+    wasm: &WasmModule,
+    profile: &EngineProfile,
+    keep_lir: bool,
+) -> Result<(JitOutput, Vec<LFunc>), String> {
+    let mem_bytes = wasm.memory.map(|l| l.min as u64 * 65536).unwrap_or(0);
+    let table_len = wasm.table.map(|l| l.min).unwrap_or(0);
+    let table_addr = (mem_bytes + 15) & !15;
+    let table_bytes = table_len as u64 * 16;
+    let stack_limit_addr = table_addr + table_bytes;
+    let memory_size = (stack_limit_addr + 8 + 0xfff) & !0xfff;
+    // Trap when rsp comes within a page of the machine-stack floor.
+    let stack_limit_value = memory_size + 4096;
+
+    let heap_mask = (mem_bytes.max(1).next_power_of_two() - 1) as i64;
+
+    let n_imports = wasm.num_imported_funcs();
+    let mut lirs: Vec<LFunc> = Vec::new();
+    let mut module = Module {
+        funcs: Vec::with_capacity(wasm.funcs.len()),
+        table: Vec::new(),
+        entry: None,
+        memory_size,
+        data: wasm
+            .data
+            .iter()
+            .map(|d| (d.offset as u64, d.bytes.clone()))
+            .collect(),
+    };
+
+    // Serialize the (sig, code) table; empty slots trap on use.
+    if table_len > 0 {
+        let mut slots: Vec<(u64, u64)> = vec![(u64::MAX, u64::MAX); table_len as usize];
+        for e in &wasm.elems {
+            for (i, &f) in e.funcs.iter().enumerate() {
+                let sig = wasm
+                    .local_func(f)
+                    .map(|d| d.type_idx as u64)
+                    .ok_or("imported functions cannot enter the table")?;
+                slots[e.offset as usize + i] = (sig, (f - n_imports) as u64);
+            }
+        }
+        let mut bytes = Vec::with_capacity(slots.len() * 16);
+        for (sig, func) in slots {
+            bytes.extend_from_slice(&sig.to_le_bytes());
+            bytes.extend_from_slice(&func.to_le_bytes());
+        }
+        module.data.push((table_addr, bytes));
+    }
+    module
+        .data
+        .push((stack_limit_addr, stack_limit_value.to_le_bytes().to_vec()));
+
+    for (fi, def) in wasm.funcs.iter().enumerate() {
+        let ft = &wasm.types[def.type_idx as usize];
+        let mut lf = LFunc {
+            name: if def.name.is_empty() {
+                format!("wasm_func_{fi}")
+            } else {
+                def.name.clone()
+            },
+            ..LFunc::default()
+        };
+        let mut local_tys: Vec<ValType> = ft.params.clone();
+        local_tys.extend_from_slice(&def.locals);
+        for t in &local_tys {
+            lf.new_vreg(vclass(*t));
+        }
+        lf.params = ft.params.iter().map(|t| vclass(*t)).collect();
+        lf.blocks.push(LBlock::default());
+
+        let mut cx = JitFn {
+            wasm,
+            profile,
+            lf,
+            cur: 0,
+            stack: Vec::new(),
+            ctrl: Vec::new(),
+            n_imports,
+            table_addr,
+            table_len,
+            heap_mask,
+            dead: false,
+            local_tys,
+            ret_ty: ft.result(),
+        };
+
+        if profile.stack_check {
+            cx.emit(LInst::StackCheck {
+                limit_addr: stack_limit_addr,
+            });
+        }
+        // Zero non-parameter locals (wasm semantics).
+        for (i, t) in cx.local_tys.iter().enumerate().skip(ft.params.len()) {
+            match vclass(*t) {
+                VClass::Float => cx.lf.blocks[0].insts.push(LInst::MovFImm {
+                    dst: FLoc::V(i as u32),
+                    bits: 0,
+                    prec: fprec(*t),
+                }),
+                VClass::Int => cx.lf.blocks[0].insts.push(LInst::Mov {
+                    dst: Loc::V(i as u32),
+                    src: Opnd::Imm(0),
+                    width: Width::W64,
+                }),
+            }
+        }
+
+        cx.compile_body(&def.body)?;
+        if !cx.dead {
+            let value = ft.result().map(|t| {
+                let (r, _) = cx.pop_reg();
+                match vclass(t) {
+                    VClass::Float => Arg::Float(FOpnd::Loc(FLoc::V(r))),
+                    VClass::Int => Arg::Int(Opnd::Loc(Loc::V(r))),
+                }
+            });
+            cx.emit(LInst::Ret { value });
+        } else {
+            cx.emit(LInst::Ret { value: None });
+        }
+
+        let assign = allocate_linear_scan(&cx.lf, &profile.alloc);
+        module.funcs.push(emit_function(&cx.lf, &assign, &profile.alloc));
+        if keep_lir {
+            lirs.push(cx.lf);
+        }
+    }
+
+    // Entry: exported main.
+    if let Some(main) = wasm.exported_func("main") {
+        if main >= n_imports {
+            module.entry = Some(wasmperf_isa::FuncId(main - n_imports));
+        }
+    }
+
+    module.assign_addresses();
+    Ok((
+        JitOutput {
+            module,
+            table_addr,
+            stack_limit_addr,
+        },
+        lirs,
+    ))
+}
+
+#[cfg(test)]
+mod tests;

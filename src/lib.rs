@@ -1,0 +1,7 @@
+//! Workspace-level facade crate.
+//!
+//! This package exists to host the repository's cross-crate integration
+//! tests (`tests/`) and runnable examples (`examples/`). The public API
+//! lives in [`wasmperf_core`]; see that crate and the repository README.
+
+pub use wasmperf_core as core;

