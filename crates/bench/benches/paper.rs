@@ -58,9 +58,7 @@ fn fig3_execution(c: &mut Criterion) {
             .unwrap();
         for (ename, engine) in &engines {
             g.bench_function(BenchmarkId::new(*ename, bench_name), |bch| {
-                bch.iter(|| {
-                    black_box(run_one(&b, engine, AppendPolicy::Chunked4K).expect("runs"))
-                });
+                bch.iter(|| black_box(run_one(&b, engine, AppendPolicy::Chunked4K).expect("runs")));
             });
         }
     }
@@ -139,7 +137,10 @@ fn fig8_matmul_sweep(c: &mut Criterion) {
     g.bench_function("chrome", |b| {
         b.iter(|| {
             let mut m = Machine::new(&jit.module, NullHost);
-            black_box(m.run(jit.module.entry.unwrap(), &[], 1 << 40).expect("runs"))
+            black_box(
+                m.run(jit.module.entry.unwrap(), &[], 1 << 40)
+                    .expect("runs"),
+            )
         });
     });
     g.finish();
@@ -192,7 +193,12 @@ fn ablation_regalloc(c: &mut Criterion) {
     g.sample_size(10);
     let prog = bench_source("458.sjeng");
     g.bench_function("native_graph_coloring", |b| {
-        b.iter(|| black_box(wasmperf_clanglite::compile(&prog, &CompileOptions::default())));
+        b.iter(|| {
+            black_box(wasmperf_clanglite::compile(
+                &prog,
+                &CompileOptions::default(),
+            ))
+        });
     });
     let wasm = wasmperf_emcc::compile(&prog);
     g.bench_function("jit_linear_scan", |b| {

@@ -955,8 +955,8 @@ mod tests {
     #[test]
     fn kernels_run_and_produce_nonzero_checksums() {
         for b in all(Size::Test) {
-            let prog = wasmperf_cir::compile(&b.source)
-                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let prog =
+                wasmperf_cir::compile(&b.source).unwrap_or_else(|e| panic!("{}: {e}", b.name));
             let mut i = Interp::new(&prog, NoSyscalls);
             i.set_fuel(200_000_000);
             let r = i

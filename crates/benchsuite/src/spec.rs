@@ -37,7 +37,7 @@ fn bzip2(size: Size) -> Benchmark {
     while input.len() < input_len as usize {
         let run = 1 + rng.below(12) as usize;
         let byte = b'a' + (rng.below(20) as u8);
-        input.extend(std::iter::repeat(byte).take(run));
+        input.extend(std::iter::repeat_n(byte, run));
     }
     input.truncate(input_len as usize);
 
@@ -1270,8 +1270,7 @@ mod tests {
     /// Runs a spec benchmark under the CLite interpreter with a Browsix
     /// kernel, returning (checksum, kernel).
     fn run_with_kernel(b: &Benchmark) -> (i32, Kernel) {
-        let prog = wasmperf_cir::compile(&b.source)
-            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let prog = wasmperf_cir::compile(&b.source).unwrap_or_else(|e| panic!("{}: {e}", b.name));
         let mut kernel = Kernel::new(AppendPolicy::Chunked4K);
         for (path, data) in &b.inputs {
             kernel.fs.write_all(path, data).expect("stage input");
@@ -1282,7 +1281,7 @@ mod tests {
             .run("main", &[])
             .unwrap_or_else(|e| panic!("{} traps: {e}", b.name));
         let cs = r.expect("checksum") as u32 as i32;
-        let kernel = std::mem::replace(interp.host_mut(), Kernel::default());
+        let kernel = std::mem::take(interp.host_mut());
         (cs, kernel)
     }
 
@@ -1292,9 +1291,10 @@ mod tests {
             let (cs, kernel) = run_with_kernel(&b);
             assert_ne!(cs, 0, "{}: zero checksum", b.name);
             for out in &b.outputs {
-                let size = kernel.fs.size(out).unwrap_or_else(|_| {
-                    panic!("{}: missing output {out}", b.name)
-                });
+                let size = kernel
+                    .fs
+                    .size(out)
+                    .unwrap_or_else(|_| panic!("{}: missing output {out}", b.name));
                 assert!(size > 0, "{}: empty output {out}", b.name);
             }
         }
@@ -1334,14 +1334,20 @@ mod tests {
 
     #[test]
     fn mcf_has_a_large_straight_line_loop() {
-        let b = all(Size::Test).into_iter().find(|b| b.name == "429.mcf").unwrap();
+        let b = all(Size::Test)
+            .into_iter()
+            .find(|b| b.name == "429.mcf")
+            .unwrap();
         // The generated relaxation block repeats many times.
         assert!(b.source.matches("if (w < dist[v])").count() >= 90);
     }
 
     #[test]
     fn sjeng_has_a_huge_evaluator() {
-        let b = all(Size::Test).into_iter().find(|b| b.name == "458.sjeng").unwrap();
+        let b = all(Size::Test)
+            .into_iter()
+            .find(|b| b.name == "458.sjeng")
+            .unwrap();
         assert!(b.source.len() > 40_000, "{}", b.source.len());
     }
 }

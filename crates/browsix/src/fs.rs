@@ -40,11 +40,11 @@ pub enum FsError {
 /// The errno value for an error.
 pub fn errno(e: &FsError) -> i32 {
     match e {
-        FsError::NotFound => -2,   // ENOENT
+        FsError::NotFound => -2,     // ENOENT
         FsError::IsDirectory => -21, // EISDIR
         FsError::NoParent => -2,
-        FsError::NotEmpty => -39,  // ENOTEMPTY
-        FsError::Exists => -17,    // EEXIST
+        FsError::NotEmpty => -39, // ENOTEMPTY
+        FsError::Exists => -17,   // EEXIST
     }
 }
 
@@ -222,9 +222,7 @@ impl BrowserFs {
                     // Reallocate per policy, copying the live contents.
                     let new_cap = match policy {
                         AppendPolicy::ExactFit => end,
-                        AppendPolicy::Chunked4K => {
-                            end.max(buf.len() * 2).max(buf.len() + 4096)
-                        }
+                        AppendPolicy::Chunked4K => end.max(buf.len() * 2).max(buf.len() + 4096),
                     };
                     let mut nb = vec![0u8; new_cap];
                     nb[..*len].copy_from_slice(&buf[..*len]);
@@ -265,15 +263,15 @@ impl BrowserFs {
         if !matches!(self.nodes.get(&p), Some(Node::Dir)) {
             return Err(FsError::NotFound);
         }
-        let prefix = if p == "/" { "/".to_string() } else { format!("{}/", p) };
+        let prefix = if p == "/" {
+            "/".to_string()
+        } else {
+            format!("{}/", p)
+        };
         Ok(self
             .nodes
             .keys()
-            .filter(|k| {
-                k.starts_with(&prefix)
-                    && **k != p
-                    && !k[prefix.len()..].contains('/')
-            })
+            .filter(|k| k.starts_with(&prefix) && **k != p && !k[prefix.len()..].contains('/'))
             .map(|k| k[prefix.len()..].to_string())
             .collect())
     }

@@ -140,6 +140,11 @@ pub struct Kernel {
     pub stats: KernelStats,
     /// Exit code observed via the exit syscall.
     pub exit_code: Option<i32>,
+    /// When present, every serviced syscall is appended here (the strace
+    /// analog). `None` (the default) records nothing.
+    pub strace: Option<wasmperf_trace::StraceLog>,
+    /// Payload bytes of the most recent syscall, captured by `finish`.
+    last_payload: u64,
 }
 
 impl Default for Kernel {
@@ -150,6 +155,10 @@ impl Default for Kernel {
 
 /// Abstracts process memory so the same kernel serves the CPU simulator,
 /// the CLite interpreter, and the wasm interpreter.
+///
+/// `Err(())` means the access faulted; the kernel turns it into `EFAULT`,
+/// so the error carries no further information.
+#[allow(clippy::result_unit_err)]
 pub trait ProcMem {
     /// Reads `len` bytes at `addr`.
     fn read_mem(&self, addr: u32, len: u32) -> Result<Vec<u8>, ()>;
@@ -202,6 +211,8 @@ impl Kernel {
             timing: KernelTiming::default(),
             stats: KernelStats::default(),
             exit_code: None,
+            strace: None,
+            last_payload: 0,
         }
     }
 
@@ -266,6 +277,30 @@ impl Kernel {
     /// Services one syscall. `args[0]` is the number; returns the result
     /// value and the kernel cycles charged.
     pub fn syscall<M: ProcMem + ?Sized>(&mut self, args: &[i32], mem: &mut M) -> (i32, u64) {
+        if self.strace.is_none() {
+            return self.syscall_inner(args, mem);
+        }
+        let start_cycles = self.stats.kernel_cycles;
+        let (ret, cycles) = self.syscall_inner(args, mem);
+        let mut rec_args = [0i32; wasmperf_trace::MAX_ARGS];
+        for (slot, &arg) in rec_args.iter_mut().zip(args.iter().skip(1)) {
+            *slot = arg;
+        }
+        let record = wasmperf_trace::SyscallRecord {
+            nr: args.first().copied().unwrap_or(-1),
+            args: rec_args,
+            ret,
+            payload: self.last_payload,
+            cycles,
+            start_cycles,
+        };
+        if let Some(log) = self.strace.as_mut() {
+            log.records.push(record);
+        }
+        (ret, cycles)
+    }
+
+    fn syscall_inner<M: ProcMem + ?Sized>(&mut self, args: &[i32], mem: &mut M) -> (i32, u64) {
         let num = args.first().copied().unwrap_or(-1);
         let a = |i: usize| args.get(i).copied().unwrap_or(0);
         let fs_before = self.fs.stats.grow_copy_bytes;
@@ -544,6 +579,7 @@ impl Kernel {
     }
 
     fn finish(&mut self, ret: i32, payload: u64, fs_before: u64) -> (i32, u64) {
+        self.last_payload = payload;
         let mut cycles = self.charge(payload);
         cycles += self.charge_fs_copies(fs_before);
         (ret, cycles)
@@ -616,7 +652,10 @@ mod tests {
         let mut k = Kernel::default();
         let mut mem = mem_with(&[(100, b"/out.txt\0"), (200, b"hello kernel")]);
         // open(path, O_CREAT|O_WRONLY).
-        let (fd, _) = k.syscall(&[5, 100, flags::O_CREAT | flags::O_WRONLY, 0], mem.as_mut_slice());
+        let (fd, _) = k.syscall(
+            &[5, 100, flags::O_CREAT | flags::O_WRONLY, 0],
+            mem.as_mut_slice(),
+        );
         assert!(fd >= 3, "{fd}");
         let (n, _) = k.syscall(&[4, fd, 200, 12], mem.as_mut_slice());
         assert_eq!(n, 12);
@@ -672,11 +711,48 @@ mod tests {
     }
 
     #[test]
+    fn strace_records_every_syscall() {
+        let mut k = Kernel {
+            strace: Some(wasmperf_trace::StraceLog::default()),
+            ..Kernel::default()
+        };
+        let mut mem = mem_with(&[(50, b"/f\0"), (200, b"hello")]);
+        let (fd, _) = k.syscall(
+            &[5, 50, flags::O_CREAT | flags::O_WRONLY, 0],
+            mem.as_mut_slice(),
+        );
+        let (n, write_cycles) = k.syscall(&[4, fd, 200, 5], mem.as_mut_slice());
+        assert_eq!(n, 5);
+        k.syscall(&[6, fd], mem.as_mut_slice());
+
+        let log = k.strace.take().unwrap();
+        assert_eq!(log.records.len(), 3);
+        assert_eq!(
+            log.records.iter().map(|r| r.nr).collect::<Vec<_>>(),
+            vec![5, 4, 6]
+        );
+        let w = &log.records[1];
+        assert_eq!(w.args[0], fd);
+        assert_eq!(w.ret, 5);
+        assert_eq!(w.payload, 5);
+        assert_eq!(w.cycles, write_cycles);
+        // Records tile the kernel timeline: totals match the stats counter.
+        assert_eq!(log.total_cycles(), k.stats.kernel_cycles);
+        assert_eq!(
+            log.records[2].start_cycles,
+            log.records[0].cycles + w.cycles
+        );
+    }
+
+    #[test]
     fn transport_costs_charged() {
         let mut k = Kernel::default();
         let mut mem = mem_with(&[(50, b"/f\0")]);
         let before = k.stats.kernel_cycles;
-        k.syscall(&[5, 50, flags::O_CREAT | flags::O_WRONLY, 0], mem.as_mut_slice());
+        k.syscall(
+            &[5, 50, flags::O_CREAT | flags::O_WRONLY, 0],
+            mem.as_mut_slice(),
+        );
         assert!(k.stats.kernel_cycles >= before + k.timing.message_latency_cycles);
         assert_eq!(k.stats.syscalls, 1);
         // A big write charges copy cycles proportional to the payload.
@@ -694,7 +770,10 @@ mod tests {
         k.timing.aux_buffer_bytes = 1024; // Shrink for the test.
         let mut mem = vec![0u8; 10 * 1024];
         mem[..3].copy_from_slice(b"/f\0");
-        let (fd, _) = k.syscall(&[5, 0, flags::O_CREAT | flags::O_WRONLY, 0], mem.as_mut_slice());
+        let (fd, _) = k.syscall(
+            &[5, 0, flags::O_CREAT | flags::O_WRONLY, 0],
+            mem.as_mut_slice(),
+        );
         let (n, _) = k.syscall(&[4, fd, 0, 5000], mem.as_mut_slice());
         assert_eq!(n, 5000);
         // ceil(5000/1024) = 5 chunks -> 4 extra messages.
@@ -703,9 +782,10 @@ mod tests {
 
     #[test]
     fn append_mode_and_policy_cost() {
-        for (policy, expect_expensive) in
-            [(AppendPolicy::ExactFit, true), (AppendPolicy::Chunked4K, false)]
-        {
+        for (policy, expect_expensive) in [
+            (AppendPolicy::ExactFit, true),
+            (AppendPolicy::Chunked4K, false),
+        ] {
             let mut k = Kernel::new(policy);
             let mut mem = mem_with(&[(10, b"/log\0"), (100, &[7u8; 64])]);
             let (fd, _) = k.syscall(
@@ -752,7 +832,10 @@ mod tests {
         let mut k = Kernel::default();
         let mut mem = mem_with(&[(10, b"/d\0"), (20, b"/d/f\0")]);
         assert_eq!(k.syscall(&[39, 10, 0, 0], mem.as_mut_slice()).0, 0);
-        let (fd, _) = k.syscall(&[5, 20, flags::O_CREAT | flags::O_WRONLY, 0], mem.as_mut_slice());
+        let (fd, _) = k.syscall(
+            &[5, 20, flags::O_CREAT | flags::O_WRONLY, 0],
+            mem.as_mut_slice(),
+        );
         assert!(fd >= 0);
         k.syscall(&[6, fd, 0, 0], mem.as_mut_slice());
         assert_eq!(k.syscall(&[40, 10, 0, 0], mem.as_mut_slice()).0, -39);

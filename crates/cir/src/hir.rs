@@ -259,9 +259,7 @@ impl HExpr {
     /// The expression's result type (`None` only for void calls).
     pub fn ty(&self) -> Option<HTy> {
         match self {
-            HExpr::Const { ty, .. } | HExpr::Local { ty, .. } | HExpr::Load { ty, .. } => {
-                Some(*ty)
-            }
+            HExpr::Const { ty, .. } | HExpr::Local { ty, .. } | HExpr::Load { ty, .. } => Some(*ty),
             HExpr::Unary { op, ty, .. } => Some(match op {
                 HUnOp::Eqz => HTy::I32,
                 _ => *ty,
@@ -351,6 +349,8 @@ pub struct HFunc {
     pub ret: Option<HTy>,
     /// Body.
     pub body: Vec<HStmt>,
+    /// 1-based source line of the definition (for source maps).
+    pub line: u32,
 }
 
 /// A named linear-memory object (global scalar or array), for harness and

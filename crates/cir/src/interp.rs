@@ -60,7 +60,10 @@ pub struct NoSyscalls;
 
 impl CliteHost for NoSyscalls {
     fn syscall(&mut self, args: &[i32], _mem: &mut [u8]) -> Result<i32, String> {
-        Err(format!("unexpected syscall {}", args.first().unwrap_or(&-1)))
+        Err(format!(
+            "unexpected syscall {}",
+            args.first().unwrap_or(&-1)
+        ))
     }
 }
 
@@ -181,10 +184,7 @@ impl<'p, H: CliteHost> Interp<'p, H> {
                 Ok(Flow::Normal)
             }
             HStmt::Store {
-                width,
-                addr,
-                value,
-                ..
+                width, addr, value, ..
             } => {
                 let a = self.eval(addr, locals)? as u32 as u64;
                 let v = self.eval(value, locals)?;
@@ -786,10 +786,8 @@ mod tests {
                 Ok(42)
             }
         }
-        let prog = crate::compile(
-            "fn main() -> i32 { return syscall(4, 1, 2) + syscall(1, 0); }",
-        )
-        .unwrap();
+        let prog = crate::compile("fn main() -> i32 { return syscall(4, 1, 2) + syscall(1, 0); }")
+            .unwrap();
         let mut i = Interp::new(&prog, Recorder(Vec::new()));
         assert_eq!(i.run("main", &[]).unwrap(), Some(84));
         assert_eq!(i.host().0, vec![vec![4, 1, 2], vec![1, 0]]);
@@ -833,9 +831,6 @@ mod tests {
     #[test]
     fn rotation_intrinsics() {
         let src = "fn main(x: u32) -> i32 { return i32(rotl(x, u32(8))); }";
-        assert_eq!(
-            run(src, &[0x1234_5678]).unwrap(),
-            Some(0x3456_7812)
-        );
+        assert_eq!(run(src, &[0x1234_5678]).unwrap(), Some(0x3456_7812));
     }
 }

@@ -61,8 +61,8 @@ impl std::error::Error for LexError {}
 /// Multi-character operators, longest first.
 const PUNCTS: [&str; 34] = [
     "<<=", ">>=", "&&", "||", "==", "!=", "<=", ">=", "<<", ">>", "+=", "-=", "*=", "/=", "%=",
-    "&=", "|=", "^=", "->", "(", ")", "{", "}", "[", "]", ";", ",", ":", "+", "-", "*", "/",
-    "%", "=",
+    "&=", "|=", "^=", "->", "(", ")", "{", "}", "[", "]", ";", ",", ":", "+", "-", "*", "/", "%",
+    "=",
 ];
 const SINGLE_PUNCTS: [&str; 5] = ["<", ">", "&", "|", "^"];
 const OTHER_PUNCTS: [&str; 2] = ["!", "~"];
@@ -244,9 +244,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push(SpannedTok {
@@ -262,9 +260,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
                     .chain(OTHER_PUNCTS.iter());
                 let mut matched = None;
                 for p in all {
-                    if rest.starts_with(p)
-                        && matched.map_or(true, |m: &str| p.len() > m.len())
-                    {
+                    if rest.starts_with(p) && matched.is_none_or(|m: &str| p.len() > m.len()) {
                         matched = Some(*p);
                     }
                 }
@@ -356,7 +352,10 @@ mod tests {
 
     #[test]
     fn char_literals() {
-        assert_eq!(toks("'a' '\\n'"), vec![Tok::Int(97), Tok::Int(10), Tok::Eof]);
+        assert_eq!(
+            toks("'a' '\\n'"),
+            vec![Tok::Int(97), Tok::Int(10), Tok::Eof]
+        );
     }
 
     #[test]

@@ -640,8 +640,7 @@ impl Parser {
                             ArrayInit::List(items)
                         }
                         other => {
-                            return self
-                                .err(format!("expected array initializer, found {other}"));
+                            return self.err(format!("expected array initializer, found {other}"));
                         }
                     }
                 };
@@ -845,8 +844,7 @@ mod tests {
 
     #[test]
     fn logical_ops_parse_lowest() {
-        let p = parse("fn f(a: i32, b: i32) -> i32 { return a == 1 && b == 2 || a < b; }")
-            .unwrap();
+        let p = parse("fn f(a: i32, b: i32) -> i32 { return a == 1 && b == 2 || a < b; }").unwrap();
         let Stmt::Return(Some(e), _) = &p.funcs[0].body[0] else {
             panic!();
         };

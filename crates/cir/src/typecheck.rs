@@ -15,12 +15,8 @@
 //!   `i32`, `break` only inside loops, non-void functions end in
 //!   `return`, table members share one signature).
 
-use crate::ast::{
-    ArrayInit, BinOp, ElemTy, Expr, ExprKind, Intrinsic, Program, Stmt, Ty, UnOp,
-};
-use crate::hir::{
-    HBinOp, HExpr, HFunc, HProgram, HSig, HStmt, HTy, HUnOp, MemObject, MemWidth,
-};
+use crate::ast::{ArrayInit, BinOp, ElemTy, Expr, ExprKind, Intrinsic, Program, Stmt, Ty, UnOp};
+use crate::hir::{HBinOp, HExpr, HFunc, HProgram, HSig, HStmt, HTy, HUnOp, MemObject, MemWidth};
 use core::fmt;
 use std::collections::HashMap;
 
@@ -515,8 +511,7 @@ impl<'c> FuncCtx<'c> {
                         ),
                     );
                 }
-                let (base, sig_idx, params, ret) =
-                    (t.base, t.sig_idx, t.params.clone(), t.ret);
+                let (base, sig_idx, params, ret) = (t.base, t.sig_idx, t.params.clone(), t.ret);
                 let (ih, ity) = self.lower_expr(idx, Some(Ty::I32))?;
                 if !matches!(ity, Ty::I32 | Ty::U32) {
                     return err(line, "table index must be i32");
@@ -550,9 +545,9 @@ impl<'c> FuncCtx<'c> {
                     // Same machine type (sign reinterpret): no-op.
                     return Ok((h, *to));
                 }
-                let signed = if from.is_int() && to.is_int() {
-                    !from.is_unsigned()
-                } else if from.is_int() {
+                // Int-to-int and int-to-float take the source's
+                // signedness; float-to-int the destination's.
+                let signed = if from.is_int() {
                     !from.is_unsigned()
                 } else if to.is_int() {
                     !to.is_unsigned()
@@ -634,7 +629,10 @@ impl<'c> FuncCtx<'c> {
                 let (lh, lty) = self.lower_expr(&args[0], expected)?;
                 let (rh, rty) = self.lower_expr(&args[1], Some(lty))?;
                 if lty != rty {
-                    return err(line, format!("min/max operand types differ: {lty} vs {rty}"));
+                    return err(
+                        line,
+                        format!("min/max operand types differ: {lty} vs {rty}"),
+                    );
                 }
                 if lty.is_int() {
                     return err(line, "min/max require float arguments");
@@ -753,10 +751,7 @@ impl<'c> FuncCtx<'c> {
                 if let Some(e) = init {
                     let (h, ety) = self.lower_expr(e, Some(*ty))?;
                     if ety != *ty {
-                        return err(
-                            *line,
-                            format!("initializer has type {ety}, expected {ty}"),
-                        );
+                        return err(*line, format!("initializer has type {ety}, expected {ty}"));
                     }
                     out.push(HStmt::SetLocal { idx, value: h });
                 }
@@ -939,13 +934,8 @@ pub fn lower(p: &Program) -> Result<HProgram, TypeError> {
         if ctx.globals.contains_key(&g.name) {
             return err(0, format!("duplicate global `{}`", g.name));
         }
-        ctx.globals.insert(
-            g.name.clone(),
-            GlobalInfo {
-                addr,
-                ty: g.ty,
-            },
-        );
+        ctx.globals
+            .insert(g.name.clone(), GlobalInfo { addr, ty: g.ty });
         if let Some(init) = &g.init {
             let bits = match init.kind {
                 ExprKind::Float(f) => const_bits(g.ty, None, Some(f)),
@@ -1132,7 +1122,10 @@ pub fn lower(p: &Program) -> Result<HProgram, TypeError> {
         if f.ret.is_some() && !always_returns(&f.body) {
             return err(
                 f.line,
-                format!("function `{}` may fall off the end without returning", f.name),
+                format!(
+                    "function `{}` may fall off the end without returning",
+                    f.name
+                ),
             );
         }
         funcs.push(HFunc {
@@ -1141,6 +1134,7 @@ pub fn lower(p: &Program) -> Result<HProgram, TypeError> {
             locals: fcx.local_tys,
             ret: f.ret.map(hty),
             body,
+            line: f.line,
         });
     }
 
@@ -1189,10 +1183,18 @@ mod tests {
         )
         .unwrap();
         let body = &h.funcs[0].body;
-        let HStmt::SetLocal { value: HExpr::Binary { op: op1, .. }, .. } = &body[0] else {
+        let HStmt::SetLocal {
+            value: HExpr::Binary { op: op1, .. },
+            ..
+        } = &body[0]
+        else {
             panic!("{body:?}");
         };
-        let HStmt::SetLocal { value: HExpr::Binary { op: op2, .. }, .. } = &body[1] else {
+        let HStmt::SetLocal {
+            value: HExpr::Binary { op: op2, .. },
+            ..
+        } = &body[1]
+        else {
             panic!();
         };
         assert_eq!(*op1, HBinOp::DivU);
@@ -1202,7 +1204,10 @@ mod tests {
     #[test]
     fn literal_adapts_to_context() {
         let h = lower_src("fn f() -> i64 { var x: i64 = 5; return x + 1; }").unwrap();
-        let HStmt::SetLocal { value: HExpr::Const { ty, .. }, .. } = &h.funcs[0].body[0]
+        let HStmt::SetLocal {
+            value: HExpr::Const { ty, .. },
+            ..
+        } = &h.funcs[0].body[0]
         else {
             panic!();
         };
@@ -1228,7 +1233,11 @@ mod tests {
         // Initializer became a data segment.
         assert_eq!(h.data[0].0, GLOBAL_BASE);
         assert_eq!(&h.data[0].1[..4], &7u32.to_le_bytes());
-        let HStmt::Store { addr: HExpr::Const { bits, .. }, .. } = &h.funcs[0].body[0] else {
+        let HStmt::Store {
+            addr: HExpr::Const { bits, .. },
+            ..
+        } = &h.funcs[0].body[0]
+        else {
             panic!();
         };
         assert_eq!(*bits, GLOBAL_BASE);
@@ -1253,10 +1262,22 @@ mod tests {
         let HStmt::Store { addr, .. } = &h.funcs[0].body[0] else {
             panic!();
         };
-        let HExpr::Binary { op: HBinOp::Add, lhs, rhs, .. } = addr else {
+        let HExpr::Binary {
+            op: HBinOp::Add,
+            lhs,
+            rhs,
+            ..
+        } = addr
+        else {
             panic!("{addr:?}");
         };
-        assert!(matches!(**lhs, HExpr::Binary { op: HBinOp::Mul, .. }));
+        assert!(matches!(
+            **lhs,
+            HExpr::Binary {
+                op: HBinOp::Mul,
+                ..
+            }
+        ));
         assert!(matches!(**rhs, HExpr::Const { bits, .. } if bits == a.addr));
     }
 
@@ -1276,11 +1297,25 @@ mod tests {
             panic!();
         };
         assert!(
-            matches!(**lhs, HExpr::Load { width: MemWidth::W8, signed: false, .. }),
+            matches!(
+                **lhs,
+                HExpr::Load {
+                    width: MemWidth::W8,
+                    signed: false,
+                    ..
+                }
+            ),
             "{lhs:?}"
         );
         assert!(
-            matches!(**rhs, HExpr::Load { width: MemWidth::W16, signed: true, .. }),
+            matches!(
+                **rhs,
+                HExpr::Load {
+                    width: MemWidth::W16,
+                    signed: true,
+                    ..
+                }
+            ),
             "{rhs:?}"
         );
     }
@@ -1300,10 +1335,7 @@ mod tests {
         let HStmt::Return(Some(HExpr::Binary { rhs, .. })) = &h.funcs[2].body[0] else {
             panic!();
         };
-        assert!(matches!(
-            **rhs,
-            HExpr::CallIndirect { table_base: 2, .. }
-        ));
+        assert!(matches!(**rhs, HExpr::CallIndirect { table_base: 2, .. }));
     }
 
     #[test]
@@ -1327,10 +1359,9 @@ mod tests {
     fn missing_return_rejected() {
         let e = lower_src("fn f(c: i32) -> i32 { if (c) { return 1; } }").unwrap_err();
         assert!(e.msg.contains("fall off"), "{e}");
-        assert!(lower_src(
-            "fn f(c: i32) -> i32 { if (c) { return 1; } else { return 2; } }"
-        )
-        .is_ok());
+        assert!(
+            lower_src("fn f(c: i32) -> i32 { if (c) { return 1; } else { return 2; } }").is_ok()
+        );
     }
 
     #[test]
@@ -1414,8 +1445,9 @@ mod tests {
     #[test]
     fn short_circuit_lowering() {
         let h = lower_src("fn f(a: i32, b: i32) -> i32 { return a && b || 1; }").unwrap();
-        let HStmt::Return(Some(HExpr::ShortCircuit { is_and: false, lhs, .. })) =
-            &h.funcs[0].body[0]
+        let HStmt::Return(Some(HExpr::ShortCircuit {
+            is_and: false, lhs, ..
+        })) = &h.funcs[0].body[0]
         else {
             panic!();
         };

@@ -173,14 +173,8 @@ impl<'p> Lower<'p> {
                 Opnd::Imm(v)
             }
             HExpr::Load {
-                ty,
-                width: w,
-                addr,
-                ..
-            } if allow_mem
-                && self.opts.fuse_addressing
-                && *w == MemWidth::of(*ty) =>
-            {
+                ty, width: w, addr, ..
+            } if allow_mem && self.opts.fuse_addressing && *w == MemWidth::of(*ty) => {
                 let mem = self.addr_mem(addr);
                 Opnd::Mem(mem)
             }
@@ -492,10 +486,7 @@ impl<'p> Lower<'p> {
     fn fopnd(&mut self, e: &HExpr) -> FOpnd {
         match e {
             HExpr::Load {
-                ty,
-                width: w,
-                addr,
-                ..
+                ty, width: w, addr, ..
             } if self.opts.fuse_addressing && *w == MemWidth::of(*ty) => {
                 let mem = self.addr_mem(addr);
                 FOpnd::Mem(mem)
@@ -954,9 +945,7 @@ impl<'p> Lower<'p> {
                     HTy::F32 | HTy::F64 => {
                         // Guard against clobbering the destination while
                         // the value still reads it (`f = g + f`).
-                        if expr_reads_local(value, *idx)
-                            && !matches!(value, HExpr::Local { .. })
-                        {
+                        if expr_reads_local(value, *idx) && !matches!(value, HExpr::Local { .. }) {
                             let t = self.value_float(value);
                             self.emit(LInst::MovF {
                                 dst: FOpnd::Loc(FLoc::V(dst)),
@@ -999,9 +988,7 @@ impl<'p> Lower<'p> {
                                 }
                             }
                         }
-                        if expr_reads_local(value, *idx)
-                            && !reads_only_as_direct_lhs(value, *idx)
-                        {
+                        if expr_reads_local(value, *idx) && !reads_only_as_direct_lhs(value, *idx) {
                             let t = self.value_int(value);
                             if t != dst {
                                 self.emit(LInst::Mov {
@@ -1267,9 +1254,7 @@ fn cmov_safe(e: &HExpr) -> bool {
     match e {
         HExpr::Const { ty, .. } | HExpr::Local { ty, .. } => ty.is_int(),
         HExpr::Unary { op, ty, arg } => {
-            ty.is_int()
-                && matches!(op, HUnOp::Neg | HUnOp::BitNot | HUnOp::Eqz)
-                && cmov_safe(arg)
+            ty.is_int() && matches!(op, HUnOp::Neg | HUnOp::BitNot | HUnOp::Eqz) && cmov_safe(arg)
         }
         HExpr::Binary { op, ty, lhs, rhs } => {
             ty.is_int()
@@ -1295,9 +1280,7 @@ fn reads_only_as_direct_lhs(e: &HExpr, idx: u32) -> bool {
         HExpr::Binary { op, lhs, rhs, .. } if !op.is_cmp() => {
             reads_only_as_direct_lhs(lhs, idx) && !expr_reads_local(rhs, idx)
         }
-        HExpr::Unary { arg, .. } | HExpr::Cast { arg, .. } => {
-            reads_only_as_direct_lhs(arg, idx)
-        }
+        HExpr::Unary { arg, .. } | HExpr::Cast { arg, .. } => reads_only_as_direct_lhs(arg, idx),
         other => !expr_reads_local(other, idx),
     }
 }
@@ -1395,6 +1378,26 @@ pub fn native_table_addr(prog: &HProgram) -> u64 {
 
 /// Compiles a typed CLite program to a native machine-code module.
 pub fn compile(prog: &HProgram, opts: &CompileOptions) -> Module {
+    compile_traced(prog, opts, None)
+}
+
+/// The (function name, 1-based CLite source line) table for a program, in
+/// function order — the compiler's debug-info analog, consumed by the
+/// trace symbolizer to attribute machine code back to source.
+pub fn source_table(prog: &HProgram) -> Vec<(String, u32)> {
+    prog.funcs
+        .iter()
+        .map(|f| (f.name.clone(), f.line))
+        .collect()
+}
+
+/// [`compile`], optionally recording one span per compile stage (lower,
+/// register allocation, emit) into `spans`.
+pub fn compile_traced(
+    prog: &HProgram,
+    opts: &CompileOptions,
+    mut spans: Option<&mut wasmperf_trace::SpanLog>,
+) -> Module {
     let profile = AllocProfile::native();
     let table_addr = native_table_addr(prog);
     let table_bytes = prog.table.len() as u64 * 8;
@@ -1417,10 +1420,25 @@ pub fn compile(prog: &HProgram, opts: &CompileOptions) -> Module {
     }
 
     for f in &prog.funcs {
-        let lf = lower_function(prog, f, opts);
-        let assign = allocate_coloring(&lf, &profile);
-        let mut out = emit_function(&lf, &assign, &profile);
-        out.name = format!("{}", f.name);
+        let mut out = match spans.as_deref_mut() {
+            Some(log) => {
+                let lf = log.scope("compile", "clanglite/lower", || {
+                    lower_function(prog, f, opts)
+                });
+                let assign = log.scope("compile", "clanglite/regalloc", || {
+                    allocate_coloring(&lf, &profile)
+                });
+                log.scope("compile", "clanglite/emit", || {
+                    emit_function(&lf, &assign, &profile)
+                })
+            }
+            None => {
+                let lf = lower_function(prog, f, opts);
+                let assign = allocate_coloring(&lf, &profile);
+                emit_function(&lf, &assign, &profile)
+            }
+        };
+        out.name = f.name.clone();
         module.funcs.push(out);
     }
     module.assign_addresses();
@@ -1613,7 +1631,11 @@ mod tests {
                 }
             )
         });
-        assert!(has_scaled, "{}", wasmperf_isa::disasm::format_function(main));
+        assert!(
+            has_scaled,
+            "{}",
+            wasmperf_isa::disasm::format_function(main)
+        );
     }
 
     #[test]
@@ -1820,10 +1842,7 @@ mod tests {
             }
         ";
         for a in [3u64, 1000] {
-            assert_eq!(
-                run_native(src, &[a]).0 as u32,
-                run_interp(src, &[a]) as u32
-            );
+            assert_eq!(run_native(src, &[a]).0 as u32, run_interp(src, &[a]) as u32);
         }
     }
 }

@@ -24,7 +24,8 @@
 //!
 //! The individual subsystems remain available under their own names:
 //! [`isa`], [`cpu`], [`wasm`], [`cir`], [`regalloc`], [`clanglite`],
-//! [`emcc`], [`wasmjit`], [`browsix`], [`benchsuite`], [`harness`].
+//! [`emcc`], [`wasmjit`], [`browsix`], [`benchsuite`], [`harness`],
+//! [`trace`].
 
 pub use wasmperf_benchsuite as benchsuite;
 pub use wasmperf_browsix as browsix;
@@ -35,6 +36,7 @@ pub use wasmperf_emcc as emcc;
 pub use wasmperf_harness as harness;
 pub use wasmperf_isa as isa;
 pub use wasmperf_regalloc as regalloc;
+pub use wasmperf_trace as trace;
 pub use wasmperf_wasm as wasm;
 pub use wasmperf_wasmjit as wasmjit;
 
@@ -101,9 +103,7 @@ impl Pipeline {
     /// kernel.
     pub fn run(&self, engine: EngineKind) -> Result<Execution, String> {
         let module = match engine {
-            EngineKind::Native => {
-                wasmperf_clanglite::compile(&self.prog, &Default::default())
-            }
+            EngineKind::Native => wasmperf_clanglite::compile(&self.prog, &Default::default()),
             _ => {
                 let profile = match engine {
                     EngineKind::Chrome => EngineProfile::chrome(),
@@ -183,9 +183,7 @@ mod tests {
         let native = &all[0].1;
         let chrome = &all[1].1;
         assert!(chrome.counters.cycles > native.counters.cycles);
-        assert!(
-            chrome.counters.instructions_retired > native.counters.instructions_retired
-        );
+        assert!(chrome.counters.instructions_retired > native.counters.instructions_retired);
     }
 
     #[test]

@@ -143,7 +143,7 @@ mod tests {
     #[test]
     fn lru_keeps_hot_line() {
         let mut c = Cache::new(1024, 64, 2); // 8 sets, 2 ways.
-        // Two lines in the same set; keep touching the first.
+                                             // Two lines in the same set; keep touching the first.
         let set_stride = 64 * 8;
         c.access(0); // miss
         c.access(set_stride); // miss, same set

@@ -32,12 +32,8 @@ pub enum HostOutcome {
 /// A host environment servicing [`wasmperf_isa::Inst::CallHost`].
 pub trait HostEnv {
     /// Services host function `id` with System V argument registers `args`.
-    fn call(
-        &mut self,
-        id: u32,
-        args: &[u64; 6],
-        mem: &mut Memory,
-    ) -> Result<HostOutcome, TrapKind>;
+    fn call(&mut self, id: u32, args: &[u64; 6], mem: &mut Memory)
+        -> Result<HostOutcome, TrapKind>;
 }
 
 /// A host that rejects every call; used for pure-compute programs.
@@ -63,9 +59,6 @@ mod tests {
     fn null_host_rejects() {
         let mut h = NullHost;
         let mut m = Memory::new(16);
-        assert_eq!(
-            h.call(0, &[0; 6], &mut m).unwrap_err(),
-            TrapKind::Abort
-        );
+        assert_eq!(h.call(0, &[0; 6], &mut m).unwrap_err(), TrapKind::Abort);
     }
 }

@@ -30,6 +30,7 @@ use wasmperf_isa::{
     AluOp, Cc, FAluOp, FPrec, FuncId, Inst, MemRef, Module, Operand, Reg, RoundMode, TrapKind,
     Width,
 };
+use wasmperf_trace::{AddrSample, CycleProfile};
 
 /// Default machine-stack size in bytes.
 pub const DEFAULT_STACK_BYTES: u64 = 1 << 20;
@@ -52,6 +53,17 @@ struct Frame {
     func: u32,
     ret_pc: u32,
     rsp_at_call: u64,
+}
+
+/// Counter snapshot taken before an instruction dispatches, so the delta
+/// after dispatch can be attributed to that instruction's address.
+#[derive(Clone, Copy)]
+struct ProfSnap {
+    cycle_fp: u64,
+    dcache_misses: u64,
+    icache_misses: u64,
+    mispredicts: u64,
+    host_cycles: u64,
 }
 
 /// An execution error: a trap plus source location.
@@ -111,6 +123,9 @@ pub struct Machine<'m, H: HostEnv> {
     stack_floor: u64,
     /// Maximum shadow-stack depth before a stack-overflow trap.
     pub max_call_depth: usize,
+    /// Per-address cycle attribution; `None` (the default) records nothing
+    /// and keeps the hot loop free of bookkeeping.
+    profile: Option<Box<CycleProfile>>,
 }
 
 impl<'m, H: HostEnv> Machine<'m, H> {
@@ -142,7 +157,8 @@ impl<'m, H: HostEnv> Machine<'m, H> {
         let total = module.memory_size + stack_bytes;
         let mut mem = Memory::new(total);
         for (addr, data) in &module.data {
-            mem.write_bytes(*addr, data).expect("data segment in bounds");
+            mem.write_bytes(*addr, data)
+                .expect("data segment in bounds");
         }
         let mut regs = [0u64; 16];
         regs[Reg::Rsp.index()] = total - 16;
@@ -163,6 +179,49 @@ impl<'m, H: HostEnv> Machine<'m, H> {
             host,
             stack_floor: module.memory_size,
             max_call_depth: 100_000,
+            profile: None,
+        }
+    }
+
+    /// Turns on per-address cycle attribution for subsequent [`Machine::run`]
+    /// calls. Profiling observes the counters the machine updates anyway;
+    /// it never changes timing, counter values, or program results.
+    pub fn enable_profile(&mut self) {
+        if self.profile.is_none() {
+            self.profile = Some(Box::new(CycleProfile::new()));
+        }
+    }
+
+    /// Takes the accumulated profile, disabling further attribution.
+    pub fn take_profile(&mut self) -> Option<CycleProfile> {
+        self.profile.take().map(|p| *p)
+    }
+
+    #[inline]
+    fn prof_snap(&self) -> ProfSnap {
+        ProfSnap {
+            cycle_fp: self.cycle_fp,
+            dcache_misses: self.dcache.misses(),
+            icache_misses: self.icache.misses(),
+            mispredicts: self.predictor.mispredicts(),
+            host_cycles: self.counters.host_cycles,
+        }
+    }
+
+    #[inline]
+    fn prof_record(&mut self, addr: u64, snap: ProfSnap) {
+        if let Some(p) = self.profile.as_mut() {
+            p.record(
+                addr,
+                AddrSample {
+                    instructions: 1,
+                    cycles_fp: self.cycle_fp - snap.cycle_fp,
+                    dcache_misses: self.dcache.misses() - snap.dcache_misses,
+                    icache_misses: self.icache.misses() - snap.icache_misses,
+                    mispredicts: self.predictor.mispredicts() - snap.mispredicts,
+                    host_cycles: self.counters.host_cycles - snap.host_cycles,
+                },
+            );
         }
     }
 
@@ -229,8 +288,7 @@ impl<'m, H: HostEnv> Machine<'m, H> {
         let penalty = self.timing.dcache_miss_penalty as u64;
         self.cycle_fp += penalty;
         // A window of subsequent issue executes under the miss shadow.
-        self.stall_credit_fp +=
-            penalty * self.timing.dcache_overlap_percent as u64 / 100;
+        self.stall_credit_fp += penalty * self.timing.dcache_overlap_percent as u64 / 100;
     }
 
     #[inline]
@@ -382,12 +440,7 @@ impl<'m, H: HostEnv> Machine<'m, H> {
     ///
     /// `fuel` bounds the number of retired instructions; exceeding it
     /// returns a [`TrapKind::OutOfFuel`] error rather than hanging.
-    pub fn run(
-        &mut self,
-        entry: FuncId,
-        args: &[u64],
-        fuel: u64,
-    ) -> Result<RunOutcome, ExecError> {
+    pub fn run(&mut self, entry: FuncId, args: &[u64], fuel: u64) -> Result<RunOutcome, ExecError> {
         assert!(args.len() <= 6, "at most 6 register arguments");
         for (i, &a) in args.iter().enumerate() {
             self.regs[Reg::SYSV_ARGS[i].index()] = a;
@@ -403,6 +456,11 @@ impl<'m, H: HostEnv> Machine<'m, H> {
             };
             let addr = f.inst_addrs[pc];
             let len = encoded_len(inst);
+            let snap = if self.profile.is_some() {
+                Some(self.prof_snap())
+            } else {
+                None
+            };
 
             if remaining == 0 {
                 return Err(self.err(TrapKind::OutOfFuel, func, pc, ""));
@@ -414,8 +472,7 @@ impl<'m, H: HostEnv> Machine<'m, H> {
                 self.cycle_fp += self.timing.icache_miss_penalty as u64;
             }
             let last = addr + len as u64 - 1;
-            if self.icache.line_of(last) != self.icache.line_of(addr) && !self.icache.access(last)
-            {
+            if self.icache.line_of(last) != self.icache.line_of(addr) && !self.icache.access(last) {
                 self.cycle_fp += self.timing.icache_miss_penalty as u64;
             }
 
@@ -470,7 +527,12 @@ impl<'m, H: HostEnv> Machine<'m, H> {
                     let a = self.ea(mem);
                     self.write_reg_w(*dst, a & width.mask(), *width);
                 }
-                Inst::Alu { op, dst, src, width } => {
+                Inst::Alu {
+                    op,
+                    dst,
+                    src,
+                    width,
+                } => {
                     let l = match self.read_op(dst, *width) {
                         Ok(v) => v,
                         Err(k) => trap!(k, "alu dst read"),
@@ -502,19 +564,19 @@ impl<'m, H: HostEnv> Machine<'m, H> {
                             v & width.mask()
                         }
                         AluOp::Shl => {
-                            let c = r & (width.bytes() * 8 - 1) as u64;
+                            let c = r & (width.bytes() * 8 - 1);
                             let v = (l << c) & width.mask();
                             self.set_flags_logic(v, *width);
                             v
                         }
                         AluOp::Shr => {
-                            let c = r & (width.bytes() * 8 - 1) as u64;
+                            let c = r & (width.bytes() * 8 - 1);
                             let v = (l & width.mask()) >> c;
                             self.set_flags_logic(v, *width);
                             v
                         }
                         AluOp::Sar => {
-                            let c = r & (width.bytes() * 8 - 1) as u64;
+                            let c = r & (width.bytes() * 8 - 1);
                             let bits = width.bytes() * 8;
                             let sext = ((l << (64 - bits)) as i64) >> (64 - bits);
                             let v = ((sext >> c) as u64) & width.mask();
@@ -525,15 +587,15 @@ impl<'m, H: HostEnv> Machine<'m, H> {
                             let bits = (width.bytes() * 8) as u32;
                             let c = (r as u32) % bits;
                             let lm = l & width.mask();
-                            let v = ((lm << c) | (lm >> (bits - c).min(63))) & width.mask();
-                            v
+
+                            ((lm << c) | (lm >> (bits - c).min(63))) & width.mask()
                         }
                         AluOp::Ror => {
                             let bits = (width.bytes() * 8) as u32;
                             let c = (r as u32) % bits;
                             let lm = l & width.mask();
-                            let v = ((lm >> c) | (lm << (bits - c).min(63))) & width.mask();
-                            v
+
+                            ((lm >> c) | (lm << (bits - c).min(63))) & width.mask()
                         }
                     };
                     if let Err(k) = self.write_op(dst, res, *width) {
@@ -567,16 +629,17 @@ impl<'m, H: HostEnv> Machine<'m, H> {
                     };
                     self.write_reg_w(*dst, l.wrapping_mul(r) & width.mask(), *width);
                 }
-                Inst::Imul3 { dst, src, imm, width } => {
+                Inst::Imul3 {
+                    dst,
+                    src,
+                    imm,
+                    width,
+                } => {
                     let r = match self.read_op(src, *width) {
                         Ok(v) => v,
                         Err(k) => trap!(k, "imul3"),
                     };
-                    self.write_reg_w(
-                        *dst,
-                        r.wrapping_mul(*imm as u64) & width.mask(),
-                        *width,
-                    );
+                    self.write_reg_w(*dst, r.wrapping_mul(*imm as u64) & width.mask(), *width);
                 }
                 Inst::Cqo { width } => {
                     let rax = self.regs[Reg::Rax.index()] & width.mask();
@@ -647,7 +710,12 @@ impl<'m, H: HostEnv> Machine<'m, H> {
                     };
                     self.set_flags_logic(l & r, *width);
                 }
-                Inst::Cmov { cc, dst, src, width } => {
+                Inst::Cmov {
+                    cc,
+                    dst,
+                    src,
+                    width,
+                } => {
                     // The source (including memory) is read regardless of
                     // the condition, as on hardware.
                     let v = match self.read_op(src, *width) {
@@ -686,7 +754,11 @@ impl<'m, H: HostEnv> Machine<'m, H> {
                         Err(k) => trap!(k, "tzcnt"),
                     };
                     let bits = (width.bytes() * 8) as u32;
-                    let n = if v == 0 { bits } else { v.trailing_zeros().min(bits) };
+                    let n = if v == 0 {
+                        bits
+                    } else {
+                        v.trailing_zeros().min(bits)
+                    };
                     self.write_reg_w(*dst, n as u64, *width);
                 }
                 Inst::Popcnt { dst, src, width } => {
@@ -764,12 +836,21 @@ impl<'m, H: HostEnv> Machine<'m, H> {
                         self.regs[Reg::R9.index()],
                     ];
                     match self.host.call(*id, &args, &mut self.mem) {
-                        Ok(HostOutcome::Ret { value, kernel_cycles }) => {
+                        Ok(HostOutcome::Ret {
+                            value,
+                            kernel_cycles,
+                        }) => {
                             self.regs[Reg::Rax.index()] = value;
                             self.counters.host_cycles += kernel_cycles;
                         }
-                        Ok(HostOutcome::Exit { code, kernel_cycles }) => {
+                        Ok(HostOutcome::Exit {
+                            code,
+                            kernel_cycles,
+                        }) => {
                             self.counters.host_cycles += kernel_cycles;
+                            if let Some(s) = snap {
+                                self.prof_record(addr, s);
+                            }
                             return Ok(RunOutcome {
                                 ret: self.regs[Reg::Rax.index()],
                                 exit_code: Some(code),
@@ -817,6 +898,9 @@ impl<'m, H: HostEnv> Machine<'m, H> {
                             next = frame.ret_pc as usize;
                         }
                         None => {
+                            if let Some(s) = snap {
+                                self.prof_record(addr, s);
+                            }
                             return Ok(RunOutcome {
                                 ret: self.regs[Reg::Rax.index()],
                                 exit_code: None,
@@ -835,11 +919,10 @@ impl<'m, H: HostEnv> Machine<'m, H> {
                             // movss merges the low lane; our model holds one
                             // scalar per register, so a full overwrite is
                             // semantically equivalent for scalar code.
-                            self.xmm[x.index()] = v
-                                & match prec {
-                                    FPrec::F32 => 0xffff_ffff,
-                                    FPrec::F64 => u64::MAX,
-                                };
+                            self.xmm[x.index()] = v & match prec {
+                                FPrec::F32 => 0xffff_ffff,
+                                FPrec::F64 => u64::MAX,
+                            };
                         }
                         FOperand::Mem(m) => {
                             let a = self.ea(m);
@@ -913,7 +996,12 @@ impl<'m, H: HostEnv> Machine<'m, H> {
                     };
                     self.xmm[dst.index()] = res;
                 }
-                Inst::RoundF { dst, src, prec, mode } => {
+                Inst::RoundF {
+                    dst,
+                    src,
+                    prec,
+                    mode,
+                } => {
                     let v = match self.read_fop(src, *prec) {
                         Ok(v) => v,
                         Err(k) => trap!(k, "roundf"),
@@ -992,7 +1080,13 @@ impl<'m, H: HostEnv> Machine<'m, H> {
                         of: false,
                     };
                 }
-                Inst::CvtIntToF { dst, src, width, prec, unsigned } => {
+                Inst::CvtIntToF {
+                    dst,
+                    src,
+                    width,
+                    prec,
+                    unsigned,
+                } => {
                     let v = match self.read_op(src, *width) {
                         Ok(v) => v,
                         Err(k) => trap!(k, "cvtint2f"),
@@ -1008,7 +1102,13 @@ impl<'m, H: HostEnv> Machine<'m, H> {
                         FPrec::F64 => as_f64.to_bits(),
                     };
                 }
-                Inst::CvtFToInt { dst, src, width, prec, unsigned } => {
+                Inst::CvtFToInt {
+                    dst,
+                    src,
+                    width,
+                    prec,
+                    unsigned,
+                } => {
                     let v = match self.read_fop(src, *prec) {
                         Ok(v) => v,
                         Err(k) => trap!(k, "cvtf2int"),
@@ -1063,6 +1163,9 @@ impl<'m, H: HostEnv> Machine<'m, H> {
                 Inst::Nop => {}
             }
 
+            if let Some(s) = snap {
+                self.prof_record(addr, s);
+            }
             func = next_func;
             pc = next;
         }
@@ -1103,6 +1206,39 @@ mod tests {
         b.emit(Inst::Ret);
         let m = module_of(vec![b.finish()]);
         assert_eq!(run_module(&m, &[]).ret, 42);
+    }
+
+    #[test]
+    fn profile_attributes_every_instruction() {
+        let mut b = AsmBuilder::new("f");
+        b.emit(Inst::Mov {
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Imm(42),
+            width: Width::W64,
+        });
+        b.emit(Inst::Ret);
+        let m = module_of(vec![b.finish()]);
+
+        let mut plain = Machine::new(&m, NullHost);
+        let base = plain.run(FuncId(0), &[], 1_000_000).expect("runs");
+
+        let mut traced = Machine::new(&m, NullHost);
+        traced.enable_profile();
+        let out = traced.run(FuncId(0), &[], 1_000_000).expect("runs");
+        let profile = traced.take_profile().expect("profile enabled");
+
+        // Profiling observes; it must not perturb the run.
+        assert_eq!(out.ret, base.ret);
+        assert_eq!(out.counters, base.counters);
+        // Every retired instruction and every fixed-point cycle lands in
+        // exactly one address bucket.
+        assert_eq!(
+            profile.total_instructions(),
+            out.counters.instructions_retired
+        );
+        assert_eq!(fp_to_cycles(profile.total_cycles_fp()), out.counters.cycles);
+        assert_eq!(profile.len(), 2);
+        assert!(traced.take_profile().is_none());
     }
 
     #[test]
@@ -1757,7 +1893,11 @@ mod tests {
         };
         let run_cycles = |m: &Module| {
             let mut machine = Machine::new(m, NullHost);
-            machine.run(FuncId(0), &[], 100_000_000).unwrap().counters.cycles
+            machine
+                .run(FuncId(0), &[], 100_000_000)
+                .unwrap()
+                .counters
+                .cycles
         };
         let base = run_cycles(&build(0));
         let with_filler = run_cycles(&build(8));

@@ -66,7 +66,8 @@ impl Memory {
 
     /// Copies `data` into memory at `addr`.
     pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), TrapKind> {
-        self.slice_mut(addr, data.len() as u64)?.copy_from_slice(data);
+        self.slice_mut(addr, data.len() as u64)?
+            .copy_from_slice(data);
         Ok(())
     }
 
@@ -110,7 +111,10 @@ mod tests {
     #[test]
     fn out_of_bounds_traps() {
         let mut m = Memory::new(8);
-        assert_eq!(m.read(8, Width::W8).unwrap_err(), TrapKind::MemoryOutOfBounds);
+        assert_eq!(
+            m.read(8, Width::W8).unwrap_err(),
+            TrapKind::MemoryOutOfBounds
+        );
         assert_eq!(
             m.read(5, Width::W64).unwrap_err(),
             TrapKind::MemoryOutOfBounds

@@ -23,9 +23,9 @@
 use wasmperf_cir::hir::{HBinOp, HExpr, HProgram, HStmt, HTy, HUnOp, MemWidth};
 use wasmperf_wasm::instr::SubWidth;
 use wasmperf_wasm::{
-    BlockType, CvtOp, DataSegment, ElemSegment, Export, ExportKind, FBinop, FRelop, FUnop,
-    FuncDef, FuncType, IBinop, IRelop, IUnop, Import, ImportKind, Instr, Limits, MemArg,
-    NumWidth, ValType, WasmModule,
+    BlockType, CvtOp, DataSegment, ElemSegment, Export, ExportKind, FBinop, FRelop, FUnop, FuncDef,
+    FuncType, IBinop, IRelop, IUnop, Import, ImportKind, Instr, Limits, MemArg, NumWidth, ValType,
+    WasmModule,
 };
 
 /// Converts an HIR type to a wasm value type.
@@ -627,8 +627,7 @@ mod tests {
     fn while_lowering_shape() {
         // The canonical Emscripten shape: block { loop { cond; eqz;
         // br_if 1; body; br 0 } }.
-        let m =
-            to_wasm("fn main() -> i32 { var i: i32 = 9; while (i) { i -= 1; } return i; }");
+        let m = to_wasm("fn main() -> i32 { var i: i32 = 9; while (i) { i -= 1; } return i; }");
         let body = &m.funcs[0].body;
         let block = body
             .iter()

@@ -1,12 +1,18 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! report [--size test|ref] [experiment ...]
+//! report [--size test|ref] [--trace DIR] [experiment ...]
 //! ```
 //!
 //! With no experiment arguments, everything is produced in paper order.
 //! Experiments: fig1 fig3a fig3b table1 table2 fig4 fig5 fig6 fig7 fig8
 //! fig9 fig10 table3 table4 overhead ablations.
+//!
+//! `--trace DIR` runs the observability demo: traced matmul runs (native
+//! and Chrome-JIT) and a traced SPEC-analog run, writing Chrome
+//! `trace_event` JSON, perf-report/annotate listings, JSONL, and an
+//! strace log under DIR. With no experiment arguments it runs only the
+//! demo.
 
 use wasmperf_benchsuite::Size;
 use wasmperf_harness::experiments as exp;
@@ -15,10 +21,19 @@ use wasmperf_harness::Session;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut size = Size::Ref;
+    let mut trace_dir: Option<std::path::PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--trace" => {
+                let v = it.next().unwrap_or_default();
+                if v.is_empty() {
+                    eprintln!("--trace needs a directory argument");
+                    std::process::exit(2);
+                }
+                trace_dir = Some(std::path::PathBuf::from(v));
+            }
             "--size" => {
                 let v = it.next().unwrap_or_default();
                 size = match v.as_str() {
@@ -32,9 +47,10 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: report [--size test|ref] [experiment ...]\n\
+                    "usage: report [--size test|ref] [--trace DIR] [experiment ...]\n\
                      experiments: fig1 fig3a fig3b table1 table2 fig4 fig5 fig6\n\
                      fig7 fig8 fig9 fig10 table3 table4 overhead ablations\n\
+                     trace (observability demo; --trace DIR sets the output dir)\n\
                      dump-sources (writes the benchmark programs to ./programs/)"
                 );
                 return;
@@ -43,13 +59,31 @@ fn main() {
         }
     }
     if wanted.is_empty() {
-        wanted = [
-            "fig1", "fig3a", "fig3b", "table1", "table2", "fig4", "fig5", "fig6", "fig7",
-            "fig8", "fig9", "fig10", "table3", "table4", "overhead", "ablations",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+        wanted = if trace_dir.is_some() {
+            vec!["trace".to_string()]
+        } else {
+            [
+                "fig1",
+                "fig3a",
+                "fig3b",
+                "table1",
+                "table2",
+                "fig4",
+                "fig5",
+                "fig6",
+                "fig7",
+                "fig8",
+                "fig9",
+                "fig10",
+                "table3",
+                "table4",
+                "overhead",
+                "ablations",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+        };
     }
 
     let mut session = Session::new(size);
@@ -91,6 +125,12 @@ fn main() {
                     listing.push_str(&format!("programs/{fname}\n"));
                 }
                 format!("wrote CLite sources:\n{listing}")
+            }
+            "trace" => {
+                let dir = trace_dir
+                    .clone()
+                    .unwrap_or_else(|| std::path::PathBuf::from("trace-out"));
+                exp::trace_demo(&dir, size)
             }
             "table4" => exp::table4(&mut session),
             "overhead" => exp::overhead(&mut session),

@@ -5,6 +5,7 @@ use wasmperf_benchsuite::Benchmark;
 use wasmperf_browsix::{AppendPolicy, Kernel};
 use wasmperf_clanglite::CompileOptions;
 use wasmperf_cpu::{Machine, PerfCounters};
+use wasmperf_trace::{SpanLog, StraceLog, SymbolMap, TraceConfig, TraceSession};
 use wasmperf_wasmjit::{EngineProfile, Tier};
 
 /// An execution engine (compiler pipeline + runtime conventions).
@@ -49,7 +50,11 @@ impl Engine {
 
     /// Tiered engines for the Figure 1 vintages.
     pub fn vintages() -> Vec<(u32, Vec<Engine>)> {
-        let years = [(2017, Tier::Y2017), (2018, Tier::Y2018), (2019, Tier::Y2019)];
+        let years = [
+            (2017, Tier::Y2017),
+            (2018, Tier::Y2018),
+            (2019, Tier::Y2019),
+        ];
         years
             .into_iter()
             .map(|(y, t)| {
@@ -96,33 +101,88 @@ pub fn run_one(
     engine: &Engine,
     policy: AppendPolicy,
 ) -> Result<RunResult, String> {
-    let prog = wasmperf_cir::compile(&bench.source)
-        .map_err(|e| format!("{}: {e}", bench.name))?;
+    run_one_traced(bench, engine, policy, TraceConfig::off()).map(|(r, _)| r)
+}
 
-    let (module, compile_seconds) = match engine {
-        Engine::Native => {
+/// [`run_one`] with observability: per the config, attributes cycles to
+/// instruction addresses, records every Browsix syscall, and wraps compile
+/// stages and execution in wall-clock spans.
+///
+/// Tracing is observation-only: the returned [`RunResult`] is identical to
+/// an untraced run's, counter for counter and byte for byte. With
+/// [`TraceConfig::off`] no [`TraceSession`] is returned and no collection
+/// work happens.
+pub fn run_one_traced(
+    bench: &Benchmark,
+    engine: &Engine,
+    policy: AppendPolicy,
+    config: TraceConfig,
+) -> Result<(RunResult, Option<TraceSession>), String> {
+    let mut spans = if config.spans {
+        Some(SpanLog::new())
+    } else {
+        None
+    };
+
+    let prog = match spans.as_mut() {
+        Some(log) => log.scope("compile", "cir/frontend", || {
+            wasmperf_cir::compile(&bench.source)
+        }),
+        None => wasmperf_cir::compile(&bench.source),
+    }
+    .map_err(|e| format!("{}: {e}", bench.name))?;
+
+    // `func_texts` is non-empty only for the JIT pipeline: per-function wat
+    // texts indexed by the source tags on the emitted machine code.
+    let (module, compile_seconds, func_texts) = match engine {
+        Engine::Native | Engine::NativeWith(_) => {
+            let default_opts;
+            let opts = match engine {
+                Engine::NativeWith(o) => o,
+                _ => {
+                    default_opts = CompileOptions::default();
+                    &default_opts
+                }
+            };
             let t0 = Instant::now();
-            let m = wasmperf_clanglite::compile(&prog, &CompileOptions::default());
-            (m, t0.elapsed().as_secs_f64())
-        }
-        Engine::NativeWith(opts) => {
-            let t0 = Instant::now();
-            let m = wasmperf_clanglite::compile(&prog, opts);
-            (m, t0.elapsed().as_secs_f64())
+            let m = wasmperf_clanglite::compile_traced(&prog, opts, spans.as_mut());
+            (m, t0.elapsed().as_secs_f64(), Vec::new())
         }
         Engine::Jit(profile) => {
             // The wasm module ships to the browser; only JIT time counts
             // (the paper measures Chrome's compile time, not Emscripten's).
-            let wasm = wasmperf_emcc::compile(&prog);
+            let wasm = match spans.as_mut() {
+                Some(log) => log.scope("compile", "emcc/compile", || wasmperf_emcc::compile(&prog)),
+                None => wasmperf_emcc::compile(&prog),
+            };
             wasmperf_wasm::validate(&wasm).map_err(|e| format!("{}: {e}", bench.name))?;
             let t0 = Instant::now();
-            let out = wasmperf_wasmjit::compile(&wasm, profile)
-                .map_err(|e| format!("{}: {e}", bench.name))?;
-            (out.module, t0.elapsed().as_secs_f64())
+            let out = match spans.as_mut() {
+                Some(log) => log.scope("compile", "wasmjit/compile", || {
+                    wasmperf_wasmjit::compile(&wasm, profile)
+                }),
+                None => wasmperf_wasmjit::compile(&wasm, profile),
+            }
+            .map_err(|e| format!("{}: {e}", bench.name))?;
+            (out.module, t0.elapsed().as_secs_f64(), out.func_texts)
         }
     };
 
+    let symbols = if config.profile {
+        let mut s = SymbolMap::from_module(&module);
+        s.attach_source(&wasmperf_clanglite::source_table(&prog));
+        if !func_texts.is_empty() {
+            s.attach_wasm_texts(&module, &func_texts);
+        }
+        Some(s)
+    } else {
+        None
+    };
+
     let mut kernel = Kernel::new(policy);
+    if config.strace {
+        kernel.strace = Some(StraceLog::default());
+    }
     for (path, data) in &bench.inputs {
         kernel
             .fs
@@ -134,9 +194,17 @@ pub fn run_one(
         .entry
         .ok_or_else(|| format!("{}: no main", bench.name))?;
     let mut machine = Machine::new(&module, kernel);
+    if config.profile {
+        machine.enable_profile();
+    }
+    let open = spans.as_ref().map(SpanLog::enter);
     let out = machine
         .run(entry, &[], FUEL)
         .map_err(|e| format!("{} on {}: {e}", bench.name, engine.name()))?;
+    if let (Some(log), Some(open)) = (spans.as_mut(), open) {
+        log.exit(open, "exec", "run");
+    }
+    let profile = machine.take_profile();
 
     let kernel = machine.into_host();
     let mut outputs = Vec::new();
@@ -148,7 +216,7 @@ pub fn run_one(
         outputs.push((path.clone(), data));
     }
 
-    Ok(RunResult {
+    let result = RunResult {
         bench: bench.name.to_string(),
         engine: engine.name(),
         checksum: out.ret as u32 as i32,
@@ -157,7 +225,31 @@ pub fn run_one(
         outputs,
         compile_seconds,
         code_bytes: module.code_bytes(),
-    })
+    };
+
+    let trace = if config.is_off() {
+        None
+    } else {
+        let mut t = TraceSession::new(&result.bench, &result.engine);
+        t.spans = spans.map(|l| l.spans).unwrap_or_default();
+        t.strace = kernel.strace;
+        t.profile = profile;
+        t.symbols = symbols;
+        let c = &result.counters;
+        t.totals = vec![
+            ("instructions_retired", c.instructions_retired),
+            ("cycles", c.cycles),
+            ("icache_misses", c.icache_misses),
+            ("dcache_misses", c.dcache_misses),
+            ("branch_mispredicts", c.branch_mispredicts),
+            ("host_calls", c.host_calls),
+            ("host_cycles", c.host_cycles),
+            ("total_cycles", c.total_cycles()),
+        ];
+        Some(t)
+    };
+
+    Ok((result, trace))
 }
 
 #[cfg(test)]

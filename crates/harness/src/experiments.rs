@@ -373,8 +373,11 @@ fn main() -> i32 {{
     )
 }
 
+/// A labelled counter column: display name and its extractor.
+type CounterCol = (&'static str, fn(&PerfCounters) -> u64);
+
 /// The six counters of Figure 9 plus Figure 10's icache misses.
-const COUNTERS: [(&str, fn(&PerfCounters) -> u64); 7] = [
+const COUNTERS: [CounterCol; 7] = [
     ("all-loads-retired", |c| c.loads_retired),
     ("all-stores-retired", |c| c.stores_retired),
     ("branch-instructions-retired", |c| c.branches_retired),
@@ -466,10 +469,7 @@ pub fn table3() -> String {
                 "increased code size".into(),
             ],
             vec!["cpu-cycles".into(), "bottom line".into()],
-            vec![
-                "L1-icache-load-misses".into(),
-                "increased code size".into(),
-            ],
+            vec!["L1-icache-load-misses".into(), "increased code size".into()],
         ],
     )
 }
@@ -557,7 +557,10 @@ pub fn ablation_browserfs(_s: &Session) -> String {
     ] {
         let r = run_one(&b, &firefox(), policy).expect("runs");
         cycles.push(r.counters.host_cycles as f64);
-        rows.push(vec![label.to_string(), format!("{}", r.counters.host_cycles)]);
+        rows.push(vec![
+            label.to_string(),
+            format!("{}", r.counters.host_cycles),
+        ]);
     }
     rows.push(vec![
         "speedup from the fix".to_string(),
@@ -627,18 +630,22 @@ pub fn ablation_safety_checks(s: &mut Session) -> String {
         for name in &names {
             let b = s.bench(name).clone();
             let native = s.run(name, &Engine::Native).counters.total_cycles() as f64;
-            let r = run_one(&b, &Engine::Jit(profile.clone()), AppendPolicy::Chunked4K)
-                .expect("runs");
+            let r =
+                run_one(&b, &Engine::Jit(profile.clone()), AppendPolicy::Chunked4K).expect("runs");
             let sd = r.counters.total_cycles() as f64 / native;
             if name == "445.gobmk" {
                 gobmk = sd;
             }
             slowdowns.push(sd);
         }
-        let micro_sd = run_one(&micro, &Engine::Jit(profile.clone()), AppendPolicy::Chunked4K)
-            .expect("runs")
-            .counters
-            .total_cycles() as f64
+        let micro_sd = run_one(
+            &micro,
+            &Engine::Jit(profile.clone()),
+            AppendPolicy::Chunked4K,
+        )
+        .expect("runs")
+        .counters
+        .total_cycles() as f64
             / micro_native;
         rows.push(vec![
             label.to_string(),
@@ -688,8 +695,8 @@ pub fn ablation_reserved_regs(s: &mut Session) -> String {
         for name in &names {
             let b = s.bench(name).clone();
             let native = s.run(name, &Engine::Native).counters.total_cycles() as f64;
-            let r = run_one(&b, &Engine::Jit(profile.clone()), AppendPolicy::Chunked4K)
-                .expect("runs");
+            let r =
+                run_one(&b, &Engine::Jit(profile.clone()), AppendPolicy::Chunked4K).expect("runs");
             spills_total += r.counters.stores_retired;
             slowdowns.push(r.counters.total_cycles() as f64 / native);
         }
@@ -738,8 +745,12 @@ pub fn ablation_native_codegen(s: &mut Session) -> String {
         let mut cycles = Vec::new();
         for name in &names {
             let b = s.bench(name).clone();
-            let r = run_one(&b, &Engine::NativeWith(opts.clone()), AppendPolicy::Chunked4K)
-                .expect("runs");
+            let r = run_one(
+                &b,
+                &Engine::NativeWith(opts.clone()),
+                AppendPolicy::Chunked4K,
+            )
+            .expect("runs");
             let base = s.run(name, &Engine::Native).counters.total_cycles() as f64;
             cycles.push(r.counters.total_cycles() as f64 / base);
         }
@@ -750,6 +761,110 @@ pub fn ablation_native_codegen(s: &mut Session) -> String {
         &["configuration", "relative cycles"],
         &rows,
     )
+}
+
+/// The matmul source used by the observability demo: self-checksumming,
+/// no file I/O, so the whole profile is user code.
+pub fn trace_matmul_bench(n: u32) -> wasmperf_benchsuite::Benchmark {
+    let src = format!(
+        "const NI = {n}; const NK = {nk}; const NJ = {nj};
+array i32 C[NI * NJ];
+array i32 A[NI * NK];
+array i32 B[NK * NJ];
+fn matmul() {{
+    var i: i32 = 0; var k: i32 = 0; var j: i32 = 0;
+    for (i = 0; i < NI; i += 1) {{
+        for (k = 0; k < NK; k += 1) {{
+            for (j = 0; j < NJ; j += 1) {{
+                C[i * NJ + j] += A[i * NK + k] * B[k * NJ + j];
+            }}
+        }}
+    }}
+}}
+fn main() -> i32 {{
+    var i: i32 = 0;
+    for (i = 0; i < NI * NK; i += 1) {{ A[i] = i % 7; }}
+    for (i = 0; i < NK * NJ; i += 1) {{ B[i] = i % 5; }}
+    matmul();
+    var cs: i32 = 0;
+    for (i = 0; i < NI * NJ; i += 1) {{ cs = cs * 31 + C[i]; }}
+    return cs;
+}}",
+        nk = n + n / 10,
+        nj = n + n / 5
+    );
+    wasmperf_benchsuite::Benchmark {
+        name: "matmul",
+        suite: wasmperf_benchsuite::Suite::PolyBench,
+        source: src,
+        inputs: vec![],
+        outputs: vec![],
+    }
+}
+
+/// The observability demo (`report --trace <dir>`): traced matmul runs on
+/// native and Chrome-JIT (perf-report + annotate + Chrome trace JSON +
+/// JSONL) and a traced SPEC-analog run (strace log + per-class summary),
+/// written as files under `dir`.
+pub fn trace_demo(dir: &std::path::Path, size: wasmperf_benchsuite::Size) -> String {
+    use crate::engine::run_one_traced;
+    use wasmperf_trace::TraceConfig;
+
+    std::fs::create_dir_all(dir).expect("create trace dir");
+    let mut out = String::new();
+    let write = |name: &str, data: &str| {
+        std::fs::write(dir.join(name), data).expect("write trace artifact");
+    };
+
+    let b = trace_matmul_bench(32);
+    for engine in [Engine::Native, chrome()] {
+        let (r, trace) = run_one_traced(&b, &engine, AppendPolicy::Chunked4K, TraceConfig::full())
+            .expect("traced run");
+        let t = trace.expect("tracing was on");
+        let tag = r.engine.clone();
+        write(&format!("matmul-{tag}.trace.json"), &t.chrome_trace());
+        write(&format!("matmul-{tag}.jsonl"), &t.jsonl());
+        let report = format!("{}\n{}", t.perf_report(), t.annotate_hottest(1));
+        write(&format!("matmul-{tag}.perf.txt"), &report);
+        out.push_str(&format!(
+            "== matmul on {tag}: checksum {} ==\n{}\n",
+            r.checksum,
+            t.perf_report()
+        ));
+    }
+
+    // One SPEC-analog with real file I/O for the strace side.
+    let spec = wasmperf_benchsuite::spec::all(size)
+        .into_iter()
+        .find(|b| b.name == "401.bzip2")
+        .expect("401.bzip2 exists");
+    let (r, trace) = run_one_traced(
+        &spec,
+        &Engine::Native,
+        AppendPolicy::Chunked4K,
+        TraceConfig::full(),
+    )
+    .expect("traced run");
+    let t = trace.expect("tracing was on");
+    write(
+        "401.bzip2-native.strace.txt",
+        &format!("{}\n{}", t.strace_text(), t.strace_summary()),
+    );
+    write("401.bzip2-native.trace.json", &t.chrome_trace());
+    let kernel_cycles = t
+        .strace
+        .as_ref()
+        .map_or(0, wasmperf_trace::StraceLog::total_cycles);
+    out.push_str(&format!(
+        "== 401.bzip2 on native: {} syscalls, kernel cycles {} (host_cycles {}) ==\n{}\n",
+        t.strace.as_ref().map_or(0, |l| l.records.len()),
+        kernel_cycles,
+        r.counters.host_cycles,
+        t.strace_summary()
+    ));
+
+    out.push_str(&format!("trace artifacts written to {}\n", dir.display()));
+    out
 }
 
 #[cfg(test)]

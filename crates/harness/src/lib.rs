@@ -25,5 +25,6 @@ pub mod render;
 pub mod session;
 pub mod stats;
 
-pub use engine::{run_one, Engine, RunResult};
+pub use engine::{run_one, run_one_traced, Engine, RunResult};
 pub use session::Session;
+pub use wasmperf_trace::{TraceConfig, TraceSession};

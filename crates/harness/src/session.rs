@@ -1,9 +1,10 @@
 //! Session: cached, validated suite execution.
 
-use crate::engine::{run_one, Engine, RunResult};
+use crate::engine::{run_one_traced, Engine, RunResult};
 use std::collections::HashMap;
 use wasmperf_benchsuite::{Benchmark, Size};
 use wasmperf_browsix::AppendPolicy;
+use wasmperf_trace::{TraceConfig, TraceSession};
 
 /// Runs (benchmark × engine) pairs at a fixed size, caching results and
 /// validating cross-engine agreement (checksums and output files must be
@@ -11,7 +12,10 @@ use wasmperf_browsix::AppendPolicy;
 pub struct Session {
     /// Workload size for every run in this session.
     pub size: Size,
+    /// What to collect on every run (default: nothing).
+    trace_config: TraceConfig,
     cache: HashMap<(String, String), RunResult>,
+    traces: HashMap<(String, String), TraceSession>,
     benches: HashMap<String, Benchmark>,
 }
 
@@ -24,9 +28,23 @@ impl Session {
         }
         Session {
             size,
+            trace_config: TraceConfig::off(),
             cache: HashMap::new(),
+            traces: HashMap::new(),
             benches,
         }
+    }
+
+    /// This session with tracing enabled for every subsequent run.
+    pub fn with_trace(mut self, config: TraceConfig) -> Session {
+        self.trace_config = config;
+        self
+    }
+
+    /// The trace collected for a completed (benchmark, engine) run, when
+    /// tracing was enabled.
+    pub fn trace(&self, bench: &str, engine: &Engine) -> Option<&TraceSession> {
+        self.traces.get(&(bench.to_string(), engine.name()))
     }
 
     /// The benchmark definition for `name`.
@@ -40,7 +58,7 @@ impl Session {
 
     /// Names of all SPEC-analog benchmarks, in paper order.
     pub fn spec_names(&self) -> Vec<String> {
-        wasmperf_benchsuite::spec::all(Size::Test)
+        wasmperf_benchsuite::spec::all(self.size)
             .iter()
             .map(|b| b.name.to_string())
             .collect()
@@ -48,7 +66,7 @@ impl Session {
 
     /// Names of all PolyBench kernels.
     pub fn polybench_names(&self) -> Vec<String> {
-        wasmperf_benchsuite::polybench::all(Size::Test)
+        wasmperf_benchsuite::polybench::all(self.size)
             .iter()
             .map(|b| b.name.to_string())
             .collect()
@@ -64,8 +82,11 @@ impl Session {
                 .benches
                 .get(bench)
                 .unwrap_or_else(|| panic!("unknown benchmark {bench}"));
-            let r = run_one(b, engine, AppendPolicy::Chunked4K)
+            let (r, trace) = run_one_traced(b, engine, AppendPolicy::Chunked4K, self.trace_config)
                 .unwrap_or_else(|e| panic!("run failed: {e}"));
+            if let Some(t) = trace {
+                self.traces.insert(key.clone(), t);
+            }
             // Validate against any prior engine's result for this bench.
             for ((b2, _), prior) in &self.cache {
                 if b2 == bench {

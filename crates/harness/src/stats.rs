@@ -95,6 +95,38 @@ mod tests {
     }
 
     #[test]
+    fn empty_inputs_yield_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(stderr(&[]), 0.0);
+        assert_eq!(geomean(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+        assert!(noisy_trials(100.0, 0, 7).is_empty());
+    }
+
+    #[test]
+    fn single_element_is_its_own_statistic() {
+        assert_eq!(mean(&[3.25]), 3.25);
+        assert_eq!(median(&[3.25]), 3.25);
+        assert!((geomean(&[3.25]) - 3.25).abs() < 1e-12);
+        // One sample has no spread.
+        assert_eq!(stderr(&[3.25]), 0.0);
+    }
+
+    #[test]
+    fn geomean_with_zero_collapses_to_zero() {
+        // ln(0) = -inf, so any zero factor drives the geomean to 0 —
+        // callers feeding slowdown ratios must keep them positive.
+        assert_eq!(geomean(&[0.0, 4.0, 9.0]), 0.0);
+    }
+
+    #[test]
+    fn noise_seed_zero_is_not_degenerate() {
+        // The xorshift state is or'd with 1, so seed 0 must still vary.
+        let a = noisy_trials(100.0, 5, 0);
+        assert!(a.iter().any(|x| (x - a[0]).abs() > 1e-9));
+    }
+
+    #[test]
     fn geomean_of_ratios() {
         // Slowdown-style usage.
         let r = geomean(&[1.5, 1.6, 1.4]);

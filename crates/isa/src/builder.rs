@@ -101,6 +101,7 @@ impl AsmBuilder {
             label_offsets: self.label_offsets,
             frame_size: self.frame_size,
             inst_addrs: Vec::new(),
+            inst_tags: Vec::new(),
         }
     }
 }

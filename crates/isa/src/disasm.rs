@@ -77,12 +77,9 @@ pub fn format_inst(inst: &Inst) -> String {
         Mov { dst, src, width } => {
             format!("mov {}, {}", fmt_op(dst, *width), fmt_op(src, *width))
         }
-        Movzx { dst, src, from } => format!(
-            "movzx {}, {} ({:?})",
-            dst.name(),
-            fmt_op(src, *from),
-            from
-        ),
+        Movzx { dst, src, from } => {
+            format!("movzx {}, {} ({:?})", dst.name(), fmt_op(src, *from), from)
+        }
         Movsx { dst, src, from, to } => format!(
             "movsx {}, {} ({:?}->{:?})",
             reg_name(*dst, *to),
@@ -93,7 +90,12 @@ pub fn format_inst(inst: &Inst) -> String {
         Lea { dst, mem, width } => {
             format!("lea {}, {}", reg_name(*dst, *width), fmt_mem(mem))
         }
-        Alu { op, dst, src, width } => format!(
+        Alu {
+            op,
+            dst,
+            src,
+            width,
+        } => format!(
             "{} {}, {}",
             op.mnemonic(),
             fmt_op(dst, *width),
@@ -101,12 +103,15 @@ pub fn format_inst(inst: &Inst) -> String {
         ),
         Neg { dst, width } => format!("neg {}", fmt_op(dst, *width)),
         Not { dst, width } => format!("not {}", fmt_op(dst, *width)),
-        Imul { dst, src, width } => format!(
-            "imul {}, {}",
-            reg_name(*dst, *width),
-            fmt_op(src, *width)
-        ),
-        Imul3 { dst, src, imm, width } => format!(
+        Imul { dst, src, width } => {
+            format!("imul {}, {}", reg_name(*dst, *width), fmt_op(src, *width))
+        }
+        Imul3 {
+            dst,
+            src,
+            imm,
+            width,
+        } => format!(
             "imul {}, {}, {:#x}",
             reg_name(*dst, *width),
             fmt_op(src, *width),
@@ -128,27 +133,26 @@ pub fn format_inst(inst: &Inst) -> String {
             format!("test {}, {}", fmt_op(lhs, *width), fmt_op(rhs, *width))
         }
         Setcc { cc, dst } => format!("set{} {}", cc.suffix(), dst.name()),
-        Cmov { cc, dst, src, width } => format!(
+        Cmov {
+            cc,
+            dst,
+            src,
+            width,
+        } => format!(
             "cmov{} {}, {}",
             cc.suffix(),
             reg_name(*dst, *width),
             fmt_op(src, *width)
         ),
-        Lzcnt { dst, src, width } => format!(
-            "lzcnt {}, {}",
-            reg_name(*dst, *width),
-            fmt_op(src, *width)
-        ),
-        Tzcnt { dst, src, width } => format!(
-            "tzcnt {}, {}",
-            reg_name(*dst, *width),
-            fmt_op(src, *width)
-        ),
-        Popcnt { dst, src, width } => format!(
-            "popcnt {}, {}",
-            reg_name(*dst, *width),
-            fmt_op(src, *width)
-        ),
+        Lzcnt { dst, src, width } => {
+            format!("lzcnt {}, {}", reg_name(*dst, *width), fmt_op(src, *width))
+        }
+        Tzcnt { dst, src, width } => {
+            format!("tzcnt {}, {}", reg_name(*dst, *width), fmt_op(src, *width))
+        }
+        Popcnt { dst, src, width } => {
+            format!("popcnt {}, {}", reg_name(*dst, *width), fmt_op(src, *width))
+        }
         Jmp { target } => format!("jmp {target}"),
         Jcc { cc, target } => format!("j{} {target}", cc.suffix()),
         Call { target } => format!("call {target}"),
@@ -158,7 +162,12 @@ pub fn format_inst(inst: &Inst) -> String {
         Pop { dst } => format!("pop {}", dst.name()),
         Ret => "ret".to_string(),
         MovF { dst, src, prec } => {
-            format!("mov{} {}, {}", prec_suffix(*prec), fmt_fop(dst), fmt_fop(src))
+            format!(
+                "mov{} {}, {}",
+                prec_suffix(*prec),
+                fmt_fop(dst),
+                fmt_fop(src)
+            )
         }
         AluF { op, dst, src, prec } => format!(
             "{}{} {}, {}",
@@ -167,7 +176,12 @@ pub fn format_inst(inst: &Inst) -> String {
             dst,
             fmt_fop(src)
         ),
-        RoundF { dst, src, prec, mode } => format!(
+        RoundF {
+            dst,
+            src,
+            prec,
+            mode,
+        } => format!(
             "round{} {}, {}, {:?}",
             prec_suffix(*prec),
             dst,
@@ -183,14 +197,26 @@ pub fn format_inst(inst: &Inst) -> String {
         Ucomis { lhs, rhs, prec } => {
             format!("ucomi{} {}, {}", prec_suffix(*prec), lhs, fmt_fop(rhs))
         }
-        CvtIntToF { dst, src, width, prec, unsigned } => format!(
+        CvtIntToF {
+            dst,
+            src,
+            width,
+            prec,
+            unsigned,
+        } => format!(
             "cvt{}si2{} {}, {}",
             if *unsigned { "u" } else { "" },
             prec_suffix(*prec),
             dst,
             fmt_op(src, *width)
         ),
-        CvtFToInt { dst, src, width, prec, unsigned } => format!(
+        CvtFToInt {
+            dst,
+            src,
+            width,
+            prec,
+            unsigned,
+        } => format!(
             "cvtt{}2{}si {}, {}",
             prec_suffix(*prec),
             if *unsigned { "u" } else { "" },

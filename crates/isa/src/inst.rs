@@ -124,9 +124,7 @@ impl MemRef {
 
     /// Registers read to form the effective address.
     pub fn regs(&self) -> impl Iterator<Item = Reg> + '_ {
-        self.base
-            .into_iter()
-            .chain(self.index.map(|(r, _)| r))
+        self.base.into_iter().chain(self.index.map(|(r, _)| r))
     }
 }
 

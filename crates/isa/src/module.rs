@@ -38,6 +38,10 @@ pub struct TableEntry {
     pub func: Option<FuncId>,
 }
 
+/// Source-tag value for instructions with no wasm-instruction origin
+/// (prologue/epilogue, trap stubs, native-backend code).
+pub const NO_TAG: u32 = u32::MAX;
+
 /// A compiled function: a flat instruction sequence with resolved labels.
 #[derive(Debug, Clone, Default)]
 pub struct Function {
@@ -52,6 +56,11 @@ pub struct Function {
     /// Byte address of each instruction in the module's code image;
     /// assigned by [`Module::assign_addresses`].
     pub inst_addrs: Vec<u64>,
+    /// Per-instruction source tags for the observability layer: the
+    /// pre-order wasm instruction index each machine instruction was
+    /// compiled from, or [`NO_TAG`]. Empty (treated as all-[`NO_TAG`])
+    /// when the backend attaches no tags.
+    pub inst_tags: Vec<u32>,
 }
 
 impl Function {
@@ -154,9 +163,7 @@ mod tests {
             m.funcs.push(Function {
                 name: format!("f{n}"),
                 insts: vec![mov_rr(), Inst::Ret],
-                label_offsets: vec![],
-                frame_size: 0,
-                inst_addrs: vec![],
+                ..Function::default()
             });
         }
         m.assign_addresses();

@@ -18,8 +18,7 @@ fn mem_bytes(mem: &MemRef) -> u32 {
     // forces a SIB byte. Displacement: 0 bytes if zero and base != rbp,
     // 1 byte if it fits i8, else 4.
     let mut n = 1;
-    let needs_sib =
-        mem.index.is_some() || mem.base == Some(Reg::Rsp) || mem.base.is_none();
+    let needs_sib = mem.index.is_some() || mem.base == Some(Reg::Rsp) || mem.base.is_none();
     if needs_sib {
         n += 1;
     }
@@ -117,7 +116,9 @@ pub fn encoded_len(inst: &Inst) -> u32 {
             regs.extend(mem.regs().map(Some));
             1 + rex(*width, &regs) + mem_bytes(mem)
         }
-        Alu { dst, src, width, .. } => operand_pair(dst, src, *width, 1),
+        Alu {
+            dst, src, width, ..
+        } => operand_pair(dst, src, *width, 1),
         Neg { dst, width } | Not { dst, width } => match dst {
             Operand::Mem(m) => 1 + rex(*width, &op_regs(dst)) + mem_bytes(m),
             _ => 1 + rex(*width, &op_regs(dst)) + 1,
@@ -132,7 +133,12 @@ pub fn encoded_len(inst: &Inst) -> u32 {
             }
             n
         }
-        Imul3 { dst, src, imm, width } => {
+        Imul3 {
+            dst,
+            src,
+            imm,
+            width,
+        } => {
             let mut regs = vec![Some(*dst)];
             regs.extend(op_regs(src));
             let mut n = 1 + rex(*width, &regs) + imm_bytes(*imm, *width);
@@ -147,11 +153,11 @@ pub fn encoded_len(inst: &Inst) -> u32 {
             Operand::Mem(m) => 1 + rex(*width, &op_regs(src)) + mem_bytes(m),
             _ => 1 + rex(*width, &op_regs(src)) + 1,
         },
-        Cmp { lhs, rhs, width } | Test { lhs, rhs, width } => {
-            operand_pair(lhs, rhs, *width, 1)
-        }
+        Cmp { lhs, rhs, width } | Test { lhs, rhs, width } => operand_pair(lhs, rhs, *width, 1),
         Setcc { dst, .. } => 3 + u32::from(dst.is_extended()),
-        Cmov { dst, src, width, .. } => {
+        Cmov {
+            dst, src, width, ..
+        } => {
             let mut regs = vec![Some(*dst)];
             regs.extend(op_regs(src));
             let mut n = 2 + rex(*width, &regs); // 0F 4x.
@@ -161,9 +167,7 @@ pub fn encoded_len(inst: &Inst) -> u32 {
             }
             n
         }
-        Lzcnt { dst, src, width }
-        | Tzcnt { dst, src, width }
-        | Popcnt { dst, src, width } => {
+        Lzcnt { dst, src, width } | Tzcnt { dst, src, width } | Popcnt { dst, src, width } => {
             let mut regs = vec![Some(*dst)];
             regs.extend(op_regs(src));
             let mut n = 4 + rex(*width, &regs); // F3 0F B8-style.
@@ -178,7 +182,10 @@ pub fn encoded_len(inst: &Inst) -> u32 {
         Jcc { .. } => 6,
         Call { .. } => 5,
         CallIndirect { target } => match target {
-            Operand::Mem(m) => 2 + mem_bytes(m) + u32::from(op_regs(target).iter().flatten().any(|r| r.is_extended())),
+            Operand::Mem(m) => {
+                2 + mem_bytes(m)
+                    + u32::from(op_regs(target).iter().flatten().any(|r| r.is_extended()))
+            }
             _ => 2 + u32::from(op_regs(target).iter().flatten().any(|r| r.is_extended())),
         },
         // Host calls model a call through a patched thunk.
@@ -331,7 +338,12 @@ mod tests {
 
     #[test]
     fn every_branch_has_fixed_size() {
-        assert_eq!(encoded_len(&Inst::Jmp { target: crate::Label(0) }), 5);
+        assert_eq!(
+            encoded_len(&Inst::Jmp {
+                target: crate::Label(0)
+            }),
+            5
+        );
         assert_eq!(
             encoded_len(&Inst::Jcc {
                 cc: crate::Cc::Ne,

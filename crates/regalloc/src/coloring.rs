@@ -156,9 +156,7 @@ pub fn allocate_coloring(f: &LFunc, profile: &AllocProfile) -> Assignment {
                     .iter()
                     .filter(|r| !crossing || profile.callee_saved.contains(**r))
                     .collect();
-                candidates.sort_by_key(|r| {
-                    profile.callee_saved.contains(**r) != crossing
-                });
+                candidates.sort_by_key(|r| profile.callee_saved.contains(**r) != crossing);
                 candidates
                     .into_iter()
                     .map(|r| Slot::IntReg(*r))

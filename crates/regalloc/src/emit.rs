@@ -16,6 +16,7 @@
 use crate::lir::{Arg, FLoc, FOpnd, LFunc, LInst, LMem, Loc, Opnd, RetVal, VClass};
 use crate::profile::AllocProfile;
 use wasmperf_isa::inst::FOperand;
+use wasmperf_isa::module::NO_TAG;
 use wasmperf_isa::{
     AluOp, AsmBuilder, Cc, FPrec, FuncId, Function, Inst, Label, MemRef, Operand, Reg, TrapKind,
     Width, Xmm,
@@ -48,7 +49,10 @@ pub struct Assignment {
 impl Assignment {
     /// Number of virtual registers spilled to the stack.
     pub fn spill_count(&self) -> usize {
-        self.of.iter().filter(|s| matches!(s, Slot::Stack(_))).count()
+        self.of
+            .iter()
+            .filter(|s| matches!(s, Slot::Stack(_)))
+            .count()
     }
 }
 
@@ -156,7 +160,10 @@ impl<'a> Emitter<'a> {
     }
 
     fn mem(&mut self, m: &LMem, width: Width) -> MemRef {
-        let base = m.base.as_ref().map(|l| self.reg_for_read(l, width.max_w64()));
+        let base = m
+            .base
+            .as_ref()
+            .map(|l| self.reg_for_read(l, width.max_w64()));
         let index = m
             .index
             .as_ref()
@@ -321,9 +328,10 @@ impl<'a> Emitter<'a> {
             let mut i = 0;
             while i < pending.len() {
                 let (dst, _) = pending[i];
-                let dst_is_source = pending.iter().enumerate().any(|(j, (_, src))| {
-                    j != i && matches!(src, Operand::Reg(r) if *r == dst)
-                });
+                let dst_is_source = pending
+                    .iter()
+                    .enumerate()
+                    .any(|(j, (_, src))| j != i && matches!(src, Operand::Reg(r) if *r == dst));
                 if !dst_is_source {
                     let (dst, src) = pending.remove(i);
                     if src != Operand::Reg(dst) {
@@ -350,7 +358,6 @@ impl<'a> Emitter<'a> {
                 pending.push((dst, Operand::Reg(Reg::Rax)));
             }
         }
-
     }
 
     /// Executes float `dst <- src` moves atomically (cycle breaking
@@ -362,9 +369,10 @@ impl<'a> Emitter<'a> {
             let mut i = 0;
             while i < pending.len() {
                 let (dst, _) = pending[i];
-                let dst_is_source = pending.iter().enumerate().any(|(j, (_, src))| {
-                    j != i && matches!(src, FOperand::Xmm(x) if *x == dst)
-                });
+                let dst_is_source = pending
+                    .iter()
+                    .enumerate()
+                    .any(|(j, (_, src))| j != i && matches!(src, FOperand::Xmm(x) if *x == dst));
                 if !dst_is_source {
                     let (dst, src) = pending.remove(i);
                     if src != FOperand::Xmm(dst) {
@@ -682,7 +690,12 @@ impl<'a> Emitter<'a> {
                     width: *width,
                 });
             }
-            LInst::Cmov { cc, dst, src, width } => {
+            LInst::Cmov {
+                cc,
+                dst,
+                src,
+                width,
+            } => {
                 let s = self.opnd(src, *width);
                 let (d, sb) = self.reg_for_rmw(dst, *width);
                 self.asm.emit(Inst::Cmov {
@@ -986,11 +999,7 @@ impl WidthExt for Width {
 /// `param_vregs` gives, for each parameter in order, the virtual register
 /// it binds to; the prologue moves the System V argument registers into
 /// those assignments.
-pub fn emit_function(
-    f: &LFunc,
-    assign: &Assignment,
-    _profile: &AllocProfile,
-) -> Function {
+pub fn emit_function(f: &LFunc, assign: &Assignment, _profile: &AllocProfile) -> Function {
     let mut e = Emitter {
         assign,
         asm: AsmBuilder::new(f.name.clone()),
@@ -1083,11 +1092,25 @@ pub fn emit_function(
     e.parallel_int_moves(int_moves);
     e.parallel_float_moves(float_moves);
 
+    // Source tags, parallel to the emitted instruction stream. The
+    // prologue and parameter moves carry no source tag; each body
+    // instruction inherits the LIR instruction's tag (when the frontend
+    // provided `src_tags`), covering however many machine instructions it
+    // expanded to.
+    let mut inst_tags = vec![NO_TAG; e.asm.len()];
+
     // Body. An unconditional jump to the immediately following block is
     // elided (both backends terminate every block explicitly and rely on
     // this layout cleanup, as real compilers do).
     for (bi, b) in f.blocks.iter().enumerate() {
         e.asm.bind(e.block_labels[bi]);
+        let tag_of = |ii: usize| -> u32 {
+            f.src_tags
+                .get(bi)
+                .and_then(|tags| tags.get(ii))
+                .copied()
+                .unwrap_or(NO_TAG)
+        };
         let n = b.insts.len();
         let mut ii = 0;
         while ii < n {
@@ -1103,6 +1126,7 @@ pub fn emit_function(
                             cc: cc.negate(),
                             target: *f_target,
                         });
+                        inst_tags.resize(e.asm.len(), tag_of(ii));
                         break;
                     }
                 }
@@ -1117,6 +1141,7 @@ pub fn emit_function(
                 }
             }
             e.emit_inst(inst);
+            inst_tags.resize(e.asm.len(), tag_of(ii));
             ii += 1;
         }
     }
@@ -1129,5 +1154,8 @@ pub fn emit_function(
     }
 
     e.asm.set_frame_size(assign.n_slots * 8);
-    e.asm.finish()
+    let mut func = e.asm.finish();
+    inst_tags.resize(func.insts.len(), NO_TAG);
+    func.inst_tags = inst_tags;
+    func
 }

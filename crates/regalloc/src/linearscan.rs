@@ -94,9 +94,7 @@ fn allocate_with_liveness(f: &LFunc, profile: &AllocProfile, live: &Liveness) ->
                 order.sort_by_key(|&ri| {
                     profile.callee_saved.contains(profile.int_pool[ri]) != iv.across_call
                 });
-                let choice = order
-                    .into_iter()
-                    .find(|&ri| free_int[ri] && eligible(ri));
+                let choice = order.into_iter().find(|&ri| free_int[ri] && eligible(ri));
                 match choice {
                     Some(ri) => {
                         free_int[ri] = false;
@@ -116,8 +114,7 @@ fn allocate_with_liveness(f: &LFunc, profile: &AllocProfile, live: &Liveness) ->
                             Some(vi) if active_int[vi].0 > iv.end => {
                                 let (_, victim_vreg, ri) = active_int[vi];
                                 assign[victim_vreg as usize] = new_slot(&mut n_slots);
-                                assign[iv.vreg as usize] =
-                                    Slot::IntReg(profile.int_pool[ri]);
+                                assign[iv.vreg as usize] = Slot::IntReg(profile.int_pool[ri]);
                                 active_int[vi] = (iv.end, iv.vreg, ri);
                             }
                             _ => {
@@ -151,8 +148,7 @@ fn allocate_with_liveness(f: &LFunc, profile: &AllocProfile, live: &Liveness) ->
                             Some(vi) if active_float[vi].0 > iv.end => {
                                 let (_, victim_vreg, ri) = active_float[vi];
                                 assign[victim_vreg as usize] = new_slot(&mut n_slots);
-                                assign[iv.vreg as usize] =
-                                    Slot::FloatReg(profile.float_pool[ri]);
+                                assign[iv.vreg as usize] = Slot::FloatReg(profile.float_pool[ri]);
                                 active_float[vi] = (iv.end, iv.vreg, ri);
                             }
                             _ => {
@@ -240,10 +236,8 @@ pub fn verify_no_conflicts(f: &LFunc, assign: &Assignment) -> Result<(), String>
     // Call-crossing values must not sit in caller-saved registers.
     for &v in &live.live_across_call {
         match assign.of[v as usize] {
-            Slot::IntReg(r) => {
-                if !AllocProfileCalleeSavedCheck::is_callee_saved(r) {
-                    return Err(format!("vreg {v} lives across a call in caller-saved {r}"));
-                }
+            Slot::IntReg(r) if !AllocProfileCalleeSavedCheck::is_callee_saved(r) => {
+                return Err(format!("vreg {v} lives across a call in caller-saved {r}"));
             }
             Slot::FloatReg(x) => {
                 return Err(format!("vreg {v} lives across a call in xmm {x}"));
@@ -373,10 +367,7 @@ mod tests {
         let a = allocate_linear_scan(&f, &AllocProfile::chrome());
         verify_no_conflicts(&f, &a).unwrap();
         match a.of[0] {
-            Slot::IntReg(r) => assert!(
-                AllocProfile::chrome().callee_saved.contains(r),
-                "got {r}"
-            ),
+            Slot::IntReg(r) => assert!(AllocProfile::chrome().callee_saved.contains(r), "got {r}"),
             Slot::Stack(_) => {}
             other => panic!("{other:?}"),
         }

@@ -485,7 +485,10 @@ pub enum LInst {
 impl LInst {
     /// True when control cannot fall through this instruction.
     pub fn is_terminator(&self) -> bool {
-        matches!(self, LInst::Jmp { .. } | LInst::Ret { .. } | LInst::Trap { .. })
+        matches!(
+            self,
+            LInst::Jmp { .. } | LInst::Ret { .. } | LInst::Trap { .. }
+        )
     }
 }
 
@@ -509,6 +512,11 @@ pub struct LFunc {
     /// they are bound to virtual registers `0..n` at entry by the emitter
     /// prologue (in declaration order, skipping float params).
     pub params: Vec<VClass>,
+    /// Optional per-instruction source tags for the observability layer:
+    /// `src_tags[block][inst]` is the pre-order wasm-instruction index the
+    /// LIR instruction was compiled from. Empty (no tags) for the native
+    /// backend; missing entries mean "untagged".
+    pub src_tags: Vec<Vec<u32>>,
 }
 
 impl LFunc {
@@ -721,11 +729,9 @@ pub fn for_each_def(inst: &LInst, mut f: impl FnMut(u32, VClass)) {
         | LInst::Tzcnt { dst, .. }
         | LInst::Popcnt { dst, .. }
         | LInst::CvtFToInt { dst, .. } => loc(dst, &mut f),
-        LInst::MovF { dst, .. } => {
-            if let FOpnd::Loc(l) = dst {
-                floc(l, &mut f);
-            }
-        }
+        LInst::MovF {
+            dst: FOpnd::Loc(l), ..
+        } => floc(l, &mut f),
         LInst::MovFImm { dst, .. }
         | LInst::AluF { dst, .. }
         | LInst::SqrtF { dst, .. }
@@ -741,11 +747,7 @@ pub fn for_each_def(inst: &LInst, mut f: impl FnMut(u32, VClass)) {
                 }
             }
         }
-        LInst::CallHost { ret, .. } => {
-            if let Some(l) = ret {
-                loc(l, &mut f);
-            }
-        }
+        LInst::CallHost { ret: Some(l), .. } => loc(l, &mut f),
         _ => {}
     }
 }
@@ -759,6 +761,8 @@ pub fn is_call(inst: &LInst) -> bool {
 }
 
 #[cfg(test)]
+// Tests build `LFunc` fixtures field-by-field for readability.
+#[allow(clippy::field_reassign_with_default)]
 mod tests {
     use super::*;
 

@@ -182,6 +182,8 @@ pub fn analyze(f: &LFunc) -> Liveness {
 }
 
 #[cfg(test)]
+// Tests build `LFunc` fixtures field-by-field for readability.
+#[allow(clippy::field_reassign_with_default)]
 mod tests {
     use super::*;
     use crate::lir::{Arg, BlockId, LBlock, LFunc, LInst, Loc, Opnd, RetVal, VClass};

@@ -1,3 +1,6 @@
+// Tests build `LFunc` fixtures field-by-field for readability.
+#![allow(clippy::field_reassign_with_default)]
+
 //! End-to-end tests: LIR → allocate → emit → execute on the CPU simulator.
 //!
 //! Both allocators must produce code with identical results; the

@@ -43,8 +43,7 @@ fn op_strategy(n_int: u32, n_float: u32, n_blocks: usize) -> impl Strategy<Value
         (iv.clone(), 0..n_blocks).prop_map(|(v, t)| Op::MidJcc(v, t)),
         (proptest::collection::vec(iv.clone(), 0..3), iv.clone())
             .prop_map(|(args, r)| Op::Call(args, r)),
-        (fv.clone(), proptest::arbitrary::any::<u64>())
-            .prop_map(|(v, bits)| Op::FMovImm(v, bits)),
+        (fv.clone(), proptest::arbitrary::any::<u64>()).prop_map(|(v, bits)| Op::FMovImm(v, bits)),
         (fv.clone(), fv).prop_map(|(a, b)| Op::FAdd(a, b)),
     ]
 }

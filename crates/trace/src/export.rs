@@ -1,0 +1,240 @@
+//! Exporters: Chrome `trace_event` JSON and line-delimited JSON.
+//!
+//! The Chrome format is the `{"traceEvents": [...]}` object form with
+//! complete events (`ph: "X"`, `ts`/`dur` in microseconds) and metadata
+//! events (`ph: "M"`) naming the process and threads, loadable in
+//! `about:tracing` and Perfetto. JSON is emitted by hand — the workspace
+//! carries no serde dependency — via a tiny escaping writer.
+
+use crate::TraceSession;
+use std::fmt::Write as _;
+
+/// Escapes `s` for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Thread id used for pipeline/harness spans.
+const TID_PIPELINE: u32 = 1;
+/// Thread id used for kernel syscall events.
+const TID_KERNEL: u32 = 2;
+
+/// Renders the session as Chrome `trace_event` JSON.
+///
+/// Spans go on the "pipeline" thread with their wall-clock timestamps;
+/// syscalls go on the "kernel" thread positioned by cumulative kernel
+/// cycles converted to microseconds at the session's core frequency.
+pub fn chrome_trace(s: &TraceSession) -> String {
+    let mut ev: Vec<String> = Vec::new();
+    let pname = json_escape(&format!("{} [{}]", s.bench, s.engine));
+    ev.push(format!(
+        r#"{{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{{"name":"{pname}"}}}}"#
+    ));
+    ev.push(format!(
+        r#"{{"ph":"M","pid":1,"tid":{TID_PIPELINE},"name":"thread_name","args":{{"name":"pipeline"}}}}"#
+    ));
+    ev.push(format!(
+        r#"{{"ph":"M","pid":1,"tid":{TID_KERNEL},"name":"thread_name","args":{{"name":"kernel"}}}}"#
+    ));
+
+    for span in &s.spans {
+        ev.push(format!(
+            r#"{{"ph":"X","pid":1,"tid":{TID_PIPELINE},"ts":{},"dur":{},"cat":"{}","name":"{}"}}"#,
+            span.start_us,
+            span.dur_us.max(1),
+            json_escape(&span.cat),
+            json_escape(&span.name)
+        ));
+    }
+
+    if let Some(log) = &s.strace {
+        let us_per_cycle = 1e6 / s.freq_hz.max(1.0);
+        for r in &log.records {
+            let ts = (r.start_cycles as f64 * us_per_cycle * 1000.0).round() / 1000.0;
+            let dur = ((r.cycles as f64 * us_per_cycle * 1000.0).round() / 1000.0).max(0.001);
+            ev.push(format!(
+                r#"{{"ph":"X","pid":1,"tid":{TID_KERNEL},"ts":{ts},"dur":{dur},"cat":"syscall","name":"{}","args":{{"ret":{},"payload":{},"cycles":{}}}}}"#,
+                crate::strace::syscall_name(r.nr),
+                r.ret,
+                r.payload,
+                r.cycles
+            ));
+        }
+    }
+
+    let mut totals = String::new();
+    for (i, (name, value)) in s.totals.iter().enumerate() {
+        if i > 0 {
+            totals.push(',');
+        }
+        let _ = write!(totals, r#""{}":{}"#, json_escape(name), value);
+    }
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(&ev.join(",\n"));
+    let _ = write!(
+        out,
+        "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"bench\":\"{}\",\"engine\":\"{}\",\"counters\":{{{totals}}}}}}}",
+        json_escape(&s.bench),
+        json_escape(&s.engine)
+    );
+    out.push('\n');
+    out
+}
+
+/// Renders the session as line-delimited JSON: one `meta` line, then one
+/// line per span, syscall, and profiled function.
+pub fn jsonl(s: &TraceSession) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"{{"type":"meta","bench":"{}","engine":"{}","freq_hz":{}}}"#,
+        json_escape(&s.bench),
+        json_escape(&s.engine),
+        s.freq_hz
+    );
+    for (name, value) in &s.totals {
+        let _ = writeln!(
+            out,
+            r#"{{"type":"counter","name":"{}","value":{value}}}"#,
+            json_escape(name)
+        );
+    }
+    for span in &s.spans {
+        let _ = writeln!(
+            out,
+            r#"{{"type":"span","cat":"{}","name":"{}","start_us":{},"dur_us":{}}}"#,
+            json_escape(&span.cat),
+            json_escape(&span.name),
+            span.start_us,
+            span.dur_us
+        );
+    }
+    if let Some(log) = &s.strace {
+        for r in &log.records {
+            let _ = writeln!(
+                out,
+                r#"{{"type":"syscall","name":"{}","nr":{},"args":[{},{},{}],"ret":{},"payload":{},"cycles":{},"start_cycles":{}}}"#,
+                crate::strace::syscall_name(r.nr),
+                r.nr,
+                r.args[0],
+                r.args[1],
+                r.args[2],
+                r.ret,
+                r.payload,
+                r.cycles,
+                r.start_cycles
+            );
+        }
+    }
+    if let (Some(p), Some(sym)) = (&s.profile, &s.symbols) {
+        let (rows, coverage) = crate::report::aggregate(p, sym);
+        for r in &rows {
+            let _ = writeln!(
+                out,
+                r#"{{"type":"func","name":"{}","cycles":{},"instructions":{},"dcache_misses":{},"icache_misses":{},"mispredicts":{},"percent":{:.4}}}"#,
+                json_escape(&r.name),
+                r.sample.cycles(),
+                r.sample.instructions,
+                r.sample.dcache_misses,
+                r.sample.icache_misses,
+                r.sample.mispredicts,
+                r.percent
+            );
+        }
+        let _ = writeln!(
+            out,
+            r#"{{"type":"coverage","named_percent":{coverage:.4}}}"#
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+    use crate::strace::{StraceLog, SyscallRecord};
+
+    fn session() -> TraceSession {
+        let mut s = TraceSession::new("matmul", "native");
+        s.spans.push(Span {
+            name: "clanglite/lower".into(),
+            cat: "compile".into(),
+            start_us: 0,
+            dur_us: 120,
+        });
+        s.strace = Some(StraceLog {
+            records: vec![SyscallRecord {
+                nr: 4,
+                args: [1, 0x2000, 64, 0, 0],
+                ret: 64,
+                payload: 64,
+                cycles: 5000,
+                start_cycles: 0,
+            }],
+        });
+        s.totals = vec![("cycles", 1000), ("instructions_retired", 400)];
+        s
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn chrome_trace_is_balanced_json() {
+        let text = chrome_trace(&session());
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(text.contains(r#""ph":"M""#));
+        assert!(text.contains(r#""name":"write""#));
+        assert!(text.contains(r#""name":"clanglite/lower""#));
+        // Structural sanity: balanced braces/brackets outside strings.
+        let (mut braces, mut brackets, mut in_str, mut esc) = (0i64, 0i64, false, false);
+        for c in text.chars() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' if !in_str => braces += 1,
+                '}' if !in_str => braces -= 1,
+                '[' if !in_str => brackets += 1,
+                ']' if !in_str => brackets -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!(braces, 0);
+        assert_eq!(brackets, 0);
+        assert!(!in_str);
+    }
+
+    #[test]
+    fn jsonl_has_one_object_per_line() {
+        let text = jsonl(&session());
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(text.contains(r#""type":"meta""#));
+        assert!(text.contains(r#""type":"syscall""#));
+        assert!(text.contains(r#""type":"counter""#));
+    }
+}

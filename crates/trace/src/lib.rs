@@ -1,0 +1,186 @@
+//! wasmperf-trace: the observability layer.
+//!
+//! The paper's evidence is `perf` counter totals (Tables 3/4), `perf
+//! annotate`-style listings (Figure 7), and BROWSIX syscall-time
+//! accounting (Figure 4). This crate provides the substrate to produce all
+//! three for *any* run, not just the hand-picked case studies:
+//!
+//! - [`profile::CycleProfile`]: retired cycles/misses bucketed by
+//!   instruction address, filled by the CPU simulator when profiling is
+//!   enabled (the `perf record` analog — the simulator affords exact
+//!   attribution where hardware must sample);
+//! - [`symbols::SymbolMap`]: address → function → instruction resolution,
+//!   with optional CLite source lines and wasm-offset tags carried through
+//!   the compilers (the symbol/source map);
+//! - [`strace::StraceLog`]: one record per Browsix syscall — name, args,
+//!   payload bytes, kernel cycles (the `strace` analog, with an
+//!   `strace -c`-style per-class summary);
+//! - [`span::SpanLog`]: wall-clock phase spans around compile-pipeline
+//!   stages and harness trials;
+//! - [`export`]: Chrome `trace_event` JSON (loads in `about:tracing` /
+//!   Perfetto) and JSONL exporters.
+//!
+//! Everything here is observation-only: enabling any part of it must not
+//! change a single counter value or output byte of the run it observes.
+
+pub mod export;
+pub mod profile;
+pub mod report;
+pub mod span;
+pub mod strace;
+pub mod symbols;
+
+pub use profile::{AddrSample, CycleProfile};
+pub use span::{Span, SpanLog};
+pub use strace::{syscall_class, syscall_name, StraceLog, SyscallRecord, MAX_ARGS};
+pub use symbols::{FuncSym, InstSym, SourceLoc, SymbolMap};
+
+/// What to collect during a traced run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Attribute retired cycles/misses to instruction addresses.
+    pub profile: bool,
+    /// Record every Browsix syscall.
+    pub strace: bool,
+    /// Record compile-pipeline and harness phase spans.
+    pub spans: bool,
+}
+
+impl TraceConfig {
+    /// Everything on.
+    pub fn full() -> TraceConfig {
+        TraceConfig {
+            profile: true,
+            strace: true,
+            spans: true,
+        }
+    }
+
+    /// Everything off (the default): the run is byte-identical to an
+    /// untraced run and no collection work happens.
+    pub fn off() -> TraceConfig {
+        TraceConfig {
+            profile: false,
+            strace: false,
+            spans: false,
+        }
+    }
+
+    /// True when nothing is collected.
+    pub fn is_off(&self) -> bool {
+        !self.profile && !self.strace && !self.spans
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig::off()
+    }
+}
+
+/// Everything observed about one (benchmark, engine) run, ready for
+/// rendering and export.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSession {
+    /// Benchmark name.
+    pub bench: String,
+    /// Engine name.
+    pub engine: String,
+    /// Phase spans (compile stages, execution).
+    pub spans: Vec<Span>,
+    /// Syscall log, when strace was enabled.
+    pub strace: Option<StraceLog>,
+    /// Cycle profile, when profiling was enabled.
+    pub profile: Option<CycleProfile>,
+    /// Symbol map for the executed module.
+    pub symbols: Option<SymbolMap>,
+    /// End-of-run counter totals `(name, value)`, embedded in exports.
+    pub totals: Vec<(&'static str, u64)>,
+    /// Core frequency used to convert cycles to time in exports.
+    pub freq_hz: f64,
+}
+
+impl TraceSession {
+    /// Creates an empty session for `bench` on `engine`.
+    pub fn new(bench: &str, engine: &str) -> TraceSession {
+        TraceSession {
+            bench: bench.to_string(),
+            engine: engine.to_string(),
+            freq_hz: 3.5e9,
+            ..TraceSession::default()
+        }
+    }
+
+    /// The `perf report`-style hot-function table.
+    ///
+    /// Empty string when profiling was not enabled.
+    pub fn perf_report(&self) -> String {
+        match (&self.profile, &self.symbols) {
+            (Some(p), Some(s)) => report::perf_report(p, s),
+            _ => String::new(),
+        }
+    }
+
+    /// The `perf annotate`-style listing for `func`.
+    pub fn annotate(&self, func: &str) -> String {
+        match (&self.profile, &self.symbols) {
+            (Some(p), Some(s)) => report::annotate(p, s, func),
+            _ => String::new(),
+        }
+    }
+
+    /// Annotates the `n` hottest functions.
+    pub fn annotate_hottest(&self, n: usize) -> String {
+        match (&self.profile, &self.symbols) {
+            (Some(p), Some(s)) => report::annotate_hottest(p, s, n),
+            _ => String::new(),
+        }
+    }
+
+    /// The strace-style per-call log.
+    pub fn strace_text(&self) -> String {
+        self.strace
+            .as_ref()
+            .map(StraceLog::format)
+            .unwrap_or_default()
+    }
+
+    /// The `strace -c`-style per-class summary.
+    pub fn strace_summary(&self) -> String {
+        self.strace
+            .as_ref()
+            .map(StraceLog::summary)
+            .unwrap_or_default()
+    }
+
+    /// Chrome `trace_event` JSON for `about:tracing` / Perfetto.
+    pub fn chrome_trace(&self) -> String {
+        export::chrome_trace(self)
+    }
+
+    /// Line-delimited JSON of every recorded event.
+    pub fn jsonl(&self) -> String {
+        export::jsonl(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_default_is_off() {
+        assert!(TraceConfig::default().is_off());
+        assert!(TraceConfig::off().is_off());
+        assert!(!TraceConfig::full().is_off());
+    }
+
+    #[test]
+    fn empty_session_renders_empty() {
+        let s = TraceSession::new("b", "e");
+        assert_eq!(s.perf_report(), "");
+        assert_eq!(s.strace_text(), "");
+        // Exports are still valid JSON even with nothing recorded.
+        assert!(s.chrome_trace().starts_with('{'));
+    }
+}

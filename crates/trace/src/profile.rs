@@ -1,0 +1,157 @@
+//! Address-bucketed cycle attribution (the `perf record` analog).
+//!
+//! The CPU simulator charges every retired instruction its issue cost plus
+//! any penalties (cache misses, mispredictions) in 1/64-cycle fixed-point
+//! units. When profiling is enabled it reports those charges here, keyed
+//! by the instruction's code address, so a run can be decomposed into the
+//! exact places its cycles went. Hardware `perf` must sample; the
+//! simulator attributes every event.
+
+use std::collections::BTreeMap;
+
+/// Fixed-point scale of the simulator's cycle accounting (1/64 cycle).
+pub const FP_PER_CYCLE: u64 = 64;
+
+/// Events attributed to one instruction address.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AddrSample {
+    /// Instructions retired at this address.
+    pub instructions: u64,
+    /// Cycles charged, in 1/64-cycle units (issue cost + penalties).
+    pub cycles_fp: u64,
+    /// D-cache misses triggered by this instruction.
+    pub dcache_misses: u64,
+    /// I-cache misses fetching this instruction.
+    pub icache_misses: u64,
+    /// Branch mispredictions at this instruction.
+    pub mispredicts: u64,
+    /// Kernel cycles charged while servicing this instruction's host call.
+    pub host_cycles: u64,
+}
+
+impl AddrSample {
+    /// Attributed user cycles (rounded down to whole cycles).
+    pub fn cycles(&self) -> u64 {
+        self.cycles_fp / FP_PER_CYCLE
+    }
+}
+
+/// A completed profile: per-address buckets in address order.
+#[derive(Debug, Clone, Default)]
+pub struct CycleProfile {
+    buckets: BTreeMap<u64, AddrSample>,
+}
+
+impl CycleProfile {
+    /// Creates an empty profile.
+    pub fn new() -> CycleProfile {
+        CycleProfile::default()
+    }
+
+    /// Adds one instruction's events to the bucket for `addr`.
+    #[inline]
+    pub fn record(&mut self, addr: u64, delta: AddrSample) {
+        let b = self.buckets.entry(addr).or_default();
+        b.instructions += delta.instructions;
+        b.cycles_fp += delta.cycles_fp;
+        b.dcache_misses += delta.dcache_misses;
+        b.icache_misses += delta.icache_misses;
+        b.mispredicts += delta.mispredicts;
+        b.host_cycles += delta.host_cycles;
+    }
+
+    /// Iterates buckets in ascending address order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &AddrSample)> {
+        self.buckets.iter().map(|(a, s)| (*a, s))
+    }
+
+    /// Number of distinct addresses observed.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// The bucket for `addr`, if any instruction retired there.
+    pub fn at(&self, addr: u64) -> Option<&AddrSample> {
+        self.buckets.get(&addr)
+    }
+
+    /// Total attributed user cycles, in 1/64-cycle units.
+    pub fn total_cycles_fp(&self) -> u64 {
+        self.buckets.values().map(|s| s.cycles_fp).sum()
+    }
+
+    /// Total attributed user cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles_fp() / FP_PER_CYCLE
+    }
+
+    /// Total instructions attributed.
+    pub fn total_instructions(&self) -> u64 {
+        self.buckets.values().map(|s| s.instructions).sum()
+    }
+
+    /// Sums the buckets whose address lies in `[start, end)`.
+    pub fn range_sum(&self, start: u64, end: u64) -> AddrSample {
+        let mut out = AddrSample::default();
+        for (_, s) in self.buckets.range(start..end) {
+            out.instructions += s.instructions;
+            out.cycles_fp += s.cycles_fp;
+            out.dcache_misses += s.dcache_misses;
+            out.icache_misses += s.icache_misses;
+            out.mispredicts += s.mispredicts;
+            out.host_cycles += s.host_cycles;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(cycles_fp: u64) -> AddrSample {
+        AddrSample {
+            instructions: 1,
+            cycles_fp,
+            ..AddrSample::default()
+        }
+    }
+
+    #[test]
+    fn buckets_accumulate() {
+        let mut p = CycleProfile::new();
+        p.record(0x1000, sample(64));
+        p.record(0x1000, sample(64));
+        p.record(0x1004, sample(32));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.at(0x1000).unwrap().instructions, 2);
+        assert_eq!(p.at(0x1000).unwrap().cycles(), 2);
+        assert_eq!(p.total_instructions(), 3);
+        assert_eq!(p.total_cycles_fp(), 160);
+    }
+
+    #[test]
+    fn range_sum_is_half_open() {
+        let mut p = CycleProfile::new();
+        p.record(0x1000, sample(64));
+        p.record(0x1010, sample(64));
+        p.record(0x1020, sample(64));
+        let r = p.range_sum(0x1000, 0x1020);
+        assert_eq!(r.instructions, 2);
+        assert_eq!(p.range_sum(0x1000, 0x1021).instructions, 3);
+    }
+
+    #[test]
+    fn iteration_is_address_ordered() {
+        let mut p = CycleProfile::new();
+        p.record(0x2000, sample(1));
+        p.record(0x1000, sample(1));
+        let addrs: Vec<u64> = p.iter().map(|(a, _)| a).collect();
+        assert_eq!(addrs, vec![0x1000, 0x2000]);
+    }
+}

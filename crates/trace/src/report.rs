@@ -1,0 +1,276 @@
+//! Renderers: `perf report`-style hot-function tables and `perf
+//! annotate`-style per-instruction listings.
+
+use crate::profile::{AddrSample, CycleProfile, FP_PER_CYCLE};
+use crate::symbols::{FuncSym, SymbolMap};
+use std::fmt::Write as _;
+use wasmperf_isa::module::NO_TAG;
+
+/// Per-function totals for one profile, hottest first.
+#[derive(Debug, Clone)]
+pub struct FuncRow {
+    /// Function name, or `[unknown]` for unattributed addresses.
+    pub name: String,
+    /// Summed events.
+    pub sample: AddrSample,
+    /// Share of total attributed cycles, 0..=100.
+    pub percent: f64,
+}
+
+/// Aggregates a profile into per-function rows, hottest first. The last
+/// element of the return is the share of cycles attributed to *named*
+/// functions (the acceptance-criterion coverage number).
+pub fn aggregate(profile: &CycleProfile, symbols: &SymbolMap) -> (Vec<FuncRow>, f64) {
+    let total_fp = profile.total_cycles_fp();
+    let mut rows: Vec<FuncRow> = symbols
+        .funcs
+        .iter()
+        .map(|f| {
+            let sample = profile.range_sum(f.start, f.end);
+            FuncRow {
+                name: f.name.clone(),
+                sample,
+                percent: pct(sample.cycles_fp, total_fp),
+            }
+        })
+        .filter(|r| r.sample.instructions > 0)
+        .collect();
+
+    let named_fp: u64 = rows.iter().map(|r| r.sample.cycles_fp).sum();
+    let unknown_fp = total_fp.saturating_sub(named_fp);
+    if unknown_fp > 0 {
+        let mut sample = AddrSample::default();
+        sample.cycles_fp = unknown_fp;
+        sample.instructions = profile
+            .total_instructions()
+            .saturating_sub(rows.iter().map(|r| r.sample.instructions).sum());
+        rows.push(FuncRow {
+            name: "[unknown]".to_string(),
+            sample,
+            percent: pct(unknown_fp, total_fp),
+        });
+    }
+    rows.sort_by_key(|r| std::cmp::Reverse(r.sample.cycles_fp));
+    let coverage = pct(named_fp, total_fp);
+    (rows, coverage)
+}
+
+fn pct(part: u64, total: u64) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / total as f64
+    }
+}
+
+/// The `perf report`-style hot-function table.
+pub fn perf_report(profile: &CycleProfile, symbols: &SymbolMap) -> String {
+    if profile.is_empty() {
+        return String::new();
+    }
+    let (rows, coverage) = aggregate(profile, symbols);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>7}  {:>14}  {:>12}  {:>9}  {:>9}  {:>9}  symbol",
+        "% cycle", "cycles", "insts", "d-miss", "i-miss", "br-miss"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(86));
+    for r in &rows {
+        let src = symbols
+            .by_name(&r.name)
+            .and_then(|f| f.source.as_ref())
+            .map(|s| format!("  ({}:{})", s.clite_func, s.clite_line))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "{:>6.2}%  {:>14}  {:>12}  {:>9}  {:>9}  {:>9}  {}{}",
+            r.percent,
+            r.sample.cycles(),
+            r.sample.instructions,
+            r.sample.dcache_misses,
+            r.sample.icache_misses,
+            r.sample.mispredicts,
+            r.name,
+            src
+        );
+    }
+    let _ = writeln!(out, "{}", "-".repeat(86));
+    let _ = writeln!(
+        out,
+        "total: {} cycles, {} instructions; {:.2}% attributed to named functions",
+        profile.total_cycles(),
+        profile.total_instructions(),
+        coverage
+    );
+    out
+}
+
+/// The `perf annotate`-style listing for one function: every machine
+/// instruction with its cycle share, interleaved with the wasm
+/// instructions it was compiled from when the JIT attached tags.
+pub fn annotate(profile: &CycleProfile, symbols: &SymbolMap, func: &str) -> String {
+    let Some(f) = symbols.by_name(func) else {
+        return format!("no symbol named {func}\n");
+    };
+    annotate_func(profile, f)
+}
+
+/// Annotates the `n` hottest functions, hottest first.
+pub fn annotate_hottest(profile: &CycleProfile, symbols: &SymbolMap, n: usize) -> String {
+    let (rows, _) = aggregate(profile, symbols);
+    let mut out = String::new();
+    for r in rows.iter().filter(|r| r.name != "[unknown]").take(n) {
+        if let Some(f) = symbols.by_name(&r.name) {
+            out.push_str(&annotate_func(profile, f));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn annotate_func(profile: &CycleProfile, f: &FuncSym) -> String {
+    let func_total = profile.range_sum(f.start, f.end);
+    let total_fp = func_total.cycles_fp.max(1);
+    let mut out = String::new();
+    let src = f
+        .source
+        .as_ref()
+        .map(|s| format!("  [{}:{}]", s.clite_func, s.clite_line))
+        .unwrap_or_default();
+    let _ = writeln!(
+        out,
+        "annotate {} ({} cycles, {} insts){}",
+        f.name,
+        func_total.cycles_fp / FP_PER_CYCLE,
+        func_total.instructions,
+        src
+    );
+    let mut last_tag = NO_TAG;
+    for inst in &f.insts {
+        // Interleave the wasm source instruction when a new tag begins.
+        if inst.tag != last_tag {
+            if inst.tag != NO_TAG {
+                let text = f
+                    .wasm_texts
+                    .get(inst.tag as usize)
+                    .map(String::as_str)
+                    .unwrap_or("?");
+                let _ = writeln!(out, "         ; wasm[{}] {}", inst.tag, text);
+            }
+            last_tag = inst.tag;
+        }
+        let s = profile.at(inst.addr).copied().unwrap_or_default();
+        let share = pct(s.cycles_fp, total_fp);
+        let marks = format!(
+            "{}{}{}",
+            if s.dcache_misses > 0 { "D" } else { "" },
+            if s.icache_misses > 0 { "I" } else { "" },
+            if s.mispredicts > 0 { "B" } else { "" },
+        );
+        let _ = writeln!(
+            out,
+            "{:>6.2}%  {:>8x}:  {:<44} {}",
+            share, inst.addr, inst.text, marks
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasmperf_isa::inst::{Inst, Operand, Width};
+    use wasmperf_isa::module::Function;
+    use wasmperf_isa::reg::Reg;
+    use wasmperf_isa::Module;
+
+    fn test_module() -> Module {
+        let mut m = Module::default();
+        for n in ["hot_native", "cold_native"] {
+            m.funcs.push(Function {
+                name: n.to_string(),
+                insts: vec![
+                    Inst::Mov {
+                        dst: Operand::Reg(Reg::Rax),
+                        src: Operand::Reg(Reg::Rbx),
+                        width: Width::W64,
+                    },
+                    Inst::Ret,
+                ],
+                ..Function::default()
+            });
+        }
+        m.assign_addresses();
+        m
+    }
+
+    #[test]
+    fn report_attributes_all_cycles_to_named_functions() {
+        let m = test_module();
+        let symbols = SymbolMap::from_module(&m);
+        let mut p = CycleProfile::new();
+        // 90 cycles in hot, 10 in cold.
+        p.record(
+            m.funcs[0].inst_addrs[0],
+            AddrSample {
+                instructions: 90,
+                cycles_fp: 90 * 64,
+                ..AddrSample::default()
+            },
+        );
+        p.record(
+            m.funcs[1].inst_addrs[0],
+            AddrSample {
+                instructions: 10,
+                cycles_fp: 10 * 64,
+                ..AddrSample::default()
+            },
+        );
+        let (rows, coverage) = aggregate(&p, &symbols);
+        assert_eq!(rows[0].name, "hot_native");
+        assert!((rows[0].percent - 90.0).abs() < 1e-9);
+        assert!((coverage - 100.0).abs() < 1e-9);
+        let text = perf_report(&p, &symbols);
+        assert!(text.contains("hot_native"));
+        assert!(text.contains("100.00% attributed"));
+    }
+
+    #[test]
+    fn unattributed_cycles_reported_as_unknown() {
+        let m = test_module();
+        let symbols = SymbolMap::from_module(&m);
+        let mut p = CycleProfile::new();
+        p.record(
+            0xdead_0000,
+            AddrSample {
+                instructions: 1,
+                cycles_fp: 64,
+                ..AddrSample::default()
+            },
+        );
+        let (rows, coverage) = aggregate(&p, &symbols);
+        assert_eq!(rows[0].name, "[unknown]");
+        assert!(coverage < 1e-9);
+    }
+
+    #[test]
+    fn annotate_lists_every_instruction() {
+        let m = test_module();
+        let symbols = SymbolMap::from_module(&m);
+        let mut p = CycleProfile::new();
+        p.record(
+            m.funcs[0].inst_addrs[0],
+            AddrSample {
+                instructions: 1,
+                cycles_fp: 64,
+                ..AddrSample::default()
+            },
+        );
+        let text = annotate(&p, &symbols, "hot_native");
+        assert!(text.contains("annotate hot_native"));
+        assert!(text.contains("mov rax, rbx"));
+        assert!(text.contains("ret"));
+        assert!(annotate(&p, &symbols, "nope").contains("no symbol"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Wall-clock phase spans around compile-pipeline stages and harness
+//! trials.
+//!
+//! Spans are complete events (`ph: "X"` in Chrome trace_event terms): a
+//! name, a category, a start offset, and a duration, all in microseconds
+//! relative to the log's creation. The log hands out guards so callers
+//! cannot forget to close a span.
+
+use std::time::Instant;
+
+/// One completed phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Phase name (e.g. `clanglite/regalloc`, `wasmjit/compile`, `run`).
+    pub name: String,
+    /// Category for trace viewers (e.g. `compile`, `exec`, `harness`).
+    pub cat: String,
+    /// Start, microseconds since the log was created.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+/// An append-only span log with a single epoch.
+#[derive(Debug)]
+pub struct SpanLog {
+    epoch: Instant,
+    /// Completed spans in close order.
+    pub spans: Vec<Span>,
+}
+
+impl Default for SpanLog {
+    fn default() -> Self {
+        SpanLog::new()
+    }
+}
+
+impl SpanLog {
+    /// Creates an empty log; its epoch is now.
+    pub fn new() -> SpanLog {
+        SpanLog {
+            epoch: Instant::now(),
+            spans: Vec::new(),
+        }
+    }
+
+    /// Microseconds elapsed since the epoch.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Opens a span; close it with [`SpanLog::exit`].
+    pub fn enter(&self) -> OpenSpan {
+        OpenSpan {
+            start_us: self.now_us(),
+        }
+    }
+
+    /// Closes `open` and records it under `cat`/`name`.
+    pub fn exit(&mut self, open: OpenSpan, cat: &str, name: &str) {
+        let end = self.now_us();
+        self.spans.push(Span {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            start_us: open.start_us,
+            dur_us: end.saturating_sub(open.start_us),
+        });
+    }
+
+    /// Times `f` and records it as one span.
+    pub fn scope<T>(&mut self, cat: &str, name: &str, f: impl FnOnce() -> T) -> T {
+        let open = self.enter();
+        let out = f();
+        self.exit(open, cat, name);
+        out
+    }
+
+    /// Records an externally-timed span (e.g. re-based from another log).
+    pub fn push(&mut self, span: Span) {
+        self.spans.push(span);
+    }
+}
+
+/// A span that has been entered but not yet recorded.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenSpan {
+    start_us: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_records_one_span() {
+        let mut log = SpanLog::new();
+        let v = log.scope("compile", "lower", || 42);
+        assert_eq!(v, 42);
+        assert_eq!(log.spans.len(), 1);
+        assert_eq!(log.spans[0].name, "lower");
+        assert_eq!(log.spans[0].cat, "compile");
+    }
+
+    #[test]
+    fn spans_are_ordered_and_non_negative() {
+        let mut log = SpanLog::new();
+        log.scope("a", "first", || ());
+        log.scope("a", "second", || ());
+        assert!(log.spans[1].start_us >= log.spans[0].start_us);
+    }
+}

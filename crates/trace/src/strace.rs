@@ -1,0 +1,262 @@
+//! The strace analog: one record per Browsix syscall.
+//!
+//! The kernel records each call's number, arguments, return value, payload
+//! bytes marshalled through the auxiliary buffer, and the kernel cycles
+//! charged — the same cycles that land in the executor's `host_cycles`, so
+//! the per-record cycle column sums exactly to the run's "time spent in
+//! Browsix" (the paper's Figure 4 quantity).
+
+use std::fmt::Write as _;
+
+/// Maximum syscall arguments captured per record (number + 5 args).
+pub const MAX_ARGS: usize = 5;
+
+/// Syscall name for a Browsix (Linux i386-flavoured) number.
+pub fn syscall_name(nr: i32) -> &'static str {
+    match nr {
+        1 => "exit",
+        3 => "read",
+        4 => "write",
+        5 => "open",
+        6 => "close",
+        10 => "unlink",
+        19 => "lseek",
+        20 => "getpid",
+        33 => "access",
+        39 => "mkdir",
+        40 => "rmdir",
+        42 => "pipe",
+        106 => "stat",
+        108 => "fstat",
+        _ => "unknown",
+    }
+}
+
+/// Coarse class used by the summary table.
+pub fn syscall_class(nr: i32) -> &'static str {
+    match nr {
+        3 | 4 => "io",
+        5 | 6 | 19 => "file",
+        10 | 33 | 39 | 40 | 106 | 108 => "fs-meta",
+        42 => "ipc",
+        1 | 20 => "process",
+        _ => "unknown",
+    }
+}
+
+/// One serviced syscall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyscallRecord {
+    /// Syscall number.
+    pub nr: i32,
+    /// Arguments (after the number), zero-padded.
+    pub args: [i32; MAX_ARGS],
+    /// Return value (negative errno on failure).
+    pub ret: i32,
+    /// Payload bytes marshalled through the auxiliary buffer.
+    pub payload: u64,
+    /// Kernel cycles charged for this call (transport + service + fs copy).
+    pub cycles: u64,
+    /// Cumulative kernel cycles before this call — the call's position on
+    /// the kernel timeline.
+    pub start_cycles: u64,
+}
+
+/// The full syscall log of one run.
+#[derive(Debug, Clone, Default)]
+pub struct StraceLog {
+    /// Records in service order.
+    pub records: Vec<SyscallRecord>,
+}
+
+impl StraceLog {
+    /// Total kernel cycles across all records. Equals the run's
+    /// `host_cycles` when every host call routes through the kernel.
+    pub fn total_cycles(&self) -> u64 {
+        self.records.iter().map(|r| r.cycles).sum()
+    }
+
+    /// Total payload bytes marshalled.
+    pub fn total_payload(&self) -> u64 {
+        self.records.iter().map(|r| r.payload).sum()
+    }
+
+    /// The strace-style per-call log, one line per record:
+    ///
+    /// ```text
+    /// write(1, 0x1f40, 4096) = 4096   [4096 B, 5624 cycles]
+    /// ```
+    pub fn format(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            let name = syscall_name(r.nr);
+            let argc = args_shown(r.nr);
+            let args: Vec<String> = r.args[..argc].iter().map(|a| format_arg(*a)).collect();
+            let _ = writeln!(
+                out,
+                "{}({}) = {}   [{} B, {} cycles]",
+                name,
+                args.join(", "),
+                r.ret,
+                r.payload,
+                r.cycles
+            );
+        }
+        out
+    }
+
+    /// The `strace -c`-style summary: one row per syscall name, grouped by
+    /// class, with call counts, payload bytes, and kernel cycles. The final
+    /// total row equals the run's `host_cycles`.
+    pub fn summary(&self) -> String {
+        // (class, name) -> (calls, bytes, cycles, errors)
+        let mut rows: Vec<(&'static str, &'static str, u64, u64, u64, u64)> = Vec::new();
+        for r in &self.records {
+            let class = syscall_class(r.nr);
+            let name = syscall_name(r.nr);
+            let err = u64::from(r.ret < 0);
+            match rows.iter_mut().find(|x| x.0 == class && x.1 == name) {
+                Some(row) => {
+                    row.2 += 1;
+                    row.3 += r.payload;
+                    row.4 += r.cycles;
+                    row.5 += err;
+                }
+                None => rows.push((class, name, 1, r.payload, r.cycles, err)),
+            }
+        }
+        rows.sort_by(|a, b| b.4.cmp(&a.4).then(a.1.cmp(b.1)));
+        let total_cycles = self.total_cycles();
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>6}  {:<8}  {:<8}  {:>8}  {:>6}  {:>14}  {:>12}",
+            "% time", "class", "syscall", "calls", "errors", "bytes", "cycles"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(76));
+        for (class, name, calls, bytes, cycles, errors) in &rows {
+            let pct = if total_cycles > 0 {
+                100.0 * *cycles as f64 / total_cycles as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{pct:>6.2}  {class:<8}  {name:<8}  {calls:>8}  {errors:>6}  {bytes:>14}  {cycles:>12}"
+            );
+        }
+        let _ = writeln!(out, "{}", "-".repeat(76));
+        let _ = writeln!(
+            out,
+            "{:>6}  {:<8}  {:<8}  {:>8}  {:>6}  {:>14}  {:>12}",
+            "100.00",
+            "total",
+            "",
+            self.records.len(),
+            self.records.iter().filter(|r| r.ret < 0).count(),
+            self.total_payload(),
+            total_cycles
+        );
+
+        // Per-class rollup.
+        let mut classes: Vec<(&'static str, u64, u64)> = Vec::new();
+        for (class, _, calls, _, cycles, _) in &rows {
+            match classes.iter_mut().find(|c| c.0 == *class) {
+                Some(c) => {
+                    c.1 += calls;
+                    c.2 += cycles;
+                }
+                None => classes.push((class, *calls, *cycles)),
+            }
+        }
+        classes.sort_by_key(|c| std::cmp::Reverse(c.2));
+        let _ = writeln!(out, "\nper-class kernel cycles:");
+        for (class, calls, cycles) in &classes {
+            let pct = if total_cycles > 0 {
+                100.0 * *cycles as f64 / total_cycles as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  {class:<8}  {calls:>8} calls  {cycles:>12} cycles  ({pct:.2}%)"
+            );
+        }
+        out
+    }
+}
+
+/// How many arguments to print per syscall (the rest are convention-zero).
+fn args_shown(nr: i32) -> usize {
+    match nr {
+        20 => 0,                // getpid()
+        1 | 6 | 42 => 1,        // exit(code), close(fd), pipe(fds)
+        10 | 33 | 39 | 40 => 1, // path syscalls (pointer arg)
+        106 | 108 => 2,         // stat(path, buf), fstat(fd, buf)
+        3 | 4 | 5 | 19 => 3,    // read/write/open/lseek
+        _ => 3,
+    }
+}
+
+fn format_arg(a: i32) -> String {
+    // Addresses read better in hex; small values (fds, lengths, codes)
+    // in decimal.
+    if a > 4096 {
+        format!("{a:#x}")
+    } else {
+        format!("{a}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(nr: i32, ret: i32, payload: u64, cycles: u64) -> SyscallRecord {
+        SyscallRecord {
+            nr,
+            args: [1, 0x2000, 64, 0, 0],
+            ret,
+            payload,
+            cycles,
+            start_cycles: 0,
+        }
+    }
+
+    #[test]
+    fn names_and_classes() {
+        assert_eq!(syscall_name(4), "write");
+        assert_eq!(syscall_class(4), "io");
+        assert_eq!(syscall_name(106), "stat");
+        assert_eq!(syscall_class(106), "fs-meta");
+        assert_eq!(syscall_name(9999), "unknown");
+    }
+
+    #[test]
+    fn totals_sum_records() {
+        let log = StraceLog {
+            records: vec![
+                rec(4, 64, 64, 5000),
+                rec(3, 64, 64, 4800),
+                rec(6, 0, 0, 4600),
+            ],
+        };
+        assert_eq!(log.total_cycles(), 14400);
+        assert_eq!(log.total_payload(), 128);
+    }
+
+    #[test]
+    fn format_and_summary_render() {
+        let log = StraceLog {
+            records: vec![rec(4, 64, 64, 5000), rec(5, -2, 5, 4600)],
+        };
+        let text = log.format();
+        assert!(text.contains("write(1, 0x2000, 64) = 64"));
+        assert!(text.contains("[64 B, 5000 cycles]"));
+        let sum = log.summary();
+        assert!(sum.contains("write"));
+        assert!(sum.contains("9600")); // total cycles row
+        assert!(sum.contains("per-class kernel cycles:"));
+    }
+}

@@ -1,0 +1,207 @@
+//! Symbol and source maps: address → function → instruction resolution.
+//!
+//! Built from an executed [`Module`](wasmperf_isa::Module) after
+//! `assign_addresses`, so every code address resolves to a named function
+//! and a disassembled instruction. Compilers optionally attach two more
+//! layers: CLite source locations per function (both backends preserve
+//! source function names) and, for the JIT pipeline, a wasm-offset tag per
+//! machine instruction plus the wat text of each wasm instruction — giving
+//! the full function → wasm offset → CLite line attribution chain.
+
+use wasmperf_isa::disasm::format_inst;
+use wasmperf_isa::module::NO_TAG;
+use wasmperf_isa::size::encoded_len;
+use wasmperf_isa::Module;
+
+/// Where a function came from in the CLite source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceLoc {
+    /// CLite function name (without backend suffix).
+    pub clite_func: String,
+    /// 1-based line of the function definition in the CLite source.
+    pub clite_line: u32,
+}
+
+/// One machine instruction of a symbolised function.
+#[derive(Debug, Clone)]
+pub struct InstSym {
+    /// Byte address in the code image.
+    pub addr: u64,
+    /// Intel-syntax disassembly.
+    pub text: String,
+    /// Pre-order wasm instruction index this instruction was compiled
+    /// from, or [`NO_TAG`] for prologue/epilogue/stub code or native code.
+    pub tag: u32,
+}
+
+/// One function of the symbol map.
+#[derive(Debug, Clone)]
+pub struct FuncSym {
+    /// Full backend name (e.g. `matmul_native`, `matmul_jit`).
+    pub name: String,
+    /// First code byte.
+    pub start: u64,
+    /// One past the last code byte (half-open).
+    pub end: u64,
+    /// All instructions, in address order.
+    pub insts: Vec<InstSym>,
+    /// CLite source location, when a source table was attached.
+    pub source: Option<SourceLoc>,
+    /// Wat text of each wasm instruction of this function, indexed by
+    /// tag, when the JIT attached its per-function instruction texts.
+    pub wasm_texts: Vec<String>,
+}
+
+/// Address → function → instruction resolution for one module.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolMap {
+    /// Functions in ascending address order.
+    pub funcs: Vec<FuncSym>,
+}
+
+impl SymbolMap {
+    /// Builds the map from a module with assigned addresses.
+    pub fn from_module(module: &Module) -> SymbolMap {
+        let mut funcs: Vec<FuncSym> = Vec::with_capacity(module.funcs.len());
+        for f in &module.funcs {
+            if f.inst_addrs.is_empty() {
+                continue;
+            }
+            let start = f.inst_addrs[0];
+            let last = f.insts.len() - 1;
+            let end = f.inst_addrs[last] + encoded_len(&f.insts[last]) as u64;
+            let insts = f
+                .insts
+                .iter()
+                .enumerate()
+                .map(|(i, inst)| InstSym {
+                    addr: f.inst_addrs[i],
+                    text: format_inst(inst),
+                    tag: f.inst_tags.get(i).copied().unwrap_or(NO_TAG),
+                })
+                .collect();
+            funcs.push(FuncSym {
+                name: f.name.clone(),
+                start,
+                end,
+                insts,
+                source: None,
+                wasm_texts: Vec::new(),
+            });
+        }
+        funcs.sort_by_key(|f| f.start);
+        SymbolMap { funcs }
+    }
+
+    /// Attaches CLite source locations by matching function names: a
+    /// backend function named `matmul_native` or `matmul_jit` matches the
+    /// source entry `("matmul", line)`.
+    pub fn attach_source(&mut self, table: &[(String, u32)]) {
+        for f in &mut self.funcs {
+            for (name, line) in table {
+                if f.name == *name
+                    || f.name
+                        .strip_prefix(name.as_str())
+                        .is_some_and(|rest| rest.starts_with('_'))
+                {
+                    f.source = Some(SourceLoc {
+                        clite_func: name.clone(),
+                        clite_line: *line,
+                    });
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Attaches the JIT's per-function wasm instruction texts, parallel to
+    /// the module's function order at build time (functions with no code
+    /// were skipped, so match by name order within `texts` index space).
+    pub fn attach_wasm_texts(&mut self, module: &Module, texts: &[Vec<String>]) {
+        for (fi, f) in module.funcs.iter().enumerate() {
+            let Some(t) = texts.get(fi) else { continue };
+            if t.is_empty() || f.inst_addrs.is_empty() {
+                continue;
+            }
+            let start = f.inst_addrs[0];
+            if let Some(sym) = self.funcs.iter_mut().find(|s| s.start == start) {
+                sym.wasm_texts = t.clone();
+            }
+        }
+    }
+
+    /// Resolves a code address to its containing function.
+    pub fn resolve(&self, addr: u64) -> Option<&FuncSym> {
+        let i = self.funcs.partition_point(|f| f.start <= addr);
+        if i == 0 {
+            return None;
+        }
+        let f = &self.funcs[i - 1];
+        (addr < f.end).then_some(f)
+    }
+
+    /// Looks up a function by exact name.
+    pub fn by_name(&self, name: &str) -> Option<&FuncSym> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasmperf_isa::inst::{Inst, Operand, Width};
+    use wasmperf_isa::module::Function;
+    use wasmperf_isa::reg::Reg;
+
+    fn module_with(names: &[&str]) -> Module {
+        let mut m = Module::default();
+        for n in names {
+            m.funcs.push(Function {
+                name: n.to_string(),
+                insts: vec![
+                    Inst::Mov {
+                        dst: Operand::Reg(Reg::Rax),
+                        src: Operand::Reg(Reg::Rbx),
+                        width: Width::W64,
+                    },
+                    Inst::Ret,
+                ],
+                ..Function::default()
+            });
+        }
+        m.assign_addresses();
+        m
+    }
+
+    #[test]
+    fn resolve_finds_containing_function() {
+        let m = module_with(&["a_native", "b_native"]);
+        let map = SymbolMap::from_module(&m);
+        assert_eq!(map.funcs.len(), 2);
+        let a = &map.funcs[0];
+        assert_eq!(map.resolve(a.start).unwrap().name, "a_native");
+        assert_eq!(map.resolve(a.end - 1).unwrap().name, "a_native");
+        let b = &map.funcs[1];
+        assert_eq!(map.resolve(b.start).unwrap().name, "b_native");
+        assert!(map.resolve(0).is_none());
+        assert!(map.resolve(b.end + 1024).is_none());
+    }
+
+    #[test]
+    fn attach_source_matches_suffixed_names() {
+        let m = module_with(&["matmul_native", "main_native"]);
+        let mut map = SymbolMap::from_module(&m);
+        map.attach_source(&[("matmul".to_string(), 7), ("main".to_string(), 20)]);
+        let f = map.by_name("matmul_native").unwrap();
+        assert_eq!(f.source.as_ref().unwrap().clite_line, 7);
+        let g = map.by_name("main_native").unwrap();
+        assert_eq!(g.source.as_ref().unwrap().clite_func, "main");
+    }
+
+    #[test]
+    fn untagged_instructions_get_no_tag() {
+        let m = module_with(&["f_native"]);
+        let map = SymbolMap::from_module(&m);
+        assert!(map.funcs[0].insts.iter().all(|i| i.tag == NO_TAG));
+    }
+}

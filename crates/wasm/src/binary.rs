@@ -1077,10 +1077,7 @@ mod tests {
         for v in [0u64, 1, 127, 128, 300, 16384, u32::MAX as u64, u64::MAX] {
             let mut b = Vec::new();
             write_uleb(&mut b, v);
-            let mut r = Reader {
-                bytes: &b,
-                pos: 0,
-            };
+            let mut r = Reader { bytes: &b, pos: 0 };
             assert_eq!(r.uleb().unwrap(), v);
             assert_eq!(r.pos, b.len());
         }
@@ -1103,10 +1100,7 @@ mod tests {
         ] {
             let mut b = Vec::new();
             write_sleb(&mut b, v);
-            let mut r = Reader {
-                bytes: &b,
-                pos: 0,
-            };
+            let mut r = Reader { bytes: &b, pos: 0 };
             assert_eq!(r.sleb().unwrap(), v, "value {v}");
             assert_eq!(r.pos, b.len());
         }

@@ -368,7 +368,10 @@ mod tests {
             Instr::I32Const(1),
             Instr::Block(
                 BlockType::Empty,
-                vec![Instr::Nop, Instr::If(BlockType::Empty, vec![Instr::Nop], vec![])],
+                vec![
+                    Instr::Nop,
+                    Instr::If(BlockType::Empty, vec![Instr::Nop], vec![]),
+                ],
             ),
         ];
         // 1 + (1 + 1 + (1 + 1)) = 5.
@@ -378,9 +381,6 @@ mod tests {
     #[test]
     fn blocktype_result() {
         assert_eq!(BlockType::Empty.result(), None);
-        assert_eq!(
-            BlockType::Value(ValType::F32).result(),
-            Some(ValType::F32)
-        );
+        assert_eq!(BlockType::Value(ValType::F32).result(), Some(ValType::F32));
     }
 }

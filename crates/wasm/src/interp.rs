@@ -139,7 +139,9 @@ impl ImportHost for NoImports {
         _args: &[Value],
         _mem: &mut Vec<u8>,
     ) -> Result<Option<Value>, WasmTrap> {
-        Err(WasmTrap::Host(format!("unexpected import {module}.{field}")))
+        Err(WasmTrap::Host(format!(
+            "unexpected import {module}.{field}"
+        )))
     }
 }
 
@@ -294,11 +296,7 @@ impl<'m, H: ImportHost> Instance<'m, H> {
     }
 
     /// Invokes an exported function by name.
-    pub fn invoke_export(
-        &mut self,
-        name: &str,
-        args: &[Value],
-    ) -> Result<Option<Value>, WasmTrap>
+    pub fn invoke_export(&mut self, name: &str, args: &[Value]) -> Result<Option<Value>, WasmTrap>
     where
         H: Send,
     {
@@ -325,7 +323,9 @@ impl<'m, H: ImportHost> Instance<'m, H> {
                 .zip(args)
                 .map(|(t, &raw)| Value::from_raw(*t, raw))
                 .collect();
-            let ret = self.host.call(&module_name, &field, &typed, &mut self.mem)?;
+            let ret = self
+                .host
+                .call(&module_name, &field, &typed, &mut self.mem)?;
             match (ft.result(), ret) {
                 (Some(t), Some(v)) => {
                     debug_assert_eq!(v.ty(), t, "host returned wrong type");
@@ -349,7 +349,7 @@ impl<'m, H: ImportHost> Instance<'m, H> {
         let arity = ft.results.len();
         let mut locals: Vec<u64> = Vec::with_capacity(args.len() + def.locals.len());
         locals.extend_from_slice(args);
-        locals.extend(std::iter::repeat(0).take(def.locals.len()));
+        locals.extend(std::iter::repeat_n(0, def.locals.len()));
 
         let base = stack.len();
         let mut labels = vec![Label {
@@ -573,9 +573,10 @@ impl<'m, H: ImportHost> Instance<'m, H> {
                     let b = stack.pop().expect("rhs");
                     let a = stack.pop().expect("lhs");
                     let (x, y) = match w {
-                        NumWidth::X32 => {
-                            (f32::from_bits(a as u32) as f64, f32::from_bits(b as u32) as f64)
-                        }
+                        NumWidth::X32 => (
+                            f32::from_bits(a as u32) as f64,
+                            f32::from_bits(b as u32) as f64,
+                        ),
                         NumWidth::X64 => (f64::from_bits(a), f64::from_bits(b)),
                     };
                     let r = match op {
@@ -926,7 +927,11 @@ fn cvt(op: CvtOp, v: u64) -> Result<u64, WasmTrap> {
             t as u64
         }
         I64TruncF64S => {
-            let t = trunc_checked(f64::from_bits(v), -9.223372036854776e18, 9.223372036854775e18)?;
+            let t = trunc_checked(
+                f64::from_bits(v),
+                -9.223372036854776e18,
+                9.223372036854775e18,
+            )?;
             t as i64 as u64
         }
         I64TruncF64U => {
@@ -965,7 +970,10 @@ mod tests {
     ) -> Result<Option<Value>, WasmTrap> {
         let mut m = WasmModule::default();
         let t = m.intern_type(FuncType::new(params, results));
-        m.memory = Some(Limits { min: 1, max: Some(4) });
+        m.memory = Some(Limits {
+            min: 1,
+            max: Some(4),
+        });
         m.funcs.push(FuncDef {
             type_idx: t,
             locals,
@@ -1193,10 +1201,7 @@ mod tests {
         assert_eq!(mk(FBinop::Min, 1.0, 2.0), Value::F64(1.0f64.to_bits()));
         assert_eq!(mk(FBinop::Max, 1.0, 2.0), Value::F64(2.0f64.to_bits()));
         // min(-0, +0) = -0.
-        assert_eq!(
-            mk(FBinop::Min, -0.0, 0.0),
-            Value::F64((-0.0f64).to_bits())
-        );
+        assert_eq!(mk(FBinop::Min, -0.0, 0.0), Value::F64((-0.0f64).to_bits()));
         // NaN propagates.
         let r = mk(FBinop::Min, f64::NAN, 1.0);
         match r {
@@ -1212,7 +1217,10 @@ mod tests {
                 vec![],
                 vec![ValType::I32],
                 vec![],
-                vec![Instr::F64Const(x.to_bits()), Instr::Cvt(CvtOp::I32TruncF64S)],
+                vec![
+                    Instr::F64Const(x.to_bits()),
+                    Instr::Cvt(CvtOp::I32TruncF64S),
+                ],
                 &[],
             )
         };
@@ -1401,10 +1409,7 @@ mod tests {
             Instr::I32Const(2),
             Instr::Drop,
             Instr::Drop,
-            Instr::Block(
-                BlockType::Empty,
-                vec![Instr::I32Const(7), Instr::Return],
-            ),
+            Instr::Block(BlockType::Empty, vec![Instr::I32Const(7), Instr::Return]),
             Instr::I32Const(0),
         ];
         let r = run1(vec![], vec![ValType::I32], vec![], body, &[]).unwrap();

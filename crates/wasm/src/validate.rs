@@ -133,7 +133,11 @@ impl<'m> FuncValidator<'m> {
             return Err(format!("branch depth {depth} exceeds nesting {n}"));
         }
         let frame = &self.ctrl[n - 1 - depth as usize];
-        Ok(if frame.is_loop { None } else { frame.label_types })
+        Ok(if frame.is_loop {
+            None
+        } else {
+            frame.label_types
+        })
     }
 
     fn check_br_values(&mut self, depth: u32) -> VResult<()> {
@@ -458,7 +462,10 @@ pub fn validate(module: &WasmModule) -> Result<(), ValidationError> {
     for e in &module.exports {
         match e.kind {
             ExportKind::Func(i) if i >= n_funcs => {
-                return Err(err(format!("export {} references unknown function", e.name)));
+                return Err(err(format!(
+                    "export {} references unknown function",
+                    e.name
+                )));
             }
             ExportKind::Global(i) if i as usize >= module.globals.len() => {
                 return Err(err(format!("export {} references unknown global", e.name)));
@@ -587,11 +594,7 @@ mod tests {
 
     #[test]
     fn leftover_values_rejected() {
-        let m = module_with_body(
-            vec![],
-            vec![],
-            vec![Instr::I32Const(1), Instr::I32Const(2)],
-        );
+        let m = module_with_body(vec![], vec![], vec![Instr::I32Const(1), Instr::I32Const(2)]);
         let e = validate(&m).unwrap_err();
         assert!(e.msg.contains("extra values"), "{e}");
     }
@@ -771,7 +774,10 @@ mod tests {
                 Instr::Load {
                     ty: ValType::I32,
                     sub: None,
-                    memarg: crate::instr::MemArg { align: 3, offset: 0 },
+                    memarg: crate::instr::MemArg {
+                        align: 3,
+                        offset: 0,
+                    },
                 },
                 Instr::Drop,
             ],

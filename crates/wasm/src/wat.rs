@@ -158,72 +158,87 @@ fn print_instr(out: &mut String, i: &Instr, indent: usize) {
             let _ = writeln!(out, "{pad}end");
         }
         other => {
-            let s = match other {
-                Unreachable => "unreachable".to_string(),
-                Nop => "nop".to_string(),
-                Br(d) => format!("br {d}"),
-                BrIf(d) => format!("br_if {d}"),
-                BrTable(t, d) => format!(
-                    "br_table {} {d}",
-                    t.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(" ")
-                ),
-                Return => "return".to_string(),
-                Call(f) => format!("call {f}"),
-                CallIndirect(t) => format!("call_indirect (type {t})"),
-                Drop => "drop".to_string(),
-                Select => "select".to_string(),
-                LocalGet(i) => format!("local.get {i}"),
-                LocalSet(i) => format!("local.set {i}"),
-                LocalTee(i) => format!("local.tee {i}"),
-                GlobalGet(i) => format!("global.get {i}"),
-                GlobalSet(i) => format!("global.set {i}"),
-                Load { ty, sub, memarg } => {
-                    let suffix = match sub {
-                        None => String::new(),
-                        Some((SubWidth::B8, true)) => "8_s".into(),
-                        Some((SubWidth::B8, false)) => "8_u".into(),
-                        Some((SubWidth::B16, true)) => "16_s".into(),
-                        Some((SubWidth::B16, false)) => "16_u".into(),
-                        Some((SubWidth::B32, true)) => "32_s".into(),
-                        Some((SubWidth::B32, false)) => "32_u".into(),
-                    };
-                    format!("{ty}.load{suffix} offset={}", memarg.offset)
-                }
-                Store { ty, sub, memarg } => {
-                    let suffix = match sub {
-                        None => "",
-                        Some(SubWidth::B8) => "8",
-                        Some(SubWidth::B16) => "16",
-                        Some(SubWidth::B32) => "32",
-                    };
-                    format!("{ty}.store{suffix} offset={}", memarg.offset)
-                }
-                MemorySize => "memory.size".to_string(),
-                MemoryGrow => "memory.grow".to_string(),
-                I32Const(v) => format!("i32.const {v}"),
-                I64Const(v) => format!("i64.const {v}"),
-                F32Const(b) => format!("f32.const {}", f32::from_bits(*b)),
-                F64Const(b) => format!("f64.const {}", f64::from_bits(*b)),
-                ITestop(nw) => format!("i{}.eqz", w(*nw)),
-                IRelop(nw, op) => format!("i{}.{}", w(*nw), irelop_name(*op)),
-                FRelop(nw, op) => format!("f{}.{}", w(*nw), frelop_name(*op)),
-                IUnop(nw, op) => format!(
-                    "i{}.{}",
-                    w(*nw),
-                    match op {
-                        crate::instr::IUnop::Clz => "clz",
-                        crate::instr::IUnop::Ctz => "ctz",
-                        crate::instr::IUnop::Popcnt => "popcnt",
-                    }
-                ),
-                IBinop(nw, op) => format!("i{}.{}", w(*nw), ibinop_name(*op)),
-                FUnop(nw, op) => format!("f{}.{}", w(*nw), funop_name(*op)),
-                FBinop(nw, op) => format!("f{}.{}", w(*nw), fbinop_name(*op)),
-                Cvt(op) => cvt_name(*op).to_string(),
-                Block(..) | Loop(..) | If(..) => unreachable!(),
-            };
-            let _ = writeln!(out, "{pad}{s}");
+            let _ = writeln!(out, "{pad}{}", instr_head(other));
         }
+    }
+}
+
+/// One-line mnemonic for a single instruction. Structured instructions
+/// yield just their header (`block`, `loop (result i32)`, `if`), without
+/// the nested body.
+pub fn instr_head(i: &Instr) -> String {
+    use Instr::*;
+    match i {
+        Block(bt, _) => format!("block{}", bt_suffix(bt)),
+        Loop(bt, _) => format!("loop{}", bt_suffix(bt)),
+        If(bt, ..) => format!("if{}", bt_suffix(bt)),
+        other => match other {
+            Unreachable => "unreachable".to_string(),
+            Nop => "nop".to_string(),
+            Br(d) => format!("br {d}"),
+            BrIf(d) => format!("br_if {d}"),
+            BrTable(t, d) => format!(
+                "br_table {} {d}",
+                t.iter()
+                    .map(|x| x.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            ),
+            Return => "return".to_string(),
+            Call(f) => format!("call {f}"),
+            CallIndirect(t) => format!("call_indirect (type {t})"),
+            Drop => "drop".to_string(),
+            Select => "select".to_string(),
+            LocalGet(i) => format!("local.get {i}"),
+            LocalSet(i) => format!("local.set {i}"),
+            LocalTee(i) => format!("local.tee {i}"),
+            GlobalGet(i) => format!("global.get {i}"),
+            GlobalSet(i) => format!("global.set {i}"),
+            Load { ty, sub, memarg } => {
+                let suffix = match sub {
+                    None => String::new(),
+                    Some((SubWidth::B8, true)) => "8_s".into(),
+                    Some((SubWidth::B8, false)) => "8_u".into(),
+                    Some((SubWidth::B16, true)) => "16_s".into(),
+                    Some((SubWidth::B16, false)) => "16_u".into(),
+                    Some((SubWidth::B32, true)) => "32_s".into(),
+                    Some((SubWidth::B32, false)) => "32_u".into(),
+                };
+                format!("{ty}.load{suffix} offset={}", memarg.offset)
+            }
+            Store { ty, sub, memarg } => {
+                let suffix = match sub {
+                    None => "",
+                    Some(SubWidth::B8) => "8",
+                    Some(SubWidth::B16) => "16",
+                    Some(SubWidth::B32) => "32",
+                };
+                format!("{ty}.store{suffix} offset={}", memarg.offset)
+            }
+            MemorySize => "memory.size".to_string(),
+            MemoryGrow => "memory.grow".to_string(),
+            I32Const(v) => format!("i32.const {v}"),
+            I64Const(v) => format!("i64.const {v}"),
+            F32Const(b) => format!("f32.const {}", f32::from_bits(*b)),
+            F64Const(b) => format!("f64.const {}", f64::from_bits(*b)),
+            ITestop(nw) => format!("i{}.eqz", w(*nw)),
+            IRelop(nw, op) => format!("i{}.{}", w(*nw), irelop_name(*op)),
+            FRelop(nw, op) => format!("f{}.{}", w(*nw), frelop_name(*op)),
+            IUnop(nw, op) => format!(
+                "i{}.{}",
+                w(*nw),
+                match op {
+                    crate::instr::IUnop::Clz => "clz",
+                    crate::instr::IUnop::Ctz => "ctz",
+                    crate::instr::IUnop::Popcnt => "popcnt",
+                }
+            ),
+            IBinop(nw, op) => format!("i{}.{}", w(*nw), ibinop_name(*op)),
+            FUnop(nw, op) => format!("f{}.{}", w(*nw), funop_name(*op)),
+            FBinop(nw, op) => format!("f{}.{}", w(*nw), fbinop_name(*op)),
+            Cvt(op) => cvt_name(*op).to_string(),
+            Block(..) | Loop(..) | If(..) => unreachable!(),
+        },
     }
 }
 
@@ -242,7 +257,11 @@ pub fn print_module(module: &WasmModule) -> String {
                 format!("(global {}{})", if *m { "mut " } else { "" }, t)
             }
         };
-        let _ = writeln!(out, "  (import \"{}\" \"{}\" {kind})", imp.module, imp.field);
+        let _ = writeln!(
+            out,
+            "  (import \"{}\" \"{}\" {kind})",
+            imp.module, imp.field
+        );
     }
     if let Some(mem) = &module.memory {
         match mem.max {
@@ -322,16 +341,19 @@ mod tests {
         m.funcs.push(FuncDef {
             type_idx: t,
             locals: vec![ValType::I32],
-            body: vec![Instr::Loop(
-                BlockType::Empty,
-                vec![
-                    Instr::LocalGet(0),
-                    Instr::I32Const(1),
-                    Instr::IBinop(NumWidth::X32, IBinop::Sub),
-                    Instr::LocalTee(0),
-                    Instr::BrIf(0),
-                ],
-            ), Instr::LocalGet(0)],
+            body: vec![
+                Instr::Loop(
+                    BlockType::Empty,
+                    vec![
+                        Instr::LocalGet(0),
+                        Instr::I32Const(1),
+                        Instr::IBinop(NumWidth::X32, IBinop::Sub),
+                        Instr::LocalTee(0),
+                        Instr::BrIf(0),
+                    ],
+                ),
+                Instr::LocalGet(0),
+            ],
             name: "countdown".into(),
         });
         let s = print_module(&m);

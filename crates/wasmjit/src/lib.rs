@@ -23,15 +23,17 @@
 //! - an **asm.js mode** adding the `|0`-style coercions, heap masking,
 //!   and 64-bit-pair overheads of the pre-wasm pipeline (Figures 5/6).
 
+use wasmperf_isa::module::NO_TAG;
 use wasmperf_isa::{AluOp, Cc, FPrec, Module, Reg, RoundMode, TrapKind, Width};
 use wasmperf_regalloc::lir::{FLoc, FOpnd, LBlock};
 use wasmperf_regalloc::{
-    allocate_linear_scan, emit_function, AllocProfile, Arg, BlockId, LFunc, LInst, LMem, Loc,
-    Opnd, RetVal, VClass,
+    allocate_linear_scan, emit_function, AllocProfile, Arg, BlockId, LFunc, LInst, LMem, Loc, Opnd,
+    RetVal, VClass,
 };
 use wasmperf_wasm::instr::SubWidth;
+use wasmperf_wasm::wat;
 use wasmperf_wasm::{
-    CvtOp, FBinop, FRelop, FUnop, IBinop, IRelop, Instr, IUnop, MemArg, NumWidth, ValType,
+    CvtOp, FBinop, FRelop, FUnop, IBinop, IRelop, IUnop, Instr, MemArg, NumWidth, ValType,
     WasmModule,
 };
 
@@ -134,6 +136,10 @@ pub struct JitOutput {
     pub table_addr: u64,
     /// Address of the stack-limit word.
     pub stack_limit_addr: u64,
+    /// Per-function wasm instruction texts, indexed by the source tags the
+    /// backend stamps on emitted machine instructions
+    /// (`module.funcs[f].inst_tags[i]` indexes `func_texts[f]`).
+    pub func_texts: Vec<Vec<String>>,
 }
 
 /// A value on the abstract operand stack.
@@ -232,12 +238,21 @@ struct JitFn<'m, 'p> {
     local_tys: Vec<ValType>,
     /// The function's result type.
     ret_ty: Option<ValType>,
+    /// Source tag stamped on emitted instructions: the pre-order index of
+    /// the wasm instruction being compiled (`NO_TAG` in prologue code).
+    src: u32,
+    /// Text of each tagged wasm instruction, indexed by tag.
+    texts: Vec<String>,
 }
 
 type JResult<T> = Result<T, String>;
 
 impl<'m, 'p> JitFn<'m, 'p> {
     fn emit(&mut self, inst: LInst) {
+        if self.lf.src_tags.len() <= self.cur {
+            self.lf.src_tags.resize(self.cur + 1, Vec::new());
+        }
+        self.lf.src_tags[self.cur].push(self.src);
         self.lf.blocks[self.cur].insts.push(inst);
     }
 
@@ -443,7 +458,14 @@ impl<'m, 'p> JitFn<'m, 'p> {
         // carries the result.
         let (target, result) = {
             let f = &self.ctrl[fi];
-            (f.br_target, if f.kind == FrameKind::Loop { None } else { f.result })
+            (
+                f.br_target,
+                if f.kind == FrameKind::Loop {
+                    None
+                } else {
+                    f.result
+                },
+            )
         };
         if let Some((rv, rt)) = result {
             let (top, _) = self.pop_reg();
@@ -471,18 +493,22 @@ impl<'m, 'p> JitFn<'m, 'p> {
                 // Skip the unreachable remainder of this structured body.
                 break;
             }
+            // The next tag is assigned before any emission so that fused
+            // windows stamp their instructions with the window's first
+            // wasm instruction; texts are pushed once the window size is
+            // known.
+            self.src = self.texts.len() as u32;
             // Y2019 compare/branch fusion: `relop [eqz] br_if` compiles
             // to one compare and one conditional jump.
             if self.profile.tier >= Tier::Y2019 && i + 1 < body.len() {
                 // Optional eqz between the compare and the branch (the
                 // producer's canonical while-loop exit shape).
-                let (negate, skip) = if i + 2 < body.len()
-                    && matches!(body[i + 1], Instr::ITestop(NumWidth::X32))
-                {
-                    (true, 2)
-                } else {
-                    (false, 1)
-                };
+                let (negate, skip) =
+                    if i + 2 < body.len() && matches!(body[i + 1], Instr::ITestop(NumWidth::X32)) {
+                        (true, 2)
+                    } else {
+                        (false, 1)
+                    };
                 let fused = match (&body[i], &body[i + skip]) {
                     (Instr::IRelop(w, op), Instr::BrIf(d)) => {
                         let (rhs, _) = self.pop_int_opnd();
@@ -530,10 +556,14 @@ impl<'m, 'p> JitFn<'m, 'p> {
                     _ => false,
                 };
                 if fused {
+                    for instr in &body[i..=i + skip] {
+                        self.texts.push(wat::instr_head(instr));
+                    }
                     i += skip + 1;
                     continue;
                 }
             }
+            self.texts.push(wat::instr_head(&body[i]));
             self.compile_instr(&body[i])?;
             i += 1;
         }
@@ -558,8 +588,7 @@ impl<'m, 'p> JitFn<'m, 'p> {
     /// Conditional branch on already-set flags (fused compare).
     fn fused_br_if(&mut self, cc: Cc, d: u32) {
         let fi = self.ctrl.len() - 1 - d as usize;
-        let needs_values =
-            self.ctrl[fi].kind != FrameKind::Loop && self.ctrl[fi].result.is_some();
+        let needs_values = self.ctrl[fi].kind != FrameKind::Loop && self.ctrl[fi].result.is_some();
         if needs_values {
             // Can't fuse cleanly when the branch carries a value: fall
             // back to a skip-block.
@@ -1222,7 +1251,7 @@ impl<'m, 'p> JitFn<'m, 'p> {
                 let r = self.asmjs_float_coercion(r, t);
                 self.push(SV::Reg(r, t, true));
             }
-            Instr::Cvt(op) => self.compile_cvt(*op),
+            Instr::Cvt(op) => self.compile_cvt(*op)?,
         }
         Ok(())
     }
@@ -1272,7 +1301,7 @@ impl<'m, 'p> JitFn<'m, 'p> {
         self.ret_ty
     }
 
-    fn compile_cvt(&mut self, op: CvtOp) {
+    fn compile_cvt(&mut self, op: CvtOp) -> JResult<()> {
         use CvtOp::*;
         let (from, to) = op.signature();
         let (v, _) = self.pop_reg();
@@ -1341,12 +1370,18 @@ impl<'m, 'p> JitFn<'m, 'p> {
                 from: FPrec::F32,
             }),
             I32ReinterpretF32 | I64ReinterpretF64 | F32ReinterpretI32 | F64ReinterpretI64 => {
-                // Not produced by the emcc pipeline; model as a move
-                // through memory would be overkill — unsupported.
-                unimplemented!("reinterpret casts are not produced by emcc-lite")
+                // The emcc-lite producer never emits these; reject them as
+                // a compile error instead of crashing so hand-built
+                // modules get a diagnostic.
+                return Err(format!(
+                    "unsupported conversion in `{}`: reinterpret casts are \
+                     not produced by the emcc-lite pipeline",
+                    self.lf.name
+                ));
             }
         }
         self.push(SV::Reg(r, to, true));
+        Ok(())
     }
 
     /// Pops the frame for Block, moving results and rejoining control.
@@ -1408,10 +1443,7 @@ fn sub_width(sw: SubWidth) -> Width {
 }
 
 /// Lowers each function to LIR without allocating (test/debug hook).
-pub fn debug_lower(
-    wasm: &WasmModule,
-    profile: &EngineProfile,
-) -> Result<Vec<LFunc>, String> {
+pub fn debug_lower(wasm: &WasmModule, profile: &EngineProfile) -> Result<Vec<LFunc>, String> {
     let out = compile_inner(wasm, profile, true)?;
     Ok(out.1)
 }
@@ -1439,6 +1471,7 @@ fn compile_inner(
 
     let n_imports = wasm.num_imported_funcs();
     let mut lirs: Vec<LFunc> = Vec::new();
+    let mut func_texts: Vec<Vec<String>> = Vec::new();
     let mut module = Module {
         funcs: Vec::with_capacity(wasm.funcs.len()),
         table: Vec::new(),
@@ -1506,6 +1539,8 @@ fn compile_inner(
             dead: false,
             local_tys,
             ret_ty: ft.result(),
+            src: NO_TAG,
+            texts: Vec::new(),
         };
 
         if profile.stack_check {
@@ -1514,14 +1549,17 @@ fn compile_inner(
             });
         }
         // Zero non-parameter locals (wasm semantics).
-        for (i, t) in cx.local_tys.iter().enumerate().skip(ft.params.len()) {
-            match vclass(*t) {
-                VClass::Float => cx.lf.blocks[0].insts.push(LInst::MovFImm {
-                    dst: FLoc::V(i as u32),
-                    bits: 0,
-                    prec: fprec(*t),
-                }),
-                VClass::Int => cx.lf.blocks[0].insts.push(LInst::Mov {
+        for i in ft.params.len()..cx.local_tys.len() {
+            match vclass(cx.local_tys[i]) {
+                VClass::Float => {
+                    let prec = fprec(cx.local_tys[i]);
+                    cx.emit(LInst::MovFImm {
+                        dst: FLoc::V(i as u32),
+                        bits: 0,
+                        prec,
+                    });
+                }
+                VClass::Int => cx.emit(LInst::Mov {
                     dst: Loc::V(i as u32),
                     src: Opnd::Imm(0),
                     width: Width::W64,
@@ -1544,7 +1582,10 @@ fn compile_inner(
         }
 
         let assign = allocate_linear_scan(&cx.lf, &profile.alloc);
-        module.funcs.push(emit_function(&cx.lf, &assign, &profile.alloc));
+        module
+            .funcs
+            .push(emit_function(&cx.lf, &assign, &profile.alloc));
+        func_texts.push(std::mem::take(&mut cx.texts));
         if keep_lir {
             lirs.push(cx.lf);
         }
@@ -1563,6 +1604,7 @@ fn compile_inner(
             module,
             table_addr,
             stack_limit_addr,
+            func_texts,
         },
         lirs,
     ))

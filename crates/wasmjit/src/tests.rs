@@ -35,8 +35,7 @@ fn run_wasm_interp(src: &str, args: &[u64]) -> u64 {
 
 fn run_native(src: &str, args: &[u64]) -> (u64, PerfCounters) {
     let prog = wasmperf_cir::compile(src).expect("compiles");
-    let module =
-        wasmperf_clanglite::compile(&prog, &wasmperf_clanglite::CompileOptions::default());
+    let module = wasmperf_clanglite::compile(&prog, &wasmperf_clanglite::CompileOptions::default());
     let mut m = Machine::new(&module, NullHost);
     let r = m
         .run(module.entry.expect("main"), args, 500_000_000)

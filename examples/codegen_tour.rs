@@ -75,12 +75,32 @@ fn main() {
     assert_eq!(n.ret, c.ret, "both compute the same matrix");
     println!("== counters (chrome / native) ==");
     let rows = [
-        ("instructions", c.counters.instructions_retired, n.counters.instructions_retired),
+        (
+            "instructions",
+            c.counters.instructions_retired,
+            n.counters.instructions_retired,
+        ),
         ("loads", c.counters.loads_retired, n.counters.loads_retired),
-        ("stores", c.counters.stores_retired, n.counters.stores_retired),
-        ("branches", c.counters.branches_retired, n.counters.branches_retired),
-        ("cond branches", c.counters.cond_branches_retired, n.counters.cond_branches_retired),
-        ("cycles", c.counters.total_cycles(), n.counters.total_cycles()),
+        (
+            "stores",
+            c.counters.stores_retired,
+            n.counters.stores_retired,
+        ),
+        (
+            "branches",
+            c.counters.branches_retired,
+            n.counters.branches_retired,
+        ),
+        (
+            "cond branches",
+            c.counters.cond_branches_retired,
+            n.counters.cond_branches_retired,
+        ),
+        (
+            "cycles",
+            c.counters.total_cycles(),
+            n.counters.total_cycles(),
+        ),
     ];
     for (label, jit_v, native_v) in rows {
         println!(

@@ -4,7 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use wasmperf_core::{EngineKind, Pipeline};
+use wasmperf_core::Pipeline;
 
 fn main() {
     // A small CLite program: dot product with a function call in the loop.

@@ -55,9 +55,7 @@ fn main() {
 
     let mut words = Vec::new();
     for i in 0..600 {
-        words.extend_from_slice(
-            ["the ", "quick ", "brown ", "fox ", "jumps\n"][i % 5].as_bytes(),
-        );
+        words.extend_from_slice(["the ", "quick ", "brown ", "fox ", "jumps\n"][i % 5].as_bytes());
     }
 
     let pipeline = Pipeline::new(src)

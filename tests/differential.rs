@@ -47,9 +47,19 @@ fn machine_checksum(b: &Benchmark, engine: EngineKind) -> i32 {
 /// A fast representative subset (full sweeps run in the report binary).
 fn subset() -> Vec<Benchmark> {
     let want = [
-        "gemm", "lu", "durbin", "fdtd-2d", "gramschmidt",
-        "401.bzip2", "429.mcf", "445.gobmk", "450.soplex", "458.sjeng",
-        "464.h264ref", "473.astar", "641.leela_s",
+        "gemm",
+        "lu",
+        "durbin",
+        "fdtd-2d",
+        "gramschmidt",
+        "401.bzip2",
+        "429.mcf",
+        "445.gobmk",
+        "450.soplex",
+        "458.sjeng",
+        "464.h264ref",
+        "473.astar",
+        "641.leela_s",
     ];
     wasmperf_benchsuite::all(Size::Test)
         .into_iter()
@@ -88,7 +98,12 @@ fn asmjs_engines_agree_too() {
     for b in subset().into_iter().take(4) {
         let clite = clite_checksum(&b);
         for engine in [EngineKind::ChromeAsmjs, EngineKind::FirefoxAsmjs] {
-            assert_eq!(clite, machine_checksum(&b, engine), "{}: {engine:?}", b.name);
+            assert_eq!(
+                clite,
+                machine_checksum(&b, engine),
+                "{}: {engine:?}",
+                b.name
+            );
         }
     }
 }

@@ -48,9 +48,7 @@ fn counters_inflate_in_the_papers_directions() {
     let mut branches = Vec::new();
     for name in SPEC_SUBSET {
         let n = s.run(name, &Engine::Native).counters;
-        let c = s
-            .run(name, &Engine::Jit(EngineProfile::chrome()))
-            .counters;
+        let c = s.run(name, &Engine::Jit(EngineProfile::chrome())).counters;
         instr.push(c.instructions_retired as f64 / n.instructions_retired as f64);
         loads.push(c.loads_retired as f64 / n.loads_retired as f64);
         stores.push(c.stores_retired as f64 / n.stores_retired as f64);
@@ -59,7 +57,11 @@ fn counters_inflate_in_the_papers_directions() {
     assert!(geomean(&instr) > 1.4, "instructions {:?}", geomean(&instr));
     assert!(geomean(&loads) > 1.1, "loads {:?}", geomean(&loads));
     assert!(geomean(&stores) > 1.05, "stores {:?}", geomean(&stores));
-    assert!(geomean(&branches) > 1.3, "branches {:?}", geomean(&branches));
+    assert!(
+        geomean(&branches) > 1.3,
+        "branches {:?}",
+        geomean(&branches)
+    );
 }
 
 #[test]
@@ -114,8 +116,12 @@ fn mcf_is_the_closest_to_parity() {
 fn browserfs_append_policy_matters() {
     let s = Session::new(Size::Test);
     let b = s.bench("464.h264ref").clone();
-    let exact = run_one(&b, &Engine::Jit(EngineProfile::firefox()), AppendPolicy::ExactFit)
-        .expect("runs");
+    let exact = run_one(
+        &b,
+        &Engine::Jit(EngineProfile::firefox()),
+        AppendPolicy::ExactFit,
+    )
+    .expect("runs");
     let chunked = run_one(
         &b,
         &Engine::Jit(EngineProfile::firefox()),

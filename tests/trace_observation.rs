@@ -1,0 +1,128 @@
+//! Tracing is observation-only: enabling the full observability stack
+//! must not change a single counter value or output byte of the run it
+//! observes, and what it collects must account for the run exactly.
+
+use wasmperf_browsix::AppendPolicy;
+use wasmperf_harness::experiments::trace_matmul_bench;
+use wasmperf_harness::{run_one, run_one_traced, Engine, TraceConfig};
+use wasmperf_trace::report;
+use wasmperf_wasmjit::EngineProfile;
+
+#[test]
+fn traced_run_is_identical_to_untraced() {
+    let bench = trace_matmul_bench(24);
+    for engine in [Engine::Native, Engine::Jit(EngineProfile::chrome())] {
+        let plain = run_one(&bench, &engine, AppendPolicy::Chunked4K).unwrap();
+        let (traced, trace) = run_one_traced(
+            &bench,
+            &engine,
+            AppendPolicy::Chunked4K,
+            TraceConfig::full(),
+        )
+        .unwrap();
+        assert_eq!(plain.checksum, traced.checksum, "{}", engine.name());
+        assert_eq!(plain.counters, traced.counters, "{}", engine.name());
+        assert_eq!(plain.outputs, traced.outputs, "{}", engine.name());
+        assert!(trace.is_some(), "full config must yield a trace");
+    }
+}
+
+#[test]
+fn trace_off_yields_no_session() {
+    let bench = trace_matmul_bench(16);
+    let (_, trace) = run_one_traced(
+        &bench,
+        &Engine::Native,
+        AppendPolicy::Chunked4K,
+        TraceConfig::off(),
+    )
+    .unwrap();
+    assert!(trace.is_none());
+}
+
+#[test]
+fn profile_attributes_cycles_to_named_functions() {
+    let bench = trace_matmul_bench(24);
+    for engine in [Engine::Native, Engine::Jit(EngineProfile::chrome())] {
+        let (result, trace) = run_one_traced(
+            &bench,
+            &engine,
+            AppendPolicy::Chunked4K,
+            TraceConfig::full(),
+        )
+        .unwrap();
+        let trace = trace.unwrap();
+        let profile = trace.profile.as_ref().unwrap();
+        let symbols = trace.symbols.as_ref().unwrap();
+
+        // Every retired instruction lands in some address bucket.
+        assert_eq!(
+            profile.total_instructions(),
+            result.counters.instructions_retired,
+            "{}",
+            engine.name()
+        );
+
+        // The acceptance bar: >= 90% of retired cycles attributed to
+        // named functions (here the map is complete, so 100%).
+        let (rows, coverage) = report::aggregate(profile, symbols);
+        assert!(coverage >= 90.0, "{}: coverage {coverage}", engine.name());
+        assert!(
+            rows.iter().any(|r| r.name == "matmul"),
+            "{}: matmul missing from {rows:?}",
+            engine.name()
+        );
+
+        // The rendered table agrees.
+        let table = trace.perf_report();
+        assert!(table.contains("matmul"), "{table}");
+    }
+}
+
+#[test]
+fn strace_kernel_cycles_sum_to_host_cycles() {
+    let bench = wasmperf_benchsuite::all(wasmperf_benchsuite::Size::Test)
+        .into_iter()
+        .find(|b| b.name == "401.bzip2")
+        .expect("401.bzip2 in suite");
+    let (result, trace) = run_one_traced(
+        &bench,
+        &Engine::Native,
+        AppendPolicy::Chunked4K,
+        TraceConfig::full(),
+    )
+    .unwrap();
+    let trace = trace.unwrap();
+    let log = trace.strace.as_ref().unwrap();
+    assert!(!log.records.is_empty(), "401.bzip2 performs I/O");
+    assert_eq!(
+        log.total_cycles(),
+        result.counters.host_cycles,
+        "every kernel cycle must be accounted to a syscall"
+    );
+    let summary = trace.strace_summary();
+    assert!(summary.contains("per-class kernel cycles"), "{summary}");
+}
+
+#[test]
+fn exports_are_well_formed() {
+    let bench = trace_matmul_bench(16);
+    let (_, trace) = run_one_traced(
+        &bench,
+        &Engine::Jit(EngineProfile::chrome()),
+        AppendPolicy::Chunked4K,
+        TraceConfig::full(),
+    )
+    .unwrap();
+    let trace = trace.unwrap();
+
+    let chrome = trace.chrome_trace();
+    assert!(chrome.starts_with("{\"traceEvents\":["));
+    assert!(chrome.trim_end().ends_with('}'));
+    assert!(chrome.contains("\"ph\":\"X\""), "has complete events");
+
+    let jsonl = trace.jsonl();
+    for line in jsonl.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    }
+}

@@ -1,0 +1,203 @@
+//! A small, offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no network access and no crates.io cache, so
+//! the workspace vendors the API surface its benches use: groups,
+//! `bench_function`/`bench_with_input`, `BenchmarkId`, and `Bencher::iter`.
+//! Each benchmark runs a fixed warm-up plus a measured batch and prints
+//! the mean wall time — enough to spot regressions locally, with no
+//! statistics, plotting, or CLI.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId(s)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    iters: u64,
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call, then the measured batch.
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.last_ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the subset runs a fixed batch size.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters: self.criterion.iters,
+            last_ns: 0.0,
+        };
+        f(&mut b);
+        println!("bench {}/{}: {:.1} ns/iter", self.name, id.0, b.last_ns);
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters: self.criterion.iters,
+            last_ns: 0.0,
+        };
+        f(&mut b, input);
+        println!("bench {}/{}: {:.1} ns/iter", self.name, id.0, b.last_ns);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { iters: 3 }
+    }
+}
+
+impl Criterion {
+    /// Accepted for compatibility; there is no CLI to configure from.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = BenchmarkGroup {
+            name: "bench".to_string(),
+            criterion: self,
+        };
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// Re-export for code written against `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a group function that runs each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        let mut ran = 0u64;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        g.finish();
+        assert!(ran >= 4, "warmup + batch: {ran}");
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", "x").0, "f/x");
+        assert_eq!(BenchmarkId::from("plain").0, "plain");
+    }
+}

@@ -1,0 +1,220 @@
+//! A small, offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no network access and no crates.io cache, so
+//! the workspace vendors the pieces of proptest its property tests use:
+//! range/tuple strategies, `prop_map`/`prop_flat_map`/`prop_recursive`,
+//! `prop_oneof!`, `collection::vec`, `array::uniform4`, `any`, the
+//! `proptest!` macro, and `prop_assert*`. Generation is random (seeded
+//! deterministically per test) but there is no shrinking: a failing case
+//! reports the error and panics.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use test_runner::{ProptestConfig, Rng, TestCaseError};
+
+/// `any::<T>()` strategies over a type's whole domain.
+pub mod arbitrary {
+    use crate::strategy::{BoxedStrategy, Strategy};
+    use crate::test_runner::Rng;
+
+    /// Types with a full-domain generator.
+    pub trait Arbitrary: Sized + 'static {
+        /// Generates an arbitrary value.
+        fn arbitrary(rng: &mut Rng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut Rng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut Rng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut Rng) -> f64 {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    /// A strategy producing any value of `T`.
+    pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+        crate::strategy::from_fn(|rng| T::arbitrary(rng)).boxed()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::{BoxedStrategy, Strategy};
+
+    /// Anything usable as a collection size specification.
+    pub trait SizeRange {
+        /// Picks a size.
+        fn pick(&self, rng: &mut crate::test_runner::Rng) -> usize;
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut crate::test_runner::Rng) -> usize {
+            rng.gen_range_usize(self.start, self.end)
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut crate::test_runner::Rng) -> usize {
+            rng.gen_range_usize(*self.start(), *self.end() + 1)
+        }
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut crate::test_runner::Rng) -> usize {
+            *self
+        }
+    }
+
+    /// A strategy producing vectors whose elements come from `element`.
+    pub fn vec<S, R>(element: S, size: R) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+        R: SizeRange + 'static,
+    {
+        crate::strategy::from_fn(move |rng| {
+            let n = size.pick(rng);
+            (0..n).map(|_| element.generate(rng)).collect()
+        })
+        .boxed()
+    }
+}
+
+/// Fixed-size array strategies.
+pub mod array {
+    use crate::strategy::{BoxedStrategy, Strategy};
+
+    macro_rules! uniform {
+        ($name:ident, $n:expr) => {
+            /// A strategy producing arrays of `$n` values from `element`.
+            pub fn $name<S>(element: S) -> BoxedStrategy<[S::Value; $n]>
+            where
+                S: Strategy + 'static,
+                S::Value: 'static,
+            {
+                crate::strategy::from_fn(move |rng| std::array::from_fn(|_| element.generate(rng)))
+                    .boxed()
+            }
+        };
+    }
+    uniform!(uniform2, 2);
+    uniform!(uniform3, 3);
+    uniform!(uniform4, 4);
+    uniform!(uniform8, 8);
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Chooses uniformly among strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    }};
+}
+
+/// Asserts a condition inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Asserts inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ...)`
+/// becomes a regular `#[test]` that generates `cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(#[test] fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::Rng::from_name(stringify!($name));
+                let strategies = ($($strategy,)*);
+                for case in 0..config.cases {
+                    let ($($arg,)*) =
+                        $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!("proptest {} failed at case {}/{}: {}",
+                               stringify!($name), case + 1, config.cases, e);
+                    }
+                }
+            }
+        )*
+    };
+}

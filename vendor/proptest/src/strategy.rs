@@ -1,0 +1,266 @@
+//! The `Strategy` trait and combinators.
+
+use crate::test_runner::Rng;
+use std::rc::Rc;
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The type of value generated.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Boxes the strategy behind a shared, clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let s = self;
+        BoxedStrategy(Rc::new(move |rng: &mut Rng| s.generate(rng)))
+    }
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> BoxedStrategy<O>
+    where
+        Self: Sized + 'static,
+        O: 'static,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        let s = self;
+        from_fn(move |rng| f(s.generate(rng))).boxed()
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds
+    /// from it.
+    fn prop_flat_map<S2, F>(self, f: F) -> BoxedStrategy<S2::Value>
+    where
+        Self: Sized + 'static,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2 + 'static,
+    {
+        let s = self;
+        from_fn(move |rng| f(s.generate(rng)).generate(rng)).boxed()
+    }
+
+    /// Recursive strategies: `self` is the leaf case; `recurse` receives a
+    /// handle generating subtrees and returns the branch case. `depth`
+    /// bounds nesting; the `_desired_size`/`_expected_branch_size` hints
+    /// of the real crate are accepted and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2 + 'static,
+    {
+        let base = self.boxed();
+        let mut current = base.clone();
+        for _ in 0..depth {
+            let deeper = recurse(current).boxed();
+            let leaf = base.clone();
+            // At each level, sometimes bottom out early so generated
+            // values span all depths, not just the maximum.
+            current = from_fn(move |rng| {
+                if rng.next_u64() % 4 == 0 {
+                    leaf.generate(rng)
+                } else {
+                    deeper.generate(rng)
+                }
+            })
+            .boxed();
+        }
+        current
+    }
+}
+
+/// Builds a strategy from a generation function.
+pub fn from_fn<T, F: Fn(&mut Rng) -> T>(f: F) -> FnStrategy<F> {
+    FnStrategy(f)
+}
+
+/// A strategy backed by a plain function.
+pub struct FnStrategy<F>(F);
+
+impl<T, F: Fn(&mut Rng) -> T> Strategy for FnStrategy<F> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// A shared, clonable, type-erased strategy handle.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut Rng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> T {
+        (self.0)(rng)
+    }
+    fn boxed(self) -> BoxedStrategy<T>
+    where
+        Self: Sized + 'static,
+    {
+        self
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut Rng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Chooses uniformly among boxed strategies (built by `prop_oneof!`).
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// Creates a union over `arms`; panics if empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union(arms)
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union(self.0.clone())
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> T {
+        let i = rng.gen_range_usize(0, self.0.len());
+        self.0[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty => $as_u64:ident),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                let (s, e) = (*self.start() as i128, *self.end() as i128);
+                assert!(s <= e, "empty range strategy");
+                let span = (e - s + 1) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (s + off as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(
+    u8 => a, u16 => b, u32 => c, u64 => d, usize => e,
+    i8 => f, i16 => g, i32 => h, i64 => i, isize => j
+);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut Rng) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E)(
+    A, B, C, D, E, F
+));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop_oneof;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::from_name("bounds");
+        for _ in 0..1000 {
+            let v = (10i32..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let u = (0usize..3).generate(&mut rng);
+            assert!(u < 3);
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+            let n = (-5i64..-1).generate(&mut rng);
+            assert!((-5..-1).contains(&n));
+        }
+    }
+
+    #[test]
+    fn map_and_oneof_compose() {
+        let s = prop_oneof![(0u8..4).prop_map(|v| v as i32), 100i32..104];
+        let mut rng = Rng::from_name("compose");
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((0..4).contains(&v) || (100..104).contains(&v));
+        }
+    }
+
+    #[test]
+    fn recursive_bottoms_out() {
+        #[derive(Debug)]
+        enum T {
+            // The payload is constructed but only pattern-matched.
+            #[allow(dead_code)]
+            Leaf(u8),
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf(_) => 0,
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let s = (0u8..10)
+            .prop_map(T::Leaf)
+            .prop_recursive(3, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| T::Node(a.into(), b.into()))
+            });
+        let mut rng = Rng::from_name("recursive");
+        let mut max = 0;
+        for _ in 0..300 {
+            max = max.max(depth(&s.generate(&mut rng)));
+        }
+        assert!(max >= 1, "recursion never fired");
+        assert!(max <= 3, "depth bound exceeded: {max}");
+    }
+}
