@@ -1,0 +1,205 @@
+//! The content-addressed artifact cache.
+//!
+//! Compiled artifacts (native modules, JIT outputs) are keyed by
+//! [`ArtifactKey`] — (source hash, engine-configuration hash) — and shared
+//! behind `Arc`, so each (benchmark, engine) pair is compiled **exactly
+//! once** per process no matter how many trials, experiments, or worker
+//! threads ask for it. Concurrent requests for the same key block on a
+//! per-key slot while one builder runs; requests for different keys never
+//! contend beyond the brief map lookup.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Identity of a compiled artifact: what was compiled × how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArtifactKey {
+    /// FNV-1a of the benchmark content (source + inputs + outputs).
+    pub source: u64,
+    /// FNV-1a of the full engine configuration.
+    pub config: u64,
+}
+
+/// Build/hit counters, for the "compiled exactly once" accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Number of builder invocations that completed successfully.
+    pub builds: u64,
+    /// Number of requests served from an already-built artifact.
+    pub hits: u64,
+}
+
+type Slot<V> = Arc<Mutex<Option<Arc<V>>>>;
+
+/// A concurrent, content-addressed, build-once cache.
+pub struct ArtifactCache<V> {
+    slots: Mutex<HashMap<ArtifactKey, Slot<V>>>,
+    builds: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl<V> Default for ArtifactCache<V> {
+    fn default() -> Self {
+        ArtifactCache {
+            slots: Mutex::new(HashMap::new()),
+            builds: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<V> ArtifactCache<V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the artifact for `key`, invoking `build` only if no
+    /// successful build for `key` has completed yet.
+    ///
+    /// Concurrent callers with the same key serialize on the key's slot:
+    /// one builds, the rest wait and receive the same `Arc`. A failed
+    /// build leaves the slot empty, so a later request retries. A
+    /// *panicked* build poisons only its own slot; the poison is cleared
+    /// (the slot is still empty) and later requests retry.
+    pub fn get_or_build<E>(
+        &self,
+        key: ArtifactKey,
+        build: impl FnOnce() -> Result<V, E>,
+    ) -> Result<Arc<V>, E> {
+        let slot = {
+            let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+            slots.entry(key).or_default().clone()
+        };
+        let mut guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(v) = guard.as_ref() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(v));
+        }
+        let built = Arc::new(build()?);
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        *guard = Some(Arc::clone(&built));
+        Ok(built)
+    }
+
+    /// The artifact for `key`, if already built.
+    pub fn get(&self, key: ArtifactKey) -> Option<Arc<V>> {
+        let slot = {
+            let slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+            slots.get(&key).cloned()
+        }?;
+        let found = slot.lock().unwrap_or_else(PoisonError::into_inner).clone();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Build/hit counters so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            builds: self.builds.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct keys with a completed artifact.
+    pub fn len(&self) -> usize {
+        let slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        slots
+            .values()
+            .filter(|s| s.lock().unwrap_or_else(PoisonError::into_inner).is_some())
+            .count()
+    }
+
+    /// Whether no artifact has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(source: u64, config: u64) -> ArtifactKey {
+        ArtifactKey { source, config }
+    }
+
+    #[test]
+    fn hit_returns_the_identical_artifact() {
+        let cache: ArtifactCache<Vec<u8>> = ArtifactCache::new();
+        let a = cache
+            .get_or_build(key(1, 1), || Ok::<_, ()>(vec![1, 2, 3]))
+            .unwrap();
+        let b = cache
+            .get_or_build(key(1, 1), || -> Result<_, ()> {
+                panic!("must not rebuild")
+            })
+            .unwrap();
+        // Pointer equality: the very same allocation, not an equal copy.
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), CacheStats { builds: 1, hits: 1 });
+    }
+
+    #[test]
+    fn distinct_configs_never_collide() {
+        let cache: ArtifactCache<u64> = ArtifactCache::new();
+        let a = cache.get_or_build(key(7, 1), || Ok::<_, ()>(100)).unwrap();
+        let b = cache.get_or_build(key(7, 2), || Ok::<_, ()>(200)).unwrap();
+        let c = cache.get_or_build(key(8, 1), || Ok::<_, ()>(300)).unwrap();
+        assert_eq!((*a, *b, *c), (100, 200, 300));
+        assert_eq!(cache.stats().builds, 3);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn failed_build_is_retried() {
+        let cache: ArtifactCache<u64> = ArtifactCache::new();
+        let err = cache.get_or_build(key(1, 1), || Err::<u64, _>("boom"));
+        assert_eq!(err.unwrap_err(), "boom");
+        let ok = cache.get_or_build(key(1, 1), || Ok::<_, &str>(5)).unwrap();
+        assert_eq!(*ok, 5);
+        assert_eq!(cache.stats(), CacheStats { builds: 1, hits: 0 });
+    }
+
+    #[test]
+    fn concurrent_same_key_builds_exactly_once() {
+        let cache: Arc<ArtifactCache<u64>> = Arc::new(ArtifactCache::new());
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let results: Vec<Arc<u64>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    let barrier = Arc::clone(&barrier);
+                    s.spawn(move || {
+                        barrier.wait();
+                        cache
+                            .get_or_build(key(42, 42), || {
+                                // Widen the race window.
+                                std::thread::sleep(std::time::Duration::from_millis(5));
+                                Ok::<_, ()>(777)
+                            })
+                            .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(cache.stats().builds, 1);
+        assert_eq!(cache.stats().hits, 7);
+        for r in &results[1..] {
+            assert!(Arc::ptr_eq(&results[0], r));
+        }
+    }
+
+    #[test]
+    fn get_without_build() {
+        let cache: ArtifactCache<u64> = ArtifactCache::new();
+        assert!(cache.get(key(1, 1)).is_none());
+        assert!(cache.is_empty());
+        cache.get_or_build(key(1, 1), || Ok::<_, ()>(9)).unwrap();
+        assert_eq!(*cache.get(key(1, 1)).unwrap(), 9);
+    }
+}

@@ -1,0 +1,97 @@
+//! FNV-1a hashing: the farm's content-addressing primitive.
+//!
+//! Every identity in the farm — benchmark sources, engine configurations,
+//! job specs — reduces to a 64-bit FNV-1a digest. FNV is stable across
+//! processes and platforms (unlike `std::hash`, whose `RandomState` is
+//! per-process), which is what makes the on-disk result store and the
+//! artifact cache keys meaningful between runs.
+
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv(OFFSET)
+    }
+}
+
+impl Fnv {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv {
+        Fnv::default()
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Fnv {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(PRIME);
+        }
+        self
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) -> &mut Fnv {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// Absorbs a length-prefixed string (so `"ab","c"` ≠ `"a","bc"`).
+    pub fn write_str(&mut self, s: &str) -> &mut Fnv {
+        self.write_u64(s.len() as u64).write(s.as_bytes())
+    }
+
+    /// The digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    Fnv::new().write(bytes).finish()
+}
+
+/// Formats a digest as the fixed-width hex used in store keys.
+pub fn hex64(v: u64) -> String {
+    format!("{v:016x}")
+}
+
+/// Parses a `hex64` digest back.
+pub fn parse_hex64(s: &str) -> Option<u64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn length_prefix_prevents_concat_collisions() {
+        let ab_c = Fnv::new().write_str("ab").write_str("c").finish();
+        let a_bc = Fnv::new().write_str("a").write_str("bc").finish();
+        assert_ne!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        for v in [0u64, 1, u64::MAX, 0xdead_beef_0000_1234] {
+            assert_eq!(parse_hex64(&hex64(v)), Some(v));
+        }
+        assert_eq!(parse_hex64("xyz"), None);
+        assert_eq!(parse_hex64("0"), None);
+    }
+}

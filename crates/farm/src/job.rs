@@ -1,0 +1,163 @@
+//! The job model: every unit of farm work is a hashable [`JobSpec`].
+//!
+//! A job is one (benchmark, engine, size, append-policy, trial) execution.
+//! The spec carries *content* identities — a hash of the benchmark source
+//! and staged inputs, and a fingerprint of the full engine configuration —
+//! rather than display names, so two ad-hoc benchmarks that share a name
+//! (e.g. the Figure 8 `matmul` at different sizes) never collide, and two
+//! engine profiles that differ in any knob always get distinct artifacts.
+
+use crate::cache::ArtifactKey;
+use crate::hash::Fnv;
+use wasmperf_benchsuite::Size;
+use wasmperf_browsix::AppendPolicy;
+
+/// One schedulable unit of work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Benchmark display name (for reporting only; identity is
+    /// `source_hash`).
+    pub bench: String,
+    /// Engine display name (for reporting only; identity is
+    /// `engine_fingerprint`).
+    pub engine: String,
+    /// FNV-1a over the benchmark's source, staged inputs, and declared
+    /// outputs.
+    pub source_hash: u64,
+    /// FNV-1a over the engine's full configuration (register pools,
+    /// tier, safety checks, compile options, ...).
+    pub engine_fingerprint: u64,
+    /// Workload size class.
+    pub size: Size,
+    /// Kernel append policy for the run.
+    pub policy: AppendPolicy,
+    /// Trial index (the simulator is deterministic, so repeated trials
+    /// are synthesized by the seeded noise model; the index feeds the
+    /// seed).
+    pub trial: u32,
+}
+
+fn size_tag(size: Size) -> u64 {
+    match size {
+        Size::Test => 0,
+        Size::Ref => 1,
+    }
+}
+
+fn policy_tag(policy: AppendPolicy) -> u64 {
+    match policy {
+        AppendPolicy::ExactFit => 0,
+        AppendPolicy::Chunked4K => 1,
+    }
+}
+
+impl JobSpec {
+    /// The job's stable 64-bit identity: the result-store key.
+    pub fn key(&self) -> u64 {
+        Fnv::new()
+            .write_u64(self.source_hash)
+            .write_u64(self.engine_fingerprint)
+            .write_u64(size_tag(self.size))
+            .write_u64(policy_tag(self.policy))
+            .write_u64(self.trial as u64)
+            .finish()
+    }
+
+    /// The compile-artifact identity: source × engine configuration.
+    ///
+    /// Deliberately independent of `size`-irrelevant runtime knobs
+    /// (append policy, trial): the compiled module is shared across every
+    /// run of the same source on the same engine configuration.
+    pub fn artifact_key(&self) -> ArtifactKey {
+        ArtifactKey {
+            source: self.source_hash,
+            config: self.engine_fingerprint,
+        }
+    }
+
+    /// A seed for the measurement-noise model, keyed by the job identity
+    /// (never by execution order) so parallel and serial farms render
+    /// byte-identical tables.
+    pub fn seed(&self, salt: u64) -> u64 {
+        Fnv::new().write_u64(self.key()).write_u64(salt).finish()
+    }
+
+    /// Human-readable `bench/engine[#trial]` label for progress lines and
+    /// failure reports.
+    pub fn label(&self) -> String {
+        if self.trial == 0 {
+            format!("{}/{}", self.bench, self.engine)
+        } else {
+            format!("{}/{}#{}", self.bench, self.engine, self.trial)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            bench: "401.bzip2".into(),
+            engine: "chrome".into(),
+            source_hash: 0x1111,
+            engine_fingerprint: 0x2222,
+            size: Size::Test,
+            policy: AppendPolicy::Chunked4K,
+            trial: 0,
+        }
+    }
+
+    #[test]
+    fn key_ignores_display_names_but_not_content() {
+        let a = spec();
+        let mut renamed = spec();
+        renamed.bench = "alias".into();
+        renamed.engine = "other".into();
+        assert_eq!(a.key(), renamed.key(), "names are not identity");
+
+        for f in [
+            &mut |s: &mut JobSpec| s.source_hash ^= 1,
+            &mut |s: &mut JobSpec| s.engine_fingerprint ^= 1,
+            &mut |s: &mut JobSpec| s.size = Size::Ref,
+            &mut |s: &mut JobSpec| s.policy = AppendPolicy::ExactFit,
+            &mut |s: &mut JobSpec| s.trial = 1,
+        ] as [&mut dyn FnMut(&mut JobSpec); 5]
+        {
+            let mut changed = spec();
+            f(&mut changed);
+            assert_ne!(a.key(), changed.key());
+        }
+    }
+
+    #[test]
+    fn artifact_key_is_shared_across_policy_and_trial() {
+        let a = spec();
+        let mut b = spec();
+        b.policy = AppendPolicy::ExactFit;
+        b.trial = 3;
+        assert_eq!(a.artifact_key(), b.artifact_key());
+        let mut c = spec();
+        c.engine_fingerprint ^= 1;
+        assert_ne!(a.artifact_key(), c.artifact_key());
+    }
+
+    #[test]
+    fn seed_depends_on_spec_and_salt() {
+        let a = spec();
+        assert_eq!(a.seed(7), a.seed(7));
+        assert_ne!(a.seed(7), a.seed(8));
+        let mut b = spec();
+        b.trial = 1;
+        assert_ne!(a.seed(7), b.seed(7));
+    }
+
+    #[test]
+    fn labels() {
+        let mut s = spec();
+        assert_eq!(s.label(), "401.bzip2/chrome");
+        s.trial = 2;
+        assert_eq!(s.label(), "401.bzip2/chrome#2");
+    }
+}

@@ -1,0 +1,50 @@
+//! wasmperf-farm: the parallel benchmark farm.
+//!
+//! The paper's BROWSIX-SPEC harness (§3) runs every (benchmark × engine ×
+//! trial) job serially and recompiles each pipeline inside every
+//! experiment. This crate is the scheduling/caching subsystem that turns
+//! that into a deterministic parallel farm:
+//!
+//! - [`job`]: every unit of work is a hashable [`JobSpec`] —
+//!   (benchmark, engine, size, append-policy, trial) — identified by
+//!   *content* (source hash, engine-configuration fingerprint), not by
+//!   display names;
+//! - [`pool`]: a scoped worker pool over a shared queue with panic
+//!   isolation (one failing job never kills the run) and per-worker
+//!   progress reporting; results return in submission order;
+//! - [`cache`]: a content-addressed [`ArtifactCache`] so each
+//!   (benchmark, engine) pair is compiled exactly once per process and
+//!   the compiled module is shared — across trials, experiments, and
+//!   worker threads — behind an `Arc`;
+//! - [`store`]: a persistent JSONL [`ResultStore`] that makes report
+//!   generation resumable: already-recorded jobs are skipped on rerun,
+//!   across process restarts;
+//! - [`hash`]/[`json`]: the process-stable FNV-1a content addressing and
+//!   the dependency-free JSON codec the store is built on.
+//!
+//! **Determinism is the contract.** Jobs are pure functions of their
+//! `JobSpec` (the simulator is exactly repeatable, and measurement noise
+//! is synthesized from seeds derived from the spec — see
+//! [`JobSpec::seed`]), the pool returns outcomes in submission order, and
+//! the cache/store only ever substitute a value for the identical
+//! computation. A report rendered through an N-worker farm, a 1-worker
+//! farm, or a resumed store is byte-identical; `tests/farm_determinism.rs`
+//! in the workspace root proves it against the live harness.
+//!
+//! The harness side of the bridge — turning a `(Benchmark, Engine,
+//! AppendPolicy)` into a `JobSpec`, compiling artifacts, encoding
+//! `RunResult`s for the store — lives in `wasmperf_harness::farm`, which
+//! keeps this crate free of any dependency on the compiler pipeline.
+
+pub mod cache;
+pub mod hash;
+pub mod job;
+pub mod json;
+pub mod pool;
+pub mod store;
+
+pub use cache::{ArtifactCache, ArtifactKey, CacheStats};
+pub use job::JobSpec;
+pub use json::Json;
+pub use pool::{run_jobs, JobEvent, JobFailure, JobOutcome, PoolStats};
+pub use store::ResultStore;

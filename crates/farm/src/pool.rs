@@ -1,0 +1,259 @@
+//! The worker pool: N threads, one shared queue, panic isolation.
+//!
+//! [`run_jobs`] executes a batch of independent jobs on `workers` OS
+//! threads (scoped — no detached threads, no `'static` bounds). Jobs are
+//! claimed from an atomic cursor in submission order; results come back
+//! **in submission order** regardless of which worker finished when, which
+//! is one half of the farm's determinism story (the other half is that
+//! jobs themselves are pure functions of their [`JobSpec`]).
+//!
+//! A job that returns `Err` or panics becomes a [`JobFailure`] for that
+//! slot only — the pool keeps draining the queue, so one bad job cannot
+//! take down a thousand-job run.
+//!
+//! [`JobSpec`]: crate::job::JobSpec
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Why a job slot has no result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// The job's display label.
+    pub label: String,
+    /// The error message, or the panic payload for panicked jobs.
+    pub message: String,
+    /// True if the job panicked (as opposed to returning `Err`).
+    pub panicked: bool,
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = if self.panicked { "panicked" } else { "failed" };
+        write!(f, "job {} {kind}: {}", self.label, self.message)
+    }
+}
+
+/// Per-slot outcome, in submission order.
+pub type JobOutcome<R> = Result<R, JobFailure>;
+
+/// What the pool did, for progress summaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs completed by each worker (index = worker id).
+    pub per_worker: Vec<usize>,
+    /// Number of failed or panicked jobs.
+    pub failures: usize,
+}
+
+impl PoolStats {
+    /// Total jobs executed.
+    pub fn total(&self) -> usize {
+        self.per_worker.iter().sum()
+    }
+}
+
+/// A progress event, delivered from worker threads as jobs finish.
+#[derive(Debug, Clone, Copy)]
+pub struct JobEvent<'a> {
+    /// Worker id (0-based).
+    pub worker: usize,
+    /// Job index in the submitted batch.
+    pub index: usize,
+    /// The job's display label.
+    pub label: &'a str,
+    /// False if the job failed or panicked.
+    pub ok: bool,
+    /// Jobs finished so far (including this one), across all workers.
+    pub completed: usize,
+    /// Batch size.
+    pub total: usize,
+}
+
+/// Progress callback type. Called from worker threads; must be `Sync`.
+pub type ProgressFn<'a> = &'a (dyn Fn(JobEvent<'_>) + Sync);
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `jobs` on `workers` threads; see the module docs.
+///
+/// `label` names a job for failure reports and progress lines; `runner`
+/// does the work. Both are shared by all workers and so must be `Sync`.
+/// Errors are `String`s at this layer — callers with richer error types
+/// stringify them (the pool must be able to report a panic, which has no
+/// structured type, through the same channel).
+pub fn run_jobs<J, R, FL, FR>(
+    jobs: &[J],
+    workers: usize,
+    label: FL,
+    runner: FR,
+    progress: Option<ProgressFn<'_>>,
+) -> (Vec<JobOutcome<R>>, PoolStats)
+where
+    J: Sync,
+    R: Send,
+    FL: Fn(&J) -> String + Sync,
+    FR: Fn(&J) -> Result<R, String> + Sync,
+{
+    let workers = workers.clamp(1, jobs.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<JobOutcome<R>>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+    let per_worker: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let cursor = &cursor;
+            let completed = &completed;
+            let results = &results;
+            let per_worker = &per_worker;
+            let label = &label;
+            let runner = &runner;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    return;
+                }
+                let job = &jobs[i];
+                let outcome = match catch_unwind(AssertUnwindSafe(|| runner(job))) {
+                    Ok(Ok(r)) => Ok(r),
+                    Ok(Err(message)) => Err(JobFailure {
+                        label: label(job),
+                        message,
+                        panicked: false,
+                    }),
+                    Err(payload) => Err(JobFailure {
+                        label: label(job),
+                        message: panic_message(payload),
+                        panicked: true,
+                    }),
+                };
+                let ok = outcome.is_ok();
+                *results[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(outcome);
+                per_worker[w].fetch_add(1, Ordering::Relaxed);
+                let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                if let Some(report) = progress {
+                    report(JobEvent {
+                        worker: w,
+                        index: i,
+                        label: &label(job),
+                        ok,
+                        completed: done,
+                        total: jobs.len(),
+                    });
+                }
+            });
+        }
+    });
+
+    let outcomes: Vec<JobOutcome<R>> = results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("every queued job produced an outcome")
+        })
+        .collect();
+    let stats = PoolStats {
+        failures: outcomes.iter().filter(|o| o.is_err()).count(),
+        per_worker: per_worker
+            .into_iter()
+            .map(AtomicUsize::into_inner)
+            .collect(),
+    };
+    (outcomes, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn double(j: &u64) -> Result<u64, String> {
+        match *j {
+            13 => Err("unlucky".into()),
+            99 => panic!("worker down"),
+            v => Ok(v * 2),
+        }
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let jobs: Vec<u64> = (0..64).collect();
+        let (outcomes, stats) = run_jobs(&jobs, 8, |j| j.to_string(), double, None);
+        assert_eq!(outcomes.len(), 64);
+        for (i, o) in outcomes.iter().enumerate() {
+            if i == 13 {
+                assert!(o.is_err());
+            } else {
+                assert_eq!(*o.as_ref().unwrap(), 2 * i as u64);
+            }
+        }
+        assert_eq!(stats.failures, 1);
+        assert_eq!(stats.total(), 64);
+        assert_eq!(stats.per_worker.len(), 8);
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_kill_the_run() {
+        let jobs: Vec<u64> = vec![1, 99, 3, 13, 5];
+        let (outcomes, stats) = run_jobs(&jobs, 2, |j| format!("job-{j}"), double, None);
+        assert_eq!(*outcomes[0].as_ref().unwrap(), 2);
+        assert_eq!(*outcomes[2].as_ref().unwrap(), 6);
+        assert_eq!(*outcomes[4].as_ref().unwrap(), 10);
+        let panic = outcomes[1].as_ref().unwrap_err();
+        assert!(panic.panicked);
+        assert_eq!(panic.label, "job-99");
+        assert_eq!(panic.message, "worker down");
+        let fail = outcomes[3].as_ref().unwrap_err();
+        assert!(!fail.panicked);
+        assert_eq!(fail.message, "unlucky");
+        assert_eq!(stats.failures, 2);
+    }
+
+    #[test]
+    fn single_worker_is_fully_serial() {
+        let jobs: Vec<u64> = (0..10).collect();
+        let (outcomes, stats) = run_jobs(&jobs, 1, |j| j.to_string(), double, None);
+        assert!(outcomes.iter().all(|o| o.is_ok()));
+        assert_eq!(stats.per_worker, vec![10]);
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_batch_size() {
+        let jobs: Vec<u64> = vec![1, 2];
+        let (_, stats) = run_jobs(&jobs, 64, |j| j.to_string(), double, None);
+        assert_eq!(stats.per_worker.len(), 2);
+        // Empty batch, zero workers: no hang, no panic.
+        let (outcomes, stats) = run_jobs(&[], 0, |j: &u64| j.to_string(), double, None);
+        assert!(outcomes.is_empty());
+        assert_eq!(stats.total(), 0);
+    }
+
+    #[test]
+    fn progress_events_cover_every_job() {
+        let jobs: Vec<u64> = (0..32).collect();
+        let seen = Mutex::new(Vec::new());
+        let report = |e: JobEvent<'_>| {
+            seen.lock().unwrap().push((e.index, e.ok));
+            assert_eq!(e.total, 32);
+            assert!(e.completed >= 1 && e.completed <= 32);
+        };
+        let (_, _) = run_jobs(&jobs, 4, |j| j.to_string(), double, Some(&report));
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort();
+        let expected: Vec<(usize, bool)> = (0..32).map(|i| (i, i != 13)).collect();
+        assert_eq!(seen, expected);
+    }
+}

@@ -1,0 +1,226 @@
+//! The persistent, resumable result store.
+//!
+//! One JSONL file (`results.jsonl`) under a results directory; one line
+//! per completed job:
+//!
+//! ```text
+//! {"v":1,"key":"<16-hex job key>","label":"401.bzip2/chrome","payload":{...}}
+//! ```
+//!
+//! The payload is an opaque [`Json`] value — the harness owns the
+//! [`RunResult`] encoding; the store owns keys, dedup, and durability.
+//! Records are appended and flushed as jobs complete, so an interrupted
+//! run resumes from its last finished job: on reopen, every recorded key
+//! is served from memory and never re-executed. Unparseable lines (e.g. a
+//! torn final write from a killed process) are counted and skipped, never
+//! fatal — the job simply reruns.
+//!
+//! [`RunResult`]: ../../wasmperf_harness/engine/struct.RunResult.html
+
+use crate::hash::{hex64, parse_hex64};
+use crate::json::Json;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+/// File name within the results directory.
+pub const STORE_FILE: &str = "results.jsonl";
+
+/// An open result store. See the module docs.
+pub struct ResultStore {
+    path: PathBuf,
+    file: File,
+    records: HashMap<u64, Json>,
+    loaded: usize,
+    skipped: usize,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) the store under `dir`, loading every
+    /// valid existing record.
+    pub fn open(dir: &Path) -> std::io::Result<ResultStore> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(STORE_FILE);
+        let mut records = HashMap::new();
+        let mut skipped = 0;
+        if path.exists() {
+            for line in BufReader::new(File::open(&path)?).lines() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match parse_record(&line) {
+                    Some((key, payload)) => {
+                        records.insert(key, payload);
+                    }
+                    None => skipped += 1,
+                }
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(ResultStore {
+            path,
+            file,
+            loaded: records.len(),
+            records,
+            skipped,
+        })
+    }
+
+    /// The JSONL file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The recorded payload for a job key, if present.
+    pub fn get(&self, key: u64) -> Option<&Json> {
+        self.records.get(&key)
+    }
+
+    /// Whether a job key has a recorded result.
+    pub fn contains(&self, key: u64) -> bool {
+        self.records.contains_key(&key)
+    }
+
+    /// Records a completed job and flushes it to disk. Recording a key
+    /// that is already present is a no-op (first result wins — results
+    /// are pure functions of the key, so any duplicate is identical).
+    pub fn record(&mut self, key: u64, label: &str, payload: Json) -> std::io::Result<()> {
+        if self.records.contains_key(&key) {
+            return Ok(());
+        }
+        let line = Json::Obj(vec![
+            ("v".into(), Json::u64(1)),
+            ("key".into(), Json::Str(hex64(key))),
+            ("label".into(), Json::Str(label.to_string())),
+            ("payload".into(), payload.clone()),
+        ])
+        .render();
+        writeln!(self.file, "{line}")?;
+        self.file.flush()?;
+        self.records.insert(key, payload);
+        Ok(())
+    }
+
+    /// Number of records currently held (loaded + newly recorded).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of records loaded from disk at open time.
+    pub fn loaded(&self) -> usize {
+        self.loaded
+    }
+
+    /// Number of malformed lines skipped at open time.
+    pub fn skipped(&self) -> usize {
+        self.skipped
+    }
+}
+
+fn parse_record(line: &str) -> Option<(u64, Json)> {
+    let v = Json::parse(line).ok()?;
+    if v.get("v").and_then(Json::as_u64) != Some(1) {
+        return None;
+    }
+    let key = parse_hex64(v.get("key")?.as_str()?)?;
+    let payload = v.get("payload")?.clone();
+    Some((key, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let dir =
+                std::env::temp_dir().join(format!("wasmperf-store-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            TempDir(dir)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn payload(n: u64) -> Json {
+        Json::Obj(vec![
+            ("checksum".into(), Json::u64(n)),
+            ("engine".into(), Json::Str("chrome".into())),
+        ])
+    }
+
+    #[test]
+    fn records_survive_reopen() {
+        let tmp = TempDir::new("reopen");
+        {
+            let mut store = ResultStore::open(&tmp.0).unwrap();
+            assert!(store.is_empty());
+            store.record(0xabc, "a/chrome", payload(1)).unwrap();
+            store.record(0xdef, "b/firefox", payload(2)).unwrap();
+            assert_eq!(store.len(), 2);
+            assert_eq!(store.loaded(), 0);
+        }
+        // "Process restart": a fresh handle on the same directory.
+        let store = ResultStore::open(&tmp.0).unwrap();
+        assert_eq!(store.loaded(), 2);
+        assert_eq!(store.get(0xabc), Some(&payload(1)));
+        assert_eq!(store.get(0xdef), Some(&payload(2)));
+        assert!(!store.contains(0x123));
+    }
+
+    #[test]
+    fn duplicate_records_are_dropped() {
+        let tmp = TempDir::new("dup");
+        let mut store = ResultStore::open(&tmp.0).unwrap();
+        store.record(7, "x", payload(1)).unwrap();
+        store.record(7, "x", payload(99)).unwrap();
+        assert_eq!(store.len(), 1);
+        // First write wins, and only one line hit the disk.
+        assert_eq!(store.get(7), Some(&payload(1)));
+        let text = std::fs::read_to_string(store.path()).unwrap();
+        assert_eq!(text.lines().count(), 1);
+    }
+
+    #[test]
+    fn torn_lines_are_skipped_not_fatal() {
+        let tmp = TempDir::new("torn");
+        {
+            let mut store = ResultStore::open(&tmp.0).unwrap();
+            store.record(1, "ok", payload(1)).unwrap();
+        }
+        // Simulate a torn write from a killed process.
+        let path = tmp.0.join(STORE_FILE);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        write!(f, "{{\"v\":1,\"key\":\"00000000000").unwrap();
+        drop(f);
+        let store = ResultStore::open(&tmp.0).unwrap();
+        assert_eq!(store.loaded(), 1);
+        assert_eq!(store.skipped(), 1);
+        assert!(store.contains(1));
+    }
+
+    #[test]
+    fn wrong_version_is_skipped() {
+        let tmp = TempDir::new("ver");
+        std::fs::create_dir_all(&tmp.0).unwrap();
+        std::fs::write(
+            tmp.0.join(STORE_FILE),
+            "{\"v\":2,\"key\":\"0000000000000001\",\"label\":\"x\",\"payload\":null}\n",
+        )
+        .unwrap();
+        let store = ResultStore::open(&tmp.0).unwrap();
+        assert_eq!(store.loaded(), 0);
+        assert_eq!(store.skipped(), 1);
+    }
+}

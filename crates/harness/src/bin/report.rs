@@ -1,12 +1,21 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! report [--size test|ref] [--trace DIR] [experiment ...]
+//! report [--size test|ref] [--jobs N] [--results DIR] [--trace DIR]
+//!        [--progress] [experiment ...]
 //! ```
 //!
 //! With no experiment arguments, everything is produced in paper order.
 //! Experiments: fig1 fig3a fig3b table1 table2 fig4 fig5 fig6 fig7 fig8
 //! fig9 fig10 table3 table4 overhead ablations.
+//!
+//! `--jobs N` runs benchmark×engine jobs on an N-worker farm. The output
+//! is byte-identical to a serial run — the farm's determinism guarantee
+//! (see docs/FARM.md).
+//!
+//! `--results DIR` records every completed job in `DIR/results.jsonl` and
+//! resumes from it: rerunning skips all recorded jobs and renders the
+//! identical report from the store.
 //!
 //! `--trace DIR` runs the observability demo: traced matmul runs (native
 //! and Chrome-JIT) and a traced SPEC-analog run, writing Chrome
@@ -16,12 +25,15 @@
 
 use wasmperf_benchsuite::Size;
 use wasmperf_harness::experiments as exp;
-use wasmperf_harness::Session;
+use wasmperf_harness::{Error, Session};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut size = Size::Ref;
+    let mut jobs: usize = 1;
+    let mut results_dir: Option<std::path::PathBuf> = None;
     let mut trace_dir: Option<std::path::PathBuf> = None;
+    let mut progress = false;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -34,6 +46,25 @@ fn main() {
                 }
                 trace_dir = Some(std::path::PathBuf::from(v));
             }
+            "--results" => {
+                let v = it.next().unwrap_or_default();
+                if v.is_empty() {
+                    eprintln!("--results needs a directory argument");
+                    std::process::exit(2);
+                }
+                results_dir = Some(std::path::PathBuf::from(v));
+            }
+            "--jobs" => {
+                let v = it.next().unwrap_or_default();
+                jobs = match v.parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("--jobs needs a worker count >= 1");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--progress" => progress = true,
             "--size" => {
                 let v = it.next().unwrap_or_default();
                 size = match v.as_str() {
@@ -47,7 +78,12 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: report [--size test|ref] [--trace DIR] [experiment ...]\n\
+                    "usage: report [--size test|ref] [--jobs N] [--results DIR]\n\
+                     \x20             [--trace DIR] [--progress] [experiment ...]\n\
+                     --jobs N       run benchmark jobs on an N-worker farm\n\
+                     \x20              (output is byte-identical to serial)\n\
+                     --results DIR  record/resume job results in DIR/results.jsonl\n\
+                     --progress     per-job progress lines on stderr\n\
                      experiments: fig1 fig3a fig3b table1 table2 fig4 fig5 fig6\n\
                      fig7 fig8 fig9 fig10 table3 table4 overhead ablations\n\
                      trace (observability demo; --trace DIR sets the output dir)\n\
@@ -86,15 +122,27 @@ fn main() {
         };
     }
 
-    let mut session = Session::new(size);
+    let mut session = Session::new(size).with_jobs(jobs);
+    if progress {
+        session = session.with_progress();
+    }
+    if let Some(dir) = &results_dir {
+        session = match session.with_results_dir(dir) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        };
+    }
     eprintln!(
-        "running {} experiment(s) at size {:?}...",
+        "running {} experiment(s) at size {:?} with {jobs} worker(s)...",
         wanted.len(),
         size
     );
     for w in &wanted {
         let t0 = std::time::Instant::now();
-        let out = match w.as_str() {
+        let out: Result<String, Error> = match w.as_str() {
             "fig1" => exp::fig1(&mut session),
             "fig3a" => exp::fig3a(&mut session),
             "fig3b" => exp::fig3b(&mut session),
@@ -110,22 +158,26 @@ fn main() {
                     Size::Test => vec![20, 40, 60],
                     Size::Ref => vec![20, 40, 60, 80, 100, 120, 140, 160, 180, 200],
                 };
-                exp::fig8(&sizes)
+                exp::fig8(&mut session, &sizes)
             }
             "fig9" => exp::fig9(&mut session),
             "fig10" => exp::fig10(&mut session),
-            "table3" => exp::table3(),
-            "dump-sources" => {
+            "table3" => Ok(exp::table3()),
+            "dump-sources" => (|| {
                 let dir = std::path::Path::new("programs");
-                std::fs::create_dir_all(dir).expect("create programs/");
+                let io_err = |e: std::io::Error| Error::Io {
+                    path: dir.display().to_string(),
+                    message: e.to_string(),
+                };
+                std::fs::create_dir_all(dir).map_err(io_err)?;
                 let mut listing = String::new();
                 for b in wasmperf_benchsuite::all(size) {
                     let fname = format!("{}.clite", b.name.replace('.', "_"));
-                    std::fs::write(dir.join(&fname), &b.source).expect("write source");
+                    std::fs::write(dir.join(&fname), &b.source).map_err(io_err)?;
                     listing.push_str(&format!("programs/{fname}\n"));
                 }
-                format!("wrote CLite sources:\n{listing}")
-            }
+                Ok(format!("wrote CLite sources:\n{listing}"))
+            })(),
             "trace" => {
                 let dir = trace_dir
                     .clone()
@@ -135,23 +187,32 @@ fn main() {
             "table4" => exp::table4(&mut session),
             "overhead" => exp::overhead(&mut session),
             "ablation-regs" => exp::ablation_reserved_regs(&mut session),
-            "ablations" => {
+            "ablations" => (|| {
                 let mut s = String::new();
-                s.push_str(&exp::ablation_browserfs(&session));
+                s.push_str(&exp::ablation_browserfs(&mut session)?);
                 s.push('\n');
-                s.push_str(&exp::ablation_safety_checks(&mut session));
+                s.push_str(&exp::ablation_safety_checks(&mut session)?);
                 s.push('\n');
-                s.push_str(&exp::ablation_reserved_regs(&mut session));
+                s.push_str(&exp::ablation_reserved_regs(&mut session)?);
                 s.push('\n');
-                s.push_str(&exp::ablation_native_codegen(&mut session));
-                s
-            }
+                s.push_str(&exp::ablation_native_codegen(&mut session)?);
+                Ok(s)
+            })(),
             other => {
                 eprintln!("unknown experiment `{other}` (see --help)");
                 std::process::exit(2);
             }
         };
-        println!("{out}");
-        eprintln!("[{w} done in {:.1}s]", t0.elapsed().as_secs_f64());
+        match out {
+            Ok(out) => {
+                println!("{out}");
+                eprintln!("[{w} done in {:.1}s]", t0.elapsed().as_secs_f64());
+            }
+            Err(e) => {
+                eprintln!("error in {w}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
+    eprintln!("{}", session.farm_summary());
 }

@@ -1,12 +1,28 @@
-//! Engines under test and the single-run entry point.
+//! Engines under test, the compile/execute split, and the single-run
+//! entry points.
+//!
+//! Compilation and execution are separate stages so the farm's
+//! content-addressed artifact cache can share one compiled [`Artifact`]
+//! across every trial, append policy, and experiment that needs it:
+//!
+//! - [`prepare`] compiles a benchmark for an engine (cir → clanglite, or
+//!   cir → emcc → wasmjit) and returns the artifact;
+//! - [`execute`] stages inputs into a fresh Browsix kernel and runs an
+//!   artifact, producing a [`RunResult`];
+//! - [`run_one`] / [`run_one_traced`] glue the two together for callers
+//!   that don't cache.
 
-use std::time::Instant;
 use wasmperf_benchsuite::Benchmark;
 use wasmperf_browsix::{AppendPolicy, Kernel};
+use wasmperf_cir::hir::HProgram;
 use wasmperf_clanglite::CompileOptions;
 use wasmperf_cpu::{Machine, PerfCounters};
+use wasmperf_farm::hash::fnv1a;
+use wasmperf_isa::Module;
 use wasmperf_trace::{SpanLog, StraceLog, SymbolMap, TraceConfig, TraceSession};
 use wasmperf_wasmjit::{EngineProfile, Tier};
+
+use crate::error::Error;
 
 /// An execution engine (compiler pipeline + runtime conventions).
 #[derive(Debug, Clone, PartialEq)]
@@ -27,6 +43,16 @@ impl Engine {
             Engine::NativeWith(_) => "native-custom".to_string(),
             Engine::Jit(p) => p.name.clone(),
         }
+    }
+
+    /// A stable hash of the **full** engine configuration — register
+    /// pools, tier, safety checks, compile options — used as the
+    /// artifact-cache key component. Two profiles that differ in any
+    /// knob (even sharing a display name) fingerprint differently.
+    pub fn fingerprint(&self) -> u64 {
+        // Engine (and everything inside it) derives a total Debug
+        // representation; FNV over it is stable across processes.
+        fnv1a(format!("{self:?}").as_bytes())
     }
 
     /// The paper's engine set for the headline SPEC comparison.
@@ -71,7 +97,7 @@ impl Engine {
 }
 
 /// Result of one (benchmark, engine) execution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Benchmark name.
     pub bench: String,
@@ -85,43 +111,58 @@ pub struct RunResult {
     pub kernel_syscalls: u64,
     /// Output file contents, for cross-engine `cmp` validation.
     pub outputs: Vec<(String, Vec<u8>)>,
-    /// Host-measured compile time in seconds (Table 2).
-    pub compile_seconds: f64,
+    /// Modeled compile cost in cycles (Table 2); see [`Artifact`].
+    pub compile_cycles: u64,
     /// Emitted machine-code bytes.
     pub code_bytes: u64,
 }
 
+/// A compiled, executable build of one benchmark on one engine.
+///
+/// This is the unit the farm's content-addressed cache shares (behind an
+/// `Arc`): immutable once built, reusable by any number of concurrent
+/// executions.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// The executable x86-64 module.
+    pub module: Module,
+    /// Per-function wasm instruction texts (JIT pipeline only), for
+    /// trace symbolization.
+    pub func_texts: Vec<Vec<String>>,
+    /// Modeled compile cost in cycles (see below).
+    pub compile_cycles: u64,
+}
+
+/// Modeled AOT compile cost per emitted code byte. The clanglite
+/// pipeline runs graph-coloring allocation, unrolling, and fusion — the
+/// slow, thorough path (paper Table 2: tens of seconds for SPEC).
+const NATIVE_COMPILE_CYCLES_PER_BYTE: u64 = 60_000;
+
+/// Modeled JIT compile cost per emitted code byte: single pass, linear
+/// scan — roughly 15× cheaper than the AOT pipeline, matching Table 2's
+/// contrast. The model is deterministic (a pure function of the emitted
+/// module) so compile-time tables are byte-reproducible and resumable,
+/// where the previous wall-clock measurement changed on every run.
+const JIT_COMPILE_CYCLES_PER_BYTE: u64 = 4_000;
+
 /// Execution fuel: generous; runs are bounded by workload size.
 const FUEL: u64 = 20_000_000_000;
 
-/// Compiles and runs `bench` on `engine`, with inputs staged in a fresh
-/// Browsix kernel using the given append policy.
-pub fn run_one(
-    bench: &Benchmark,
-    engine: &Engine,
-    policy: AppendPolicy,
-) -> Result<RunResult, String> {
-    run_one_traced(bench, engine, policy, TraceConfig::off()).map(|(r, _)| r)
+/// Compiles `bench` for `engine`.
+pub fn prepare(bench: &Benchmark, engine: &Engine) -> Result<Artifact, Error> {
+    prepare_traced(bench, engine, None).map(|(a, _)| a)
 }
 
-/// [`run_one`] with observability: per the config, attributes cycles to
-/// instruction addresses, records every Browsix syscall, and wraps compile
-/// stages and execution in wall-clock spans.
-///
-/// Tracing is observation-only: the returned [`RunResult`] is identical to
-/// an untraced run's, counter for counter and byte for byte. With
-/// [`TraceConfig::off`] no [`TraceSession`] is returned and no collection
-/// work happens.
-pub fn run_one_traced(
+/// [`prepare`] with optional compile-stage spans, also returning the HIR
+/// program (needed to symbolize traces).
+pub fn prepare_traced(
     bench: &Benchmark,
     engine: &Engine,
-    policy: AppendPolicy,
-    config: TraceConfig,
-) -> Result<(RunResult, Option<TraceSession>), String> {
-    let mut spans = if config.spans {
-        Some(SpanLog::new())
-    } else {
-        None
+    mut spans: Option<&mut SpanLog>,
+) -> Result<(Artifact, HProgram), Error> {
+    let compile_err = |message: String| Error::Compile {
+        bench: bench.name.to_string(),
+        message,
     };
 
     let prog = match spans.as_mut() {
@@ -130,11 +171,9 @@ pub fn run_one_traced(
         }),
         None => wasmperf_cir::compile(&bench.source),
     }
-    .map_err(|e| format!("{}: {e}", bench.name))?;
+    .map_err(compile_err)?;
 
-    // `func_texts` is non-empty only for the JIT pipeline: per-function wat
-    // texts indexed by the source tags on the emitted machine code.
-    let (module, compile_seconds, func_texts) = match engine {
+    let artifact = match engine {
         Engine::Native | Engine::NativeWith(_) => {
             let default_opts;
             let opts = match engine {
@@ -144,35 +183,86 @@ pub fn run_one_traced(
                     &default_opts
                 }
             };
-            let t0 = Instant::now();
-            let m = wasmperf_clanglite::compile_traced(&prog, opts, spans.as_mut());
-            (m, t0.elapsed().as_secs_f64(), Vec::new())
+            let module = wasmperf_clanglite::compile_traced(&prog, opts, spans.as_deref_mut());
+            let compile_cycles = NATIVE_COMPILE_CYCLES_PER_BYTE * module.code_bytes();
+            Artifact {
+                module,
+                func_texts: Vec::new(),
+                compile_cycles,
+            }
         }
         Engine::Jit(profile) => {
-            // The wasm module ships to the browser; only JIT time counts
-            // (the paper measures Chrome's compile time, not Emscripten's).
+            // The wasm module ships to the browser; only JIT cost counts
+            // (the paper measures Chrome's compile time, not
+            // Emscripten's).
             let wasm = match spans.as_mut() {
                 Some(log) => log.scope("compile", "emcc/compile", || wasmperf_emcc::compile(&prog)),
                 None => wasmperf_emcc::compile(&prog),
             };
-            wasmperf_wasm::validate(&wasm).map_err(|e| format!("{}: {e}", bench.name))?;
-            let t0 = Instant::now();
+            wasmperf_wasm::validate(&wasm).map_err(|e| compile_err(format!("{e:?}")))?;
             let out = match spans.as_mut() {
                 Some(log) => log.scope("compile", "wasmjit/compile", || {
                     wasmperf_wasmjit::compile(&wasm, profile)
                 }),
                 None => wasmperf_wasmjit::compile(&wasm, profile),
             }
-            .map_err(|e| format!("{}: {e}", bench.name))?;
-            (out.module, t0.elapsed().as_secs_f64(), out.func_texts)
+            .map_err(compile_err)?;
+            let compile_cycles = JIT_COMPILE_CYCLES_PER_BYTE * out.module.code_bytes();
+            Artifact {
+                module: out.module,
+                func_texts: out.func_texts,
+                compile_cycles,
+            }
         }
     };
+    Ok((artifact, prog))
+}
 
+/// Runs a compiled artifact: stages inputs into a fresh Browsix kernel,
+/// executes, and collects counters and output files.
+pub fn execute(
+    bench: &Benchmark,
+    engine: &Engine,
+    artifact: &Artifact,
+    policy: AppendPolicy,
+) -> Result<RunResult, Error> {
+    execute_traced(
+        bench,
+        engine,
+        artifact,
+        None,
+        policy,
+        TraceConfig::off(),
+        None,
+    )
+    .map(|(r, _)| r)
+}
+
+/// [`execute`] with observability; `prog` is required only when
+/// `config.profile` asks for source-line symbolization.
+pub fn execute_traced(
+    bench: &Benchmark,
+    engine: &Engine,
+    artifact: &Artifact,
+    prog: Option<&HProgram>,
+    policy: AppendPolicy,
+    config: TraceConfig,
+    mut spans: Option<SpanLog>,
+) -> Result<(RunResult, Option<TraceSession>), Error> {
+    let exec_err = |message: String| Error::Exec {
+        bench: bench.name.to_string(),
+        engine: engine.name(),
+        message,
+    };
+
+    let module = &artifact.module;
     let symbols = if config.profile {
-        let mut s = SymbolMap::from_module(&module);
-        s.attach_source(&wasmperf_clanglite::source_table(&prog));
-        if !func_texts.is_empty() {
-            s.attach_wasm_texts(&module, &func_texts);
+        let mut s = SymbolMap::from_module(module);
+        if let Some(prog) = prog {
+            s.attach_source(&wasmperf_clanglite::source_table(prog));
+        }
+        if !artifact.func_texts.is_empty() {
+            s.attach_wasm_texts(module, &artifact.func_texts);
         }
         Some(s)
     } else {
@@ -187,20 +277,18 @@ pub fn run_one_traced(
         kernel
             .fs
             .write_all(path, data)
-            .map_err(|e| format!("{}: staging {path}: {e:?}", bench.name))?;
+            .map_err(|e| exec_err(format!("staging {path}: {e:?}")))?;
     }
 
-    let entry = module
-        .entry
-        .ok_or_else(|| format!("{}: no main", bench.name))?;
-    let mut machine = Machine::new(&module, kernel);
+    let entry = module.entry.ok_or_else(|| exec_err("no main".into()))?;
+    let mut machine = Machine::new(module, kernel);
     if config.profile {
         machine.enable_profile();
     }
     let open = spans.as_ref().map(SpanLog::enter);
     let out = machine
         .run(entry, &[], FUEL)
-        .map_err(|e| format!("{} on {}: {e}", bench.name, engine.name()))?;
+        .map_err(|e| exec_err(format!("{e:?}")))?;
     if let (Some(log), Some(open)) = (spans.as_mut(), open) {
         log.exit(open, "exec", "run");
     }
@@ -212,7 +300,7 @@ pub fn run_one_traced(
         let data = kernel
             .fs
             .read_all(path)
-            .map_err(|e| format!("{}: output {path}: {e:?}", bench.name))?;
+            .map_err(|e| exec_err(format!("output {path}: {e:?}")))?;
         outputs.push((path.clone(), data));
     }
 
@@ -223,7 +311,7 @@ pub fn run_one_traced(
         counters: out.counters,
         kernel_syscalls: kernel.stats.syscalls,
         outputs,
-        compile_seconds,
+        compile_cycles: artifact.compile_cycles,
         code_bytes: module.code_bytes(),
     };
 
@@ -252,6 +340,40 @@ pub fn run_one_traced(
     Ok((result, trace))
 }
 
+/// Compiles and runs `bench` on `engine`, with inputs staged in a fresh
+/// Browsix kernel using the given append policy. Uncached — the farm
+/// path ([`crate::Session`]) shares compiled artifacts instead.
+pub fn run_one(
+    bench: &Benchmark,
+    engine: &Engine,
+    policy: AppendPolicy,
+) -> Result<RunResult, Error> {
+    run_one_traced(bench, engine, policy, TraceConfig::off()).map(|(r, _)| r)
+}
+
+/// [`run_one`] with observability: per the config, attributes cycles to
+/// instruction addresses, records every Browsix syscall, and wraps compile
+/// stages and execution in wall-clock spans.
+///
+/// Tracing is observation-only: the returned [`RunResult`] is identical to
+/// an untraced run's, counter for counter and byte for byte. With
+/// [`TraceConfig::off`] no [`TraceSession`] is returned and no collection
+/// work happens.
+pub fn run_one_traced(
+    bench: &Benchmark,
+    engine: &Engine,
+    policy: AppendPolicy,
+    config: TraceConfig,
+) -> Result<(RunResult, Option<TraceSession>), Error> {
+    let mut spans = if config.spans {
+        Some(SpanLog::new())
+    } else {
+        None
+    };
+    let (artifact, prog) = prepare_traced(bench, engine, spans.as_mut())?;
+    execute_traced(bench, engine, &artifact, Some(&prog), policy, config, spans)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,14 +394,41 @@ mod tests {
     }
 
     #[test]
-    fn one_io_benchmark_runs_on_all_headline_engines() {
+    fn fingerprints_distinguish_every_configuration() {
+        let mut engines: Vec<Engine> = Engine::headline();
+        engines.extend(Engine::asmjs_set());
+        for (_, vintage) in Engine::vintages() {
+            engines.extend(vintage);
+        }
+        engines.push(Engine::NativeWith(CompileOptions {
+            unroll: false,
+            ..CompileOptions::default()
+        }));
+        engines.push(Engine::Jit(EngineProfile {
+            stack_check: false,
+            ..EngineProfile::chrome()
+        }));
+        let mut prints: Vec<u64> = engines.iter().map(Engine::fingerprint).collect();
+        let before = prints.len();
+        prints.sort();
+        prints.dedup();
+        // headline ∩ asmjs_set ∩ vintages share chrome/firefox at Y2019
+        // (identical configurations fingerprint identically); everything
+        // configured differently must differ.
+        assert_eq!(prints.len(), before - 2, "{engines:?}");
+        // Determinism: same configuration, same fingerprint.
+        assert_eq!(Engine::Native.fingerprint(), Engine::Native.fingerprint());
+    }
+
+    #[test]
+    fn one_io_benchmark_runs_on_all_headline_engines() -> Result<(), Error> {
         let b = spec::all(Size::Test)
             .into_iter()
             .find(|b| b.name == "401.bzip2")
             .unwrap();
         let mut checksums = Vec::new();
         for e in Engine::headline() {
-            let r = run_one(&b, &e, AppendPolicy::Chunked4K).expect("runs");
+            let r = run_one(&b, &e, AppendPolicy::Chunked4K)?;
             assert!(r.counters.instructions_retired > 0);
             assert!(r.kernel_syscalls > 0);
             assert!(!r.outputs[0].1.is_empty());
@@ -289,5 +438,38 @@ mod tests {
         for w in checksums.windows(2) {
             assert_eq!(w[0], w[1]);
         }
+        Ok(())
+    }
+
+    #[test]
+    fn prepare_execute_split_matches_run_one() -> Result<(), Error> {
+        let b = spec::all(Size::Test)
+            .into_iter()
+            .find(|b| b.name == "401.bzip2")
+            .unwrap();
+        let e = Engine::Jit(EngineProfile::chrome());
+        let artifact = prepare(&b, &e)?;
+        assert!(artifact.compile_cycles > 0);
+        let split = execute(&b, &e, &artifact, AppendPolicy::Chunked4K)?;
+        let fused = run_one(&b, &e, AppendPolicy::Chunked4K)?;
+        assert_eq!(split, fused);
+        // The artifact is reusable: a second execution is identical.
+        let again = execute(&b, &e, &artifact, AppendPolicy::Chunked4K)?;
+        assert_eq!(split, again);
+        Ok(())
+    }
+
+    #[test]
+    fn compile_cost_model_contrasts_aot_and_jit() -> Result<(), Error> {
+        let b = spec::all(Size::Test)
+            .into_iter()
+            .find(|b| b.name == "401.bzip2")
+            .unwrap();
+        let native = prepare(&b, &Engine::Native)?;
+        let jit = prepare(&b, &Engine::Jit(EngineProfile::chrome()))?;
+        // Table 2's shape: the AOT pipeline is far more expensive than
+        // the JIT, even though the JIT emits more code.
+        assert!(native.compile_cycles > 3 * jit.compile_cycles);
+        Ok(())
     }
 }

@@ -1,0 +1,129 @@
+//! The harness error type.
+//!
+//! The hot path (compile → stage → execute → validate) used to be a chain
+//! of `expect("runs")`/`expect("compiles")` panics; one bad benchmark
+//! killed a whole report run. Every stage now surfaces a structured
+//! [`Error`] instead, and the farm carries them through per-job failure
+//! reporting: a failed or panicked job produces an [`Error::Job`] naming
+//! the job, while the rest of the batch completes.
+
+use std::fmt;
+
+/// Anything that can go wrong producing or validating a run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Frontend or backend compilation failed.
+    Compile {
+        /// Benchmark name.
+        bench: String,
+        /// Pipeline stage and message.
+        message: String,
+    },
+    /// Staging inputs, executing, or reading outputs failed.
+    Exec {
+        /// Benchmark name.
+        bench: String,
+        /// Engine name.
+        engine: String,
+        /// What happened.
+        message: String,
+    },
+    /// A benchmark name not present in the session's registry.
+    MissingBenchmark {
+        /// The unknown name.
+        name: String,
+    },
+    /// Cross-engine validation (the `cmp` step) found a disagreement.
+    Mismatch {
+        /// Benchmark name.
+        bench: String,
+        /// The two engines that disagree.
+        engines: (String, String),
+        /// Which artifact disagreed (checksum, output files).
+        what: String,
+    },
+    /// An experiment-level invariant did not hold.
+    Invariant {
+        /// What was violated.
+        message: String,
+    },
+    /// A farm job failed or panicked; the farm's per-job failure report.
+    Job {
+        /// The job's `bench/engine` label.
+        label: String,
+        /// Error message or panic payload.
+        message: String,
+        /// True if the job panicked rather than returning an error.
+        panicked: bool,
+        /// How many other jobs in the same batch also failed.
+        other_failures: usize,
+    },
+    /// The result store or a report artifact could not be read/written.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error.
+        message: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Compile { bench, message } => write!(f, "{bench}: compile: {message}"),
+            Error::Exec {
+                bench,
+                engine,
+                message,
+            } => write!(f, "{bench} on {engine}: {message}"),
+            Error::MissingBenchmark { name } => write!(f, "unknown benchmark {name}"),
+            Error::Mismatch {
+                bench,
+                engines: (a, b),
+                what,
+            } => write!(f, "{bench}: {what} mismatch between {a} and {b}"),
+            Error::Invariant { message } => write!(f, "invariant violated: {message}"),
+            Error::Job {
+                label,
+                message,
+                panicked,
+                other_failures,
+            } => {
+                let kind = if *panicked { "panicked" } else { "failed" };
+                write!(f, "job {label} {kind}: {message}")?;
+                if *other_failures > 0 {
+                    write!(f, " (+{other_failures} more failed job(s) in this batch)")?;
+                }
+                Ok(())
+            }
+            Error::Io { path, message } => write!(f, "{path}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::Job {
+            label: "401.bzip2/chrome".into(),
+            message: "no main".into(),
+            panicked: true,
+            other_failures: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("401.bzip2/chrome"), "{s}");
+        assert!(s.contains("panicked"), "{s}");
+        assert!(s.contains("+2 more"), "{s}");
+        let m = Error::Mismatch {
+            bench: "gemm".into(),
+            engines: ("native".into(), "chrome".into()),
+            what: "checksum".into(),
+        };
+        assert!(m.to_string().contains("checksum mismatch"), "{m}");
+    }
+}

@@ -1,11 +1,19 @@
 //! One function per paper table/figure, plus the ablations.
 //!
 //! Each experiment consumes a [`Session`] (results are cached across
-//! experiments) and returns a rendered report section. EXPERIMENTS.md in
-//! the repository root records the paper-vs-measured comparison produced
-//! by running them all at `Size::Ref`.
+//! experiments) and returns a rendered report section, or a structured
+//! [`Error`] naming the job that failed. Experiments follow the farm's
+//! two-phase shape: **declare** the whole (benchmark × engine) batch up
+//! front — so a `--jobs N` session spreads it across N workers and the
+//! artifact cache compiles each pair exactly once — then **render**
+//! serially from the session's result cache. Rendering never blocks on
+//! execution order, which is why the output is byte-identical at any
+//! worker count. EXPERIMENTS.md in the repository root records the
+//! paper-vs-measured comparison produced by running them all at
+//! `Size::Ref`.
 
-use crate::engine::{run_one, Engine};
+use crate::engine::Engine;
+use crate::error::Error;
 use crate::render::{pm, ratio, table};
 use crate::session::Session;
 use crate::stats::{geomean, mean, median, noisy_trials, stderr};
@@ -30,16 +38,21 @@ fn firefox() -> Engine {
 
 /// Figure 1: number of PolyBenchC benchmarks within 1.1x/1.5x/2x/2.5x of
 /// native, per engine vintage (best of Chrome/Firefox per kernel).
-pub fn fig1(s: &mut Session) -> String {
+pub fn fig1(s: &mut Session) -> Result<String, Error> {
     let kernels = s.polybench_names();
+    let mut all_engines = vec![Engine::Native];
+    for (_, engines) in Engine::vintages() {
+        all_engines.extend(engines);
+    }
+    s.ensure(&kernels, &all_engines)?;
     let mut rows = Vec::new();
     for (year, engines) in Engine::vintages() {
         let mut counts = [0u32; 4];
         for k in &kernels {
-            let best = engines
-                .iter()
-                .map(|e| s.slowdown(k, e))
-                .fold(f64::INFINITY, f64::min);
+            let mut best = f64::INFINITY;
+            for e in &engines {
+                best = best.min(s.slowdown(k, e)?);
+            }
             for (i, bound) in [1.1, 1.5, 2.0, 2.5].iter().enumerate() {
                 if best < *bound {
                     counts[i] += 1;
@@ -54,20 +67,21 @@ pub fn fig1(s: &mut Session) -> String {
             counts[3].to_string(),
         ]);
     }
-    table(
+    Ok(table(
         "Figure 1: # PolyBenchC kernels within Nx of native (best browser, by JIT vintage)",
         &["vintage", "<1.1x", "<1.5x", "<2x", "<2.5x"],
         &rows,
-    )
+    ))
 }
 
-fn relative_time_figure(s: &mut Session, names: &[String], title: &str) -> String {
+fn relative_time_figure(s: &mut Session, names: &[String], title: &str) -> Result<String, Error> {
+    s.ensure(names, &[Engine::Native, chrome(), firefox()])?;
     let mut rows = Vec::new();
     let mut ch = Vec::new();
     let mut fx = Vec::new();
     for name in names {
-        let c = s.slowdown(name, &chrome());
-        let f = s.slowdown(name, &firefox());
+        let c = s.slowdown(name, &chrome())?;
+        let f = s.slowdown(name, &firefox())?;
         ch.push(c);
         fx.push(f);
         rows.push(vec![name.clone(), ratio(c), ratio(f)]);
@@ -77,11 +91,11 @@ fn relative_time_figure(s: &mut Session, names: &[String], title: &str) -> Strin
         ratio(geomean(&ch)),
         ratio(geomean(&fx)),
     ]);
-    table(title, &["benchmark", "chrome", "firefox"], &rows)
+    Ok(table(title, &["benchmark", "chrome", "firefox"], &rows))
 }
 
 /// Figure 3a: PolyBenchC relative execution time (native = 1.0).
-pub fn fig3a(s: &mut Session) -> String {
+pub fn fig3a(s: &mut Session) -> Result<String, Error> {
     let names = s.polybench_names();
     relative_time_figure(
         s,
@@ -91,7 +105,7 @@ pub fn fig3a(s: &mut Session) -> String {
 }
 
 /// Figure 3b: SPEC relative execution time (native = 1.0).
-pub fn fig3b(s: &mut Session) -> String {
+pub fn fig3b(s: &mut Session) -> Result<String, Error> {
     let names = s.spec_names();
     relative_time_figure(
         s,
@@ -101,21 +115,24 @@ pub fn fig3b(s: &mut Session) -> String {
 }
 
 /// Table 1: absolute SPEC execution times (seconds, mean ± stderr of 5
-/// runs) and the geomean/median slowdowns.
-pub fn table1(s: &mut Session) -> String {
+/// runs) and the geomean/median slowdowns. Noise seeds are keyed by the
+/// job spec (benchmark content × engine config), never by loop index or
+/// execution order, so the ± columns are identical at any `--jobs N`.
+pub fn table1(s: &mut Session) -> Result<String, Error> {
     let names = s.spec_names();
+    s.ensure(&names, &[Engine::Native, chrome(), firefox()])?;
     let mut rows = Vec::new();
     let mut ch = Vec::new();
     let mut fx = Vec::new();
-    for (i, name) in names.iter().enumerate() {
-        let seconds = |s: &mut Session, e: &Engine, salt: u64| {
-            let t = s.run(name, e).counters.total_cycles() as f64 / FREQ_HZ;
-            let trials = noisy_trials(t, TRIALS, (i as u64) << 8 | salt);
-            (mean(&trials), stderr(&trials))
+    for name in names.iter() {
+        let seconds = |s: &mut Session, e: &Engine| -> Result<(f64, f64), Error> {
+            let t = s.run(name, e)?.counters.total_cycles() as f64 / FREQ_HZ;
+            let trials = noisy_trials(t, TRIALS, s.noise_seed(name, e, 1)?);
+            Ok((mean(&trials), stderr(&trials)))
         };
-        let (nt, ne) = seconds(s, &Engine::Native, 1);
-        let (ct, ce) = seconds(s, &chrome(), 2);
-        let (ft, fe) = seconds(s, &firefox(), 3);
+        let (nt, ne) = seconds(s, &Engine::Native)?;
+        let (ct, ce) = seconds(s, &chrome())?;
+        let (ft, fe) = seconds(s, &firefox())?;
         ch.push(ct / nt);
         fx.push(ft / nt);
         rows.push(vec![name.clone(), pm(nt, ne), pm(ct, ce), pm(ft, fe)]);
@@ -132,67 +149,56 @@ pub fn table1(s: &mut Session) -> String {
         ratio(median(&ch)),
         ratio(median(&fx)),
     ]);
-    table(
+    Ok(table(
         "Table 1: SPEC execution times (seconds, mean ± stderr of 5 runs)",
         &["benchmark", "native", "chrome", "firefox"],
         &rows,
-    )
+    ))
 }
 
 /// Table 2: compile times — clanglite (AOT, graph coloring, unrolling)
-/// vs the Chrome JIT (single pass, linear scan). Real wall-clock of this
-/// host, mean ± stderr of 5 actual compilations.
-pub fn table2(s: &mut Session) -> String {
+/// vs the Chrome JIT (single pass, linear scan), from the deterministic
+/// compile-cost model (`RunResult::compile_cycles`). The costs ride the
+/// same cached/stored results as every other column, so the table is
+/// byte-stable, resumable, and never triggers a recompile.
+pub fn table2(s: &mut Session) -> Result<String, Error> {
     let names = s.spec_names();
+    s.ensure(&names, &[Engine::Native, chrome()])?;
     let mut rows = Vec::new();
     for name in &names {
-        let b = s.bench(name).clone();
-        let prog = wasmperf_cir::compile(&b.source).expect("compiles");
-        let time_native: Vec<f64> = (0..TRIALS)
-            .map(|_| {
-                let t0 = std::time::Instant::now();
-                let m = wasmperf_clanglite::compile(&prog, &CompileOptions::default());
-                std::hint::black_box(&m);
-                t0.elapsed().as_secs_f64()
-            })
-            .collect();
-        let wasm = wasmperf_emcc::compile(&prog);
-        let profile = EngineProfile::chrome();
-        let time_jit: Vec<f64> = (0..TRIALS)
-            .map(|_| {
-                let t0 = std::time::Instant::now();
-                let m = wasmperf_wasmjit::compile(&wasm, &profile).expect("jit");
-                std::hint::black_box(&m);
-                t0.elapsed().as_secs_f64()
-            })
-            .collect();
-        rows.push(vec![
-            name.clone(),
-            pm(mean(&time_native) * 1e3, stderr(&time_native) * 1e3),
-            pm(mean(&time_jit) * 1e3, stderr(&time_jit) * 1e3),
-        ]);
+        let ms = |s: &mut Session, e: &Engine| -> Result<(f64, f64), Error> {
+            let cycles = s.run(name, e)?.compile_cycles;
+            let t = cycles as f64 / FREQ_HZ * 1e3;
+            let trials = noisy_trials(t, TRIALS, s.noise_seed(name, e, 2)?);
+            Ok((mean(&trials), stderr(&trials)))
+        };
+        let (nt, ne) = ms(s, &Engine::Native)?;
+        let (jt, je) = ms(s, &chrome())?;
+        rows.push(vec![name.clone(), pm(nt, ne), pm(jt, je)]);
     }
-    table(
-        "Table 2: compile times (milliseconds on this host, mean ± stderr of 5 runs)",
+    Ok(table(
+        "Table 2: compile times (modeled milliseconds, mean ± stderr of 5 runs)",
         &["benchmark", "clanglite (AOT)", "chrome JIT"],
         &rows,
-    )
+    ))
 }
 
 /// Figure 4: percentage of total time spent in the Browsix kernel
 /// (Firefox runs, as in the paper).
-pub fn fig4(s: &mut Session) -> String {
+pub fn fig4(s: &mut Session) -> Result<String, Error> {
     let names = s.spec_names();
+    s.ensure(&names, &[firefox()])?;
     let mut rows = Vec::new();
     let mut percents = Vec::new();
     for name in &names {
-        let r = s.run(name, &firefox());
+        let r = s.run(name, &firefox())?;
         let pct = r.counters.host_time_percent();
+        let syscalls = r.kernel_syscalls;
         percents.push(pct);
         rows.push(vec![
             name.clone(),
             format!("{pct:.2}%"),
-            r.kernel_syscalls.to_string(),
+            syscalls.to_string(),
         ]);
     }
     rows.push(vec![
@@ -200,27 +206,34 @@ pub fn fig4(s: &mut Session) -> String {
         format!("{:.2}%", mean(&percents)),
         "-".to_string(),
     ]);
-    table(
+    Ok(table(
         "Figure 4: time spent in BROWSIX-WASM syscalls (Firefox)",
         &["benchmark", "% of total time", "syscalls"],
         &rows,
-    )
+    ))
 }
 
 /// Figure 5: asm.js execution time relative to WebAssembly, per browser.
-pub fn fig5(s: &mut Session) -> String {
+pub fn fig5(s: &mut Session) -> Result<String, Error> {
     let names = s.spec_names();
+    let engines = [
+        chrome(),
+        firefox(),
+        Engine::Jit(EngineProfile::chrome_asmjs()),
+        Engine::Jit(EngineProfile::firefox_asmjs()),
+    ];
+    s.ensure(&names, &engines)?;
     let mut rows = Vec::new();
     let (mut ch, mut fx) = (Vec::new(), Vec::new());
     for name in &names {
-        let cw = s.run(name, &chrome()).counters.total_cycles() as f64;
+        let cw = s.run(name, &chrome())?.counters.total_cycles() as f64;
         let ca = s
-            .run(name, &Engine::Jit(EngineProfile::chrome_asmjs()))
+            .run(name, &Engine::Jit(EngineProfile::chrome_asmjs()))?
             .counters
             .total_cycles() as f64;
-        let fw = s.run(name, &firefox()).counters.total_cycles() as f64;
+        let fw = s.run(name, &firefox())?.counters.total_cycles() as f64;
         let fa = s
-            .run(name, &Engine::Jit(EngineProfile::firefox_asmjs()))
+            .run(name, &Engine::Jit(EngineProfile::firefox_asmjs()))?
             .counters
             .total_cycles() as f64;
         ch.push(ca / cw);
@@ -232,44 +245,51 @@ pub fn fig5(s: &mut Session) -> String {
         ratio(geomean(&ch)),
         ratio(geomean(&fx)),
     ]);
-    table(
+    Ok(table(
         "Figure 5: asm.js time relative to WebAssembly (wasm = 1.0)",
         &["benchmark", "chrome", "firefox"],
         &rows,
-    )
+    ))
 }
 
 /// Figure 6: best asm.js time relative to best WebAssembly time.
-pub fn fig6(s: &mut Session) -> String {
+pub fn fig6(s: &mut Session) -> Result<String, Error> {
     let names = s.spec_names();
+    let wasm_engines = [chrome(), firefox()];
+    let asm_engines = [
+        Engine::Jit(EngineProfile::chrome_asmjs()),
+        Engine::Jit(EngineProfile::firefox_asmjs()),
+    ];
+    s.ensure(
+        &names,
+        &[wasm_engines.as_slice(), asm_engines.as_slice()].concat(),
+    )?;
     let mut rows = Vec::new();
     let mut ratios = Vec::new();
     for name in &names {
-        let wasm_best = [chrome(), firefox()]
-            .iter()
-            .map(|e| s.run(name, e).counters.total_cycles() as f64)
-            .fold(f64::INFINITY, f64::min);
-        let asm_best = [
-            Engine::Jit(EngineProfile::chrome_asmjs()),
-            Engine::Jit(EngineProfile::firefox_asmjs()),
-        ]
-        .iter()
-        .map(|e| s.run(name, e).counters.total_cycles() as f64)
-        .fold(f64::INFINITY, f64::min);
+        let mut best = |engines: &[Engine]| -> Result<f64, Error> {
+            let mut b = f64::INFINITY;
+            for e in engines {
+                b = b.min(s.run(name, e)?.counters.total_cycles() as f64);
+            }
+            Ok(b)
+        };
+        let wasm_best = best(&wasm_engines)?;
+        let asm_best = best(&asm_engines)?;
         ratios.push(asm_best / wasm_best);
         rows.push(vec![name.clone(), ratio(asm_best / wasm_best)]);
     }
     rows.push(vec!["geomean".to_string(), ratio(geomean(&ratios))]);
-    table(
+    Ok(table(
         "Figure 6: best asm.js relative to best WebAssembly",
         &["benchmark", "best-asm.js / best-wasm"],
         &rows,
-    )
+    ))
 }
 
 /// Figure 7: the matmul case study — disassembly of the native and
 /// Chrome-JIT code for `matmul`.
-pub fn fig7() -> String {
+pub fn fig7() -> Result<String, Error> {
     let src = "
 const NI = 32; const NK = 36; const NJ = 40;
 array i32 C[NI * NJ];
@@ -287,7 +307,11 @@ fn matmul() {
 }
 fn main() -> i32 { matmul(); return C[7]; }
 ";
-    let prog = wasmperf_cir::compile(src).expect("compiles");
+    let compile_err = |message: String| Error::Compile {
+        bench: "matmul".into(),
+        message,
+    };
+    let prog = wasmperf_cir::compile(src).map_err(|e| compile_err(e.to_string()))?;
     // Match the paper's listing: no unrolling for the exposition.
     let native = wasmperf_clanglite::compile(
         &prog,
@@ -297,16 +321,19 @@ fn main() -> i32 { matmul(); return C[7]; }
         },
     );
     let wasm = wasmperf_emcc::compile(&prog);
-    let jit = wasmperf_wasmjit::compile(&wasm, &EngineProfile::chrome()).expect("jit");
+    let jit = wasmperf_wasmjit::compile(&wasm, &EngineProfile::chrome())
+        .map_err(|e| compile_err(format!("jit: {e:?}")))?;
 
-    let pick = |m: &wasmperf_isa::Module, name: &str| {
-        let id = m.func_by_name(name).expect("matmul exists");
-        wasmperf_isa::disasm::format_function(m.func(id))
+    let pick = |m: &wasmperf_isa::Module, name: &str| -> Result<String, Error> {
+        let id = m
+            .func_by_name(name)
+            .ok_or_else(|| compile_err(format!("function {name} missing from module")))?;
+        Ok(wasmperf_isa::disasm::format_function(m.func(id)))
     };
-    let native_asm = pick(&native, "matmul");
-    let jit_asm = pick(&jit.module, "matmul");
+    let native_asm = pick(&native, "matmul")?;
+    let jit_asm = pick(&jit.module, "matmul")?;
     let count = |s: &str| s.lines().filter(|l| l.starts_with("    ")).count();
-    format!(
+    Ok(format!(
         "Figure 7: matmul case study\n\n\
          (b) clanglite native code — {} instructions:\n{}\n\
          (c) chrome-JIT code — {} instructions:\n{}\n\
@@ -317,15 +344,13 @@ fn main() -> i32 { matmul(); return C[7]; }
         native_asm,
         count(&jit_asm),
         jit_asm
-    )
+    ))
 }
 
-/// Figure 8: matmul relative time across matrix sizes.
-pub fn fig8(size_scale: &[u32]) -> String {
-    let mut rows = Vec::new();
-    for &n in size_scale {
-        let src = format!(
-            "const NI = {n}; const NK = {nk}; const NJ = {nj};
+/// The Figure 8 matmul source at one size point.
+fn fig8_matmul_src(n: u32) -> String {
+    format!(
+        "const NI = {n}; const NK = {nk}; const NJ = {nj};
 array i32 C[NI * NJ];
 array i32 A[NI * NK];
 array i32 B[NK * NJ];
@@ -344,21 +369,39 @@ fn main() -> i32 {{
     for (i = 0; i < NI * NJ; i += 1) {{ cs = cs * 31 + C[i]; }}
     return cs;
 }}",
-            nk = n + n / 10,
-            nj = n + n / 5
-        );
+        nk = n + n / 10,
+        nj = n + n / 5
+    )
+}
+
+/// Figure 8: matmul relative time across matrix sizes.
+///
+/// Every size point is a distinct ad-hoc benchmark — all *named* `matmul`,
+/// all distinct to the farm, whose job identity is the content hash. The
+/// whole sweep is submitted as one batch (3 engines × N sizes), and the
+/// session's `cmp` validation replaces the old inline checksum asserts.
+pub fn fig8(s: &mut Session, size_scale: &[u32]) -> Result<String, Error> {
+    let engines = [Engine::Native, chrome(), firefox()];
+    let mut jobs = Vec::new();
+    for &n in size_scale {
         let b = wasmperf_benchsuite::Benchmark {
             name: "matmul",
             suite: wasmperf_benchsuite::Suite::PolyBench,
-            source: src,
+            source: fig8_matmul_src(n),
             inputs: vec![],
             outputs: vec![],
         };
-        let native = run_one(&b, &Engine::Native, AppendPolicy::Chunked4K).expect("native");
-        let c = run_one(&b, &chrome(), AppendPolicy::Chunked4K).expect("chrome");
-        let f = run_one(&b, &firefox(), AppendPolicy::Chunked4K).expect("firefox");
-        assert_eq!(native.checksum, c.checksum);
-        assert_eq!(native.checksum, f.checksum);
+        for e in &engines {
+            jobs.push((b.clone(), e.clone(), AppendPolicy::Chunked4K));
+        }
+    }
+    let results = s.run_batch(&jobs)?;
+
+    let mut rows = Vec::new();
+    for (i, &n) in size_scale.iter().enumerate() {
+        let [native, c, f] = &results[3 * i..3 * i + 3] else {
+            unreachable!("three engines per size point");
+        };
         let nc = native.counters.total_cycles() as f64;
         rows.push(vec![
             format!("{n}x{}x{}", n + n / 10, n + n / 5),
@@ -366,11 +409,11 @@ fn main() -> i32 {{
             ratio(f.counters.total_cycles() as f64 / nc),
         ]);
     }
-    table(
+    Ok(table(
         "Figure 8: matmul relative execution time by size (native = 1.0)",
         &["size (NIxNKxNJ)", "chrome", "firefox"],
         &rows,
-    )
+    ))
 }
 
 /// A labelled counter column: display name and its extractor.
@@ -388,16 +431,17 @@ const COUNTERS: [CounterCol; 7] = [
 ];
 
 /// Figure 9 (a–f): per-benchmark counter values relative to native.
-pub fn fig9(s: &mut Session) -> String {
+pub fn fig9(s: &mut Session) -> Result<String, Error> {
     let names = s.spec_names();
+    s.ensure(&names, &[Engine::Native, chrome(), firefox()])?;
     let mut out = String::new();
     for (label, get) in COUNTERS.iter().take(6) {
         let mut rows = Vec::new();
         let (mut ch, mut fx) = (Vec::new(), Vec::new());
         for name in &names {
-            let n = get(&s.run(name, &Engine::Native).counters) as f64;
-            let c = get(&s.run(name, &chrome()).counters) as f64 / n;
-            let f = get(&s.run(name, &firefox()).counters) as f64 / n;
+            let n = get(&s.run(name, &Engine::Native)?.counters) as f64;
+            let c = get(&s.run(name, &chrome())?.counters) as f64 / n;
+            let f = get(&s.run(name, &firefox())?.counters) as f64 / n;
             ch.push(c);
             fx.push(f);
             rows.push(vec![name.clone(), ratio(c), ratio(f)]);
@@ -414,18 +458,19 @@ pub fn fig9(s: &mut Session) -> String {
         ));
         out.push('\n');
     }
-    out
+    Ok(out)
 }
 
 /// Figure 10: L1 icache load misses relative to native.
-pub fn fig10(s: &mut Session) -> String {
+pub fn fig10(s: &mut Session) -> Result<String, Error> {
     let names = s.spec_names();
+    s.ensure(&names, &[Engine::Native, chrome(), firefox()])?;
     let mut rows = Vec::new();
     let (mut ch, mut fx) = (Vec::new(), Vec::new());
     for name in &names {
-        let n = (s.run(name, &Engine::Native).counters.icache_misses).max(1) as f64;
-        let c = s.run(name, &chrome()).counters.icache_misses as f64 / n;
-        let f = s.run(name, &firefox()).counters.icache_misses as f64 / n;
+        let n = (s.run(name, &Engine::Native)?.counters.icache_misses).max(1) as f64;
+        let c = s.run(name, &chrome())?.counters.icache_misses as f64 / n;
+        let f = s.run(name, &firefox())?.counters.icache_misses as f64 / n;
         ch.push(c.max(0.01));
         fx.push(f.max(0.01));
         rows.push(vec![name.clone(), ratio(c), ratio(f)]);
@@ -435,11 +480,11 @@ pub fn fig10(s: &mut Session) -> String {
         ratio(geomean(&ch)),
         ratio(geomean(&fx)),
     ]);
-    table(
+    Ok(table(
         "Figure 10: L1-icache-load-misses relative to native",
         &["benchmark", "chrome", "firefox"],
         &rows,
-    )
+    ))
 }
 
 /// Table 3: the perf events used and what they diagnose.
@@ -475,15 +520,16 @@ pub fn table3() -> String {
 }
 
 /// Table 4: geomean counter increases over the SPEC suite.
-pub fn table4(s: &mut Session) -> String {
+pub fn table4(s: &mut Session) -> Result<String, Error> {
     let names = s.spec_names();
+    s.ensure(&names, &[Engine::Native, chrome(), firefox()])?;
     let mut rows = Vec::new();
     for (label, get) in COUNTERS {
         let (mut ch, mut fx) = (Vec::new(), Vec::new());
         for name in &names {
-            let n = get(&s.run(name, &Engine::Native).counters).max(1) as f64;
-            ch.push((get(&s.run(name, &chrome()).counters) as f64 / n).max(0.01));
-            fx.push((get(&s.run(name, &firefox()).counters) as f64 / n).max(0.01));
+            let n = get(&s.run(name, &Engine::Native)?.counters).max(1) as f64;
+            ch.push((get(&s.run(name, &chrome())?.counters) as f64 / n).max(0.01));
+            fx.push((get(&s.run(name, &firefox())?.counters) as f64 / n).max(0.01));
         }
         rows.push(vec![
             label.to_string(),
@@ -491,36 +537,43 @@ pub fn table4(s: &mut Session) -> String {
             ratio(geomean(&fx)),
         ]);
     }
-    table(
+    Ok(table(
         "Table 4: geomean counter increases for SPEC under WebAssembly",
         &["performance counter", "chrome", "firefox"],
         &rows,
-    )
+    ))
 }
 
 /// §4.2.1 / §4.1: Browsix overhead on PolyBench (no syscalls) and SPEC.
-pub fn overhead(s: &mut Session) -> String {
+pub fn overhead(s: &mut Session) -> Result<String, Error> {
+    let spec = s.spec_names();
+    let poly = s.polybench_names();
+    s.ensure(&[spec.clone(), poly.clone()].concat(), &[firefox()])?;
     let mut rows = Vec::new();
     let mut max_pct: f64 = 0.0;
     let mut all = Vec::new();
-    for name in s.spec_names() {
-        let pct = s.run(&name, &firefox()).counters.host_time_percent();
+    for name in spec {
+        let pct = s.run(&name, &firefox())?.counters.host_time_percent();
         max_pct = max_pct.max(pct);
         all.push(pct);
         rows.push(vec![name, format!("{pct:.2}%")]);
     }
-    for name in s.polybench_names() {
-        let pct = s.run(&name, &firefox()).counters.host_time_percent();
-        assert_eq!(pct, 0.0, "PolyBench makes no syscalls");
+    for name in poly {
+        let pct = s.run(&name, &firefox())?.counters.host_time_percent();
+        if pct != 0.0 {
+            return Err(Error::Invariant {
+                message: format!("PolyBench makes no syscalls, but {name} spent {pct}% in kernel"),
+            });
+        }
     }
     rows.push(vec!["mean (SPEC)".into(), format!("{:.2}%", mean(&all))]);
     rows.push(vec!["max (SPEC)".into(), format!("{max_pct:.2}%")]);
     rows.push(vec!["PolyBench (all)".into(), "0.00%".into()]);
-    table(
+    Ok(table(
         "BROWSIX-WASM overhead (kernel time as % of total)",
         &["benchmark", "% in kernel"],
         &rows,
-    )
+    ))
 }
 
 /// §2 ablation: the BROWSERFS append pathology.
@@ -529,7 +582,9 @@ pub fn overhead(s: &mut Session) -> String {
 /// seconds of kernel time, fixed by >=4 KiB growth. The h264 analog's
 /// output is miniature, so this ablation uses a dedicated append-stress
 /// program (the same 16-byte-append pattern at a realistic output size).
-pub fn ablation_browserfs(_s: &Session) -> String {
+/// The two policy runs share one compiled artifact — policy is a staging
+/// concern, not part of the artifact cache key.
+pub fn ablation_browserfs(s: &mut Session) -> Result<String, Error> {
     let src = "
         array u8 row[16];
         array u8 path = \"/out.264\\0\";
@@ -555,7 +610,7 @@ pub fn ablation_browserfs(_s: &Session) -> String {
         (AppendPolicy::ExactFit, "exact-fit (original BrowserFS)"),
         (AppendPolicy::Chunked4K, ">=4 KiB growth (the paper's fix)"),
     ] {
-        let r = run_one(&b, &firefox(), policy).expect("runs");
+        let r = s.run_bench(&b, &firefox(), policy)?;
         cycles.push(r.counters.host_cycles as f64);
         rows.push(vec![
             label.to_string(),
@@ -566,16 +621,16 @@ pub fn ablation_browserfs(_s: &Session) -> String {
         "speedup from the fix".to_string(),
         ratio(cycles[0] / cycles[1]),
     ]);
-    table(
+    Ok(table(
         "Ablation: BROWSERFS append policy (24k x 16-byte appends, Firefox; \
 the paper reports 464.h264ref kernel time dropping 25s -> 1.5s)",
         &["policy", "kernel cycles"],
         &rows,
-    )
+    ))
 }
 
 /// Ablation: what each JIT safety mechanism costs (Chrome, SPEC geomean).
-pub fn ablation_safety_checks(s: &mut Session) -> String {
+pub fn ablation_safety_checks(s: &mut Session) -> Result<String, Error> {
     let names = s.spec_names();
     let variants: Vec<(&str, EngineProfile)> = vec![
         ("full checks", EngineProfile::chrome()),
@@ -619,33 +674,44 @@ pub fn ablation_safety_checks(s: &mut Session) -> String {
         inputs: vec![],
         outputs: vec![],
     };
-    let micro_native = run_one(&micro, &Engine::Native, AppendPolicy::Chunked4K)
-        .expect("runs")
+
+    // Declare the whole grid: (SPEC ∪ micro) × (native ∪ every variant).
+    let mut variant_engines = vec![Engine::Native];
+    for (_, profile) in &variants {
+        variant_engines.push(Engine::Jit(profile.clone()));
+    }
+    let mut jobs = vec![];
+    for e in &variant_engines {
+        jobs.push((micro.clone(), e.clone(), AppendPolicy::Chunked4K));
+        for name in &names {
+            jobs.push((s.bench(name)?.clone(), e.clone(), AppendPolicy::Chunked4K));
+        }
+    }
+    s.run_batch(&jobs)?;
+
+    let micro_native = s
+        .run_bench(&micro, &Engine::Native, AppendPolicy::Chunked4K)?
         .counters
         .total_cycles() as f64;
     let mut rows = Vec::new();
     for (label, profile) in variants {
+        let engine = Engine::Jit(profile);
         let mut slowdowns = Vec::new();
         let mut gobmk = 0.0;
         for name in &names {
-            let b = s.bench(name).clone();
-            let native = s.run(name, &Engine::Native).counters.total_cycles() as f64;
-            let r =
-                run_one(&b, &Engine::Jit(profile.clone()), AppendPolicy::Chunked4K).expect("runs");
+            let native = s.run(name, &Engine::Native)?.counters.total_cycles() as f64;
+            let b = s.bench(name)?.clone();
+            let r = s.run_bench(&b, &engine, AppendPolicy::Chunked4K)?;
             let sd = r.counters.total_cycles() as f64 / native;
             if name == "445.gobmk" {
                 gobmk = sd;
             }
             slowdowns.push(sd);
         }
-        let micro_sd = run_one(
-            &micro,
-            &Engine::Jit(profile.clone()),
-            AppendPolicy::Chunked4K,
-        )
-        .expect("runs")
-        .counters
-        .total_cycles() as f64
+        let micro_sd = s
+            .run_bench(&micro, &engine, AppendPolicy::Chunked4K)?
+            .counters
+            .total_cycles() as f64
             / micro_native;
         rows.push(vec![
             label.to_string(),
@@ -654,7 +720,7 @@ pub fn ablation_safety_checks(s: &mut Session) -> String {
             format!("{micro_sd:.3}x"),
         ]);
     }
-    table(
+    Ok(table(
         "Ablation: JIT safety checks (Chrome profile, slowdown vs native)",
         &[
             "configuration",
@@ -663,13 +729,13 @@ pub fn ablation_safety_checks(s: &mut Session) -> String {
             "call-dense micro",
         ],
         &rows,
-    )
+    ))
 }
 
 /// Ablation: what the browsers' reserved registers cost (§6.1.1): the
 /// Chrome JIT run with its real 8-register pool vs. a hypothetical
 /// no-reservations 11-register pool.
-pub fn ablation_reserved_regs(s: &mut Session) -> String {
+pub fn ablation_reserved_regs(s: &mut Session) -> Result<String, Error> {
     let names = s.spec_names();
     // The hypothetical pool returns r10/r13 to the allocator; rbx stays
     // pinned as the wasm memory base (it cannot be freed without changing
@@ -688,15 +754,19 @@ pub fn ablation_reserved_regs(s: &mut Session) -> String {
         ),
         ("no GC-root/scratch reservations (10 regs)", full_pool),
     ];
+    let mut engines = vec![Engine::Native];
+    for (_, profile) in &variants {
+        engines.push(Engine::Jit(profile.clone()));
+    }
+    s.ensure(&names, &engines)?;
     let mut rows = Vec::new();
     for (label, profile) in variants {
+        let engine = Engine::Jit(profile);
         let mut slowdowns = Vec::new();
         let mut spills_total = 0u64;
         for name in &names {
-            let b = s.bench(name).clone();
-            let native = s.run(name, &Engine::Native).counters.total_cycles() as f64;
-            let r =
-                run_one(&b, &Engine::Jit(profile.clone()), AppendPolicy::Chunked4K).expect("runs");
+            let native = s.run(name, &Engine::Native)?.counters.total_cycles() as f64;
+            let r = s.run(name, &engine)?.clone();
             spills_total += r.counters.stores_retired;
             slowdowns.push(r.counters.total_cycles() as f64 / native);
         }
@@ -706,15 +776,15 @@ pub fn ablation_reserved_regs(s: &mut Session) -> String {
             spills_total.to_string(),
         ]);
     }
-    table(
+    Ok(table(
         "Ablation: reserved registers (Chrome JIT, SPEC geomean slowdown vs native)",
         &["register pool", "geomean slowdown", "total stores retired"],
         &rows,
-    )
+    ))
 }
 
 /// Ablation: native codegen features turned off one at a time.
-pub fn ablation_native_codegen(s: &mut Session) -> String {
+pub fn ablation_native_codegen(s: &mut Session) -> Result<String, Error> {
     let names = s.spec_names();
     let variants: Vec<(&str, CompileOptions)> = vec![
         ("full (-O2-like)", CompileOptions::default()),
@@ -740,27 +810,27 @@ pub fn ablation_native_codegen(s: &mut Session) -> String {
             },
         ),
     ];
+    let mut engines = vec![Engine::Native];
+    for (_, opts) in &variants {
+        engines.push(Engine::NativeWith(opts.clone()));
+    }
+    s.ensure(&names, &engines)?;
     let mut rows = Vec::new();
     for (label, opts) in variants {
+        let engine = Engine::NativeWith(opts);
         let mut cycles = Vec::new();
         for name in &names {
-            let b = s.bench(name).clone();
-            let r = run_one(
-                &b,
-                &Engine::NativeWith(opts.clone()),
-                AppendPolicy::Chunked4K,
-            )
-            .expect("runs");
-            let base = s.run(name, &Engine::Native).counters.total_cycles() as f64;
-            cycles.push(r.counters.total_cycles() as f64 / base);
+            let r = s.run(name, &engine)?.counters.total_cycles() as f64;
+            let base = s.run(name, &Engine::Native)?.counters.total_cycles() as f64;
+            cycles.push(r / base);
         }
         rows.push(vec![label.to_string(), ratio(geomean(&cycles))]);
     }
-    table(
+    Ok(table(
         "Ablation: clanglite codegen features (SPEC geomean cycles vs full)",
         &["configuration", "relative cycles"],
         &rows,
-    )
+    ))
 }
 
 /// The matmul source used by the observability demo: self-checksumming,
@@ -806,26 +876,38 @@ fn main() -> i32 {{
 /// native and Chrome-JIT (perf-report + annotate + Chrome trace JSON +
 /// JSONL) and a traced SPEC-analog run (strace log + per-class summary),
 /// written as files under `dir`.
-pub fn trace_demo(dir: &std::path::Path, size: wasmperf_benchsuite::Size) -> String {
+///
+/// Traced runs execute serially and off the artifact cache on purpose:
+/// the trace wants compile-stage spans from a real compile, and span
+/// timestamps are per-run state that cannot be shared.
+pub fn trace_demo(dir: &std::path::Path, size: wasmperf_benchsuite::Size) -> Result<String, Error> {
     use crate::engine::run_one_traced;
     use wasmperf_trace::TraceConfig;
 
-    std::fs::create_dir_all(dir).expect("create trace dir");
+    let io_err = |e: std::io::Error| Error::Io {
+        path: dir.display().to_string(),
+        message: e.to_string(),
+    };
+    std::fs::create_dir_all(dir).map_err(io_err)?;
     let mut out = String::new();
     let write = |name: &str, data: &str| {
-        std::fs::write(dir.join(name), data).expect("write trace artifact");
+        std::fs::write(dir.join(name), data).map_err(|e| Error::Io {
+            path: dir.join(name).display().to_string(),
+            message: e.to_string(),
+        })
     };
 
     let b = trace_matmul_bench(32);
     for engine in [Engine::Native, chrome()] {
-        let (r, trace) = run_one_traced(&b, &engine, AppendPolicy::Chunked4K, TraceConfig::full())
-            .expect("traced run");
-        let t = trace.expect("tracing was on");
+        let (r, trace) = run_one_traced(&b, &engine, AppendPolicy::Chunked4K, TraceConfig::full())?;
+        let t = trace.ok_or(Error::Invariant {
+            message: "tracing was on but no trace came back".into(),
+        })?;
         let tag = r.engine.clone();
-        write(&format!("matmul-{tag}.trace.json"), &t.chrome_trace());
-        write(&format!("matmul-{tag}.jsonl"), &t.jsonl());
+        write(&format!("matmul-{tag}.trace.json"), &t.chrome_trace())?;
+        write(&format!("matmul-{tag}.jsonl"), &t.jsonl())?;
         let report = format!("{}\n{}", t.perf_report(), t.annotate_hottest(1));
-        write(&format!("matmul-{tag}.perf.txt"), &report);
+        write(&format!("matmul-{tag}.perf.txt"), &report)?;
         out.push_str(&format!(
             "== matmul on {tag}: checksum {} ==\n{}\n",
             r.checksum,
@@ -837,20 +919,23 @@ pub fn trace_demo(dir: &std::path::Path, size: wasmperf_benchsuite::Size) -> Str
     let spec = wasmperf_benchsuite::spec::all(size)
         .into_iter()
         .find(|b| b.name == "401.bzip2")
-        .expect("401.bzip2 exists");
+        .ok_or(Error::MissingBenchmark {
+            name: "401.bzip2".into(),
+        })?;
     let (r, trace) = run_one_traced(
         &spec,
         &Engine::Native,
         AppendPolicy::Chunked4K,
         TraceConfig::full(),
-    )
-    .expect("traced run");
-    let t = trace.expect("tracing was on");
+    )?;
+    let t = trace.ok_or(Error::Invariant {
+        message: "tracing was on but no trace came back".into(),
+    })?;
     write(
         "401.bzip2-native.strace.txt",
         &format!("{}\n{}", t.strace_text(), t.strace_summary()),
-    );
-    write("401.bzip2-native.trace.json", &t.chrome_trace());
+    )?;
+    write("401.bzip2-native.trace.json", &t.chrome_trace())?;
     let kernel_cycles = t
         .strace
         .as_ref()
@@ -864,7 +949,7 @@ pub fn trace_demo(dir: &std::path::Path, size: wasmperf_benchsuite::Size) -> Str
     ));
 
     out.push_str(&format!("trace artifacts written to {}\n", dir.display()));
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -874,7 +959,7 @@ mod tests {
 
     #[test]
     fn fig7_listings_show_the_papers_contrast() {
-        let out = fig7();
+        let out = fig7().expect("fig7 renders");
         assert!(out.contains("clanglite native code"));
         assert!(out.contains("chrome-JIT code"));
         // Native fuses the accumulate into memory.
@@ -891,19 +976,25 @@ mod tests {
     }
 
     #[test]
-    fn fig8_small_sweep_runs() {
-        let out = fig8(&[20, 30]);
+    fn fig8_small_sweep_runs() -> Result<(), Error> {
+        let mut s = Session::new(Size::Test).with_jobs(2);
+        let out = fig8(&mut s, &[20, 30])?;
         assert!(out.contains("20x22x24"), "{out}");
         assert!(out.lines().count() >= 5);
+        // Two size points are two distinct sources sharing the name
+        // "matmul": the farm must have built 3 engines x 2 sources.
+        assert_eq!(s.artifact_stats().builds, 6);
+        Ok(())
     }
 
     #[test]
-    fn stats_pipeline_on_one_benchmark() {
+    fn stats_pipeline_on_one_benchmark() -> Result<(), Error> {
         // A miniature end-to-end: gemm through fig3a-style math.
         let mut s = Session::new(Size::Test);
-        let c = s.slowdown("gemm", &chrome());
-        let f = s.slowdown("gemm", &firefox());
+        let c = s.slowdown("gemm", &chrome())?;
+        let f = s.slowdown("gemm", &firefox())?;
         assert!(c > 0.8 && c < 6.0, "chrome {c}");
         assert!(f > 0.8 && f < 6.0, "firefox {f}");
+        Ok(())
     }
 }

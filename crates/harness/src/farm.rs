@@ -1,0 +1,337 @@
+//! The harness ⇄ farm bridge.
+//!
+//! `wasmperf-farm` knows nothing about compilers; this module supplies
+//! the two translations that wire it to the measurement pipeline:
+//!
+//! - [`job_spec`]: a `(Benchmark, Engine, Size, AppendPolicy, trial)`
+//!   tuple → a content-addressed [`JobSpec`] (source hash over the CLite
+//!   text *and* staged inputs; engine fingerprint over the full
+//!   configuration);
+//! - [`encode_result`] / [`decode_result`]: [`RunResult`] ⇄ the JSON
+//!   payload held by the farm's resumable [`ResultStore`] — a lossless
+//!   round-trip (proven by test), so a resumed report renders
+//!   byte-identically to the run that recorded it.
+//!
+//! [`ResultStore`]: wasmperf_farm::ResultStore
+
+use crate::engine::{Engine, RunResult};
+use crate::error::Error;
+use wasmperf_benchsuite::{Benchmark, Size};
+use wasmperf_browsix::AppendPolicy;
+use wasmperf_cpu::PerfCounters;
+use wasmperf_farm::hash::Fnv;
+use wasmperf_farm::{JobSpec, Json};
+
+/// Content hash of a benchmark: source text, staged input files, and
+/// declared outputs. Two benchmarks sharing a display name (the Figure 8
+/// `matmul`s) hash apart; a renamed copy hashes the same.
+pub fn source_hash(bench: &Benchmark) -> u64 {
+    let mut h = Fnv::new();
+    h.write_str(&bench.source);
+    h.write_u64(bench.inputs.len() as u64);
+    for (path, data) in &bench.inputs {
+        h.write_str(path);
+        h.write_u64(data.len() as u64);
+        h.write(data);
+    }
+    h.write_u64(bench.outputs.len() as u64);
+    for path in &bench.outputs {
+        h.write_str(path);
+    }
+    h.finish()
+}
+
+/// Builds the [`JobSpec`] identifying one run.
+pub fn job_spec(
+    bench: &Benchmark,
+    engine: &Engine,
+    size: Size,
+    policy: AppendPolicy,
+    trial: u32,
+) -> JobSpec {
+    JobSpec {
+        bench: bench.name.to_string(),
+        engine: engine.name(),
+        source_hash: source_hash(bench),
+        engine_fingerprint: engine.fingerprint(),
+        size,
+        policy,
+        trial,
+    }
+}
+
+fn hex_bytes(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len() * 2);
+    for b in data {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn unhex_bytes(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len() / 2)
+        .map(|i| u8::from_str_radix(s.get(2 * i..2 * i + 2)?, 16).ok())
+        .collect()
+}
+
+/// One codec row: field name, reader, writer.
+type CounterField = (
+    &'static str,
+    fn(&PerfCounters) -> &u64,
+    fn(&mut PerfCounters) -> &mut u64,
+);
+
+/// The counter fields, in store order. One table drives both directions
+/// of the codec so they cannot drift apart.
+const COUNTER_FIELDS: [CounterField; 13] = [
+    (
+        "instructions_retired",
+        |c| &c.instructions_retired,
+        |c| &mut c.instructions_retired,
+    ),
+    (
+        "loads_retired",
+        |c| &c.loads_retired,
+        |c| &mut c.loads_retired,
+    ),
+    (
+        "stores_retired",
+        |c| &c.stores_retired,
+        |c| &mut c.stores_retired,
+    ),
+    (
+        "branches_retired",
+        |c| &c.branches_retired,
+        |c| &mut c.branches_retired,
+    ),
+    (
+        "cond_branches_retired",
+        |c| &c.cond_branches_retired,
+        |c| &mut c.cond_branches_retired,
+    ),
+    ("cycles", |c| &c.cycles, |c| &mut c.cycles),
+    (
+        "icache_accesses",
+        |c| &c.icache_accesses,
+        |c| &mut c.icache_accesses,
+    ),
+    (
+        "icache_misses",
+        |c| &c.icache_misses,
+        |c| &mut c.icache_misses,
+    ),
+    (
+        "dcache_accesses",
+        |c| &c.dcache_accesses,
+        |c| &mut c.dcache_accesses,
+    ),
+    (
+        "dcache_misses",
+        |c| &c.dcache_misses,
+        |c| &mut c.dcache_misses,
+    ),
+    (
+        "branch_mispredicts",
+        |c| &c.branch_mispredicts,
+        |c| &mut c.branch_mispredicts,
+    ),
+    ("host_calls", |c| &c.host_calls, |c| &mut c.host_calls),
+    ("host_cycles", |c| &c.host_cycles, |c| &mut c.host_cycles),
+];
+
+/// Encodes a [`RunResult`] as the store payload.
+pub fn encode_result(r: &RunResult) -> Json {
+    let counters = Json::Obj(
+        COUNTER_FIELDS
+            .iter()
+            .map(|(name, get, _)| (name.to_string(), Json::u64(*get(&r.counters))))
+            .collect(),
+    );
+    let outputs = Json::Arr(
+        r.outputs
+            .iter()
+            .map(|(path, data)| {
+                Json::Arr(vec![Json::Str(path.clone()), Json::Str(hex_bytes(data))])
+            })
+            .collect(),
+    );
+    Json::Obj(vec![
+        ("bench".into(), Json::Str(r.bench.clone())),
+        ("engine".into(), Json::Str(r.engine.clone())),
+        ("checksum".into(), Json::Num(r.checksum as f64)),
+        ("counters".into(), counters),
+        ("kernel_syscalls".into(), Json::u64(r.kernel_syscalls)),
+        ("outputs".into(), outputs),
+        ("compile_cycles".into(), Json::u64(r.compile_cycles)),
+        ("code_bytes".into(), Json::u64(r.code_bytes)),
+    ])
+}
+
+/// Decodes a store payload back into a [`RunResult`].
+pub fn decode_result(payload: &Json) -> Result<RunResult, Error> {
+    let bad = |what: &str| Error::Io {
+        path: "results.jsonl".into(),
+        message: format!("malformed stored result: {what}"),
+    };
+    let field = |name: &str| payload.get(name).ok_or_else(|| bad(name));
+    let str_field = |name: &str| {
+        field(name).and_then(|v| v.as_str().map(str::to_string).ok_or_else(|| bad(name)))
+    };
+    let u64_field = |obj: &Json, name: &str| {
+        obj.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad(name))
+    };
+
+    let mut counters = PerfCounters::default();
+    let cobj = field("counters")?;
+    for (name, _, set) in &COUNTER_FIELDS {
+        *set(&mut counters) = u64_field(cobj, name)?;
+    }
+
+    let mut outputs = Vec::new();
+    for entry in field("outputs")?.as_arr().ok_or_else(|| bad("outputs"))? {
+        let pair = entry.as_arr().ok_or_else(|| bad("outputs entry"))?;
+        let [path, hex] = pair else {
+            return Err(bad("outputs entry arity"));
+        };
+        let data = hex
+            .as_str()
+            .and_then(unhex_bytes)
+            .ok_or_else(|| bad("outputs hex"))?;
+        outputs.push((
+            path.as_str()
+                .ok_or_else(|| bad("outputs path"))?
+                .to_string(),
+            data,
+        ));
+    }
+
+    let checksum = field("checksum")?
+        .as_f64()
+        .filter(|v| v.fract() == 0.0 && *v >= i32::MIN as f64 && *v <= i32::MAX as f64)
+        .ok_or_else(|| bad("checksum"))? as i32;
+
+    Ok(RunResult {
+        bench: str_field("bench")?,
+        engine: str_field("engine")?,
+        checksum,
+        counters,
+        kernel_syscalls: u64_field(payload, "kernel_syscalls")?,
+        outputs,
+        compile_cycles: u64_field(payload, "compile_cycles")?,
+        code_bytes: u64_field(payload, "code_bytes")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasmperf_wasmjit::EngineProfile;
+
+    fn bench(name: &'static str, source: &str) -> Benchmark {
+        Benchmark {
+            name,
+            suite: wasmperf_benchsuite::Suite::Spec,
+            source: source.to_string(),
+            inputs: vec![("/in".into(), vec![1, 2, 3])],
+            outputs: vec!["/out".into()],
+        }
+    }
+
+    #[test]
+    fn source_hash_is_content_not_name() {
+        let a = bench("a", "fn main() -> i32 { return 1; }");
+        let renamed = bench("b", "fn main() -> i32 { return 1; }");
+        assert_eq!(source_hash(&a), source_hash(&renamed));
+        let edited = bench("a", "fn main() -> i32 { return 2; }");
+        assert_ne!(source_hash(&a), source_hash(&edited));
+        let mut input_changed = bench("a", "fn main() -> i32 { return 1; }");
+        input_changed.inputs[0].1 = vec![9];
+        assert_ne!(source_hash(&a), source_hash(&input_changed));
+    }
+
+    #[test]
+    fn job_spec_carries_both_identities() {
+        let b = bench("x", "fn main() -> i32 { return 1; }");
+        let chrome = Engine::Jit(EngineProfile::chrome());
+        let s = job_spec(&b, &chrome, Size::Test, AppendPolicy::Chunked4K, 0);
+        assert_eq!(s.bench, "x");
+        assert_eq!(s.engine, "chrome");
+        assert_eq!(s.source_hash, source_hash(&b));
+        assert_eq!(s.engine_fingerprint, chrome.fingerprint());
+        let firefox = job_spec(
+            &b,
+            &Engine::Jit(EngineProfile::firefox()),
+            Size::Test,
+            AppendPolicy::Chunked4K,
+            0,
+        );
+        assert_ne!(s.key(), firefox.key());
+    }
+
+    #[test]
+    fn result_roundtrips_losslessly() {
+        let counters = PerfCounters {
+            instructions_retired: 123_456_789_012,
+            cycles: 987_654_321,
+            host_cycles: 55,
+            icache_misses: 7,
+            ..PerfCounters::default()
+        };
+        let r = RunResult {
+            bench: "401.bzip2".into(),
+            engine: "chrome".into(),
+            checksum: -19_088_744,
+            counters,
+            kernel_syscalls: 42,
+            outputs: vec![
+                ("/out.bz2".into(), vec![0, 1, 2, 254, 255]),
+                ("/empty".into(), vec![]),
+            ],
+            compile_cycles: 61_000_000,
+            code_bytes: 4096,
+        };
+        let encoded = encode_result(&r);
+        // Through the actual wire format, not just the value tree.
+        let wire = encoded.render();
+        let decoded = decode_result(&Json::parse(&wire).unwrap()).unwrap();
+        assert_eq!(decoded, r);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_payloads() {
+        assert!(decode_result(&Json::Null).is_err());
+        assert!(decode_result(&Json::Obj(vec![])).is_err());
+        let mut good = encode_result(&RunResult {
+            bench: "b".into(),
+            engine: "e".into(),
+            checksum: 0,
+            counters: PerfCounters::default(),
+            kernel_syscalls: 0,
+            outputs: vec![],
+            compile_cycles: 0,
+            code_bytes: 0,
+        });
+        // Corrupt one counter.
+        if let Json::Obj(fields) = &mut good {
+            for (k, v) in fields.iter_mut() {
+                if k == "counters" {
+                    *v = Json::Obj(vec![("cycles".into(), Json::Str("NaN".into()))]);
+                }
+            }
+        }
+        assert!(decode_result(&good).is_err());
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(unhex_bytes(&hex_bytes(&data)).unwrap(), data);
+        assert_eq!(unhex_bytes("0"), None);
+        assert_eq!(unhex_bytes("zz"), None);
+    }
+}

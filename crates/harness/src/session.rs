@@ -1,26 +1,90 @@
-//! Session: cached, validated suite execution.
+//! Session: farm-backed, cached, validated suite execution.
+//!
+//! A `Session` is the front end of the benchmark farm. Experiments submit
+//! *batches* of (benchmark, engine, append-policy) jobs; the session
+//! resolves each job in this order:
+//!
+//! 1. **in-memory result cache** — already run in this session;
+//! 2. **on-disk result store** (`--results DIR`) — recorded by a previous
+//!    process; decoded, validated, and counted as *resumed*;
+//! 3. **the worker pool** — executed on `jobs` threads, compiling through
+//!    the content-addressed artifact cache so each (benchmark, engine)
+//!    pair is compiled exactly once per process.
+//!
+//! Every result, wherever it came from, passes the cross-engine
+//! validation step (checksums and output files must agree across engines
+//! on the same source — BROWSIX-SPEC's `cmp`). Determinism holds by
+//! construction: jobs are pure functions of their spec, the pool returns
+//! outcomes in submission order, and validation state is updated in that
+//! same order — so any worker count (and any cache/store state) renders
+//! byte-identical reports.
 
-use crate::engine::{run_one_traced, Engine, RunResult};
-use std::collections::HashMap;
+use crate::engine::{execute, prepare, run_one_traced, Artifact, Engine, RunResult};
+use crate::error::Error;
+use crate::farm::{decode_result, encode_result, job_spec};
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+use std::sync::{Arc, Mutex, PoisonError};
 use wasmperf_benchsuite::{Benchmark, Size};
 use wasmperf_browsix::AppendPolicy;
+use wasmperf_farm::cache::CacheStats;
+use wasmperf_farm::pool::{run_jobs, JobEvent};
+use wasmperf_farm::{ArtifactCache, JobSpec, ResultStore};
 use wasmperf_trace::{TraceConfig, TraceSession};
 
-/// Runs (benchmark × engine) pairs at a fixed size, caching results and
-/// validating cross-engine agreement (checksums and output files must be
-/// identical — BROWSIX-SPEC's `cmp` step).
+fn policy_tag(policy: AppendPolicy) -> u8 {
+    match policy {
+        AppendPolicy::ExactFit => 0,
+        AppendPolicy::Chunked4K => 1,
+    }
+}
+
+/// Farm activity counters for one session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FarmStats {
+    /// Jobs executed by this process's worker pool.
+    pub executed: u64,
+    /// Jobs skipped because the result store already held them.
+    pub resumed: u64,
+}
+
+/// One pending unit of pool work.
+struct Pending<'a> {
+    spec: JobSpec,
+    bench: &'a Benchmark,
+    engine: &'a Engine,
+    policy: AppendPolicy,
+}
+
+/// What the `cmp` step remembers about the first engine to produce a
+/// result for a validation group: its name, checksum, and output files.
+type ValidationRecord = (String, i32, Vec<(String, Vec<u8>)>);
+
+/// Runs (benchmark × engine) jobs at a fixed size through the farm,
+/// caching results and validating cross-engine agreement.
 pub struct Session {
     /// Workload size for every run in this session.
     pub size: Size,
     /// What to collect on every run (default: nothing).
     trace_config: TraceConfig,
-    cache: HashMap<(String, String), RunResult>,
+    /// Worker threads per batch (1 = serial).
+    jobs: usize,
+    /// Emit per-job progress lines on stderr.
+    verbose: bool,
+    artifacts: Arc<ArtifactCache<Artifact>>,
+    store: Option<Arc<Mutex<ResultStore>>>,
+    /// Completed results, by `JobSpec::key()`.
+    results: HashMap<u64, RunResult>,
+    /// First-seen (engine, checksum, outputs) per (source, policy), for
+    /// the `cmp` validation step.
+    validated: HashMap<(u64, u8), ValidationRecord>,
     traces: HashMap<(String, String), TraceSession>,
     benches: HashMap<String, Benchmark>,
+    stats: FarmStats,
 }
 
 impl Session {
-    /// Creates a session at `size`.
+    /// Creates a serial (1-worker) session at `size`.
     pub fn new(size: Size) -> Session {
         let mut benches = HashMap::new();
         for b in wasmperf_benchsuite::all(size) {
@@ -29,13 +93,47 @@ impl Session {
         Session {
             size,
             trace_config: TraceConfig::off(),
-            cache: HashMap::new(),
+            jobs: 1,
+            verbose: false,
+            artifacts: Arc::new(ArtifactCache::new()),
+            store: None,
+            results: HashMap::new(),
+            validated: HashMap::new(),
             traces: HashMap::new(),
             benches,
+            stats: FarmStats::default(),
         }
     }
 
+    /// This session with an `n`-worker pool (clamped to ≥ 1).
+    pub fn with_jobs(mut self, n: usize) -> Session {
+        self.jobs = n.max(1);
+        self
+    }
+
+    /// This session backed by a persistent result store under `dir`
+    /// (created if absent): completed jobs are recorded as they finish,
+    /// and already-recorded jobs are never re-executed.
+    pub fn with_results_dir(mut self, dir: &Path) -> Result<Session, Error> {
+        let store = ResultStore::open(dir).map_err(|e| Error::Io {
+            path: dir.display().to_string(),
+            message: e.to_string(),
+        })?;
+        self.store = Some(Arc::new(Mutex::new(store)));
+        Ok(self)
+    }
+
+    /// This session with per-job progress lines on stderr.
+    pub fn with_progress(mut self) -> Session {
+        self.verbose = true;
+        self
+    }
+
     /// This session with tracing enabled for every subsequent run.
+    ///
+    /// Traced jobs bypass the worker pool and artifact cache (the trace
+    /// wants compile-stage spans from a real compile) and run serially;
+    /// their `RunResult`s are still byte-identical to untraced ones.
     pub fn with_trace(mut self, config: TraceConfig) -> Session {
         self.trace_config = config;
         self
@@ -48,12 +146,12 @@ impl Session {
     }
 
     /// The benchmark definition for `name`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the benchmark does not exist.
-    pub fn bench(&self, name: &str) -> &Benchmark {
-        &self.benches[name]
+    pub fn bench(&self, name: &str) -> Result<&Benchmark, Error> {
+        self.benches
+            .get(name)
+            .ok_or_else(|| Error::MissingBenchmark {
+                name: name.to_string(),
+            })
     }
 
     /// Names of all SPEC-analog benchmarks, in paper order.
@@ -72,48 +170,267 @@ impl Session {
             .collect()
     }
 
-    /// Runs (or returns the cached result for) one pair, validating that
-    /// the checksum agrees with any previously-run engine on the same
-    /// benchmark.
-    pub fn run(&mut self, bench: &str, engine: &Engine) -> &RunResult {
-        let key = (bench.to_string(), engine.name());
-        if !self.cache.contains_key(&key) {
-            let b = self
-                .benches
-                .get(bench)
-                .unwrap_or_else(|| panic!("unknown benchmark {bench}"));
-            let (r, trace) = run_one_traced(b, engine, AppendPolicy::Chunked4K, self.trace_config)
-                .unwrap_or_else(|e| panic!("run failed: {e}"));
-            if let Some(t) = trace {
-                self.traces.insert(key.clone(), t);
+    /// The job spec a registry benchmark runs under.
+    fn registry_spec(&self, bench: &str, engine: &Engine) -> Result<JobSpec, Error> {
+        let b = self.bench(bench)?;
+        Ok(job_spec(b, engine, self.size, AppendPolicy::Chunked4K, 0))
+    }
+
+    /// A measurement-noise seed keyed by the job's identity (benchmark
+    /// content × engine configuration × trial), never by execution order —
+    /// the farm's determinism guarantee extends to the ± columns.
+    pub fn noise_seed(&self, bench: &str, engine: &Engine, salt: u64) -> Result<u64, Error> {
+        Ok(self.registry_spec(bench, engine)?.seed(salt))
+    }
+
+    /// Submits the full (benchmark × engine) cross product to the farm,
+    /// so subsequent [`Session::run`] lookups are cache hits. This is how
+    /// experiments parallelize: declare the batch up front, render
+    /// serially afterwards.
+    pub fn ensure(&mut self, benches: &[String], engines: &[Engine]) -> Result<(), Error> {
+        let mut jobs = Vec::with_capacity(benches.len() * engines.len());
+        for name in benches {
+            let b = self.bench(name)?.clone();
+            for e in engines {
+                jobs.push((b.clone(), e.clone(), AppendPolicy::Chunked4K));
             }
-            // Validate against any prior engine's result for this bench.
-            for ((b2, _), prior) in &self.cache {
-                if b2 == bench {
-                    assert_eq!(
-                        prior.checksum, r.checksum,
-                        "{bench}: checksum mismatch between {} and {}",
-                        prior.engine, r.engine
-                    );
-                    assert_eq!(
-                        prior.outputs, r.outputs,
-                        "{bench}: output files differ between {} and {}",
-                        prior.engine, r.engine
-                    );
-                    break;
-                }
-            }
-            self.cache.insert(key.clone(), r);
         }
-        &self.cache[&key]
+        self.run_batch(&jobs)?;
+        Ok(())
+    }
+
+    /// Runs (or returns the cached result for) one registry pair.
+    pub fn run(&mut self, bench: &str, engine: &Engine) -> Result<&RunResult, Error> {
+        let key = self.registry_spec(bench, engine)?.key();
+        if !self.results.contains_key(&key) {
+            let b = self.bench(bench)?.clone();
+            self.run_batch(&[(b, engine.clone(), AppendPolicy::Chunked4K)])?;
+        }
+        Ok(&self.results[&key])
+    }
+
+    /// Runs (or returns the cached result for) one ad-hoc benchmark —
+    /// the Figure 8 size sweep, the ablation stress programs — with full
+    /// farm treatment: content-addressed (two `matmul`s with different
+    /// sources never collide), artifact-cached, store-resumable.
+    pub fn run_bench(
+        &mut self,
+        bench: &Benchmark,
+        engine: &Engine,
+        policy: AppendPolicy,
+    ) -> Result<RunResult, Error> {
+        Ok(self
+            .run_batch(&[(bench.clone(), engine.clone(), policy)])?
+            .remove(0))
     }
 
     /// Relative execution time of `engine` vs native for `bench`
     /// (total cycles including kernel time, as wall clock would measure).
-    pub fn slowdown(&mut self, bench: &str, engine: &Engine) -> f64 {
-        let native = self.run(bench, &Engine::Native).counters.total_cycles() as f64;
-        let e = self.run(bench, engine).counters.total_cycles() as f64;
-        e / native
+    pub fn slowdown(&mut self, bench: &str, engine: &Engine) -> Result<f64, Error> {
+        let native = self.run(bench, &Engine::Native)?.counters.total_cycles() as f64;
+        let e = self.run(bench, engine)?.counters.total_cycles() as f64;
+        Ok(e / native)
+    }
+
+    /// Artifact-cache counters (the "compiled exactly once" accounting).
+    pub fn artifact_stats(&self) -> CacheStats {
+        self.artifacts.stats()
+    }
+
+    /// The artifact cache itself (shared with worker threads).
+    pub fn artifact_cache(&self) -> &Arc<ArtifactCache<Artifact>> {
+        &self.artifacts
+    }
+
+    /// Executed/resumed counters.
+    pub fn farm_stats(&self) -> FarmStats {
+        self.stats
+    }
+
+    /// One-line activity summary for the end of a report run.
+    pub fn farm_summary(&self) -> String {
+        let a = self.artifact_stats();
+        format!(
+            "[farm] jobs: executed={} resumed={}; artifacts: built={} hits={}",
+            self.stats.executed, self.stats.resumed, a.builds, a.hits
+        )
+    }
+
+    /// Runs a batch of jobs through the farm. Results come back in
+    /// submission order; every job also lands in the in-memory cache
+    /// (and the result store, when configured).
+    pub fn run_batch(
+        &mut self,
+        jobs: &[(Benchmark, Engine, AppendPolicy)],
+    ) -> Result<Vec<RunResult>, Error> {
+        let specs: Vec<JobSpec> = jobs
+            .iter()
+            .map(|(b, e, p)| job_spec(b, e, self.size, *p, 0))
+            .collect();
+
+        // Resolve what we can from memory and the store; queue the rest.
+        let mut pending: Vec<Pending<'_>> = Vec::new();
+        let mut queued: HashSet<u64> = HashSet::new();
+        for ((bench, engine, policy), spec) in jobs.iter().zip(&specs) {
+            let key = spec.key();
+            if self.results.contains_key(&key) || queued.contains(&key) {
+                continue;
+            }
+            let stored = self.store.as_ref().and_then(|s| {
+                s.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .get(key)
+                    .cloned()
+            });
+            if let Some(payload) = stored {
+                let r = decode_result(&payload)?;
+                self.admit(spec, r)?;
+                self.stats.resumed += 1;
+                continue;
+            }
+            pending.push(Pending {
+                spec: spec.clone(),
+                bench,
+                engine,
+                policy: *policy,
+            });
+            queued.insert(key);
+        }
+
+        if !pending.is_empty() {
+            if self.trace_config.is_off() {
+                self.execute_pool(&pending)?;
+            } else {
+                self.execute_traced_serially(&pending)?;
+            }
+        }
+
+        Ok(specs
+            .iter()
+            .map(|s| self.results[&s.key()].clone())
+            .collect())
+    }
+
+    /// Runs pending jobs on the worker pool.
+    fn execute_pool(&mut self, pending: &[Pending<'_>]) -> Result<(), Error> {
+        let artifacts = Arc::clone(&self.artifacts);
+        let store = self.store.clone();
+        let runner = |p: &Pending<'_>| -> Result<RunResult, String> {
+            let artifact = artifacts
+                .get_or_build(p.spec.artifact_key(), || prepare(p.bench, p.engine))
+                .map_err(|e| e.to_string())?;
+            let result =
+                execute(p.bench, p.engine, &artifact, p.policy).map_err(|e| e.to_string())?;
+            // Record as soon as the job finishes, so an interrupted run
+            // resumes from its last completed job, not its last batch.
+            if let Some(store) = &store {
+                store
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .record(p.spec.key(), &p.spec.label(), encode_result(&result))
+                    .map_err(|e| format!("result store: {e}"))?;
+            }
+            Ok(result)
+        };
+        let progress = |e: JobEvent<'_>| {
+            let status = if e.ok { "" } else { " FAILED" };
+            eprintln!(
+                "[farm w{}] {}/{} {}{status}",
+                e.worker, e.completed, e.total, e.label
+            );
+        };
+        let progress_fn: wasmperf_farm::pool::ProgressFn<'_> = &progress;
+        let (outcomes, pool_stats) = run_jobs(
+            pending,
+            self.jobs,
+            |p| p.spec.label(),
+            runner,
+            self.verbose.then_some(progress_fn),
+        );
+
+        let mut first_failure: Option<Error> = None;
+        let failures = pool_stats.failures;
+        for (p, outcome) in pending.iter().zip(outcomes) {
+            match outcome {
+                Ok(result) => {
+                    self.admit(&p.spec, result)?;
+                    self.stats.executed += 1;
+                }
+                Err(f) if first_failure.is_none() => {
+                    first_failure = Some(Error::Job {
+                        label: f.label,
+                        message: f.message,
+                        panicked: f.panicked,
+                        other_failures: failures - 1,
+                    });
+                }
+                Err(_) => {}
+            }
+        }
+        match first_failure {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Runs pending jobs serially with tracing, collecting the traces.
+    fn execute_traced_serially(&mut self, pending: &[Pending<'_>]) -> Result<(), Error> {
+        for p in pending {
+            let (result, trace) = run_one_traced(p.bench, p.engine, p.policy, self.trace_config)?;
+            if let Some(t) = trace {
+                self.traces
+                    .insert((p.spec.bench.clone(), p.spec.engine.clone()), t);
+            }
+            if let Some(store) = &self.store {
+                store
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .record(p.spec.key(), &p.spec.label(), encode_result(&result))
+                    .map_err(|e| Error::Io {
+                        path: "results.jsonl".into(),
+                        message: e.to_string(),
+                    })?;
+            }
+            self.admit(&p.spec, result)?;
+            self.stats.executed += 1;
+        }
+        Ok(())
+    }
+
+    /// Validates a result against previously-admitted engines on the same
+    /// source (the `cmp` step) and inserts it into the in-memory cache.
+    fn admit(&mut self, spec: &JobSpec, result: RunResult) -> Result<(), Error> {
+        let group = (spec.source_hash, policy_tag(spec.policy));
+        match self.validated.get(&group) {
+            None => {
+                self.validated.insert(
+                    group,
+                    (
+                        result.engine.clone(),
+                        result.checksum,
+                        result.outputs.clone(),
+                    ),
+                );
+            }
+            Some((prior_engine, checksum, outputs)) => {
+                if result.checksum != *checksum {
+                    return Err(Error::Mismatch {
+                        bench: spec.bench.clone(),
+                        engines: (prior_engine.clone(), result.engine.clone()),
+                        what: "checksum".into(),
+                    });
+                }
+                if result.outputs != *outputs {
+                    return Err(Error::Mismatch {
+                        bench: spec.bench.clone(),
+                        engines: (prior_engine.clone(), result.engine.clone()),
+                        what: "output files".into(),
+                    });
+                }
+            }
+        }
+        self.results.insert(spec.key(), result);
+        Ok(())
     }
 }
 
@@ -122,17 +439,70 @@ mod tests {
     use super::*;
 
     #[test]
-    fn caching_returns_identical_results() {
+    fn caching_returns_identical_results() -> Result<(), Error> {
         let mut s = Session::new(Size::Test);
-        let a = s.run("gemm", &Engine::Native).counters;
-        let b = s.run("gemm", &Engine::Native).counters;
+        let a = s.run("gemm", &Engine::Native)?.counters;
+        let b = s.run("gemm", &Engine::Native)?.counters;
         assert_eq!(a, b);
+        // The second lookup was a pure cache hit.
+        assert_eq!(s.farm_stats().executed, 1);
+        Ok(())
     }
 
     #[test]
-    fn slowdown_is_positive() {
+    fn slowdown_is_positive() -> Result<(), Error> {
         let mut s = Session::new(Size::Test);
-        let sd = s.slowdown("gemm", &Engine::headline()[1].clone());
+        let sd = s.slowdown("gemm", &Engine::headline()[1].clone())?;
         assert!(sd > 0.5 && sd < 10.0, "{sd}");
+        Ok(())
+    }
+
+    #[test]
+    fn unknown_benchmark_is_an_error_not_a_panic() {
+        let mut s = Session::new(Size::Test);
+        let err = s.run("no-such-bench", &Engine::Native).unwrap_err();
+        assert_eq!(
+            err,
+            Error::MissingBenchmark {
+                name: "no-such-bench".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial_lookups() -> Result<(), Error> {
+        let engines = Engine::headline();
+        let names: Vec<String> = vec!["gemm".into(), "bicg".into(), "2mm".into()];
+
+        let mut serial = Session::new(Size::Test);
+        let mut parallel = Session::new(Size::Test).with_jobs(4);
+        parallel.ensure(&names, &engines)?;
+        for name in &names {
+            for e in &engines {
+                let expected = serial.run(name, e)?.clone();
+                assert_eq!(&expected, parallel.run(name, e)?);
+            }
+        }
+        // The batch ran everything up front; rendering added no work.
+        assert_eq!(
+            parallel.farm_stats().executed,
+            (names.len() * engines.len()) as u64
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn artifacts_compile_exactly_once_across_experiments() -> Result<(), Error> {
+        let mut s = Session::new(Size::Test).with_jobs(3);
+        let chrome = Engine::headline()[1].clone();
+        s.run("gemm", &chrome)?;
+        let after_first = s.artifact_stats();
+        // A rerun, a different policy, and a direct artifact fetch all
+        // reuse the same compiled module.
+        s.run("gemm", &chrome)?;
+        let gemm = s.bench("gemm")?.clone();
+        s.run_bench(&gemm, &chrome, AppendPolicy::ExactFit)?;
+        assert_eq!(s.artifact_stats().builds, after_first.builds);
+        Ok(())
     }
 }

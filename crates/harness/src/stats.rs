@@ -26,13 +26,15 @@ pub fn geomean(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
 }
 
-/// Median.
+/// Median. NaNs sort last (IEEE total order), so a stray NaN never
+/// panics the whole report — it only pollutes the answer if it lands in
+/// the middle.
 pub fn median(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    v.sort_by(f64::total_cmp);
     let n = v.len();
     if n % 2 == 1 {
         v[n / 2]
@@ -110,6 +112,17 @@ mod tests {
         assert!((geomean(&[3.25]) - 3.25).abs() < 1e-12);
         // One sample has no spread.
         assert_eq!(stderr(&[3.25]), 0.0);
+    }
+
+    #[test]
+    fn median_tolerates_nan_and_infinities() {
+        // Positive NaN sorts after +inf under total_cmp: NaNs pile up at
+        // the top (still counted as elements) and nothing panics.
+        let m = median(&[3.0, f64::NAN, 1.0, 2.0, f64::NAN]);
+        assert_eq!(m, 3.0);
+        assert_eq!(median(&[f64::NEG_INFINITY, 0.0, f64::INFINITY]), 0.0);
+        // All-NaN input: still no panic (the value is NaN, as it must be).
+        assert!(median(&[f64::NAN]).is_nan());
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! The farm's contract, proven end to end:
+//!
+//! 1. **Determinism** — every rendered table is byte-identical between a
+//!    serial session and a `--jobs 4` session (results are pure functions
+//!    of their job spec; the pool returns them in submission order; noise
+//!    seeds are keyed by spec, not execution order).
+//! 2. **Compile-once** — the artifact cache builds exactly one artifact
+//!    per (benchmark source, engine config) pair per process, and
+//!    re-rendering adds zero builds.
+//! 3. **Resume** — a second process pointed at the same `--results DIR`
+//!    executes zero jobs, resumes all of them from the store, compiles
+//!    nothing, and still renders the identical report.
+//!
+//! These run the PolyBench suite plus the ad-hoc experiments to stay fast
+//! in debug builds; CI's farm-smoke job repeats the byte-identity and
+//! resume checks over the *complete* report in release mode.
+
+use std::path::PathBuf;
+use wasmperf_benchsuite::Size;
+use wasmperf_harness::experiments as exp;
+use wasmperf_harness::{Error, Session};
+
+/// A scratch directory that outlives one "process" (session) and is
+/// reused by the next, then removed.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir =
+            std::env::temp_dir().join(format!("wasmperf-farm-it-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The experiment set the byte-identity check runs over: a registry-suite
+/// relative-time figure (fig3a), ± noise columns keyed by job spec
+/// (table1's machinery is shared; fig3a's ratios already cover ordering),
+/// ad-hoc content-addressed benchmarks (fig8's same-named matmuls), and a
+/// policy-split ablation sharing one artifact across policies.
+fn render_all(s: &mut Session) -> Result<String, Error> {
+    let mut out = String::new();
+    out.push_str(&exp::fig3a(s)?);
+    out.push_str(&exp::fig8(s, &[20, 30])?);
+    out.push_str(&exp::ablation_browserfs(s)?);
+    Ok(out)
+}
+
+#[test]
+fn parallel_report_is_byte_identical_to_serial() -> Result<(), Error> {
+    let mut serial = Session::new(Size::Test);
+    let mut parallel = Session::new(Size::Test).with_jobs(4);
+    let a = render_all(&mut serial)?;
+    let b = render_all(&mut parallel)?;
+    assert_eq!(a, b, "parallel output diverged from serial");
+    // Both did real work (nothing degenerated into an empty render).
+    assert!(serial.farm_stats().executed > 0);
+    assert_eq!(serial.farm_stats().executed, parallel.farm_stats().executed);
+    Ok(())
+}
+
+#[test]
+fn artifacts_compile_exactly_once_per_pair() -> Result<(), Error> {
+    let mut s = Session::new(Size::Test).with_jobs(4);
+    exp::fig3a(&mut s)?;
+    // fig3a is the full PolyBench suite x {native, chrome, firefox}: one
+    // build per pair, no more (trials/policies share artifacts), no fewer
+    // (nothing resumed, so every pair really compiled here).
+    let pairs = (s.polybench_names().len() * 3) as u64;
+    assert_eq!(s.artifact_stats().builds, pairs);
+    // Re-rendering adds zero builds, and the two policy variants in the
+    // ablation share a single new artifact.
+    exp::fig3a(&mut s)?;
+    assert_eq!(s.artifact_stats().builds, pairs);
+    exp::ablation_browserfs(&mut s)?;
+    assert_eq!(s.artifact_stats().builds, pairs + 1);
+    Ok(())
+}
+
+#[test]
+fn resumed_report_skips_all_jobs_and_matches() -> Result<(), Error> {
+    let tmp = TempDir::new("resume");
+
+    // First "process": record every job.
+    let mut first = Session::new(Size::Test)
+        .with_jobs(4)
+        .with_results_dir(&tmp.0)?;
+    let a = render_all(&mut first)?;
+    let done = first.farm_stats();
+    assert!(done.executed > 0);
+    assert_eq!(done.resumed, 0);
+
+    // Second "process", same results dir: everything resumes from disk —
+    // zero jobs executed, zero artifacts compiled, identical bytes.
+    let mut second = Session::new(Size::Test)
+        .with_jobs(4)
+        .with_results_dir(&tmp.0)?;
+    let b = render_all(&mut second)?;
+    assert_eq!(a, b, "resumed output diverged from recorded run");
+    assert_eq!(second.farm_stats().executed, 0);
+    assert_eq!(second.farm_stats().resumed, done.executed);
+    assert_eq!(second.artifact_stats().builds, 0);
+    Ok(())
+}
