@@ -433,8 +433,11 @@ fn binop(op: HBinOp, ty: HTy, a: u64, b: u64) -> IResult<u64> {
             Sub => f_to(ty, x - y),
             Mul => f_to(ty, x * y),
             DivS => f_to(ty, x / y),
-            FMin => f_to(ty, if x < y { x } else { y }),
-            FMax => f_to(ty, if x > y { x } else { y }),
+            // WebAssembly min/max semantics (NaN-propagating, -0 < +0):
+            // the backends all lower to [`FAluOp::Min`]/[`Max`], so the
+            // reference interpreter must match them bit-exactly.
+            FMin => f_to(ty, wasmperf_isa::fpsem::wasm_min_f64(x, y)),
+            FMax => f_to(ty, wasmperf_isa::fpsem::wasm_max_f64(x, y)),
             Eq => u64::from(x == y),
             Ne => u64::from(x != y),
             LtS => u64::from(x < y),
@@ -832,5 +835,42 @@ mod tests {
     fn rotation_intrinsics() {
         let src = "fn main(x: u32) -> i32 { return i32(rotl(x, u32(8))); }";
         assert_eq!(run(src, &[0x1234_5678]).unwrap(), Some(0x3456_7812));
+    }
+
+    #[test]
+    fn min_max_propagate_nan() {
+        // min/max with a NaN operand must produce NaN (wasm semantics),
+        // not silently select the non-NaN operand.
+        let src = "
+            fn main() -> i32 {
+                var nan: f64 = 0.0 / 0.0;
+                var a: f64 = min(nan, 1.0);
+                var b: f64 = max(1.0, nan);
+                var r: i32 = 0;
+                if (a != a) { r += 1; }
+                if (b != b) { r += 2; }
+                return r;
+            }
+        ";
+        assert_eq!(run(src, &[]).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn min_max_order_signed_zeros() {
+        // min(+0, -0) = -0 and max(-0, +0) = +0; detect the sign of zero
+        // through the sign of 1/z.
+        let src = "
+            fn main() -> i32 {
+                var pz: f64 = 0.0;
+                var nz: f64 = 0.0 * (0.0 - 1.0);
+                var lo: f64 = min(pz, nz);
+                var hi: f64 = max(nz, pz);
+                var r: i32 = 0;
+                if (1.0 / lo < 0.0) { r += 1; }
+                if (1.0 / hi > 0.0) { r += 2; }
+                return r;
+            }
+        ";
+        assert_eq!(run(src, &[]).unwrap(), Some(3));
     }
 }

@@ -112,21 +112,50 @@ struct FuncCtx<'c> {
     loop_depth: u32,
 }
 
-/// Evaluates a constant integer expression (literals, consts, arithmetic).
-fn const_eval(e: &Expr, consts: &HashMap<String, i64>) -> TResult<i64> {
+/// Truncates a folded value to the width of `ty` and re-extends it per
+/// `ty`'s signedness, so every intermediate of a constant fold carries
+/// exactly the bits a runtime computation at that type would.
+fn const_norm(ty: Ty, v: i64) -> i64 {
+    match ty {
+        Ty::I32 => v as i32 as i64,
+        Ty::U32 => v as u32 as i64,
+        // Floats only reach const folding through integral constant
+        // expressions; fold those at i64 like `const` definitions.
+        Ty::I64 | Ty::U64 | Ty::F32 | Ty::F64 => v,
+    }
+}
+
+/// Evaluates a constant integer expression (literals, consts, arithmetic)
+/// **at type `ty`** — the same signed/width rules [`Interp`]'s `binop`
+/// applies at run time, so a constant-folded initializer can never
+/// disagree with the identical expression computed by the program.
+///
+/// Signedness matters for `Div`/`Rem`/`Shr`; width matters for wrapping
+/// and for shift-count masking; and `i32::MIN / -1` (resp. `i64::MIN /
+/// -1`), which traps at run time, is a compile error here. Untyped
+/// contexts (`const` definitions, array sizes) fold at `i64`.
+///
+/// [`Interp`]: crate::interp::Interp
+fn const_eval(e: &Expr, consts: &HashMap<String, i64>, ty: Ty) -> TResult<i64> {
+    let wide = !matches!(ty, Ty::I32 | Ty::U32);
+    let unsigned = ty.is_unsigned();
     match &e.kind {
-        ExprKind::Int(v) => Ok(*v),
+        ExprKind::Int(v) => Ok(const_norm(ty, *v)),
         ExprKind::Var(name) => consts
             .get(name)
             .copied()
+            .map(|v| const_norm(ty, v))
             .ok_or(())
             .or_else(|()| err(e.line, format!("`{name}` is not a constant"))),
-        ExprKind::Unary(UnOp::Neg, inner) => Ok(-const_eval(inner, consts)?),
-        ExprKind::Unary(UnOp::BitNot, inner) => Ok(!const_eval(inner, consts)?),
+        ExprKind::Unary(UnOp::Neg, inner) => Ok(const_norm(
+            ty,
+            const_eval(inner, consts, ty)?.wrapping_neg(),
+        )),
+        ExprKind::Unary(UnOp::BitNot, inner) => Ok(const_norm(ty, !const_eval(inner, consts, ty)?)),
         ExprKind::Binary(op, l, r) => {
-            let a = const_eval(l, consts)?;
-            let b = const_eval(r, consts)?;
-            Ok(match op {
+            let a = const_eval(l, consts, ty)?;
+            let b = const_eval(r, consts, ty)?;
+            let v = match op {
                 BinOp::Add => a.wrapping_add(b),
                 BinOp::Sub => a.wrapping_sub(b),
                 BinOp::Mul => a.wrapping_mul(b),
@@ -134,21 +163,56 @@ fn const_eval(e: &Expr, consts: &HashMap<String, i64>) -> TResult<i64> {
                     if b == 0 {
                         return err(e.line, "constant division by zero");
                     }
-                    a / b
+                    if unsigned {
+                        if wide {
+                            ((a as u64) / (b as u64)) as i64
+                        } else {
+                            ((a as u32) / (b as u32)) as i64
+                        }
+                    } else {
+                        let min = if wide { i64::MIN } else { i32::MIN as i64 };
+                        if a == min && b == -1 {
+                            return err(e.line, "constant division overflows");
+                        }
+                        a / b
+                    }
                 }
                 BinOp::Rem => {
                     if b == 0 {
                         return err(e.line, "constant modulo by zero");
                     }
-                    a % b
+                    if unsigned {
+                        if wide {
+                            ((a as u64) % (b as u64)) as i64
+                        } else {
+                            ((a as u32) % (b as u32)) as i64
+                        }
+                    } else {
+                        // `MIN % -1` is 0, not a trap — match wrapping_rem.
+                        a.wrapping_rem(b)
+                    }
                 }
-                BinOp::Shl => a.wrapping_shl(b as u32),
-                BinOp::Shr => a.wrapping_shr(b as u32),
+                BinOp::Shl => {
+                    // Shift counts mask modulo the type's width, as at
+                    // run time.
+                    if wide {
+                        a.wrapping_shl(b as u32)
+                    } else {
+                        (a as i32).wrapping_shl(b as u32) as i64
+                    }
+                }
+                BinOp::Shr => match (unsigned, wide) {
+                    (true, true) => ((a as u64).wrapping_shr(b as u32)) as i64,
+                    (true, false) => ((a as u32).wrapping_shr(b as u32)) as i64,
+                    (false, true) => a.wrapping_shr(b as u32),
+                    (false, false) => ((a as i32).wrapping_shr(b as u32)) as i64,
+                },
                 BinOp::BitAnd => a & b,
                 BinOp::BitOr => a | b,
                 BinOp::BitXor => a ^ b,
                 _ => return err(e.line, "operator not allowed in constant expression"),
-            })
+            };
+            Ok(const_norm(ty, v))
         }
         _ => err(e.line, "expression is not constant"),
     }
@@ -919,7 +983,9 @@ pub fn lower(p: &Program) -> Result<HProgram, TypeError> {
     };
 
     for c in &p.consts {
-        let v = const_eval(&c.value, &ctx.consts)?;
+        // `const` definitions are untyped; they fold at signed i64 and
+        // adapt to their use sites like integer literals.
+        let v = const_eval(&c.value, &ctx.consts, Ty::I64)?;
         if ctx.consts.insert(c.name.clone(), v).is_some() {
             return err(0, format!("duplicate const `{}`", c.name));
         }
@@ -939,7 +1005,7 @@ pub fn lower(p: &Program) -> Result<HProgram, TypeError> {
         if let Some(init) = &g.init {
             let bits = match init.kind {
                 ExprKind::Float(f) => const_bits(g.ty, None, Some(f)),
-                _ => const_bits(g.ty, Some(const_eval(init, &ctx.consts)?), None),
+                _ => const_bits(g.ty, Some(const_eval(init, &ctx.consts, g.ty)?), None),
             };
             let bytes = if g.ty.is_wide() {
                 bits.to_le_bytes().to_vec()
@@ -966,7 +1032,7 @@ pub fn lower(p: &Program) -> Result<HProgram, TypeError> {
         addr = (addr + 15) & !15;
         let (len, init_bytes): (u64, Option<Vec<u8>>) = match &a.init {
             ArrayInit::Size(e) => {
-                let n = const_eval(e, &ctx.consts)?;
+                let n = const_eval(e, &ctx.consts, Ty::I64)?;
                 if n <= 0 {
                     return err(a.line, format!("array `{}` has non-positive size", a.name));
                 }
@@ -979,19 +1045,25 @@ pub fn lower(p: &Program) -> Result<HProgram, TypeError> {
                         ElemTy::Full(Ty::F32) => {
                             let v = match item.kind {
                                 ExprKind::Float(f) => f,
-                                _ => const_eval(item, &ctx.consts)? as f64,
+                                _ => const_eval(item, &ctx.consts, Ty::I64)? as f64,
                             };
                             bytes.extend_from_slice(&(v as f32).to_le_bytes());
                         }
                         ElemTy::Full(Ty::F64) => {
                             let v = match item.kind {
                                 ExprKind::Float(f) => f,
-                                _ => const_eval(item, &ctx.consts)? as f64,
+                                _ => const_eval(item, &ctx.consts, Ty::I64)? as f64,
                             };
                             bytes.extend_from_slice(&v.to_le_bytes());
                         }
                         _ => {
-                            let v = const_eval(item, &ctx.consts)?;
+                            // Sub-word elements fold at i32 (integer
+                            // promotion); full-width ones at their type.
+                            let cty = match a.elem {
+                                ElemTy::Full(t) => t,
+                                _ => Ty::I32,
+                            };
+                            let v = const_eval(item, &ctx.consts, cty)?;
                             let n = a.elem.bytes() as usize;
                             bytes.extend_from_slice(&v.to_le_bytes()[..n]);
                         }
@@ -1452,5 +1524,111 @@ mod tests {
             panic!();
         };
         assert!(matches!(**lhs, HExpr::ShortCircuit { is_and: true, .. }));
+    }
+
+    /// Bits of the first global (at `GLOBAL_BASE`) after lowering.
+    fn first_global_bits(src: &str) -> u64 {
+        let h = lower_src(src).unwrap();
+        let mut bits = [0u8; 8];
+        for (addr, bytes) in &h.data {
+            if *addr == GLOBAL_BASE {
+                bits[..bytes.len()].copy_from_slice(bytes);
+            }
+        }
+        u64::from_le_bytes(bits)
+    }
+
+    #[test]
+    fn const_fold_unsigned_rem_uses_unsigned_semantics() {
+        // u32: 7 % (0-3 wrapped to 4294967293) = 7, not the signed 7 % -3 = 1.
+        assert_eq!(first_global_bits("global u32 g = 7 % (0 - 3);"), 7);
+        // Signed folding still applies for i32.
+        assert_eq!(first_global_bits("global i32 g = 7 % (0 - 3);") as u32, 1);
+    }
+
+    #[test]
+    fn const_fold_div_respects_signedness() {
+        assert_eq!(
+            first_global_bits("global u32 g = (0 - 8) / 2;") as u32,
+            (u32::MAX - 7) / 2
+        );
+        assert_eq!(
+            first_global_bits("global i32 g = (0 - 8) / 2;") as u32 as i32,
+            -4
+        );
+    }
+
+    #[test]
+    fn const_fold_shift_masks_count_at_type_width() {
+        // i32: count 33 masks to 1, as at run time — not a 64-bit shift
+        // truncated afterwards (which would give 0).
+        assert_eq!(first_global_bits("global i32 g = 1 << 33;") as u32, 2);
+        // i64: count 33 is a genuine 33-bit shift.
+        assert_eq!(first_global_bits("global i64 g = 1 << 33;"), 1 << 33);
+    }
+
+    #[test]
+    fn const_fold_shr_respects_signedness() {
+        // u32 >> is logical...
+        assert_eq!(
+            first_global_bits("global u32 g = (0 - 8) >> 1;") as u32,
+            0x7FFF_FFFC
+        );
+        // ...i32 >> is arithmetic.
+        assert_eq!(
+            first_global_bits("global i32 g = (0 - 8) >> 1;") as u32 as i32,
+            -4
+        );
+    }
+
+    #[test]
+    fn const_fold_min_over_minus_one_is_an_error() {
+        // i32::MIN / -1 traps at run time; in a constant context it must
+        // be rejected, not wrapped.
+        let e = lower_src("global i32 g = (0 - 2147483647 - 1) / (0 - 1);").unwrap_err();
+        assert!(e.msg.contains("overflow"), "{e}");
+        let e = lower_src("global i64 g = (0 - 9223372036854775807 - 1) / (0 - 1);").unwrap_err();
+        assert!(e.msg.contains("overflow"), "{e}");
+    }
+
+    #[test]
+    fn const_definitions_fold_at_i64() {
+        assert_eq!(
+            first_global_bits("const N = 1 << 40; global i64 g = N;"),
+            1 << 40
+        );
+    }
+
+    #[test]
+    fn folded_globals_match_runtime_computation() {
+        // The divergence the typed fold exists to prevent: a global's
+        // folded initializer must equal the identical expression computed
+        // at run time, for every signedness/width combination.
+        let cases = [
+            ("u32", "(0 - 7) % 3"),
+            ("u32", "(0 - 8) >> 2"),
+            ("i32", "(0 - 8) >> 2"),
+            ("u32", "3000000000 / 7"),
+            ("i32", "(1 << 33) + 5"),
+            ("u64", "(0 - 1) / 3"),
+            ("i64", "(0 - 123456789012345) % 1000003"),
+        ];
+        for (ty, expr) in cases {
+            let src = format!(
+                "global {ty} g = {expr};
+                 fn main() -> i32 {{
+                     var a: {ty} = {expr};
+                     if (a == g) {{ return 1; }}
+                     return 0;
+                 }}"
+            );
+            let prog = crate::compile(&src).unwrap();
+            let mut i = crate::Interp::new(&prog, crate::NoSyscalls);
+            assert_eq!(
+                i.run("main", &[]).unwrap(),
+                Some(1),
+                "fold/runtime divergence for {ty}: {expr}"
+            );
+        }
     }
 }

@@ -104,15 +104,31 @@ fn int_cc(op: HBinOp) -> Cc {
     }
 }
 
-/// Condition code for a float comparison (via `ucomis`, unsigned flags).
-fn float_cc(op: HBinOp) -> Cc {
+/// How to repair a `ucomis`-based equality test for unordered inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ParityFix {
+    /// `==`: ZF is also set for unordered, so AND with !PF.
+    AndNotParity,
+    /// `!=`: NaN != NaN must be true, so OR with PF.
+    OrParity,
+}
+
+/// Condition for a float comparison via `ucomis`: the condition code,
+/// whether the operands must be swapped, and an optional parity fixup.
+///
+/// `ucomis` sets ZF=PF=CF=1 for unordered operands, so the naive
+/// below/below-equal codes would come out true when a NaN is involved.
+/// Lt/Le therefore compare with swapped operands and test
+/// above/above-equal (false on unordered — IEEE semantics), the way
+/// clang compiles them, and Eq/Ne carry an explicit parity fixup.
+fn float_cc(op: HBinOp) -> (Cc, bool, Option<ParityFix>) {
     match op {
-        HBinOp::Eq => Cc::E,
-        HBinOp::Ne => Cc::Ne,
-        HBinOp::LtS => Cc::B,
-        HBinOp::GtS => Cc::A,
-        HBinOp::LeS => Cc::Be,
-        HBinOp::GeS => Cc::Ae,
+        HBinOp::Eq => (Cc::E, false, Some(ParityFix::AndNotParity)),
+        HBinOp::Ne => (Cc::Ne, false, Some(ParityFix::OrParity)),
+        HBinOp::LtS => (Cc::A, true, None),
+        HBinOp::GtS => (Cc::A, false, None),
+        HBinOp::LeS => (Cc::Ae, true, None),
+        HBinOp::GeS => (Cc::Ae, false, None),
         other => unreachable!("not a float comparison: {other:?}"),
     }
 }
@@ -323,17 +339,28 @@ impl<'p> Lower<'p> {
                         dst: Loc::V(dst),
                     });
                 } else {
-                    let l = self.value_float(lhs);
-                    let r = self.fopnd(rhs);
-                    self.emit(LInst::Ucomis {
-                        lhs: FLoc::V(l),
-                        rhs: r,
-                        prec: prec(*ty),
-                    });
+                    let (cc, fix) = self.emit_float_cmp(*op, *ty, lhs, rhs);
                     self.emit(LInst::Setcc {
-                        cc: float_cc(*op),
+                        cc,
                         dst: Loc::V(dst),
                     });
+                    if let Some(fix) = fix {
+                        let p = self.vreg_int();
+                        let (pcc, aop) = match fix {
+                            ParityFix::AndNotParity => (Cc::Np, AluOp::And),
+                            ParityFix::OrParity => (Cc::P, AluOp::Or),
+                        };
+                        self.emit(LInst::Setcc {
+                            cc: pcc,
+                            dst: Loc::V(p),
+                        });
+                        self.emit(LInst::Alu {
+                            op: aop,
+                            dst: Loc::V(dst),
+                            src: Opnd::Loc(Loc::V(p)),
+                            width: Width::W32,
+                        });
+                    }
                 }
             }
             HExpr::Binary { op, ty, lhs, rhs } => {
@@ -482,6 +509,38 @@ impl<'p> Lower<'p> {
     }
 
     // ---- float expressions ---------------------------------------------
+
+    /// Emit the `ucomis` for a float comparison and return the condition
+    /// code plus the parity fixup Eq/Ne need. Operands are evaluated in
+    /// source order even when the comparison swaps them, so calls inside
+    /// the operands keep their order.
+    fn emit_float_cmp(
+        &mut self,
+        op: HBinOp,
+        ty: HTy,
+        lhs: &HExpr,
+        rhs: &HExpr,
+    ) -> (Cc, Option<ParityFix>) {
+        let (cc, swap, fix) = float_cc(op);
+        if swap {
+            let l = self.value_float(lhs);
+            let r = self.value_float(rhs);
+            self.emit(LInst::Ucomis {
+                lhs: FLoc::V(r),
+                rhs: FOpnd::Loc(FLoc::V(l)),
+                prec: prec(ty),
+            });
+        } else {
+            let l = self.value_float(lhs);
+            let r = self.fopnd(rhs);
+            self.emit(LInst::Ucomis {
+                lhs: FLoc::V(l),
+                rhs: r,
+                prec: prec(ty),
+            });
+        }
+        (cc, fix)
+    }
 
     fn fopnd(&mut self, e: &HExpr) -> FOpnd {
         match e {
@@ -868,17 +927,38 @@ impl<'p> Lower<'p> {
                         target: if_true,
                     });
                 } else {
-                    let l = self.value_float(lhs);
-                    let r = self.fopnd(rhs);
-                    self.emit(LInst::Ucomis {
-                        lhs: FLoc::V(l),
-                        rhs: r,
-                        prec: prec(*ty),
-                    });
-                    self.emit(LInst::Jcc {
-                        cc: float_cc(*op),
-                        target: if_true,
-                    });
+                    let (cc, fix) = self.emit_float_cmp(*op, *ty, lhs, rhs);
+                    match fix {
+                        // `==`: unordered operands must not compare
+                        // equal, so parity routes to the false edge.
+                        Some(ParityFix::AndNotParity) => {
+                            self.emit(LInst::Jcc {
+                                cc: Cc::P,
+                                target: if_false,
+                            });
+                            self.emit(LInst::Jcc {
+                                cc,
+                                target: if_true,
+                            });
+                        }
+                        // `!=`: unordered operands compare not-equal.
+                        Some(ParityFix::OrParity) => {
+                            self.emit(LInst::Jcc {
+                                cc: Cc::P,
+                                target: if_true,
+                            });
+                            self.emit(LInst::Jcc {
+                                cc,
+                                target: if_true,
+                            });
+                        }
+                        None => {
+                            self.emit(LInst::Jcc {
+                                cc,
+                                target: if_true,
+                            });
+                        }
+                    }
                 }
                 self.emit(LInst::Jmp { target: if_false });
             }
@@ -1081,9 +1161,12 @@ impl<'p> Lower<'p> {
                             cond,
                             HExpr::Binary { op, ty, .. } if op.is_cmp() && ty.is_int()
                         );
+                        // Float Eq/Ne need a parity fixup a single cmov
+                        // cannot express, so they take the branchy path.
                         let float_cmp = matches!(
                             cond,
                             HExpr::Binary { op, ty, .. } if op.is_cmp() && !ty.is_int()
+                                && !matches!(op, HBinOp::Eq | HBinOp::Ne)
                         );
                         if (int_cmp || float_cmp) && cmov_safe(value) {
                             let HExpr::Binary { op, ty, lhs, rhs } = cond else {
@@ -1102,14 +1185,8 @@ impl<'p> Lower<'p> {
                                 });
                                 int_cc(*op)
                             } else {
-                                let l = self.value_float(lhs);
-                                let r = self.fopnd(rhs);
-                                self.emit(LInst::Ucomis {
-                                    lhs: FLoc::V(l),
-                                    rhs: r,
-                                    prec: prec(*ty),
-                                });
-                                float_cc(*op)
+                                let (cc, _) = self.emit_float_cmp(*op, *ty, lhs, rhs);
+                                cc
                             };
                             let dst = self.locals[*idx as usize];
                             self.emit(LInst::Cmov {

@@ -587,15 +587,23 @@ impl<'m, H: HostEnv> Machine<'m, H> {
                             let bits = (width.bytes() * 8) as u32;
                             let c = (r as u32) % bits;
                             let lm = l & width.mask();
-
-                            ((lm << c) | (lm >> (bits - c).min(63))) & width.mask()
+                            // Rotate by zero is the identity; `bits - c`
+                            // would be a full-width (UB-in-hardware) shift.
+                            if c == 0 {
+                                lm
+                            } else {
+                                ((lm << c) | (lm >> (bits - c))) & width.mask()
+                            }
                         }
                         AluOp::Ror => {
                             let bits = (width.bytes() * 8) as u32;
                             let c = (r as u32) % bits;
                             let lm = l & width.mask();
-
-                            ((lm >> c) | (lm << (bits - c).min(63))) & width.mask()
+                            if c == 0 {
+                                lm
+                            } else {
+                                ((lm >> c) | (lm << (bits - c))) & width.mask()
+                            }
                         }
                     };
                     if let Err(k) = self.write_op(dst, res, *width) {
@@ -951,20 +959,8 @@ impl<'m, H: HostEnv> Machine<'m, H> {
                                 FAluOp::Sub => l - r,
                                 FAluOp::Mul => l * r,
                                 FAluOp::Div => l / r,
-                                FAluOp::Min => {
-                                    if l < r {
-                                        l
-                                    } else {
-                                        r
-                                    }
-                                }
-                                FAluOp::Max => {
-                                    if l > r {
-                                        l
-                                    } else {
-                                        r
-                                    }
-                                }
+                                FAluOp::Min => wasmperf_isa::fpsem::wasm_min_f32(l, r),
+                                FAluOp::Max => wasmperf_isa::fpsem::wasm_max_f32(l, r),
                             };
                             v.to_bits() as u64
                         }
@@ -976,20 +972,8 @@ impl<'m, H: HostEnv> Machine<'m, H> {
                                 FAluOp::Sub => l - r,
                                 FAluOp::Mul => l * r,
                                 FAluOp::Div => l / r,
-                                FAluOp::Min => {
-                                    if l < r {
-                                        l
-                                    } else {
-                                        r
-                                    }
-                                }
-                                FAluOp::Max => {
-                                    if l > r {
-                                        l
-                                    } else {
-                                        r
-                                    }
-                                }
+                                FAluOp::Min => wasmperf_isa::fpsem::wasm_min_f64(l, r),
+                                FAluOp::Max => wasmperf_isa::fpsem::wasm_max_f64(l, r),
                             };
                             v.to_bits()
                         }
@@ -1936,5 +1920,149 @@ mod tests {
         assert!(out.counters.icache_accesses >= out.counters.instructions_retired);
         // Tiny loop: essentially no misses after warm-up.
         assert!(out.counters.icache_misses < 5);
+    }
+
+    /// Runs a single two-operand ALU op with both inputs in registers.
+    fn run_alu(op: AluOp, width: Width, l: u64, r: u64) -> u64 {
+        let mut b = AsmBuilder::new("alu");
+        b.emit(Inst::Mov {
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Reg(Reg::Rdi),
+            width: Width::W64,
+        });
+        b.emit(Inst::Alu {
+            op,
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Reg(Reg::Rsi),
+            width,
+        });
+        b.emit(Inst::Ret);
+        let m = module_of(vec![b.finish()]);
+        run_module(&m, &[l, r]).ret
+    }
+
+    #[test]
+    fn rotates_match_reference_for_every_count_and_width() {
+        // Sweep counts 0..=bits (inclusive: `bits` must wrap to the
+        // identity, the historical rotate-by-zero/by-width bug).
+        let patterns = [
+            0u64,
+            1,
+            0x8000_0000_0000_0001,
+            0xDEAD_BEEF_CAFE_F00D,
+            u64::MAX,
+        ];
+        for width in [Width::W8, Width::W16, Width::W32, Width::W64] {
+            let bits = (width.bytes() * 8) as u32;
+            for &p in &patterns {
+                let lm = p & width.mask();
+                for count in 0..=bits {
+                    let c = count % bits;
+                    // Reference rotate on the masked value.
+                    let want_l = if c == 0 {
+                        lm
+                    } else {
+                        ((lm << c) | (lm >> (bits - c))) & width.mask()
+                    };
+                    let want_r = if c == 0 {
+                        lm
+                    } else {
+                        ((lm >> c) | (lm << (bits - c))) & width.mask()
+                    };
+                    // Sub-width writes keep the destination's upper bits
+                    // (x86 partial-register semantics), so compare masked.
+                    assert_eq!(
+                        run_alu(AluOp::Rol, width, p, count as u64) & width.mask(),
+                        want_l,
+                        "rol {width:?} {p:#x} by {count}"
+                    );
+                    assert_eq!(
+                        run_alu(AluOp::Ror, width, p, count as u64) & width.mask(),
+                        want_r,
+                        "ror {width:?} {p:#x} by {count}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Runs a single float ALU op with both inputs passed as bit patterns
+    /// (staged through memory — the ISA has no GPR↔XMM move).
+    fn run_aluf(op: FAluOp, prec: FPrec, l: u64, r: u64) -> u64 {
+        use wasmperf_isa::inst::FOperand;
+        use wasmperf_isa::Xmm;
+        let slot = |disp: i64| MemRef {
+            base: None,
+            index: None,
+            disp,
+        };
+        let mut b = AsmBuilder::new("aluf");
+        b.emit(Inst::Mov {
+            dst: Operand::Mem(slot(16)),
+            src: Operand::Reg(Reg::Rdi),
+            width: Width::W64,
+        });
+        b.emit(Inst::Mov {
+            dst: Operand::Mem(slot(24)),
+            src: Operand::Reg(Reg::Rsi),
+            width: Width::W64,
+        });
+        b.emit(Inst::MovF {
+            dst: FOperand::Xmm(Xmm(0)),
+            src: FOperand::Mem(slot(16)),
+            prec,
+        });
+        b.emit(Inst::AluF {
+            op,
+            dst: Xmm(0),
+            src: FOperand::Mem(slot(24)),
+            prec,
+        });
+        b.emit(Inst::MovF {
+            dst: FOperand::Mem(slot(32)),
+            src: FOperand::Xmm(Xmm(0)),
+            prec,
+        });
+        b.emit(Inst::Mov {
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Mem(slot(32)),
+            width: match prec {
+                FPrec::F32 => Width::W32,
+                FPrec::F64 => Width::W64,
+            },
+        });
+        b.emit(Inst::Ret);
+        let m = module_of(vec![b.finish()]);
+        run_module(&m, &[l, r]).ret
+    }
+
+    #[test]
+    fn float_min_max_have_wasm_semantics() {
+        // NaN propagates from either operand (bare `minsd` would instead
+        // return the second operand).
+        let nan = f64::NAN.to_bits();
+        let one = 1.0f64.to_bits();
+        assert!(f64::from_bits(run_aluf(FAluOp::Min, FPrec::F64, nan, one)).is_nan());
+        assert!(f64::from_bits(run_aluf(FAluOp::Min, FPrec::F64, one, nan)).is_nan());
+        assert!(f64::from_bits(run_aluf(FAluOp::Max, FPrec::F64, nan, one)).is_nan());
+        assert!(f64::from_bits(run_aluf(FAluOp::Max, FPrec::F64, one, nan)).is_nan());
+        // -0 < +0.
+        let pz = 0.0f64.to_bits();
+        let nz = (-0.0f64).to_bits();
+        assert_eq!(run_aluf(FAluOp::Min, FPrec::F64, pz, nz), nz);
+        assert_eq!(run_aluf(FAluOp::Max, FPrec::F64, nz, pz), pz);
+        // Same at f32 precision.
+        let nan32 = f32::NAN.to_bits() as u64;
+        let two32 = 2.0f32.to_bits() as u64;
+        assert!(f32::from_bits(run_aluf(FAluOp::Min, FPrec::F32, two32, nan32) as u32).is_nan());
+        assert_eq!(
+            run_aluf(
+                FAluOp::Max,
+                FPrec::F32,
+                (-0.0f32).to_bits() as u64,
+                0.0f32.to_bits() as u64
+            ),
+            0.0f32.to_bits() as u64
+        );
     }
 }

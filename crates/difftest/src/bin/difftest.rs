@@ -1,0 +1,196 @@
+//! Differential fuzzing driver.
+//!
+//! ```text
+//! difftest [--seed N] [--iters N] [--jobs N] [--shrink] [--corpus DIR]
+//! ```
+//!
+//! Replays the corpus (if `--corpus` is given), then fuzzes `--iters`
+//! seeded programs starting at `--seed` on the farm worker pool. Each
+//! divergence is reported with its per-engine outcomes; with `--shrink`
+//! it is first reduced to a minimal reproducer, which is written into
+//! the corpus directory (when one was given) ready to be checked in.
+//! Exits non-zero if anything diverged or failed.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use wasmperf_difftest::exec::{run_source, Outcome};
+use wasmperf_difftest::{check_case, corpus, generate, load_dir, shrink, Expect};
+
+struct Args {
+    seed: u64,
+    iters: u64,
+    jobs: usize,
+    shrink: bool,
+    corpus: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 1,
+        iters: 100,
+        jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        shrink: false,
+        corpus: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match a.as_str() {
+            "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--iters" => {
+                args.iters = val("--iters")?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?
+            }
+            "--jobs" => args.jobs = val("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?,
+            "--shrink" => args.shrink = true,
+            "--corpus" => args.corpus = Some(PathBuf::from(val("--corpus")?)),
+            "--help" | "-h" => {
+                println!(
+                    "usage: difftest [--seed N] [--iters N] [--jobs N] [--shrink] [--corpus DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn replay_corpus(dir: &Path) -> Result<usize, usize> {
+    let cases = match load_dir(dir) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("corpus: {e}");
+            return Err(1);
+        }
+    };
+    let mut failures = 0usize;
+    for (path, case) in &cases {
+        match check_case(case) {
+            Ok(_) => println!("corpus ok   {}", path.display()),
+            Err(e) => {
+                failures += 1;
+                eprintln!("corpus FAIL {}\n{e}", path.display());
+            }
+        }
+    }
+    if failures == 0 {
+        Ok(cases.len())
+    } else {
+        Err(failures)
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("difftest: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failed = false;
+
+    if let Some(dir) = &args.corpus {
+        if dir.is_dir() {
+            match replay_corpus(dir) {
+                Ok(n) => println!("corpus: {n} case(s) clean"),
+                Err(n) => {
+                    eprintln!("corpus: {n} case(s) failed");
+                    failed = true;
+                }
+            }
+        } else {
+            println!(
+                "corpus: {} does not exist yet, skipping replay",
+                dir.display()
+            );
+        }
+    }
+
+    if args.iters > 0 {
+        let seeds: Vec<u64> = (0..args.iters).map(|i| args.seed.wrapping_add(i)).collect();
+        // One farm job per seed: generate, run everywhere, report the
+        // divergence signature (if any). Shrinking happens afterwards in
+        // the main thread — regeneration from the seed is free.
+        let (outcomes, stats) = wasmperf_farm::run_jobs(
+            &seeds,
+            args.jobs,
+            |s| format!("seed {s}"),
+            |&s| {
+                let src = generate(s).render();
+                let report = run_source(&src)
+                    .map_err(|e| format!("seed {s}: generated program rejected: {e}\n{src}"))?;
+                Ok(report.signature().map(|sig| (sig, report.describe())))
+            },
+            None,
+        );
+
+        let mut divergent: Vec<u64> = Vec::new();
+        for (seed, outcome) in seeds.iter().zip(&outcomes) {
+            match outcome {
+                Ok(None) => {}
+                Ok(Some((sig, describe))) => {
+                    divergent.push(*seed);
+                    eprintln!("divergence at seed {seed} (disagreeing: {sig}):\n{describe}");
+                }
+                Err(f) => {
+                    failed = true;
+                    eprintln!("job failure: {f}");
+                }
+            }
+        }
+        println!(
+            "fuzz: {} program(s), {} divergence(s), {} job failure(s), {} worker(s)",
+            seeds.len(),
+            divergent.len(),
+            stats.failures,
+            stats.per_worker.len()
+        );
+
+        for seed in &divergent {
+            failed = true;
+            if !args.shrink {
+                continue;
+            }
+            let orig = generate(*seed);
+            let sig = run_source(&orig.render())
+                .ok()
+                .and_then(|r| r.signature())
+                .expect("divergence reproduces");
+            let keep = |p: &wasmperf_difftest::Prog| match run_source(&p.render()) {
+                Ok(r) => r.signature().as_ref() == Some(&sig),
+                Err(_) => false,
+            };
+            let small = shrink(&orig, keep, 4000);
+            let report = run_source(&small.render()).expect("shrunk program compiles");
+            let expect = match report.oracle() {
+                Outcome::Value(v) => Some(Expect::Value(*v)),
+                Outcome::Trap(t) => Some(Expect::Trap(*t)),
+                _ => None,
+            };
+            let text = corpus::render_case(
+                &format!("shrunk-seed{seed} (disagreeing: {sig})"),
+                expect,
+                &small.render(),
+            );
+            println!("\nminimal reproducer for seed {seed}:\n{text}");
+            if let Some(dir) = &args.corpus {
+                let path = dir.join(format!("shrunk-seed{seed}.clite"));
+                match std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, &text)) {
+                    Ok(()) => println!("wrote {}", path.display()),
+                    Err(e) => eprintln!("could not write {}: {e}", path.display()),
+                }
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

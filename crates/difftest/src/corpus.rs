@@ -1,0 +1,192 @@
+//! The checked-in regression corpus.
+//!
+//! Each `corpus/*.clite` file is a minimal reproducer with a small
+//! comment header:
+//!
+//! ```text
+//! // difftest: rotate64-by-zero
+//! // expect: value 1
+//! <CLite source>
+//! ```
+//!
+//! `expect:` is either `value <i32>` or `trap <TrapClass>`. Replaying a
+//! case runs it through every engine and fails if any two engines
+//! diverge *or* if the agreed outcome differs from `expect:` — the
+//! latter catches bugs that hit every pipeline identically (e.g. a bad
+//! constant fold in the shared frontend, which no cross-engine
+//! comparison can see).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::exec::{run_source, Outcome, Report, TrapClass};
+
+/// The expected agreed outcome of a corpus case.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Expect {
+    /// `main` returns this value.
+    Value(i32),
+    /// Execution traps with this class.
+    Trap(TrapClass),
+}
+
+impl Expect {
+    /// True if `o` matches this expectation.
+    pub fn matches(self, o: &Outcome) -> bool {
+        match (self, o) {
+            (Expect::Value(v), Outcome::Value(got)) => v == *got,
+            (Expect::Trap(t), Outcome::Trap(got)) => t == *got,
+            _ => false,
+        }
+    }
+}
+
+impl core::fmt::Display for Expect {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Expect::Value(v) => write!(f, "value {v}"),
+            Expect::Trap(t) => write!(f, "trap {t}"),
+        }
+    }
+}
+
+/// A parsed corpus case.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// Case name from the `// difftest:` header.
+    pub name: String,
+    /// Expected outcome, if the header declares one.
+    pub expect: Option<Expect>,
+    /// The CLite source (header comments included; they lex as
+    /// comments).
+    pub source: String,
+}
+
+/// Parses a corpus file's text.
+pub fn parse_case(text: &str) -> Result<Case, String> {
+    let mut name = None;
+    let mut expect = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("// difftest:") {
+            name = Some(rest.trim().to_string());
+        } else if let Some(rest) = line.strip_prefix("// expect:") {
+            let rest = rest.trim();
+            expect = Some(parse_expect(rest)?);
+        } else if !line.starts_with("//") && !line.is_empty() {
+            break;
+        }
+    }
+    Ok(Case {
+        name: name.ok_or("missing `// difftest: <name>` header")?,
+        expect,
+        source: text.to_string(),
+    })
+}
+
+fn parse_expect(s: &str) -> Result<Expect, String> {
+    if let Some(v) = s.strip_prefix("value ") {
+        let v: i32 = v
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad expect value `{v}`: {e}"))?;
+        return Ok(Expect::Value(v));
+    }
+    if let Some(t) = s.strip_prefix("trap ") {
+        return TrapClass::parse(t.trim())
+            .map(Expect::Trap)
+            .ok_or_else(|| format!("unknown trap class `{t}`"));
+    }
+    Err(format!("bad expect `{s}` (want `value N` or `trap Class`)"))
+}
+
+/// Loads every `*.clite` case in `dir`, sorted by file name.
+pub fn load_dir(dir: &Path) -> Result<Vec<(PathBuf, Case)>, String> {
+    let mut cases = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "clite"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let text = fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let case = parse_case(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        cases.push((path, case));
+    }
+    Ok(cases)
+}
+
+/// Replays one case through every engine. Fails on a frontend error, a
+/// cross-engine divergence, or an `expect:` mismatch.
+pub fn check_case(case: &Case) -> Result<Report, String> {
+    let report = run_source(&case.source).map_err(|e| format!("[{}] frontend: {e}", case.name))?;
+    if report.divergent() {
+        return Err(format!(
+            "[{}] engines diverge:\n{}",
+            case.name,
+            report.describe()
+        ));
+    }
+    if let Some(expect) = case.expect {
+        let oracle = report.oracle();
+        if !expect.matches(oracle) {
+            return Err(format!(
+                "[{}] expected {expect}, all engines agree on: {oracle}",
+                case.name
+            ));
+        }
+    }
+    Ok(report)
+}
+
+/// Renders a corpus file for a shrunk reproducer.
+pub fn render_case(name: &str, expect: Option<Expect>, source: &str) -> String {
+    let mut out = format!("// difftest: {name}\n");
+    if let Some(e) = expect {
+        out.push_str(&format!("// expect: {e}\n"));
+    }
+    out.push_str(source);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_headers_and_roundtrips() {
+        let text = render_case(
+            "demo",
+            Some(Expect::Value(42)),
+            "fn main() -> i32 { return 42; }\n",
+        );
+        let case = parse_case(&text).unwrap();
+        assert_eq!(case.name, "demo");
+        assert_eq!(case.expect, Some(Expect::Value(42)));
+        check_case(&case).unwrap();
+    }
+
+    #[test]
+    fn trap_expectations_parse_and_check() {
+        let text = render_case(
+            "trap-demo",
+            Some(Expect::Trap(TrapClass::DivByZero)),
+            "fn main() -> i32 { var z: i32 = 0; return 1 / z; }\n",
+        );
+        let case = parse_case(&text).unwrap();
+        check_case(&case).unwrap();
+    }
+
+    #[test]
+    fn expectation_mismatch_is_an_error() {
+        let text = render_case(
+            "bad",
+            Some(Expect::Value(5)),
+            "fn main() -> i32 { return 6; }\n",
+        );
+        let case = parse_case(&text).unwrap();
+        let err = check_case(&case).unwrap_err();
+        assert!(err.contains("expected value 5"), "{err}");
+    }
+}

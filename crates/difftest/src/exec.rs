@@ -1,0 +1,455 @@
+//! The differential executor: one CLite program, every pipeline.
+//!
+//! A program is compiled once through the shared frontend
+//! (`wasmperf_cir::compile`) and then executed by seven engines spanning
+//! the paper's toolchains:
+//!
+//! - the CLite reference interpreter (the oracle),
+//! - the wasm reference interpreter (Emscripten output, no codegen),
+//! - the clanglite native backend on the CPU simulator,
+//! - the Chrome and Firefox wasm JITs,
+//! - the Chrome and Firefox asm.js profiles.
+//!
+//! Outcomes are compared bit-exactly; traps are canonicalised to a
+//! shared [`TrapClass`] so "signed division overflow" from the machine
+//! and from the interpreter count as the same behaviour. Resource
+//! exhaustion (fuel, stack depth) is engine-specific by design and never
+//! counts as a divergence.
+
+use core::fmt;
+
+use wasmperf_cir::{HProgram, InterpError};
+use wasmperf_cpu::{Machine, NullHost};
+use wasmperf_isa::inst::TrapKind;
+use wasmperf_wasm::{Instance, NoImports, Value, WasmTrap};
+use wasmperf_wasmjit::EngineProfile;
+
+/// Instruction budget per engine run. Generated programs are tiny; a run
+/// that exhausts this is classified as a resource outcome, not compared.
+pub const FUEL: u64 = 50_000_000;
+
+/// The engines a program runs through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// CLite reference interpreter (the oracle).
+    CliteInterp,
+    /// WebAssembly reference interpreter.
+    WasmInterp,
+    /// clanglite native backend on the CPU simulator.
+    Native,
+    /// Chrome-profile wasm JIT.
+    ChromeJit,
+    /// Firefox-profile wasm JIT.
+    FirefoxJit,
+    /// Chrome-profile asm.js.
+    ChromeAsmjs,
+    /// Firefox-profile asm.js.
+    FirefoxAsmjs,
+}
+
+impl Engine {
+    /// Every engine, oracle first.
+    pub const ALL: [Engine; 7] = [
+        Engine::CliteInterp,
+        Engine::WasmInterp,
+        Engine::Native,
+        Engine::ChromeJit,
+        Engine::FirefoxJit,
+        Engine::ChromeAsmjs,
+        Engine::FirefoxAsmjs,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::CliteInterp => "clite-interp",
+            Engine::WasmInterp => "wasm-interp",
+            Engine::Native => "native",
+            Engine::ChromeJit => "chrome-jit",
+            Engine::FirefoxJit => "firefox-jit",
+            Engine::ChromeAsmjs => "chrome-asmjs",
+            Engine::FirefoxAsmjs => "firefox-asmjs",
+        }
+    }
+}
+
+/// Canonical trap classification shared by all engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrapClass {
+    /// Integer division by zero.
+    DivByZero,
+    /// Signed division overflow or float→int range error.
+    IntegerOverflow,
+    /// Out-of-bounds linear-memory access.
+    OutOfBounds,
+    /// Indirect call to an out-of-range or null table slot.
+    BadIndirectCall,
+    /// Indirect call signature mismatch.
+    SigMismatch,
+    /// `unreachable` executed.
+    Unreachable,
+    /// Explicit abort.
+    Abort,
+    /// The syscall/import host reported an error.
+    Host,
+}
+
+impl TrapClass {
+    /// Canonical name (stable; used in corpus `expect:` headers).
+    pub fn name(self) -> &'static str {
+        match self {
+            TrapClass::DivByZero => "DivByZero",
+            TrapClass::IntegerOverflow => "IntegerOverflow",
+            TrapClass::OutOfBounds => "OutOfBounds",
+            TrapClass::BadIndirectCall => "BadIndirectCall",
+            TrapClass::SigMismatch => "SigMismatch",
+            TrapClass::Unreachable => "Unreachable",
+            TrapClass::Abort => "Abort",
+            TrapClass::Host => "Host",
+        }
+    }
+
+    /// Parses a canonical name.
+    pub fn parse(s: &str) -> Option<TrapClass> {
+        Some(match s {
+            "DivByZero" => TrapClass::DivByZero,
+            "IntegerOverflow" => TrapClass::IntegerOverflow,
+            "OutOfBounds" => TrapClass::OutOfBounds,
+            "BadIndirectCall" => TrapClass::BadIndirectCall,
+            "SigMismatch" => TrapClass::SigMismatch,
+            "Unreachable" => TrapClass::Unreachable,
+            "Abort" => TrapClass::Abort,
+            "Host" => TrapClass::Host,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TrapClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What one engine did with the program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// `main` returned this i32.
+    Value(i32),
+    /// Execution trapped.
+    Trap(TrapClass),
+    /// Fuel or stack exhaustion — engine-specific, excluded from
+    /// divergence comparison.
+    Resource(String),
+    /// The pipeline itself failed (backend compile error, bad module,
+    /// missing entry). Compared by presence, not message.
+    Error(String),
+}
+
+/// The comparable projection of an [`Outcome`]; `None` for resource
+/// exhaustion. All `Error` outcomes compare equal: two backends failing
+/// with different messages is one behaviour, not two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OutcomeKey {
+    /// A returned value.
+    Value(i32),
+    /// A canonical trap.
+    Trap(TrapClass),
+    /// A pipeline failure.
+    Error,
+}
+
+impl Outcome {
+    /// The comparison key, or `None` if this outcome is excluded.
+    pub fn key(&self) -> Option<OutcomeKey> {
+        match self {
+            Outcome::Value(v) => Some(OutcomeKey::Value(*v)),
+            Outcome::Trap(t) => Some(OutcomeKey::Trap(*t)),
+            Outcome::Error(_) => Some(OutcomeKey::Error),
+            Outcome::Resource(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Value(v) => write!(f, "value {v}"),
+            Outcome::Trap(t) => write!(f, "trap {t}"),
+            Outcome::Resource(r) => write!(f, "resource ({r})"),
+            Outcome::Error(e) => write!(f, "pipeline error ({e})"),
+        }
+    }
+}
+
+/// The engines that disagreed with the reference outcome, by name,
+/// sorted. Two divergent programs with the same signature are treated as
+/// the same underlying bug by the shrinker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature(pub Vec<&'static str>);
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0.join("+"))
+    }
+}
+
+/// Whether `key` from `engine` is an acceptable outcome given the
+/// reference outcome. Beyond exact equality there is one modeled
+/// asymmetry: native stands in for C, and C has no indirect-call bounds
+/// check — the table holds bare function pointers. An out-of-range
+/// index is undefined behaviour there: the table load may run off
+/// mapped memory (a plain memory trap), reach a garbage function id, or
+/// even land on something callable. So when the checked pipelines trap
+/// BadIndirectCall, any native outcome is accepted.
+fn outcome_compatible(engine: Engine, key: OutcomeKey, reference: OutcomeKey) -> bool {
+    if key == reference {
+        return true;
+    }
+    engine == Engine::Native && reference == OutcomeKey::Trap(TrapClass::BadIndirectCall)
+}
+
+/// Per-engine outcomes for one program.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// `(engine, outcome)` in [`Engine::ALL`] order.
+    pub outcomes: Vec<(Engine, Outcome)>,
+}
+
+impl Report {
+    /// The oracle (CLite interpreter) outcome.
+    pub fn oracle(&self) -> &Outcome {
+        &self
+            .outcomes
+            .iter()
+            .find(|(e, _)| *e == Engine::CliteInterp)
+            .expect("oracle always runs")
+            .1
+    }
+
+    /// True if at least two engines produced different comparable
+    /// outcomes (modulo the modeled native indirect-call asymmetry).
+    pub fn divergent(&self) -> bool {
+        let Some(reference) = self.reference_key() else {
+            return false;
+        };
+        self.outcomes.iter().any(|(e, o)| {
+            o.key()
+                .is_some_and(|k| !outcome_compatible(*e, k, reference))
+        })
+    }
+
+    /// The outcome every engine is compared against: the oracle's, or
+    /// the first comparable one if the oracle ran out of resources.
+    fn reference_key(&self) -> Option<OutcomeKey> {
+        self.oracle()
+            .key()
+            .or_else(|| self.outcomes.iter().find_map(|(_, o)| o.key()))
+    }
+
+    /// The divergence signature: engines that disagree with the
+    /// reference (the oracle, or the first comparable engine if the
+    /// oracle ran out of resources). `None` when not divergent.
+    pub fn signature(&self) -> Option<Signature> {
+        if !self.divergent() {
+            return None;
+        }
+        let reference = self.reference_key()?;
+        let mut names: Vec<&'static str> = self
+            .outcomes
+            .iter()
+            .filter(|(e, o)| {
+                o.key()
+                    .is_some_and(|k| !outcome_compatible(*e, k, reference))
+            })
+            .map(|(e, _)| e.name())
+            .collect();
+        names.sort_unstable();
+        Some(Signature(names))
+    }
+
+    /// A one-line-per-engine description.
+    pub fn describe(&self) -> String {
+        let mut s = String::new();
+        for (e, o) in &self.outcomes {
+            s.push_str(&format!("  {:<14} {o}\n", e.name()));
+        }
+        s
+    }
+}
+
+fn map_interp_err(e: InterpError) -> Outcome {
+    match e {
+        InterpError::DivByZero => Outcome::Trap(TrapClass::DivByZero),
+        InterpError::IntegerOverflow => Outcome::Trap(TrapClass::IntegerOverflow),
+        InterpError::OutOfBounds => Outcome::Trap(TrapClass::OutOfBounds),
+        InterpError::BadIndirectCall => Outcome::Trap(TrapClass::BadIndirectCall),
+        InterpError::SigMismatch => Outcome::Trap(TrapClass::SigMismatch),
+        InterpError::OutOfFuel => Outcome::Resource("clite interpreter fuel".into()),
+        InterpError::StackExhausted => Outcome::Resource("clite interpreter stack".into()),
+        InterpError::Host(_) => Outcome::Trap(TrapClass::Host),
+    }
+}
+
+fn map_wasm_trap(t: WasmTrap) -> Outcome {
+    match t {
+        WasmTrap::Unreachable => Outcome::Trap(TrapClass::Unreachable),
+        WasmTrap::DivByZero => Outcome::Trap(TrapClass::DivByZero),
+        WasmTrap::IntegerOverflow => Outcome::Trap(TrapClass::IntegerOverflow),
+        WasmTrap::OutOfBoundsMemory => Outcome::Trap(TrapClass::OutOfBounds),
+        WasmTrap::UndefinedElement => Outcome::Trap(TrapClass::BadIndirectCall),
+        WasmTrap::IndirectCallTypeMismatch => Outcome::Trap(TrapClass::SigMismatch),
+        WasmTrap::StackExhausted => Outcome::Resource("wasm interpreter stack".into()),
+        WasmTrap::OutOfFuel => Outcome::Resource("wasm interpreter fuel".into()),
+        WasmTrap::Host(_) => Outcome::Trap(TrapClass::Host),
+    }
+}
+
+fn map_trap_kind(k: TrapKind) -> Outcome {
+    match k {
+        TrapKind::Unreachable => Outcome::Trap(TrapClass::Unreachable),
+        TrapKind::StackOverflow => Outcome::Resource("machine stack".into()),
+        TrapKind::IndirectCallOutOfBounds => Outcome::Trap(TrapClass::BadIndirectCall),
+        TrapKind::IndirectCallTypeMismatch => Outcome::Trap(TrapClass::SigMismatch),
+        TrapKind::DivByZero => Outcome::Trap(TrapClass::DivByZero),
+        TrapKind::IntegerOverflow => Outcome::Trap(TrapClass::IntegerOverflow),
+        TrapKind::MemoryOutOfBounds => Outcome::Trap(TrapClass::OutOfBounds),
+        TrapKind::Abort => Outcome::Trap(TrapClass::Abort),
+        TrapKind::OutOfFuel => Outcome::Resource("machine fuel".into()),
+    }
+}
+
+fn run_clite(prog: &HProgram) -> Outcome {
+    let mut interp = wasmperf_cir::Interp::new(prog, wasmperf_cir::NoSyscalls);
+    match interp.run("main", &[]) {
+        Ok(Some(v)) => Outcome::Value(v as u32 as i32),
+        Ok(None) => Outcome::Error("main returned no value".into()),
+        Err(e) => map_interp_err(e),
+    }
+}
+
+fn run_wasm_interp(wasm: &wasmperf_wasm::WasmModule) -> Outcome {
+    let mut inst = match Instance::new(wasm, NoImports) {
+        Ok(i) => i,
+        Err(e) => return Outcome::Error(format!("instantiation: {e:?}")),
+    };
+    match inst.invoke_export("main", &[]) {
+        Ok(Some(Value::I32(v))) => Outcome::Value(v),
+        Ok(other) => Outcome::Error(format!("main returned {other:?}, expected i32")),
+        Err(t) => map_wasm_trap(t),
+    }
+}
+
+fn run_machine(module: &wasmperf_isa::Module, entry: wasmperf_isa::FuncId) -> Outcome {
+    let mut m = Machine::new(module, NullHost);
+    match m.run(entry, &[], FUEL) {
+        Ok(out) => Outcome::Value(out.ret as u32 as i32),
+        Err(e) => map_trap_kind(e.kind),
+    }
+}
+
+fn run_native(prog: &HProgram) -> Outcome {
+    let module = wasmperf_clanglite::compile(prog, &Default::default());
+    match module.entry {
+        Some(entry) => run_machine(&module, entry),
+        None => Outcome::Error("native module has no entry".into()),
+    }
+}
+
+fn run_jit(wasm: &wasmperf_wasm::WasmModule, profile: &EngineProfile) -> Outcome {
+    let jit = match wasmperf_wasmjit::compile(wasm, profile) {
+        Ok(j) => j,
+        Err(e) => return Outcome::Error(format!("jit compile: {e:?}")),
+    };
+    match jit.module.func_by_name("main") {
+        Some(id) => run_machine(&jit.module, id),
+        None => Outcome::Error("jit module has no main".into()),
+    }
+}
+
+/// Runs an already-lowered program through every engine.
+pub fn run_all(prog: &HProgram) -> Report {
+    let mut outcomes = vec![
+        (Engine::CliteInterp, run_clite(prog)),
+        (Engine::Native, run_native(prog)),
+    ];
+    let wasm = wasmperf_emcc::compile(prog);
+    if let Err(e) = wasmperf_wasm::validate(&wasm) {
+        let msg = format!("wasm validation: {e:?}");
+        for eng in [
+            Engine::WasmInterp,
+            Engine::ChromeJit,
+            Engine::FirefoxJit,
+            Engine::ChromeAsmjs,
+            Engine::FirefoxAsmjs,
+        ] {
+            outcomes.push((eng, Outcome::Error(msg.clone())));
+        }
+    } else {
+        outcomes.push((Engine::WasmInterp, run_wasm_interp(&wasm)));
+        let jits = [
+            (Engine::ChromeJit, EngineProfile::chrome()),
+            (Engine::FirefoxJit, EngineProfile::firefox()),
+            (Engine::ChromeAsmjs, EngineProfile::chrome_asmjs()),
+            (Engine::FirefoxAsmjs, EngineProfile::firefox_asmjs()),
+        ];
+        for (eng, profile) in jits {
+            outcomes.push((eng, run_jit(&wasm, &profile)));
+        }
+    }
+    Report { outcomes }
+}
+
+/// Compiles CLite source and runs it through every engine. `Err` means
+/// the shared frontend rejected the program (a generator bug, or an
+/// intentionally invalid shrink candidate).
+pub fn run_source(src: &str) -> Result<Report, String> {
+    let prog = wasmperf_cir::compile(src)?;
+    Ok(run_all(&prog))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_engines_agree_on_a_plain_program() {
+        let r = run_source("fn main() -> i32 { return 5 * 8 + 2; }").unwrap();
+        assert!(!r.divergent(), "{}", r.describe());
+        assert_eq!(r.oracle(), &Outcome::Value(42));
+        assert_eq!(r.outcomes.len(), Engine::ALL.len());
+    }
+
+    #[test]
+    fn traps_are_canonical_across_engines() {
+        let r = run_source("fn main() -> i32 { var z: i32 = 0; return 1 / z; }").unwrap();
+        assert!(!r.divergent(), "{}", r.describe());
+        assert_eq!(r.oracle(), &Outcome::Trap(TrapClass::DivByZero));
+    }
+
+    #[test]
+    fn signature_names_the_disagreeing_engines() {
+        let report = Report {
+            outcomes: vec![
+                (Engine::CliteInterp, Outcome::Value(1)),
+                (Engine::WasmInterp, Outcome::Value(1)),
+                (Engine::Native, Outcome::Value(2)),
+                (Engine::ChromeJit, Outcome::Resource("fuel".into())),
+            ],
+        };
+        assert!(report.divergent());
+        assert_eq!(report.signature().unwrap(), Signature(vec!["native"]));
+    }
+
+    #[test]
+    fn resource_outcomes_never_diverge() {
+        let report = Report {
+            outcomes: vec![
+                (Engine::CliteInterp, Outcome::Value(1)),
+                (Engine::Native, Outcome::Resource("machine fuel".into())),
+            ],
+        };
+        assert!(!report.divergent());
+        assert!(report.signature().is_none());
+    }
+}

@@ -1,0 +1,811 @@
+//! Seeded random CLite program generator.
+//!
+//! Programs are generated *valid by construction* (every expression is
+//! built for a known target type, following the typechecker's exact-match
+//! operand rules) and *terminating by construction*:
+//!
+//! - loops are counter-bounded with literal bounds and bodies that never
+//!   touch the counter,
+//! - calls form a DAG — a function only calls functions generated before
+//!   it — so there is no recursion,
+//! - array indices are masked to the (power-of-two) array length, because
+//!   the native pipeline has no bounds checks and a stray store would be
+//!   memory corruption, not a semantics divergence.
+//!
+//! Traps, on the other hand, are a deliberate part of the surface: a
+//! small fraction of divisions, float→int casts, and indirect-call
+//! indices are left unguarded so that trap *parity* across engines is
+//! fuzzed too.
+//!
+//! The generator leans on the divergence-prone corners the paper's
+//! toolchains disagree on: signed/unsigned div/rem/shift at every width,
+//! rotates (including count zero), float `min`/`max` with NaN and signed
+//! zeros, sub-word array element widening, indirect calls through
+//! function tables, and compile-time constant folding (`const` + global
+//! initializers).
+
+use crate::prog::{ArrayDef, Elem, Expr, FuncDef, Prog, Stmt, Ty};
+use crate::rng::Rng;
+
+/// Generates the program for `seed`. Same seed, same program, forever.
+pub fn generate(seed: u64) -> Prog {
+    Gen {
+        rng: Rng::new(seed),
+        globals: Vec::new(),
+        arrays: Vec::new(),
+        table: None,
+        callees: Vec::new(),
+    }
+    .build()
+}
+
+/// Signature of a callable function: name, param types, return type.
+type Sig = (String, Vec<Ty>, Ty);
+
+struct Gen {
+    rng: Rng,
+    globals: Vec<(String, Ty)>,
+    arrays: Vec<(String, Elem, u32)>,
+    /// Function table: name and (power-of-two) length. Members take
+    /// `(i32, i32)` and return `i32`.
+    table: Option<(String, u32)>,
+    /// Functions generated so far, callable from later bodies (DAG).
+    callees: Vec<Sig>,
+}
+
+/// Per-function-body generation state.
+struct Scope {
+    /// Assignable locals and parameters.
+    vars: Vec<(String, Ty)>,
+    /// Live loop counters: readable as `i32`, never assigned.
+    counters: Vec<String>,
+    next_var: u32,
+    next_loop: u32,
+    loop_depth: u32,
+}
+
+impl Scope {
+    fn new(params: &[(String, Ty)]) -> Scope {
+        Scope {
+            vars: params.to_vec(),
+            counters: Vec::new(),
+            next_var: 0,
+            next_loop: 0,
+            loop_depth: 0,
+        }
+    }
+
+    fn fresh_var(&mut self) -> String {
+        let n = format!("v{}", self.next_var);
+        self.next_var += 1;
+        n
+    }
+
+    fn fresh_counter(&mut self) -> String {
+        let n = format!("li{}", self.next_loop);
+        self.next_loop += 1;
+        n
+    }
+}
+
+fn b(e: Expr) -> Box<Expr> {
+    Box::new(e)
+}
+
+/// True when the expression is built purely from literals and operators.
+/// Such a tree carries no type anchor of its own: the typechecker's
+/// "literals adapt to the non-literal side" rule has nothing to adapt to
+/// in an expected-type-free position (comparison operand, intrinsic
+/// argument, cast operand), so the whole tree defaults to i32 / f64 and
+/// can then mismatch a wider sibling.
+fn is_lit_tree(e: &Expr) -> bool {
+    match e {
+        Expr::Int(_) | Expr::Float(_) => true,
+        Expr::Bin(_, l, r) => is_lit_tree(l) && is_lit_tree(r),
+        Expr::Un(_, x) => is_lit_tree(x),
+        _ => false,
+    }
+}
+
+/// True when the literal renders as a single source token. Negative
+/// ints render as `(0 - n)`, and NaN / infinities / negative or
+/// negative-zero floats render as compound arithmetic, so the parser
+/// sees a Binary node — not a literal — and the "literals adapt" rule
+/// no longer applies to them.
+fn renders_atomic(e: &Expr) -> bool {
+    match e {
+        Expr::Int(n) => *n >= 0,
+        Expr::Float(v) => v.is_finite() && *v == v.abs() && !(*v == 0.0 && v.is_sign_negative()),
+        _ => false,
+    }
+}
+
+/// Give a literal-only expression a type anchor. Int literals anchor by
+/// adding a typed zero — the literal then adapts to the anchored side
+/// with its exact value, where a cast would truncate wide values
+/// through the i32 default. Everything else (floats, compound trees)
+/// anchors with a cast, which preserves NaN, infinities and -0.0.
+fn anchor(ty: Ty, e: Expr) -> Expr {
+    match e {
+        Expr::Int(_) => Expr::Bin("+", b(Expr::Cast(ty, b(Expr::Int(0)))), b(e)),
+        _ => Expr::Cast(ty, b(e)),
+    }
+}
+
+/// Pin a compound literal-only tree to `ty` so it types
+/// deterministically in any context. Plain-token literals are left
+/// alone: they adapt wherever the generator places them as a sibling
+/// operand. i32 and f64 trees already default to the right type.
+fn pin(ty: Ty, e: Expr) -> Expr {
+    if ty != Ty::I32 && ty != Ty::F64 && !renders_atomic(&e) && is_lit_tree(&e) {
+        anchor(ty, e)
+    } else {
+        e
+    }
+}
+
+/// Like `pin`, but also pins plain-token literals. Used for argument
+/// positions whose type is inferred from that argument alone (rotl/rotr
+/// first argument, bit intrinsics, min/max first argument), where no
+/// sibling adapts a lone literal.
+fn pin_arg(ty: Ty, e: Expr) -> Expr {
+    if ty != Ty::I32 && ty != Ty::F64 && is_lit_tree(&e) {
+        anchor(ty, e)
+    } else {
+        e
+    }
+}
+
+impl Gen {
+    fn build(mut self) -> Prog {
+        let mut prog = Prog::default();
+        self.gen_consts(&mut prog);
+        self.gen_globals(&mut prog);
+        self.gen_arrays(&mut prog);
+        self.gen_table(&mut prog);
+        self.gen_helpers(&mut prog);
+        self.gen_main(&mut prog);
+        prog
+    }
+
+    // ----- top-level items ------------------------------------------------
+
+    /// A constant expression: folded at compile time by the frontend, so
+    /// this is the part of the program that exercises `const_eval`.
+    /// Division is guarded (a fold-time div-by-zero is a compile error).
+    fn const_expr(&mut self, depth: u32, prior: &[(String, Expr)]) -> Expr {
+        if depth == 0 || self.rng.chance(30) {
+            return if !prior.is_empty() && self.rng.chance(35) {
+                Expr::Var(self.rng.pick(prior).0.clone())
+            } else {
+                Expr::Int(self.rng.below(256) as i64)
+            };
+        }
+        let l = self.const_expr(depth - 1, prior);
+        let r = self.const_expr(depth - 1, prior);
+        match self.rng.below(9) {
+            0 => Expr::Bin("+", b(l), b(r)),
+            1 => Expr::Bin("-", b(l), b(r)),
+            2 => Expr::Bin("*", b(l), b(r)),
+            3 => Expr::Bin("&", b(l), b(r)),
+            4 => Expr::Bin("|", b(l), b(r)),
+            5 => Expr::Bin("^", b(l), b(r)),
+            6 => Expr::Bin("<<", b(l), b(Expr::Int(self.rng.below(40) as i64))),
+            7 => Expr::Bin(">>", b(l), b(Expr::Int(self.rng.below(40) as i64))),
+            _ => {
+                let guard = Expr::Bin(
+                    "|",
+                    b(Expr::Bin("&", b(r), b(Expr::Int(7)))),
+                    b(Expr::Int(1)),
+                );
+                let op = if self.rng.chance(50) { "/" } else { "%" };
+                Expr::Bin(op, b(l), b(guard))
+            }
+        }
+    }
+
+    fn gen_consts(&mut self, prog: &mut Prog) {
+        let n = self.rng.below(3);
+        for i in 0..n {
+            let e = self.const_expr(2, &prog.consts);
+            prog.consts.push((format!("K{i}"), e));
+        }
+    }
+
+    fn gen_globals(&mut self, prog: &mut Prog) {
+        let n = 1 + self.rng.below(3);
+        for i in 0..n {
+            let ty = *self.rng.pick(&Ty::ALL);
+            let name = format!("g{i}");
+            let init = if ty.is_float() {
+                // Float global initializers must be plain literals; the
+                // frontend folds anything else as an integer expression.
+                Expr::Float(*self.rng.pick(&[0.0, 0.5, 1.0, 1.5, 2.0, 100.0]))
+            } else if self.rng.chance(55) {
+                // Constant-expression initializer: folded by const_eval
+                // with this global's type semantics.
+                self.const_expr(2, &prog.consts)
+            } else {
+                Expr::Int(self.rng.below(1000) as i64)
+            };
+            self.globals.push((name.clone(), ty));
+            prog.globals.push((name, ty, init));
+        }
+    }
+
+    fn gen_arrays(&mut self, prog: &mut Prog) {
+        let n = 1 + self.rng.below(3);
+        for i in 0..n {
+            let elem = *self.rng.pick(&Elem::ALL);
+            let len = *self.rng.pick(&[4u32, 8, 16]);
+            let name = format!("a{i}");
+            let init = if self.rng.chance(30) {
+                Some(
+                    (0..len)
+                        .map(|_| {
+                            if elem.load_ty().is_float() {
+                                Expr::Float(*self.rng.pick(&[0.0, 0.5, 1.0, 2.0, 3.5]))
+                            } else {
+                                Expr::Int(self.rng.below(200) as i64)
+                            }
+                        })
+                        .collect(),
+                )
+            } else {
+                None
+            };
+            self.arrays.push((name.clone(), elem, len));
+            prog.arrays.push(ArrayDef {
+                name,
+                elem,
+                len,
+                init,
+            });
+        }
+    }
+
+    fn gen_table(&mut self, prog: &mut Prog) {
+        if !self.rng.chance(85) {
+            return;
+        }
+        let len = if self.rng.chance(50) { 2u32 } else { 4 };
+        let mut members = Vec::new();
+        for i in 0..len {
+            let name = format!("tf{i}");
+            let params = vec![("p0".to_string(), Ty::I32), ("p1".to_string(), Ty::I32)];
+            let body = self.gen_body(&params, Ty::I32, 1);
+            prog.funcs.push(FuncDef {
+                name: name.clone(),
+                params: params.clone(),
+                ret: Ty::I32,
+                body,
+            });
+            self.callees
+                .push((name.clone(), vec![Ty::I32, Ty::I32], Ty::I32));
+            members.push(name);
+        }
+        self.table = Some(("tab0".to_string(), len));
+        prog.tables.push(("tab0".to_string(), members));
+    }
+
+    fn gen_helpers(&mut self, prog: &mut Prog) {
+        let n = self.rng.below(3);
+        for i in 0..n {
+            let name = format!("f{i}");
+            let nparams = self.rng.below(3) as usize;
+            let params: Vec<(String, Ty)> = (0..nparams)
+                .map(|j| (format!("p{j}"), *self.rng.pick(&Ty::ALL)))
+                .collect();
+            let ret = *self.rng.pick(&Ty::ALL);
+            let body = self.gen_body(&params, ret, 2);
+            let sig = (name.clone(), params.iter().map(|(_, t)| *t).collect(), ret);
+            prog.funcs.push(FuncDef {
+                name,
+                params,
+                ret,
+                body,
+            });
+            self.callees.push(sig);
+        }
+    }
+
+    fn gen_main(&mut self, prog: &mut Prog) {
+        let mut sc = Scope::new(&[]);
+        let mut body = Vec::new();
+        body.push(Stmt::Decl("acc".to_string(), Ty::I32, self.lit(Ty::I32)));
+        sc.vars.push(("acc".to_string(), Ty::I32));
+        let n = 4 + self.rng.below(5);
+        for _ in 0..n {
+            let s = self.stmt(2, &mut sc);
+            body.push(s);
+        }
+        // Fold the observable state — arrays and globals — into the
+        // checksum so stores and global writes are not dead code.
+        for (name, elem, len) in self.arrays.clone() {
+            let idx = Expr::Int(self.rng.below(len as u64) as i64);
+            let load = Expr::Load(name, b(idx));
+            let merged = match elem.load_ty() {
+                Ty::I32 => load,
+                t if t.is_float() => {
+                    // Comparisons observe floats without trap-prone casts.
+                    Expr::Bin("<", b(load), b(Expr::Float(0.5)))
+                }
+                _ => Expr::Cast(Ty::I32, b(load)),
+            };
+            body.push(Stmt::Assign(
+                "acc".to_string(),
+                Expr::Bin("^", b(Expr::Var("acc".to_string())), b(merged)),
+            ));
+        }
+        for (name, ty) in self.globals.clone() {
+            let read = Expr::Var(name);
+            let merged = match ty {
+                Ty::I32 => read,
+                t if t.is_float() => Expr::Bin("<", b(read), b(Expr::Float(1.0))),
+                _ => Expr::Cast(Ty::I32, b(read)),
+            };
+            body.push(Stmt::Assign(
+                "acc".to_string(),
+                Expr::Bin("+", b(Expr::Var("acc".to_string())), b(merged)),
+            ));
+        }
+        body.push(Stmt::Return(Expr::Var("acc".to_string())));
+        prog.funcs.push(FuncDef {
+            name: "main".to_string(),
+            params: vec![],
+            ret: Ty::I32,
+            body,
+        });
+    }
+
+    fn gen_body(&mut self, params: &[(String, Ty)], ret: Ty, max_stmts: u64) -> Vec<Stmt> {
+        let mut sc = Scope::new(params);
+        let mut body = Vec::new();
+        let n = 1 + self.rng.below(max_stmts);
+        for _ in 0..n {
+            let s = self.stmt(1, &mut sc);
+            body.push(s);
+        }
+        if self.rng.chance(20) {
+            let cond = self.expr(Ty::I32, 1, &mut sc);
+            let val = self.expr(ret, 1, &mut sc);
+            body.push(Stmt::If(cond, vec![Stmt::Return(val)], vec![]));
+        }
+        let val = self.expr(ret, 2, &mut sc);
+        body.push(Stmt::Return(val));
+        body
+    }
+
+    // ----- statements -----------------------------------------------------
+
+    fn stmt(&mut self, depth: u32, sc: &mut Scope) -> Stmt {
+        let roll = self.rng.below(100);
+        if roll < 30 && !sc.vars.is_empty() {
+            // Assign to an existing local (or occasionally a global).
+            if self.rng.chance(20) && !self.globals.is_empty() {
+                let (name, ty) = self.rng.pick(&self.globals).clone();
+                let e = self.expr(ty, 2, sc);
+                return Stmt::Assign(name, e);
+            }
+            let (name, ty) = self.rng.pick(&sc.vars).clone();
+            let e = self.expr(ty, 2, sc);
+            return Stmt::Assign(name, e);
+        }
+        if roll < 50 {
+            let ty = *self.rng.pick(&Ty::ALL);
+            let name = sc.fresh_var();
+            let e = self.expr(ty, 2, sc);
+            sc.vars.push((name.clone(), ty));
+            return Stmt::Decl(name, ty, e);
+        }
+        if roll < 65 && !self.arrays.is_empty() {
+            let (name, elem, len) = self.rng.pick(&self.arrays).clone();
+            let idx = self.masked_index(len, sc);
+            let val = self.expr(elem.load_ty(), 2, sc);
+            return Stmt::Store(name, idx, val);
+        }
+        if roll < 80 && depth > 0 {
+            let cond = self.expr(Ty::I32, 2, sc);
+            let then = self.block(depth - 1, sc, 2);
+            let els = if self.rng.chance(40) {
+                self.block(depth - 1, sc, 2)
+            } else {
+                vec![]
+            };
+            return Stmt::If(cond, then, els);
+        }
+        if depth > 0 && sc.loop_depth < 2 {
+            let var = sc.fresh_counter();
+            let bound = 1 + self.rng.below(5) as i64;
+            let do_while = self.rng.chance(30);
+            sc.counters.push(var.clone());
+            sc.loop_depth += 1;
+            let mut body = self.block(depth - 1, sc, 2);
+            if self.rng.chance(20) {
+                let cond = self.expr(Ty::I32, 1, sc);
+                body.push(Stmt::If(cond, vec![Stmt::Break], vec![]));
+            }
+            sc.loop_depth -= 1;
+            sc.counters.pop();
+            return Stmt::Loop {
+                var,
+                bound,
+                do_while,
+                body,
+            };
+        }
+        // Fallback: a fresh declaration.
+        let ty = *self.rng.pick(&Ty::ALL);
+        let name = sc.fresh_var();
+        let e = self.expr(ty, 1, sc);
+        sc.vars.push((name.clone(), ty));
+        Stmt::Decl(name, ty, e)
+    }
+
+    fn block(&mut self, depth: u32, sc: &mut Scope, max_stmts: u64) -> Vec<Stmt> {
+        // Locals declared inside a block scope the block; keep the outer
+        // variable list unchanged afterwards so later statements don't
+        // reference block-scoped names.
+        let outer_vars = sc.vars.len();
+        let n = 1 + self.rng.below(max_stmts);
+        let mut out = Vec::new();
+        for _ in 0..n {
+            let s = self.stmt(depth, sc);
+            out.push(s);
+        }
+        sc.vars.truncate(outer_vars);
+        out
+    }
+
+    // ----- expressions ----------------------------------------------------
+
+    /// An in-bounds array index: `(e & (len - 1))` with `len` a power of
+    /// two, so the native pipeline (no bounds checks) can't corrupt
+    /// memory.
+    fn masked_index(&mut self, len: u32, sc: &mut Scope) -> Expr {
+        let e = self.expr(Ty::I32, 1, sc);
+        Expr::Bin("&", b(e), b(Expr::Int((len - 1) as i64)))
+    }
+
+    fn lit(&mut self, ty: Ty) -> Expr {
+        match ty {
+            Ty::I32 => {
+                let pool: &[i64] = &[
+                    0,
+                    1,
+                    2,
+                    3,
+                    5,
+                    7,
+                    8,
+                    15,
+                    16,
+                    31,
+                    32,
+                    63,
+                    100,
+                    255,
+                    4096,
+                    65535,
+                    1000000,
+                    2147483647,
+                    -1,
+                    -2,
+                    -7,
+                    -100,
+                    -65536,
+                    -2147483647,
+                ];
+                Expr::Int(*self.rng.pick(pool))
+            }
+            Ty::U32 => {
+                let pool: &[i64] = &[
+                    0, 1, 2, 3, 7, 8, 15, 31, 100, 255, 65535, 2147483647, 4294967295,
+                ];
+                Expr::Int(*self.rng.pick(pool))
+            }
+            Ty::I64 => {
+                let pool: &[i64] = &[
+                    0,
+                    1,
+                    2,
+                    7,
+                    63,
+                    255,
+                    4294967295,
+                    1 << 33,
+                    1 << 40,
+                    i64::MAX,
+                    -1,
+                    -2,
+                    -100,
+                    -(1 << 35),
+                    i64::MIN + 1,
+                ];
+                Expr::Int(*self.rng.pick(pool))
+            }
+            Ty::U64 => {
+                let pool: &[i64] = &[0, 1, 2, 7, 63, 255, 65536, 4294967295, 1 << 40, i64::MAX];
+                Expr::Int(*self.rng.pick(pool))
+            }
+            Ty::F32 | Ty::F64 => {
+                let roll = self.rng.below(100);
+                if roll < 6 {
+                    Expr::Float(f64::NAN)
+                } else if roll < 10 {
+                    Expr::Float(f64::INFINITY)
+                } else if roll < 15 {
+                    Expr::Float(-0.0)
+                } else {
+                    let pool: &[f64] = &[
+                        0.0, 1.0, 0.5, 1.5, 2.0, 3.25, 100.0, 0.1, 1000000.0, -1.0, -0.5, -2.5,
+                    ];
+                    Expr::Float(*self.rng.pick(pool))
+                }
+            }
+        }
+    }
+
+    fn leaf(&mut self, ty: Ty, sc: &Scope) -> Expr {
+        let roll = self.rng.below(100);
+        if roll < 45 {
+            let mut names: Vec<String> = sc
+                .vars
+                .iter()
+                .filter(|(_, t)| *t == ty)
+                .map(|(n, _)| n.clone())
+                .collect();
+            if ty == Ty::I32 {
+                names.extend(sc.counters.iter().cloned());
+            }
+            if !names.is_empty() {
+                return Expr::Var(self.rng.pick(&names).clone());
+            }
+        }
+        if roll < 60 {
+            let gs: Vec<&String> = self
+                .globals
+                .iter()
+                .filter(|(_, t)| *t == ty)
+                .map(|(n, _)| n)
+                .collect();
+            if !gs.is_empty() {
+                return Expr::Var((*self.rng.pick(&gs)).clone());
+            }
+        }
+        if roll < 75 {
+            let arrs: Vec<(String, u32)> = self
+                .arrays
+                .iter()
+                .filter(|(_, e, _)| e.load_ty() == ty)
+                .map(|(n, _, l)| (n.clone(), *l))
+                .collect();
+            if !arrs.is_empty() {
+                let (name, len) = self.rng.pick(&arrs).clone();
+                let idx = Expr::Int(self.rng.below(len as u64) as i64);
+                return Expr::Load(name, b(idx));
+            }
+        }
+        self.lit(ty)
+    }
+
+    fn expr(&mut self, ty: Ty, depth: u32, sc: &mut Scope) -> Expr {
+        if depth == 0 {
+            return self.leaf(ty, sc);
+        }
+        if ty.is_float() {
+            self.float_expr(ty, depth, sc)
+        } else {
+            self.int_expr(ty, depth, sc)
+        }
+    }
+
+    fn int_expr(&mut self, ty: Ty, depth: u32, sc: &mut Scope) -> Expr {
+        // Re-roll a few times when an option isn't available in this
+        // program (no table, no matching callee, ...).
+        for _ in 0..8 {
+            let roll = self.rng.below(100);
+            if roll < 24 {
+                let op = *self.rng.pick(&["+", "-", "*", "&", "|", "^"]);
+                let l = pin(ty, self.expr(ty, depth - 1, sc));
+                let r = pin(ty, self.expr(ty, depth - 1, sc));
+                return Expr::Bin(op, b(l), b(r));
+            }
+            if roll < 32 {
+                // Shift counts are masked to the width at runtime (wasm
+                // semantics), so unguarded counts are fine.
+                let op = *self.rng.pick(&["<<", ">>"]);
+                let l = pin(ty, self.expr(ty, depth - 1, sc));
+                let r = pin(ty, self.expr(ty, depth - 1, sc));
+                return Expr::Bin(op, b(l), b(r));
+            }
+            if roll < 41 {
+                let op = *self.rng.pick(&["/", "%"]);
+                let l = pin(ty, self.expr(ty, depth - 1, sc));
+                let r = pin(ty, self.expr(ty, depth - 1, sc));
+                // Mostly guarded; sometimes raw, to fuzz trap parity
+                // (div-by-zero and INT_MIN / -1 across all engines).
+                let r = if self.rng.chance(85) {
+                    Expr::Bin(
+                        "|",
+                        b(Expr::Bin("&", b(r), b(Expr::Int(255)))),
+                        b(Expr::Int(1)),
+                    )
+                } else {
+                    r
+                };
+                return Expr::Bin(op, b(l), b(r));
+            }
+            if roll < 48 {
+                let op = *self.rng.pick(&["rotl", "rotr"]);
+                // rotl/rotr infer their type from the first argument, so
+                // it must carry a type anchor of its own.
+                let l = pin_arg(ty, self.expr(ty, depth - 1, sc));
+                let r = pin(ty, self.expr(ty, depth - 1, sc));
+                return Expr::Call(op.to_string(), vec![l, r]);
+            }
+            if roll < 54 {
+                if self.rng.chance(50) {
+                    let x = pin_arg(ty, self.expr(ty, depth - 1, sc));
+                    return Expr::Un("~", b(x));
+                }
+                let op = *self.rng.pick(&["clz", "ctz", "popcnt"]);
+                let x = pin_arg(ty, self.expr(ty, depth - 1, sc));
+                return Expr::Call(op.to_string(), vec![x]);
+            }
+            if roll < 64 && ty == Ty::I32 {
+                // Comparison: operands of one common type, result i32.
+                // Float comparisons are how NaN and signed-zero behaviour
+                // becomes observable in the i32 checksum.
+                let s = *self.rng.pick(&Ty::ALL);
+                let op = *self.rng.pick(&["==", "!=", "<", "<=", ">", ">="]);
+                let l = pin(s, self.expr(s, depth - 1, sc));
+                let r = pin(s, self.expr(s, depth - 1, sc));
+                return Expr::Bin(op, b(l), b(r));
+            }
+            if roll < 69 && ty == Ty::I32 {
+                if self.rng.chance(40) {
+                    let x = self.expr(Ty::I32, depth - 1, sc);
+                    return Expr::Un("!", b(x));
+                }
+                let op = *self.rng.pick(&["&&", "||"]);
+                let l = self.expr(Ty::I32, depth - 1, sc);
+                let r = self.expr(Ty::I32, depth - 1, sc);
+                return Expr::Bin(op, b(l), b(r));
+            }
+            if roll < 78 {
+                // Casts. int→int is always safe; float→int traps on NaN
+                // or out-of-range values, which is exactly the kind of
+                // edge worth diffing — keep it rare so most programs run
+                // to completion.
+                let src = if self.rng.chance(12) {
+                    *self.rng.pick(&[Ty::F32, Ty::F64])
+                } else {
+                    *self.rng.pick(&Ty::INTS)
+                };
+                let x = self.expr(src, depth - 1, sc);
+                return Expr::Cast(ty, b(x));
+            }
+            if roll < 85 && ty == Ty::I32 {
+                if let Some((tname, len)) = self.table.clone() {
+                    let idx = if self.rng.chance(88) {
+                        self.masked_index(len, sc)
+                    } else {
+                        // Unmasked: the index may be out of range, which
+                        // must trap as BadIndirectCall everywhere.
+                        self.expr(Ty::I32, 1, sc)
+                    };
+                    let a0 = self.expr(Ty::I32, depth - 1, sc);
+                    let a1 = self.expr(Ty::I32, depth - 1, sc);
+                    return Expr::CallIndirect(tname, b(idx), vec![a0, a1]);
+                }
+                continue;
+            }
+            if roll < 92 {
+                let matching: Vec<Sig> = self
+                    .callees
+                    .iter()
+                    .filter(|(_, _, r)| *r == ty)
+                    .cloned()
+                    .collect();
+                if let Some((name, params, _)) = matching
+                    .get(self.rng.below(matching.len().max(1) as u64) as usize)
+                    .cloned()
+                {
+                    let args = params
+                        .iter()
+                        .map(|t| self.expr(*t, depth - 1, sc))
+                        .collect();
+                    return Expr::Call(name, args);
+                }
+                continue;
+            }
+            return self.leaf(ty, sc);
+        }
+        self.leaf(ty, sc)
+    }
+
+    fn float_expr(&mut self, ty: Ty, depth: u32, sc: &mut Scope) -> Expr {
+        for _ in 0..6 {
+            let roll = self.rng.below(100);
+            if roll < 35 {
+                let op = *self.rng.pick(&["+", "-", "*", "/"]);
+                let l = pin(ty, self.expr(ty, depth - 1, sc));
+                let r = pin(ty, self.expr(ty, depth - 1, sc));
+                return Expr::Bin(op, b(l), b(r));
+            }
+            if roll < 52 {
+                // min/max: the NaN-propagation and -0.0 < +0.0 rules are
+                // a known divergence hotspot between SSE-style selection
+                // and wasm semantics. The first argument fixes the type.
+                let op = *self.rng.pick(&["min", "max"]);
+                let l = pin_arg(ty, self.expr(ty, depth - 1, sc));
+                let r = pin(ty, self.expr(ty, depth - 1, sc));
+                return Expr::Call(op.to_string(), vec![l, r]);
+            }
+            if roll < 67 {
+                let op = *self
+                    .rng
+                    .pick(&["sqrt", "abs", "floor", "ceil", "trunc", "nearest"]);
+                let x = pin_arg(ty, self.expr(ty, depth - 1, sc));
+                return Expr::Call(op.to_string(), vec![x]);
+            }
+            if roll < 80 {
+                let src = if self.rng.chance(55) {
+                    *self.rng.pick(&Ty::INTS)
+                } else if ty == Ty::F32 {
+                    Ty::F64
+                } else {
+                    Ty::F32
+                };
+                let x = self.expr(src, depth - 1, sc);
+                return Expr::Cast(ty, b(x));
+            }
+            if roll < 88 {
+                let matching: Vec<Sig> = self
+                    .callees
+                    .iter()
+                    .filter(|(_, _, r)| *r == ty)
+                    .cloned()
+                    .collect();
+                if matching.is_empty() {
+                    continue;
+                }
+                let (name, params, _) = self.rng.pick(&matching).clone();
+                let args = params
+                    .iter()
+                    .map(|t| self.expr(*t, depth - 1, sc))
+                    .collect();
+                return Expr::Call(name, args);
+            }
+            return self.leaf(ty, sc);
+        }
+        self.leaf(ty, sc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in [0u64, 1, 7, 123456789] {
+            assert_eq!(generate(seed).render(), generate(seed).render());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(generate(1).render(), generate(2).render());
+    }
+
+    #[test]
+    fn generated_programs_compile() {
+        for seed in 0..200u64 {
+            let src = generate(seed).render();
+            wasmperf_cir::compile(&src)
+                .unwrap_or_else(|e| panic!("seed {seed} does not compile: {e}\n{src}"));
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! wasmperf-difftest: differential semantics fuzzing across the whole
+//! stack.
+//!
+//! The paper's comparison between native and WebAssembly performance is
+//! only meaningful if all the pipelines *compute the same thing*. This
+//! crate checks exactly that, continuously:
+//!
+//! 1. [`gen`] produces seeded random CLite programs that concentrate on
+//!    the corners where C toolchains, wasm engines, and asm.js
+//!    historically disagree: signed/unsigned division and shifts at
+//!    every width, rotates, float `min`/`max` with NaN and signed
+//!    zeros, sub-word memory widths, indirect calls, constant folding.
+//! 2. [`exec`] runs each program through seven engines — the CLite
+//!    reference interpreter, the wasm reference interpreter, the native
+//!    backend, both wasm JIT profiles, and both asm.js profiles — and
+//!    compares results and traps bit-exactly.
+//! 3. [`shrink`] greedily reduces any divergent program to a minimal
+//!    reproducer, and [`corpus`] replays the checked-in `corpus/`
+//!    directory as a regression suite (`cargo test` runs it).
+//!
+//! The `difftest` binary drives the loop in parallel on the farm's
+//! worker pool: `difftest --seed 1 --iters 1000 --shrink --corpus
+//! corpus`.
+
+pub mod corpus;
+pub mod exec;
+pub mod gen;
+pub mod prog;
+pub mod rng;
+pub mod shrink;
+
+pub use corpus::{check_case, load_dir, parse_case, Case, Expect};
+pub use exec::{run_all, run_source, Engine, Outcome, Report, Signature, TrapClass};
+pub use gen::generate;
+pub use prog::Prog;
+pub use shrink::shrink;

@@ -1,0 +1,497 @@
+//! A structured CLite program: the unit the generator produces and the
+//! shrinker mutates.
+//!
+//! This is deliberately *not* `wasmperf_cir::ast` — the difftest AST only
+//! contains shapes the generator knows how to keep valid and terminating
+//! (counter-bounded loops, masked array indices, DAG-ordered calls), and
+//! it renders back to CLite source text so every candidate goes through
+//! the real lexer/parser/typechecker like a hand-written program would.
+
+use std::fmt::Write as _;
+
+/// Scalar CLite types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// `i32`
+    I32,
+    /// `u32`
+    U32,
+    /// `i64`
+    I64,
+    /// `u64`
+    U64,
+    /// `f32`
+    F32,
+    /// `f64`
+    F64,
+}
+
+impl Ty {
+    /// All scalar types.
+    pub const ALL: [Ty; 6] = [Ty::I32, Ty::U32, Ty::I64, Ty::U64, Ty::F32, Ty::F64];
+    /// The integer types.
+    pub const INTS: [Ty; 4] = [Ty::I32, Ty::U32, Ty::I64, Ty::U64];
+
+    /// Source-level name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Ty::I32 => "i32",
+            Ty::U32 => "u32",
+            Ty::I64 => "i64",
+            Ty::U64 => "u64",
+            Ty::F32 => "f32",
+            Ty::F64 => "f64",
+        }
+    }
+
+    /// True for `f32`/`f64`.
+    pub fn is_float(self) -> bool {
+        matches!(self, Ty::F32 | Ty::F64)
+    }
+
+    /// True for `u32`/`u64`.
+    pub fn is_unsigned(self) -> bool {
+        matches!(self, Ty::U32 | Ty::U64)
+    }
+
+    /// True for 64-bit types.
+    pub fn is_wide(self) -> bool {
+        matches!(self, Ty::I64 | Ty::U64 | Ty::F64)
+    }
+}
+
+/// Array element types (scalars plus the sub-word integers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Elem {
+    /// `i8`
+    I8,
+    /// `u8`
+    U8,
+    /// `i16`
+    I16,
+    /// `u16`
+    U16,
+    /// A full scalar type.
+    Full(Ty),
+}
+
+impl Elem {
+    /// The element types the generator draws from.
+    pub const ALL: [Elem; 10] = [
+        Elem::I8,
+        Elem::U8,
+        Elem::I16,
+        Elem::U16,
+        Elem::Full(Ty::I32),
+        Elem::Full(Ty::U32),
+        Elem::Full(Ty::I64),
+        Elem::Full(Ty::U64),
+        Elem::Full(Ty::F32),
+        Elem::Full(Ty::F64),
+    ];
+
+    /// Source-level name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Elem::I8 => "i8",
+            Elem::U8 => "u8",
+            Elem::I16 => "i16",
+            Elem::U16 => "u16",
+            Elem::Full(t) => t.name(),
+        }
+    }
+
+    /// The type a load of this element produces (sub-word loads widen to
+    /// `i32`, mirroring `wasmperf_cir::ast::ElemTy::load_ty`).
+    pub fn load_ty(self) -> Ty {
+        match self {
+            Elem::I8 | Elem::U8 | Elem::I16 | Elem::U16 => Ty::I32,
+            Elem::Full(t) => t,
+        }
+    }
+}
+
+/// Expressions. Binary/unary operators are stored as their source token
+/// so rendering is trivial and new operators need no enum churn.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal (any type context; negatives render as `(0 - n)`).
+    Int(i64),
+    /// Float literal (NaN/inf/-0.0 render as arithmetic that produces them).
+    Float(f64),
+    /// Local, parameter, global, or `const` reference.
+    Var(String),
+    /// `arr[idx]`
+    Load(String, Box<Expr>),
+    /// `(a OP b)`
+    Bin(&'static str, Box<Expr>, Box<Expr>),
+    /// `(OP a)` — `!` or `~`.
+    Un(&'static str, Box<Expr>),
+    /// `ty(e)`
+    Cast(Ty, Box<Expr>),
+    /// Direct call or intrinsic: `name(args...)`.
+    Call(String, Vec<Expr>),
+    /// Indirect call through a table: `tbl[idx](args...)`.
+    CallIndirect(String, Box<Expr>, Vec<Expr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var name: ty = init;`
+    Decl(String, Ty, Expr),
+    /// `name = e;`
+    Assign(String, Expr),
+    /// `arr[idx] = e;`
+    Store(String, Expr, Expr),
+    /// `if (cond) { then } else { els }` (else omitted when empty).
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// A counter-bounded loop, guaranteed to terminate:
+    /// `var v = 0; while (v < bound) { body; v = v + 1; }` (or the
+    /// `do..while` form). The body never assigns `var`.
+    Loop {
+        /// Counter variable name.
+        var: String,
+        /// Literal iteration bound.
+        bound: i64,
+        /// Render as `do { .. } while (..)` instead of `while`.
+        do_while: bool,
+        /// Loop body (counter increment appended by the renderer).
+        body: Vec<Stmt>,
+    },
+    /// `break;`
+    Break,
+    /// `return e;`
+    Return(Expr),
+}
+
+/// An array definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayDef {
+    /// Array name.
+    pub name: String,
+    /// Element type.
+    pub elem: Elem,
+    /// Length (a power of two, so indices can be masked in-bounds).
+    pub len: u32,
+    /// Optional initializer list (length must equal `len`).
+    pub init: Option<Vec<Expr>>,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Function name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<(String, Ty)>,
+    /// Return type.
+    pub ret: Ty,
+    /// Body statements (the generator guarantees every path returns).
+    pub body: Vec<Stmt>,
+}
+
+/// A whole program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Prog {
+    /// `const NAME = expr;` definitions (folded at compile time).
+    pub consts: Vec<(String, Expr)>,
+    /// `global ty name = expr;` definitions.
+    pub globals: Vec<(String, Ty, Expr)>,
+    /// Linear-memory arrays.
+    pub arrays: Vec<ArrayDef>,
+    /// Function tables: `(name, member function names)`.
+    pub tables: Vec<(String, Vec<String>)>,
+    /// Functions; `main` is last.
+    pub funcs: Vec<FuncDef>,
+}
+
+fn render_int(v: i64) -> String {
+    if v >= 0 {
+        v.to_string()
+    } else if v == i64::MIN {
+        // `-MIN` overflows; build it as (0 - MAX) - 1.
+        "(0 - 9223372036854775807 - 1)".to_string()
+    } else {
+        format!("(0 - {})", -v)
+    }
+}
+
+fn render_float_pos(v: f64) -> String {
+    let s = format!("{v:?}");
+    if s.contains(['e', 'E']) {
+        // The lexer only takes plain decimal forms reliably; expand.
+        let mut s = format!("{v:.340}");
+        while s.ends_with('0') && !s.ends_with(".0") {
+            s.pop();
+        }
+        s
+    } else {
+        s
+    }
+}
+
+fn render_float(v: f64) -> String {
+    if v.is_nan() {
+        "(0.0 / 0.0)".to_string()
+    } else if v == f64::INFINITY {
+        "(1.0 / 0.0)".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "(0.0 - (1.0 / 0.0))".to_string()
+    } else if v == 0.0 && v.is_sign_negative() {
+        // 0.0 - 0.0 is +0.0 under round-to-nearest; multiply instead.
+        "(0.0 * (0.0 - 1.0))".to_string()
+    } else if v < 0.0 {
+        format!("(0.0 - {})", render_float_pos(-v))
+    } else {
+        render_float_pos(v)
+    }
+}
+
+fn render_expr(e: &Expr, out: &mut String) {
+    match e {
+        Expr::Int(v) => out.push_str(&render_int(*v)),
+        Expr::Float(v) => out.push_str(&render_float(*v)),
+        Expr::Var(n) => out.push_str(n),
+        Expr::Load(a, i) => {
+            out.push_str(a);
+            out.push('[');
+            render_expr(i, out);
+            out.push(']');
+        }
+        Expr::Bin(op, l, r) => {
+            out.push('(');
+            render_expr(l, out);
+            let _ = write!(out, " {op} ");
+            render_expr(r, out);
+            out.push(')');
+        }
+        Expr::Un(op, x) => {
+            out.push('(');
+            out.push_str(op);
+            render_expr(x, out);
+            out.push(')');
+        }
+        Expr::Cast(ty, x) => {
+            out.push_str(ty.name());
+            out.push('(');
+            render_expr(x, out);
+            out.push(')');
+        }
+        Expr::Call(f, args) => {
+            out.push_str(f);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                render_expr(a, out);
+            }
+            out.push(')');
+        }
+        Expr::CallIndirect(t, idx, args) => {
+            out.push_str(t);
+            out.push('[');
+            render_expr(idx, out);
+            out.push_str("](");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                render_expr(a, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn render_stmt(s: &Stmt, depth: usize, out: &mut String) {
+    match s {
+        Stmt::Decl(n, ty, init) => {
+            indent(out, depth);
+            let _ = write!(out, "var {n}: {} = ", ty.name());
+            render_expr(init, out);
+            out.push_str(";\n");
+        }
+        Stmt::Assign(n, e) => {
+            indent(out, depth);
+            let _ = write!(out, "{n} = ");
+            render_expr(e, out);
+            out.push_str(";\n");
+        }
+        Stmt::Store(a, i, v) => {
+            indent(out, depth);
+            out.push_str(a);
+            out.push('[');
+            render_expr(i, out);
+            out.push_str("] = ");
+            render_expr(v, out);
+            out.push_str(";\n");
+        }
+        Stmt::If(c, t, e) => {
+            indent(out, depth);
+            out.push_str("if (");
+            render_expr(c, out);
+            out.push_str(") {\n");
+            for s in t {
+                render_stmt(s, depth + 1, out);
+            }
+            indent(out, depth);
+            if e.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                for s in e {
+                    render_stmt(s, depth + 1, out);
+                }
+                indent(out, depth);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::Loop {
+            var,
+            bound,
+            do_while,
+            body,
+        } => {
+            indent(out, depth);
+            let _ = writeln!(out, "var {var}: i32 = 0;");
+            indent(out, depth);
+            if *do_while {
+                out.push_str("do {\n");
+            } else {
+                let _ = writeln!(out, "while ({var} < {bound}) {{");
+            }
+            for s in body {
+                render_stmt(s, depth + 1, out);
+            }
+            indent(out, depth + 1);
+            let _ = writeln!(out, "{var} = {var} + 1;");
+            indent(out, depth);
+            if *do_while {
+                let _ = writeln!(out, "}} while ({var} < {bound});");
+            } else {
+                out.push_str("}\n");
+            }
+        }
+        Stmt::Break => {
+            indent(out, depth);
+            out.push_str("break;\n");
+        }
+        Stmt::Return(e) => {
+            indent(out, depth);
+            out.push_str("return ");
+            render_expr(e, out);
+            out.push_str(";\n");
+        }
+    }
+}
+
+impl Prog {
+    /// Renders the program back to CLite source text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, e) in &self.consts {
+            let _ = write!(out, "const {name} = ");
+            render_expr(e, &mut out);
+            out.push_str(";\n");
+        }
+        for (name, ty, init) in &self.globals {
+            let _ = write!(out, "global {} {name} = ", ty.name());
+            render_expr(init, &mut out);
+            out.push_str(";\n");
+        }
+        for a in &self.arrays {
+            match &a.init {
+                None => {
+                    let _ = writeln!(out, "array {} {}[{}];", a.elem.name(), a.name, a.len);
+                }
+                Some(items) => {
+                    let _ = write!(out, "array {} {} = [", a.elem.name(), a.name);
+                    for (i, e) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        render_expr(e, &mut out);
+                    }
+                    out.push_str("];\n");
+                }
+            }
+        }
+        for (name, members) in &self.tables {
+            let _ = writeln!(out, "table {name} = [{}];", members.join(", "));
+        }
+        for f in &self.funcs {
+            let _ = write!(out, "\nfn {}(", f.name);
+            for (i, (p, ty)) in f.params.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{p}: {}", ty.name());
+            }
+            let _ = writeln!(out, ") -> {} {{", f.ret.name());
+            for s in &f.body {
+                render_stmt(s, 1, &mut out);
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negative_and_special_literals_render_as_expressions() {
+        assert_eq!(render_int(-5), "(0 - 5)");
+        assert_eq!(render_int(7), "7");
+        assert_eq!(render_float(f64::NAN), "(0.0 / 0.0)");
+        assert_eq!(render_float(-0.0), "(0.0 * (0.0 - 1.0))");
+        assert_eq!(render_float(1.5), "1.5");
+        assert_eq!(render_float(-2.5), "(0.0 - 2.5)");
+    }
+
+    #[test]
+    fn exponent_floats_expand_to_plain_decimals() {
+        let s = render_float(1e-7);
+        assert!(!s.contains('e'), "{s}");
+        assert_eq!(s.parse::<f64>().unwrap(), 1e-7);
+    }
+
+    #[test]
+    fn renders_a_small_program() {
+        let p = Prog {
+            consts: vec![("K0".into(), Expr::Int(3))],
+            globals: vec![("g0".into(), Ty::I32, Expr::Int(7))],
+            arrays: vec![ArrayDef {
+                name: "a0".into(),
+                elem: Elem::I16,
+                len: 8,
+                init: None,
+            }],
+            tables: vec![],
+            funcs: vec![FuncDef {
+                name: "main".into(),
+                params: vec![],
+                ret: Ty::I32,
+                body: vec![Stmt::Return(Expr::Bin(
+                    "+",
+                    Box::new(Expr::Var("g0".into())),
+                    Box::new(Expr::Int(1)),
+                ))],
+            }],
+        };
+        let src = p.render();
+        assert!(src.contains("const K0 = 3;"));
+        assert!(src.contains("array i16 a0[8];"));
+        assert!(src.contains("return (g0 + 1);"));
+    }
+}

@@ -1,0 +1,440 @@
+//! Greedy structural shrinker.
+//!
+//! Given a program and a predicate (`keep`) that holds for it — "still
+//! compiles and still shows the same divergence signature" in the
+//! difftest binary — repeatedly tries smaller candidates and commits any
+//! that preserve the predicate. Every mutation moves down a well-founded
+//! order (fewer items, fewer statements, fewer/simpler expression nodes,
+//! smaller literals, smaller loop bounds), so shrinking terminates even
+//! without the explicit check budget.
+//!
+//! Candidates that render to invalid CLite are fine: the predicate sees
+//! them fail to compile and rejects them.
+
+use crate::prog::{Expr, Prog, Stmt, Ty};
+
+/// Shrinks `orig` while `keep` holds, spending at most `max_checks`
+/// predicate evaluations. Returns the smallest committed program.
+pub fn shrink(orig: &Prog, keep: impl Fn(&Prog) -> bool, max_checks: usize) -> Prog {
+    let mut cur = orig.clone();
+    let mut checks = 0usize;
+    loop {
+        let mut accepted = false;
+        for cand in candidates(&cur) {
+            if checks >= max_checks {
+                return cur;
+            }
+            if cand == cur {
+                continue;
+            }
+            checks += 1;
+            if keep(&cand) {
+                cur = cand;
+                accepted = true;
+                break;
+            }
+        }
+        if !accepted {
+            return cur;
+        }
+    }
+}
+
+/// All one-step reductions of `p`, biggest wins first.
+fn candidates(p: &Prog) -> Vec<Prog> {
+    let mut out = Vec::new();
+
+    // Whole-item removal. Referenced items make the candidate fail to
+    // compile, which the predicate rejects — no reference tracking
+    // needed.
+    for i in 0..p.funcs.len().saturating_sub(1) {
+        // main is last and never removed.
+        let mut c = p.clone();
+        c.funcs.remove(i);
+        out.push(c);
+    }
+    for i in 0..p.tables.len() {
+        let mut c = p.clone();
+        c.tables.remove(i);
+        out.push(c);
+    }
+    for i in 0..p.arrays.len() {
+        let mut c = p.clone();
+        c.arrays.remove(i);
+        out.push(c);
+        if p.arrays[i].init.is_some() {
+            let mut c = p.clone();
+            c.arrays[i].init = None;
+            out.push(c);
+        }
+    }
+    for i in 0..p.globals.len() {
+        let mut c = p.clone();
+        c.globals.remove(i);
+        out.push(c);
+    }
+    for i in 0..p.consts.len() {
+        let mut c = p.clone();
+        c.consts.remove(i);
+        out.push(c);
+    }
+
+    // Statement-level reductions.
+    let nstmts = count_stmts(p);
+    for op in [StmtOp::Remove, StmtOp::Flatten, StmtOp::BoundOne] {
+        for k in 0..nstmts {
+            let mut c = p.clone();
+            if edit_stmt(&mut c, k, op) {
+                out.push(c);
+            }
+        }
+    }
+
+    // Expression-level reductions.
+    let nexprs = count_exprs(p);
+    for k in 0..nexprs {
+        for cand in expr_reductions(p, k) {
+            out.push(cand);
+        }
+    }
+
+    out
+}
+
+// ----- statement editing --------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq)]
+enum StmtOp {
+    /// Delete the statement.
+    Remove,
+    /// Replace an `if` with its then-branch, or a loop with its body
+    /// (keeping the counter declaration so body references still bind).
+    Flatten,
+    /// Set a loop bound to 1.
+    BoundOne,
+}
+
+fn count_in_vec(stmts: &[Stmt]) -> usize {
+    let mut n = 0;
+    for s in stmts {
+        n += 1;
+        match s {
+            Stmt::If(_, t, e) => n += count_in_vec(t) + count_in_vec(e),
+            Stmt::Loop { body, .. } => n += count_in_vec(body),
+            _ => {}
+        }
+    }
+    n
+}
+
+fn count_stmts(p: &Prog) -> usize {
+    p.funcs.iter().map(|f| count_in_vec(&f.body)).sum()
+}
+
+/// Applies `op` to the pre-order `target`-th statement. Returns false if
+/// the target was not found or the op does not apply there.
+fn edit_stmt(p: &mut Prog, target: usize, op: StmtOp) -> bool {
+    let mut counter = 0usize;
+    for f in &mut p.funcs {
+        if edit_stmt_in_vec(&mut f.body, &mut counter, target, op) {
+            return true;
+        }
+    }
+    false
+}
+
+fn edit_stmt_in_vec(stmts: &mut Vec<Stmt>, counter: &mut usize, target: usize, op: StmtOp) -> bool {
+    let mut i = 0;
+    while i < stmts.len() {
+        if *counter == target {
+            match op {
+                StmtOp::Remove => {
+                    stmts.remove(i);
+                    return true;
+                }
+                StmtOp::Flatten => match stmts[i].clone() {
+                    Stmt::If(_, then, _) => {
+                        stmts.splice(i..=i, then);
+                        return true;
+                    }
+                    Stmt::Loop { var, body, .. } => {
+                        let mut repl = vec![Stmt::Decl(var, Ty::I32, Expr::Int(0))];
+                        repl.extend(body);
+                        stmts.splice(i..=i, repl);
+                        return true;
+                    }
+                    _ => return false,
+                },
+                StmtOp::BoundOne => {
+                    if let Stmt::Loop { bound, .. } = &mut stmts[i] {
+                        if *bound != 1 {
+                            *bound = 1;
+                            return true;
+                        }
+                    }
+                    return false;
+                }
+            }
+        }
+        *counter += 1;
+        let found = match &mut stmts[i] {
+            Stmt::If(_, t, e) => {
+                edit_stmt_in_vec(t, counter, target, op) || edit_stmt_in_vec(e, counter, target, op)
+            }
+            Stmt::Loop { body, .. } => edit_stmt_in_vec(body, counter, target, op),
+            _ => false,
+        };
+        if found {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+// ----- expression editing -------------------------------------------------
+
+fn expr_children(e: &Expr) -> Vec<&Expr> {
+    match e {
+        Expr::Int(_) | Expr::Float(_) | Expr::Var(_) => vec![],
+        Expr::Load(_, i) => vec![i],
+        Expr::Bin(_, l, r) => vec![l, r],
+        Expr::Un(_, x) | Expr::Cast(_, x) => vec![x],
+        Expr::Call(_, args) => args.iter().collect(),
+        Expr::CallIndirect(_, i, args) => {
+            let mut v: Vec<&Expr> = vec![i];
+            v.extend(args.iter());
+            v
+        }
+    }
+}
+
+fn count_expr_nodes(e: &Expr) -> usize {
+    1 + expr_children(e)
+        .iter()
+        .map(|c| count_expr_nodes(c))
+        .sum::<usize>()
+}
+
+fn for_each_expr_root<'p, F: FnMut(&'p Expr)>(p: &'p Prog, f: &mut F) {
+    for (_, e) in &p.consts {
+        f(e);
+    }
+    for (_, _, e) in &p.globals {
+        f(e);
+    }
+    for a in &p.arrays {
+        if let Some(items) = &a.init {
+            for e in items {
+                f(e);
+            }
+        }
+    }
+    for func in &p.funcs {
+        for_each_root_in_stmts(&func.body, f);
+    }
+}
+
+fn for_each_root_in_stmts<'p, F: FnMut(&'p Expr)>(stmts: &'p [Stmt], f: &mut F) {
+    for s in stmts {
+        match s {
+            Stmt::Decl(_, _, e) | Stmt::Assign(_, e) | Stmt::Return(e) => f(e),
+            Stmt::Store(_, i, v) => {
+                f(i);
+                f(v);
+            }
+            Stmt::If(c, t, e) => {
+                f(c);
+                for_each_root_in_stmts(t, f);
+                for_each_root_in_stmts(e, f);
+            }
+            Stmt::Loop { body, .. } => for_each_root_in_stmts(body, f),
+            Stmt::Break => {}
+        }
+    }
+}
+
+fn count_exprs(p: &Prog) -> usize {
+    let mut n = 0;
+    for_each_expr_root(p, &mut |e| n += count_expr_nodes(e));
+    n
+}
+
+/// The reduction candidates for the pre-order `target`-th expression
+/// node: replace it with a simple literal, promote one of its children,
+/// or halve its literal value.
+fn expr_reductions(p: &Prog, target: usize) -> Vec<Prog> {
+    let mut replacements: Vec<Expr> = Vec::new();
+    {
+        let mut counter = 0usize;
+        let mut found: Option<&Expr> = None;
+        for_each_expr_root(p, &mut |root| {
+            if found.is_none() {
+                if let Some(e) = nth_node(root, &mut counter, target) {
+                    found = Some(e);
+                }
+            }
+        });
+        let Some(node) = found else { return vec![] };
+        match node {
+            Expr::Int(v) => {
+                if *v != 0 {
+                    replacements.push(Expr::Int(v / 2));
+                }
+            }
+            Expr::Float(v) => {
+                if v.to_bits() != 0.0f64.to_bits() {
+                    replacements.push(Expr::Float(0.0));
+                }
+                if !v.is_nan() && *v != 1.0 {
+                    replacements.push(Expr::Float(1.0));
+                }
+            }
+            Expr::Var(_) => {
+                replacements.push(Expr::Int(0));
+            }
+            other => {
+                replacements.push(Expr::Int(0));
+                replacements.push(Expr::Int(1));
+                replacements.push(Expr::Float(0.0));
+                for child in expr_children(other) {
+                    replacements.push(child.clone());
+                }
+            }
+        }
+    }
+    replacements
+        .into_iter()
+        .map(|r| {
+            let mut c = p.clone();
+            let mut counter = 0usize;
+            replace_nth(&mut c, &mut counter, target, &r);
+            c
+        })
+        .collect()
+}
+
+fn nth_node<'e>(e: &'e Expr, counter: &mut usize, target: usize) -> Option<&'e Expr> {
+    if *counter == target {
+        return Some(e);
+    }
+    *counter += 1;
+    for c in expr_children(e) {
+        if let Some(found) = nth_node(c, counter, target) {
+            return Some(found);
+        }
+    }
+    None
+}
+
+fn replace_nth(p: &mut Prog, counter: &mut usize, target: usize, replacement: &Expr) {
+    let mut edit = |root: &mut Expr| replace_in_expr(root, counter, target, replacement);
+    for (_, e) in &mut p.consts {
+        edit(e);
+    }
+    for (_, _, e) in &mut p.globals {
+        edit(e);
+    }
+    for a in &mut p.arrays {
+        if let Some(items) = &mut a.init {
+            for e in items {
+                edit(e);
+            }
+        }
+    }
+    for func in &mut p.funcs {
+        replace_in_stmts(&mut func.body, counter, target, replacement);
+    }
+}
+
+fn replace_in_stmts(stmts: &mut [Stmt], counter: &mut usize, target: usize, r: &Expr) {
+    for s in stmts {
+        match s {
+            Stmt::Decl(_, _, e) | Stmt::Assign(_, e) | Stmt::Return(e) => {
+                replace_in_expr(e, counter, target, r)
+            }
+            Stmt::Store(_, i, v) => {
+                replace_in_expr(i, counter, target, r);
+                replace_in_expr(v, counter, target, r);
+            }
+            Stmt::If(c, t, e) => {
+                replace_in_expr(c, counter, target, r);
+                replace_in_stmts(t, counter, target, r);
+                replace_in_stmts(e, counter, target, r);
+            }
+            Stmt::Loop { body, .. } => replace_in_stmts(body, counter, target, r),
+            Stmt::Break => {}
+        }
+    }
+}
+
+fn replace_in_expr(e: &mut Expr, counter: &mut usize, target: usize, r: &Expr) {
+    if *counter == target {
+        *e = r.clone();
+        *counter += 1;
+        return;
+    }
+    *counter += 1;
+    match e {
+        Expr::Int(_) | Expr::Float(_) | Expr::Var(_) => {}
+        Expr::Load(_, i) => replace_in_expr(i, counter, target, r),
+        Expr::Bin(_, l, x) => {
+            replace_in_expr(l, counter, target, r);
+            replace_in_expr(x, counter, target, r);
+        }
+        Expr::Un(_, x) | Expr::Cast(_, x) => replace_in_expr(x, counter, target, r),
+        Expr::Call(_, args) => {
+            for a in args {
+                replace_in_expr(a, counter, target, r);
+            }
+        }
+        Expr::CallIndirect(_, i, args) => {
+            replace_in_expr(i, counter, target, r);
+            for a in args {
+                replace_in_expr(a, counter, target, r);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    /// Shrinking with a value-preserving predicate yields a smaller (or
+    /// equal) program with the same oracle outcome.
+    #[test]
+    fn shrink_preserves_the_oracle_outcome() {
+        let orig = generate(11);
+        let src = orig.render();
+        let want = crate::exec::run_source(&src).unwrap().oracle().clone();
+        let keep = |p: &Prog| match crate::exec::run_source(&p.render()) {
+            Ok(r) => r.oracle() == &want,
+            Err(_) => false,
+        };
+        assert!(keep(&orig), "predicate must hold for the original");
+        let small = shrink(&orig, keep, 400);
+        assert!(small.render().len() <= src.len());
+        assert!(keep(&small));
+    }
+
+    #[test]
+    fn shrink_removes_unreferenced_items() {
+        // A program whose main ignores everything shrinks to (nearly)
+        // nothing under a "still returns 7" predicate.
+        let orig = generate(3);
+        let mut with_main = orig.clone();
+        let main = with_main.funcs.last_mut().unwrap();
+        main.body = vec![crate::prog::Stmt::Return(Expr::Int(7))];
+        let keep = |p: &Prog| match crate::exec::run_source(&p.render()) {
+            Ok(r) => r.oracle() == &crate::exec::Outcome::Value(7),
+            Err(_) => false,
+        };
+        assert!(keep(&with_main));
+        let small = shrink(&with_main, keep, 2000);
+        assert!(small.consts.is_empty(), "{}", small.render());
+        assert!(small.tables.is_empty(), "{}", small.render());
+        assert_eq!(small.funcs.len(), 1, "{}", small.render());
+    }
+}

@@ -1,0 +1,46 @@
+//! Replays the checked-in `corpus/` through every engine.
+//!
+//! Each case must (a) agree across all seven engines and (b) match its
+//! `expect:` header. This is the regression net for the divergence bugs
+//! difftest has already found — reverting one of those fixes makes the
+//! corresponding case fail here.
+
+use std::path::Path;
+
+use wasmperf_difftest::{check_case, load_dir};
+
+fn corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../corpus")
+}
+
+#[test]
+fn corpus_replays_clean_on_every_engine() {
+    let cases = load_dir(&corpus_dir()).expect("corpus directory loads");
+    assert!(
+        !cases.is_empty(),
+        "corpus/ must contain at least the seeded reproducers"
+    );
+    for (path, case) in &cases {
+        if let Err(e) = check_case(case) {
+            panic!("{}: {e}", path.display());
+        }
+    }
+}
+
+#[test]
+fn corpus_covers_the_known_divergence_bugs() {
+    let cases = load_dir(&corpus_dir()).expect("corpus directory loads");
+    let names: Vec<&str> = cases.iter().map(|(_, c)| c.name.as_str()).collect();
+    for required in [
+        "rotate64-by-zero",
+        "fmin-fmax-nan-propagation",
+        "fmin-fmax-signed-zero",
+        "constfold-unsigned-rem",
+        "constfold-shift-width",
+    ] {
+        assert!(
+            names.contains(&required),
+            "corpus is missing required case `{required}` (have: {names:?})"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Fixed-seed fuzzing smoke test: a deterministic slice of the fuzz
+//! loop runs on every `cargo test`, so a semantics regression in any
+//! pipeline surfaces without anyone invoking the binary.
+
+use wasmperf_difftest::{generate, run_source};
+
+#[test]
+fn fixed_seed_fuzzing_finds_no_divergence() {
+    for seed in 1..=120u64 {
+        let src = generate(seed).render();
+        let report = run_source(&src)
+            .unwrap_or_else(|e| panic!("seed {seed}: generated program rejected: {e}\n{src}"));
+        assert!(
+            !report.divergent(),
+            "seed {seed} diverges:\n{}\n{src}",
+            report.describe()
+        );
+    }
+}
+
+#[test]
+fn traps_when_generated_are_trap_parity() {
+    // Some seeds intentionally produce trapping programs; make sure a
+    // healthy fraction of the smoke window runs to a value, so the test
+    // above is actually comparing arithmetic and not just trap classes.
+    let mut values = 0;
+    for seed in 1..=120u64 {
+        let src = generate(seed).render();
+        if let Ok(report) = run_source(&src) {
+            if matches!(report.oracle(), wasmperf_difftest::Outcome::Value(_)) {
+                values += 1;
+            }
+        }
+    }
+    assert!(
+        values >= 60,
+        "only {values}/120 seeds produced values; generator traps too much"
+    );
+}

@@ -1,0 +1,95 @@
+//! Floating-point semantics of the [`FAluOp::Min`]/[`FAluOp::Max`] ALU ops.
+//!
+//! Every executor in the stack — the CLite reference interpreter, the wasm
+//! reference interpreter, and the CPU simulator running clanglite or
+//! wasmjit output — must compute `min`/`max` identically, or differential
+//! testing of the four pipelines is meaningless. The semantics chosen are
+//! WebAssembly's `fmin`/`fmax`: NaN-propagating, and `-0 < +0`. Real JITs
+//! emit a short SSE sequence (not a bare `minsd`, whose operand-order NaN
+//! behaviour is exactly the kind of divergence `difftest` exists to catch)
+//! to implement these same rules, and clang lowers the source-level
+//! intrinsic the same way, so one shared definition is faithful to all
+//! backends.
+//!
+//! [`FAluOp::Min`]: crate::inst::FAluOp::Min
+//! [`FAluOp::Max`]: crate::inst::FAluOp::Max
+
+/// WebAssembly `fmin`: NaN-propagating, `min(-0, +0) = -0`.
+pub fn wasm_min_f64(a: f64, b: f64) -> f64 {
+    if a.is_nan() || b.is_nan() {
+        f64::NAN
+    } else if a == b {
+        // Distinguish -0 from +0: `a == b` holds for the pair, so pick
+        // the negative one.
+        if a.is_sign_negative() {
+            a
+        } else {
+            b
+        }
+    } else if a < b {
+        a
+    } else {
+        b
+    }
+}
+
+/// WebAssembly `fmax`: NaN-propagating, `max(-0, +0) = +0`.
+pub fn wasm_max_f64(a: f64, b: f64) -> f64 {
+    if a.is_nan() || b.is_nan() {
+        f64::NAN
+    } else if a == b {
+        if a.is_sign_positive() {
+            a
+        } else {
+            b
+        }
+    } else if a > b {
+        a
+    } else {
+        b
+    }
+}
+
+/// [`wasm_min_f64`] at f32 precision.
+///
+/// Computing through f64 is exact: min/max never rounds, it only selects
+/// one of its operands (or produces NaN).
+pub fn wasm_min_f32(a: f32, b: f32) -> f32 {
+    wasm_min_f64(a as f64, b as f64) as f32
+}
+
+/// [`wasm_max_f64`] at f32 precision.
+pub fn wasm_max_f32(a: f32, b: f32) -> f32 {
+    wasm_max_f64(a as f64, b as f64) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nan_propagates_from_either_side() {
+        assert!(wasm_min_f64(f64::NAN, 1.0).is_nan());
+        assert!(wasm_min_f64(1.0, f64::NAN).is_nan());
+        assert!(wasm_max_f64(f64::NAN, 1.0).is_nan());
+        assert!(wasm_max_f64(1.0, f64::NAN).is_nan());
+        assert!(wasm_min_f32(f32::NAN, 1.0).is_nan());
+        assert!(wasm_max_f32(1.0, f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn signed_zeros_are_ordered() {
+        assert!(wasm_min_f64(0.0, -0.0).is_sign_negative());
+        assert!(wasm_min_f64(-0.0, 0.0).is_sign_negative());
+        assert!(wasm_max_f64(0.0, -0.0).is_sign_positive());
+        assert!(wasm_max_f64(-0.0, 0.0).is_sign_positive());
+    }
+
+    #[test]
+    fn ordinary_ordering() {
+        assert_eq!(wasm_min_f64(1.0, 2.0), 1.0);
+        assert_eq!(wasm_max_f64(1.0, 2.0), 2.0);
+        assert_eq!(wasm_min_f64(-1.0, f64::INFINITY), -1.0);
+        assert_eq!(wasm_max_f64(f64::NEG_INFINITY, -1.0), -1.0);
+    }
+}

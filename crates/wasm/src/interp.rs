@@ -817,38 +817,9 @@ fn round_ties_even_f64(x: f64) -> f64 {
     }
 }
 
-/// WebAssembly `min`: NaN-propagating, `-0 < +0`.
-fn wasm_min_f64(a: f64, b: f64) -> f64 {
-    if a.is_nan() || b.is_nan() {
-        f64::NAN
-    } else if a == b {
-        if a.is_sign_negative() {
-            a
-        } else {
-            b
-        }
-    } else if a < b {
-        a
-    } else {
-        b
-    }
-}
-
-fn wasm_max_f64(a: f64, b: f64) -> f64 {
-    if a.is_nan() || b.is_nan() {
-        f64::NAN
-    } else if a == b {
-        if a.is_sign_positive() {
-            a
-        } else {
-            b
-        }
-    } else if a > b {
-        a
-    } else {
-        b
-    }
-}
+// WebAssembly `min`/`max` (NaN-propagating, `-0 < +0`) — the canonical
+// definition shared with the CPU simulator and the CLite interpreter.
+use wasmperf_isa::fpsem::{wasm_max_f64, wasm_min_f64};
 
 fn fbinop(w: NumWidth, op: FBinop, a: u64, b: u64) -> u64 {
     match w {

@@ -211,14 +211,31 @@ fn irel_cc(op: IRelop) -> Cc {
     }
 }
 
-fn frel_cc(op: FRelop) -> Cc {
+/// How to repair a `ucomis`-based equality test for unordered inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ParityFix {
+    /// `==`: ZF is also set for unordered, so AND with !PF.
+    AndNotParity,
+    /// `!=`: NaN != NaN must be true, so OR with PF.
+    OrParity,
+}
+
+/// Condition for a float comparison via `ucomis`: the condition code,
+/// whether the operands must be swapped, and an optional parity fixup.
+///
+/// `ucomis` sets ZF=PF=CF=1 for unordered operands, so the naive
+/// below/below-equal codes would come out true when a NaN is involved.
+/// Lt/Le therefore compare with swapped operands and test
+/// above/above-equal (false on unordered — the wasm semantics), the way
+/// real engine backends do, and Eq/Ne carry an explicit parity fixup.
+fn frel_cc(op: FRelop) -> (Cc, bool, Option<ParityFix>) {
     match op {
-        FRelop::Eq => Cc::E,
-        FRelop::Ne => Cc::Ne,
-        FRelop::Lt => Cc::B,
-        FRelop::Gt => Cc::A,
-        FRelop::Le => Cc::Be,
-        FRelop::Ge => Cc::Ae,
+        FRelop::Eq => (Cc::E, false, Some(ParityFix::AndNotParity)),
+        FRelop::Ne => (Cc::Ne, false, Some(ParityFix::OrParity)),
+        FRelop::Lt => (Cc::A, true, None),
+        FRelop::Gt => (Cc::A, false, None),
+        FRelop::Le => (Cc::Ae, true, None),
+        FRelop::Ge => (Cc::Ae, false, None),
     }
 }
 
@@ -527,19 +544,21 @@ impl<'m, 'p> JitFn<'m, 'p> {
                         self.fused_br_if(cc, *d);
                         true
                     }
-                    (Instr::FRelop(w, op), Instr::BrIf(d)) => {
+                    (Instr::FRelop(w, op), Instr::BrIf(d))
+                        if !matches!(op, FRelop::Eq | FRelop::Ne) =>
+                    {
+                        // Only the ordered comparisons fuse; Eq/Ne need
+                        // a parity fixup and take the generic path.
                         let (rhs, _) = self.pop_reg();
                         let (lhs, _) = self.pop_reg();
+                        let (cc, swap, _) = frel_cc(*op);
+                        let (a, b) = if swap { (rhs, lhs) } else { (lhs, rhs) };
                         self.emit(LInst::Ucomis {
-                            lhs: FLoc::V(lhs),
-                            rhs: FOpnd::Loc(FLoc::V(rhs)),
+                            lhs: FLoc::V(a),
+                            rhs: FOpnd::Loc(FLoc::V(b)),
                             prec: nw_prec(*w),
                         });
-                        let cc = if negate {
-                            frel_cc(*op).negate()
-                        } else {
-                            frel_cc(*op)
-                        };
+                        let cc = if negate { cc.negate() } else { cc };
                         self.fused_br_if(cc, *d);
                         true
                     }
@@ -1067,15 +1086,31 @@ impl<'m, 'p> JitFn<'m, 'p> {
                 let (rhs, _) = self.pop_reg();
                 let (lhs, _) = self.pop_reg();
                 let r = self.vreg(ValType::I32);
+                let (cc, swap, fix) = frel_cc(*op);
+                let (a, b) = if swap { (rhs, lhs) } else { (lhs, rhs) };
                 self.emit(LInst::Ucomis {
-                    lhs: FLoc::V(lhs),
-                    rhs: FOpnd::Loc(FLoc::V(rhs)),
+                    lhs: FLoc::V(a),
+                    rhs: FOpnd::Loc(FLoc::V(b)),
                     prec: nw_prec(*w),
                 });
-                self.emit(LInst::Setcc {
-                    cc: frel_cc(*op),
-                    dst: Loc::V(r),
-                });
+                self.emit(LInst::Setcc { cc, dst: Loc::V(r) });
+                if let Some(fix) = fix {
+                    let p = self.vreg(ValType::I32);
+                    let (pcc, op) = match fix {
+                        ParityFix::AndNotParity => (Cc::Np, AluOp::And),
+                        ParityFix::OrParity => (Cc::P, AluOp::Or),
+                    };
+                    self.emit(LInst::Setcc {
+                        cc: pcc,
+                        dst: Loc::V(p),
+                    });
+                    self.emit(LInst::Alu {
+                        op,
+                        dst: Loc::V(r),
+                        src: Opnd::Loc(Loc::V(p)),
+                        width: Width::W32,
+                    });
+                }
                 self.push(SV::Reg(r, ValType::I32, true));
             }
             Instr::IUnop(w, op) => {
