@@ -1,0 +1,200 @@
+//! Simulator-throughput harness: how many *simulated* instructions per
+//! host second each interpreter loop sustains.
+//!
+//! Runs a fixed benchmark × engine matrix through both [`ExecMode`]s,
+//! asserts the two paths produce byte-identical results (the predecode
+//! invariant), and writes one JSON report (see docs/PERFORMANCE.md for
+//! the schema). With `--check <baseline.json>` it fails if any row's
+//! predecoded-over-legacy speedup regressed more than 20% against the
+//! checked-in baseline — a host-independent ratio, so CI machines of any
+//! speed can gate on it.
+//!
+//! Usage:
+//!
+//! ```text
+//! wasmperf-bench [--quick] [--out BENCH_PR4.json] [--check BASELINE.json]
+//! ```
+
+use std::time::Instant;
+
+use wasmperf_benchsuite::{Benchmark, Size};
+use wasmperf_browsix::AppendPolicy;
+use wasmperf_cpu::ExecMode;
+use wasmperf_farm::Json;
+use wasmperf_harness::engine::{execute_with_mode, prepare, Engine, RunResult};
+use wasmperf_wasmjit::EngineProfile;
+
+/// One measured matrix cell.
+struct Row {
+    bench: String,
+    engine: String,
+    instructions: u64,
+    predecoded_mips: f64,
+    legacy_mips: f64,
+    speedup: f64,
+}
+
+/// The regression gate: fail `--check` if a row's speedup drops below
+/// 80% of the baseline's.
+const REGRESSION_TOLERANCE: f64 = 0.8;
+
+fn benchmarks(quick: bool) -> Vec<Benchmark> {
+    let names: &[&str] = if quick {
+        &["gemm", "401.bzip2"]
+    } else {
+        &["gemm", "lu", "fdtd-2d", "401.bzip2", "458.sjeng"]
+    };
+    wasmperf_benchsuite::all(Size::Test)
+        .into_iter()
+        .filter(|b| names.contains(&b.name))
+        .collect()
+}
+
+fn engines(quick: bool) -> Vec<Engine> {
+    if quick {
+        vec![Engine::Native, Engine::Jit(EngineProfile::chrome())]
+    } else {
+        Engine::headline()
+    }
+}
+
+/// Times `reps` executions and returns the best simulated-MIPS figure
+/// (min wall time, like any throughput benchmark) plus one result for
+/// the equivalence check.
+fn measure(
+    bench: &Benchmark,
+    engine: &Engine,
+    artifact: &wasmperf_harness::engine::Artifact,
+    mode: ExecMode,
+    reps: u32,
+) -> (f64, RunResult) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let r = execute_with_mode(bench, engine, artifact, AppendPolicy::Chunked4K, mode)
+            .unwrap_or_else(|e| panic!("{}/{}: {e:?}", bench.name, engine.name()));
+        best = best.min(start.elapsed().as_secs_f64());
+        result = Some(r);
+    }
+    let result = result.expect("at least one rep");
+    let mips = result.counters.instructions_retired as f64 / best / 1e6;
+    (mips, result)
+}
+
+fn row_json(r: &Row) -> Json {
+    Json::Obj(vec![
+        ("bench".into(), Json::Str(r.bench.clone())),
+        ("engine".into(), Json::Str(r.engine.clone())),
+        ("instructions".into(), Json::u64(r.instructions)),
+        ("predecoded_mips".into(), Json::Num(r.predecoded_mips)),
+        ("legacy_mips".into(), Json::Num(r.legacy_mips)),
+        ("speedup".into(), Json::Num(r.speedup)),
+    ])
+}
+
+/// Per-(bench, engine) speedups from a report's JSON.
+fn speedups(j: &Json) -> Vec<(String, String, f64)> {
+    j.get("rows")
+        .and_then(Json::as_arr)
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|r| {
+                    Some((
+                        r.get("bench")?.as_str()?.to_string(),
+                        r.get("engine")?.as_str()?.to_string(),
+                        r.get("speedup")?.as_f64()?,
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn main() {
+    let mut out_path = "BENCH_PR4.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--check" => check_path = Some(args.next().expect("--check needs a path")),
+            "--quick" => quick = true,
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    let reps = if quick { 2 } else { 3 };
+
+    let mut rows = Vec::new();
+    for bench in &benchmarks(quick) {
+        for engine in &engines(quick) {
+            let artifact = prepare(bench, engine)
+                .unwrap_or_else(|e| panic!("{}/{}: {e:?}", bench.name, engine.name()));
+            let (fast_mips, fast) = measure(bench, engine, &artifact, ExecMode::Predecoded, reps);
+            let (slow_mips, slow) = measure(bench, engine, &artifact, ExecMode::Legacy, reps);
+            // The whole point of having two paths: byte-identical results.
+            assert_eq!(
+                fast,
+                slow,
+                "{}/{}: predecoded and legacy runs diverged",
+                bench.name,
+                engine.name()
+            );
+            let row = Row {
+                bench: bench.name.to_string(),
+                engine: engine.name(),
+                instructions: fast.counters.instructions_retired,
+                predecoded_mips: fast_mips,
+                legacy_mips: slow_mips,
+                speedup: fast_mips / slow_mips,
+            };
+            eprintln!(
+                "{:>12} {:>10}  {:>7.1} -> {:>7.1} sim-MIPS  ({:.2}x)",
+                row.bench, row.engine, row.legacy_mips, row.predecoded_mips, row.speedup
+            );
+            rows.push(row);
+        }
+    }
+
+    let geomean = (rows.iter().map(|r| r.speedup.ln()).sum::<f64>() / rows.len() as f64).exp();
+    eprintln!("geomean speedup: {geomean:.2}x over {} rows", rows.len());
+
+    let report = Json::Obj(vec![
+        ("schema".into(), Json::Str("wasmperf-bench/1".into())),
+        ("quick".into(), Json::Bool(quick)),
+        ("geomean_speedup".into(), Json::Num(geomean)),
+        (
+            "rows".into(),
+            Json::Arr(rows.iter().map(row_json).collect()),
+        ),
+    ]);
+    std::fs::write(&out_path, report.render() + "\n").expect("write report");
+    eprintln!("wrote {out_path}");
+
+    if let Some(path) = check_path {
+        let text = std::fs::read_to_string(&path).expect("read baseline");
+        let baseline = Json::parse(&text).expect("parse baseline");
+        let mut failures = Vec::new();
+        for (bench, engine, base) in speedups(&baseline) {
+            let Some(row) = rows.iter().find(|r| r.bench == bench && r.engine == engine) else {
+                continue; // baseline may cover the full matrix; --quick runs a subset
+            };
+            if row.speedup < base * REGRESSION_TOLERANCE {
+                failures.push(format!(
+                    "{bench}/{engine}: speedup {:.2}x < {:.2}x (80% of baseline {base:.2}x)",
+                    row.speedup,
+                    base * REGRESSION_TOLERANCE
+                ));
+            }
+        }
+        if !failures.is_empty() {
+            eprintln!("throughput regression vs {path}:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("no regression vs {path}");
+    }
+}

@@ -53,6 +53,11 @@ impl Cache {
         addr >> self.line_shift
     }
 
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        1 << self.line_shift
+    }
+
     /// Accesses `addr`, updating LRU state; returns `true` on a hit.
     pub fn access(&mut self, addr: u64) -> bool {
         self.accesses += 1;

@@ -34,13 +34,15 @@ pub mod counters;
 pub mod host;
 pub mod machine;
 pub mod mem;
+pub mod predecode;
 pub mod predictor;
 pub mod timing;
 
 pub use cache::Cache;
 pub use counters::PerfCounters;
 pub use host::{HostEnv, HostOutcome, NullHost};
-pub use machine::{Machine, RunOutcome};
+pub use machine::{ExecMode, Machine, RunOutcome};
 pub use mem::Memory;
+pub use predecode::Predecoded;
 pub use predictor::BranchPredictor;
 pub use timing::TimingModel;

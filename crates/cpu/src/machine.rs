@@ -22,13 +22,15 @@ use crate::cache::Cache;
 use crate::counters::PerfCounters;
 use crate::host::{HostEnv, HostOutcome};
 use crate::mem::Memory;
+use crate::predecode::{MOp, Predecoded};
 use crate::predictor::BranchPredictor;
 use crate::timing::{fp_to_cycles, TimingModel};
+use std::sync::Arc;
 use wasmperf_isa::inst::FOperand;
 use wasmperf_isa::size::encoded_len;
 use wasmperf_isa::{
     AluOp, Cc, FAluOp, FPrec, FuncId, Inst, MemRef, Module, Operand, Reg, RoundMode, TrapKind,
-    Width,
+    Width, Xmm,
 };
 use wasmperf_trace::{AddrSample, CycleProfile};
 
@@ -102,6 +104,19 @@ pub struct RunOutcome {
     pub counters: PerfCounters,
 }
 
+/// Which interpreter loop [`Machine::run`] drives. Both paths produce
+/// byte-identical observables (results, traps, counters); the predecoded
+/// engine is several times faster and is the default. Profiled runs always
+/// take the legacy path so per-instruction attribution stays exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Flat micro-op stream with per-block fuel charging (the default).
+    Predecoded,
+    /// The original per-instruction interpreter, used as the differential
+    /// reference and by the profiler.
+    Legacy,
+}
+
 /// The executing machine.
 pub struct Machine<'m, H: HostEnv> {
     module: &'m Module,
@@ -126,6 +141,10 @@ pub struct Machine<'m, H: HostEnv> {
     /// Per-address cycle attribution; `None` (the default) records nothing
     /// and keeps the hot loop free of bookkeeping.
     profile: Option<Box<CycleProfile>>,
+    /// The module lowered once into flat micro-op blocks.
+    pre: Arc<Predecoded>,
+    /// Which interpreter loop [`Machine::run`] uses.
+    exec_mode: ExecMode,
 }
 
 impl<'m, H: HostEnv> Machine<'m, H> {
@@ -162,6 +181,8 @@ impl<'m, H: HostEnv> Machine<'m, H> {
         }
         let mut regs = [0u64; 16];
         regs[Reg::Rsp.index()] = total - 16;
+        let icache = Cache::l1();
+        let pre = Arc::new(Predecoded::new(module, &timing, icache.line_bytes()));
         Machine {
             module,
             mem,
@@ -169,7 +190,7 @@ impl<'m, H: HostEnv> Machine<'m, H> {
             xmm: [0; 16],
             flags: Flags::default(),
             counters: PerfCounters::default(),
-            icache: Cache::l1(),
+            icache,
             dcache: Cache::l1(),
             predictor: BranchPredictor::default(),
             timing,
@@ -180,7 +201,15 @@ impl<'m, H: HostEnv> Machine<'m, H> {
             stack_floor: module.memory_size,
             max_call_depth: 100_000,
             profile: None,
+            pre,
+            exec_mode: ExecMode::Predecoded,
         }
+    }
+
+    /// Selects which interpreter loop [`Machine::run`] uses. Profiled runs
+    /// always take the legacy path regardless of this setting.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec_mode = mode;
     }
 
     /// Turns on per-address cycle attribution for subsequent [`Machine::run`]
@@ -291,21 +320,31 @@ impl<'m, H: HostEnv> Machine<'m, H> {
         self.stall_credit_fp += penalty * self.timing.dcache_overlap_percent as u64 / 100;
     }
 
+    /// D-cache probe for an access of `width` bytes at `addr`. An access
+    /// that straddles a line boundary touches (and may miss) both lines,
+    /// mirroring the I-cache fetch path.
     #[inline]
-    fn dread(&mut self, addr: u64, width: Width) -> Result<u64, TrapKind> {
-        self.counters.loads_retired += 1;
+    fn dprobe(&mut self, addr: u64, width: Width) {
         if !self.dcache.access(addr) {
             self.dcache_miss();
         }
+        let last = addr.wrapping_add(width.bytes() - 1);
+        if self.dcache.line_of(last) != self.dcache.line_of(addr) && !self.dcache.access(last) {
+            self.dcache_miss();
+        }
+    }
+
+    #[inline]
+    fn dread(&mut self, addr: u64, width: Width) -> Result<u64, TrapKind> {
+        self.counters.loads_retired += 1;
+        self.dprobe(addr, width);
         self.mem.read(addr, width)
     }
 
     #[inline]
     fn dwrite(&mut self, addr: u64, v: u64, width: Width) -> Result<(), TrapKind> {
         self.counters.stores_retired += 1;
-        if !self.dcache.access(addr) {
-            self.dcache_miss();
-        }
+        self.dprobe(addr, width);
         self.mem.write(addr, v, width)
     }
 
@@ -426,25 +465,46 @@ impl<'m, H: HostEnv> Machine<'m, H> {
         }
     }
 
-    fn push_val(&mut self, v: u64, func: u32, pc: usize) -> Result<(), ExecError> {
+    #[inline]
+    fn push_val_raw(&mut self, v: u64) -> StepResult {
         let rsp = self.regs[Reg::Rsp.index()].wrapping_sub(8);
         if rsp < self.stack_floor {
-            return Err(self.err(TrapKind::StackOverflow, func, pc, "machine stack exhausted"));
+            return Err((TrapKind::StackOverflow, "machine stack exhausted"));
         }
         self.regs[Reg::Rsp.index()] = rsp;
-        self.dwrite(rsp, v, Width::W64)
-            .map_err(|k| self.err(k, func, pc, "push"))
+        self.dwrite(rsp, v, Width::W64).map_err(|k| (k, "push"))
+    }
+
+    fn push_val(&mut self, v: u64, func: u32, pc: usize) -> Result<(), ExecError> {
+        self.push_val_raw(v)
+            .map_err(|(k, d)| self.err(k, func, pc, d))
     }
 
     /// Runs the module from `entry` with System V register arguments.
     ///
     /// `fuel` bounds the number of retired instructions; exceeding it
     /// returns a [`TrapKind::OutOfFuel`] error rather than hanging.
+    ///
+    /// Dispatches to the predecoded block engine unless profiling is
+    /// enabled or [`Machine::set_exec_mode`] selected the legacy
+    /// per-instruction path; both paths produce identical observables.
     pub fn run(&mut self, entry: FuncId, args: &[u64], fuel: u64) -> Result<RunOutcome, ExecError> {
         assert!(args.len() <= 6, "at most 6 register arguments");
         for (i, &a) in args.iter().enumerate() {
             self.regs[Reg::SYSV_ARGS[i].index()] = a;
         }
+        if self.profile.is_some() || self.exec_mode == ExecMode::Legacy {
+            self.run_legacy(entry, fuel)
+        } else {
+            self.run_predecoded(entry, fuel)
+        }
+    }
+
+    /// The legacy per-instruction interpreter: re-derives lengths, classes,
+    /// and costs from the [`Module`] each step and carries the profiler
+    /// hooks, so `wasmperf-trace` attribution is exact. Kept as the
+    /// reference the predecoded engine is differentially tested against.
+    fn run_legacy(&mut self, entry: FuncId, fuel: u64) -> Result<RunOutcome, ExecError> {
         let mut func = entry.0;
         let mut pc: usize = 0;
         let mut remaining = fuel;
@@ -493,289 +553,50 @@ impl<'m, H: HostEnv> Machine<'m, H> {
                     return Err(self.err($k, func, pc, $d))
                 };
             }
+            macro_rules! step {
+                ($r:expr) => {
+                    if let Err((k, d)) = $r {
+                        trap!(k, d)
+                    }
+                };
+            }
 
             match inst {
-                Inst::Mov { dst, src, width } => {
-                    let v = match self.read_op(src, *width) {
-                        Ok(v) => v,
-                        Err(k) => trap!(k, "mov src"),
-                    };
-                    if let Err(k) = self.write_op(dst, v, *width) {
-                        trap!(k, "mov dst");
-                    }
-                }
-                Inst::Movzx { dst, src, from } => {
-                    let v = match self.read_op(src, *from) {
-                        Ok(v) => v,
-                        Err(k) => trap!(k, "movzx"),
-                    };
-                    self.regs[dst.index()] = v;
-                }
+                Inst::Mov { dst, src, width } => step!(self.exec_mov(dst, src, *width)),
+                Inst::Movzx { dst, src, from } => step!(self.exec_movzx(*dst, src, *from)),
                 Inst::Movsx { dst, src, from, to } => {
-                    let v = match self.read_op(src, *from) {
-                        Ok(v) => v,
-                        Err(k) => trap!(k, "movsx"),
-                    };
-                    let bits = from.bytes() * 8;
-                    let sext = ((v << (64 - bits)) as i64 >> (64 - bits)) as u64;
-                    self.write_reg_w(*dst, sext & to.mask(), *to);
-                    if *to == Width::W64 {
-                        self.regs[dst.index()] = sext;
-                    }
+                    step!(self.exec_movsx(*dst, src, *from, *to))
                 }
-                Inst::Lea { dst, mem, width } => {
-                    let a = self.ea(mem);
-                    self.write_reg_w(*dst, a & width.mask(), *width);
-                }
+                Inst::Lea { dst, mem, width } => self.exec_lea(*dst, mem, *width),
                 Inst::Alu {
                     op,
                     dst,
                     src,
                     width,
-                } => {
-                    let l = match self.read_op(dst, *width) {
-                        Ok(v) => v,
-                        Err(k) => trap!(k, "alu dst read"),
-                    };
-                    // Read-modify-write to memory also performs the load.
-                    if dst.is_mem() {
-                        // The load above was already counted by read_op.
-                    }
-                    let r = match self.read_op(src, *width) {
-                        Ok(v) => v,
-                        Err(k) => trap!(k, "alu src"),
-                    };
-                    let res = match op {
-                        AluOp::Add => self.set_flags_add(l, r, *width),
-                        AluOp::Sub => self.set_flags_sub(l, r, *width),
-                        AluOp::And => {
-                            let v = l & r;
-                            self.set_flags_logic(v, *width);
-                            v & width.mask()
-                        }
-                        AluOp::Or => {
-                            let v = l | r;
-                            self.set_flags_logic(v, *width);
-                            v & width.mask()
-                        }
-                        AluOp::Xor => {
-                            let v = l ^ r;
-                            self.set_flags_logic(v, *width);
-                            v & width.mask()
-                        }
-                        AluOp::Shl => {
-                            let c = r & (width.bytes() * 8 - 1);
-                            let v = (l << c) & width.mask();
-                            self.set_flags_logic(v, *width);
-                            v
-                        }
-                        AluOp::Shr => {
-                            let c = r & (width.bytes() * 8 - 1);
-                            let v = (l & width.mask()) >> c;
-                            self.set_flags_logic(v, *width);
-                            v
-                        }
-                        AluOp::Sar => {
-                            let c = r & (width.bytes() * 8 - 1);
-                            let bits = width.bytes() * 8;
-                            let sext = ((l << (64 - bits)) as i64) >> (64 - bits);
-                            let v = ((sext >> c) as u64) & width.mask();
-                            self.set_flags_logic(v, *width);
-                            v
-                        }
-                        AluOp::Rol => {
-                            let bits = (width.bytes() * 8) as u32;
-                            let c = (r as u32) % bits;
-                            let lm = l & width.mask();
-                            // Rotate by zero is the identity; `bits - c`
-                            // would be a full-width (UB-in-hardware) shift.
-                            if c == 0 {
-                                lm
-                            } else {
-                                ((lm << c) | (lm >> (bits - c))) & width.mask()
-                            }
-                        }
-                        AluOp::Ror => {
-                            let bits = (width.bytes() * 8) as u32;
-                            let c = (r as u32) % bits;
-                            let lm = l & width.mask();
-                            if c == 0 {
-                                lm
-                            } else {
-                                ((lm >> c) | (lm << (bits - c))) & width.mask()
-                            }
-                        }
-                    };
-                    if let Err(k) = self.write_op(dst, res, *width) {
-                        trap!(k, "alu writeback");
-                    }
-                }
-                Inst::Neg { dst, width } => {
-                    let v = match self.read_op(dst, *width) {
-                        Ok(v) => v,
-                        Err(k) => trap!(k, "neg"),
-                    };
-                    let res = self.set_flags_sub(0, v, *width);
-                    if let Err(k) = self.write_op(dst, res, *width) {
-                        trap!(k, "neg writeback");
-                    }
-                }
-                Inst::Not { dst, width } => {
-                    let v = match self.read_op(dst, *width) {
-                        Ok(v) => v,
-                        Err(k) => trap!(k, "not"),
-                    };
-                    if let Err(k) = self.write_op(dst, !v & width.mask(), *width) {
-                        trap!(k, "not writeback");
-                    }
-                }
-                Inst::Imul { dst, src, width } => {
-                    let l = self.regs[dst.index()] & width.mask();
-                    let r = match self.read_op(src, *width) {
-                        Ok(v) => v,
-                        Err(k) => trap!(k, "imul"),
-                    };
-                    self.write_reg_w(*dst, l.wrapping_mul(r) & width.mask(), *width);
-                }
+                } => step!(self.exec_alu(*op, dst, src, *width)),
+                Inst::Neg { dst, width } => step!(self.exec_neg(dst, *width)),
+                Inst::Not { dst, width } => step!(self.exec_not(dst, *width)),
+                Inst::Imul { dst, src, width } => step!(self.exec_imul(*dst, src, *width)),
                 Inst::Imul3 {
                     dst,
                     src,
                     imm,
                     width,
-                } => {
-                    let r = match self.read_op(src, *width) {
-                        Ok(v) => v,
-                        Err(k) => trap!(k, "imul3"),
-                    };
-                    self.write_reg_w(*dst, r.wrapping_mul(*imm as u64) & width.mask(), *width);
-                }
-                Inst::Cqo { width } => {
-                    let rax = self.regs[Reg::Rax.index()] & width.mask();
-                    let neg = rax & width.sign_bit() != 0;
-                    let v = if neg { width.mask() } else { 0 };
-                    self.write_reg_w(Reg::Rdx, v, *width);
-                }
-                Inst::Div { src, signed, width } => {
-                    let divisor = match self.read_op(src, *width) {
-                        Ok(v) => v,
-                        Err(k) => trap!(k, "div"),
-                    };
-                    if divisor == 0 {
-                        trap!(TrapKind::DivByZero, "");
-                    }
-                    let mask = width.mask();
-                    let lo = self.regs[Reg::Rax.index()] & mask;
-                    let hi = self.regs[Reg::Rdx.index()] & mask;
-                    let bits = width.bytes() * 8;
-                    if *signed {
-                        let dividend = ((hi as u128) << bits) | lo as u128;
-                        // Sign-extend the 2*bits dividend.
-                        let shift = 128 - 2 * bits as u32;
-                        let dividend = ((dividend << shift) as i128) >> shift;
-                        let dsor = {
-                            let s = 64 - bits;
-                            ((divisor << s) as i64 >> s) as i128
-                        };
-                        let q = dividend.wrapping_div(dsor);
-                        let r = dividend.wrapping_rem(dsor);
-                        let min = -(1i128 << (bits - 1));
-                        let max = (1i128 << (bits - 1)) - 1;
-                        if q < min || q > max {
-                            trap!(TrapKind::IntegerOverflow, "idiv quotient overflow");
-                        }
-                        self.write_reg_w(Reg::Rax, q as u64 & mask, *width);
-                        self.write_reg_w(Reg::Rdx, r as u64 & mask, *width);
-                    } else {
-                        let dividend = ((hi as u128) << bits) | lo as u128;
-                        let q = dividend / divisor as u128;
-                        let r = dividend % divisor as u128;
-                        if q > mask as u128 {
-                            trap!(TrapKind::IntegerOverflow, "div quotient overflow");
-                        }
-                        self.write_reg_w(Reg::Rax, q as u64, *width);
-                        self.write_reg_w(Reg::Rdx, r as u64, *width);
-                    }
-                }
-                Inst::Cmp { lhs, rhs, width } => {
-                    let l = match self.read_op(lhs, *width) {
-                        Ok(v) => v,
-                        Err(k) => trap!(k, "cmp lhs"),
-                    };
-                    let r = match self.read_op(rhs, *width) {
-                        Ok(v) => v,
-                        Err(k) => trap!(k, "cmp rhs"),
-                    };
-                    self.set_flags_sub(l, r, *width);
-                }
-                Inst::Test { lhs, rhs, width } => {
-                    let l = match self.read_op(lhs, *width) {
-                        Ok(v) => v,
-                        Err(k) => trap!(k, "test lhs"),
-                    };
-                    let r = match self.read_op(rhs, *width) {
-                        Ok(v) => v,
-                        Err(k) => trap!(k, "test rhs"),
-                    };
-                    self.set_flags_logic(l & r, *width);
-                }
+                } => step!(self.exec_imul3(*dst, src, *imm, *width)),
+                Inst::Cqo { width } => self.exec_cqo(*width),
+                Inst::Div { src, signed, width } => step!(self.exec_div(src, *signed, *width)),
+                Inst::Cmp { lhs, rhs, width } => step!(self.exec_cmp(lhs, rhs, *width)),
+                Inst::Test { lhs, rhs, width } => step!(self.exec_test(lhs, rhs, *width)),
                 Inst::Cmov {
                     cc,
                     dst,
                     src,
                     width,
-                } => {
-                    // The source (including memory) is read regardless of
-                    // the condition, as on hardware.
-                    let v = match self.read_op(src, *width) {
-                        Ok(v) => v,
-                        Err(k) => trap!(k, "cmov src"),
-                    };
-                    if self.cond(*cc) {
-                        self.write_reg_w(*dst, v, *width);
-                    } else if *width == Width::W32 {
-                        // 32-bit cmov zero-extends the destination even
-                        // when the move does not happen.
-                        let cur = self.regs[dst.index()] & 0xffff_ffff;
-                        self.regs[dst.index()] = cur;
-                    }
-                }
-                Inst::Setcc { cc, dst } => {
-                    let v = u64::from(self.cond(*cc));
-                    self.regs[dst.index()] = v;
-                }
-                Inst::Lzcnt { dst, src, width } => {
-                    let v = match self.read_op(src, *width) {
-                        Ok(v) => v,
-                        Err(k) => trap!(k, "lzcnt"),
-                    };
-                    let bits = (width.bytes() * 8) as u32;
-                    let n = if v == 0 {
-                        bits
-                    } else {
-                        v.leading_zeros() - (64 - bits)
-                    };
-                    self.write_reg_w(*dst, n as u64, *width);
-                }
-                Inst::Tzcnt { dst, src, width } => {
-                    let v = match self.read_op(src, *width) {
-                        Ok(v) => v,
-                        Err(k) => trap!(k, "tzcnt"),
-                    };
-                    let bits = (width.bytes() * 8) as u32;
-                    let n = if v == 0 {
-                        bits
-                    } else {
-                        v.trailing_zeros().min(bits)
-                    };
-                    self.write_reg_w(*dst, n as u64, *width);
-                }
-                Inst::Popcnt { dst, src, width } => {
-                    let v = match self.read_op(src, *width) {
-                        Ok(v) => v,
-                        Err(k) => trap!(k, "popcnt"),
-                    };
-                    self.write_reg_w(*dst, v.count_ones() as u64, *width);
-                }
+                } => step!(self.exec_cmov(*cc, *dst, src, *width)),
+                Inst::Setcc { cc, dst } => self.exec_setcc(*cc, *dst),
+                Inst::Lzcnt { dst, src, width } => step!(self.exec_lzcnt(*dst, src, *width)),
+                Inst::Tzcnt { dst, src, width } => step!(self.exec_tzcnt(*dst, src, *width)),
+                Inst::Popcnt { dst, src, width } => step!(self.exec_popcnt(*dst, src, *width)),
                 Inst::Jmp { target } => {
                     self.counters.branches_retired += 1;
                     next = f.resolve(*target);
@@ -875,15 +696,7 @@ impl<'m, H: HostEnv> Machine<'m, H> {
                     };
                     self.push_val(v, func, pc)?;
                 }
-                Inst::Pop { dst } => {
-                    let rsp = self.regs[Reg::Rsp.index()];
-                    let v = match self.dread(rsp, Width::W64) {
-                        Ok(v) => v,
-                        Err(k) => trap!(k, "pop"),
-                    };
-                    self.regs[Reg::Rsp.index()] = rsp + 8;
-                    self.regs[dst.index()] = v;
-                }
+                Inst::Pop { dst } => step!(self.exec_pop(*dst)),
                 Inst::Ret => {
                     self.counters.branches_retired += 1;
                     let rsp = self.regs[Reg::Rsp.index()];
@@ -917,231 +730,37 @@ impl<'m, H: HostEnv> Machine<'m, H> {
                         }
                     }
                 }
-                Inst::MovF { dst, src, prec } => {
-                    let v = match self.read_fop(src, *prec) {
-                        Ok(v) => v,
-                        Err(k) => trap!(k, "movf src"),
-                    };
-                    match dst {
-                        FOperand::Xmm(x) => {
-                            // movss merges the low lane; our model holds one
-                            // scalar per register, so a full overwrite is
-                            // semantically equivalent for scalar code.
-                            self.xmm[x.index()] = v & match prec {
-                                FPrec::F32 => 0xffff_ffff,
-                                FPrec::F64 => u64::MAX,
-                            };
-                        }
-                        FOperand::Mem(m) => {
-                            let a = self.ea(m);
-                            let w = match prec {
-                                FPrec::F32 => Width::W32,
-                                FPrec::F64 => Width::W64,
-                            };
-                            if let Err(k) = self.dwrite(a, v, w) {
-                                trap!(k, "movf dst");
-                            }
-                        }
-                    }
-                }
-                Inst::AluF { op, dst, src, prec } => {
-                    let rv = match self.read_fop(src, *prec) {
-                        Ok(v) => v,
-                        Err(k) => trap!(k, "aluf src"),
-                    };
-                    let lv = self.xmm[dst.index()];
-                    let res = match prec {
-                        FPrec::F32 => {
-                            let l = f32::from_bits(lv as u32);
-                            let r = f32::from_bits(rv as u32);
-                            let v = match op {
-                                FAluOp::Add => l + r,
-                                FAluOp::Sub => l - r,
-                                FAluOp::Mul => l * r,
-                                FAluOp::Div => l / r,
-                                FAluOp::Min => wasmperf_isa::fpsem::wasm_min_f32(l, r),
-                                FAluOp::Max => wasmperf_isa::fpsem::wasm_max_f32(l, r),
-                            };
-                            v.to_bits() as u64
-                        }
-                        FPrec::F64 => {
-                            let l = f64::from_bits(lv);
-                            let r = f64::from_bits(rv);
-                            let v = match op {
-                                FAluOp::Add => l + r,
-                                FAluOp::Sub => l - r,
-                                FAluOp::Mul => l * r,
-                                FAluOp::Div => l / r,
-                                FAluOp::Min => wasmperf_isa::fpsem::wasm_min_f64(l, r),
-                                FAluOp::Max => wasmperf_isa::fpsem::wasm_max_f64(l, r),
-                            };
-                            v.to_bits()
-                        }
-                    };
-                    self.xmm[dst.index()] = res;
-                }
+                Inst::MovF { dst, src, prec } => step!(self.exec_movf(dst, src, *prec)),
+                Inst::AluF { op, dst, src, prec } => step!(self.exec_aluf(*op, *dst, src, *prec)),
                 Inst::RoundF {
                     dst,
                     src,
                     prec,
                     mode,
-                } => {
-                    let v = match self.read_fop(src, *prec) {
-                        Ok(v) => v,
-                        Err(k) => trap!(k, "roundf"),
-                    };
-                    let x = match prec {
-                        FPrec::F32 => f32::from_bits(v as u32) as f64,
-                        FPrec::F64 => f64::from_bits(v),
-                    };
-                    let r = match mode {
-                        RoundMode::Floor => x.floor(),
-                        RoundMode::Ceil => x.ceil(),
-                        RoundMode::Trunc => x.trunc(),
-                        RoundMode::Nearest => {
-                            let r = x.round();
-                            if (x - x.trunc()).abs() == 0.5 && r % 2.0 != 0.0 {
-                                r - x.signum()
-                            } else {
-                                r
-                            }
-                        }
-                    };
-                    self.xmm[dst.index()] = match prec {
-                        FPrec::F32 => (r as f32).to_bits() as u64,
-                        FPrec::F64 => r.to_bits(),
-                    };
-                }
-                Inst::AbsF { dst, src, prec } => {
-                    let v = match self.read_fop(src, *prec) {
-                        Ok(v) => v,
-                        Err(k) => trap!(k, "absf"),
-                    };
-                    self.xmm[dst.index()] = match prec {
-                        FPrec::F32 => (v as u32 & 0x7fff_ffff) as u64,
-                        FPrec::F64 => v & 0x7fff_ffff_ffff_ffff,
-                    };
-                }
-                Inst::SqrtF { dst, src, prec } => {
-                    let v = match self.read_fop(src, *prec) {
-                        Ok(v) => v,
-                        Err(k) => trap!(k, "sqrtf"),
-                    };
-                    self.xmm[dst.index()] = match prec {
-                        FPrec::F32 => f32::from_bits(v as u32).sqrt().to_bits() as u64,
-                        FPrec::F64 => f64::from_bits(v).sqrt().to_bits(),
-                    };
-                }
-                Inst::Ucomis { lhs, rhs, prec } => {
-                    let rv = match self.read_fop(rhs, *prec) {
-                        Ok(v) => v,
-                        Err(k) => trap!(k, "ucomis"),
-                    };
-                    let lv = self.xmm[lhs.index()];
-                    let (l, r) = match prec {
-                        FPrec::F32 => (
-                            f32::from_bits(lv as u32) as f64,
-                            f32::from_bits(rv as u32) as f64,
-                        ),
-                        FPrec::F64 => (f64::from_bits(lv), f64::from_bits(rv)),
-                    };
-                    // x86 ucomis: unordered => ZF=PF=CF=1; == => ZF=1;
-                    // < => CF=1; > => all clear. SF/OF cleared.
-                    let (zf, pf, cf) = if l.is_nan() || r.is_nan() {
-                        (true, true, true)
-                    } else if l == r {
-                        (true, false, false)
-                    } else if l < r {
-                        (false, false, true)
-                    } else {
-                        (false, false, false)
-                    };
-                    self.flags = Flags {
-                        zf,
-                        pf,
-                        cf,
-                        sf: false,
-                        of: false,
-                    };
-                }
+                } => step!(self.exec_roundf(*dst, src, *prec, *mode)),
+                Inst::AbsF { dst, src, prec } => step!(self.exec_absf(*dst, src, *prec)),
+                Inst::SqrtF { dst, src, prec } => step!(self.exec_sqrtf(*dst, src, *prec)),
+                Inst::Ucomis { lhs, rhs, prec } => step!(self.exec_ucomis(*lhs, rhs, *prec)),
                 Inst::CvtIntToF {
                     dst,
                     src,
                     width,
                     prec,
                     unsigned,
-                } => {
-                    let v = match self.read_op(src, *width) {
-                        Ok(v) => v,
-                        Err(k) => trap!(k, "cvtint2f"),
-                    };
-                    let as_f64 = if *unsigned {
-                        v as f64
-                    } else {
-                        let bits = width.bytes() * 8;
-                        (((v << (64 - bits)) as i64) >> (64 - bits)) as f64
-                    };
-                    self.xmm[dst.index()] = match prec {
-                        FPrec::F32 => (as_f64 as f32).to_bits() as u64,
-                        FPrec::F64 => as_f64.to_bits(),
-                    };
-                }
+                } => step!(self.exec_cvt_int_to_f(*dst, src, *width, *prec, *unsigned)),
                 Inst::CvtFToInt {
                     dst,
                     src,
                     width,
                     prec,
                     unsigned,
-                } => {
-                    let v = match self.read_fop(src, *prec) {
-                        Ok(v) => v,
-                        Err(k) => trap!(k, "cvtf2int"),
-                    };
-                    let x = match prec {
-                        FPrec::F32 => f32::from_bits(v as u32) as f64,
-                        FPrec::F64 => f64::from_bits(v),
-                    };
-                    if x.is_nan() {
-                        trap!(TrapKind::IntegerOverflow, "convert NaN to int");
-                    }
-                    let t = x.trunc();
-                    let bits = width.bytes() * 8;
-                    let res = if *unsigned {
-                        let max = if bits == 64 {
-                            u64::MAX as f64
-                        } else {
-                            ((1u128 << bits) - 1) as f64
-                        };
-                        if t < 0.0 || t > max {
-                            trap!(TrapKind::IntegerOverflow, "f->u out of range");
-                        }
-                        t as u64
-                    } else {
-                        let min = -((1i128 << (bits - 1)) as f64);
-                        let max = ((1i128 << (bits - 1)) - 1) as f64;
-                        if t < min || t > max {
-                            trap!(TrapKind::IntegerOverflow, "f->i out of range");
-                        }
-                        (t as i64) as u64
-                    };
-                    self.write_reg_w(*dst, res & width.mask(), *width);
-                }
-                Inst::CvtFToF { dst, src, from } => {
-                    let v = match self.read_fop(src, *from) {
-                        Ok(v) => v,
-                        Err(k) => trap!(k, "cvtf2f"),
-                    };
-                    self.xmm[dst.index()] = match from {
-                        FPrec::F32 => (f32::from_bits(v as u32) as f64).to_bits(),
-                        FPrec::F64 => (f64::from_bits(v) as f32).to_bits() as u64,
-                    };
-                }
+                } => step!(self.exec_cvt_f_to_int(*dst, src, *width, *prec, *unsigned)),
+                Inst::CvtFToF { dst, src, from } => step!(self.exec_cvt_f_to_f(*dst, src, *from)),
                 Inst::MovGprToXmm { dst, src, width } => {
-                    self.xmm[dst.index()] = self.regs[src.index()] & width.mask();
+                    self.exec_mov_gpr_to_xmm(*dst, *src, *width)
                 }
                 Inst::MovXmmToGpr { dst, src, width } => {
-                    let v = self.xmm[src.index()] & width.mask();
-                    self.write_reg_w(*dst, v, *width);
+                    self.exec_mov_xmm_to_gpr(*dst, *src, *width)
                 }
                 Inst::Trap { kind } => trap!(*kind, "explicit trap"),
                 Inst::Nop => {}
@@ -1154,7 +773,818 @@ impl<'m, H: HostEnv> Machine<'m, H> {
             pc = next;
         }
     }
+
+    /// The predecoded block engine: drives the [`Predecoded`] micro-op
+    /// stream, charging fuel per basic block and using the baked-in
+    /// addresses, straddle flags, issue costs, and resolved branch targets.
+    /// It performs the same cache probes, counter updates, and
+    /// architectural effects in the same order as [`Machine::run_legacy`];
+    /// the differential tests hold the two byte-identical.
+    fn run_predecoded(&mut self, entry: FuncId, fuel: u64) -> Result<RunOutcome, ExecError> {
+        let pre = Arc::clone(&self.pre);
+        let icache_penalty = self.timing.icache_miss_penalty as u64;
+        let mispredict_penalty = self.timing.mispredict_penalty as u64;
+        let mut func = entry.0;
+        let mut pc: usize = 0;
+        let mut remaining = fuel;
+
+        'blocks: loop {
+            let fd = &pre.funcs[func as usize];
+            if pc >= fd.uops.len() {
+                return Err(self.err(TrapKind::Abort, func, pc, "fell off end of function"));
+            }
+            let blen = fd.block_len[pc] as u64;
+            debug_assert!(blen > 0, "control must enter blocks at their leader");
+            // The common case charges the whole block's fuel on entry; the
+            // tail of a run (fewer than `blen` units left) falls back to
+            // per-instruction checks so the out-of-fuel pc stays exact.
+            let batched = remaining >= blen;
+            if batched {
+                remaining -= blen;
+            }
+            let end = pc + blen as usize;
+            while pc < end {
+                if !batched {
+                    if remaining == 0 {
+                        return Err(self.err(TrapKind::OutOfFuel, func, pc, ""));
+                    }
+                    remaining -= 1;
+                }
+                let u = &fd.uops[pc];
+                if !self.icache.access(u.addr) {
+                    self.cycle_fp += icache_penalty;
+                }
+                if u.straddles && !self.icache.access(u.last_byte) {
+                    self.cycle_fp += icache_penalty;
+                }
+                self.counters.instructions_retired += 1;
+                let cost = u.cost as u64;
+                // Issue cost is absorbed by any outstanding miss shadow.
+                let hidden = cost.min(self.stall_credit_fp);
+                self.stall_credit_fp -= hidden;
+                self.cycle_fp += cost - hidden;
+
+                macro_rules! trap {
+                    ($k:expr, $d:expr) => {
+                        return Err(self.err($k, func, pc, $d))
+                    };
+                }
+                macro_rules! step {
+                    ($r:expr) => {
+                        if let Err((k, d)) = $r {
+                            trap!(k, d)
+                        }
+                    };
+                }
+
+                match &u.op {
+                    MOp::Mov { dst, src, width } => step!(self.exec_mov(dst, src, *width)),
+                    MOp::Movzx { dst, src, from } => step!(self.exec_movzx(*dst, src, *from)),
+                    MOp::Movsx { dst, src, from, to } => {
+                        step!(self.exec_movsx(*dst, src, *from, *to))
+                    }
+                    MOp::Lea { dst, mem, width } => self.exec_lea(*dst, mem, *width),
+                    MOp::Alu {
+                        op,
+                        dst,
+                        src,
+                        width,
+                    } => step!(self.exec_alu(*op, dst, src, *width)),
+                    MOp::Neg { dst, width } => step!(self.exec_neg(dst, *width)),
+                    MOp::Not { dst, width } => step!(self.exec_not(dst, *width)),
+                    MOp::Imul { dst, src, width } => step!(self.exec_imul(*dst, src, *width)),
+                    MOp::Imul3 {
+                        dst,
+                        src,
+                        imm,
+                        width,
+                    } => step!(self.exec_imul3(*dst, src, *imm, *width)),
+                    MOp::Cqo { width } => self.exec_cqo(*width),
+                    MOp::Div { src, signed, width } => step!(self.exec_div(src, *signed, *width)),
+                    MOp::Cmp { lhs, rhs, width } => step!(self.exec_cmp(lhs, rhs, *width)),
+                    MOp::Test { lhs, rhs, width } => step!(self.exec_test(lhs, rhs, *width)),
+                    MOp::Cmov {
+                        cc,
+                        dst,
+                        src,
+                        width,
+                    } => step!(self.exec_cmov(*cc, *dst, src, *width)),
+                    MOp::Setcc { cc, dst } => self.exec_setcc(*cc, *dst),
+                    MOp::Lzcnt { dst, src, width } => step!(self.exec_lzcnt(*dst, src, *width)),
+                    MOp::Tzcnt { dst, src, width } => step!(self.exec_tzcnt(*dst, src, *width)),
+                    MOp::Popcnt { dst, src, width } => step!(self.exec_popcnt(*dst, src, *width)),
+                    MOp::Jmp { target } => {
+                        self.counters.branches_retired += 1;
+                        pc = *target as usize;
+                        continue 'blocks;
+                    }
+                    MOp::Jcc { cc, target } => {
+                        self.counters.branches_retired += 1;
+                        self.counters.cond_branches_retired += 1;
+                        let taken = self.cond(*cc);
+                        if self.predictor.predict_and_update(u.addr, taken) {
+                            self.cycle_fp += mispredict_penalty;
+                        }
+                        if taken {
+                            pc = *target as usize;
+                            continue 'blocks;
+                        }
+                        // Not taken: a Jcc ends its block, so `pc + 1 ==
+                        // end` and the outer loop re-enters at the
+                        // fall-through leader.
+                    }
+                    MOp::Call { target } => {
+                        self.counters.branches_retired += 1;
+                        if self.call_stack.len() >= self.max_call_depth {
+                            trap!(TrapKind::StackOverflow, "call depth");
+                        }
+                        if target.0 as usize >= self.module.funcs.len() {
+                            trap!(TrapKind::Abort, "call to unknown function");
+                        }
+                        let ret_pc = pc + 1;
+                        step!(self.push_val_raw(RET_TOKEN | ret_pc as u64));
+                        self.call_stack.push(Frame {
+                            func,
+                            ret_pc: ret_pc as u32,
+                            rsp_at_call: self.regs[Reg::Rsp.index()],
+                        });
+                        func = target.0;
+                        pc = 0;
+                        continue 'blocks;
+                    }
+                    MOp::CallIndirect { target } => {
+                        self.counters.branches_retired += 1;
+                        let v = match self.read_op(target, Width::W64) {
+                            Ok(v) => v,
+                            Err(k) => trap!(k, "call-indirect operand"),
+                        };
+                        if v as usize >= self.module.funcs.len() {
+                            trap!(
+                                TrapKind::IndirectCallOutOfBounds,
+                                format!("bad function id {v:#x}")
+                            );
+                        }
+                        if self.call_stack.len() >= self.max_call_depth {
+                            trap!(TrapKind::StackOverflow, "call depth");
+                        }
+                        let ret_pc = pc + 1;
+                        step!(self.push_val_raw(RET_TOKEN | ret_pc as u64));
+                        self.call_stack.push(Frame {
+                            func,
+                            ret_pc: ret_pc as u32,
+                            rsp_at_call: self.regs[Reg::Rsp.index()],
+                        });
+                        func = v as u32;
+                        pc = 0;
+                        continue 'blocks;
+                    }
+                    MOp::CallHost { id } => {
+                        self.counters.branches_retired += 1;
+                        self.counters.host_calls += 1;
+                        let args = [
+                            self.regs[Reg::Rdi.index()],
+                            self.regs[Reg::Rsi.index()],
+                            self.regs[Reg::Rdx.index()],
+                            self.regs[Reg::Rcx.index()],
+                            self.regs[Reg::R8.index()],
+                            self.regs[Reg::R9.index()],
+                        ];
+                        match self.host.call(*id, &args, &mut self.mem) {
+                            Ok(HostOutcome::Ret {
+                                value,
+                                kernel_cycles,
+                            }) => {
+                                self.regs[Reg::Rax.index()] = value;
+                                self.counters.host_cycles += kernel_cycles;
+                            }
+                            Ok(HostOutcome::Exit {
+                                code,
+                                kernel_cycles,
+                            }) => {
+                                self.counters.host_cycles += kernel_cycles;
+                                return Ok(RunOutcome {
+                                    ret: self.regs[Reg::Rax.index()],
+                                    exit_code: Some(code),
+                                    counters: self.counters(),
+                                });
+                            }
+                            Err(k) => trap!(k, format!("host call {id}")),
+                        }
+                    }
+                    MOp::Push { src } => {
+                        let v = match self.read_op(src, Width::W64) {
+                            Ok(v) => v,
+                            Err(k) => trap!(k, "push src"),
+                        };
+                        step!(self.push_val_raw(v));
+                    }
+                    MOp::Pop { dst } => step!(self.exec_pop(*dst)),
+                    MOp::Ret => {
+                        self.counters.branches_retired += 1;
+                        let rsp = self.regs[Reg::Rsp.index()];
+                        if let Err(k) = self.dread(rsp, Width::W64) {
+                            trap!(k, "ret pop");
+                        }
+                        self.regs[Reg::Rsp.index()] = rsp + 8;
+                        match self.call_stack.pop() {
+                            Some(frame) => {
+                                if frame.rsp_at_call != rsp {
+                                    trap!(
+                                        TrapKind::Abort,
+                                        format!(
+                                            "rsp mismatch on ret: {:#x} != {:#x}",
+                                            rsp, frame.rsp_at_call
+                                        )
+                                    );
+                                }
+                                func = frame.func;
+                                pc = frame.ret_pc as usize;
+                                continue 'blocks;
+                            }
+                            None => {
+                                return Ok(RunOutcome {
+                                    ret: self.regs[Reg::Rax.index()],
+                                    exit_code: None,
+                                    counters: self.counters(),
+                                });
+                            }
+                        }
+                    }
+                    MOp::MovF { dst, src, prec } => step!(self.exec_movf(dst, src, *prec)),
+                    MOp::AluF { op, dst, src, prec } => {
+                        step!(self.exec_aluf(*op, *dst, src, *prec))
+                    }
+                    MOp::RoundF {
+                        dst,
+                        src,
+                        prec,
+                        mode,
+                    } => step!(self.exec_roundf(*dst, src, *prec, *mode)),
+                    MOp::AbsF { dst, src, prec } => step!(self.exec_absf(*dst, src, *prec)),
+                    MOp::SqrtF { dst, src, prec } => step!(self.exec_sqrtf(*dst, src, *prec)),
+                    MOp::Ucomis { lhs, rhs, prec } => step!(self.exec_ucomis(*lhs, rhs, *prec)),
+                    MOp::CvtIntToF {
+                        dst,
+                        src,
+                        width,
+                        prec,
+                        unsigned,
+                    } => step!(self.exec_cvt_int_to_f(*dst, src, *width, *prec, *unsigned)),
+                    MOp::CvtFToInt {
+                        dst,
+                        src,
+                        width,
+                        prec,
+                        unsigned,
+                    } => step!(self.exec_cvt_f_to_int(*dst, src, *width, *prec, *unsigned)),
+                    MOp::CvtFToF { dst, src, from } => {
+                        step!(self.exec_cvt_f_to_f(*dst, src, *from))
+                    }
+                    MOp::MovGprToXmm { dst, src, width } => {
+                        self.exec_mov_gpr_to_xmm(*dst, *src, *width)
+                    }
+                    MOp::MovXmmToGpr { dst, src, width } => {
+                        self.exec_mov_xmm_to_gpr(*dst, *src, *width)
+                    }
+                    MOp::Trap { kind } => trap!(*kind, "explicit trap"),
+                    MOp::Nop => {}
+                }
+                pc += 1;
+            }
+            // Fell through the block's end: `pc == end` is the next leader.
+        }
+    }
+
+    #[inline]
+    fn exec_mov(&mut self, dst: &Operand, src: &Operand, width: Width) -> StepResult {
+        let v = self.read_op(src, width).map_err(|k| (k, "mov src"))?;
+        self.write_op(dst, v, width).map_err(|k| (k, "mov dst"))
+    }
+
+    #[inline]
+    fn exec_movzx(&mut self, dst: Reg, src: &Operand, from: Width) -> StepResult {
+        let v = self.read_op(src, from).map_err(|k| (k, "movzx"))?;
+        self.regs[dst.index()] = v;
+        Ok(())
+    }
+
+    #[inline]
+    fn exec_movsx(&mut self, dst: Reg, src: &Operand, from: Width, to: Width) -> StepResult {
+        let v = self.read_op(src, from).map_err(|k| (k, "movsx"))?;
+        let bits = from.bytes() * 8;
+        let sext = ((v << (64 - bits)) as i64 >> (64 - bits)) as u64;
+        self.write_reg_w(dst, sext & to.mask(), to);
+        if to == Width::W64 {
+            self.regs[dst.index()] = sext;
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn exec_lea(&mut self, dst: Reg, mem: &MemRef, width: Width) {
+        let a = self.ea(mem);
+        self.write_reg_w(dst, a & width.mask(), width);
+    }
+
+    #[inline]
+    fn exec_alu(&mut self, op: AluOp, dst: &Operand, src: &Operand, width: Width) -> StepResult {
+        // A read-modify-write memory destination computes the effective
+        // address once and reuses it for both the load and the store.
+        let mem_ea = match dst {
+            Operand::Mem(m) => Some(self.ea(m)),
+            _ => None,
+        };
+        let l = match mem_ea {
+            Some(a) => self.dread(a, width),
+            None => self.read_op(dst, width),
+        }
+        .map_err(|k| (k, "alu dst read"))?;
+        let r = self.read_op(src, width).map_err(|k| (k, "alu src"))?;
+        let res = match op {
+            AluOp::Add => self.set_flags_add(l, r, width),
+            AluOp::Sub => self.set_flags_sub(l, r, width),
+            AluOp::And => {
+                let v = l & r;
+                self.set_flags_logic(v, width);
+                v & width.mask()
+            }
+            AluOp::Or => {
+                let v = l | r;
+                self.set_flags_logic(v, width);
+                v & width.mask()
+            }
+            AluOp::Xor => {
+                let v = l ^ r;
+                self.set_flags_logic(v, width);
+                v & width.mask()
+            }
+            AluOp::Shl => {
+                let c = r & (width.bytes() * 8 - 1);
+                let v = (l << c) & width.mask();
+                self.set_flags_logic(v, width);
+                v
+            }
+            AluOp::Shr => {
+                let c = r & (width.bytes() * 8 - 1);
+                let v = (l & width.mask()) >> c;
+                self.set_flags_logic(v, width);
+                v
+            }
+            AluOp::Sar => {
+                let c = r & (width.bytes() * 8 - 1);
+                let bits = width.bytes() * 8;
+                let sext = ((l << (64 - bits)) as i64) >> (64 - bits);
+                let v = ((sext >> c) as u64) & width.mask();
+                self.set_flags_logic(v, width);
+                v
+            }
+            AluOp::Rol => {
+                let bits = (width.bytes() * 8) as u32;
+                let c = (r as u32) % bits;
+                let lm = l & width.mask();
+                // Rotate by zero is the identity; `bits - c` would be a
+                // full-width (UB-in-hardware) shift.
+                if c == 0 {
+                    lm
+                } else {
+                    ((lm << c) | (lm >> (bits - c))) & width.mask()
+                }
+            }
+            AluOp::Ror => {
+                let bits = (width.bytes() * 8) as u32;
+                let c = (r as u32) % bits;
+                let lm = l & width.mask();
+                if c == 0 {
+                    lm
+                } else {
+                    ((lm >> c) | (lm << (bits - c))) & width.mask()
+                }
+            }
+        };
+        match mem_ea {
+            Some(a) => self.dwrite(a, res, width),
+            None => self.write_op(dst, res, width),
+        }
+        .map_err(|k| (k, "alu writeback"))
+    }
+
+    #[inline]
+    fn exec_neg(&mut self, dst: &Operand, width: Width) -> StepResult {
+        let mem_ea = match dst {
+            Operand::Mem(m) => Some(self.ea(m)),
+            _ => None,
+        };
+        let v = match mem_ea {
+            Some(a) => self.dread(a, width),
+            None => self.read_op(dst, width),
+        }
+        .map_err(|k| (k, "neg"))?;
+        let res = self.set_flags_sub(0, v, width);
+        match mem_ea {
+            Some(a) => self.dwrite(a, res, width),
+            None => self.write_op(dst, res, width),
+        }
+        .map_err(|k| (k, "neg writeback"))
+    }
+
+    #[inline]
+    fn exec_not(&mut self, dst: &Operand, width: Width) -> StepResult {
+        let mem_ea = match dst {
+            Operand::Mem(m) => Some(self.ea(m)),
+            _ => None,
+        };
+        let v = match mem_ea {
+            Some(a) => self.dread(a, width),
+            None => self.read_op(dst, width),
+        }
+        .map_err(|k| (k, "not"))?;
+        let res = !v & width.mask();
+        match mem_ea {
+            Some(a) => self.dwrite(a, res, width),
+            None => self.write_op(dst, res, width),
+        }
+        .map_err(|k| (k, "not writeback"))
+    }
+
+    #[inline]
+    fn exec_imul(&mut self, dst: Reg, src: &Operand, width: Width) -> StepResult {
+        let l = self.regs[dst.index()] & width.mask();
+        let r = self.read_op(src, width).map_err(|k| (k, "imul"))?;
+        self.write_reg_w(dst, l.wrapping_mul(r) & width.mask(), width);
+        Ok(())
+    }
+
+    #[inline]
+    fn exec_imul3(&mut self, dst: Reg, src: &Operand, imm: i64, width: Width) -> StepResult {
+        let r = self.read_op(src, width).map_err(|k| (k, "imul3"))?;
+        self.write_reg_w(dst, r.wrapping_mul(imm as u64) & width.mask(), width);
+        Ok(())
+    }
+
+    #[inline]
+    fn exec_cqo(&mut self, width: Width) {
+        let rax = self.regs[Reg::Rax.index()] & width.mask();
+        let neg = rax & width.sign_bit() != 0;
+        let v = if neg { width.mask() } else { 0 };
+        self.write_reg_w(Reg::Rdx, v, width);
+    }
+
+    #[inline]
+    fn exec_div(&mut self, src: &Operand, signed: bool, width: Width) -> StepResult {
+        let divisor = self.read_op(src, width).map_err(|k| (k, "div"))?;
+        if divisor == 0 {
+            return Err((TrapKind::DivByZero, ""));
+        }
+        let mask = width.mask();
+        let lo = self.regs[Reg::Rax.index()] & mask;
+        let hi = self.regs[Reg::Rdx.index()] & mask;
+        let bits = width.bytes() * 8;
+        if signed {
+            let dividend = ((hi as u128) << bits) | lo as u128;
+            // Sign-extend the 2*bits dividend.
+            let shift = 128 - 2 * bits as u32;
+            let dividend = ((dividend << shift) as i128) >> shift;
+            let dsor = {
+                let s = 64 - bits;
+                ((divisor << s) as i64 >> s) as i128
+            };
+            let q = dividend.wrapping_div(dsor);
+            let r = dividend.wrapping_rem(dsor);
+            let min = -(1i128 << (bits - 1));
+            let max = (1i128 << (bits - 1)) - 1;
+            if q < min || q > max {
+                return Err((TrapKind::IntegerOverflow, "idiv quotient overflow"));
+            }
+            self.write_reg_w(Reg::Rax, q as u64 & mask, width);
+            self.write_reg_w(Reg::Rdx, r as u64 & mask, width);
+        } else {
+            let dividend = ((hi as u128) << bits) | lo as u128;
+            let q = dividend / divisor as u128;
+            let r = dividend % divisor as u128;
+            if q > mask as u128 {
+                return Err((TrapKind::IntegerOverflow, "div quotient overflow"));
+            }
+            self.write_reg_w(Reg::Rax, q as u64, width);
+            self.write_reg_w(Reg::Rdx, r as u64, width);
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn exec_cmp(&mut self, lhs: &Operand, rhs: &Operand, width: Width) -> StepResult {
+        let l = self.read_op(lhs, width).map_err(|k| (k, "cmp lhs"))?;
+        let r = self.read_op(rhs, width).map_err(|k| (k, "cmp rhs"))?;
+        self.set_flags_sub(l, r, width);
+        Ok(())
+    }
+
+    #[inline]
+    fn exec_test(&mut self, lhs: &Operand, rhs: &Operand, width: Width) -> StepResult {
+        let l = self.read_op(lhs, width).map_err(|k| (k, "test lhs"))?;
+        let r = self.read_op(rhs, width).map_err(|k| (k, "test rhs"))?;
+        self.set_flags_logic(l & r, width);
+        Ok(())
+    }
+
+    #[inline]
+    fn exec_cmov(&mut self, cc: Cc, dst: Reg, src: &Operand, width: Width) -> StepResult {
+        // The source (including memory) is read regardless of the
+        // condition, as on hardware.
+        let v = self.read_op(src, width).map_err(|k| (k, "cmov src"))?;
+        if self.cond(cc) {
+            self.write_reg_w(dst, v, width);
+        } else if width == Width::W32 {
+            // 32-bit cmov zero-extends the destination even when the move
+            // does not happen.
+            let cur = self.regs[dst.index()] & 0xffff_ffff;
+            self.regs[dst.index()] = cur;
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn exec_setcc(&mut self, cc: Cc, dst: Reg) {
+        let v = u64::from(self.cond(cc));
+        self.regs[dst.index()] = v;
+    }
+
+    #[inline]
+    fn exec_lzcnt(&mut self, dst: Reg, src: &Operand, width: Width) -> StepResult {
+        let v = self.read_op(src, width).map_err(|k| (k, "lzcnt"))?;
+        let bits = (width.bytes() * 8) as u32;
+        let n = if v == 0 {
+            bits
+        } else {
+            v.leading_zeros() - (64 - bits)
+        };
+        self.write_reg_w(dst, n as u64, width);
+        Ok(())
+    }
+
+    #[inline]
+    fn exec_tzcnt(&mut self, dst: Reg, src: &Operand, width: Width) -> StepResult {
+        let v = self.read_op(src, width).map_err(|k| (k, "tzcnt"))?;
+        let bits = (width.bytes() * 8) as u32;
+        let n = if v == 0 {
+            bits
+        } else {
+            v.trailing_zeros().min(bits)
+        };
+        self.write_reg_w(dst, n as u64, width);
+        Ok(())
+    }
+
+    #[inline]
+    fn exec_popcnt(&mut self, dst: Reg, src: &Operand, width: Width) -> StepResult {
+        let v = self.read_op(src, width).map_err(|k| (k, "popcnt"))?;
+        self.write_reg_w(dst, v.count_ones() as u64, width);
+        Ok(())
+    }
+
+    #[inline]
+    fn exec_pop(&mut self, dst: Reg) -> StepResult {
+        let rsp = self.regs[Reg::Rsp.index()];
+        let v = self.dread(rsp, Width::W64).map_err(|k| (k, "pop"))?;
+        self.regs[Reg::Rsp.index()] = rsp + 8;
+        self.regs[dst.index()] = v;
+        Ok(())
+    }
+
+    #[inline]
+    fn exec_movf(&mut self, dst: &FOperand, src: &FOperand, prec: FPrec) -> StepResult {
+        let v = self.read_fop(src, prec).map_err(|k| (k, "movf src"))?;
+        match dst {
+            FOperand::Xmm(x) => {
+                // movss merges the low lane; our model holds one scalar per
+                // register, so a full overwrite is semantically equivalent
+                // for scalar code.
+                self.xmm[x.index()] = v & match prec {
+                    FPrec::F32 => 0xffff_ffff,
+                    FPrec::F64 => u64::MAX,
+                };
+                Ok(())
+            }
+            FOperand::Mem(m) => {
+                let a = self.ea(m);
+                let w = match prec {
+                    FPrec::F32 => Width::W32,
+                    FPrec::F64 => Width::W64,
+                };
+                self.dwrite(a, v, w).map_err(|k| (k, "movf dst"))
+            }
+        }
+    }
+
+    #[inline]
+    fn exec_aluf(&mut self, op: FAluOp, dst: Xmm, src: &FOperand, prec: FPrec) -> StepResult {
+        let rv = self.read_fop(src, prec).map_err(|k| (k, "aluf src"))?;
+        let lv = self.xmm[dst.index()];
+        let res = match prec {
+            FPrec::F32 => {
+                let l = f32::from_bits(lv as u32);
+                let r = f32::from_bits(rv as u32);
+                let v = match op {
+                    FAluOp::Add => l + r,
+                    FAluOp::Sub => l - r,
+                    FAluOp::Mul => l * r,
+                    FAluOp::Div => l / r,
+                    FAluOp::Min => wasmperf_isa::fpsem::wasm_min_f32(l, r),
+                    FAluOp::Max => wasmperf_isa::fpsem::wasm_max_f32(l, r),
+                };
+                v.to_bits() as u64
+            }
+            FPrec::F64 => {
+                let l = f64::from_bits(lv);
+                let r = f64::from_bits(rv);
+                let v = match op {
+                    FAluOp::Add => l + r,
+                    FAluOp::Sub => l - r,
+                    FAluOp::Mul => l * r,
+                    FAluOp::Div => l / r,
+                    FAluOp::Min => wasmperf_isa::fpsem::wasm_min_f64(l, r),
+                    FAluOp::Max => wasmperf_isa::fpsem::wasm_max_f64(l, r),
+                };
+                v.to_bits()
+            }
+        };
+        self.xmm[dst.index()] = res;
+        Ok(())
+    }
+
+    #[inline]
+    fn exec_roundf(
+        &mut self,
+        dst: Xmm,
+        src: &FOperand,
+        prec: FPrec,
+        mode: RoundMode,
+    ) -> StepResult {
+        let v = self.read_fop(src, prec).map_err(|k| (k, "roundf"))?;
+        let x = match prec {
+            FPrec::F32 => f32::from_bits(v as u32) as f64,
+            FPrec::F64 => f64::from_bits(v),
+        };
+        let r = match mode {
+            RoundMode::Floor => x.floor(),
+            RoundMode::Ceil => x.ceil(),
+            RoundMode::Trunc => x.trunc(),
+            RoundMode::Nearest => {
+                let r = x.round();
+                if (x - x.trunc()).abs() == 0.5 && r % 2.0 != 0.0 {
+                    r - x.signum()
+                } else {
+                    r
+                }
+            }
+        };
+        self.xmm[dst.index()] = match prec {
+            FPrec::F32 => (r as f32).to_bits() as u64,
+            FPrec::F64 => r.to_bits(),
+        };
+        Ok(())
+    }
+
+    #[inline]
+    fn exec_absf(&mut self, dst: Xmm, src: &FOperand, prec: FPrec) -> StepResult {
+        let v = self.read_fop(src, prec).map_err(|k| (k, "absf"))?;
+        self.xmm[dst.index()] = match prec {
+            FPrec::F32 => (v as u32 & 0x7fff_ffff) as u64,
+            FPrec::F64 => v & 0x7fff_ffff_ffff_ffff,
+        };
+        Ok(())
+    }
+
+    #[inline]
+    fn exec_sqrtf(&mut self, dst: Xmm, src: &FOperand, prec: FPrec) -> StepResult {
+        let v = self.read_fop(src, prec).map_err(|k| (k, "sqrtf"))?;
+        self.xmm[dst.index()] = match prec {
+            FPrec::F32 => f32::from_bits(v as u32).sqrt().to_bits() as u64,
+            FPrec::F64 => f64::from_bits(v).sqrt().to_bits(),
+        };
+        Ok(())
+    }
+
+    #[inline]
+    fn exec_ucomis(&mut self, lhs: Xmm, rhs: &FOperand, prec: FPrec) -> StepResult {
+        let rv = self.read_fop(rhs, prec).map_err(|k| (k, "ucomis"))?;
+        let lv = self.xmm[lhs.index()];
+        let (l, r) = match prec {
+            FPrec::F32 => (
+                f32::from_bits(lv as u32) as f64,
+                f32::from_bits(rv as u32) as f64,
+            ),
+            FPrec::F64 => (f64::from_bits(lv), f64::from_bits(rv)),
+        };
+        // x86 ucomis: unordered => ZF=PF=CF=1; == => ZF=1;
+        // < => CF=1; > => all clear. SF/OF cleared.
+        let (zf, pf, cf) = if l.is_nan() || r.is_nan() {
+            (true, true, true)
+        } else if l == r {
+            (true, false, false)
+        } else if l < r {
+            (false, false, true)
+        } else {
+            (false, false, false)
+        };
+        self.flags = Flags {
+            zf,
+            pf,
+            cf,
+            sf: false,
+            of: false,
+        };
+        Ok(())
+    }
+
+    #[inline]
+    fn exec_cvt_int_to_f(
+        &mut self,
+        dst: Xmm,
+        src: &Operand,
+        width: Width,
+        prec: FPrec,
+        unsigned: bool,
+    ) -> StepResult {
+        let v = self.read_op(src, width).map_err(|k| (k, "cvtint2f"))?;
+        let as_f64 = if unsigned {
+            v as f64
+        } else {
+            let bits = width.bytes() * 8;
+            (((v << (64 - bits)) as i64) >> (64 - bits)) as f64
+        };
+        self.xmm[dst.index()] = match prec {
+            FPrec::F32 => (as_f64 as f32).to_bits() as u64,
+            FPrec::F64 => as_f64.to_bits(),
+        };
+        Ok(())
+    }
+
+    #[inline]
+    fn exec_cvt_f_to_int(
+        &mut self,
+        dst: Reg,
+        src: &FOperand,
+        width: Width,
+        prec: FPrec,
+        unsigned: bool,
+    ) -> StepResult {
+        let v = self.read_fop(src, prec).map_err(|k| (k, "cvtf2int"))?;
+        let x = match prec {
+            FPrec::F32 => f32::from_bits(v as u32) as f64,
+            FPrec::F64 => f64::from_bits(v),
+        };
+        if x.is_nan() {
+            return Err((TrapKind::IntegerOverflow, "convert NaN to int"));
+        }
+        let t = x.trunc();
+        let bits = width.bytes() * 8;
+        let res = if unsigned {
+            let max = if bits == 64 {
+                u64::MAX as f64
+            } else {
+                ((1u128 << bits) - 1) as f64
+            };
+            if t < 0.0 || t > max {
+                return Err((TrapKind::IntegerOverflow, "f->u out of range"));
+            }
+            t as u64
+        } else {
+            let min = -((1i128 << (bits - 1)) as f64);
+            let max = ((1i128 << (bits - 1)) - 1) as f64;
+            if t < min || t > max {
+                return Err((TrapKind::IntegerOverflow, "f->i out of range"));
+            }
+            (t as i64) as u64
+        };
+        self.write_reg_w(dst, res & width.mask(), width);
+        Ok(())
+    }
+
+    #[inline]
+    fn exec_cvt_f_to_f(&mut self, dst: Xmm, src: &FOperand, from: FPrec) -> StepResult {
+        let v = self.read_fop(src, from).map_err(|k| (k, "cvtf2f"))?;
+        self.xmm[dst.index()] = match from {
+            FPrec::F32 => (f32::from_bits(v as u32) as f64).to_bits(),
+            FPrec::F64 => (f64::from_bits(v) as f32).to_bits() as u64,
+        };
+        Ok(())
+    }
+
+    #[inline]
+    fn exec_mov_gpr_to_xmm(&mut self, dst: Xmm, src: Reg, width: Width) {
+        self.xmm[dst.index()] = self.regs[src.index()] & width.mask();
+    }
+
+    #[inline]
+    fn exec_mov_xmm_to_gpr(&mut self, dst: Reg, src: Xmm, width: Width) {
+        let v = self.xmm[src.index()] & width.mask();
+        self.write_reg_w(dst, v, width);
+    }
 }
+
+/// Error payload of a shared instruction-semantics helper: the trap kind
+/// plus the same static detail string the interpreter has always reported.
+type StepResult = Result<(), (TrapKind, &'static str)>;
 
 #[cfg(test)]
 mod tests {
@@ -2064,5 +2494,96 @@ mod tests {
             ),
             0.0f32.to_bits() as u64
         );
+    }
+
+    #[test]
+    fn dcache_access_straddling_a_line_probes_both_lines() {
+        // One 8-byte store; the only difference is whether it crosses a
+        // 64-byte line boundary (60..=67 does, 32..=39 does not).
+        let store_at = |addr: i64| {
+            let mut b = AsmBuilder::new("store");
+            b.emit(Inst::Mov {
+                dst: Operand::Mem(MemRef::abs(addr)),
+                src: Operand::Imm(7),
+                width: Width::W64,
+            });
+            b.emit(Inst::Ret);
+            let m = module_of(vec![b.finish()]);
+            run_module(&m, &[]).counters
+        };
+        let line = Cache::l1().line_bytes() as i64;
+        let aligned = store_at(line / 2);
+        let straddling = store_at(line - 4);
+        assert_eq!(straddling.dcache_accesses, aligned.dcache_accesses + 1);
+        assert_eq!(straddling.dcache_misses, aligned.dcache_misses + 1);
+        // Retired-event counts are unaffected: it is still one store.
+        assert_eq!(straddling.stores_retired, aligned.stores_retired);
+        assert_eq!(straddling.loads_retired, aligned.loads_retired);
+    }
+
+    /// A two-function program with a loop, calls, memory RMW traffic, and
+    /// conditional branches — enough to exercise every accounting path.
+    fn call_loop_module() -> Module {
+        let mut callee = AsmBuilder::new("addmem");
+        callee.emit(Inst::Alu {
+            op: AluOp::Add,
+            dst: Operand::Mem(MemRef::abs(64)),
+            src: Operand::Reg(Reg::Rdi),
+            width: Width::W64,
+        });
+        callee.emit(Inst::Mov {
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Mem(MemRef::abs(64)),
+            width: Width::W64,
+        });
+        callee.emit(Inst::Ret);
+
+        let mut b = AsmBuilder::new("main");
+        let top = b.new_label();
+        b.bind(top);
+        b.emit(Inst::Call { target: FuncId(1) });
+        b.emit(Inst::Alu {
+            op: AluOp::Sub,
+            dst: Operand::Reg(Reg::Rdi),
+            src: Operand::Imm(1),
+            width: Width::W64,
+        });
+        b.emit(Inst::Jcc {
+            cc: Cc::Ne,
+            target: top,
+        });
+        b.emit(Inst::Ret);
+        module_of(vec![b.finish(), callee.finish()])
+    }
+
+    #[test]
+    fn predecoded_and_legacy_paths_agree_exactly() {
+        let m = call_loop_module();
+        let mut fast = Machine::new(&m, NullHost);
+        let fast_out = fast.run(FuncId(0), &[100], 1_000_000).expect("runs");
+        let mut slow = Machine::new(&m, NullHost);
+        slow.set_exec_mode(ExecMode::Legacy);
+        let slow_out = slow.run(FuncId(0), &[100], 1_000_000).expect("runs");
+        assert_eq!(fast_out.ret, 5050);
+        assert_eq!(fast_out.ret, slow_out.ret);
+        assert_eq!(fast_out.exit_code, slow_out.exit_code);
+        assert_eq!(fast_out.counters, slow_out.counters);
+    }
+
+    #[test]
+    fn out_of_fuel_location_and_counters_match_across_modes() {
+        // Fuel runs out mid-block in the predecoded engine; the trap must
+        // still name the exact instruction the legacy path reports.
+        let m = call_loop_module();
+        for fuel in [0, 1, 7, 100, 1234] {
+            let mut fast = Machine::new(&m, NullHost);
+            let fast_err = fast.run(FuncId(0), &[u64::MAX], fuel).unwrap_err();
+            let mut slow = Machine::new(&m, NullHost);
+            slow.set_exec_mode(ExecMode::Legacy);
+            let slow_err = slow.run(FuncId(0), &[u64::MAX], fuel).unwrap_err();
+            assert_eq!(fast_err.kind, TrapKind::OutOfFuel);
+            assert_eq!(fast_err, slow_err, "fuel {fuel}");
+            assert_eq!(fast.counters(), slow.counters(), "fuel {fuel}");
+        }
     }
 }

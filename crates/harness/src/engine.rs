@@ -16,7 +16,7 @@ use wasmperf_benchsuite::Benchmark;
 use wasmperf_browsix::{AppendPolicy, Kernel};
 use wasmperf_cir::hir::HProgram;
 use wasmperf_clanglite::CompileOptions;
-use wasmperf_cpu::{Machine, PerfCounters};
+use wasmperf_cpu::{ExecMode, Machine, PerfCounters};
 use wasmperf_farm::hash::fnv1a;
 use wasmperf_isa::Module;
 use wasmperf_trace::{SpanLog, StraceLog, SymbolMap, TraceConfig, TraceSession};
@@ -36,11 +36,15 @@ pub enum Engine {
 }
 
 impl Engine {
-    /// Display name.
+    /// Display name. Ablation configurations carry a short fingerprint
+    /// suffix so two different [`Engine::NativeWith`] engines never share
+    /// a name in result rows, labels, or trace keys.
     pub fn name(&self) -> String {
         match self {
             Engine::Native => "native".to_string(),
-            Engine::NativeWith(_) => "native-custom".to_string(),
+            Engine::NativeWith(_) => {
+                format!("native-custom-{:08x}", self.fingerprint() as u32)
+            }
             Engine::Jit(p) => p.name.clone(),
         }
     }
@@ -238,6 +242,60 @@ pub fn execute(
     .map(|(r, _)| r)
 }
 
+/// [`execute`] pinned to a specific interpreter loop. `wasmperf-bench`
+/// uses this to time the predecoded engine against the legacy reference
+/// on identical workloads; results must match byte for byte.
+pub fn execute_with_mode(
+    bench: &Benchmark,
+    engine: &Engine,
+    artifact: &Artifact,
+    policy: AppendPolicy,
+    mode: ExecMode,
+) -> Result<RunResult, Error> {
+    let exec_err = |message: String| Error::Exec {
+        bench: bench.name.to_string(),
+        engine: engine.name(),
+        message,
+    };
+
+    let module = &artifact.module;
+    let mut kernel = Kernel::new(policy);
+    for (path, data) in &bench.inputs {
+        kernel
+            .fs
+            .write_all(path, data)
+            .map_err(|e| exec_err(format!("staging {path}: {e:?}")))?;
+    }
+
+    let entry = module.entry.ok_or_else(|| exec_err("no main".into()))?;
+    let mut machine = Machine::new(module, kernel);
+    machine.set_exec_mode(mode);
+    let out = machine
+        .run(entry, &[], FUEL)
+        .map_err(|e| exec_err(format!("{e:?}")))?;
+
+    let kernel = machine.into_host();
+    let mut outputs = Vec::new();
+    for path in &bench.outputs {
+        let data = kernel
+            .fs
+            .read_all(path)
+            .map_err(|e| exec_err(format!("output {path}: {e:?}")))?;
+        outputs.push((path.clone(), data));
+    }
+
+    Ok(RunResult {
+        bench: bench.name.to_string(),
+        engine: engine.name(),
+        checksum: out.ret as u32 as i32,
+        counters: out.counters,
+        kernel_syscalls: kernel.stats.syscalls,
+        outputs,
+        compile_cycles: artifact.compile_cycles,
+        code_bytes: module.code_bytes(),
+    })
+}
+
 /// [`execute`] with observability; `prog` is required only when
 /// `config.profile` asks for source-line symbolization.
 pub fn execute_traced(
@@ -391,6 +449,33 @@ mod tests {
         dedup.dedup();
         // headline ∩ asmjs_set share chrome/firefox.
         assert!(dedup.len() >= 5, "{names:?}");
+    }
+
+    #[test]
+    fn distinct_ablation_configs_share_neither_name_nor_result_key() {
+        let a = Engine::NativeWith(CompileOptions {
+            unroll: false,
+            ..CompileOptions::default()
+        });
+        let b = Engine::NativeWith(CompileOptions {
+            fuse_addressing: false,
+            ..CompileOptions::default()
+        });
+        // Result rows, labels, and trace keys use the display name, so a
+        // shared "native-custom" would silently merge two ablations.
+        assert_ne!(a.name(), b.name());
+        assert!(a.name().starts_with("native-custom-"), "{}", a.name());
+        let bench = spec::all(Size::Test)
+            .into_iter()
+            .find(|b| b.name == "401.bzip2")
+            .unwrap();
+        let key = |e: &Engine| {
+            crate::farm::job_spec(&bench, e, Size::Test, AppendPolicy::Chunked4K, 0).key()
+        };
+        assert_ne!(key(&a), key(&b));
+        // Name and key stay deterministic run to run.
+        assert_eq!(a.name(), a.name());
+        assert_eq!(key(&a), key(&a));
     }
 
     #[test]

@@ -34,7 +34,9 @@ pub mod render;
 pub mod session;
 pub mod stats;
 
-pub use engine::{execute, prepare, run_one, run_one_traced, Artifact, Engine, RunResult};
+pub use engine::{
+    execute, execute_with_mode, prepare, run_one, run_one_traced, Artifact, Engine, RunResult,
+};
 pub use error::Error;
 pub use session::{FarmStats, Session};
 pub use wasmperf_trace::{TraceConfig, TraceSession};

@@ -47,7 +47,7 @@ pub fn median(xs: &[f64]) -> f64 {
 ///
 /// The simulator is exactly repeatable, but the paper reports the mean and
 /// standard error of five wall-clock runs. This synthesizes run-to-run OS
-/// noise: multiplicative, ~0.3% sigma, from a seeded xorshift generator —
+/// noise: multiplicative, ~0.17% sigma, from a seeded xorshift generator —
 /// so reports are reproducible *and* the ± columns are meaningful.
 pub fn noisy_trials(value: f64, n: usize, seed: u64) -> Vec<f64> {
     let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
@@ -60,7 +60,8 @@ pub fn noisy_trials(value: f64, n: usize, seed: u64) -> Vec<f64> {
     };
     (0..n)
         .map(|_| {
-            // Sum of 4 uniforms ~ approximately normal; scale to ~0.3%.
+            // Sum of 4 uniforms ~ approximately normal with sigma
+            // sqrt(4/12); halved and scaled by 0.006 that is ~0.17%.
             let g = (next() + next() + next() + next() - 2.0) / 2.0;
             value * (1.0 + 0.006 * g)
         })

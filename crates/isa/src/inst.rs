@@ -862,6 +862,23 @@ impl Inst {
         }
     }
 
+    /// True when the instruction ends a basic block: control may continue
+    /// somewhere other than the next instruction (branches, calls — which
+    /// resume at the return point only after the callee runs — and `ret`).
+    /// Predecoders use this to place block boundaries; every possible
+    /// control-transfer destination lands on an instruction for which some
+    /// predecessor returned `true` (or on a branch target / function entry).
+    pub fn ends_block(&self) -> bool {
+        matches!(
+            self,
+            Inst::Jmp { .. }
+                | Inst::Jcc { .. }
+                | Inst::Call { .. }
+                | Inst::CallIndirect { .. }
+                | Inst::Ret
+        )
+    }
+
     /// True when the instruction reads memory when executed.
     pub fn reads_mem(&self) -> bool {
         use Inst::*;

@@ -1,0 +1,148 @@
+//! Differential equivalence of the two interpreter loops.
+//!
+//! The predecoded micro-op engine ([`ExecMode::Predecoded`]) must be an
+//! unobservable optimization: every result, trap location, counter, and
+//! output byte must match the legacy per-instruction interpreter
+//! ([`ExecMode::Legacy`]) exactly. These tests replay the entire
+//! regression corpus and a report-style benchmark × engine matrix
+//! through both loops and compare everything.
+
+use wasmperf_benchsuite::{Benchmark, Size};
+use wasmperf_browsix::AppendPolicy;
+use wasmperf_cpu::machine::ExecError;
+use wasmperf_cpu::{ExecMode, Machine, NullHost, PerfCounters};
+use wasmperf_harness::engine::{execute_with_mode, run_one_traced, Engine};
+use wasmperf_harness::{prepare, TraceConfig};
+use wasmperf_isa::Module;
+use wasmperf_wasmjit::EngineProfile;
+
+/// Same bound the difftest fuzzer uses for machine pipelines.
+const FUEL: u64 = 50_000_000;
+
+/// Everything observable about a hostless run: the outcome (or the full
+/// trap, location and detail included) plus the final counters.
+type Observation = (Result<(u64, Option<i32>), ExecError>, PerfCounters);
+
+fn observe(module: &Module, mode: ExecMode) -> Observation {
+    let entry = module
+        .entry
+        .or_else(|| module.func_by_name("main"))
+        .expect("module has an entry");
+    let mut m = Machine::new(module, NullHost);
+    m.set_exec_mode(mode);
+    let res = m.run(entry, &[], FUEL).map(|out| (out.ret, out.exit_code));
+    (res, m.counters())
+}
+
+fn assert_modes_agree(module: &Module, what: &str) {
+    let fast = observe(module, ExecMode::Predecoded);
+    let slow = observe(module, ExecMode::Legacy);
+    assert_eq!(fast, slow, "{what}: predecoded and legacy runs diverged");
+}
+
+/// Replays every corpus case — each a shrunk program that once exposed a
+/// real semantics divergence — through all four machine-code pipelines,
+/// under both interpreter loops.
+#[test]
+fn corpus_replays_identically_under_both_loops() {
+    let mut cases = 0;
+    let mut paths: Vec<_> = std::fs::read_dir("corpus")
+        .expect("corpus dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "clite"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let src = std::fs::read_to_string(&path).expect("readable case");
+        let name = path.display();
+        let prog = wasmperf_cir::compile(&src).expect("corpus case compiles");
+
+        let native = wasmperf_clanglite::compile(&prog, &Default::default());
+        assert_modes_agree(&native, &format!("{name} (native)"));
+
+        let wasm = wasmperf_emcc::compile(&prog);
+        for profile in [
+            EngineProfile::chrome(),
+            EngineProfile::firefox(),
+            EngineProfile::chrome_asmjs(),
+            EngineProfile::firefox_asmjs(),
+        ] {
+            let jit = wasmperf_wasmjit::compile(&wasm, &profile).expect("jit compiles");
+            assert_modes_agree(&jit.module, &format!("{name} ({})", profile.name));
+        }
+        cases += 1;
+    }
+    assert!(cases >= 7, "corpus shrank? replayed only {cases} cases");
+}
+
+/// A report-style sweep: real benchmarks (compute-bound kernels and
+/// I/O-heavy SPEC analogs) on the paper's engine set, comparing the
+/// full [`wasmperf_harness::RunResult`] — checksum, every counter,
+/// syscall count, and output file bytes.
+#[test]
+fn report_matrix_is_byte_identical_across_loops() {
+    let want = ["gemm", "durbin", "401.bzip2", "464.h264ref"];
+    let benches: Vec<Benchmark> = wasmperf_benchsuite::all(Size::Test)
+        .into_iter()
+        .filter(|b| want.contains(&b.name))
+        .collect();
+    assert_eq!(benches.len(), want.len());
+    for bench in &benches {
+        for engine in Engine::headline() {
+            let artifact = prepare(bench, &engine).expect("compiles");
+            let run = |mode| {
+                execute_with_mode(bench, &engine, &artifact, AppendPolicy::Chunked4K, mode)
+                    .expect("runs")
+            };
+            let fast = run(ExecMode::Predecoded);
+            let slow = run(ExecMode::Legacy);
+            assert_eq!(
+                fast,
+                slow,
+                "{}/{}: loops diverged",
+                bench.name,
+                engine.name()
+            );
+        }
+    }
+}
+
+/// Profiled runs are pinned to the legacy loop so `wasmperf-trace`
+/// attribution stays exact per instruction — but their results must
+/// still match a predecoded run, and the profile must cover every
+/// retired instruction and cycle.
+#[test]
+fn traced_legacy_run_matches_predecoded_run() {
+    let bench = wasmperf_benchsuite::all(Size::Test)
+        .into_iter()
+        .find(|b| b.name == "401.bzip2")
+        .expect("known benchmark");
+    let engine = Engine::Jit(EngineProfile::chrome());
+
+    let config = TraceConfig {
+        profile: true,
+        ..TraceConfig::off()
+    };
+    let (traced, session) =
+        run_one_traced(&bench, &engine, AppendPolicy::Chunked4K, config).expect("traced run");
+
+    let artifact = prepare(&bench, &engine).expect("compiles");
+    let fast = execute_with_mode(
+        &bench,
+        &engine,
+        &artifact,
+        AppendPolicy::Chunked4K,
+        ExecMode::Predecoded,
+    )
+    .expect("runs");
+    assert_eq!(traced, fast, "traced (legacy) vs predecoded diverged");
+
+    let profile = session
+        .expect("tracing on")
+        .profile
+        .expect("profile collected");
+    assert_eq!(
+        profile.total_instructions(),
+        fast.counters.instructions_retired
+    );
+}
