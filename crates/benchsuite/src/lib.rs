@@ -30,6 +30,26 @@ pub enum Size {
     Ref,
 }
 
+impl Size {
+    /// Parses the user-facing size name (`report --size`, the serve wire
+    /// protocol). Inverse of [`Size::as_str`].
+    pub fn parse(s: &str) -> Option<Size> {
+        match s {
+            "test" => Some(Size::Test),
+            "ref" => Some(Size::Ref),
+            _ => None,
+        }
+    }
+
+    /// The user-facing size name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Size::Test => "test",
+            Size::Ref => "ref",
+        }
+    }
+}
+
 /// Which suite a benchmark belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Suite {
@@ -98,6 +118,15 @@ impl Rng {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn size_names_roundtrip() {
+        for size in [Size::Test, Size::Ref] {
+            assert_eq!(Size::parse(size.as_str()), Some(size));
+        }
+        assert_eq!(Size::parse("Test"), None);
+        assert_eq!(Size::parse(""), None);
+    }
 
     #[test]
     fn suites_have_expected_sizes() {

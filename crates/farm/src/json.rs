@@ -259,16 +259,35 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = b
-                            .get(*pos + 1..*pos + 5)
-                            .and_then(|h| std::str::from_utf8(h).ok())
-                            .ok_or("truncated \\u escape")?;
-                        let code =
-                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape digits")?;
-                        // Surrogates never appear in our own output; map
-                        // them (and only them) to the replacement char.
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        let hi = hex4(b, *pos + 1)?;
                         *pos += 4;
+                        if (0xD800..0xDC00).contains(&hi) {
+                            // High surrogate: a following `\uXXXX` low
+                            // surrogate completes the UTF-16 pair
+                            // (RFC 8259 §7); anything else leaves the high
+                            // half unpaired.
+                            let lo = (b.get(*pos + 1) == Some(&b'\\')
+                                && b.get(*pos + 2) == Some(&b'u'))
+                            .then(|| hex4(b, *pos + 3).ok())
+                            .flatten();
+                            match lo {
+                                Some(lo) if (0xDC00..0xE000).contains(&lo) => {
+                                    let code = 0x10000
+                                        + ((u32::from(hi) - 0xD800) << 10)
+                                        + (u32::from(lo) - 0xDC00);
+                                    out.push(
+                                        char::from_u32(code).expect("supplementary-plane scalar"),
+                                    );
+                                    *pos += 6;
+                                }
+                                _ => out.push('\u{fffd}'),
+                            }
+                        } else if (0xDC00..0xE000).contains(&hi) {
+                            // A low surrogate with no preceding high half.
+                            out.push('\u{fffd}');
+                        } else {
+                            out.push(char::from_u32(u32::from(hi)).expect("BMP non-surrogate"));
+                        }
                     }
                     _ => return Err(format!("bad escape at byte {pos}")),
                 }
@@ -284,6 +303,15 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
             }
         }
     }
+}
+
+/// Four hex digits starting at `b[at]`, as one UTF-16 code unit.
+fn hex4(b: &[u8], at: usize) -> Result<u16, String> {
+    let hex = b
+        .get(at..at + 4)
+        .and_then(|h| std::str::from_utf8(h).ok())
+        .ok_or("truncated \\u escape")?;
+    u16::from_str_radix(hex, 16).map_err(|_| "bad \\u escape digits".to_string())
 }
 
 fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, String> {
@@ -351,6 +379,47 @@ mod tests {
         assert_eq!(Json::u64(42).render(), "42");
         assert_eq!(Json::Num(-3.0).render(), "-3");
         assert_eq!(Json::u64(20_000_000_000).render(), "20000000000");
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_one_scalar() {
+        // 😀 is U+1F600 = \ud83d\ude00 in UTF-16.
+        assert_eq!(
+            Json::parse("\"\\ud83d\\ude00\"").unwrap(),
+            Json::Str("😀".into())
+        );
+        // Mixed with surrounding text and a second non-BMP scalar.
+        assert_eq!(
+            Json::parse("\"a\\ud83d\\ude00b\\ud834\\udd1ec\"").unwrap(),
+            Json::Str("a😀b𝄞c".into())
+        );
+        // Raw UTF-8 (our own renderer's form) also round-trips.
+        roundtrip(&Json::Str("emoji 😀 and clef 𝄞".into()));
+    }
+
+    #[test]
+    fn lone_surrogates_become_replacement_chars() {
+        // Unpaired high, unpaired low, high followed by a BMP escape.
+        assert_eq!(
+            Json::parse("\"\\ud83d\"").unwrap(),
+            Json::Str("\u{fffd}".into())
+        );
+        assert_eq!(
+            Json::parse("\"\\ude00\"").unwrap(),
+            Json::Str("\u{fffd}".into())
+        );
+        assert_eq!(
+            Json::parse("\"\\ud83dx\"").unwrap(),
+            Json::Str("\u{fffd}x".into())
+        );
+        // The unconsumed BMP escape after a lone high half still decodes.
+        assert_eq!(
+            Json::parse("\"\\ud83d\\u0041\"").unwrap(),
+            Json::Str("\u{fffd}A".into())
+        );
+        // Truncated or malformed second halves are still errors.
+        assert!(Json::parse("\"\\ud83d\\u00\"").is_err());
+        assert!(Json::parse("\"\\uzzzz\"").is_err());
     }
 
     #[test]

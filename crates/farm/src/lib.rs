@@ -12,6 +12,10 @@
 //! - [`pool`]: a scoped worker pool over a shared queue with panic
 //!   isolation (one failing job never kills the run) and per-worker
 //!   progress reporting; results return in submission order;
+//! - [`service`]: the long-lived variant for network services — a
+//!   [`ServicePool`] of persistent workers over a *bounded* queue that
+//!   rejects (backpressure) instead of blocking when full, with graceful
+//!   drain;
 //! - [`cache`]: a content-addressed [`ArtifactCache`] so each
 //!   (benchmark, engine) pair is compiled exactly once per process and
 //!   the compiled module is shared — across trials, experiments, and
@@ -41,10 +45,12 @@ pub mod hash;
 pub mod job;
 pub mod json;
 pub mod pool;
+pub mod service;
 pub mod store;
 
 pub use cache::{ArtifactCache, ArtifactKey, CacheStats};
 pub use job::JobSpec;
 pub use json::Json;
 pub use pool::{run_jobs, JobEvent, JobFailure, JobOutcome, PoolStats};
+pub use service::{ServicePool, SubmitError};
 pub use store::ResultStore;

@@ -1,0 +1,295 @@
+//! The long-lived service pool: persistent workers, a bounded queue,
+//! backpressure, and graceful drain.
+//!
+//! [`run_jobs`] is batch-shaped: scoped threads that live exactly as long
+//! as one submitted batch. A network service needs the opposite shape —
+//! workers that outlive any individual request, a queue that accepts jobs
+//! one at a time from many connection threads, and an *admission bound*
+//! so overload turns into an immediate, explicit rejection instead of an
+//! ever-growing queue. [`ServicePool`] is that shape:
+//!
+//! - `workers` OS threads live for the pool's whole lifetime and execute
+//!   jobs (boxed closures) in FIFO order;
+//! - at most `capacity` jobs wait in the queue; [`ServicePool::submit`]
+//!   returns [`SubmitError::Full`] instead of blocking when it is — the
+//!   caller turns that into backpressure (HTTP 429);
+//! - a job that panics takes down neither its worker nor the pool
+//!   (the same isolation contract as [`run_jobs`]);
+//! - [`ServicePool::drain`] closes admission, lets the workers finish
+//!   every queued job, and joins them — graceful shutdown.
+//!
+//! [`run_jobs`]: crate::pool::run_jobs
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity; retry later. Carries the depth
+    /// (queued + executing) observed at rejection time.
+    Full {
+        /// Jobs queued or executing when the submission was rejected.
+        depth: usize,
+    },
+    /// The pool is draining or drained; no new work is admitted.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full { depth } => write!(f, "queue full (depth {depth})"),
+            SubmitError::Closed => write!(f, "pool is draining"),
+        }
+    }
+}
+
+struct State {
+    queue: VecDeque<Job>,
+    /// False once drain has begun: no further admissions.
+    open: bool,
+    /// Jobs currently executing on a worker.
+    active: usize,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signals workers that a job arrived or drain began.
+    work: Condvar,
+    capacity: usize,
+}
+
+impl Shared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A fixed set of persistent workers over one bounded FIFO queue.
+pub struct ServicePool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServicePool {
+    /// Starts `workers` threads (≥ 1) over a queue admitting at most
+    /// `capacity` (≥ 1) waiting jobs.
+    pub fn new(workers: usize, capacity: usize) -> ServicePool {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                open: true,
+                active: 0,
+            }),
+            work: Condvar::new(),
+            capacity: capacity.max(1),
+        });
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        ServicePool { shared, workers }
+    }
+
+    /// Admits one job, or rejects it without blocking. On success returns
+    /// the pool depth (queued + executing) including this job.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> Result<usize, SubmitError> {
+        let mut st = self.shared.lock();
+        if !st.open {
+            return Err(SubmitError::Closed);
+        }
+        if st.queue.len() >= self.shared.capacity {
+            return Err(SubmitError::Full {
+                depth: st.queue.len() + st.active,
+            });
+        }
+        st.queue.push_back(Box::new(job));
+        let depth = st.queue.len() + st.active;
+        drop(st);
+        self.shared.work.notify_one();
+        Ok(depth)
+    }
+
+    /// Jobs waiting in the queue (not yet executing).
+    pub fn queued(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// Jobs currently executing.
+    pub fn active(&self) -> usize {
+        self.shared.lock().active
+    }
+
+    /// Queued + executing.
+    pub fn depth(&self) -> usize {
+        let st = self.shared.lock();
+        st.queue.len() + st.active
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Closes admission without consuming the pool: later submissions get
+    /// [`SubmitError::Closed`], while already-queued jobs still run to
+    /// completion. For pools shared behind an `Arc` (a server's exec
+    /// service), this is the first half of a graceful drain; the workers
+    /// are joined when the last handle drops.
+    pub fn close(&self) {
+        self.shared.lock().open = false;
+        self.shared.work.notify_all();
+    }
+
+    /// Closes admission, runs every already-queued job to completion, and
+    /// joins the workers.
+    pub fn drain(mut self) {
+        self.shared.lock().open = false;
+        self.shared.work.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServicePool {
+    fn drop(&mut self) {
+        // A dropped (not drained) pool still shuts down cleanly.
+        self.shared.lock().open = false;
+        self.shared.work.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut st = shared.lock();
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    st.active += 1;
+                    break job;
+                }
+                if !st.open {
+                    return;
+                }
+                st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        // Job panics are isolated; the submitting side observes them as a
+        // dropped result channel.
+        let _ = catch_unwind(AssertUnwindSafe(job));
+        shared.lock().active -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn executes_submitted_jobs() {
+        let pool = ServicePool::new(4, 64);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..32u64 {
+            let tx = tx.clone();
+            pool.submit(move || tx.send(i * 2).unwrap()).unwrap();
+        }
+        drop(tx);
+        let mut got: Vec<u64> = rx.iter().collect();
+        got.sort();
+        assert_eq!(got, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+        pool.drain();
+    }
+
+    #[test]
+    fn full_queue_rejects_instead_of_blocking() {
+        let pool = ServicePool::new(1, 2);
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        // Occupy the single worker...
+        pool.submit(move || {
+            started_tx.send(()).unwrap();
+            block_rx.recv().unwrap();
+        })
+        .unwrap();
+        started_rx.recv().unwrap();
+        // ...fill the queue to capacity...
+        pool.submit(|| {}).unwrap();
+        pool.submit(|| {}).unwrap();
+        // ...and the next submission is shed, not blocked.
+        match pool.submit(|| {}) {
+            Err(SubmitError::Full { depth }) => assert_eq!(depth, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        block_tx.send(()).unwrap();
+        pool.drain();
+    }
+
+    #[test]
+    fn drain_completes_every_queued_job() {
+        let pool = ServicePool::new(2, 128);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let done = Arc::clone(&done);
+            pool.submit(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        pool.drain();
+        assert_eq!(done.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn closed_pool_rejects_submissions() {
+        let pool = ServicePool::new(1, 4);
+        // Drain consumes the pool; probe Closed via a second handle is
+        // impossible, so exercise the internal flag directly.
+        pool.shared.lock().open = false;
+        assert_eq!(pool.submit(|| {}), Err(SubmitError::Closed));
+    }
+
+    #[test]
+    fn a_panicking_job_kills_neither_worker_nor_pool() {
+        let pool = ServicePool::new(1, 16);
+        pool.submit(|| panic!("job down")).unwrap();
+        let (tx, rx) = mpsc::channel();
+        pool.submit(move || tx.send(7u32).unwrap()).unwrap();
+        // The single worker survived the panic and ran the next job.
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), 7);
+        pool.drain();
+    }
+
+    #[test]
+    fn depth_tracks_queued_and_active() {
+        let pool = ServicePool::new(1, 8);
+        assert_eq!(pool.depth(), 0);
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        pool.submit(move || {
+            started_tx.send(()).unwrap();
+            block_rx.recv().unwrap();
+        })
+        .unwrap();
+        started_rx.recv().unwrap();
+        assert_eq!(pool.active(), 1);
+        pool.submit(|| {}).unwrap();
+        assert_eq!(pool.queued(), 1);
+        assert_eq!(pool.depth(), 2);
+        block_tx.send(()).unwrap();
+        pool.drain();
+    }
+}

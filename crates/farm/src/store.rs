@@ -21,7 +21,7 @@ use crate::hash::{hex64, parse_hex64};
 use crate::json::Json;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 /// File name within the results directory.
@@ -34,6 +34,10 @@ pub struct ResultStore {
     records: HashMap<u64, Json>,
     loaded: usize,
     skipped: usize,
+    /// True when the file ends mid-line (a torn final write): the first
+    /// append must terminate that line first, or the next record would be
+    /// glued onto it and destroyed with it on the next reload.
+    needs_newline: bool,
 }
 
 impl ResultStore {
@@ -44,6 +48,7 @@ impl ResultStore {
         let path = dir.join(STORE_FILE);
         let mut records = HashMap::new();
         let mut skipped = 0;
+        let mut needs_newline = false;
         if path.exists() {
             for line in BufReader::new(File::open(&path)?).lines() {
                 let line = line?;
@@ -57,6 +62,7 @@ impl ResultStore {
                     None => skipped += 1,
                 }
             }
+            needs_newline = !ends_with_newline(&path)?;
         }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         Ok(ResultStore {
@@ -65,6 +71,7 @@ impl ResultStore {
             loaded: records.len(),
             records,
             skipped,
+            needs_newline,
         })
     }
 
@@ -89,6 +96,10 @@ impl ResultStore {
     pub fn record(&mut self, key: u64, label: &str, payload: Json) -> std::io::Result<()> {
         if self.records.contains_key(&key) {
             return Ok(());
+        }
+        if self.needs_newline {
+            self.file.write_all(b"\n")?;
+            self.needs_newline = false;
         }
         let line = Json::Obj(vec![
             ("v".into(), Json::u64(1)),
@@ -122,6 +133,19 @@ impl ResultStore {
     pub fn skipped(&self) -> usize {
         self.skipped
     }
+}
+
+/// Whether the file's last byte is `\n` (an empty file counts as
+/// terminated — there is no line to tear).
+fn ends_with_newline(path: &Path) -> std::io::Result<bool> {
+    let mut f = File::open(path)?;
+    if f.metadata()?.len() == 0 {
+        return Ok(true);
+    }
+    f.seek(SeekFrom::End(-1))?;
+    let mut last = [0u8; 1];
+    f.read_exact(&mut last)?;
+    Ok(last[0] == b'\n')
 }
 
 fn parse_record(line: &str) -> Option<(u64, Json)> {
@@ -208,6 +232,50 @@ mod tests {
         assert_eq!(store.loaded(), 1);
         assert_eq!(store.skipped(), 1);
         assert!(store.contains(1));
+    }
+
+    #[test]
+    fn appending_after_a_torn_line_does_not_destroy_the_new_record() {
+        let tmp = TempDir::new("torn-append");
+        {
+            let mut store = ResultStore::open(&tmp.0).unwrap();
+            store.record(1, "ok", payload(1)).unwrap();
+        }
+        // Crash mid-`record`: a torn final line with no trailing newline.
+        let path = tmp.0.join(STORE_FILE);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        write!(f, "{{\"v\":1,\"key\":\"00000000000").unwrap();
+        drop(f);
+        // Crash replay: reopen and keep recording, as a resumed run does.
+        {
+            let mut store = ResultStore::open(&tmp.0).unwrap();
+            assert_eq!(store.skipped(), 1);
+            store.record(2, "next", payload(2)).unwrap();
+            store.record(3, "more", payload(3)).unwrap();
+        }
+        // Before the fix, record 2 was appended onto the unterminated torn
+        // line, so this reload lost it too (loaded == 2, skipped == 1).
+        let store = ResultStore::open(&tmp.0).unwrap();
+        assert_eq!(store.loaded(), 3);
+        assert_eq!(store.skipped(), 1);
+        assert_eq!(store.get(1), Some(&payload(1)));
+        assert_eq!(store.get(2), Some(&payload(2)));
+        assert_eq!(store.get(3), Some(&payload(3)));
+    }
+
+    #[test]
+    fn torn_line_termination_happens_once() {
+        let tmp = TempDir::new("torn-once");
+        std::fs::create_dir_all(&tmp.0).unwrap();
+        std::fs::write(tmp.0.join(STORE_FILE), "{\"torn").unwrap();
+        let mut store = ResultStore::open(&tmp.0).unwrap();
+        store.record(1, "a", payload(1)).unwrap();
+        store.record(2, "b", payload(2)).unwrap();
+        let text = std::fs::read_to_string(store.path()).unwrap();
+        // The torn line was terminated exactly once; no blank lines crept
+        // in between the new records.
+        assert_eq!(text.lines().count(), 3);
+        assert!(!text.contains("\n\n"));
     }
 
     #[test]

@@ -67,11 +67,10 @@ fn main() {
             "--progress" => progress = true,
             "--size" => {
                 let v = it.next().unwrap_or_default();
-                size = match v.as_str() {
-                    "test" => Size::Test,
-                    "ref" => Size::Ref,
-                    other => {
-                        eprintln!("unknown size `{other}` (use test|ref)");
+                size = match Size::parse(&v) {
+                    Some(s) => s,
+                    None => {
+                        eprintln!("unknown size `{v}` (use test|ref)");
                         std::process::exit(2);
                     }
                 };

@@ -59,6 +59,21 @@ impl Engine {
         fnv1a(format!("{self:?}").as_bytes())
     }
 
+    /// Parses the display name of a standard engine configuration — the
+    /// inverse of [`Engine::name`] for every engine a remote client can
+    /// name over the wasmperf-serve wire protocol (ablation engines are
+    /// constructed programmatically, not by name).
+    pub fn parse(name: &str) -> Option<Engine> {
+        match name {
+            "native" => Some(Engine::Native),
+            "chrome" => Some(Engine::Jit(EngineProfile::chrome())),
+            "firefox" => Some(Engine::Jit(EngineProfile::firefox())),
+            "chrome-asmjs" => Some(Engine::Jit(EngineProfile::chrome_asmjs())),
+            "firefox-asmjs" => Some(Engine::Jit(EngineProfile::firefox_asmjs())),
+            _ => None,
+        }
+    }
+
     /// The paper's engine set for the headline SPEC comparison.
     pub fn headline() -> Vec<Engine> {
         vec![
@@ -149,8 +164,10 @@ const NATIVE_COMPILE_CYCLES_PER_BYTE: u64 = 60_000;
 /// where the previous wall-clock measurement changed on every run.
 const JIT_COMPILE_CYCLES_PER_BYTE: u64 = 4_000;
 
-/// Execution fuel: generous; runs are bounded by workload size.
-const FUEL: u64 = 20_000_000_000;
+/// Default execution fuel (retired-instruction budget): generous; runs
+/// are bounded by workload size. wasmperf-serve maps per-request
+/// deadlines onto smaller budgets via [`execute_with_fuel`].
+pub const DEFAULT_FUEL: u64 = 20_000_000_000;
 
 /// Compiles `bench` for `engine`.
 pub fn prepare(bench: &Benchmark, engine: &Engine) -> Result<Artifact, Error> {
@@ -252,6 +269,30 @@ pub fn execute_with_mode(
     policy: AppendPolicy,
     mode: ExecMode,
 ) -> Result<RunResult, Error> {
+    execute_inner(bench, engine, artifact, policy, mode, DEFAULT_FUEL)
+}
+
+/// [`execute`] with an explicit fuel budget. A run that exhausts `fuel`
+/// before `main` returns yields [`Error::OutOfFuel`] — the simulated-time
+/// half of wasmperf-serve's request deadlines.
+pub fn execute_with_fuel(
+    bench: &Benchmark,
+    engine: &Engine,
+    artifact: &Artifact,
+    policy: AppendPolicy,
+    fuel: u64,
+) -> Result<RunResult, Error> {
+    execute_inner(bench, engine, artifact, policy, ExecMode::Predecoded, fuel)
+}
+
+fn execute_inner(
+    bench: &Benchmark,
+    engine: &Engine,
+    artifact: &Artifact,
+    policy: AppendPolicy,
+    mode: ExecMode,
+    fuel: u64,
+) -> Result<RunResult, Error> {
     let exec_err = |message: String| Error::Exec {
         bench: bench.name.to_string(),
         engine: engine.name(),
@@ -270,9 +311,17 @@ pub fn execute_with_mode(
     let entry = module.entry.ok_or_else(|| exec_err("no main".into()))?;
     let mut machine = Machine::new(module, kernel);
     machine.set_exec_mode(mode);
-    let out = machine
-        .run(entry, &[], FUEL)
-        .map_err(|e| exec_err(format!("{e:?}")))?;
+    let out = machine.run(entry, &[], fuel).map_err(|e| {
+        if e.kind == wasmperf_isa::TrapKind::OutOfFuel {
+            Error::OutOfFuel {
+                bench: bench.name.to_string(),
+                engine: engine.name(),
+                fuel,
+            }
+        } else {
+            exec_err(format!("{e:?}"))
+        }
+    })?;
 
     let kernel = machine.into_host();
     let mut outputs = Vec::new();
@@ -345,7 +394,7 @@ pub fn execute_traced(
     }
     let open = spans.as_ref().map(SpanLog::enter);
     let out = machine
-        .run(entry, &[], FUEL)
+        .run(entry, &[], DEFAULT_FUEL)
         .map_err(|e| exec_err(format!("{e:?}")))?;
     if let (Some(log), Some(open)) = (spans.as_mut(), open) {
         log.exit(open, "exec", "run");
@@ -436,6 +485,46 @@ pub fn run_one_traced(
 mod tests {
     use super::*;
     use wasmperf_benchsuite::{spec, Size};
+
+    #[test]
+    fn parse_inverts_name_for_standard_engines() {
+        for e in Engine::headline().iter().chain(Engine::asmjs_set().iter()) {
+            assert_eq!(Engine::parse(&e.name()).as_ref(), Some(e), "{}", e.name());
+        }
+        assert_eq!(Engine::parse("safari"), None);
+        assert_eq!(Engine::parse(""), None);
+        // Ablation engines are not nameable over the wire.
+        let ablation = Engine::NativeWith(CompileOptions {
+            unroll: false,
+            ..CompileOptions::default()
+        });
+        assert_eq!(Engine::parse(&ablation.name()), None);
+    }
+
+    #[test]
+    fn fuel_budget_bounds_execution() -> Result<(), Error> {
+        let b = spec::all(Size::Test)
+            .into_iter()
+            .find(|b| b.name == "401.bzip2")
+            .unwrap();
+        let e = Engine::Native;
+        let artifact = prepare(&b, &e)?;
+        // A generous budget matches the default-fuel path byte for byte.
+        let full = execute_with_fuel(&b, &e, &artifact, AppendPolicy::Chunked4K, DEFAULT_FUEL)?;
+        assert_eq!(full, execute(&b, &e, &artifact, AppendPolicy::Chunked4K)?);
+        // A budget below the run's retired instructions is a structured
+        // deadline error, not a stringly Exec failure.
+        let tiny = execute_with_fuel(&b, &e, &artifact, AppendPolicy::Chunked4K, 1_000);
+        assert_eq!(
+            tiny.unwrap_err(),
+            Error::OutOfFuel {
+                bench: "401.bzip2".into(),
+                engine: "native".into(),
+                fuel: 1_000,
+            }
+        );
+        Ok(())
+    }
 
     #[test]
     fn engines_have_distinct_names() {

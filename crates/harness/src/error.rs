@@ -33,6 +33,18 @@ pub enum Error {
         /// The unknown name.
         name: String,
     },
+    /// Execution exhausted its fuel budget before `main` returned — a
+    /// run-level deadline (wasmperf-serve maps request deadlines onto
+    /// fuel), distinguished from [`Error::Exec`] so services can answer
+    /// "deadline exceeded" rather than "internal failure".
+    OutOfFuel {
+        /// Benchmark name.
+        bench: String,
+        /// Engine name.
+        engine: String,
+        /// The fuel budget (retired instructions) that ran out.
+        fuel: u64,
+    },
     /// Cross-engine validation (the `cmp` step) found a disagreement.
     Mismatch {
         /// Benchmark name.
@@ -77,6 +89,14 @@ impl fmt::Display for Error {
                 message,
             } => write!(f, "{bench} on {engine}: {message}"),
             Error::MissingBenchmark { name } => write!(f, "unknown benchmark {name}"),
+            Error::OutOfFuel {
+                bench,
+                engine,
+                fuel,
+            } => write!(
+                f,
+                "{bench} on {engine}: out of fuel after {fuel} retired instructions"
+            ),
             Error::Mismatch {
                 bench,
                 engines: (a, b),

@@ -1,0 +1,103 @@
+//! The wasmperf-loadgen client binary.
+//!
+//! ```text
+//! wasmperf-loadgen --addr HOST:PORT [--requests N]
+//!                  [--conns N | --rate RPS]
+//!                  [--benches a,b,... | --adhoc] [--engines x,y,...]
+//!                  [--size test|ref] [--deadline-ms MS]
+//!                  [--check] [--verify-metrics] [--expect-shed]
+//!                  [--quick] [--shutdown] [--out FILE]
+//! ```
+//!
+//! Exit status is nonzero on any transport error, any unexpected
+//! non-2xx status, any `--check` byte mismatch, or a failed
+//! `--expect-shed`/`--verify-metrics` gate.
+
+use wasmperf_benchsuite::Size;
+use wasmperf_serve::loadgen::{run, Mode, Options};
+use wasmperf_serve::Client;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wasmperf-loadgen --addr HOST:PORT [options]\n\
+         --requests N       total requests (default 40)\n\
+         --conns N          closed loop over N keep-alive connections (default 2)\n\
+         --rate RPS         open loop at RPS arrivals/s (fresh connection each)\n\
+         --benches a,b      benchmark names to cycle (default gemm,2mm)\n\
+         --adhoc            submit an ad-hoc spin source instead of names\n\
+         --engines x,y      engine names to cycle (default native,chrome)\n\
+         --size test|ref    workload size (default test)\n\
+         --deadline-ms MS   per-request simulated deadline (fractional ok)\n\
+         --check            byte-compare responses against direct local runs\n\
+         --verify-metrics   compare /metrics deltas with observed requests\n\
+         --expect-shed      require >=1 429 and only 200/429 statuses\n\
+         --quick            small preset: 2 conns, 24 requests, --check\n\
+         --shutdown         POST /shutdown after the run\n\
+         --out FILE         write the JSON report (wasmperf-loadgen/1)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut opts = Options::default();
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut shutdown = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--addr" => opts.addr = value(),
+            "--requests" => opts.requests = value().parse().unwrap_or_else(|_| usage()),
+            "--conns" => {
+                opts.mode = Mode::Closed {
+                    conns: value().parse().unwrap_or_else(|_| usage()),
+                }
+            }
+            "--rate" => {
+                opts.mode = Mode::Open {
+                    rps: value().parse().unwrap_or_else(|_| usage()),
+                }
+            }
+            "--benches" => opts.benches = value().split(',').map(str::to_string).collect(),
+            "--adhoc" => opts.benches.clear(),
+            "--engines" => opts.engines = value().split(',').map(str::to_string).collect(),
+            "--size" => opts.size = Size::parse(&value()).unwrap_or_else(|| usage()),
+            "--deadline-ms" => opts.deadline_ms = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--check" => opts.check = true,
+            "--verify-metrics" => opts.verify_metrics = true,
+            "--expect-shed" => opts.expect_shed = true,
+            "--quick" => {
+                opts.mode = Mode::Closed { conns: 2 };
+                opts.requests = 24;
+                opts.check = true;
+            }
+            "--shutdown" => shutdown = true,
+            "--out" => out = Some(value().into()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if opts.addr.is_empty() {
+        eprintln!("wasmperf-loadgen: --addr is required");
+        usage();
+    }
+
+    let report = run(&opts);
+    print!("{}", report.render());
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, report.to_json().render() + "\n") {
+            eprintln!("wasmperf-loadgen: writing {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("report written to {}", path.display());
+    }
+    if shutdown {
+        match Client::connect(&opts.addr) {
+            Ok(mut c) => {
+                let _ = c.request("POST", "/shutdown", b"");
+            }
+            Err(e) => eprintln!("wasmperf-loadgen: shutdown connect failed: {e}"),
+        }
+    }
+    std::process::exit(if report.ok() { 0 } else { 1 });
+}

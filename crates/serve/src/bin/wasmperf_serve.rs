@@ -1,0 +1,56 @@
+//! The wasmperf-serve server binary.
+//!
+//! ```text
+//! wasmperf-serve [--port N] [--workers N] [--queue N]
+//!                [--log FILE] [--trace-dir DIR]
+//! ```
+//!
+//! Binds 127.0.0.1 (`--port 0` picks an ephemeral port and prints it),
+//! then serves until a client POSTs `/shutdown`, draining gracefully:
+//! in-flight and queued runs complete, the access log and trace exports
+//! flush, and the process exits 0.
+
+use wasmperf_serve::{start, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wasmperf-serve [--port N] [--workers N] [--queue N]\n\
+         \x20                     [--log FILE] [--trace-dir DIR]\n\
+         --port N       listen port on 127.0.0.1 (0 = ephemeral; default 8377)\n\
+         --workers N    execution worker threads (default 2)\n\
+         --queue N      admission-queue capacity before 429s (default 32)\n\
+         --log FILE     JSONL access log\n\
+         --trace-dir D  write Chrome-trace/JSONL request spans at shutdown"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ServerConfig::default();
+    let mut port: u16 = 8377;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--port" => port = value().parse().unwrap_or_else(|_| usage()),
+            "--workers" => config.workers = value().parse().unwrap_or_else(|_| usage()),
+            "--queue" => config.queue_capacity = value().parse().unwrap_or_else(|_| usage()),
+            "--log" => config.log_path = Some(value().into()),
+            "--trace-dir" => config.trace_dir = Some(value().into()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    config.addr = format!("127.0.0.1:{port}");
+    let handle = match start(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("wasmperf-serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The port line is the startup contract scripts wait for.
+    println!("wasmperf-serve listening on {}", handle.addr());
+    handle.join();
+    eprintln!("wasmperf-serve: drained, exiting");
+}

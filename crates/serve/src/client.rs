@@ -1,0 +1,47 @@
+//! A small keep-alive HTTP client over one TCP connection, shared by
+//! `wasmperf-loadgen` and the integration tests so both exercise the
+//! same wire code as the server.
+
+use std::io::{self, BufReader};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use wasmperf_farm::Json;
+
+use crate::http::{read_response, write_request, Response};
+
+/// One persistent connection to a wasmperf-serve instance.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects; `addr` is `host:port`.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and reads the response.
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
+        write_request(&mut self.writer, method, path, body)?;
+        read_response(&mut self.reader)
+    }
+
+    /// `GET path`.
+    pub fn get(&mut self, path: &str) -> io::Result<Response> {
+        self.request("GET", path, &[])
+    }
+
+    /// `POST path` with a JSON body.
+    pub fn post_json(&mut self, path: &str, body: &Json) -> io::Result<Response> {
+        self.request("POST", path, body.render().as_bytes())
+    }
+}

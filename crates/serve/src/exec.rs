@@ -1,0 +1,663 @@
+//! Request execution: parsing run requests, mapping deadlines onto
+//! simulator fuel, and driving the farm worker pool + caches.
+//!
+//! The service executes on exactly the same pipeline as an in-process
+//! [`Session`](wasmperf_harness::Session) run: `prepare` compiles through
+//! the content-addressed [`ArtifactCache`] (identical submissions compile
+//! once per process), `execute_with_fuel` runs on a fresh Browsix kernel.
+//! Because that pipeline is deterministic, a response's `result` payload
+//! is byte-identical to a direct local run — the property
+//! `wasmperf-loadgen --check` gates on.
+//!
+//! Deadlines are double-layered:
+//!
+//! - **simulated time**: `deadline_ms` (milliseconds *on the simulated
+//!   3.5 GHz core*) becomes a retired-instruction fuel budget via
+//!   [`fuel_for_deadline`]; exhausting it yields HTTP 504 with
+//!   `"deadline": "sim"`;
+//! - **wall clock**: a safety-net timeout (several times the deadline,
+//!   never under [`MIN_WALL_TIMEOUT`]) bounds how long the connection
+//!   waits on the pool, catching pathological host-side slowness; it
+//!   yields 504 with `"deadline": "wall"`.
+
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use wasmperf_benchsuite::{Benchmark, Size, Suite};
+use wasmperf_browsix::AppendPolicy;
+use wasmperf_farm::{ArtifactCache, ArtifactKey, Json, ServicePool, SubmitError};
+use wasmperf_harness::farm::{encode_result, job_spec};
+use wasmperf_harness::{
+    execute_with_fuel, prepare, Artifact, Engine, Error, RunResult, DEFAULT_FUEL,
+};
+
+use crate::metrics::Metrics;
+
+/// Fuel units (retired instructions) per millisecond of simulated
+/// deadline: the simulated core runs at 3.5 GHz and the workloads retire
+/// roughly one instruction per cycle, so 1 ms ≈ 3.5 M instructions.
+pub const FUEL_PER_MS: f64 = 3.5e6;
+
+/// Floor on the wall-clock safety timeout, so short simulated deadlines
+/// don't starve legitimate host-side queueing.
+pub const MIN_WALL_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Wall-clock timeout for requests with no deadline.
+pub const DEFAULT_WALL_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Maps a simulated deadline to a fuel budget, clamped to
+/// `[1, DEFAULT_FUEL]`. Fractional milliseconds are meaningful: the test
+/// workloads retire a few hundred thousand instructions, i.e. finish in
+/// well under a simulated millisecond.
+pub fn fuel_for_deadline(deadline_ms: f64) -> u64 {
+    let fuel = (deadline_ms * FUEL_PER_MS).ceil();
+    if !fuel.is_finite() || fuel >= DEFAULT_FUEL as f64 {
+        DEFAULT_FUEL
+    } else {
+        (fuel as u64).max(1)
+    }
+}
+
+/// The wall-clock safety net paired with a simulated deadline.
+pub fn wall_timeout(deadline_ms: Option<f64>) -> Duration {
+    match deadline_ms {
+        None => DEFAULT_WALL_TIMEOUT,
+        Some(ms) => {
+            let padded = Duration::from_secs_f64((ms * 4.0 / 1000.0).clamp(0.0, 600.0));
+            padded.max(MIN_WALL_TIMEOUT)
+        }
+    }
+}
+
+/// What one `/run` request asks to execute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// A suite benchmark, by name.
+    Named(String),
+    /// Ad-hoc CLite source text submitted in the request.
+    Source(String),
+}
+
+/// One parsed `/run` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRequest {
+    /// What to run.
+    pub target: Target,
+    /// Engine, by wire name (`native`, `chrome`, ...).
+    pub engine: String,
+    /// Workload size (named benchmarks only).
+    pub size: Size,
+    /// Simulated-time deadline in milliseconds (fractional allowed).
+    pub deadline_ms: Option<f64>,
+}
+
+impl RunRequest {
+    /// Parses the `/run` JSON body.
+    pub fn from_json(body: &Json) -> Result<RunRequest, String> {
+        let target = match (
+            body.get("bench").and_then(Json::as_str),
+            body.get("source").and_then(Json::as_str),
+        ) {
+            (Some(name), None) => Target::Named(name.to_string()),
+            (None, Some(src)) => Target::Source(src.to_string()),
+            (Some(_), Some(_)) => {
+                return Err("give either \"bench\" or \"source\", not both".into())
+            }
+            (None, None) => return Err("missing \"bench\" or \"source\"".into()),
+        };
+        let engine = body
+            .get("engine")
+            .and_then(Json::as_str)
+            .ok_or("missing \"engine\"")?
+            .to_string();
+        let size = match body.get("size") {
+            None => Size::Test,
+            Some(v) => {
+                let name = v.as_str().ok_or("\"size\" must be a string")?;
+                Size::parse(name).ok_or_else(|| format!("unknown size {name:?} (test|ref)"))?
+            }
+        };
+        let deadline_ms = match body.get("deadline_ms") {
+            None => None,
+            Some(v) => {
+                let ms = v
+                    .as_f64()
+                    .filter(|ms| ms.is_finite() && *ms > 0.0)
+                    .ok_or("\"deadline_ms\" must be a positive number")?;
+                Some(ms)
+            }
+        };
+        Ok(RunRequest {
+            target,
+            engine,
+            size,
+            deadline_ms,
+        })
+    }
+}
+
+/// Why a run did not produce a result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Malformed or unanswerable request (unknown benchmark/engine,
+    /// bad field types). → 400.
+    BadRequest(String),
+    /// The admission queue was full; carries the observed depth. → 429.
+    Rejected {
+        /// Pool depth (queued + executing) at rejection.
+        depth: usize,
+    },
+    /// The server is draining; no new work admitted. → 503.
+    Closed,
+    /// The simulated-time (fuel) deadline expired. → 504.
+    DeadlineSim {
+        /// The exhausted fuel budget.
+        fuel: u64,
+    },
+    /// The wall-clock safety timeout expired. → 504.
+    DeadlineWall,
+    /// The submission was valid but the program failed to compile or
+    /// execute. → 422.
+    Failed(String),
+    /// The executing job disappeared (panicked). → 500.
+    Internal(String),
+}
+
+impl ServeError {
+    /// The HTTP status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            ServeError::BadRequest(_) => 400,
+            ServeError::Rejected { .. } => 429,
+            ServeError::Closed => 503,
+            ServeError::DeadlineSim { .. } | ServeError::DeadlineWall => 504,
+            ServeError::Failed(_) => 422,
+            ServeError::Internal(_) => 500,
+        }
+    }
+
+    /// The JSON error body.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("error".to_string(), Json::Str(self.message()))];
+        match self {
+            ServeError::Rejected { depth } => {
+                fields.push(("depth".into(), Json::u64(*depth as u64)));
+            }
+            ServeError::DeadlineSim { fuel } => {
+                fields.push(("deadline".into(), Json::Str("sim".into())));
+                fields.push(("fuel".into(), Json::u64(*fuel)));
+            }
+            ServeError::DeadlineWall => {
+                fields.push(("deadline".into(), Json::Str("wall".into())));
+            }
+            _ => {}
+        }
+        Json::Obj(fields)
+    }
+
+    fn message(&self) -> String {
+        match self {
+            ServeError::BadRequest(m) => m.clone(),
+            ServeError::Rejected { depth } => format!("queue full (depth {depth})"),
+            ServeError::Closed => "server is draining".into(),
+            ServeError::DeadlineSim { fuel } => {
+                format!("simulated deadline exceeded (fuel {fuel})")
+            }
+            ServeError::DeadlineWall => "wall-clock timeout exceeded".into(),
+            ServeError::Failed(m) => m.clone(),
+            ServeError::Internal(m) => m.clone(),
+        }
+    }
+}
+
+/// A completed `/run`, with the service-side accounting the response
+/// carries alongside the result payload.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The run result (identical to a direct in-process run).
+    pub result: Arc<RunResult>,
+    /// True when served from the result cache without executing.
+    pub cached: bool,
+    /// Microseconds spent waiting in the admission queue.
+    pub queue_us: u64,
+    /// Microseconds spent compiling (on miss) + executing.
+    pub exec_us: u64,
+}
+
+/// The execution engine behind the HTTP surface: benchmark registry,
+/// caches, worker pool, and metrics.
+pub struct ExecService {
+    /// (size, name) → benchmark, for named-target requests.
+    benches: HashMap<(&'static str, String), Benchmark>,
+    artifacts: Arc<ArtifactCache<Artifact>>,
+    /// spec-key → completed default-fuel result.
+    results: Mutex<HashMap<u64, Arc<RunResult>>>,
+    pool: ServicePool,
+    /// Shared service metrics (the server also records HTTP-level data).
+    pub metrics: Arc<Metrics>,
+}
+
+/// What a pool job sends back to the waiting connection thread.
+type JobReply = (Result<RunResult, Error>, u64);
+
+impl ExecService {
+    /// Builds the service: loads both benchmark sizes, starts `workers`
+    /// pool threads over a queue admitting `queue_capacity` waiting jobs.
+    pub fn new(workers: usize, queue_capacity: usize) -> ExecService {
+        let mut benches = HashMap::new();
+        for size in [Size::Test, Size::Ref] {
+            for b in wasmperf_benchsuite::all(size) {
+                benches.insert((size.as_str(), b.name.to_string()), b);
+            }
+        }
+        ExecService {
+            benches,
+            artifacts: Arc::new(ArtifactCache::new()),
+            results: Mutex::new(HashMap::new()),
+            pool: ServicePool::new(workers, queue_capacity),
+            metrics: Arc::new(Metrics::new()),
+        }
+    }
+
+    /// Live pool depth (queued + executing).
+    pub fn depth(&self) -> usize {
+        self.pool.depth()
+    }
+
+    /// Jobs waiting in the queue.
+    pub fn queued(&self) -> usize {
+        self.pool.queued()
+    }
+
+    /// Jobs currently executing.
+    pub fn active(&self) -> usize {
+        self.pool.active()
+    }
+
+    /// Worker count.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Artifact-cache build/hit counters.
+    pub fn artifact_stats(&self) -> (u64, u64) {
+        let s = self.artifacts.stats();
+        (s.builds, s.hits)
+    }
+
+    /// Closes admission (later runs get [`ServeError::Closed`]); queued
+    /// jobs still complete. First half of graceful drain.
+    pub fn close(&self) {
+        self.pool.close();
+    }
+
+    /// The names a request can target at `size`.
+    pub fn bench_names(&self, size: Size) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .benches
+            .keys()
+            .filter(|(s, _)| *s == size.as_str())
+            .map(|(_, name)| name.clone())
+            .collect();
+        names.sort();
+        names
+    }
+
+    fn resolve(&self, req: &RunRequest) -> Result<Benchmark, ServeError> {
+        match &req.target {
+            Target::Named(name) => self
+                .benches
+                .get(&(req.size.as_str(), name.clone()))
+                .cloned()
+                .ok_or_else(|| {
+                    ServeError::BadRequest(format!(
+                        "unknown benchmark {name:?} at size {}",
+                        req.size.as_str()
+                    ))
+                }),
+            Target::Source(src) => Ok(Benchmark {
+                name: "adhoc",
+                suite: Suite::PolyBench,
+                source: src.clone(),
+                inputs: Vec::new(),
+                outputs: Vec::new(),
+            }),
+        }
+    }
+
+    /// Executes one request end to end. Blocks the calling (connection)
+    /// thread until the result arrives, a deadline fires, or admission
+    /// fails — it never blocks on a full queue.
+    pub fn run(&self, req: &RunRequest) -> Result<RunOutcome, ServeError> {
+        let bench = self.resolve(req)?;
+        let engine = Engine::parse(&req.engine)
+            .ok_or_else(|| ServeError::BadRequest(format!("unknown engine {:?}", req.engine)))?;
+        let fuel = req
+            .deadline_ms
+            .map(fuel_for_deadline)
+            .unwrap_or(DEFAULT_FUEL);
+        let spec = job_spec(&bench, &engine, req.size, AppendPolicy::Chunked4K, 0);
+        let key = spec.key();
+
+        // Only unbounded-fuel results are cached: a result produced under
+        // some budget is identical to the unbounded one *if it finished*,
+        // but serving it for a smaller budget would skip the deadline.
+        if fuel == DEFAULT_FUEL {
+            let cached = {
+                let results = self.results.lock().unwrap_or_else(PoisonError::into_inner);
+                results.get(&key).cloned()
+            };
+            self.metrics.count_result_lookup(cached.is_some());
+            if let Some(result) = cached {
+                return Ok(RunOutcome {
+                    result,
+                    cached: true,
+                    queue_us: 0,
+                    exec_us: 0,
+                });
+            }
+        }
+
+        let (tx, rx) = mpsc::channel::<JobReply>();
+        let artifacts = Arc::clone(&self.artifacts);
+        let akey = ArtifactKey {
+            source: spec.source_hash,
+            config: spec.engine_fingerprint,
+        };
+        let submitted = Instant::now();
+        let job = move || {
+            let started = Instant::now();
+            let outcome = artifacts
+                .get_or_build(akey, || prepare(&bench, &engine))
+                .and_then(|artifact| {
+                    execute_with_fuel(&bench, &engine, &artifact, AppendPolicy::Chunked4K, fuel)
+                });
+            // The receiver may have timed out and gone; that's fine.
+            let _ = tx.send((outcome, started.elapsed().as_micros() as u64));
+        };
+        let depth = self.pool.submit(job).map_err(|e| match e {
+            SubmitError::Full { depth } => ServeError::Rejected { depth },
+            SubmitError::Closed => ServeError::Closed,
+        })?;
+        self.metrics.observe_depth(depth);
+
+        let (outcome, exec_us) = match rx.recv_timeout(wall_timeout(req.deadline_ms)) {
+            Ok(reply) => reply,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                self.metrics.count_deadline_wall();
+                return Err(ServeError::DeadlineWall);
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Err(ServeError::Internal("executing job panicked".into()));
+            }
+        };
+        let queue_us = (submitted.elapsed().as_micros() as u64).saturating_sub(exec_us);
+        match outcome {
+            Ok(result) => {
+                let result = Arc::new(result);
+                if fuel == DEFAULT_FUEL {
+                    let mut results = self.results.lock().unwrap_or_else(PoisonError::into_inner);
+                    results.insert(key, Arc::clone(&result));
+                }
+                Ok(RunOutcome {
+                    result,
+                    cached: false,
+                    queue_us,
+                    exec_us,
+                })
+            }
+            Err(Error::OutOfFuel { fuel, .. }) => {
+                self.metrics.count_deadline_sim();
+                Err(ServeError::DeadlineSim { fuel })
+            }
+            Err(e) => Err(ServeError::Failed(e.to_string())),
+        }
+    }
+
+    /// `POST /report`: runs a (benchmark × engine) batch and returns the
+    /// slowdown-vs-native matrix, the service-side analog of the paper's
+    /// headline tables. `native` is always run as the baseline, whether
+    /// or not it was requested.
+    pub fn report(&self, body: &Json) -> Result<Json, ServeError> {
+        let names: Vec<String> = match body.get("benchmarks") {
+            None => self.bench_names(parse_size(body)?),
+            Some(v) => v
+                .as_arr()
+                .ok_or_else(|| ServeError::BadRequest("\"benchmarks\" must be an array".into()))?
+                .iter()
+                .map(|j| {
+                    j.as_str().map(str::to_string).ok_or_else(|| {
+                        ServeError::BadRequest("\"benchmarks\" entries must be strings".into())
+                    })
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        let size = parse_size(body)?;
+        let mut engines: Vec<String> = match body.get("engines") {
+            None => vec!["chrome".into(), "firefox".into()],
+            Some(v) => v
+                .as_arr()
+                .ok_or_else(|| ServeError::BadRequest("\"engines\" must be an array".into()))?
+                .iter()
+                .map(|j| {
+                    j.as_str().map(str::to_string).ok_or_else(|| {
+                        ServeError::BadRequest("\"engines\" entries must be strings".into())
+                    })
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        engines.retain(|e| e != "native");
+        engines.insert(0, "native".to_string());
+
+        let mut rows = Vec::new();
+        for name in &names {
+            let mut cycles: Vec<(String, Json)> = Vec::new();
+            let mut slowdown: Vec<(String, Json)> = Vec::new();
+            let mut native_cycles = 0u64;
+            for engine in &engines {
+                let req = RunRequest {
+                    target: Target::Named(name.clone()),
+                    engine: engine.clone(),
+                    size,
+                    deadline_ms: None,
+                };
+                let out = self.run(&req)?;
+                let total = out.result.counters.total_cycles();
+                if engine == "native" {
+                    native_cycles = total;
+                }
+                cycles.push((engine.clone(), Json::u64(total)));
+                if native_cycles > 0 {
+                    slowdown.push((
+                        engine.clone(),
+                        Json::Num(total as f64 / native_cycles as f64),
+                    ));
+                }
+            }
+            rows.push(Json::Obj(vec![
+                ("bench".into(), Json::Str(name.clone())),
+                ("cycles".into(), Json::Obj(cycles)),
+                ("slowdown".into(), Json::Obj(slowdown)),
+            ]));
+        }
+        Ok(Json::Obj(vec![
+            ("size".into(), Json::Str(size.as_str().into())),
+            ("rows".into(), Json::Arr(rows)),
+        ]))
+    }
+}
+
+fn parse_size(body: &Json) -> Result<Size, ServeError> {
+    match body.get("size") {
+        None => Ok(Size::Test),
+        Some(v) => v
+            .as_str()
+            .and_then(Size::parse)
+            .ok_or_else(|| ServeError::BadRequest("unknown \"size\" (test|ref)".into())),
+    }
+}
+
+/// The 200-response body for one completed `/run`.
+pub fn run_response_json(id: &str, out: &RunOutcome) -> Json {
+    Json::Obj(vec![
+        ("id".into(), Json::Str(id.to_string())),
+        ("cached".into(), Json::Bool(out.cached)),
+        ("queue_us".into(), Json::u64(out.queue_us)),
+        ("exec_us".into(), Json::u64(out.exec_us)),
+        ("result".into(), encode_result(&out.result)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_maps_to_clamped_fuel() {
+        assert_eq!(fuel_for_deadline(1.0), 3_500_000);
+        assert_eq!(fuel_for_deadline(0.01), 35_000);
+        // Tiny deadlines still admit at least one instruction...
+        assert_eq!(fuel_for_deadline(1e-9), 1);
+        // ...and huge ones clamp to the default budget.
+        assert_eq!(fuel_for_deadline(1e18), DEFAULT_FUEL);
+    }
+
+    #[test]
+    fn wall_timeout_has_a_floor_and_scales() {
+        assert_eq!(wall_timeout(None), DEFAULT_WALL_TIMEOUT);
+        assert_eq!(wall_timeout(Some(0.01)), MIN_WALL_TIMEOUT);
+        assert_eq!(wall_timeout(Some(10_000.0)), Duration::from_secs(40));
+    }
+
+    #[test]
+    fn run_request_parses_and_validates() {
+        let ok = Json::parse(r#"{"bench":"gemm","engine":"chrome","size":"ref"}"#).unwrap();
+        let req = RunRequest::from_json(&ok).unwrap();
+        assert_eq!(req.target, Target::Named("gemm".into()));
+        assert_eq!(req.engine, "chrome");
+        assert_eq!(req.size, Size::Ref);
+        assert_eq!(req.deadline_ms, None);
+
+        let src = Json::parse(
+            r#"{"source":"fn main() -> i32 { return 7; }","engine":"native","deadline_ms":0.5}"#,
+        )
+        .unwrap();
+        let req = RunRequest::from_json(&src).unwrap();
+        assert!(matches!(req.target, Target::Source(_)));
+        assert_eq!(req.deadline_ms, Some(0.5));
+
+        for bad in [
+            r#"{"engine":"native"}"#,
+            r#"{"bench":"gemm","source":"x","engine":"native"}"#,
+            r#"{"bench":"gemm"}"#,
+            r#"{"bench":"gemm","engine":"native","size":"huge"}"#,
+            r#"{"bench":"gemm","engine":"native","deadline_ms":-1}"#,
+            r#"{"bench":"gemm","engine":"native","deadline_ms":"soon"}"#,
+        ] {
+            assert!(
+                RunRequest::from_json(&Json::parse(bad).unwrap()).is_err(),
+                "{bad} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_errors_map_to_statuses() {
+        assert_eq!(ServeError::BadRequest("x".into()).status(), 400);
+        assert_eq!(ServeError::Rejected { depth: 3 }.status(), 429);
+        assert_eq!(ServeError::Closed.status(), 503);
+        assert_eq!(ServeError::DeadlineSim { fuel: 1 }.status(), 504);
+        assert_eq!(ServeError::DeadlineWall.status(), 504);
+        assert_eq!(ServeError::Failed("x".into()).status(), 422);
+        assert_eq!(ServeError::Internal("x".into()).status(), 500);
+        let j = ServeError::Rejected { depth: 3 }.to_json();
+        assert_eq!(j.get("depth").and_then(Json::as_u64), Some(3));
+        let j = ServeError::DeadlineSim { fuel: 35_000 }.to_json();
+        assert_eq!(j.get("deadline").and_then(Json::as_str), Some("sim"));
+    }
+
+    #[test]
+    fn adhoc_source_runs_and_unknown_names_do_not() {
+        let svc = ExecService::new(1, 8);
+        let req = RunRequest {
+            target: Target::Source("fn main() -> i32 { return 41; }".into()),
+            engine: "native".into(),
+            size: Size::Test,
+            deadline_ms: None,
+        };
+        let out = svc.run(&req).unwrap();
+        assert_eq!(out.result.checksum, 41);
+        assert!(!out.cached);
+        // Identical submission: served from the result cache.
+        let again = svc.run(&req).unwrap();
+        assert!(again.cached);
+        assert_eq!(again.result, out.result);
+
+        let missing = RunRequest {
+            target: Target::Named("no-such-bench".into()),
+            engine: "native".into(),
+            size: Size::Test,
+            deadline_ms: None,
+        };
+        assert!(matches!(svc.run(&missing), Err(ServeError::BadRequest(_))));
+        let bad_engine = RunRequest {
+            target: Target::Named("gemm".into()),
+            engine: "safari".into(),
+            size: Size::Test,
+            deadline_ms: None,
+        };
+        assert!(matches!(
+            svc.run(&bad_engine),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn compile_failures_are_client_errors() {
+        let svc = ExecService::new(1, 8);
+        let req = RunRequest {
+            target: Target::Source("fn main( { syntax error".into()),
+            engine: "native".into(),
+            size: Size::Test,
+            deadline_ms: None,
+        };
+        assert!(matches!(svc.run(&req), Err(ServeError::Failed(_))));
+    }
+
+    #[test]
+    fn tight_deadline_trips_the_fuel_limit() {
+        let svc = ExecService::new(1, 8);
+        let req = RunRequest {
+            target: Target::Named("gemm".into()),
+            engine: "native".into(),
+            size: Size::Test,
+            // ~35 instructions of budget: guaranteed to expire.
+            deadline_ms: Some(1e-5),
+        };
+        match svc.run(&req) {
+            Err(ServeError::DeadlineSim { fuel }) => assert!(fuel >= 1),
+            other => panic!("expected DeadlineSim, got {other:?}"),
+        }
+        // The expiry did not poison the service.
+        let relaxed = RunRequest {
+            deadline_ms: None,
+            ..req
+        };
+        assert!(svc.run(&relaxed).is_ok());
+    }
+
+    #[test]
+    fn closed_service_rejects_with_503() {
+        let svc = ExecService::new(1, 8);
+        svc.close();
+        let req = RunRequest {
+            target: Target::Source("fn main() -> i32 { return 1; }".into()),
+            engine: "native".into(),
+            size: Size::Test,
+            deadline_ms: None,
+        };
+        assert!(matches!(svc.run(&req), Err(ServeError::Closed)));
+    }
+}

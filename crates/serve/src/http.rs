@@ -1,0 +1,325 @@
+//! A minimal, dependency-free HTTP/1.1 codec over `std::io` streams.
+//!
+//! Exactly the subset the benchmark service needs: request/status lines,
+//! headers, `Content-Length` bodies, and keep-alive. No chunked encoding,
+//! no multipart, no TLS. Both directions are here — [`read_request`] /
+//! [`write_response`] for the server, [`write_request`] /
+//! [`read_response`] for the load generator and tests — so the two sides
+//! can never drift apart on framing.
+
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on one header line (request line included).
+const MAX_LINE_BYTES: usize = 16 * 1024;
+/// Upper bound on the number of header lines.
+const MAX_HEADERS: usize = 64;
+/// Upper bound on a request or response body.
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path including any query string, as sent.
+    pub path: String,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Decoded body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// One HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers (`Content-Length`/`Connection` are added by the
+    /// writer; names here are sent as given).
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open (HTTP/1.1
+    /// defaults to yes; `Connection: close` opts out).
+    pub fn keep_alive(&self) -> bool {
+        !self
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: &wasmperf_farm::Json) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "application/json".into())],
+            body: (body.render() + "\n").into_bytes(),
+        }
+    }
+
+    /// This response with an extra header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body parsed as JSON.
+    pub fn body_json(&self) -> Result<wasmperf_farm::Json, String> {
+        let text = std::str::from_utf8(&self.body).map_err(|e| e.to_string())?;
+        wasmperf_farm::Json::parse(text.trim_end())
+    }
+}
+
+/// The standard reason phrase for the status codes this service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Reads one CRLF (or bare-LF) terminated line, bounded by
+/// [`MAX_LINE_BYTES`].
+fn read_line(r: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match r.read(&mut byte)? {
+            0 => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(bad("connection closed mid-line"));
+            }
+            _ => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map(Some)
+                        .map_err(|_| bad("non-UTF-8 header line"));
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_LINE_BYTES {
+                    return Err(bad("header line too long"));
+                }
+            }
+        }
+    }
+}
+
+fn read_headers(r: &mut impl BufRead) -> io::Result<Vec<(String, String)>> {
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r)?.ok_or_else(|| bad("connection closed in headers"))?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(bad("too many headers"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad("malformed header"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+}
+
+fn content_length(headers: &[(String, String)]) -> io::Result<usize> {
+    match headers.iter().find(|(k, _)| k == "content-length") {
+        None => Ok(0),
+        Some((_, v)) => {
+            let n: usize = v.parse().map_err(|_| bad("bad Content-Length"))?;
+            if n > MAX_BODY_BYTES {
+                return Err(bad("body too large"));
+            }
+            Ok(n)
+        }
+    }
+}
+
+fn read_body(r: &mut impl BufRead, len: usize) -> io::Result<Vec<u8>> {
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Reads one request. `Ok(None)` means the peer closed the connection
+/// cleanly between requests (normal keep-alive termination).
+pub fn read_request(r: &mut impl BufRead) -> io::Result<Option<Request>> {
+    let Some(line) = read_line(r)? else {
+        return Ok(None);
+    };
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m, p, v),
+        _ => return Err(bad("malformed request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad("unsupported HTTP version"));
+    }
+    let headers = read_headers(r)?;
+    let body = read_body(r, content_length(&headers)?)?;
+    Ok(Some(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body,
+    }))
+}
+
+/// Writes one response, framing the body with `Content-Length` and
+/// announcing the connection's fate.
+pub fn write_response(w: &mut impl Write, resp: &Response, keep_alive: bool) -> io::Result<()> {
+    write!(w, "HTTP/1.1 {} {}\r\n", resp.status, reason(resp.status))?;
+    write!(w, "Content-Length: {}\r\n", resp.body.len())?;
+    write!(
+        w,
+        "Connection: {}\r\n",
+        if keep_alive { "keep-alive" } else { "close" }
+    )?;
+    for (name, value) in &resp.headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
+    w.write_all(&resp.body)?;
+    w.flush()
+}
+
+/// Writes one request (client side).
+pub fn write_request(w: &mut impl Write, method: &str, path: &str, body: &[u8]) -> io::Result<()> {
+    write!(w, "{method} {path} HTTP/1.1\r\n")?;
+    write!(w, "Host: wasmperf\r\n")?;
+    if !body.is_empty() {
+        write!(w, "Content-Type: application/json\r\n")?;
+    }
+    write!(w, "Content-Length: {}\r\n\r\n", body.len())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one response (client side).
+pub fn read_response(r: &mut impl BufRead) -> io::Result<Response> {
+    let line = read_line(r)?.ok_or_else(|| bad("connection closed before status line"))?;
+    let mut parts = line.split_whitespace();
+    let status: u16 = match (parts.next(), parts.next()) {
+        (Some(v), Some(code)) if v.starts_with("HTTP/1.") => {
+            code.parse().map_err(|_| bad("bad status code"))?
+        }
+        _ => return Err(bad("malformed status line")),
+    };
+    let headers = read_headers(r)?;
+    let body = read_body(r, content_length(&headers)?)?;
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+    use wasmperf_farm::Json;
+
+    fn parse_request(raw: &[u8]) -> io::Result<Option<Request>> {
+        read_request(&mut BufReader::new(raw))
+    }
+
+    #[test]
+    fn request_roundtrip_through_the_wire() {
+        let body = br#"{"bench":"gemm"}"#;
+        let mut wire = Vec::new();
+        write_request(&mut wire, "POST", "/run", body).unwrap();
+        let req = parse_request(&wire).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/run");
+        assert_eq!(req.body, body);
+        assert_eq!(req.header("content-length"), Some("16"));
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn response_roundtrip_through_the_wire() {
+        let resp = Response::json(200, &Json::Obj(vec![("ok".into(), Json::Bool(true))]))
+            .with_header("Retry-After", "1");
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp, true).unwrap();
+        let parsed = read_response(&mut BufReader::new(wire.as_slice())).unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.header("retry-after"), Some("1"));
+        assert_eq!(
+            parsed.body_json().unwrap().get("ok"),
+            Some(&Json::Bool(true))
+        );
+    }
+
+    #[test]
+    fn eof_between_requests_is_clean() {
+        assert_eq!(parse_request(b"").unwrap(), None);
+    }
+
+    #[test]
+    fn torn_and_malformed_requests_are_errors() {
+        assert!(parse_request(b"GET /x").is_err());
+        assert!(parse_request(b"GET /x HTTP/1.1\r\nbroken\r\n\r\n").is_err());
+        assert!(parse_request(b"FOO\r\n\r\n").is_err());
+        assert!(parse_request(b"GET /x SPDY/3\r\n\r\n").is_err());
+        // Declared body longer than what arrived.
+        assert!(parse_request(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").is_err());
+        assert!(parse_request(b"POST /x HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let req = parse_request(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn bare_lf_lines_parse_too() {
+        let req = parse_request(b"GET /metrics HTTP/1.1\nHost: x\n\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.path, "/metrics");
+        assert_eq!(req.header("host"), Some("x"));
+    }
+}

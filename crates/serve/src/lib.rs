@@ -1,0 +1,43 @@
+//! wasmperf-serve: the networked benchmark-execution service.
+//!
+//! The paper's harness runs every (benchmark × engine) job in one
+//! process. This crate puts that pipeline behind a wire protocol, turning
+//! the simulator into a shared *measurement service* — multiple clients
+//! submit runs, the service multiplexes them over the farm worker pool
+//! and content-addressed caches, and overload becomes explicit
+//! backpressure instead of unbounded queueing:
+//!
+//! - [`http`]: a dependency-free HTTP/1.1 codec over `std::net`
+//!   (`Content-Length` bodies, keep-alive) — both the server and client
+//!   halves, so they share one framing implementation;
+//! - [`exec`]: request parsing, deadline→fuel mapping
+//!   (`deadline_ms × 3.5 M instructions/ms`, plus a wall-clock safety
+//!   timeout), and execution over [`ServicePool`] + [`ArtifactCache`];
+//!   identical submissions compile exactly once and completed
+//!   default-budget runs are served from a result cache;
+//! - [`server`]: the accept loop, routing (`POST /run`, `POST /report`,
+//!   `GET /metrics`, `GET /healthz`, `POST /shutdown`), request IDs
+//!   threaded into a JSONL access log and wasmperf-trace spans, and
+//!   graceful drain;
+//! - [`metrics`]: per-endpoint counters, a log₂ latency histogram, cache
+//!   hit rates, shed/deadline tallies;
+//! - [`client`] / [`loadgen`]: the keep-alive client and the closed-/
+//!   open-loop load generator whose `--check` mode gates the service's
+//!   core contract — a served `result` payload is **byte-identical** to a
+//!   direct in-process run.
+//!
+//! [`ServicePool`]: wasmperf_farm::ServicePool
+//! [`ArtifactCache`]: wasmperf_farm::ArtifactCache
+
+pub mod client;
+pub mod exec;
+pub mod http;
+pub mod loadgen;
+pub mod metrics;
+pub mod server;
+
+pub use client::Client;
+pub use exec::{fuel_for_deadline, ExecService, RunRequest, ServeError, FUEL_PER_MS};
+pub use http::{Request, Response};
+pub use metrics::Metrics;
+pub use server::{start, ServerConfig, ServerHandle};

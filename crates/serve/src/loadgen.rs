@@ -1,0 +1,626 @@
+//! The load generator: closed- and open-loop traffic against a
+//! wasmperf-serve instance, latency percentiles, and the `--check`
+//! cross-validation that gates the service's byte-identity contract.
+//!
+//! - **Closed loop** (`conns` persistent connections): each connection
+//!   issues its next request as soon as the previous response lands —
+//!   measures the service at its own pace.
+//! - **Open loop** (fixed arrival rate, one fresh connection per
+//!   request): arrivals don't wait for departures, so an over-capacity
+//!   rate drives the admission queue into shedding — the way to observe
+//!   backpressure (429s) rather than queueing delay.
+//!
+//! `--check` replays every distinct named (bench, engine, size) key
+//! locally on the in-process pipeline and compares the re-rendered
+//! `result` payload of a 200 response **byte for byte** — counters,
+//! checksums, output files, everything.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use wasmperf_benchsuite::Size;
+use wasmperf_browsix::AppendPolicy;
+use wasmperf_farm::Json;
+use wasmperf_harness::farm::encode_result;
+use wasmperf_harness::{execute, prepare, Engine};
+
+use crate::client::Client;
+
+/// Traffic shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mode {
+    /// `conns` keep-alive connections, each back-to-back.
+    Closed {
+        /// Concurrent persistent connections.
+        conns: usize,
+    },
+    /// Fixed arrival rate; every request on a fresh connection.
+    Open {
+        /// Arrivals per second.
+        rps: f64,
+    },
+}
+
+/// Load-generator options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Traffic shape.
+    pub mode: Mode,
+    /// Total requests to issue.
+    pub requests: usize,
+    /// Benchmark names to cycle through (empty → adhoc spin source).
+    pub benches: Vec<String>,
+    /// Engine wire names to cycle through.
+    pub engines: Vec<String>,
+    /// Workload size.
+    pub size: Size,
+    /// Per-request simulated deadline, if any.
+    pub deadline_ms: Option<f64>,
+    /// Cross-validate responses against direct in-process runs.
+    pub check: bool,
+    /// Compare /metrics deltas against this run's own observations.
+    pub verify_metrics: bool,
+    /// Require at least one 429 and nothing outside {200, 429}.
+    pub expect_shed: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            addr: String::new(),
+            mode: Mode::Closed { conns: 2 },
+            requests: 40,
+            benches: vec!["gemm".into(), "2mm".into()],
+            engines: vec!["native".into(), "chrome".into()],
+            size: Size::Test,
+            deadline_ms: None,
+            check: false,
+            verify_metrics: false,
+            expect_shed: false,
+        }
+    }
+}
+
+/// One request's observation.
+#[derive(Debug, Clone)]
+struct Sample {
+    key: (String, String),
+    status: u16,
+    latency_us: u64,
+    /// Rendered `result` subtree of a 200 response.
+    result_wire: Option<String>,
+    /// Transport-level failure, if the request never completed.
+    error: Option<String>,
+}
+
+/// The aggregated outcome of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Traffic shape used.
+    pub mode: Mode,
+    /// Requests issued.
+    pub requests: usize,
+    /// status → count.
+    pub status_counts: BTreeMap<u16, u64>,
+    /// Transport errors (connect/read failures).
+    pub transport_errors: u64,
+    /// Latency percentiles over completed requests, microseconds.
+    pub p50_us: u64,
+    /// 95th percentile.
+    pub p95_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Maximum.
+    pub max_us: u64,
+    /// Completed requests per wall-clock second.
+    pub throughput_rps: f64,
+    /// Distinct keys byte-checked against local runs.
+    pub checked: usize,
+    /// Byte-identity failures.
+    pub mismatches: Vec<String>,
+    /// Problems that should fail the run (set by the gates below).
+    pub failures: Vec<String>,
+}
+
+impl Report {
+    /// True when every gate passed.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty() && self.mismatches.is_empty()
+    }
+
+    /// The JSON document written by `--out` (schema
+    /// `wasmperf-loadgen/1`).
+    pub fn to_json(&self) -> Json {
+        let statuses = Json::Obj(
+            self.status_counts
+                .iter()
+                .map(|(s, n)| (s.to_string(), Json::u64(*n)))
+                .collect(),
+        );
+        let mode = match self.mode {
+            Mode::Closed { conns } => Json::Obj(vec![
+                ("kind".into(), Json::Str("closed".into())),
+                ("conns".into(), Json::u64(conns as u64)),
+            ]),
+            Mode::Open { rps } => Json::Obj(vec![
+                ("kind".into(), Json::Str("open".into())),
+                ("rps".into(), Json::Num(rps)),
+            ]),
+        };
+        Json::Obj(vec![
+            ("schema".into(), Json::Str("wasmperf-loadgen/1".into())),
+            ("mode".into(), mode),
+            ("requests".into(), Json::u64(self.requests as u64)),
+            ("statuses".into(), statuses),
+            ("transport_errors".into(), Json::u64(self.transport_errors)),
+            (
+                "latency_us".into(),
+                Json::Obj(vec![
+                    ("p50".into(), Json::u64(self.p50_us)),
+                    ("p95".into(), Json::u64(self.p95_us)),
+                    ("p99".into(), Json::u64(self.p99_us)),
+                    ("max".into(), Json::u64(self.max_us)),
+                ]),
+            ),
+            ("throughput_rps".into(), Json::Num(self.throughput_rps)),
+            ("checked".into(), Json::u64(self.checked as u64)),
+            (
+                "mismatches".into(),
+                Json::Arr(
+                    self.mismatches
+                        .iter()
+                        .map(|m| Json::Str(m.clone()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Human-readable summary.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let statuses: Vec<String> = self
+            .status_counts
+            .iter()
+            .map(|(code, n)| format!("{n}x {code}"))
+            .collect();
+        s.push_str(&format!(
+            "{} requests ({}), {} transport error(s)\n",
+            self.requests,
+            statuses.join(", "),
+            self.transport_errors,
+        ));
+        s.push_str(&format!(
+            "latency p50 {} us, p95 {} us, p99 {} us, max {} us\n",
+            self.p50_us, self.p95_us, self.p99_us, self.max_us
+        ));
+        s.push_str(&format!("throughput {:.1} req/s\n", self.throughput_rps));
+        if self.checked > 0 {
+            s.push_str(&format!(
+                "checked {} key(s) against direct runs: {}\n",
+                self.checked,
+                if self.mismatches.is_empty() {
+                    "byte-identical".to_string()
+                } else {
+                    format!("{} MISMATCH(ES)", self.mismatches.len())
+                }
+            ));
+        }
+        for m in self.mismatches.iter().chain(self.failures.iter()) {
+            s.push_str(&format!("FAIL: {m}\n"));
+        }
+        s
+    }
+}
+
+/// An ad-hoc CLite program used when no benchmark names are given; the
+/// loop length scales the request's simulated cost.
+pub fn spin_source(iters: u64) -> String {
+    format!(
+        "fn main() -> i32 {{\n\
+         \x20   var i: i32 = 0; var s: i32 = 0;\n\
+         \x20   for (i = 0; i < {iters}; i += 1) {{ s = s + i; }}\n\
+         \x20   return s;\n\
+         }}\n"
+    )
+}
+
+fn request_body(opts: &Options, index: usize) -> (Json, (String, String)) {
+    let engine = opts.engines[index % opts.engines.len()].clone();
+    let mut fields = Vec::new();
+    let key;
+    if opts.benches.is_empty() {
+        key = ("adhoc".to_string(), engine.clone());
+        fields.push(("source".to_string(), Json::Str(spin_source(200_000))));
+    } else {
+        let bench = opts.benches[(index / opts.engines.len()) % opts.benches.len()].clone();
+        key = (bench.clone(), engine.clone());
+        fields.push(("bench".to_string(), Json::Str(bench)));
+    }
+    fields.push(("engine".to_string(), Json::Str(engine)));
+    fields.push(("size".to_string(), Json::Str(opts.size.as_str().into())));
+    if let Some(ms) = opts.deadline_ms {
+        fields.push(("deadline_ms".to_string(), Json::Num(ms)));
+    }
+    (Json::Obj(fields), key)
+}
+
+fn observe(body: &Json, key: (String, String), status: u16, latency_us: u64) -> Sample {
+    let result_wire = if status == 200 {
+        body.get("result").map(Json::render)
+    } else {
+        None
+    };
+    Sample {
+        key,
+        status,
+        latency_us,
+        result_wire,
+        error: None,
+    }
+}
+
+fn issue(client: &mut Client, opts: &Options, index: usize) -> Sample {
+    let (body, key) = request_body(opts, index);
+    let started = Instant::now();
+    match client.post_json("/run", &body) {
+        Ok(resp) => {
+            let latency_us = started.elapsed().as_micros() as u64;
+            match resp.body_json() {
+                Ok(json) => observe(&json, key, resp.status, latency_us),
+                Err(e) => Sample {
+                    key,
+                    status: resp.status,
+                    latency_us,
+                    result_wire: None,
+                    error: Some(format!("unparseable response body: {e}")),
+                },
+            }
+        }
+        Err(e) => Sample {
+            key,
+            status: 0,
+            latency_us: started.elapsed().as_micros() as u64,
+            result_wire: None,
+            error: Some(e.to_string()),
+        },
+    }
+}
+
+fn run_closed(opts: &Options, conns: usize) -> Vec<Sample> {
+    let next = AtomicUsize::new(0);
+    let samples = Mutex::new(Vec::with_capacity(opts.requests));
+    std::thread::scope(|scope| {
+        for _ in 0..conns.max(1) {
+            scope.spawn(|| {
+                let mut client = match Client::connect(&opts.addr) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        samples
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .push(Sample {
+                                key: (String::new(), String::new()),
+                                status: 0,
+                                latency_us: 0,
+                                result_wire: None,
+                                error: Some(format!("connect: {e}")),
+                            });
+                        return;
+                    }
+                };
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= opts.requests {
+                        return;
+                    }
+                    let sample = issue(&mut client, opts, index);
+                    let transport_failed = sample.error.is_some() && sample.status == 0;
+                    samples
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push(sample);
+                    // The server closes the connection on error/drain;
+                    // reconnect for the next request.
+                    if transport_failed {
+                        match Client::connect(&opts.addr) {
+                            Ok(c) => client = c,
+                            Err(_) => return,
+                        }
+                    }
+                }
+            });
+        }
+    });
+    samples.into_inner().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn run_open(opts: &Options, rps: f64) -> Vec<Sample> {
+    let interval = Duration::from_secs_f64(1.0 / rps.max(0.1));
+    let samples = Arc::new(Mutex::new(Vec::with_capacity(opts.requests)));
+    std::thread::scope(|scope| {
+        let t0 = Instant::now();
+        for index in 0..opts.requests {
+            let due = interval * index as u32;
+            if let Some(wait) = due.checked_sub(t0.elapsed()) {
+                std::thread::sleep(wait);
+            }
+            let samples = Arc::clone(&samples);
+            scope.spawn(move || {
+                let sample = match Client::connect(&opts.addr) {
+                    Ok(mut client) => issue(&mut client, opts, index),
+                    Err(e) => Sample {
+                        key: (String::new(), String::new()),
+                        status: 0,
+                        latency_us: 0,
+                        result_wire: None,
+                        error: Some(format!("connect: {e}")),
+                    },
+                };
+                samples
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(sample);
+            });
+        }
+    });
+    Arc::try_unwrap(samples)
+        .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
+        .unwrap_or_default()
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Runs the whole local replay for one key: compile + execute on the
+/// in-process pipeline, rendered exactly like the server renders it.
+fn local_result_wire(key: &(String, String), size: Size) -> Result<String, String> {
+    let (bench_name, engine_name) = key;
+    let bench = wasmperf_benchsuite::all(size)
+        .into_iter()
+        .find(|b| b.name == bench_name)
+        .ok_or_else(|| format!("no local benchmark {bench_name:?}"))?;
+    let engine =
+        Engine::parse(engine_name).ok_or_else(|| format!("no local engine {engine_name:?}"))?;
+    let artifact = prepare(&bench, &engine).map_err(|e| e.to_string())?;
+    let result =
+        execute(&bench, &engine, &artifact, AppendPolicy::Chunked4K).map_err(|e| e.to_string())?;
+    Ok(encode_result(&result).render())
+}
+
+/// Fetches `/metrics` as JSON, for the `--verify-metrics` delta.
+fn fetch_metrics(addr: &str) -> Result<Json, String> {
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let resp = client.get("/metrics").map_err(|e| e.to_string())?;
+    if resp.status != 200 {
+        return Err(format!("/metrics returned {}", resp.status));
+    }
+    resp.body_json()
+}
+
+fn metrics_run_count(metrics: &Json) -> u64 {
+    metrics
+        .get("requests")
+        .and_then(|reqs| match reqs {
+            Json::Obj(fields) => Some(
+                fields
+                    .iter()
+                    .filter(|(k, _)| k.starts_with("POST /run"))
+                    .filter_map(|(_, v)| v.as_u64())
+                    .sum(),
+            ),
+            _ => None,
+        })
+        .unwrap_or(0)
+}
+
+/// Runs the load generator and applies every requested gate.
+pub fn run(opts: &Options) -> Report {
+    let before = if opts.verify_metrics {
+        fetch_metrics(&opts.addr).ok()
+    } else {
+        None
+    };
+
+    let t0 = Instant::now();
+    let samples = match opts.mode {
+        Mode::Closed { conns } => run_closed(opts, conns),
+        Mode::Open { rps } => run_open(opts, rps),
+    };
+    let wall = t0.elapsed().as_secs_f64().max(1e-9);
+
+    let mut status_counts: BTreeMap<u16, u64> = BTreeMap::new();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut transport_errors = 0u64;
+    let mut failures: Vec<String> = Vec::new();
+    // First 200-response wire payload per key.
+    let mut wire_by_key: BTreeMap<(String, String), String> = BTreeMap::new();
+    for s in &samples {
+        if s.status == 0 {
+            transport_errors += 1;
+            if let Some(e) = &s.error {
+                failures.push(format!("transport: {e}"));
+            }
+            continue;
+        }
+        *status_counts.entry(s.status).or_insert(0) += 1;
+        latencies.push(s.latency_us);
+        if let Some(e) = &s.error {
+            failures.push(format!("{}/{}: {e}", s.key.0, s.key.1));
+        }
+        if let Some(wire) = &s.result_wire {
+            if let Some(prev) = wire_by_key.get(&s.key) {
+                if prev != wire {
+                    failures.push(format!(
+                        "{}/{}: two 200 responses disagreed byte-for-byte",
+                        s.key.0, s.key.1
+                    ));
+                }
+            } else {
+                wire_by_key.insert(s.key.clone(), wire.clone());
+            }
+        }
+    }
+    latencies.sort_unstable();
+
+    let mut mismatches = Vec::new();
+    let mut checked = 0;
+    if opts.check {
+        for (key, wire) in &wire_by_key {
+            if key.0 == "adhoc" {
+                continue;
+            }
+            checked += 1;
+            match local_result_wire(key, opts.size) {
+                Ok(local) if &local == wire => {}
+                Ok(local) => mismatches.push(format!(
+                    "{}/{}: served {} bytes != local {} bytes",
+                    key.0,
+                    key.1,
+                    wire.len(),
+                    local.len()
+                )),
+                Err(e) => mismatches.push(format!("{}/{}: local replay failed: {e}", key.0, key.1)),
+            }
+        }
+        if checked == 0 && !opts.benches.is_empty() {
+            failures.push("--check requested but no named key got a 200 response".into());
+        }
+    }
+
+    if opts.expect_shed {
+        if status_counts.get(&429).copied().unwrap_or(0) == 0 {
+            failures.push("--expect-shed: no request was shed (429)".into());
+        }
+        if let Some((&code, _)) = status_counts
+            .iter()
+            .find(|(c, _)| !matches!(**c, 200 | 429))
+        {
+            failures.push(format!("--expect-shed: unexpected status {code}"));
+        }
+    } else if let Some((&code, &n)) = status_counts.iter().find(|(c, _)| **c != 200) {
+        failures.push(format!("{n} request(s) got unexpected status {code}"));
+    }
+
+    if let Some(before) = before {
+        match fetch_metrics(&opts.addr) {
+            Ok(after) => {
+                let delta = metrics_run_count(&after).saturating_sub(metrics_run_count(&before));
+                let issued = (samples.len() as u64) - transport_errors;
+                if delta != issued {
+                    failures.push(format!(
+                        "metrics drift: server counted {delta} /run requests, loadgen completed {issued}"
+                    ));
+                }
+            }
+            Err(e) => failures.push(format!("verify-metrics: {e}")),
+        }
+    }
+
+    Report {
+        mode: opts.mode,
+        requests: samples.len(),
+        status_counts,
+        transport_errors,
+        p50_us: percentile(&latencies, 50.0),
+        p95_us: percentile(&latencies, 95.0),
+        p99_us: percentile(&latencies, 99.0),
+        max_us: latencies.last().copied().unwrap_or(0),
+        throughput_rps: latencies.len() as f64 / wall,
+        checked,
+        mismatches,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_over_known_data() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50.0), 51);
+        assert_eq!(percentile(&sorted, 99.0), 99);
+        assert_eq!(percentile(&sorted, 100.0), 100);
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 95.0), 7);
+    }
+
+    #[test]
+    fn request_bodies_cycle_the_matrix() {
+        let opts = Options {
+            benches: vec!["a".into(), "b".into()],
+            engines: vec!["native".into(), "chrome".into()],
+            ..Options::default()
+        };
+        let keys: Vec<(String, String)> = (0..4).map(|i| request_body(&opts, i).1).collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("a".into(), "native".into()),
+                ("a".into(), "chrome".into()),
+                ("b".into(), "native".into()),
+                ("b".into(), "chrome".into()),
+            ]
+        );
+        let (body, _) = request_body(&opts, 0);
+        assert_eq!(body.get("bench").and_then(Json::as_str), Some("a"));
+        assert_eq!(body.get("size").and_then(Json::as_str), Some("test"));
+    }
+
+    #[test]
+    fn spin_source_compiles_and_runs() {
+        let bench = wasmperf_benchsuite::Benchmark {
+            name: "adhoc",
+            suite: wasmperf_benchsuite::Suite::PolyBench,
+            source: spin_source(10),
+            inputs: vec![],
+            outputs: vec![],
+        };
+        let engine = Engine::Native;
+        let artifact = prepare(&bench, &engine).unwrap();
+        let out = execute(&bench, &engine, &artifact, AppendPolicy::Chunked4K).unwrap();
+        assert_eq!(out.checksum, 45);
+    }
+
+    #[test]
+    fn report_json_has_the_schema_and_gates() {
+        let report = Report {
+            mode: Mode::Open { rps: 50.0 },
+            requests: 10,
+            status_counts: [(200u16, 7u64), (429u16, 3u64)].into_iter().collect(),
+            transport_errors: 0,
+            p50_us: 100,
+            p95_us: 200,
+            p99_us: 300,
+            max_us: 400,
+            throughput_rps: 42.0,
+            checked: 2,
+            mismatches: vec![],
+            failures: vec![],
+        };
+        assert!(report.ok());
+        let j = report.to_json();
+        assert_eq!(
+            j.get("schema").and_then(Json::as_str),
+            Some("wasmperf-loadgen/1")
+        );
+        assert_eq!(
+            j.get("statuses").unwrap().get("429").and_then(Json::as_u64),
+            Some(3)
+        );
+        let text = report.render();
+        assert!(text.contains("p95 200 us"), "{text}");
+        assert!(text.contains("byte-identical"), "{text}");
+    }
+}

@@ -1,0 +1,218 @@
+//! Service counters: per-endpoint request/status counts, a log₂ latency
+//! histogram, cache accounting, and shed/deadline tallies.
+//!
+//! Everything is behind one mutex — the service is request-bound, not
+//! counter-bound, so contention here is negligible and a single lock
+//! keeps `/metrics` snapshots internally consistent (no torn reads
+//! between related counters).
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, PoisonError};
+use wasmperf_farm::Json;
+
+/// Number of log₂ latency buckets: bucket `i` holds latencies in
+/// `[2^i, 2^(i+1))` microseconds (bucket 0 also holds 0–1 µs).
+const BUCKETS: usize = 32;
+
+#[derive(Default, Clone, Copy)]
+struct Bucket {
+    count: u64,
+    sum_us: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// (endpoint, status) → request count.
+    by_endpoint: BTreeMap<(String, u16), u64>,
+    /// Latency histogram over all requests.
+    hist: [Bucket; BUCKETS],
+    /// Requests rejected by the admission queue (429).
+    shed: u64,
+    /// Runs that exhausted their simulated-time (fuel) deadline.
+    deadline_sim: u64,
+    /// Runs that exceeded their wall-clock safety timeout.
+    deadline_wall: u64,
+    /// Result-cache hits (whole stored runs, not artifacts).
+    result_hits: u64,
+    /// Result-cache misses.
+    result_misses: u64,
+    /// Deepest pool depth observed at admission time.
+    max_depth: usize,
+}
+
+/// Shared, thread-safe metrics for one server instance.
+#[derive(Default)]
+pub struct Metrics {
+    inner: Mutex<Inner>,
+}
+
+fn bucket_index(latency_us: u64) -> usize {
+    (64 - latency_us.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1)
+}
+
+impl Metrics {
+    /// A zeroed metrics table.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Records one completed request.
+    pub fn record(&self, endpoint: &str, status: u16, latency_us: u64) {
+        let mut m = self.lock();
+        *m.by_endpoint
+            .entry((endpoint.to_string(), status))
+            .or_insert(0) += 1;
+        let b = &mut m.hist[bucket_index(latency_us)];
+        b.count += 1;
+        b.sum_us += latency_us;
+        if status == 429 {
+            m.shed += 1;
+        }
+    }
+
+    /// Records the admission-time pool depth of an accepted run.
+    pub fn observe_depth(&self, depth: usize) {
+        let mut m = self.lock();
+        m.max_depth = m.max_depth.max(depth);
+    }
+
+    /// Counts one fuel-deadline expiry.
+    pub fn count_deadline_sim(&self) {
+        self.lock().deadline_sim += 1;
+    }
+
+    /// Counts one wall-clock-timeout expiry.
+    pub fn count_deadline_wall(&self) {
+        self.lock().deadline_wall += 1;
+    }
+
+    /// Counts one result-cache lookup.
+    pub fn count_result_lookup(&self, hit: bool) {
+        let mut m = self.lock();
+        if hit {
+            m.result_hits += 1;
+        } else {
+            m.result_misses += 1;
+        }
+    }
+
+    /// Total requests recorded, across all endpoints and statuses.
+    pub fn total_requests(&self) -> u64 {
+        self.lock().by_endpoint.values().sum()
+    }
+
+    /// The `/metrics` JSON snapshot. `queued`/`active`/`workers` are the
+    /// pool's live values; `artifact_*` come from the artifact cache.
+    pub fn to_json(
+        &self,
+        queued: usize,
+        active: usize,
+        workers: usize,
+        artifact_builds: u64,
+        artifact_hits: u64,
+    ) -> Json {
+        let m = self.lock();
+        let requests = Json::Obj(
+            m.by_endpoint
+                .iter()
+                .map(|((ep, status), n)| (format!("{ep} {status}"), Json::u64(*n)))
+                .collect(),
+        );
+        let (mut count, mut sum_us) = (0u64, 0u64);
+        let mut buckets = Vec::new();
+        for (i, b) in m.hist.iter().enumerate() {
+            count += b.count;
+            sum_us += b.sum_us;
+            if b.count > 0 {
+                buckets.push((format!("lt_{}us", 1u64 << (i + 1)), Json::u64(b.count)));
+            }
+        }
+        let mean_us = if count > 0 {
+            sum_us as f64 / count as f64
+        } else {
+            0.0
+        };
+        Json::Obj(vec![
+            ("requests".into(), requests),
+            (
+                "latency".into(),
+                Json::Obj(vec![
+                    ("count".into(), Json::u64(count)),
+                    ("sum_us".into(), Json::u64(sum_us)),
+                    ("mean_us".into(), Json::Num(mean_us)),
+                    ("buckets".into(), Json::Obj(buckets)),
+                ]),
+            ),
+            ("shed".into(), Json::u64(m.shed)),
+            ("deadline_sim".into(), Json::u64(m.deadline_sim)),
+            ("deadline_wall".into(), Json::u64(m.deadline_wall)),
+            (
+                "cache".into(),
+                Json::Obj(vec![
+                    ("artifact_builds".into(), Json::u64(artifact_builds)),
+                    ("artifact_hits".into(), Json::u64(artifact_hits)),
+                    ("result_hits".into(), Json::u64(m.result_hits)),
+                    ("result_misses".into(), Json::u64(m.result_misses)),
+                ]),
+            ),
+            (
+                "pool".into(),
+                Json::Obj(vec![
+                    ("queued".into(), Json::u64(queued as u64)),
+                    ("active".into(), Json::u64(active as u64)),
+                    ("queue_depth".into(), Json::u64((queued + active) as u64)),
+                    ("max_depth".into(), Json::u64(m.max_depth as u64)),
+                    ("workers".into(), Json::u64(workers as u64)),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn snapshot_reflects_recorded_requests() {
+        let m = Metrics::new();
+        m.record("POST /run", 200, 1500);
+        m.record("POST /run", 200, 900);
+        m.record("POST /run", 429, 10);
+        m.record("GET /metrics", 200, 50);
+        m.observe_depth(3);
+        m.count_deadline_sim();
+        m.count_result_lookup(true);
+        m.count_result_lookup(false);
+        assert_eq!(m.total_requests(), 4);
+        let j = m.to_json(1, 0, 2, 5, 7);
+        let reqs = j.get("requests").unwrap();
+        assert_eq!(reqs.get("POST /run 200").and_then(Json::as_u64), Some(2));
+        assert_eq!(reqs.get("POST /run 429").and_then(Json::as_u64), Some(1));
+        assert_eq!(j.get("shed").and_then(Json::as_u64), Some(1));
+        assert_eq!(j.get("deadline_sim").and_then(Json::as_u64), Some(1));
+        let lat = j.get("latency").unwrap();
+        assert_eq!(lat.get("count").and_then(Json::as_u64), Some(4));
+        assert_eq!(lat.get("sum_us").and_then(Json::as_u64), Some(2460));
+        let cache = j.get("cache").unwrap();
+        assert_eq!(cache.get("artifact_builds").and_then(Json::as_u64), Some(5));
+        assert_eq!(cache.get("result_hits").and_then(Json::as_u64), Some(1));
+        let pool = j.get("pool").unwrap();
+        assert_eq!(pool.get("max_depth").and_then(Json::as_u64), Some(3));
+        assert_eq!(pool.get("workers").and_then(Json::as_u64), Some(2));
+    }
+}

@@ -1,0 +1,395 @@
+//! The HTTP server: accept loop, connection handling, routing, access
+//! log, trace spans, and graceful drain.
+//!
+//! One thread accepts; each connection gets its own thread (requests are
+//! simulator-bound, so connection concurrency is bounded in practice by
+//! the pool, not the thread count). Backpressure lives in the exec
+//! layer's bounded admission queue — a full queue turns into an immediate
+//! `429 Too Many Requests` with `Retry-After`, never a hung or dropped
+//! connection.
+//!
+//! Shutdown (`POST /shutdown` or [`ServerHandle::shutdown`]) is a drain:
+//! admission closes (new runs get 503), the accept loop exits, in-flight
+//! requests finish and their connections close, queued pool jobs run to
+//! completion, and only then do the trace/access-log files get their
+//! final flush.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use wasmperf_farm::Json;
+use wasmperf_trace::{Span, SpanLog, TraceSession};
+
+use crate::exec::{run_response_json, ExecService, RunRequest, ServeError};
+use crate::http::{read_request, write_response, Request, Response};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Pool worker threads.
+    pub workers: usize,
+    /// Admission-queue capacity (waiting jobs) before 429s begin.
+    pub queue_capacity: usize,
+    /// JSONL access-log path, if any.
+    pub log_path: Option<PathBuf>,
+    /// Directory for Chrome-trace/JSONL span exports at shutdown, if any.
+    pub trace_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 32,
+            log_path: None,
+            trace_dir: None,
+        }
+    }
+}
+
+/// Idle keep-alive limit per connection: a quiet client is disconnected
+/// rather than pinning a thread forever.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(60);
+
+struct Shared {
+    exec: ExecService,
+    draining: AtomicBool,
+    next_id: AtomicU64,
+    open_connections: AtomicUsize,
+    /// Read-halves of live connections, so drain can unblock idle
+    /// keep-alive reads (`shutdown(Read)` turns them into clean EOFs
+    /// while responses in flight still write out).
+    conn_streams: Mutex<std::collections::HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+    access_log: Option<Mutex<BufWriter<std::fs::File>>>,
+    spans: Option<Mutex<SpanLog>>,
+    trace_dir: Option<PathBuf>,
+}
+
+impl Shared {
+    /// Flips the draining flag and closes admission + idle reads.
+    /// Idempotent; returns whether this call started the drain.
+    fn begin_drain(&self) -> bool {
+        if self.draining.swap(true, Ordering::SeqCst) {
+            return false;
+        }
+        self.exec.close();
+        let streams = self
+            .conn_streams
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        for stream in streams.values() {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+        true
+    }
+
+    fn request_id(&self) -> String {
+        format!("r{}", self.next_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn log_access(&self, id: &str, method: &str, path: &str, status: u16, us: u64) {
+        let Some(log) = &self.access_log else { return };
+        let line = Json::Obj(vec![
+            ("id".into(), Json::Str(id.to_string())),
+            ("method".into(), Json::Str(method.to_string())),
+            ("path".into(), Json::Str(path.to_string())),
+            ("status".into(), Json::u64(u64::from(status))),
+            ("us".into(), Json::u64(us)),
+            ("depth".into(), Json::u64(self.exec.depth() as u64)),
+        ])
+        .render();
+        let mut w = log.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = writeln!(w, "{line}");
+        let _ = w.flush();
+    }
+
+    fn log_span(&self, id: &str, name: &str, start_us: u64, dur_us: u64) {
+        let Some(spans) = &self.spans else { return };
+        let mut log = spans.lock().unwrap_or_else(PoisonError::into_inner);
+        log.push(Span {
+            name: format!("{id}/{name}"),
+            cat: "serve".into(),
+            start_us,
+            dur_us,
+        });
+    }
+
+    fn span_now(&self) -> u64 {
+        match &self.spans {
+            Some(spans) => spans
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .now_us(),
+            None => 0,
+        }
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop it; call
+/// [`ServerHandle::shutdown`] + [`ServerHandle::join`] (or let a client
+/// `POST /shutdown`).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Starts the drain: closes admission and wakes the accept loop.
+    pub fn shutdown(&self) {
+        begin_shutdown(&self.shared, self.addr);
+    }
+
+    /// Waits until the drain completes: accept loop exited, every
+    /// connection closed, queued jobs finished, exports written.
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        while self.shared.open_connections.load(Ordering::Acquire) > 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Connection threads are gone, so no new submissions: wait out
+        // the queued jobs, then export.
+        while self.shared.exec.depth() > 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        export_traces(&self.shared);
+    }
+}
+
+fn begin_shutdown(shared: &Shared, addr: SocketAddr) {
+    if shared.begin_drain() {
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+fn export_traces(shared: &Shared) {
+    let (Some(spans), Some(dir)) = (&shared.spans, &shared.trace_dir) else {
+        return;
+    };
+    let log = spans.lock().unwrap_or_else(PoisonError::into_inner);
+    let mut session = TraceSession::new("serve", "http");
+    session.spans = log.spans.clone();
+    let _ = std::fs::create_dir_all(dir);
+    let _ = std::fs::write(dir.join("serve.trace.json"), session.chrome_trace());
+    let _ = std::fs::write(dir.join("serve.spans.jsonl"), session.jsonl());
+}
+
+/// Binds and starts the server; returns once the socket is listening.
+pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let access_log = match &config.log_path {
+        None => None,
+        Some(path) => {
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)?;
+                }
+            }
+            Some(Mutex::new(BufWriter::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            )))
+        }
+    };
+    let shared = Arc::new(Shared {
+        exec: ExecService::new(config.workers, config.queue_capacity),
+        draining: AtomicBool::new(false),
+        next_id: AtomicU64::new(0),
+        open_connections: AtomicUsize::new(0),
+        conn_streams: Mutex::new(std::collections::HashMap::new()),
+        next_conn: AtomicU64::new(0),
+        access_log,
+        spans: config
+            .trace_dir
+            .as_ref()
+            .map(|_| Mutex::new(SpanLog::new())),
+        trace_dir: config.trace_dir.clone(),
+    });
+
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_shared.draining.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            // Responses are written in a few small chunks; without
+            // nodelay, Nagle + the client's delayed ACK turn every
+            // request into a ~40 ms stall.
+            let _ = stream.set_nodelay(true);
+            let conn_shared = Arc::clone(&accept_shared);
+            conn_shared.open_connections.fetch_add(1, Ordering::AcqRel);
+            let conn_id = conn_shared.next_conn.fetch_add(1, Ordering::Relaxed);
+            if let Ok(clone) = stream.try_clone() {
+                conn_shared
+                    .conn_streams
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert(conn_id, clone);
+            }
+            // A drain that started between the accept and the registry
+            // insert must still cut this connection's idle reads.
+            if conn_shared.draining.load(Ordering::SeqCst) {
+                let _ = stream.shutdown(std::net::Shutdown::Read);
+            }
+            std::thread::spawn(move || {
+                let addr = stream.local_addr();
+                handle_connection(&conn_shared, stream);
+                conn_shared
+                    .conn_streams
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .remove(&conn_id);
+                conn_shared.open_connections.fetch_sub(1, Ordering::AcqRel);
+                // A /shutdown handled on this connection must still wake
+                // the accept loop even if the wake connect raced.
+                if conn_shared.draining.load(Ordering::SeqCst) {
+                    if let Ok(a) = addr {
+                        let _ = TcpStream::connect(a);
+                    }
+                }
+            });
+        }
+    });
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = write_half;
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            // Clean close between requests.
+            Ok(None) => return,
+            Err(e) => {
+                // Timeouts and resets just close; parse errors get a 400
+                // on a best-effort basis.
+                if e.kind() == std::io::ErrorKind::InvalidData {
+                    let resp = Response::json(
+                        400,
+                        &Json::Obj(vec![("error".into(), Json::Str(e.to_string()))]),
+                    );
+                    let _ = write_response(&mut writer, &resp, false);
+                }
+                return;
+            }
+        };
+        let started = Instant::now();
+        let span_start = shared.span_now();
+        let id = shared.request_id();
+        let resp = route(shared, &id, &req);
+        let us = started.elapsed().as_micros() as u64;
+        let endpoint = format!("{} {}", req.method, req.path);
+        shared.exec.metrics.record(&endpoint, resp.status, us);
+        shared.log_access(&id, &req.method, &req.path, resp.status, us);
+        shared.log_span(&id, &format!("{} {}", req.method, req.path), span_start, us);
+        // Draining closes keep-alive so clients re-resolve promptly.
+        let keep_alive = req.keep_alive() && !shared.draining.load(Ordering::SeqCst);
+        if write_response(&mut writer, &resp, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+fn route(shared: &Shared, id: &str, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::json(
+            200,
+            &Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                (
+                    "draining".into(),
+                    Json::Bool(shared.draining.load(Ordering::SeqCst)),
+                ),
+            ]),
+        ),
+        ("GET", "/metrics") => {
+            let (builds, hits) = shared.exec.artifact_stats();
+            Response::json(
+                200,
+                &shared.exec.metrics.to_json(
+                    shared.exec.queued(),
+                    shared.exec.active(),
+                    shared.exec.workers(),
+                    builds,
+                    hits,
+                ),
+            )
+        }
+        ("POST", "/run") => match parse_body(req)
+            .and_then(|body| RunRequest::from_json(&body).map_err(ServeError::BadRequest))
+        {
+            Err(e) => error_response(&e),
+            Ok(run_req) => match shared.exec.run(&run_req) {
+                Ok(out) => Response::json(200, &run_response_json(id, &out)),
+                Err(e) => error_response(&e),
+            },
+        },
+        ("POST", "/report") => match parse_body(req).and_then(|body| shared.exec.report(&body)) {
+            Ok(report) => Response::json(200, &report),
+            Err(e) => error_response(&e),
+        },
+        ("POST", "/shutdown") => {
+            // Start the drain; the post-response hook in the connection
+            // thread wakes the accept loop.
+            shared.begin_drain();
+            Response::json(200, &Json::Obj(vec![("draining".into(), Json::Bool(true))]))
+        }
+        (_, "/healthz" | "/metrics" | "/run" | "/report" | "/shutdown") => error_response_status(
+            405,
+            &format!("method {} not allowed on {}", req.method, req.path),
+        ),
+        (_, path) => error_response_status(404, &format!("no such endpoint {path}")),
+    }
+}
+
+fn parse_body(req: &Request) -> Result<Json, ServeError> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| ServeError::BadRequest("body is not UTF-8".into()))?;
+    Json::parse(text.trim())
+        .map_err(|e| ServeError::BadRequest(format!("body is not valid JSON: {e}")))
+}
+
+fn error_response(e: &ServeError) -> Response {
+    let resp = Response::json(e.status(), &e.to_json());
+    match e {
+        ServeError::Rejected { .. } => resp.with_header("Retry-After", "1"),
+        _ => resp,
+    }
+}
+
+fn error_response_status(status: u16, message: &str) -> Response {
+    Response::json(
+        status,
+        &Json::Obj(vec![("error".into(), Json::Str(message.to_string()))]),
+    )
+}
