@@ -1,0 +1,310 @@
+//! The I/O-heavy benchmark class.
+//!
+//! Every PolyBench and SPEC-analog program is compute-dominated; these
+//! four are the opposite — built so the Browsix kernel's transport,
+//! service, and fs-copy costs dominate the cycle budget, making the
+//! engine comparison cover system-call-bound workloads (the regime the
+//! paper's Figure 4 attributes the wasm gap to). One program per kernel
+//! subsystem:
+//!
+//! - `io.pipechain`: a two-stage pipe-chained filter (ipc + io);
+//! - `io.grep`: block-wise file scan with overlapping seeks (io + file);
+//! - `io.fsmeta`: directory/file metadata churn (fs-meta);
+//! - `io.rwmix`: mixed read/write/fsync/ftruncate on one file (file).
+//!
+//! Like every benchmark, `main` returns a checksum the harness compares
+//! across all engines, and each program writes an output file that is
+//! byte-compared too.
+
+use crate::{Benchmark, Rng, Size, Suite};
+
+fn n(size: Size, test: u32, r: u32) -> u32 {
+    match size {
+        Size::Test => test,
+        Size::Ref => r,
+    }
+}
+
+// ---------------------------------------------------------------------
+// io.pipechain — two pipes in series with a filter stage between them;
+// the write side of the first pipe is exercised through dup as well.
+// ---------------------------------------------------------------------
+
+fn pipechain(size: Size) -> Benchmark {
+    let block = n(size, 1 << 10, 8 << 10);
+    let rounds = n(size, 8, 64);
+    let source = format!(
+        "const BLOCK = {block};
+const ROUNDS = {rounds};
+array u8 src[BLOCK];
+array u8 mid[BLOCK];
+array u8 fin[BLOCK];
+array i32 p1[2];
+array i32 p2[2];
+array u8 out_path = \"/chain.out\\0\";
+
+fn main() -> i32 {{
+    syscall(42, p1);
+    syscall(42, p2);
+    var w1d: i32 = syscall(41, p1[1]);
+    var i: i32 = 0;
+    var r: i32 = 0;
+    var cs: i32 = 0;
+    var seed: i32 = 7;
+    for (r = 0; r < ROUNDS; r += 1) {{
+        for (i = 0; i < BLOCK; i += 1) {{
+            seed = seed * 1103515245 + 12345;
+            src[i] = (seed >> 16) & 255;
+        }}
+        if (r % 2 == 0) {{ syscall(4, p1[1], src, BLOCK); }}
+        else {{ syscall(4, w1d, src, BLOCK); }}
+        syscall(3, p1[0], mid, BLOCK);
+        for (i = 0; i < BLOCK; i += 1) {{ mid[i] = (mid[i] * 7 + r) & 255; }}
+        syscall(4, p2[1], mid, BLOCK);
+        syscall(3, p2[0], fin, BLOCK);
+        for (i = 0; i < BLOCK; i += 1) {{ cs = cs * 31 + fin[i]; }}
+    }}
+    syscall(6, w1d);
+    syscall(6, p1[1]);
+    syscall(6, p2[1]);
+    var ofd: i32 = syscall(5, out_path, 0x241, 0);
+    syscall(4, ofd, fin, BLOCK);
+    syscall(6, ofd);
+    return cs;
+}}"
+    );
+    Benchmark {
+        name: "io.pipechain",
+        suite: Suite::Io,
+        source,
+        inputs: Vec::new(),
+        outputs: vec!["/chain.out".to_string()],
+    }
+}
+
+// ---------------------------------------------------------------------
+// io.grep — fixed-needle scan over a file in overlapping blocks, with
+// access/fstat/lseek metadata traffic around the reads.
+// ---------------------------------------------------------------------
+
+fn grep(size: Size) -> Benchmark {
+    let cap = n(size, 8 << 10, 128 << 10);
+    let block = 512u32;
+    // Corpus: lowercase noise with the needle sprinkled deterministically.
+    let mut rng = Rng::new(0x9e37);
+    let mut corpus = Vec::with_capacity(cap as usize);
+    while corpus.len() < cap as usize {
+        if rng.below(97) == 0 {
+            corpus.extend_from_slice(b"wasm");
+        } else {
+            corpus.push(b'a' + (rng.below(26) as u8));
+        }
+    }
+    corpus.truncate(cap as usize);
+
+    let source = format!(
+        "const BLOCK = {block};
+array u8 buf[BLOCK];
+array i32 st[4];
+array i32 outw[2];
+array u8 path = \"/corpus.txt\\0\";
+array u8 out_path = \"/grep.out\\0\";
+array u8 needle = \"wasm\";
+
+fn main() -> i32 {{
+    if (syscall(33, path) != 0) {{ return 0 - 1; }}
+    var fd: i32 = syscall(5, path, 0, 0);
+    if (fd < 0) {{ return 0 - 2; }}
+    syscall(108, fd, st);
+    var size: i32 = st[0];
+    var hits: i32 = 0;
+    var cs: i32 = 0;
+    var off: i32 = 0;
+    while (off < size) {{
+        syscall(19, fd, off, 0);
+        var nn: i32 = syscall(3, fd, buf, BLOCK);
+        if (nn <= 0) {{ break; }}
+        var i: i32 = 0;
+        while (i + 4 <= nn) {{
+            if (buf[i] == needle[0] && buf[i + 1] == needle[1]
+                && buf[i + 2] == needle[2] && buf[i + 3] == needle[3]) {{
+                hits += 1;
+            }}
+            cs = cs * 31 + buf[i];
+            i += 1;
+        }}
+        off += BLOCK - 3;
+    }}
+    syscall(6, fd);
+    outw[0] = hits;
+    outw[1] = cs;
+    var ofd: i32 = syscall(5, out_path, 0x241, 0);
+    syscall(4, ofd, outw, 8);
+    syscall(6, ofd);
+    return cs * 7 + hits;
+}}"
+    );
+    Benchmark {
+        name: "io.grep",
+        suite: Suite::Io,
+        source,
+        inputs: vec![("/corpus.txt".to_string(), corpus)],
+        outputs: vec!["/grep.out".to_string()],
+    }
+}
+
+// ---------------------------------------------------------------------
+// io.fsmeta — directory and file metadata churn: mkdir / create / write
+// / fstat / access / stat / unlink / rmdir across a two-digit directory
+// fan-out, with the failing-rmdir path (ENOTEMPTY) folded into the
+// checksum so error returns are validated cross-engine too.
+// ---------------------------------------------------------------------
+
+fn fsmeta(size: Size) -> Benchmark {
+    let dirs = n(size, 4, 40);
+    let files = n(size, 3, 8);
+    let source = format!(
+        "const DIRS = {dirs};
+const FILES = {files};
+array u8 dpath = \"/d00\\0\";
+array u8 fpath = \"/d00/f0\\0\";
+array u8 man_path = \"/manifest.dat\\0\";
+array u8 data = \"metadata-churn!!\";
+array i32 man[DIRS];
+array i32 st[4];
+
+fn main() -> i32 {{
+    var cs: i32 = 0;
+    var d: i32 = 0;
+    var f: i32 = 0;
+    for (d = 0; d < DIRS; d += 1) {{
+        dpath[2] = 48 + d / 10;
+        dpath[3] = 48 + d % 10;
+        fpath[2] = 48 + d / 10;
+        fpath[3] = 48 + d % 10;
+        cs = cs * 31 + syscall(39, dpath);
+        for (f = 0; f < FILES; f += 1) {{
+            fpath[6] = 48 + f;
+            var fd: i32 = syscall(5, fpath, 0x241, 0);
+            syscall(4, fd, data, 16);
+            cs = cs * 31 + syscall(108, fd, st);
+            cs = cs * 31 + st[0];
+            syscall(6, fd);
+            cs = cs * 31 + syscall(33, fpath);
+            cs = cs * 31 + syscall(106, fpath, st);
+            cs = cs * 31 + st[0];
+        }}
+        cs = cs * 31 + syscall(40, dpath);
+        for (f = 0; f < FILES; f += 1) {{
+            fpath[6] = 48 + f;
+            cs = cs * 31 + syscall(10, fpath);
+        }}
+        cs = cs * 31 + syscall(40, dpath);
+        man[d] = cs;
+    }}
+    cs = cs * 31 + syscall(20);
+    var ofd: i32 = syscall(5, man_path, 0x241, 0);
+    syscall(4, ofd, man, DIRS * 4);
+    syscall(6, ofd);
+    return cs;
+}}"
+    );
+    Benchmark {
+        name: "io.fsmeta",
+        suite: Suite::Io,
+        source,
+        inputs: Vec::new(),
+        outputs: vec!["/manifest.dat".to_string()],
+    }
+}
+
+// ---------------------------------------------------------------------
+// io.rwmix — one file opened O_CREAT|O_RDWR: interleaved block writes,
+// seek-back reads, read-modify-writes, periodic fsync, and a shrink-
+// then-grow ftruncate whose zero-filled tail lands in the checksum.
+// ---------------------------------------------------------------------
+
+fn rwmix(size: Size) -> Benchmark {
+    let block = n(size, 1 << 10, 4 << 10);
+    let rounds = n(size, 8, 96);
+    let source = format!(
+        "const BLOCK = {block};
+const ROUNDS = {rounds};
+array u8 wbuf[BLOCK];
+array u8 rbuf[BLOCK];
+array i32 st[4];
+array u8 path = \"/mix.dat\\0\";
+
+fn main() -> i32 {{
+    var fd: i32 = syscall(5, path, 0x42, 0);
+    if (fd < 0) {{ return 0 - 1; }}
+    var r: i32 = 0;
+    var i: i32 = 0;
+    var cs: i32 = 0;
+    for (r = 0; r < ROUNDS; r += 1) {{
+        for (i = 0; i < BLOCK; i += 1) {{ wbuf[i] = (i * 3 + r) & 255; }}
+        syscall(19, fd, r * BLOCK, 0);
+        syscall(4, fd, wbuf, BLOCK);
+        syscall(19, fd, (r / 2) * BLOCK, 0);
+        var nn: i32 = syscall(3, fd, rbuf, BLOCK);
+        for (i = 0; i < nn; i += 1) {{ rbuf[i] = rbuf[i] ^ 165; }}
+        syscall(19, fd, (r / 2) * BLOCK, 0);
+        syscall(4, fd, rbuf, nn);
+        if (r % 4 == 3) {{ cs = cs * 31 + syscall(118, fd); }}
+        cs = cs * 31 + rbuf[0];
+    }}
+    syscall(108, fd, st);
+    cs = cs * 31 + st[0];
+    syscall(93, fd, (ROUNDS / 2) * BLOCK);
+    syscall(108, fd, st);
+    cs = cs * 31 + st[0];
+    syscall(93, fd, ROUNDS * BLOCK);
+    syscall(19, fd, (ROUNDS - 1) * BLOCK, 0);
+    var n2: i32 = syscall(3, fd, rbuf, BLOCK);
+    for (i = 0; i < n2; i += 1) {{ cs = cs * 31 + rbuf[i]; }}
+    syscall(6, fd);
+    return cs;
+}}"
+    );
+    Benchmark {
+        name: "io.rwmix",
+        suite: Suite::Io,
+        source,
+        inputs: Vec::new(),
+        outputs: vec!["/mix.dat".to_string()],
+    }
+}
+
+/// All four I/O-class benchmarks at the given size.
+pub fn all(size: Size) -> Vec<Benchmark> {
+    vec![pipechain(size), grep(size), fsmeta(size), rwmix(size)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_suite_shape() {
+        let v = all(Size::Test);
+        assert_eq!(v.len(), 4);
+        for b in &v {
+            assert_eq!(b.suite, Suite::Io);
+            assert!(b.name.starts_with("io."), "{}", b.name);
+            assert!(!b.outputs.is_empty(), "{} must write a file", b.name);
+        }
+        // Every program actually issues syscalls.
+        for b in &v {
+            assert!(b.source.contains("syscall("), "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn grep_corpus_contains_the_needle() {
+        let g = all(Size::Test).remove(1);
+        assert_eq!(g.name, "io.grep");
+        let (_, corpus) = &g.inputs[0];
+        let hits = corpus.windows(4).filter(|w| w == b"wasm").count();
+        assert!(hits > 0, "needle never generated");
+    }
+}

@@ -10,6 +10,9 @@
 //!   measures — each reproduces its counterpart's dominant behaviour
 //!   (hot-loop shape, call and indirect-call density, instruction
 //!   footprint, file I/O) as catalogued in DESIGN.md §1;
+//! - [`io`]: the I/O-heavy class — four syscall-bound programs (pipe
+//!   chain, file grep, metadata churn, mixed read/write) that put the
+//!   Browsix kernel on the critical path for wasmperf-prof;
 //! - input-file generation for the analogs that use the Browsix
 //!   filesystem, and a self-checksum convention: every program's `main`
 //!   returns an `i32` checksum, which the harness compares across every
@@ -18,6 +21,7 @@
 //! Programs come in two [`Size`]s: `Test` for CI-speed runs and `Ref`
 //! for report-quality measurements.
 
+pub mod io;
 pub mod polybench;
 pub mod spec;
 
@@ -57,6 +61,8 @@ pub enum Suite {
     PolyBench,
     /// SPEC CPU analog.
     Spec,
+    /// I/O-heavy syscall-bound program.
+    Io,
 }
 
 /// One benchmark: CLite source plus the inputs it expects.
@@ -86,10 +92,11 @@ impl Benchmark {
     }
 }
 
-/// All benchmarks of both suites at the given size.
+/// All benchmarks of every suite at the given size.
 pub fn all(size: Size) -> Vec<Benchmark> {
     let mut v = polybench::all(size);
     v.extend(spec::all(size));
+    v.extend(io::all(size));
     v
 }
 
@@ -132,7 +139,8 @@ mod tests {
     fn suites_have_expected_sizes() {
         assert_eq!(polybench::all(Size::Test).len(), 23);
         assert_eq!(spec::all(Size::Test).len(), 15);
-        assert_eq!(all(Size::Test).len(), 38);
+        assert_eq!(io::all(Size::Test).len(), 4);
+        assert_eq!(all(Size::Test).len(), 42);
     }
 
     #[test]

@@ -242,6 +242,41 @@ impl BrowserFs {
         }
     }
 
+    /// Sets the file's length to `new_len` (ftruncate). Growth allocates
+    /// per the append policy and charges the copy like [`write`]; the new
+    /// tail reads as zeros. Shrinking zeroes the dropped bytes so a later
+    /// extension keeps the hole-fill invariant (buffer beyond `len` is
+    /// always zero).
+    ///
+    /// [`write`]: BrowserFs::write
+    pub fn truncate(&mut self, path: &str, new_len: u64) -> Result<(), FsError> {
+        let p = normalize(path);
+        let policy = self.policy;
+        let stats = &mut self.stats;
+        match self.nodes.get_mut(&p) {
+            Some(Node::File { buf, len }) => {
+                let nl = new_len as usize;
+                if nl > buf.len() {
+                    let new_cap = match policy {
+                        AppendPolicy::ExactFit => nl,
+                        AppendPolicy::Chunked4K => nl.max(buf.len() * 2).max(buf.len() + 4096),
+                    };
+                    let mut nb = vec![0u8; new_cap];
+                    nb[..*len].copy_from_slice(&buf[..*len]);
+                    stats.grow_copy_bytes += *len as u64;
+                    stats.reallocs += 1;
+                    *buf = nb;
+                } else if nl < *len {
+                    buf[nl..*len].fill(0);
+                }
+                *len = nl;
+                Ok(())
+            }
+            Some(Node::Dir) => Err(FsError::IsDirectory),
+            None => Err(FsError::NotFound),
+        }
+    }
+
     /// Convenience: whole-file read.
     pub fn read_all(&self, path: &str) -> Result<Vec<u8>, FsError> {
         let n = self.size(path)? as usize;
@@ -364,6 +399,26 @@ mod tests {
         assert!(fs.exists("//f.txt"));
         assert!(fs.exists("/./f.txt"));
         assert!(fs.exists("f.txt"));
+    }
+
+    #[test]
+    fn truncate_grows_shrinks_and_zeroes() {
+        let mut fs = BrowserFs::new(AppendPolicy::ExactFit);
+        assert_eq!(fs.truncate("/nope", 4).unwrap_err(), FsError::NotFound);
+        fs.mkdir("/d").unwrap();
+        assert_eq!(fs.truncate("/d", 4).unwrap_err(), FsError::IsDirectory);
+        fs.write_all("/f", b"abcdef").unwrap();
+        // Grow: new tail reads as zeros, copy charged.
+        let before = fs.stats;
+        fs.truncate("/f", 10).unwrap();
+        assert_eq!(fs.read_all("/f").unwrap(), b"abcdef\0\0\0\0");
+        assert_eq!(fs.stats.grow_copy_bytes, before.grow_copy_bytes + 6);
+        assert_eq!(fs.stats.reallocs, before.reallocs + 1);
+        // Shrink, then extend again: dropped bytes must not reappear.
+        fs.truncate("/f", 3).unwrap();
+        assert_eq!(fs.read_all("/f").unwrap(), b"abc");
+        fs.truncate("/f", 6).unwrap();
+        assert_eq!(fs.read_all("/f").unwrap(), b"abc\0\0\0");
     }
 
     #[test]

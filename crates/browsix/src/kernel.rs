@@ -46,9 +46,42 @@ pub enum Syscall {
     Access = 33,
     Mkdir = 39,
     Rmdir = 40,
+    Dup = 41,
     Pipe = 42,
+    Ftruncate = 93,
     Stat = 106,
     Fstat = 108,
+    Fsync = 118,
+}
+
+impl Syscall {
+    /// Every syscall the kernel services, in number order. Keep in sync
+    /// with the enum and the dispatch in `syscall_inner`; the trace
+    /// crate's name/class tables are tested against this list.
+    pub const ALL: [Syscall; 17] = [
+        Syscall::Exit,
+        Syscall::Read,
+        Syscall::Write,
+        Syscall::Open,
+        Syscall::Close,
+        Syscall::Unlink,
+        Syscall::Lseek,
+        Syscall::Getpid,
+        Syscall::Access,
+        Syscall::Mkdir,
+        Syscall::Rmdir,
+        Syscall::Dup,
+        Syscall::Pipe,
+        Syscall::Ftruncate,
+        Syscall::Stat,
+        Syscall::Fstat,
+        Syscall::Fsync,
+    ];
+
+    /// The syscall number.
+    pub fn nr(self) -> i32 {
+        self as i32
+    }
 }
 
 /// `open` flags understood by the kernel.
@@ -100,6 +133,14 @@ pub struct KernelStats {
     pub syscalls: u64,
     /// Total kernel cycles charged (transport + service + fs copying).
     pub kernel_cycles: u64,
+    /// Transport component of `kernel_cycles`: message round trips plus
+    /// the two marshalling copies through the auxiliary buffer.
+    pub transport_cycles: u64,
+    /// In-kernel service component of `kernel_cycles`.
+    pub service_cycles: u64,
+    /// Filesystem buffer-growth copying component of `kernel_cycles`.
+    /// The three components sum to `kernel_cycles`.
+    pub fs_copy_cycles: u64,
     /// Payload bytes marshalled through the auxiliary buffer.
     pub bytes_marshalled: u64,
     /// Extra messages due to >aux-buffer chunking.
@@ -145,6 +186,9 @@ pub struct Kernel {
     pub strace: Option<wasmperf_trace::StraceLog>,
     /// Payload bytes of the most recent syscall, captured by `finish`.
     last_payload: u64,
+    /// Cycle split (transport, service, fs copy) of the most recent
+    /// syscall, captured by `finish` for the strace record.
+    last_split: (u64, u64, u64),
 }
 
 impl Default for Kernel {
@@ -213,6 +257,7 @@ impl Kernel {
             exit_code: None,
             strace: None,
             last_payload: 0,
+            last_split: (0, 0, 0),
         }
     }
 
@@ -227,19 +272,20 @@ impl Kernel {
         (self.fds.len() - 1) as i32
     }
 
-    /// Charges transport costs for a syscall marshalling `payload` bytes;
-    /// returns the cycles charged.
-    fn charge(&mut self, payload: u64) -> u64 {
+    /// Charges transport and service costs for a syscall marshalling
+    /// `payload` bytes; returns `(transport, service)` cycles.
+    fn charge(&mut self, payload: u64) -> (u64, u64) {
         let t = &self.timing;
         let chunks = payload.div_ceil(t.aux_buffer_bytes).max(1);
-        let cycles = t.message_latency_cycles * chunks
-            + t.service_cycles
-            + (payload * 2) / t.copy_bytes_per_cycle;
+        let transport = t.message_latency_cycles * chunks + (payload * 2) / t.copy_bytes_per_cycle;
+        let service = t.service_cycles;
         self.stats.syscalls += 1;
-        self.stats.kernel_cycles += cycles;
+        self.stats.kernel_cycles += transport + service;
+        self.stats.transport_cycles += transport;
+        self.stats.service_cycles += service;
         self.stats.bytes_marshalled += payload;
         self.stats.chunk_messages += chunks - 1;
-        cycles
+        (transport, service)
     }
 
     /// Charges filesystem buffer-growth copying accumulated since the last
@@ -248,6 +294,7 @@ impl Kernel {
         let grown = self.fs.stats.grow_copy_bytes - before;
         let cycles = grown / self.timing.copy_bytes_per_cycle;
         self.stats.kernel_cycles += cycles;
+        self.stats.fs_copy_cycles += cycles;
         cycles
     }
 
@@ -286,12 +333,16 @@ impl Kernel {
         for (slot, &arg) in rec_args.iter_mut().zip(args.iter().skip(1)) {
             *slot = arg;
         }
+        let (transport_cycles, service_cycles, fs_cycles) = self.last_split;
         let record = wasmperf_trace::SyscallRecord {
             nr: args.first().copied().unwrap_or(-1),
             args: rec_args,
             ret,
             payload: self.last_payload,
             cycles,
+            transport_cycles,
+            service_cycles,
+            fs_cycles,
             start_cycles,
         };
         if let Some(log) = self.strace.as_mut() {
@@ -506,6 +557,17 @@ impl Kernel {
                     Err(e) => errno(&e),
                 },
             },
+            41 => {
+                // dup(fd): clones the fd entry into the lowest free slot.
+                // File clones copy the offset (Browsix fds don't share
+                // a file description); duping a pipe end aliases it, but
+                // closing *any* write-end fd closes the pipe for writing.
+                let fd = a(1) as usize;
+                match self.fds.get(fd).and_then(Clone::clone) {
+                    Some(entry) => self.alloc_fd(entry),
+                    None => -9,
+                }
+            }
             42 => {
                 // pipe(fds_ptr): writes two i32 fds.
                 let ptr = a(1) as u32;
@@ -521,6 +583,22 @@ impl Kernel {
                 } else {
                     payload = 8;
                     0
+                }
+            }
+            93 => {
+                // ftruncate(fd, len).
+                let (fd, len) = (a(1) as usize, a(2));
+                if len < 0 {
+                    -22 // EINVAL
+                } else {
+                    match self.fds.get(fd).and_then(Clone::clone) {
+                        Some(Fd::File { path, .. }) => match self.fs.truncate(&path, len as u64) {
+                            Ok(()) => 0,
+                            Err(e) => errno(&e),
+                        },
+                        Some(_) => -22, // EINVAL: not a regular file.
+                        None => -9,
+                    }
                 }
             }
             106 => {
@@ -573,6 +651,16 @@ impl Kernel {
                     None => -9,
                 }
             }
+            118 => {
+                // fsync(fd): the in-memory fs is always durable, so this
+                // only validates the descriptor — but still pays the full
+                // message round trip, which is the point for profiling.
+                match self.fds.get(a(1) as usize) {
+                    Some(Some(Fd::File { .. })) => 0,
+                    Some(Some(_)) => -22, // EINVAL: not fsync-able.
+                    _ => -9,
+                }
+            }
             _ => -38, // ENOSYS
         };
         self.finish(ret, payload, fs_before)
@@ -580,9 +668,10 @@ impl Kernel {
 
     fn finish(&mut self, ret: i32, payload: u64, fs_before: u64) -> (i32, u64) {
         self.last_payload = payload;
-        let mut cycles = self.charge(payload);
-        cycles += self.charge_fs_copies(fs_before);
-        (ret, cycles)
+        let (transport, service) = self.charge(payload);
+        let fs_copy = self.charge_fs_copies(fs_before);
+        self.last_split = (transport, service, fs_copy);
+        (ret, transport + service + fs_copy)
     }
 }
 
@@ -825,6 +914,125 @@ mod tests {
         let mut mem = vec![0u8; 64];
         k.syscall(&[1, 17, 0, 0], mem.as_mut_slice());
         assert_eq!(k.exit_code, Some(17));
+    }
+
+    #[test]
+    fn every_syscall_has_a_name_and_class() {
+        // The trace crate's tables must cover the full enum: nothing the
+        // kernel services may render as `unknown` in profiles or exports.
+        for sc in Syscall::ALL {
+            let nr = sc.nr();
+            assert_ne!(
+                wasmperf_trace::syscall_name(nr),
+                "unknown",
+                "syscall_name missing for {sc:?} ({nr})"
+            );
+            assert_ne!(
+                wasmperf_trace::syscall_class(nr),
+                "unknown",
+                "syscall_class missing for {sc:?} ({nr})"
+            );
+        }
+    }
+
+    #[test]
+    fn dup_clones_the_descriptor() {
+        let mut k = Kernel::default();
+        let mut mem = mem_with(&[(10, b"/f\0"), (100, b"abcdef")]);
+        let (fd, _) = k.syscall(
+            &[5, 10, flags::O_CREAT | flags::O_RDWR, 0],
+            mem.as_mut_slice(),
+        );
+        k.syscall(&[4, fd, 100, 6], mem.as_mut_slice());
+        let (dup, _) = k.syscall(&[41, fd, 0, 0], mem.as_mut_slice());
+        assert!(dup >= 0 && dup != fd, "{dup}");
+        // The clone carries its own offset; close the original, the
+        // clone still works.
+        k.syscall(&[6, fd, 0, 0], mem.as_mut_slice());
+        k.syscall(&[19, dup, 0, 0], mem.as_mut_slice());
+        let (n, _) = k.syscall(&[3, dup, 200, 6], mem.as_mut_slice());
+        assert_eq!(n, 6);
+        assert_eq!(&mem[200..206], b"abcdef");
+        // dup of a bad fd.
+        let (e, _) = k.syscall(&[41, 77, 0, 0], mem.as_mut_slice());
+        assert_eq!(e, -9);
+    }
+
+    #[test]
+    fn ftruncate_resizes_and_charges_growth() {
+        let mut k = Kernel::new(AppendPolicy::ExactFit);
+        let mut mem = mem_with(&[(10, b"/f\0"), (100, b"123456")]);
+        let (fd, _) = k.syscall(
+            &[5, 10, flags::O_CREAT | flags::O_RDWR, 0],
+            mem.as_mut_slice(),
+        );
+        k.syscall(&[4, fd, 100, 6], mem.as_mut_slice());
+        // Shrink, then stat shows the new size.
+        assert_eq!(k.syscall(&[93, fd, 2, 0], mem.as_mut_slice()).0, 0);
+        assert_eq!(k.fs.size("/f").unwrap(), 2);
+        // Grow charges fs-copy cycles (the buffer is reallocated).
+        let before = k.stats.fs_copy_cycles;
+        assert_eq!(k.syscall(&[93, fd, 4096, 0], mem.as_mut_slice()).0, 0);
+        assert_eq!(k.fs.size("/f").unwrap(), 4096);
+        assert!(k.stats.fs_copy_cycles >= before);
+        // Negative length and bad fds.
+        assert_eq!(k.syscall(&[93, fd, -1, 0], mem.as_mut_slice()).0, -22);
+        assert_eq!(k.syscall(&[93, 0, 4, 0], mem.as_mut_slice()).0, -22);
+        assert_eq!(k.syscall(&[93, 77, 4, 0], mem.as_mut_slice()).0, -9);
+    }
+
+    #[test]
+    fn fsync_validates_the_descriptor() {
+        let mut k = Kernel::default();
+        let mut mem = mem_with(&[(10, b"/f\0")]);
+        let (fd, _) = k.syscall(
+            &[5, 10, flags::O_CREAT | flags::O_WRONLY, 0],
+            mem.as_mut_slice(),
+        );
+        assert_eq!(k.syscall(&[118, fd, 0, 0], mem.as_mut_slice()).0, 0);
+        assert_eq!(k.syscall(&[118, 1, 0, 0], mem.as_mut_slice()).0, -22);
+        assert_eq!(k.syscall(&[118, 77, 0, 0], mem.as_mut_slice()).0, -9);
+    }
+
+    #[test]
+    fn cycle_split_components_sum_exactly() {
+        // Per-record transport/service/fs components must sum to the
+        // record's cycles, and the stats components to kernel_cycles —
+        // the invariant wasmperf-prof's attribution rests on.
+        let mut k = Kernel {
+            strace: Some(wasmperf_trace::StraceLog::default()),
+            ..Kernel::new(AppendPolicy::ExactFit)
+        };
+        let mut mem = mem_with(&[(10, b"/log\0"), (100, &[9u8; 256])]);
+        let (fd, _) = k.syscall(
+            &[5, 10, flags::O_CREAT | flags::O_WRONLY | flags::O_APPEND, 0],
+            mem.as_mut_slice(),
+        );
+        for _ in 0..50 {
+            k.syscall(&[4, fd, 100, 256], mem.as_mut_slice());
+        }
+        k.syscall(&[6, fd, 0, 0], mem.as_mut_slice());
+
+        let log = k.strace.take().unwrap();
+        for r in &log.records {
+            assert_eq!(
+                r.transport_cycles + r.service_cycles + r.fs_cycles,
+                r.cycles,
+                "split must sum per record"
+            );
+        }
+        let s = k.stats;
+        assert_eq!(
+            s.transport_cycles + s.service_cycles + s.fs_copy_cycles,
+            s.kernel_cycles
+        );
+        assert_eq!(log.total_cycles(), s.kernel_cycles);
+        // Appends under exact-fit actually exercised the fs-copy lane.
+        assert!(s.fs_copy_cycles > 0);
+        assert_eq!(
+            log.records.iter().map(|r| r.fs_cycles).sum::<u64>(),
+            s.fs_copy_cycles
+        );
     }
 
     #[test]

@@ -65,6 +65,7 @@ fn main() {
                 };
             }
             "--progress" => progress = true,
+            "--syscalls" => wanted.push("syscalls".to_string()),
             "--size" => {
                 let v = it.next().unwrap_or_default();
                 size = match Size::parse(&v) {
@@ -85,6 +86,8 @@ fn main() {
                      --progress     per-job progress lines on stderr\n\
                      experiments: fig1 fig3a fig3b table1 table2 fig4 fig5 fig6\n\
                      fig7 fig8 fig9 fig10 table3 table4 overhead ablations\n\
+                     syscalls (or --syscalls): wasmperf-prof per-syscall\n\
+                     \x20              profile + cycle attribution, I/O suite x 4 engines\n\
                      trace (observability demo; --trace DIR sets the output dir)\n\
                      dump-sources (writes the benchmark programs to ./programs/)"
                 );
@@ -184,6 +187,7 @@ fn main() {
                 exp::trace_demo(&dir, size)
             }
             "table4" => exp::table4(&mut session),
+            "syscalls" => exp::syscalls_report(size),
             "overhead" => exp::overhead(&mut session),
             "ablation-regs" => exp::ablation_reserved_regs(&mut session),
             "ablations" => (|| {

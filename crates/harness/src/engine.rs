@@ -128,6 +128,8 @@ pub struct RunResult {
     pub counters: PerfCounters,
     /// Kernel (Browsix) statistics.
     pub kernel_syscalls: u64,
+    /// Payload bytes marshalled through the kernel's auxiliary buffer.
+    pub kernel_bytes: u64,
     /// Output file contents, for cross-engine `cmp` validation.
     pub outputs: Vec<(String, Vec<u8>)>,
     /// Modeled compile cost in cycles (Table 2); see [`Artifact`].
@@ -339,6 +341,7 @@ fn execute_inner(
         checksum: out.ret as u32 as i32,
         counters: out.counters,
         kernel_syscalls: kernel.stats.syscalls,
+        kernel_bytes: kernel.stats.bytes_marshalled,
         outputs,
         compile_cycles: artifact.compile_cycles,
         code_bytes: module.code_bytes(),
@@ -417,6 +420,7 @@ pub fn execute_traced(
         checksum: out.ret as u32 as i32,
         counters: out.counters,
         kernel_syscalls: kernel.stats.syscalls,
+        kernel_bytes: kernel.stats.bytes_marshalled,
         outputs,
         compile_cycles: artifact.compile_cycles,
         code_bytes: module.code_bytes(),

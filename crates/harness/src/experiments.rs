@@ -872,6 +872,77 @@ fn main() -> i32 {{
     }
 }
 
+/// The wasmperf-prof report (`report --syscalls`): the aggregated
+/// per-syscall table and three-way cycle attribution for every I/O-class
+/// benchmark plus one compute kernel, on all four standard pipelines.
+///
+/// Runs are traced (strace only) and serial — they never touch the farm
+/// pool or the results store, so the output is byte-identical at any
+/// `--jobs` value and across repeated invocations. Each section's cycle
+/// column is checked against the run's kernel `host_cycles` before
+/// rendering; a mismatch is an invariant error, not a wrong table.
+pub fn syscalls_report(size: wasmperf_benchsuite::Size) -> Result<String, Error> {
+    use crate::engine::run_one_traced;
+    use wasmperf_trace::{SyscallProfile, TraceConfig};
+
+    let config = TraceConfig {
+        strace: true,
+        profile: false,
+        spans: false,
+    };
+    let engines = [
+        Engine::Native,
+        chrome(),
+        firefox(),
+        Engine::Jit(EngineProfile::chrome_asmjs()),
+    ];
+    let mut benches = wasmperf_benchsuite::io::all(size);
+    benches.push(
+        wasmperf_benchsuite::spec::all(size)
+            .into_iter()
+            .find(|b| b.name == "401.bzip2")
+            .ok_or(Error::MissingBenchmark {
+                name: "401.bzip2".into(),
+            })?,
+    );
+
+    let mut out = String::from("wasmperf-prof: per-syscall kernel profile and cycle attribution\n");
+    for b in &benches {
+        for engine in &engines {
+            let (r, trace) = run_one_traced(b, engine, AppendPolicy::Chunked4K, config)?;
+            let log = trace
+                .as_ref()
+                .and_then(|t| t.strace.as_ref())
+                .ok_or(Error::Invariant {
+                    message: "strace was on but no log came back".into(),
+                })?;
+            let profile = SyscallProfile::from_log(log);
+            if profile.total_cycles() != r.counters.host_cycles {
+                return Err(Error::Invariant {
+                    message: format!(
+                        "{} on {}: profile cycles {} != host_cycles {}",
+                        b.name,
+                        r.engine,
+                        profile.total_cycles(),
+                        r.counters.host_cycles
+                    ),
+                });
+            }
+            out.push_str(&format!(
+                "\n== {} x {} (checksum {}) ==\n{}{}",
+                b.name,
+                r.engine,
+                r.checksum,
+                profile.render(),
+                profile
+                    .attribution(r.counters.cycles, r.compile_cycles)
+                    .render()
+            ));
+        }
+    }
+    Ok(out)
+}
+
 /// The observability demo (`report --trace <dir>`): traced matmul runs on
 /// native and Chrome-JIT (perf-report + annotate + Chrome trace JSON +
 /// JSONL) and a traced SPEC-analog run (strace log + per-class summary),

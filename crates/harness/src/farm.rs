@@ -164,6 +164,7 @@ pub fn encode_result(r: &RunResult) -> Json {
         ("checksum".into(), Json::Num(r.checksum as f64)),
         ("counters".into(), counters),
         ("kernel_syscalls".into(), Json::u64(r.kernel_syscalls)),
+        ("kernel_bytes".into(), Json::u64(r.kernel_bytes)),
         ("outputs".into(), outputs),
         ("compile_cycles".into(), Json::u64(r.compile_cycles)),
         ("code_bytes".into(), Json::u64(r.code_bytes)),
@@ -221,6 +222,7 @@ pub fn decode_result(payload: &Json) -> Result<RunResult, Error> {
         checksum,
         counters,
         kernel_syscalls: u64_field(payload, "kernel_syscalls")?,
+        kernel_bytes: u64_field(payload, "kernel_bytes")?,
         outputs,
         compile_cycles: u64_field(payload, "compile_cycles")?,
         code_bytes: u64_field(payload, "code_bytes")?,
@@ -288,6 +290,7 @@ mod tests {
             checksum: -19_088_744,
             counters,
             kernel_syscalls: 42,
+            kernel_bytes: 12_345,
             outputs: vec![
                 ("/out.bz2".into(), vec![0, 1, 2, 254, 255]),
                 ("/empty".into(), vec![]),
@@ -312,6 +315,7 @@ mod tests {
             checksum: 0,
             counters: PerfCounters::default(),
             kernel_syscalls: 0,
+            kernel_bytes: 0,
             outputs: vec![],
             compile_cycles: 0,
             code_bytes: 0,

@@ -170,6 +170,14 @@ impl Session {
             .collect()
     }
 
+    /// Names of the I/O-heavy benchmark class.
+    pub fn io_names(&self) -> Vec<String> {
+        wasmperf_benchsuite::io::all(self.size)
+            .iter()
+            .map(|b| b.name.to_string())
+            .collect()
+    }
+
     /// The job spec a registry benchmark runs under.
     fn registry_spec(&self, bench: &str, engine: &Engine) -> Result<JobSpec, Error> {
         let b = self.bench(bench)?;

@@ -29,7 +29,8 @@ fn usage() -> ! {
          --size test|ref    workload size (default test)\n\
          --deadline-ms MS   per-request simulated deadline (fractional ok)\n\
          --check            byte-compare responses against direct local runs\n\
-         --verify-metrics   compare /metrics deltas with observed requests\n\
+         --verify-metrics   compare /metrics deltas (request counts and\n\
+         \x20                  syscall aggregates) with observed responses\n\
          --expect-shed      require >=1 429 and only 200/429 statuses\n\
          --quick            small preset: 2 conns, 24 requests, --check\n\
          --shutdown         POST /shutdown after the run\n\

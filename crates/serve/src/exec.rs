@@ -396,6 +396,11 @@ impl ExecService {
         let queue_us = (submitted.elapsed().as_micros() as u64).saturating_sub(exec_us);
         match outcome {
             Ok(result) => {
+                self.metrics.record_run_syscalls(
+                    result.kernel_syscalls,
+                    result.counters.host_cycles,
+                    result.kernel_bytes,
+                );
                 let result = Arc::new(result);
                 if fuel == DEFAULT_FUEL {
                     let mut results = self.results.lock().unwrap_or_else(PoisonError::into_inner);
@@ -499,13 +504,25 @@ fn parse_size(body: &Json) -> Result<Size, ServeError> {
     }
 }
 
-/// The 200-response body for one completed `/run`.
+/// The 200-response body for one completed `/run`. The `syscalls`
+/// section surfaces the run's kernel-side accounting without the client
+/// having to dig through the counters — and is what
+/// `wasmperf-loadgen --verify-metrics` reconciles against `/metrics`.
 pub fn run_response_json(id: &str, out: &RunOutcome) -> Json {
+    let syscalls = Json::Obj(vec![
+        ("count".into(), Json::u64(out.result.kernel_syscalls)),
+        (
+            "kernel_cycles".into(),
+            Json::u64(out.result.counters.host_cycles),
+        ),
+        ("kernel_bytes".into(), Json::u64(out.result.kernel_bytes)),
+    ]);
     Json::Obj(vec![
         ("id".into(), Json::Str(id.to_string())),
         ("cached".into(), Json::Bool(out.cached)),
         ("queue_us".into(), Json::u64(out.queue_us)),
         ("exec_us".into(), Json::u64(out.exec_us)),
+        ("syscalls".into(), syscalls),
         ("result".into(), encode_result(&out.result)),
     ])
 }

@@ -93,6 +93,11 @@ struct Sample {
     latency_us: u64,
     /// Rendered `result` subtree of a 200 response.
     result_wire: Option<String>,
+    /// The `cached` flag of a 200 response.
+    cached: Option<bool>,
+    /// The `syscalls` section of a 200 response:
+    /// `(count, kernel_cycles, kernel_bytes)`.
+    sys: Option<(u64, u64, u64)>,
     /// Transport-level failure, if the request never completed.
     error: Option<String>,
 }
@@ -250,16 +255,32 @@ fn request_body(opts: &Options, index: usize) -> (Json, (String, String)) {
 }
 
 fn observe(body: &Json, key: (String, String), status: u16, latency_us: u64) -> Sample {
-    let result_wire = if status == 200 {
-        body.get("result").map(Json::render)
+    let (result_wire, cached, sys) = if status == 200 {
+        let sys = body.get("syscalls").and_then(|s| {
+            Some((
+                s.get("count").and_then(Json::as_u64)?,
+                s.get("kernel_cycles").and_then(Json::as_u64)?,
+                s.get("kernel_bytes").and_then(Json::as_u64)?,
+            ))
+        });
+        (
+            body.get("result").map(Json::render),
+            body.get("cached").and_then(|v| match v {
+                Json::Bool(b) => Some(*b),
+                _ => None,
+            }),
+            sys,
+        )
     } else {
-        None
+        (None, None, None)
     };
     Sample {
         key,
         status,
         latency_us,
         result_wire,
+        cached,
+        sys,
         error: None,
     }
 }
@@ -277,6 +298,8 @@ fn issue(client: &mut Client, opts: &Options, index: usize) -> Sample {
                     status: resp.status,
                     latency_us,
                     result_wire: None,
+                    cached: None,
+                    sys: None,
                     error: Some(format!("unparseable response body: {e}")),
                 },
             }
@@ -286,6 +309,8 @@ fn issue(client: &mut Client, opts: &Options, index: usize) -> Sample {
             status: 0,
             latency_us: started.elapsed().as_micros() as u64,
             result_wire: None,
+            cached: None,
+            sys: None,
             error: Some(e.to_string()),
         },
     }
@@ -308,6 +333,8 @@ fn run_closed(opts: &Options, conns: usize) -> Vec<Sample> {
                                 status: 0,
                                 latency_us: 0,
                                 result_wire: None,
+                                cached: None,
+                                sys: None,
                                 error: Some(format!("connect: {e}")),
                             });
                         return;
@@ -358,6 +385,8 @@ fn run_open(opts: &Options, rps: f64) -> Vec<Sample> {
                         status: 0,
                         latency_us: 0,
                         result_wire: None,
+                        cached: None,
+                        sys: None,
                         error: Some(format!("connect: {e}")),
                     },
                 };
@@ -405,6 +434,24 @@ fn fetch_metrics(addr: &str) -> Result<Json, String> {
         return Err(format!("/metrics returned {}", resp.status));
     }
     resp.body_json()
+}
+
+/// The syscall-aggregate counters of a `/metrics` snapshot:
+/// `(runs_executed, count, kernel_cycles, kernel_bytes)`.
+fn metrics_syscalls(metrics: &Json) -> (u64, u64, u64, u64) {
+    let field = |name: &str| {
+        metrics
+            .get("syscalls")
+            .and_then(|s| s.get(name))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    (
+        field("runs_executed"),
+        field("count"),
+        field("kernel_cycles"),
+        field("kernel_bytes"),
+    )
 }
 
 fn metrics_run_count(metrics: &Json) -> u64 {
@@ -519,6 +566,43 @@ pub fn run(opts: &Options) -> Report {
                 if delta != issued {
                     failures.push(format!(
                         "metrics drift: server counted {delta} /run requests, loadgen completed {issued}"
+                    ));
+                }
+                // The syscall aggregates must grow by exactly the sum the
+                // loadgen saw in its own non-cached 200 responses (cache
+                // hits re-serve already-counted work and add nothing).
+                let (mut runs, mut count, mut cycles, mut bytes) = (0u64, 0u64, 0u64, 0u64);
+                for s in &samples {
+                    if s.status != 200 || s.cached != Some(false) {
+                        continue;
+                    }
+                    match s.sys {
+                        Some((c, kc, kb)) => {
+                            runs += 1;
+                            count += c;
+                            cycles += kc;
+                            bytes += kb;
+                        }
+                        None => failures.push(format!(
+                            "{}/{}: 200 response has no syscalls section",
+                            s.key.0, s.key.1
+                        )),
+                    }
+                }
+                let b = metrics_syscalls(&before);
+                let a = metrics_syscalls(&after);
+                let got = (
+                    a.0.saturating_sub(b.0),
+                    a.1.saturating_sub(b.1),
+                    a.2.saturating_sub(b.2),
+                    a.3.saturating_sub(b.3),
+                );
+                if got != (runs, count, cycles, bytes) {
+                    failures.push(format!(
+                        "syscall-metrics drift: server delta (runs {}, syscalls {}, \
+                         kernel_cycles {}, kernel_bytes {}) != loadgen sum (runs {runs}, \
+                         syscalls {count}, kernel_cycles {cycles}, kernel_bytes {bytes})",
+                        got.0, got.1, got.2, got.3
                     ));
                 }
             }

@@ -1,5 +1,11 @@
 //! Service counters: per-endpoint request/status counts, a log₂ latency
-//! histogram, cache accounting, and shed/deadline tallies.
+//! histogram, run-level syscall aggregates, cache accounting, and
+//! shed/deadline tallies.
+//!
+//! The latency histogram is the shared [`Log2Hist`] from wasmperf-trace —
+//! the same type the syscall profiler uses for per-call cycle
+//! distributions — so bucket semantics (and their tests) live in one
+//! place.
 //!
 //! Everything is behind one mutex — the service is request-bound, not
 //! counter-bound, so contention here is negligible and a single lock
@@ -9,23 +15,14 @@
 use std::collections::BTreeMap;
 use std::sync::{Mutex, PoisonError};
 use wasmperf_farm::Json;
-
-/// Number of log₂ latency buckets: bucket `i` holds latencies in
-/// `[2^i, 2^(i+1))` microseconds (bucket 0 also holds 0–1 µs).
-const BUCKETS: usize = 32;
-
-#[derive(Default, Clone, Copy)]
-struct Bucket {
-    count: u64,
-    sum_us: u64,
-}
+use wasmperf_trace::Log2Hist;
 
 #[derive(Default)]
 struct Inner {
     /// (endpoint, status) → request count.
     by_endpoint: BTreeMap<(String, u16), u64>,
-    /// Latency histogram over all requests.
-    hist: [Bucket; BUCKETS],
+    /// Latency histogram over all requests, in microseconds.
+    hist: Log2Hist,
     /// Requests rejected by the admission queue (429).
     shed: u64,
     /// Runs that exhausted their simulated-time (fuel) deadline.
@@ -38,16 +35,21 @@ struct Inner {
     result_misses: u64,
     /// Deepest pool depth observed at admission time.
     max_depth: usize,
+    /// Runs actually executed (cache hits excluded) — the denominator
+    /// for the syscall aggregates below.
+    runs_executed: u64,
+    /// Kernel syscalls across all executed runs.
+    syscalls: u64,
+    /// Kernel cycles (transport + service + fs-copy) across executed runs.
+    kernel_cycles: u64,
+    /// Payload bytes marshalled through the kernel across executed runs.
+    kernel_bytes: u64,
 }
 
 /// Shared, thread-safe metrics for one server instance.
 #[derive(Default)]
 pub struct Metrics {
     inner: Mutex<Inner>,
-}
-
-fn bucket_index(latency_us: u64) -> usize {
-    (64 - latency_us.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1)
 }
 
 impl Metrics {
@@ -66,12 +68,20 @@ impl Metrics {
         *m.by_endpoint
             .entry((endpoint.to_string(), status))
             .or_insert(0) += 1;
-        let b = &mut m.hist[bucket_index(latency_us)];
-        b.count += 1;
-        b.sum_us += latency_us;
+        m.hist.record(latency_us);
         if status == 429 {
             m.shed += 1;
         }
+    }
+
+    /// Records the kernel-side accounting of one *executed* run (cache
+    /// hits don't call this: they re-serve work already counted).
+    pub fn record_run_syscalls(&self, syscalls: u64, kernel_cycles: u64, kernel_bytes: u64) {
+        let mut m = self.lock();
+        m.runs_executed += 1;
+        m.syscalls += syscalls;
+        m.kernel_cycles += kernel_cycles;
+        m.kernel_bytes += kernel_bytes;
     }
 
     /// Records the admission-time pool depth of an accepted run.
@@ -122,29 +132,29 @@ impl Metrics {
                 .map(|((ep, status), n)| (format!("{ep} {status}"), Json::u64(*n)))
                 .collect(),
         );
-        let (mut count, mut sum_us) = (0u64, 0u64);
-        let mut buckets = Vec::new();
-        for (i, b) in m.hist.iter().enumerate() {
-            count += b.count;
-            sum_us += b.sum_us;
-            if b.count > 0 {
-                buckets.push((format!("lt_{}us", 1u64 << (i + 1)), Json::u64(b.count)));
-            }
-        }
-        let mean_us = if count > 0 {
-            sum_us as f64 / count as f64
-        } else {
-            0.0
-        };
+        let buckets = m
+            .hist
+            .nonzero()
+            .map(|(i, b)| (format!("lt_{}us", 1u64 << (i + 1)), Json::u64(b.count)))
+            .collect();
         Json::Obj(vec![
             ("requests".into(), requests),
             (
                 "latency".into(),
                 Json::Obj(vec![
-                    ("count".into(), Json::u64(count)),
-                    ("sum_us".into(), Json::u64(sum_us)),
-                    ("mean_us".into(), Json::Num(mean_us)),
+                    ("count".into(), Json::u64(m.hist.count())),
+                    ("sum_us".into(), Json::u64(m.hist.sum())),
+                    ("mean_us".into(), Json::Num(m.hist.mean())),
                     ("buckets".into(), Json::Obj(buckets)),
+                ]),
+            ),
+            (
+                "syscalls".into(),
+                Json::Obj(vec![
+                    ("runs_executed".into(), Json::u64(m.runs_executed)),
+                    ("count".into(), Json::u64(m.syscalls)),
+                    ("kernel_cycles".into(), Json::u64(m.kernel_cycles)),
+                    ("kernel_bytes".into(), Json::u64(m.kernel_bytes)),
                 ]),
             ),
             ("shed".into(), Json::u64(m.shed)),
@@ -178,16 +188,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bucket_index_is_log2() {
-        assert_eq!(bucket_index(0), 0);
-        assert_eq!(bucket_index(1), 0);
-        assert_eq!(bucket_index(2), 1);
-        assert_eq!(bucket_index(3), 1);
-        assert_eq!(bucket_index(1024), 10);
-        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
-    }
-
-    #[test]
     fn snapshot_reflects_recorded_requests() {
         let m = Metrics::new();
         m.record("POST /run", 200, 1500);
@@ -208,11 +208,37 @@ mod tests {
         let lat = j.get("latency").unwrap();
         assert_eq!(lat.get("count").and_then(Json::as_u64), Some(4));
         assert_eq!(lat.get("sum_us").and_then(Json::as_u64), Some(2460));
+        // 1500µs is in [1024, 2048), 900µs in [512, 1024); the labels
+        // carry each bucket's (exclusive) upper bound.
+        let buckets = lat.get("buckets").unwrap();
+        assert_eq!(buckets.get("lt_2048us").and_then(Json::as_u64), Some(1));
+        assert_eq!(buckets.get("lt_1024us").and_then(Json::as_u64), Some(1));
         let cache = j.get("cache").unwrap();
         assert_eq!(cache.get("artifact_builds").and_then(Json::as_u64), Some(5));
         assert_eq!(cache.get("result_hits").and_then(Json::as_u64), Some(1));
         let pool = j.get("pool").unwrap();
         assert_eq!(pool.get("max_depth").and_then(Json::as_u64), Some(3));
         assert_eq!(pool.get("workers").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn syscall_aggregates_accumulate_over_executed_runs() {
+        let m = Metrics::new();
+        let fresh = m.to_json(0, 0, 1, 0, 0);
+        let sys = fresh.get("syscalls").unwrap();
+        assert_eq!(sys.get("runs_executed").and_then(Json::as_u64), Some(0));
+        assert_eq!(sys.get("count").and_then(Json::as_u64), Some(0));
+
+        m.record_run_syscalls(12, 50_000, 4096);
+        m.record_run_syscalls(3, 13_800, 128);
+        let j = m.to_json(0, 0, 1, 0, 0);
+        let sys = j.get("syscalls").unwrap();
+        assert_eq!(sys.get("runs_executed").and_then(Json::as_u64), Some(2));
+        assert_eq!(sys.get("count").and_then(Json::as_u64), Some(15));
+        assert_eq!(
+            sys.get("kernel_cycles").and_then(Json::as_u64),
+            Some(63_800)
+        );
+        assert_eq!(sys.get("kernel_bytes").and_then(Json::as_u64), Some(4_224));
     }
 }

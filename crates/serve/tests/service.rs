@@ -266,14 +266,21 @@ fn metrics_track_requests_and_caches() {
     let (handle, addr) = serve(1, 8);
     let mut c = Client::connect(&addr).unwrap();
 
+    let mut run_syscalls = Vec::new();
     for _ in 0..3 {
-        assert_eq!(
-            c.post_json("/run", &run_body("gemm", "native"))
-                .unwrap()
-                .status,
-            200
-        );
+        let resp = c.post_json("/run", &run_body("gemm", "native")).unwrap();
+        assert_eq!(resp.status, 200);
+        let body = resp.body_json().unwrap();
+        let sys = body.get("syscalls").expect("response syscalls section");
+        run_syscalls.push((
+            sys.get("count").and_then(Json::as_u64).unwrap(),
+            sys.get("kernel_cycles").and_then(Json::as_u64).unwrap(),
+            sys.get("kernel_bytes").and_then(Json::as_u64).unwrap(),
+        ));
     }
+    // Cached replays report the same per-run accounting.
+    assert_eq!(run_syscalls[0], run_syscalls[1]);
+    assert_eq!(run_syscalls[0], run_syscalls[2]);
     let m = c.get("/metrics").unwrap().body_json().unwrap();
     assert_eq!(
         m.get("requests")
@@ -291,6 +298,22 @@ fn metrics_track_requests_and_caches() {
     let lat = m.get("latency").unwrap();
     // /run requests plus this test's own /metrics fetches so far.
     assert!(lat.get("count").and_then(Json::as_u64).unwrap() >= 3);
+    // Only the single executed run feeds the syscall aggregates; the two
+    // cache hits add nothing.
+    let sys = m.get("syscalls").unwrap();
+    assert_eq!(sys.get("runs_executed").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        sys.get("count").and_then(Json::as_u64),
+        Some(run_syscalls[0].0)
+    );
+    assert_eq!(
+        sys.get("kernel_cycles").and_then(Json::as_u64),
+        Some(run_syscalls[0].1)
+    );
+    assert_eq!(
+        sys.get("kernel_bytes").and_then(Json::as_u64),
+        Some(run_syscalls[0].2)
+    );
 
     shutdown(handle, &addr);
 }

@@ -30,8 +30,19 @@ pub fn json_escape(s: &str) -> String {
 
 /// Thread id used for pipeline/harness spans.
 const TID_PIPELINE: u32 = 1;
-/// Thread id used for kernel syscall events.
-const TID_KERNEL: u32 = 2;
+
+/// Thread id for a syscall class: each class gets its own kernel track so
+/// Perfetto shows I/O, file, and metadata traffic as separate lanes.
+fn class_tid(class: &str) -> u32 {
+    match class {
+        "io" => 2,
+        "file" => 3,
+        "fs-meta" => 4,
+        "ipc" => 5,
+        "process" => 6,
+        _ => 7,
+    }
+}
 
 /// Renders the session as Chrome `trace_event` JSON.
 ///
@@ -47,9 +58,24 @@ pub fn chrome_trace(s: &TraceSession) -> String {
     ev.push(format!(
         r#"{{"ph":"M","pid":1,"tid":{TID_PIPELINE},"name":"thread_name","args":{{"name":"pipeline"}}}}"#
     ));
-    ev.push(format!(
-        r#"{{"ph":"M","pid":1,"tid":{TID_KERNEL},"name":"thread_name","args":{{"name":"kernel"}}}}"#
-    ));
+    // One kernel track per syscall class present in the log, named and
+    // ordered by tid so the lanes are stable across runs.
+    if let Some(log) = &s.strace {
+        let mut classes: Vec<&'static str> = log
+            .records
+            .iter()
+            .map(|r| crate::strace::syscall_class(r.nr))
+            .collect();
+        classes.sort_by_key(|c| class_tid(c));
+        classes.dedup();
+        for class in classes {
+            ev.push(format!(
+                r#"{{"ph":"M","pid":1,"tid":{},"name":"thread_name","args":{{"name":"kernel/{}"}}}}"#,
+                class_tid(class),
+                class
+            ));
+        }
+    }
 
     for span in &s.spans {
         ev.push(format!(
@@ -66,12 +92,17 @@ pub fn chrome_trace(s: &TraceSession) -> String {
         for r in &log.records {
             let ts = (r.start_cycles as f64 * us_per_cycle * 1000.0).round() / 1000.0;
             let dur = ((r.cycles as f64 * us_per_cycle * 1000.0).round() / 1000.0).max(0.001);
+            let class = crate::strace::syscall_class(r.nr);
             ev.push(format!(
-                r#"{{"ph":"X","pid":1,"tid":{TID_KERNEL},"ts":{ts},"dur":{dur},"cat":"syscall","name":"{}","args":{{"ret":{},"payload":{},"cycles":{}}}}}"#,
+                r#"{{"ph":"X","pid":1,"tid":{},"ts":{ts},"dur":{dur},"cat":"syscall/{class}","name":"{}","args":{{"ret":{},"payload":{},"cycles":{},"transport":{},"service":{},"fs_copy":{}}}}}"#,
+                class_tid(class),
                 crate::strace::syscall_name(r.nr),
                 r.ret,
                 r.payload,
-                r.cycles
+                r.cycles,
+                r.transport_cycles,
+                r.service_cycles,
+                r.fs_cycles
             ));
         }
     }
@@ -128,8 +159,9 @@ pub fn jsonl(s: &TraceSession) -> String {
         for r in &log.records {
             let _ = writeln!(
                 out,
-                r#"{{"type":"syscall","name":"{}","nr":{},"args":[{},{},{}],"ret":{},"payload":{},"cycles":{},"start_cycles":{}}}"#,
+                r#"{{"type":"syscall","name":"{}","class":"{}","nr":{},"args":[{},{},{}],"ret":{},"payload":{},"cycles":{},"transport":{},"service":{},"fs_copy":{},"start_cycles":{}}}"#,
                 crate::strace::syscall_name(r.nr),
+                crate::strace::syscall_class(r.nr),
                 r.nr,
                 r.args[0],
                 r.args[1],
@@ -137,6 +169,9 @@ pub fn jsonl(s: &TraceSession) -> String {
                 r.ret,
                 r.payload,
                 r.cycles,
+                r.transport_cycles,
+                r.service_cycles,
+                r.fs_cycles,
                 r.start_cycles
             );
         }
@@ -185,6 +220,9 @@ mod tests {
                 ret: 64,
                 payload: 64,
                 cycles: 5000,
+                transport_cycles: 4400,
+                service_cycles: 600,
+                fs_cycles: 0,
                 start_cycles: 0,
             }],
         });
@@ -204,6 +242,9 @@ mod tests {
         assert!(text.starts_with("{\"traceEvents\":["));
         assert!(text.contains(r#""ph":"M""#));
         assert!(text.contains(r#""name":"write""#));
+        assert!(text.contains(r#""name":"kernel/io""#));
+        assert!(text.contains(r#""cat":"syscall/io""#));
+        assert!(text.contains(r#""transport":4400"#));
         assert!(text.contains(r#""name":"clanglite/lower""#));
         // Structural sanity: balanced braces/brackets outside strings.
         let (mut braces, mut brackets, mut in_str, mut esc) = (0i64, 0i64, false, false);

@@ -1,0 +1,238 @@
+//! A log₂ histogram of `u64` samples.
+//!
+//! One shared implementation serves both consumers that used to hand-roll
+//! it: wasmperf-serve's request-latency metrics (microseconds) and the
+//! syscall profiler's per-call cycle distributions. Bucket `i` covers
+//! `[2^i, 2^(i+1))`; bucket 0 also absorbs zero, and the last bucket is
+//! open-ended. Each bucket keeps a count and a sum, so means stay exact
+//! even though the distribution is quantized.
+
+/// Number of buckets. Bucket `BUCKETS - 1` holds everything at or above
+/// `2^(BUCKETS-1)`.
+pub const BUCKETS: usize = 32;
+
+/// One histogram bucket: sample count and exact sum of its samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Bucket {
+    /// Samples recorded in this bucket.
+    pub count: u64,
+    /// Exact sum of those samples.
+    pub sum: u64,
+}
+
+/// The bucket a value lands in.
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1)
+}
+
+/// Inclusive `(low, high)` value range of bucket `i`. The first bucket
+/// starts at zero; the last is capped at `u64::MAX`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    let low = if i == 0 { 0 } else { 1u64 << i };
+    let high = if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    };
+    (low, high)
+}
+
+/// A fixed-size log₂ histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Log2Hist {
+    buckets: [Bucket; BUCKETS],
+}
+
+impl Default for Log2Hist {
+    fn default() -> Self {
+        Log2Hist::new()
+    }
+}
+
+impl Log2Hist {
+    /// An empty histogram.
+    pub fn new() -> Log2Hist {
+        Log2Hist {
+            buckets: [Bucket::default(); BUCKETS],
+        }
+    }
+
+    /// Records one sample. Sums saturate at `u64::MAX` instead of
+    /// wrapping, so pathological inputs degrade gracefully.
+    pub fn record(&mut self, value: u64) {
+        let b = &mut self.buckets[bucket_index(value)];
+        b.count += 1;
+        b.sum = b.sum.saturating_add(value);
+    }
+
+    /// Adds every bucket of `other` into this histogram.
+    pub fn merge(&mut self, other: &Log2Hist) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            mine.count += theirs.count;
+            mine.sum = mine.sum.saturating_add(theirs.sum);
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.count).sum()
+    }
+
+    /// Sum of all samples (exact unless it saturated at `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.buckets
+            .iter()
+            .fold(0u64, |acc, b| acc.saturating_add(b.sum))
+    }
+
+    /// Exact mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// True when no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// All buckets, in value order.
+    pub fn buckets(&self) -> &[Bucket; BUCKETS] {
+        &self.buckets
+    }
+
+    /// `(index, bucket)` for every non-empty bucket, in value order.
+    pub fn nonzero(&self) -> impl Iterator<Item = (usize, Bucket)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.count > 0)
+            .map(|(i, b)| (i, *b))
+    }
+
+    /// The `p`-th percentile (0–100), resolved to the *upper bound* of the
+    /// bucket holding the nearest-rank sample — a conservative estimate
+    /// (never below the true percentile by more than one bucket's width).
+    /// Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 100.0) / 100.0 * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.count;
+            if seen >= rank {
+                return bucket_bounds(i).1;
+            }
+        }
+        bucket_bounds(BUCKETS - 1).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index((1 << 31) - 1), 30);
+        assert_eq!(bucket_index(1 << 31), 31);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_axis() {
+        assert_eq!(bucket_bounds(0), (0, 1));
+        assert_eq!(bucket_bounds(1), (2, 3));
+        assert_eq!(bucket_bounds(10), (1024, 2047));
+        assert_eq!(bucket_bounds(BUCKETS - 1), (1 << 31, u64::MAX));
+        // Every boundary value lands in the bucket whose bounds claim it.
+        for i in 0..BUCKETS {
+            let (low, high) = bucket_bounds(i);
+            assert_eq!(bucket_index(low.max(1)), i);
+            assert_eq!(bucket_index(high), i);
+        }
+    }
+
+    #[test]
+    fn count_sum_mean_are_exact() {
+        let mut h = Log2Hist::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        for v in [0, 1, 5, 1000, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1_001_006);
+        assert_eq!(h.mean(), 1_001_006.0 / 5.0);
+        assert_eq!(h.nonzero().count(), 4); // 0 and 1 share bucket 0.
+    }
+
+    #[test]
+    fn merge_adds_bucketwise() {
+        let mut a = Log2Hist::new();
+        let mut b = Log2Hist::new();
+        a.record(10);
+        a.record(2000);
+        b.record(12);
+        b.record(1 << 40); // Lands in the open-ended last bucket.
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), 10 + 2000 + 12 + (1u64 << 40));
+        assert_eq!(a.buckets()[bucket_index(10)].count, 2);
+        assert_eq!(a.buckets()[BUCKETS - 1].count, 1);
+        // Merging an empty histogram is the identity.
+        let before = a;
+        a.merge(&Log2Hist::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn percentile_on_empty_single_and_saturated() {
+        // Empty: every percentile is 0.
+        let empty = Log2Hist::new();
+        assert_eq!(empty.percentile(50.0), 0);
+        assert_eq!(empty.percentile(99.9), 0);
+
+        // Single sample: every percentile is its bucket's upper bound.
+        let mut one = Log2Hist::new();
+        one.record(100); // bucket 6: [64, 127]
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(one.percentile(p), 127);
+        }
+
+        // Saturated: values at and beyond the last bucket's lower edge.
+        let mut sat = Log2Hist::new();
+        sat.record(1 << 31);
+        sat.record(u64::MAX);
+        assert_eq!(sat.percentile(50.0), u64::MAX);
+        assert_eq!(sat.percentile(100.0), u64::MAX);
+    }
+
+    #[test]
+    fn percentile_splits_a_bimodal_distribution() {
+        let mut h = Log2Hist::new();
+        for _ in 0..90 {
+            h.record(100); // bucket 6, upper bound 127
+        }
+        for _ in 0..10 {
+            h.record(1_000_000); // bucket 19, upper bound 2^20 - 1
+        }
+        assert_eq!(h.percentile(50.0), 127);
+        assert_eq!(h.percentile(90.0), 127);
+        assert_eq!(h.percentile(91.0), (1 << 20) - 1);
+        assert_eq!(h.percentile(99.0), (1 << 20) - 1);
+    }
+}

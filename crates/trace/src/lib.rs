@@ -17,6 +17,12 @@
 //!   `strace -c`-style per-class summary);
 //! - [`span::SpanLog`]: wall-clock phase spans around compile-pipeline
 //!   stages and harness trials;
+//! - [`prof::SyscallProfile`]: the wasmperf-prof aggregation engine —
+//!   per-syscall latency histograms, exact percentiles, throughput, and
+//!   a kernel/user/compile cycle [`prof::Attribution`] that reconciles
+//!   exactly with the run's counters (the paper's Figure 4, generalised);
+//! - [`hist::Log2Hist`]: the shared log₂ histogram used by the profiler
+//!   and by wasmperf-serve's latency metrics;
 //! - [`export`]: Chrome `trace_event` JSON (loads in `about:tracing` /
 //!   Perfetto) and JSONL exporters.
 //!
@@ -24,12 +30,16 @@
 //! change a single counter value or output byte of the run it observes.
 
 pub mod export;
+pub mod hist;
+pub mod prof;
 pub mod profile;
 pub mod report;
 pub mod span;
 pub mod strace;
 pub mod symbols;
 
+pub use hist::{Bucket, Log2Hist, BUCKETS};
+pub use prof::{Attribution, CycleSplit, SyscallProfile, SyscallStat};
 pub use profile::{AddrSample, CycleProfile};
 pub use span::{Span, SpanLog};
 pub use strace::{syscall_class, syscall_name, StraceLog, SyscallRecord, MAX_ARGS};
@@ -150,6 +160,15 @@ impl TraceSession {
         self.strace
             .as_ref()
             .map(StraceLog::summary)
+            .unwrap_or_default()
+    }
+
+    /// The aggregated wasmperf-prof syscall profile, when strace was
+    /// enabled (empty profile otherwise).
+    pub fn syscall_profile(&self) -> SyscallProfile {
+        self.strace
+            .as_ref()
+            .map(SyscallProfile::from_log)
             .unwrap_or_default()
     }
 

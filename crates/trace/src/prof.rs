@@ -1,0 +1,399 @@
+//! wasmperf-prof: aggregated syscall profiling over the strace analog.
+//!
+//! [`SyscallProfile::from_log`] folds a [`StraceLog`] into one row per
+//! syscall: call/error counts, payload totals and throughput, a log₂
+//! cycle histogram, *exact* latency percentiles (the records are all in
+//! memory, so no estimation is needed), and the per-call cycle split the
+//! kernel reports — transport (message round trips + aux-buffer copies),
+//! in-kernel service, and filesystem buffer-growth copying.
+//!
+//! Because every record's components sum to its `cycles`, and the log's
+//! cycles sum to the run's `host_cycles`, the profile's totals reconcile
+//! *exactly* against the run's counters — [`Attribution`] extends that to
+//! a three-way split of everything the paper's wall clock would see:
+//! kernel (by component) vs user execution vs modeled compile time.
+
+use crate::hist::Log2Hist;
+use crate::strace::{syscall_class, syscall_name, StraceLog};
+use std::fmt::Write as _;
+
+/// The kernel-cycle components of one or more syscalls. Components sum
+/// to the kernel cycles charged (`total`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleSplit {
+    /// Message round trips (incl. chunking) + aux-buffer marshalling.
+    pub transport: u64,
+    /// In-kernel service time.
+    pub service: u64,
+    /// Filesystem buffer-growth copying (the append-policy lever).
+    pub fs_copy: u64,
+}
+
+impl CycleSplit {
+    /// Sum of the three components.
+    pub fn total(&self) -> u64 {
+        self.transport + self.service + self.fs_copy
+    }
+}
+
+impl std::ops::AddAssign for CycleSplit {
+    fn add_assign(&mut self, rhs: CycleSplit) {
+        self.transport += rhs.transport;
+        self.service += rhs.service;
+        self.fs_copy += rhs.fs_copy;
+    }
+}
+
+/// Aggregated statistics for one syscall number.
+#[derive(Debug, Clone)]
+pub struct SyscallStat {
+    /// Syscall number.
+    pub nr: i32,
+    /// Syscall name.
+    pub name: &'static str,
+    /// Coarse class (`io`, `file`, `fs-meta`, `ipc`, `process`).
+    pub class: &'static str,
+    /// Calls serviced.
+    pub calls: u64,
+    /// Calls that returned a negative errno.
+    pub errors: u64,
+    /// Payload bytes marshalled.
+    pub payload: u64,
+    /// Kernel-cycle split across all calls; `split.total()` is the
+    /// syscall's total kernel cycles.
+    pub split: CycleSplit,
+    /// Log₂ histogram of per-call cycles.
+    pub hist: Log2Hist,
+    /// Exact per-call cycle percentiles (nearest rank) and extrema.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Cheapest call.
+    pub min: u64,
+    /// Most expensive call.
+    pub max: u64,
+}
+
+impl SyscallStat {
+    /// Payload throughput: bytes moved per thousand kernel cycles.
+    pub fn bytes_per_kcycle(&self) -> f64 {
+        let cycles = self.split.total();
+        if cycles == 0 {
+            0.0
+        } else {
+            self.payload as f64 * 1000.0 / cycles as f64
+        }
+    }
+}
+
+/// Exact nearest-rank percentile over a sorted slice.
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p.clamp(0.0, 100.0) / 100.0 * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// The aggregated profile of one run's syscall log.
+#[derive(Debug, Clone, Default)]
+pub struct SyscallProfile {
+    /// One row per syscall number, ordered by total kernel cycles
+    /// (descending), ties broken by syscall number — a deterministic
+    /// order for rendering and diffing.
+    pub stats: Vec<SyscallStat>,
+}
+
+impl SyscallProfile {
+    /// Folds a syscall log into per-syscall aggregates.
+    pub fn from_log(log: &StraceLog) -> SyscallProfile {
+        // nr → (stat, per-call cycle samples).
+        let mut rows: Vec<(SyscallStat, Vec<u64>)> = Vec::new();
+        for r in &log.records {
+            let row = match rows.iter_mut().find(|(s, _)| s.nr == r.nr) {
+                Some(row) => row,
+                None => {
+                    rows.push((
+                        SyscallStat {
+                            nr: r.nr,
+                            name: syscall_name(r.nr),
+                            class: syscall_class(r.nr),
+                            calls: 0,
+                            errors: 0,
+                            payload: 0,
+                            split: CycleSplit::default(),
+                            hist: Log2Hist::new(),
+                            p50: 0,
+                            p90: 0,
+                            p99: 0,
+                            min: 0,
+                            max: 0,
+                        },
+                        Vec::new(),
+                    ));
+                    rows.last_mut().expect("just pushed")
+                }
+            };
+            let (stat, samples) = row;
+            stat.calls += 1;
+            stat.errors += u64::from(r.ret < 0);
+            stat.payload += r.payload;
+            stat.split += CycleSplit {
+                transport: r.transport_cycles,
+                service: r.service_cycles,
+                fs_copy: r.fs_cycles,
+            };
+            stat.hist.record(r.cycles);
+            samples.push(r.cycles);
+        }
+        let mut stats: Vec<SyscallStat> = rows
+            .into_iter()
+            .map(|(mut stat, mut samples)| {
+                samples.sort_unstable();
+                stat.p50 = exact_percentile(&samples, 50.0);
+                stat.p90 = exact_percentile(&samples, 90.0);
+                stat.p99 = exact_percentile(&samples, 99.0);
+                stat.min = samples.first().copied().unwrap_or(0);
+                stat.max = samples.last().copied().unwrap_or(0);
+                stat
+            })
+            .collect();
+        stats.sort_by(|a, b| b.split.total().cmp(&a.split.total()).then(a.nr.cmp(&b.nr)));
+        SyscallProfile { stats }
+    }
+
+    /// Total calls across all syscalls.
+    pub fn total_calls(&self) -> u64 {
+        self.stats.iter().map(|s| s.calls).sum()
+    }
+
+    /// Total errors.
+    pub fn total_errors(&self) -> u64 {
+        self.stats.iter().map(|s| s.errors).sum()
+    }
+
+    /// Total payload bytes marshalled.
+    pub fn total_payload(&self) -> u64 {
+        self.stats.iter().map(|s| s.payload).sum()
+    }
+
+    /// Summed kernel-cycle split. `split().total()` equals the run's
+    /// `host_cycles` when every host call routes through the kernel.
+    pub fn split(&self) -> CycleSplit {
+        let mut acc = CycleSplit::default();
+        for s in &self.stats {
+            acc += s.split;
+        }
+        acc
+    }
+
+    /// Total kernel cycles (all components, all syscalls).
+    pub fn total_cycles(&self) -> u64 {
+        self.split().total()
+    }
+
+    /// The three-way run attribution: this profile's kernel cycles plus
+    /// the caller-supplied user-execution and modeled-compile cycles.
+    pub fn attribution(&self, user_cycles: u64, compile_cycles: u64) -> Attribution {
+        Attribution {
+            kernel: self.split(),
+            user_cycles,
+            compile_cycles,
+        }
+    }
+
+    /// The per-syscall table: one deterministic row per syscall, ordered
+    /// by kernel cycles. The `cycles` column sums to the run's
+    /// `host_cycles`; `transport + service + fs-copy = cycles` per row.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<9}  {:<8}  {:>6}  {:>4}  {:>10}  {:>8}  {:>12}  {:>10}  {:>10}  {:>12}  {:>8}  {:>8}  {:>8}  {:>8}",
+            "syscall", "class", "calls", "errs", "bytes", "B/kcyc",
+            "transport", "service", "fs-copy", "cycles", "p50", "p90", "p99", "max"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(154));
+        for s in &self.stats {
+            let _ = writeln!(
+                out,
+                "{:<9}  {:<8}  {:>6}  {:>4}  {:>10}  {:>8.1}  {:>12}  {:>10}  {:>10}  {:>12}  {:>8}  {:>8}  {:>8}  {:>8}",
+                s.name,
+                s.class,
+                s.calls,
+                s.errors,
+                s.payload,
+                s.bytes_per_kcycle(),
+                s.split.transport,
+                s.split.service,
+                s.split.fs_copy,
+                s.split.total(),
+                s.p50,
+                s.p90,
+                s.p99,
+                s.max
+            );
+        }
+        let _ = writeln!(out, "{}", "-".repeat(154));
+        let t = self.split();
+        let _ = writeln!(
+            out,
+            "{:<9}  {:<8}  {:>6}  {:>4}  {:>10}  {:>8}  {:>12}  {:>10}  {:>10}  {:>12}",
+            "total",
+            "",
+            self.total_calls(),
+            self.total_errors(),
+            self.total_payload(),
+            "",
+            t.transport,
+            t.service,
+            t.fs_copy,
+            t.total()
+        );
+        out
+    }
+}
+
+/// Where every cycle of a run went: kernel (split by component), user
+/// execution, and modeled compile time. [`Attribution::total`] equals
+/// `counters.total_cycles() + compile_cycles` exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Attribution {
+    /// Kernel cycles, by component (`host_cycles`).
+    pub kernel: CycleSplit,
+    /// User-code execution cycles (`counters.cycles`).
+    pub user_cycles: u64,
+    /// Modeled compile cycles.
+    pub compile_cycles: u64,
+}
+
+impl Attribution {
+    /// Sum of every component.
+    pub fn total(&self) -> u64 {
+        self.kernel.total() + self.user_cycles + self.compile_cycles
+    }
+
+    /// One-line rendering with percentages of the total.
+    pub fn render(&self) -> String {
+        let total = self.total().max(1) as f64;
+        let pct = |v: u64| 100.0 * v as f64 / total;
+        format!(
+            "attribution: user {} ({:.2}%) | kernel {} ({:.2}%: transport {} service {} fs-copy {}) | compile {} ({:.2}%) | total {}\n",
+            self.user_cycles,
+            pct(self.user_cycles),
+            self.kernel.total(),
+            pct(self.kernel.total()),
+            self.kernel.transport,
+            self.kernel.service,
+            self.kernel.fs_copy,
+            self.compile_cycles,
+            pct(self.compile_cycles),
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strace::SyscallRecord;
+
+    fn rec(nr: i32, ret: i32, payload: u64, split: (u64, u64, u64)) -> SyscallRecord {
+        let (transport, service, fs) = split;
+        SyscallRecord {
+            nr,
+            args: [0; crate::MAX_ARGS],
+            ret,
+            payload,
+            cycles: transport + service + fs,
+            transport_cycles: transport,
+            service_cycles: service,
+            fs_cycles: fs,
+            start_cycles: 0,
+        }
+    }
+
+    fn log() -> StraceLog {
+        StraceLog {
+            records: vec![
+                rec(4, 64, 64, (4016, 600, 0)),
+                rec(4, 64, 64, (4016, 600, 128)),
+                rec(3, 32, 32, (4008, 600, 0)),
+                rec(5, -2, 6, (4001, 600, 0)),
+                rec(6, 0, 0, (4000, 600, 0)),
+            ],
+        }
+    }
+
+    #[test]
+    fn profile_reconciles_exactly_with_the_log() {
+        let log = log();
+        let p = SyscallProfile::from_log(&log);
+        assert_eq!(p.total_calls(), 5);
+        assert_eq!(p.total_errors(), 1);
+        assert_eq!(p.total_payload(), log.total_payload());
+        assert_eq!(p.total_cycles(), log.total_cycles());
+        // Per-row components sum to the row's cycles.
+        for s in &p.stats {
+            assert_eq!(
+                s.split.total(),
+                s.split.transport + s.split.service + s.split.fs_copy
+            );
+            assert_eq!(s.hist.sum(), s.split.total());
+            assert_eq!(s.hist.count(), s.calls);
+        }
+    }
+
+    #[test]
+    fn rows_are_ordered_and_aggregated() {
+        let p = SyscallProfile::from_log(&log());
+        // write (2 calls, most cycles) first; deterministic order.
+        assert_eq!(p.stats[0].name, "write");
+        assert_eq!(p.stats[0].calls, 2);
+        assert_eq!(p.stats[0].split.fs_copy, 128);
+        let names: Vec<&str> = p.stats.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["write", "read", "open", "close"]);
+        // Exact percentiles over the two write calls.
+        assert_eq!(p.stats[0].p50, 4616);
+        assert_eq!(p.stats[0].max, 4744);
+        assert_eq!(p.stats[0].min, 4616);
+    }
+
+    #[test]
+    fn exact_percentiles_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(exact_percentile(&sorted, 50.0), 50);
+        assert_eq!(exact_percentile(&sorted, 90.0), 90);
+        assert_eq!(exact_percentile(&sorted, 99.0), 99);
+        assert_eq!(exact_percentile(&sorted, 100.0), 100);
+        assert_eq!(exact_percentile(&[], 50.0), 0);
+        assert_eq!(exact_percentile(&[7], 1.0), 7);
+    }
+
+    #[test]
+    fn attribution_sums_exactly() {
+        let p = SyscallProfile::from_log(&log());
+        let a = p.attribution(1_000_000, 250_000);
+        assert_eq!(a.kernel.total(), p.total_cycles());
+        assert_eq!(a.total(), p.total_cycles() + 1_000_000 + 250_000);
+        let text = a.render();
+        assert!(text.contains("user 1000000"), "{text}");
+        assert!(text.contains("fs-copy 128"), "{text}");
+    }
+
+    #[test]
+    fn render_is_deterministic_and_totalled() {
+        let p = SyscallProfile::from_log(&log());
+        let a = p.render();
+        let b = SyscallProfile::from_log(&log()).render();
+        assert_eq!(a, b);
+        assert!(a.contains("write"), "{a}");
+        // The totals row carries the exact cycle total.
+        assert!(a.contains(&p.total_cycles().to_string()), "{a}");
+        // Empty profile still renders a header + totals.
+        let empty = SyscallProfile::from_log(&StraceLog::default());
+        assert!(empty.render().contains("total"));
+    }
+}

@@ -25,9 +25,12 @@ pub fn syscall_name(nr: i32) -> &'static str {
         33 => "access",
         39 => "mkdir",
         40 => "rmdir",
+        41 => "dup",
         42 => "pipe",
+        93 => "ftruncate",
         106 => "stat",
         108 => "fstat",
+        118 => "fsync",
         _ => "unknown",
     }
 }
@@ -36,7 +39,7 @@ pub fn syscall_name(nr: i32) -> &'static str {
 pub fn syscall_class(nr: i32) -> &'static str {
     match nr {
         3 | 4 => "io",
-        5 | 6 | 19 => "file",
+        5 | 6 | 19 | 41 | 93 | 118 => "file",
         10 | 33 | 39 | 40 | 106 | 108 => "fs-meta",
         42 => "ipc",
         1 | 20 => "process",
@@ -57,6 +60,14 @@ pub struct SyscallRecord {
     pub payload: u64,
     /// Kernel cycles charged for this call (transport + service + fs copy).
     pub cycles: u64,
+    /// Transport component of `cycles`: message round trips (including
+    /// chunking) plus the two marshalling copies through the aux buffer.
+    pub transport_cycles: u64,
+    /// In-kernel service component of `cycles`.
+    pub service_cycles: u64,
+    /// Filesystem buffer-growth copying component of `cycles` (the
+    /// append-policy lever). The three components sum to `cycles`.
+    pub fs_cycles: u64,
     /// Cumulative kernel cycles before this call — the call's position on
     /// the kernel timeline.
     pub start_cycles: u64,
@@ -190,11 +201,11 @@ impl StraceLog {
 /// How many arguments to print per syscall (the rest are convention-zero).
 fn args_shown(nr: i32) -> usize {
     match nr {
-        20 => 0,                // getpid()
-        1 | 6 | 42 => 1,        // exit(code), close(fd), pipe(fds)
-        10 | 33 | 39 | 40 => 1, // path syscalls (pointer arg)
-        106 | 108 => 2,         // stat(path, buf), fstat(fd, buf)
-        3 | 4 | 5 | 19 => 3,    // read/write/open/lseek
+        20 => 0,                    // getpid()
+        1 | 6 | 41 | 42 | 118 => 1, // exit, close, dup, pipe, fsync
+        10 | 33 | 39 | 40 => 1,     // path syscalls (pointer arg)
+        93 | 106 | 108 => 2,        // ftruncate(fd, len), stat, fstat
+        3 | 4 | 5 | 19 => 3,        // read/write/open/lseek
         _ => 3,
     }
 }
@@ -220,6 +231,9 @@ mod tests {
             ret,
             payload,
             cycles,
+            transport_cycles: cycles.saturating_sub(600),
+            service_cycles: cycles.min(600),
+            fs_cycles: 0,
             start_cycles: 0,
         }
     }
@@ -230,6 +244,10 @@ mod tests {
         assert_eq!(syscall_class(4), "io");
         assert_eq!(syscall_name(106), "stat");
         assert_eq!(syscall_class(106), "fs-meta");
+        assert_eq!(syscall_name(41), "dup");
+        assert_eq!(syscall_name(93), "ftruncate");
+        assert_eq!(syscall_name(118), "fsync");
+        assert_eq!(syscall_class(93), "file");
         assert_eq!(syscall_name(9999), "unknown");
     }
 

@@ -1,0 +1,127 @@
+//! wasmperf-prof's unobservability and reconciliation contract.
+//!
+//! Profiling is a read-only layer: a profiled run must be byte-identical
+//! to an unprofiled run — same checksum, same counters, same output
+//! files — for compute-bound and syscall-bound programs alike, on all
+//! four standard pipelines. And what the profiler reports must reconcile
+//! exactly: per-record cycle components sum to each record's cycles, the
+//! profile's total to the run's kernel `host_cycles`, and the three-way
+//! attribution to `total_cycles + compile_cycles`.
+
+use wasmperf_browsix::AppendPolicy;
+use wasmperf_harness::{run_one, run_one_traced, Engine, TraceConfig};
+use wasmperf_trace::SyscallProfile;
+
+fn four_pipelines() -> Vec<Engine> {
+    ["native", "chrome", "firefox", "chrome-asmjs"]
+        .iter()
+        .map(|n| Engine::parse(n).unwrap())
+        .collect()
+}
+
+fn find_bench(name: &str) -> wasmperf_benchsuite::Benchmark {
+    wasmperf_benchsuite::all(wasmperf_benchsuite::Size::Test)
+        .into_iter()
+        .find(|b| b.name == name)
+        .unwrap_or_else(|| panic!("{name} in suite"))
+}
+
+#[test]
+fn profiled_runs_are_byte_identical_for_compute_and_io() {
+    // One compute kernel and one I/O-class benchmark; strace-only and
+    // full configs must both leave the result untouched.
+    for bench_name in ["gemm", "io.rwmix"] {
+        let bench = find_bench(bench_name);
+        for engine in four_pipelines() {
+            let plain = run_one(&bench, &engine, AppendPolicy::Chunked4K).unwrap();
+            for config in [
+                TraceConfig {
+                    strace: true,
+                    profile: false,
+                    spans: false,
+                },
+                TraceConfig::full(),
+            ] {
+                let (traced, trace) =
+                    run_one_traced(&bench, &engine, AppendPolicy::Chunked4K, config).unwrap();
+                let ctx = format!("{bench_name} on {}", engine.name());
+                assert_eq!(plain, traced, "profiled run must be identical: {ctx}");
+                assert!(trace.is_some(), "{ctx}");
+            }
+        }
+    }
+}
+
+#[test]
+fn io_benchmarks_validate_across_all_pipelines() {
+    // The cross-engine cmp step for the whole I/O class: every pipeline
+    // agrees on checksum and output bytes, and every program actually
+    // exercises the kernel.
+    for bench in wasmperf_benchsuite::io::all(wasmperf_benchsuite::Size::Test) {
+        let mut results = Vec::new();
+        for engine in four_pipelines() {
+            let r = run_one(&bench, &engine, AppendPolicy::Chunked4K).unwrap();
+            assert!(r.kernel_syscalls > 0, "{} is syscall-bound", bench.name);
+            assert!(r.kernel_bytes > 0, "{} marshals payload", bench.name);
+            assert!(!r.outputs.is_empty() && !r.outputs[0].1.is_empty());
+            results.push((engine.name(), r.checksum, r.outputs));
+        }
+        for w in results.windows(2) {
+            assert_eq!(
+                (&w[0].1, &w[0].2),
+                (&w[1].1, &w[1].2),
+                "{}: {} vs {} disagree",
+                bench.name,
+                w[0].0,
+                w[1].0
+            );
+        }
+    }
+}
+
+#[test]
+fn profile_reconciles_exactly_with_run_counters() {
+    for bench_name in ["io.pipechain", "io.grep", "io.fsmeta", "io.rwmix", "gemm"] {
+        let bench = find_bench(bench_name);
+        for engine in four_pipelines() {
+            let (result, trace) = run_one_traced(
+                &bench,
+                &engine,
+                AppendPolicy::Chunked4K,
+                TraceConfig::full(),
+            )
+            .unwrap();
+            let trace = trace.unwrap();
+            let log = trace.strace.as_ref().unwrap();
+            let ctx = format!("{bench_name} on {}", engine.name());
+
+            // Per-record components sum to each record's cycles.
+            for r in &log.records {
+                assert_eq!(
+                    r.transport_cycles + r.service_cycles + r.fs_cycles,
+                    r.cycles,
+                    "{ctx}"
+                );
+            }
+
+            // The aggregated profile's cycle total equals host_cycles.
+            let profile = SyscallProfile::from_log(log);
+            assert_eq!(
+                profile.total_cycles(),
+                result.counters.host_cycles,
+                "{ctx}: per-syscall cycles must sum to kernel host_cycles"
+            );
+            assert_eq!(profile.total_calls(), result.kernel_syscalls, "{ctx}");
+            assert_eq!(profile.total_payload(), result.kernel_bytes, "{ctx}");
+
+            // The three-way attribution accounts for every cycle:
+            // counters.cycles is user execution (host time is separate).
+            let attr = profile.attribution(result.counters.cycles, result.compile_cycles);
+            assert_eq!(
+                attr.total(),
+                result.counters.total_cycles() + result.compile_cycles,
+                "{ctx}: attribution must cover the whole run"
+            );
+        }
+    }
+}
