@@ -12,8 +12,12 @@
 //! Usage:
 //!
 //! ```text
-//! wasmperf-bench [--quick] [--out BENCH_PR4.json] [--check BASELINE.json]
+//! wasmperf-bench [--quick] [--filter SUBSTR] [--out BENCH_PR4.json]
+//!                [--check BASELINE.json]
 //! ```
+//!
+//! `--filter SUBSTR` keeps only benchmarks whose name contains SUBSTR
+//! (applied after `--quick`'s matrix selection).
 
 use std::time::Instant;
 
@@ -38,7 +42,7 @@ struct Row {
 /// 80% of the baseline's.
 const REGRESSION_TOLERANCE: f64 = 0.8;
 
-fn benchmarks(quick: bool) -> Vec<Benchmark> {
+fn benchmarks(quick: bool, filter: Option<&str>) -> Vec<Benchmark> {
     let names: &[&str] = if quick {
         &["gemm", "401.bzip2"]
     } else {
@@ -46,7 +50,8 @@ fn benchmarks(quick: bool) -> Vec<Benchmark> {
     };
     wasmperf_benchsuite::all(Size::Test)
         .into_iter()
-        .filter(|b| names.contains(&b.name))
+        .filter(|b| names.contains(&b.name.as_str()))
+        .filter(|b| filter.is_none_or(|f| b.name.contains(f)))
         .collect()
 }
 
@@ -115,19 +120,26 @@ fn main() {
     let mut out_path = "BENCH_PR4.json".to_string();
     let mut check_path: Option<String> = None;
     let mut quick = false;
+    let mut filter: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => out_path = args.next().expect("--out needs a path"),
             "--check" => check_path = Some(args.next().expect("--check needs a path")),
             "--quick" => quick = true,
+            "--filter" => filter = Some(args.next().expect("--filter needs a substring")),
             other => panic!("unknown argument {other:?}"),
         }
     }
     let reps = if quick { 2 } else { 3 };
 
+    let benches = benchmarks(quick, filter.as_deref());
+    if benches.is_empty() {
+        eprintln!("no benchmarks match the filter");
+        std::process::exit(2);
+    }
     let mut rows = Vec::new();
-    for bench in &benchmarks(quick) {
+    for bench in &benches {
         for engine in &engines(quick) {
             let artifact = prepare(bench, engine)
                 .unwrap_or_else(|e| panic!("{}/{}: {e:?}", bench.name, engine.name()));

@@ -74,8 +74,9 @@ fn main() -> i32 {{
 }}"
     );
     Benchmark {
-        name: "io.pipechain",
+        name: "io.pipechain".into(),
         suite: Suite::Io,
+        replay: None,
         source,
         inputs: Vec::new(),
         outputs: vec!["/chain.out".to_string()],
@@ -145,8 +146,9 @@ fn main() -> i32 {{
 }}"
     );
     Benchmark {
-        name: "io.grep",
+        name: "io.grep".into(),
         suite: Suite::Io,
+        replay: None,
         source,
         inputs: vec![("/corpus.txt".to_string(), corpus)],
         outputs: vec!["/grep.out".to_string()],
@@ -210,8 +212,9 @@ fn main() -> i32 {{
 }}"
     );
     Benchmark {
-        name: "io.fsmeta",
+        name: "io.fsmeta".into(),
         suite: Suite::Io,
+        replay: None,
         source,
         inputs: Vec::new(),
         outputs: vec!["/manifest.dat".to_string()],
@@ -267,8 +270,9 @@ fn main() -> i32 {{
 }}"
     );
     Benchmark {
-        name: "io.rwmix",
+        name: "io.rwmix".into(),
         suite: Suite::Io,
+        replay: None,
         source,
         inputs: Vec::new(),
         outputs: vec!["/mix.dat".to_string()],

@@ -13,6 +13,9 @@
 //! - [`io`]: the I/O-heavy class — four syscall-bound programs (pipe
 //!   chain, file grep, metadata churn, mixed read/write) that put the
 //!   Browsix kernel on the critical path for wasmperf-prof;
+//! - [`replay`]: recorded application runs loaded from `recordings/`
+//!   `.replay` files (wasmperf-replay), executed against a replay kernel
+//!   that answers every syscall from the recording;
 //! - input-file generation for the analogs that use the Browsix
 //!   filesystem, and a self-checksum convention: every program's `main`
 //!   returns an `i32` checksum, which the harness compares across every
@@ -23,6 +26,7 @@
 
 pub mod io;
 pub mod polybench;
+pub mod replay;
 pub mod spec;
 
 /// Workload size class.
@@ -63,13 +67,15 @@ pub enum Suite {
     Spec,
     /// I/O-heavy syscall-bound program.
     Io,
+    /// A recorded run replayed against its canned syscall boundary.
+    Replay,
 }
 
 /// One benchmark: CLite source plus the inputs it expects.
 #[derive(Debug, Clone)]
 pub struct Benchmark {
     /// Display name (the paper's benchmark id, e.g. `401.bzip2`).
-    pub name: &'static str,
+    pub name: String,
     /// Owning suite.
     pub suite: Suite,
     /// CLite source text.
@@ -78,16 +84,20 @@ pub struct Benchmark {
     pub inputs: Vec<(String, Vec<u8>)>,
     /// Expected files produced (checked non-empty after the run).
     pub outputs: Vec<String>,
+    /// For [`Suite::Replay`] benchmarks: the recording that answers the
+    /// program's syscalls in place of a live kernel.
+    pub replay: Option<std::sync::Arc<wasmperf_replay::Recording>>,
 }
 
 impl Benchmark {
-    fn pure(name: &'static str, suite: Suite, source: String) -> Benchmark {
+    fn pure(name: impl Into<String>, suite: Suite, source: String) -> Benchmark {
         Benchmark {
-            name,
+            name: name.into(),
             suite,
             source,
             inputs: Vec::new(),
             outputs: Vec::new(),
+            replay: None,
         }
     }
 }
@@ -153,7 +163,10 @@ mod tests {
 
     #[test]
     fn names_match_the_paper() {
-        let spec_names: Vec<&str> = spec::all(Size::Test).iter().map(|b| b.name).collect();
+        let spec_names: Vec<String> = spec::all(Size::Test)
+            .iter()
+            .map(|b| b.name.clone())
+            .collect();
         for expected in [
             "401.bzip2",
             "429.mcf",
@@ -171,7 +184,10 @@ mod tests {
             "641.leela_s",
             "644.nab_s",
         ] {
-            assert!(spec_names.contains(&expected), "missing {expected}");
+            assert!(
+                spec_names.iter().any(|n| n == expected),
+                "missing {expected}"
+            );
         }
     }
 

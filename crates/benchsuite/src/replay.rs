@@ -1,0 +1,115 @@
+//! [`Suite::Replay`]: recorded runs as standalone benchmarks.
+//!
+//! Each `.replay` file in the recordings directory becomes a benchmark
+//! named `replay.<name>`: the recorded program's CLite source compiles on
+//! every pipeline as usual, but at run time the harness swaps the live
+//! Browsix kernel for a replay kernel that answers each syscall from the
+//! recording. No inputs are staged and no output files are produced —
+//! the recording *is* the workload.
+
+use crate::{Benchmark, Size, Suite};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use wasmperf_replay::Recording;
+
+/// Environment variable overriding the recordings directory.
+pub const RECORDINGS_ENV: &str = "WASMPERF_RECORDINGS";
+
+/// Default recordings directory, relative to the working directory.
+pub const RECORDINGS_DIR: &str = "recordings";
+
+/// Wraps a recording as a runnable benchmark.
+pub fn from_recording(rec: Arc<Recording>) -> Benchmark {
+    Benchmark {
+        name: format!("replay.{}", rec.name),
+        suite: Suite::Replay,
+        source: rec.source.clone(),
+        inputs: Vec::new(),
+        outputs: Vec::new(),
+        replay: Some(rec),
+    }
+}
+
+/// The recordings directory: `$WASMPERF_RECORDINGS` if set, else
+/// `./recordings`.
+pub fn dir() -> PathBuf {
+    std::env::var_os(RECORDINGS_ENV)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(RECORDINGS_DIR))
+}
+
+/// Loads every recording under `path` whose size tag matches, as
+/// benchmarks. A missing directory is an empty suite; a malformed
+/// recording panics with the loader's error (a corrupt checked-in corpus
+/// should fail loudly, not silently shrink the suite).
+pub fn load_dir(path: &Path, size: Size) -> Vec<Benchmark> {
+    wasmperf_replay::load_dir(path)
+        .unwrap_or_else(|e| panic!("loading recordings from {}: {e}", path.display()))
+        .into_iter()
+        .filter(|r| r.size == size.as_str())
+        .map(|r| from_recording(Arc::new(r)))
+        .collect()
+}
+
+/// All replay benchmarks at the given size from the default directory.
+pub fn all(size: Size) -> Vec<Benchmark> {
+    load_dir(&dir(), size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasmperf_replay::ReplayRecord;
+
+    fn recording(name: &str, size: &str) -> Recording {
+        Recording {
+            name: name.into(),
+            size: size.into(),
+            source: "int main() { return 5; }".into(),
+            inputs: Vec::new(),
+            checksum: 5,
+            reduced: false,
+            records: vec![ReplayRecord {
+                nr: 20,
+                ret: 1,
+                service_cycles: 600,
+                transport_cycles: 4000,
+                ..ReplayRecord::default()
+            }],
+        }
+    }
+
+    #[test]
+    fn wraps_a_recording_with_a_prefixed_name() {
+        let b = from_recording(Arc::new(recording("webapp", "test")));
+        assert_eq!(b.name, "replay.webapp");
+        assert_eq!(b.suite, Suite::Replay);
+        assert!(b.inputs.is_empty() && b.outputs.is_empty());
+        assert_eq!(b.replay.as_ref().unwrap().checksum, 5);
+    }
+
+    #[test]
+    fn missing_directory_is_an_empty_suite() {
+        let benches = load_dir(Path::new("/nonexistent/recordings"), Size::Test);
+        assert!(benches.is_empty());
+    }
+
+    #[test]
+    fn load_dir_filters_by_size_and_sorts_by_file_name() {
+        let dir = std::env::temp_dir().join(format!("wasmperf-replay-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        wasmperf_replay::save(&recording("bbb", "test"), &dir.join("b.replay")).unwrap();
+        wasmperf_replay::save(&recording("aaa", "test"), &dir.join("a.replay")).unwrap();
+        wasmperf_replay::save(&recording("big", "ref"), &dir.join("c.replay")).unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let test = load_dir(&dir, Size::Test);
+        assert_eq!(
+            test.iter().map(|b| b.name.as_str()).collect::<Vec<_>>(),
+            ["replay.aaa", "replay.bbb"]
+        );
+        let reff = load_dir(&dir, Size::Ref);
+        assert_eq!(reff.len(), 1);
+        assert_eq!(reff[0].name, "replay.big");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -129,8 +129,9 @@ fn main() -> i32 {{
     );
 
     Benchmark {
-        name: "401.bzip2",
+        name: "401.bzip2".into(),
         suite: Suite::Spec,
+        replay: None,
         source,
         inputs: vec![("/input.dat".to_string(), input)],
         outputs: vec!["/output.bz".to_string()],
@@ -551,8 +552,9 @@ fn main() -> i32 {{
 }}"
     );
     Benchmark {
-        name: "453.povray",
+        name: "453.povray".into(),
         suite: Suite::Spec,
+        replay: None,
         source,
         inputs: Vec::new(),
         outputs: vec!["/image.pgm".to_string()],
@@ -816,8 +818,9 @@ fn main() -> i32 {{
 }}"
     );
     Benchmark {
-        name: "464.h264ref",
+        name: "464.h264ref".into(),
         suite: Suite::Spec,
+        replay: None,
         source,
         inputs: vec![
             ("/frame0.yuv".to_string(), frame0),

@@ -127,7 +127,7 @@ impl Default for KernelTiming {
 }
 
 /// Aggregate kernel statistics for one run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct KernelStats {
     /// Syscalls serviced.
     pub syscalls: u64,

@@ -41,16 +41,20 @@
 //! keeps this crate free of any dependency on the compiler pipeline.
 
 pub mod cache;
-pub mod hash;
 pub mod job;
-pub mod json;
 pub mod pool;
 pub mod service;
 pub mod store;
 
 pub use cache::{ArtifactCache, ArtifactKey, CacheStats};
 pub use job::JobSpec;
-pub use json::Json;
+pub use wasmperf_trace::json::Json;
+// The JSON codec and FNV hasher live in `wasmperf-trace` (the bottom of
+// the dependency stack) so lower layers — notably `wasmperf-replay`'s
+// recording format — can reuse them; the farm re-exports both under
+// their historical paths.
 pub use pool::{run_jobs, JobEvent, JobFailure, JobOutcome, PoolStats};
 pub use service::{ServicePool, SubmitError};
 pub use store::ResultStore;
+pub use wasmperf_trace::hash;
+pub use wasmperf_trace::json;

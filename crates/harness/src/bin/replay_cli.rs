@@ -1,0 +1,266 @@
+//! `wasmperf-replay`: the record–reduce–replay command line.
+//!
+//! ```text
+//! wasmperf-replay record <bench> [--size test|ref] [-o FILE]
+//! wasmperf-replay record --source FILE.clite --name NAME [--size S] [-o FILE]
+//! wasmperf-replay reduce <FILE.replay> [-o FILE] [--verify]
+//! wasmperf-replay replay <FILE.replay ...>
+//! wasmperf-replay info <FILE.replay ...>
+//! ```
+//!
+//! `record` runs a benchmark on the native pipeline under the recorder,
+//! capturing the complete nondeterminism boundary (every syscall with its
+//! returned bytes, errno, and cycle split) into a `.replay` file.
+//! `reduce` collapses repeated syscall patterns into loops and dedupes
+//! payload bytes; `--verify` replays both forms and proves the results
+//! byte-identical. `replay` re-executes recordings on all four standard
+//! pipelines (native, Chrome, Firefox, Chrome-asm.js); a checksum or
+//! syscall-stream divergence is a hard error. `info` prints a recording's
+//! header without running anything.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use wasmperf_benchsuite::Size;
+use wasmperf_browsix::AppendPolicy;
+use wasmperf_harness::{execute_recorded, prepare, run_one, Engine, Error, RunResult};
+use wasmperf_replay::{reduce, Recording};
+use wasmperf_wasmjit::EngineProfile;
+
+fn pipelines() -> Vec<Engine> {
+    vec![
+        Engine::Native,
+        Engine::Jit(EngineProfile::chrome()),
+        Engine::Jit(EngineProfile::firefox()),
+        Engine::Jit(EngineProfile::chrome_asmjs()),
+    ]
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(1);
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wasmperf-replay <command>\n\
+         \x20 record <bench> [--size test|ref] [-o FILE]\n\
+         \x20 record --source FILE.clite --name NAME [--size test|ref] [-o FILE]\n\
+         \x20        run a benchmark natively under the recorder; write NAME.replay\n\
+         \x20 reduce <FILE.replay> [-o FILE] [--verify]\n\
+         \x20        collapse loops + dedupe payloads; --verify replays raw and\n\
+         \x20        reduced on every pipeline and proves the results identical\n\
+         \x20 replay <FILE.replay ...>\n\
+         \x20        re-execute recordings on all four pipelines\n\
+         \x20 info   <FILE.replay ...>\n\
+         \x20        print recording headers"
+    );
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Recording {
+    wasmperf_replay::load(Path::new(path)).unwrap_or_else(|e| fail(&format!("{path}: {e}")))
+}
+
+/// Replays `rec` as a standalone benchmark on one engine.
+fn run_replay(rec: &Arc<Recording>, engine: &Engine) -> Result<RunResult, Error> {
+    let bench = wasmperf_benchsuite::replay::from_recording(Arc::clone(rec));
+    run_one(&bench, engine, AppendPolicy::Chunked4K)
+}
+
+fn cmd_record(args: &[String]) {
+    let mut size = Size::Test;
+    let mut out: Option<PathBuf> = None;
+    let mut source: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut bench_name: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--size" => {
+                let v = it.next().cloned().unwrap_or_default();
+                size = Size::parse(&v)
+                    .unwrap_or_else(|| fail(&format!("unknown size `{v}` (use test|ref)")));
+            }
+            "-o" | "--out" => out = Some(PathBuf::from(it.next().cloned().unwrap_or_default())),
+            "--source" => source = Some(it.next().cloned().unwrap_or_default()),
+            "--name" => name = Some(it.next().cloned().unwrap_or_default()),
+            other if bench_name.is_none() && !other.starts_with('-') => {
+                bench_name = Some(other.to_string());
+            }
+            other => fail(&format!("unexpected argument `{other}`")),
+        }
+    }
+
+    let bench = match (&source, &bench_name) {
+        (Some(path), _) => {
+            let src = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(&format!("reading {path}: {e}")));
+            let name = name.unwrap_or_else(|| fail("--source needs --name NAME"));
+            wasmperf_benchsuite::Benchmark {
+                name,
+                suite: wasmperf_benchsuite::Suite::Spec,
+                source: src,
+                inputs: Vec::new(),
+                outputs: Vec::new(),
+                replay: None,
+            }
+        }
+        (None, Some(wanted)) => wasmperf_benchsuite::all(size)
+            .into_iter()
+            .find(|b| &b.name == wanted)
+            .unwrap_or_else(|| fail(&format!("no benchmark named `{wanted}` at size {size:?}"))),
+        (None, None) => usage(),
+    };
+
+    let artifact =
+        prepare(&bench, &Engine::Native).unwrap_or_else(|e| fail(&format!("compile: {e}")));
+    let (result, recording) = execute_recorded(&bench, &artifact, AppendPolicy::Chunked4K, size)
+        .unwrap_or_else(|e| fail(&format!("record: {e}")));
+    let path = out.unwrap_or_else(|| {
+        PathBuf::from(format!(
+            "{}.{}",
+            recording.name.replace('/', "_"),
+            wasmperf_replay::EXTENSION
+        ))
+    });
+    wasmperf_replay::save(&recording, &path).unwrap_or_else(|e| fail(&e.to_string()));
+    println!(
+        "recorded {}: {} syscalls, {} kernel cycles, checksum {} -> {} ({} bytes)",
+        recording.name,
+        recording.records.len(),
+        recording.total_cycles(),
+        result.checksum,
+        path.display(),
+        recording.to_jsonl().len(),
+    );
+}
+
+fn cmd_reduce(args: &[String]) {
+    let mut input: Option<String> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut verify = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" | "--out" => out = Some(PathBuf::from(it.next().cloned().unwrap_or_default())),
+            "--verify" => verify = true,
+            other if input.is_none() && !other.starts_with('-') => {
+                input = Some(other.to_string());
+            }
+            other => fail(&format!("unexpected argument `{other}`")),
+        }
+    }
+    let input = input.unwrap_or_else(|| usage());
+    let raw = load(&input);
+    let reduced = reduce::reduce(&raw);
+    let ratio = reduce::ratio(&raw, &reduced);
+
+    if verify {
+        let raw = Arc::new(raw.clone());
+        let red = Arc::new(reduced.clone());
+        for engine in pipelines() {
+            let a = run_replay(&raw, &engine)
+                .unwrap_or_else(|e| fail(&format!("raw replay on {}: {e}", engine.name())));
+            let b = run_replay(&red, &engine)
+                .unwrap_or_else(|e| fail(&format!("reduced replay on {}: {e}", engine.name())));
+            if a != b {
+                fail(&format!(
+                    "verify failed on {}: reduced replay diverged from raw \
+                     (checksum {} vs {}, cycles {} vs {})",
+                    engine.name(),
+                    b.checksum,
+                    a.checksum,
+                    b.counters.total_cycles(),
+                    a.counters.total_cycles(),
+                ));
+            }
+        }
+        println!(
+            "verified: reduced replay is byte-identical to raw on {} pipelines",
+            pipelines().len()
+        );
+    }
+
+    let path = out.unwrap_or_else(|| PathBuf::from(&input));
+    wasmperf_replay::save(&reduced, &path).unwrap_or_else(|e| fail(&e.to_string()));
+    println!(
+        "reduced {}: {} records -> {} encoded lines, {:.2}x smaller -> {}",
+        reduced.name,
+        raw.records.len(),
+        count_encoded(&reduced),
+        ratio,
+        path.display(),
+    );
+}
+
+/// Lines in the reduced encoding that carry syscalls (calls + loops),
+/// for the record-count side of the reduction summary.
+fn count_encoded(rec: &Recording) -> usize {
+    // The reduced form still *replays* every record; what shrinks is the
+    // encoding. Report the serialized line count minus header + source.
+    rec.to_jsonl().lines().count().saturating_sub(2)
+}
+
+fn cmd_replay(files: &[String]) {
+    if files.is_empty() {
+        usage();
+    }
+    for path in files {
+        let rec = Arc::new(load(path));
+        println!(
+            "{}: {} ({} records{})",
+            path,
+            rec.name,
+            rec.records.len(),
+            if rec.reduced { ", reduced" } else { "" }
+        );
+        for engine in pipelines() {
+            let r = run_replay(&rec, &engine)
+                .unwrap_or_else(|e| fail(&format!("{path} on {}: {e}", engine.name())));
+            println!(
+                "  {:>12}: checksum {} syscalls {} kernel_cycles {} total_cycles {}",
+                r.engine,
+                r.checksum,
+                r.kernel_syscalls,
+                r.counters.host_cycles,
+                r.counters.total_cycles(),
+            );
+        }
+    }
+}
+
+fn cmd_info(files: &[String]) {
+    if files.is_empty() {
+        usage();
+    }
+    for path in files {
+        let rec = load(path);
+        let payload: u64 = rec.records.iter().map(|r| r.payload).sum();
+        println!(
+            "{path}: name={} size={} records={} reduced={} checksum={} \
+             payload_bytes={payload} kernel_cycles={} content_hash={:016x}",
+            rec.name,
+            rec.size,
+            rec.records.len(),
+            rec.reduced,
+            rec.checksum,
+            rec.total_cycles(),
+            rec.content_hash(),
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage();
+    };
+    match cmd.as_str() {
+        "record" => cmd_record(rest),
+        "reduce" => cmd_reduce(rest),
+        "replay" => cmd_replay(rest),
+        "info" => cmd_info(rest),
+        "--help" | "-h" | "help" => usage(),
+        _ => usage(),
+    }
+}

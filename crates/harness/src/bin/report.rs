@@ -34,6 +34,7 @@ fn main() {
     let mut results_dir: Option<std::path::PathBuf> = None;
     let mut trace_dir: Option<std::path::PathBuf> = None;
     let mut progress = false;
+    let mut filter: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -66,6 +67,14 @@ fn main() {
             }
             "--progress" => progress = true,
             "--syscalls" => wanted.push("syscalls".to_string()),
+            "--filter" => {
+                let v = it.next().unwrap_or_default();
+                if v.is_empty() {
+                    eprintln!("--filter needs a benchmark-name substring");
+                    std::process::exit(2);
+                }
+                filter = Some(v);
+            }
             "--size" => {
                 let v = it.next().unwrap_or_default();
                 size = match Size::parse(&v) {
@@ -79,15 +88,20 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: report [--size test|ref] [--jobs N] [--results DIR]\n\
-                     \x20             [--trace DIR] [--progress] [experiment ...]\n\
+                     \x20             [--trace DIR] [--filter SUBSTR] [--progress]\n\
+                     \x20             [experiment ...]\n\
                      --jobs N       run benchmark jobs on an N-worker farm\n\
                      \x20              (output is byte-identical to serial)\n\
                      --results DIR  record/resume job results in DIR/results.jsonl\n\
+                     --filter S     restrict syscalls/replay to benchmarks whose\n\
+                     \x20              name contains S\n\
                      --progress     per-job progress lines on stderr\n\
                      experiments: fig1 fig3a fig3b table1 table2 fig4 fig5 fig6\n\
                      fig7 fig8 fig9 fig10 table3 table4 overhead ablations\n\
                      syscalls (or --syscalls): wasmperf-prof per-syscall\n\
                      \x20              profile + cycle attribution, I/O suite x 4 engines\n\
+                     replay (replays ./recordings/*.replay on all 4 pipelines;\n\
+                     \x20              dir override via $WASMPERF_RECORDINGS)\n\
                      trace (observability demo; --trace DIR sets the output dir)\n\
                      dump-sources (writes the benchmark programs to ./programs/)"
                 );
@@ -187,7 +201,8 @@ fn main() {
                 exp::trace_demo(&dir, size)
             }
             "table4" => exp::table4(&mut session),
-            "syscalls" => exp::syscalls_report(size),
+            "syscalls" => exp::syscalls_report(size, filter.as_deref()),
+            "replay" => exp::replay_report(&mut session, filter.as_deref()),
             "overhead" => exp::overhead(&mut session),
             "ablation-regs" => exp::ablation_reserved_regs(&mut session),
             "ablations" => (|| {

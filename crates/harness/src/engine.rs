@@ -12,13 +12,14 @@
 //! - [`run_one`] / [`run_one_traced`] glue the two together for callers
 //!   that don't cache.
 
-use wasmperf_benchsuite::Benchmark;
-use wasmperf_browsix::{AppendPolicy, Kernel};
+use wasmperf_benchsuite::{Benchmark, Size};
+use wasmperf_browsix::{AppendPolicy, Kernel, KernelStats};
 use wasmperf_cir::hir::HProgram;
 use wasmperf_clanglite::CompileOptions;
-use wasmperf_cpu::{ExecMode, Machine, PerfCounters};
+use wasmperf_cpu::{ExecMode, HostEnv, HostOutcome, Machine, Memory, PerfCounters};
 use wasmperf_farm::hash::fnv1a;
-use wasmperf_isa::Module;
+use wasmperf_isa::{Module, TrapKind};
+use wasmperf_replay::{Recorder, Recording, ReplayKernel};
 use wasmperf_trace::{SpanLog, StraceLog, SymbolMap, TraceConfig, TraceSession};
 use wasmperf_wasmjit::{EngineProfile, Tier};
 
@@ -287,6 +288,122 @@ pub fn execute_with_fuel(
     execute_inner(bench, engine, artifact, policy, ExecMode::Predecoded, fuel)
 }
 
+/// The host behind one execution: a live Browsix kernel, or a replay
+/// kernel answering syscalls from a recording ([`Suite::Replay`]
+/// benchmarks).
+///
+/// [`Suite::Replay`]: wasmperf_benchsuite::Suite::Replay
+enum RunHost {
+    Live(Box<Kernel>),
+    Replay(ReplayKernel),
+}
+
+impl RunHost {
+    /// Builds the host for `bench`: a replay kernel when the benchmark
+    /// carries a recording, else a fresh kernel with inputs staged.
+    fn for_bench(
+        bench: &Benchmark,
+        policy: AppendPolicy,
+        strace: bool,
+        exec_err: &impl Fn(String) -> Error,
+    ) -> Result<RunHost, Error> {
+        if let Some(rec) = &bench.replay {
+            let mut k = ReplayKernel::new(rec.clone());
+            if strace {
+                k.strace = Some(StraceLog::default());
+            }
+            return Ok(RunHost::Replay(k));
+        }
+        let mut kernel = Kernel::new(policy);
+        if strace {
+            kernel.strace = Some(StraceLog::default());
+        }
+        for (path, data) in &bench.inputs {
+            kernel
+                .fs
+                .write_all(path, data)
+                .map_err(|e| exec_err(format!("staging {path}: {e:?}")))?;
+        }
+        Ok(RunHost::Live(Box::new(kernel)))
+    }
+
+    fn stats(&self) -> &KernelStats {
+        match self {
+            RunHost::Live(k) => &k.stats,
+            RunHost::Replay(k) => &k.stats,
+        }
+    }
+
+    fn take_strace(&mut self) -> Option<StraceLog> {
+        match self {
+            RunHost::Live(k) => k.strace.take(),
+            RunHost::Replay(k) => k.strace.take(),
+        }
+    }
+
+    /// Post-run validation and output collection. A replay host must have
+    /// consumed its recording exactly and reproduced the recorded
+    /// checksum; a live host yields the benchmark's declared output
+    /// files.
+    fn finish(
+        &self,
+        bench: &Benchmark,
+        checksum: i32,
+        exec_err: &impl Fn(String) -> Error,
+    ) -> Result<Vec<(String, Vec<u8>)>, Error> {
+        match self {
+            RunHost::Replay(k) => {
+                k.finish().map_err(|e| exec_err(e.to_string()))?;
+                let rec = bench
+                    .replay
+                    .as_ref()
+                    .expect("replay host without recording");
+                if checksum != rec.checksum {
+                    return Err(exec_err(format!(
+                        "replay checksum {checksum} != recorded {}",
+                        rec.checksum
+                    )));
+                }
+                Ok(Vec::new())
+            }
+            RunHost::Live(kernel) => {
+                let mut outputs = Vec::new();
+                for path in &bench.outputs {
+                    let data = kernel
+                        .fs
+                        .read_all(path)
+                        .map_err(|e| exec_err(format!("output {path}: {e:?}")))?;
+                    outputs.push((path.clone(), data));
+                }
+                Ok(outputs)
+            }
+        }
+    }
+
+    /// The divergence message, if this is a replay host that strayed
+    /// from its recording (the cause behind an `Abort` trap).
+    fn divergence(&self) -> Option<&str> {
+        match self {
+            RunHost::Live(_) => None,
+            RunHost::Replay(k) => k.divergence(),
+        }
+    }
+}
+
+impl HostEnv for RunHost {
+    fn call(
+        &mut self,
+        id: u32,
+        args: &[u64; 6],
+        mem: &mut Memory,
+    ) -> Result<HostOutcome, TrapKind> {
+        match self {
+            RunHost::Live(k) => k.call(id, args, mem),
+            RunHost::Replay(k) => k.call(id, args, mem),
+        }
+    }
+}
+
 fn execute_inner(
     bench: &Benchmark,
     engine: &Engine,
@@ -302,50 +419,109 @@ fn execute_inner(
     };
 
     let module = &artifact.module;
-    let mut kernel = Kernel::new(policy);
+    let host = RunHost::for_bench(bench, policy, false, &exec_err)?;
+
+    let entry = module.entry.ok_or_else(|| exec_err("no main".into()))?;
+    let mut machine = Machine::new(module, host);
+    machine.set_exec_mode(mode);
+    let run = machine.run(entry, &[], fuel);
+    let host = machine.into_host();
+    let out = run.map_err(|e| {
+        if e.kind == TrapKind::OutOfFuel {
+            Error::OutOfFuel {
+                bench: bench.name.to_string(),
+                engine: engine.name(),
+                fuel,
+            }
+        } else if let Some(msg) = host.divergence() {
+            exec_err(format!("replay divergence: {msg}"))
+        } else {
+            exec_err(format!("{e:?}"))
+        }
+    })?;
+
+    let checksum = out.ret as u32 as i32;
+    let outputs = host.finish(bench, checksum, &exec_err)?;
+
+    Ok(RunResult {
+        bench: bench.name.to_string(),
+        engine: engine.name(),
+        checksum,
+        counters: out.counters,
+        kernel_syscalls: host.stats().syscalls,
+        kernel_bytes: host.stats().bytes_marshalled,
+        outputs,
+        compile_cycles: artifact.compile_cycles,
+        code_bytes: module.code_bytes(),
+    })
+}
+
+/// Runs `bench` natively while recording its complete nondeterminism
+/// boundary. Returns the run's result (byte-identical to an un-recorded
+/// [`execute`] — recording is observation-only) and the captured
+/// [`Recording`], ready to [`wasmperf_replay::save`] and replay on every
+/// pipeline.
+pub fn execute_recorded(
+    bench: &Benchmark,
+    artifact: &Artifact,
+    policy: AppendPolicy,
+    size: Size,
+) -> Result<(RunResult, Recording), Error> {
+    let engine = Engine::Native;
+    let exec_err = |message: String| Error::Exec {
+        bench: bench.name.to_string(),
+        engine: engine.name(),
+        message,
+    };
+
+    let module = &artifact.module;
+    let mut recorder = Recorder::new(policy);
     for (path, data) in &bench.inputs {
-        kernel
+        recorder
+            .kernel
             .fs
             .write_all(path, data)
             .map_err(|e| exec_err(format!("staging {path}: {e:?}")))?;
     }
 
     let entry = module.entry.ok_or_else(|| exec_err("no main".into()))?;
-    let mut machine = Machine::new(module, kernel);
-    machine.set_exec_mode(mode);
-    let out = machine.run(entry, &[], fuel).map_err(|e| {
-        if e.kind == wasmperf_isa::TrapKind::OutOfFuel {
-            Error::OutOfFuel {
-                bench: bench.name.to_string(),
-                engine: engine.name(),
-                fuel,
-            }
-        } else {
-            exec_err(format!("{e:?}"))
-        }
-    })?;
+    let mut machine = Machine::new(module, recorder);
+    let out = machine
+        .run(entry, &[], DEFAULT_FUEL)
+        .map_err(|e| exec_err(format!("{e:?}")))?;
+    let recorder = machine.into_host();
 
-    let kernel = machine.into_host();
     let mut outputs = Vec::new();
     for path in &bench.outputs {
-        let data = kernel
+        let data = recorder
+            .kernel
             .fs
             .read_all(path)
             .map_err(|e| exec_err(format!("output {path}: {e:?}")))?;
         outputs.push((path.clone(), data));
     }
 
-    Ok(RunResult {
+    let result = RunResult {
         bench: bench.name.to_string(),
         engine: engine.name(),
         checksum: out.ret as u32 as i32,
         counters: out.counters,
-        kernel_syscalls: kernel.stats.syscalls,
-        kernel_bytes: kernel.stats.bytes_marshalled,
+        kernel_syscalls: recorder.kernel.stats.syscalls,
+        kernel_bytes: recorder.kernel.stats.bytes_marshalled,
         outputs,
         compile_cycles: artifact.compile_cycles,
         code_bytes: module.code_bytes(),
-    })
+    };
+    let recording = recorder
+        .into_recording(
+            &bench.name,
+            size.as_str(),
+            &bench.source,
+            bench.inputs.clone(),
+            result.checksum,
+        )
+        .map_err(|e| exec_err(e.to_string()))?;
+    Ok((result, recording))
 }
 
 /// [`execute`] with observability; `prog` is required only when
@@ -379,48 +555,35 @@ pub fn execute_traced(
         None
     };
 
-    let mut kernel = Kernel::new(policy);
-    if config.strace {
-        kernel.strace = Some(StraceLog::default());
-    }
-    for (path, data) in &bench.inputs {
-        kernel
-            .fs
-            .write_all(path, data)
-            .map_err(|e| exec_err(format!("staging {path}: {e:?}")))?;
-    }
+    let host = RunHost::for_bench(bench, policy, config.strace, &exec_err)?;
 
     let entry = module.entry.ok_or_else(|| exec_err("no main".into()))?;
-    let mut machine = Machine::new(module, kernel);
+    let mut machine = Machine::new(module, host);
     if config.profile {
         machine.enable_profile();
     }
     let open = spans.as_ref().map(SpanLog::enter);
-    let out = machine
-        .run(entry, &[], DEFAULT_FUEL)
-        .map_err(|e| exec_err(format!("{e:?}")))?;
+    let run = machine.run(entry, &[], DEFAULT_FUEL);
     if let (Some(log), Some(open)) = (spans.as_mut(), open) {
         log.exit(open, "exec", "run");
     }
     let profile = machine.take_profile();
 
-    let kernel = machine.into_host();
-    let mut outputs = Vec::new();
-    for path in &bench.outputs {
-        let data = kernel
-            .fs
-            .read_all(path)
-            .map_err(|e| exec_err(format!("output {path}: {e:?}")))?;
-        outputs.push((path.clone(), data));
-    }
+    let mut host = machine.into_host();
+    let out = run.map_err(|e| match host.divergence() {
+        Some(msg) => exec_err(format!("replay divergence: {msg}")),
+        None => exec_err(format!("{e:?}")),
+    })?;
+    let checksum = out.ret as u32 as i32;
+    let outputs = host.finish(bench, checksum, &exec_err)?;
 
     let result = RunResult {
         bench: bench.name.to_string(),
         engine: engine.name(),
-        checksum: out.ret as u32 as i32,
+        checksum,
         counters: out.counters,
-        kernel_syscalls: kernel.stats.syscalls,
-        kernel_bytes: kernel.stats.bytes_marshalled,
+        kernel_syscalls: host.stats().syscalls,
+        kernel_bytes: host.stats().bytes_marshalled,
         outputs,
         compile_cycles: artifact.compile_cycles,
         code_bytes: module.code_bytes(),
@@ -431,7 +594,7 @@ pub fn execute_traced(
     } else {
         let mut t = TraceSession::new(&result.bench, &result.engine);
         t.spans = spans.map(|l| l.spans).unwrap_or_default();
-        t.strace = kernel.strace;
+        t.strace = host.take_strace();
         t.profile = profile;
         t.symbols = symbols;
         let c = &result.counters;

@@ -385,8 +385,9 @@ pub fn fig8(s: &mut Session, size_scale: &[u32]) -> Result<String, Error> {
     let mut jobs = Vec::new();
     for &n in size_scale {
         let b = wasmperf_benchsuite::Benchmark {
-            name: "matmul",
+            name: "matmul".into(),
             suite: wasmperf_benchsuite::Suite::PolyBench,
+            replay: None,
             source: fig8_matmul_src(n),
             inputs: vec![],
             outputs: vec![],
@@ -598,8 +599,9 @@ pub fn ablation_browserfs(s: &mut Session) -> Result<String, Error> {
             return n;
         }";
     let b = wasmperf_benchsuite::Benchmark {
-        name: "h264-append-stress",
+        name: "h264-append-stress".into(),
         suite: wasmperf_benchsuite::Suite::Spec,
+        replay: None,
         source: src.to_string(),
         inputs: vec![],
         outputs: vec!["/out.264".to_string()],
@@ -660,8 +662,9 @@ pub fn ablation_safety_checks(s: &mut Session) -> Result<String, Error> {
     // A call-dense microbenchmark where the per-call checks are visible
     // undiluted (SPEC-scale functions amortize them heavily).
     let micro = wasmperf_benchsuite::Benchmark {
-        name: "call-dense-micro",
+        name: "call-dense-micro".into(),
         suite: wasmperf_benchsuite::Suite::Spec,
+        replay: None,
         source: "
             fn leaf(x: i32) -> i32 { return x + 1; }
             fn main() -> i32 {
@@ -864,8 +867,9 @@ fn main() -> i32 {{
         nj = n + n / 5
     );
     wasmperf_benchsuite::Benchmark {
-        name: "matmul",
+        name: "matmul".into(),
         suite: wasmperf_benchsuite::Suite::PolyBench,
+        replay: None,
         source: src,
         inputs: vec![],
         outputs: vec![],
@@ -880,8 +884,14 @@ fn main() -> i32 {{
 /// pool or the results store, so the output is byte-identical at any
 /// `--jobs` value and across repeated invocations. Each section's cycle
 /// column is checked against the run's kernel `host_cycles` before
-/// rendering; a mismatch is an invariant error, not a wrong table.
-pub fn syscalls_report(size: wasmperf_benchsuite::Size) -> Result<String, Error> {
+/// rendering; a mismatch is an invariant error naming the benchmark,
+/// engine, and every profiled syscall's cycle split — not a wrong table.
+/// `filter` restricts the benchmark set by name substring; `None` (and a
+/// matching-everything filter) renders the exact full report.
+pub fn syscalls_report(
+    size: wasmperf_benchsuite::Size,
+    filter: Option<&str>,
+) -> Result<String, Error> {
     use crate::engine::run_one_traced;
     use wasmperf_trace::{SyscallProfile, TraceConfig};
 
@@ -905,6 +915,9 @@ pub fn syscalls_report(size: wasmperf_benchsuite::Size) -> Result<String, Error>
                 name: "401.bzip2".into(),
             })?,
     );
+    if let Some(f) = filter {
+        benches.retain(|b| b.name.contains(f));
+    }
 
     let mut out = String::from("wasmperf-prof: per-syscall kernel profile and cycle attribution\n");
     for b in &benches {
@@ -918,9 +931,25 @@ pub fn syscalls_report(size: wasmperf_benchsuite::Size) -> Result<String, Error>
                 })?;
             let profile = SyscallProfile::from_log(log);
             if profile.total_cycles() != r.counters.host_cycles {
+                // Name the run AND each syscall's contribution: a bare
+                // total is useless for locating which charge drifted.
+                let mut detail = String::new();
+                for st in &profile.stats {
+                    detail.push_str(&format!(
+                        "\n  {} on {}: syscall {}: calls={} cycles={} (transport={} service={} fs_copy={})",
+                        b.name,
+                        r.engine,
+                        st.name,
+                        st.calls,
+                        st.split.total(),
+                        st.split.transport,
+                        st.split.service,
+                        st.split.fs_copy,
+                    ));
+                }
                 return Err(Error::Invariant {
                     message: format!(
-                        "{} on {}: profile cycles {} != host_cycles {}",
+                        "{} on {}: profile cycles {} != host_cycles {}{detail}",
                         b.name,
                         r.engine,
                         profile.total_cycles(),
@@ -941,6 +970,63 @@ pub fn syscalls_report(size: wasmperf_benchsuite::Size) -> Result<String, Error>
         }
     }
     Ok(out)
+}
+
+/// The replay report (`report replay`): every recording in the
+/// recordings directory (`$WASMPERF_RECORDINGS` or `./recordings`),
+/// replayed as a standalone benchmark on all four standard pipelines
+/// through the farm. The replay kernel answers each syscall from the
+/// recording while charging the recorded cycle splits, so the kernel
+/// columns are identical across engines by construction — the table
+/// shows what *does* differ: user-code cycles, and the slowdown vs
+/// native. `filter` restricts by benchmark-name substring.
+pub fn replay_report(s: &mut Session, filter: Option<&str>) -> Result<String, Error> {
+    let mut names = s.replay_names();
+    if let Some(f) = filter {
+        names.retain(|n| n.contains(f));
+    }
+    if names.is_empty() {
+        return Ok(
+            "replay: no recordings found (checked $WASMPERF_RECORDINGS, then ./recordings)\n"
+                .to_string(),
+        );
+    }
+    let engines = [
+        Engine::Native,
+        chrome(),
+        firefox(),
+        Engine::Jit(EngineProfile::chrome_asmjs()),
+    ];
+    s.ensure(&names, &engines)?;
+    let mut rows = Vec::new();
+    for name in &names {
+        let native_cycles = s.run(name, &Engine::Native)?.counters.total_cycles() as f64;
+        for e in &engines {
+            let r = s.run(name, e)?.clone();
+            rows.push(vec![
+                name.clone(),
+                r.engine.clone(),
+                r.checksum.to_string(),
+                r.kernel_syscalls.to_string(),
+                r.counters.host_cycles.to_string(),
+                r.counters.total_cycles().to_string(),
+                ratio(r.counters.total_cycles() as f64 / native_cycles),
+            ]);
+        }
+    }
+    Ok(table(
+        "Replay: recorded workloads re-executed on every pipeline",
+        &[
+            "recording",
+            "engine",
+            "checksum",
+            "syscalls",
+            "kernel cyc",
+            "total cyc",
+            "vs native",
+        ],
+        &rows,
+    ))
 }
 
 /// The observability demo (`report --trace <dir>`): traced matmul runs on

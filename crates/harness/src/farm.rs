@@ -25,7 +25,18 @@ use wasmperf_farm::{JobSpec, Json};
 /// Content hash of a benchmark: source text, staged input files, and
 /// declared outputs. Two benchmarks sharing a display name (the Figure 8
 /// `matmul`s) hash apart; a renamed copy hashes the same.
+///
+/// Replay benchmarks hash the recording's content address instead: the
+/// workload is the recorded syscall boundary, not the source alone, and
+/// a recording's raw and reduced forms (which share a content address)
+/// must hit the same farm cache entries.
 pub fn source_hash(bench: &Benchmark) -> u64 {
+    if let Some(rec) = &bench.replay {
+        return Fnv::new()
+            .write_str("replay")
+            .write_u64(rec.content_hash())
+            .finish();
+    }
     let mut h = Fnv::new();
     h.write_str(&bench.source);
     h.write_u64(bench.inputs.len() as u64);
@@ -236,11 +247,12 @@ mod tests {
 
     fn bench(name: &'static str, source: &str) -> Benchmark {
         Benchmark {
-            name,
+            name: name.into(),
             suite: wasmperf_benchsuite::Suite::Spec,
             source: source.to_string(),
             inputs: vec![("/in".into(), vec![1, 2, 3])],
             outputs: vec!["/out".into()],
+            replay: None,
         }
     }
 

@@ -90,6 +90,12 @@ impl Session {
         for b in wasmperf_benchsuite::all(size) {
             benches.insert(b.name.to_string(), b);
         }
+        // Replay benchmarks come from the recordings directory
+        // (`$WASMPERF_RECORDINGS` or `./recordings`); an absent directory
+        // just means an empty replay suite.
+        for b in wasmperf_benchsuite::replay::all(size) {
+            benches.insert(b.name.to_string(), b);
+        }
         Session {
             size,
             trace_config: TraceConfig::off(),
@@ -176,6 +182,19 @@ impl Session {
             .iter()
             .map(|b| b.name.to_string())
             .collect()
+    }
+
+    /// Names of the loaded replay benchmarks, sorted. Read from this
+    /// session's registry (loaded once at construction), not the disk.
+    pub fn replay_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .benches
+            .values()
+            .filter(|b| b.suite == wasmperf_benchsuite::Suite::Replay)
+            .map(|b| b.name.clone())
+            .collect();
+        names.sort();
+        names
     }
 
     /// The job spec a registry benchmark runs under.

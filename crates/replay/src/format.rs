@@ -1,0 +1,754 @@
+//! The versioned, content-addressed `.replay` recording format.
+//!
+//! A recording is JSONL (one JSON object per line, rendered by the
+//! workspace codec in `wasmperf-trace`): a header line, the program
+//! source, optionally the staged input files, and then the run's complete
+//! nondeterminism boundary — one record per Browsix syscall carrying the
+//! arguments, return value, payload bytes the kernel wrote into process
+//! memory, and the cost-model cycle split. Everything a replay kernel
+//! needs to answer the same syscall sequence with the same bytes and the
+//! same charged cycles, on any pipeline.
+//!
+//! Two encodings share the format:
+//!
+//! - **raw** (`"reduced":false`): one `syscall` line per record, inputs
+//!   included, arguments verbatim;
+//! - **reduced** (`"reduced":true`): payload bytes deduplicated into a
+//!   `blob` table, repeated call patterns collapsed into `loop` lines,
+//!   and observation-only content (staged inputs, argument vectors, which
+//!   replay never consults) dropped.
+//!
+//! Both decode to the same [`Recording`] (reduced records carry zeroed
+//! args) and replay byte-identically; [`Recording::content_hash`]
+//! deliberately skips the observation-only fields so a raw recording and
+//! its reduction share one content address.
+
+use wasmperf_trace::hash::{hex64, parse_hex64, Fnv};
+use wasmperf_trace::json::Json;
+use wasmperf_trace::MAX_ARGS;
+
+/// Version stamp of the recording format. The loader rejects any other
+/// version outright — misparsing a recording silently would poison every
+/// downstream byte-identity check.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Errors from loading, recording, or replaying a recording.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The file declares a schema version this build does not speak.
+    Version {
+        /// Version found in the header.
+        found: u64,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// A structural problem at a specific line (bad JSON, missing field,
+    /// torn tail write, record-count or content-hash mismatch).
+    Format {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The run cannot be captured as a replayable recording (e.g. a
+    /// syscall wrote process memory somewhere the replayer cannot
+    /// reproduce from the record alone).
+    Unreplayable {
+        /// What went wrong.
+        message: String,
+    },
+    /// A replayed program diverged from the recording.
+    Divergence {
+        /// What went wrong, with the record index and syscall names.
+        message: String,
+    },
+    /// Filesystem-level failure reading or writing a recording.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The OS error.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Version { found, supported } => write!(
+                f,
+                "recording schema_version {found} is not supported \
+                 (this build reads version {supported}); re-record with a \
+                 matching wasmperf-replay"
+            ),
+            ReplayError::Format { line, message } => {
+                write!(f, "recording line {line}: {message}")
+            }
+            ReplayError::Unreplayable { message } => {
+                write!(f, "run is not replayable: {message}")
+            }
+            ReplayError::Divergence { message } => {
+                write!(f, "replay divergence: {message}")
+            }
+            ReplayError::Io { path, message } => write!(f, "{path}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// One recorded syscall: everything the replay kernel needs to answer it.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReplayRecord {
+    /// Syscall number.
+    pub nr: i32,
+    /// Arguments as recorded (zeroed in reduced recordings; replay
+    /// answers at the *incoming* call's addresses, so these are
+    /// observation-only).
+    pub args: [i32; MAX_ARGS],
+    /// Return value (negative errno on failure).
+    pub ret: i32,
+    /// Payload bytes marshalled through the auxiliary buffer.
+    pub payload: u64,
+    /// Transport component of the charged kernel cycles.
+    pub transport_cycles: u64,
+    /// In-kernel service component.
+    pub service_cycles: u64,
+    /// Filesystem buffer-growth copying component.
+    pub fs_cycles: u64,
+    /// Bytes the kernel wrote into process memory answering this call
+    /// (`read` payload, `pipe` fd pair, `stat`/`fstat` struct) — empty
+    /// for calls that write nothing.
+    pub data: Vec<u8>,
+}
+
+impl ReplayRecord {
+    /// Total kernel cycles charged for this call — the three cost-model
+    /// components, which sum exactly by the kernel's invariant.
+    pub fn cycles(&self) -> u64 {
+        self.transport_cycles + self.service_cycles + self.fs_cycles
+    }
+}
+
+/// A complete recording of one run's nondeterminism boundary.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Recording {
+    /// Benchmark name the recording was captured from.
+    pub name: String,
+    /// Workload size tag ("test" / "ref").
+    pub size: String,
+    /// The CLite source of the recorded program (replay re-compiles it on
+    /// every pipeline; only the syscall boundary is canned).
+    pub source: String,
+    /// Input files staged before the recorded run. Observation-only:
+    /// replay answers reads from the records, never from these. Dropped
+    /// by reduction.
+    pub inputs: Vec<(String, Vec<u8>)>,
+    /// The recorded run's checksum (program return value) — replays on
+    /// every engine must reproduce it.
+    pub checksum: i32,
+    /// Whether this recording has been through [`crate::reduce`].
+    pub reduced: bool,
+    /// The syscall records, in service order.
+    pub records: Vec<ReplayRecord>,
+}
+
+impl Recording {
+    /// The recording's content address: an FNV-1a hash over everything
+    /// replay behavior depends on — name, size, source, checksum, and
+    /// each record's number, return, payload, cycle split, and data
+    /// bytes. Observation-only content (argument vectors, staged inputs,
+    /// the `reduced` flag) is excluded, so a raw recording and its
+    /// reduction share the same address and hit the same farm cache
+    /// entries.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write_str(&self.name)
+            .write_str(&self.size)
+            .write_str(&self.source)
+            .write_u64(self.checksum as u32 as u64)
+            .write_u64(self.records.len() as u64);
+        for r in &self.records {
+            h.write_u64(r.nr as u32 as u64)
+                .write_u64(r.ret as u32 as u64)
+                .write_u64(r.payload)
+                .write_u64(r.transport_cycles)
+                .write_u64(r.service_cycles)
+                .write_u64(r.fs_cycles)
+                .write_u64(r.data.len() as u64)
+                .write(&r.data);
+        }
+        h.finish()
+    }
+
+    /// Total kernel cycles across all records.
+    pub fn total_cycles(&self) -> u64 {
+        self.records.iter().map(ReplayRecord::cycles).sum()
+    }
+
+    /// Serializes to the JSONL text format. Raw recordings emit one
+    /// `syscall` line per record; reduced recordings emit a blob table
+    /// plus `call`/`loop` lines (see [`crate::reduce`]).
+    pub fn to_jsonl(&self) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        lines.push(
+            Json::Obj(vec![
+                ("type".into(), Json::Str("header".into())),
+                ("format".into(), Json::Str("wasmperf-replay".into())),
+                ("schema_version".into(), Json::u64(SCHEMA_VERSION as u64)),
+                ("name".into(), Json::Str(self.name.clone())),
+                ("size".into(), Json::Str(self.size.clone())),
+                ("checksum".into(), Json::Num(self.checksum as f64)),
+                ("records".into(), Json::u64(self.records.len() as u64)),
+                ("reduced".into(), Json::Bool(self.reduced)),
+                ("content_hash".into(), Json::Str(hex64(self.content_hash()))),
+            ])
+            .render(),
+        );
+        lines.push(
+            Json::Obj(vec![
+                ("type".into(), Json::Str("source".into())),
+                ("text".into(), Json::Str(self.source.clone())),
+            ])
+            .render(),
+        );
+        if self.reduced {
+            encode_reduced(&self.records, &mut lines);
+        } else {
+            for (path, data) in &self.inputs {
+                lines.push(
+                    Json::Obj(vec![
+                        ("type".into(), Json::Str("input".into())),
+                        ("path".into(), Json::Str(path.clone())),
+                        ("data".into(), Json::Str(hex_bytes(data))),
+                    ])
+                    .render(),
+                );
+            }
+            for r in &self.records {
+                let args: Vec<Json> = r.args.iter().map(|&a| Json::Num(a as f64)).collect();
+                lines.push(
+                    Json::Obj(vec![
+                        ("type".into(), Json::Str("syscall".into())),
+                        ("nr".into(), Json::Num(r.nr as f64)),
+                        ("args".into(), Json::Arr(args)),
+                        ("ret".into(), Json::Num(r.ret as f64)),
+                        ("payload".into(), Json::u64(r.payload)),
+                        ("transport".into(), Json::u64(r.transport_cycles)),
+                        ("service".into(), Json::u64(r.service_cycles)),
+                        ("fs".into(), Json::u64(r.fs_cycles)),
+                        ("data".into(), Json::Str(hex_bytes(&r.data))),
+                    ])
+                    .render(),
+                );
+            }
+        }
+        let mut out = lines.join("\n");
+        out.push('\n');
+        out
+    }
+
+    /// Parses the JSONL text format, verifying the schema version, the
+    /// header's record count (truncation detection: a torn tail line
+    /// fails JSON parsing, a cleanly missing tail fails the count), and
+    /// the content hash.
+    pub fn from_jsonl(text: &str) -> Result<Recording, ReplayError> {
+        let fmt = |line: usize, message: String| ReplayError::Format { line, message };
+
+        let mut rec = Recording::default();
+        let mut header: Option<(u64, u64)> = None; // (records, content_hash)
+        let mut blobs: Vec<Vec<u8>> = Vec::new();
+        let mut last_line = 0usize;
+
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            if raw.trim().is_empty() {
+                continue;
+            }
+            last_line = line;
+            let v = Json::parse(raw).map_err(|e| fmt(line, format!("bad JSON ({e})")))?;
+            let ty = v
+                .get("type")
+                .and_then(Json::as_str)
+                .ok_or_else(|| fmt(line, "missing \"type\" field".into()))?;
+            match ty {
+                "header" => {
+                    if header.is_some() {
+                        return Err(fmt(line, "duplicate header".into()));
+                    }
+                    let format = v.get("format").and_then(Json::as_str).unwrap_or("");
+                    if format != "wasmperf-replay" {
+                        return Err(fmt(
+                            line,
+                            format!("not a wasmperf-replay file (format {format:?})"),
+                        ));
+                    }
+                    let version = v
+                        .get("schema_version")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| fmt(line, "header missing schema_version".into()))?;
+                    if version != SCHEMA_VERSION as u64 {
+                        return Err(ReplayError::Version {
+                            found: version,
+                            supported: SCHEMA_VERSION,
+                        });
+                    }
+                    rec.name = req_str(&v, "name", line)?;
+                    rec.size = req_str(&v, "size", line)?;
+                    rec.checksum = req_i32(&v, "checksum", line)?;
+                    rec.reduced = matches!(v.get("reduced"), Some(Json::Bool(true)));
+                    let count = v
+                        .get("records")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| fmt(line, "header missing records count".into()))?;
+                    let hash = v
+                        .get("content_hash")
+                        .and_then(Json::as_str)
+                        .and_then(parse_hex64)
+                        .ok_or_else(|| fmt(line, "header missing content_hash".into()))?;
+                    header = Some((count, hash));
+                }
+                _ if header.is_none() => {
+                    return Err(fmt(line, format!("expected header line first, got {ty:?}")));
+                }
+                "source" => rec.source = req_str(&v, "text", line)?,
+                "input" => {
+                    let path = req_str(&v, "path", line)?;
+                    let data = req_hex(&v, "data", line)?;
+                    rec.inputs.push((path, data));
+                }
+                "syscall" => {
+                    let mut r = parse_record(&v, line, &blobs)?;
+                    let args = v
+                        .get("args")
+                        .and_then(Json::as_arr)
+                        .ok_or_else(|| fmt(line, "syscall missing args".into()))?;
+                    if args.len() != MAX_ARGS {
+                        return Err(fmt(
+                            line,
+                            format!("expected {MAX_ARGS} args, got {}", args.len()),
+                        ));
+                    }
+                    for (slot, a) in r.args.iter_mut().zip(args) {
+                        *slot = a
+                            .as_f64()
+                            .ok_or_else(|| fmt(line, "non-numeric arg".into()))?
+                            as i64 as i32;
+                    }
+                    rec.records.push(r);
+                }
+                "blob" => blobs.push(req_hex(&v, "data", line)?),
+                "call" => rec.records.push(parse_record(&v, line, &blobs)?),
+                "loop" => {
+                    let count = v
+                        .get("count")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| fmt(line, "loop missing count".into()))?;
+                    let body = v
+                        .get("body")
+                        .and_then(Json::as_arr)
+                        .ok_or_else(|| fmt(line, "loop missing body".into()))?;
+                    let mut once = Vec::with_capacity(body.len());
+                    for item in body {
+                        once.push(parse_record(item, line, &blobs)?);
+                    }
+                    for _ in 0..count {
+                        rec.records.extend(once.iter().cloned());
+                    }
+                }
+                other => return Err(fmt(line, format!("unknown line type {other:?}"))),
+            }
+        }
+
+        let (count, hash) = header.ok_or_else(|| fmt(1, "empty file: no header line".into()))?;
+        if rec.records.len() as u64 != count {
+            return Err(fmt(
+                last_line,
+                format!(
+                    "truncated recording: header declares {count} records, file contains {}",
+                    rec.records.len()
+                ),
+            ));
+        }
+        let actual = rec.content_hash();
+        if actual != hash {
+            return Err(fmt(
+                last_line,
+                format!(
+                    "content hash mismatch: header {} vs recomputed {}",
+                    hex64(hash),
+                    hex64(actual)
+                ),
+            ));
+        }
+        Ok(rec)
+    }
+}
+
+/// Parses one record object: a raw `syscall` line, a reduced `call` line,
+/// or a `loop` body item. Reduced lines omit zero/empty fields and point
+/// at the blob table instead of carrying data inline.
+fn parse_record(v: &Json, line: usize, blobs: &[Vec<u8>]) -> Result<ReplayRecord, ReplayError> {
+    let fmt = |message: String| ReplayError::Format { line, message };
+    let nr = req_i32(v, "nr", line)?;
+    let opt_u64 = |key: &str| -> Result<u64, ReplayError> {
+        match v.get(key) {
+            None => Ok(0),
+            Some(n) => n
+                .as_u64()
+                .ok_or_else(|| fmt(format!("field {key:?} is not an integer"))),
+        }
+    };
+    let ret = match v.get("ret") {
+        None => 0,
+        Some(n) => n
+            .as_f64()
+            .ok_or_else(|| fmt("field \"ret\" is not a number".into()))? as i64
+            as i32,
+    };
+    let data = match (v.get("blob"), v.get("data")) {
+        (Some(b), _) => {
+            let idx = b
+                .as_u64()
+                .ok_or_else(|| fmt("blob index is not an integer".into()))?
+                as usize;
+            blobs
+                .get(idx)
+                .ok_or_else(|| {
+                    fmt(format!(
+                        "blob index {idx} out of range ({} blobs)",
+                        blobs.len()
+                    ))
+                })?
+                .clone()
+        }
+        (None, Some(Json::Str(s))) => {
+            unhex_bytes(s).ok_or_else(|| fmt("bad hex in data field".into()))?
+        }
+        (None, Some(_)) => return Err(fmt("data field is not a string".into())),
+        (None, None) => Vec::new(),
+    };
+    Ok(ReplayRecord {
+        nr,
+        args: [0; MAX_ARGS],
+        ret,
+        payload: opt_u64("payload")?,
+        transport_cycles: opt_u64("transport")?,
+        service_cycles: opt_u64("service")?,
+        fs_cycles: opt_u64("fs")?,
+        data,
+    })
+}
+
+/// Encodes reduced records: blob table first (deduplicated payload
+/// bytes, indexed by first use), then call/loop lines.
+fn encode_reduced(records: &[ReplayRecord], lines: &mut Vec<String>) {
+    // Blob table: index by first use, one entry per distinct non-empty
+    // data payload.
+    let mut blobs: Vec<&[u8]> = Vec::new();
+    let mut blob_of = Vec::with_capacity(records.len());
+    for r in records {
+        if r.data.is_empty() {
+            blob_of.push(None);
+        } else {
+            let idx = match blobs.iter().position(|b| *b == r.data.as_slice()) {
+                Some(i) => i,
+                None => {
+                    blobs.push(&r.data);
+                    blobs.len() - 1
+                }
+            };
+            blob_of.push(Some(idx));
+        }
+    }
+    for b in &blobs {
+        lines.push(
+            Json::Obj(vec![
+                ("type".into(), Json::Str("blob".into())),
+                ("data".into(), Json::Str(hex_bytes(b))),
+            ])
+            .render(),
+        );
+    }
+
+    let call_obj = |i: usize| -> Json {
+        let r = &records[i];
+        let mut fields = vec![
+            ("type".into(), Json::Str("call".into())),
+            ("nr".into(), Json::Num(r.nr as f64)),
+        ];
+        if r.ret != 0 {
+            fields.push(("ret".into(), Json::Num(r.ret as f64)));
+        }
+        if r.payload != 0 {
+            fields.push(("payload".into(), Json::u64(r.payload)));
+        }
+        if r.transport_cycles != 0 {
+            fields.push(("transport".into(), Json::u64(r.transport_cycles)));
+        }
+        if r.service_cycles != 0 {
+            fields.push(("service".into(), Json::u64(r.service_cycles)));
+        }
+        if r.fs_cycles != 0 {
+            fields.push(("fs".into(), Json::u64(r.fs_cycles)));
+        }
+        if let Some(idx) = blob_of[i] {
+            fields.push(("blob".into(), Json::u64(idx as u64)));
+        }
+        Json::Obj(fields)
+    };
+    // Two records are loop-foldable when they serialize identically
+    // (same call answered the same way, same blob).
+    let same = |a: usize, b: usize| records[a] == records[b] && blob_of[a] == blob_of[b];
+
+    // Greedy loop collapse: at each position try periods 1..=MAX_PERIOD,
+    // keep the one that elides the most lines.
+    const MAX_PERIOD: usize = 8;
+    let mut i = 0;
+    while i < records.len() {
+        let mut best: Option<(usize, usize, usize)> = None; // (savings, period, reps)
+        for period in 1..=MAX_PERIOD.min(records.len() - i) {
+            let mut reps = 1;
+            while i + (reps + 1) * period <= records.len()
+                && (0..period).all(|k| same(i + k, i + reps * period + k))
+            {
+                reps += 1;
+            }
+            if reps >= 2 {
+                let savings = (reps - 1) * period;
+                // Strictly-greater keeps the smallest period on ties.
+                if best.map(|(s, _, _)| savings > s).unwrap_or(true) {
+                    best = Some((savings, period, reps));
+                }
+            }
+        }
+        match best {
+            Some((_, period, reps)) => {
+                let body: Vec<Json> = (i..i + period).map(call_obj).collect();
+                lines.push(
+                    Json::Obj(vec![
+                        ("type".into(), Json::Str("loop".into())),
+                        ("count".into(), Json::u64(reps as u64)),
+                        ("body".into(), Json::Arr(body)),
+                    ])
+                    .render(),
+                );
+                i += period * reps;
+            }
+            None => {
+                lines.push(call_obj(i).render());
+                i += 1;
+            }
+        }
+    }
+}
+
+fn req_str(v: &Json, key: &str, line: usize) -> Result<String, ReplayError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| ReplayError::Format {
+            line,
+            message: format!("missing string field {key:?}"),
+        })
+}
+
+fn req_i32(v: &Json, key: &str, line: usize) -> Result<i32, ReplayError> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .map(|n| n as i64 as i32)
+        .ok_or_else(|| ReplayError::Format {
+            line,
+            message: format!("missing numeric field {key:?}"),
+        })
+}
+
+fn req_hex(v: &Json, key: &str, line: usize) -> Result<Vec<u8>, ReplayError> {
+    let s = req_str(v, key, line)?;
+    unhex_bytes(&s).ok_or_else(|| ReplayError::Format {
+        line,
+        message: format!("bad hex in field {key:?}"),
+    })
+}
+
+/// Lowercase hex encoding for payload bytes.
+pub fn hex_bytes(data: &[u8]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::with_capacity(data.len() * 2);
+    for b in data {
+        let _ = write!(s, "{b:02x}");
+    }
+    s
+}
+
+/// Inverse of [`hex_bytes`].
+pub fn unhex_bytes(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len() / 2)
+        .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample(reduced: bool) -> Recording {
+        let rec = |nr: i32, ret: i32, data: &[u8]| ReplayRecord {
+            nr,
+            args: if reduced {
+                [0; MAX_ARGS]
+            } else {
+                [3, 0x2000, 64, 0, 0]
+            },
+            ret,
+            payload: data.len() as u64,
+            transport_cycles: 4000 + (data.len() as u64 * 2) / 8,
+            service_cycles: 600,
+            fs_cycles: 0,
+            data: data.to_vec(),
+        };
+        Recording {
+            name: "io.rwmix".into(),
+            size: "test".into(),
+            source: "int main() { return 42; }".into(),
+            inputs: if reduced {
+                Vec::new()
+            } else {
+                vec![("/in".into(), vec![1, 2, 3])]
+            },
+            checksum: -7,
+            reduced,
+            records: vec![
+                rec(5, 3, &[]),
+                rec(3, 4, &[9, 9, 9, 9]),
+                rec(3, 4, &[9, 9, 9, 9]),
+                rec(3, 4, &[9, 9, 9, 9]),
+                rec(4, 4, &[]),
+                rec(6, 0, &[]),
+                rec(1, 0, &[]),
+            ],
+        }
+    }
+
+    #[test]
+    fn raw_roundtrip_is_identity() {
+        let rec = sample(false);
+        let text = rec.to_jsonl();
+        let back = Recording::from_jsonl(&text).unwrap();
+        assert_eq!(rec, back);
+    }
+
+    #[test]
+    fn reduced_roundtrip_is_identity() {
+        let rec = sample(true);
+        let text = rec.to_jsonl();
+        assert!(text.contains("\"loop\""), "{text}");
+        assert!(text.contains("\"blob\""), "{text}");
+        let back = Recording::from_jsonl(&text).unwrap();
+        assert_eq!(rec, back);
+    }
+
+    #[test]
+    fn raw_and_reduced_share_a_content_hash() {
+        // Same replay behavior, same address: args and inputs are
+        // observation-only.
+        assert_eq!(sample(false).content_hash(), sample(true).content_hash());
+    }
+
+    #[test]
+    fn empty_recording_roundtrips() {
+        let rec = Recording {
+            name: "gemm".into(),
+            size: "test".into(),
+            source: "int main() { return 1; }".into(),
+            checksum: 1,
+            ..Recording::default()
+        };
+        let back = Recording::from_jsonl(&rec.to_jsonl()).unwrap();
+        assert_eq!(rec, back);
+        assert_eq!(back.records.len(), 0);
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected_clearly() {
+        let rec = sample(false);
+        let text = rec
+            .to_jsonl()
+            .replace("\"schema_version\":1", "\"schema_version\":99");
+        let err = Recording::from_jsonl(&text).unwrap_err();
+        assert_eq!(
+            err,
+            ReplayError::Version {
+                found: 99,
+                supported: SCHEMA_VERSION
+            }
+        );
+        assert!(err.to_string().contains("re-record"), "{err}");
+    }
+
+    #[test]
+    fn torn_tail_line_is_a_format_error() {
+        let rec = sample(false);
+        let text = rec.to_jsonl();
+        let torn = &text[..text.len() - 20]; // mid-line cut
+        let err = Recording::from_jsonl(torn).unwrap_err();
+        match err {
+            ReplayError::Format { message, .. } => {
+                assert!(message.contains("bad JSON"), "{message}")
+            }
+            other => panic!("expected Format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cleanly_missing_tail_is_truncation() {
+        let rec = sample(false);
+        let text = rec.to_jsonl();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.pop(); // drop one whole record line
+        let err = Recording::from_jsonl(&lines.join("\n")).unwrap_err();
+        match err {
+            ReplayError::Format { message, .. } => {
+                assert!(message.contains("truncated"), "{message}")
+            }
+            other => panic!("expected Format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_fails_the_content_hash() {
+        let rec = sample(false);
+        let text = rec.to_jsonl().replace("09090909", "09090908");
+        let err = Recording::from_jsonl(&text).unwrap_err();
+        match err {
+            ReplayError::Format { message, .. } => {
+                assert!(message.contains("content hash"), "{message}")
+            }
+            other => panic!("expected Format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_replay_json_is_rejected() {
+        let err =
+            Recording::from_jsonl("{\"type\":\"header\",\"format\":\"other\"}\n").unwrap_err();
+        match err {
+            ReplayError::Format { message, .. } => {
+                assert!(message.contains("not a wasmperf-replay"), "{message}")
+            }
+            other => panic!("expected Format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        assert_eq!(
+            unhex_bytes(&hex_bytes(&[0, 255, 16])),
+            Some(vec![0, 255, 16])
+        );
+        assert_eq!(unhex_bytes("0"), None);
+        assert_eq!(unhex_bytes("zz"), None);
+    }
+}

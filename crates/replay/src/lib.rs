@@ -1,0 +1,76 @@
+//! wasmperf-replay: record–reduce–replay for realistic standalone
+//! benchmarks (Wasm-R3 style).
+//!
+//! The paper's suite is SPEC/polybench-style kernels; real applications
+//! are syscall-heavy and phase-shifting. This crate captures any run's
+//! complete nondeterminism boundary into a versioned, content-addressed
+//! recording ([`record`]), shrinks it without changing what it replays
+//! ([`reduce`]), and replays it deterministically on every pipeline by
+//! answering each syscall from the recording while charging the original
+//! cost-model cycles ([`replay`]).
+//!
+//! The determinism contract (see `docs/REPLAY.md`): the syscall *stream*
+//! — numbers, returns, payload bytes, charged cycles — is identical
+//! across engines; only buffer addresses differ. So a recording captured
+//! on one pipeline replays on all of them, and a replayed run's kernel
+//! counters equal the recorded run's exactly.
+
+#![warn(missing_docs)]
+
+pub mod format;
+pub mod record;
+pub mod reduce;
+pub mod replay;
+
+pub use format::{Recording, ReplayError, ReplayRecord, SCHEMA_VERSION};
+pub use record::Recorder;
+pub use reduce::{ratio, reduce};
+pub use replay::ReplayKernel;
+
+use std::path::Path;
+
+/// File extension for recordings.
+pub const EXTENSION: &str = "replay";
+
+/// Loads a recording from a `.replay` file.
+pub fn load(path: &Path) -> Result<Recording, ReplayError> {
+    let text = std::fs::read_to_string(path).map_err(|e| ReplayError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    Recording::from_jsonl(&text)
+}
+
+/// Writes a recording to a `.replay` file.
+pub fn save(rec: &Recording, path: &Path) -> Result<(), ReplayError> {
+    std::fs::write(path, rec.to_jsonl()).map_err(|e| ReplayError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })
+}
+
+/// Loads every `*.replay` file in a directory, sorted by file name for
+/// deterministic ordering. A missing directory is an empty corpus, not
+/// an error; a malformed file is an error naming the file.
+pub fn load_dir(dir: &Path) -> Result<Vec<Recording>, ReplayError> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return Ok(Vec::new()),
+    };
+    let mut paths: Vec<std::path::PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().map(|x| x == EXTENSION).unwrap_or(false))
+        .collect();
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for p in &paths {
+        out.push(load(p).map_err(|e| match e {
+            ReplayError::Format { line, message } => ReplayError::Format {
+                line,
+                message: format!("{}: {message}", p.display()),
+            },
+            other => other,
+        })?);
+    }
+    Ok(out)
+}

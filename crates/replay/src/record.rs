@@ -1,0 +1,285 @@
+//! Recording: run a program against the real Browsix kernel while
+//! capturing the complete nondeterminism boundary.
+//!
+//! [`Recorder`] wraps a live [`Kernel`] with strace enabled and a memory
+//! tap: every byte the kernel writes into process memory while answering
+//! a syscall (a `read` payload, a `pipe` fd pair, a `stat` struct) is
+//! captured alongside the strace record. Zipping the two streams yields a
+//! [`Recording`] — everything a later replay needs to answer the same
+//! syscall sequence with the same bytes, return values, and charged
+//! cycles, without a filesystem.
+//!
+//! Recording is observation-only: the recorder delegates every call to
+//! the unmodified kernel, so a recorded run is byte-identical to an
+//! un-recorded one (proven by `tests/replay_equivalence.rs`).
+
+use crate::format::{Recording, ReplayError, ReplayRecord};
+use wasmperf_browsix::kernel::ProcMem;
+use wasmperf_browsix::{AppendPolicy, Kernel};
+use wasmperf_cpu::{HostEnv, HostOutcome, Memory};
+use wasmperf_isa::TrapKind;
+use wasmperf_trace::{syscall_name, StraceLog};
+
+/// Where (if anywhere) the kernel writes process memory answering syscall
+/// `nr`: the index of the out-pointer in the full argument vector
+/// (`args[0]` being the number). This is the contract that makes
+/// recordings engine-portable — replay rewrites the same bytes at the
+/// *incoming* call's address, which differs across pipelines while the
+/// data does not.
+pub(crate) fn out_ptr_arg(nr: i32) -> Option<usize> {
+    match nr {
+        3 => Some(2),         // read(fd, buf, len) -> buf
+        42 => Some(1),        // pipe(fds) -> fds
+        106 | 108 => Some(2), // stat(path, buf) / fstat(fd, buf) -> buf
+        _ => None,
+    }
+}
+
+/// A [`ProcMem`] wrapper that logs every successful kernel write.
+struct TapMem<'a, M: ProcMem + ?Sized> {
+    inner: &'a mut M,
+    writes: Vec<(u32, Vec<u8>)>,
+}
+
+impl<M: ProcMem + ?Sized> ProcMem for TapMem<'_, M> {
+    fn read_mem(&self, addr: u32, len: u32) -> Result<Vec<u8>, ()> {
+        self.inner.read_mem(addr, len)
+    }
+
+    fn write_mem(&mut self, addr: u32, data: &[u8]) -> Result<(), ()> {
+        self.inner.write_mem(addr, data)?;
+        self.writes.push((addr, data.to_vec()));
+        Ok(())
+    }
+}
+
+/// A live kernel plus the captured per-syscall write stream.
+pub struct Recorder {
+    /// The real kernel servicing the run (strace enabled).
+    pub kernel: Kernel,
+    /// Captured memory writes, one entry per serviced syscall.
+    data: Vec<Vec<u8>>,
+    /// First unreplayable condition seen, if any.
+    error: Option<String>,
+}
+
+impl Recorder {
+    /// A recorder around a fresh kernel with strace enabled.
+    pub fn new(policy: AppendPolicy) -> Recorder {
+        let mut kernel = Kernel::new(policy);
+        kernel.strace = Some(StraceLog::default());
+        Recorder {
+            kernel,
+            data: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Services one syscall through the live kernel, capturing what it
+    /// wrote into process memory.
+    pub(crate) fn record_call<M: ProcMem + ?Sized>(
+        &mut self,
+        args: &[i32],
+        mem: &mut M,
+    ) -> (i32, u64) {
+        let mut tap = TapMem {
+            inner: mem,
+            writes: Vec::new(),
+        };
+        let (ret, cycles) = self.kernel.syscall(args, &mut tap);
+        let nr = args.first().copied().unwrap_or(-1);
+        let data = match tap.writes.len() {
+            0 => Vec::new(),
+            1 => {
+                let (addr, bytes) = tap.writes.pop().unwrap();
+                let expected = out_ptr_arg(nr).map(|i| args.get(i).copied().unwrap_or(0) as u32);
+                if expected == Some(addr) {
+                    bytes
+                } else {
+                    self.fail(format!(
+                        "{}({nr}) wrote {} bytes at {addr:#x}, not at its out-pointer argument",
+                        syscall_name(nr),
+                        bytes.len()
+                    ));
+                    bytes
+                }
+            }
+            n => {
+                self.fail(format!(
+                    "{}({nr}) performed {n} memory writes; the record format holds one",
+                    syscall_name(nr)
+                ));
+                Vec::new()
+            }
+        };
+        self.data.push(data);
+        (ret, cycles)
+    }
+
+    fn fail(&mut self, message: String) {
+        if self.error.is_none() {
+            self.error = Some(message);
+        }
+    }
+
+    /// Assembles the recording from the strace log and the captured write
+    /// stream. `name`/`size` label the workload; `inputs` are the staged
+    /// files (kept in raw recordings for provenance); `checksum` is the
+    /// finished run's return value.
+    pub fn into_recording(
+        self,
+        name: &str,
+        size: &str,
+        source: &str,
+        inputs: Vec<(String, Vec<u8>)>,
+        checksum: i32,
+    ) -> Result<Recording, ReplayError> {
+        if let Some(message) = self.error {
+            return Err(ReplayError::Unreplayable { message });
+        }
+        let log = self.kernel.strace.unwrap_or_default();
+        if log.records.len() != self.data.len() {
+            return Err(ReplayError::Unreplayable {
+                message: format!(
+                    "strace saw {} syscalls but the tap saw {}",
+                    log.records.len(),
+                    self.data.len()
+                ),
+            });
+        }
+        let records = log
+            .records
+            .into_iter()
+            .zip(self.data)
+            .map(|(r, data)| ReplayRecord {
+                nr: r.nr,
+                args: r.args,
+                ret: r.ret,
+                payload: r.payload,
+                transport_cycles: r.transport_cycles,
+                service_cycles: r.service_cycles,
+                fs_cycles: r.fs_cycles,
+                data,
+            })
+            .collect();
+        Ok(Recording {
+            name: name.to_string(),
+            size: size.to_string(),
+            source: source.to_string(),
+            inputs,
+            checksum,
+            reduced: false,
+            records,
+        })
+    }
+}
+
+// The three host-interface impls mirror the live kernel's exactly, so
+// swapping a Recorder in changes nothing the program can observe.
+
+impl HostEnv for Recorder {
+    fn call(
+        &mut self,
+        _id: u32,
+        args: &[u64; 6],
+        mem: &mut Memory,
+    ) -> Result<HostOutcome, TrapKind> {
+        let iargs: Vec<i32> = args.iter().map(|&v| v as u32 as i32).collect();
+        let (ret, cycles) = self.record_call(&iargs, mem);
+        if let Some(code) = self.kernel.exit_code {
+            return Ok(HostOutcome::Exit {
+                code,
+                kernel_cycles: cycles,
+            });
+        }
+        Ok(HostOutcome::Ret {
+            value: ret as u32 as u64,
+            kernel_cycles: cycles,
+        })
+    }
+}
+
+impl wasmperf_cir::CliteHost for Recorder {
+    fn syscall(&mut self, args: &[i32], mem: &mut [u8]) -> Result<i32, String> {
+        let (ret, _) = self.record_call(args, mem);
+        if let Some(code) = self.kernel.exit_code {
+            return Err(format!("exit({code})"));
+        }
+        Ok(ret)
+    }
+}
+
+impl wasmperf_wasm::ImportHost for Recorder {
+    fn call(
+        &mut self,
+        _module: &str,
+        _field: &str,
+        args: &[wasmperf_wasm::Value],
+        mem: &mut Vec<u8>,
+    ) -> Result<Option<wasmperf_wasm::Value>, wasmperf_wasm::WasmTrap> {
+        let iargs: Vec<i32> = args.iter().map(wasmperf_wasm::Value::unwrap_i32).collect();
+        let (ret, _) = self.record_call(&iargs, mem.as_mut_slice());
+        if let Some(code) = self.kernel.exit_code {
+            return Err(wasmperf_wasm::WasmTrap::Host(format!("exit({code})")));
+        }
+        Ok(Some(wasmperf_wasm::Value::I32(ret)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_a_write_read_sequence() {
+        let mut rec = Recorder::new(AppendPolicy::Chunked4K);
+        let mut mem = vec![0u8; 65536];
+        mem[0x100..0x105].copy_from_slice(b"/f\0\0\0");
+        mem[0x200..0x204].copy_from_slice(b"abcd");
+
+        use wasmperf_browsix::kernel::flags;
+        let fd = {
+            let (ret, _) = rec.record_call(
+                &[5, 0x100, flags::O_CREAT | flags::O_RDWR, 0],
+                mem.as_mut_slice(),
+            );
+            ret
+        };
+        assert!(fd >= 0);
+        let (w, _) = rec.record_call(&[4, fd, 0x200, 4], mem.as_mut_slice());
+        assert_eq!(w, 4);
+        let (s, _) = rec.record_call(&[19, fd, 0, 0], mem.as_mut_slice());
+        assert_eq!(s, 0);
+        let (r, _) = rec.record_call(&[3, fd, 0x300, 4], mem.as_mut_slice());
+        assert_eq!(r, 4);
+        assert_eq!(&mem[0x300..0x304], b"abcd");
+        rec.record_call(&[1, 0], mem.as_mut_slice());
+
+        let recording = rec
+            .into_recording("t", "test", "int main(){}", Vec::new(), 0)
+            .unwrap();
+        assert_eq!(recording.records.len(), 5);
+        let read = &recording.records[3];
+        assert_eq!(read.nr, 3);
+        assert_eq!(read.data, b"abcd");
+        assert!(read.cycles() > 0);
+        // Non-writing syscalls carry no data.
+        assert!(recording.records[0].data.is_empty());
+        assert!(recording.records[1].data.is_empty());
+    }
+
+    #[test]
+    fn captures_pipe_and_fstat_out_structs() {
+        let mut rec = Recorder::new(AppendPolicy::Chunked4K);
+        let mut mem = vec![0u8; 65536];
+        let (ret, _) = rec.record_call(&[42, 0x400], mem.as_mut_slice());
+        assert_eq!(ret, 0);
+        let (ret, _) = rec.record_call(&[108, 1, 0x500], mem.as_mut_slice());
+        assert_eq!(ret, 0);
+        let recording = rec
+            .into_recording("t", "test", "int main(){}", Vec::new(), 0)
+            .unwrap();
+        assert_eq!(recording.records[0].data.len(), 8); // two i32 fds
+        assert_eq!(recording.records[1].data.len(), 16); // stat struct
+    }
+}

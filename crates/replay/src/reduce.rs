@@ -1,0 +1,113 @@
+//! Trace reduction: shrink a raw recording without changing what it
+//! replays.
+//!
+//! Reduction is lossy only about *observation-only* content — things the
+//! replay kernel never consults:
+//!
+//! - staged input files are dropped (replay answers every `read` from the
+//!   records, never from a filesystem);
+//! - per-record argument vectors are zeroed (replay writes payload bytes
+//!   at the *incoming* call's addresses, matched positionally by syscall
+//!   number);
+//! - at encode time, identical payload byte strings are deduplicated into
+//!   a shared blob table, and repeated call patterns (up to period 8) are
+//!   collapsed into `loop` lines.
+//!
+//! Everything replay behavior depends on survives byte for byte, which is
+//! why [`Recording::content_hash`] is identical before and after — and
+//! why the `--verify` mode of the CLI can prove raw and reduced replays
+//! byte-identical.
+
+use crate::format::Recording;
+use wasmperf_trace::MAX_ARGS;
+
+/// Produces the reduced form of a recording. Idempotent; the content
+/// hash is unchanged.
+pub fn reduce(rec: &Recording) -> Recording {
+    let mut out = rec.clone();
+    out.reduced = true;
+    out.inputs.clear();
+    for r in &mut out.records {
+        r.args = [0; MAX_ARGS];
+    }
+    out
+}
+
+/// Reduction ratio: raw serialized bytes over reduced serialized bytes.
+pub fn ratio(raw: &Recording, reduced: &Recording) -> f64 {
+    let a = raw.to_jsonl().len() as f64;
+    let b = reduced.to_jsonl().len().max(1) as f64;
+    a / b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{ReplayRecord, SCHEMA_VERSION};
+
+    fn raw() -> Recording {
+        let rec = |nr: i32, ret: i32, data: Vec<u8>| ReplayRecord {
+            nr,
+            args: [7, 0x4000, 1024, 0, 0],
+            ret,
+            payload: data.len() as u64,
+            transport_cycles: 4000,
+            service_cycles: 600,
+            fs_cycles: 0,
+            data,
+        };
+        let mut records = vec![rec(5, 3, vec![])];
+        for _ in 0..50 {
+            records.push(rec(3, 1024, vec![0xab; 1024]));
+            records.push(rec(4, 1024, vec![]));
+        }
+        records.push(rec(1, 0, vec![]));
+        Recording {
+            name: "loopy".into(),
+            size: "test".into(),
+            source: "int main() { return 0; }".into(),
+            inputs: vec![("/in".into(), vec![0xab; 51200])],
+            checksum: 0,
+            reduced: false,
+            records,
+        }
+    }
+
+    #[test]
+    fn reduce_preserves_replay_content() {
+        let a = raw();
+        let b = reduce(&a);
+        assert!(b.reduced);
+        assert!(b.inputs.is_empty());
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert_eq!(a.records.len(), b.records.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.nr, y.nr);
+            assert_eq!(x.ret, y.ret);
+            assert_eq!(x.data, y.data);
+            assert_eq!(x.cycles(), y.cycles());
+        }
+        // Idempotent.
+        assert_eq!(reduce(&b), b);
+    }
+
+    #[test]
+    fn reduction_shrinks_repetitive_recordings_substantially() {
+        let a = raw();
+        let b = reduce(&a);
+        let r = ratio(&a, &b);
+        assert!(r > 10.0, "reduction ratio only {r:.1}x");
+        // And the reduced text still decodes to the same records.
+        let back = Recording::from_jsonl(&b.to_jsonl()).unwrap();
+        assert_eq!(back, b);
+        assert_eq!(back.content_hash(), a.content_hash());
+    }
+
+    #[test]
+    fn reduced_header_is_versioned() {
+        let text = reduce(&raw()).to_jsonl();
+        let head = text.lines().next().unwrap();
+        assert!(head.contains(&format!("\"schema_version\":{SCHEMA_VERSION}")));
+        assert!(head.contains("\"reduced\":true"));
+    }
+}

@@ -1,0 +1,376 @@
+//! Replay: answer a program's syscalls from a recording instead of a
+//! live kernel.
+//!
+//! [`ReplayKernel`] is a `Kernel`-shaped sibling of the Browsix kernel:
+//! it implements the same three host interfaces (`HostEnv`, `CliteHost`,
+//! `ImportHost`), but each syscall is answered from the next record —
+//! same return value, same payload bytes written into process memory,
+//! same charged kernel cycles — with no filesystem behind it. Because the
+//! syscall *stream* (numbers, returns, payload bytes) is identical across
+//! engines while buffer *addresses* differ, the replay kernel writes each
+//! record's data at the incoming call's out-pointer, matched positionally
+//! by syscall number.
+//!
+//! Any mismatch between the program and the recording — different
+//! syscall number, calls past the end of the recording, a bad pointer —
+//! is a **divergence**: the run traps deterministically with a message
+//! naming the record index and the syscall names involved.
+
+use std::sync::Arc;
+
+use crate::format::{Recording, ReplayError};
+use crate::record::out_ptr_arg;
+use wasmperf_browsix::kernel::ProcMem;
+use wasmperf_browsix::{KernelStats, KernelTiming};
+use wasmperf_cpu::{HostEnv, HostOutcome, Memory};
+use wasmperf_isa::TrapKind;
+use wasmperf_trace::{syscall_name, StraceLog, SyscallRecord, MAX_ARGS};
+
+/// A kernel that answers every syscall from a [`Recording`].
+pub struct ReplayKernel {
+    rec: Arc<Recording>,
+    /// Next record to serve.
+    cursor: usize,
+    /// Aggregate statistics, mirroring the live kernel's accounting so
+    /// `RunResult` counters match the recorded run's exactly.
+    pub stats: KernelStats,
+    /// Exit code once the recorded `exit` is replayed.
+    pub exit_code: Option<i32>,
+    /// Optional strace log, synthesized from the records as they are
+    /// served (with the *incoming* call's arguments).
+    pub strace: Option<StraceLog>,
+    /// First divergence seen; sticky — every later call fails with it.
+    divergence: Option<String>,
+    /// Timing model, used only to reconstruct the chunk-count statistic.
+    timing: KernelTiming,
+}
+
+impl ReplayKernel {
+    /// A replay kernel positioned at the start of `rec`.
+    pub fn new(rec: Arc<Recording>) -> ReplayKernel {
+        ReplayKernel {
+            rec,
+            cursor: 0,
+            stats: KernelStats::default(),
+            exit_code: None,
+            strace: None,
+            divergence: None,
+            timing: KernelTiming::default(),
+        }
+    }
+
+    /// The first divergence, if the replayed program strayed from the
+    /// recording.
+    pub fn divergence(&self) -> Option<&str> {
+        self.divergence.as_deref()
+    }
+
+    fn diverge(&mut self, message: String) -> String {
+        let message = format!("{} [recording {}]", message, self.rec.name);
+        if self.divergence.is_none() {
+            self.divergence = Some(message.clone());
+        }
+        message
+    }
+
+    /// Serves one syscall from the recording.
+    pub fn syscall<M: ProcMem + ?Sized>(
+        &mut self,
+        args: &[i32],
+        mem: &mut M,
+    ) -> Result<(i32, u64), String> {
+        if let Some(d) = &self.divergence {
+            return Err(d.clone());
+        }
+        let nr = args.first().copied().unwrap_or(-1);
+        let idx = self.cursor;
+        let Some(r) = self.rec.records.get(idx) else {
+            let total = self.rec.records.len();
+            return Err(self.diverge(format!(
+                "syscall #{idx} {}({nr}): recording ended after {total} records",
+                syscall_name(nr)
+            )));
+        };
+        if r.nr != nr {
+            let (want, got) = (syscall_name(r.nr), syscall_name(nr));
+            let (rnr, rret) = (r.nr, r.ret);
+            return Err(self.diverge(format!(
+                "syscall #{idx}: program called {got}({nr}), recording has {want}({rnr}) = {rret}"
+            )));
+        }
+        if !r.data.is_empty() {
+            let Some(ptr_idx) = out_ptr_arg(nr) else {
+                let name = syscall_name(nr);
+                let len = r.data.len();
+                return Err(self.diverge(format!(
+                    "syscall #{idx} {name}({nr}): record carries {len} data bytes but the call has no out-pointer"
+                )));
+            };
+            let addr = args.get(ptr_idx).copied().unwrap_or(0) as u32;
+            if mem.write_mem(addr, &r.data).is_err() {
+                let name = syscall_name(nr);
+                let len = r.data.len();
+                return Err(self.diverge(format!(
+                    "syscall #{idx} {name}({nr}): EFAULT writing {len} replay bytes at {addr:#x}"
+                )));
+            }
+        }
+
+        // Charge exactly what the live kernel charged, and keep its
+        // aggregate accounting (including the derived chunk count, which
+        // is a pure function of payload and the timing model).
+        let cycles = r.cycles();
+        let start_cycles = self.stats.kernel_cycles;
+        self.stats.syscalls += 1;
+        self.stats.kernel_cycles += cycles;
+        self.stats.transport_cycles += r.transport_cycles;
+        self.stats.service_cycles += r.service_cycles;
+        self.stats.fs_copy_cycles += r.fs_cycles;
+        self.stats.bytes_marshalled += r.payload;
+        self.stats.chunk_messages += r.payload.div_ceil(self.timing.aux_buffer_bytes).max(1) - 1;
+
+        if self.strace.is_some() {
+            let mut rec_args = [0i32; MAX_ARGS];
+            for (slot, &arg) in rec_args.iter_mut().zip(args.iter().skip(1)) {
+                *slot = arg;
+            }
+            let record = SyscallRecord {
+                nr,
+                args: rec_args,
+                ret: r.ret,
+                payload: r.payload,
+                cycles,
+                transport_cycles: r.transport_cycles,
+                service_cycles: r.service_cycles,
+                fs_cycles: r.fs_cycles,
+                start_cycles,
+            };
+            if let Some(log) = self.strace.as_mut() {
+                log.records.push(record);
+            }
+        }
+
+        if nr == 1 {
+            self.exit_code = Some(args.get(1).copied().unwrap_or(0));
+        }
+        self.cursor += 1;
+        Ok((r.ret, cycles))
+    }
+
+    /// Verifies the replay consumed the recording exactly: no divergence
+    /// and every record served.
+    pub fn finish(&self) -> Result<(), ReplayError> {
+        if let Some(message) = &self.divergence {
+            return Err(ReplayError::Divergence {
+                message: message.clone(),
+            });
+        }
+        if self.cursor != self.rec.records.len() {
+            return Err(ReplayError::Divergence {
+                message: format!(
+                    "program made {} of {} recorded syscalls [recording {}]",
+                    self.cursor,
+                    self.rec.records.len(),
+                    self.rec.name
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl HostEnv for ReplayKernel {
+    fn call(
+        &mut self,
+        _id: u32,
+        args: &[u64; 6],
+        mem: &mut Memory,
+    ) -> Result<HostOutcome, TrapKind> {
+        let iargs: Vec<i32> = args.iter().map(|&v| v as u32 as i32).collect();
+        // The divergence message is retrievable from the host after the
+        // run; the trap itself is the deterministic abort.
+        let (ret, cycles) = self.syscall(&iargs, mem).map_err(|_| TrapKind::Abort)?;
+        if let Some(code) = self.exit_code {
+            return Ok(HostOutcome::Exit {
+                code,
+                kernel_cycles: cycles,
+            });
+        }
+        Ok(HostOutcome::Ret {
+            value: ret as u32 as u64,
+            kernel_cycles: cycles,
+        })
+    }
+}
+
+impl wasmperf_cir::CliteHost for ReplayKernel {
+    fn syscall(&mut self, args: &[i32], mem: &mut [u8]) -> Result<i32, String> {
+        let (ret, _) = ReplayKernel::syscall(self, args, mem)?;
+        if let Some(code) = self.exit_code {
+            return Err(format!("exit({code})"));
+        }
+        Ok(ret)
+    }
+}
+
+impl wasmperf_wasm::ImportHost for ReplayKernel {
+    fn call(
+        &mut self,
+        _module: &str,
+        _field: &str,
+        args: &[wasmperf_wasm::Value],
+        mem: &mut Vec<u8>,
+    ) -> Result<Option<wasmperf_wasm::Value>, wasmperf_wasm::WasmTrap> {
+        let iargs: Vec<i32> = args.iter().map(wasmperf_wasm::Value::unwrap_i32).collect();
+        let (ret, _) = ReplayKernel::syscall(self, &iargs, mem.as_mut_slice())
+            .map_err(wasmperf_wasm::WasmTrap::Host)?;
+        if let Some(code) = self.exit_code {
+            return Err(wasmperf_wasm::WasmTrap::Host(format!("exit({code})")));
+        }
+        Ok(Some(wasmperf_wasm::Value::I32(ret)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Recorder;
+    use wasmperf_browsix::kernel::flags;
+    use wasmperf_browsix::AppendPolicy;
+
+    /// Drives the same syscall sequence against a live recorder and then
+    /// against the resulting recording.
+    fn record_sequence() -> Recording {
+        let mut rec = Recorder::new(AppendPolicy::Chunked4K);
+        let mut mem = vec![0u8; 65536];
+        mem[0x100..0x103].copy_from_slice(b"/f\0");
+        mem[0x200..0x204].copy_from_slice(b"abcd");
+        let (fd, _) = rec.record_call(
+            &[5, 0x100, flags::O_CREAT | flags::O_RDWR, 0],
+            mem.as_mut_slice(),
+        );
+        rec.record_call(&[4, fd, 0x200, 4], mem.as_mut_slice());
+        rec.record_call(&[19, fd, 0, 0], mem.as_mut_slice());
+        rec.record_call(&[3, fd, 0x300, 4], mem.as_mut_slice());
+        rec.record_call(&[6, fd, 0, 0], mem.as_mut_slice());
+        rec.record_call(&[1, 7], mem.as_mut_slice());
+        rec.into_recording("seq", "test", "int main(){}", Vec::new(), 7)
+            .unwrap()
+    }
+
+    #[test]
+    fn replay_reproduces_returns_data_and_cycles() {
+        let recording = record_sequence();
+        let total = recording.total_cycles();
+        let mut k = ReplayKernel::new(Arc::new(recording.clone()));
+        k.strace = Some(StraceLog::default());
+        // Same logical calls, different buffer addresses (another
+        // engine's layout).
+        let mut mem = vec![0u8; 65536];
+        let (fd, _) = k
+            .syscall(&[5, 0x9100, 0x42, 0], mem.as_mut_slice())
+            .unwrap();
+        assert_eq!(fd, recording.records[0].ret);
+        let (w, _) = k.syscall(&[4, fd, 0x9200, 4], mem.as_mut_slice()).unwrap();
+        assert_eq!(w, 4);
+        k.syscall(&[19, fd, 0, 0], mem.as_mut_slice()).unwrap();
+        let (r, c) = k.syscall(&[3, fd, 0x9300, 4], mem.as_mut_slice()).unwrap();
+        assert_eq!(r, 4);
+        assert_eq!(&mem[0x9300..0x9304], b"abcd"); // data at the NEW address
+        assert_eq!(c, recording.records[3].cycles());
+        k.syscall(&[6, fd, 0, 0], mem.as_mut_slice()).unwrap();
+        k.syscall(&[1, 7], mem.as_mut_slice()).unwrap();
+        assert_eq!(k.exit_code, Some(7));
+        k.finish().unwrap();
+        assert_eq!(k.stats.kernel_cycles, total);
+        assert_eq!(k.stats.syscalls, 6);
+        let log = k.strace.unwrap();
+        assert_eq!(log.total_cycles(), total);
+        assert_eq!(log.records[3].args[1], 0x9300);
+    }
+
+    #[test]
+    fn wrong_syscall_is_a_sticky_divergence() {
+        let recording = record_sequence();
+        let mut k = ReplayKernel::new(Arc::new(recording));
+        let mut mem = vec![0u8; 4096];
+        let err = k.syscall(&[20], mem.as_mut_slice()).unwrap_err();
+        assert!(err.contains("getpid(20)"), "{err}");
+        assert!(err.contains("open(5)"), "{err}");
+        assert!(err.contains("#0"), "{err}");
+        // Sticky: the right call now fails too.
+        let err2 = k.syscall(&[5, 0, 0, 0], mem.as_mut_slice()).unwrap_err();
+        assert_eq!(err, err2);
+        assert!(k.finish().is_err());
+    }
+
+    #[test]
+    fn running_past_the_recording_diverges() {
+        let recording = Recording {
+            name: "empty".into(),
+            size: "test".into(),
+            source: String::new(),
+            checksum: 0,
+            ..Recording::default()
+        };
+        let mut k = ReplayKernel::new(Arc::new(recording));
+        let mut mem = vec![0u8; 64];
+        let err = k.syscall(&[4, 1, 0, 0], mem.as_mut_slice()).unwrap_err();
+        assert!(err.contains("ended after 0 records"), "{err}");
+    }
+
+    #[test]
+    fn incomplete_replay_fails_finish() {
+        let recording = record_sequence();
+        let n = recording.records.len();
+        let mut k = ReplayKernel::new(Arc::new(recording));
+        let mut mem = vec![0u8; 4096];
+        k.syscall(&[5, 0, 0x42, 0], mem.as_mut_slice()).unwrap();
+        let err = k.finish().unwrap_err();
+        match err {
+            ReplayError::Divergence { message } => {
+                assert!(message.contains(&format!("1 of {n}")), "{message}")
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_recording_diverges_deterministically() {
+        let mut recording = record_sequence();
+        recording.records.pop();
+        let mut k = ReplayKernel::new(Arc::new(recording));
+        let mut mem = vec![0u8; 65536];
+        k.syscall(&[5, 0x100, 0x42, 0], mem.as_mut_slice()).unwrap();
+        k.syscall(&[4, 0, 0x200, 4], mem.as_mut_slice()).unwrap();
+        k.syscall(&[19, 0, 0, 0], mem.as_mut_slice()).unwrap();
+        k.syscall(&[3, 0, 0x300, 4], mem.as_mut_slice()).unwrap();
+        k.syscall(&[6, 0, 0, 0], mem.as_mut_slice()).unwrap();
+        let err = k.syscall(&[1, 7], mem.as_mut_slice()).unwrap_err();
+        assert!(err.contains("ended after 5 records"), "{err}");
+    }
+
+    #[test]
+    fn reduced_recordings_replay_identically() {
+        let raw = record_sequence();
+        let reduced = crate::reduce(&raw);
+        let run = |rec: Recording| {
+            let mut k = ReplayKernel::new(Arc::new(rec));
+            let mut mem = vec![0u8; 65536];
+            let mut rets = Vec::new();
+            for args in [
+                vec![5, 0x100, 0x42, 0],
+                vec![4, 3, 0x200, 4],
+                vec![19, 3, 0, 0],
+                vec![3, 3, 0x300, 4],
+                vec![6, 3, 0, 0],
+                vec![1, 7],
+            ] {
+                rets.push(k.syscall(&args, mem.as_mut_slice()).unwrap());
+            }
+            k.finish().unwrap();
+            (rets, mem[0x300..0x304].to_vec(), k.stats, k.exit_code)
+        };
+        assert_eq!(run(raw), run(reduced));
+    }
+}

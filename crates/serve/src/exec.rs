@@ -251,6 +251,12 @@ impl ExecService {
             for b in wasmperf_benchsuite::all(size) {
                 benches.insert((size.as_str(), b.name.to_string()), b);
             }
+            // Replay benchmarks (recordings replayed through the replay
+            // kernel) are addressable by name like any other benchmark;
+            // an absent recordings directory just contributes none.
+            for b in wasmperf_benchsuite::replay::all(size) {
+                benches.insert((size.as_str(), b.name.to_string()), b);
+            }
         }
         ExecService {
             benches,
@@ -318,8 +324,9 @@ impl ExecService {
                     ))
                 }),
             Target::Source(src) => Ok(Benchmark {
-                name: "adhoc",
+                name: "adhoc".into(),
                 suite: Suite::PolyBench,
+                replay: None,
                 source: src.clone(),
                 inputs: Vec::new(),
                 outputs: Vec::new(),

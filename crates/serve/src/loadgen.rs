@@ -416,7 +416,7 @@ fn local_result_wire(key: &(String, String), size: Size) -> Result<String, Strin
     let (bench_name, engine_name) = key;
     let bench = wasmperf_benchsuite::all(size)
         .into_iter()
-        .find(|b| b.name == bench_name)
+        .find(|b| &b.name == bench_name)
         .ok_or_else(|| format!("no local benchmark {bench_name:?}"))?;
     let engine =
         Engine::parse(engine_name).ok_or_else(|| format!("no local engine {engine_name:?}"))?;
@@ -665,11 +665,12 @@ mod tests {
     #[test]
     fn spin_source_compiles_and_runs() {
         let bench = wasmperf_benchsuite::Benchmark {
-            name: "adhoc",
+            name: "adhoc".into(),
             suite: wasmperf_benchsuite::Suite::PolyBench,
             source: spin_source(10),
             inputs: vec![],
             outputs: vec![],
+            replay: None,
         };
         let engine = Engine::Native;
         let artifact = prepare(&bench, &engine).unwrap();

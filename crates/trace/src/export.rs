@@ -9,6 +9,13 @@
 use crate::TraceSession;
 use std::fmt::Write as _;
 
+/// Version stamped on every export (the JSONL `meta` line and the Chrome
+/// trace's `otherData`). Consumers should reject lines whose
+/// `schema_version` they don't understand rather than misread the
+/// fields; the replay recording format carries (and enforces) its own
+/// independent version.
+pub const SCHEMA_VERSION: u32 = 1;
+
 /// Escapes `s` for inclusion in a JSON string literal.
 pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -119,7 +126,7 @@ pub fn chrome_trace(s: &TraceSession) -> String {
     out.push_str(&ev.join(",\n"));
     let _ = write!(
         out,
-        "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"bench\":\"{}\",\"engine\":\"{}\",\"counters\":{{{totals}}}}}}}",
+        "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"schema_version\":{SCHEMA_VERSION},\"bench\":\"{}\",\"engine\":\"{}\",\"counters\":{{{totals}}}}}}}",
         json_escape(&s.bench),
         json_escape(&s.engine)
     );
@@ -133,7 +140,7 @@ pub fn jsonl(s: &TraceSession) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        r#"{{"type":"meta","bench":"{}","engine":"{}","freq_hz":{}}}"#,
+        r#"{{"type":"meta","schema_version":{SCHEMA_VERSION},"bench":"{}","engine":"{}","freq_hz":{}}}"#,
         json_escape(&s.bench),
         json_escape(&s.engine),
         s.freq_hz
@@ -241,6 +248,7 @@ mod tests {
         let text = chrome_trace(&session());
         assert!(text.starts_with("{\"traceEvents\":["));
         assert!(text.contains(r#""ph":"M""#));
+        assert!(text.contains(r#""schema_version":1"#));
         assert!(text.contains(r#""name":"write""#));
         assert!(text.contains(r#""name":"kernel/io""#));
         assert!(text.contains(r#""cat":"syscall/io""#));
@@ -275,6 +283,7 @@ mod tests {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
         }
         assert!(text.contains(r#""type":"meta""#));
+        assert!(text.contains(r#""schema_version":1"#));
         assert!(text.contains(r#""type":"syscall""#));
         assert!(text.contains(r#""type":"counter""#));
     }

@@ -30,7 +30,9 @@
 //! change a single counter value or output byte of the run it observes.
 
 pub mod export;
+pub mod hash;
 pub mod hist;
+pub mod json;
 pub mod prof;
 pub mod profile;
 pub mod report;
@@ -39,6 +41,7 @@ pub mod strace;
 pub mod symbols;
 
 pub use hist::{Bucket, Log2Hist, BUCKETS};
+pub use json::Json;
 pub use prof::{Attribution, CycleSplit, SyscallProfile, SyscallStat};
 pub use profile::{AddrSample, CycleProfile};
 pub use span::{Span, SpanLog};

@@ -63,7 +63,7 @@ fn subset() -> Vec<Benchmark> {
     ];
     wasmperf_benchsuite::all(Size::Test)
         .into_iter()
-        .filter(|b| want.contains(&b.name))
+        .filter(|b| want.contains(&b.name.as_str()))
         .collect()
 }
 

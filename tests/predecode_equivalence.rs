@@ -84,7 +84,7 @@ fn report_matrix_is_byte_identical_across_loops() {
     let want = ["gemm", "durbin", "401.bzip2", "464.h264ref"];
     let benches: Vec<Benchmark> = wasmperf_benchsuite::all(Size::Test)
         .into_iter()
-        .filter(|b| want.contains(&b.name))
+        .filter(|b| want.contains(&b.name.as_str()))
         .collect();
     assert_eq!(benches.len(), want.len());
     for bench in &benches {

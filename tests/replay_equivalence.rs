@@ -1,0 +1,179 @@
+//! The record–reduce–replay determinism contract, end to end (ISSUE 7's
+//! acceptance tests):
+//!
+//! (a) running a benchmark under the recorder is *observation-only*: the
+//!     `RunResult` is byte-identical to an un-recorded run;
+//! (b) reducing a recording changes the encoding, never the replay:
+//!     results, syscall counters, and (for truncated recordings) traps
+//!     are identical between the raw and reduced forms on every
+//!     pipeline;
+//! (c) replayed benchmarks are byte-identical across a serial session, a
+//!     `--jobs 4` session, and the serve `/run` execution path.
+//!
+//! The checked-in corpus under `recordings/` is covered too: every file
+//! loads, replays on all four pipelines, and (for the mixed workload)
+//! still matches a fresh recording's content address — so a benchmark
+//! edit that invalidates a recording fails here, loudly.
+
+use std::sync::Arc;
+use wasmperf_benchsuite::{Benchmark, Size};
+use wasmperf_browsix::AppendPolicy;
+use wasmperf_harness::{execute, execute_recorded, prepare, run_one, Engine, RunResult, Session};
+use wasmperf_replay::{reduce, Recording};
+use wasmperf_serve::exec::{ExecService, RunRequest, Target};
+use wasmperf_wasmjit::EngineProfile;
+
+/// The four standard pipelines.
+fn pipelines() -> Vec<Engine> {
+    vec![
+        Engine::Native,
+        Engine::Jit(EngineProfile::chrome()),
+        Engine::Jit(EngineProfile::firefox()),
+        Engine::Jit(EngineProfile::chrome_asmjs()),
+    ]
+}
+
+fn suite_bench(name: &str) -> Benchmark {
+    wasmperf_benchsuite::all(Size::Test)
+        .into_iter()
+        .find(|b| b.name == name)
+        .unwrap_or_else(|| panic!("no benchmark named {name}"))
+}
+
+/// Records `name` on the native pipeline, returning the live result and
+/// the raw recording.
+fn record(name: &str) -> (RunResult, Recording) {
+    let bench = suite_bench(name);
+    let artifact = prepare(&bench, &Engine::Native).expect("compile");
+    execute_recorded(&bench, &artifact, AppendPolicy::Chunked4K, Size::Test).expect("record")
+}
+
+fn replay_result(rec: &Arc<Recording>, engine: &Engine) -> RunResult {
+    let bench = wasmperf_benchsuite::replay::from_recording(Arc::clone(rec));
+    run_one(&bench, engine, AppendPolicy::Chunked4K).expect("replay")
+}
+
+// (a) Recording is observation-only.
+#[test]
+fn recorded_run_is_byte_identical_to_unrecorded() {
+    for name in ["io.rwmix", "401.bzip2", "gemm"] {
+        let bench = suite_bench(name);
+        let artifact = prepare(&bench, &Engine::Native).expect("compile");
+        let live =
+            execute(&bench, &Engine::Native, &artifact, AppendPolicy::Chunked4K).expect("live run");
+        let (recorded, rec) = record(name);
+        assert_eq!(live, recorded, "{name}: recording perturbed the run");
+        assert_eq!(rec.checksum, live.checksum);
+        assert_eq!(rec.records.len() as u64, live.kernel_syscalls, "{name}");
+    }
+}
+
+// (b) Reduction changes the encoding, never the replay.
+#[test]
+fn reduced_recordings_replay_identically_to_raw() {
+    for name in ["io.rwmix", "401.bzip2"] {
+        let (_, raw) = record(name);
+        let reduced = reduce::reduce(&raw);
+        assert_eq!(raw.content_hash(), reduced.content_hash());
+        let raw = Arc::new(raw);
+        let reduced = Arc::new(reduced);
+        for engine in pipelines() {
+            let a = replay_result(&raw, &engine);
+            let b = replay_result(&reduced, &engine);
+            assert_eq!(a, b, "{name} on {}: reduced replay diverged", engine.name());
+        }
+    }
+}
+
+// (b) ...including traps: a torn recording diverges identically whether
+// raw or reduced, and the error names the replay boundary.
+#[test]
+fn truncated_recordings_trap_identically_raw_and_reduced() {
+    let (_, mut raw) = record("io.rwmix");
+    raw.records.pop();
+    let reduced = reduce::reduce(&raw);
+    for rec in [raw, reduced] {
+        let bench = wasmperf_benchsuite::replay::from_recording(Arc::new(rec));
+        let err = run_one(&bench, &Engine::Native, AppendPolicy::Chunked4K)
+            .expect_err("truncated recording must not replay cleanly");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("replay") || msg.contains("divergence"),
+            "unhelpful truncation error: {msg}"
+        );
+    }
+}
+
+// (c) Serial session == --jobs 4 session == serve /run.
+#[test]
+fn replay_is_identical_across_serial_jobs4_and_serve() {
+    let mut serial = Session::new(Size::Test);
+    let names = serial.replay_names();
+    assert!(
+        names.len() >= 3,
+        "checked-in corpus should provide >= 3 recordings, got {names:?}"
+    );
+    let engines = pipelines();
+    let mut parallel = Session::new(Size::Test).with_jobs(4);
+    parallel.ensure(&names, &engines).expect("parallel batch");
+    let svc = ExecService::new(2, 16);
+    for name in &names {
+        for e in &engines {
+            let a = serial.run(name, e).expect("serial").clone();
+            let b = parallel.run(name, e).expect("parallel").clone();
+            assert_eq!(a, b, "{name} on {}: serial vs --jobs 4", e.name());
+            let req = RunRequest {
+                target: Target::Named(name.clone()),
+                engine: e.name(),
+                size: Size::Test,
+                deadline_ms: None,
+            };
+            let out = svc.run(&req).expect("serve /run");
+            assert_eq!(a, *out.result, "{name} on {}: session vs serve", e.name());
+        }
+    }
+}
+
+// The checked-in corpus stays loadable, replayable, and in sync with the
+// benchmarks it was recorded from.
+#[test]
+fn checked_in_corpus_replays_and_matches_fresh_recordings() {
+    let recs = wasmperf_replay::load_dir(std::path::Path::new("recordings")).expect("corpus");
+    assert!(
+        recs.len() >= 3,
+        "expected >= 3 recordings, got {}",
+        recs.len()
+    );
+    let mut suites: Vec<&str> = Vec::new();
+    for rec in recs {
+        // One compute-bound, one I/O-bound, one mixed recording.
+        suites.push(match rec.name.as_str() {
+            "gemm" => "compute",
+            "io.rwmix" => "io",
+            "401.bzip2" => "mixed",
+            _ => "other",
+        });
+        // A checked-in recording must still describe today's benchmark:
+        // same content address as a fresh native recording.
+        let (_, fresh) = record(&rec.name);
+        assert_eq!(
+            rec.content_hash(),
+            fresh.content_hash(),
+            "{}: stale recording — re-record with `wasmperf-replay record {} --size test`",
+            rec.name,
+            rec.name
+        );
+        let rec = Arc::new(rec);
+        let native = replay_result(&rec, &Engine::Native);
+        assert_eq!(native.checksum, rec.checksum);
+        for engine in &pipelines()[1..] {
+            assert_eq!(replay_result(&rec, engine).checksum, rec.checksum);
+        }
+    }
+    for wanted in ["compute", "io", "mixed"] {
+        assert!(
+            suites.contains(&wanted),
+            "corpus lacks a {wanted}-bound recording"
+        );
+    }
+}
