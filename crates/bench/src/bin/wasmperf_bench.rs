@@ -1,23 +1,32 @@
 //! Simulator-throughput harness: how many *simulated* instructions per
 //! host second each interpreter loop sustains.
 //!
-//! Runs a fixed benchmark × engine matrix through both [`ExecMode`]s,
-//! asserts the two paths produce byte-identical results (the predecode
-//! invariant), and writes one JSON report (see docs/PERFORMANCE.md for
-//! the schema). With `--check <baseline.json>` it fails if any row's
-//! predecoded-over-legacy speedup regressed more than 20% against the
-//! checked-in baseline — a host-independent ratio, so CI machines of any
-//! speed can gate on it.
+//! Runs a fixed benchmark × engine matrix through the optimized
+//! [`ExecMode`] tiers (direct-threaded superblock dispatch and the
+//! predecoded micro-op loop) against the legacy per-instruction loop,
+//! asserts all paths produce byte-identical results (the unobservable
+//! contract), and writes one JSON report (see docs/PERFORMANCE.md for
+//! the schema). With `--check <baseline.json>` it exits non-zero if any
+//! *per-benchmark, per-tier* speedup regressed more than 20% against the
+//! checked-in baseline, naming the offending benchmark and tier — a
+//! host-independent ratio, so CI machines of any speed can gate on it.
+//! A baseline row whose tier is missing from the current run is itself a
+//! failure: a tier silently dropping out of the matrix must not pass.
 //!
 //! Usage:
 //!
 //! ```text
-//! wasmperf-bench [--quick] [--filter SUBSTR] [--out BENCH_PR4.json]
-//!                [--check BASELINE.json]
+//! wasmperf-bench [--quick] [--filter SUBSTR] [--tier TIER]...
+//!                [--out BENCH_PR8.json] [--check BASELINE.json]
+//!                [--gate-threaded]
 //! ```
 //!
 //! `--filter SUBSTR` keeps only benchmarks whose name contains SUBSTR
-//! (applied after `--quick`'s matrix selection).
+//! (applied after `--quick`'s matrix selection). `--tier` restricts the
+//! optimized tiers measured (`threaded`, `predecoded`; repeatable;
+//! default both — legacy is always measured as the denominator).
+//! `--gate-threaded` exits non-zero unless the threaded tier's geomean
+//! speedup is at least the predecoded tier's.
 
 use std::time::Instant;
 
@@ -28,14 +37,52 @@ use wasmperf_farm::Json;
 use wasmperf_harness::engine::{execute_with_mode, prepare, Engine, RunResult};
 use wasmperf_wasmjit::EngineProfile;
 
-/// One measured matrix cell.
+/// An optimized interpreter tier, measured against [`ExecMode::Legacy`].
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Tier {
+    Predecoded,
+    Threaded,
+}
+
+impl Tier {
+    const ALL: [Tier; 2] = [Tier::Predecoded, Tier::Threaded];
+
+    fn name(self) -> &'static str {
+        match self {
+            Tier::Predecoded => "predecoded",
+            Tier::Threaded => "threaded",
+        }
+    }
+
+    fn mode(self) -> ExecMode {
+        match self {
+            Tier::Predecoded => ExecMode::Predecoded,
+            Tier::Threaded => ExecMode::Threaded,
+        }
+    }
+
+    fn parse(s: &str) -> Option<Tier> {
+        Tier::ALL.into_iter().find(|t| t.name() == s)
+    }
+}
+
+/// One measured matrix cell: the legacy denominator plus one
+/// (simulated-MIPS, speedup-over-legacy) pair per measured tier.
 struct Row {
     bench: String,
     engine: String,
     instructions: u64,
-    predecoded_mips: f64,
     legacy_mips: f64,
-    speedup: f64,
+    tiers: Vec<(Tier, f64, f64)>,
+}
+
+impl Row {
+    fn speedup(&self, tier: Tier) -> Option<f64> {
+        self.tiers
+            .iter()
+            .find(|(t, _, _)| *t == tier)
+            .map(|&(_, _, s)| s)
+    }
 }
 
 /// The regression gate: fail `--check` if a row's speedup drops below
@@ -88,39 +135,70 @@ fn measure(
 }
 
 fn row_json(r: &Row) -> Json {
-    Json::Obj(vec![
+    let mut fields = vec![
         ("bench".into(), Json::Str(r.bench.clone())),
         ("engine".into(), Json::Str(r.engine.clone())),
         ("instructions".into(), Json::u64(r.instructions)),
-        ("predecoded_mips".into(), Json::Num(r.predecoded_mips)),
         ("legacy_mips".into(), Json::Num(r.legacy_mips)),
-        ("speedup".into(), Json::Num(r.speedup)),
-    ])
+    ];
+    for &(tier, mips, speedup) in &r.tiers {
+        fields.push((format!("{}_mips", tier.name()), Json::Num(mips)));
+        fields.push((format!("{}_speedup", tier.name()), Json::Num(speedup)));
+    }
+    Json::Obj(fields)
 }
 
-/// Per-(bench, engine) speedups from a report's JSON.
-fn speedups(j: &Json) -> Vec<(String, String, f64)> {
-    j.get("rows")
-        .and_then(Json::as_arr)
-        .map(|rows| {
-            rows.iter()
-                .filter_map(|r| {
-                    Some((
-                        r.get("bench")?.as_str()?.to_string(),
-                        r.get("engine")?.as_str()?.to_string(),
-                        r.get("speedup")?.as_f64()?,
-                    ))
-                })
-                .collect()
-        })
-        .unwrap_or_default()
+/// Per-(bench, engine, tier) speedups from a baseline report. Reads both
+/// the v2 schema (`<tier>_speedup` fields) and the v1 schema, whose bare
+/// `speedup` field meant predecoded-over-legacy.
+fn baseline_speedups(j: &Json) -> Vec<(String, String, &'static str, f64)> {
+    let mut out = Vec::new();
+    let Some(rows) = j.get("rows").and_then(Json::as_arr) else {
+        return out;
+    };
+    for r in rows {
+        let (Some(bench), Some(engine)) = (
+            r.get("bench").and_then(Json::as_str),
+            r.get("engine").and_then(Json::as_str),
+        ) else {
+            continue;
+        };
+        for tier in Tier::ALL {
+            if let Some(s) = r
+                .get(&format!("{}_speedup", tier.name()))
+                .and_then(Json::as_f64)
+            {
+                out.push((bench.to_string(), engine.to_string(), tier.name(), s));
+            }
+        }
+        if let Some(s) = r.get("speedup").and_then(Json::as_f64) {
+            out.push((
+                bench.to_string(),
+                engine.to_string(),
+                Tier::Predecoded.name(),
+                s,
+            ));
+        }
+    }
+    out
+}
+
+fn geomean(vals: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = vals.fold((0.0, 0u32), |(s, n), v| (s + v.ln(), n + 1));
+    if n == 0 {
+        f64::NAN
+    } else {
+        (sum / n as f64).exp()
+    }
 }
 
 fn main() {
-    let mut out_path = "BENCH_PR4.json".to_string();
+    let mut out_path = "BENCH_PR8.json".to_string();
     let mut check_path: Option<String> = None;
     let mut quick = false;
     let mut filter: Option<String> = None;
+    let mut tiers: Vec<Tier> = Vec::new();
+    let mut gate_threaded = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -128,8 +206,20 @@ fn main() {
             "--check" => check_path = Some(args.next().expect("--check needs a path")),
             "--quick" => quick = true,
             "--filter" => filter = Some(args.next().expect("--filter needs a substring")),
+            "--tier" => {
+                let name = args.next().expect("--tier needs threaded|predecoded");
+                let tier = Tier::parse(&name)
+                    .unwrap_or_else(|| panic!("unknown tier {name:?} (threaded|predecoded)"));
+                if !tiers.contains(&tier) {
+                    tiers.push(tier);
+                }
+            }
+            "--gate-threaded" => gate_threaded = true,
             other => panic!("unknown argument {other:?}"),
         }
+    }
+    if tiers.is_empty() {
+        tiers = Tier::ALL.to_vec();
     }
     let reps = if quick { 2 } else { 3 };
 
@@ -143,39 +233,67 @@ fn main() {
         for engine in &engines(quick) {
             let artifact = prepare(bench, engine)
                 .unwrap_or_else(|e| panic!("{}/{}: {e:?}", bench.name, engine.name()));
-            let (fast_mips, fast) = measure(bench, engine, &artifact, ExecMode::Predecoded, reps);
-            let (slow_mips, slow) = measure(bench, engine, &artifact, ExecMode::Legacy, reps);
-            // The whole point of having two paths: byte-identical results.
-            assert_eq!(
-                fast,
-                slow,
-                "{}/{}: predecoded and legacy runs diverged",
-                bench.name,
-                engine.name()
-            );
-            let row = Row {
+            let (legacy_mips, legacy) = measure(bench, engine, &artifact, ExecMode::Legacy, reps);
+            let mut row = Row {
                 bench: bench.name.to_string(),
                 engine: engine.name(),
-                instructions: fast.counters.instructions_retired,
-                predecoded_mips: fast_mips,
-                legacy_mips: slow_mips,
-                speedup: fast_mips / slow_mips,
+                instructions: legacy.counters.instructions_retired,
+                legacy_mips,
+                tiers: Vec::new(),
             };
+            for &tier in &tiers {
+                let (mips, fast) = measure(bench, engine, &artifact, tier.mode(), reps);
+                // The whole point of having multiple tiers: byte-identical
+                // results, counters, traps, and output files.
+                assert_eq!(
+                    fast,
+                    legacy,
+                    "{}/{}: {} and legacy runs diverged",
+                    bench.name,
+                    engine.name(),
+                    tier.name()
+                );
+                row.tiers.push((tier, mips, mips / legacy_mips));
+            }
+            let per_tier: Vec<String> = row
+                .tiers
+                .iter()
+                .map(|&(t, m, s)| format!("{} {m:>7.1} ({s:.2}x)", t.name()))
+                .collect();
             eprintln!(
-                "{:>12} {:>10}  {:>7.1} -> {:>7.1} sim-MIPS  ({:.2}x)",
-                row.bench, row.engine, row.legacy_mips, row.predecoded_mips, row.speedup
+                "{:>12} {:>10}  legacy {:>7.1} sim-MIPS | {}",
+                row.bench,
+                row.engine,
+                row.legacy_mips,
+                per_tier.join(" | ")
             );
             rows.push(row);
         }
     }
 
-    let geomean = (rows.iter().map(|r| r.speedup.ln()).sum::<f64>() / rows.len() as f64).exp();
-    eprintln!("geomean speedup: {geomean:.2}x over {} rows", rows.len());
+    let mut geomeans = Vec::new();
+    for &tier in &tiers {
+        let g = geomean(rows.iter().filter_map(|r| r.speedup(tier)));
+        eprintln!(
+            "geomean {} speedup: {g:.2}x over {} rows",
+            tier.name(),
+            rows.len()
+        );
+        geomeans.push((tier, g));
+    }
 
     let report = Json::Obj(vec![
-        ("schema".into(), Json::Str("wasmperf-bench/1".into())),
+        ("schema".into(), Json::Str("wasmperf-bench/2".into())),
         ("quick".into(), Json::Bool(quick)),
-        ("geomean_speedup".into(), Json::Num(geomean)),
+        (
+            "geomeans".into(),
+            Json::Obj(
+                geomeans
+                    .iter()
+                    .map(|&(t, g)| (t.name().to_string(), Json::Num(g)))
+                    .collect(),
+            ),
+        ),
         (
             "rows".into(),
             Json::Arr(rows.iter().map(row_json).collect()),
@@ -184,21 +302,64 @@ fn main() {
     std::fs::write(&out_path, report.render() + "\n").expect("write report");
     eprintln!("wrote {out_path}");
 
+    if gate_threaded {
+        let t = geomeans.iter().find(|(t, _)| *t == Tier::Threaded);
+        let p = geomeans.iter().find(|(t, _)| *t == Tier::Predecoded);
+        match (t, p) {
+            (Some(&(_, tg)), Some(&(_, pg))) => {
+                if tg < pg {
+                    eprintln!(
+                        "--gate-threaded: threaded geomean {tg:.2}x < predecoded geomean {pg:.2}x"
+                    );
+                    std::process::exit(1);
+                }
+                eprintln!("--gate-threaded: threaded {tg:.2}x >= predecoded {pg:.2}x");
+            }
+            _ => {
+                eprintln!("--gate-threaded needs both tiers measured (drop --tier, or pass both)");
+                std::process::exit(1);
+            }
+        }
+    }
+
     if let Some(path) = check_path {
         let text = std::fs::read_to_string(&path).expect("read baseline");
         let baseline = Json::parse(&text).expect("parse baseline");
+        let entries = baseline_speedups(&baseline);
+        if entries.is_empty() {
+            eprintln!("baseline {path} has no speedup rows — refusing to pass an empty check");
+            std::process::exit(1);
+        }
         let mut failures = Vec::new();
-        for (bench, engine, base) in speedups(&baseline) {
+        let mut matched = 0usize;
+        for (bench, engine, tier, base) in entries {
             let Some(row) = rows.iter().find(|r| r.bench == bench && r.engine == engine) else {
                 continue; // baseline may cover the full matrix; --quick runs a subset
             };
-            if row.speedup < base * REGRESSION_TOLERANCE {
+            matched += 1;
+            let Some(tier) = Tier::parse(tier) else {
+                unreachable!("baseline_speedups only emits known tier names");
+            };
+            let Some(speedup) = row.speedup(tier) else {
                 failures.push(format!(
-                    "{bench}/{engine}: speedup {:.2}x < {:.2}x (80% of baseline {base:.2}x)",
-                    row.speedup,
+                    "{bench}/{engine} [{}]: tier in baseline but not measured in this run \
+                     (pass --tier {} or drop --tier)",
+                    tier.name(),
+                    tier.name()
+                ));
+                continue;
+            };
+            if speedup < base * REGRESSION_TOLERANCE {
+                failures.push(format!(
+                    "{bench}/{engine} [{}]: speedup {speedup:.2}x < {:.2}x (80% of baseline {base:.2}x)",
+                    tier.name(),
                     base * REGRESSION_TOLERANCE
                 ));
             }
+        }
+        if matched == 0 {
+            eprintln!("no baseline row in {path} matches this run's matrix — check is vacuous");
+            std::process::exit(1);
         }
         if !failures.is_empty() {
             eprintln!("throughput regression vs {path}:");
@@ -207,6 +368,6 @@ fn main() {
             }
             std::process::exit(1);
         }
-        eprintln!("no regression vs {path}");
+        eprintln!("no regression vs {path} ({matched} rows checked)");
     }
 }

@@ -89,6 +89,19 @@ impl Cache {
         false
     }
 
+    /// Records `n` accesses that are statically known to hit the line of
+    /// the immediately preceding [`Cache::access`].
+    ///
+    /// Re-accessing the most-recently-used line is a guaranteed hit whose
+    /// LRU update is a no-op (ways are only re-aged when they are younger
+    /// than the hit way, and the MRU way has age 0), so the only observable
+    /// effect of performing those accesses for real is `accesses += n`. The
+    /// threaded engine uses this to batch the fetch accounting of
+    /// straight-line code that stays within one line.
+    pub fn record_hits(&mut self, n: u64) {
+        self.accesses += n;
+    }
+
     /// Total accesses so far.
     pub fn accesses(&self) -> u64 {
         self.accesses
@@ -113,6 +126,30 @@ mod tests {
         assert!(!c.access(0x1040)); // Next line.
         assert_eq!(c.misses(), 2);
         assert_eq!(c.accesses(), 4);
+    }
+
+    #[test]
+    fn record_hits_matches_repeated_mru_access() {
+        // Replaying the same line through access() and summarizing it via
+        // record_hits() must leave identical state and stats.
+        let mut real = Cache::l1();
+        let mut batched = Cache::l1();
+        for c in [&mut real, &mut batched] {
+            c.access(0x1000);
+            c.access(0x2040); // Different set: does not disturb 0x1000's set.
+            c.access(0x1008);
+        }
+        for _ in 0..5 {
+            assert!(real.access(0x1010));
+        }
+        batched.record_hits(5);
+        assert_eq!(real.accesses(), batched.accesses());
+        assert_eq!(real.misses(), batched.misses());
+        // Future behaviour is identical too (same LRU state).
+        for a in [0x1000u64, 0x2040, 0x9000, 0x1000] {
+            assert_eq!(real.access(a), batched.access(a), "addr {a:#x}");
+        }
+        assert_eq!(real.misses(), batched.misses());
     }
 
     #[test]

@@ -39,6 +39,14 @@ pub struct PerfCounters {
 }
 
 impl PerfCounters {
+    /// Retires `n` instructions at once. All execution tiers funnel
+    /// instruction retirement through this, whether per-op (`n == 1`) or
+    /// batched per superblock segment (the threaded tier).
+    #[inline]
+    pub fn retire(&mut self, n: u64) {
+        self.instructions_retired += n;
+    }
+
     /// Total cycles including host time.
     pub fn total_cycles(&self) -> u64 {
         self.cycles + self.host_cycles

@@ -36,6 +36,7 @@ pub mod machine;
 pub mod mem;
 pub mod predecode;
 pub mod predictor;
+pub mod threaded;
 pub mod timing;
 
 pub use cache::Cache;
@@ -45,4 +46,5 @@ pub use machine::{ExecMode, Machine, RunOutcome};
 pub use mem::Memory;
 pub use predecode::Predecoded;
 pub use predictor::BranchPredictor;
+pub use threaded::Threaded;
 pub use timing::TimingModel;

@@ -24,7 +24,8 @@ use crate::host::{HostEnv, HostOutcome};
 use crate::mem::Memory;
 use crate::predecode::{MOp, Predecoded};
 use crate::predictor::BranchPredictor;
-use crate::timing::{fp_to_cycles, TimingModel};
+use crate::threaded::{Seg, TOp, Threaded, NO_SB};
+use crate::timing::{absorb, fp_to_cycles, TimingModel};
 use std::sync::Arc;
 use wasmperf_isa::inst::FOperand;
 use wasmperf_isa::size::encoded_len;
@@ -104,13 +105,17 @@ pub struct RunOutcome {
     pub counters: PerfCounters,
 }
 
-/// Which interpreter loop [`Machine::run`] drives. Both paths produce
-/// byte-identical observables (results, traps, counters); the predecoded
-/// engine is several times faster and is the default. Profiled runs always
-/// take the legacy path so per-instruction attribution stays exact.
+/// Which interpreter loop [`Machine::run`] drives. All paths produce
+/// byte-identical observables (results, traps, counters); the threaded
+/// superblock engine is the fastest and is the default. Profiled runs
+/// always take the legacy path so per-instruction attribution stays exact.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecMode {
-    /// Flat micro-op stream with per-block fuel charging (the default).
+    /// Direct-threaded function-pointer dispatch over superblocks with
+    /// batched fuel/cycle/fetch accounting (the default).
+    Threaded,
+    /// Flat micro-op stream dispatched through a `match`, fuel charged per
+    /// basic block.
     Predecoded,
     /// The original per-instruction interpreter, used as the differential
     /// reference and by the profiler.
@@ -143,6 +148,14 @@ pub struct Machine<'m, H: HostEnv> {
     profile: Option<Box<CycleProfile>>,
     /// The module lowered once into flat micro-op blocks.
     pre: Arc<Predecoded>,
+    /// The superblock program the threaded engine dispatches over, built
+    /// lazily from `pre` on the first threaded run.
+    threaded: Option<Arc<Threaded>>,
+    /// Per-function, per-op handler tables for threaded dispatch,
+    /// index-aligned with [`Threaded::funcs`] / [`FuncThreaded::tops`].
+    ///
+    /// [`FuncThreaded::tops`]: crate::threaded::FuncThreaded
+    thandlers: Option<Arc<Vec<Vec<Handler<H>>>>>,
     /// Which interpreter loop [`Machine::run`] uses.
     exec_mode: ExecMode,
 }
@@ -202,7 +215,9 @@ impl<'m, H: HostEnv> Machine<'m, H> {
             max_call_depth: 100_000,
             profile: None,
             pre,
-            exec_mode: ExecMode::Predecoded,
+            threaded: None,
+            thandlers: None,
+            exec_mode: ExecMode::Threaded,
         }
     }
 
@@ -485,9 +500,10 @@ impl<'m, H: HostEnv> Machine<'m, H> {
     /// `fuel` bounds the number of retired instructions; exceeding it
     /// returns a [`TrapKind::OutOfFuel`] error rather than hanging.
     ///
-    /// Dispatches to the predecoded block engine unless profiling is
-    /// enabled or [`Machine::set_exec_mode`] selected the legacy
-    /// per-instruction path; both paths produce identical observables.
+    /// Dispatches to the threaded superblock engine unless profiling is
+    /// enabled (always legacy, for exact attribution) or
+    /// [`Machine::set_exec_mode`] selected another tier; all paths produce
+    /// identical observables.
     pub fn run(&mut self, entry: FuncId, args: &[u64], fuel: u64) -> Result<RunOutcome, ExecError> {
         assert!(args.len() <= 6, "at most 6 register arguments");
         for (i, &a) in args.iter().enumerate() {
@@ -495,8 +511,10 @@ impl<'m, H: HostEnv> Machine<'m, H> {
         }
         if self.profile.is_some() || self.exec_mode == ExecMode::Legacy {
             self.run_legacy(entry, fuel)
-        } else {
+        } else if self.exec_mode == ExecMode::Predecoded {
             self.run_predecoded(entry, fuel)
+        } else {
+            self.run_threaded(entry, fuel)
         }
     }
 
@@ -536,13 +554,11 @@ impl<'m, H: HostEnv> Machine<'m, H> {
                 self.cycle_fp += self.timing.icache_miss_penalty as u64;
             }
 
-            self.counters.instructions_retired += 1;
+            self.counters.retire(1);
             let class = inst.class();
             let cost = self.timing.issue_cost(class) as u64;
             // Issue cost is absorbed by any outstanding miss shadow.
-            let hidden = cost.min(self.stall_credit_fp);
-            self.stall_credit_fp -= hidden;
-            self.cycle_fp += cost - hidden;
+            self.cycle_fp += absorb(&mut self.stall_credit_fp, cost);
 
             // `next` is where control goes unless the instruction redirects.
             let mut next = pc + 1;
@@ -817,12 +833,9 @@ impl<'m, H: HostEnv> Machine<'m, H> {
                 if u.straddles && !self.icache.access(u.last_byte) {
                     self.cycle_fp += icache_penalty;
                 }
-                self.counters.instructions_retired += 1;
-                let cost = u.cost as u64;
+                self.counters.retire(1);
                 // Issue cost is absorbed by any outstanding miss shadow.
-                let hidden = cost.min(self.stall_credit_fp);
-                self.stall_credit_fp -= hidden;
-                self.cycle_fp += cost - hidden;
+                self.cycle_fp += absorb(&mut self.stall_credit_fp, u.cost as u64);
 
                 macro_rules! trap {
                     ($k:expr, $d:expr) => {
@@ -1052,6 +1065,196 @@ impl<'m, H: HostEnv> Machine<'m, H> {
                 pc += 1;
             }
             // Fell through the block's end: `pc == end` is the next leader.
+        }
+    }
+
+    /// Builds (once) the superblock program and the per-op handler tables
+    /// the threaded engine dispatches over.
+    fn ensure_threaded(&mut self) {
+        if self.threaded.is_some() {
+            return;
+        }
+        let th = Arc::new(Threaded::new(&self.pre, self.icache.line_bytes()));
+        let tables: Vec<Vec<Handler<H>>> = th
+            .funcs
+            .iter()
+            .map(|tf| tf.tops.iter().map(handler_for::<H>).collect())
+            .collect();
+        self.thandlers = Some(Arc::new(tables));
+        self.threaded = Some(th);
+    }
+
+    /// The direct-threaded superblock engine ([`ExecMode::Threaded`]):
+    /// dispatches each op through a pre-selected function pointer instead
+    /// of a `match`, charges fuel per *superblock* (merged block chains,
+    /// see [`crate::threaded`]) with exact rollback of the unexecuted tail
+    /// at side exits, and applies the cycle and I-cache fetch accounting of
+    /// pure register-only runs in one batched step. Every batching rule has
+    /// a bit-exactness argument ([`Seg::Pure`], [`absorb`],
+    /// [`Cache::record_hits`]); the differential tests hold this loop
+    /// byte-identical to [`Machine::run_legacy`].
+    fn run_threaded(&mut self, entry: FuncId, fuel: u64) -> Result<RunOutcome, ExecError> {
+        self.ensure_threaded();
+        let th = Arc::clone(self.threaded.as_ref().expect("ensure_threaded ran"));
+        let tables = Arc::clone(self.thandlers.as_ref().expect("ensure_threaded ran"));
+        let icache_penalty = self.timing.icache_miss_penalty as u64;
+        let mut func = entry.0;
+        let mut remaining = fuel;
+
+        // Resolves a control-transfer destination (function entry or
+        // return site) to its superblock, with the legacy loop's exact
+        // "fell off end" abort for out-of-range targets.
+        macro_rules! enter {
+            ($f:expr, $pc:expr) => {{
+                let dst = &th.funcs[$f as usize];
+                if $pc as usize >= dst.n as usize {
+                    return Err(self.err(
+                        TrapKind::Abort,
+                        $f,
+                        $pc as usize,
+                        "fell off end of function",
+                    ));
+                }
+                let sb = dst.entry[$pc as usize];
+                debug_assert_ne!(sb, NO_SB, "control must enter superblocks at their head");
+                sb
+            }};
+        }
+
+        let mut sb_id = enter!(func, 0u32);
+        'sb: loop {
+            let tf = &th.funcs[func as usize];
+            let hs = &tables[func as usize];
+            let sb = &tf.sbs[sb_id as usize];
+            // The common case charges the whole superblock's fuel on entry;
+            // runs with less fuel left than the superblock is long fall
+            // back to per-op checks so the out-of-fuel pc stays exact.
+            let batched = remaining >= sb.len as u64;
+
+            // One op with exact per-instruction accounting, plus the
+            // control-flow outcome handling shared by both fuel paths.
+            macro_rules! op {
+                ($i:expr, $batched:expr) => {{
+                    let t = &tf.tops[$i];
+                    if !self.icache.access(t.addr) {
+                        self.cycle_fp += icache_penalty;
+                    }
+                    if t.straddles && !self.icache.access(t.last_byte) {
+                        self.cycle_fp += icache_penalty;
+                    }
+                    self.counters.retire(1);
+                    self.cycle_fp += absorb(&mut self.stall_credit_fp, t.cost as u64);
+                    match (hs[$i])(self, t) {
+                        Ok(Flow::Next) => {}
+                        Ok(Flow::Jump {
+                            sb: dst,
+                            orig_target,
+                        }) => {
+                            if $batched {
+                                // Side exit: roll back the unexecuted tail
+                                // so fuel consumed equals instructions
+                                // retired at every superblock entry — the
+                                // out-of-fuel pc stays exact across
+                                // superblock seams.
+                                remaining += t.sb_tail as u64;
+                            }
+                            if dst == NO_SB {
+                                return Err(self.err(
+                                    TrapKind::Abort,
+                                    func,
+                                    orig_target as usize,
+                                    "fell off end of function",
+                                ));
+                            }
+                            sb_id = dst;
+                            continue 'sb;
+                        }
+                        Ok(Flow::Enter { func: f }) => {
+                            func = f;
+                            sb_id = enter!(f, 0u32);
+                            continue 'sb;
+                        }
+                        Ok(Flow::RetTo { func: f, ret_pc }) => {
+                            func = f;
+                            sb_id = enter!(f, ret_pc);
+                            continue 'sb;
+                        }
+                        Ok(Flow::Finish { exit_code }) => {
+                            return Ok(RunOutcome {
+                                ret: self.regs[Reg::Rax.index()],
+                                exit_code,
+                                counters: self.counters(),
+                            });
+                        }
+                        Err((k, d)) => {
+                            return Err(self.err(k, func, t.orig_pc as usize, d));
+                        }
+                    }
+                }};
+            }
+
+            if batched {
+                remaining -= sb.len as u64;
+                for seg in &tf.segs[sb.seg_lo as usize..sb.seg_hi as usize] {
+                    match *seg {
+                        Seg::Pure {
+                            lo,
+                            hi,
+                            cost_fp,
+                            fetches,
+                            probe_lo,
+                            probe_hi,
+                        } => {
+                            // Batched fetch: probe only at line transitions,
+                            // count the statically-deduplicated rest.
+                            for &a in &tf.probes[probe_lo as usize..probe_hi as usize] {
+                                if !self.icache.access(a) {
+                                    self.cycle_fp += icache_penalty;
+                                }
+                            }
+                            self.icache
+                                .record_hits(fetches - (probe_hi - probe_lo) as u64);
+                            self.counters.retire((hi - lo) as u64);
+                            self.cycle_fp += absorb(&mut self.stall_credit_fp, cost_fp);
+                            let run = lo as usize..hi as usize;
+                            for (h, t) in hs[run.clone()].iter().zip(&tf.tops[run]) {
+                                if let Err((k, d)) = h(self, t) {
+                                    debug_assert!(false, "pure op trapped: {d}");
+                                    return Err(self.err(k, func, t.orig_pc as usize, d));
+                                }
+                            }
+                        }
+                        Seg::Complex { idx } => op!(idx as usize, true),
+                    }
+                }
+            } else {
+                // Indexed on purpose: `op!` needs the op index for both the
+                // handler table and the trap-location lookup.
+                #[allow(clippy::needless_range_loop)]
+                for i in sb.op_lo as usize..sb.op_hi as usize {
+                    if remaining == 0 {
+                        return Err(self.err(
+                            TrapKind::OutOfFuel,
+                            func,
+                            tf.tops[i].orig_pc as usize,
+                            "",
+                        ));
+                    }
+                    remaining -= 1;
+                    op!(i, false);
+                }
+            }
+            match sb.fallthrough {
+                NO_SB => {
+                    return Err(self.err(
+                        TrapKind::Abort,
+                        func,
+                        tf.n as usize,
+                        "fell off end of function",
+                    ));
+                }
+                next => sb_id = next,
+            }
         }
     }
 
@@ -1585,6 +1788,520 @@ impl<'m, H: HostEnv> Machine<'m, H> {
 /// Error payload of a shared instruction-semantics helper: the trap kind
 /// plus the same static detail string the interpreter has always reported.
 type StepResult = Result<(), (TrapKind, &'static str)>;
+
+/// Control-flow outcome of a threaded-dispatch handler.
+enum Flow {
+    /// Continue with the next op in the superblock (or its fallthrough).
+    Next,
+    /// Transfer to a superblock of the current function; `orig_target` is
+    /// the original destination index, for the "fell off end" abort when
+    /// the label binds to the function end ([`NO_SB`]).
+    Jump { sb: u32, orig_target: u32 },
+    /// Call into `func` at its entry.
+    Enter { func: u32 },
+    /// Return into `func` at original instruction index `ret_pc`.
+    RetTo { func: u32, ret_pc: u32 },
+    /// The program finished: `ret` with an empty shadow stack (no exit
+    /// code) or a host `exit`.
+    Finish { exit_code: Option<i32> },
+}
+
+/// Handler result: where control goes next, or a trap with its detail
+/// string (allocated only on this cold path).
+type HRes = Result<Flow, (TrapKind, String)>;
+
+/// A direct-threaded op handler. The higher-ranked lifetime keeps
+/// [`Machine`] covariant in its module lifetime even though the handler
+/// table is stored on the machine itself.
+type Handler<H> = for<'a> fn(&mut Machine<'a, H>, &TOp) -> HRes;
+
+/// Converts a [`StepResult`] error into the handler error payload.
+fn strap((k, d): (TrapKind, &'static str)) -> (TrapKind, String) {
+    (k, d.to_string())
+}
+
+/// Wraps a shared `exec_*` semantics helper as a fall-through handler.
+macro_rules! next {
+    ($r:expr) => {{
+        $r.map_err(strap)?;
+        Ok(Flow::Next)
+    }};
+}
+
+fn h_mov<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::Mov { dst, src, width } = &t.op else {
+        unreachable!()
+    };
+    next!(m.exec_mov(dst, src, *width))
+}
+
+fn h_movzx<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::Movzx { dst, src, from } = &t.op else {
+        unreachable!()
+    };
+    next!(m.exec_movzx(*dst, src, *from))
+}
+
+fn h_movsx<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::Movsx { dst, src, from, to } = &t.op else {
+        unreachable!()
+    };
+    next!(m.exec_movsx(*dst, src, *from, *to))
+}
+
+fn h_lea<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::Lea { dst, mem, width } = &t.op else {
+        unreachable!()
+    };
+    m.exec_lea(*dst, mem, *width);
+    Ok(Flow::Next)
+}
+
+fn h_alu<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::Alu {
+        op,
+        dst,
+        src,
+        width,
+    } = &t.op
+    else {
+        unreachable!()
+    };
+    next!(m.exec_alu(*op, dst, src, *width))
+}
+
+fn h_neg<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::Neg { dst, width } = &t.op else {
+        unreachable!()
+    };
+    next!(m.exec_neg(dst, *width))
+}
+
+fn h_not<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::Not { dst, width } = &t.op else {
+        unreachable!()
+    };
+    next!(m.exec_not(dst, *width))
+}
+
+fn h_imul<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::Imul { dst, src, width } = &t.op else {
+        unreachable!()
+    };
+    next!(m.exec_imul(*dst, src, *width))
+}
+
+fn h_imul3<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::Imul3 {
+        dst,
+        src,
+        imm,
+        width,
+    } = &t.op
+    else {
+        unreachable!()
+    };
+    next!(m.exec_imul3(*dst, src, *imm, *width))
+}
+
+fn h_cqo<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::Cqo { width } = &t.op else {
+        unreachable!()
+    };
+    m.exec_cqo(*width);
+    Ok(Flow::Next)
+}
+
+fn h_div<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::Div { src, signed, width } = &t.op else {
+        unreachable!()
+    };
+    next!(m.exec_div(src, *signed, *width))
+}
+
+fn h_cmp<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::Cmp { lhs, rhs, width } = &t.op else {
+        unreachable!()
+    };
+    next!(m.exec_cmp(lhs, rhs, *width))
+}
+
+fn h_test<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::Test { lhs, rhs, width } = &t.op else {
+        unreachable!()
+    };
+    next!(m.exec_test(lhs, rhs, *width))
+}
+
+fn h_cmov<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::Cmov {
+        cc,
+        dst,
+        src,
+        width,
+    } = &t.op
+    else {
+        unreachable!()
+    };
+    next!(m.exec_cmov(*cc, *dst, src, *width))
+}
+
+fn h_setcc<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::Setcc { cc, dst } = &t.op else {
+        unreachable!()
+    };
+    m.exec_setcc(*cc, *dst);
+    Ok(Flow::Next)
+}
+
+fn h_lzcnt<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::Lzcnt { dst, src, width } = &t.op else {
+        unreachable!()
+    };
+    next!(m.exec_lzcnt(*dst, src, *width))
+}
+
+fn h_tzcnt<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::Tzcnt { dst, src, width } = &t.op else {
+        unreachable!()
+    };
+    next!(m.exec_tzcnt(*dst, src, *width))
+}
+
+fn h_popcnt<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::Popcnt { dst, src, width } = &t.op else {
+        unreachable!()
+    };
+    next!(m.exec_popcnt(*dst, src, *width))
+}
+
+/// Unmerged `jmp`: always transfers to the pre-resolved superblock.
+fn h_jmp<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::Jmp { target } = t.op else {
+        unreachable!()
+    };
+    m.counters.branches_retired += 1;
+    Ok(Flow::Jump {
+        sb: t.target_sb,
+        orig_target: target,
+    })
+}
+
+/// `jmp` whose target block is laid out directly after it in the same
+/// superblock: retires as a branch but dispatches as fall-through.
+fn h_jmp_merged<H: HostEnv>(m: &mut Machine<'_, H>, _t: &TOp) -> HRes {
+    m.counters.branches_retired += 1;
+    Ok(Flow::Next)
+}
+
+fn h_jcc<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::Jcc { cc, target } = t.op else {
+        unreachable!()
+    };
+    m.counters.branches_retired += 1;
+    m.counters.cond_branches_retired += 1;
+    let taken = m.cond(cc);
+    if m.predictor.predict_and_update(t.addr, taken) {
+        m.cycle_fp += m.timing.mispredict_penalty as u64;
+    }
+    if taken {
+        Ok(Flow::Jump {
+            sb: t.target_sb,
+            orig_target: target,
+        })
+    } else {
+        Ok(Flow::Next)
+    }
+}
+
+fn h_call<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::Call { target } = t.op else {
+        unreachable!()
+    };
+    m.counters.branches_retired += 1;
+    if m.call_stack.len() >= m.max_call_depth {
+        return Err((TrapKind::StackOverflow, "call depth".to_string()));
+    }
+    if target.0 as usize >= m.module.funcs.len() {
+        return Err((TrapKind::Abort, "call to unknown function".to_string()));
+    }
+    let ret_pc = t.orig_pc + 1;
+    m.push_val_raw(RET_TOKEN | ret_pc as u64).map_err(strap)?;
+    m.call_stack.push(Frame {
+        func: t.func,
+        ret_pc,
+        rsp_at_call: m.regs[Reg::Rsp.index()],
+    });
+    Ok(Flow::Enter { func: target.0 })
+}
+
+fn h_call_indirect<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::CallIndirect { target } = &t.op else {
+        unreachable!()
+    };
+    m.counters.branches_retired += 1;
+    let v = m
+        .read_op(target, Width::W64)
+        .map_err(|k| (k, "call-indirect operand".to_string()))?;
+    if v as usize >= m.module.funcs.len() {
+        return Err((
+            TrapKind::IndirectCallOutOfBounds,
+            format!("bad function id {v:#x}"),
+        ));
+    }
+    if m.call_stack.len() >= m.max_call_depth {
+        return Err((TrapKind::StackOverflow, "call depth".to_string()));
+    }
+    let ret_pc = t.orig_pc + 1;
+    m.push_val_raw(RET_TOKEN | ret_pc as u64).map_err(strap)?;
+    m.call_stack.push(Frame {
+        func: t.func,
+        ret_pc,
+        rsp_at_call: m.regs[Reg::Rsp.index()],
+    });
+    Ok(Flow::Enter { func: v as u32 })
+}
+
+fn h_call_host<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::CallHost { id } = t.op else {
+        unreachable!()
+    };
+    m.counters.branches_retired += 1;
+    m.counters.host_calls += 1;
+    let args = [
+        m.regs[Reg::Rdi.index()],
+        m.regs[Reg::Rsi.index()],
+        m.regs[Reg::Rdx.index()],
+        m.regs[Reg::Rcx.index()],
+        m.regs[Reg::R8.index()],
+        m.regs[Reg::R9.index()],
+    ];
+    match m.host.call(id, &args, &mut m.mem) {
+        Ok(HostOutcome::Ret {
+            value,
+            kernel_cycles,
+        }) => {
+            m.regs[Reg::Rax.index()] = value;
+            m.counters.host_cycles += kernel_cycles;
+            Ok(Flow::Next)
+        }
+        Ok(HostOutcome::Exit {
+            code,
+            kernel_cycles,
+        }) => {
+            m.counters.host_cycles += kernel_cycles;
+            Ok(Flow::Finish {
+                exit_code: Some(code),
+            })
+        }
+        Err(k) => Err((k, format!("host call {id}"))),
+    }
+}
+
+fn h_push<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::Push { src } = &t.op else {
+        unreachable!()
+    };
+    let v = m
+        .read_op(src, Width::W64)
+        .map_err(|k| (k, "push src".to_string()))?;
+    next!(m.push_val_raw(v))
+}
+
+fn h_pop<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::Pop { dst } = &t.op else {
+        unreachable!()
+    };
+    next!(m.exec_pop(*dst))
+}
+
+fn h_ret<H: HostEnv>(m: &mut Machine<'_, H>, _t: &TOp) -> HRes {
+    m.counters.branches_retired += 1;
+    let rsp = m.regs[Reg::Rsp.index()];
+    m.dread(rsp, Width::W64)
+        .map_err(|k| (k, "ret pop".to_string()))?;
+    m.regs[Reg::Rsp.index()] = rsp + 8;
+    match m.call_stack.pop() {
+        Some(frame) => {
+            if frame.rsp_at_call != rsp {
+                return Err((
+                    TrapKind::Abort,
+                    format!(
+                        "rsp mismatch on ret: {:#x} != {:#x}",
+                        rsp, frame.rsp_at_call
+                    ),
+                ));
+            }
+            Ok(Flow::RetTo {
+                func: frame.func,
+                ret_pc: frame.ret_pc,
+            })
+        }
+        None => Ok(Flow::Finish { exit_code: None }),
+    }
+}
+
+fn h_movf<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::MovF { dst, src, prec } = &t.op else {
+        unreachable!()
+    };
+    next!(m.exec_movf(dst, src, *prec))
+}
+
+fn h_aluf<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::AluF { op, dst, src, prec } = &t.op else {
+        unreachable!()
+    };
+    next!(m.exec_aluf(*op, *dst, src, *prec))
+}
+
+fn h_roundf<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::RoundF {
+        dst,
+        src,
+        prec,
+        mode,
+    } = &t.op
+    else {
+        unreachable!()
+    };
+    next!(m.exec_roundf(*dst, src, *prec, *mode))
+}
+
+fn h_absf<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::AbsF { dst, src, prec } = &t.op else {
+        unreachable!()
+    };
+    next!(m.exec_absf(*dst, src, *prec))
+}
+
+fn h_sqrtf<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::SqrtF { dst, src, prec } = &t.op else {
+        unreachable!()
+    };
+    next!(m.exec_sqrtf(*dst, src, *prec))
+}
+
+fn h_ucomis<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::Ucomis { lhs, rhs, prec } = &t.op else {
+        unreachable!()
+    };
+    next!(m.exec_ucomis(*lhs, rhs, *prec))
+}
+
+fn h_cvt_int_to_f<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::CvtIntToF {
+        dst,
+        src,
+        width,
+        prec,
+        unsigned,
+    } = &t.op
+    else {
+        unreachable!()
+    };
+    next!(m.exec_cvt_int_to_f(*dst, src, *width, *prec, *unsigned))
+}
+
+fn h_cvt_f_to_int<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::CvtFToInt {
+        dst,
+        src,
+        width,
+        prec,
+        unsigned,
+    } = &t.op
+    else {
+        unreachable!()
+    };
+    next!(m.exec_cvt_f_to_int(*dst, src, *width, *prec, *unsigned))
+}
+
+fn h_cvt_f_to_f<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::CvtFToF { dst, src, from } = &t.op else {
+        unreachable!()
+    };
+    next!(m.exec_cvt_f_to_f(*dst, src, *from))
+}
+
+fn h_gpr_to_xmm<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::MovGprToXmm { dst, src, width } = t.op else {
+        unreachable!()
+    };
+    m.exec_mov_gpr_to_xmm(dst, src, width);
+    Ok(Flow::Next)
+}
+
+fn h_xmm_to_gpr<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::MovXmmToGpr { dst, src, width } = t.op else {
+        unreachable!()
+    };
+    m.exec_mov_xmm_to_gpr(dst, src, width);
+    Ok(Flow::Next)
+}
+
+fn h_trap<H: HostEnv>(_m: &mut Machine<'_, H>, t: &TOp) -> HRes {
+    let MOp::Trap { kind } = t.op else {
+        unreachable!()
+    };
+    Err((kind, "explicit trap".to_string()))
+}
+
+fn h_nop<H: HostEnv>(_m: &mut Machine<'_, H>, _t: &TOp) -> HRes {
+    Ok(Flow::Next)
+}
+
+/// Selects the dispatch handler for one op — the one `match` the threaded
+/// engine performs per op *at table-build time* instead of per execution.
+fn handler_for<H: HostEnv>(t: &TOp) -> Handler<H> {
+    match t.op {
+        MOp::Mov { .. } => h_mov,
+        MOp::Movzx { .. } => h_movzx,
+        MOp::Movsx { .. } => h_movsx,
+        MOp::Lea { .. } => h_lea,
+        MOp::Alu { .. } => h_alu,
+        MOp::Neg { .. } => h_neg,
+        MOp::Not { .. } => h_not,
+        MOp::Imul { .. } => h_imul,
+        MOp::Imul3 { .. } => h_imul3,
+        MOp::Cqo { .. } => h_cqo,
+        MOp::Div { .. } => h_div,
+        MOp::Cmp { .. } => h_cmp,
+        MOp::Test { .. } => h_test,
+        MOp::Cmov { .. } => h_cmov,
+        MOp::Setcc { .. } => h_setcc,
+        MOp::Lzcnt { .. } => h_lzcnt,
+        MOp::Tzcnt { .. } => h_tzcnt,
+        MOp::Popcnt { .. } => h_popcnt,
+        MOp::Jmp { .. } => {
+            if t.merged_jmp {
+                h_jmp_merged
+            } else {
+                h_jmp
+            }
+        }
+        MOp::Jcc { .. } => h_jcc,
+        MOp::Call { .. } => h_call,
+        MOp::CallIndirect { .. } => h_call_indirect,
+        MOp::CallHost { .. } => h_call_host,
+        MOp::Push { .. } => h_push,
+        MOp::Pop { .. } => h_pop,
+        MOp::Ret => h_ret,
+        MOp::MovF { .. } => h_movf,
+        MOp::AluF { .. } => h_aluf,
+        MOp::RoundF { .. } => h_roundf,
+        MOp::AbsF { .. } => h_absf,
+        MOp::SqrtF { .. } => h_sqrtf,
+        MOp::Ucomis { .. } => h_ucomis,
+        MOp::CvtIntToF { .. } => h_cvt_int_to_f,
+        MOp::CvtFToInt { .. } => h_cvt_f_to_int,
+        MOp::CvtFToF { .. } => h_cvt_f_to_f,
+        MOp::MovGprToXmm { .. } => h_gpr_to_xmm,
+        MOp::MovXmmToGpr { .. } => h_xmm_to_gpr,
+        MOp::Trap { .. } => h_trap,
+        MOp::Nop => h_nop,
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -2556,34 +3273,207 @@ mod tests {
         module_of(vec![b.finish(), callee.finish()])
     }
 
+    /// Runs `m` under `mode` and returns the full observable outcome.
+    fn observe_mode(
+        m: &Module,
+        mode: ExecMode,
+        args: &[u64],
+        fuel: u64,
+    ) -> (Result<(u64, Option<i32>), ExecError>, PerfCounters) {
+        let mut machine = Machine::new(m, NullHost);
+        machine.set_exec_mode(mode);
+        let res = machine
+            .run(FuncId(0), args, fuel)
+            .map(|o| (o.ret, o.exit_code));
+        (res, machine.counters())
+    }
+
     #[test]
-    fn predecoded_and_legacy_paths_agree_exactly() {
+    fn all_exec_modes_agree_exactly() {
         let m = call_loop_module();
-        let mut fast = Machine::new(&m, NullHost);
-        let fast_out = fast.run(FuncId(0), &[100], 1_000_000).expect("runs");
-        let mut slow = Machine::new(&m, NullHost);
-        slow.set_exec_mode(ExecMode::Legacy);
-        let slow_out = slow.run(FuncId(0), &[100], 1_000_000).expect("runs");
-        assert_eq!(fast_out.ret, 5050);
-        assert_eq!(fast_out.ret, slow_out.ret);
-        assert_eq!(fast_out.exit_code, slow_out.exit_code);
-        assert_eq!(fast_out.counters, slow_out.counters);
+        let (leg_res, leg_ctr) = observe_mode(&m, ExecMode::Legacy, &[100], 1_000_000);
+        assert_eq!(leg_res.as_ref().expect("runs").0, 5050);
+        for mode in [ExecMode::Predecoded, ExecMode::Threaded] {
+            let (res, ctr) = observe_mode(&m, mode, &[100], 1_000_000);
+            assert_eq!(res, leg_res, "{mode:?}");
+            assert_eq!(ctr, leg_ctr, "{mode:?}");
+        }
     }
 
     #[test]
     fn out_of_fuel_location_and_counters_match_across_modes() {
-        // Fuel runs out mid-block in the predecoded engine; the trap must
-        // still name the exact instruction the legacy path reports.
+        // Fuel runs out mid-block (predecoded) or mid-superblock
+        // (threaded); the trap must still name the exact instruction the
+        // legacy path reports.
         let m = call_loop_module();
         for fuel in [0, 1, 7, 100, 1234] {
-            let mut fast = Machine::new(&m, NullHost);
-            let fast_err = fast.run(FuncId(0), &[u64::MAX], fuel).unwrap_err();
-            let mut slow = Machine::new(&m, NullHost);
-            slow.set_exec_mode(ExecMode::Legacy);
-            let slow_err = slow.run(FuncId(0), &[u64::MAX], fuel).unwrap_err();
-            assert_eq!(fast_err.kind, TrapKind::OutOfFuel);
-            assert_eq!(fast_err, slow_err, "fuel {fuel}");
-            assert_eq!(fast.counters(), slow.counters(), "fuel {fuel}");
+            let (leg_res, leg_ctr) = observe_mode(&m, ExecMode::Legacy, &[u64::MAX], fuel);
+            assert_eq!(leg_res.as_ref().unwrap_err().kind, TrapKind::OutOfFuel);
+            for mode in [ExecMode::Predecoded, ExecMode::Threaded] {
+                let (res, ctr) = observe_mode(&m, mode, &[u64::MAX], fuel);
+                assert_eq!(res, leg_res, "{mode:?} fuel {fuel}");
+                assert_eq!(ctr, leg_ctr, "{mode:?} fuel {fuel}");
+            }
+        }
+    }
+
+    /// A counted loop whose `[cmp, jcc, add, jmp]` body merges into a
+    /// single superblock with a mid-superblock side exit — the shape where
+    /// batched fuel charging without rollback would misreport out-of-fuel
+    /// locations.
+    fn superblock_loop_module() -> Module {
+        let mut b = AsmBuilder::new("main");
+        let top = b.new_label();
+        let done = b.new_label();
+        b.emit(Inst::Mov {
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Imm(0),
+            width: Width::W64,
+        });
+        b.bind(top);
+        b.emit(Inst::Cmp {
+            lhs: Operand::Reg(Reg::Rax),
+            rhs: Operand::Reg(Reg::Rdi),
+            width: Width::W64,
+        });
+        b.emit(Inst::Jcc {
+            cc: Cc::E,
+            target: done,
+        });
+        b.emit(Inst::Alu {
+            op: AluOp::Add,
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Imm(1),
+            width: Width::W64,
+        });
+        b.emit(Inst::Jmp { target: top });
+        b.bind(done);
+        b.emit(Inst::Call { target: FuncId(1) });
+        b.emit(Inst::Ret);
+
+        let mut callee = AsmBuilder::new("bump");
+        callee.emit(Inst::Alu {
+            op: AluOp::Add,
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Imm(7),
+            width: Width::W64,
+        });
+        callee.emit(Inst::Ret);
+        module_of(vec![b.finish(), callee.finish()])
+    }
+
+    #[test]
+    fn fuel_exhaustion_at_every_offset_matches_across_superblock_seams() {
+        // Regression test for fuel/trap accounting at superblock seams:
+        // exhaust fuel at *every* offset of a run whose hot loop is one
+        // merged superblock with a taken side exit, and require the exact
+        // legacy trap location and counters from every tier. This fails if
+        // a batched tier forgets to roll back the unexecuted superblock
+        // tail on side exits (fuel consumed would outrun instructions
+        // retired, reporting out-of-fuel early and at the wrong pc).
+        for m in [superblock_loop_module(), call_loop_module()] {
+            let args = &[6u64];
+            let (full_res, full_ctr) = observe_mode(&m, ExecMode::Legacy, args, u64::MAX);
+            let total = full_ctr.instructions_retired;
+            assert!(full_res.is_ok());
+            assert!(total > 12, "sweep must cross a superblock boundary");
+            for fuel in 0..=total {
+                let (leg_res, leg_ctr) = observe_mode(&m, ExecMode::Legacy, args, fuel);
+                if fuel < total {
+                    let err = leg_res.as_ref().unwrap_err();
+                    assert_eq!(err.kind, TrapKind::OutOfFuel);
+                    // The legacy trap pc is the exact next retiring
+                    // instruction: exactly `fuel` instructions retired.
+                    assert_eq!(leg_ctr.instructions_retired, fuel);
+                } else {
+                    assert_eq!(leg_res, full_res);
+                }
+                for mode in [ExecMode::Predecoded, ExecMode::Threaded] {
+                    let (res, ctr) = observe_mode(&m, mode, args, fuel);
+                    assert_eq!(res, leg_res, "{mode:?} fuel {fuel}");
+                    assert_eq!(ctr, leg_ctr, "{mode:?} fuel {fuel}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_abort_paths_match_legacy() {
+        // Jcc taken to a label bound at the function end: control falls
+        // off the end, which the threaded tier maps through its NO_SB
+        // sentinel. The abort location and counters must match legacy.
+        let mut b = AsmBuilder::new("main");
+        let end = b.new_label();
+        b.emit(Inst::Cmp {
+            lhs: Operand::Reg(Reg::Rdi),
+            rhs: Operand::Imm(0),
+            width: Width::W64,
+        });
+        b.emit(Inst::Jcc {
+            cc: Cc::E,
+            target: end,
+        });
+        b.emit(Inst::Ret);
+        b.bind(end);
+        let m = module_of(vec![b.finish()]);
+        let (leg_res, leg_ctr) = observe_mode(&m, ExecMode::Legacy, &[0], 1000);
+        let err = leg_res.as_ref().unwrap_err();
+        assert_eq!(err.kind, TrapKind::Abort);
+        assert_eq!(err.pc, 3);
+        for mode in [ExecMode::Predecoded, ExecMode::Threaded] {
+            let (res, ctr) = observe_mode(&m, mode, &[0], 1000);
+            assert_eq!(res, leg_res, "{mode:?}");
+            assert_eq!(ctr, leg_ctr, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn threaded_trap_mid_superblock_matches_legacy() {
+        // An explicit trap after pure ops inside a merged superblock: the
+        // batched tier must have fully applied the preceding pure run's
+        // accounting before the trap surfaces.
+        let mut b = AsmBuilder::new("main");
+        let l = b.new_label();
+        b.emit(Inst::Mov {
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Imm(3),
+            width: Width::W64,
+        });
+        b.emit(Inst::Jmp { target: l });
+        b.bind(l);
+        b.emit(Inst::Alu {
+            op: AluOp::Add,
+            dst: Operand::Reg(Reg::Rax),
+            src: Operand::Imm(4),
+            width: Width::W64,
+        });
+        b.emit(Inst::Trap {
+            kind: TrapKind::Unreachable,
+        });
+        b.emit(Inst::Ret);
+        let m = module_of(vec![b.finish()]);
+        let (leg_res, leg_ctr) = observe_mode(&m, ExecMode::Legacy, &[], 1000);
+        let err = leg_res.as_ref().unwrap_err();
+        assert_eq!(err.kind, TrapKind::Unreachable);
+        assert_eq!(err.pc, 3);
+        for mode in [ExecMode::Predecoded, ExecMode::Threaded] {
+            let (res, ctr) = observe_mode(&m, mode, &[], 1000);
+            assert_eq!(res, leg_res, "{mode:?}");
+            assert_eq!(ctr, leg_ctr, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn every_variant_agrees_across_modes() {
+        // The predecode tests build a module with one of every
+        // instruction; run it under all three modes and require identical
+        // observables, whatever they are.
+        let m = crate::predecode::tests::every_variant_module();
+        let (leg_res, leg_ctr) = observe_mode(&m, ExecMode::Legacy, &[1, 2], 100_000);
+        for mode in [ExecMode::Predecoded, ExecMode::Threaded] {
+            let (res, ctr) = observe_mode(&m, mode, &[1, 2], 100_000);
+            assert_eq!(res, leg_res, "{mode:?}");
+            assert_eq!(ctr, leg_ctr, "{mode:?}");
         }
     }
 }

@@ -450,7 +450,7 @@ impl Predecoded {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use wasmperf_isa::AsmBuilder;
 
@@ -467,8 +467,9 @@ mod tests {
     }
 
     /// One instance of every `Inst` variant, in a module that would also
-    /// execute (labels bound, function ids valid).
-    fn every_variant_module() -> Module {
+    /// execute (labels bound, function ids valid). Shared with the machine
+    /// tests' cross-mode differential.
+    pub(crate) fn every_variant_module() -> Module {
         use wasmperf_isa::inst::FOperand::Xmm as FX;
         let mem = MemRef::base_disp(Reg::Rdi, 8);
         let mut b = AsmBuilder::new("all");

@@ -115,6 +115,24 @@ pub fn fp_to_cycles(fp: u64) -> u64 {
     (fp + 63) >> 6
 }
 
+/// Charges `cost_fp` of issue work against an outstanding D-cache miss
+/// shadow: consumes up to `cost_fp` from `stall_credit_fp` and returns the
+/// visible cycle charge (the part that did not hide under the miss).
+///
+/// All execution tiers share this so their accounting is the same
+/// computation. It is also what makes the threaded tier's batching exact:
+/// over a run of ops that adds no new credit, applying `absorb` per-op
+/// telescopes to a single `absorb` of the summed cost — each op either
+/// drains credit fully (charging `cost - credit_left`) or is fully hidden,
+/// so the total visible charge is `total_cost - min(total_cost, credit)`
+/// either way.
+#[inline]
+pub fn absorb(stall_credit_fp: &mut u64, cost_fp: u64) -> u64 {
+    let hidden = cost_fp.min(*stall_credit_fp);
+    *stall_credit_fp -= hidden;
+    cost_fp - hidden
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +173,22 @@ mod tests {
             assert!(t.issue_cost(class) > 0, "{class:?}");
         }
         assert_eq!(t.issue_cost(InstClass::Trap), 0);
+    }
+
+    #[test]
+    fn absorb_batches_exactly() {
+        // Per-op absorption telescopes to one batched absorption when no
+        // credit is added mid-run.
+        for credit in [0u64, 1, 50, 100, 1000] {
+            for costs in [&[22u64, 64, 40, 22][..], &[0, 1], &[], &[500]] {
+                let mut c1 = credit;
+                let per_op: u64 = costs.iter().map(|&c| absorb(&mut c1, c)).sum();
+                let mut c2 = credit;
+                let batched = absorb(&mut c2, costs.iter().sum());
+                assert_eq!(per_op, batched, "credit={credit} costs={costs:?}");
+                assert_eq!(c1, c2);
+            }
+        }
     }
 
     #[test]

@@ -263,8 +263,9 @@ pub fn execute(
 }
 
 /// [`execute`] pinned to a specific interpreter loop. `wasmperf-bench`
-/// uses this to time the predecoded engine against the legacy reference
-/// on identical workloads; results must match byte for byte.
+/// uses this to time the threaded and predecoded engines against the
+/// legacy reference on identical workloads; results must match byte for
+/// byte.
 pub fn execute_with_mode(
     bench: &Benchmark,
     engine: &Engine,
@@ -273,6 +274,19 @@ pub fn execute_with_mode(
     mode: ExecMode,
 ) -> Result<RunResult, Error> {
     execute_inner(bench, engine, artifact, policy, mode, DEFAULT_FUEL)
+}
+
+/// [`execute_with_mode`] with an explicit fuel budget, for differential
+/// tests that exercise out-of-fuel traps under every interpreter loop.
+pub fn execute_with_mode_and_fuel(
+    bench: &Benchmark,
+    engine: &Engine,
+    artifact: &Artifact,
+    policy: AppendPolicy,
+    mode: ExecMode,
+    fuel: u64,
+) -> Result<RunResult, Error> {
+    execute_inner(bench, engine, artifact, policy, mode, fuel)
 }
 
 /// [`execute`] with an explicit fuel budget. A run that exhausts `fuel`
@@ -285,7 +299,7 @@ pub fn execute_with_fuel(
     policy: AppendPolicy,
     fuel: u64,
 ) -> Result<RunResult, Error> {
-    execute_inner(bench, engine, artifact, policy, ExecMode::Predecoded, fuel)
+    execute_inner(bench, engine, artifact, policy, ExecMode::Threaded, fuel)
 }
 
 /// The host behind one execution: a live Browsix kernel, or a replay

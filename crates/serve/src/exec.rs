@@ -60,6 +60,21 @@ pub fn fuel_for_deadline(deadline_ms: f64) -> u64 {
     }
 }
 
+/// The `Retry-After` hint for a shed request: with `depth` jobs ahead
+/// and `workers` lanes each draining one job per observed mean service
+/// time, the queue plausibly has room after `depth × mean ÷ workers`
+/// seconds. Rounded up and clamped to ≥ 1 — the header has whole-second
+/// granularity, and `0` would invite an immediate, equally doomed retry.
+/// Before any run completes the mean is 0 and the hint degrades to 1.
+pub fn retry_after_secs(depth: usize, workers: usize, mean_exec_us: f64) -> u64 {
+    let est = depth as f64 * (mean_exec_us / 1e6) / workers.max(1) as f64;
+    if est.is_finite() && est > 1.0 {
+        est.ceil() as u64
+    } else {
+        1
+    }
+}
+
 /// The wall-clock safety net paired with a simulated deadline.
 pub fn wall_timeout(deadline_ms: Option<f64>) -> Duration {
     match deadline_ms {
@@ -144,10 +159,14 @@ pub enum ServeError {
     /// Malformed or unanswerable request (unknown benchmark/engine,
     /// bad field types). → 400.
     BadRequest(String),
-    /// The admission queue was full; carries the observed depth. → 429.
+    /// The admission queue was full; carries the observed depth and the
+    /// derived backpressure hint. → 429.
     Rejected {
         /// Pool depth (queued + executing) at rejection.
         depth: usize,
+        /// Seconds until the queue plausibly has room: depth × observed
+        /// mean service time ÷ workers, rounded up, never below 1.
+        retry_after_s: u64,
     },
     /// The server is draining; no new work admitted. → 503.
     Closed,
@@ -182,8 +201,12 @@ impl ServeError {
     pub fn to_json(&self) -> Json {
         let mut fields = vec![("error".to_string(), Json::Str(self.message()))];
         match self {
-            ServeError::Rejected { depth } => {
+            ServeError::Rejected {
+                depth,
+                retry_after_s,
+            } => {
                 fields.push(("depth".into(), Json::u64(*depth as u64)));
+                fields.push(("retry_after_s".into(), Json::u64(*retry_after_s)));
             }
             ServeError::DeadlineSim { fuel } => {
                 fields.push(("deadline".into(), Json::Str("sim".into())));
@@ -200,7 +223,7 @@ impl ServeError {
     fn message(&self) -> String {
         match self {
             ServeError::BadRequest(m) => m.clone(),
-            ServeError::Rejected { depth } => format!("queue full (depth {depth})"),
+            ServeError::Rejected { depth, .. } => format!("queue full (depth {depth})"),
             ServeError::Closed => "server is draining".into(),
             ServeError::DeadlineSim { fuel } => {
                 format!("simulated deadline exceeded (fuel {fuel})")
@@ -385,7 +408,14 @@ impl ExecService {
             let _ = tx.send((outcome, started.elapsed().as_micros() as u64));
         };
         let depth = self.pool.submit(job).map_err(|e| match e {
-            SubmitError::Full { depth } => ServeError::Rejected { depth },
+            SubmitError::Full { depth } => ServeError::Rejected {
+                depth,
+                retry_after_s: retry_after_secs(
+                    depth,
+                    self.pool.workers(),
+                    self.metrics.mean_exec_us(),
+                ),
+            },
             SubmitError::Closed => ServeError::Closed,
         })?;
         self.metrics.observe_depth(depth);
@@ -408,6 +438,7 @@ impl ExecService {
                     result.counters.host_cycles,
                     result.kernel_bytes,
                 );
+                self.metrics.observe_exec_us(exec_us);
                 let result = Arc::new(result);
                 if fuel == DEFAULT_FUEL {
                     let mut results = self.results.lock().unwrap_or_else(PoisonError::into_inner);
@@ -590,16 +621,35 @@ mod tests {
     #[test]
     fn serve_errors_map_to_statuses() {
         assert_eq!(ServeError::BadRequest("x".into()).status(), 400);
-        assert_eq!(ServeError::Rejected { depth: 3 }.status(), 429);
+        let rejected = ServeError::Rejected {
+            depth: 3,
+            retry_after_s: 2,
+        };
+        assert_eq!(rejected.status(), 429);
         assert_eq!(ServeError::Closed.status(), 503);
         assert_eq!(ServeError::DeadlineSim { fuel: 1 }.status(), 504);
         assert_eq!(ServeError::DeadlineWall.status(), 504);
         assert_eq!(ServeError::Failed("x".into()).status(), 422);
         assert_eq!(ServeError::Internal("x".into()).status(), 500);
-        let j = ServeError::Rejected { depth: 3 }.to_json();
+        let j = rejected.to_json();
         assert_eq!(j.get("depth").and_then(Json::as_u64), Some(3));
+        assert_eq!(j.get("retry_after_s").and_then(Json::as_u64), Some(2));
         let j = ServeError::DeadlineSim { fuel: 35_000 }.to_json();
         assert_eq!(j.get("deadline").and_then(Json::as_str), Some("sim"));
+    }
+
+    #[test]
+    fn retry_after_scales_with_queue_depth_and_never_drops_below_one() {
+        // No observed service time yet: degrade to the 1s floor.
+        assert_eq!(retry_after_secs(16, 2, 0.0), 1);
+        // Sub-second drain estimates clamp up to the header granularity.
+        assert_eq!(retry_after_secs(2, 4, 100_000.0), 1);
+        // 8 jobs ahead, 2 workers, 1s mean service time: ~4s.
+        assert_eq!(retry_after_secs(8, 2, 1_000_000.0), 4);
+        // Fractional drain times round up, not down.
+        assert_eq!(retry_after_secs(3, 2, 1_000_000.0), 2);
+        // A degenerate worker count must not divide by zero.
+        assert_eq!(retry_after_secs(5, 0, 2_000_000.0), 10);
     }
 
     #[test]

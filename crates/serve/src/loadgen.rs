@@ -100,6 +100,8 @@ struct Sample {
     sys: Option<(u64, u64, u64)>,
     /// Transport-level failure, if the request never completed.
     error: Option<String>,
+    /// Raw `Retry-After` header of a 429 response (None if absent).
+    retry_after: Option<String>,
 }
 
 /// The aggregated outcome of one load-generation run.
@@ -282,6 +284,7 @@ fn observe(body: &Json, key: (String, String), status: u16, latency_us: u64) -> 
         cached,
         sys,
         error: None,
+        retry_after: None,
     }
 }
 
@@ -291,8 +294,16 @@ fn issue(client: &mut Client, opts: &Options, index: usize) -> Sample {
     match client.post_json("/run", &body) {
         Ok(resp) => {
             let latency_us = started.elapsed().as_micros() as u64;
+            let retry_after = if resp.status == 429 {
+                resp.header("retry-after").map(str::to_string)
+            } else {
+                None
+            };
             match resp.body_json() {
-                Ok(json) => observe(&json, key, resp.status, latency_us),
+                Ok(json) => Sample {
+                    retry_after,
+                    ..observe(&json, key, resp.status, latency_us)
+                },
                 Err(e) => Sample {
                     key,
                     status: resp.status,
@@ -301,6 +312,7 @@ fn issue(client: &mut Client, opts: &Options, index: usize) -> Sample {
                     cached: None,
                     sys: None,
                     error: Some(format!("unparseable response body: {e}")),
+                    retry_after,
                 },
             }
         }
@@ -312,6 +324,7 @@ fn issue(client: &mut Client, opts: &Options, index: usize) -> Sample {
             cached: None,
             sys: None,
             error: Some(e.to_string()),
+            retry_after: None,
         },
     }
 }
@@ -336,6 +349,7 @@ fn run_closed(opts: &Options, conns: usize) -> Vec<Sample> {
                                 cached: None,
                                 sys: None,
                                 error: Some(format!("connect: {e}")),
+                                retry_after: None,
                             });
                         return;
                     }
@@ -388,6 +402,7 @@ fn run_open(opts: &Options, rps: f64) -> Vec<Sample> {
                         cached: None,
                         sys: None,
                         error: Some(format!("connect: {e}")),
+                        retry_after: None,
                     },
                 };
                 samples
@@ -553,6 +568,21 @@ pub fn run(opts: &Options) -> Report {
             .find(|(c, _)| !matches!(**c, 200 | 429))
         {
             failures.push(format!("--expect-shed: unexpected status {code}"));
+        }
+        // Every shed must carry a usable backpressure hint: a
+        // `Retry-After` that parses as a whole number of seconds >= 1.
+        for s in samples.iter().filter(|s| s.status == 429) {
+            match s.retry_after.as_deref().map(str::parse::<u64>) {
+                Some(Ok(secs)) if secs >= 1 => {}
+                Some(Ok(secs)) => failures.push(format!(
+                    "--expect-shed: 429 carried Retry-After {secs}, must be >= 1"
+                )),
+                Some(Err(_)) => failures.push(format!(
+                    "--expect-shed: 429 carried unparseable Retry-After {:?}",
+                    s.retry_after.as_deref().unwrap_or_default()
+                )),
+                None => failures.push("--expect-shed: 429 without a Retry-After header".into()),
+            }
         }
     } else if let Some((&code, &n)) = status_counts.iter().find(|(c, _)| **c != 200) {
         failures.push(format!("{n} request(s) got unexpected status {code}"));

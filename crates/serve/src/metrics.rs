@@ -44,6 +44,9 @@ struct Inner {
     kernel_cycles: u64,
     /// Payload bytes marshalled through the kernel across executed runs.
     kernel_bytes: u64,
+    /// Worker-side execution time (µs) summed over executed runs — the
+    /// observed service time behind the `Retry-After` backpressure hint.
+    exec_us: u64,
 }
 
 /// Shared, thread-safe metrics for one server instance.
@@ -82,6 +85,22 @@ impl Metrics {
         m.syscalls += syscalls;
         m.kernel_cycles += kernel_cycles;
         m.kernel_bytes += kernel_bytes;
+    }
+
+    /// Records one executed run's worker-side execution time.
+    pub fn observe_exec_us(&self, exec_us: u64) {
+        self.lock().exec_us += exec_us;
+    }
+
+    /// Mean worker-side execution time (µs) over executed runs — the
+    /// modeled per-job service time. 0 before the first run completes.
+    pub fn mean_exec_us(&self) -> f64 {
+        let m = self.lock();
+        if m.runs_executed == 0 {
+            0.0
+        } else {
+            m.exec_us as f64 / m.runs_executed as f64
+        }
     }
 
     /// Records the admission-time pool depth of an accepted run.

@@ -382,7 +382,9 @@ fn parse_body(req: &Request) -> Result<Json, ServeError> {
 fn error_response(e: &ServeError) -> Response {
     let resp = Response::json(e.status(), &e.to_json());
     match e {
-        ServeError::Rejected { .. } => resp.with_header("Retry-After", "1"),
+        ServeError::Rejected { retry_after_s, .. } => {
+            resp.with_header("Retry-After", &retry_after_s.to_string())
+        }
         _ => resp,
     }
 }

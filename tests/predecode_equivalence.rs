@@ -1,23 +1,33 @@
-//! Differential equivalence of the two interpreter loops.
+//! Differential equivalence of the three interpreter loops.
 //!
-//! The predecoded micro-op engine ([`ExecMode::Predecoded`]) must be an
-//! unobservable optimization: every result, trap location, counter, and
-//! output byte must match the legacy per-instruction interpreter
+//! The predecoded micro-op engine ([`ExecMode::Predecoded`]) and the
+//! direct-threaded superblock engine ([`ExecMode::Threaded`]) must both
+//! be unobservable optimizations: every result, trap location, counter,
+//! and output byte must match the legacy per-instruction interpreter
 //! ([`ExecMode::Legacy`]) exactly. These tests replay the entire
-//! regression corpus and a report-style benchmark × engine matrix
-//! through both loops and compare everything.
+//! regression corpus, a report-style benchmark × engine matrix, and the
+//! checked-in replay recordings through all three loops and compare
+//! everything — including trap and out-of-fuel outcomes, where the
+//! threaded tier's batched fuel accounting must roll back to the exact
+//! per-instruction trap location.
 
+use std::sync::Arc;
 use wasmperf_benchsuite::{Benchmark, Size};
 use wasmperf_browsix::AppendPolicy;
 use wasmperf_cpu::machine::ExecError;
 use wasmperf_cpu::{ExecMode, Machine, NullHost, PerfCounters};
-use wasmperf_harness::engine::{execute_with_mode, run_one_traced, Engine};
+use wasmperf_harness::engine::{
+    execute_with_mode, execute_with_mode_and_fuel, run_one_traced, Engine,
+};
 use wasmperf_harness::{prepare, TraceConfig};
 use wasmperf_isa::Module;
 use wasmperf_wasmjit::EngineProfile;
 
 /// Same bound the difftest fuzzer uses for machine pipelines.
 const FUEL: u64 = 50_000_000;
+
+/// The two optimized loops, each checked against [`ExecMode::Legacy`].
+const FAST_MODES: [ExecMode; 2] = [ExecMode::Predecoded, ExecMode::Threaded];
 
 /// Everything observable about a hostless run: the outcome (or the full
 /// trap, location and detail included) plus the final counters.
@@ -35,16 +45,18 @@ fn observe(module: &Module, mode: ExecMode) -> Observation {
 }
 
 fn assert_modes_agree(module: &Module, what: &str) {
-    let fast = observe(module, ExecMode::Predecoded);
     let slow = observe(module, ExecMode::Legacy);
-    assert_eq!(fast, slow, "{what}: predecoded and legacy runs diverged");
+    for mode in FAST_MODES {
+        let fast = observe(module, mode);
+        assert_eq!(fast, slow, "{what}: {mode:?} and legacy runs diverged");
+    }
 }
 
 /// Replays every corpus case — each a shrunk program that once exposed a
-/// real semantics divergence — through all four machine-code pipelines,
-/// under both interpreter loops.
+/// real semantics divergence, several of which trap by design — through
+/// all four machine-code pipelines, under all three interpreter loops.
 #[test]
-fn corpus_replays_identically_under_both_loops() {
+fn corpus_replays_identically_under_all_loops() {
     let mut cases = 0;
     let mut paths: Vec<_> = std::fs::read_dir("corpus")
         .expect("corpus dir")
@@ -78,7 +90,7 @@ fn corpus_replays_identically_under_both_loops() {
 /// A report-style sweep: real benchmarks (compute-bound kernels and
 /// I/O-heavy SPEC analogs) on the paper's engine set, comparing the
 /// full [`wasmperf_harness::RunResult`] — checksum, every counter,
-/// syscall count, and output file bytes.
+/// syscall count, and output file bytes — across all three loops.
 #[test]
 fn report_matrix_is_byte_identical_across_loops() {
     let want = ["gemm", "durbin", "401.bzip2", "464.h264ref"];
@@ -94,25 +106,136 @@ fn report_matrix_is_byte_identical_across_loops() {
                 execute_with_mode(bench, &engine, &artifact, AppendPolicy::Chunked4K, mode)
                     .expect("runs")
             };
-            let fast = run(ExecMode::Predecoded);
             let slow = run(ExecMode::Legacy);
-            assert_eq!(
-                fast,
-                slow,
-                "{}/{}: loops diverged",
-                bench.name,
-                engine.name()
-            );
+            for mode in FAST_MODES {
+                assert_eq!(
+                    run(mode),
+                    slow,
+                    "{}/{}: {mode:?} diverged from legacy",
+                    bench.name,
+                    engine.name()
+                );
+            }
+        }
+    }
+}
+
+/// Every checked-in replay recording — compute-bound (`gemm`), I/O-bound
+/// (`io.rwmix`), and mixed (`401.bzip2`) — replays byte-identically under
+/// all three loops, on the native pipeline and a wasm JIT. The replay
+/// kernel answers syscalls from the recording, so this exercises the
+/// threaded tier's host-call side exits against recorded workloads.
+#[test]
+fn recordings_replay_identically_across_loops() {
+    let recs = wasmperf_replay::load_dir(std::path::Path::new("recordings")).expect("corpus");
+    assert!(
+        recs.len() >= 3,
+        "expected >= 3 recordings, got {}",
+        recs.len()
+    );
+    for rec in recs {
+        let bench = wasmperf_benchsuite::replay::from_recording(Arc::new(rec));
+        for engine in [Engine::Native, Engine::Jit(EngineProfile::chrome())] {
+            let artifact = prepare(&bench, &engine).expect("compiles");
+            let run = |mode| {
+                execute_with_mode(&bench, &engine, &artifact, AppendPolicy::Chunked4K, mode)
+                    .expect("replays")
+            };
+            let slow = run(ExecMode::Legacy);
+            for mode in FAST_MODES {
+                assert_eq!(
+                    run(mode),
+                    slow,
+                    "{}/{}: {mode:?} diverged from legacy",
+                    bench.name,
+                    engine.name()
+                );
+            }
+        }
+    }
+}
+
+/// A torn recording traps mid-run with a replay-divergence error; the
+/// error (benchmark, engine, and message, including the trap location)
+/// must be identical under all three loops.
+#[test]
+fn truncated_recording_traps_identically_across_loops() {
+    let recs = wasmperf_replay::load_dir(std::path::Path::new("recordings")).expect("corpus");
+    let mut rec = recs
+        .into_iter()
+        .find(|r| r.name == "io.rwmix")
+        .expect("io.rwmix recording");
+    rec.records.pop();
+    let bench = wasmperf_benchsuite::replay::from_recording(Arc::new(rec));
+    let engine = Engine::Native;
+    let artifact = prepare(&bench, &engine).expect("compiles");
+    let run = |mode| {
+        execute_with_mode(&bench, &engine, &artifact, AppendPolicy::Chunked4K, mode)
+            .expect_err("truncated recording must not replay cleanly")
+    };
+    let slow = run(ExecMode::Legacy);
+    let msg = slow.to_string();
+    assert!(
+        msg.contains("replay") || msg.contains("divergence"),
+        "unhelpful truncation error: {msg}"
+    );
+    for mode in FAST_MODES {
+        assert_eq!(run(mode), slow, "{mode:?} truncation trap diverged");
+    }
+}
+
+/// Out-of-fuel runs through the full harness: at several budgets — some
+/// tiny, some mid-run — every loop reports the identical
+/// [`wasmperf_harness::Error::OutOfFuel`]. The threaded tier batches fuel
+/// per superblock, so this pins its side-exit rollback at harness level.
+#[test]
+fn out_of_fuel_is_identical_across_loops() {
+    let bench = wasmperf_benchsuite::all(Size::Test)
+        .into_iter()
+        .find(|b| b.name == "gemm")
+        .expect("known benchmark");
+    for engine in [Engine::Native, Engine::Jit(EngineProfile::chrome())] {
+        let artifact = prepare(&bench, &engine).expect("compiles");
+        let full = execute_with_mode(
+            &bench,
+            &engine,
+            &artifact,
+            AppendPolicy::Chunked4K,
+            ExecMode::Legacy,
+        )
+        .expect("runs");
+        let total = full.counters.instructions_retired;
+        for fuel in [1, 97, total / 2, total - 1] {
+            let run = |mode| {
+                execute_with_mode_and_fuel(
+                    &bench,
+                    &engine,
+                    &artifact,
+                    AppendPolicy::Chunked4K,
+                    mode,
+                    fuel,
+                )
+                .expect_err("budget chosen below the benchmark's run length")
+            };
+            let slow = run(ExecMode::Legacy);
+            for mode in FAST_MODES {
+                assert_eq!(
+                    run(mode),
+                    slow,
+                    "{}/fuel={fuel}: {mode:?} out-of-fuel diverged",
+                    engine.name()
+                );
+            }
         }
     }
 }
 
 /// Profiled runs are pinned to the legacy loop so `wasmperf-trace`
 /// attribution stays exact per instruction — but their results must
-/// still match a predecoded run, and the profile must cover every
+/// still match both optimized loops, and the profile must cover every
 /// retired instruction and cycle.
 #[test]
-fn traced_legacy_run_matches_predecoded_run() {
+fn traced_legacy_run_matches_optimized_runs() {
     let bench = wasmperf_benchsuite::all(Size::Test)
         .into_iter()
         .find(|b| b.name == "401.bzip2")
@@ -127,22 +250,19 @@ fn traced_legacy_run_matches_predecoded_run() {
         run_one_traced(&bench, &engine, AppendPolicy::Chunked4K, config).expect("traced run");
 
     let artifact = prepare(&bench, &engine).expect("compiles");
-    let fast = execute_with_mode(
-        &bench,
-        &engine,
-        &artifact,
-        AppendPolicy::Chunked4K,
-        ExecMode::Predecoded,
-    )
-    .expect("runs");
-    assert_eq!(traced, fast, "traced (legacy) vs predecoded diverged");
-
-    let profile = session
-        .expect("tracing on")
-        .profile
-        .expect("profile collected");
-    assert_eq!(
-        profile.total_instructions(),
-        fast.counters.instructions_retired
-    );
+    for mode in FAST_MODES {
+        let fast = execute_with_mode(&bench, &engine, &artifact, AppendPolicy::Chunked4K, mode)
+            .expect("runs");
+        assert_eq!(traced, fast, "traced (legacy) vs {mode:?} diverged");
+        assert_eq!(
+            session
+                .as_ref()
+                .expect("tracing on")
+                .profile
+                .as_ref()
+                .expect("profile collected")
+                .total_instructions(),
+            fast.counters.instructions_retired
+        );
+    }
 }
