@@ -18,7 +18,7 @@
 //! ```text
 //! wasmperf-bench [--quick] [--filter SUBSTR] [--tier TIER]...
 //!                [--out BENCH_PR8.json] [--check BASELINE.json]
-//!                [--gate-threaded]
+//!                [--gate-threaded] [--sandbox]
 //! ```
 //!
 //! `--filter SUBSTR` keeps only benchmarks whose name contains SUBSTR
@@ -26,7 +26,11 @@
 //! optimized tiers measured (`threaded`, `predecoded`; repeatable;
 //! default both — legacy is always measured as the denominator).
 //! `--gate-threaded` exits non-zero unless the threaded tier's geomean
-//! speedup is at least the predecoded tier's.
+//! speedup is at least the predecoded tier's. `--sandbox` extends the
+//! engine matrix with the heap-protection ablations (`chrome+bounds`,
+//! `chrome+pku`, see docs/SANDBOX.md) so interpreter-throughput effects
+//! of the extra check instructions are measurable; baselines without
+//! those rows are unaffected (`--check` only reads baseline rows).
 
 use std::time::Instant;
 
@@ -102,12 +106,20 @@ fn benchmarks(quick: bool, filter: Option<&str>) -> Vec<Benchmark> {
         .collect()
 }
 
-fn engines(quick: bool) -> Vec<Engine> {
-    if quick {
+fn engines(quick: bool, sandbox: bool) -> Vec<Engine> {
+    let mut engines = if quick {
         vec![Engine::Native, Engine::Jit(EngineProfile::chrome())]
     } else {
         Engine::headline()
+    };
+    if sandbox {
+        for e in Engine::sandbox_set() {
+            if !engines.contains(&e) {
+                engines.push(e);
+            }
+        }
     }
+    engines
 }
 
 /// Times `reps` executions and returns the best simulated-MIPS figure
@@ -199,6 +211,7 @@ fn main() {
     let mut filter: Option<String> = None;
     let mut tiers: Vec<Tier> = Vec::new();
     let mut gate_threaded = false;
+    let mut sandbox = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -215,6 +228,7 @@ fn main() {
                 }
             }
             "--gate-threaded" => gate_threaded = true,
+            "--sandbox" => sandbox = true,
             other => panic!("unknown argument {other:?}"),
         }
     }
@@ -230,7 +244,7 @@ fn main() {
     }
     let mut rows = Vec::new();
     for bench in &benches {
-        for engine in &engines(quick) {
+        for engine in &engines(quick, sandbox) {
             let artifact = prepare(bench, engine)
                 .unwrap_or_else(|e| panic!("{}/{}: {e:?}", bench.name, engine.name()));
             let (legacy_mips, legacy) = measure(bench, engine, &artifact, ExecMode::Legacy, reps);

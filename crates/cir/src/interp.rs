@@ -84,6 +84,21 @@ pub struct Interp<'p, H: CliteHost> {
     host: H,
     fuel: u64,
     depth: usize,
+    /// Memory stores performed so far (used to detect order-sensitive
+    /// operand pairs).
+    writes: u64,
+    /// Set when the execution exercised behavior CLite defines but C
+    /// does not, so the native pipeline may legitimately disagree:
+    ///
+    /// - `INT_MIN % -1` (CLite and wasm say 0; native `idiv` faults);
+    /// - an indirect call whose index is out of range or whose callee
+    ///   signature mismatches, even when an argument traps first
+    ///   (native may materialize the bad pointer before the
+    ///   arguments run);
+    /// - a binary operation where one operand writes memory the other
+    ///   operand reads (C leaves operand order unsequenced; native may
+    ///   evaluate in either order).
+    pub c_ub: bool,
 }
 
 type IResult<T> = Result<T, InterpError>;
@@ -102,6 +117,8 @@ impl<'p, H: CliteHost> Interp<'p, H> {
             host,
             fuel: u64::MAX,
             depth: 0,
+            writes: 0,
+            c_ub: false,
         }
     }
 
@@ -280,6 +297,7 @@ impl<'p, H: CliteHost> Interp<'p, H> {
             return Err(InterpError::OutOfBounds);
         }
         self.mem[a..a + n].copy_from_slice(&v.to_le_bytes()[..n]);
+        self.writes += 1;
         Ok(())
     }
 
@@ -305,8 +323,25 @@ impl<'p, H: CliteHost> Interp<'p, H> {
                 Ok(unop(*op, *ty, v))
             }
             HExpr::Binary { op, ty, lhs, rhs } => {
+                let w0 = self.writes;
                 let a = self.eval(lhs, locals)?;
+                let w1 = self.writes;
                 let b = self.eval(rhs, locals)?;
+                // C leaves binary operands unsequenced: if one side
+                // stored to memory the other side reads, native may
+                // observe either order.
+                if (w1 != w0 && reads_memory(rhs)) || (self.writes != w1 && reads_memory(lhs)) {
+                    self.c_ub = true;
+                }
+                if *op == HBinOp::RemS {
+                    let overflow = match ty {
+                        HTy::I32 => a as u32 as i32 == i32::MIN && b as u32 as i32 == -1,
+                        _ => a as i64 == i64::MIN && b as i64 == -1,
+                    };
+                    if overflow {
+                        self.c_ub = true;
+                    }
+                }
                 binop(*op, *ty, a, b)
             }
             HExpr::ShortCircuit { is_and, lhs, rhs } => {
@@ -346,8 +381,27 @@ impl<'p, H: CliteHost> Interp<'p, H> {
                 args,
                 ..
             } => {
+                // Operand order matches the machine pipelines: the index
+                // expression evaluates first (source order), arguments
+                // follow, and the table bounds / signature checks happen
+                // at the call itself — wasm's call_indirect checks when
+                // the call executes, and native dereferences the bare
+                // pointer at the call, so a trapping argument wins over
+                // a bad index on every engine.
                 let i = self.eval(index, locals)? as u32;
                 let slot = (*table_base + i) as usize;
+                // A bad index or signature is C UB the moment native
+                // materializes the call target — it may read past the
+                // table before the arguments run — so flag it here even
+                // though CLite itself only traps at the call below.
+                match self.prog.table.get(slot) {
+                    Some(f) if self.prog.func_sigs[*f as usize] == *sig => {}
+                    _ => self.c_ub = true,
+                }
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, locals)?);
+                }
                 let func = *self
                     .prog
                     .table
@@ -355,10 +409,6 @@ impl<'p, H: CliteHost> Interp<'p, H> {
                     .ok_or(InterpError::BadIndirectCall)?;
                 if self.prog.func_sigs[func as usize] != *sig {
                     return Err(InterpError::SigMismatch);
-                }
-                let mut vals = Vec::with_capacity(args.len());
-                for a in args {
-                    vals.push(self.eval(a, locals)?);
                 }
                 Ok(self.call(func, &vals)?.unwrap_or(0))
             }
@@ -371,8 +421,26 @@ impl<'p, H: CliteHost> Interp<'p, H> {
                     .host
                     .syscall(&vals, &mut self.mem)
                     .map_err(InterpError::Host)?;
+                // The kernel may have written buffers.
+                self.writes += 1;
                 Ok(r as u32 as u64)
             }
+        }
+    }
+}
+
+/// True if evaluating `e` may read linear memory (calls are treated as
+/// reading: their bodies can load anything).
+fn reads_memory(e: &HExpr) -> bool {
+    match e {
+        HExpr::Const { .. } | HExpr::Local { .. } => false,
+        HExpr::Load { .. }
+        | HExpr::Call { .. }
+        | HExpr::CallIndirect { .. }
+        | HExpr::Syscall { .. } => true,
+        HExpr::Unary { arg, .. } | HExpr::Cast { arg, .. } => reads_memory(arg),
+        HExpr::Binary { lhs, rhs, .. } | HExpr::ShortCircuit { lhs, rhs, .. } => {
+            reads_memory(lhs) || reads_memory(rhs)
         }
     }
 }

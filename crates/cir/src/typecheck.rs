@@ -406,7 +406,18 @@ impl<'c> FuncCtx<'c> {
                 let operand_expected = if op.is_comparison() { None } else { expected };
                 let (lh, rh, ty) = if l_lit && !r_lit {
                     let (rh, rty) = self.lower_expr(r, operand_expected)?;
-                    let (lh, _) = self.lower_expr(l, Some(rty))?;
+                    let (lh, lty) = self.lower_expr(l, Some(rty))?;
+                    // A literal only adapts within its kind: a float
+                    // literal offered an integer context stays f64, and
+                    // letting it through would type the operator as an
+                    // integer op over a float constant — ill-typed HIR
+                    // that miscompiles downstream.
+                    if lty != rty {
+                        return err(
+                            line,
+                            format!("operand types differ: {lty} vs {rty} (insert a cast)"),
+                        );
+                    }
                     (lh, rh, rty)
                 } else {
                     let (lh, lty) = self.lower_expr(l, operand_expected)?;
@@ -1271,6 +1282,20 @@ mod tests {
         };
         assert_eq!(*op1, HBinOp::DivU);
         assert_eq!(*op2, HBinOp::DivS);
+    }
+
+    #[test]
+    fn float_literal_never_adapts_to_int_context() {
+        // A literal only adapts within its numeric kind: a float literal
+        // offered an integer context must be rejected, not silently typed
+        // as an integer op over a float constant (which miscompiled to
+        // invalid wasm downstream).
+        let err = lower_src("fn f(p: i32) -> i32 { return (0.0 + (~p)); }").unwrap_err();
+        assert!(
+            err.msg.contains("operand types differ"),
+            "unexpected error: {}",
+            err.msg
+        );
     }
 
     #[test]

@@ -1104,8 +1104,11 @@ impl<'p> Lower<'p> {
                             } = &**lhs
                             {
                                 if **laddr == *addr && lw == w {
-                                    let src = self.opnd_int(rhs, false);
+                                    // Address before value: source order,
+                                    // and the order every other pipeline
+                                    // traps in.
                                     let mem = self.addr_mem(addr);
+                                    let src = self.opnd_int(rhs, false);
                                     let aop = match op {
                                         HBinOp::Add => AluOp::Add,
                                         HBinOp::Sub => AluOp::Sub,
@@ -1125,10 +1128,14 @@ impl<'p> Lower<'p> {
                         }
                     }
                 }
+                // Address before value: C evaluates the lvalue's address
+                // expression in source order, and the wasm pipelines push
+                // the address operand first — so a trapping index must win
+                // over a trapping value on every engine.
                 match ty {
                     HTy::F32 | HTy::F64 => {
-                        let v = self.value_float(value);
                         let mem = self.addr_mem(addr);
+                        let v = self.value_float(value);
                         self.emit(LInst::MovF {
                             dst: FOpnd::Mem(mem),
                             src: FOpnd::Loc(FLoc::V(v)),
@@ -1136,8 +1143,8 @@ impl<'p> Lower<'p> {
                         });
                     }
                     _ => {
-                        let v = self.opnd_int(value, false);
                         let mem = self.addr_mem(addr);
+                        let v = self.opnd_int(value, false);
                         self.emit(LInst::Store {
                             mem,
                             src: v,
@@ -1485,6 +1492,7 @@ pub fn compile_traced(
         entry: prog.func_by_name("main").map(wasmperf_isa::FuncId),
         memory_size: (table_addr + table_bytes + 0xfff) & !0xfff,
         data: prog.data.clone(),
+        sandbox: None,
     };
 
     // Serialize the function-pointer table.

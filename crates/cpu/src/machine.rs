@@ -30,8 +30,8 @@ use std::sync::Arc;
 use wasmperf_isa::inst::FOperand;
 use wasmperf_isa::size::encoded_len;
 use wasmperf_isa::{
-    AluOp, Cc, FAluOp, FPrec, FuncId, Inst, MemRef, Module, Operand, Reg, RoundMode, TrapKind,
-    Width, Xmm,
+    AluOp, Cc, FAluOp, FPrec, FuncId, HeapBase, Inst, MemRef, Module, Operand, Reg, RoundMode,
+    Sandbox, TrapKind, Width, Xmm,
 };
 use wasmperf_trace::{AddrSample, CycleProfile};
 
@@ -158,6 +158,14 @@ pub struct Machine<'m, H: HostEnv> {
     thandlers: Option<Arc<Vec<Vec<Handler<H>>>>>,
     /// Which interpreter loop [`Machine::run`] uses.
     exec_mode: ExecMode,
+    /// Cached copy of `module.sandbox`: the guard-page contract for heap
+    /// accesses, or `None` for native modules (no classification, no
+    /// checks).
+    sandbox: Option<Sandbox>,
+    /// Precomputed fp-cycle cost of the two protection-domain switches
+    /// (enter + leave) per host-call boundary crossing; 0 unless the
+    /// module's sandbox models PKU-style switching.
+    pku_fp: u64,
 }
 
 impl<'m, H: HostEnv> Machine<'m, H> {
@@ -218,6 +226,10 @@ impl<'m, H: HostEnv> Machine<'m, H> {
             threaded: None,
             thandlers: None,
             exec_mode: ExecMode::Threaded,
+            sandbox: module.sandbox,
+            pku_fp: module
+                .sandbox
+                .map_or(0, |sb| 2 * sb.switch_cycles as u64 * 64),
         }
     }
 
@@ -327,6 +339,33 @@ impl<'m, H: HostEnv> Machine<'m, H> {
         a
     }
 
+    /// Effective address plus the implicit guard-page check: in a
+    /// sandboxed module, a heap access of `width` bytes at `a` faults iff
+    /// `a + width > heap_limit`, exactly the predicate the explicit
+    /// bounds-check ablation compiles in. The check is free — guard pages
+    /// cost nothing on the in-bounds path — so counters and cycles are
+    /// untouched. Non-heap accesses (machine stack, spill slots, table
+    /// image) are exempt, as is everything in unsandboxed modules.
+    #[inline]
+    fn ea_checked(&self, m: &MemRef, width: Width) -> Result<u64, TrapKind> {
+        let a = self.ea(m);
+        if let Some(sb) = &self.sandbox {
+            let is_heap = match sb.heap_base {
+                HeapBase::Pinned(r) => m.base == Some(r),
+                HeapBase::Masked => {
+                    matches!(m.base, Some(b) if b != Reg::Rsp && b != Reg::Rbp)
+                }
+            };
+            if is_heap
+                && a.checked_add(width.bytes())
+                    .is_none_or(|end| end > sb.heap_limit)
+            {
+                return Err(TrapKind::MemoryOutOfBounds);
+            }
+        }
+        Ok(a)
+    }
+
     #[inline]
     fn dcache_miss(&mut self) {
         let penalty = self.timing.dcache_miss_penalty as u64;
@@ -369,7 +408,7 @@ impl<'m, H: HostEnv> Machine<'m, H> {
             Operand::Reg(r) => Ok(self.regs[r.index()] & width.mask()),
             Operand::Imm(v) => Ok((*v as u64) & width.mask()),
             Operand::Mem(m) => {
-                let a = self.ea(m);
+                let a = self.ea_checked(m, width)?;
                 self.dread(a, width)
             }
         }
@@ -396,7 +435,7 @@ impl<'m, H: HostEnv> Machine<'m, H> {
                 Ok(())
             }
             Operand::Mem(m) => {
-                let a = self.ea(m);
+                let a = self.ea_checked(m, width)?;
                 self.dwrite(a, v, width)
             }
             Operand::Imm(_) => unreachable!("immediate destination"),
@@ -470,11 +509,11 @@ impl<'m, H: HostEnv> Machine<'m, H> {
         match op {
             FOperand::Xmm(x) => Ok(self.xmm[x.index()]),
             FOperand::Mem(m) => {
-                let a = self.ea(m);
                 let w = match prec {
                     FPrec::F32 => Width::W32,
                     FPrec::F64 => Width::W64,
                 };
+                let a = self.ea_checked(m, w)?;
                 self.dread(a, w)
             }
         }
@@ -672,6 +711,9 @@ impl<'m, H: HostEnv> Machine<'m, H> {
                 Inst::CallHost { id } => {
                     self.counters.branches_retired += 1;
                     self.counters.host_calls += 1;
+                    // PKU sandbox: WRPKRU on entry and exit of the host
+                    // domain; serializing, so nothing hides under it.
+                    self.cycle_fp += self.pku_fp;
                     let args = [
                         self.regs[Reg::Rdi.index()],
                         self.regs[Reg::Rsi.index()],
@@ -954,6 +996,7 @@ impl<'m, H: HostEnv> Machine<'m, H> {
                     MOp::CallHost { id } => {
                         self.counters.branches_retired += 1;
                         self.counters.host_calls += 1;
+                        self.cycle_fp += self.pku_fp;
                         let args = [
                             self.regs[Reg::Rdi.index()],
                             self.regs[Reg::Rsi.index()],
@@ -1294,7 +1337,7 @@ impl<'m, H: HostEnv> Machine<'m, H> {
         // A read-modify-write memory destination computes the effective
         // address once and reuses it for both the load and the store.
         let mem_ea = match dst {
-            Operand::Mem(m) => Some(self.ea(m)),
+            Operand::Mem(m) => Some(self.ea_checked(m, width).map_err(|k| (k, "alu dst read"))?),
             _ => None,
         };
         let l = match mem_ea {
@@ -1374,7 +1417,7 @@ impl<'m, H: HostEnv> Machine<'m, H> {
     #[inline]
     fn exec_neg(&mut self, dst: &Operand, width: Width) -> StepResult {
         let mem_ea = match dst {
-            Operand::Mem(m) => Some(self.ea(m)),
+            Operand::Mem(m) => Some(self.ea_checked(m, width).map_err(|k| (k, "neg"))?),
             _ => None,
         };
         let v = match mem_ea {
@@ -1393,7 +1436,7 @@ impl<'m, H: HostEnv> Machine<'m, H> {
     #[inline]
     fn exec_not(&mut self, dst: &Operand, width: Width) -> StepResult {
         let mem_ea = match dst {
-            Operand::Mem(m) => Some(self.ea(m)),
+            Operand::Mem(m) => Some(self.ea_checked(m, width).map_err(|k| (k, "not"))?),
             _ => None,
         };
         let v = match mem_ea {
@@ -1568,11 +1611,11 @@ impl<'m, H: HostEnv> Machine<'m, H> {
                 Ok(())
             }
             FOperand::Mem(m) => {
-                let a = self.ea(m);
                 let w = match prec {
                     FPrec::F32 => Width::W32,
                     FPrec::F64 => Width::W64,
                 };
+                let a = self.ea_checked(m, w).map_err(|k| (k, "movf dst"))?;
                 self.dwrite(a, v, w).map_err(|k| (k, "movf dst"))
             }
         }
@@ -2068,6 +2111,7 @@ fn h_call_host<H: HostEnv>(m: &mut Machine<'_, H>, t: &TOp) -> HRes {
     };
     m.counters.branches_retired += 1;
     m.counters.host_calls += 1;
+    m.cycle_fp += m.pku_fp;
     let args = [
         m.regs[Reg::Rdi.index()],
         m.regs[Reg::Rsi.index()],
@@ -2316,6 +2360,7 @@ mod tests {
             entry: Some(FuncId(0)),
             memory_size: 4096,
             data: vec![],
+            sandbox: None,
         };
         m.assign_addresses();
         m
@@ -3018,6 +3063,7 @@ mod tests {
                 entry: Some(FuncId(0)),
                 memory_size: 1024 * 1024,
                 data: vec![],
+                sandbox: None,
             };
             m.assign_addresses();
             m

@@ -461,6 +461,7 @@ pub(crate) mod tests {
             entry: Some(FuncId(0)),
             memory_size: 4096,
             data: vec![],
+            sandbox: None,
         };
         m.assign_addresses();
         m

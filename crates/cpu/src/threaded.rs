@@ -484,6 +484,7 @@ mod tests {
             entry: Some(FuncId(0)),
             memory_size: 4096,
             data: vec![],
+            sandbox: None,
         };
         m.assign_addresses();
         m

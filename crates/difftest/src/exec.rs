@@ -1,14 +1,16 @@
 //! The differential executor: one CLite program, every pipeline.
 //!
 //! A program is compiled once through the shared frontend
-//! (`wasmperf_cir::compile`) and then executed by seven engines spanning
+//! (`wasmperf_cir::compile`) and then executed by nine engines spanning
 //! the paper's toolchains:
 //!
 //! - the CLite reference interpreter (the oracle),
 //! - the wasm reference interpreter (Emscripten output, no codegen),
 //! - the clanglite native backend on the CPU simulator,
 //! - the Chrome and Firefox wasm JITs,
-//! - the Chrome and Firefox asm.js profiles.
+//! - the Chrome and Firefox asm.js profiles,
+//! - the Chrome JIT under the `bounds` and `pku` sandbox ablations,
+//!   which must be result-identical to the guard-page baseline.
 //!
 //! Outcomes are compared bit-exactly; traps are canonicalised to a
 //! shared [`TrapClass`] so "signed division overflow" from the machine
@@ -22,7 +24,7 @@ use wasmperf_cir::{HProgram, InterpError};
 use wasmperf_cpu::{Machine, NullHost};
 use wasmperf_isa::inst::TrapKind;
 use wasmperf_wasm::{Instance, NoImports, Value, WasmTrap};
-use wasmperf_wasmjit::EngineProfile;
+use wasmperf_wasmjit::{EngineProfile, SandboxModel, PKU_SWITCH_CYCLES};
 
 /// Instruction budget per engine run. Generated programs are tiny; a run
 /// that exhausts this is classified as a resource outcome, not compared.
@@ -45,11 +47,18 @@ pub enum Engine {
     ChromeAsmjs,
     /// Firefox-profile asm.js.
     FirefoxAsmjs,
+    /// Chrome-profile wasm JIT with explicit bounds checks instead of
+    /// guard pages. Must behave identically to [`Engine::ChromeJit`].
+    ChromeBounds,
+    /// Chrome-profile wasm JIT with guard pages plus modeled PKU
+    /// domain-switch costs. Must behave identically to
+    /// [`Engine::ChromeJit`].
+    ChromePku,
 }
 
 impl Engine {
     /// Every engine, oracle first.
-    pub const ALL: [Engine; 7] = [
+    pub const ALL: [Engine; 9] = [
         Engine::CliteInterp,
         Engine::WasmInterp,
         Engine::Native,
@@ -57,6 +66,8 @@ impl Engine {
         Engine::FirefoxJit,
         Engine::ChromeAsmjs,
         Engine::FirefoxAsmjs,
+        Engine::ChromeBounds,
+        Engine::ChromePku,
     ];
 
     /// Short display name.
@@ -69,6 +80,8 @@ impl Engine {
             Engine::FirefoxJit => "firefox-jit",
             Engine::ChromeAsmjs => "chrome-asmjs",
             Engine::FirefoxAsmjs => "firefox-asmjs",
+            Engine::ChromeBounds => "chrome-bounds",
+            Engine::ChromePku => "chrome-pku",
         }
     }
 }
@@ -195,18 +208,36 @@ impl fmt::Display for Signature {
 }
 
 /// Whether `key` from `engine` is an acceptable outcome given the
-/// reference outcome. Beyond exact equality there is one modeled
-/// asymmetry: native stands in for C, and C has no indirect-call bounds
-/// check — the table holds bare function pointers. An out-of-range
-/// index is undefined behaviour there: the table load may run off
-/// mapped memory (a plain memory trap), reach a garbage function id, or
-/// even land on something callable. So when the checked pipelines trap
-/// BadIndirectCall, any native outcome is accepted.
+/// reference outcome. Beyond exact equality there are two modeled
+/// asymmetries:
+///
+/// - Native stands in for C, and C has no indirect-call or memory
+///   bounds checks — the table holds bare function pointers and the
+///   heap is raw machine memory. An out-of-range table index or an
+///   out-of-bounds access is undefined behaviour there: it may trap,
+///   read the native-layout table/stack image, or even keep running on
+///   corrupted state. So when the checked pipelines trap
+///   BadIndirectCall or OutOfBounds, any native outcome is accepted.
+/// - asm.js heap accesses are masked with
+///   `next_power_of_two(mem_bytes) - 1` rather than bounds-checked
+///   (the asm.js-faithful divergence documented in docs/SANDBOX.md):
+///   an address past the power-of-two boundary wraps around into live
+///   heap instead of trapping. Accesses in the gap between `mem_bytes`
+///   and the power of two *do* trap (they stay inside the sandboxed
+///   heap limit), so asm.js is only excused when the reference traps
+///   OutOfBounds.
 fn outcome_compatible(engine: Engine, key: OutcomeKey, reference: OutcomeKey) -> bool {
     if key == reference {
         return true;
     }
-    engine == Engine::Native && reference == OutcomeKey::Trap(TrapClass::BadIndirectCall)
+    match reference {
+        OutcomeKey::Trap(TrapClass::BadIndirectCall) => engine == Engine::Native,
+        OutcomeKey::Trap(TrapClass::OutOfBounds) => matches!(
+            engine,
+            Engine::Native | Engine::ChromeAsmjs | Engine::FirefoxAsmjs
+        ),
+        _ => false,
+    }
 }
 
 /// Per-engine outcomes for one program.
@@ -214,6 +245,12 @@ fn outcome_compatible(engine: Engine, key: OutcomeKey, reference: OutcomeKey) ->
 pub struct Report {
     /// `(engine, outcome)` in [`Engine::ALL`] order.
     pub outcomes: Vec<(Engine, Outcome)>,
+    /// The oracle exercised behavior CLite defines but C does not
+    /// (signed-remainder overflow, a bad indirect-call index or
+    /// signature, or an order-sensitive operand pair — see
+    /// `Interp::c_ub`), so the native pipeline is excused from
+    /// comparison for this program.
+    pub c_ub: bool,
 }
 
 impl Report {
@@ -234,6 +271,9 @@ impl Report {
             return false;
         };
         self.outcomes.iter().any(|(e, o)| {
+            if self.c_ub && *e == Engine::Native {
+                return false;
+            }
             o.key()
                 .is_some_and(|k| !outcome_compatible(*e, k, reference))
         })
@@ -259,6 +299,9 @@ impl Report {
             .outcomes
             .iter()
             .filter(|(e, o)| {
+                if self.c_ub && *e == Engine::Native {
+                    return false;
+                }
                 o.key()
                     .is_some_and(|k| !outcome_compatible(*e, k, reference))
             })
@@ -319,13 +362,17 @@ fn map_trap_kind(k: TrapKind) -> Outcome {
     }
 }
 
-fn run_clite(prog: &HProgram) -> Outcome {
+/// Runs the oracle; the boolean reports whether the execution exercised
+/// behavior CLite defines but C does not (see `Interp::c_ub`), in which
+/// case native is excused from comparison.
+fn run_clite(prog: &HProgram) -> (Outcome, bool) {
     let mut interp = wasmperf_cir::Interp::new(prog, wasmperf_cir::NoSyscalls);
-    match interp.run("main", &[]) {
+    let outcome = match interp.run("main", &[]) {
         Ok(Some(v)) => Outcome::Value(v as u32 as i32),
         Ok(None) => Outcome::Error("main returned no value".into()),
         Err(e) => map_interp_err(e),
-    }
+    };
+    (outcome, interp.c_ub)
 }
 
 fn run_wasm_interp(wasm: &wasmperf_wasm::WasmModule) -> Outcome {
@@ -369,8 +416,9 @@ fn run_jit(wasm: &wasmperf_wasm::WasmModule, profile: &EngineProfile) -> Outcome
 
 /// Runs an already-lowered program through every engine.
 pub fn run_all(prog: &HProgram) -> Report {
+    let (oracle, c_ub) = run_clite(prog);
     let mut outcomes = vec![
-        (Engine::CliteInterp, run_clite(prog)),
+        (Engine::CliteInterp, oracle),
         (Engine::Native, run_native(prog)),
     ];
     let wasm = wasmperf_emcc::compile(prog);
@@ -382,6 +430,8 @@ pub fn run_all(prog: &HProgram) -> Report {
             Engine::FirefoxJit,
             Engine::ChromeAsmjs,
             Engine::FirefoxAsmjs,
+            Engine::ChromeBounds,
+            Engine::ChromePku,
         ] {
             outcomes.push((eng, Outcome::Error(msg.clone())));
         }
@@ -392,12 +442,22 @@ pub fn run_all(prog: &HProgram) -> Report {
             (Engine::FirefoxJit, EngineProfile::firefox()),
             (Engine::ChromeAsmjs, EngineProfile::chrome_asmjs()),
             (Engine::FirefoxAsmjs, EngineProfile::firefox_asmjs()),
+            (
+                Engine::ChromeBounds,
+                EngineProfile::chrome().with_sandbox(SandboxModel::Bounds),
+            ),
+            (
+                Engine::ChromePku,
+                EngineProfile::chrome().with_sandbox(SandboxModel::Pku {
+                    switch_cycles: PKU_SWITCH_CYCLES,
+                }),
+            ),
         ];
         for (eng, profile) in jits {
             outcomes.push((eng, run_jit(&wasm, &profile)));
         }
     }
-    Report { outcomes }
+    Report { outcomes, c_ub }
 }
 
 /// Compiles CLite source and runs it through every engine. `Err` means
@@ -427,6 +487,91 @@ mod tests {
         assert_eq!(r.oracle(), &Outcome::Trap(TrapClass::DivByZero));
     }
 
+    /// The outcome one engine produced.
+    fn outcome_of(r: &Report, eng: Engine) -> &Outcome {
+        &r.outcomes.iter().find(|(e, _)| *e == eng).unwrap().1
+    }
+
+    #[test]
+    fn out_of_bounds_trap_is_compatible_across_engines() {
+        // Tiny data + 128 KiB heap slack rounds to mem_bytes = 0x30000;
+        // address = base + 49250*4 > 0x30000, so the oracle and every
+        // checked pipeline trap. This also sits in the asm.js gap
+        // [0x30000, 0x40000): the pow2 mask leaves the address in range
+        // but the sandbox heap limit still traps — the heap-masking gap
+        // bugfix. Native (C UB) is excused by the modeled asymmetry.
+        let r = run_source(
+            "array i32 A[4];\n\
+             fn main() -> i32 { return A[49250]; }",
+        )
+        .unwrap();
+        assert!(!r.divergent(), "{}", r.describe());
+        assert_eq!(r.oracle(), &Outcome::Trap(TrapClass::OutOfBounds));
+        for eng in [
+            Engine::WasmInterp,
+            Engine::ChromeBounds,
+            Engine::ChromePku,
+            Engine::ChromeAsmjs,
+            Engine::FirefoxAsmjs,
+        ] {
+            assert_eq!(
+                outcome_of(&r, eng),
+                &Outcome::Trap(TrapClass::OutOfBounds),
+                "{eng:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn page_slack_reads_zero_on_every_engine() {
+        // Address well past the data segment but below mem_bytes:
+        // zero-filled heap slack in every pipeline (native places its
+        // table at the same page-rounded offset the wasm pipelines use).
+        let r = run_source(
+            "array i32 A[4];\n\
+             fn main() -> i32 { return A[48000]; }",
+        )
+        .unwrap();
+        assert!(!r.divergent(), "{}", r.describe());
+        assert_eq!(r.oracle(), &Outcome::Value(0));
+    }
+
+    #[test]
+    fn asmjs_pow2_wrap_is_a_documented_divergence() {
+        // Address = base + 65537*4 is past the 0x40000 pow2 boundary:
+        // the checked pipelines trap, but asm.js masking wraps the
+        // address back into live heap — a Value outcome that
+        // outcome_compatible treats as the documented asm.js asymmetry.
+        let r = run_source(
+            "array i32 A[4];\n\
+             fn main() -> i32 { A[1] = 7; return A[65537]; }",
+        )
+        .unwrap();
+        assert!(!r.divergent(), "{}", r.describe());
+        assert_eq!(r.oracle(), &Outcome::Trap(TrapClass::OutOfBounds));
+        // The wrap is not just excused — it really wraps to A[1].
+        assert_eq!(outcome_of(&r, Engine::ChromeAsmjs), &Outcome::Value(7));
+    }
+
+    #[test]
+    fn sandbox_ablations_match_the_guard_baseline_exactly() {
+        for src in [
+            "fn main() -> i32 { return 5 * 8 + 2; }",
+            "array u8 B[8];\n\
+             fn main() -> i32 { B[3] = 7; return B[3] + B[262144]; }",
+        ] {
+            let r = run_source(src).unwrap();
+            let guard = outcome_of(&r, Engine::ChromeJit).clone();
+            for eng in [Engine::ChromeBounds, Engine::ChromePku] {
+                assert_eq!(
+                    outcome_of(&r, eng),
+                    &guard,
+                    "{eng:?} diverged from guard on {src}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn signature_names_the_disagreeing_engines() {
         let report = Report {
@@ -436,6 +581,7 @@ mod tests {
                 (Engine::Native, Outcome::Value(2)),
                 (Engine::ChromeJit, Outcome::Resource("fuel".into())),
             ],
+            c_ub: false,
         };
         assert!(report.divergent());
         assert_eq!(report.signature().unwrap(), Signature(vec!["native"]));
@@ -448,6 +594,7 @@ mod tests {
                 (Engine::CliteInterp, Outcome::Value(1)),
                 (Engine::Native, Outcome::Resource("machine fuel".into())),
             ],
+            c_ub: false,
         };
         assert!(!report.divergent());
         assert!(report.signature().is_none());

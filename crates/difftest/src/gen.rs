@@ -15,7 +15,11 @@
 //! Traps, on the other hand, are a deliberate part of the surface: a
 //! small fraction of divisions, float→int casts, and indirect-call
 //! indices are left unguarded so that trap *parity* across engines is
-//! fuzzed too.
+//! fuzzed too. Likewise a small fraction of array indices are
+//! near-memory-limit probes (straddling `mem_bytes` and the
+//! power-of-two heap-mask boundary) so the sandbox trap boundary and
+//! the modeled native/asm.js out-of-bounds asymmetries are fuzzed —
+//! see `outcome_compatible`.
 //!
 //! The generator leans on the divergence-prone corners the paper's
 //! toolchains disagree on: signed/unsigned div/rem/shift at every width,
@@ -400,7 +404,7 @@ impl Gen {
         }
         if roll < 65 && !self.arrays.is_empty() {
             let (name, elem, len) = self.rng.pick(&self.arrays).clone();
-            let idx = self.masked_index(len, sc);
+            let idx = self.array_index(elem, len, sc);
             let val = self.expr(elem.load_ty(), 2, sc);
             return Stmt::Store(name, idx, val);
         }
@@ -465,6 +469,40 @@ impl Gen {
     fn masked_index(&mut self, len: u32, sc: &mut Scope) -> Expr {
         let e = self.expr(Ty::I32, 1, sc);
         Expr::Bin("&", b(e), b(Expr::Int((len - 1) as i64)))
+    }
+
+    /// A near-memory-limit index literal. The frontend lays memory out
+    /// as data end + 128 KiB heap slack rounded to 64 KiB pages, so
+    /// every generated program (tiny data) gets `mem_bytes = 0x30000` —
+    /// the boundary all checked pipelines trap at — and a power-of-two
+    /// asm.js heap mask of `0x40000 - 1`. The probe lands within a few
+    /// elements of either boundary: straddling `mem_bytes` exercises
+    /// zero-filled slack vs the trap edge (and the gap where asm.js
+    /// masking stays in range but the sandbox limit still traps);
+    /// straddling the power of two exercises the asm.js wraparound.
+    /// Divergence from these accesses is governed by
+    /// `outcome_compatible`: native (C undefined behaviour) and asm.js
+    /// (masked wrap) are excused only when the reference traps
+    /// OutOfBounds.
+    fn near_limit_index(&mut self, elem: Elem) -> Expr {
+        let esz = elem.bytes() as i64;
+        let boundary = if self.rng.chance(70) {
+            0x30000
+        } else {
+            0x40000
+        };
+        let delta = self.rng.below(8) as i64 - 4; // -4..=3 elements
+        Expr::Int(boundary / esz + delta)
+    }
+
+    /// An array index for a load or store: usually masked in-bounds,
+    /// occasionally a near-memory-limit probe.
+    fn array_index(&mut self, elem: Elem, len: u32, sc: &mut Scope) -> Expr {
+        if self.rng.chance(4) {
+            self.near_limit_index(elem)
+        } else {
+            self.masked_index(len, sc)
+        }
     }
 
     fn lit(&mut self, ty: Ty) -> Expr {
@@ -574,15 +612,19 @@ impl Gen {
             }
         }
         if roll < 75 {
-            let arrs: Vec<(String, u32)> = self
+            let arrs: Vec<(String, Elem, u32)> = self
                 .arrays
                 .iter()
                 .filter(|(_, e, _)| e.load_ty() == ty)
-                .map(|(n, _, l)| (n.clone(), *l))
+                .cloned()
                 .collect();
             if !arrs.is_empty() {
-                let (name, len) = self.rng.pick(&arrs).clone();
-                let idx = Expr::Int(self.rng.below(len as u64) as i64);
+                let (name, elem, len) = self.rng.pick(&arrs).clone();
+                let idx = if self.rng.chance(4) {
+                    self.near_limit_index(elem)
+                } else {
+                    Expr::Int(self.rng.below(len as u64) as i64)
+                };
                 return Expr::Load(name, b(idx));
             }
         }

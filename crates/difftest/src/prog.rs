@@ -109,6 +109,16 @@ impl Elem {
             Elem::Full(t) => t,
         }
     }
+
+    /// Storage size in bytes of one element.
+    pub fn bytes(self) -> u32 {
+        match self {
+            Elem::I8 | Elem::U8 => 1,
+            Elem::I16 | Elem::U16 => 2,
+            Elem::Full(Ty::I32) | Elem::Full(Ty::U32) | Elem::Full(Ty::F32) => 4,
+            Elem::Full(Ty::I64) | Elem::Full(Ty::U64) | Elem::Full(Ty::F64) => 8,
+        }
+    }
 }
 
 /// Expressions. Binary/unary operators are stored as their source token

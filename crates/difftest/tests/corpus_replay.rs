@@ -1,8 +1,9 @@
 //! Replays the checked-in `corpus/` through every engine.
 //!
-//! Each case must (a) agree across all seven engines and (b) match its
-//! `expect:` header. This is the regression net for the divergence bugs
-//! difftest has already found — reverting one of those fixes makes the
+//! Each case must (a) agree across all nine engines (modulo the
+//! documented native/asm.js asymmetries) and (b) match its `expect:`
+//! header. This is the regression net for the divergence bugs difftest
+//! has already found — reverting one of those fixes makes the
 //! corresponding case fail here.
 
 use std::path::Path;
@@ -37,6 +38,13 @@ fn corpus_covers_the_known_divergence_bugs() {
         "fmin-fmax-signed-zero",
         "constfold-unsigned-rem",
         "constfold-shift-width",
+        "indirect-call-index-evaluates-first",
+        "indirect-call-args-trap-before-bad-index",
+        "store-address-evaluates-before-value",
+        "shift-count-survives-spilled-dest",
+        "rem-signed-overflow-is-zero",
+        "unsequenced-operand-native-excuse",
+        "asmjs-gap-access-traps",
     ] {
         assert!(
             names.contains(&required),

@@ -63,9 +63,19 @@ enum Ctrl {
 struct FnCtx {
     /// Control nesting, innermost last.
     ctrl: Vec<Ctrl>,
+    /// Local slot types, parameters first; lowering may append scratch
+    /// locals (e.g. to hold a call_indirect index across argument
+    /// evaluation).
+    locals: Vec<HTy>,
 }
 
 impl FnCtx {
+    /// Allocates a fresh scratch local of `ty` and returns its index.
+    fn scratch(&mut self, ty: HTy) -> u32 {
+        self.locals.push(ty);
+        (self.locals.len() - 1) as u32
+    }
+
     /// Branch depth to the innermost break target.
     fn break_depth(&self) -> u32 {
         let mut d = 0;
@@ -212,10 +222,28 @@ impl FnCtx {
                 args,
                 ..
             } => {
+                // The index expression evaluates in source order — before
+                // the arguments — matching the CLite interpreter and the
+                // native backend. wasm wants the index on top of the stack
+                // after the arguments, so an index that could trap or have
+                // side effects is stashed in a scratch local; constants and
+                // bare locals are simply re-emitted in operand position.
+                let stashed = match &**index {
+                    HExpr::Const { .. } | HExpr::Local { .. } => None,
+                    _ => {
+                        self.lower_expr(index, out);
+                        let tmp = self.scratch(HTy::I32);
+                        out.push(Instr::LocalSet(tmp));
+                        Some(tmp)
+                    }
+                };
                 for a in args {
                     self.lower_expr(a, out);
                 }
-                self.lower_expr(index, out);
+                match stashed {
+                    Some(tmp) => out.push(Instr::LocalGet(tmp)),
+                    None => self.lower_expr(index, out),
+                }
                 if *table_base != 0 {
                     out.push(Instr::I32Const(*table_base as i32));
                     out.push(Instr::IBinop(NumWidth::X32, IBinop::Add));
@@ -552,7 +580,10 @@ pub fn compile(prog: &HProgram) -> WasmModule {
                 .collect(),
             f.ret.map(vt).into_iter().collect(),
         ));
-        let mut cx = FnCtx::default();
+        let mut cx = FnCtx {
+            ctrl: Vec::new(),
+            locals: f.locals.clone(),
+        };
         let mut body = Vec::new();
         cx.lower_stmts(&f.body, &mut body);
         // wasm requires the body to leave the declared result on the
@@ -563,7 +594,7 @@ pub fn compile(prog: &HProgram) -> WasmModule {
         }
         m.funcs.push(FuncDef {
             type_idx: ti,
-            locals: f.locals[f.n_params as usize..]
+            locals: cx.locals[f.n_params as usize..]
                 .iter()
                 .map(|t| vt(*t))
                 .collect(),

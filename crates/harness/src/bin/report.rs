@@ -7,7 +7,8 @@
 //!
 //! With no experiment arguments, everything is produced in paper order.
 //! Experiments: fig1 fig3a fig3b table1 table2 fig4 fig5 fig6 fig7 fig8
-//! fig9 fig10 table3 table4 overhead ablations.
+//! fig9 fig10 table3 table4 overhead ablations; `sandbox` (opt-in) adds
+//! the heap-protection ablation matrix (docs/SANDBOX.md).
 //!
 //! `--jobs N` runs benchmark×engine jobs on an N-worker farm. The output
 //! is byte-identical to a serial run — the farm's determinism guarantee
@@ -98,6 +99,8 @@ fn main() {
                      --progress     per-job progress lines on stderr\n\
                      experiments: fig1 fig3a fig3b table1 table2 fig4 fig5 fig6\n\
                      fig7 fig8 fig9 fig10 table3 table4 overhead ablations\n\
+                     sandbox (bounds/guard/pku heap-protection ablation matrix,\n\
+                     \x20              SPEC+PolyBench+I/O; see docs/SANDBOX.md)\n\
                      syscalls (or --syscalls): wasmperf-prof per-syscall\n\
                      \x20              profile + cycle attribution, I/O suite x 4 engines\n\
                      replay (replays ./recordings/*.replay on all 4 pipelines;\n\
@@ -204,6 +207,7 @@ fn main() {
             "syscalls" => exp::syscalls_report(size, filter.as_deref()),
             "replay" => exp::replay_report(&mut session, filter.as_deref()),
             "overhead" => exp::overhead(&mut session),
+            "sandbox" => exp::sandbox(&mut session),
             "ablation-regs" => exp::ablation_reserved_regs(&mut session),
             "ablations" => (|| {
                 let mut s = String::new();

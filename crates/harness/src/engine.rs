@@ -21,7 +21,7 @@ use wasmperf_farm::hash::fnv1a;
 use wasmperf_isa::{Module, TrapKind};
 use wasmperf_replay::{Recorder, Recording, ReplayKernel};
 use wasmperf_trace::{SpanLog, StraceLog, SymbolMap, TraceConfig, TraceSession};
-use wasmperf_wasmjit::{EngineProfile, Tier};
+use wasmperf_wasmjit::{EngineProfile, SandboxModel, Tier, PKU_SWITCH_CYCLES};
 
 use crate::error::Error;
 
@@ -62,9 +62,27 @@ impl Engine {
 
     /// Parses the display name of a standard engine configuration — the
     /// inverse of [`Engine::name`] for every engine a remote client can
-    /// name over the wasmperf-serve wire protocol (ablation engines are
-    /// constructed programmatically, not by name).
+    /// name over the wasmperf-serve wire protocol (native-compile
+    /// ablation engines are constructed programmatically, not by name).
+    /// The wasm profiles accept a `+bounds` / `+pku` sandbox-ablation
+    /// suffix (`chrome+bounds`, `firefox+pku`, ...); the unsuffixed name
+    /// is the guard-page baseline.
     pub fn parse(name: &str) -> Option<Engine> {
+        if let Some((base, suffix)) = name.split_once('+') {
+            let model = match suffix {
+                "bounds" => SandboxModel::Bounds,
+                "pku" => SandboxModel::Pku {
+                    switch_cycles: PKU_SWITCH_CYCLES,
+                },
+                _ => return None,
+            };
+            let profile = match base {
+                "chrome" => EngineProfile::chrome(),
+                "firefox" => EngineProfile::firefox(),
+                _ => return None,
+            };
+            return Some(Engine::Jit(profile.with_sandbox(model)));
+        }
         match name {
             "native" => Some(Engine::Native),
             "chrome" => Some(Engine::Jit(EngineProfile::chrome())),
@@ -73,6 +91,20 @@ impl Engine {
             "firefox-asmjs" => Some(Engine::Jit(EngineProfile::firefox_asmjs())),
             _ => None,
         }
+    }
+
+    /// The sandbox-ablation set for `report sandbox`: native, the
+    /// guard-page baseline, and the two alternative protection
+    /// strategies on the Chrome profile.
+    pub fn sandbox_set() -> Vec<Engine> {
+        vec![
+            Engine::Native,
+            Engine::Jit(EngineProfile::chrome()),
+            Engine::Jit(EngineProfile::chrome().with_sandbox(SandboxModel::Bounds)),
+            Engine::Jit(EngineProfile::chrome().with_sandbox(SandboxModel::Pku {
+                switch_cycles: PKU_SWITCH_CYCLES,
+            })),
+        ]
     }
 
     /// The paper's engine set for the headline SPEC comparison.
@@ -669,11 +701,18 @@ mod tests {
 
     #[test]
     fn parse_inverts_name_for_standard_engines() {
-        for e in Engine::headline().iter().chain(Engine::asmjs_set().iter()) {
+        for e in Engine::headline()
+            .iter()
+            .chain(Engine::asmjs_set().iter())
+            .chain(Engine::sandbox_set().iter())
+        {
             assert_eq!(Engine::parse(&e.name()).as_ref(), Some(e), "{}", e.name());
         }
         assert_eq!(Engine::parse("safari"), None);
         assert_eq!(Engine::parse(""), None);
+        assert_eq!(Engine::parse("chrome+guard"), None);
+        assert_eq!(Engine::parse("chrome-asmjs+bounds"), None);
+        assert_eq!(Engine::parse("native+pku"), None);
         // Ablation engines are not nameable over the wire.
         let ablation = Engine::NativeWith(CompileOptions {
             unroll: false,
@@ -763,6 +802,14 @@ mod tests {
             stack_check: false,
             ..EngineProfile::chrome()
         }));
+        engines.push(Engine::Jit(
+            EngineProfile::chrome().with_sandbox(SandboxModel::Bounds),
+        ));
+        engines.push(Engine::Jit(EngineProfile::firefox().with_sandbox(
+            SandboxModel::Pku {
+                switch_cycles: PKU_SWITCH_CYCLES,
+            },
+        )));
         let mut prints: Vec<u64> = engines.iter().map(Engine::fingerprint).collect();
         let before = prints.len();
         prints.sort();

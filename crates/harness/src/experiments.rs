@@ -1109,6 +1109,74 @@ pub fn trace_demo(dir: &std::path::Path, size: wasmperf_benchsuite::Size) -> Res
     Ok(out)
 }
 
+/// The sandboxing-cost ablation matrix: for every benchmark in the
+/// SPEC, PolyBench, and I/O classes, the cost of each heap-protection
+/// strategy (explicit bounds checks, guard pages, PKU domain switching)
+/// relative to the guard-page baseline and to native. All three
+/// strategies are result-identical — `Session::admit` rejects any run
+/// whose checksum or output bytes differ from the other engines on the
+/// same source — so the matrix isolates pure protection cost, the
+/// quantity the source paper could not measure (docs/SANDBOX.md).
+pub fn sandbox(s: &mut Session) -> Result<String, Error> {
+    let classes: Vec<(&str, Vec<String>)> = vec![
+        ("SPEC", s.spec_names()),
+        ("PolyBench", s.polybench_names()),
+        ("I/O", s.io_names()),
+    ];
+    let engines = Engine::sandbox_set();
+    let all_names: Vec<String> = classes.iter().flat_map(|(_, n)| n.clone()).collect();
+    s.ensure(&all_names, &engines)?;
+
+    let guard = &engines[1];
+    let bounds = &engines[2];
+    let pku = &engines[3];
+    let mut rows = Vec::new();
+    let mut out = String::new();
+    for (class, names) in &classes {
+        let mut guard_sd = Vec::new();
+        let mut bounds_ov = Vec::new();
+        let mut pku_ov = Vec::new();
+        for name in names {
+            let native = s.run(name, &Engine::Native)?.counters.total_cycles() as f64;
+            let g = s.run(name, guard)?.counters.total_cycles() as f64;
+            let b = s.run(name, bounds)?.counters.total_cycles() as f64;
+            let p = s.run(name, pku)?.counters.total_cycles() as f64;
+            guard_sd.push(g / native);
+            bounds_ov.push(b / g);
+            pku_ov.push(p / g);
+            rows.push(vec![
+                class.to_string(),
+                name.clone(),
+                format!("{:.3}x", g / native),
+                format!("{:.3}x", b / native),
+                format!("{:.3}x", p / native),
+                format!("{:.3}x", b / g),
+                format!("{:.3}x", p / g),
+            ]);
+        }
+        out.push_str(&format!(
+            "{class} geomean: guard {:.3}x native, bounds +{:.1}% over guard, pku +{:.1}% over guard\n",
+            geomean(&guard_sd),
+            (geomean(&bounds_ov) - 1.0) * 100.0,
+            (geomean(&pku_ov) - 1.0) * 100.0,
+        ));
+    }
+    let rendered = table(
+        "Sandboxing-cost ablation (Chrome profile): bounds checks vs guard pages vs PKU",
+        &[
+            "class",
+            "benchmark",
+            "guard/nat",
+            "bounds/nat",
+            "pku/nat",
+            "bounds/guard",
+            "pku/guard",
+        ],
+        &rows,
+    );
+    Ok(format!("{rendered}{out}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,6 +1,7 @@
 //! Machine-code modules: functions, labels, and the indirect-call table.
 
 use crate::inst::Inst;
+use crate::reg::Reg;
 use crate::size::encoded_len;
 use core::fmt;
 
@@ -81,6 +82,42 @@ impl Function {
     }
 }
 
+/// How a module's heap accesses are recognised by the simulator's
+/// sandbox layer (see [`Sandbox`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapBase {
+    /// Wasm layout: every heap access addresses through this pinned
+    /// membase register (which holds 0 at runtime, so the effective
+    /// address *is* the heap offset). Accesses through any other base
+    /// (stack, spill slots, absolute table loads) are not heap accesses.
+    Pinned(Reg),
+    /// asm.js layout: heap addresses are masked to a power of two and
+    /// materialised in a scratch register. Any access whose base is a
+    /// general-purpose register other than `Rsp`/`Rbp` is a heap access.
+    Masked,
+}
+
+/// The sandboxing contract a compiled module declares to the simulator.
+///
+/// This models the *guard-page* strategy real engines use: no explicit
+/// check instructions are emitted, but the hardware (here, the
+/// simulator) faults any heap access at or beyond `heap_limit`. The
+/// explicit-bounds ablation emits compare-and-trap sequences with
+/// identical semantics, so all strategies are result-identical and only
+/// their costs differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sandbox {
+    /// How heap accesses are distinguished from non-heap accesses.
+    pub heap_base: HeapBase,
+    /// First out-of-bounds heap byte: an access of width `w` at offset
+    /// `a` traps iff `a + w > heap_limit`.
+    pub heap_limit: u64,
+    /// Modeled cycles for one protection-domain switch (WRPKRU-style).
+    /// Charged twice (entry + exit) per host-call boundary crossing;
+    /// zero for the bounds and guard strategies.
+    pub switch_cycles: u32,
+}
+
 /// A complete machine-code module: the unit the CPU simulator executes.
 #[derive(Debug, Clone, Default)]
 pub struct Module {
@@ -95,6 +132,10 @@ pub struct Module {
     pub memory_size: u64,
     /// Initial data segments: (address, bytes).
     pub data: Vec<(u64, Vec<u8>)>,
+    /// The sandboxing contract, if this module is sandboxed (wasm and
+    /// asm.js pipelines). `None` for native modules: no heap
+    /// classification, no checks, no domain-switch cost.
+    pub sandbox: Option<Sandbox>,
 }
 
 impl Module {

@@ -535,22 +535,48 @@ impl<'a> Emitter<'a> {
                 count,
                 width,
             } => {
-                // Variable counts go through cl (rcx is emitter scratch).
+                // Variable counts go through cl. The destination must be
+                // resolved BEFORE the count is parked in rcx: rcx doubles
+                // as the second emitter scratch, and a spilled destination
+                // resolved afterwards would reload into it, clobbering the
+                // count (the shift would then rotate by the destination's
+                // own low bits).
+                let (d, sb) = self.reg_for_rmw(dst, *width);
                 let count_op = match count {
                     Opnd::Imm(v) => Operand::Imm(*v),
-                    other => {
-                        let c = self.opnd(other, *width);
-                        if c != Operand::Reg(Reg::Rcx) {
+                    Opnd::Loc(l) => {
+                        // A spilled count loads straight into rcx rather
+                        // than through a scratch register.
+                        let src = match l {
+                            Loc::P(r) => Operand::Reg(*r),
+                            Loc::V(v) => match self.slot_of(*v) {
+                                Slot::IntReg(r) => Operand::Reg(r),
+                                Slot::Stack(i) => Operand::Mem(slot_mem(i)),
+                                other => panic!("shift count vreg assigned {other:?}"),
+                            },
+                        };
+                        if src != Operand::Reg(Reg::Rcx) {
                             self.asm.emit(Inst::Mov {
                                 dst: Operand::Reg(Reg::Rcx),
-                                src: c,
+                                src,
                                 width: *width,
                             });
                         }
                         Operand::Reg(Reg::Rcx)
                     }
+                    Opnd::Mem(m) => {
+                        // Any spilled address component reloads into rcx or
+                        // rdx at worst, and the mov below consumes it before
+                        // rcx is overwritten.
+                        let mm = self.mem(m, *width);
+                        self.asm.emit(Inst::Mov {
+                            dst: Operand::Reg(Reg::Rcx),
+                            src: Operand::Mem(mm),
+                            width: *width,
+                        });
+                        Operand::Reg(Reg::Rcx)
+                    }
                 };
-                let (d, sb) = self.reg_for_rmw(dst, *width);
                 self.asm.emit(Inst::Alu {
                     op: *op,
                     dst: Operand::Reg(d),

@@ -27,6 +27,7 @@ fn run_lir(funcs: Vec<LFunc>, entry: usize, args: &[u64], coloring: bool) -> (u6
         entry: Some(FuncId(entry as u32)),
         memory_size: 0x10000,
         data: vec![],
+        sandbox: None,
     };
     for f in &funcs {
         let assign = if coloring {
@@ -372,6 +373,7 @@ fn chrome_profile_executes_correctly_with_fewer_registers() {
             entry: Some(FuncId(0)),
             memory_size: 0x10000,
             data: vec![],
+            sandbox: None,
         };
         module.assign_addresses();
         let mut machine = Machine::new(&module, NullHost);
@@ -390,4 +392,96 @@ fn chrome_profile_executes_correctly_with_fewer_registers() {
         results[0].1,
         results[1].1
     );
+}
+
+/// `dst = 0xFFFF_FFE2 ror count` under enough pressure that both the
+/// destination and the count spill. A variable count travels through
+/// cl; the emitter once resolved a spilled destination *after* parking
+/// the count in rcx, reloading the destination into rcx (the second
+/// emitter scratch) and rotating by the destination's own low bits.
+#[test]
+fn spilled_shift_dest_does_not_clobber_count_in_cl() {
+    let profile = wasmperf_regalloc::AllocProfile::chrome();
+    let mut f = LFunc::default();
+    f.name = "rot".into();
+    f.params = vec![];
+
+    // Fillers v0..=v13 occupy the whole 8-register chrome pool with
+    // ranges spanning the shift; count and dst are defined late so the
+    // linear scan leaves them on the stack.
+    let fillers: Vec<u32> = (0..14).map(|_| f.new_vreg(VClass::Int)).collect();
+    let count = f.new_vreg(VClass::Int);
+    let dst = f.new_vreg(VClass::Int);
+
+    let mut insts = Vec::new();
+    for (k, &vr) in fillers.iter().enumerate() {
+        insts.push(LInst::Mov {
+            dst: v(vr),
+            src: Opnd::Imm(k as i64 + 1),
+            width: Width::W64,
+        });
+    }
+    insts.push(LInst::Mov {
+        dst: v(count),
+        src: Opnd::Imm(1),
+        width: Width::W64,
+    });
+    insts.push(LInst::Mov {
+        dst: v(dst),
+        src: Opnd::Imm(0xFFFF_FFE2),
+        width: Width::W64,
+    });
+    insts.push(LInst::Shift {
+        op: AluOp::Ror,
+        dst: v(dst),
+        count: Opnd::Loc(v(count)),
+        width: Width::W32,
+    });
+    // Keep every filler live past the shift, and use the count *after*
+    // them: the linear scan spills the interval with the furthest end,
+    // so the late uses push both count and dst onto the stack.
+    for &vr in &fillers {
+        insts.push(LInst::Alu {
+            op: AluOp::Add,
+            dst: v(dst),
+            src: Opnd::Loc(v(vr)),
+            width: Width::W64,
+        });
+    }
+    insts.push(LInst::Alu {
+        op: AluOp::Add,
+        dst: v(dst),
+        src: Opnd::Loc(v(count)),
+        width: Width::W64,
+    });
+    insts.push(LInst::Ret {
+        value: Some(Arg::Int(Opnd::Loc(v(dst)))),
+    });
+    f.blocks = vec![LBlock { insts }];
+
+    let assign = allocate_linear_scan(&f, &profile);
+    // The hazard needs both operands on the stack — if an allocator
+    // change invalidates this, grow the filler set or push the uses
+    // later.
+    for (name, vr) in [("count", count), ("dst", dst)] {
+        assert!(
+            matches!(assign.of[vr as usize], wasmperf_regalloc::Slot::Stack(_)),
+            "{name} must spill for this test to bite: {:?}",
+            assign.of[vr as usize]
+        );
+    }
+
+    let mut module = Module {
+        funcs: vec![emit_function(&f, &assign, &profile)],
+        table: vec![],
+        entry: Some(FuncId(0)),
+        memory_size: 0x10000,
+        data: vec![],
+        sandbox: None,
+    };
+    module.assign_addresses();
+    let mut machine = Machine::new(&module, NullHost);
+    let out = machine.run(FuncId(0), &[], 10_000_000).unwrap();
+    let fill_sum: u64 = (1..=14).sum();
+    assert_eq!(out.ret, 0x7FFF_FFF1 + fill_sum + 1);
 }

@@ -380,13 +380,23 @@ fn run_closed(opts: &Options, conns: usize) -> Vec<Sample> {
     samples.into_inner().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Absolute offset from the load start at which open-loop arrival
+/// `index` is due: `index / rate`, computed fresh per arrival. Scheduling
+/// against a pre-rounded per-arrival interval (`interval * index`) would
+/// multiply the interval's nanosecond rounding error by the arrival
+/// count — a cumulative drift that skews the offered rate over long
+/// runs — and truncating the index to fit a `Duration * u32` multiply
+/// caps how far the schedule can even reach.
+fn open_loop_due(index: usize, rps: f64) -> Duration {
+    Duration::from_secs_f64(index as f64 / rps.max(0.1))
+}
+
 fn run_open(opts: &Options, rps: f64) -> Vec<Sample> {
-    let interval = Duration::from_secs_f64(1.0 / rps.max(0.1));
     let samples = Arc::new(Mutex::new(Vec::with_capacity(opts.requests)));
     std::thread::scope(|scope| {
         let t0 = Instant::now();
         for index in 0..opts.requests {
-            let due = interval * index as u32;
+            let due = open_loop_due(index, rps);
             if let Some(wait) = due.checked_sub(t0.elapsed()) {
                 std::thread::sleep(wait);
             }
@@ -737,5 +747,29 @@ mod tests {
         let text = report.render();
         assert!(text.contains("p95 200 us"), "{text}");
         assert!(text.contains("byte-identical"), "{text}");
+    }
+
+    #[test]
+    fn open_loop_schedule_is_exact_and_drift_free() {
+        // Exactly representable rate: every deadline is exact.
+        for i in 0..1000 {
+            assert_eq!(open_loop_due(i, 4.0), Duration::from_millis(250 * i as u64));
+        }
+        // Non-representable rate: the millionth arrival must still sit
+        // within a microsecond of the ideal 10^6/3 s. The old
+        // `interval * index` schedule multiplied the interval's
+        // nanosecond rounding error by the index.
+        let due = open_loop_due(1_000_000, 3.0).as_secs_f64();
+        let ideal = 1_000_000.0 / 3.0;
+        assert!((due - ideal).abs() < 1e-6, "due {due} vs ideal {ideal}");
+        // Monotone: later arrivals are never due earlier.
+        let mut last = Duration::ZERO;
+        for i in 0..10_000 {
+            let d = open_loop_due(i, 8_700.0);
+            assert!(d >= last);
+            last = d;
+        }
+        // The rate floor keeps a degenerate rps finite.
+        assert_eq!(open_loop_due(1, 0.0), Duration::from_secs(10));
     }
 }

@@ -41,6 +41,9 @@ pub fn bucket_bounds(i: usize) -> (u64, u64) {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Log2Hist {
     buckets: [Bucket; BUCKETS],
+    /// Largest sample recorded; caps the open-ended final bucket so
+    /// percentiles never report a value no sample reached.
+    max: u64,
 }
 
 impl Default for Log2Hist {
@@ -54,6 +57,7 @@ impl Log2Hist {
     pub fn new() -> Log2Hist {
         Log2Hist {
             buckets: [Bucket::default(); BUCKETS],
+            max: 0,
         }
     }
 
@@ -63,6 +67,7 @@ impl Log2Hist {
         let b = &mut self.buckets[bucket_index(value)];
         b.count += 1;
         b.sum = b.sum.saturating_add(value);
+        self.max = self.max.max(value);
     }
 
     /// Adds every bucket of `other` into this histogram.
@@ -71,6 +76,7 @@ impl Log2Hist {
             mine.count += theirs.count;
             mine.sum = mine.sum.saturating_add(theirs.sum);
         }
+        self.max = self.max.max(other.max);
     }
 
     /// Total samples recorded.
@@ -117,7 +123,10 @@ impl Log2Hist {
     /// The `p`-th percentile (0–100), resolved to the *upper bound* of the
     /// bucket holding the nearest-rank sample — a conservative estimate
     /// (never below the true percentile by more than one bucket's width).
-    /// Returns 0 for an empty histogram.
+    /// The open-ended final bucket is capped at the largest sample
+    /// actually recorded, so a single outlier past `2^31` reports that
+    /// outlier's magnitude rather than `u64::MAX`. Returns 0 for an
+    /// empty histogram.
     pub fn percentile(&self, p: f64) -> u64 {
         let total = self.count();
         if total == 0 {
@@ -128,10 +137,16 @@ impl Log2Hist {
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b.count;
             if seen >= rank {
-                return bucket_bounds(i).1;
+                // Only the final bucket has no real upper bound; interior
+                // buckets keep their exact power-of-two bound.
+                return if i == BUCKETS - 1 {
+                    bucket_bounds(i).1.min(self.max)
+                } else {
+                    bucket_bounds(i).1
+                };
             }
         }
-        bucket_bounds(BUCKETS - 1).1
+        bucket_bounds(BUCKETS - 1).1.min(self.max)
     }
 }
 
@@ -219,6 +234,31 @@ mod tests {
         sat.record(u64::MAX);
         assert_eq!(sat.percentile(50.0), u64::MAX);
         assert_eq!(sat.percentile(100.0), u64::MAX);
+    }
+
+    #[test]
+    fn final_bucket_percentile_caps_at_observed_max() {
+        // Regression: a sample in the open-ended top bucket used to
+        // resolve to bucket_bounds(BUCKETS-1).1 == u64::MAX, so one
+        // outlier past 2^31 made p99 absurd. The cap is the largest
+        // sample actually seen.
+        let mut h = Log2Hist::new();
+        h.record(1 << 31);
+        h.record((1 << 31) + 5);
+        assert_eq!(h.percentile(50.0), (1 << 31) + 5);
+        assert_eq!(h.percentile(99.0), (1 << 31) + 5);
+        assert_eq!(h.percentile(100.0), (1 << 31) + 5);
+
+        // Merging propagates the observed max.
+        let mut other = Log2Hist::new();
+        other.record((1 << 31) + 9);
+        h.merge(&other);
+        assert_eq!(h.percentile(100.0), (1 << 31) + 9);
+
+        // Interior buckets keep their exact power-of-two upper bound.
+        let mut small = Log2Hist::new();
+        small.record(100);
+        assert_eq!(small.percentile(50.0), 127);
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //!   and 64-bit-pair overheads of the pre-wasm pipeline (Figures 5/6).
 
 use wasmperf_isa::module::NO_TAG;
-use wasmperf_isa::{AluOp, Cc, FPrec, Module, Reg, RoundMode, TrapKind, Width};
+use wasmperf_isa::{AluOp, Cc, FPrec, HeapBase, Module, Reg, RoundMode, Sandbox, TrapKind, Width};
 use wasmperf_regalloc::lir::{FLoc, FOpnd, LBlock};
 use wasmperf_regalloc::{
     allocate_linear_scan, emit_function, AllocProfile, Arg, BlockId, LFunc, LInst, LMem, Loc, Opnd,
@@ -49,6 +49,34 @@ pub enum Tier {
     Y2019,
 }
 
+/// Which heap-protection strategy the engine compiles in. The three
+/// ablations are result-identical by construction — an access of width
+/// `w` at offset `a` traps iff `a + w > mem_bytes` under all of them —
+/// so only their costs differ (docs/SANDBOX.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SandboxModel {
+    /// Explicit compare-and-branch bounds check before every heap
+    /// load/store; its issue/branch cost flows through the cpu model.
+    Bounds,
+    /// Guard pages: no check instructions; the simulator faults
+    /// out-of-bounds heap accesses for free (the default — what the
+    /// paper's engines do for loads/stores on 64-bit).
+    Guard,
+    /// Guard pages plus MPK/PKU-style protection domains: two modeled
+    /// WRPKRU switches (this many cycles each) charged at every host-call
+    /// boundary crossing.
+    Pku {
+        /// Modeled cycles per WRPKRU domain switch.
+        switch_cycles: u32,
+    },
+}
+
+/// Default modeled cost of one WRPKRU domain switch, in cycles. WRPKRU
+/// is a serializing register write; published measurements put a
+/// round-trip in the 20–60 cycle range, so half of a mid-range
+/// round-trip per switch.
+pub const PKU_SWITCH_CYCLES: u32 = 28;
+
 /// An engine configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineProfile {
@@ -68,6 +96,8 @@ pub struct EngineProfile {
     pub indirect_checks: bool,
     /// Chrome's extra loop-entry jumps (jump over the reload block).
     pub loop_entry_jump: bool,
+    /// Heap-protection strategy (the sandboxing-cost ablation axis).
+    pub sandbox: SandboxModel,
 }
 
 impl EngineProfile {
@@ -82,6 +112,7 @@ impl EngineProfile {
             stack_check: true,
             indirect_checks: true,
             loop_entry_jump: true,
+            sandbox: SandboxModel::Guard,
         }
     }
 
@@ -96,6 +127,7 @@ impl EngineProfile {
             stack_check: true,
             indirect_checks: true,
             loop_entry_jump: false,
+            sandbox: SandboxModel::Guard,
         }
     }
 
@@ -123,6 +155,28 @@ impl EngineProfile {
     pub fn at_tier(mut self, tier: Tier) -> EngineProfile {
         self.tier = tier;
         self.name = format!("{}-{:?}", self.name, tier).to_lowercase();
+        self
+    }
+
+    /// This profile under a different heap-protection strategy; the name
+    /// gains a `+bounds` / `+pku` suffix ([`SandboxModel::Guard`] is the
+    /// unsuffixed baseline every engine already uses).
+    ///
+    /// # Panics
+    ///
+    /// Panics on asm.js profiles: their heap masking is part of the
+    /// asm.js contract, not an ablatable strategy.
+    pub fn with_sandbox(mut self, sandbox: SandboxModel) -> EngineProfile {
+        assert!(
+            !self.asmjs,
+            "sandbox ablations apply to wasm profiles, not asm.js"
+        );
+        self.sandbox = sandbox;
+        match sandbox {
+            SandboxModel::Guard => {}
+            SandboxModel::Bounds => self.name = format!("{}+bounds", self.name),
+            SandboxModel::Pku { .. } => self.name = format!("{}+pku", self.name),
+        }
         self
     }
 }
@@ -250,6 +304,8 @@ struct JitFn<'m, 'p> {
     table_addr: u64,
     table_len: u32,
     heap_mask: i64,
+    /// Declared linear-memory size in bytes (the bounds-check limit).
+    mem_bytes: u64,
     dead: bool,
     /// Value type of each local (params first).
     local_tys: Vec<ValType>,
@@ -412,9 +468,38 @@ impl<'m, 'p> JitFn<'m, 'p> {
         t2
     }
 
-    /// Builds the memory operand for a linear-memory access whose dynamic
-    /// address is on the stack.
-    fn mem_operand(&mut self, memarg: &MemArg) -> LMem {
+    /// Emits the explicit bounds check of the [`SandboxModel::Bounds`]
+    /// ablation: trap iff `checked + width > mem_bytes`, i.e. a compare
+    /// against the precomputed constant `mem_bytes - width - extra_disp`
+    /// and a branch to an out-of-line trap stub — the same shape real
+    /// explicit-check engines emit. `extra_disp` is the displacement the
+    /// memory operand folds in on top of `checked` (0 when the full
+    /// address is already materialised). A statically-out-of-bounds
+    /// access compiles to an unconditional trap.
+    fn emit_bounds_check(&mut self, checked: u32, extra_disp: i64, width: Width) {
+        let limit = self.mem_bytes as i64 - width.bytes() as i64 - extra_disp;
+        if limit < 0 {
+            self.emit(LInst::Trap {
+                kind: TrapKind::MemoryOutOfBounds,
+            });
+            return;
+        }
+        // The checked vreg is a zero-extended u32, so a 64-bit unsigned
+        // compare sees the exact wasm index.
+        self.emit(LInst::Cmp {
+            lhs: Opnd::Loc(Loc::V(checked)),
+            rhs: Opnd::Imm(limit),
+            width: Width::W64,
+        });
+        self.emit(LInst::TrapIf {
+            cc: Cc::A,
+            kind: TrapKind::MemoryOutOfBounds,
+        });
+    }
+
+    /// Builds the memory operand for a linear-memory access of `width`
+    /// bytes whose dynamic address is on the stack.
+    fn mem_operand(&mut self, memarg: &MemArg, width: Width) -> LMem {
         let (addr, _) = self.pop_reg();
         if self.profile.asmjs {
             // Masked heap access: and addr, mask; [addr + disp].
@@ -438,6 +523,11 @@ impl<'m, 'p> JitFn<'m, 'p> {
         }
         let membase = self.profile.membase.expect("wasm mode has a membase");
         if self.profile.tier >= Tier::Y2018 {
+            if self.profile.sandbox == SandboxModel::Bounds {
+                // The folded displacement rides on the checked index, so
+                // it is subtracted from the limit instead.
+                self.emit_bounds_check(addr, memarg.offset as i64, width);
+            }
             // [membase + addr*1 + disp].
             LMem {
                 base: Some(Loc::P(membase)),
@@ -459,6 +549,9 @@ impl<'m, 'p> JitFn<'m, 'p> {
                     src: Opnd::Imm(memarg.offset as i64),
                     width: Width::W32,
                 });
+            }
+            if self.profile.sandbox == SandboxModel::Bounds {
+                self.emit_bounds_check(t, 0, width);
             }
             LMem {
                 base: Some(Loc::P(membase)),
@@ -972,7 +1065,12 @@ impl<'m, 'p> JitFn<'m, 'p> {
                 return Err("wasm globals are not used by the emcc pipeline".into());
             }
             Instr::Load { ty, sub, memarg } => {
-                let mem = self.mem_operand(memarg);
+                let width = match (vclass(*ty), sub) {
+                    (VClass::Float, _) => fprec_width(fprec(*ty)),
+                    (VClass::Int, None) => vw(*ty),
+                    (VClass::Int, Some((sw, _))) => sub_width(*sw),
+                };
+                let mem = self.mem_operand(memarg, width);
                 let r = self.vreg(*ty);
                 match (vclass(*ty), sub) {
                     (VClass::Float, _) => self.emit(LInst::MovF {
@@ -1007,7 +1105,12 @@ impl<'m, 'p> JitFn<'m, 'p> {
             }
             Instr::Store { ty, sub, memarg } => {
                 let (v, _) = self.pop_reg();
-                let mem = self.mem_operand(memarg);
+                let width = match (vclass(*ty), sub) {
+                    (VClass::Float, _) => fprec_width(fprec(*ty)),
+                    (VClass::Int, None) => vw(*ty),
+                    (VClass::Int, Some(sw)) => sub_width(*sw),
+                };
+                let mem = self.mem_operand(memarg, width);
                 match vclass(*ty) {
                     VClass::Float => self.emit(LInst::MovF {
                         dst: FOpnd::Mem(mem),
@@ -1179,6 +1282,40 @@ impl<'m, 'p> JitFn<'m, 'p> {
                     IBinop::DivS | IBinop::DivU | IBinop::RemS | IBinop::RemU => {
                         let rhs = self.force_loc(rhs, ty);
                         let Opnd::Loc(rl) = rhs else { unreachable!() };
+                        // wasm defines rem_s(INT_MIN, -1) = 0 where the bare
+                        // idiv faults, so engines guard the divisor with a
+                        // branch-free `divisor == -1 ? 1 : divisor`
+                        // (x % 1 == 0, wasm's answer) — the same fixup V8
+                        // and SpiderMonkey compile. div_s keeps the fault:
+                        // wasm wants the overflow trap there.
+                        let rl = if matches!(op, IBinop::RemS) {
+                            let safe = self.vreg(ty);
+                            self.emit(LInst::Mov {
+                                dst: Loc::V(safe),
+                                src: Opnd::Loc(rl),
+                                width,
+                            });
+                            let one = self.vreg(ty);
+                            self.emit(LInst::Mov {
+                                dst: Loc::V(one),
+                                src: Opnd::Imm(1),
+                                width,
+                            });
+                            self.emit(LInst::Cmp {
+                                lhs: Opnd::Loc(Loc::V(safe)),
+                                rhs: Opnd::Imm(-1),
+                                width,
+                            });
+                            self.emit(LInst::Cmov {
+                                cc: Cc::E,
+                                dst: Loc::V(safe),
+                                src: Opnd::Loc(Loc::V(one)),
+                                width,
+                            });
+                            Loc::V(safe)
+                        } else {
+                            rl
+                        };
                         self.emit(LInst::Div {
                             signed: matches!(op, IBinop::DivS | IBinop::RemS),
                             rem: matches!(op, IBinop::RemS | IBinop::RemU),
@@ -1477,6 +1614,13 @@ fn sub_width(sw: SubWidth) -> Width {
     }
 }
 
+fn fprec_width(p: FPrec) -> Width {
+    match p {
+        FPrec::F32 => Width::W32,
+        FPrec::F64 => Width::W64,
+    }
+}
+
 /// Lowers each function to LIR without allocating (test/debug hook).
 pub fn debug_lower(wasm: &WasmModule, profile: &EngineProfile) -> Result<Vec<LFunc>, String> {
     let out = compile_inner(wasm, profile, true)?;
@@ -1517,6 +1661,22 @@ fn compile_inner(
             .iter()
             .map(|d| (d.offset as u64, d.bytes.clone()))
             .collect(),
+        // Both pipelines declare the guard contract so the simulator
+        // faults any heap access past mem_bytes. For asm.js this also
+        // closes the masking gap: a masked address landing in
+        // [mem_bytes, next_power_of_two) would otherwise silently read
+        // the table image and stack-limit word.
+        sandbox: Some(Sandbox {
+            heap_base: match profile.membase {
+                Some(r) => HeapBase::Pinned(r),
+                None => HeapBase::Masked,
+            },
+            heap_limit: mem_bytes,
+            switch_cycles: match profile.sandbox {
+                SandboxModel::Pku { switch_cycles } => switch_cycles,
+                SandboxModel::Bounds | SandboxModel::Guard => 0,
+            },
+        }),
     };
 
     // Serialize the (sig, code) table; empty slots trap on use.
@@ -1571,6 +1731,7 @@ fn compile_inner(
             table_addr,
             table_len,
             heap_mask,
+            mem_bytes,
             dead: false,
             local_tys,
             ret_ty: ft.result(),

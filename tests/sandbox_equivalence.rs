@@ -1,0 +1,234 @@
+//! Behavioral equivalence of the sandboxing-cost ablations.
+//!
+//! The sandbox axis ([`SandboxModel`]) must change *cost*, never
+//! *meaning*: explicit bounds checks ([`SandboxModel::Bounds`]) and
+//! PKU-style domain switching ([`SandboxModel::Pku`]) have to compute
+//! the same values, write the same output bytes, and trap for the same
+//! reason as the guard-page baseline every real engine uses. Counters
+//! are deliberately *not* compared — the whole point of the axis is
+//! that they differ — but the cost deltas themselves are pinned: the
+//! bounds tax scales with memory traffic, and the PKU tax is exactly
+//! two WRPKRU switches per host-call boundary crossing, which
+//! concentrates it on the I/O-heavy class (see docs/SANDBOX.md).
+
+use std::sync::Arc;
+use wasmperf_benchsuite::{Benchmark, Size};
+use wasmperf_browsix::AppendPolicy;
+use wasmperf_cpu::{Machine, NullHost};
+use wasmperf_harness::engine::{Engine, RunResult};
+use wasmperf_harness::run_one;
+use wasmperf_isa::inst::TrapKind;
+use wasmperf_isa::Module;
+use wasmperf_wasmjit::{EngineProfile, SandboxModel, PKU_SWITCH_CYCLES};
+
+/// Same bound the difftest fuzzer uses for machine pipelines.
+const FUEL: u64 = 50_000_000;
+
+/// The guard-page baseline plus the two ablations, on the wasm profile
+/// with the smallest register pool (most spills, most heap traffic).
+fn ablations() -> [EngineProfile; 3] {
+    [
+        EngineProfile::chrome(),
+        EngineProfile::chrome().with_sandbox(SandboxModel::Bounds),
+        EngineProfile::chrome().with_sandbox(SandboxModel::Pku {
+            switch_cycles: PKU_SWITCH_CYCLES,
+        }),
+    ]
+}
+
+/// What an ablation may not change about a hostless run: the returned
+/// value and exit code, or — for trapping corpus cases — the trap
+/// reason. Trap *location* is excluded on purpose: bounds checks add
+/// instructions, so the faulting pc shifts with the ablation.
+type Behavior = Result<(u64, Option<i32>), TrapKind>;
+
+fn behavior(module: &Module) -> Behavior {
+    let entry = module
+        .entry
+        .or_else(|| module.func_by_name("main"))
+        .expect("module has an entry");
+    let mut m = Machine::new(module, NullHost);
+    m.run(entry, &[], FUEL)
+        .map(|out| (out.ret, out.exit_code))
+        .map_err(|e| e.kind)
+}
+
+/// Replays every corpus case — shrunk programs that each exposed a real
+/// divergence, several of which trap by design — under all three
+/// sandbox models and demands identical behavior.
+#[test]
+fn corpus_behaves_identically_under_all_sandbox_models() {
+    let mut cases = 0;
+    let mut paths: Vec<_> = std::fs::read_dir("corpus")
+        .expect("corpus dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "clite"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let src = std::fs::read_to_string(&path).expect("readable case");
+        let name = path.display();
+        let prog = wasmperf_cir::compile(&src).expect("corpus case compiles");
+        let wasm = wasmperf_emcc::compile(&prog);
+
+        let [guard, bounds, pku] = ablations();
+        let baseline = behavior(
+            &wasmperf_wasmjit::compile(&wasm, &guard)
+                .expect("jit compiles")
+                .module,
+        );
+        for profile in [bounds, pku] {
+            let jit = wasmperf_wasmjit::compile(&wasm, &profile).expect("jit compiles");
+            assert_eq!(
+                behavior(&jit.module),
+                baseline,
+                "{name}: {} diverged from guard-page baseline",
+                profile.name
+            );
+        }
+        cases += 1;
+    }
+    assert!(cases >= 7, "corpus shrank? replayed only {cases} cases");
+}
+
+/// An out-of-bounds heap access must trap under every model — the
+/// explicit-check ablation and the modeled guard pages fault on the
+/// same access, for the same reason.
+#[test]
+fn oob_access_traps_under_every_sandbox_model() {
+    let src = "array i32 a0[4];\nfn main() -> i32 { return a0[49250]; }\n";
+    let prog = wasmperf_cir::compile(src).expect("compiles");
+    let wasm = wasmperf_emcc::compile(&prog);
+    for profile in ablations() {
+        let jit = wasmperf_wasmjit::compile(&wasm, &profile).expect("jit compiles");
+        assert_eq!(
+            behavior(&jit.module),
+            Err(TrapKind::MemoryOutOfBounds),
+            "{}: gap access must trap",
+            profile.name
+        );
+    }
+}
+
+fn run_matrix(bench: &Benchmark) -> [RunResult; 3] {
+    ablations().map(|profile| {
+        let engine = Engine::Jit(profile);
+        run_one(bench, &engine, AppendPolicy::Chunked4K).expect("runs")
+    })
+}
+
+/// Checks that two ablation runs agree on everything observable —
+/// checksum, output bytes, and kernel interaction — while leaving the
+/// counters (the ablation's measurement payload) free to differ.
+fn assert_same_behavior(a: &RunResult, b: &RunResult, bench: &str) {
+    assert_eq!(a.checksum, b.checksum, "{bench}: {} checksum", b.engine);
+    assert_eq!(a.outputs, b.outputs, "{bench}: {} outputs", b.engine);
+    assert_eq!(
+        a.kernel_syscalls, b.kernel_syscalls,
+        "{bench}: {} syscalls",
+        b.engine
+    );
+    assert_eq!(
+        a.kernel_bytes, b.kernel_bytes,
+        "{bench}: {} kernel bytes",
+        b.engine
+    );
+}
+
+/// The full harness matrix: compute-bound kernels and the I/O-heavy
+/// class, each run under all three models. Results must be identical;
+/// the cost structure must match the model:
+///
+/// - bounds: more retired instructions and cycles than guard, scaling
+///   with memory traffic (two extra uops per heap access);
+/// - pku: identical instruction stream to guard, plus exactly
+///   `2 × switch_cycles` cycles per host-call boundary crossing.
+#[test]
+fn harness_matrix_same_results_modeled_costs() {
+    let want = ["gemm", "durbin", "401.bzip2"];
+    let benches: Vec<Benchmark> = wasmperf_benchsuite::all(Size::Test)
+        .into_iter()
+        .filter(|b| want.contains(&b.name.as_str()))
+        .collect();
+    assert_eq!(benches.len(), want.len());
+    for bench in &benches {
+        let [guard, bounds, pku] = run_matrix(bench);
+        assert_same_behavior(&guard, &bounds, &bench.name);
+        assert_same_behavior(&guard, &pku, &bench.name);
+
+        // Bounds checks are extra instructions: strictly more retired
+        // uops, and at least as many cycles, as the free guard pages.
+        assert!(
+            bounds.counters.instructions_retired > guard.counters.instructions_retired,
+            "{}: bounds retired {} <= guard {}",
+            bench.name,
+            bounds.counters.instructions_retired,
+            guard.counters.instructions_retired
+        );
+        assert!(
+            bounds.counters.cycles >= guard.counters.cycles,
+            "{}: bounds cycles {} < guard {}",
+            bench.name,
+            bounds.counters.cycles,
+            guard.counters.cycles
+        );
+
+        // PKU leaves the code untouched; the whole tax is the two
+        // WRPKRU switches per host call, and nothing else.
+        assert_eq!(
+            pku.counters.instructions_retired, guard.counters.instructions_retired,
+            "{}: pku must not change the instruction stream",
+            bench.name
+        );
+        assert_eq!(
+            pku.counters.host_calls, guard.counters.host_calls,
+            "{}: pku must not change host-call count",
+            bench.name
+        );
+        assert_eq!(
+            pku.counters.cycles - guard.counters.cycles,
+            2 * PKU_SWITCH_CYCLES as u64 * pku.counters.host_calls,
+            "{}: pku overhead must be exactly two switches per host call",
+            bench.name
+        );
+    }
+}
+
+/// The PKU tax lands on the I/O-heavy class: per retired instruction,
+/// the recorded `io.rwmix` workload pays far more for domain switching
+/// than a compute kernel does, because its host-call density is orders
+/// of magnitude higher. This is the ablation's headline asymmetry
+/// (bounds taxes compute, PKU taxes I/O).
+#[test]
+fn pku_overhead_concentrates_on_io_class() {
+    let recs = wasmperf_replay::load_dir(std::path::Path::new("recordings")).expect("recordings");
+    let rec = recs
+        .into_iter()
+        .find(|r| r.name == "io.rwmix")
+        .expect("io.rwmix recording");
+    let io_bench = wasmperf_benchsuite::replay::from_recording(Arc::new(rec));
+    let compute_bench = wasmperf_benchsuite::all(Size::Test)
+        .into_iter()
+        .find(|b| b.name == "gemm")
+        .expect("known benchmark");
+
+    let overhead_per_kiloinst = |bench: &Benchmark| {
+        let [guard, _, pku] = run_matrix(bench);
+        assert_same_behavior(&guard, &pku, &bench.name);
+        let tax = pku.counters.cycles - guard.counters.cycles;
+        assert_eq!(
+            tax,
+            2 * PKU_SWITCH_CYCLES as u64 * pku.counters.host_calls,
+            "{}: pku overhead must be exactly two switches per host call",
+            bench.name
+        );
+        tax * 1000 / guard.counters.instructions_retired
+    };
+
+    let io = overhead_per_kiloinst(&io_bench);
+    let compute = overhead_per_kiloinst(&compute_bench);
+    assert!(
+        io > 10 * compute,
+        "pku tax should concentrate on I/O: io.rwmix {io} vs gemm {compute} cycles/kinst"
+    );
+}
