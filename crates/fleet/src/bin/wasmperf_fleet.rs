@@ -1,0 +1,333 @@
+//! The wasmperf-fleet binary: supervisor and fleet CLI.
+//!
+//! ```text
+//! wasmperf-fleet up     [--shards N] [--port N] [--workers N] [--queue N]
+//!                       [--results DIR] [--health-interval-ms MS]
+//! wasmperf-fleet status --addr ROUTER [--wait-live N] [--timeout SECS]
+//! wasmperf-fleet drain  --addr ROUTER
+//! wasmperf-fleet admit  --addr ROUTER --shard NAME --shard-addr ADDR
+//! wasmperf-fleet route  --addr ROUTER --bench B --engine E [--size S]
+//! wasmperf-fleet run    --addr ROUTER --bench B --engine E [--size S]
+//! wasmperf-fleet shard  ...            (internal: one shard subprocess)
+//! ```
+//!
+//! `up` blocks until the fleet drains (`wasmperf-fleet drain`, or any
+//! client POSTing `/shutdown` to the router). `route` computes a
+//! request's content-addressed key locally and names the live shard
+//! that owns it — scripts use it to find which shard to kill or warm.
+
+use std::time::{Duration, Instant};
+
+use wasmperf_farm::hash::hex64;
+use wasmperf_farm::Json;
+use wasmperf_fleet::{ring, FleetConfig};
+use wasmperf_serve::{Client, Registry, RunRequest};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wasmperf-fleet <up|status|drain|admit|route|run> [options]\n\
+         up:     --shards N (default 3), --port N (router; 0 = ephemeral),\n\
+         \x20       --workers N, --queue N (per shard), --results DIR,\n\
+         \x20       --health-interval-ms MS\n\
+         status: --addr ROUTER [--wait-live N] [--timeout SECS (default 30)]\n\
+         drain:  --addr ROUTER   drain shards, then the router\n\
+         admit:  --addr ROUTER --shard NAME --shard-addr HOST:PORT\n\
+         route:  --addr ROUTER --bench B --engine E [--size test|ref]\n\
+         run:    --addr ROUTER --bench B --engine E [--size test|ref]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else { usage() };
+    let rest: Vec<String> = args.collect();
+    let code = match cmd.as_str() {
+        "up" => up(&rest),
+        "shard" => shard(&rest),
+        "status" => status(&rest),
+        "drain" => drain(&rest),
+        "admit" => admit(&rest),
+        "route" => route(&rest),
+        "run" => run(&rest),
+        "--help" | "-h" => usage(),
+        _ => usage(),
+    };
+    std::process::exit(code);
+}
+
+/// Pulls `--flag value` pairs out of `rest`; unknown flags abort.
+fn parse_flags(rest: &[String], allowed: &[&str]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        if !allowed.contains(&flag.as_str()) {
+            eprintln!("wasmperf-fleet: unknown flag {flag}");
+            usage();
+        }
+        let Some(value) = it.next() else {
+            eprintln!("wasmperf-fleet: {flag} needs a value");
+            usage();
+        };
+        out.push((flag.clone(), value.clone()));
+    }
+    out
+}
+
+fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn required<'a>(flags: &'a [(String, String)], name: &str) -> &'a str {
+    flag(flags, name).unwrap_or_else(|| {
+        eprintln!("wasmperf-fleet: {name} is required");
+        usage();
+    })
+}
+
+fn parsed<T: std::str::FromStr>(flags: &[(String, String)], name: &str, default: T) -> T {
+    match flag(flags, name) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("wasmperf-fleet: bad value for {name}: {v}");
+            usage();
+        }),
+    }
+}
+
+fn up(rest: &[String]) -> i32 {
+    let flags = parse_flags(
+        rest,
+        &[
+            "--shards",
+            "--port",
+            "--workers",
+            "--queue",
+            "--results",
+            "--health-interval-ms",
+        ],
+    );
+    let defaults = FleetConfig::default();
+    let config = FleetConfig {
+        shards: parsed(&flags, "--shards", defaults.shards),
+        port: parsed(&flags, "--port", defaults.port),
+        workers: parsed(&flags, "--workers", defaults.workers),
+        queue: parsed(&flags, "--queue", defaults.queue),
+        results_dir: flag(&flags, "--results").map(Into::into),
+        health_interval: Duration::from_millis(parsed(
+            &flags,
+            "--health-interval-ms",
+            defaults.health_interval.as_millis() as u64,
+        )),
+    };
+    match wasmperf_fleet::up(&config) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("wasmperf-fleet: up failed: {e}");
+            1
+        }
+    }
+}
+
+/// The internal shard subprocess: one wasmperf-serve instance on an
+/// ephemeral port, printing the shared `listening on` contract line.
+fn shard(rest: &[String]) -> i32 {
+    let flags = parse_flags(
+        rest,
+        &["--name", "--port", "--workers", "--queue", "--results"],
+    );
+    let mut config = wasmperf_serve::ServerConfig {
+        shard: flag(&flags, "--name").map(str::to_string),
+        results_dir: flag(&flags, "--results").map(Into::into),
+        ..wasmperf_serve::ServerConfig::default()
+    };
+    config.workers = parsed(&flags, "--workers", config.workers);
+    config.queue_capacity = parsed(&flags, "--queue", config.queue_capacity);
+    config.addr = format!("127.0.0.1:{}", parsed::<u16>(&flags, "--port", 0));
+    let handle = match wasmperf_serve::start(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("wasmperf-fleet shard: bind failed: {e}");
+            return 1;
+        }
+    };
+    println!("wasmperf-serve listening on {}", handle.addr());
+    handle.join();
+    0
+}
+
+fn healthz(addr: &str) -> Result<Json, String> {
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let resp = client.get("/healthz").map_err(|e| e.to_string())?;
+    if resp.status != 200 {
+        return Err(format!("/healthz returned {}", resp.status));
+    }
+    resp.body_json()
+}
+
+fn live_count(health: &Json) -> u64 {
+    health.get("live").and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn status(rest: &[String]) -> i32 {
+    let flags = parse_flags(rest, &["--addr", "--wait-live", "--timeout"]);
+    let addr = required(&flags, "--addr");
+    let timeout = Duration::from_secs(parsed(&flags, "--timeout", 30u64));
+    let want_live: Option<u64> = flag(&flags, "--wait-live").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("wasmperf-fleet: bad value for --wait-live: {v}");
+            usage();
+        })
+    });
+    let deadline = Instant::now() + timeout;
+    loop {
+        match healthz(addr) {
+            Ok(health) => {
+                let live = live_count(&health);
+                if want_live.is_none_or(|want| live >= want) {
+                    println!("{}", health.render());
+                    return 0;
+                }
+                if Instant::now() >= deadline {
+                    println!("{}", health.render());
+                    eprintln!("wasmperf-fleet: timed out waiting for {want_live:?} live shards");
+                    return 1;
+                }
+            }
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    eprintln!("wasmperf-fleet: status failed: {e}");
+                    return 1;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+}
+
+fn drain(rest: &[String]) -> i32 {
+    let flags = parse_flags(rest, &["--addr"]);
+    let addr = required(&flags, "--addr");
+    match Client::connect(addr).and_then(|mut c| c.request("POST", "/shutdown", b"")) {
+        Ok(resp) => {
+            print!("{}", String::from_utf8_lossy(&resp.body));
+            i32::from(resp.status != 200)
+        }
+        Err(e) => {
+            eprintln!("wasmperf-fleet: drain failed: {e}");
+            1
+        }
+    }
+}
+
+fn admit(rest: &[String]) -> i32 {
+    let flags = parse_flags(rest, &["--addr", "--shard", "--shard-addr"]);
+    let addr = required(&flags, "--addr");
+    let body = Json::Obj(vec![
+        (
+            "shard".into(),
+            Json::Str(required(&flags, "--shard").into()),
+        ),
+        (
+            "addr".into(),
+            Json::Str(required(&flags, "--shard-addr").into()),
+        ),
+    ]);
+    match Client::connect(addr).and_then(|mut c| c.post_json("/admit", &body)) {
+        Ok(resp) => {
+            print!("{}", String::from_utf8_lossy(&resp.body));
+            i32::from(resp.status != 200)
+        }
+        Err(e) => {
+            eprintln!("wasmperf-fleet: admit failed: {e}");
+            1
+        }
+    }
+}
+
+/// Builds the `/run` body the routing key is computed from.
+fn run_body(flags: &[(String, String)]) -> Json {
+    Json::Obj(vec![
+        ("bench".into(), Json::Str(required(flags, "--bench").into())),
+        (
+            "engine".into(),
+            Json::Str(required(flags, "--engine").into()),
+        ),
+        (
+            "size".into(),
+            Json::Str(flag(flags, "--size").unwrap_or("test").into()),
+        ),
+    ])
+}
+
+fn route(rest: &[String]) -> i32 {
+    let flags = parse_flags(rest, &["--addr", "--bench", "--engine", "--size"]);
+    let addr = required(&flags, "--addr");
+    let body = run_body(&flags);
+    // The same key computation every shard uses — process-independent,
+    // so the CLI, router, and shards always agree on the owner.
+    let key = match RunRequest::from_json(&body).map_err(wasmperf_serve::ServeError::BadRequest) {
+        Ok(req) => match Registry::load().job_key(&req) {
+            Ok(key) => key,
+            Err(e) => {
+                eprintln!("wasmperf-fleet: {}", e.to_json().render());
+                return 1;
+            }
+        },
+        Err(e) => {
+            eprintln!("wasmperf-fleet: {}", e.to_json().render());
+            return 1;
+        }
+    };
+    let health = match healthz(addr) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("wasmperf-fleet: route failed: {e}");
+            return 1;
+        }
+    };
+    let mut live: Vec<(String, String)> = Vec::new();
+    if let Some(Json::Arr(shards)) = health.get("shards") {
+        for s in shards {
+            if s.get("live") == Some(&Json::Bool(true)) {
+                if let (Some(name), Some(addr)) = (
+                    s.get("name").and_then(Json::as_str),
+                    s.get("addr").and_then(Json::as_str),
+                ) {
+                    live.push((name.to_string(), addr.to_string()));
+                }
+            }
+        }
+    }
+    let names: Vec<&str> = live.iter().map(|(n, _)| n.as_str()).collect();
+    match ring::pick(key, &names) {
+        Some(owner) => {
+            let owner_addr = &live.iter().find(|(n, _)| n == owner).unwrap().1;
+            println!("key {} -> {owner} {owner_addr}", hex64(key));
+            0
+        }
+        None => {
+            eprintln!("wasmperf-fleet: no live shards");
+            1
+        }
+    }
+}
+
+fn run(rest: &[String]) -> i32 {
+    let flags = parse_flags(rest, &["--addr", "--bench", "--engine", "--size"]);
+    let addr = required(&flags, "--addr");
+    let body = run_body(&flags);
+    match Client::connect(addr).and_then(|mut c| c.post_json("/run", &body)) {
+        Ok(resp) => {
+            print!("{}", String::from_utf8_lossy(&resp.body));
+            i32::from(resp.status != 200)
+        }
+        Err(e) => {
+            eprintln!("wasmperf-fleet: run failed: {e}");
+            1
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! The fleet supervisor: spawns N shard subprocesses, fronts them with
+//! an in-process router, and reaps the children after the drain.
+//!
+//! Shards are child processes of the `wasmperf-fleet` binary itself
+//! (the hidden `shard` subcommand wraps `wasmperf_serve::start`), found
+//! via `current_exe` — no search path, works the same under `cargo
+//! test` and in CI. Each shard binds an ephemeral port and prints the
+//! shared `listening on` contract line, which the supervisor parses
+//! before wiring the router's ring.
+
+use std::io::{self, BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use crate::router::{self, RouterConfig, ShardSpec};
+
+/// `wasmperf-fleet up` configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Shard subprocess count.
+    pub shards: usize,
+    /// Router listen port (0 = ephemeral).
+    pub port: u16,
+    /// Worker threads per shard.
+    pub workers: usize,
+    /// Admission-queue capacity per shard.
+    pub queue: usize,
+    /// Root for the per-shard persistent result stores
+    /// (`<dir>/shard-<i>`); restarted shards come up warm from it.
+    pub results_dir: Option<PathBuf>,
+    /// Router health-probe period.
+    pub health_interval: Duration,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            shards: 3,
+            port: 0,
+            workers: 2,
+            queue: 32,
+            results_dir: None,
+            health_interval: Duration::from_millis(250),
+        }
+    }
+}
+
+struct ShardProc {
+    name: String,
+    child: Child,
+    addr: String,
+}
+
+fn spawn_shard(exe: &std::path::Path, index: usize, config: &FleetConfig) -> io::Result<ShardProc> {
+    let name = format!("shard-{index}");
+    let mut cmd = Command::new(exe);
+    cmd.arg("shard")
+        .arg("--name")
+        .arg(&name)
+        .arg("--port")
+        .arg("0")
+        .arg("--workers")
+        .arg(config.workers.to_string())
+        .arg("--queue")
+        .arg(config.queue.to_string())
+        .stdout(Stdio::piped());
+    if let Some(dir) = &config.results_dir {
+        cmd.arg("--results").arg(dir.join(&name));
+    }
+    let mut child = cmd.spawn()?;
+    let stdout = child.stdout.take().expect("stdout was piped");
+    let mut reader = BufReader::new(stdout);
+    let mut addr = None;
+    let mut line = String::new();
+    // The startup contract: the shard prints `... listening on ADDR`
+    // once its socket is bound.
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        if let Some((_, rest)) = line.split_once("listening on ") {
+            addr = Some(rest.trim().to_string());
+            break;
+        }
+    }
+    let Some(addr) = addr else {
+        let _ = child.kill();
+        let _ = child.wait();
+        return Err(io::Error::other(format!(
+            "{name} exited before printing its listen address"
+        )));
+    };
+    // Keep the pipe drained so the child can never block on stdout.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while reader.read_line(&mut sink).map(|n| n > 0).unwrap_or(false) {
+            sink.clear();
+        }
+    });
+    Ok(ShardProc { name, child, addr })
+}
+
+/// Brings the fleet up and blocks until it drains: spawn shards, print
+/// one `shard NAME listening on ADDR pid PID` line each (scripts kill
+/// and restart shards by these), start the router, print its contract
+/// line, serve until `POST /shutdown`, then reap the children.
+pub fn up(config: &FleetConfig) -> io::Result<()> {
+    let exe = std::env::current_exe()?;
+    let mut shards: Vec<ShardProc> = Vec::new();
+    for index in 0..config.shards.max(1) {
+        match spawn_shard(&exe, index, config) {
+            Ok(shard) => shards.push(shard),
+            Err(e) => {
+                for s in &mut shards {
+                    let _ = s.child.kill();
+                    let _ = s.child.wait();
+                }
+                return Err(e);
+            }
+        }
+    }
+    for s in &shards {
+        println!(
+            "wasmperf-fleet shard {} listening on {} pid {}",
+            s.name,
+            s.addr,
+            s.child.id()
+        );
+    }
+    let handle = router::start(RouterConfig {
+        addr: format!("127.0.0.1:{}", config.port),
+        shards: shards
+            .iter()
+            .map(|s| ShardSpec {
+                name: s.name.clone(),
+                addr: s.addr.clone(),
+            })
+            .collect(),
+        health_interval: config.health_interval,
+        ..RouterConfig::default()
+    })?;
+    println!("wasmperf-fleet router listening on {}", handle.addr());
+    handle.join();
+    reap(shards);
+    eprintln!("wasmperf-fleet: drained, exiting");
+    Ok(())
+}
+
+/// Waits out the post-drain shard exits; anything still running after
+/// the grace period (e.g. a shard that never got the shutdown because
+/// it was marked dead) is killed.
+fn reap(shards: Vec<ShardProc>) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    for mut s in shards {
+        loop {
+            match s.child.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(50))
+                }
+                _ => {
+                    let _ = s.child.kill();
+                    let _ = s.child.wait();
+                    eprintln!("wasmperf-fleet: killed unresponsive {}", s.name);
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! wasmperf-fleet: sharded multi-process serving for the benchmark
+//! service.
+//!
+//! One wasmperf-serve process multiplexes clients over a worker pool;
+//! this crate scales that to N shard **processes** behind a router,
+//! without changing a byte of the service contract:
+//!
+//! - [`ring`]: rendezvous hashing of content-addressed job keys over
+//!   shard names — identical submissions always land on the shard whose
+//!   artifact/result caches already hold them, and membership changes
+//!   remap only the affected shard's keys;
+//! - [`router`]: the front-door process — routes `POST /run` by job
+//!   key, proxies bodies verbatim (a proxied response is the shard's
+//!   bytes), fans out and merges `GET /metrics`, health-checks shards
+//!   with streak hysteresis, fails dead shards out of the ring, and
+//!   re-admits them (`POST /admit`) after recovery;
+//! - [`fleet`]: the supervisor behind `wasmperf-fleet up` — shard
+//!   subprocesses with per-shard persistent result stores, so a
+//!   restarted shard answers previously-seen keys as `"cached":true`
+//!   without re-executing.
+//!
+//! The governing invariant is inherited from wasmperf-serve and gated
+//! by `wasmperf-loadgen`: degraded service means shed-or-retry (429/503
+//! with `Retry-After`), **never** a wrong or torn response.
+
+pub mod fleet;
+pub mod ring;
+pub mod router;
+
+pub use fleet::{up, FleetConfig};
+pub use router::{start, RouterConfig, RouterHandle, ShardSpec};

@@ -1,0 +1,87 @@
+//! Rendezvous (highest-random-weight) hashing over shard names.
+//!
+//! Every request key is hashed once against every candidate shard and
+//! the highest weight wins. Unlike a modulo ring, membership changes
+//! have minimal blast radius: removing a shard remaps **only** the keys
+//! that shard owned (their second-highest weight takes over), and
+//! adding one back restores exactly its former keys — which is what
+//! keeps the per-shard artifact and result caches warm across a
+//! failover cycle.
+//!
+//! Weights are plain FNV over `(key, shard name)`, so every process in
+//! the fleet — router, shards, the `wasmperf-fleet route` CLI — computes
+//! the same owner without coordination.
+
+use wasmperf_farm::hash::Fnv;
+
+/// The weight of `shard` for `key`: FNV over the pair. Deterministic
+/// across processes and platforms.
+pub fn weight(key: u64, shard: &str) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(key);
+    h.write_str(shard);
+    h.finish()
+}
+
+/// Picks the owner of `key` among `shards`: the highest weight wins,
+/// equal weights break toward the lexicographically smaller name so the
+/// choice never depends on list order. `None` iff `shards` is empty.
+pub fn pick<S: AsRef<str>>(key: u64, shards: &[S]) -> Option<&str> {
+    let mut best: Option<(u64, &str)> = None;
+    for shard in shards {
+        let name = shard.as_ref();
+        let w = weight(key, name);
+        best = match best {
+            None => Some((w, name)),
+            Some((bw, bn)) if w > bw || (w == bw && name < bn) => Some((w, name)),
+            keep => keep,
+        };
+    }
+    best.map(|(_, name)| name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHARDS: [&str; 3] = ["shard-0", "shard-1", "shard-2"];
+
+    #[test]
+    fn pick_is_deterministic_and_order_independent() {
+        let reversed: Vec<&str> = SHARDS.iter().rev().copied().collect();
+        for key in 0..200u64 {
+            let a = pick(key, &SHARDS).unwrap();
+            let b = pick(key, &reversed).unwrap();
+            assert_eq!(a, b, "key {key} owner depends on list order");
+        }
+        assert_eq!(pick(7, &[] as &[&str]), None);
+    }
+
+    #[test]
+    fn every_shard_owns_a_reasonable_share() {
+        let mut counts = [0usize; 3];
+        for key in 0..3000u64 {
+            let owner = pick(key, &SHARDS).unwrap();
+            counts[SHARDS.iter().position(|s| *s == owner).unwrap()] += 1;
+        }
+        for (i, n) in counts.iter().enumerate() {
+            // A grossly skewed split (worse than 1:6 of fair share)
+            // would defeat sharding; FNV keeps it close to 1000 each.
+            assert!(*n > 3000 / 18, "shard {i} owns only {n}/3000 keys");
+        }
+    }
+
+    #[test]
+    fn removing_a_shard_remaps_only_its_keys() {
+        for key in 0..500u64 {
+            let owner = pick(key, &SHARDS).unwrap();
+            for dead in SHARDS {
+                let rest: Vec<&str> = SHARDS.iter().filter(|s| **s != dead).copied().collect();
+                let fallback = pick(key, &rest).unwrap();
+                if owner != dead {
+                    assert_eq!(fallback, owner, "key {key} moved off a live shard");
+                }
+            }
+        }
+    }
+}

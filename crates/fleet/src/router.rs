@@ -1,0 +1,786 @@
+//! The fleet router: one front-door socket over N wasmperf-serve
+//! shards.
+//!
+//! Routing is by the request's **content-addressed job key** — the same
+//! FNV key the shards use for their artifact and result caches — over a
+//! rendezvous ring of live shard names ([`crate::ring`]). Identical
+//! submissions therefore always land on the shard whose caches already
+//! hold them, and a shard that leaves and returns gets exactly its old
+//! keys back, warm.
+//!
+//! Failure policy: the router never invents results. A proxy failure
+//! marks the shard dead and turns into `503 Service Unavailable` with
+//! `Retry-After: 1`; the health loop (`GET /healthz` per shard, with
+//! consecutive-streak hysteresis) takes the shard out of the ring and
+//! re-admits it only after it answers healthy again. Degraded service
+//! is shed-or-retry, never a wrong or torn response.
+//!
+//! Endpoints: `POST /run` and `POST /report` (proxied by key),
+//! `GET /metrics` (fan-out: per-shard sections plus a fleet aggregate
+//! whose latency histograms are merged exactly via [`Log2Hist`] wire
+//! form), `GET /healthz` (local ring view), `POST /admit` (re-register
+//! a restarted shard at a new address), `POST /shutdown` (drain the
+//! shards, then the router).
+
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use wasmperf_farm::hash::fnv1a;
+use wasmperf_farm::Json;
+use wasmperf_serve::http::{
+    read_request, read_response, write_request, write_response, Request, Response,
+};
+use wasmperf_serve::{latency_json, Metrics, Registry, RunRequest};
+use wasmperf_trace::Log2Hist;
+
+use crate::ring;
+
+/// One shard the router fronts.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// Stable shard name — the ring hashes names, not addresses, so a
+    /// shard keeps its keys across an address change.
+    pub name: String,
+    /// `host:port` of the shard's wasmperf-serve socket.
+    pub addr: String,
+}
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// The shards, assumed listening at config time.
+    pub shards: Vec<ShardSpec>,
+    /// Health-probe period.
+    pub health_interval: Duration,
+    /// Consecutive failed probes before a live shard is marked dead.
+    pub fail_after: u32,
+    /// Consecutive healthy probes before a dead shard rejoins the ring.
+    pub live_after: u32,
+    /// Upstream connect (and probe read) timeout.
+    pub connect_timeout: Duration,
+    /// Upstream read timeout for proxied requests (must cover a shard's
+    /// worst-case run execution).
+    pub upstream_read_timeout: Duration,
+    /// Client-side idle read timeout, as on the shards.
+    pub idle_timeout: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: Vec::new(),
+            health_interval: Duration::from_millis(250),
+            fail_after: 2,
+            live_after: 2,
+            connect_timeout: Duration::from_secs(1),
+            upstream_read_timeout: Duration::from_secs(120),
+            idle_timeout: wasmperf_serve::DEFAULT_IDLE_TIMEOUT,
+        }
+    }
+}
+
+/// One upstream keep-alive connection (the router's client half reuses
+/// the shared HTTP codec, so router and shard can't drift on framing).
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Conn {
+    fn connect(addr: &str, connect_timeout: Duration, read_timeout: Duration) -> io::Result<Conn> {
+        let sock = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("unresolvable shard address {addr}"),
+            )
+        })?;
+        let stream = TcpStream::connect_timeout(&sock, connect_timeout)?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Conn {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
+        write_request(&mut self.writer, method, path, body)?;
+        read_response(&mut self.reader)
+    }
+}
+
+struct ShardState {
+    name: String,
+    addr: Mutex<String>,
+    live: AtomicBool,
+    ok_streak: AtomicU32,
+    fail_streak: AtomicU32,
+    proxied: AtomicU64,
+    proxy_failures: AtomicU64,
+}
+
+impl ShardState {
+    fn addr(&self) -> String {
+        self.addr
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Takes the shard out of the ring (proxy failure or demotion); the
+    /// health loop must then see `live_after` clean probes to restore it.
+    fn mark_dead(&self) {
+        self.live.store(false, Ordering::SeqCst);
+        self.ok_streak.store(0, Ordering::SeqCst);
+    }
+}
+
+struct Shared {
+    config: RouterConfig,
+    shards: Vec<Arc<ShardState>>,
+    registry: Registry,
+    /// The router's own front-door counters: what clients of the fleet
+    /// actually observed, independent of shard-side accounting.
+    metrics: Metrics,
+    no_live_shard: AtomicU64,
+    admits: AtomicU64,
+    draining: AtomicBool,
+    open_connections: AtomicUsize,
+    conn_streams: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+}
+
+impl Shared {
+    fn shard_by_name(&self, name: &str) -> Option<&Arc<ShardState>> {
+        self.shards.iter().find(|s| s.name == name)
+    }
+
+    /// Sorted live shard names — the ring's current membership.
+    fn live_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .shards
+            .iter()
+            .filter(|s| s.live.load(Ordering::SeqCst))
+            .map(|s| s.name.clone())
+            .collect();
+        names.sort();
+        names
+    }
+
+    fn begin_drain(&self) -> bool {
+        if self.draining.swap(true, Ordering::SeqCst) {
+            return false;
+        }
+        let streams = self
+            .conn_streams
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        for stream in streams.values() {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+        true
+    }
+
+    /// Drains the fleet in order: shards first (best effort), then the
+    /// router's own admission.
+    fn drain_shards(&self) {
+        for shard in &self.shards {
+            let addr = shard.addr();
+            let resp = Conn::connect(
+                &addr,
+                self.config.connect_timeout,
+                self.config.connect_timeout,
+            )
+            .and_then(|mut c| c.request("POST", "/shutdown", b""));
+            if resp.is_err() {
+                // Already gone — exactly what a drain wants.
+                shard.mark_dead();
+            }
+        }
+    }
+}
+
+/// A running router. As with the shard server, dropping the handle does
+/// not stop it; drain via [`RouterHandle::shutdown`] or `POST /shutdown`.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    health_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Starts the drain: shards first, then the router.
+    pub fn shutdown(&self) {
+        if self.shared.begin_drain() {
+            self.shared.drain_shards();
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+
+    /// Waits until the accept loop exited, every connection closed, and
+    /// the health loop stopped.
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        while self.shared.open_connections.load(Ordering::Acquire) > 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        if let Some(t) = self.health_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds and starts the router; returns once the socket is listening.
+/// Shards start live (the caller just observed them up) and the health
+/// loop demotes any that aren't.
+pub fn start(config: RouterConfig) -> io::Result<RouterHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shards = config
+        .shards
+        .iter()
+        .map(|s| {
+            Arc::new(ShardState {
+                name: s.name.clone(),
+                addr: Mutex::new(s.addr.clone()),
+                live: AtomicBool::new(true),
+                ok_streak: AtomicU32::new(0),
+                fail_streak: AtomicU32::new(0),
+                proxied: AtomicU64::new(0),
+                proxy_failures: AtomicU64::new(0),
+            })
+        })
+        .collect();
+    let shared = Arc::new(Shared {
+        config,
+        shards,
+        registry: Registry::load(),
+        metrics: Metrics::new(),
+        no_live_shard: AtomicU64::new(0),
+        admits: AtomicU64::new(0),
+        draining: AtomicBool::new(false),
+        open_connections: AtomicUsize::new(0),
+        conn_streams: Mutex::new(HashMap::new()),
+        next_conn: AtomicU64::new(0),
+    });
+
+    let health_shared = Arc::clone(&shared);
+    let health_thread = std::thread::spawn(move || {
+        while !health_shared.draining.load(Ordering::SeqCst) {
+            for shard in &health_shared.shards {
+                probe(&health_shared, shard);
+            }
+            std::thread::sleep(health_shared.config.health_interval);
+        }
+    });
+
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_shared.draining.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let _ = stream.set_nodelay(true);
+            let conn_shared = Arc::clone(&accept_shared);
+            conn_shared.open_connections.fetch_add(1, Ordering::AcqRel);
+            let conn_id = conn_shared.next_conn.fetch_add(1, Ordering::Relaxed);
+            if let Ok(clone) = stream.try_clone() {
+                conn_shared
+                    .conn_streams
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert(conn_id, clone);
+            }
+            if conn_shared.draining.load(Ordering::SeqCst) {
+                let _ = stream.shutdown(std::net::Shutdown::Read);
+            }
+            std::thread::spawn(move || {
+                let addr = stream.local_addr();
+                handle_connection(&conn_shared, stream);
+                conn_shared
+                    .conn_streams
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .remove(&conn_id);
+                conn_shared.open_connections.fetch_sub(1, Ordering::AcqRel);
+                if conn_shared.draining.load(Ordering::SeqCst) {
+                    if let Ok(a) = addr {
+                        let _ = TcpStream::connect(a);
+                    }
+                }
+            });
+        }
+    });
+
+    Ok(RouterHandle {
+        addr,
+        shared,
+        accept_thread: Some(accept_thread),
+        health_thread: Some(health_thread),
+    })
+}
+
+/// One health probe: the shard is healthy iff `/healthz` answers 200
+/// and isn't draining. Streak hysteresis keeps one flaky probe from
+/// flapping the ring.
+fn probe(shared: &Shared, shard: &ShardState) {
+    let t = shared.config.connect_timeout;
+    let healthy = Conn::connect(&shard.addr(), t, t)
+        .and_then(|mut c| c.request("GET", "/healthz", &[]))
+        .ok()
+        .filter(|resp| resp.status == 200)
+        .and_then(|resp| resp.body_json().ok())
+        .is_some_and(|body| body.get("draining") != Some(&Json::Bool(true)));
+    if healthy {
+        shard.fail_streak.store(0, Ordering::SeqCst);
+        let streak = shard.ok_streak.fetch_add(1, Ordering::SeqCst) + 1;
+        if !shard.live.load(Ordering::SeqCst) && streak >= shared.config.live_after {
+            shard.live.store(true, Ordering::SeqCst);
+        }
+    } else {
+        shard.ok_streak.store(0, Ordering::SeqCst);
+        let streak = shard.fail_streak.fetch_add(1, Ordering::SeqCst) + 1;
+        if shard.live.load(Ordering::SeqCst) && streak >= shared.config.fail_after {
+            shard.live.store(false, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Per-connection cache of upstream keep-alive connections, keyed by
+/// shard name and pinned to the address they were dialed at (an
+/// `/admit` address change invalidates the entry).
+type Upstreams = HashMap<String, (String, Conn)>;
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(shared.config.idle_timeout));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = write_half;
+    let mut upstreams: Upstreams = HashMap::new();
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return,
+            Err(e) => {
+                match e.kind() {
+                    io::ErrorKind::InvalidData => {
+                        let resp = error_json(400, &e.to_string());
+                        let _ = write_response(&mut writer, &resp, false);
+                    }
+                    io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => {
+                        let resp = error_json(408, "idle timeout: no request received");
+                        let _ = write_response(&mut writer, &resp, false);
+                    }
+                    _ => {}
+                }
+                return;
+            }
+        };
+        let started = Instant::now();
+        let resp = route(shared, &req, &mut upstreams);
+        let us = started.elapsed().as_micros() as u64;
+        let endpoint = format!("{} {}", req.method, req.path);
+        shared.metrics.record(&endpoint, resp.status, us);
+        let keep_alive = req.keep_alive() && !shared.draining.load(Ordering::SeqCst);
+        if write_response(&mut writer, &resp, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+fn route(shared: &Shared, req: &Request, upstreams: &mut Upstreams) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz(shared),
+        ("GET", "/metrics") => metrics(shared),
+        ("POST", "/run") => run(shared, req, upstreams),
+        ("POST", "/report") => {
+            route_by_key(shared, fnv1a(&req.body), "/report", &req.body, upstreams)
+        }
+        ("POST", "/admit") => admit(shared, req),
+        ("POST", "/shutdown") => {
+            if shared.begin_drain() {
+                shared.drain_shards();
+            }
+            Response::json(200, &Json::Obj(vec![("draining".into(), Json::Bool(true))]))
+        }
+        (_, "/healthz" | "/metrics" | "/run" | "/report" | "/admit" | "/shutdown") => error_json(
+            405,
+            &format!("method {} not allowed on {}", req.method, req.path),
+        ),
+        (_, path) => error_json(404, &format!("no such endpoint {path}")),
+    }
+}
+
+fn run(shared: &Shared, req: &Request, upstreams: &mut Upstreams) -> Response {
+    if shared.draining.load(Ordering::SeqCst) {
+        return error_json(503, "router draining").with_header("Retry-After", "1");
+    }
+    let parsed = std::str::from_utf8(&req.body)
+        .map_err(|_| "body is not UTF-8".to_string())
+        .and_then(|text| {
+            Json::parse(text.trim()).map_err(|e| format!("body is not valid JSON: {e}"))
+        })
+        .and_then(|body| RunRequest::from_json(&body));
+    let run_req = match parsed {
+        Ok(r) => r,
+        Err(e) => return error_json(400, &e),
+    };
+    // The routing key IS the shards' cache key, so a resubmission lands
+    // where its artifact and result already live.
+    let key = match shared.registry.job_key(&run_req) {
+        Ok(k) => k,
+        Err(e) => return Response::json(e.status(), &e.to_json()),
+    };
+    route_by_key(shared, key, "/run", &req.body, upstreams)
+}
+
+/// Picks the key's owner among live shards and proxies the body
+/// verbatim — the response the client sees is the shard's bytes.
+fn route_by_key(
+    shared: &Shared,
+    key: u64,
+    path: &str,
+    body: &[u8],
+    upstreams: &mut Upstreams,
+) -> Response {
+    let live = shared.live_names();
+    let Some(owner) = ring::pick(key, &live) else {
+        shared.no_live_shard.fetch_add(1, Ordering::Relaxed);
+        return error_json(503, "no live shards").with_header("Retry-After", "1");
+    };
+    let shard = shared
+        .shard_by_name(owner)
+        .expect("ring picked an unknown shard");
+    match proxy(shared, shard, path, body, upstreams) {
+        Ok(resp) => relay(resp),
+        Err(e) => {
+            // Fail the shard out of the ring and tell the client to
+            // retry; the health loop re-admits it after recovery.
+            shard.proxy_failures.fetch_add(1, Ordering::Relaxed);
+            shard.mark_dead();
+            error_json(503, &format!("shard {} unreachable: {e}", shard.name))
+                .with_header("Retry-After", "1")
+        }
+    }
+}
+
+/// One proxied request over the cached upstream connection, retried
+/// once on a fresh dial — the shard's own idle timeout may have cut a
+/// quiet keep-alive, which must not read as shard death.
+fn proxy(
+    shared: &Shared,
+    shard: &ShardState,
+    path: &str,
+    body: &[u8],
+    upstreams: &mut Upstreams,
+) -> io::Result<Response> {
+    let addr = shard.addr();
+    if let Some((cached_addr, conn)) = upstreams.get_mut(&shard.name) {
+        if *cached_addr == addr {
+            if let Ok(resp) = conn.request("POST", path, body) {
+                shard.proxied.fetch_add(1, Ordering::Relaxed);
+                return Ok(resp);
+            }
+        }
+        upstreams.remove(&shard.name);
+    }
+    let mut conn = Conn::connect(
+        &addr,
+        shared.config.connect_timeout,
+        shared.config.upstream_read_timeout,
+    )?;
+    let resp = conn.request("POST", path, body)?;
+    upstreams.insert(shard.name.clone(), (addr, conn));
+    shard.proxied.fetch_add(1, Ordering::Relaxed);
+    Ok(resp)
+}
+
+/// Rebuilds the upstream response for the client: body bytes verbatim,
+/// with only the semantic headers carried over (framing headers are
+/// re-added by the writer).
+fn relay(upstream: Response) -> Response {
+    let mut resp = Response {
+        status: upstream.status,
+        headers: vec![("Content-Type".into(), "application/json".into())],
+        body: upstream.body,
+    };
+    if let Some(retry) = upstream
+        .headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("retry-after"))
+    {
+        resp.headers.push(("Retry-After".into(), retry.1.clone()));
+    }
+    resp
+}
+
+fn healthz(shared: &Shared) -> Response {
+    let shards: Vec<Json> = shared
+        .shards
+        .iter()
+        .map(|s| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(s.name.clone())),
+                ("addr".into(), Json::Str(s.addr())),
+                ("live".into(), Json::Bool(s.live.load(Ordering::SeqCst))),
+            ])
+        })
+        .collect();
+    Response::json(
+        200,
+        &Json::Obj(vec![
+            ("ok".into(), Json::Bool(true)),
+            ("role".into(), Json::Str("router".into())),
+            (
+                "draining".into(),
+                Json::Bool(shared.draining.load(Ordering::SeqCst)),
+            ),
+            ("live".into(), Json::u64(shared.live_names().len() as u64)),
+            ("shards".into(), Json::Arr(shards)),
+        ]),
+    )
+}
+
+fn admit(shared: &Shared, req: &Request) -> Response {
+    let body = match std::str::from_utf8(&req.body)
+        .ok()
+        .and_then(|t| Json::parse(t.trim()).ok())
+    {
+        Some(b) => b,
+        None => return error_json(400, "admit body is not valid JSON"),
+    };
+    let (name, addr) = match (
+        body.get("shard").and_then(Json::as_str),
+        body.get("addr").and_then(Json::as_str),
+    ) {
+        (Some(n), Some(a)) => (n.to_string(), a.to_string()),
+        _ => return error_json(400, "admit needs string fields \"shard\" and \"addr\""),
+    };
+    let Some(shard) = shared.shard_by_name(&name) else {
+        return error_json(404, &format!("no such shard {name:?}"));
+    };
+    *shard.addr.lock().unwrap_or_else(PoisonError::into_inner) = addr.clone();
+    // Probation: the health loop promotes after `live_after` clean
+    // probes at the new address.
+    shard.mark_dead();
+    shard.fail_streak.store(0, Ordering::SeqCst);
+    shared.admits.fetch_add(1, Ordering::Relaxed);
+    Response::json(
+        200,
+        &Json::Obj(vec![
+            ("admitted".into(), Json::Str(name)),
+            ("addr".into(), Json::Str(addr)),
+            ("live".into(), Json::Bool(false)),
+        ]),
+    )
+}
+
+/// `GET /metrics`: fan out to every shard and merge. The top level is
+/// the **fleet aggregate in the shard schema** (so `loadgen
+/// --verify-metrics` works unchanged against the router): `requests`
+/// and `latency` are the router's own front-door observations, while
+/// `syscalls`, `cache`, `pool` and the shed/deadline tallies are exact
+/// sums over reachable shards. Per-shard snapshots ride under `shards`,
+/// and `fleet` carries the ring state plus the cross-shard latency
+/// histogram merged via the exact [`Log2Hist`] wire form.
+fn metrics(shared: &Shared) -> Response {
+    let t = shared.config.connect_timeout;
+    let mut per_shard: Vec<(String, Result<Json, String>)> = Vec::new();
+    for shard in &shared.shards {
+        let fetched = Conn::connect(&shard.addr(), t, t.max(Duration::from_secs(2)))
+            .and_then(|mut c| c.request("GET", "/metrics", &[]))
+            .map_err(|e| e.to_string())
+            .and_then(|resp| {
+                if resp.status == 200 {
+                    resp.body_json()
+                } else {
+                    Err(format!("/metrics returned {}", resp.status))
+                }
+            });
+        per_shard.push((shard.name.clone(), fetched));
+    }
+    let reachable: Vec<&Json> = per_shard
+        .iter()
+        .filter_map(|(_, r)| r.as_ref().ok())
+        .collect();
+
+    let mut snapshot = shared.metrics.to_json(0, 0, 0, 0, 0);
+    set_field(
+        &mut snapshot,
+        "syscalls",
+        sum_section(
+            &reachable,
+            "syscalls",
+            &["runs_executed", "count", "kernel_cycles", "kernel_bytes"],
+            &[],
+        ),
+    );
+    set_field(
+        &mut snapshot,
+        "cache",
+        sum_section(
+            &reachable,
+            "cache",
+            &[
+                "artifact_builds",
+                "artifact_hits",
+                "result_hits",
+                "result_misses",
+                "store_hits",
+            ],
+            &[],
+        ),
+    );
+    set_field(
+        &mut snapshot,
+        "pool",
+        sum_section(
+            &reachable,
+            "pool",
+            &["queued", "active", "queue_depth", "workers"],
+            &["max_depth"],
+        ),
+    );
+    for tally in ["shed", "deadline_sim", "deadline_wall"] {
+        let sum = reachable
+            .iter()
+            .filter_map(|j| j.get(tally).and_then(Json::as_u64))
+            .sum();
+        set_field(&mut snapshot, tally, Json::u64(sum));
+    }
+
+    // The exact cross-shard latency distribution: parse each shard's
+    // wire-form histogram, merge, re-render through the same section
+    // renderer the shards use.
+    let mut merged = Log2Hist::new();
+    for j in &reachable {
+        if let Some(hist) = j
+            .get("latency")
+            .and_then(|l| l.get("hist"))
+            .and_then(Log2Hist::from_json)
+        {
+            merged.merge(&hist);
+        }
+    }
+
+    let shards_json = Json::Obj(
+        per_shard
+            .into_iter()
+            .map(|(name, r)| {
+                let v = match r {
+                    Ok(j) => j,
+                    Err(e) => Json::Obj(vec![("unreachable".into(), Json::Str(e))]),
+                };
+                (name, v)
+            })
+            .collect(),
+    );
+    let fleet = Json::Obj(vec![
+        ("role".into(), Json::Str("router".into())),
+        ("shards".into(), Json::u64(shared.shards.len() as u64)),
+        ("live".into(), Json::u64(shared.live_names().len() as u64)),
+        (
+            "draining".into(),
+            Json::Bool(shared.draining.load(Ordering::SeqCst)),
+        ),
+        (
+            "proxied".into(),
+            Json::u64(
+                shared
+                    .shards
+                    .iter()
+                    .map(|s| s.proxied.load(Ordering::Relaxed))
+                    .sum(),
+            ),
+        ),
+        (
+            "proxy_failures".into(),
+            Json::u64(
+                shared
+                    .shards
+                    .iter()
+                    .map(|s| s.proxy_failures.load(Ordering::Relaxed))
+                    .sum(),
+            ),
+        ),
+        (
+            "no_live_shard".into(),
+            Json::u64(shared.no_live_shard.load(Ordering::Relaxed)),
+        ),
+        (
+            "admits".into(),
+            Json::u64(shared.admits.load(Ordering::Relaxed)),
+        ),
+        ("shard_latency".into(), latency_json(&merged)),
+    ]);
+    if let Json::Obj(fields) = &mut snapshot {
+        fields.push(("fleet".into(), fleet));
+        fields.push(("shards".into(), shards_json));
+    }
+    Response::json(200, &snapshot)
+}
+
+/// Replaces (or appends) one field of a JSON object.
+fn set_field(obj: &mut Json, name: &str, value: Json) {
+    if let Json::Obj(fields) = obj {
+        match fields.iter_mut().find(|(k, _)| k == name) {
+            Some((_, v)) => *v = value,
+            None => fields.push((name.to_string(), value)),
+        }
+    }
+}
+
+/// Sums one named section across shard snapshots: `sum_fields` add,
+/// `max_fields` take the maximum (depth high-water marks don't add).
+fn sum_section(shards: &[&Json], section: &str, sum_fields: &[&str], max_fields: &[&str]) -> Json {
+    fn values(shards: &[&Json], section: &str, name: &str) -> Vec<u64> {
+        shards
+            .iter()
+            .filter_map(|j| {
+                j.get(section)
+                    .and_then(|s| s.get(name))
+                    .and_then(Json::as_u64)
+            })
+            .collect()
+    }
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    for name in sum_fields {
+        fields.push((
+            name.to_string(),
+            Json::u64(values(shards, section, name).iter().sum()),
+        ));
+    }
+    for name in max_fields {
+        fields.push((
+            name.to_string(),
+            Json::u64(values(shards, section, name).into_iter().max().unwrap_or(0)),
+        ));
+    }
+    Json::Obj(fields)
+}
+
+fn error_json(status: u16, message: &str) -> Response {
+    Response::json(
+        status,
+        &Json::Obj(vec![("error".into(), Json::Str(message.to_string()))]),
+    )
+}

@@ -1,0 +1,75 @@
+//! Property tests for the rendezvous ring: the stability contract the
+//! fleet's warm caches depend on.
+
+use proptest::prelude::*;
+use wasmperf_fleet::ring;
+
+/// Shard fleets are named like the supervisor names them.
+fn fleet(count: u64) -> Vec<String> {
+    (0..count).map(|i| format!("shard-{i}")).collect()
+}
+
+proptest! {
+    // Removing one shard remaps only that shard's keys: every key
+    // owned by a surviving shard keeps its owner. This is what lets a
+    // failover preserve every live shard's artifact/result caches.
+    #[test]
+    fn removal_only_remaps_the_removed_shards_keys(
+        count in 2u64..9,
+        victim in any::<u64>(),
+        keys in proptest::collection::vec(any::<u64>(), 1..64),
+    ) {
+        let names = fleet(count);
+        let victim = &names[(victim % count) as usize];
+        let rest: Vec<String> = names.iter().filter(|n| *n != victim).cloned().collect();
+        for key in keys {
+            let owner = ring::pick(key, &names).unwrap();
+            let after = ring::pick(key, &rest).unwrap();
+            if owner != victim {
+                prop_assert_eq!(after, owner);
+            } else {
+                prop_assert!(after != victim);
+            }
+        }
+    }
+
+    // Re-adding the shard restores exactly the old assignment — a
+    // restarted shard gets its former keys (and its warm store) back.
+    #[test]
+    fn readmission_restores_the_original_assignment(
+        count in 2u64..9,
+        victim in any::<u64>(),
+        keys in proptest::collection::vec(any::<u64>(), 1..64),
+    ) {
+        let names = fleet(count);
+        let victim = &names[(victim % count) as usize];
+        let mut rejoined: Vec<String> =
+            names.iter().filter(|n| *n != victim).cloned().collect();
+        rejoined.push(victim.clone());
+        for key in keys {
+            prop_assert_eq!(
+                ring::pick(key, &names).unwrap(),
+                ring::pick(key, &rejoined).unwrap()
+            );
+        }
+    }
+
+    // The pick is a pure function of (key, membership set): list order
+    // is irrelevant, so router, shards, and CLI never disagree.
+    #[test]
+    fn pick_is_order_independent(
+        count in 1u64..9,
+        rotate in any::<u64>(),
+        keys in proptest::collection::vec(any::<u64>(), 1..64),
+    ) {
+        let names = fleet(count);
+        let mut rotated = names.clone();
+        rotated.rotate_left((rotate % count) as usize);
+        for key in keys {
+            prop_assert_eq!(
+                ring::pick(key, &names).unwrap(),
+                ring::pick(key, &rotated).unwrap()
+            );
+        }
+    }
+}

@@ -94,8 +94,8 @@ fn main() {
                      --jobs N       run benchmark jobs on an N-worker farm\n\
                      \x20              (output is byte-identical to serial)\n\
                      --results DIR  record/resume job results in DIR/results.jsonl\n\
-                     --filter S     restrict syscalls/replay to benchmarks whose\n\
-                     \x20              name contains S\n\
+                     --filter S     restrict syscalls/replay/sandbox to benchmarks\n\
+                     \x20              whose name contains S\n\
                      --progress     per-job progress lines on stderr\n\
                      experiments: fig1 fig3a fig3b table1 table2 fig4 fig5 fig6\n\
                      fig7 fig8 fig9 fig10 table3 table4 overhead ablations\n\
@@ -207,7 +207,7 @@ fn main() {
             "syscalls" => exp::syscalls_report(size, filter.as_deref()),
             "replay" => exp::replay_report(&mut session, filter.as_deref()),
             "overhead" => exp::overhead(&mut session),
-            "sandbox" => exp::sandbox(&mut session),
+            "sandbox" => exp::sandbox(&mut session, filter.as_deref()),
             "ablation-regs" => exp::ablation_reserved_regs(&mut session),
             "ablations" => (|| {
                 let mut s = String::new();

@@ -1117,12 +1117,27 @@ pub fn trace_demo(dir: &std::path::Path, size: wasmperf_benchsuite::Size) -> Res
 /// whose checksum or output bytes differ from the other engines on the
 /// same source — so the matrix isolates pure protection cost, the
 /// quantity the source paper could not measure (docs/SANDBOX.md).
-pub fn sandbox(s: &mut Session) -> Result<String, Error> {
-    let classes: Vec<(&str, Vec<String>)> = vec![
+///
+/// `filter` restricts the matrix to benchmarks whose name contains the
+/// substring; classes left empty are skipped entirely (no geomean over
+/// an empty set). `None` renders the exact full matrix.
+pub fn sandbox(s: &mut Session, filter: Option<&str>) -> Result<String, Error> {
+    let mut classes: Vec<(&str, Vec<String>)> = vec![
         ("SPEC", s.spec_names()),
         ("PolyBench", s.polybench_names()),
         ("I/O", s.io_names()),
     ];
+    if let Some(f) = filter {
+        for (_, names) in &mut classes {
+            names.retain(|n| n.contains(f));
+        }
+        classes.retain(|(_, names)| !names.is_empty());
+        if classes.is_empty() {
+            return Err(Error::MissingBenchmark {
+                name: format!("no benchmark matches --filter {f}"),
+            });
+        }
+    }
     let engines = Engine::sandbox_set();
     let all_names: Vec<String> = classes.iter().flat_map(|(_, n)| n.clone()).collect();
     s.ensure(&all_names, &engines)?;
@@ -1209,6 +1224,24 @@ mod tests {
         // Two size points are two distinct sources sharing the name
         // "matmul": the farm must have built 3 engines x 2 sources.
         assert_eq!(s.artifact_stats().builds, 6);
+        Ok(())
+    }
+
+    #[test]
+    fn sandbox_filter_restricts_the_matrix_and_skips_empty_classes() -> Result<(), Error> {
+        let mut s = Session::new(Size::Test).with_jobs(2);
+        let out = sandbox(&mut s, Some("gemm"))?;
+        // Only the PolyBench class has a benchmark named "gemm"; the
+        // SPEC and I/O classes are skipped, not rendered as empty
+        // geomeans.
+        assert!(out.contains("| PolyBench | gemm "), "{out}");
+        assert!(out.contains("PolyBench geomean:"), "{out}");
+        assert!(!out.contains("SPEC geomean:"), "{out}");
+        assert!(!out.contains("I/O geomean:"), "{out}");
+        assert!(!out.contains("2mm"), "{out}");
+
+        let err = sandbox(&mut s, Some("no-such-benchmark")).unwrap_err();
+        assert!(err.to_string().contains("no benchmark matches"), "{err}");
         Ok(())
     }
 

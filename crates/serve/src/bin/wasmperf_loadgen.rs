@@ -6,6 +6,7 @@
 //!                  [--benches a,b,... | --adhoc] [--engines x,y,...]
 //!                  [--size test|ref] [--deadline-ms MS]
 //!                  [--check] [--verify-metrics] [--expect-shed]
+//!                  [--tolerate-unavailable]
 //!                  [--quick] [--shutdown] [--out FILE]
 //! ```
 //!
@@ -32,6 +33,8 @@ fn usage() -> ! {
          --verify-metrics   compare /metrics deltas (request counts and\n\
          \x20                  syscall aggregates) with observed responses\n\
          --expect-shed      require >=1 429 and only 200/429 statuses\n\
+         --tolerate-unavailable  also accept 503s (degraded fleet); every\n\
+         \x20                  429/503 must still carry Retry-After >= 1\n\
          --quick            small preset: 2 conns, 24 requests, --check\n\
          --shutdown         POST /shutdown after the run\n\
          --out FILE         write the JSON report (wasmperf-loadgen/1)"
@@ -67,6 +70,7 @@ fn main() {
             "--check" => opts.check = true,
             "--verify-metrics" => opts.verify_metrics = true,
             "--expect-shed" => opts.expect_shed = true,
+            "--tolerate-unavailable" => opts.tolerate_unavailable = true,
             "--quick" => {
                 opts.mode = Mode::Closed { conns: 2 };
                 opts.requests = 24;

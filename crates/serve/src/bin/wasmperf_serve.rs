@@ -3,6 +3,7 @@
 //! ```text
 //! wasmperf-serve [--port N] [--workers N] [--queue N]
 //!                [--log FILE] [--trace-dir DIR]
+//!                [--results DIR] [--name SHARD] [--idle-timeout SECS]
 //! ```
 //!
 //! Binds 127.0.0.1 (`--port 0` picks an ephemeral port and prints it),
@@ -16,11 +17,15 @@ fn usage() -> ! {
     eprintln!(
         "usage: wasmperf-serve [--port N] [--workers N] [--queue N]\n\
          \x20                     [--log FILE] [--trace-dir DIR]\n\
+         \x20                     [--results DIR] [--name SHARD] [--idle-timeout SECS]\n\
          --port N       listen port on 127.0.0.1 (0 = ephemeral; default 8377)\n\
          --workers N    execution worker threads (default 2)\n\
          --queue N      admission-queue capacity before 429s (default 32)\n\
          --log FILE     JSONL access log\n\
-         --trace-dir D  write Chrome-trace/JSONL request spans at shutdown"
+         --trace-dir D  write Chrome-trace/JSONL request spans at shutdown\n\
+         --results DIR  persistent result store; restarts answer seen keys warm\n\
+         --name SHARD   shard name in the /healthz and /metrics identity block\n\
+         --idle-timeout SECS  cut silent keep-alive connections (default 60)"
     );
     std::process::exit(2);
 }
@@ -37,6 +42,12 @@ fn main() {
             "--queue" => config.queue_capacity = value().parse().unwrap_or_else(|_| usage()),
             "--log" => config.log_path = Some(value().into()),
             "--trace-dir" => config.trace_dir = Some(value().into()),
+            "--results" => config.results_dir = Some(value().into()),
+            "--name" => config.shard = Some(value()),
+            "--idle-timeout" => {
+                let secs: u64 = value().parse().unwrap_or_else(|_| usage());
+                config.idle_timeout = std::time::Duration::from_secs(secs.max(1));
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }

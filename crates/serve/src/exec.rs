@@ -21,19 +21,55 @@
 //!   yields 504 with `"deadline": "wall"`.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use wasmperf_benchsuite::{Benchmark, Size, Suite};
 use wasmperf_browsix::AppendPolicy;
-use wasmperf_farm::{ArtifactCache, ArtifactKey, Json, ServicePool, SubmitError};
-use wasmperf_harness::farm::{encode_result, job_spec};
+use wasmperf_farm::hash::Fnv;
+use wasmperf_farm::{
+    ArtifactCache, ArtifactKey, JobSpec, Json, ResultStore, ServicePool, SubmitError,
+};
+use wasmperf_harness::farm::{decode_result, encode_result, job_spec};
 use wasmperf_harness::{
     execute_with_fuel, prepare, Artifact, Engine, Error, RunResult, DEFAULT_FUEL,
 };
 
 use crate::metrics::Metrics;
+
+/// Version of the service's wire schema (`/run`, `/metrics`, `/healthz`
+/// shapes and the persisted result-store payloads). Reported in the
+/// shard identity block so a router can refuse to mix shards that would
+/// disagree about response bytes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Every engine wire name a `/run` request may target. The fingerprint
+/// over this set is part of a shard's identity: two shards with equal
+/// fingerprints produce byte-identical results for the same `JobSpec`.
+pub const WIRE_ENGINES: [&str; 9] = [
+    "native",
+    "chrome",
+    "firefox",
+    "chrome-asmjs",
+    "firefox-asmjs",
+    "chrome+bounds",
+    "chrome+pku",
+    "firefox+bounds",
+    "firefox+pku",
+];
+
+/// Combined FNV digest over every wire engine's name and configuration
+/// fingerprint — the engine half of the shard identity block.
+pub fn engines_fingerprint() -> u64 {
+    let mut fnv = Fnv::new();
+    for name in WIRE_ENGINES {
+        let engine = Engine::parse(name).expect("WIRE_ENGINES entries must parse");
+        fnv.write_str(name).write_u64(engine.fingerprint());
+    }
+    fnv.finish()
+}
 
 /// Fuel units (retired instructions) per millisecond of simulated
 /// deadline: the simulated core runs at 3.5 GHz and the workloads retire
@@ -249,26 +285,19 @@ pub struct RunOutcome {
     pub exec_us: u64,
 }
 
-/// The execution engine behind the HTTP surface: benchmark registry,
-/// caches, worker pool, and metrics.
-pub struct ExecService {
-    /// (size, name) → benchmark, for named-target requests.
+/// The benchmark registry behind named-target requests: every suite and
+/// replay benchmark at both sizes, resolvable to a content-addressed
+/// [`JobSpec`]. The fleet router loads its own copy to compute the same
+/// keys the shards do — the spec (and therefore the routing) is a pure
+/// function of the request, not of which process asks.
+pub struct Registry {
+    /// (size, name) → benchmark.
     benches: HashMap<(&'static str, String), Benchmark>,
-    artifacts: Arc<ArtifactCache<Artifact>>,
-    /// spec-key → completed default-fuel result.
-    results: Mutex<HashMap<u64, Arc<RunResult>>>,
-    pool: ServicePool,
-    /// Shared service metrics (the server also records HTTP-level data).
-    pub metrics: Arc<Metrics>,
 }
 
-/// What a pool job sends back to the waiting connection thread.
-type JobReply = (Result<RunResult, Error>, u64);
-
-impl ExecService {
-    /// Builds the service: loads both benchmark sizes, starts `workers`
-    /// pool threads over a queue admitting `queue_capacity` waiting jobs.
-    pub fn new(workers: usize, queue_capacity: usize) -> ExecService {
+impl Registry {
+    /// Loads both benchmark sizes, suite and replay benchmarks alike.
+    pub fn load() -> Registry {
         let mut benches = HashMap::new();
         for size in [Size::Test, Size::Ref] {
             for b in wasmperf_benchsuite::all(size) {
@@ -281,13 +310,128 @@ impl ExecService {
                 benches.insert((size.as_str(), b.name.to_string()), b);
             }
         }
+        Registry { benches }
+    }
+
+    /// The names a request can target at `size`, sorted.
+    pub fn names(&self, size: Size) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .benches
+            .keys()
+            .filter(|(s, _)| *s == size.as_str())
+            .map(|(_, name)| name.clone())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Resolves a request to its benchmark and engine, rejecting unknown
+    /// names exactly as execution would.
+    pub fn resolve(&self, req: &RunRequest) -> Result<(Benchmark, Engine), ServeError> {
+        let bench = match &req.target {
+            Target::Named(name) => self
+                .benches
+                .get(&(req.size.as_str(), name.clone()))
+                .cloned()
+                .ok_or_else(|| {
+                    ServeError::BadRequest(format!(
+                        "unknown benchmark {name:?} at size {}",
+                        req.size.as_str()
+                    ))
+                })?,
+            Target::Source(src) => Benchmark {
+                name: "adhoc".into(),
+                suite: Suite::PolyBench,
+                replay: None,
+                source: src.clone(),
+                inputs: Vec::new(),
+                outputs: Vec::new(),
+            },
+        };
+        let engine = Engine::parse(&req.engine)
+            .ok_or_else(|| ServeError::BadRequest(format!("unknown engine {:?}", req.engine)))?;
+        Ok((bench, engine))
+    }
+
+    /// The content-addressed job spec a request executes as.
+    pub fn job_spec(&self, req: &RunRequest) -> Result<JobSpec, ServeError> {
+        let (bench, engine) = self.resolve(req)?;
+        Ok(job_spec(
+            &bench,
+            &engine,
+            req.size,
+            AppendPolicy::Chunked4K,
+            0,
+        ))
+    }
+
+    /// The request's routing/caching key: [`JobSpec::key`].
+    pub fn job_key(&self, req: &RunRequest) -> Result<u64, ServeError> {
+        self.job_spec(req).map(|spec| spec.key())
+    }
+}
+
+/// The execution engine behind the HTTP surface: benchmark registry,
+/// caches, worker pool, and metrics.
+pub struct ExecService {
+    registry: Registry,
+    artifacts: Arc<ArtifactCache<Artifact>>,
+    /// spec-key → completed default-fuel result.
+    results: Mutex<HashMap<u64, Arc<RunResult>>>,
+    /// Persistent backing for `results`: every completed default-fuel
+    /// run is appended, and a restarted process serves previously-seen
+    /// keys from here as `cached` without re-executing.
+    store: Option<Mutex<ResultStore>>,
+    pool: ServicePool,
+    /// Shared service metrics (the server also records HTTP-level data).
+    pub metrics: Arc<Metrics>,
+}
+
+/// What a pool job sends back to the waiting connection thread.
+type JobReply = (Result<RunResult, Error>, u64);
+
+impl ExecService {
+    /// Builds the service: loads both benchmark sizes, starts `workers`
+    /// pool threads over a queue admitting `queue_capacity` waiting jobs.
+    pub fn new(workers: usize, queue_capacity: usize) -> ExecService {
         ExecService {
-            benches,
+            registry: Registry::load(),
             artifacts: Arc::new(ArtifactCache::new()),
             results: Mutex::new(HashMap::new()),
+            store: None,
             pool: ServicePool::new(workers, queue_capacity),
             metrics: Arc::new(Metrics::new()),
         }
+    }
+
+    /// Attaches a persistent result store under `dir` (created if
+    /// needed). Keys already on disk are served as cached immediately —
+    /// the warm-restart half of the fleet contract.
+    pub fn with_store(mut self, dir: &Path) -> std::io::Result<ExecService> {
+        self.store = Some(Mutex::new(ResultStore::open(dir)?));
+        Ok(self)
+    }
+
+    /// The persistent store's JSONL path, if one is attached.
+    pub fn store_path(&self) -> Option<PathBuf> {
+        self.store.as_ref().map(|s| {
+            s.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .path()
+                .to_path_buf()
+        })
+    }
+
+    /// Records loaded from disk when the store was opened.
+    pub fn store_loaded(&self) -> usize {
+        self.store.as_ref().map_or(0, |s| {
+            s.lock().unwrap_or_else(PoisonError::into_inner).loaded()
+        })
+    }
+
+    /// The benchmark registry (shared with the router for key routing).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Live pool depth (queued + executing).
@@ -324,46 +468,49 @@ impl ExecService {
 
     /// The names a request can target at `size`.
     pub fn bench_names(&self, size: Size) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .benches
-            .keys()
-            .filter(|(s, _)| *s == size.as_str())
-            .map(|(_, name)| name.clone())
-            .collect();
-        names.sort();
-        names
+        self.registry.names(size)
     }
 
-    fn resolve(&self, req: &RunRequest) -> Result<Benchmark, ServeError> {
-        match &req.target {
-            Target::Named(name) => self
-                .benches
-                .get(&(req.size.as_str(), name.clone()))
-                .cloned()
-                .ok_or_else(|| {
-                    ServeError::BadRequest(format!(
-                        "unknown benchmark {name:?} at size {}",
-                        req.size.as_str()
-                    ))
-                }),
-            Target::Source(src) => Ok(Benchmark {
-                name: "adhoc".into(),
-                suite: Suite::PolyBench,
-                replay: None,
-                source: src.clone(),
-                inputs: Vec::new(),
-                outputs: Vec::new(),
-            }),
+    /// Result-cache lookup: the in-memory map first, then the persistent
+    /// store. A store hit is decoded, promoted into memory, and counted
+    /// separately — it's what makes a restarted shard warm.
+    fn lookup(&self, key: u64) -> Option<Arc<RunResult>> {
+        let in_memory = {
+            let results = self.results.lock().unwrap_or_else(PoisonError::into_inner);
+            results.get(&key).cloned()
+        };
+        if let Some(result) = in_memory {
+            self.metrics.count_result_lookup(true);
+            return Some(result);
         }
+        if let Some(store) = &self.store {
+            let payload = store
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .get(key)
+                .cloned();
+            // An undecodable payload (schema drift, torn write) falls
+            // through to a fresh execution rather than failing the run.
+            if let Some(result) = payload.as_ref().and_then(|p| decode_result(p).ok()) {
+                let result = Arc::new(result);
+                self.results
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert(key, Arc::clone(&result));
+                self.metrics.count_result_lookup(true);
+                self.metrics.count_store_hit();
+                return Some(result);
+            }
+        }
+        self.metrics.count_result_lookup(false);
+        None
     }
 
     /// Executes one request end to end. Blocks the calling (connection)
     /// thread until the result arrives, a deadline fires, or admission
     /// fails — it never blocks on a full queue.
     pub fn run(&self, req: &RunRequest) -> Result<RunOutcome, ServeError> {
-        let bench = self.resolve(req)?;
-        let engine = Engine::parse(&req.engine)
-            .ok_or_else(|| ServeError::BadRequest(format!("unknown engine {:?}", req.engine)))?;
+        let (bench, engine) = self.registry.resolve(req)?;
         let fuel = req
             .deadline_ms
             .map(fuel_for_deadline)
@@ -375,12 +522,7 @@ impl ExecService {
         // some budget is identical to the unbounded one *if it finished*,
         // but serving it for a smaller budget would skip the deadline.
         if fuel == DEFAULT_FUEL {
-            let cached = {
-                let results = self.results.lock().unwrap_or_else(PoisonError::into_inner);
-                results.get(&key).cloned()
-            };
-            self.metrics.count_result_lookup(cached.is_some());
-            if let Some(result) = cached {
+            if let Some(result) = self.lookup(key) {
                 return Ok(RunOutcome {
                     result,
                     cached: true,
@@ -441,8 +583,20 @@ impl ExecService {
                 self.metrics.observe_exec_us(exec_us);
                 let result = Arc::new(result);
                 if fuel == DEFAULT_FUEL {
-                    let mut results = self.results.lock().unwrap_or_else(PoisonError::into_inner);
-                    results.insert(key, Arc::clone(&result));
+                    {
+                        let mut results =
+                            self.results.lock().unwrap_or_else(PoisonError::into_inner);
+                        results.insert(key, Arc::clone(&result));
+                    }
+                    // Persist for warm restarts; a full disk degrades to
+                    // a cold cache, never to a failed run.
+                    if let Some(store) = &self.store {
+                        let _ = store.lock().unwrap_or_else(PoisonError::into_inner).record(
+                            key,
+                            &spec.label(),
+                            encode_result(&result),
+                        );
+                    }
                 }
                 Ok(RunOutcome {
                     result,
@@ -720,6 +874,104 @@ mod tests {
             ..req
         };
         assert!(svc.run(&relaxed).is_ok());
+    }
+
+    #[test]
+    fn registry_keys_match_execution_and_are_process_independent() {
+        let reg = Registry::load();
+        let req = RunRequest {
+            target: Target::Named("gemm".into()),
+            engine: "chrome".into(),
+            size: Size::Test,
+            deadline_ms: None,
+        };
+        // Two independently-loaded registries agree on every key — the
+        // property that lets the router route to the shard whose caches
+        // hold the spec.
+        let other = Registry::load();
+        assert_eq!(reg.job_key(&req).unwrap(), other.job_key(&req).unwrap());
+        // The key ignores the deadline: same work, same shard.
+        let with_deadline = RunRequest {
+            deadline_ms: Some(5.0),
+            ..req.clone()
+        };
+        assert_eq!(
+            reg.job_key(&req).unwrap(),
+            reg.job_key(&with_deadline).unwrap()
+        );
+        // Unknown names and engines are rejected like execution rejects
+        // them, so the router 400s exactly where a shard would.
+        let missing = RunRequest {
+            target: Target::Named("no-such-bench".into()),
+            ..req.clone()
+        };
+        assert!(matches!(
+            reg.job_key(&missing),
+            Err(ServeError::BadRequest(_))
+        ));
+        let bad_engine = RunRequest {
+            engine: "safari".into(),
+            ..req
+        };
+        assert!(matches!(
+            reg.job_key(&bad_engine),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn engines_fingerprint_is_stable_and_covers_all_wire_names() {
+        assert_eq!(engines_fingerprint(), engines_fingerprint());
+        for name in WIRE_ENGINES {
+            assert!(Engine::parse(name).is_some(), "{name} must parse");
+        }
+    }
+
+    #[test]
+    fn result_store_makes_a_restarted_service_warm() {
+        let dir = std::env::temp_dir().join(format!(
+            "wasmperf-exec-warm-{}-{}",
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").len()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let req = RunRequest {
+            target: Target::Source("fn main() -> i32 { return 23; }".into()),
+            engine: "native".into(),
+            size: Size::Test,
+            deadline_ms: None,
+        };
+        let first = {
+            let svc = ExecService::new(1, 8).with_store(&dir).unwrap();
+            assert_eq!(svc.store_loaded(), 0);
+            let out = svc.run(&req).unwrap();
+            assert!(!out.cached);
+            out.result
+        };
+        // "Restart": a fresh service over the same directory answers the
+        // same key as cached, without executing anything.
+        let svc = ExecService::new(1, 8).with_store(&dir).unwrap();
+        assert_eq!(svc.store_loaded(), 1);
+        let again = svc.run(&req).unwrap();
+        assert!(again.cached);
+        assert_eq!(again.result, first);
+        let metrics = svc.metrics.to_json(0, 0, 1, 0, 0);
+        let sys = metrics.get("syscalls").unwrap();
+        assert_eq!(sys.get("runs_executed").and_then(Json::as_u64), Some(0));
+        let cache = metrics.get("cache").unwrap();
+        assert_eq!(cache.get("store_hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(cache.get("result_hits").and_then(Json::as_u64), Some(1));
+        // Deadline-bounded runs bypass the persistent cache exactly like
+        // the in-memory one.
+        let bounded = RunRequest {
+            deadline_ms: Some(1e-9),
+            ..req
+        };
+        assert!(matches!(
+            svc.run(&bounded),
+            Err(ServeError::DeadlineSim { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -37,7 +37,10 @@ pub mod metrics;
 pub mod server;
 
 pub use client::Client;
-pub use exec::{fuel_for_deadline, ExecService, RunRequest, ServeError, FUEL_PER_MS};
+pub use exec::{
+    engines_fingerprint, fuel_for_deadline, ExecService, Registry, RunRequest, ServeError,
+    FUEL_PER_MS, SCHEMA_VERSION, WIRE_ENGINES,
+};
 pub use http::{Request, Response};
-pub use metrics::Metrics;
-pub use server::{start, ServerConfig, ServerHandle};
+pub use metrics::{latency_json, Metrics};
+pub use server::{start, ServerConfig, ServerHandle, DEFAULT_IDLE_TIMEOUT};

@@ -66,6 +66,11 @@ pub struct Options {
     pub verify_metrics: bool,
     /// Require at least one 429 and nothing outside {200, 429}.
     pub expect_shed: bool,
+    /// Tolerate 503s alongside 200/429 — for driving a fleet router
+    /// while a shard is down. Every 429 and 503 must still carry a
+    /// usable `Retry-After`, and 200s stay subject to the byte-identity
+    /// checks: degraded means shed-or-retry, never wrong.
+    pub tolerate_unavailable: bool,
 }
 
 impl Default for Options {
@@ -81,6 +86,7 @@ impl Default for Options {
             check: false,
             verify_metrics: false,
             expect_shed: false,
+            tolerate_unavailable: false,
         }
     }
 }
@@ -100,7 +106,7 @@ struct Sample {
     sys: Option<(u64, u64, u64)>,
     /// Transport-level failure, if the request never completed.
     error: Option<String>,
-    /// Raw `Retry-After` header of a 429 response (None if absent).
+    /// Raw `Retry-After` header of a 429/503 response (None if absent).
     retry_after: Option<String>,
 }
 
@@ -294,7 +300,7 @@ fn issue(client: &mut Client, opts: &Options, index: usize) -> Sample {
     match client.post_json("/run", &body) {
         Ok(resp) => {
             let latency_us = started.elapsed().as_micros() as u64;
-            let retry_after = if resp.status == 429 {
+            let retry_after = if matches!(resp.status, 429 | 503) {
                 resp.header("retry-after").map(str::to_string)
             } else {
                 None
@@ -569,30 +575,43 @@ pub fn run(opts: &Options) -> Report {
         }
     }
 
+    if opts.expect_shed || opts.tolerate_unavailable {
+        // Every shed or unavailable response must carry a usable
+        // backpressure hint: a `Retry-After` that parses as a whole
+        // number of seconds >= 1.
+        for s in samples.iter().filter(|s| matches!(s.status, 429 | 503)) {
+            let code = s.status;
+            match s.retry_after.as_deref().map(str::parse::<u64>) {
+                Some(Ok(secs)) if secs >= 1 => {}
+                Some(Ok(secs)) => {
+                    failures.push(format!("{code} carried Retry-After {secs}, must be >= 1"))
+                }
+                Some(Err(_)) => failures.push(format!(
+                    "{code} carried unparseable Retry-After {:?}",
+                    s.retry_after.as_deref().unwrap_or_default()
+                )),
+                None => failures.push(format!("{code} without a Retry-After header")),
+            }
+        }
+    }
     if opts.expect_shed {
         if status_counts.get(&429).copied().unwrap_or(0) == 0 {
             failures.push("--expect-shed: no request was shed (429)".into());
         }
         if let Some((&code, _)) = status_counts
             .iter()
-            .find(|(c, _)| !matches!(**c, 200 | 429))
+            .find(|(c, _)| !(matches!(**c, 200 | 429) || opts.tolerate_unavailable && **c == 503))
         {
             failures.push(format!("--expect-shed: unexpected status {code}"));
         }
-        // Every shed must carry a usable backpressure hint: a
-        // `Retry-After` that parses as a whole number of seconds >= 1.
-        for s in samples.iter().filter(|s| s.status == 429) {
-            match s.retry_after.as_deref().map(str::parse::<u64>) {
-                Some(Ok(secs)) if secs >= 1 => {}
-                Some(Ok(secs)) => failures.push(format!(
-                    "--expect-shed: 429 carried Retry-After {secs}, must be >= 1"
-                )),
-                Some(Err(_)) => failures.push(format!(
-                    "--expect-shed: 429 carried unparseable Retry-After {:?}",
-                    s.retry_after.as_deref().unwrap_or_default()
-                )),
-                None => failures.push("--expect-shed: 429 without a Retry-After header".into()),
-            }
+    } else if opts.tolerate_unavailable {
+        if let Some((&code, &n)) = status_counts
+            .iter()
+            .find(|(c, _)| !matches!(**c, 200 | 429 | 503))
+        {
+            failures.push(format!(
+                "{n} request(s) got status {code}; only 200/429/503 are tolerable while degraded"
+            ));
         }
     } else if let Some((&code, &n)) = status_counts.iter().find(|(c, _)| **c != 200) {
         failures.push(format!("{n} request(s) got unexpected status {code}"));

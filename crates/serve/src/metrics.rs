@@ -33,6 +33,9 @@ struct Inner {
     result_hits: u64,
     /// Result-cache misses.
     result_misses: u64,
+    /// The subset of result hits served from the persistent store (a
+    /// warm restart) rather than process memory.
+    store_hits: u64,
     /// Deepest pool depth observed at admission time.
     max_depth: usize,
     /// Runs actually executed (cache hits excluded) — the denominator
@@ -129,9 +132,20 @@ impl Metrics {
         }
     }
 
+    /// Counts one result-cache hit that came from the persistent store.
+    pub fn count_store_hit(&self) {
+        self.lock().store_hits += 1;
+    }
+
     /// Total requests recorded, across all endpoints and statuses.
     pub fn total_requests(&self) -> u64 {
         self.lock().by_endpoint.values().sum()
+    }
+
+    /// Runs executed since process start (cache hits excluded) — the
+    /// "runs since start" field of the shard identity block.
+    pub fn runs_executed(&self) -> u64 {
+        self.lock().runs_executed
     }
 
     /// The `/metrics` JSON snapshot. `queued`/`active`/`workers` are the
@@ -151,22 +165,9 @@ impl Metrics {
                 .map(|((ep, status), n)| (format!("{ep} {status}"), Json::u64(*n)))
                 .collect(),
         );
-        let buckets = m
-            .hist
-            .nonzero()
-            .map(|(i, b)| (format!("lt_{}us", 1u64 << (i + 1)), Json::u64(b.count)))
-            .collect();
         Json::Obj(vec![
             ("requests".into(), requests),
-            (
-                "latency".into(),
-                Json::Obj(vec![
-                    ("count".into(), Json::u64(m.hist.count())),
-                    ("sum_us".into(), Json::u64(m.hist.sum())),
-                    ("mean_us".into(), Json::Num(m.hist.mean())),
-                    ("buckets".into(), Json::Obj(buckets)),
-                ]),
-            ),
+            ("latency".into(), latency_json(&m.hist)),
             (
                 "syscalls".into(),
                 Json::Obj(vec![
@@ -186,6 +187,7 @@ impl Metrics {
                     ("artifact_hits".into(), Json::u64(artifact_hits)),
                     ("result_hits".into(), Json::u64(m.result_hits)),
                     ("result_misses".into(), Json::u64(m.result_misses)),
+                    ("store_hits".into(), Json::u64(m.store_hits)),
                 ]),
             ),
             (
@@ -202,9 +204,42 @@ impl Metrics {
     }
 }
 
+/// The `latency` section of `/metrics`, rendered from a histogram. The
+/// human-oriented fields (`mean_us`, `lt_*us` bucket counts) ride next
+/// to the exact machine-mergeable wire form under `hist`, which is what
+/// the fleet router parses, [`Log2Hist::merge`]s across shards, and
+/// re-renders through this same function for the fleet aggregate.
+pub fn latency_json(hist: &Log2Hist) -> Json {
+    let buckets = hist
+        .nonzero()
+        .map(|(i, b)| (format!("lt_{}us", 1u64 << (i + 1)), Json::u64(b.count)))
+        .collect();
+    Json::Obj(vec![
+        ("count".into(), Json::u64(hist.count())),
+        ("sum_us".into(), Json::u64(hist.sum())),
+        ("mean_us".into(), Json::Num(hist.mean())),
+        ("buckets".into(), Json::Obj(buckets)),
+        ("hist".into(), hist.to_json()),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn latency_section_carries_an_exact_mergeable_hist() {
+        let m = Metrics::new();
+        m.record("POST /run", 200, 1500);
+        m.record("POST /run", 200, 900);
+        let j = m.to_json(0, 0, 1, 0, 0);
+        let wire = j.get("latency").and_then(|l| l.get("hist")).unwrap();
+        let hist = Log2Hist::from_json(wire).unwrap();
+        assert_eq!(hist.count(), 2);
+        assert_eq!(hist.sum(), 2400);
+        // Round-tripping through latency_json is lossless.
+        assert_eq!(latency_json(&hist), j.get("latency").unwrap().clone());
+    }
 
     #[test]
     fn snapshot_reflects_recorded_requests() {

@@ -21,10 +21,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
+use wasmperf_farm::hash::hex64;
 use wasmperf_farm::Json;
 use wasmperf_trace::{Span, SpanLog, TraceSession};
 
-use crate::exec::{run_response_json, ExecService, RunRequest, ServeError};
+use crate::exec::{
+    engines_fingerprint, run_response_json, ExecService, RunRequest, ServeError, SCHEMA_VERSION,
+    WIRE_ENGINES,
+};
 use crate::http::{read_request, write_response, Request, Response};
 
 /// Server configuration.
@@ -40,6 +44,16 @@ pub struct ServerConfig {
     pub log_path: Option<PathBuf>,
     /// Directory for Chrome-trace/JSONL span exports at shutdown, if any.
     pub trace_dir: Option<PathBuf>,
+    /// Per-connection idle read timeout: a silent keep-alive client is
+    /// cut (with a best-effort 408) instead of pinning a connection
+    /// thread until drain.
+    pub idle_timeout: Duration,
+    /// Directory for the persistent result store; when set, completed
+    /// default-budget runs survive restarts and are re-served as cached.
+    pub results_dir: Option<PathBuf>,
+    /// Shard name reported in the `/healthz` and `/metrics` identity
+    /// block (a fleet router tells shards apart by it).
+    pub shard: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -50,16 +64,21 @@ impl Default for ServerConfig {
             queue_capacity: 32,
             log_path: None,
             trace_dir: None,
+            idle_timeout: DEFAULT_IDLE_TIMEOUT,
+            results_dir: None,
+            shard: None,
         }
     }
 }
 
-/// Idle keep-alive limit per connection: a quiet client is disconnected
-/// rather than pinning a thread forever.
-const IDLE_TIMEOUT: Duration = Duration::from_secs(60);
+/// Default idle keep-alive limit per connection: a quiet client is
+/// disconnected rather than pinning a thread forever.
+pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(60);
 
 struct Shared {
     exec: ExecService,
+    idle_timeout: Duration,
+    shard: String,
     draining: AtomicBool,
     next_id: AtomicU64,
     open_connections: AtomicUsize,
@@ -130,6 +149,33 @@ impl Shared {
                 .now_us(),
             None => 0,
         }
+    }
+
+    /// The shard identity block shared by `/healthz` and `/metrics`:
+    /// enough for a router (or `loadgen --verify-metrics`) to tell
+    /// shards apart and to see whether a restart came up warm.
+    fn identity_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.shard.clone())),
+            ("schema_version".into(), Json::u64(SCHEMA_VERSION)),
+            ("engines".into(), Json::Str(hex64(engines_fingerprint()))),
+            ("engine_count".into(), Json::u64(WIRE_ENGINES.len() as u64)),
+            (
+                "result_store".into(),
+                match self.exec.store_path() {
+                    Some(path) => Json::Str(path.display().to_string()),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "store_loaded".into(),
+                Json::u64(self.exec.store_loaded() as u64),
+            ),
+            (
+                "runs_since_start".into(),
+                Json::u64(self.exec.metrics.runs_executed()),
+            ),
+        ])
     }
 }
 
@@ -210,8 +256,14 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
             )))
         }
     };
+    let mut exec = ExecService::new(config.workers, config.queue_capacity);
+    if let Some(dir) = &config.results_dir {
+        exec = exec.with_store(dir)?;
+    }
     let shared = Arc::new(Shared {
-        exec: ExecService::new(config.workers, config.queue_capacity),
+        exec,
+        idle_timeout: config.idle_timeout,
+        shard: config.shard.clone().unwrap_or_else(|| "serve".into()),
         draining: AtomicBool::new(false),
         next_id: AtomicU64::new(0),
         open_connections: AtomicUsize::new(0),
@@ -279,7 +331,7 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
 }
 
 fn handle_connection(shared: &Shared, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
+    let _ = stream.set_read_timeout(Some(shared.idle_timeout));
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
@@ -291,14 +343,30 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
             // Clean close between requests.
             Ok(None) => return,
             Err(e) => {
-                // Timeouts and resets just close; parse errors get a 400
-                // on a best-effort basis.
-                if e.kind() == std::io::ErrorKind::InvalidData {
-                    let resp = Response::json(
-                        400,
-                        &Json::Obj(vec![("error".into(), Json::Str(e.to_string()))]),
-                    );
-                    let _ = write_response(&mut writer, &resp, false);
+                match e.kind() {
+                    // Parse errors get a 400 on a best-effort basis.
+                    std::io::ErrorKind::InvalidData => {
+                        let resp = Response::json(
+                            400,
+                            &Json::Obj(vec![("error".into(), Json::Str(e.to_string()))]),
+                        );
+                        let _ = write_response(&mut writer, &resp, false);
+                    }
+                    // The idle read timeout fired (reported as either
+                    // kind, platform-dependent): tell the silent client
+                    // why it's being cut, then free the slot.
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+                        let resp = Response::json(
+                            408,
+                            &Json::Obj(vec![(
+                                "error".into(),
+                                Json::Str("idle timeout: no request received".into()),
+                            )]),
+                        );
+                        let _ = write_response(&mut writer, &resp, false);
+                    }
+                    // Resets and the like just close.
+                    _ => {}
                 }
                 return;
             }
@@ -330,20 +398,22 @@ fn route(shared: &Shared, id: &str, req: &Request) -> Response {
                     "draining".into(),
                     Json::Bool(shared.draining.load(Ordering::SeqCst)),
                 ),
+                ("shard".into(), shared.identity_json()),
             ]),
         ),
         ("GET", "/metrics") => {
             let (builds, hits) = shared.exec.artifact_stats();
-            Response::json(
-                200,
-                &shared.exec.metrics.to_json(
-                    shared.exec.queued(),
-                    shared.exec.active(),
-                    shared.exec.workers(),
-                    builds,
-                    hits,
-                ),
-            )
+            let mut snapshot = shared.exec.metrics.to_json(
+                shared.exec.queued(),
+                shared.exec.active(),
+                shared.exec.workers(),
+                builds,
+                hits,
+            );
+            if let Json::Obj(fields) = &mut snapshot {
+                fields.push(("shard".into(), shared.identity_json()));
+            }
+            Response::json(200, &snapshot)
         }
         ("POST", "/run") => match parse_body(req)
             .and_then(|body| RunRequest::from_json(&body).map_err(ServeError::BadRequest))
@@ -385,6 +455,9 @@ fn error_response(e: &ServeError) -> Response {
         ServeError::Rejected { retry_after_s, .. } => {
             resp.with_header("Retry-After", &retry_after_s.to_string())
         }
+        // A draining shard is a transient condition from the fleet's
+        // point of view: tell clients (and the router) when to retry.
+        ServeError::Closed => resp.with_header("Retry-After", "1"),
         _ => resp,
     }
 }

@@ -332,6 +332,67 @@ fn metrics_track_requests_and_caches() {
 }
 
 #[test]
+fn silent_connections_get_408_and_are_cut() {
+    use std::io::{Read, Write};
+
+    let handle = start(ServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+        idle_timeout: Duration::from_millis(100),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr().to_string();
+
+    // A client that connects and never sends a request must be told why
+    // it's being cut (408) and then disconnected — not pin a connection
+    // slot until drain.
+    let mut silent = std::net::TcpStream::connect(&addr).unwrap();
+    silent
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut raw = Vec::new();
+    silent.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 408"), "{text}");
+    assert!(text.contains("idle timeout"), "{text}");
+
+    // Stalling mid-request (declared body never arrives) is the same
+    // idle cut, not a hang.
+    let mut stalled = std::net::TcpStream::connect(&addr).unwrap();
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stalled
+        .write_all(b"POST /run HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+        .unwrap();
+    let mut raw = Vec::new();
+    stalled.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 408"), "{text}");
+
+    // A keep-alive connection that goes quiet after a served request is
+    // cut the same way, and the server stays healthy for new clients.
+    let mut quiet = std::net::TcpStream::connect(&addr).unwrap();
+    quiet
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    quiet.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+    let mut raw = Vec::new();
+    quiet.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+    assert!(
+        text.contains("HTTP/1.1 408"),
+        "no 408 after going quiet: {text}"
+    );
+
+    let mut c = Client::connect(&addr).unwrap();
+    assert_eq!(c.get("/healthz").unwrap().status, 200);
+    shutdown(handle, &addr);
+}
+
+#[test]
 fn report_endpoint_builds_a_slowdown_matrix() {
     let (handle, addr) = serve(2, 8);
     let mut c = Client::connect(&addr).unwrap();

@@ -6,6 +6,14 @@
 //! `[2^i, 2^(i+1))`; bucket 0 also absorbs zero, and the last bucket is
 //! open-ended. Each bucket keeps a count and a sum, so means stay exact
 //! even though the distribution is quantized.
+//!
+//! Histograms also cross process boundaries: [`Log2Hist::to_json`] /
+//! [`Log2Hist::from_json`] round-trip every bucket and the observed
+//! maximum exactly, so the fleet router can fetch each shard's latency
+//! histogram and [`Log2Hist::merge`] the shards into one fleet-wide
+//! aggregate without losing a sample.
+
+use crate::json::Json;
 
 /// Number of buckets. Bucket `BUCKETS - 1` holds everything at or above
 /// `2^(BUCKETS-1)`.
@@ -148,6 +156,48 @@ impl Log2Hist {
         }
         bucket_bounds(BUCKETS - 1).1.min(self.max)
     }
+
+    /// Wire form: the observed maximum plus every non-empty bucket keyed
+    /// by index, each with its exact count and sum.
+    pub fn to_json(&self) -> Json {
+        let buckets = self
+            .nonzero()
+            .map(|(i, b)| {
+                (
+                    i.to_string(),
+                    Json::Obj(vec![
+                        ("count".into(), Json::u64(b.count)),
+                        ("sum".into(), Json::u64(b.sum)),
+                    ]),
+                )
+            })
+            .collect();
+        Json::Obj(vec![
+            ("max".into(), Json::u64(self.max)),
+            ("buckets".into(), Json::Obj(buckets)),
+        ])
+    }
+
+    /// Parses the [`Log2Hist::to_json`] wire form back. `None` on any
+    /// missing field, unparsable index, or out-of-range bucket.
+    pub fn from_json(v: &Json) -> Option<Log2Hist> {
+        let mut hist = Log2Hist::new();
+        hist.max = v.get("max")?.as_u64()?;
+        let Json::Obj(buckets) = v.get("buckets")? else {
+            return None;
+        };
+        for (key, bucket) in buckets {
+            let i: usize = key.parse().ok()?;
+            if i >= BUCKETS {
+                return None;
+            }
+            hist.buckets[i] = Bucket {
+                count: bucket.get("count")?.as_u64()?,
+                sum: bucket.get("sum")?.as_u64()?,
+            };
+        }
+        Some(hist)
+    }
 }
 
 #[cfg(test)]
@@ -259,6 +309,36 @@ mod tests {
         let mut small = Log2Hist::new();
         small.record(100);
         assert_eq!(small.percentile(50.0), 127);
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact_and_merges() {
+        let mut h = Log2Hist::new();
+        for v in [0, 1, 5, 1000, 1_000_000, 1 << 40] {
+            h.record(v);
+        }
+        let wire = h.to_json();
+        let back = Log2Hist::from_json(&wire).unwrap();
+        assert_eq!(back, h);
+        // The round-tripped histogram merges like the original: the
+        // router-side aggregation path.
+        let mut agg = Log2Hist::new();
+        agg.record(7);
+        agg.merge(&back);
+        assert_eq!(agg.count(), h.count() + 1);
+        assert_eq!(agg.sum(), h.sum() + 7);
+        assert_eq!(agg.percentile(100.0), 1 << 40);
+
+        // Malformed wire forms are rejected, not mis-read.
+        assert!(Log2Hist::from_json(&Json::Obj(vec![])).is_none());
+        let bad = Json::Obj(vec![
+            ("max".into(), Json::u64(1)),
+            (
+                "buckets".into(),
+                Json::Obj(vec![("99".into(), Json::Obj(vec![]))]),
+            ),
+        ]);
+        assert!(Log2Hist::from_json(&bad).is_none());
     }
 
     #[test]
